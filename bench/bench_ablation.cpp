@@ -1,0 +1,350 @@
+/// \file bench_ablation.cpp
+/// ABL (DESIGN.md §4): ablations over the design choices the reproduction
+/// had to pin down, each tied to a claim in the paper's analysis:
+///
+///  1. invitor-coin bias — Proposition 1's 1/4 pairing bound assumes the
+///     fair coin; the sweep shows the round constant degrading toward
+///     either extreme, with the minimum near 1/2.
+///  2. matching participation rate — the empirical per-round pairing
+///     probability behind every O(Δ) claim.
+///  3. DiMa2Ed strict vs paper mode — rounds paid vs conflicts leaked.
+///  4. color-choice policy — the literal lowest-index rule livelocks
+///     (documented deviation); the expanding-window rule converges.
+///  5. message-drop sensitivity — convergence and half-commits vs loss
+///     rate, separating MaDEC's liveness-only dependence from DiMa2Ed's
+///     safety dependence on the E-state gossip.
+///  6. the synchrony assumption's price — MaDEC run unmodified on an
+///     asynchronous point-to-point network through the α-synchronizer
+///     (bit-identical coloring, an order of magnitude more messages).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "src/automata/discovery.hpp"
+#include "src/coloring/dima2ed.hpp"
+#include "src/coloring/madec.hpp"
+#include "src/coloring/validate.hpp"
+#include "src/experiments/profile.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/metrics.hpp"
+#include "src/support/stats.hpp"
+#include "src/support/table.hpp"
+
+namespace {
+
+using namespace dima;
+
+graph::Graph ablationGraph(std::uint64_t salt = 0) {
+  support::Rng rng(support::mix64(0xab1a710, salt));
+  return graph::erdosRenyiAvgDegree(200, 8.0, rng);
+}
+
+void BM_MadecBias(benchmark::State& state) {
+  const double bias = static_cast<double>(state.range(0)) / 100.0;
+  const graph::Graph g = ablationGraph();
+  std::uint64_t seed = 1;
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    coloring::MadecOptions options;
+    options.seed = seed++;
+    options.invitorBias = bias;
+    const auto result = coloring::colorEdgesMadec(g, options);
+    benchmark::DoNotOptimize(result.colors.data());
+    rounds += result.metrics.computationRounds;
+  }
+  state.counters["rounds/iter"] =
+      benchmark::Counter(static_cast<double>(rounds),
+                         benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_MadecBias)->Arg(10)->Arg(30)->Arg(50)->Arg(70)->Arg(90)->Unit(
+    benchmark::kMillisecond);
+
+void ablateBias() {
+  std::printf("\n-- ABL-1: invitor-coin bias (Prop. 1 fixes 1/2) --\n\n");
+  support::TextTable table(
+      {"p(invitor)", "mean rounds", "rounds/D", "mean colors-D"});
+  for (double bias : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    support::OnlineStats rounds, roundsPerDelta, excess;
+    for (std::uint64_t run = 0; run < 15; ++run) {
+      const graph::Graph g = ablationGraph(run);
+      coloring::MadecOptions options;
+      options.seed = run;
+      options.invitorBias = bias;
+      const auto result = coloring::colorEdgesMadec(g, options);
+      rounds.add(static_cast<double>(result.metrics.computationRounds));
+      roundsPerDelta.add(static_cast<double>(result.metrics.computationRounds) /
+                         static_cast<double>(g.maxDegree()));
+      excess.add(static_cast<double>(result.colorsUsed()) -
+                 static_cast<double>(g.maxDegree()));
+    }
+    table.addRowOf(support::TextTable::format(bias),
+                   support::TextTable::format(rounds.mean()),
+                   support::TextTable::format(roundsPerDelta.mean()),
+                   support::TextTable::format(excess.mean()));
+  }
+  std::printf("%s", table.render().c_str());
+}
+
+void ablateParticipation() {
+  std::printf(
+      "\n-- ABL-2: per-round pairing probability (Prop. 1 predicts a "
+      "constant in [1/4, 1/2]) --\n\n");
+  support::TextTable table({"bias", "participation rate"});
+  support::Rng rng(55);
+  const graph::Graph g = graph::randomRegular(120, 6, rng);
+  for (double bias : {0.25, 0.5, 0.75}) {
+    automata::DiscoveryStats pooled;
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+      const auto result = automata::maximalMatching(g, seed, bias);
+      pooled.activeNodeRounds += result.stats.activeNodeRounds;
+      pooled.matchedNodeRounds += result.stats.matchedNodeRounds;
+    }
+    table.addRowOf(support::TextTable::format(bias),
+                   support::TextTable::format(pooled.participationRate()));
+  }
+  std::printf("%s", table.render().c_str());
+}
+
+void ablateStrictVsPaper() {
+  std::printf(
+      "\n-- ABL-3: DiMa2Ed strict handshake vs pseudo-code-faithful mode "
+      "--\n\n");
+  support::TextTable table({"mode", "mean rounds", "comm rounds/cycle",
+                            "conflicting pairs (total)", "invalid runs"});
+  for (auto mode :
+       {coloring::Dima2EdMode::Paper, coloring::Dima2EdMode::Strict}) {
+    support::OnlineStats rounds;
+    std::size_t conflicts = 0, invalid = 0;
+    std::uint64_t commPerCycle = 0;
+    for (std::uint64_t run = 0; run < 10; ++run) {
+      support::Rng rng(support::mix64(0x57a7e, run));
+      const graph::Graph g = graph::erdosRenyiAvgDegree(150, 6.0, rng);
+      const graph::Digraph d(g);
+      coloring::Dima2EdOptions options;
+      options.seed = run;
+      options.mode = mode;
+      const auto result = coloring::colorArcsDima2Ed(d, options);
+      rounds.add(static_cast<double>(result.metrics.computationRounds));
+      commPerCycle = result.metrics.computationRounds > 0
+                         ? result.metrics.commRounds /
+                               result.metrics.computationRounds
+                         : 0;
+      conflicts += coloring::countStrongConflicts(d, result.colors);
+      if (!coloring::verifyStrongArcColoring(d, result.colors)) ++invalid;
+    }
+    table.addRowOf(
+        mode == coloring::Dima2EdMode::Paper ? "paper (Proc. 2-b only)"
+                                             : "strict (+tentative/abort)",
+        support::TextTable::format(rounds.mean()), commPerCycle, conflicts,
+        invalid);
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "reading: the strict handshake costs 2 extra comm rounds per cycle "
+      "and\neliminates every same-round conflict the faithful mode leaks.\n");
+}
+
+void ablateColorPolicy() {
+  std::printf(
+      "\n-- ABL-4: DiMa2Ed color policy (lowest-index can livelock; "
+      "expanding window converges) --\n\n");
+  support::TextTable table(
+      {"policy", "converged", "mean rounds (converged)", "mean colors"});
+  for (auto policy : {coloring::ColorPolicy::LowestIndex,
+                      coloring::ColorPolicy::ExpandingWindow}) {
+    std::size_t converged = 0;
+    support::OnlineStats rounds, colors;
+    for (std::uint64_t run = 0; run < 10; ++run) {
+      support::Rng rng(support::mix64(0x9011c4, run));
+      const graph::Graph g = graph::erdosRenyiAvgDegree(120, 6.0, rng);
+      const graph::Digraph d(g);
+      coloring::Dima2EdOptions options;
+      options.seed = run;
+      options.policy = policy;
+      options.maxCycles = 600;
+      const auto result = coloring::colorArcsDima2Ed(d, options);
+      if (result.metrics.converged) {
+        ++converged;
+        rounds.add(static_cast<double>(result.metrics.computationRounds));
+      }
+      colors.add(static_cast<double>(result.colorsUsed()));
+    }
+    table.addRowOf(policy == coloring::ColorPolicy::LowestIndex
+                       ? "lowest-index (literal)"
+                       : "expanding-window (default)",
+                   std::to_string(converged) + "/10",
+                   rounds.count() ? support::TextTable::format(rounds.mean())
+                                  : std::string("-"),
+                   support::TextTable::format(colors.mean()));
+  }
+  std::printf("%s", table.render().c_str());
+}
+
+void ablateDrops() {
+  std::printf(
+      "\n-- ABL-5: message-loss sensitivity (600-round cap) --\n\n");
+  support::TextTable table({"drop prob", "algorithm", "converged",
+                            "half-committed", "conflicts (agreed)"});
+  for (double drop : {0.0, 0.01, 0.05, 0.2}) {
+    // MaDEC: loses liveness only.
+    {
+      std::size_t converged = 0, halves = 0, conflicts = 0;
+      for (std::uint64_t run = 0; run < 8; ++run) {
+        support::Rng rng(support::mix64(0xd409, run));
+        const graph::Graph g = graph::erdosRenyiAvgDegree(100, 6.0, rng);
+        coloring::MadecOptions options;
+        options.seed = run;
+        options.faults.dropProbability = drop;
+        options.maxCycles = 600;
+        const auto result = coloring::colorEdgesMadec(g, options);
+        if (result.metrics.converged) ++converged;
+        halves += result.halfCommitted.size();
+        auto agreed = result.colors;
+        for (graph::EdgeId e : result.halfCommitted) {
+          agreed[e] = coloring::kNoColor;
+        }
+        if (!coloring::verifyEdgeColoring(g, agreed, true)) ++conflicts;
+      }
+      table.addRowOf(support::TextTable::format(drop), "madec",
+                     std::to_string(converged) + "/8", halves, conflicts);
+    }
+    // DiMa2Ed: loses distance-2 safety too (gossip-dependent).
+    {
+      std::size_t converged = 0, halves = 0;
+      std::size_t conflicts = 0;
+      for (std::uint64_t run = 0; run < 8; ++run) {
+        support::Rng rng(support::mix64(0xd410, run));
+        const graph::Graph g = graph::erdosRenyiAvgDegree(60, 4.0, rng);
+        const graph::Digraph d(g);
+        coloring::Dima2EdOptions options;
+        options.seed = run;
+        options.faults.dropProbability = drop;
+        options.maxCycles = 600;
+        const auto result = coloring::colorArcsDima2Ed(d, options);
+        if (result.metrics.converged) ++converged;
+        halves += result.halfCommitted.size();
+        auto agreed = result.colors;
+        for (graph::ArcId a : result.halfCommitted) {
+          agreed[a] = coloring::kNoColor;
+        }
+        conflicts += coloring::countStrongConflicts(d, agreed);
+      }
+      table.addRowOf(support::TextTable::format(drop), "dima2ed-strict",
+                     std::to_string(converged) + "/8", halves, conflicts);
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "reading: MaDEC keeps (masked) safety at any loss rate and only "
+      "stalls;\nDiMa2Ed additionally accumulates distance-2 conflicts once "
+      "gossip is lost,\nconfirming that the paper's reliability assumption "
+      "is load-bearing for\nAlgorithm 2 but only a liveness matter for "
+      "Algorithm 1.\n");
+}
+
+void ablateSynchronizer() {
+  std::printf(
+      "\n-- ABL-6: the price of the synchrony assumption "
+      "(alpha-synchronizer on an async network; identical colorings) --\n\n");
+  support::TextTable table({"workload", "synchronizer", "sync broadcasts",
+                            "async payload", "async control",
+                            "overhead factor", "sim time / round"});
+  for (double deg : {4.0, 8.0}) {
+    // β needs a connected graph: use a small-world sample.
+    support::Rng rng(support::mix64(0xa57ac, static_cast<std::uint64_t>(deg)));
+    const graph::Graph g = graph::wattsStrogatz(
+        100, static_cast<std::size_t>(deg), 0.25, rng);
+    coloring::MadecOptions options;
+    options.seed = 21;
+    const auto sync = coloring::colorEdgesMadec(g, options);
+    for (const auto kind :
+         {coloring::Synchronizer::Alpha, coloring::Synchronizer::Beta}) {
+      net::AsyncRunResult stats;
+      const auto async =
+          coloring::colorEdgesMadecAsync(g, options, {}, &stats, kind);
+      DIMA_REQUIRE(sync.colors == async.colors,
+                   "async run diverged from synchronous run");
+      std::ostringstream label;
+      label << "ws n=100 k=" << deg;
+      const double overhead =
+          static_cast<double>(stats.totalMessages()) /
+          static_cast<double>(sync.metrics.broadcasts);
+      table.addRowOf(
+          label.str(),
+          kind == coloring::Synchronizer::Alpha ? "alpha (per-neighbor)"
+                                                : "beta (tree wave)",
+          sync.metrics.broadcasts, stats.payloadMessages,
+          stats.ackMessages + stats.safeMessages,
+          support::TextTable::format(overhead),
+          support::TextTable::format(
+              stats.simTime /
+              static_cast<double>(sync.metrics.computationRounds)));
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "reading: dropping the shared radio medium and the global clock "
+      "costs\n~an order of magnitude in messages (deg-many unicasts per "
+      "broadcast, then\nack+safe traffic per pulse) while producing the "
+      "identical coloring —\nthe paper's model assumptions are worth "
+      "exactly this much.\n");
+}
+
+void ablateTerminationDetection() {
+  std::printf(
+      "\n-- ABL-7: completion tails and the cost of *knowing* you are done "
+      "--\n\n");
+  support::TextTable table({"workload", "p50 done", "p90 done", "last done",
+                            "tree build", "root detects", "overhead"});
+  for (double deg : {4.0, 8.0, 16.0}) {
+    // Connected sample (retry the seed until connected).
+    graph::Graph g(0);
+    for (std::uint64_t salt = 0; salt < 50; ++salt) {
+      support::Rng rng(support::mix64(0x7e4a1, salt) + //
+                       static_cast<std::uint64_t>(deg));
+      graph::Graph candidate = graph::erdosRenyiAvgDegree(200, deg, rng);
+      if (graph::isConnected(candidate)) {
+        g = std::move(candidate);
+        break;
+      }
+    }
+    if (g.numVertices() == 0) continue;
+    coloring::MadecOptions options;
+    options.seed = 33;
+    const exp::CompletionProfile profile =
+        exp::madecCompletionProfile(g, options);
+    std::ostringstream label;
+    label << "er n=200 d=" << deg;
+    table.addRowOf(label.str(), support::TextTable::format(profile.p50),
+                   support::TextTable::format(profile.p90),
+                   profile.lastCompletion, profile.treeBuildRounds,
+                   profile.detectionRound,
+                   profile.detectionRound - profile.lastCompletion);
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "reading: most nodes finish in roughly half the reported round "
+      "count\n(the figures plot a max statistic), and a deployment pays "
+      "only a few\nextra rounds (~tree height) before the root knows the "
+      "run is over.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  ablateBias();
+  ablateParticipation();
+  ablateStrictVsPaper();
+  ablateColorPolicy();
+  ablateDrops();
+  ablateSynchronizer();
+  ablateTerminationDetection();
+  return 0;
+}

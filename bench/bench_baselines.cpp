@@ -1,0 +1,219 @@
+/// \file bench_baselines.cpp
+/// CMP (DESIGN.md §4): the paper positions Algorithm 1 as "competitive with
+/// known algorithms in time complexity" with "high quality solutions"
+/// (§I, Conjecture 2). This bench quantifies that against the comparators
+/// the paper cites or implies:
+///   * sequential greedy (any order) — the 2Δ−1 guarantee MaDEC matches;
+///   * Misra–Gries — the Δ+1 sequential gold standard;
+///   * the simple randomized distributed coloring of Marathe–Panconesi–
+///     Risinger (reference [10], "PAL") — the natural distributed rival;
+///   * for round counts, PAL's O(log n) versus MaDEC's O(Δ).
+/// Every coloring is validated before being tabulated.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/baselines/greedy.hpp"
+#include "src/baselines/misra_gries.hpp"
+#include "src/baselines/pal.hpp"
+#include "src/baselines/strong_greedy.hpp"
+#include "src/coloring/dima2ed.hpp"
+#include "src/coloring/madec.hpp"
+#include "src/coloring/validate.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/metrics.hpp"
+#include "src/support/stats.hpp"
+#include "src/support/table.hpp"
+
+namespace {
+
+using namespace dima;
+
+graph::Graph benchGraph() {
+  support::Rng rng(777);
+  return graph::erdosRenyiAvgDegree(200, 8.0, rng);
+}
+
+void BM_Madec(benchmark::State& state) {
+  const graph::Graph g = benchGraph();
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    coloring::MadecOptions options;
+    options.seed = seed++;
+    benchmark::DoNotOptimize(coloring::colorEdgesMadec(g, options).colors.data());
+  }
+}
+BENCHMARK(BM_Madec)->Unit(benchmark::kMillisecond);
+
+void BM_Greedy(benchmark::State& state) {
+  const graph::Graph g = benchGraph();
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        baselines::greedyEdgeColoring(g, baselines::EdgeOrder::Random, seed++)
+            .colors.data());
+  }
+}
+BENCHMARK(BM_Greedy)->Unit(benchmark::kMillisecond);
+
+void BM_MisraGries(benchmark::State& state) {
+  const graph::Graph g = benchGraph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        baselines::misraGriesEdgeColoring(g).colors.data());
+  }
+}
+BENCHMARK(BM_MisraGries)->Unit(benchmark::kMillisecond);
+
+void BM_Pal(benchmark::State& state) {
+  const graph::Graph g = benchGraph();
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    baselines::PalOptions options;
+    options.seed = seed++;
+    benchmark::DoNotOptimize(
+        baselines::palEdgeColoring(g, options).colors.data());
+  }
+}
+BENCHMARK(BM_Pal)->Unit(benchmark::kMillisecond);
+
+struct AlgoStats {
+  support::OnlineStats colorExcess;  // colors − Δ
+  support::OnlineStats rounds;       // distributed algorithms only
+  std::size_t invalid = 0;
+};
+
+void runComparison() {
+  struct Workload {
+    std::string name;
+    std::function<graph::Graph(support::Rng&)> make;
+  };
+  const std::vector<Workload> workloads = {
+      {"erdos-renyi n=200 d=8",
+       [](support::Rng& rng) {
+         return graph::erdosRenyiAvgDegree(200, 8.0, rng);
+       }},
+      {"scale-free n=200 m=4",
+       [](support::Rng& rng) {
+         return graph::barabasiAlbert(200, 4, 1.0, rng);
+       }},
+      {"small-world n=128 k=8",
+       [](support::Rng& rng) {
+         return graph::wattsStrogatz(128, 8, 0.25, rng);
+       }},
+  };
+  constexpr std::size_t kRuns = 20;
+
+  std::printf("\n== CMP: Algorithm 1 vs sequential and distributed "
+              "comparators (%zu runs each) ==\n\n", kRuns);
+  support::TextTable table({"workload", "algorithm", "mean colors-D",
+                            "worst colors-D", "mean rounds", "invalid"});
+  for (const Workload& workload : workloads) {
+    std::map<std::string, AlgoStats> stats;
+    for (std::size_t run = 0; run < kRuns; ++run) {
+      support::Rng rng(support::mix64(0xc0117a5e, run));
+      const graph::Graph g = workload.make(rng);
+      const auto delta = static_cast<double>(g.maxDegree());
+
+      coloring::MadecOptions madecOptions;
+      madecOptions.seed = run;
+      const auto madec = coloring::colorEdgesMadec(g, madecOptions);
+      AlgoStats& ms = stats["madec (distributed)"];
+      ms.colorExcess.add(static_cast<double>(madec.colorsUsed()) - delta);
+      ms.rounds.add(static_cast<double>(madec.metrics.computationRounds));
+      if (!coloring::verifyEdgeColoring(g, madec.colors)) ++ms.invalid;
+
+      const auto greedy = baselines::greedyEdgeColoring(
+          g, baselines::EdgeOrder::Random, run);
+      AlgoStats& gs = stats["greedy (sequential)"];
+      gs.colorExcess.add(static_cast<double>(greedy.colorsUsed) - delta);
+      if (!coloring::verifyEdgeColoring(g, greedy.colors)) ++gs.invalid;
+
+      const auto mg = baselines::misraGriesEdgeColoring(g);
+      AlgoStats& mgs = stats["misra-gries (sequential)"];
+      mgs.colorExcess.add(static_cast<double>(mg.colorsUsed) - delta);
+      if (!coloring::verifyEdgeColoring(g, mg.colors)) ++mgs.invalid;
+
+      baselines::PalOptions palOptions;
+      palOptions.seed = run;
+      const auto pal = baselines::palEdgeColoring(g, palOptions);
+      AlgoStats& ps = stats["pal [10] (distributed)"];
+      ps.colorExcess.add(static_cast<double>(pal.colorsUsed) - delta);
+      ps.rounds.add(static_cast<double>(pal.rounds));
+      if (!coloring::verifyEdgeColoring(g, pal.colors)) ++ps.invalid;
+    }
+    for (const auto& [name, s] : stats) {
+      table.addRowOf(workload.name, name,
+                     support::TextTable::format(s.colorExcess.mean()),
+                     support::TextTable::format(s.colorExcess.max()),
+                     s.rounds.count() > 0
+                         ? support::TextTable::format(s.rounds.mean())
+                         : std::string("-"),
+                     s.invalid);
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "reading: MaDEC should sit between Misra-Gries (D+1) and greedy in\n"
+      "quality while needing only O(D) distributed rounds; PAL converges in\n"
+      "fewer rounds (O(log n)) but pays for it with a (1+eps)D palette.\n");
+}
+
+void runStrongComparison() {
+  std::printf("\n== CMP-S: Algorithm 2 vs the sequential strong-coloring "
+              "greedy (10 runs) ==\n\n");
+  support::TextTable table({"algorithm", "mean colors", "vs clique bound",
+                            "mean rounds", "invalid"});
+  support::OnlineStats distColors, distRatio, distRounds;
+  support::OnlineStats seqColors, seqRatio;
+  std::size_t invalidDist = 0, invalidSeq = 0;
+  for (std::uint64_t run = 0; run < 10; ++run) {
+    support::Rng rng(support::mix64(0xcafe5, run));
+    const graph::Graph g = graph::erdosRenyiAvgDegree(120, 6.0, rng);
+    const graph::Digraph d(g);
+    const auto bound =
+        static_cast<double>(graph::strongColoringLowerBound(g));
+
+    coloring::Dima2EdOptions options;
+    options.seed = run;
+    const auto dist = coloring::colorArcsDima2Ed(d, options);
+    if (!coloring::verifyStrongArcColoring(d, dist.colors)) ++invalidDist;
+    distColors.add(static_cast<double>(dist.colorsUsed()));
+    distRatio.add(static_cast<double>(dist.colorsUsed()) / bound);
+    distRounds.add(static_cast<double>(dist.metrics.computationRounds));
+
+    const auto seq = baselines::greedyStrongArcColoring(d);
+    if (!coloring::verifyStrongArcColoring(d, seq.colors)) ++invalidSeq;
+    seqColors.add(static_cast<double>(seq.colorsUsed));
+    seqRatio.add(static_cast<double>(seq.colorsUsed) / bound);
+  }
+  table.addRowOf("dima2ed strict (distributed)",
+                 support::TextTable::format(distColors.mean()),
+                 support::TextTable::format(distRatio.mean()),
+                 support::TextTable::format(distRounds.mean()), invalidDist);
+  table.addRowOf("greedy (sequential)",
+                 support::TextTable::format(seqColors.mean()),
+                 support::TextTable::format(seqRatio.mean()), "-",
+                 invalidSeq);
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "reading: the distributed strong coloring pays a modest color premium\n"
+      "over the sequential greedy (both sit a small factor above the clique\n"
+      "lower bound) in exchange for one-hop locality and O(D) rounds.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  runComparison();
+  runStrongComparison();
+  return 0;
+}

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file bench_common.hpp
+/// Shared plumbing for the figure benches: a main() that runs the binary's
+/// google-benchmark timing section and then regenerates the paper artifact
+/// at full scale, printing the claim checklist and writing the raw CSV next
+/// to the binary.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+
+#include "src/experiments/figures.hpp"
+#include "src/support/stopwatch.hpp"
+
+namespace dima::bench {
+
+/// Number of runs per configuration for the full regeneration; the paper
+/// used 50. Override with DIMA_RUNS_PER_SPEC for quick local iterations.
+inline std::size_t runsPerSpec() {
+  if (const char* env = std::getenv("DIMA_RUNS_PER_SPEC")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return 50;
+}
+
+/// Runs benchmarks, then the figure regeneration, then prints and saves.
+inline int figureMain(int argc, char** argv,
+                      const std::function<exp::FigureReport(std::size_t)>& run,
+                      const std::string& csvName) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  support::Stopwatch watch;
+  const exp::FigureReport report = run(runsPerSpec());
+  std::printf("\n%s", report.render().c_str());
+  std::printf("\n  runs: %zu, wall time: %.1fs, overall: %s\n",
+              report.records.size(), watch.seconds(),
+              report.reproduced() ? "REPRODUCED" : "see deviations above");
+  std::ofstream csv(csvName);
+  if (csv) {
+    csv << report.csv;
+    std::printf("  raw per-run records: %s\n", csvName.c_str());
+  }
+  return 0;
+}
+
+}  // namespace dima::bench

@@ -1,0 +1,96 @@
+/// \file bench_fig6_directed_er.cpp
+/// FIG6 (paper §IV-D, Figure 6): Algorithm 2 (DiMa2Ed) strong distance-2
+/// coloring of symmetric-digraph Erdős–Rényi graphs, n ∈ {200, 400} ×
+/// average degree ∈ {4, 8}, 50 graphs each.
+///
+/// Paper claims regenerated and checked:
+///  * rounds scale with Δ, not with n (the paper found n = 400 "solved in
+///    almost identical time", variance attributable to slightly higher Δ);
+///  * every run is a correct strong coloring (checked by the independent
+///    distance-2 validator — the paper's Proposition 5);
+///  * additionally, the pseudo-code-faithful mode is audited on a
+///    sub-sample to quantify the same-round conflict holes that motivated
+///    the strict tentative/abort handshake (DESIGN.md §2).
+///
+/// Note on constants: the paper reports ≈ 4Δ rounds. This reproduction
+/// converges in O(Δ) but with a larger constant (≈ 8–10Δ): a node must win
+/// one pairing per incident arc — 2δ of them — at a per-round success rate
+/// bounded by ~1/4, plus color-rejection retries. The *shape* (linear in Δ,
+/// n-independent) is the reproducible claim; the constant depends on
+/// under-specified details of the authors' simulator.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hpp"
+#include "src/baselines/strong_greedy.hpp"
+#include "src/coloring/dima2ed.hpp"
+#include "src/graph/generators.hpp"
+
+namespace {
+
+using namespace dima;
+
+void BM_Dima2EdStrict(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto avgDeg = static_cast<double>(state.range(1));
+  support::Rng rng(31);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(n, avgDeg, rng);
+  const graph::Digraph d(g);
+  std::uint64_t seed = 1;
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    coloring::Dima2EdOptions options;
+    options.seed = seed++;
+    const coloring::ArcColoringResult result =
+        coloring::colorArcsDima2Ed(d, options);
+    benchmark::DoNotOptimize(result.colors.data());
+    rounds += result.metrics.computationRounds;
+  }
+  state.counters["delta"] = static_cast<double>(g.maxDegree());
+  state.counters["rounds/iter"] =
+      benchmark::Counter(static_cast<double>(rounds),
+                         benchmark::Counter::kAvgIterations);
+}
+
+BENCHMARK(BM_Dima2EdStrict)
+    ->ArgsProduct({{200, 400}, {4, 8}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Dima2EdPaperMode(benchmark::State& state) {
+  support::Rng rng(32);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(200, 4.0, rng);
+  const graph::Digraph d(g);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    coloring::Dima2EdOptions options;
+    options.seed = seed++;
+    options.mode = coloring::Dima2EdMode::Paper;
+    benchmark::DoNotOptimize(
+        coloring::colorArcsDima2Ed(d, options).colors.data());
+  }
+}
+
+BENCHMARK(BM_Dima2EdPaperMode)->Unit(benchmark::kMillisecond);
+
+void BM_StrongGreedyBaseline(benchmark::State& state) {
+  support::Rng rng(33);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(
+      static_cast<std::size_t>(state.range(0)), 8.0, rng);
+  const graph::Digraph d(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        baselines::greedyStrongArcColoring(d).colors.data());
+  }
+}
+
+BENCHMARK(BM_StrongGreedyBaseline)->Arg(200)->Arg(400)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return dima::bench::figureMain(
+      argc, argv,
+      [](std::size_t runs) { return dima::exp::runFigure6(0xf166ULL, runs); },
+      "fig6_records.csv");
+}

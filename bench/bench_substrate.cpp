@@ -1,0 +1,108 @@
+/// \file bench_substrate.cpp
+/// SUB (DESIGN.md §4): microbenchmarks of the substrates every experiment
+/// stands on — graph generation throughput, the synchronous network's
+/// per-round overhead, palette (bitset) operations, and the matching
+/// automaton itself. These establish that the figure benches measure the
+/// algorithms, not simulator overhead.
+
+#include <benchmark/benchmark.h>
+
+#include "src/automata/discovery.hpp"
+#include "src/graph/generators.hpp"
+#include "src/net/engine.hpp"
+#include "src/net/network.hpp"
+#include "src/support/bitset.hpp"
+
+namespace {
+
+using namespace dima;
+
+void BM_GenerateErdosRenyi(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    support::Rng rng(seed++);
+    benchmark::DoNotOptimize(
+        graph::erdosRenyiAvgDegree(n, 8.0, rng).numEdges());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 4);
+}
+BENCHMARK(BM_GenerateErdosRenyi)->Arg(200)->Arg(400)->Arg(1600);
+
+void BM_GenerateWattsStrogatz(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    support::Rng rng(seed++);
+    benchmark::DoNotOptimize(
+        graph::wattsStrogatz(n, 8, 0.25, rng).numEdges());
+  }
+}
+BENCHMARK(BM_GenerateWattsStrogatz)->Arg(256)->Arg(1024);
+
+void BM_NetworkBroadcastRound(benchmark::State& state) {
+  // Every node broadcasts every round: the worst-case traffic the coloring
+  // protocols generate. Reports per-round wall time.
+  support::Rng rng(5);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(
+      static_cast<std::size_t>(state.range(0)), 8.0, rng);
+  struct Word {
+    std::uint64_t w = 0;
+  };
+  net::SyncNetwork<Word> netSim(g);
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    for (net::NodeId v = 0; v < g.numVertices(); ++v) {
+      netSim.broadcast(v, Word{round});
+    }
+    netSim.deliverRound();
+    benchmark::DoNotOptimize(netSim.inbox(0).data());
+    ++round;
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(netSim.counters().messagesDelivered));
+}
+BENCHMARK(BM_NetworkBroadcastRound)->Arg(200)->Arg(400)->Arg(1600);
+
+void BM_BitsetFirstClearAlsoClearIn(benchmark::State& state) {
+  // The color-selection primitive of Algorithm 1 line 11.
+  support::DynamicBitset a, b;
+  support::Rng rng(9);
+  for (int i = 0; i < 256; ++i) {
+    if (rng.coin()) a.set(static_cast<std::size_t>(i));
+    if (rng.coin()) b.set(static_cast<std::size_t>(i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.firstClearAlsoClearIn(b));
+  }
+}
+BENCHMARK(BM_BitsetFirstClearAlsoClearIn);
+
+void BM_MaximalMatching(benchmark::State& state) {
+  support::Rng rng(11);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(
+      static_cast<std::size_t>(state.range(0)), 8.0, rng);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        automata::maximalMatching(g, seed++).matching.size());
+  }
+}
+BENCHMARK(BM_MaximalMatching)->Arg(200)->Arg(400)->Unit(
+    benchmark::kMillisecond);
+
+void BM_RngStreamDraws(benchmark::State& state) {
+  support::Rng rng(13);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sink += rng.below(1000);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RngStreamDraws);
+
+}  // namespace
+
+BENCHMARK_MAIN();

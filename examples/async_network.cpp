@@ -1,0 +1,74 @@
+/// \file async_network.cpp
+/// What does the paper's synchronous model really cost? This example runs
+/// Algorithm 1 twice on the same graph and seed — once on the lockstep
+/// simulator, once on an event-driven *asynchronous* network through the
+/// α-synchronizer — verifies the two colorings are identical, and prints
+/// the price: messages (payload + ack + safe vs radio broadcasts) and
+/// simulated time under random link delays.
+///
+///   $ ./async_network [n] [avg-degree] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/coloring/madec.hpp"
+#include "src/coloring/validate.hpp"
+#include "src/graph/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dima;
+
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 100;
+  const double avgDegree = argc > 2 ? std::strtod(argv[2], nullptr) : 6.0;
+  const std::uint64_t seed =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 5;
+
+  support::Rng rng(seed);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(n, avgDegree, rng);
+  std::printf("graph: n=%zu m=%zu Delta=%zu\n", g.numVertices(),
+              g.numEdges(), g.maxDegree());
+
+  coloring::MadecOptions options;
+  options.seed = seed;
+
+  const coloring::EdgeColoringResult sync = colorEdgesMadec(g, options);
+  std::printf("\nsynchronous model (paper Sec. I-C):\n");
+  std::printf("  %llu computation rounds, %llu radio broadcasts\n",
+              static_cast<unsigned long long>(
+                  sync.metrics.computationRounds),
+              static_cast<unsigned long long>(sync.metrics.broadcasts));
+
+  net::AsyncRunResult stats;
+  net::DelayModel delays;  // uniform [0.5, 1.5] per link message
+  delays.seed = seed;
+  const coloring::EdgeColoringResult async =
+      colorEdgesMadecAsync(g, options, delays, &stats);
+  std::printf("\nasynchronous network + alpha-synchronizer:\n");
+  std::printf("  payload %llu + ack %llu + safe %llu = %llu messages\n",
+              static_cast<unsigned long long>(stats.payloadMessages),
+              static_cast<unsigned long long>(stats.ackMessages),
+              static_cast<unsigned long long>(stats.safeMessages),
+              static_cast<unsigned long long>(stats.totalMessages()));
+  std::printf("  simulated time %.1f delay units (%.2f per communication "
+              "round)\n",
+              stats.simTime,
+              stats.simTime / static_cast<double>(stats.pulses));
+
+  if (sync.colors != async.colors) {
+    std::printf("\nERROR: colorings diverged!\n");
+    return 1;
+  }
+  const coloring::Verdict verdict =
+      coloring::verifyEdgeColoring(g, async.colors);
+  if (!verdict.valid) {
+    std::printf("\nERROR: %s\n", verdict.reason.c_str());
+    return 1;
+  }
+  std::printf("\ncolorings are identical and valid (%zu colors); the "
+              "synchrony + radio assumptions are worth a factor of %.1fx "
+              "in messages here.\n",
+              sync.colorsUsed(),
+              static_cast<double>(stats.totalMessages()) /
+                  static_cast<double>(sync.metrics.broadcasts));
+  return 0;
+}

@@ -1,0 +1,98 @@
+/// \file channel_assignment.cpp
+/// The paper's motivating application (§I): channel assignment in an
+/// ad-hoc radio network. Radios scattered in the plane can talk when in
+/// range; a directed link (u → v) needs a channel no *interfering* link
+/// shares — precisely a strong (distance-2) edge coloring of the symmetric
+/// connectivity digraph, because a transmission on (u → v) collides with
+/// any transmission whose endpoints border u or v.
+///
+/// The example builds a unit-disk network, runs DiMa2Ed (strict mode),
+/// maps colors to channels, independently re-derives the interference
+/// constraints and checks them, and compares channel usage against the
+/// sequential greedy comparator and the clique lower bound.
+///
+///   $ ./channel_assignment [n] [radio-range] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/baselines/strong_greedy.hpp"
+#include "src/coloring/dima2ed.hpp"
+#include "src/coloring/validate.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/metrics.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dima;
+
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 50;
+  const double range = argc > 2 ? std::strtod(argv[2], nullptr) : 0.22;
+  const std::uint64_t seed =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 7;
+
+  // Deploy radios uniformly in the unit square; links within radio range.
+  support::Rng rng(seed);
+  const graph::GeometricGraph deployment =
+      graph::randomGeometric(n, range, rng);
+  const graph::Graph& g = deployment.graph;
+  const graph::Digraph network(g);
+  std::printf("ad-hoc network: %zu radios, %zu bidirectional links "
+              "(%zu directed), max degree %zu\n",
+              g.numVertices(), g.numEdges(), network.numArcs(),
+              g.maxDegree());
+  if (g.numEdges() == 0) {
+    std::printf("no radio is in range of another; nothing to assign\n");
+    return 0;
+  }
+
+  // Distributed channel assignment: each radio is a compute node, one-hop
+  // messages only — exactly the deployment constraint that motivates a
+  // distributed algorithm in the first place.
+  coloring::Dima2EdOptions options;
+  options.seed = seed;
+  const coloring::ArcColoringResult assignment =
+      coloring::colorArcsDima2Ed(network, options);
+  if (!assignment.metrics.converged) {
+    std::printf("assignment did not converge within the round cap\n");
+    return 1;
+  }
+
+  // Re-derive the interference rule independently and verify.
+  const coloring::Verdict verdict =
+      coloring::verifyStrongArcColoring(network, assignment.colors);
+  if (!verdict.valid) {
+    std::printf("INTERFERENCE: %s\n", verdict.reason.c_str());
+    return 1;
+  }
+
+  const std::size_t lower = graph::strongColoringLowerBound(g);
+  const auto greedy = baselines::greedyStrongArcColoring(network);
+  std::printf("channels used: %zu (clique lower bound %zu, sequential "
+              "greedy %zu)\n",
+              assignment.colorsUsed(), lower, greedy.colorsUsed);
+  std::printf("negotiation cost: %llu synchronous rounds "
+              "(max degree %zu -> %.1f rounds per unit of Delta)\n",
+              static_cast<unsigned long long>(
+                  assignment.metrics.computationRounds),
+              g.maxDegree(),
+              static_cast<double>(assignment.metrics.computationRounds) /
+                  static_cast<double>(g.maxDegree()));
+
+  // Print the schedule for the busiest radio.
+  graph::VertexId busiest = 0;
+  for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
+    if (g.degree(v) > g.degree(busiest)) busiest = v;
+  }
+  std::printf("schedule of radio %u (degree %zu) at (%.2f, %.2f):\n",
+              busiest, g.degree(busiest),
+              deployment.positions[busiest].first,
+              deployment.positions[busiest].second);
+  for (graph::ArcId out : network.outArcs(busiest)) {
+    const graph::Arc arc = network.arc(out);
+    std::printf("  tx %u->%u on channel %d | rx %u->%u on channel %d\n",
+                arc.from, arc.to, assignment.colors[out], arc.to, arc.from,
+                assignment.colors[graph::Digraph::reverse(out)]);
+  }
+  std::printf("ok\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+/// \file quickstart.cpp
+/// Smallest complete tour of the public API: generate a random graph,
+/// edge-color it with Algorithm 1 (MaDEC), validate the result with the
+/// independent checker, and print what the run cost.
+///
+///   $ ./quickstart [n] [avg-degree] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/coloring/madec.hpp"
+#include "src/coloring/validate.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/metrics.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dima;
+
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 60;
+  const double avgDegree = argc > 2 ? std::strtod(argv[2], nullptr) : 6.0;
+  const std::uint64_t seed =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 42;
+
+  // 1. Build a workload graph. All generators consume an explicit RNG so
+  //    every run is reproducible from the seed.
+  support::Rng rng(seed);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(n, avgDegree, rng);
+  std::printf("graph: n=%zu m=%zu max-degree=%zu avg-degree=%.2f\n",
+              g.numVertices(), g.numEdges(), g.maxDegree(),
+              g.averageDegree());
+
+  // 2. Run the distributed coloring. Every graph vertex becomes a compute
+  //    node in a simulated synchronous message-passing network.
+  coloring::MadecOptions options;
+  options.seed = seed;
+  const coloring::EdgeColoringResult result =
+      coloring::colorEdgesMadec(g, options);
+
+  // 3. Validate with the independent checker (never trust the algorithm's
+  //    own bookkeeping).
+  const coloring::Verdict verdict =
+      coloring::verifyEdgeColoring(g, result.colors);
+  if (!verdict.valid) {
+    std::printf("INVALID coloring: %s\n", verdict.reason.c_str());
+    return 1;
+  }
+
+  // 4. Report what the paper's evaluation reports: colors vs Δ, rounds vs Δ.
+  std::printf("coloring: %zu colors (Delta=%zu, Vizing bound %zu..%zu, "
+              "worst-case guarantee %zu)\n",
+              result.colorsUsed(), g.maxDegree(), g.maxDegree(),
+              g.maxDegree() + 1, 2 * g.maxDegree() - 1);
+  std::printf("cost: %llu computation rounds (%.2f per unit of Delta), "
+              "%llu communication rounds, %llu broadcasts\n",
+              static_cast<unsigned long long>(
+                  result.metrics.computationRounds),
+              static_cast<double>(result.metrics.computationRounds) /
+                  static_cast<double>(g.maxDegree()),
+              static_cast<unsigned long long>(result.metrics.commRounds),
+              static_cast<unsigned long long>(result.metrics.broadcasts));
+
+  // 5. Show a few colored edges.
+  std::printf("sample assignment:");
+  for (graph::EdgeId e = 0; e < g.numEdges() && e < 8; ++e) {
+    std::printf(" (%u,%u)=c%d", g.edge(e).u, g.edge(e).v, result.colors[e]);
+  }
+  std::printf("%s\n", g.numEdges() > 8 ? " ..." : "");
+  std::printf("ok\n");
+  return 0;
+}

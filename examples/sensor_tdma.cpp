@@ -1,0 +1,122 @@
+/// \file sensor_tdma.cpp
+/// Link scheduling in a sensor network, after Gandham et al. (the paper's
+/// reference [4]): a proper *edge* coloring of the connectivity graph maps
+/// directly to TDMA slots — edges of one color share no node, so all their
+/// transmissions can fire in the same slot without a node having to talk
+/// or listen twice.
+///
+/// The example colors a random sensor deployment with MaDEC, builds the
+/// slot schedule, then *simulates one TDMA superframe* and checks the
+/// scheduling invariant (each node active at most once per slot). It also
+/// contrasts the frame length against the Δ lower bound and against the
+/// deterministic tree-based coloring on the network's spanning forest.
+///
+///   $ ./sensor_tdma [n] [avg-degree] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "src/baselines/tree_coloring.hpp"
+#include "src/coloring/madec.hpp"
+#include "src/coloring/validate.hpp"
+#include "src/graph/builder.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/metrics.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dima;
+
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 80;
+  const double avgDegree = argc > 2 ? std::strtod(argv[2], nullptr) : 5.0;
+  const std::uint64_t seed =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 11;
+
+  support::Rng rng(seed);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(n, avgDegree, rng);
+  std::printf("sensor network: %zu nodes, %zu links, max degree %zu\n",
+              g.numVertices(), g.numEdges(), g.maxDegree());
+
+  // Distributed slot assignment.
+  coloring::MadecOptions options;
+  options.seed = seed;
+  const coloring::EdgeColoringResult schedule =
+      coloring::colorEdgesMadec(g, options);
+  const coloring::Verdict verdict =
+      coloring::verifyEdgeColoring(g, schedule.colors);
+  if (!schedule.metrics.converged || !verdict.valid) {
+    std::printf("scheduling failed: %s\n", verdict.reason.c_str());
+    return 1;
+  }
+  const std::size_t frameLength = schedule.colorsUsed();
+  std::printf("TDMA frame: %zu slots (lower bound Delta=%zu), negotiated "
+              "in %llu rounds\n",
+              frameLength, g.maxDegree(),
+              static_cast<unsigned long long>(
+                  schedule.metrics.computationRounds));
+
+  // Simulate one superframe: in slot s every link colored s transmits.
+  // Invariant: no node participates in two transmissions within a slot.
+  std::size_t transmissions = 0;
+  coloring::Color maxColor = 0;
+  for (coloring::Color c : schedule.colors) maxColor = std::max(maxColor, c);
+  for (coloring::Color slot = 0; slot <= maxColor; ++slot) {
+    std::vector<bool> busy(g.numVertices(), false);
+    std::size_t active = 0;
+    for (graph::EdgeId e = 0; e < g.numEdges(); ++e) {
+      if (schedule.colors[e] != slot) continue;
+      const graph::Edge& link = g.edge(e);
+      if (busy[link.u] || busy[link.v]) {
+        std::printf("slot %d: node collision on link (%u,%u)!\n", slot,
+                    link.u, link.v);
+        return 1;
+      }
+      busy[link.u] = busy[link.v] = true;
+      ++active;
+      ++transmissions;
+    }
+    if (slot < 6) {
+      std::printf("  slot %d: %zu simultaneous transmissions\n", slot,
+                  active);
+    } else if (slot == 6) {
+      std::printf("  ...\n");
+    }
+  }
+  std::printf("superframe complete: all %zu links served in %zu slots, "
+              "no collisions\n",
+              transmissions, frameLength);
+
+  // Comparator from the paper's related work: the deterministic tree
+  // algorithm only handles acyclic topologies, so run it on a spanning
+  // forest (the data-gathering tree a sensor deployment actually routes
+  // on) and compare.
+  graph::GraphBuilder forestBuilder(g.numVertices());
+  {
+    std::vector<bool> seen(g.numVertices(), false);
+    for (graph::VertexId root = 0; root < g.numVertices(); ++root) {
+      if (seen[root]) continue;
+      seen[root] = true;
+      std::vector<graph::VertexId> stack{root};
+      while (!stack.empty()) {
+        const graph::VertexId v = stack.back();
+        stack.pop_back();
+        for (const graph::Incidence& inc : g.incidences(v)) {
+          if (!seen[inc.neighbor]) {
+            seen[inc.neighbor] = true;
+            forestBuilder.addEdge(v, inc.neighbor);
+            stack.push_back(inc.neighbor);
+          }
+        }
+      }
+    }
+  }
+  const graph::Graph forest = forestBuilder.build();
+  const baselines::TreeColoringResult treeSchedule =
+      baselines::treeEdgeColoring(forest);
+  std::printf("data-gathering forest (%zu links): deterministic tree "
+              "coloring uses %zu slots (Gandham-style bound Delta+1=%zu)\n",
+              forest.numEdges(), treeSchedule.colorsUsed,
+              forest.maxDegree() + 1);
+  std::printf("ok\n");
+  return 0;
+}

@@ -1,0 +1,184 @@
+#include "src/automata/discovery.hpp"
+
+#include <algorithm>
+
+namespace dima::automata {
+
+MatchingDiscovery::MatchingDiscovery(const graph::Graph& g, std::uint64_t seed,
+                                     bool stopWhenMatched, double invitorBias)
+    : g_(&g), stopWhenMatched_(stopWhenMatched), invitorBias_(invitorBias) {
+  DIMA_REQUIRE(invitorBias > 0.0 && invitorBias < 1.0,
+               "invitor bias must be in (0,1), got " << invitorBias);
+  const support::SeedSequence seq(seed);
+  nodes_.resize(g.numVertices());
+  for (net::NodeId u = 0; u < g.numVertices(); ++u) {
+    NodeState& s = nodes_[u];
+    s.rng = seq.stream(u);
+    s.neighborRetired.assign(g.degree(u), false);
+    // Isolated vertices have no one to match with.
+    s.done = stopWhenMatched_ && g.degree(u) == 0;
+  }
+}
+
+void MatchingDiscovery::beginCycle(net::NodeId u) {
+  NodeState& s = nodes_[u];
+  s.keptInvites.clear();
+  s.invitee = graph::kNoVertex;
+  s.matchedThisRound = false;
+  if (s.done) {
+    s.role = Phase::Done;
+    return;
+  }
+  ++stats_.activeNodeRounds;
+  s.role = s.rng.bernoulli(invitorBias_) ? Phase::Invite : Phase::Listen;
+}
+
+void MatchingDiscovery::send(net::NodeId u, int sub,
+                             net::SyncNetwork<Message>& net) {
+  NodeState& s = nodes_[u];
+  switch (sub) {
+    case 0: {  // I: broadcast one invitation to a random eligible neighbor.
+      if (s.role != Phase::Invite) return;
+      const auto inc = g_->incidences(u);
+      support::SmallVector<net::NodeId, 8> eligible;
+      for (std::size_t i = 0; i < inc.size(); ++i) {
+        if (!s.neighborRetired[i]) eligible.push_back(inc[i].neighbor);
+      }
+      if (eligible.empty()) return;
+      s.invitee = eligible[s.rng.index(eligible.size())];
+      net.broadcast(u, Message{Message::Kind::Invite, s.invitee});
+      break;
+    }
+    case 1: {  // R: accept one kept invitation uniformly at random.
+      if (s.role != Phase::Listen || s.keptInvites.empty()) return;
+      const net::NodeId chosen =
+          s.keptInvites[s.rng.index(s.keptInvites.size())];
+      s.matchedWith = chosen;
+      s.matchedThisRound = true;
+      net.broadcast(u, Message{Message::Kind::Response, chosen});
+      break;
+    }
+    case 2: {  // E: announce a fresh match so neighbors retire us.
+      if (s.matchedThisRound && stopWhenMatched_) {
+        net.broadcast(u, Message{Message::Kind::MatchedAnnounce, u});
+      }
+      break;
+    }
+    default:
+      DIMA_ASSERT(false, "unexpected sub-round " << sub);
+  }
+}
+
+void MatchingDiscovery::receive(net::NodeId u, int sub,
+                                std::span<const net::Envelope<Message>> inbox) {
+  NodeState& s = nodes_[u];
+  switch (sub) {
+    case 0: {  // L: keep invitations that name me.
+      if (s.role != Phase::Listen) return;
+      for (const auto& env : inbox) {
+        if (env.msg.kind == Message::Kind::Invite && env.msg.target == u) {
+          s.keptInvites.push_back(env.from);
+        }
+      }
+      break;
+    }
+    case 1: {  // W: my invitation echoed back means the pair formed.
+      if (s.role != Phase::Invite || s.invitee == graph::kNoVertex) return;
+      for (const auto& env : inbox) {
+        if (env.msg.kind == Message::Kind::Response && env.msg.target == u &&
+            env.from == s.invitee) {
+          s.matchedWith = s.invitee;
+          s.matchedThisRound = true;
+          break;
+        }
+      }
+      break;
+    }
+    case 2: {  // E: retire announced neighbors from the eligible set.
+      const auto inc = g_->incidences(u);
+      for (const auto& env : inbox) {
+        if (env.msg.kind != Message::Kind::MatchedAnnounce) continue;
+        for (std::size_t i = 0; i < inc.size(); ++i) {
+          if (inc[i].neighbor == env.from) {
+            s.neighborRetired[i] = true;
+            break;
+          }
+        }
+      }
+      break;
+    }
+    default:
+      DIMA_ASSERT(false, "unexpected sub-round " << sub);
+  }
+}
+
+void MatchingDiscovery::endCycle(net::NodeId u) {
+  NodeState& s = nodes_[u];
+  if (s.done) return;
+  if (s.matchedThisRound) ++stats_.matchedNodeRounds;
+  if (!stopWhenMatched_) return;
+  if (s.matchedWith != graph::kNoVertex) {
+    s.done = true;
+    return;
+  }
+  s.done = std::all_of(s.neighborRetired.begin(), s.neighborRetired.end(),
+                       [](bool retired) { return retired; });
+}
+
+void MatchingDiscovery::finishRoundAccounting() {
+  std::size_t pairs = 0;
+  for (const NodeState& s : nodes_) {
+    if (s.matchedThisRound) ++pairs;
+  }
+  stats_.pairsPerRound.push_back(pairs / 2);
+  ++round_;
+}
+
+Matching MatchingDiscovery::matching() const {
+  Matching m;
+  for (net::NodeId u = 0; u < nodes_.size(); ++u) {
+    const net::NodeId v = nodes_[u].matchedWith;
+    if (v != graph::kNoVertex && u < v) {
+      // Both sides must agree, or the run is inconsistent.
+      DIMA_REQUIRE(nodes_[v].matchedWith == u,
+                   "asymmetric match " << u << "↔" << v);
+      const graph::EdgeId e = g_->findEdge(u, v);
+      DIMA_REQUIRE(e != graph::kNoEdge, "match without an edge");
+      m.add(e);
+    }
+  }
+  return m;
+}
+
+Matching discoverMatching(const graph::Graph& g, std::uint64_t seed) {
+  MatchingDiscovery proto(g, seed, /*stopWhenMatched=*/true);
+  net::SyncNetwork<MatchMessage> net(g);
+  net::EngineOptions options;
+  options.maxCycles = 1;
+  options.observer = [&](const net::CycleInfo&) {
+    proto.finishRoundAccounting();
+  };
+  runSyncProtocol(proto, net, options);
+  return proto.matching();
+}
+
+MaximalMatchingResult maximalMatching(const graph::Graph& g,
+                                      std::uint64_t seed, double invitorBias,
+                                      net::EngineOptions options) {
+  MatchingDiscovery proto(g, seed, /*stopWhenMatched=*/true, invitorBias);
+  net::SyncNetwork<MatchMessage> net(g);
+  auto userObserver = options.observer;
+  options.observer = [&](const net::CycleInfo& info) {
+    proto.finishRoundAccounting();
+    if (userObserver) userObserver(info);
+  };
+  const net::EngineResult run = runSyncProtocol(proto, net, options);
+  MaximalMatchingResult out;
+  out.matching = proto.matching();
+  out.rounds = run.cycles;
+  out.converged = run.converged;
+  out.stats = proto.stats();
+  return out;
+}
+
+}  // namespace dima::automata

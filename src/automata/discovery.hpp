@@ -1,0 +1,144 @@
+#pragma once
+
+/// \file discovery.hpp
+/// The matching discovery automaton itself (paper Fig. 1 / reference [3]),
+/// as a protocol for the synchronous engine.
+///
+/// Behaviour per computation round, exactly the paper's narrative:
+///   C  — every active node tosses a fair coin: invitor (I) or listener (L);
+///   I  — an invitor picks one *eligible* neighbor uniformly at random and
+///        broadcasts an invitation naming it;
+///   L  — a listener keeps the invitations that name it;
+///   R  — a listener that kept invitations accepts one uniformly at random
+///        and broadcasts the acceptance naming the invitor;
+///   W  — an invitor that hears its own invitation echoed is matched;
+///   E  — freshly matched nodes announce it, so neighbors drop them from
+///        their eligible sets.
+///
+/// Run for one round it emits one matching (`discoverMatching`); iterated to
+/// exhaustion every node ends matched or with no unmatched neighbors, i.e.
+/// the union-of-rounds greedy yields a *maximal* matching
+/// (`maximalMatching`) — the framework's original use, reused here for the
+/// 2-approximate vertex cover of the authors' earlier paper.
+///
+/// The per-round participation statistics gathered here empirically check
+/// the paper's Proposition 1 (an active node pairs with probability bounded
+/// below by a constant ≈ 1/4), which is the engine behind every O(Δ) claim.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/automata/matching.hpp"
+#include "src/automata/phase.hpp"
+#include "src/graph/graph.hpp"
+#include "src/net/engine.hpp"
+#include "src/net/network.hpp"
+#include "src/support/rng.hpp"
+#include "src/support/small_vector.hpp"
+
+namespace dima::automata {
+
+/// Wire format of the discovery automaton.
+struct MatchMessage {
+  enum class Kind : std::uint8_t { Invite, Response, MatchedAnnounce };
+  Kind kind = Kind::Invite;
+  /// Invite: the invited listener. Response: the accepted invitor.
+  net::NodeId target = graph::kNoVertex;
+
+  /// CONGEST wire size: 2-bit kind + target id.
+  std::uint64_t wireBits() const {
+    return 2 + (target == graph::kNoVertex ? 1 : net::bitWidth(target));
+  }
+};
+
+/// Aggregate statistics of a discovery run.
+struct DiscoveryStats {
+  /// Matched pairs found in each computation round.
+  std::vector<std::size_t> pairsPerRound;
+  /// Node-rounds in which a node was active (not yet done) — denominator of
+  /// the participation probability.
+  std::uint64_t activeNodeRounds = 0;
+  /// Node-rounds in which an active node became matched — numerator.
+  std::uint64_t matchedNodeRounds = 0;
+
+  /// Empirical per-round pairing probability (Proposition 1's constant).
+  double participationRate() const {
+    if (activeNodeRounds == 0) return 0.0;
+    return static_cast<double>(matchedNodeRounds) /
+           static_cast<double>(activeNodeRounds);
+  }
+};
+
+/// The automaton as an engine protocol. Most callers want the convenience
+/// drivers below; the class is public so the ablation bench can tweak the
+/// invitor-coin bias (the paper's 1/2) and observe the effect on round
+/// counts.
+class MatchingDiscovery {
+ public:
+  using Message = MatchMessage;
+
+  /// `stopWhenMatched == true` gives the maximal-matching behaviour (matched
+  /// nodes retire); `false` re-matches every round (used by the one-round
+  /// driver). `invitorBias` is the probability of choosing I in state C.
+  MatchingDiscovery(const graph::Graph& g, std::uint64_t seed,
+                    bool stopWhenMatched = true, double invitorBias = 0.5);
+
+  int subRounds() const { return 3; }
+  void beginCycle(net::NodeId u);
+  void send(net::NodeId u, int sub, net::SyncNetwork<Message>& net);
+  void receive(net::NodeId u, int sub,
+               std::span<const net::Envelope<Message>> inbox);
+  void endCycle(net::NodeId u);
+  bool done(net::NodeId u) const { return nodes_[u].done; }
+
+  /// Partner of `u` (kNoVertex while unmatched).
+  net::NodeId matchedWith(net::NodeId u) const {
+    return nodes_[u].matchedWith;
+  }
+
+  /// All matched pairs as a Matching over the host graph.
+  Matching matching() const;
+
+  const DiscoveryStats& stats() const { return stats_; }
+
+  /// Collects per-round pair counts; called internally.
+  void finishRoundAccounting();
+
+ private:
+  struct NodeState {
+    Phase role = Phase::Choose;  ///< Invite or Listen for the current round
+    bool done = false;
+    net::NodeId matchedWith = graph::kNoVertex;
+    net::NodeId invitee = graph::kNoVertex;   ///< whom I invited this round
+    bool matchedThisRound = false;
+    support::SmallVector<net::NodeId, 4> keptInvites;
+    std::vector<bool> neighborRetired;  ///< parallel to incidences(u)
+    support::Rng rng{0};
+  };
+
+  const graph::Graph* g_;
+  bool stopWhenMatched_;
+  double invitorBias_;
+  std::vector<NodeState> nodes_;
+  DiscoveryStats stats_;
+  std::uint64_t round_ = 0;
+};
+
+/// Runs the automaton for exactly one computation round and returns the
+/// discovered matching (possibly empty; never invalid).
+Matching discoverMatching(const graph::Graph& g, std::uint64_t seed);
+
+/// Iterates the automaton until no node can still be matched; the union of
+/// all rounds' pairs is a maximal matching. Also reports round statistics.
+struct MaximalMatchingResult {
+  Matching matching;
+  std::uint64_t rounds = 0;
+  bool converged = false;
+  DiscoveryStats stats;
+};
+MaximalMatchingResult maximalMatching(const graph::Graph& g,
+                                      std::uint64_t seed,
+                                      double invitorBias = 0.5,
+                                      net::EngineOptions options = {});
+
+}  // namespace dima::automata

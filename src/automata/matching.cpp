@@ -1,0 +1,48 @@
+#include "src/automata/matching.hpp"
+
+#include <algorithm>
+
+namespace dima::automata {
+
+bool isMatching(const graph::Graph& g, const Matching& m) {
+  std::vector<bool> touched(g.numVertices(), false);
+  std::vector<bool> used(g.numEdges(), false);
+  for (graph::EdgeId e : m.edges()) {
+    if (e >= g.numEdges()) return false;
+    if (used[e]) return false;  // duplicate edge id
+    used[e] = true;
+    const graph::Edge& edge = g.edge(e);
+    if (touched[edge.u] || touched[edge.v]) return false;
+    touched[edge.u] = true;
+    touched[edge.v] = true;
+  }
+  return true;
+}
+
+bool isMaximalMatching(const graph::Graph& g, const Matching& m) {
+  if (!isMatching(g, m)) return false;
+  std::vector<bool> touched(g.numVertices(), false);
+  for (graph::EdgeId e : m.edges()) {
+    touched[g.edge(e).u] = true;
+    touched[g.edge(e).v] = true;
+  }
+  return std::all_of(g.edges().begin(), g.edges().end(),
+                     [&](const graph::Edge& edge) {
+                       return touched[edge.u] || touched[edge.v];
+                     });
+}
+
+std::vector<graph::VertexId> matchedVertices(const graph::Graph& g,
+                                             const Matching& m) {
+  std::vector<graph::VertexId> out;
+  out.reserve(m.size() * 2);
+  for (graph::EdgeId e : m.edges()) {
+    out.push_back(g.edge(e).u);
+    out.push_back(g.edge(e).v);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace dima::automata

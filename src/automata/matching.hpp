@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file matching.hpp
+/// Matchings: the object the automaton discovers each computation round
+/// (paper footnote 1: a set of edges no two of which share a vertex).
+
+#include <vector>
+
+#include "src/graph/graph.hpp"
+
+namespace dima::automata {
+
+/// A set of edges of a host graph, by edge id.
+class Matching {
+ public:
+  Matching() = default;
+  explicit Matching(std::vector<graph::EdgeId> edges)
+      : edges_(std::move(edges)) {}
+
+  void add(graph::EdgeId e) { edges_.push_back(e); }
+  const std::vector<graph::EdgeId>& edges() const { return edges_; }
+  std::size_t size() const { return edges_.size(); }
+  bool empty() const { return edges_.empty(); }
+
+ private:
+  std::vector<graph::EdgeId> edges_;
+};
+
+/// True when no two edges of `m` share an endpoint in `g` (and all ids are
+/// valid and distinct).
+bool isMatching(const graph::Graph& g, const Matching& m);
+
+/// True when `m` is a matching that cannot be extended: every edge of `g`
+/// has an endpoint covered by `m`.
+bool isMaximalMatching(const graph::Graph& g, const Matching& m);
+
+/// Vertices covered by the matching (both endpoints of every edge).
+std::vector<graph::VertexId> matchedVertices(const graph::Graph& g,
+                                             const Matching& m);
+
+}  // namespace dima::automata

@@ -1,0 +1,171 @@
+#include "src/automata/mis.hpp"
+
+#include <algorithm>
+
+#include "src/net/network.hpp"
+#include "src/support/rng.hpp"
+
+namespace dima::automata {
+
+namespace {
+
+using net::NodeId;
+
+struct MisMessage {
+  enum class Kind : std::uint8_t { Rank, Joined };
+  Kind kind = Kind::Rank;
+  std::uint64_t rank = 0;
+
+  /// CONGEST wire size: 1-bit kind + 64-bit rank (Joined carries none).
+  std::uint64_t wireBits() const {
+    return 1 + (kind == Kind::Rank ? 64 : 0);
+  }
+};
+
+/// Luby's MIS as an engine protocol. A node is *active* until it joins the
+/// set or a neighbor does. Two communication sub-rounds per cycle: rank
+/// exchange, then join announcements.
+class MisProtocol {
+ public:
+  using Message = MisMessage;
+
+  MisProtocol(const graph::Graph& g, std::uint64_t seed) : g_(&g) {
+    const support::SeedSequence seq(seed);
+    nodes_.resize(g.numVertices());
+    for (NodeId u = 0; u < g.numVertices(); ++u) {
+      nodes_[u].rng = seq.stream(u);
+      // Isolated vertices are trivially in every MIS.
+      if (g.degree(u) == 0) {
+        nodes_[u].inSet = true;
+        nodes_[u].done = true;
+      }
+    }
+  }
+
+  int subRounds() const { return 2; }
+
+  void beginCycle(NodeId u) {
+    NodeState& s = nodes_[u];
+    s.localMin = false;
+    if (s.done) return;
+    s.rank = s.rng();
+  }
+
+  void send(NodeId u, int sub, net::SyncNetwork<Message>& net) {
+    NodeState& s = nodes_[u];
+    switch (sub) {
+      case 0:
+        if (!s.done) {
+          net.broadcast(u, Message{Message::Kind::Rank, s.rank});
+        }
+        break;
+      case 1:
+        if (s.localMin) {
+          net.broadcast(u, Message{Message::Kind::Joined, 0});
+        }
+        break;
+      default:
+        DIMA_ASSERT(false, "unexpected sub-round " << sub);
+    }
+  }
+
+  void receive(NodeId u, int sub,
+               std::span<const net::Envelope<Message>> inbox) {
+    NodeState& s = nodes_[u];
+    switch (sub) {
+      case 0: {
+        if (s.done) return;
+        // Strict local minimum among *active* neighbors; ties broken by
+        // node id so two equal ranks cannot both join (ranks are 64-bit,
+        // so ties are astronomically rare, but correctness must not hinge
+        // on that).
+        bool minimal = true;
+        for (const auto& env : inbox) {
+          if (env.msg.kind != Message::Kind::Rank) continue;
+          if (env.msg.rank < s.rank ||
+              (env.msg.rank == s.rank && env.from < u)) {
+            minimal = false;
+            break;
+          }
+        }
+        if (minimal) {
+          s.localMin = true;
+          s.inSet = true;
+          s.done = true;
+        }
+        break;
+      }
+      case 1: {
+        if (s.done) return;
+        const bool neighborJoined = std::any_of(
+            inbox.begin(), inbox.end(), [](const net::Envelope<Message>& e) {
+              return e.msg.kind == Message::Kind::Joined;
+            });
+        if (neighborJoined) s.done = true;  // retired, not in the set
+        break;
+      }
+      default:
+        DIMA_ASSERT(false, "unexpected sub-round " << sub);
+    }
+  }
+
+  void endCycle(NodeId) {}
+  bool done(NodeId u) const { return nodes_[u].done; }
+
+  std::vector<bool> membership() const {
+    std::vector<bool> out(nodes_.size());
+    for (std::size_t i = 0; i < nodes_.size(); ++i) out[i] = nodes_[i].inSet;
+    return out;
+  }
+
+ private:
+  struct NodeState {
+    support::Rng rng{0};
+    std::uint64_t rank = 0;
+    bool localMin = false;
+    bool inSet = false;
+    bool done = false;
+  };
+
+  const graph::Graph* g_;
+  std::vector<NodeState> nodes_;
+};
+
+}  // namespace
+
+std::size_t MisResult::setSize() const {
+  return static_cast<std::size_t>(
+      std::count(inSet.begin(), inSet.end(), true));
+}
+
+MisResult maximalIndependentSet(const graph::Graph& g, std::uint64_t seed,
+                                net::EngineOptions options) {
+  MisProtocol proto(g, seed);
+  net::SyncNetwork<MisMessage> net(g);
+  const net::EngineResult run = runSyncProtocol(proto, net, options);
+  MisResult result;
+  result.inSet = proto.membership();
+  result.rounds = run.cycles;
+  result.converged = run.converged;
+  return result;
+}
+
+bool isMaximalIndependentSet(const graph::Graph& g,
+                             const std::vector<bool>& inSet) {
+  if (inSet.size() != g.numVertices()) return false;
+  for (const graph::Edge& e : g.edges()) {
+    if (inSet[e.u] && inSet[e.v]) return false;  // not independent
+  }
+  for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
+    if (inSet[v]) continue;
+    const auto inc = g.incidences(v);
+    const bool covered =
+        std::any_of(inc.begin(), inc.end(), [&](const graph::Incidence& i) {
+          return inSet[i.neighbor];
+        });
+    if (!covered) return false;  // not maximal
+  }
+  return true;
+}
+
+}  // namespace dima::automata

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file mis.hpp
+/// Distributed maximal independent set — the classic symmetry-breaking
+/// primitive (Luby 1986) implemented on the same synchronous one-hop
+/// substrate as the matching automaton. The paper's conclusion argues the
+/// automaton approach extends to "a variety of graph algorithms"; MIS is
+/// the canonical member of that family and shares the round anatomy
+/// (randomize → compare with neighbors → commit winners → retire).
+///
+/// Round structure (Luby's permutation variant):
+///   1. every active node draws a random 64-bit rank and broadcasts it;
+///   2. a node whose rank is a strict local minimum joins the set and
+///      announces it; neighbors of joiners retire.
+/// Terminates in O(log n) rounds w.h.p.; the result is independent (no two
+/// adjacent members) and maximal (every non-member has a member neighbor).
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+#include "src/net/engine.hpp"
+
+namespace dima::automata {
+
+struct MisResult {
+  std::vector<bool> inSet;  ///< per vertex
+  std::uint64_t rounds = 0;
+  bool converged = false;
+  std::size_t setSize() const;
+};
+
+/// Runs Luby's algorithm on `g` over a simulated synchronous network.
+MisResult maximalIndependentSet(const graph::Graph& g, std::uint64_t seed,
+                                net::EngineOptions options = {});
+
+/// Independence + maximality checker (independent of the protocol).
+bool isMaximalIndependentSet(const graph::Graph& g,
+                             const std::vector<bool>& inSet);
+
+}  // namespace dima::automata

@@ -1,0 +1,27 @@
+#include "src/automata/phase.hpp"
+
+namespace dima::automata {
+
+const char* phaseName(Phase p) {
+  switch (p) {
+    case Phase::Choose:
+      return "C";
+    case Phase::Invite:
+      return "I";
+    case Phase::Listen:
+      return "L";
+    case Phase::Respond:
+      return "R";
+    case Phase::Wait:
+      return "W";
+    case Phase::Update:
+      return "U";
+    case Phase::Exchange:
+      return "E";
+    case Phase::Done:
+      return "D";
+  }
+  return "?";
+}
+
+}  // namespace dima::automata

@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file phase.hpp
+/// The states of the matching discovery automaton (paper Fig. 1, plus the
+/// Exchange state Algorithm 1 adds). All protocols in this library move
+/// every node through these states in lockstep — the paper's "all
+/// transitions are made synchronously" assumption.
+
+#include <cstdint>
+
+namespace dima::automata {
+
+enum class Phase : std::uint8_t {
+  Choose,    ///< C: coin toss selects Invite or Listen
+  Invite,    ///< I: propose to a random eligible neighbor
+  Listen,    ///< L: collect proposals
+  Respond,   ///< R: accept one proposal
+  Wait,      ///< W: await the acceptance of one's own proposal
+  Update,    ///< U: apply the round's local computation
+  Exchange,  ///< E: share state deltas with neighbors
+  Done,      ///< D: all local work finished
+};
+
+const char* phaseName(Phase p);
+
+}  // namespace dima::automata

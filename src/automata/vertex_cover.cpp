@@ -1,0 +1,30 @@
+#include "src/automata/vertex_cover.hpp"
+
+#include <algorithm>
+
+namespace dima::automata {
+
+VertexCoverResult vertexCoverViaMatching(const graph::Graph& g,
+                                         std::uint64_t seed) {
+  const MaximalMatchingResult mm = maximalMatching(g, seed);
+  VertexCoverResult out;
+  out.cover = matchedVertices(g, mm.matching);
+  out.matchingSize = mm.matching.size();
+  out.rounds = mm.rounds;
+  out.converged = mm.converged;
+  return out;
+}
+
+bool isVertexCover(const graph::Graph& g,
+                   const std::vector<graph::VertexId>& cover) {
+  std::vector<bool> in(g.numVertices(), false);
+  for (graph::VertexId v : cover) {
+    if (v >= g.numVertices()) return false;
+    in[v] = true;
+  }
+  return std::all_of(
+      g.edges().begin(), g.edges().end(),
+      [&](const graph::Edge& e) { return in[e.u] || in[e.v]; });
+}
+
+}  // namespace dima::automata

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file vertex_cover.hpp
+/// 2-approximate vertex cover via the matching automaton — the framework's
+/// application in the authors' earlier work ([3]), referenced by this
+/// paper's introduction and conclusion. Taking both endpoints of any maximal
+/// matching covers every edge and is at most twice the optimum (the matching
+/// itself lower-bounds any cover).
+
+#include <cstdint>
+#include <vector>
+
+#include "src/automata/discovery.hpp"
+#include "src/graph/graph.hpp"
+
+namespace dima::automata {
+
+struct VertexCoverResult {
+  std::vector<graph::VertexId> cover;
+  /// Size of the maximal matching that produced the cover; any vertex cover
+  /// has at least this many vertices, so |cover| ≤ 2·OPT.
+  std::size_t matchingSize = 0;
+  std::uint64_t rounds = 0;
+  bool converged = false;
+};
+
+/// Runs the distributed automaton to a maximal matching and returns both
+/// endpoints of every matched edge.
+VertexCoverResult vertexCoverViaMatching(const graph::Graph& g,
+                                         std::uint64_t seed);
+
+/// True when every edge of `g` has an endpoint in `cover`.
+bool isVertexCover(const graph::Graph& g,
+                   const std::vector<graph::VertexId>& cover);
+
+}  // namespace dima::automata

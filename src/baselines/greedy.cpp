@@ -1,0 +1,50 @@
+#include "src/baselines/greedy.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/support/bitset.hpp"
+
+namespace dima::baselines {
+
+GreedyResult greedyEdgeColoring(const graph::Graph& g, EdgeOrder order,
+                                std::uint64_t seed) {
+  std::vector<graph::EdgeId> sequence(g.numEdges());
+  std::iota(sequence.begin(), sequence.end(), 0);
+  switch (order) {
+    case EdgeOrder::ById:
+      break;
+    case EdgeOrder::Random: {
+      support::Rng rng(seed);
+      rng.shuffle(sequence);
+      break;
+    }
+    case EdgeOrder::HighDegreeFirst:
+      std::stable_sort(sequence.begin(), sequence.end(),
+                       [&](graph::EdgeId a, graph::EdgeId b) {
+                         const auto ka = g.degree(g.edge(a).u) +
+                                         g.degree(g.edge(a).v);
+                         const auto kb = g.degree(g.edge(b).u) +
+                                         g.degree(g.edge(b).v);
+                         return ka > kb;
+                       });
+      break;
+  }
+
+  GreedyResult out;
+  out.colors.assign(g.numEdges(), coloring::kNoColor);
+  std::vector<support::DynamicBitset> used(g.numVertices());
+  support::DynamicBitset distinct;
+  for (graph::EdgeId e : sequence) {
+    const graph::Edge& edge = g.edge(e);
+    const std::size_t c = used[edge.u].firstClearAlsoClearIn(used[edge.v]);
+    out.colors[e] = static_cast<Color>(c);
+    used[edge.u].set(c);
+    used[edge.v].set(c);
+    distinct.set(c);
+  }
+  out.colorsUsed = distinct.count();
+  return out;
+}
+
+}  // namespace dima::baselines

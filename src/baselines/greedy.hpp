@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file greedy.hpp
+/// Sequential greedy edge coloring — the classical centralized comparator.
+/// Scans edges in a configurable order and gives each the lowest color not
+/// used at either endpoint; never exceeds 2Δ−1 colors and is the natural
+/// quality reference for Algorithm 1 (which is, in effect, a distributed
+/// randomized greedy).
+
+#include <cstdint>
+#include <vector>
+
+#include "src/coloring/color.hpp"
+#include "src/graph/graph.hpp"
+#include "src/support/rng.hpp"
+
+namespace dima::baselines {
+
+using coloring::Color;
+
+enum class EdgeOrder : std::uint8_t {
+  ById,         ///< construction order
+  Random,       ///< uniform shuffle (needs a seed)
+  HighDegreeFirst,  ///< by decreasing endpoint-degree sum (helps quality)
+};
+
+struct GreedyResult {
+  std::vector<Color> colors;
+  std::size_t colorsUsed = 0;
+};
+
+/// Colors every edge of `g` greedily in the given order.
+GreedyResult greedyEdgeColoring(const graph::Graph& g,
+                                EdgeOrder order = EdgeOrder::ById,
+                                std::uint64_t seed = 1);
+
+}  // namespace dima::baselines

@@ -1,0 +1,49 @@
+#include "src/baselines/greedy_cover.hpp"
+
+#include <algorithm>
+
+namespace dima::baselines {
+
+CoverResult greedyVertexCover(const graph::Graph& g) {
+  CoverResult out;
+  std::vector<bool> edgeCovered(g.numEdges(), false);
+  std::vector<std::size_t> uncoveredDegree(g.numVertices());
+  for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
+    uncoveredDegree[v] = g.degree(v);
+  }
+  std::size_t remaining = g.numEdges();
+  while (remaining > 0) {
+    // Max uncovered-degree vertex (lowest id wins ties → deterministic).
+    graph::VertexId best = 0;
+    for (graph::VertexId v = 1; v < g.numVertices(); ++v) {
+      if (uncoveredDegree[v] > uncoveredDegree[best]) best = v;
+    }
+    DIMA_ASSERT(uncoveredDegree[best] > 0, "uncovered edges but no degree");
+    out.cover.push_back(best);
+    for (const graph::Incidence& inc : g.incidences(best)) {
+      if (edgeCovered[inc.edge]) continue;
+      edgeCovered[inc.edge] = true;
+      --remaining;
+      --uncoveredDegree[best];
+      --uncoveredDegree[inc.neighbor];
+    }
+  }
+  std::sort(out.cover.begin(), out.cover.end());
+  return out;
+}
+
+CoverResult matchingVertexCover(const graph::Graph& g) {
+  CoverResult out;
+  std::vector<bool> matched(g.numVertices(), false);
+  for (const graph::Edge& e : g.edges()) {
+    if (!matched[e.u] && !matched[e.v]) {
+      matched[e.u] = matched[e.v] = true;
+      out.cover.push_back(e.u);
+      out.cover.push_back(e.v);
+    }
+  }
+  std::sort(out.cover.begin(), out.cover.end());
+  return out;
+}
+
+}  // namespace dima::baselines

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file greedy_cover.hpp
+/// Sequential vertex-cover comparators for the automaton-based 2-approx
+/// cover (automata::vertexCoverViaMatching):
+///  * max-degree greedy — repeatedly takes the vertex covering the most
+///    uncovered edges (ln-n approximation, usually excellent in practice);
+///  * matching-based 2-approx, sequential — both endpoints of a greedily
+///    built maximal matching, the centralized twin of the distributed
+///    algorithm.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+
+namespace dima::baselines {
+
+struct CoverResult {
+  std::vector<graph::VertexId> cover;
+};
+
+/// Max-degree greedy cover.
+CoverResult greedyVertexCover(const graph::Graph& g);
+
+/// Sequential maximal matching (edge-id order) → both endpoints.
+CoverResult matchingVertexCover(const graph::Graph& g);
+
+}  // namespace dima::baselines

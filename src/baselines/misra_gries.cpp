@@ -1,0 +1,182 @@
+#include "src/baselines/misra_gries.hpp"
+
+#include <algorithm>
+
+#include "src/support/assert.hpp"
+#include "src/support/bitset.hpp"
+
+namespace dima::baselines {
+
+namespace {
+
+using coloring::Color;
+using coloring::kNoColor;
+using graph::EdgeId;
+using graph::kNoEdge;
+using graph::VertexId;
+
+/// Book-keeping for a partial proper coloring with palette [0, Δ].
+class Board {
+ public:
+  explicit Board(const graph::Graph& g)
+      : g_(&g),
+        palette_(g.maxDegree() + 1),
+        colorOf_(g.numEdges(), kNoColor),
+        at_(g.numVertices(), std::vector<EdgeId>(palette_, kNoEdge)) {}
+
+  std::size_t palette() const { return palette_; }
+  Color colorOf(EdgeId e) const { return colorOf_[e]; }
+
+  /// Edge at `v` colored `c`, or kNoEdge.
+  EdgeId edgeAt(VertexId v, Color c) const {
+    return at_[v][static_cast<std::size_t>(c)];
+  }
+  bool freeAt(VertexId v, Color c) const { return edgeAt(v, c) == kNoEdge; }
+
+  /// Lowest color in [0, Δ] free at `v`; always exists (deg ≤ Δ < Δ+1).
+  Color freeColor(VertexId v) const {
+    for (std::size_t c = 0; c < palette_; ++c) {
+      if (at_[v][c] == kNoEdge) return static_cast<Color>(c);
+    }
+    DIMA_REQUIRE(false, "no free color at vertex " << v);
+    return kNoColor;
+  }
+
+  void setColor(EdgeId e, Color c) {
+    DIMA_ASSERT(colorOf_[e] == kNoColor, "edge " << e << " already colored");
+    const graph::Edge& edge = g_->edge(e);
+    DIMA_ASSERT(freeAt(edge.u, c) && freeAt(edge.v, c),
+                "color " << c << " not free for edge " << e);
+    colorOf_[e] = c;
+    at_[edge.u][static_cast<std::size_t>(c)] = e;
+    at_[edge.v][static_cast<std::size_t>(c)] = e;
+  }
+
+  void clearColor(EdgeId e) {
+    const Color c = colorOf_[e];
+    DIMA_ASSERT(c != kNoColor, "edge " << e << " not colored");
+    const graph::Edge& edge = g_->edge(e);
+    at_[edge.u][static_cast<std::size_t>(c)] = kNoEdge;
+    at_[edge.v][static_cast<std::size_t>(c)] = kNoEdge;
+    colorOf_[e] = kNoColor;
+  }
+
+  std::vector<Color> take() { return std::move(colorOf_); }
+
+ private:
+  const graph::Graph* g_;
+  std::size_t palette_;
+  std::vector<Color> colorOf_;
+  std::vector<std::vector<EdgeId>> at_;
+};
+
+/// Inverts the maximal cd-alternating path starting at `u` (whose first edge
+/// is colored d; c is free at u so the path cannot return to u).
+void invertPath(const graph::Graph& g, Board& board, VertexId u, Color c,
+                Color d) {
+  std::vector<EdgeId> pathEdges;
+  VertexId x = u;
+  Color col = d;
+  while (true) {
+    const EdgeId e = board.edgeAt(x, col);
+    if (e == kNoEdge) break;
+    pathEdges.push_back(e);
+    x = g.edge(e).other(x);
+    col = (col == d) ? c : d;
+    DIMA_ASSERT(pathEdges.size() <= g.numEdges(), "cd-path cycled");
+  }
+  // Uncolor the whole path, then recolor with c and d swapped.
+  std::vector<Color> newColors(pathEdges.size());
+  for (std::size_t i = 0; i < pathEdges.size(); ++i) {
+    newColors[i] = board.colorOf(pathEdges[i]) == c ? d : c;
+    board.clearColor(pathEdges[i]);
+  }
+  for (std::size_t i = 0; i < pathEdges.size(); ++i) {
+    board.setColor(pathEdges[i], newColors[i]);
+  }
+}
+
+void colorOneEdge(const graph::Graph& g, Board& board, EdgeId target) {
+  const VertexId u = g.edge(target).u;
+  const VertexId v = g.edge(target).v;
+
+  // Maximal fan of u starting at v: each next vertex's edge to u wears a
+  // color free on the previous fan vertex.
+  std::vector<VertexId> fan{v};
+  std::vector<bool> inFan(g.numVertices(), false);
+  inFan[v] = true;
+  while (true) {
+    const VertexId tail = fan.back();
+    VertexId next = graph::kNoVertex;
+    for (const graph::Incidence& inc : g.incidences(u)) {
+      if (inFan[inc.neighbor]) continue;
+      const Color col = board.colorOf(inc.edge);
+      if (col == kNoColor) continue;
+      if (board.freeAt(tail, col)) {
+        next = inc.neighbor;
+        break;
+      }
+    }
+    if (next == graph::kNoVertex) break;
+    fan.push_back(next);
+    inFan[next] = true;
+  }
+
+  const Color c = board.freeColor(u);
+  const Color d = board.freeColor(fan.back());
+  if (!board.freeAt(u, d)) {
+    invertPath(g, board, u, c, d);
+  }
+  DIMA_ASSERT(board.freeAt(u, d), "d not free at u after inversion");
+
+  // Shrink to the first prefix that is still a fan (post-inversion colors)
+  // with d free on its tip, then rotate it and color the tip edge d.
+  std::size_t w = fan.size();
+  for (std::size_t i = 0; i < fan.size(); ++i) {
+    if (i > 0) {
+      const EdgeId ei = g.findEdge(u, fan[i]);
+      const Color ci = board.colorOf(ei);
+      // Prefix stops being a fan as soon as the chain condition breaks.
+      if (ci == kNoColor || !board.freeAt(fan[i - 1], ci)) break;
+    }
+    if (board.freeAt(fan[i], d)) {
+      w = i;
+      break;
+    }
+  }
+  DIMA_REQUIRE(w < fan.size(), "Misra–Gries: no rotatable fan prefix found");
+
+  // Rotate: edge (u, fan[i]) takes the color of edge (u, fan[i+1]).
+  std::vector<EdgeId> fanEdges(w + 1);
+  std::vector<Color> fanColors(w + 1, kNoColor);
+  for (std::size_t i = 0; i <= w; ++i) {
+    fanEdges[i] = g.findEdge(u, fan[i]);
+    fanColors[i] = board.colorOf(fanEdges[i]);
+  }
+  for (std::size_t i = 1; i <= w; ++i) board.clearColor(fanEdges[i]);
+  for (std::size_t i = 0; i + 1 <= w; ++i) {
+    board.setColor(fanEdges[i], fanColors[i + 1]);
+  }
+  board.setColor(fanEdges[w], d);
+}
+
+}  // namespace
+
+MisraGriesResult misraGriesEdgeColoring(const graph::Graph& g) {
+  MisraGriesResult out;
+  if (g.numEdges() == 0) {
+    out.colors.clear();
+    return out;
+  }
+  Board board(g);
+  for (EdgeId e = 0; e < g.numEdges(); ++e) {
+    colorOneEdge(g, board, e);
+  }
+  out.colors = board.take();
+  support::DynamicBitset distinct;
+  for (Color c : out.colors) distinct.set(static_cast<std::size_t>(c));
+  out.colorsUsed = distinct.count();
+  return out;
+}
+
+}  // namespace dima::baselines

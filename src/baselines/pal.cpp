@@ -1,0 +1,96 @@
+#include "src/baselines/pal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/support/assert.hpp"
+#include "src/support/bitset.hpp"
+#include "src/support/rng.hpp"
+
+namespace dima::baselines {
+
+using coloring::Color;
+using coloring::kNoColor;
+
+PalResult palEdgeColoring(const graph::Graph& g, const PalOptions& options) {
+  DIMA_REQUIRE(options.epsilon >= 0.0, "epsilon must be non-negative");
+  PalResult out;
+  out.colors.assign(g.numEdges(), kNoColor);
+  if (g.numEdges() == 0) {
+    out.converged = true;
+    return out;
+  }
+  const auto delta = static_cast<double>(g.maxDegree());
+  const auto palette = std::max<std::size_t>(
+      g.maxDegree() + 1,
+      static_cast<std::size_t>(std::ceil((1.0 + options.epsilon) * delta)));
+
+  support::SeedSequence seq(options.seed);
+  std::vector<support::Rng> edgeRng;
+  edgeRng.reserve(g.numEdges());
+  for (graph::EdgeId e = 0; e < g.numEdges(); ++e) {
+    edgeRng.push_back(seq.stream(e));
+  }
+
+  std::vector<support::DynamicBitset> finalAt(g.numVertices());
+  std::vector<Color> tentative(g.numEdges(), kNoColor);
+  std::size_t uncolored = g.numEdges();
+
+  while (uncolored > 0 && out.rounds < options.maxRounds) {
+    ++out.rounds;
+    // Propose: uniform over the palette minus endpoint-final colors.
+    std::fill(tentative.begin(), tentative.end(), kNoColor);
+    for (graph::EdgeId e = 0; e < g.numEdges(); ++e) {
+      if (out.colors[e] != kNoColor) continue;
+      const graph::Edge& edge = g.edge(e);
+      std::vector<Color> candidates;
+      candidates.reserve(palette);
+      for (std::size_t c = 0; c < palette; ++c) {
+        if (!finalAt[edge.u].test(c) && !finalAt[edge.v].test(c)) {
+          candidates.push_back(static_cast<Color>(c));
+        }
+      }
+      if (candidates.empty()) {
+        // The fixed (1+ε)Δ palette can run dry at unlucky high-degree edge
+        // pairs (the endpoints jointly see up to 2Δ−2 final colors); fall
+        // back to the lowest jointly free color beyond it.
+        tentative[e] = static_cast<Color>(
+            finalAt[edge.u].firstClearAlsoClearIn(finalAt[edge.v]));
+      } else {
+        tentative[e] = candidates[edgeRng[e].index(candidates.size())];
+      }
+    }
+    // Commit: a tentative wins when no adjacent edge proposed the same color
+    // (final colors were already excluded during proposal).
+    for (graph::EdgeId e = 0; e < g.numEdges(); ++e) {
+      if (tentative[e] == kNoColor) continue;
+      const graph::Edge& edge = g.edge(e);
+      bool clash = false;
+      for (graph::VertexId endpoint : {edge.u, edge.v}) {
+        for (const graph::Incidence& inc : g.incidences(endpoint)) {
+          if (inc.edge != e && tentative[inc.edge] == tentative[e]) {
+            clash = true;
+            break;
+          }
+        }
+        if (clash) break;
+      }
+      if (!clash) {
+        out.colors[e] = tentative[e];
+        finalAt[edge.u].set(static_cast<std::size_t>(tentative[e]));
+        finalAt[edge.v].set(static_cast<std::size_t>(tentative[e]));
+        --uncolored;
+      }
+    }
+  }
+  out.converged = uncolored == 0;
+
+  support::DynamicBitset distinct;
+  for (Color c : out.colors) {
+    if (c != kNoColor) distinct.set(static_cast<std::size_t>(c));
+  }
+  out.colorsUsed = distinct.count();
+  return out;
+}
+
+}  // namespace dima::baselines

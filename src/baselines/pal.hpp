@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file pal.hpp
+/// The "simple" distributed randomized edge-coloring baseline after
+/// Marathe, Panconesi & Risinger (J. Exp. Algorithmics 2004) — reference
+/// [10] of the paper. Every uncolored edge repeatedly picks a tentative
+/// color uniformly at random from a (1+ε)Δ palette minus the colors already
+/// final at its endpoints; a tentative color is committed when no adjacent
+/// edge picked or owns it. Converges in O(log n) rounds w.h.p.
+///
+/// The baseline is simulated at round granularity on shared state (edge
+/// agents), not through the message engine: the paper compares against it
+/// qualitatively (round scaling and colors), not on message counts.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/coloring/color.hpp"
+#include "src/graph/graph.hpp"
+
+namespace dima::baselines {
+
+struct PalOptions {
+  std::uint64_t seed = 0xba5e11ULL;
+  /// Palette size factor: palette = ceil((1+epsilon)·Δ), at least Δ+1.
+  double epsilon = 0.5;
+  std::uint64_t maxRounds = 1u << 16;
+};
+
+struct PalResult {
+  std::vector<coloring::Color> colors;
+  std::uint64_t rounds = 0;
+  bool converged = false;
+  std::size_t colorsUsed = 0;
+};
+
+PalResult palEdgeColoring(const graph::Graph& g, const PalOptions& options = {});
+
+}  // namespace dima::baselines

@@ -1,0 +1,69 @@
+#include "src/baselines/strong_greedy.hpp"
+
+#include <numeric>
+
+#include "src/support/bitset.hpp"
+
+namespace dima::baselines {
+
+using coloring::Color;
+using coloring::kNoColor;
+
+namespace {
+
+/// Applies `fn(arcId)` to every arc that strongly conflicts with `a`: all
+/// arcs incident to any vertex of N[from] ∪ N[to]. This over-approximates
+/// slightly (it can visit an arc twice) but never misses a conflict: a
+/// conflicting arc has an endpoint equal or adjacent to one of a's
+/// endpoints, hence is incident to a vertex in the closed neighborhoods.
+template <class Fn>
+void forEachConflicting(const graph::Digraph& d, graph::ArcId a, Fn&& fn) {
+  const graph::Graph& g = d.underlying();
+  const graph::Arc arc = d.arc(a);
+  auto visitVertexArcs = [&](graph::VertexId v) {
+    for (graph::ArcId out : d.outArcs(v)) {
+      if (out != a) fn(out);
+      const graph::ArcId in = graph::Digraph::reverse(out);
+      if (in != a) fn(in);
+    }
+  };
+  for (graph::VertexId endpoint : {arc.from, arc.to}) {
+    visitVertexArcs(endpoint);
+    for (const graph::Incidence& inc : g.incidences(endpoint)) {
+      visitVertexArcs(inc.neighbor);
+    }
+  }
+}
+
+}  // namespace
+
+StrongGreedyResult greedyStrongArcColoring(const graph::Digraph& d,
+                                           ArcOrder order,
+                                           std::uint64_t seed) {
+  std::vector<graph::ArcId> sequence(d.numArcs());
+  std::iota(sequence.begin(), sequence.end(), 0);
+  if (order == ArcOrder::Random) {
+    support::Rng rng(seed);
+    rng.shuffle(sequence);
+  }
+
+  StrongGreedyResult out;
+  out.colors.assign(d.numArcs(), kNoColor);
+  support::DynamicBitset forbidden;
+  support::DynamicBitset distinct;
+  for (graph::ArcId a : sequence) {
+    forbidden.clear();
+    forEachConflicting(d, a, [&](graph::ArcId other) {
+      if (out.colors[other] != kNoColor) {
+        forbidden.set(static_cast<std::size_t>(out.colors[other]));
+      }
+    });
+    const auto c = forbidden.firstClear();
+    out.colors[a] = static_cast<Color>(c);
+    distinct.set(c);
+  }
+  out.colorsUsed = distinct.count();
+  return out;
+}
+
+}  // namespace dima::baselines

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file strong_greedy.hpp
+/// Sequential greedy strong (distance-2) arc coloring of a symmetric
+/// digraph: the centralized quality comparator for DiMa2Ed. Arcs are
+/// scanned in a configurable order; each takes the lowest color absent from
+/// every arc it conflicts with (shares an endpoint, or an edge joins their
+/// endpoint sets).
+
+#include <cstdint>
+#include <vector>
+
+#include "src/coloring/color.hpp"
+#include "src/graph/digraph.hpp"
+#include "src/support/rng.hpp"
+
+namespace dima::baselines {
+
+enum class ArcOrder : std::uint8_t { ById, Random };
+
+struct StrongGreedyResult {
+  std::vector<coloring::Color> colors;
+  std::size_t colorsUsed = 0;
+};
+
+StrongGreedyResult greedyStrongArcColoring(const graph::Digraph& d,
+                                           ArcOrder order = ArcOrder::ById,
+                                           std::uint64_t seed = 1);
+
+}  // namespace dima::baselines

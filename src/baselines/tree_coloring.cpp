@@ -1,0 +1,61 @@
+#include "src/baselines/tree_coloring.hpp"
+
+#include <queue>
+
+#include "src/graph/metrics.hpp"
+#include "src/support/assert.hpp"
+#include "src/support/bitset.hpp"
+
+namespace dima::baselines {
+
+using coloring::Color;
+using coloring::kNoColor;
+
+TreeColoringResult treeEdgeColoring(const graph::Graph& g) {
+  DIMA_REQUIRE(graph::isForest(g), "treeEdgeColoring requires a forest");
+  TreeColoringResult out;
+  out.colors.assign(g.numEdges(), kNoColor);
+
+  // Only consumed by the palette-overflow assertion (compiled out in
+  // release builds).
+  [[maybe_unused]] const auto palette = g.maxDegree() + 1;
+  std::vector<bool> visited(g.numVertices(), false);
+  std::vector<Color> incoming(g.numVertices(), kNoColor);  // parent-edge color
+  std::size_t maxLevel = 0;
+
+  for (graph::VertexId root = 0; root < g.numVertices(); ++root) {
+    if (visited[root]) continue;
+    // BFS orientation from the root; each node assigns child-edge colors
+    // counting up through the palette, skipping its parent edge's color.
+    std::queue<std::pair<graph::VertexId, std::size_t>> frontier;
+    frontier.push({root, 0});
+    visited[root] = true;
+    while (!frontier.empty()) {
+      const auto [v, level] = frontier.front();
+      frontier.pop();
+      maxLevel = std::max(maxLevel, level);
+      Color next = 0;
+      for (const graph::Incidence& inc : g.incidences(v)) {
+        if (visited[inc.neighbor]) continue;  // parent or cross (none in tree)
+        if (next == incoming[v]) ++next;
+        DIMA_ASSERT(static_cast<std::size_t>(next) < palette,
+                    "palette overflow at vertex " << v);
+        out.colors[inc.edge] = next;
+        incoming[inc.neighbor] = next;
+        ++next;
+        visited[inc.neighbor] = true;
+        frontier.push({inc.neighbor, level + 1});
+      }
+    }
+  }
+
+  support::DynamicBitset distinct;
+  for (Color c : out.colors) {
+    if (c != kNoColor) distinct.set(static_cast<std::size_t>(c));
+  }
+  out.colorsUsed = distinct.count();
+  out.scheduledRounds = maxLevel + g.maxDegree() + 1;
+  return out;
+}
+
+}  // namespace dima::baselines

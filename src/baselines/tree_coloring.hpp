@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file tree_coloring.hpp
+/// Deterministic edge coloring for forests, after Gandham, Dawande &
+/// Prakash (INFOCOM 2005, reference [4]): orient each tree at a root and
+/// hand every node's child edges colors that dodge its parent edge's color.
+/// Uses at most Δ+1 colors and mirrors the 2Δ+1-round distributed schedule
+/// the paper cites as the deterministic comparator for acyclic graphs.
+
+#include <vector>
+
+#include "src/coloring/color.hpp"
+#include "src/graph/graph.hpp"
+
+namespace dima::baselines {
+
+struct TreeColoringResult {
+  std::vector<coloring::Color> colors;
+  std::size_t colorsUsed = 0;
+  /// Communication rounds the distributed schedule would need: each BFS
+  /// level settles one round after its parent, and a node needs up to Δ
+  /// slots to enumerate child colors — reported as levels + Δ.
+  std::size_t scheduledRounds = 0;
+};
+
+/// Precondition: `g` is a forest (graph::isForest). Colors all edges with at
+/// most Δ+1 colors.
+TreeColoringResult treeEdgeColoring(const graph::Graph& g);
+
+}  // namespace dima::baselines

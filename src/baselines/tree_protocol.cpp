@@ -1,0 +1,118 @@
+#include "src/baselines/tree_protocol.hpp"
+
+#include "src/graph/metrics.hpp"
+#include "src/net/network.hpp"
+#include "src/net/spanning_tree.hpp"
+#include "src/support/bitset.hpp"
+
+namespace dima::baselines {
+
+namespace {
+
+using coloring::Color;
+using coloring::kNoColor;
+using net::NodeId;
+
+struct AssignMessage {
+  Color color = kNoColor;
+};
+
+/// Phase-2 protocol: one unicast color assignment per active node per
+/// round. A node is *active* once its parent edge is colored (root: from
+/// the start) and retires when every child edge is assigned.
+class TreeColorProtocol {
+ public:
+  using Message = AssignMessage;
+
+  TreeColorProtocol(const graph::Graph& g, const net::SpanningTree& tree)
+      : g_(&g), tree_(&tree), edgeColor_(g.numEdges(), kNoColor) {
+    nodes_.resize(g.numVertices());
+    for (NodeId u = 0; u < g.numVertices(); ++u) {
+      NodeState& s = nodes_[u];
+      for (const graph::Incidence& inc : g.incidences(u)) {
+        if (tree.parent[inc.neighbor] == u) {
+          s.pendingChildren.push_back(inc);
+        }
+      }
+      s.parentColored = tree.parent[u] == graph::kNoVertex;  // root
+    }
+  }
+
+  int subRounds() const { return 1; }
+  void beginCycle(NodeId) {}
+
+  void send(NodeId u, int, net::SyncNetwork<Message>& net) {
+    NodeState& s = nodes_[u];
+    if (!s.parentColored || s.pendingChildren.empty()) return;
+    // Lowest color unused on this node's already-colored incident edges
+    // (the parent edge included — its color is in `used`).
+    const graph::Incidence child = s.pendingChildren.back();
+    s.pendingChildren.pop_back();
+    const auto c = s.used.firstClear();
+    s.used.set(c);
+    edgeColor_[child.edge] = static_cast<Color>(c);
+    net.unicast(u, child.neighbor, AssignMessage{static_cast<Color>(c)});
+  }
+
+  void receive(NodeId u, int,
+               std::span<const net::Envelope<Message>> inbox) {
+    NodeState& s = nodes_[u];
+    for (const auto& env : inbox) {
+      // The parent's assignment for my parent edge.
+      DIMA_ASSERT(tree_->parent[u] == env.from, "assignment not from parent");
+      s.parentColored = true;
+      s.used.set(static_cast<std::size_t>(env.msg.color));
+    }
+  }
+
+  void endCycle(NodeId) {}
+
+  bool done(NodeId u) const {
+    const NodeState& s = nodes_[u];
+    return s.parentColored && s.pendingChildren.empty();
+  }
+
+  std::vector<Color> takeColors() { return std::move(edgeColor_); }
+
+ private:
+  struct NodeState {
+    bool parentColored = false;
+    support::DynamicBitset used;
+    std::vector<graph::Incidence> pendingChildren;
+  };
+
+  const graph::Graph* g_;
+  const net::SpanningTree* tree_;
+  std::vector<NodeState> nodes_;
+  std::vector<Color> edgeColor_;
+};
+
+}  // namespace
+
+TreeProtocolResult distributedTreeColoring(const graph::Graph& g,
+                                           graph::VertexId root,
+                                           net::EngineOptions options) {
+  DIMA_REQUIRE(graph::isForest(g) && graph::isConnected(g),
+               "distributedTreeColoring requires a connected tree");
+  TreeProtocolResult out;
+  if (g.numVertices() == 0) {
+    out.coloring.metrics.converged = true;
+    return out;
+  }
+  const net::SpanningTree tree = net::buildSpanningTreeFlood(g, root);
+  out.floodRounds = tree.buildRounds;
+
+  TreeColorProtocol proto(g, tree);
+  net::SyncNetwork<AssignMessage> net(g);
+  const net::EngineResult run = runSyncProtocol(proto, net, options);
+  out.coloringRounds = run.cycles;
+  out.coloring.colors = proto.takeColors();
+  out.coloring.metrics.computationRounds = tree.buildRounds + run.cycles;
+  out.coloring.metrics.commRounds = tree.buildRounds + run.counters.commRounds;
+  out.coloring.metrics.broadcasts = run.counters.broadcasts;
+  out.coloring.metrics.messagesDelivered = run.counters.messagesDelivered;
+  out.coloring.metrics.converged = run.converged;
+  return out;
+}
+
+}  // namespace dima::baselines

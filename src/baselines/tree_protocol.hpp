@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file tree_protocol.hpp
+/// *Distributed* deterministic edge coloring of a tree, after Gandham,
+/// Dawande & Prakash (INFOCOM 2005, the paper's reference [4]) — the
+/// deterministic comparator the paper cites for acyclic topologies, here
+/// as an actual message-passing protocol on the same engine the
+/// probabilistic algorithms use (`tree_coloring.hpp` is the sequential
+/// emulation).
+///
+/// Phase 1 roots the tree by synchronous flooding (net::spanning_tree).
+/// Phase 2 pipelines colors down the tree: as soon as a node's parent edge
+/// is colored (the root starts immediately), the node assigns one child
+/// edge per round — the lowest color unused on its already-colored
+/// incident edges — and tells the child by unicast. Determinism: no coin
+/// tosses anywhere; same tree ⇒ same coloring.
+///
+/// Costs: ≤ Δ+1 colors (a node sees at most deg(u) incident edges plus
+/// the parent skip) and depth + Δ + O(1) rounds for the coloring phase —
+/// pipelined, so deep paths and bushy nodes overlap. The paper quotes
+/// 2Δ+1 rounds for this family of algorithms; the bench reports both
+/// phases' measured rounds.
+
+#include <cstdint>
+
+#include "src/coloring/result.hpp"
+#include "src/graph/graph.hpp"
+#include "src/net/engine.hpp"
+
+namespace dima::baselines {
+
+struct TreeProtocolResult {
+  coloring::EdgeColoringResult coloring;
+  std::uint64_t floodRounds = 0;     ///< phase 1 (rooting)
+  std::uint64_t coloringRounds = 0;  ///< phase 2 (pipelined assignment)
+};
+
+/// Precondition: `g` is a connected tree (or a single vertex). `root`
+/// defaults to vertex 0.
+TreeProtocolResult distributedTreeColoring(const graph::Graph& g,
+                                           graph::VertexId root = 0,
+                                           net::EngineOptions options = {});
+
+}  // namespace dima::baselines

@@ -1,0 +1,93 @@
+#include "src/cli/args.hpp"
+
+#include <cstdlib>
+
+namespace dima::cli {
+
+Args::Args(int argc, const char* const* argv) {
+  std::vector<std::string> tokens;
+  tokens.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) tokens.emplace_back(argv[i]);
+  parse(tokens);
+}
+
+Args::Args(const std::vector<std::string>& tokens) { parse(tokens); }
+
+void Args::parse(const std::vector<std::string>& tokens) {
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    if (token.rfind("--", 0) == 0 && token.size() > 2) {
+      const std::string name = token.substr(2);
+      const auto eq = name.find('=');
+      if (eq != std::string::npos) {
+        options_[name.substr(0, eq)] = name.substr(eq + 1);
+      } else if (i + 1 < tokens.size() &&
+                 tokens[i + 1].rfind("--", 0) != 0) {
+        options_[name] = tokens[++i];
+      } else {
+        options_[name] = "";  // boolean flag
+      }
+    } else {
+      positionals_.push_back(token);
+    }
+  }
+}
+
+std::string Args::positional(std::size_t i, const std::string& fallback) const {
+  return i < positionals_.size() ? positionals_[i] : fallback;
+}
+
+std::string Args::get(const std::string& name,
+                      const std::string& fallback) const {
+  touched_[name] = true;
+  const auto it = options_.find(name);
+  return it == options_.end() ? fallback : it->second;
+}
+
+std::int64_t Args::getInt(const std::string& name, std::int64_t fallback) {
+  touched_[name] = true;
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || it->second.empty()) {
+    errors_.push_back("--" + name + " expects an integer, got '" +
+                      it->second + "'");
+    return fallback;
+  }
+  return v;
+}
+
+std::uint64_t Args::getUint(const std::string& name, std::uint64_t fallback) {
+  const std::int64_t v =
+      getInt(name, static_cast<std::int64_t>(fallback));
+  if (v < 0) {
+    errors_.push_back("--" + name + " must be non-negative");
+    return fallback;
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+double Args::getDouble(const std::string& name, double fallback) {
+  touched_[name] = true;
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == nullptr || *end != '\0' || it->second.empty()) {
+    errors_.push_back("--" + name + " expects a number, got '" + it->second +
+                      "'");
+    return fallback;
+  }
+  return v;
+}
+
+std::vector<std::string> Args::unusedOptions() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : options_) {
+    if (!touched_.contains(name)) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace dima::cli

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file args.hpp
+/// Minimal command-line option parser for the `dimacol` tool. Syntax:
+/// positionals plus `--name value` / `--flag` options (a `--name` followed
+/// by another `--option` or end-of-line is a boolean flag). Typed getters
+/// record errors instead of throwing so the tool can report all problems
+/// at once.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dima::cli {
+
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+  explicit Args(const std::vector<std::string>& tokens);
+
+  /// Positional arguments in order (the first is the subcommand).
+  const std::vector<std::string>& positionals() const { return positionals_; }
+  std::string positional(std::size_t i, const std::string& fallback = "") const;
+
+  bool has(const std::string& name) const { return options_.contains(name); }
+
+  std::string get(const std::string& name,
+                  const std::string& fallback = "") const;
+  std::int64_t getInt(const std::string& name, std::int64_t fallback);
+  std::uint64_t getUint(const std::string& name, std::uint64_t fallback);
+  double getDouble(const std::string& name, double fallback);
+
+  /// Options that were never read by a getter (likely typos).
+  std::vector<std::string> unusedOptions() const;
+
+  /// Parse/convert errors accumulated by the getters.
+  const std::vector<std::string>& errors() const { return errors_; }
+  bool ok() const { return errors_.empty(); }
+
+ private:
+  void parse(const std::vector<std::string>& tokens);
+
+  std::vector<std::string> positionals_;
+  std::map<std::string, std::string> options_;
+  mutable std::map<std::string, bool> touched_;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace dima::cli

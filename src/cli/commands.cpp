@@ -1,0 +1,527 @@
+#include "src/cli/commands.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "src/automata/discovery.hpp"
+#include "src/automata/mis.hpp"
+#include "src/automata/vertex_cover.hpp"
+#include "src/baselines/greedy.hpp"
+#include "src/baselines/misra_gries.hpp"
+#include "src/baselines/pal.hpp"
+#include "src/baselines/strong_greedy.hpp"
+#include "src/coloring/dima2ed.hpp"
+#include "src/coloring/madec.hpp"
+#include "src/coloring/strong_madec.hpp"
+#include "src/coloring/validate.hpp"
+#include "src/coloring/vertex_coloring.hpp"
+#include "src/experiments/figures.hpp"
+#include "src/experiments/profile.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/io.hpp"
+#include "src/graph/metrics.hpp"
+#include "src/support/version.hpp"
+
+namespace dima::cli {
+
+namespace {
+
+/// Builds the command's input graph: `--input <edge-list>` wins, otherwise
+/// a generator family: `--family er|gnp|ba|ws|tree|regular|complete|cycle|
+/// path|star|grid|geometric` with its parameters.
+graph::Graph makeInputGraph(Args& args, std::ostream& err, bool* ok) {
+  *ok = true;
+  const std::string input = args.get("input");
+  if (!input.empty()) {
+    bool loaded = false;
+    graph::Graph g = graph::loadEdgeList(input, &loaded);
+    if (!loaded) {
+      err << "error: cannot read edge list '" << input << "'\n";
+      *ok = false;
+    }
+    return g;
+  }
+  const std::string family = args.get("family", "er");
+  const auto n = static_cast<std::size_t>(args.getUint("n", 100));
+  support::Rng rng(args.getUint("graph-seed", 1));
+  if (family == "er") {
+    return graph::erdosRenyiAvgDegree(n, args.getDouble("deg", 6.0), rng);
+  }
+  if (family == "gnp") {
+    return graph::erdosRenyiGnp(n, args.getDouble("p", 0.05), rng);
+  }
+  if (family == "ba") {
+    return graph::barabasiAlbert(
+        n, static_cast<std::size_t>(args.getUint("m", 3)),
+        args.getDouble("power", 1.0), rng);
+  }
+  if (family == "ws") {
+    return graph::wattsStrogatz(
+        n, static_cast<std::size_t>(args.getUint("k", 4)),
+        args.getDouble("beta", 0.25), rng);
+  }
+  if (family == "tree") return graph::randomTree(n, rng);
+  if (family == "regular") {
+    return graph::randomRegular(
+        n, static_cast<std::size_t>(args.getUint("deg", 4)), rng);
+  }
+  if (family == "complete") return graph::complete(n);
+  if (family == "cycle") return graph::cycle(n);
+  if (family == "path") return graph::path(n);
+  if (family == "star") return graph::star(n);
+  if (family == "grid") {
+    return graph::grid(static_cast<std::size_t>(args.getUint("rows", 8)),
+                       static_cast<std::size_t>(args.getUint("cols", 8)));
+  }
+  if (family == "geometric") {
+    return graph::randomGeometric(n, args.getDouble("radius", 0.2), rng)
+        .graph;
+  }
+  err << "error: unknown --family '" << family << "'\n";
+  *ok = false;
+  return graph::Graph(0);
+}
+
+bool saveColors(const std::vector<coloring::Color>& colors,
+                const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  for (coloring::Color c : colors) out << c << '\n';
+  return static_cast<bool>(out);
+}
+
+std::vector<coloring::Color> loadColors(const std::string& path, bool* ok) {
+  std::ifstream in(path);
+  std::vector<coloring::Color> colors;
+  if (!in) {
+    *ok = false;
+    return colors;
+  }
+  long long v = 0;
+  while (in >> v) colors.push_back(static_cast<coloring::Color>(v));
+  *ok = in.eof();
+  return colors;
+}
+
+void describeGraph(const graph::Graph& g, std::ostream& out) {
+  out << "graph: n=" << g.numVertices() << " m=" << g.numEdges()
+      << " max-degree=" << g.maxDegree()
+      << " avg-degree=" << g.averageDegree() << '\n';
+}
+
+int finishColoringCommand(Args& args, std::ostream& out, std::ostream& err,
+                          const graph::Graph& g,
+                          const std::vector<coloring::Color>& colors) {
+  const coloring::Verdict verdict = coloring::verifyEdgeColoring(g, colors);
+  if (!verdict.valid) {
+    err << "INVALID coloring: " << verdict.reason << '\n';
+    return 1;
+  }
+  out << "valid: yes\n";
+  const std::string colorsOut = args.get("colors-out");
+  if (!colorsOut.empty() && !saveColors(colors, colorsOut)) {
+    err << "error: cannot write '" << colorsOut << "'\n";
+    return 1;
+  }
+  const std::string dotOut = args.get("dot-out");
+  if (!dotOut.empty()) {
+    std::ofstream dot(dotOut);
+    if (!dot) {
+      err << "error: cannot write '" << dotOut << "'\n";
+      return 1;
+    }
+    dot << graph::toDot(g, std::vector<int>(colors.begin(), colors.end()));
+  }
+  return 0;
+}
+
+int cmdGen(Args& args, std::ostream& out, std::ostream& err) {
+  bool ok = false;
+  const graph::Graph g = makeInputGraph(args, err, &ok);
+  if (!ok) return 1;
+  const std::string outPath = args.get("out");
+  if (outPath.empty()) {
+    out << graph::toEdgeList(g);
+  } else {
+    if (!graph::saveEdgeList(g, outPath)) {
+      err << "error: cannot write '" << outPath << "'\n";
+      return 1;
+    }
+    describeGraph(g, out);
+    out << "written: " << outPath << '\n';
+  }
+  return 0;
+}
+
+int cmdColor(Args& args, std::ostream& out, std::ostream& err) {
+  bool ok = false;
+  const graph::Graph g = makeInputGraph(args, err, &ok);
+  if (!ok) return 1;
+  describeGraph(g, out);
+  const std::string algo = args.get("algo", "madec");
+  const std::uint64_t seed = args.getUint("seed", 1);
+
+  std::vector<coloring::Color> colors;
+  if (algo == "madec") {
+    coloring::MadecOptions options;
+    options.seed = seed;
+    options.invitorBias = args.getDouble("bias", 0.5);
+    const auto result = coloring::colorEdgesMadec(g, options);
+    out << "algorithm: madec (distributed)\n"
+        << "rounds: " << result.metrics.computationRounds
+        << " (comm rounds " << result.metrics.commRounds << ", broadcasts "
+        << result.metrics.broadcasts << ")\n";
+    colors = result.colors;
+  } else if (algo == "greedy") {
+    colors = baselines::greedyEdgeColoring(g, baselines::EdgeOrder::Random,
+                                           seed)
+                 .colors;
+    out << "algorithm: greedy (sequential)\n";
+  } else if (algo == "misra-gries") {
+    colors = baselines::misraGriesEdgeColoring(g).colors;
+    out << "algorithm: misra-gries (sequential, <= Delta+1)\n";
+  } else if (algo == "pal") {
+    baselines::PalOptions options;
+    options.seed = seed;
+    options.epsilon = args.getDouble("epsilon", 0.5);
+    const auto result = baselines::palEdgeColoring(g, options);
+    out << "algorithm: pal (distributed)\nrounds: " << result.rounds << '\n';
+    colors = result.colors;
+  } else {
+    err << "error: unknown --algo '" << algo << "'\n";
+    return 1;
+  }
+  const auto summary = coloring::summarizePalette(colors);
+  out << "colors: " << summary.distinct << " (Delta=" << g.maxDegree()
+      << ", worst-case bound " << (2 * g.maxDegree() - 1) << ")\n";
+  return finishColoringCommand(args, out, err, g, colors);
+}
+
+int cmdStrong(Args& args, std::ostream& out, std::ostream& err) {
+  bool ok = false;
+  const graph::Graph g = makeInputGraph(args, err, &ok);
+  if (!ok) return 1;
+  if (args.has("undirected")) {
+    // Undirected strong coloring (Barrett et al.'s channel assignment).
+    describeGraph(g, out);
+    coloring::StrongMadecOptions options;
+    options.seed = args.getUint("seed", 1);
+    const auto result = coloring::colorEdgesStrongMadec(g, options);
+    out << "algorithm: strong-madec (undirected distance-2)\nrounds: "
+        << result.metrics.computationRounds << "\ncolors: "
+        << result.colorsUsed() << '\n';
+    const coloring::Verdict verdict =
+        coloring::verifyStrongEdgeColoring(g, result.colors);
+    out << "valid: " << (verdict.valid ? "yes" : "NO") << '\n';
+    if (!verdict.valid) err << verdict.reason << '\n';
+    return verdict.valid ? 0 : 1;
+  }
+  const graph::Digraph d(g);
+  describeGraph(g, out);
+  out << "arcs: " << d.numArcs()
+      << " (strong clique lower bound " << graph::strongColoringLowerBound(g)
+      << ")\n";
+  const std::string algo = args.get("algo", "dima2ed");
+  std::vector<coloring::Color> colors;
+  if (algo == "dima2ed") {
+    coloring::Dima2EdOptions options;
+    options.seed = args.getUint("seed", 1);
+    options.mode = args.get("mode", "strict") == "paper"
+                       ? coloring::Dima2EdMode::Paper
+                       : coloring::Dima2EdMode::Strict;
+    const auto result = coloring::colorArcsDima2Ed(d, options);
+    out << "algorithm: dima2ed ("
+        << (options.mode == coloring::Dima2EdMode::Paper ? "paper mode"
+                                                         : "strict mode")
+        << ")\nrounds: " << result.metrics.computationRounds << '\n';
+    colors = result.colors;
+  } else if (algo == "greedy") {
+    colors = baselines::greedyStrongArcColoring(d).colors;
+    out << "algorithm: greedy (sequential)\n";
+  } else {
+    err << "error: unknown --algo '" << algo << "'\n";
+    return 1;
+  }
+  const auto summary = coloring::summarizePalette(colors);
+  out << "colors: " << summary.distinct << '\n';
+  const coloring::Verdict verdict =
+      coloring::verifyStrongArcColoring(d, colors);
+  out << "valid: " << (verdict.valid ? "yes" : "NO") << '\n';
+  if (!verdict.valid) {
+    out << "  first violation: " << verdict.reason << '\n'
+        << "  conflicting pairs: "
+        << coloring::countStrongConflicts(d, colors) << '\n';
+    return args.get("mode") == "paper" ? 0 : 1;  // paper mode may conflict
+  }
+  const std::string colorsOut = args.get("colors-out");
+  if (!colorsOut.empty() && !saveColors(colors, colorsOut)) {
+    err << "error: cannot write '" << colorsOut << "'\n";
+    return 1;
+  }
+  return 0;
+}
+
+int cmdMatching(Args& args, std::ostream& out, std::ostream& err) {
+  bool ok = false;
+  const graph::Graph g = makeInputGraph(args, err, &ok);
+  if (!ok) return 1;
+  describeGraph(g, out);
+  const auto result =
+      automata::maximalMatching(g, args.getUint("seed", 1),
+                                args.getDouble("bias", 0.5));
+  out << "matching: " << result.matching.size() << " edges in "
+      << result.rounds << " rounds (participation rate "
+      << result.stats.participationRate() << ")\n";
+  const bool valid = automata::isMaximalMatching(g, result.matching);
+  out << "valid: " << (valid ? "yes" : "NO") << " (maximal matching)\n";
+  return valid ? 0 : 1;
+}
+
+int cmdCover(Args& args, std::ostream& out, std::ostream& err) {
+  bool ok = false;
+  const graph::Graph g = makeInputGraph(args, err, &ok);
+  if (!ok) return 1;
+  describeGraph(g, out);
+  const auto result =
+      automata::vertexCoverViaMatching(g, args.getUint("seed", 1));
+  out << "cover: " << result.cover.size() << " vertices in " << result.rounds
+      << " rounds (matching certificate " << result.matchingSize
+      << " => within 2x of optimum)\n";
+  const bool valid = automata::isVertexCover(g, result.cover);
+  out << "valid: " << (valid ? "yes" : "NO") << '\n';
+  return valid ? 0 : 1;
+}
+
+int cmdMis(Args& args, std::ostream& out, std::ostream& err) {
+  bool ok = false;
+  const graph::Graph g = makeInputGraph(args, err, &ok);
+  if (!ok) return 1;
+  describeGraph(g, out);
+  const auto result =
+      automata::maximalIndependentSet(g, args.getUint("seed", 1));
+  out << "independent set: " << result.setSize() << " vertices in "
+      << result.rounds << " rounds\n";
+  const bool valid = automata::isMaximalIndependentSet(g, result.inSet);
+  out << "valid: " << (valid ? "yes" : "NO") << '\n';
+  return valid ? 0 : 1;
+}
+
+int cmdVertexColor(Args& args, std::ostream& out, std::ostream& err) {
+  bool ok = false;
+  const graph::Graph g = makeInputGraph(args, err, &ok);
+  if (!ok) return 1;
+  describeGraph(g, out);
+  const auto result =
+      coloring::colorVerticesDistributed(g, args.getUint("seed", 1));
+  out << "vertex colors: " << result.colorsUsed() << " (bound Delta+1="
+      << g.maxDegree() + 1 << ") in " << result.rounds << " rounds\n";
+  const bool valid = coloring::isProperVertexColoring(g, result.colors);
+  out << "valid: " << (valid ? "yes" : "NO") << '\n';
+  return valid ? 0 : 1;
+}
+
+int cmdFigure(Args& args, std::ostream& out, std::ostream& err) {
+  const auto figure = args.getUint("id", args.getUint("figure", 3));
+  const auto runs =
+      static_cast<std::size_t>(args.getUint("runs", 10));
+  const std::uint64_t seed = args.getUint("seed", 0xf160 + figure);
+  exp::FigureReport report;
+  switch (figure) {
+    case 3:
+      report = exp::runFigure3(seed, runs);
+      break;
+    case 4:
+      report = exp::runFigure4(seed, runs);
+      break;
+    case 5:
+      report = exp::runFigure5(seed, runs);
+      break;
+    case 6:
+      report = exp::runFigure6(seed, runs);
+      break;
+    default:
+      err << "error: --id must be one of 3, 4, 5, 6\n";
+      return 1;
+  }
+  out << report.render();
+  const std::string csvOut = args.get("csv-out");
+  if (!csvOut.empty()) {
+    std::ofstream csv(csvOut);
+    if (!csv) {
+      err << "error: cannot write '" << csvOut << "'\n";
+      return 1;
+    }
+    csv << report.csv;
+    out << "raw records: " << csvOut << '\n';
+  }
+  return 0;
+}
+
+int cmdProfile(Args& args, std::ostream& out, std::ostream& err) {
+  bool ok = false;
+  const graph::Graph g = makeInputGraph(args, err, &ok);
+  if (!ok) return 1;
+  if (!graph::isConnected(g)) {
+    err << "error: profile needs a connected graph (try --family ws)\n";
+    return 1;
+  }
+  describeGraph(g, out);
+  coloring::MadecOptions options;
+  options.seed = args.getUint("seed", 1);
+  const exp::CompletionProfile profile =
+      exp::madecCompletionProfile(g, options);
+  out << "colors: " << profile.colors << '\n'
+      << "completion rounds: p50=" << profile.p50 << " p90=" << profile.p90
+      << " p99=" << profile.p99 << " last=" << profile.lastCompletion
+      << '\n'
+      << "termination detection: tree built in " << profile.treeBuildRounds
+      << " rounds, root knows at round " << profile.detectionRound << " (+"
+      << profile.detectionRound - profile.lastCompletion
+      << " over last completion)\n";
+  return 0;
+}
+
+int cmdAsync(Args& args, std::ostream& out, std::ostream& err) {
+  bool ok = false;
+  const graph::Graph g = makeInputGraph(args, err, &ok);
+  if (!ok) return 1;
+  describeGraph(g, out);
+  coloring::MadecOptions options;
+  options.seed = args.getUint("seed", 1);
+  const auto sync = coloring::colorEdgesMadec(g, options);
+  out << "sync: " << sync.metrics.computationRounds << " rounds, "
+      << sync.metrics.broadcasts << " broadcasts, " << sync.colorsUsed()
+      << " colors\n";
+  const std::string kindName = args.get("synchronizer", "alpha");
+  if (kindName == "beta" && !graph::isConnected(g)) {
+    err << "error: the beta synchronizer needs a connected graph\n";
+    return 1;
+  }
+  const coloring::Synchronizer kind = kindName == "beta"
+                                          ? coloring::Synchronizer::Beta
+                                          : coloring::Synchronizer::Alpha;
+  net::DelayModel delays;
+  delays.seed = args.getUint("delay-seed", 7);
+  net::AsyncRunResult stats;
+  const auto async =
+      coloring::colorEdgesMadecAsync(g, options, delays, &stats, kind);
+  out << "async (" << kindName << "): payload " << stats.payloadMessages
+      << " + ack " << stats.ackMessages << " + control "
+      << stats.safeMessages << " = " << stats.totalMessages()
+      << " messages, sim time " << stats.simTime << '\n';
+  const bool identical = sync.colors == async.colors;
+  out << "identical coloring: " << (identical ? "yes" : "NO") << '\n';
+  return identical ? 0 : 1;
+}
+
+int cmdValidate(Args& args, std::ostream& out, std::ostream& err) {
+  bool ok = false;
+  const graph::Graph g = makeInputGraph(args, err, &ok);
+  if (!ok) return 1;
+  const std::string colorsPath = args.get("colors");
+  if (colorsPath.empty()) {
+    err << "error: validate needs --colors <file>\n";
+    return 1;
+  }
+  bool loaded = false;
+  const std::vector<coloring::Color> colors = loadColors(colorsPath, &loaded);
+  if (!loaded) {
+    err << "error: cannot read colors from '" << colorsPath << "'\n";
+    return 1;
+  }
+  const std::string kind = args.get("kind", "edge");
+  coloring::Verdict verdict;
+  if (kind == "edge") {
+    verdict = coloring::verifyEdgeColoring(g, colors, args.has("partial"));
+  } else if (kind == "strong") {
+    verdict = coloring::verifyStrongArcColoring(graph::Digraph(g), colors,
+                                                args.has("partial"));
+  } else if (kind == "vertex") {
+    verdict = coloring::isProperVertexColoring(g, colors, args.has("partial"))
+                  ? coloring::Verdict::ok()
+                  : coloring::Verdict::fail("improper vertex coloring");
+  } else {
+    err << "error: --kind must be edge, strong or vertex\n";
+    return 1;
+  }
+  out << (verdict.valid ? "valid" : "INVALID: " + verdict.reason) << '\n';
+  return verdict.valid ? 0 : 1;
+}
+
+}  // namespace
+
+std::string usage() {
+  std::ostringstream oss;
+  oss << "dimacol " << kVersionString
+      << " — distributed matching-automata edge coloring "
+         "(Daigle & Prasad, IPPS 2012)\n\n"
+         "usage: dimacol <command> [options]\n\n"
+         "commands:\n"
+         "  gen       generate a graph           (--family er|gnp|ba|ws|tree|"
+         "regular|complete|cycle|path|star|grid|geometric, --n, --deg/--m/"
+         "--k/--p/--power/--beta/--radius, --graph-seed, --out)\n"
+         "  color     edge coloring              (--algo madec|greedy|"
+         "misra-gries|pal, --seed, --bias, --colors-out, --dot-out)\n"
+         "  strong    strong distance-2 coloring (--algo dima2ed|greedy, "
+         "--mode strict|paper, --undirected, --seed)\n"
+         "  matching  maximal matching via the discovery automaton\n"
+         "  cover     2-approx vertex cover via the automaton\n"
+         "  mis       maximal independent set (Luby)\n"
+         "  vcolor    distributed (Delta+1) vertex coloring\n"
+         "  figure    regenerate a paper figure  (--id 3|4|5|6, --runs, "
+         "--seed, --csv-out)\n"
+         "  profile   per-node completion quantiles + termination "
+         "detection cost (connected graphs)\n"
+         "  async     run madec on an async network via a synchronizer "
+         "(--synchronizer alpha|beta, --delay-seed)\n"
+         "  validate  check a coloring file      (--colors <file>, --kind "
+         "edge|strong|vertex, --partial)\n"
+         "  help      this text\n\n"
+         "every command accepts --input <edge-list> instead of a generator "
+         "family.\n";
+  return oss.str();
+}
+
+int runCommand(Args& args, std::ostream& out, std::ostream& err) {
+  const std::string command = args.positional(0, "help");
+  int code = 0;
+  if (command == "gen") {
+    code = cmdGen(args, out, err);
+  } else if (command == "color") {
+    code = cmdColor(args, out, err);
+  } else if (command == "strong") {
+    code = cmdStrong(args, out, err);
+  } else if (command == "matching") {
+    code = cmdMatching(args, out, err);
+  } else if (command == "cover") {
+    code = cmdCover(args, out, err);
+  } else if (command == "mis") {
+    code = cmdMis(args, out, err);
+  } else if (command == "vcolor") {
+    code = cmdVertexColor(args, out, err);
+  } else if (command == "figure") {
+    code = cmdFigure(args, out, err);
+  } else if (command == "profile") {
+    code = cmdProfile(args, out, err);
+  } else if (command == "async") {
+    code = cmdAsync(args, out, err);
+  } else if (command == "validate") {
+    code = cmdValidate(args, out, err);
+  } else if (command == "help" || command.empty()) {
+    out << usage();
+  } else {
+    err << "error: unknown command '" << command << "'\n" << usage();
+    return 2;
+  }
+  if (!args.ok()) {
+    for (const std::string& e : args.errors()) err << "error: " << e << '\n';
+    return 2;
+  }
+  for (const std::string& name : args.unusedOptions()) {
+    err << "warning: unused option --" << name << '\n';
+  }
+  return code;
+}
+
+}  // namespace dima::cli

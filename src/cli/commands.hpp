@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file commands.hpp
+/// Subcommand implementations for the `dimacol` command-line tool. Each
+/// command takes parsed arguments and an output stream and returns a
+/// process exit code, which keeps them directly unit-testable.
+///
+/// Subcommands:
+///   gen       generate a workload graph and print/save its edge list
+///   color     distributed/sequential edge coloring (madec | greedy |
+///             misra-gries | pal) with validation and cost report
+///   strong    strong distance-2 arc coloring (dima2ed strict/paper,
+///             greedy) on the symmetric digraph
+///   matching  maximal matching via the discovery automaton
+///   cover     2-approximate vertex cover via the automaton
+///   mis       maximal independent set (Luby) on the same substrate
+///   vcolor    distributed (Δ+1) vertex coloring
+///   figure    regenerate a paper figure (3..6)
+///   validate  check a coloring file against a graph
+///   help      usage
+
+#include <iosfwd>
+#include <string>
+
+#include "src/cli/args.hpp"
+
+namespace dima::cli {
+
+/// Entry point used by tools/dimacol.cpp; dispatches on positional 0.
+int runCommand(Args& args, std::ostream& out, std::ostream& err);
+
+/// Usage text.
+std::string usage();
+
+}  // namespace dima::cli

@@ -1,0 +1,15 @@
+#pragma once
+
+/// \file color.hpp
+/// Color indices. The paper's palette is conceptually unbounded ("the lowest
+/// indexed color available"); colors are small dense integers allocated on
+/// demand, `kNoColor` marks an uncolored edge/arc.
+
+#include <cstdint>
+
+namespace dima::coloring {
+
+using Color = std::int32_t;
+inline constexpr Color kNoColor = -1;
+
+}  // namespace dima::coloring

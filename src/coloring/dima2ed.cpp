@@ -1,0 +1,457 @@
+#include "src/coloring/dima2ed.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "src/automata/phase.hpp"
+#include "src/net/network.hpp"
+#include "src/support/bitset.hpp"
+#include "src/support/rng.hpp"
+#include "src/support/small_vector.hpp"
+
+namespace dima::coloring {
+
+namespace {
+
+using automata::Phase;
+using graph::ArcId;
+using graph::kNoArc;
+using graph::kNoVertex;
+using net::NodeId;
+using support::DynamicBitset;
+
+struct D2Message {
+  enum class Kind : std::uint8_t {
+    Invite,         ///< target = invitee, color = proposal
+    Response,       ///< target = inviter, color = accepted proposal
+    Tentative,      ///< strict: arc + color pending commit
+    Abort,          ///< strict: arc rolled back
+    ColorAnnounce,  ///< E: color committed this round
+  };
+  Kind kind = Kind::Invite;
+  NodeId target = kNoVertex;
+  Color color = kNoColor;
+  ArcId arc = kNoArc;
+
+  /// CONGEST wire size: 3-bit kind + id + color + arc id.
+  std::uint64_t wireBits() const {
+    return 3 + (target == kNoVertex ? 1 : net::bitWidth(target)) +
+           (color < 0 ? 1
+                      : net::bitWidth(static_cast<std::uint64_t>(color))) +
+           (arc == kNoArc ? 1 : net::bitWidth(arc));
+  }
+};
+
+class Dima2EdProtocol {
+ public:
+  using Message = D2Message;
+
+  Dima2EdProtocol(const graph::Digraph& d, const Dima2EdOptions& options)
+      : d_(&d),
+        g_(&d.underlying()),
+        options_(options),
+        arcColor_(d.numArcs(), kNoColor),
+        commitCount_(d.numArcs(), 0) {
+    const support::SeedSequence seq(options.seed);
+    nodes_.resize(d.numVertices());
+    for (NodeId u = 0; u < d.numVertices(); ++u) {
+      NodeState& s = nodes_[u];
+      s.rng = seq.stream(u);
+      const auto deg = static_cast<std::uint32_t>(g_->degree(u));
+      s.outUncolored.reserve(deg);
+      for (std::uint32_t i = 0; i < deg; ++i) s.outUncolored.push_back(i);
+      s.inColored.assign(deg, false);
+      s.inUncoloredCount = deg;
+      s.failures.assign(deg, 0);
+      s.done = deg == 0;
+    }
+  }
+
+  int subRounds() const {
+    return options_.mode == Dima2EdMode::Strict ? 5 : 3;
+  }
+
+  void beginCycle(NodeId u) {
+    NodeState& s = nodes_[u];
+    s.mine.clear();
+    s.overheard.clear();
+    s.invitee = kNoVertex;
+    s.inviteIdx = 0;
+    s.proposed = kNoColor;
+    s.tentArc = kNoArc;
+    s.tentColor = kNoColor;
+    s.tentIdx = 0;
+    s.tentIsOut = false;
+    s.abortMine = false;
+    s.pendingAnnounce = kNoColor;
+    if (s.done) {
+      s.role = Phase::Done;
+      return;
+    }
+    // Role choice: a node whose remaining work is one-sided plays the only
+    // useful role; otherwise the paper's fair coin. (A node with only
+    // uncolored out-arcs is never deadlocked against a peer in the same
+    // situation: an uncolored out-arc u→v implies v still has the uncolored
+    // in-arc u→v, so v keeps listening with positive probability.)
+    const bool hasOut = !s.outUncolored.empty();
+    const bool hasIn = s.inUncoloredCount > 0;
+    DIMA_ASSERT(hasOut || hasIn, "active node with no uncolored arcs");
+    if (!hasOut) {
+      s.role = Phase::Listen;
+    } else if (!hasIn) {
+      s.role = Phase::Invite;
+    } else {
+      s.role = s.rng.bernoulli(options_.invitorBias) ? Phase::Invite
+                                                     : Phase::Listen;
+    }
+    trace(u, net::TraceKind::StateChoice, s.role == Phase::Invite ? 1 : 0);
+  }
+
+  void send(NodeId u, int sub, net::SyncNetwork<Message>& net) {
+    NodeState& s = nodes_[u];
+    const bool strict = options_.mode == Dima2EdMode::Strict;
+    switch (sub) {
+      case 0: {  // I: Procedure 2-a, ChooseRoundPartner.
+        if (s.role != Phase::Invite) return;
+        DIMA_ASSERT(!s.outUncolored.empty(), "invitor without uncolored arc");
+        s.inviteIdx = s.outUncolored[s.rng.index(s.outUncolored.size())];
+        s.invitee = g_->incidences(u)[s.inviteIdx].neighbor;
+        s.proposed = chooseColor(s, s.inviteIdx);
+        net.broadcast(u, Message{Message::Kind::Invite, s.invitee, s.proposed,
+                                 kNoArc});
+        trace(u, net::TraceKind::InviteSent, s.invitee, s.proposed);
+        break;
+      }
+      case 1: {  // R: Procedure 2-b, EvaluateInvites.
+        if (s.role != Phase::Listen || s.mine.empty()) return;
+        // Valid = usable here, not overheard in someone else's proposal.
+        support::SmallVector<std::size_t, 4> valid;
+        for (std::size_t i = 0; i < s.mine.size(); ++i) {
+          const Color c = s.mine[i].color;
+          if (!s.overheard.test(static_cast<std::size_t>(c)) &&
+              !s.forbidden.test(static_cast<std::size_t>(c))) {
+            valid.push_back(i);
+          }
+        }
+        if (valid.empty()) return;
+        const auto& kept = s.mine[valid[s.rng.index(valid.size())]];
+        net.broadcast(u, Message{Message::Kind::Response, kept.from,
+                                 kept.color, kNoArc});
+        trace(u, net::TraceKind::ResponseSent, kept.from, kept.color);
+        // The colored arc is the inviter's outgoing arc kept.from → u.
+        const ArcId arc = d_->findArc(kept.from, u);
+        DIMA_ASSERT(arc != kNoArc, "response without an arc");
+        if (strict) {
+          s.tentArc = arc;
+          s.tentColor = kept.color;
+          s.tentIdx = kept.idx;
+          s.tentIsOut = false;
+        } else {
+          commitIncoming(u, kept.idx, arc, kept.color);
+        }
+        break;
+      }
+      case 2: {
+        if (strict) {  // strict: announce the tentative pair.
+          if (s.tentArc != kNoArc) {
+            net.broadcast(u, Message{Message::Kind::Tentative, kNoVertex,
+                                     s.tentColor, s.tentArc});
+          }
+        } else {  // paper: E-state color exchange.
+          sendAnnounce(u, net);
+        }
+        break;
+      }
+      case 3: {  // strict: abort notices.
+        if (s.tentArc != kNoArc && s.abortMine) {
+          net.broadcast(u, Message{Message::Kind::Abort, kNoVertex, kNoColor,
+                                   s.tentArc});
+        }
+        break;
+      }
+      case 4: {  // strict: E-state color exchange.
+        sendAnnounce(u, net);
+        break;
+      }
+      default:
+        DIMA_ASSERT(false, "unexpected sub-round " << sub);
+    }
+  }
+
+  void receive(NodeId u, int sub,
+               std::span<const net::Envelope<Message>> inbox) {
+    NodeState& s = nodes_[u];
+    const bool strict = options_.mode == Dima2EdMode::Strict;
+    switch (sub) {
+      case 0: {  // L: collect own invites ("group a") and overheard colors
+                 // ("group b", Procedure 2-b line 8).
+        if (s.role != Phase::Listen) {
+          return;  // paper: invitors are in W and do not listen here
+        }
+        for (const auto& env : inbox) {
+          if (env.msg.kind != Message::Kind::Invite) continue;
+          if (env.msg.target == u) {
+            // Reject proposals for arcs already colored on this side (only
+            // reachable under fault injection) and remember the rest.
+            const std::uint32_t idx = incidenceIndexOf(u, env.from);
+            const ArcId arc = d_->findArc(env.from, u);
+            if (!s.inColored[idx] && arcColor_[arc] == kNoColor) {
+              s.mine.push_back(KeptInvite{env.from, env.msg.color, idx});
+              trace(u, net::TraceKind::InviteKept, env.from, env.msg.color);
+            }
+          } else {
+            s.overheard.set(static_cast<std::size_t>(env.msg.color));
+          }
+        }
+        break;
+      }
+      case 1: {  // W: find the echo of my invitation.
+        if (s.role != Phase::Invite || s.invitee == kNoVertex) return;
+        for (const auto& env : inbox) {
+          if (env.msg.kind == Message::Kind::Response &&
+              env.msg.target == u && env.from == s.invitee) {
+            DIMA_ASSERT(env.msg.color == s.proposed,
+                        "echoed color mismatches proposal");
+            const ArcId arc = d_->findArc(u, s.invitee);
+            DIMA_ASSERT(arc != kNoArc, "response without an arc");
+            if (strict) {
+              s.tentArc = arc;
+              s.tentColor = s.proposed;
+              s.tentIdx = s.inviteIdx;
+              s.tentIsOut = true;
+            } else {
+              commitOutgoing(u, s.inviteIdx, arc, s.proposed);
+            }
+            return;
+          }
+        }
+        // No echo: the invitation failed; widen this arc's color window.
+        ++s.failures[s.inviteIdx];
+        break;
+      }
+      case 2: {
+        if (strict) {  // conflict scan among same-round tentatives.
+          if (s.tentArc == kNoArc) return;
+          for (const auto& env : inbox) {
+            if (env.msg.kind != Message::Kind::Tentative) continue;
+            if (env.msg.arc == s.tentArc) continue;  // partner's echo
+            // The sender is a neighbor and an endpoint of its arc, this
+            // node is an endpoint of its own arc — adjacency makes any
+            // equal-colored pair a strong conflict. Lower arc id wins.
+            if (env.msg.color == s.tentColor && env.msg.arc < s.tentArc) {
+              s.abortMine = true;
+            }
+          }
+        } else {  // paper: fold announcements into the forbidden set.
+          receiveAnnounce(s, inbox);
+        }
+        break;
+      }
+      case 3: {  // strict: resolve aborts, then commit survivors.
+        if (s.tentArc == kNoArc) return;
+        if (!s.abortMine) {
+          for (const auto& env : inbox) {
+            if (env.msg.kind == Message::Kind::Abort &&
+                env.msg.arc == s.tentArc) {
+              s.abortMine = true;
+              break;
+            }
+          }
+        }
+        if (s.abortMine) {
+          trace(u, net::TraceKind::Aborted, s.tentArc, s.tentColor);
+          if (s.tentIsOut) ++s.failures[s.tentIdx];
+        } else if (s.tentIsOut) {
+          commitOutgoing(u, s.tentIdx, s.tentArc, s.tentColor);
+        } else {
+          commitIncoming(u, s.tentIdx, s.tentArc, s.tentColor);
+        }
+        break;
+      }
+      case 4: {  // strict: E-state update.
+        receiveAnnounce(s, inbox);
+        break;
+      }
+      default:
+        DIMA_ASSERT(false, "unexpected sub-round " << sub);
+    }
+  }
+
+  void endCycle(NodeId u) {
+    NodeState& s = nodes_[u];
+    if (!s.done && s.outUncolored.empty() && s.inUncoloredCount == 0) {
+      s.done = true;
+      trace(u, net::TraceKind::NodeDone);
+    }
+  }
+
+  bool done(NodeId u) const { return nodes_[u].done; }
+
+  std::vector<Color> takeColors() { return std::move(arcColor_); }
+
+  /// Arcs only one endpoint committed (possible only under message loss).
+  std::vector<ArcId> halfCommittedArcs() const {
+    std::vector<ArcId> out;
+    for (ArcId a = 0; a < commitCount_.size(); ++a) {
+      if (commitCount_[a] == 1) out.push_back(a);
+    }
+    return out;
+  }
+
+  void tickCycle() { ++cycle_; }
+
+ private:
+  struct KeptInvite {
+    NodeId from = kNoVertex;
+    Color color = kNoColor;
+    std::uint32_t idx = 0;  ///< incidence index of `from` at this node
+  };
+
+  struct NodeState {
+    support::Rng rng{0};
+    Phase role = Phase::Choose;
+    bool done = false;
+    /// Incidence indices whose outgoing arc is uncolored.
+    support::SmallVector<std::uint32_t, 8> outUncolored;
+    std::vector<bool> inColored;  ///< per incidence index
+    std::size_t inUncoloredCount = 0;
+    /// Colors on arcs incident to me or to a neighbor (one-hop knowledge).
+    DynamicBitset forbidden;
+    /// Failed invitations per out-arc; widens the color window.
+    std::vector<std::uint32_t> failures;
+    // Per-round scratch:
+    support::SmallVector<KeptInvite, 4> mine;
+    DynamicBitset overheard;
+    NodeId invitee = kNoVertex;
+    std::uint32_t inviteIdx = 0;
+    Color proposed = kNoColor;
+    ArcId tentArc = kNoArc;
+    Color tentColor = kNoColor;
+    std::uint32_t tentIdx = 0;
+    bool tentIsOut = false;
+    bool abortMine = false;
+    Color pendingAnnounce = kNoColor;
+  };
+
+  Color chooseColor(NodeState& s, std::uint32_t idx) {
+    if (options_.policy == ColorPolicy::LowestIndex) {
+      return static_cast<Color>(s.forbidden.firstClear());
+    }
+    // ExpandingWindow: uniform among the first (1 + failures) free colors.
+    const std::size_t window = 1 + s.failures[idx];
+    support::SmallVector<std::size_t, 16> candidates;
+    std::size_t c = s.forbidden.firstClear();
+    while (candidates.size() < window) {
+      candidates.push_back(c);
+      // Next free color after c.
+      ++c;
+      while (s.forbidden.test(c)) ++c;
+    }
+    return static_cast<Color>(candidates[s.rng.index(candidates.size())]);
+  }
+
+  std::uint32_t incidenceIndexOf(NodeId u, NodeId neighbor) const {
+    const auto inc = g_->incidences(u);
+    for (std::uint32_t i = 0; i < inc.size(); ++i) {
+      if (inc[i].neighbor == neighbor) return i;
+    }
+    DIMA_REQUIRE(false, "node " << neighbor << " is not adjacent to " << u);
+    return 0;  // unreachable
+  }
+
+  void commitIncoming(NodeId u, std::uint32_t idx, ArcId arc, Color color) {
+    NodeState& s = nodes_[u];
+    DIMA_ASSERT(!s.inColored[idx], "incoming arc recolored at node " << u);
+    writeArc(arc, color);
+    s.inColored[idx] = true;
+    DIMA_ASSERT(s.inUncoloredCount > 0, "in-arc underflow at node " << u);
+    --s.inUncoloredCount;
+    s.forbidden.set(static_cast<std::size_t>(color));
+    s.pendingAnnounce = color;
+    trace(u, net::TraceKind::EdgeColored, static_cast<std::int64_t>(arc),
+          color);
+  }
+
+  void commitOutgoing(NodeId u, std::uint32_t idx, ArcId arc, Color color) {
+    NodeState& s = nodes_[u];
+    for (std::size_t k = 0; k < s.outUncolored.size(); ++k) {
+      if (s.outUncolored[k] == idx) {
+        writeArc(arc, color);
+        s.outUncolored.eraseAtUnordered(k);
+        s.forbidden.set(static_cast<std::size_t>(color));
+        s.pendingAnnounce = color;
+        trace(u, net::TraceKind::EdgeColored, static_cast<std::int64_t>(arc),
+              color);
+        return;
+      }
+    }
+    DIMA_ASSERT(false, "outgoing arc " << arc << " not uncolored at " << u);
+  }
+
+  void writeArc(ArcId arc, Color color) {
+    DIMA_ASSERT(arcColor_[arc] == kNoColor || arcColor_[arc] == color,
+                "arc " << arc << " recolored");
+    arcColor_[arc] = color;
+    ++commitCount_[arc];
+  }
+
+  void sendAnnounce(NodeId u, net::SyncNetwork<Message>& net) {
+    NodeState& s = nodes_[u];
+    if (s.pendingAnnounce == kNoColor) return;
+    net.broadcast(u, Message{Message::Kind::ColorAnnounce, kNoVertex,
+                             s.pendingAnnounce, kNoArc});
+  }
+
+  void receiveAnnounce(NodeState& s,
+                       std::span<const net::Envelope<Message>> inbox) {
+    for (const auto& env : inbox) {
+      if (env.msg.kind == Message::Kind::ColorAnnounce) {
+        s.forbidden.set(static_cast<std::size_t>(env.msg.color));
+      }
+    }
+  }
+
+  void trace(NodeId u, net::TraceKind kind, std::int64_t a = -1,
+             std::int64_t b = -1) {
+    if (options_.trace != nullptr) {
+      options_.trace->record(cycle_, u, kind, a, b);
+    }
+  }
+
+  const graph::Digraph* d_;
+  const graph::Graph* g_;
+  Dima2EdOptions options_;
+  std::vector<NodeState> nodes_;
+  std::vector<Color> arcColor_;
+  std::vector<std::uint8_t> commitCount_;
+  std::uint64_t cycle_ = 0;
+};
+
+}  // namespace
+
+ArcColoringResult colorArcsDima2Ed(const graph::Digraph& d,
+                                   const Dima2EdOptions& options) {
+  DIMA_REQUIRE(options.invitorBias > 0.0 && options.invitorBias < 1.0,
+               "invitor bias must be in (0,1)");
+  Dima2EdProtocol proto(d, options);
+  net::SyncNetwork<D2Message> net(d.underlying(), options.faults);
+  net::EngineOptions engineOptions;
+  engineOptions.maxCycles = options.maxCycles;
+  engineOptions.pool = options.pool;
+  engineOptions.observer = [&](const net::CycleInfo&) { proto.tickCycle(); };
+  const net::EngineResult run = runSyncProtocol(proto, net, engineOptions);
+
+  ArcColoringResult result;
+  result.halfCommitted = proto.halfCommittedArcs();
+  result.colors = proto.takeColors();
+  result.metrics.computationRounds = run.cycles;
+  result.metrics.commRounds = run.counters.commRounds;
+  result.metrics.broadcasts = run.counters.broadcasts;
+  result.metrics.messagesDelivered = run.counters.messagesDelivered;
+  result.metrics.bitsDelivered = run.counters.bitsDelivered;
+  result.metrics.maxMessageBits = run.counters.maxMessageBits;
+  result.metrics.converged = run.converged;
+  return result;
+}
+
+}  // namespace dima::coloring

@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file dima2ed.hpp
+/// Algorithm 2 of the paper: **Di**stributed **Ma**tching-based distance-**2**
+/// **Ed**ge coloring of a symmetric digraph (DiMa2Ed) — the channel-assignment
+/// primitive for ad-hoc wireless networks.
+///
+/// Round structure (paper §III-A): like Algorithm 1, but one invitation
+/// colors one *directed arc* (inviter → responder); the responder colors it
+/// as its incoming edge (state U_i), the inviter as its outgoing edge (U_o).
+/// Every node keeps a *forbidden* color set = colors used on arcs incident
+/// to itself or to any neighbor (maintained by the E-state exchange, which
+/// is exactly the one-hop information a strong coloring needs for arcs
+/// committed in earlier rounds). The responder additionally rejects any
+/// proposal whose color appears in an *overheard* invitation not addressed
+/// to it — the paper's Procedure 2-b "group b" collision check.
+///
+/// ## Two modes (DESIGN.md §2)
+///
+/// * `Mode::Paper` — faithful to the pseudo-code. The group-b check catches
+///   same-round conflicts where the responder of one pair neighbors the
+///   inviter of the other, but NOT inviter–inviter or responder–responder
+///   adjacencies; those can commit one color on two conflicting arcs in the
+///   same round. The run result exposes the residual conflicts (measured by
+///   the independent validator) rather than hiding them.
+///
+/// * `Mode::Strict` (default) — appends a tentative/abort handshake that
+///   closes every same-round case. After the W/R steps both endpoints of a
+///   tentatively colored arc broadcast ⟨arc, color⟩; a tentative endpoint
+///   that overhears an equal-colored tentative for a *different* arc from
+///   any neighbor aborts when the other arc has the smaller id, and a final
+///   abort notice keeps both endpoints consistent.
+///
+///   Why this is sufficient: two same-round tentatives e1 ≠ e2 with equal
+///   color conflict iff some endpoint a of e1 is equal or adjacent to some
+///   endpoint b of e2. Equality is impossible (a node plays one role and
+///   tentatively colors at most one arc per round), so a and b are
+///   neighbors: a hears b's tentative and vice versa, and both order the
+///   pair by arc id. Hence in any conflicting pair the larger-id arc is
+///   aborted by the endpoint that heard the smaller — so if two commits
+///   survived a round and conflicted, the larger would have aborted:
+///   contradiction. The endpoint that did not hear the conflict learns of
+///   the abort from its partner's notice (partners are adjacent).
+///
+/// ## Color-choice policy (documented deviation)
+///
+/// Procedure 2-a says only "choose an open channel φ for v". The literal
+/// lowest-free-index rule can livelock: a color free at the inviter may be
+/// permanently forbidden at the responder by a two-hop arc the inviter can
+/// never observe, and a deterministic inviter then proposes it forever. The
+/// default `ColorPolicy::ExpandingWindow` picks uniformly among the first
+/// `1 + failures(arc)` free colors, which starts at lowest-index quality and
+/// widens on every failed invitation, giving almost-sure progress.
+/// `ColorPolicy::LowestIndex` is kept for the ablation bench, which
+/// demonstrates the livelock (bounded by maxCycles).
+
+#include <cstdint>
+
+#include "src/coloring/result.hpp"
+#include "src/graph/digraph.hpp"
+#include "src/net/engine.hpp"
+#include "src/net/trace.hpp"
+#include "src/support/thread_pool.hpp"
+
+namespace dima::coloring {
+
+enum class Dima2EdMode : std::uint8_t {
+  Paper,   ///< pseudo-code-faithful; same-round conflict holes measurable
+  Strict,  ///< + tentative/abort handshake; validated conflict-free
+};
+
+enum class ColorPolicy : std::uint8_t {
+  ExpandingWindow,  ///< random among first (1 + failures) free colors
+  LowestIndex,      ///< always the lowest free color (can livelock)
+};
+
+struct Dima2EdOptions {
+  std::uint64_t seed = 0xd12a2edULL;
+  Dima2EdMode mode = Dima2EdMode::Strict;
+  ColorPolicy policy = ColorPolicy::ExpandingWindow;
+  /// Invitor-coin probability when both arc directions still need work.
+  double invitorBias = 0.5;
+  net::FaultModel faults;
+  std::uint64_t maxCycles = 1u << 20;
+  support::ThreadPool* pool = nullptr;
+  net::TraceLog* trace = nullptr;
+};
+
+/// Runs DiMa2Ed on `d` until every arc is colored (or maxCycles fires).
+ArcColoringResult colorArcsDima2Ed(const graph::Digraph& d,
+                                   const Dima2EdOptions& options = {});
+
+}  // namespace dima::coloring

@@ -1,0 +1,317 @@
+#include "src/coloring/madec.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "src/automata/phase.hpp"
+#include "src/net/async_beta.hpp"
+#include "src/net/network.hpp"
+#include "src/support/bitset.hpp"
+#include "src/support/rng.hpp"
+#include "src/support/small_vector.hpp"
+
+namespace dima::coloring {
+
+namespace {
+
+using automata::Phase;
+using graph::kNoVertex;
+using net::NodeId;
+using support::DynamicBitset;
+
+/// Wire format: invitations and responses carry the target node and the
+/// proposed color; exchange announcements carry the freshly used color.
+struct MadecMessage {
+  enum class Kind : std::uint8_t { Invite, Response, ColorAnnounce };
+  Kind kind = Kind::Invite;
+  NodeId target = kNoVertex;
+  Color color = kNoColor;
+
+  /// CONGEST wire size: 2-bit kind + id + color (self-delimiting widths).
+  std::uint64_t wireBits() const {
+    return 2 + (target == kNoVertex ? 1 : net::bitWidth(target)) +
+           (color < 0 ? 1 : net::bitWidth(static_cast<std::uint64_t>(color)));
+  }
+};
+
+/// Algorithm 1 as an engine protocol (see madec.hpp for the round story).
+class MadecProtocol {
+ public:
+  using Message = MadecMessage;
+
+  MadecProtocol(const graph::Graph& g, const MadecOptions& options)
+      : g_(&g),
+        options_(options),
+        edgeColor_(g.numEdges(), kNoColor),
+        commitCount_(g.numEdges(), 0) {
+    const support::SeedSequence seq(options.seed);
+    nodes_.resize(g.numVertices());
+    for (NodeId u = 0; u < g.numVertices(); ++u) {
+      NodeState& s = nodes_[u];
+      s.rng = seq.stream(u);
+      const auto deg = g.degree(u);
+      s.uncolored.reserve(deg);
+      for (std::uint32_t i = 0; i < deg; ++i) {
+        s.uncolored.push_back(i);
+      }
+      s.neighborUsed.resize(deg);
+      s.done = deg == 0;  // isolated vertices have nothing to color
+    }
+  }
+
+  int subRounds() const { return 3; }
+
+  void beginCycle(NodeId u) {
+    NodeState& s = nodes_[u];
+    s.keptInvites.clear();
+    s.invitee = kNoVertex;
+    s.inviteIdx = 0;
+    s.proposed = kNoColor;
+    s.newColor = kNoColor;
+    if (s.done) {
+      s.role = Phase::Done;
+      return;
+    }
+    s.role = s.rng.bernoulli(options_.invitorBias) ? Phase::Invite
+                                                   : Phase::Listen;
+    trace(u, net::TraceKind::StateChoice,
+          s.role == Phase::Invite ? 1 : 0);
+  }
+
+  void send(NodeId u, int sub, net::SyncNetwork<Message>& net) {
+    NodeState& s = nodes_[u];
+    switch (sub) {
+      case 0: {  // I: invite over a random uncolored edge, lowest free color.
+        if (s.role != Phase::Invite) return;
+        DIMA_ASSERT(!s.uncolored.empty(), "active node with no uncolored edge");
+        s.inviteIdx = s.uncolored[s.rng.index(s.uncolored.size())];
+        const graph::Incidence inc = g_->incidences(u)[s.inviteIdx];
+        s.invitee = inc.neighbor;
+        // Lowest color outside used(u) ∪ used(v) — Algorithm 1 line 11.
+        s.proposed = static_cast<Color>(
+            s.ownUsed.firstClearAlsoClearIn(s.neighborUsed[s.inviteIdx]));
+        net.broadcast(u, Message{Message::Kind::Invite, s.invitee,
+                                 s.proposed});
+        trace(u, net::TraceKind::InviteSent, s.invitee, s.proposed);
+        break;
+      }
+      case 1: {  // R: accept one kept invitation at random.
+        if (s.role != Phase::Listen || s.keptInvites.empty()) return;
+        const auto& [from, color] =
+            s.keptInvites[s.rng.index(s.keptInvites.size())];
+        net.broadcast(u, Message{Message::Kind::Response, from, color});
+        trace(u, net::TraceKind::ResponseSent, from, color);
+        colorEdgeAt(u, from, color);
+        break;
+      }
+      case 2: {  // E: announce the color used this round, if any.
+        if (s.newColor == kNoColor) return;
+        net.broadcast(u, Message{Message::Kind::ColorAnnounce, kNoVertex,
+                                 s.newColor});
+        break;
+      }
+      default:
+        DIMA_ASSERT(false, "unexpected sub-round " << sub);
+    }
+  }
+
+  void receive(NodeId u, int sub,
+               std::span<const net::Envelope<Message>> inbox) {
+    NodeState& s = nodes_[u];
+    switch (sub) {
+      case 0: {  // L: keep invitations addressed to me.
+        if (s.role != Phase::Listen) return;
+        for (const auto& env : inbox) {
+          if (env.msg.kind == Message::Kind::Invite && env.msg.target == u) {
+            // With reliable channels the proposal is fresh by construction
+            // (the invitor knows used(u) exactly). Under fault injection an
+            // announcement or response may have been lost, so the edge may
+            // already be colored on this side, or the proposed color may
+            // already be in use here; both checks read only state this node
+            // set itself, and both are vacuous in the fault-free model.
+            const graph::EdgeId e = g_->findEdge(u, env.from);
+            if (e != graph::kNoEdge && edgeColor_[e] == kNoColor &&
+                !s.ownUsed.test(static_cast<std::size_t>(env.msg.color))) {
+              s.keptInvites.push_back({env.from, env.msg.color});
+              trace(u, net::TraceKind::InviteKept, env.from, env.msg.color);
+            }
+          }
+        }
+        break;
+      }
+      case 1: {  // W: my invitation echoed back — the pair formed.
+        if (s.role != Phase::Invite || s.invitee == kNoVertex) return;
+        for (const auto& env : inbox) {
+          if (env.msg.kind == Message::Kind::Response &&
+              env.msg.target == u && env.from == s.invitee) {
+            DIMA_ASSERT(env.msg.color == s.proposed,
+                        "response color " << env.msg.color
+                                          << " != proposal " << s.proposed);
+            colorEdgeAt(u, s.invitee, env.msg.color);
+            break;
+          }
+        }
+        break;
+      }
+      case 2: {  // E: fold neighbors' announcements into their used lists.
+        const auto inc = g_->incidences(u);
+        for (const auto& env : inbox) {
+          if (env.msg.kind != Message::Kind::ColorAnnounce) continue;
+          for (std::size_t i = 0; i < inc.size(); ++i) {
+            if (inc[i].neighbor == env.from) {
+              s.neighborUsed[i].set(static_cast<std::size_t>(env.msg.color));
+              break;
+            }
+          }
+        }
+        break;
+      }
+      default:
+        DIMA_ASSERT(false, "unexpected sub-round " << sub);
+    }
+  }
+
+  void endCycle(NodeId u) {
+    NodeState& s = nodes_[u];
+    if (!s.done && s.uncolored.empty()) {
+      s.done = true;
+      trace(u, net::TraceKind::NodeDone);
+    }
+  }
+
+  bool done(NodeId u) const { return nodes_[u].done; }
+
+  std::vector<Color> takeColors() { return std::move(edgeColor_); }
+
+  /// Edges only one endpoint committed (possible only under message loss).
+  std::vector<graph::EdgeId> halfCommittedEdges() const {
+    std::vector<graph::EdgeId> out;
+    for (graph::EdgeId e = 0; e < commitCount_.size(); ++e) {
+      if (commitCount_[e] == 1) out.push_back(e);
+    }
+    return out;
+  }
+
+ private:
+  struct NodeState {
+    support::Rng rng{0};
+    Phase role = Phase::Choose;
+    bool done = false;
+    /// Incidence indices (into incidences(u)) of uncolored edges.
+    support::SmallVector<std::uint32_t, 8> uncolored;
+    DynamicBitset ownUsed;                   ///< colors on my edges
+    std::vector<DynamicBitset> neighborUsed; ///< per incidence index
+    // Per-round scratch:
+    support::SmallVector<std::pair<NodeId, Color>, 4> keptInvites;
+    NodeId invitee = kNoVertex;
+    std::uint32_t inviteIdx = 0;
+    Color proposed = kNoColor;
+    Color newColor = kNoColor;  ///< color adopted this round (to announce)
+  };
+
+  /// Colors the edge {u, partner} from u's perspective: writes the shared
+  /// output slot, retires the incidence, and schedules the announcement.
+  void colorEdgeAt(NodeId u, NodeId partner, Color color) {
+    NodeState& s = nodes_[u];
+    const auto inc = g_->incidences(u);
+    for (std::size_t k = 0; k < s.uncolored.size(); ++k) {
+      const std::uint32_t idx = s.uncolored[k];
+      if (inc[idx].neighbor == partner) {
+        const graph::EdgeId e = inc[idx].edge;
+        DIMA_ASSERT(edgeColor_[e] == kNoColor || edgeColor_[e] == color,
+                    "edge " << e << " recolored " << edgeColor_[e] << "→"
+                            << color);
+        edgeColor_[e] = color;
+        ++commitCount_[e];
+        DIMA_ASSERT(!s.ownUsed.test(static_cast<std::size_t>(color)),
+                    "node " << u << " reused color " << color);
+        s.ownUsed.set(static_cast<std::size_t>(color));
+        s.newColor = color;
+        s.uncolored.eraseAtUnordered(k);
+        trace(u, net::TraceKind::EdgeColored, partner, color);
+        return;
+      }
+    }
+    DIMA_ASSERT(false, "node " << u << " has no uncolored edge to "
+                               << partner);
+  }
+
+  void trace(NodeId u, net::TraceKind kind, std::int64_t a = -1,
+             std::int64_t b = -1) {
+    if (options_.trace != nullptr) {
+      options_.trace->record(cycle_, u, kind, a, b);
+    }
+  }
+
+ public:
+  /// Advances the trace clock; wired to the engine observer.
+  void tickCycle() { ++cycle_; }
+
+ private:
+  const graph::Graph* g_;
+  MadecOptions options_;
+  std::vector<NodeState> nodes_;
+  std::vector<Color> edgeColor_;
+  std::vector<std::uint8_t> commitCount_;
+  std::uint64_t cycle_ = 0;
+};
+
+}  // namespace
+
+EdgeColoringResult colorEdgesMadecAsync(const graph::Graph& g,
+                                        const MadecOptions& options,
+                                        const net::DelayModel& delays,
+                                        net::AsyncRunResult* asyncStats,
+                                        Synchronizer synchronizer) {
+  DIMA_REQUIRE(options.invitorBias > 0.0 && options.invitorBias < 1.0,
+               "invitor bias must be in (0,1)");
+  DIMA_REQUIRE(!options.faults.perturbs(),
+               "the synchronizer assumes reliable links (acks would "
+               "otherwise deadlock)");
+  MadecProtocol proto(g, options);
+  net::AsyncRunResult run;
+  if (synchronizer == Synchronizer::Alpha) {
+    run = net::runAlphaSynchronized(proto, g, delays, options.maxCycles);
+  } else {
+    const net::SpanningTree tree = net::buildSpanningTreeFlood(g, 0);
+    run = net::runBetaSynchronized(proto, g, tree, delays, options.maxCycles);
+  }
+  if (asyncStats != nullptr) *asyncStats = run;
+
+  EdgeColoringResult result;
+  result.halfCommitted = proto.halfCommittedEdges();
+  result.colors = proto.takeColors();
+  result.metrics.computationRounds = run.cycles;
+  result.metrics.commRounds = run.pulses;
+  result.metrics.broadcasts = run.payloadMessages;  // point-to-point now
+  result.metrics.messagesDelivered = run.totalMessages();
+  result.metrics.converged = run.converged;
+  return result;
+}
+
+EdgeColoringResult colorEdgesMadec(const graph::Graph& g,
+                                   const MadecOptions& options) {
+  DIMA_REQUIRE(options.invitorBias > 0.0 && options.invitorBias < 1.0,
+               "invitor bias must be in (0,1)");
+  MadecProtocol proto(g, options);
+  net::SyncNetwork<MadecMessage> net(g, options.faults);
+  net::EngineOptions engineOptions;
+  engineOptions.maxCycles = options.maxCycles;
+  engineOptions.pool = options.pool;
+  engineOptions.observer = [&](const net::CycleInfo&) { proto.tickCycle(); };
+  const net::EngineResult run = runSyncProtocol(proto, net, engineOptions);
+
+  EdgeColoringResult result;
+  result.halfCommitted = proto.halfCommittedEdges();
+  result.colors = proto.takeColors();
+  result.metrics.computationRounds = run.cycles;
+  result.metrics.commRounds = run.counters.commRounds;
+  result.metrics.broadcasts = run.counters.broadcasts;
+  result.metrics.messagesDelivered = run.counters.messagesDelivered;
+  result.metrics.bitsDelivered = run.counters.bitsDelivered;
+  result.metrics.maxMessageBits = run.counters.maxMessageBits;
+  result.metrics.converged = run.converged;
+  return result;
+}
+
+}  // namespace dima::coloring

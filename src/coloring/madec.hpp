@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file madec.hpp
+/// Algorithm 1 of the paper: **Ma**tching-based **D**istributed **E**dge
+/// **C**oloring of an undirected graph.
+///
+/// Per computation round (automaton cycle), each active node:
+///   C — tosses a fair coin: invitor (I) or listener (L);
+///   I — picks one of its *uncolored* edges e(u,v) uniformly at random and
+///       the lowest color outside used(u) ∪ used(v), and broadcasts the
+///       invitation ⟨u→v, c⟩ (line 1.11: `live_u \ used_v`, both known
+///       exactly because every new color is exchanged at round end);
+///   L — keeps invitations naming it;
+///   R — accepts one kept invitation uniformly at random, echoes it back,
+///       and colors the edge on its side;
+///   W — an invitor that hears its echo colors the edge on its side;
+///   U/E — nodes that used a new color broadcast it; everyone folds the
+///       announcements into per-neighbor used-color lists; nodes with no
+///       uncolored edges left enter D.
+///
+/// Guarantees (paper §II-B, re-derived in DESIGN.md):
+///  * any produced coloring is proper (validated independently after every
+///    run in tests and benches);
+///  * at most 2Δ−1 colors: when an edge {u,v} is colored, |used(u)| ≤ Δ−1
+///    and |used(v)| ≤ Δ−1 other colors, so the lowest free index is ≤ 2Δ−2;
+///  * O(Δ) computation rounds with high probability (an active node pairs
+///    with probability ≥ ~1/4 per round, Proposition 1).
+
+#include <cstdint>
+
+#include "src/coloring/result.hpp"
+#include "src/graph/graph.hpp"
+#include "src/net/async.hpp"
+#include "src/net/engine.hpp"
+#include "src/net/trace.hpp"
+#include "src/support/thread_pool.hpp"
+
+namespace dima::coloring {
+
+struct MadecOptions {
+  /// Master seed; per-node streams are derived from it (DESIGN.md §7).
+  std::uint64_t seed = 0x1edc01ULL;
+  /// Probability of choosing the invitor role in state C. The paper fixes
+  /// 1/2; exposed for the ablation bench (Proposition 1 predicts the round
+  /// constant degrades toward either extreme).
+  double invitorBias = 0.5;
+  /// Channel perturbations (all-reliable by default, the paper's model).
+  net::FaultModel faults;
+  /// Engine round cap; runs hitting it return converged = false.
+  std::uint64_t maxCycles = 1u << 20;
+  /// Optional parallel executor.
+  support::ThreadPool* pool = nullptr;
+  /// Optional event trace (serial executor only).
+  net::TraceLog* trace = nullptr;
+};
+
+/// Runs Algorithm 1 on `g` until every edge is colored (or the round cap
+/// fires, possible only under fault injection).
+EdgeColoringResult colorEdgesMadec(const graph::Graph& g,
+                                   const MadecOptions& options = {});
+
+/// Which synchronizer carries the protocol over the asynchronous network:
+/// α (per-neighbor safety, O(m) control messages per pulse, O(1) latency)
+/// or β (spanning-tree convergecast, O(n) messages, O(diameter) latency).
+/// β requires a connected graph.
+enum class Synchronizer : std::uint8_t { Alpha, Beta };
+
+/// Runs Algorithm 1 on an *asynchronous* network via a synchronizer
+/// (net/async.hpp, net/async_beta.hpp): the coloring is bit-identical to
+/// the synchronous run with the same options, and `*asyncStats` (optional)
+/// receives the true price of the paper's synchrony assumption —
+/// payload/ack/control message counts and the simulated completion time
+/// under random link delays. `options.pool` and `options.trace` are
+/// ignored (the synchronizers are event-driven and single-threaded).
+EdgeColoringResult colorEdgesMadecAsync(const graph::Graph& g,
+                                        const MadecOptions& options = {},
+                                        const net::DelayModel& delays = {},
+                                        net::AsyncRunResult* asyncStats =
+                                            nullptr,
+                                        Synchronizer synchronizer =
+                                            Synchronizer::Alpha);
+
+}  // namespace dima::coloring

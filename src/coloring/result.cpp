@@ -1,0 +1,35 @@
+#include "src/coloring/result.hpp"
+
+#include <algorithm>
+
+#include "src/support/bitset.hpp"
+
+namespace dima::coloring {
+
+PaletteSummary summarizePalette(const std::vector<Color>& colors) {
+  PaletteSummary s;
+  support::DynamicBitset seen;
+  for (Color c : colors) {
+    if (c == kNoColor) {
+      ++s.uncolored;
+      continue;
+    }
+    ++s.assigned;
+    s.maxColor = std::max(s.maxColor, c);
+    seen.set(static_cast<std::size_t>(c));
+  }
+  s.distinct = seen.count();
+  return s;
+}
+
+bool EdgeColoringResult::complete() const {
+  return std::none_of(colors.begin(), colors.end(),
+                      [](Color c) { return c == kNoColor; });
+}
+
+bool ArcColoringResult::complete() const {
+  return std::none_of(colors.begin(), colors.end(),
+                      [](Color c) { return c == kNoColor; });
+}
+
+}  // namespace dima::coloring

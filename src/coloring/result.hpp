@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file result.hpp
+/// Run outputs shared by both coloring algorithms: the coloring itself plus
+/// the cost metrics the paper's evaluation reports (computation rounds —
+/// the x-axis driver of Figures 3–6 — and message traffic).
+
+#include <cstdint>
+#include <vector>
+
+#include "src/coloring/color.hpp"
+#include "src/graph/digraph.hpp"
+#include "src/net/message.hpp"
+
+namespace dima::coloring {
+
+/// Cost accounting of one distributed run.
+struct RunMetrics {
+  /// Computation rounds (full automaton cycles) until global termination.
+  std::uint64_t computationRounds = 0;
+  /// Communication rounds = cycles × sub-rounds per cycle.
+  std::uint64_t commRounds = 0;
+  std::uint64_t broadcasts = 0;
+  std::uint64_t messagesDelivered = 0;
+  /// CONGEST accounting (net::Counters): total payload bits delivered and
+  /// the largest single message — O(log n) for every protocol here.
+  std::uint64_t bitsDelivered = 0;
+  std::uint64_t maxMessageBits = 0;
+  /// False when the engine's round cap fired first (expected only under
+  /// fault injection or deliberately livelocking policies).
+  bool converged = false;
+};
+
+/// Distinct colors and completeness of a color assignment.
+struct PaletteSummary {
+  std::size_t assigned = 0;   ///< colored items
+  std::size_t uncolored = 0;  ///< items still kNoColor
+  std::size_t distinct = 0;   ///< distinct colors used
+  Color maxColor = kNoColor;  ///< highest index used
+};
+PaletteSummary summarizePalette(const std::vector<Color>& colors);
+
+/// Result of Algorithm 1 on an undirected graph: `colors[e]` is the color of
+/// edge id `e`.
+struct EdgeColoringResult {
+  std::vector<Color> colors;
+  RunMetrics metrics;
+  /// Edges whose color only one endpoint committed — possible only under
+  /// message loss, where a responder's acceptance never reached the invitor
+  /// (the two-generals limit). Always empty in the paper's reliable model;
+  /// fault tests mask these before judging the rest of the coloring.
+  std::vector<graph::EdgeId> halfCommitted;
+
+  bool complete() const;
+  /// Number of distinct colors used (the paper compares this to Δ).
+  std::size_t colorsUsed() const { return summarizePalette(colors).distinct; }
+};
+
+/// Result of Algorithm 2 on a symmetric digraph: `colors[a]` is the color of
+/// arc id `a`.
+struct ArcColoringResult {
+  std::vector<Color> colors;
+  RunMetrics metrics;
+  /// Arcs committed by only one endpoint (see EdgeColoringResult).
+  std::vector<graph::ArcId> halfCommitted;
+
+  bool complete() const;
+  std::size_t colorsUsed() const { return summarizePalette(colors).distinct; }
+};
+
+}  // namespace dima::coloring

@@ -1,0 +1,344 @@
+#include "src/coloring/strong_madec.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "src/automata/phase.hpp"
+#include "src/net/network.hpp"
+#include "src/support/bitset.hpp"
+#include "src/support/rng.hpp"
+#include "src/support/small_vector.hpp"
+
+namespace dima::coloring {
+
+namespace {
+
+using automata::Phase;
+using graph::EdgeId;
+using graph::kNoEdge;
+using graph::kNoVertex;
+using net::NodeId;
+using support::DynamicBitset;
+
+struct SmMessage {
+  enum class Kind : std::uint8_t {
+    Invite,
+    Response,
+    Tentative,
+    Abort,
+    ColorAnnounce,
+  };
+  Kind kind = Kind::Invite;
+  NodeId target = kNoVertex;
+  Color color = kNoColor;
+  EdgeId edge = kNoEdge;
+
+  /// CONGEST wire size: 3-bit kind + id + color + edge id.
+  std::uint64_t wireBits() const {
+    return 3 + (target == kNoVertex ? 1 : net::bitWidth(target)) +
+           (color < 0 ? 1
+                      : net::bitWidth(static_cast<std::uint64_t>(color))) +
+           (edge == kNoEdge ? 1 : net::bitWidth(edge));
+  }
+};
+
+class StrongMadecProtocol {
+ public:
+  using Message = SmMessage;
+
+  StrongMadecProtocol(const graph::Graph& g,
+                      const StrongMadecOptions& options)
+      : g_(&g),
+        options_(options),
+        edgeColor_(g.numEdges(), kNoColor),
+        commitCount_(g.numEdges(), 0) {
+    const support::SeedSequence seq(options.seed);
+    nodes_.resize(g.numVertices());
+    for (NodeId u = 0; u < g.numVertices(); ++u) {
+      NodeState& s = nodes_[u];
+      s.rng = seq.stream(u);
+      const auto deg = static_cast<std::uint32_t>(g.degree(u));
+      for (std::uint32_t i = 0; i < deg; ++i) s.uncolored.push_back(i);
+      s.failures.assign(deg, 0);
+      s.done = deg == 0;
+    }
+  }
+
+  int subRounds() const { return 5; }
+
+  void beginCycle(NodeId u) {
+    NodeState& s = nodes_[u];
+    s.mine.clear();
+    s.overheard.clear();
+    s.invitee = kNoVertex;
+    s.inviteIdx = 0;
+    s.proposed = kNoColor;
+    s.tentEdge = kNoEdge;
+    s.tentColor = kNoColor;
+    s.tentIdx = 0;
+    s.tentAsInvitor = false;
+    s.abortMine = false;
+    s.pendingAnnounce = kNoColor;
+    if (s.done) {
+      s.role = Phase::Done;
+      return;
+    }
+    s.role = s.rng.bernoulli(options_.invitorBias) ? Phase::Invite
+                                                   : Phase::Listen;
+  }
+
+  void send(NodeId u, int sub, net::SyncNetwork<Message>& net) {
+    NodeState& s = nodes_[u];
+    switch (sub) {
+      case 0: {  // invite over a random uncolored edge.
+        if (s.role != Phase::Invite) return;
+        DIMA_ASSERT(!s.uncolored.empty(), "invitor without uncolored edge");
+        s.inviteIdx = s.uncolored[s.rng.index(s.uncolored.size())];
+        s.invitee = g_->incidences(u)[s.inviteIdx].neighbor;
+        s.proposed = chooseColor(s, s.inviteIdx);
+        net.broadcast(u, Message{Message::Kind::Invite, s.invitee,
+                                 s.proposed, kNoEdge});
+        break;
+      }
+      case 1: {  // respond to one acceptable invitation.
+        if (s.role != Phase::Listen || s.mine.empty()) return;
+        support::SmallVector<std::size_t, 4> valid;
+        for (std::size_t i = 0; i < s.mine.size(); ++i) {
+          const Color c = s.mine[i].color;
+          if (!s.overheard.test(static_cast<std::size_t>(c)) &&
+              !s.forbidden.test(static_cast<std::size_t>(c))) {
+            valid.push_back(i);
+          }
+        }
+        if (valid.empty()) return;
+        const KeptInvite& kept = s.mine[valid[s.rng.index(valid.size())]];
+        net.broadcast(u, Message{Message::Kind::Response, kept.from,
+                                 kept.color, kNoEdge});
+        s.tentEdge = g_->incidences(u)[kept.idx].edge;
+        s.tentColor = kept.color;
+        s.tentIdx = kept.idx;
+        s.tentAsInvitor = false;
+        break;
+      }
+      case 2: {  // tentative announcements.
+        if (s.tentEdge != kNoEdge) {
+          net.broadcast(u, Message{Message::Kind::Tentative, kNoVertex,
+                                   s.tentColor, s.tentEdge});
+        }
+        break;
+      }
+      case 3: {  // abort notices.
+        if (s.tentEdge != kNoEdge && s.abortMine) {
+          net.broadcast(u, Message{Message::Kind::Abort, kNoVertex, kNoColor,
+                                   s.tentEdge});
+        }
+        break;
+      }
+      case 4: {  // exchange committed colors.
+        if (s.pendingAnnounce != kNoColor) {
+          net.broadcast(u, Message{Message::Kind::ColorAnnounce, kNoVertex,
+                                   s.pendingAnnounce, kNoEdge});
+        }
+        break;
+      }
+      default:
+        DIMA_ASSERT(false, "unexpected sub-round " << sub);
+    }
+  }
+
+  void receive(NodeId u, int sub,
+               std::span<const net::Envelope<Message>> inbox) {
+    NodeState& s = nodes_[u];
+    switch (sub) {
+      case 0: {
+        if (s.role != Phase::Listen) return;
+        for (const auto& env : inbox) {
+          if (env.msg.kind != Message::Kind::Invite) continue;
+          if (env.msg.target == u) {
+            const std::uint32_t idx = incidenceIndexOf(u, env.from);
+            const EdgeId e = g_->incidences(u)[idx].edge;
+            if (edgeColor_[e] == kNoColor) {
+              s.mine.push_back(KeptInvite{env.from, env.msg.color, idx});
+            }
+          } else {
+            s.overheard.set(static_cast<std::size_t>(env.msg.color));
+          }
+        }
+        break;
+      }
+      case 1: {  // inviter waits for its echo.
+        if (s.role != Phase::Invite || s.invitee == kNoVertex) return;
+        for (const auto& env : inbox) {
+          if (env.msg.kind == Message::Kind::Response &&
+              env.msg.target == u && env.from == s.invitee) {
+            s.tentEdge = g_->incidences(u)[s.inviteIdx].edge;
+            s.tentColor = s.proposed;
+            s.tentIdx = s.inviteIdx;
+            s.tentAsInvitor = true;
+            return;
+          }
+        }
+        ++s.failures[s.inviteIdx];
+        break;
+      }
+      case 2: {  // conflict scan among same-round tentatives.
+        if (s.tentEdge == kNoEdge) return;
+        for (const auto& env : inbox) {
+          if (env.msg.kind != Message::Kind::Tentative) continue;
+          if (env.msg.edge == s.tentEdge) continue;  // partner's echo
+          if (env.msg.color == s.tentColor && env.msg.edge < s.tentEdge) {
+            s.abortMine = true;
+          }
+        }
+        break;
+      }
+      case 3: {  // resolve aborts, commit survivors.
+        if (s.tentEdge == kNoEdge) return;
+        if (!s.abortMine) {
+          for (const auto& env : inbox) {
+            if (env.msg.kind == Message::Kind::Abort &&
+                env.msg.edge == s.tentEdge) {
+              s.abortMine = true;
+              break;
+            }
+          }
+        }
+        if (s.abortMine) {
+          if (s.tentAsInvitor) ++s.failures[s.tentIdx];
+        } else {
+          commitEdge(u, s.tentIdx, s.tentEdge, s.tentColor);
+        }
+        break;
+      }
+      case 4: {
+        for (const auto& env : inbox) {
+          if (env.msg.kind == Message::Kind::ColorAnnounce) {
+            s.forbidden.set(static_cast<std::size_t>(env.msg.color));
+          }
+        }
+        break;
+      }
+      default:
+        DIMA_ASSERT(false, "unexpected sub-round " << sub);
+    }
+  }
+
+  void endCycle(NodeId u) {
+    NodeState& s = nodes_[u];
+    if (!s.done && s.uncolored.empty()) s.done = true;
+  }
+
+  bool done(NodeId u) const { return nodes_[u].done; }
+
+  std::vector<Color> takeColors() { return std::move(edgeColor_); }
+
+  std::vector<EdgeId> halfCommittedEdges() const {
+    std::vector<EdgeId> out;
+    for (EdgeId e = 0; e < commitCount_.size(); ++e) {
+      if (commitCount_[e] == 1) out.push_back(e);
+    }
+    return out;
+  }
+
+ private:
+  struct KeptInvite {
+    NodeId from = kNoVertex;
+    Color color = kNoColor;
+    std::uint32_t idx = 0;
+  };
+
+  struct NodeState {
+    support::Rng rng{0};
+    Phase role = Phase::Choose;
+    bool done = false;
+    support::SmallVector<std::uint32_t, 8> uncolored;
+    DynamicBitset forbidden;  ///< colors within one hop (own + neighbors')
+    std::vector<std::uint32_t> failures;
+    // Per-round scratch:
+    support::SmallVector<KeptInvite, 4> mine;
+    DynamicBitset overheard;
+    NodeId invitee = kNoVertex;
+    std::uint32_t inviteIdx = 0;
+    Color proposed = kNoColor;
+    EdgeId tentEdge = kNoEdge;
+    Color tentColor = kNoColor;
+    std::uint32_t tentIdx = 0;
+    bool tentAsInvitor = false;
+    bool abortMine = false;
+    Color pendingAnnounce = kNoColor;
+  };
+
+  Color chooseColor(NodeState& s, std::uint32_t idx) {
+    // Expanding window (see dima2ed.hpp): uniform among the first
+    // (1 + failures) free colors, widening on every failed invitation.
+    const std::size_t window = 1 + s.failures[idx];
+    support::SmallVector<std::size_t, 16> candidates;
+    std::size_t c = s.forbidden.firstClear();
+    while (candidates.size() < window) {
+      candidates.push_back(c);
+      ++c;
+      while (s.forbidden.test(c)) ++c;
+    }
+    return static_cast<Color>(candidates[s.rng.index(candidates.size())]);
+  }
+
+  std::uint32_t incidenceIndexOf(NodeId u, NodeId neighbor) const {
+    const auto inc = g_->incidences(u);
+    for (std::uint32_t i = 0; i < inc.size(); ++i) {
+      if (inc[i].neighbor == neighbor) return i;
+    }
+    DIMA_REQUIRE(false, "node " << neighbor << " is not adjacent to " << u);
+    return 0;  // unreachable
+  }
+
+  void commitEdge(NodeId u, std::uint32_t idx, EdgeId e, Color color) {
+    NodeState& s = nodes_[u];
+    for (std::size_t k = 0; k < s.uncolored.size(); ++k) {
+      if (s.uncolored[k] == idx) {
+        DIMA_ASSERT(edgeColor_[e] == kNoColor || edgeColor_[e] == color,
+                    "edge " << e << " recolored");
+        edgeColor_[e] = color;
+        ++commitCount_[e];
+        s.uncolored.eraseAtUnordered(k);
+        s.forbidden.set(static_cast<std::size_t>(color));
+        s.pendingAnnounce = color;
+        return;
+      }
+    }
+    DIMA_ASSERT(false, "edge " << e << " not uncolored at node " << u);
+  }
+
+  const graph::Graph* g_;
+  StrongMadecOptions options_;
+  std::vector<NodeState> nodes_;
+  std::vector<Color> edgeColor_;
+  std::vector<std::uint8_t> commitCount_;
+};
+
+}  // namespace
+
+EdgeColoringResult colorEdgesStrongMadec(const graph::Graph& g,
+                                         const StrongMadecOptions& options) {
+  DIMA_REQUIRE(options.invitorBias > 0.0 && options.invitorBias < 1.0,
+               "invitor bias must be in (0,1)");
+  StrongMadecProtocol proto(g, options);
+  net::SyncNetwork<SmMessage> net(g, options.faults);
+  net::EngineOptions engineOptions;
+  engineOptions.maxCycles = options.maxCycles;
+  engineOptions.pool = options.pool;
+  const net::EngineResult run = runSyncProtocol(proto, net, engineOptions);
+
+  EdgeColoringResult result;
+  result.halfCommitted = proto.halfCommittedEdges();
+  result.colors = proto.takeColors();
+  result.metrics.computationRounds = run.cycles;
+  result.metrics.commRounds = run.counters.commRounds;
+  result.metrics.broadcasts = run.counters.broadcasts;
+  result.metrics.messagesDelivered = run.counters.messagesDelivered;
+  result.metrics.bitsDelivered = run.counters.bitsDelivered;
+  result.metrics.maxMessageBits = run.counters.maxMessageBits;
+  result.metrics.converged = run.converged;
+  return result;
+}
+
+}  // namespace dima::coloring

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file strong_madec.hpp
+/// Strong edge coloring of an *undirected* graph via the matching
+/// automaton — the channel-assignment problem exactly as Barrett et al.
+/// (the paper's reference [2]) pose it, and the natural third member of
+/// the algorithm family: Algorithm 1 handles distance-1 edge constraints,
+/// Algorithm 2 the directed distance-2 case; this protocol closes the
+/// square with the undirected distance-2 case.
+///
+/// Round anatomy mirrors DiMa2Ed's strict mode: invitations propose a
+/// color drawn from outside the node's one-hop *forbidden* set (colors on
+/// edges incident to itself or to any neighbor), responders apply their
+/// own forbidden set plus the overheard-proposals filter, and a
+/// tentative/abort handshake removes the same-round adjacency conflicts
+/// (identical correctness argument — see dima2ed.hpp; the arc-id order is
+/// replaced by edge-id order). One undirected edge is colored per matched
+/// pair per round, so termination needs O(Δ) rounds; each edge color is
+/// committed by both endpoints and announced to both neighborhoods.
+
+#include <cstdint>
+
+#include "src/coloring/result.hpp"
+#include "src/graph/graph.hpp"
+#include "src/net/engine.hpp"
+#include "src/support/thread_pool.hpp"
+
+namespace dima::coloring {
+
+struct StrongMadecOptions {
+  std::uint64_t seed = 0x57406ULL;
+  double invitorBias = 0.5;
+  net::FaultModel faults;
+  std::uint64_t maxCycles = 1u << 20;
+  support::ThreadPool* pool = nullptr;
+};
+
+/// Runs the strong (distance-2) undirected edge coloring on `g`.
+EdgeColoringResult colorEdgesStrongMadec(const graph::Graph& g,
+                                         const StrongMadecOptions& options = {});
+
+}  // namespace dima::coloring

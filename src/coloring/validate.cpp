@@ -1,0 +1,186 @@
+#include "src/coloring/validate.hpp"
+
+#include <sstream>
+#include <unordered_map>
+
+namespace dima::coloring {
+
+namespace {
+
+std::string describeEdge(const graph::Graph& g, graph::EdgeId e) {
+  std::ostringstream oss;
+  oss << "edge " << e << "=(" << g.edge(e).u << "," << g.edge(e).v << ")";
+  return oss.str();
+}
+
+std::string describeArc(const graph::Digraph& d, graph::ArcId a) {
+  const graph::Arc arc = d.arc(a);
+  std::ostringstream oss;
+  oss << "arc " << a << "=(" << arc.from << "→" << arc.to << ")";
+  return oss.str();
+}
+
+}  // namespace
+
+Verdict verifyEdgeColoring(const graph::Graph& g,
+                           const std::vector<Color>& colors,
+                           bool allowPartial) {
+  if (colors.size() != g.numEdges()) {
+    return Verdict::fail("color vector size mismatch");
+  }
+  for (graph::EdgeId e = 0; e < g.numEdges(); ++e) {
+    if (colors[e] == kNoColor && !allowPartial) {
+      return Verdict::fail(describeEdge(g, e) + " is uncolored");
+    }
+    if (colors[e] != kNoColor && colors[e] < 0) {
+      return Verdict::fail(describeEdge(g, e) + " has a negative color");
+    }
+  }
+  // Per-vertex distinctness: scan each vertex's incident colors.
+  std::unordered_map<Color, graph::EdgeId> seen;
+  for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
+    seen.clear();
+    for (const graph::Incidence& inc : g.incidences(v)) {
+      const Color c = colors[inc.edge];
+      if (c == kNoColor) continue;
+      const auto [it, inserted] = seen.emplace(c, inc.edge);
+      if (!inserted) {
+        std::ostringstream oss;
+        oss << "vertex " << v << " sees color " << c << " on both "
+            << describeEdge(g, it->second) << " and "
+            << describeEdge(g, inc.edge);
+        return Verdict::fail(oss.str());
+      }
+    }
+  }
+  return Verdict::ok();
+}
+
+bool strongConflict(const graph::Digraph& d, graph::ArcId a1,
+                    graph::ArcId a2) {
+  if (a1 == a2) return false;
+  const graph::Arc x = d.arc(a1);
+  const graph::Arc y = d.arc(a2);
+  const graph::Graph& g = d.underlying();
+  const graph::VertexId xs[2] = {x.from, x.to};
+  const graph::VertexId ys[2] = {y.from, y.to};
+  for (graph::VertexId a : xs) {
+    for (graph::VertexId b : ys) {
+      if (a == b || g.hasEdge(a, b)) return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+/// Groups arcs by color, then checks pairs within each color class — the
+/// classes are small, so this is far cheaper than the all-pairs scan.
+template <class OnConflict>
+void scanStrongConflicts(const graph::Digraph& d,
+                         const std::vector<Color>& colors,
+                         OnConflict&& onConflict) {
+  std::unordered_map<Color, std::vector<graph::ArcId>> byColor;
+  for (graph::ArcId a = 0; a < d.numArcs(); ++a) {
+    if (colors[a] != kNoColor) byColor[colors[a]].push_back(a);
+  }
+  for (const auto& [color, arcs] : byColor) {
+    for (std::size_t i = 0; i < arcs.size(); ++i) {
+      for (std::size_t j = i + 1; j < arcs.size(); ++j) {
+        if (strongConflict(d, arcs[i], arcs[j])) {
+          onConflict(arcs[i], arcs[j], color);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Verdict verifyStrongArcColoring(const graph::Digraph& d,
+                                const std::vector<Color>& colors,
+                                bool allowPartial) {
+  if (colors.size() != d.numArcs()) {
+    return Verdict::fail("color vector size mismatch");
+  }
+  for (graph::ArcId a = 0; a < d.numArcs(); ++a) {
+    if (colors[a] == kNoColor && !allowPartial) {
+      return Verdict::fail(describeArc(d, a) + " is uncolored");
+    }
+    if (colors[a] != kNoColor && colors[a] < 0) {
+      return Verdict::fail(describeArc(d, a) + " has a negative color");
+    }
+  }
+  Verdict verdict = Verdict::ok();
+  scanStrongConflicts(d, colors,
+                      [&](graph::ArcId a1, graph::ArcId a2, Color c) {
+                        if (!verdict.valid) return;
+                        std::ostringstream oss;
+                        oss << describeArc(d, a1) << " and "
+                            << describeArc(d, a2)
+                            << " conflict but share color " << c;
+                        verdict = Verdict::fail(oss.str());
+                      });
+  return verdict;
+}
+
+std::size_t countStrongConflicts(const graph::Digraph& d,
+                                 const std::vector<Color>& colors) {
+  DIMA_REQUIRE(colors.size() == d.numArcs(), "color vector size mismatch");
+  std::size_t conflicts = 0;
+  scanStrongConflicts(d, colors,
+                      [&](graph::ArcId, graph::ArcId, Color) { ++conflicts; });
+  return conflicts;
+}
+
+bool strongEdgeConflict(const graph::Graph& g, graph::EdgeId e1,
+                        graph::EdgeId e2) {
+  if (e1 == e2) return false;
+  const graph::Edge& x = g.edge(e1);
+  const graph::Edge& y = g.edge(e2);
+  const graph::VertexId xs[2] = {x.u, x.v};
+  const graph::VertexId ys[2] = {y.u, y.v};
+  for (graph::VertexId a : xs) {
+    for (graph::VertexId b : ys) {
+      if (a == b || g.hasEdge(a, b)) return true;
+    }
+  }
+  return false;
+}
+
+Verdict verifyStrongEdgeColoring(const graph::Graph& g,
+                                 const std::vector<Color>& colors,
+                                 bool allowPartial) {
+  if (colors.size() != g.numEdges()) {
+    return Verdict::fail("color vector size mismatch");
+  }
+  std::unordered_map<Color, std::vector<graph::EdgeId>> byColor;
+  for (graph::EdgeId e = 0; e < g.numEdges(); ++e) {
+    if (colors[e] == kNoColor) {
+      if (!allowPartial) {
+        return Verdict::fail(describeEdge(g, e) + " is uncolored");
+      }
+      continue;
+    }
+    if (colors[e] < 0) {
+      return Verdict::fail(describeEdge(g, e) + " has a negative color");
+    }
+    byColor[colors[e]].push_back(e);
+  }
+  for (const auto& [color, edges] : byColor) {
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      for (std::size_t j = i + 1; j < edges.size(); ++j) {
+        if (strongEdgeConflict(g, edges[i], edges[j])) {
+          std::ostringstream oss;
+          oss << describeEdge(g, edges[i]) << " and "
+              << describeEdge(g, edges[j]) << " conflict but share color "
+              << color;
+          return Verdict::fail(oss.str());
+        }
+      }
+    }
+  }
+  return Verdict::ok();
+}
+
+}  // namespace dima::coloring

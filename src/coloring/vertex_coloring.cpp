@@ -1,0 +1,173 @@
+#include "src/coloring/vertex_coloring.hpp"
+
+#include <algorithm>
+
+#include "src/net/network.hpp"
+#include "src/support/bitset.hpp"
+#include "src/support/rng.hpp"
+#include "src/support/small_vector.hpp"
+
+namespace dima::coloring {
+
+namespace {
+
+using net::NodeId;
+
+struct VcMessage {
+  enum class Kind : std::uint8_t { Candidate, Committed };
+  Kind kind = Kind::Candidate;
+  Color color = kNoColor;
+
+  /// CONGEST wire size: 1-bit kind + color.
+  std::uint64_t wireBits() const {
+    return 1 +
+           (color < 0 ? 1 : net::bitWidth(static_cast<std::uint64_t>(color)));
+  }
+};
+
+class VertexColoringProtocol {
+ public:
+  using Message = VcMessage;
+
+  VertexColoringProtocol(const graph::Graph& g, std::uint64_t seed)
+      : g_(&g), colors_(g.numVertices(), kNoColor) {
+    const support::SeedSequence seq(seed);
+    nodes_.resize(g.numVertices());
+    for (NodeId u = 0; u < g.numVertices(); ++u) {
+      nodes_[u].rng = seq.stream(u);
+      if (g.degree(u) == 0) {
+        // Isolated vertices take color 0 immediately.
+        colors_[u] = 0;
+        nodes_[u].done = true;
+      }
+    }
+  }
+
+  int subRounds() const { return 2; }
+
+  void beginCycle(NodeId u) {
+    NodeState& s = nodes_[u];
+    s.candidate = kNoColor;
+    s.commit = false;
+    if (s.done) return;
+    // Uniform among the free colors of the local palette [0, deg(u)].
+    // |taken| ≤ deg(u), so at least one of the deg(u)+1 colors is free.
+    support::SmallVector<Color, 16> free;
+    const auto paletteSize = g_->degree(u) + 1;
+    for (std::size_t c = 0; c < paletteSize; ++c) {
+      if (!s.taken.test(c)) free.push_back(static_cast<Color>(c));
+    }
+    DIMA_ASSERT(!free.empty(), "palette exhausted at vertex " << u);
+    s.candidate = free[s.rng.index(free.size())];
+  }
+
+  void send(NodeId u, int sub, net::SyncNetwork<Message>& net) {
+    NodeState& s = nodes_[u];
+    switch (sub) {
+      case 0:
+        if (!s.done) {
+          net.broadcast(u, Message{Message::Kind::Candidate, s.candidate});
+        }
+        break;
+      case 1:
+        if (s.commit) {
+          net.broadcast(u, Message{Message::Kind::Committed, s.candidate});
+        }
+        break;
+      default:
+        DIMA_ASSERT(false, "unexpected sub-round " << sub);
+    }
+  }
+
+  void receive(NodeId u, int sub,
+               std::span<const net::Envelope<Message>> inbox) {
+    NodeState& s = nodes_[u];
+    switch (sub) {
+      case 0: {
+        if (s.done) return;
+        // Commit unless a lower-id neighbor proposed the same color.
+        bool blocked = false;
+        for (const auto& env : inbox) {
+          if (env.msg.kind == Message::Kind::Candidate &&
+              env.msg.color == s.candidate && env.from < u) {
+            blocked = true;
+            break;
+          }
+        }
+        if (!blocked) {
+          s.commit = true;
+          colors_[u] = s.candidate;
+          s.done = true;
+        }
+        break;
+      }
+      case 1: {
+        for (const auto& env : inbox) {
+          if (env.msg.kind == Message::Kind::Committed) {
+            s.taken.set(static_cast<std::size_t>(env.msg.color));
+          }
+        }
+        break;
+      }
+      default:
+        DIMA_ASSERT(false, "unexpected sub-round " << sub);
+    }
+  }
+
+  void endCycle(NodeId) {}
+  bool done(NodeId u) const { return nodes_[u].done; }
+
+  std::vector<Color> takeColors() { return std::move(colors_); }
+
+ private:
+  struct NodeState {
+    support::Rng rng{0};
+    support::DynamicBitset taken;  ///< colors committed by neighbors
+    Color candidate = kNoColor;
+    bool commit = false;
+    bool done = false;
+  };
+
+  const graph::Graph* g_;
+  std::vector<NodeState> nodes_;
+  std::vector<Color> colors_;
+};
+
+}  // namespace
+
+std::size_t VertexColoringResult::colorsUsed() const {
+  support::DynamicBitset distinct;
+  for (Color c : colors) {
+    if (c != kNoColor) distinct.set(static_cast<std::size_t>(c));
+  }
+  return distinct.count();
+}
+
+VertexColoringResult colorVerticesDistributed(const graph::Graph& g,
+                                              std::uint64_t seed,
+                                              net::EngineOptions options) {
+  VertexColoringProtocol proto(g, seed);
+  net::SyncNetwork<VcMessage> net(g);
+  const net::EngineResult run = runSyncProtocol(proto, net, options);
+  VertexColoringResult result;
+  result.colors = proto.takeColors();
+  result.rounds = run.cycles;
+  result.converged = run.converged;
+  return result;
+}
+
+bool isProperVertexColoring(const graph::Graph& g,
+                            const std::vector<Color>& colors,
+                            bool allowPartial) {
+  if (colors.size() != g.numVertices()) return false;
+  for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
+    if (colors[v] == kNoColor && !allowPartial) return false;
+  }
+  return std::none_of(g.edges().begin(), g.edges().end(),
+                      [&](const graph::Edge& e) {
+                        return colors[e.u] != kNoColor &&
+                               colors[e.u] == colors[e.v];
+                      });
+}
+
+}  // namespace dima::coloring

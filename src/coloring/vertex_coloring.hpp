@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file vertex_coloring.hpp
+/// Distributed (Δ+1) vertex coloring on the same synchronous one-hop
+/// substrate — the second member of the "variety of graph algorithms" the
+/// paper's conclusion claims for the automaton approach (alongside MIS;
+/// matching, edge coloring and vertex cover are in their own modules).
+///
+/// Round anatomy (randomized trial coloring, Johansson/Luby style):
+///   1. every uncolored node draws a candidate uniformly from its local
+///      palette `[0, deg(u)]` minus the colors its neighbors committed,
+///      and broadcasts it;
+///   2. a node commits its candidate unless a *higher-priority* neighbor
+///      (lower id) proposed the same color this round; committed nodes
+///      announce, and neighbors strike the color from their palettes.
+/// Each node's palette has deg(u)+1 colors, so a free candidate always
+/// exists and the result uses at most Δ+1 colors; expected O(log n) rounds.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/coloring/color.hpp"
+#include "src/graph/graph.hpp"
+#include "src/net/engine.hpp"
+
+namespace dima::coloring {
+
+struct VertexColoringResult {
+  std::vector<Color> colors;  ///< per vertex
+  std::uint64_t rounds = 0;
+  bool converged = false;
+  std::size_t colorsUsed() const;
+};
+
+/// Runs the distributed trial-coloring protocol on `g`.
+VertexColoringResult colorVerticesDistributed(const graph::Graph& g,
+                                              std::uint64_t seed,
+                                              net::EngineOptions options = {});
+
+/// Proper-vertex-coloring checker (independent of the protocol).
+/// `allowPartial` skips uncolored vertices.
+bool isProperVertexColoring(const graph::Graph& g,
+                            const std::vector<Color>& colors,
+                            bool allowPartial = false);
+
+}  // namespace dima::coloring

@@ -1,0 +1,348 @@
+#include "src/experiments/figures.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "src/support/csv.hpp"
+#include "src/support/table.hpp"
+
+namespace dima::exp {
+
+namespace {
+
+using support::AsciiPlot;
+using support::CsvWriter;
+using support::TextTable;
+
+std::string formatDouble(double v) { return TextTable::format(v); }
+
+std::string buildTable(const SweepSummary& summary) {
+  TextTable table({"config", "runs", "mean-D", "mean-rounds", "rounds/D",
+                   "mean-colors", "excess-histogram", "invalid", "stalled"});
+  for (const SpecAggregate& agg : summary.perSpec) {
+    table.addRowOf(agg.spec.label(), agg.runs,
+                   formatDouble(agg.delta.mean()),
+                   formatDouble(agg.rounds.mean()),
+                   formatDouble(agg.roundsPerDelta.mean()),
+                   formatDouble(agg.colors.mean()),
+                   agg.colorExcess.toString(), agg.invalidRuns,
+                   agg.unconverged);
+  }
+  return table.render();
+}
+
+std::string buildPlot(const std::string& title,
+                      const std::vector<GraphSpec>& specs,
+                      const std::vector<RunRecord>& records,
+                      const support::LinearFit& fit) {
+  AsciiPlot plot(title, "max degree D", "computation rounds");
+  // One series per graph size — the paper's figures distinguish sizes to
+  // show the n-independence of the round count.
+  std::map<std::size_t, support::PlotSeries> byN;
+  const char glyphs[] = {'o', '*', '+', 'x', '#', '@'};
+  for (const RunRecord& rec : records) {
+    auto [it, inserted] = byN.try_emplace(rec.n);
+    if (inserted) {
+      it->second.name = "n=" + std::to_string(rec.n);
+      it->second.glyph = glyphs[(byN.size() - 1) % sizeof(glyphs)];
+    }
+    it->second.x.push_back(static_cast<double>(rec.delta));
+    it->second.y.push_back(static_cast<double>(rec.rounds));
+  }
+  for (auto& [n, series] : byN) plot.add(series);
+  if (fit.count() >= 2) {
+    std::ostringstream name;
+    name << "fit: rounds = " << formatDouble(fit.slope()) << "*D + "
+         << formatDouble(fit.intercept()) << " (r2="
+         << formatDouble(fit.r2()) << ")";
+    plot.addGuide(name.str(), fit.slope(), fit.intercept());
+  }
+  (void)specs;
+  return plot.render();
+}
+
+std::string buildCsv(const std::vector<GraphSpec>& specs,
+                     const std::vector<RunRecord>& records) {
+  CsvWriter csv;
+  csv.header({"config", "n", "delta", "rounds", "comm_rounds", "broadcasts",
+              "colors", "color_excess", "converged", "valid", "conflicts"});
+  for (const RunRecord& rec : records) {
+    csv.rowOf(specs[rec.specIndex].label(), rec.n, rec.delta, rec.rounds,
+              rec.commRounds, rec.broadcasts, rec.colors, rec.colorExcess,
+              rec.converged ? 1 : 0, rec.valid ? 1 : 0, rec.conflicts);
+  }
+  return csv.str();
+}
+
+/// Checks n-independence: for spec pairs that differ only in n, the mean
+/// rounds must agree within `tolerance` after normalizing by mean Δ.
+ClaimCheck checkSizeIndependence(const SweepSummary& summary,
+                                 double tolerance) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < summary.perSpec.size(); ++i) {
+    for (std::size_t j = i + 1; j < summary.perSpec.size(); ++j) {
+      const SpecAggregate& a = summary.perSpec[i];
+      const SpecAggregate& b = summary.perSpec[j];
+      if (a.spec.family != b.spec.family || a.spec.param1 != b.spec.param1 ||
+          a.spec.param2 != b.spec.param2 || a.spec.n == b.spec.n) {
+        continue;
+      }
+      if (a.runs == 0 || b.runs == 0) continue;
+      const double ra = a.roundsPerDelta.mean();
+      const double rb = b.roundsPerDelta.mean();
+      if (ra <= 0 || rb <= 0) continue;
+      worst = std::max(worst, std::abs(ra - rb) / std::max(ra, rb));
+    }
+  }
+  ClaimCheck check;
+  check.claim = "round count depends on D, not on network size n";
+  std::ostringstream oss;
+  oss << "worst rounds/D deviation between sizes: "
+      << formatDouble(100.0 * worst) << "%";
+  check.measured = oss.str();
+  check.holds = worst <= tolerance;
+  return check;
+}
+
+ClaimCheck checkLinearInDelta(const SweepSummary& summary, double minR2) {
+  ClaimCheck check;
+  check.claim = "rounds grow linearly with D (O(D) termination)";
+  std::ostringstream oss;
+  oss << "fit rounds = " << formatDouble(summary.roundsVsDelta.slope())
+      << "*D + " << formatDouble(summary.roundsVsDelta.intercept())
+      << ", r2 = " << formatDouble(summary.roundsVsDelta.r2());
+  check.measured = oss.str();
+  check.holds = summary.roundsVsDelta.slope() > 0 &&
+                summary.roundsVsDelta.r2() >= minR2;
+  return check;
+}
+
+ClaimCheck checkAllValid(const SweepSummary& summary, const char* what) {
+  ClaimCheck check;
+  check.claim = std::string("every run yields a correct ") + what;
+  std::ostringstream oss;
+  oss << summary.invalidRuns << " invalid and " << summary.unconverged
+      << " unconverged of " << summary.runs << " runs";
+  check.measured = oss.str();
+  check.holds = summary.invalidRuns == 0 && summary.unconverged == 0;
+  return check;
+}
+
+}  // namespace
+
+std::string FigureReport::render() const {
+  std::ostringstream oss;
+  oss << "== " << id << ": " << title << " (seed " << seed << ") ==\n\n"
+      << table << '\n'
+      << plot << '\n';
+  for (const ClaimCheck& check : claims) {
+    oss << (check.holds ? "  [reproduced] " : "  [DEVIATES]   ")
+        << check.claim << "\n                measured: " << check.measured
+        << '\n';
+  }
+  return oss.str();
+}
+
+bool FigureReport::reproduced() const {
+  return summary.invalidRuns == 0 &&
+         std::all_of(claims.begin(), claims.end(),
+                     [](const ClaimCheck& c) { return c.holds; });
+}
+
+FigureReport runFigure3(std::uint64_t seed, std::size_t runsPerSpec) {
+  FigureReport report;
+  report.id = "FIG3";
+  report.title = "Algorithm 1 (MaDEC) on Erdos-Renyi graphs";
+  report.seed = seed;
+
+  SweepConfig config;
+  config.specs = figure3Workload();
+  config.runsPerSpec = runsPerSpec;
+  config.seed = seed;
+  report.records = sweepMadec(config);
+  report.summary = summarize(config.specs, report.records);
+
+  report.table = buildTable(report.summary);
+  report.plot = buildPlot("Fig. 3 -- Edge Coloring of Erdos-Renyi Graphs",
+                          config.specs, report.records,
+                          report.summary.roundsVsDelta);
+  report.csv = buildCsv(config.specs, report.records);
+
+  report.claims.push_back(checkAllValid(report.summary, "edge coloring"));
+  report.claims.push_back(checkLinearInDelta(report.summary, 0.8));
+  report.claims.push_back(checkSizeIndependence(report.summary, 0.2));
+  {
+    // §IV-A: "Δ+2 colors were used in only 2 of the 300 runs, and in no run
+    // was the number of colors in excess of Δ+2."
+    std::uint64_t atMostPlus1 = 0;
+    std::int64_t maxExcess = 0;
+    for (const RunRecord& rec : report.records) {
+      if (rec.colorExcess <= 1) ++atMostPlus1;
+      maxExcess = std::max(maxExcess, rec.colorExcess);
+    }
+    ClaimCheck check;
+    check.claim = "colors are D or D+1 in almost every run, never above D+2";
+    std::ostringstream oss;
+    oss << atMostPlus1 << "/" << report.records.size()
+        << " runs used <= D+1 colors; max excess D+" << maxExcess;
+    check.measured = oss.str();
+    const double frac = report.records.empty()
+                            ? 0.0
+                            : static_cast<double>(atMostPlus1) /
+                                  static_cast<double>(report.records.size());
+    check.holds = frac >= 0.97 && maxExcess <= 2;
+    report.claims.push_back(check);
+  }
+  return report;
+}
+
+FigureReport runFigure4(std::uint64_t seed, std::size_t runsPerSpec) {
+  FigureReport report;
+  report.id = "FIG4";
+  report.title = "Algorithm 1 (MaDEC) on scale-free graphs";
+  report.seed = seed;
+
+  SweepConfig config;
+  config.specs = figure4Workload();
+  config.runsPerSpec = runsPerSpec;
+  config.seed = seed;
+  report.records = sweepMadec(config);
+  report.summary = summarize(config.specs, report.records);
+
+  report.table = buildTable(report.summary);
+  report.plot = buildPlot("Fig. 4 -- Edge Coloring of Scale-Free Graphs",
+                          config.specs, report.records,
+                          report.summary.roundsVsDelta);
+  report.csv = buildCsv(config.specs, report.records);
+
+  report.claims.push_back(checkAllValid(report.summary, "edge coloring"));
+  report.claims.push_back(checkLinearInDelta(report.summary, 0.7));
+  {
+    // §IV-B: "we did not use more than Δ colors to color any of the
+    // generated graphs."
+    std::uint64_t withinDelta = 0;
+    std::int64_t maxExcess = 0;
+    for (const RunRecord& rec : report.records) {
+      if (rec.colorExcess <= 0) ++withinDelta;
+      maxExcess = std::max(maxExcess, rec.colorExcess);
+    }
+    ClaimCheck check;
+    check.claim = "scale-free graphs are colored with at most D colors";
+    std::ostringstream oss;
+    oss << withinDelta << "/" << report.records.size()
+        << " runs used <= D colors; max excess D+" << maxExcess;
+    check.measured = oss.str();
+    check.holds = withinDelta == report.records.size();
+    report.claims.push_back(check);
+  }
+  return report;
+}
+
+FigureReport runFigure5(std::uint64_t seed, std::size_t runsPerSpec) {
+  FigureReport report;
+  report.id = "FIG5";
+  report.title = "Algorithm 1 (MaDEC) on small-world graphs";
+  report.seed = seed;
+
+  SweepConfig config;
+  config.specs = figure5Workload();
+  config.runsPerSpec = runsPerSpec;
+  config.seed = seed;
+  report.records = sweepMadec(config);
+  report.summary = summarize(config.specs, report.records);
+
+  report.table = buildTable(report.summary);
+  report.plot = buildPlot("Fig. 5 -- Edge Coloring of Small World Graphs",
+                          config.specs, report.records,
+                          report.summary.roundsVsDelta);
+  report.csv = buildCsv(config.specs, report.records);
+
+  report.claims.push_back(checkAllValid(report.summary, "edge coloring"));
+  report.claims.push_back(checkLinearInDelta(report.summary, 0.8));
+  {
+    // §IV-C: colors < 2Δ−1 in every run (Conjecture 1's bound holds with
+    // room), while dense graphs occasionally exceed Δ+1 (Conjecture 2 was
+    // "not supported"; the paper saw up to Δ+5 on dense n=256).
+    bool allBelowWorstCase = true;
+    std::int64_t maxExcess = 0;
+    for (const RunRecord& rec : report.records) {
+      maxExcess = std::max(maxExcess, rec.colorExcess);
+      if (rec.delta >= 2 &&
+          rec.colors >= 2 * rec.delta - 1) {
+        allBelowWorstCase = false;
+      }
+    }
+    ClaimCheck check;
+    check.claim = "colors stay below the 2D-1 worst case in every run";
+    std::ostringstream oss;
+    oss << "max excess D+" << maxExcess << " (worst case would be D+"
+        << "D-1)";
+    check.measured = oss.str();
+    check.holds = allBelowWorstCase;
+    report.claims.push_back(check);
+  }
+  return report;
+}
+
+FigureReport runFigure6(std::uint64_t seed, std::size_t runsPerSpec) {
+  FigureReport report;
+  report.id = "FIG6";
+  report.title =
+      "Algorithm 2 (DiMa2Ed, strict) strong coloring of directed Erdos-Renyi "
+      "graphs";
+  report.seed = seed;
+
+  SweepConfig config;
+  config.specs = figure6Workload();
+  config.runsPerSpec = runsPerSpec;
+  config.seed = seed;
+  coloring::Dima2EdOptions strict;
+  strict.mode = coloring::Dima2EdMode::Strict;
+  report.records = sweepDima2Ed(config, strict);
+  report.summary = summarize(config.specs, report.records);
+
+  report.table = buildTable(report.summary);
+  report.plot = buildPlot(
+      "Fig. 6 -- Strong Edge Coloring of Directed Erdos-Renyi Graphs",
+      config.specs, report.records, report.summary.roundsVsDelta);
+  report.csv = buildCsv(config.specs, report.records);
+
+  report.claims.push_back(
+      checkAllValid(report.summary, "strong (distance-2) arc coloring"));
+  report.claims.push_back(checkLinearInDelta(report.summary, 0.6));
+  report.claims.push_back(checkSizeIndependence(report.summary, 0.25));
+  {
+    // DESIGN.md §2: the pseudo-code-faithful mode leaks same-round
+    // conflicts; quantify it on a sub-sample to document why the strict
+    // handshake exists.
+    SweepConfig audit = config;
+    audit.runsPerSpec = std::max<std::size_t>(1, runsPerSpec / 10);
+    audit.seed = support::mix64(seed, 0xa0d17ULL);
+    coloring::Dima2EdOptions paperMode;
+    paperMode.mode = coloring::Dima2EdMode::Paper;
+    const std::vector<RunRecord> paperRecords =
+        sweepDima2Ed(audit, paperMode);
+    std::size_t conflictRuns = 0;
+    std::size_t totalConflicts = 0;
+    for (const RunRecord& rec : paperRecords) {
+      if (rec.conflicts > 0) ++conflictRuns;
+      totalConflicts += rec.conflicts;
+    }
+    ClaimCheck check;
+    check.claim =
+        "pseudo-code-faithful mode leaks same-round conflicts that the "
+        "strict handshake eliminates";
+    std::ostringstream oss;
+    oss << "paper mode: " << conflictRuns << "/" << paperRecords.size()
+        << " runs with conflicts (" << totalConflicts
+        << " conflicting pairs total); strict mode: 0 by validation";
+    check.measured = oss.str();
+    check.holds = true;  // informational: documents the measured gap
+    report.claims.push_back(check);
+  }
+  return report;
+}
+
+}  // namespace dima::exp

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file figures.hpp
+/// Regenerators for every evaluation artifact of the paper (Figures 3–6 and
+/// the in-text quality claims). Each driver runs the corresponding workload,
+/// validates every run, and renders (a) a per-configuration table, (b) an
+/// ASCII scatter of rounds vs Δ grouped by graph size — the figure's shape —
+/// and (c) a paper-claim vs measured checklist. Raw per-run rows are
+/// returned as CSV for external replotting.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/experiments/harness.hpp"
+
+namespace dima::exp {
+
+/// One paper claim checked against the sweep.
+struct ClaimCheck {
+  std::string claim;     ///< the paper's statement
+  std::string measured;  ///< what this reproduction observed
+  bool holds = false;
+};
+
+struct FigureReport {
+  std::string id;       ///< "FIG3" ... "FIG6"
+  std::string title;
+  std::uint64_t seed = 0;
+  std::string table;    ///< per-config aggregate table
+  std::string plot;     ///< ASCII scatter, the figure's shape
+  std::string csv;      ///< raw per-run records
+  std::vector<ClaimCheck> claims;
+  SweepSummary summary;
+  std::vector<RunRecord> records;
+
+  /// Full human-readable rendering (table + plot + claims).
+  std::string render() const;
+  /// True when every claim holds and no run was invalid.
+  bool reproduced() const;
+};
+
+/// §IV-A / Fig. 3: Algorithm 1 on Erdős–Rényi graphs.
+FigureReport runFigure3(std::uint64_t seed = 0xf16'3ULL,
+                        std::size_t runsPerSpec = 50);
+/// §IV-B / Fig. 4: Algorithm 1 on scale-free graphs.
+FigureReport runFigure4(std::uint64_t seed = 0xf16'4ULL,
+                        std::size_t runsPerSpec = 50);
+/// §IV-C / Fig. 5: Algorithm 1 on small-world graphs.
+FigureReport runFigure5(std::uint64_t seed = 0xf16'5ULL,
+                        std::size_t runsPerSpec = 50);
+/// §IV-D / Fig. 6: Algorithm 2 on directed Erdős–Rényi graphs.
+FigureReport runFigure6(std::uint64_t seed = 0xf16'6ULL,
+                        std::size_t runsPerSpec = 50);
+
+}  // namespace dima::exp

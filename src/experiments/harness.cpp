@@ -1,0 +1,120 @@
+#include "src/experiments/harness.hpp"
+
+#include "src/graph/metrics.hpp"
+
+namespace dima::exp {
+
+namespace {
+
+/// Deterministic per-(spec, run) seeds so sweeps are reproducible and
+/// individual runs can be replayed in isolation.
+std::uint64_t runSeed(std::uint64_t master, std::size_t specIndex,
+                      std::size_t run) {
+  return support::mix64(support::mix64(master, specIndex), run);
+}
+
+}  // namespace
+
+std::vector<RunRecord> sweepMadec(const SweepConfig& config,
+                                  const coloring::MadecOptions& base) {
+  std::vector<RunRecord> records;
+  records.reserve(config.specs.size() * config.runsPerSpec);
+  for (std::size_t si = 0; si < config.specs.size(); ++si) {
+    for (std::size_t run = 0; run < config.runsPerSpec; ++run) {
+      const std::uint64_t seed = runSeed(config.seed, si, run);
+      support::Rng graphRng(support::mix64(seed, 0x6a1));
+      const graph::Graph g = makeGraph(config.specs[si], graphRng);
+
+      coloring::MadecOptions options = base;
+      options.seed = seed;
+      const coloring::EdgeColoringResult result =
+          coloring::colorEdgesMadec(g, options);
+
+      RunRecord rec;
+      rec.specIndex = si;
+      rec.n = g.numVertices();
+      rec.delta = g.maxDegree();
+      rec.rounds = result.metrics.computationRounds;
+      rec.commRounds = result.metrics.commRounds;
+      rec.broadcasts = result.metrics.broadcasts;
+      rec.colors = result.colorsUsed();
+      rec.colorExcess = static_cast<std::int64_t>(rec.colors) -
+                        static_cast<std::int64_t>(rec.delta);
+      rec.converged = result.metrics.converged;
+      rec.valid = static_cast<bool>(coloring::verifyEdgeColoring(
+          g, result.colors, /*allowPartial=*/!result.metrics.converged));
+      records.push_back(rec);
+    }
+  }
+  return records;
+}
+
+std::vector<RunRecord> sweepDima2Ed(const SweepConfig& config,
+                                    const coloring::Dima2EdOptions& base) {
+  std::vector<RunRecord> records;
+  records.reserve(config.specs.size() * config.runsPerSpec);
+  for (std::size_t si = 0; si < config.specs.size(); ++si) {
+    for (std::size_t run = 0; run < config.runsPerSpec; ++run) {
+      const std::uint64_t seed = runSeed(config.seed, si, run);
+      support::Rng graphRng(support::mix64(seed, 0x6a1));
+      const graph::Graph g = makeGraph(config.specs[si], graphRng);
+      const graph::Digraph d(g);
+
+      coloring::Dima2EdOptions options = base;
+      options.seed = seed;
+      const coloring::ArcColoringResult result =
+          coloring::colorArcsDima2Ed(d, options);
+
+      RunRecord rec;
+      rec.specIndex = si;
+      rec.n = g.numVertices();
+      rec.delta = g.maxDegree();
+      rec.rounds = result.metrics.computationRounds;
+      rec.commRounds = result.metrics.commRounds;
+      rec.broadcasts = result.metrics.broadcasts;
+      rec.colors = result.colorsUsed();
+      rec.colorExcess =
+          static_cast<std::int64_t>(rec.colors) -
+          static_cast<std::int64_t>(graph::strongColoringLowerBound(g));
+      rec.converged = result.metrics.converged;
+      rec.conflicts = coloring::countStrongConflicts(d, result.colors);
+      rec.valid = static_cast<bool>(coloring::verifyStrongArcColoring(
+          d, result.colors, /*allowPartial=*/!result.metrics.converged));
+      records.push_back(rec);
+    }
+  }
+  return records;
+}
+
+SweepSummary summarize(const std::vector<GraphSpec>& specs,
+                       const std::vector<RunRecord>& records) {
+  SweepSummary summary;
+  summary.perSpec.resize(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    summary.perSpec[i].spec = specs[i];
+  }
+  for (const RunRecord& rec : records) {
+    DIMA_REQUIRE(rec.specIndex < specs.size(), "record spec out of range");
+    SpecAggregate& agg = summary.perSpec[rec.specIndex];
+    const auto delta = static_cast<double>(rec.delta);
+    const auto rounds = static_cast<double>(rec.rounds);
+    agg.delta.add(delta);
+    agg.rounds.add(rounds);
+    agg.colors.add(static_cast<double>(rec.colors));
+    if (rec.delta > 0) agg.roundsPerDelta.add(rounds / delta);
+    agg.colorExcess.add(rec.colorExcess);
+    ++agg.runs;
+    if (!rec.valid) ++agg.invalidRuns;
+    if (!rec.converged) ++agg.unconverged;
+    if (rec.conflicts > 0) ++agg.conflictRuns;
+
+    summary.roundsVsDelta.add(delta, rounds);
+    summary.colorExcess.add(rec.colorExcess);
+    ++summary.runs;
+    if (!rec.valid) ++summary.invalidRuns;
+    if (!rec.converged) ++summary.unconverged;
+  }
+  return summary;
+}
+
+}  // namespace dima::exp

@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file harness.hpp
+/// Sweep driver: runs a coloring algorithm over a workload many times with
+/// fresh graphs, validates every run with the independent checkers, and
+/// aggregates the statistics the paper's figures plot.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/coloring/dima2ed.hpp"
+#include "src/coloring/madec.hpp"
+#include "src/coloring/validate.hpp"
+#include "src/experiments/workload.hpp"
+#include "src/support/stats.hpp"
+
+namespace dima::exp {
+
+/// One run = one fresh random graph + one algorithm execution.
+struct RunRecord {
+  std::size_t specIndex = 0;    ///< index into the sweep's spec list
+  std::size_t n = 0;
+  std::size_t delta = 0;        ///< Δ of the sampled graph
+  std::uint64_t rounds = 0;     ///< computation rounds to completion
+  std::uint64_t commRounds = 0;
+  std::uint64_t broadcasts = 0;
+  std::size_t colors = 0;       ///< distinct colors used
+  std::int64_t colorExcess = 0; ///< colors − Δ (MaDEC) or colors − lower bound
+  bool converged = false;
+  bool valid = false;           ///< independent validator verdict
+  std::size_t conflicts = 0;    ///< strong-coloring conflicts (DiMa2Ed audit)
+};
+
+struct SweepConfig {
+  std::vector<GraphSpec> specs;
+  std::size_t runsPerSpec = 50;
+  std::uint64_t seed = 0x5eedULL;
+};
+
+/// Runs Algorithm 1 over the workload. Every record's `valid` comes from
+/// `verifyEdgeColoring`; `colorExcess` = colors − Δ (the paper's quality
+/// metric: Conjecture 2 expects ≤ 1 typically).
+std::vector<RunRecord> sweepMadec(const SweepConfig& config,
+                                  const coloring::MadecOptions& base = {});
+
+/// Runs Algorithm 2 over the workload (graphs are symmetrized). `valid`
+/// comes from `verifyStrongArcColoring`; `conflicts` counts residual
+/// same-color conflicting pairs (non-zero only in Paper mode);
+/// `colorExcess` = colors − strongColoringLowerBound(graph).
+std::vector<RunRecord> sweepDima2Ed(const SweepConfig& config,
+                                    const coloring::Dima2EdOptions& base = {});
+
+/// Per-spec and whole-sweep aggregation used by the figure renderers.
+struct SpecAggregate {
+  GraphSpec spec;
+  support::OnlineStats delta;
+  support::OnlineStats rounds;
+  support::OnlineStats colors;
+  support::OnlineStats roundsPerDelta;
+  support::IntHistogram colorExcess;
+  std::size_t runs = 0;
+  std::size_t invalidRuns = 0;
+  std::size_t unconverged = 0;
+  std::size_t conflictRuns = 0;
+};
+
+struct SweepSummary {
+  std::vector<SpecAggregate> perSpec;
+  support::LinearFit roundsVsDelta;  ///< pooled over every run
+  support::IntHistogram colorExcess;
+  std::size_t runs = 0;
+  std::size_t invalidRuns = 0;
+  std::size_t unconverged = 0;
+};
+
+SweepSummary summarize(const std::vector<GraphSpec>& specs,
+                       const std::vector<RunRecord>& records);
+
+}  // namespace dima::exp

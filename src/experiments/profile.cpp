@@ -1,0 +1,56 @@
+#include "src/experiments/profile.hpp"
+
+#include <algorithm>
+
+#include "src/graph/metrics.hpp"
+#include "src/net/spanning_tree.hpp"
+#include "src/net/trace.hpp"
+#include "src/support/stats.hpp"
+
+namespace dima::exp {
+
+CompletionProfile madecCompletionProfile(const graph::Graph& g,
+                                         coloring::MadecOptions options,
+                                         graph::VertexId detectionRoot) {
+  DIMA_REQUIRE(graph::isConnected(g),
+               "completion profile needs a connected graph (the "
+               "convergecast tree must span it)");
+  net::TraceLog trace;
+  trace.enable();
+  options.trace = &trace;
+  options.pool = nullptr;
+  const coloring::EdgeColoringResult result =
+      coloring::colorEdgesMadec(g, options);
+  DIMA_REQUIRE(result.metrics.converged, "profiled run did not converge");
+
+  CompletionProfile profile;
+  profile.colors = result.colorsUsed();
+  // Nodes done at initialization (degree 0) never emit NodeDone; default 0.
+  // NodeDone events carry the cycle in which the node retired; the node is
+  // "done at the end of" that cycle, i.e. available to report in cycle+1 —
+  // we use the cycle index itself, consistent with lastCompletion being the
+  // run's round count.
+  profile.completionRound.assign(g.numVertices(), 0);
+  for (const net::TraceEvent& event : trace.events()) {
+    if (event.kind == net::TraceKind::NodeDone) {
+      profile.completionRound[event.node] = event.cycle + 1;
+    }
+  }
+  std::vector<double> samples;
+  samples.reserve(g.numVertices());
+  for (std::uint64_t r : profile.completionRound) {
+    profile.lastCompletion = std::max(profile.lastCompletion, r);
+    samples.push_back(static_cast<double>(r));
+  }
+  profile.p50 = support::quantile(samples, 0.5);
+  profile.p90 = support::quantile(samples, 0.9);
+  profile.p99 = support::quantile(samples, 0.99);
+
+  const net::SpanningTree tree =
+      net::buildSpanningTreeFlood(g, detectionRoot);
+  profile.treeBuildRounds = tree.buildRounds;
+  profile.detectionRound = net::detectionRound(tree, profile.completionRound);
+  return profile;
+}
+
+}  // namespace dima::exp

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file profile.hpp
+/// Per-node completion profiles. The paper's figures report when the *last*
+/// node finishes; the distribution matters too — Proposition 3's worst case
+/// is a tail event, and a real deployment additionally pays a convergecast
+/// before anyone *knows* the run is over. This module measures both:
+/// per-node completion rounds (from the event trace) with quantiles, plus
+/// the exact detection round over a distributively built BFS tree
+/// (net::spanning_tree).
+
+#include <cstdint>
+#include <vector>
+
+#include "src/coloring/madec.hpp"
+#include "src/graph/graph.hpp"
+
+namespace dima::exp {
+
+struct CompletionProfile {
+  /// Computation round in which each node entered D (0 for nodes done at
+  /// start, e.g. isolated vertices).
+  std::vector<std::uint64_t> completionRound;
+  std::uint64_t lastCompletion = 0;  ///< the figure-reported round count
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+  /// Rounds to build the BFS tree by flooding (a real deployment's phase 0).
+  std::uint64_t treeBuildRounds = 0;
+  /// Round at which the root *detects* global termination via convergecast.
+  std::uint64_t detectionRound = 0;
+  /// colors used, for context.
+  std::size_t colors = 0;
+};
+
+/// Runs MaDEC on the *connected* graph `g` and profiles it. The trace and
+/// pool fields of `options` are overridden internally (profiling needs the
+/// serial executor and its own trace).
+CompletionProfile madecCompletionProfile(const graph::Graph& g,
+                                         coloring::MadecOptions options = {},
+                                         graph::VertexId detectionRoot = 0);
+
+}  // namespace dima::exp

@@ -1,0 +1,86 @@
+#include "src/experiments/replot.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+#include "src/support/csv.hpp"
+#include "src/support/stats.hpp"
+#include "src/support/table.hpp"
+
+namespace dima::exp {
+
+ReplotResult replotFigureCsv(const std::string& csvText,
+                             const std::string& title) {
+  ReplotResult out;
+  std::istringstream in(csvText);
+  std::string line;
+  if (!std::getline(in, line)) {
+    out.error = "empty CSV";
+    return out;
+  }
+  const auto header = support::parseCsvLine(line);
+  auto columnOf = [&](const std::string& name) -> std::ptrdiff_t {
+    for (std::size_t i = 0; i < header.size(); ++i) {
+      if (header[i] == name) return static_cast<std::ptrdiff_t>(i);
+    }
+    return -1;
+  };
+  const std::ptrdiff_t nCol = columnOf("n");
+  const std::ptrdiff_t deltaCol = columnOf("delta");
+  const std::ptrdiff_t roundsCol = columnOf("rounds");
+  if (nCol < 0 || deltaCol < 0 || roundsCol < 0) {
+    out.error = "CSV header must contain n, delta and rounds columns";
+    return out;
+  }
+
+  std::map<std::string, support::PlotSeries> byN;
+  support::LinearFit fit;
+  const char glyphs[] = {'o', '*', '+', 'x', '#', '@'};
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto cells = support::parseCsvLine(line);
+    const auto need = static_cast<std::size_t>(
+        std::max({nCol, deltaCol, roundsCol}));
+    if (cells.size() <= need) {
+      out.error = "row with too few cells";
+      return out;
+    }
+    const std::string n = cells[static_cast<std::size_t>(nCol)];
+    const double delta =
+        std::strtod(cells[static_cast<std::size_t>(deltaCol)].c_str(),
+                    nullptr);
+    const double rounds =
+        std::strtod(cells[static_cast<std::size_t>(roundsCol)].c_str(),
+                    nullptr);
+    auto [it, inserted] = byN.try_emplace(n);
+    if (inserted) {
+      it->second.name = "n=" + n;
+      it->second.glyph = glyphs[(byN.size() - 1) % sizeof(glyphs)];
+    }
+    it->second.x.push_back(delta);
+    it->second.y.push_back(rounds);
+    fit.add(delta, rounds);
+    ++out.rows;
+  }
+  if (out.rows == 0) {
+    out.error = "no data rows";
+    return out;
+  }
+
+  support::AsciiPlot plot(title, "max degree D", "computation rounds");
+  for (auto& [n, series] : byN) plot.add(series);
+  if (fit.count() >= 2) {
+    std::ostringstream name;
+    name << "fit: " << support::TextTable::format(fit.slope()) << "*D + "
+         << support::TextTable::format(fit.intercept())
+         << " (r2=" << support::TextTable::format(fit.r2()) << ")";
+    plot.addGuide(name.str(), fit.slope(), fit.intercept());
+  }
+  out.plot = plot.render();
+  out.ok = true;
+  return out;
+}
+
+}  // namespace dima::exp

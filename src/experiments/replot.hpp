@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file replot.hpp
+/// Re-renders a figure bench's raw CSV (the `figN_records.csv` files) as
+/// the ASCII rounds-vs-Δ scatter without re-running the sweep — the
+/// round-trip tool for sharing and inspecting experiment outputs.
+
+#include <string>
+
+namespace dima::exp {
+
+struct ReplotResult {
+  bool ok = false;
+  std::string error;
+  std::string plot;
+  std::size_t rows = 0;
+};
+
+/// Parses the CSV text (header must contain `n`, `delta` and `rounds`
+/// columns, as written by the figure benches) and renders the scatter
+/// grouped by n. `title` is printed above the plot.
+ReplotResult replotFigureCsv(const std::string& csvText,
+                             const std::string& title = "replot");
+
+}  // namespace dima::exp

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file workload.hpp
+/// Workload specifications for the paper's evaluation (§IV). Each figure is
+/// a set of graph-family configurations run many times with fresh random
+/// graphs; a `GraphSpec` captures one configuration, and `makeGraph`
+/// materializes a sample from it.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/generators.hpp"
+#include "src/graph/graph.hpp"
+#include "src/support/rng.hpp"
+
+namespace dima::exp {
+
+enum class Family : std::uint8_t {
+  ErdosRenyi,  ///< param1 = average degree
+  ScaleFree,   ///< param1 = edges per newcomer (m), param2 = attachment power
+  SmallWorld,  ///< param1 = lattice degree k, param2 = rewiring beta
+  RandomTree,
+  RandomRegular,  ///< param1 = degree
+};
+
+const char* familyName(Family f);
+
+struct GraphSpec {
+  Family family = Family::ErdosRenyi;
+  std::size_t n = 0;
+  double param1 = 0.0;
+  double param2 = 0.0;
+
+  /// Compact label for tables, e.g. "er n=200 d=8" or "ws n=256 k=42 b=0.25".
+  std::string label() const;
+};
+
+/// Samples one graph from the spec using the caller's stream.
+graph::Graph makeGraph(const GraphSpec& spec, support::Rng& rng);
+
+/// The exact workloads of the paper's four experiments.
+/// §IV-A: Erdős–Rényi, n ∈ {200,400} × average degree ∈ {4,8,16}.
+std::vector<GraphSpec> figure3Workload();
+/// §IV-B: scale-free, n ∈ {100,400} × attachment powers {0.5, 1.0, 1.5}.
+std::vector<GraphSpec> figure4Workload();
+/// §IV-C: small-world, n ∈ {16,64,256} × {sparse, dense}.
+std::vector<GraphSpec> figure5Workload();
+/// §IV-D: Erdős–Rényi (symmetric digraph), n ∈ {200,400} × degree {4,8}.
+std::vector<GraphSpec> figure6Workload();
+
+}  // namespace dima::exp

@@ -1,0 +1,26 @@
+#include "src/graph/builder.hpp"
+
+namespace dima::graph {
+
+bool GraphBuilder::addEdge(VertexId a, VertexId b) {
+  if (a == b) return false;
+  ensureVertex(a);
+  ensureVertex(b);
+  if (!seen_.insert(key(a, b)).second) return false;
+  edges_.push_back(a < b ? Edge{a, b} : Edge{b, a});
+  return true;
+}
+
+bool GraphBuilder::hasEdge(VertexId a, VertexId b) const {
+  return seen_.contains(key(a, b));
+}
+
+Graph GraphBuilder::build() {
+  Graph g(n_, std::move(edges_));
+  edges_.clear();
+  seen_.clear();
+  n_ = 0;
+  return g;
+}
+
+}  // namespace dima::graph

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file builder.hpp
+/// Mutable assembly front-end for `Graph`. Deduplicates edges, rejects
+/// self-loops, and can grow the vertex range on demand — the generators and
+/// file readers all funnel through it.
+
+#include <unordered_set>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+
+namespace dima::graph {
+
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::size_t n = 0) : n_(n) {}
+
+  std::size_t numVertices() const { return n_; }
+  std::size_t numEdges() const { return edges_.size(); }
+
+  /// Ensures the vertex range covers `v`.
+  void ensureVertex(VertexId v) {
+    if (v >= n_) n_ = static_cast<std::size_t>(v) + 1;
+  }
+
+  /// Adds the undirected edge {a,b} if absent. Returns true when inserted.
+  /// Self-loops are rejected with `false`.
+  bool addEdge(VertexId a, VertexId b);
+
+  /// True when {a,b} was already added.
+  bool hasEdge(VertexId a, VertexId b) const;
+
+  /// Finalizes into an immutable Graph; the builder is left empty.
+  Graph build();
+
+ private:
+  static std::uint64_t key(VertexId a, VertexId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+
+  std::size_t n_;
+  std::vector<Edge> edges_;
+  std::unordered_set<std::uint64_t> seen_;
+};
+
+}  // namespace dima::graph

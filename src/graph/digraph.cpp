@@ -1,0 +1,42 @@
+#include "src/graph/digraph.hpp"
+
+namespace dima::graph {
+
+Digraph::Digraph(Graph g) : graph_(std::move(g)) {
+  const std::size_t n = graph_.numVertices();
+  offsets_.assign(n + 1, 0);
+  outArcs_.resize(graph_.numEdges() * 2);
+  std::size_t cursor = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    offsets_[v] = cursor;
+    for (const Incidence& inc : graph_.incidences(v)) {
+      const Edge& e = graph_.edge(inc.edge);
+      // Arc 2e runs from the lower endpoint; v may be either endpoint.
+      outArcs_[cursor++] = (v == e.u) ? arcOfEdgeForward(inc.edge)
+                                      : arcOfEdgeBackward(inc.edge);
+    }
+  }
+  offsets_[n] = cursor;
+}
+
+Arc Digraph::arc(ArcId a) const {
+  DIMA_REQUIRE(a < numArcs(), "arc id " << a << " out of range");
+  const EdgeId e = a / 2;
+  const Edge& edge = graph_.edge(e);
+  if ((a & 1U) == 0) return Arc{edge.u, edge.v, e};
+  return Arc{edge.v, edge.u, e};
+}
+
+ArcId Digraph::findArc(VertexId a, VertexId b) const {
+  const EdgeId e = graph_.findEdge(a, b);
+  if (e == kNoEdge) return kNoArc;
+  const Edge& edge = graph_.edge(e);
+  return (a == edge.u) ? arcOfEdgeForward(e) : arcOfEdgeBackward(e);
+}
+
+std::span<const ArcId> Digraph::outArcs(VertexId v) const {
+  DIMA_REQUIRE(v < numVertices(), "vertex id " << v << " out of range");
+  return {outArcs_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+}
+
+}  // namespace dima::graph

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file digraph.hpp
+/// Symmetric digraph: the directed view the DiMa2Ed algorithm colors.
+///
+/// The paper's strong-coloring algorithm runs on "symmetric digraphs" — every
+/// link of the (wireless) network is a pair of antiparallel arcs, each of
+/// which receives its own color (a channel per transmission direction).
+/// `Digraph` is therefore *derived from* an undirected `Graph`: undirected
+/// edge `e = {a,b}` (with a < b) induces arcs `2e` (a→b) and `2e+1` (b→a),
+/// so `reverse(arc) == arc ^ 1` and arc ids are dense `0..2m-1`.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+
+namespace dima::graph {
+
+using ArcId = std::uint32_t;
+inline constexpr ArcId kNoArc = static_cast<ArcId>(-1);
+
+/// A directed arc with its underlying undirected edge.
+struct Arc {
+  VertexId from = kNoVertex;
+  VertexId to = kNoVertex;
+  EdgeId edge = kNoEdge;
+
+  friend bool operator==(const Arc&, const Arc&) = default;
+};
+
+class Digraph {
+ public:
+  Digraph() = default;
+
+  /// Symmetric closure of `g`. The graph is copied in (value semantics).
+  explicit Digraph(Graph g);
+
+  const Graph& underlying() const { return graph_; }
+
+  std::size_t numVertices() const { return graph_.numVertices(); }
+  std::size_t numArcs() const { return graph_.numEdges() * 2; }
+
+  /// Arc endpoints by id.
+  Arc arc(ArcId a) const;
+
+  /// The antiparallel twin.
+  static ArcId reverse(ArcId a) { return a ^ 1U; }
+
+  /// Arc ids of the two directions of edge `e`: (lo→hi, hi→lo).
+  static ArcId arcOfEdgeForward(EdgeId e) { return e * 2; }
+  static ArcId arcOfEdgeBackward(EdgeId e) { return e * 2 + 1; }
+
+  /// Arc id from `a` to `b`, or kNoArc when not adjacent.
+  ArcId findArc(VertexId a, VertexId b) const;
+
+  /// Out-degree == in-degree == undirected degree.
+  std::size_t outDegree(VertexId v) const { return graph_.degree(v); }
+
+  /// Arc ids leaving `v`, neighbor-sorted (parallel to
+  /// `underlying().incidences(v)`).
+  std::span<const ArcId> outArcs(VertexId v) const;
+
+  /// In-arc of `v` paired with `outArcs(v)[i]` is `reverse(outArcs(v)[i])`.
+  static ArcId inArcFor(ArcId outArc) { return reverse(outArc); }
+
+ private:
+  Graph graph_{0};
+  std::vector<ArcId> outArcs_;          // 2m entries, CSR-shaped like adjacency
+  std::vector<std::size_t> offsets_;    // n+1 entries
+};
+
+}  // namespace dima::graph

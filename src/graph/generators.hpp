@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file generators.hpp
+/// Random and structured graph generators.
+///
+/// The paper's evaluation (§IV) uses three random families produced with
+/// igraph: Erdős–Rényi, scale-free (preferential attachment with adjustable
+/// weighting — igraph's `power` parameter), and Watts–Strogatz small-world
+/// graphs. We implement those plus the structured families used by the test
+/// suite (worst cases, trees for the Gandham baseline, unit-disk graphs for
+/// the channel-assignment example).
+///
+/// Every generator takes the caller's `Rng` so experiment workloads are
+/// reproducible from a master seed.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+#include "src/support/rng.hpp"
+
+namespace dima::graph {
+
+using support::Rng;
+
+/// G(n, m): exactly `m` distinct edges chosen uniformly from all non-loop
+/// pairs. Precondition: m <= n(n-1)/2.
+Graph erdosRenyiGnm(std::size_t n, std::size_t m, Rng& rng);
+
+/// G(n, m) parameterized the way the paper reports it: an average degree d,
+/// i.e. m = round(n*d/2).
+Graph erdosRenyiAvgDegree(std::size_t n, double avgDegree, Rng& rng);
+
+/// G(n, p): each pair independently with probability p (geometric skipping,
+/// O(n + m) expected).
+Graph erdosRenyiGnp(std::size_t n, double p, Rng& rng);
+
+/// Barabási–Albert preferential attachment: nodes arrive one at a time and
+/// connect `m` edges to existing nodes chosen with probability proportional
+/// to degree^power + 1. `power = 1` is classic BA; larger powers concentrate
+/// edges on hubs ("increasingly disparate graphs", §IV-B). Precondition:
+/// 1 <= m < n.
+Graph barabasiAlbert(std::size_t n, std::size_t m, double power, Rng& rng);
+
+/// Watts–Strogatz small world: ring lattice where each vertex connects to
+/// its k/2 nearest neighbors on each side, then every lattice edge is
+/// rewired with probability beta. Preconditions: k even, 0 < k < n,
+/// beta in [0,1].
+Graph wattsStrogatz(std::size_t n, std::size_t k, double beta, Rng& rng);
+
+/// K_n.
+Graph complete(std::size_t n);
+/// Cycle C_n (n >= 3).
+Graph cycle(std::size_t n);
+/// Path P_n.
+Graph path(std::size_t n);
+/// Star with one hub and n-1 leaves (n >= 1); Δ = n-1, the greedy worst case.
+Graph star(std::size_t n);
+/// rows × cols grid.
+Graph grid(std::size_t rows, std::size_t cols);
+/// Uniform random recursive tree: node i attaches to a uniform earlier node.
+Graph randomTree(std::size_t n, Rng& rng);
+/// Random d-regular graph via the pairing model (retries until simple).
+/// Preconditions: n*d even, d < n.
+Graph randomRegular(std::size_t n, std::size_t d, Rng& rng);
+/// Random bipartite graph: sides of size a and b, each cross pair with
+/// probability p.
+Graph randomBipartite(std::size_t a, std::size_t b, double p, Rng& rng);
+
+/// A unit-disk ("ad-hoc radio") graph: n nodes uniform in the unit square,
+/// edges between pairs within `radius`. Returns positions for rendering and
+/// interference checks in the channel-assignment example.
+struct GeometricGraph {
+  Graph graph{0};
+  std::vector<std::pair<double, double>> positions;
+};
+GeometricGraph randomGeometric(std::size_t n, double radius, Rng& rng);
+
+}  // namespace dima::graph

@@ -1,0 +1,79 @@
+#include "src/graph/graph.hpp"
+
+#include <algorithm>
+
+namespace dima::graph {
+
+Graph::Graph(std::size_t n) : offsets_(n + 1, 0) {}
+
+Graph::Graph(std::size_t n, std::vector<Edge> edges)
+    : edges_(std::move(edges)), offsets_(n + 1, 0) {
+  // Canonicalize and validate.
+  for (auto& e : edges_) {
+    DIMA_REQUIRE(e.u < n && e.v < n,
+                 "edge (" << e.u << "," << e.v << ") outside vertex range "
+                          << n);
+    DIMA_REQUIRE(e.u != e.v, "self-loop at vertex " << e.u);
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+
+  // Counting pass for CSR offsets.
+  for (const auto& e : edges_) {
+    ++offsets_[e.u + 1];
+    ++offsets_[e.v + 1];
+  }
+  for (std::size_t i = 1; i < offsets_.size(); ++i) {
+    offsets_[i] += offsets_[i - 1];
+  }
+
+  adjacency_.resize(edges_.size() * 2);
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (EdgeId id = 0; id < edges_.size(); ++id) {
+    const Edge& e = edges_[id];
+    adjacency_[cursor[e.u]++] = Incidence{e.v, id};
+    adjacency_[cursor[e.v]++] = Incidence{e.u, id};
+  }
+
+  // Neighbor-sort each vertex's slice so hasEdge can binary-search, and
+  // reject duplicate edges.
+  for (VertexId v = 0; v + 1 < offsets_.size(); ++v) {
+    auto begin = adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[v]);
+    auto end =
+        adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[v + 1]);
+    std::sort(begin, end, [](const Incidence& a, const Incidence& b) {
+      return a.neighbor < b.neighbor;
+    });
+    for (auto it = begin; it != end; ++it) {
+      if (it + 1 != end) {
+        DIMA_REQUIRE((it + 1)->neighbor != it->neighbor,
+                     "duplicate edge (" << v << "," << it->neighbor << ")");
+      }
+    }
+    maxDegree_ =
+        std::max(maxDegree_, static_cast<std::size_t>(end - begin));
+  }
+}
+
+double Graph::averageDegree() const {
+  const std::size_t n = numVertices();
+  if (n == 0) return 0.0;
+  return 2.0 * static_cast<double>(numEdges()) / static_cast<double>(n);
+}
+
+bool Graph::hasEdge(VertexId a, VertexId b) const {
+  return findEdge(a, b) != kNoEdge;
+}
+
+EdgeId Graph::findEdge(VertexId a, VertexId b) const {
+  checkVertex(a);
+  checkVertex(b);
+  if (degree(a) > degree(b)) std::swap(a, b);
+  const auto inc = incidences(a);
+  const auto it = std::lower_bound(
+      inc.begin(), inc.end(), b,
+      [](const Incidence& i, VertexId target) { return i.neighbor < target; });
+  if (it != inc.end() && it->neighbor == b) return it->edge;
+  return kNoEdge;
+}
+
+}  // namespace dima::graph

@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file graph.hpp
+/// Immutable undirected simple graph with stable vertex/edge identifiers and
+/// CSR adjacency.
+///
+/// The algorithms address *edges* (colors are per-edge) and iterate a
+/// vertex's incident edges constantly, so the adjacency stores
+/// (neighbor, edge-id) pairs. Vertices are dense `0..n-1`; edge ids are dense
+/// `0..m-1` in construction order with canonical endpoints `u() <= v()`.
+///
+/// Graphs are value types: cheap to move, deep-copied on copy, immutable
+/// after construction (use `GraphBuilder` to assemble).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/support/assert.hpp"
+
+namespace dima::graph {
+
+using VertexId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+/// Sentinel for "no vertex/edge".
+inline constexpr VertexId kNoVertex = static_cast<VertexId>(-1);
+inline constexpr EdgeId kNoEdge = static_cast<EdgeId>(-1);
+
+/// An undirected edge with canonical endpoint order (u <= v).
+struct Edge {
+  VertexId u = kNoVertex;
+  VertexId v = kNoVertex;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+
+  /// The endpoint that is not `x`. Precondition: `x` is an endpoint.
+  VertexId other(VertexId x) const {
+    DIMA_ASSERT(x == u || x == v, "vertex " << x << " not on edge");
+    return x == u ? v : u;
+  }
+};
+
+/// One adjacency entry: the neighbor reached and the id of the edge used.
+struct Incidence {
+  VertexId neighbor = kNoVertex;
+  EdgeId edge = kNoEdge;
+
+  friend bool operator==(const Incidence&, const Incidence&) = default;
+};
+
+class Graph {
+ public:
+  /// Empty graph with `n` isolated vertices.
+  explicit Graph(std::size_t n = 0);
+
+  /// Builds from an edge list. Endpoints must be < n; the list must contain
+  /// no self-loops or duplicates (GraphBuilder enforces this and is the
+  /// recommended front door).
+  Graph(std::size_t n, std::vector<Edge> edges);
+
+  std::size_t numVertices() const { return offsets_.size() - 1; }
+  std::size_t numEdges() const { return edges_.size(); }
+
+  /// Degree of `v`.
+  std::size_t degree(VertexId v) const {
+    checkVertex(v);
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Maximum degree Δ (0 for an empty graph).
+  std::size_t maxDegree() const { return maxDegree_; }
+
+  /// Average degree 2m/n (0 for an empty graph).
+  double averageDegree() const;
+
+  /// Incident (neighbor, edge) pairs of `v`, neighbor-sorted.
+  std::span<const Incidence> incidences(VertexId v) const {
+    checkVertex(v);
+    return {adjacency_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  /// Endpoints of edge `e`.
+  const Edge& edge(EdgeId e) const {
+    DIMA_REQUIRE(e < edges_.size(), "edge id " << e << " out of range");
+    return edges_[e];
+  }
+
+  /// All edges, id order.
+  std::span<const Edge> edges() const { return edges_; }
+
+  /// True when `a` and `b` are adjacent (binary search, O(log deg)).
+  bool hasEdge(VertexId a, VertexId b) const;
+
+  /// Edge id joining `a` and `b`, or kNoEdge.
+  EdgeId findEdge(VertexId a, VertexId b) const;
+
+  friend bool operator==(const Graph& x, const Graph& y) {
+    return x.edges_ == y.edges_ && x.numVertices() == y.numVertices();
+  }
+
+ private:
+  void checkVertex(VertexId v) const {
+    DIMA_REQUIRE(v + 1 < offsets_.size(), "vertex id " << v << " out of range");
+  }
+
+  std::vector<Edge> edges_;
+  std::vector<std::size_t> offsets_;    // n+1 entries
+  std::vector<Incidence> adjacency_;    // 2m entries, neighbor-sorted per vertex
+  std::size_t maxDegree_ = 0;
+};
+
+}  // namespace dima::graph

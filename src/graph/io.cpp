@@ -1,0 +1,125 @@
+#include "src/graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/graph/builder.hpp"
+
+namespace dima::graph {
+
+namespace {
+
+/// A small qualitative palette for DOT rendering; indices wrap around.
+const char* dotColor(int cls) {
+  static const char* kPalette[] = {
+      "red",     "blue",   "green3",  "orange",  "purple", "brown",
+      "cyan3",   "magenta", "gold3",  "gray40",  "pink3",  "olive",
+      "navy",    "teal",   "crimson", "indigo"};
+  if (cls < 0) return "black";
+  return kPalette[static_cast<std::size_t>(cls) % (sizeof(kPalette) /
+                                                   sizeof(kPalette[0]))];
+}
+
+}  // namespace
+
+std::string toEdgeList(const Graph& g) {
+  std::ostringstream oss;
+  oss << "# dimacol edge list\n";
+  oss << "n " << g.numVertices() << '\n';
+  for (const Edge& e : g.edges()) oss << e.u << ' ' << e.v << '\n';
+  return oss.str();
+}
+
+Graph fromEdgeList(const std::string& text) {
+  std::istringstream iss(text);
+  GraphBuilder b;
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(iss, line)) {
+    ++lineNo;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string first;
+    if (!(ls >> first)) continue;  // blank/comment line
+    if (first == "n") {
+      std::size_t n = 0;
+      DIMA_REQUIRE(static_cast<bool>(ls >> n),
+                   "edge list line " << lineNo << ": malformed 'n' header");
+      if (n > 0) b.ensureVertex(static_cast<VertexId>(n - 1));
+      continue;
+    }
+    std::uint64_t u = 0, v = 0;
+    std::istringstream cell(first);
+    DIMA_REQUIRE(static_cast<bool>(cell >> u) && static_cast<bool>(ls >> v),
+                 "edge list line " << lineNo << ": expected 'u v'");
+    DIMA_REQUIRE(u != v, "edge list line " << lineNo << ": self-loop");
+    b.addEdge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  }
+  return b.build();
+}
+
+bool saveEdgeList(const Graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << toEdgeList(g);
+  return static_cast<bool>(out);
+}
+
+Graph loadEdgeList(const std::string& path, bool* ok) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (ok) *ok = false;
+    return Graph(0);
+  }
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  if (ok) *ok = true;
+  return fromEdgeList(oss.str());
+}
+
+std::string toDot(const Graph& g, const std::vector<int>& edgeColorClasses) {
+  DIMA_REQUIRE(edgeColorClasses.empty() ||
+                   edgeColorClasses.size() == g.numEdges(),
+               "edge color vector size mismatch");
+  std::ostringstream oss;
+  oss << "graph dimacol {\n  node [shape=circle];\n";
+  for (VertexId v = 0; v < g.numVertices(); ++v) {
+    oss << "  " << v << ";\n";
+  }
+  for (EdgeId e = 0; e < g.numEdges(); ++e) {
+    const Edge& edge = g.edge(e);
+    oss << "  " << edge.u << " -- " << edge.v;
+    if (!edgeColorClasses.empty()) {
+      oss << " [color=" << dotColor(edgeColorClasses[e]) << ", label=\""
+          << edgeColorClasses[e] << "\"]";
+    }
+    oss << ";\n";
+  }
+  oss << "}\n";
+  return oss.str();
+}
+
+std::string toDot(const Digraph& d, const std::vector<int>& arcColorClasses) {
+  DIMA_REQUIRE(arcColorClasses.empty() ||
+                   arcColorClasses.size() == d.numArcs(),
+               "arc color vector size mismatch");
+  std::ostringstream oss;
+  oss << "digraph dimacol {\n  node [shape=circle];\n";
+  for (VertexId v = 0; v < d.numVertices(); ++v) {
+    oss << "  " << v << ";\n";
+  }
+  for (ArcId a = 0; a < d.numArcs(); ++a) {
+    const Arc arc = d.arc(a);
+    oss << "  " << arc.from << " -> " << arc.to;
+    if (!arcColorClasses.empty()) {
+      oss << " [color=" << dotColor(arcColorClasses[a]) << ", label=\""
+          << arcColorClasses[a] << "\"]";
+    }
+    oss << ";\n";
+  }
+  oss << "}\n";
+  return oss.str();
+}
+
+}  // namespace dima::graph

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file io.hpp
+/// Plain-text graph exchange: whitespace edge lists (one `u v` pair per line,
+/// `#` comments, optional leading `n <count>` header for isolated vertices)
+/// and Graphviz DOT export with optional per-edge color classes for visual
+/// inspection of colorings.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/graph/digraph.hpp"
+#include "src/graph/graph.hpp"
+
+namespace dima::graph {
+
+/// Serializes to the edge-list format.
+std::string toEdgeList(const Graph& g);
+/// Parses the edge-list format; throws contract failure on malformed input
+/// via DIMA_REQUIRE.
+Graph fromEdgeList(const std::string& text);
+
+/// Writes/reads edge lists on disk. Returns false on I/O failure.
+bool saveEdgeList(const Graph& g, const std::string& path);
+/// Loads a graph; `ok` (when non-null) reports I/O failure instead of
+/// contract failure.
+Graph loadEdgeList(const std::string& path, bool* ok = nullptr);
+
+/// Graphviz export. `edgeColorClasses` (optional, size m) assigns each edge a
+/// palette index rendered as a distinct color; -1 leaves the edge black.
+std::string toDot(const Graph& g,
+                  const std::vector<int>& edgeColorClasses = {});
+
+/// Graphviz export of a symmetric digraph with per-arc color classes
+/// (optional, size 2m).
+std::string toDot(const Digraph& d,
+                  const std::vector<int>& arcColorClasses = {});
+
+}  // namespace dima::graph

@@ -1,0 +1,126 @@
+#include "src/graph/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace dima::graph {
+
+DegreeStats degreeStats(const Graph& g) {
+  DegreeStats s;
+  const std::size_t n = g.numVertices();
+  if (n == 0) return s;
+  s.min = g.degree(0);
+  double sum = 0.0, sumSq = 0.0;
+  for (VertexId v = 0; v < n; ++v) {
+    const std::size_t d = g.degree(v);
+    s.min = std::min(s.min, d);
+    s.max = std::max(s.max, d);
+    sum += static_cast<double>(d);
+    sumSq += static_cast<double>(d) * static_cast<double>(d);
+  }
+  s.mean = sum / static_cast<double>(n);
+  const double var = sumSq / static_cast<double>(n) - s.mean * s.mean;
+  s.stddev = var > 0 ? std::sqrt(var) : 0.0;
+  return s;
+}
+
+std::vector<std::size_t> degreeHistogram(const Graph& g) {
+  std::vector<std::size_t> hist(g.maxDegree() + 1, 0);
+  for (VertexId v = 0; v < g.numVertices(); ++v) ++hist[g.degree(v)];
+  return hist;
+}
+
+Components connectedComponents(const Graph& g) {
+  const std::size_t n = g.numVertices();
+  Components out;
+  out.label.assign(n, kUnreachable);
+  std::queue<VertexId> frontier;
+  for (VertexId start = 0; start < n; ++start) {
+    if (out.label[start] != kUnreachable) continue;
+    const auto comp = static_cast<std::uint32_t>(out.count++);
+    out.label[start] = comp;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const VertexId v = frontier.front();
+      frontier.pop();
+      for (const Incidence& inc : g.incidences(v)) {
+        if (out.label[inc.neighbor] == kUnreachable) {
+          out.label[inc.neighbor] = comp;
+          frontier.push(inc.neighbor);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool isConnected(const Graph& g) {
+  if (g.numVertices() <= 1) return true;
+  return connectedComponents(g).count == 1;
+}
+
+bool isForest(const Graph& g) {
+  const Components comp = connectedComponents(g);
+  // A forest has exactly n - (#components) edges.
+  return g.numEdges() + comp.count == g.numVertices();
+}
+
+std::vector<std::uint32_t> bfsDistances(const Graph& g, VertexId source) {
+  DIMA_REQUIRE(source < g.numVertices(), "bfs source out of range");
+  std::vector<std::uint32_t> dist(g.numVertices(), kUnreachable);
+  std::queue<VertexId> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const VertexId v = frontier.front();
+    frontier.pop();
+    for (const Incidence& inc : g.incidences(v)) {
+      if (dist[inc.neighbor] == kUnreachable) {
+        dist[inc.neighbor] = dist[v] + 1;
+        frontier.push(inc.neighbor);
+      }
+    }
+  }
+  return dist;
+}
+
+std::size_t diameter(const Graph& g) {
+  if (g.numVertices() < 2) return 0;
+  DIMA_REQUIRE(isConnected(g), "diameter of a disconnected graph");
+  std::size_t best = 0;
+  for (VertexId v = 0; v < g.numVertices(); ++v) {
+    for (std::uint32_t d : bfsDistances(g, v)) {
+      best = std::max(best, static_cast<std::size_t>(d));
+    }
+  }
+  return best;
+}
+
+double clusteringCoefficient(const Graph& g) {
+  std::uint64_t closed = 0;  // ordered triangle corners (3 per triangle × 2)
+  std::uint64_t triads = 0;  // ordered open/closed two-paths
+  for (VertexId v = 0; v < g.numVertices(); ++v) {
+    const auto inc = g.incidences(v);
+    const std::size_t d = inc.size();
+    if (d < 2) continue;
+    triads += static_cast<std::uint64_t>(d) * (d - 1);
+    for (std::size_t i = 0; i < d; ++i) {
+      for (std::size_t j = i + 1; j < d; ++j) {
+        if (g.hasEdge(inc[i].neighbor, inc[j].neighbor)) closed += 2;
+      }
+    }
+  }
+  if (triads == 0) return 0.0;
+  return static_cast<double>(closed) / static_cast<double>(triads);
+}
+
+std::size_t strongColoringLowerBound(const Graph& g) {
+  std::size_t best = 0;
+  for (const Edge& e : g.edges()) {
+    best = std::max(best, 2 * (g.degree(e.u) + g.degree(e.v) - 1));
+  }
+  return best;
+}
+
+}  // namespace dima::graph

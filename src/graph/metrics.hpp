@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Structural graph measurements used by the workload generators, the
+/// experiment harness (Δ is the x-axis of every figure) and the tests.
+
+#include <cstddef>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+
+namespace dima::graph {
+
+/// Degree summary of a graph.
+struct DegreeStats {
+  std::size_t min = 0;
+  std::size_t max = 0;      ///< Δ
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+DegreeStats degreeStats(const Graph& g);
+
+/// Histogram of degrees: index d holds the number of vertices of degree d.
+std::vector<std::size_t> degreeHistogram(const Graph& g);
+
+/// Component label per vertex (0-based, dense) and the component count.
+struct Components {
+  std::vector<std::uint32_t> label;
+  std::size_t count = 0;
+};
+Components connectedComponents(const Graph& g);
+
+bool isConnected(const Graph& g);
+
+/// True when the graph is acyclic (a forest).
+bool isForest(const Graph& g);
+
+/// BFS hop distances from `source`; unreachable vertices get kUnreachable.
+inline constexpr std::uint32_t kUnreachable = static_cast<std::uint32_t>(-1);
+std::vector<std::uint32_t> bfsDistances(const Graph& g, VertexId source);
+
+/// Exact diameter via all-sources BFS (intended for the small evaluation
+/// graphs; O(n·(n+m))). Returns 0 for graphs with < 2 vertices; requires a
+/// connected graph otherwise.
+std::size_t diameter(const Graph& g);
+
+/// Global clustering coefficient (3 × triangles / open triads); 0 when no
+/// vertex has two neighbors. Distinguishes the small-world family.
+double clusteringCoefficient(const Graph& g);
+
+/// Lower bound on the number of colors any *strong* (distance-2) coloring of
+/// the symmetric digraph over `g` needs: all arcs incident to either
+/// endpoint of an edge pairwise conflict, so
+///   χ'_s ≥ max over edges {u,v} of 2·(deg(u) + deg(v) − 1).
+std::size_t strongColoringLowerBound(const Graph& g);
+
+/// Lower bound for proper edge coloring: Δ (Vizing: χ' ∈ {Δ, Δ+1}).
+inline std::size_t edgeColoringLowerBound(const Graph& g) {
+  return g.maxDegree();
+}
+
+}  // namespace dima::graph

@@ -1,0 +1,350 @@
+#pragma once
+
+/// \file async.hpp
+/// Asynchronous execution of the synchronous protocols via Awerbuch's
+/// α-synchronizer.
+///
+/// The paper's model assumes lockstep rounds ("we can assume that compute
+/// nodes are synchronized", §I-C). Real ad-hoc networks are asynchronous;
+/// the classical bridge is a synchronizer, which buys the synchronous
+/// abstraction with extra messages. This module implements the
+/// α-synchronizer over an event-driven network with per-message delays:
+///
+///  * every sub-round of the protocol becomes a *pulse*;
+///  * a node entering pulse p runs the protocol's send hook; each payload
+///    message is acknowledged by its receiver on arrival;
+///  * when all of a node's pulse-p payloads are acked it is *safe* and
+///    tells its neighbors;
+///  * a node moves to pulse p+1 once it and all neighbors are safe for p —
+///    at which point every pulse-p message addressed to it has arrived, so
+///    the protocol's receive hook sees exactly the synchronous inbox.
+///
+/// Arrivals are handed to the protocol sorted by sender id (the order the
+/// synchronous engine produces), so a protocol run under the synchronizer
+/// is **bit-identical** to its synchronous run — asserted by tests — while
+/// the runner additionally reports the α-synchronizer's true costs: 3×
+/// the messages (payload + ack + safe) and the simulated completion time
+/// under random link delays.
+///
+/// Neighboring nodes stay within one pulse of each other, but connected
+/// components drift apart freely; a component whose nodes have all reached
+/// their protocol Done state is *parked* (its pulsing stops) so early
+/// finishers don't spin while the rest of the network works.
+///
+/// Broadcast caveat: the asynchronous network is point-to-point, so one
+/// radio broadcast costs deg(u) payload messages here — the honest price
+/// of losing the shared medium.
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "src/graph/metrics.hpp"
+#include "src/net/engine.hpp"
+#include "src/net/network.hpp"
+#include "src/support/rng.hpp"
+
+namespace dima::net {
+
+/// Per-message link delays: uniform in [minDelay, maxDelay] time units,
+/// deterministic in (seed, message sequence number).
+struct DelayModel {
+  double minDelay = 0.5;
+  double maxDelay = 1.5;
+  std::uint64_t seed = 0xde1a7ULL;
+};
+
+struct AsyncRunResult {
+  std::uint64_t cycles = 0;          ///< protocol computation rounds
+  std::uint64_t pulses = 0;          ///< synchronizer pulses (= comm rounds)
+  bool converged = false;
+  double simTime = 0.0;              ///< simulated time at termination
+  std::uint64_t payloadMessages = 0;
+  std::uint64_t ackMessages = 0;
+  std::uint64_t safeMessages = 0;
+  std::uint64_t totalMessages() const {
+    return payloadMessages + ackMessages + safeMessages;
+  }
+};
+
+namespace detail {
+
+/// Event-driven α-synchronizer core; see runAlphaSynchronized below.
+template <class Protocol>
+class AlphaSynchronizer {
+ public:
+  using M = typename Protocol::Message;
+
+  AlphaSynchronizer(Protocol& proto, const graph::Graph& g,
+                    const DelayModel& delays, std::uint64_t maxCycles)
+      : proto_(&proto),
+        g_(&g),
+        collector_(g),
+        delays_(delays),
+        maxPulses_(maxCycles *
+                   static_cast<std::uint64_t>(proto.subRounds())),
+        nodes_(g.numVertices()) {
+    const graph::Components comps = graph::connectedComponents(g);
+    component_ = comps.label;
+    componentSize_.assign(comps.count, 0);
+    componentDone_.assign(comps.count, 0);
+    componentParked_.assign(comps.count, false);
+    for (NodeId u = 0; u < g.numVertices(); ++u) {
+      ++componentSize_[component_[u]];
+    }
+    for (NodeId u = 0; u < g.numVertices(); ++u) {
+      nodes_[u].wasDone = proto.done(u);
+      if (nodes_[u].wasDone) noteDone(u);
+    }
+  }
+
+  AsyncRunResult run() {
+    const std::size_t n = g_->numVertices();
+    AsyncRunResult result;
+    if (n == 0 || doneCount_ == n) {
+      result.converged = true;
+      return result;
+    }
+    for (NodeId u = 0; u < n; ++u) {
+      if (!componentParked_[component_[u]]) enterPulse(u, 0);
+    }
+    for (NodeId u = 0; u < n; ++u) {
+      maybeAdvance(u);
+      if (doneCount_ == n) break;
+    }
+    while (doneCount_ < n && !events_.empty()) {
+      const Event ev = events_.top();
+      events_.pop();
+      now_ = ev.time;
+      handle(ev);
+      if (highestPulse_ >= maxPulses_) break;
+    }
+    result.converged = doneCount_ == n;
+    result.pulses = highestPulse_;
+    result.cycles = (highestPulse_ +
+                     static_cast<std::uint64_t>(proto_->subRounds()) - 1) /
+                    static_cast<std::uint64_t>(proto_->subRounds());
+    result.simTime = now_;
+    result.payloadMessages = payloadCount_;
+    result.ackMessages = ackCount_;
+    result.safeMessages = safeCount_;
+    return result;
+  }
+
+ private:
+  enum class Kind : std::uint8_t { Payload, Ack, Safe };
+
+  struct Event {
+    double time = 0;
+    std::uint64_t seq = 0;  // FIFO tiebreak for equal times
+    Kind kind = Kind::Payload;
+    NodeId from = graph::kNoVertex;
+    NodeId to = graph::kNoVertex;
+    std::uint64_t pulse = 0;
+    M payload{};
+
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  struct NodeSyncState {
+    std::uint64_t pulse = 0;
+    std::size_t pendingAcks = 0;
+    bool selfSafe = false;
+    bool wasDone = false;
+    /// Neighbors safe for the node's *current* pulse.
+    std::size_t neighborsSafe = 0;
+    /// safe(p) notifications that raced ahead of this node's pulse change.
+    std::vector<std::uint64_t> earlySafe;
+    /// Buffered payloads by pulse (only current and next can occur).
+    std::vector<std::pair<std::uint64_t, Envelope<M>>> buffered;
+  };
+
+  void noteDone(NodeId u) {
+    const auto c = component_[u];
+    ++doneCount_;
+    if (++componentDone_[c] == componentSize_[c]) {
+      componentParked_[c] = true;
+    }
+  }
+
+  void refreshDone(NodeId u) {
+    if (!nodes_[u].wasDone && proto_->done(u)) {
+      nodes_[u].wasDone = true;
+      noteDone(u);
+    }
+  }
+
+  double drawDelay() {
+    const std::uint64_t key = support::mix64(delays_.seed, seq_);
+    support::Rng rng(key);
+    return delays_.minDelay +
+           (delays_.maxDelay - delays_.minDelay) * rng.uniform01();
+  }
+
+  void post(Kind kind, NodeId from, NodeId to, std::uint64_t pulse,
+            const M& payload = {}) {
+    Event ev;
+    ev.seq = seq_++;
+    ev.time = now_ + drawDelay();
+    ev.kind = kind;
+    ev.from = from;
+    ev.to = to;
+    ev.pulse = pulse;
+    ev.payload = payload;
+    events_.push(ev);
+    switch (kind) {
+      case Kind::Payload:
+        ++payloadCount_;
+        break;
+      case Kind::Ack:
+        ++ackCount_;
+        break;
+      case Kind::Safe:
+        ++safeCount_;
+        break;
+    }
+  }
+
+  void enterPulse(NodeId u, std::uint64_t pulse) {
+    NodeSyncState& s = nodes_[u];
+    s.pulse = pulse;
+    s.selfSafe = false;
+    s.neighborsSafe = 0;
+    const int subs = proto_->subRounds();
+    const int sub = static_cast<int>(pulse % static_cast<std::uint64_t>(subs));
+    if (sub == 0) proto_->beginCycle(u);
+    proto_->send(u, sub, collector_);
+    std::size_t sent = 0;
+    collector_.drainStaged(u, [&](NodeId to, const M& payload) {
+      post(Kind::Payload, u, to, pulse, payload);
+      ++sent;
+    });
+    s.pendingAcks = sent;
+    // Count safe(p) notifications that raced ahead of this pulse change.
+    std::size_t early = 0;
+    for (std::uint64_t p : s.earlySafe) {
+      if (p == pulse) ++early;
+    }
+    std::erase(s.earlySafe, pulse);
+    s.neighborsSafe = early;
+    if (s.pendingAcks == 0) becomeSafe(u);
+  }
+
+  void becomeSafe(NodeId u) {
+    NodeSyncState& s = nodes_[u];
+    if (s.selfSafe) return;
+    s.selfSafe = true;
+    for (const graph::Incidence& inc : g_->incidences(u)) {
+      post(Kind::Safe, u, inc.neighbor, s.pulse);
+    }
+  }
+
+  /// Advances `u` through as many pulses as its safety state allows; a
+  /// loop (not recursion) because a node with no neighbors can cross a
+  /// pulse without consuming any event.
+  void maybeAdvance(NodeId u) {
+    while (true) {
+      if (componentParked_[component_[u]]) return;
+      NodeSyncState& s = nodes_[u];
+      if (!s.selfSafe || s.neighborsSafe < g_->degree(u)) return;
+      // Deliver the pulse's inbox in sender order (the synchronous
+      // engine's order) so protocol behaviour matches the serial executor
+      // exactly.
+      std::vector<Envelope<M>> inbox;
+      for (auto it = s.buffered.begin(); it != s.buffered.end();) {
+        if (it->first == s.pulse) {
+          inbox.push_back(it->second);
+          it = s.buffered.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      std::sort(inbox.begin(), inbox.end(),
+                [](const Envelope<M>& a, const Envelope<M>& b) {
+                  return a.from < b.from;
+                });
+      const int subs = proto_->subRounds();
+      const int sub =
+          static_cast<int>(s.pulse % static_cast<std::uint64_t>(subs));
+      proto_->receive(u, sub, std::span<const Envelope<M>>(inbox));
+      if (sub == subs - 1) proto_->endCycle(u);
+      refreshDone(u);
+
+      highestPulse_ = std::max(highestPulse_, s.pulse + 1);
+      if (doneCount_ == g_->numVertices()) return;
+      if (s.pulse + 1 >= maxPulses_) return;  // round cap
+      enterPulse(u, s.pulse + 1);
+    }
+  }
+
+  void handle(const Event& ev) {
+    if (componentParked_[component_[ev.to]]) return;  // stale traffic
+    NodeSyncState& s = nodes_[ev.to];
+    switch (ev.kind) {
+      case Kind::Payload: {
+        // ev.pulse is the sender's pulse; the α invariant keeps neighbors
+        // within one pulse of each other.
+        DIMA_ASSERT(ev.pulse == s.pulse || ev.pulse == s.pulse + 1,
+                    "synchronizer pulse skew");
+        s.buffered.push_back({ev.pulse, Envelope<M>{ev.from, ev.payload}});
+        post(Kind::Ack, ev.to, ev.from, ev.pulse);
+        break;
+      }
+      case Kind::Ack: {
+        DIMA_ASSERT(s.pendingAcks > 0, "spurious ack");
+        if (--s.pendingAcks == 0) becomeSafe(ev.to);
+        maybeAdvance(ev.to);
+        break;
+      }
+      case Kind::Safe: {
+        if (ev.pulse == s.pulse) {
+          ++s.neighborsSafe;
+          maybeAdvance(ev.to);
+        } else {
+          DIMA_ASSERT(ev.pulse == s.pulse + 1, "safe pulse skew");
+          s.earlySafe.push_back(ev.pulse);
+        }
+        break;
+      }
+    }
+  }
+
+  Protocol* proto_;
+  const graph::Graph* g_;
+  SyncNetwork<M> collector_;  ///< reused as a staging collector only
+  DelayModel delays_;
+  std::uint64_t maxPulses_;
+  std::vector<NodeSyncState> nodes_;
+  std::vector<std::uint32_t> component_;
+  std::vector<std::size_t> componentSize_;
+  std::vector<std::size_t> componentDone_;
+  std::vector<bool> componentParked_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  double now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::size_t doneCount_ = 0;
+  std::uint64_t payloadCount_ = 0;
+  std::uint64_t ackCount_ = 0;
+  std::uint64_t safeCount_ = 0;
+  std::uint64_t highestPulse_ = 0;
+};
+
+}  // namespace detail
+
+/// Runs a synchronous-model protocol on an asynchronous network with the
+/// α-synchronizer. Results are identical to `runSyncProtocol` with the
+/// serial executor; the returned metrics expose the synchronization cost.
+template <class Protocol>
+AsyncRunResult runAlphaSynchronized(Protocol& proto, const graph::Graph& g,
+                                    const DelayModel& delays = {},
+                                    std::uint64_t maxCycles = 1u << 20) {
+  detail::AlphaSynchronizer<Protocol> synchronizer(proto, g, delays,
+                                                   maxCycles);
+  return synchronizer.run();
+}
+
+}  // namespace dima::net

@@ -1,0 +1,126 @@
+#pragma once
+
+/// \file engine.hpp
+/// The bulk-synchronous protocol runner.
+///
+/// A *computation round* (the paper's "round", one trip around the Fig. 1
+/// automaton) is a fixed schedule of *communication rounds*. The engine
+/// drives a protocol object through that schedule:
+///
+///     while not all nodes done:
+///       beginCycle(u)   for every node        (the C "choose" step; local)
+///       for sub in [0, subRounds):
+///         send(u, sub)  for every node        (stage transmissions)
+///         deliverRound()                      (synchronous delivery barrier)
+///         receive(u, sub, inbox)  for every node
+///       endCycle(u)     for every node        (the E "exchange" bookkeeping)
+///
+/// The engine is executor-agnostic: pass a `ThreadPool` to run the per-node
+/// hooks in parallel (bulk-synchronous, a barrier between phases — the same
+/// shape as an MPI compute/barrier loop), or leave it null for serial
+/// execution. Protocol hooks must touch only node-`u` state plus the staging
+/// API of the network, which is what makes the two executors equivalent;
+/// tests assert identical results.
+///
+/// Protocol concept (duck-typed):
+///   using Message = ...;
+///   int subRounds() const;
+///   void beginCycle(NodeId u);
+///   void send(NodeId u, int sub, SyncNetwork<Message>& net);
+///   void receive(NodeId u, int sub, std::span<const Envelope<Message>>);
+///   void endCycle(NodeId u);
+///   bool done(NodeId u) const;
+/// Hooks are invoked for every node each cycle, including nodes already done
+/// (which are expected to no-op).
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "src/net/network.hpp"
+#include "src/support/thread_pool.hpp"
+
+namespace dima::net {
+
+/// Progress snapshot handed to the observer after each computation round.
+struct CycleInfo {
+  std::uint64_t cycle = 0;      ///< 0-based index of the round just finished
+  std::size_t nodesDone = 0;    ///< nodes in the D state afterwards
+  std::size_t nodesTotal = 0;
+};
+
+struct EngineOptions {
+  /// Safety valve: abort as non-converged after this many computation
+  /// rounds. The algorithms finish in O(Δ) rounds with overwhelming
+  /// probability, so runs hitting this limit indicate a bug or an
+  /// adversarial fault model.
+  std::uint64_t maxCycles = 1u << 20;
+  /// Optional parallel executor (nullptr = serial on the calling thread).
+  support::ThreadPool* pool = nullptr;
+  /// Optional per-round progress callback.
+  std::function<void(const CycleInfo&)> observer;
+};
+
+struct EngineResult {
+  std::uint64_t cycles = 0;   ///< computation rounds executed
+  bool converged = false;     ///< every node reached done() within maxCycles
+  Counters counters;          ///< network traffic totals
+};
+
+template <class Protocol>
+EngineResult runSyncProtocol(Protocol& proto,
+                             SyncNetwork<typename Protocol::Message>& net,
+                             const EngineOptions& options = {}) {
+  const std::size_t n = net.numNodes();
+  auto forEachNode = [&](auto&& fn) {
+    if (options.pool != nullptr) {
+      options.pool->forEach(n, fn);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+    }
+  };
+
+  auto countDone = [&] {
+    std::size_t done = 0;
+    for (NodeId u = 0; u < n; ++u) {
+      if (proto.done(u)) ++done;
+    }
+    return done;
+  };
+
+  EngineResult result;
+  while (true) {
+    if (countDone() == n) {
+      result.converged = true;
+      break;
+    }
+    if (result.cycles >= options.maxCycles) break;
+
+    forEachNode([&](std::size_t i) {
+      proto.beginCycle(static_cast<NodeId>(i));
+    });
+    const int subs = proto.subRounds();
+    for (int sub = 0; sub < subs; ++sub) {
+      forEachNode([&](std::size_t i) {
+        proto.send(static_cast<NodeId>(i), sub, net);
+      });
+      net.deliverRound();
+      forEachNode([&](std::size_t i) {
+        const auto u = static_cast<NodeId>(i);
+        proto.receive(u, sub, net.inbox(u));
+      });
+    }
+    forEachNode([&](std::size_t i) {
+      proto.endCycle(static_cast<NodeId>(i));
+    });
+    ++result.cycles;
+
+    if (options.observer) {
+      options.observer(CycleInfo{result.cycles - 1, countDone(), n});
+    }
+  }
+  result.counters = net.counters();
+  return result;
+}
+
+}  // namespace dima::net

@@ -1,0 +1,17 @@
+#include "src/net/message.hpp"
+
+#include <sstream>
+
+namespace dima::net {
+
+std::string Counters::toString() const {
+  std::ostringstream oss;
+  oss << "commRounds=" << commRounds << " broadcasts=" << broadcasts
+      << " unicasts=" << unicasts << " delivered=" << messagesDelivered
+      << " dropped=" << messagesDropped
+      << " duplicated=" << messagesDuplicated
+      << " bits=" << bitsDelivered << " maxMsgBits=" << maxMessageBits;
+  return oss.str();
+}
+
+}  // namespace dima::net

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file message.hpp
+/// Common message-layer types for the synchronous network simulator:
+/// delivery envelopes, traffic accounting, and the channel fault model.
+
+#include <cstdint>
+#include <string>
+
+#include "src/graph/graph.hpp"
+
+namespace dima::net {
+
+/// Compute nodes are graph vertices (the paper maps each vertex to a node).
+using NodeId = graph::VertexId;
+
+/// A delivered message with its sender. The payload type `M` is supplied by
+/// the protocol (plain struct; kept by value).
+template <class M>
+struct Envelope {
+  NodeId from = graph::kNoVertex;
+  M msg{};
+};
+
+/// Traffic and synchronization accounting, updated by `SyncNetwork`.
+///
+/// Two transmission notions are tracked because the paper's radio model
+/// makes them differ: one *broadcast* is a single transmission heard by all
+/// neighbors, while the same information sent point-to-point costs degree
+/// many sends. `messagesDelivered` counts per-receiver deliveries either way.
+struct Counters {
+  std::uint64_t commRounds = 0;
+  std::uint64_t broadcasts = 0;
+  std::uint64_t unicasts = 0;
+  std::uint64_t messagesDelivered = 0;
+  std::uint64_t messagesDropped = 0;
+  std::uint64_t messagesDuplicated = 0;
+  /// CONGEST accounting, populated when the message type models
+  /// `wireBits()` (all protocol messages in this library do): total payload
+  /// bits delivered and the largest single message. The paper's "one hop
+  /// information" premise implies O(log n)-bit messages; tests check it.
+  std::uint64_t bitsDelivered = 0;
+  std::uint64_t maxMessageBits = 0;
+
+  std::string toString() const;
+};
+
+/// Bit width of a value for wire-size estimates (0 → 1 bit).
+constexpr std::uint64_t bitWidth(std::uint64_t v) {
+  std::uint64_t bits = 1;
+  while (v > 1) {
+    v >>= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+/// Channel perturbations. The paper's model assumes perfectly reliable
+/// synchronous links; the fault model exists to *test* which guarantees
+/// survive outside the model (safety must, liveness need not — see
+/// tests/test_net_faults.cpp and the ablation bench).
+struct FaultModel {
+  /// Probability that any single (sender → receiver) delivery is lost.
+  double dropProbability = 0.0;
+  /// Probability that a delivered message arrives twice.
+  double duplicateProbability = 0.0;
+  /// Seed for the fault stream; faults are deterministic in
+  /// (seed, commRound, from, to).
+  std::uint64_t seed = 0x5eedFa017ULL;
+
+  bool perturbs() const {
+    return dropProbability > 0.0 || duplicateProbability > 0.0;
+  }
+};
+
+}  // namespace dima::net

@@ -1,0 +1,186 @@
+#pragma once
+
+/// \file network.hpp
+/// `SyncNetwork<M>`: the synchronous message-passing substrate (paper §I-C).
+///
+/// Model guarantees implemented exactly as the paper assumes:
+///  * communication proceeds in global lockstep rounds;
+///  * in one round a node may communicate once with each neighbor — either a
+///    single broadcast heard by every neighbor (the radio primitive both
+///    algorithms use) or unicasts to distinct neighbors — and receives
+///    everything its neighbors transmitted that round;
+///  * links exist only along graph edges (one-hop information).
+///
+/// Mechanics: sends during a round go into per-sender staging buffers (so a
+/// thread-pool executor can run senders concurrently without locks);
+/// `deliverRound()` then moves them into per-receiver inboxes, applying the
+/// optional fault model. Receivers read their inbox in the following
+/// receive step. Inboxes are stable until the next `deliverRound()`.
+
+#include <algorithm>
+#include <concepts>
+#include <span>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+#include "src/net/message.hpp"
+#include "src/support/assert.hpp"
+#include "src/support/rng.hpp"
+#include "src/support/small_vector.hpp"
+
+namespace dima::net {
+
+template <class M>
+class SyncNetwork {
+ public:
+  /// The network's links are the edges of `topology`; the graph must outlive
+  /// the network.
+  explicit SyncNetwork(const graph::Graph& topology, FaultModel faults = {})
+      : topo_(&topology),
+        faults_(faults),
+        staged_(topology.numVertices()),
+        inbox_(topology.numVertices()) {}
+
+  const graph::Graph& topology() const { return *topo_; }
+  std::size_t numNodes() const {
+    return static_cast<std::size_t>(topo_->numVertices());
+  }
+
+  /// Queues `m` for every neighbor of `from`; counts as one transmission.
+  /// A broadcast is the node's entire allowance for the round: it cannot be
+  /// combined with unicasts or another broadcast. Callable concurrently for
+  /// distinct senders.
+  void broadcast(NodeId from, const M& m) {
+    checkNode(from);
+    Staged& out = staged_[from];
+    DIMA_REQUIRE(!out.broadcastSet && out.unicasts.empty(),
+                 "node " << from << " exceeded its round send allowance");
+    out.broadcastSet = true;
+    out.broadcastPayload = m;
+  }
+
+  /// Queues `m` for the single neighbor `to`, which must be adjacent and not
+  /// already targeted this round. Callable concurrently for distinct senders.
+  void unicast(NodeId from, NodeId to, const M& m) {
+    checkNode(from);
+    checkNode(to);
+    DIMA_REQUIRE(topo_->hasEdge(from, to),
+                 "unicast " << from << "→" << to << " without a link");
+    Staged& out = staged_[from];
+    DIMA_REQUIRE(!out.broadcastSet,
+                 "node " << from << " mixed broadcast and unicast in a round");
+    for (const auto& u : out.unicasts) {
+      DIMA_REQUIRE(u.to != to, "node " << from << " sent to " << to
+                                       << " twice in a round");
+    }
+    out.unicasts.push_back(Unicast{to, m});
+  }
+
+  /// Closes the communication round: every staged transmission is delivered
+  /// into receiver inboxes (subject to the fault model), staging is cleared,
+  /// and the round counter advances. Must be called from one thread.
+  void deliverRound() {
+    const std::size_t n = numNodes();
+    for (NodeId v = 0; v < n; ++v) inbox_[v].clear();
+    for (NodeId from = 0; from < n; ++from) {
+      Staged& out = staged_[from];
+      if (out.broadcastSet) {
+        ++counters_.broadcasts;
+        for (const graph::Incidence& inc : topo_->incidences(from)) {
+          deliverOne(from, inc.neighbor, out.broadcastPayload);
+        }
+        out.broadcastSet = false;
+      } else if (!out.unicasts.empty()) {
+        counters_.unicasts += out.unicasts.size();
+        for (const Unicast& u : out.unicasts) {
+          deliverOne(from, u.to, u.payload);
+        }
+        out.unicasts.clear();
+      }
+    }
+    ++counters_.commRounds;
+  }
+
+  /// Messages delivered to `v` in the last `deliverRound()`.
+  std::span<const Envelope<M>> inbox(NodeId v) const {
+    checkNode(v);
+    return {inbox_[v].data(), inbox_[v].size()};
+  }
+
+  /// For alternative executors (e.g. the α-synchronizer in async.hpp):
+  /// drains node `from`'s staged transmissions as `fn(to, payload)` calls —
+  /// a broadcast expands to one call per neighbor — without running a
+  /// delivery round. Counters are not advanced; the caller accounts for its
+  /// own transport.
+  template <class Fn>
+  void drainStaged(NodeId from, Fn&& fn) {
+    checkNode(from);
+    Staged& out = staged_[from];
+    if (out.broadcastSet) {
+      for (const graph::Incidence& inc : topo_->incidences(from)) {
+        fn(inc.neighbor, out.broadcastPayload);
+      }
+      out.broadcastSet = false;
+    } else {
+      for (const Unicast& u : out.unicasts) fn(u.to, u.payload);
+      out.unicasts.clear();
+    }
+  }
+
+  const Counters& counters() const { return counters_; }
+  const FaultModel& faults() const { return faults_; }
+
+ private:
+  struct Unicast {
+    NodeId to = graph::kNoVertex;
+    M payload{};
+  };
+  struct Staged {
+    bool broadcastSet = false;
+    M broadcastPayload{};
+    support::SmallVector<Unicast, 4> unicasts;
+  };
+
+  void checkNode(NodeId v) const {
+    DIMA_REQUIRE(v < numNodes(), "node id " << v << " out of range");
+  }
+
+  void accountBits(const M& payload) {
+    if constexpr (requires(const M& m) {
+                    { m.wireBits() } -> std::convertible_to<std::uint64_t>;
+                  }) {
+      const std::uint64_t bits = payload.wireBits();
+      counters_.bitsDelivered += bits;
+      counters_.maxMessageBits = std::max(counters_.maxMessageBits, bits);
+    }
+  }
+
+  void deliverOne(NodeId from, NodeId to, const M& payload) {
+    accountBits(payload);
+    if (faults_.perturbs()) {
+      const std::uint64_t key = support::mix64(
+          support::mix64(faults_.seed, counters_.commRounds),
+          (static_cast<std::uint64_t>(from) << 32) | to);
+      support::Rng faultRng(key);
+      if (faultRng.bernoulli(faults_.dropProbability)) {
+        ++counters_.messagesDropped;
+        return;
+      }
+      if (faultRng.bernoulli(faults_.duplicateProbability)) {
+        inbox_[to].push_back(Envelope<M>{from, payload});
+        ++counters_.messagesDuplicated;
+        ++counters_.messagesDelivered;
+      }
+    }
+    inbox_[to].push_back(Envelope<M>{from, payload});
+    ++counters_.messagesDelivered;
+  }
+
+  const graph::Graph* topo_;
+  FaultModel faults_;
+  std::vector<Staged> staged_;
+  std::vector<support::SmallVector<Envelope<M>, 8>> inbox_;
+  Counters counters_;
+};
+
+}  // namespace dima::net

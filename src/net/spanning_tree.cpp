@@ -1,0 +1,122 @@
+#include "src/net/spanning_tree.hpp"
+
+#include <algorithm>
+
+#include "src/graph/metrics.hpp"
+#include "src/net/network.hpp"
+
+namespace dima::net {
+
+namespace {
+
+struct ClaimMessage {
+  std::uint32_t depth = 0;
+};
+
+/// Flooding protocol: one communication sub-round per cycle. A node is
+/// done once it has been claimed *and* has broadcast its claim onward.
+class FloodProtocol {
+ public:
+  using Message = ClaimMessage;
+
+  FloodProtocol(const graph::Graph& g, graph::VertexId root) : g_(&g) {
+    parent_.assign(g.numVertices(), graph::kNoVertex);
+    depth_.assign(g.numVertices(), graph::kUnreachable);
+    announced_.assign(g.numVertices(), false);
+    depth_[root] = 0;
+  }
+
+  int subRounds() const { return 1; }
+  void beginCycle(NodeId) {}
+
+  void send(NodeId u, int, SyncNetwork<Message>& net) {
+    if (depth_[u] != graph::kUnreachable && !announced_[u]) {
+      net.broadcast(u, ClaimMessage{depth_[u]});
+      announced_[u] = true;
+    }
+  }
+
+  void receive(NodeId u, int, std::span<const Envelope<Message>> inbox) {
+    if (depth_[u] != graph::kUnreachable) return;  // already claimed
+    // Adopt the lowest-id claimant heard this round; all claims arriving
+    // in one round carry the same depth (BFS wavefront).
+    NodeId best = graph::kNoVertex;
+    std::uint32_t bestDepth = 0;
+    for (const auto& env : inbox) {
+      if (best == graph::kNoVertex || env.from < best) {
+        best = env.from;
+        bestDepth = env.msg.depth;
+      }
+    }
+    if (best != graph::kNoVertex) {
+      parent_[u] = best;
+      depth_[u] = bestDepth + 1;
+    }
+  }
+
+  void endCycle(NodeId) {}
+  bool done(NodeId u) const {
+    return depth_[u] != graph::kUnreachable && announced_[u];
+  }
+
+  std::vector<graph::VertexId> takeParent() { return std::move(parent_); }
+  std::vector<std::uint32_t> takeDepth() { return std::move(depth_); }
+
+ private:
+  const graph::Graph* g_;
+  std::vector<graph::VertexId> parent_;
+  std::vector<std::uint32_t> depth_;
+  std::vector<bool> announced_;
+};
+
+}  // namespace
+
+std::size_t SpanningTree::height() const {
+  std::size_t h = 0;
+  for (std::uint32_t d : depth) {
+    if (d != graph::kUnreachable) h = std::max<std::size_t>(h, d);
+  }
+  return h;
+}
+
+SpanningTree buildSpanningTreeFlood(const graph::Graph& g,
+                                    graph::VertexId root,
+                                    EngineOptions options) {
+  DIMA_REQUIRE(root < g.numVertices(), "root out of range");
+  DIMA_REQUIRE(graph::isConnected(g),
+               "spanning-tree flood requires a connected graph");
+  FloodProtocol proto(g, root);
+  SyncNetwork<ClaimMessage> net(g);
+  const EngineResult run = runSyncProtocol(proto, net, options);
+  DIMA_REQUIRE(run.converged, "flood failed to converge");
+  SpanningTree tree;
+  tree.root = root;
+  tree.parent = proto.takeParent();
+  tree.depth = proto.takeDepth();
+  tree.buildRounds = run.cycles;
+  return tree;
+}
+
+std::uint64_t detectionRound(
+    const SpanningTree& tree,
+    const std::vector<std::uint64_t>& completionRound) {
+  DIMA_REQUIRE(completionRound.size() == tree.parent.size(),
+               "completion vector size mismatch");
+  const std::size_t n = tree.parent.size();
+  // Process nodes in decreasing depth: ready(v) = max(completion(v),
+  // 1 + max over children ready(child)).
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return tree.depth[a] > tree.depth[b];
+  });
+  std::vector<std::uint64_t> ready = completionRound;
+  for (std::size_t v : order) {
+    const graph::VertexId p = tree.parent[v];
+    if (p == graph::kNoVertex) continue;  // root
+    ready[p] = std::max(ready[p], ready[v] + 1);
+  }
+  return ready[tree.root];
+}
+
+}  // namespace dima::net

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file spanning_tree.hpp
+/// Distributed BFS spanning tree + synchronous termination detection.
+///
+/// The protocol engine detects global termination with the simulator's
+/// omniscient view; a real deployment of the paper's algorithms cannot.
+/// The standard remedy in the synchronous model is a convergecast over a
+/// BFS tree: each node reports "my whole subtree is done" to its parent
+/// the round it becomes true, and the root learns of global termination
+/// `height` rounds after the last node finishes.
+///
+/// This module provides both halves:
+///  * `buildSpanningTreeFlood` — the tree itself, built *distributively*
+///    by synchronous flooding on the same one-hop network the coloring
+///    algorithms use (root claims depth 0; every newly claimed node
+///    broadcasts once; unclaimed nodes adopt the lowest-id claimant heard
+///    first). Takes eccentricity(root) rounds, yielding a BFS (minimum
+///    depth) tree.
+///  * `detectionRound` — the exact round at which the root detects
+///    termination given each node's completion round, i.e. the cost the
+///    engine's omniscient check hides. In the synchronous model this is a
+///    closed form over the tree (a node can first report in the round
+///    after both it and all of its children's subtrees could report), so
+///    no extra simulation is needed.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+#include "src/net/engine.hpp"
+
+namespace dima::net {
+
+struct SpanningTree {
+  graph::VertexId root = graph::kNoVertex;
+  /// Parent per vertex; kNoVertex for the root.
+  std::vector<graph::VertexId> parent;
+  /// Hop distance from the root (BFS depth).
+  std::vector<std::uint32_t> depth;
+  /// Communication rounds the flood needed (= eccentricity of the root).
+  std::uint64_t buildRounds = 0;
+
+  std::size_t height() const;
+};
+
+/// Builds a BFS spanning tree of the *connected* graph `g` by distributed
+/// flooding from `root`.
+SpanningTree buildSpanningTreeFlood(const graph::Graph& g,
+                                    graph::VertexId root,
+                                    EngineOptions options = {});
+
+/// The round at which `tree.root` learns that every node has finished,
+/// given `completionRound[v]` = the computation round in which node v
+/// entered its Done state. One report hop per round; a node reports the
+/// round after max(own completion, all children's report rounds).
+std::uint64_t detectionRound(const SpanningTree& tree,
+                             const std::vector<std::uint64_t>& completionRound);
+
+}  // namespace dima::net

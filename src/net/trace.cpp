@@ -1,0 +1,47 @@
+#include "src/net/trace.hpp"
+
+#include <sstream>
+
+namespace dima::net {
+
+const char* traceKindName(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::StateChoice:
+      return "state-choice";
+    case TraceKind::InviteSent:
+      return "invite-sent";
+    case TraceKind::InviteKept:
+      return "invite-kept";
+    case TraceKind::ResponseSent:
+      return "response-sent";
+    case TraceKind::EdgeColored:
+      return "edge-colored";
+    case TraceKind::Aborted:
+      return "aborted";
+    case TraceKind::NodeDone:
+      return "node-done";
+  }
+  return "?";
+}
+
+std::size_t TraceLog::countInCycle(std::uint64_t cycle, TraceKind kind) const {
+  std::size_t c = 0;
+  for (const TraceEvent& e : events_) {
+    if (e.cycle == cycle && e.kind == kind) ++c;
+  }
+  return c;
+}
+
+std::string TraceLog::render() const {
+  std::ostringstream oss;
+  for (const TraceEvent& e : events_) {
+    oss << "cycle " << e.cycle << ": node " << e.node << ' '
+        << traceKindName(e.kind);
+    if (e.a >= 0) oss << " a=" << e.a;
+    if (e.b >= 0) oss << " b=" << e.b;
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+}  // namespace dima::net

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file trace.hpp
+/// Optional event tracing for protocol runs. Disabled traces cost one branch
+/// per event; enabled traces record (cycle, node, kind, detail) rows that the
+/// `trace_rounds` example renders into a per-round account of the automaton.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/net/message.hpp"
+
+namespace dima::net {
+
+enum class TraceKind : std::uint8_t {
+  StateChoice,   ///< node chose invitor/listener in C
+  InviteSent,    ///< I: invitation broadcast
+  InviteKept,    ///< L: invitation stored
+  ResponseSent,  ///< R: invitation accepted
+  EdgeColored,   ///< U: an edge/arc received its final color
+  Aborted,       ///< strict DiMa2Ed: tentative color rolled back
+  NodeDone,      ///< node entered D
+};
+
+const char* traceKindName(TraceKind kind);
+
+struct TraceEvent {
+  std::uint64_t cycle = 0;
+  NodeId node = graph::kNoVertex;
+  TraceKind kind = TraceKind::StateChoice;
+  /// Event-specific fields (peer id, color, ...) — -1 when unused.
+  std::int64_t a = -1;
+  std::int64_t b = -1;
+};
+
+class TraceLog {
+ public:
+  /// Tracing starts disabled; `record` is a no-op until enabled.
+  void enable(bool on = true) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  void record(std::uint64_t cycle, NodeId node, TraceKind kind,
+              std::int64_t a = -1, std::int64_t b = -1) {
+    if (!enabled_) return;
+    events_.push_back(TraceEvent{cycle, node, kind, a, b});
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  /// Events of one kind within one cycle.
+  std::size_t countInCycle(std::uint64_t cycle, TraceKind kind) const;
+
+  /// Human-readable multi-line rendering ("cycle 3: node 7 invite-sent ...").
+  std::string render() const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace dima::net

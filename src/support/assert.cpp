@@ -1,0 +1,16 @@
+#include "src/support/assert.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dima::support {
+
+[[noreturn]] void contractFailure(const char* kind, const char* file, int line,
+                                  const std::string& message) {
+  std::fprintf(stderr, "[dima] contract violation: %s at %s:%d\n  %s\n", kind,
+               file, line, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace dima::support

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file assert.hpp
+/// Contract-checking macros used throughout the library.
+///
+/// Two flavours:
+///  * `DIMA_REQUIRE(cond, msg)` — precondition / invariant check that is always
+///    compiled in. Simulation correctness is the entire point of this library,
+///    so interface contracts stay armed in release builds.
+///  * `DIMA_ASSERT(cond, msg)`  — internal consistency check, compiled out when
+///    `NDEBUG` is defined and `DIMA_CHECKED` is not.
+///
+/// Failures print file:line plus the message and terminate via
+/// `dima::support::contractFailure`, which tests may intercept.
+
+#include <sstream>
+#include <string>
+
+namespace dima::support {
+
+/// Called on contract failure. Prints the diagnostic and aborts.
+/// Declared noreturn; defined in assert.cpp so the abort site is centralized.
+[[noreturn]] void contractFailure(const char* kind, const char* file, int line,
+                                  const std::string& message);
+
+}  // namespace dima::support
+
+#define DIMA_REQUIRE(cond, msg)                                              \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::ostringstream dimaOss_;                                           \
+      dimaOss_ << msg;                                                       \
+      ::dima::support::contractFailure("REQUIRE(" #cond ")", __FILE__,       \
+                                       __LINE__, dimaOss_.str());            \
+    }                                                                        \
+  } while (false)
+
+#if defined(NDEBUG) && !defined(DIMA_CHECKED)
+#define DIMA_ASSERT(cond, msg) \
+  do {                         \
+  } while (false)
+#else
+#define DIMA_ASSERT(cond, msg)                                               \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::ostringstream dimaOss_;                                           \
+      dimaOss_ << msg;                                                       \
+      ::dima::support::contractFailure("ASSERT(" #cond ")", __FILE__,        \
+                                       __LINE__, dimaOss_.str());            \
+    }                                                                        \
+  } while (false)
+#endif

@@ -1,0 +1,160 @@
+#include "src/support/bitset.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace dima::support {
+
+void DynamicBitset::resize(std::size_t bits) {
+  bits_ = bits;
+  words_.resize((bits + kWordBits - 1) / kWordBits, 0);
+  trimTail();
+}
+
+void DynamicBitset::trimTail() {
+  // Keep bits above `bits_` clear so count()/scans stay exact.
+  const std::size_t rem = bits_ % kWordBits;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= (Word{1} << rem) - 1;
+  }
+}
+
+void DynamicBitset::set(std::size_t i) {
+  if (i >= bits_) resize(i + 1);
+  words_[i / kWordBits] |= Word{1} << (i % kWordBits);
+}
+
+void DynamicBitset::reset(std::size_t i) {
+  if (i >= bits_) return;
+  words_[i / kWordBits] &= ~(Word{1} << (i % kWordBits));
+}
+
+void DynamicBitset::clear() {
+  std::fill(words_.begin(), words_.end(), Word{0});
+}
+
+std::size_t DynamicBitset::count() const {
+  std::size_t c = 0;
+  for (Word w : words_) c += static_cast<std::size_t>(std::popcount(w));
+  return c;
+}
+
+bool DynamicBitset::none() const {
+  return std::all_of(words_.begin(), words_.end(),
+                     [](Word w) { return w == 0; });
+}
+
+std::size_t DynamicBitset::firstClear() const {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    const Word inv = ~words_[w];
+    if (inv != 0) {
+      const auto bit =
+          w * kWordBits + static_cast<std::size_t>(std::countr_zero(inv));
+      return bit;  // may equal bits_ when all in-range bits are set; fine.
+    }
+  }
+  return bits_;
+}
+
+std::size_t DynamicBitset::firstClearAlsoClearIn(
+    const DynamicBitset& other) const {
+  const std::size_t common = std::min(words_.size(), other.words_.size());
+  for (std::size_t w = 0; w < common; ++w) {
+    const Word inv = ~(words_[w] | other.words_[w]);
+    if (inv != 0) {
+      return w * kWordBits + static_cast<std::size_t>(std::countr_zero(inv));
+    }
+  }
+  // Tail: only one operand still has words; a clear bit there is clear in
+  // both (out-of-range reads as clear).
+  const auto& longer = words_.size() >= other.words_.size() ? *this : other;
+  for (std::size_t w = common; w < longer.words_.size(); ++w) {
+    const Word inv = ~longer.words_[w];
+    if (inv != 0) {
+      return w * kWordBits + static_cast<std::size_t>(std::countr_zero(inv));
+    }
+  }
+  return longer.words_.size() * kWordBits;
+}
+
+std::size_t DynamicBitset::firstSet() const {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return w * kWordBits +
+             static_cast<std::size_t>(std::countr_zero(words_[w]));
+    }
+  }
+  return npos;
+}
+
+std::size_t DynamicBitset::nextSet(std::size_t i) const {
+  ++i;
+  if (i >= bits_) return npos;
+  std::size_t w = i / kWordBits;
+  Word cur = words_[w] & (~Word{0} << (i % kWordBits));
+  while (true) {
+    if (cur != 0) {
+      return w * kWordBits + static_cast<std::size_t>(std::countr_zero(cur));
+    }
+    if (++w >= words_.size()) return npos;
+    cur = words_[w];
+  }
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
+  if (other.bits_ > bits_) resize(other.bits_);
+  for (std::size_t w = 0; w < other.words_.size(); ++w) {
+    words_[w] |= other.words_[w];
+  }
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
+  const std::size_t common = std::min(words_.size(), other.words_.size());
+  for (std::size_t w = 0; w < common; ++w) words_[w] &= other.words_[w];
+  for (std::size_t w = common; w < words_.size(); ++w) words_[w] = 0;
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator-=(const DynamicBitset& other) {
+  const std::size_t common = std::min(words_.size(), other.words_.size());
+  for (std::size_t w = 0; w < common; ++w) words_[w] &= ~other.words_[w];
+  return *this;
+}
+
+bool DynamicBitset::intersects(const DynamicBitset& other) const {
+  const std::size_t common = std::min(words_.size(), other.words_.size());
+  for (std::size_t w = 0; w < common; ++w) {
+    if ((words_[w] & other.words_[w]) != 0) return true;
+  }
+  return false;
+}
+
+bool operator==(const DynamicBitset& a, const DynamicBitset& b) {
+  const std::size_t common = std::min(a.words_.size(), b.words_.size());
+  for (std::size_t w = 0; w < common; ++w) {
+    if (a.words_[w] != b.words_[w]) return false;
+  }
+  // Longer operand's tail must be all-zero for set equality.
+  const auto& longer = a.words_.size() >= b.words_.size() ? a : b;
+  for (std::size_t w = common; w < longer.words_.size(); ++w) {
+    if (longer.words_[w] != 0) return false;
+  }
+  return true;
+}
+
+std::string DynamicBitset::toString() const {
+  std::string s;
+  s.reserve(bits_);
+  for (std::size_t i = 0; i < bits_; ++i) s.push_back(test(i) ? '1' : '0');
+  return s;
+}
+
+std::vector<std::size_t> DynamicBitset::setBits() const {
+  std::vector<std::size_t> out;
+  out.reserve(count());
+  for (std::size_t i = firstSet(); i != npos; i = nextSet(i)) out.push_back(i);
+  return out;
+}
+
+}  // namespace dima::support

@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file bitset.hpp
+/// `DynamicBitset`: a growable bit set tuned for the color-palette operations
+/// the coloring algorithms perform every round:
+///  * `firstClear()` / `firstClearNotIn(other)` — "lowest indexed available
+///    color", the selection rule of Algorithm 1 line 11;
+///  * set-algebra updates (`|=`, `&=`, `-=`) for merging neighbors' used-color
+///    announcements into the local dead list;
+///  * amortized O(words) iteration over set bits.
+///
+/// Unlike `std::vector<bool>` it exposes word-level scans (hardware `ctz`)
+/// and auto-grows on `set()`, which matches the paper's unbounded palette:
+/// color indices are small integers, allocated lazily as the run discovers it
+/// needs them.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dima::support {
+
+class DynamicBitset {
+ public:
+  using Word = std::uint64_t;
+  static constexpr std::size_t kWordBits = 64;
+
+  DynamicBitset() = default;
+  /// Constructs with `bits` addressable bits, all clear.
+  explicit DynamicBitset(std::size_t bits) { resize(bits); }
+
+  /// Number of addressable bits.
+  std::size_t size() const { return bits_; }
+  bool empty() const { return bits_ == 0; }
+
+  /// Grows (or shrinks) the addressable range; new bits are clear.
+  void resize(std::size_t bits);
+
+  /// Reads bit `i`; out-of-range bits read as 0 (a color never seen is free).
+  bool test(std::size_t i) const {
+    const std::size_t w = i / kWordBits;
+    if (w >= words_.size()) return false;
+    return (words_[w] >> (i % kWordBits)) & 1U;
+  }
+  bool operator[](std::size_t i) const { return test(i); }
+
+  /// Sets bit `i`, growing the set if needed.
+  void set(std::size_t i);
+  /// Clears bit `i`; no-op when out of range.
+  void reset(std::size_t i);
+  /// Clears every bit (size unchanged).
+  void clear();
+
+  /// Number of set bits.
+  std::size_t count() const;
+  /// True when no bit is set.
+  bool none() const;
+  /// True when any bit is set.
+  bool any() const { return !none(); }
+
+  /// Index of the lowest clear bit (the "first available color"). A bitset
+  /// always has a conceptual clear bit at `size()`, so this never fails.
+  std::size_t firstClear() const;
+
+  /// Index of the lowest bit clear in both `this` and `other` — the lowest
+  /// color outside `used(u) ∪ used(v)`.
+  std::size_t firstClearAlsoClearIn(const DynamicBitset& other) const;
+
+  /// Lowest set bit, or npos when none.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t firstSet() const;
+  /// Lowest set bit at index > `i`, or npos.
+  std::size_t nextSet(std::size_t i) const;
+
+  /// Set algebra. Operands may differ in size; the result grows as needed.
+  DynamicBitset& operator|=(const DynamicBitset& other);
+  DynamicBitset& operator&=(const DynamicBitset& other);
+  /// Set difference: clears every bit set in `other`.
+  DynamicBitset& operator-=(const DynamicBitset& other);
+
+  /// True when `this` and `other` share at least one set bit.
+  bool intersects(const DynamicBitset& other) const;
+
+  friend bool operator==(const DynamicBitset& a, const DynamicBitset& b);
+
+  /// Dense "0101..." rendering, lowest index first (debugging aid).
+  std::string toString() const;
+
+  /// Indices of all set bits in increasing order.
+  std::vector<std::size_t> setBits() const;
+
+ private:
+  void trimTail();
+
+  std::vector<Word> words_;
+  std::size_t bits_ = 0;
+};
+
+}  // namespace dima::support

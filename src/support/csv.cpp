@@ -1,0 +1,84 @@
+#include "src/support/csv.hpp"
+
+#include "src/support/assert.hpp"
+
+namespace dima::support {
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needsQuote =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needsQuote) return cell;
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out.push_back('"');
+  for (char c : cell) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+CsvWriter& CsvWriter::header(const std::vector<std::string>& columns) {
+  DIMA_REQUIRE(!haveHeader_ && rows_ == 0,
+               "CsvWriter::header must be the first emission");
+  haveHeader_ = true;
+  columns_ = columns.size();
+  return row(columns);
+}
+
+CsvWriter& CsvWriter::row(const std::vector<std::string>& cells) {
+  if (haveHeader_) {
+    DIMA_REQUIRE(cells.size() == columns_,
+                 "CSV row has " << cells.size() << " cells, header has "
+                                << columns_);
+  }
+  bool first = true;
+  for (const auto& cell : cells) {
+    if (!first) buffer_ << ',';
+    first = false;
+    buffer_ << escape(cell);
+  }
+  buffer_ << '\n';
+  ++rows_;
+  return *this;
+}
+
+bool CsvWriter::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << buffer_.str();
+  return static_cast<bool>(out);
+}
+
+std::vector<std::string> parseCsvLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cur;
+  bool inQuotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (inQuotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          inQuotes = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"') {
+      inQuotes = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cur));
+      cur.clear();
+    } else if (c != '\r') {
+      cur.push_back(c);
+    }
+  }
+  cells.push_back(std::move(cur));
+  return cells;
+}
+
+}  // namespace dima::support

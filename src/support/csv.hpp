@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file csv.hpp
+/// Minimal CSV emission for experiment records. Every figure bench writes its
+/// raw per-run rows next to the rendered ASCII figure so results can be
+/// re-plotted externally.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace dima::support {
+
+/// Streaming CSV writer with RFC-4180-style quoting.
+class CsvWriter {
+ public:
+  /// Writes to an in-memory buffer; call `str()` to retrieve.
+  CsvWriter() = default;
+
+  /// Sets the header row (must be called before any `row`).
+  CsvWriter& header(const std::vector<std::string>& columns);
+
+  /// Appends one row; the cell count must match the header when one was set.
+  CsvWriter& row(const std::vector<std::string>& cells);
+
+  /// Convenience: formats arbitrary streamable values into one row.
+  template <class... Ts>
+  CsvWriter& rowOf(const Ts&... values) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(values));
+    (cells.push_back(toCell(values)), ...);
+    return row(cells);
+  }
+
+  /// Full document so far.
+  std::string str() const { return buffer_.str(); }
+
+  std::size_t rowCount() const { return rows_; }
+
+  /// Writes the document to `path`; returns false on I/O failure.
+  bool save(const std::string& path) const;
+
+  /// Quotes a cell when it contains separators/quotes/newlines.
+  static std::string escape(const std::string& cell);
+
+ private:
+  template <class T>
+  static std::string toCell(const T& v) {
+    std::ostringstream oss;
+    oss << v;
+    return oss.str();
+  }
+
+  std::ostringstream buffer_;
+  std::size_t columns_ = 0;
+  std::size_t rows_ = 0;
+  bool haveHeader_ = false;
+};
+
+/// Parses one CSV line (quoting-aware); used by tests and the replot tool.
+std::vector<std::string> parseCsvLine(const std::string& line);
+
+}  // namespace dima::support

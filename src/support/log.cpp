@@ -1,0 +1,41 @@
+#include "src/support/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace dima::support {
+
+namespace {
+std::atomic<int> gLevel{static_cast<int>(LogLevel::Warn)};
+}  // namespace
+
+LogLevel logLevel() { return static_cast<LogLevel>(gLevel.load()); }
+
+void setLogLevel(LogLevel level) { gLevel.store(static_cast<int>(level)); }
+
+const char* logLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::Off:
+      return "off";
+    case LogLevel::Error:
+      return "error";
+    case LogLevel::Warn:
+      return "warn";
+    case LogLevel::Info:
+      return "info";
+    case LogLevel::Debug:
+      return "debug";
+  }
+  return "?";
+}
+
+void logMessage(LogLevel level, const std::string& message) {
+  std::string line = "[";
+  line += logLevelName(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+}  // namespace dima::support

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file log.hpp
+/// Leveled logging. The simulator is quiet by default; tests and the tracing
+/// example raise the level. Not thread-safe per message interleaving beyond
+/// the atomicity of a single `fwrite`, which is sufficient for diagnostics.
+
+#include <sstream>
+#include <string>
+
+namespace dima::support {
+
+enum class LogLevel : int { Off = 0, Error = 1, Warn = 2, Info = 3, Debug = 4 };
+
+/// Process-wide log threshold (default Warn).
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+
+/// Emits one line "[level] message" to stderr when `level` is enabled.
+void logMessage(LogLevel level, const std::string& message);
+
+const char* logLevelName(LogLevel level);
+
+}  // namespace dima::support
+
+#define DIMA_LOG(level, expr)                                          \
+  do {                                                                 \
+    if (static_cast<int>(::dima::support::logLevel()) >=               \
+        static_cast<int>(level)) {                                     \
+      std::ostringstream dimaLog_;                                     \
+      dimaLog_ << expr;                                                \
+      ::dima::support::logMessage(level, dimaLog_.str());              \
+    }                                                                  \
+  } while (false)
+
+#define DIMA_LOG_ERROR(expr) DIMA_LOG(::dima::support::LogLevel::Error, expr)
+#define DIMA_LOG_WARN(expr) DIMA_LOG(::dima::support::LogLevel::Warn, expr)
+#define DIMA_LOG_INFO(expr) DIMA_LOG(::dima::support::LogLevel::Info, expr)
+#define DIMA_LOG_DEBUG(expr) DIMA_LOG(::dima::support::LogLevel::Debug, expr)

@@ -1,0 +1,62 @@
+#include "src/support/rng.hpp"
+
+namespace dima::support {
+
+void Xoshiro256::jump() {
+  static constexpr std::array<std::uint64_t, 4> kJump = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  std::array<std::uint64_t, 4> t{};
+  for (std::uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (std::uint64_t{1} << b)) {
+        for (std::size_t i = 0; i < 4; ++i) t[i] ^= s_[i];
+      }
+      (*this)();
+    }
+  }
+  s_ = t;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  DIMA_REQUIRE(bound > 0, "Rng::below requires positive bound");
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  std::uint64_t x = engine_();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = engine_();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::between(std::int64_t lo, std::int64_t hi) {
+  DIMA_REQUIRE(lo <= hi, "Rng::between requires lo <= hi, got " << lo << " > "
+                                                                << hi);
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  // span == 0 means the full 64-bit range [INT64_MIN, INT64_MAX].
+  const std::uint64_t draw = (span == 0) ? engine_() : below(span);
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + draw);
+}
+
+bool Rng::bernoulli(double p) {
+  DIMA_REQUIRE(p >= 0.0 && p <= 1.0, "bernoulli(p) needs p in [0,1], got " << p);
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+std::vector<Rng> SeedSequence::streams(std::size_t count) const {
+  std::vector<Rng> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(stream(i));
+  return out;
+}
+
+}  // namespace dima::support

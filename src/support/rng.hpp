@@ -1,0 +1,172 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic random-number generation for the simulator.
+///
+/// Design goals (see DESIGN.md §7):
+///  * Every compute node in a simulated network owns an *independent* stream so
+///    that results do not depend on the order in which the executor steps the
+///    nodes. Streams are derived from a single 64-bit master seed with
+///    SplitMix64, the recommended seeding procedure for the xoshiro family.
+///  * The generators are tiny, allocation-free value types that model the
+///    standard `UniformRandomBitGenerator` concept, so `<random>` distributions
+///    work — but we also provide bias-free bounded integers (Lemire's method)
+///    and the handful of draws the algorithms need (coin flips, index picks,
+///    shuffles) so hot paths avoid `std::uniform_int_distribution`'s
+///    implementation-defined (non-reproducible across stdlibs) output.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/support/assert.hpp"
+
+namespace dima::support {
+
+/// SplitMix64: a fast, well-distributed 64-bit mixer. Used to derive seeds and
+/// as a standalone generator for cheap hashing of (seed, key) pairs.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  constexpr std::uint64_t operator()() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless mix of two 64-bit words; used to key per-(round, src, dst)
+/// decisions in the fault model so they are reproducible.
+constexpr std::uint64_t mix64(std::uint64_t a, std::uint64_t b) {
+  SplitMix64 sm(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+  return sm();
+}
+
+/// Xoshiro256**: the default engine for all simulation randomness.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  /// Seeds the four state words via SplitMix64 as recommended by the authors.
+  explicit Xoshiro256(std::uint64_t seed = 0x7c0ffee1dea1ULL) {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm();
+  }
+
+  std::uint64_t operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Equivalent to 2^128 calls of operator(); used to fork non-overlapping
+  /// streams from one seeded generator.
+  void jump();
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> s_{};
+};
+
+/// A reproducible random stream bound to one simulated entity (one graph
+/// generator, one compute node, ...). Thin convenience wrapper over
+/// Xoshiro256 with the draws the algorithms need.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x7c0ffee1dea1ULL) : engine_(seed) {}
+
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return Xoshiro256::min(); }
+  static constexpr result_type max() { return Xoshiro256::max(); }
+  std::uint64_t operator()() { return engine_(); }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire 2018).
+  /// Precondition: bound > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t between(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform size_t index into a container of the given size (> 0).
+  std::size_t index(std::size_t size) {
+    return static_cast<std::size_t>(below(static_cast<std::uint64_t>(size)));
+  }
+
+  /// Fair coin.
+  bool coin() { return (engine_() >> 63) != 0; }
+
+  /// Bernoulli(p) with p in [0,1].
+  bool bernoulli(double p);
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+  }
+
+  /// Fisher–Yates shuffle of an index-addressable container.
+  template <class Container>
+  void shuffle(Container& c) {
+    if (c.size() < 2) return;
+    for (std::size_t i = c.size() - 1; i > 0; --i) {
+      using std::swap;
+      swap(c[i], c[index(i + 1)]);
+    }
+  }
+
+  /// Picks a uniform element from a non-empty container (by value).
+  template <class Container>
+  auto pick(const Container& c) -> typename Container::value_type {
+    DIMA_REQUIRE(!c.empty(), "Rng::pick on empty container");
+    return c[index(c.size())];
+  }
+
+ private:
+  Xoshiro256 engine_;
+};
+
+/// Factory for independent per-entity streams derived from one master seed.
+///
+/// `SeedSequence(master).stream(k)` is deterministic in (master, k) and
+/// distinct streams are statistically independent — the derivation hashes the
+/// key through SplitMix64 twice before seeding Xoshiro.
+class SeedSequence {
+ public:
+  explicit SeedSequence(std::uint64_t masterSeed) : master_(masterSeed) {}
+
+  /// 64-bit sub-seed for entity `key`.
+  std::uint64_t subSeed(std::uint64_t key) const {
+    return mix64(mix64(master_, 0xd1b54a32d192ed03ULL), key);
+  }
+
+  /// Independent generator for entity `key`.
+  Rng stream(std::uint64_t key) const { return Rng(subSeed(key)); }
+
+  /// One generator per entity id in [0, count).
+  std::vector<Rng> streams(std::size_t count) const;
+
+  std::uint64_t master() const { return master_; }
+
+ private:
+  std::uint64_t master_;
+};
+
+}  // namespace dima::support

@@ -1,0 +1,209 @@
+#pragma once
+
+/// \file small_vector.hpp
+/// `SmallVector<T, N>`: a vector with inline storage for the first `N`
+/// elements. Message inboxes in the network simulator hold a handful of
+/// messages per round (at most one per neighbor), so inline storage removes
+/// the dominant allocation from the round loop.
+///
+/// Supports the subset of `std::vector`'s interface the library uses:
+/// push_back/emplace_back, clear, erase-by-index, iteration, indexing,
+/// copy/move. Elements need not be trivially copyable.
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "src/support/assert.hpp"
+
+namespace dima::support {
+
+template <class T, std::size_t N>
+class SmallVector {
+  static_assert(N > 0, "inline capacity must be positive");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() = default;
+
+  SmallVector(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) push_back(v);
+  }
+
+  SmallVector(const SmallVector& other) {
+    reserve(other.size_);
+    for (std::size_t i = 0; i < other.size_; ++i) {
+      push_back(other.data()[i]);
+    }
+  }
+
+  SmallVector(SmallVector&& other) noexcept { moveFrom(std::move(other)); }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      clear();
+      reserve(other.size_);
+      for (std::size_t i = 0; i < other.size_; ++i) {
+        push_back(other.data()[i]);
+      }
+    }
+    return *this;
+  }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      destroyAll();
+      releaseHeap();
+      moveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  ~SmallVector() {
+    destroyAll();
+    releaseHeap();
+  }
+
+  T* data() { return heap_ ? heap_ : inlinePtr(); }
+  const T* data() const { return heap_ ? heap_ : inlinePtr(); }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return heap_ ? heapCap_ : N; }
+  bool usesInlineStorage() const { return heap_ == nullptr; }
+
+  iterator begin() { return data(); }
+  iterator end() { return data() + size_; }
+  const_iterator begin() const { return data(); }
+  const_iterator end() const { return data() + size_; }
+
+  T& operator[](std::size_t i) {
+    DIMA_ASSERT(i < size_, "SmallVector index " << i << " >= " << size_);
+    return data()[i];
+  }
+  const T& operator[](std::size_t i) const {
+    DIMA_ASSERT(i < size_, "SmallVector index " << i << " >= " << size_);
+    return data()[i];
+  }
+
+  T& front() { return (*this)[0]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& front() const { return (*this)[0]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <class... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity()) grow(capacity() * 2);
+    T* slot = data() + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    DIMA_ASSERT(size_ > 0, "pop_back on empty SmallVector");
+    --size_;
+    data()[size_].~T();
+  }
+
+  /// Removes the element at `i` preserving order (O(n - i)).
+  void eraseAt(std::size_t i) {
+    DIMA_REQUIRE(i < size_, "eraseAt(" << i << ") out of range " << size_);
+    T* d = data();
+    for (std::size_t j = i + 1; j < size_; ++j) d[j - 1] = std::move(d[j]);
+    pop_back();
+  }
+
+  /// Removes the element at `i` by swapping with the last (O(1), reorders).
+  void eraseAtUnordered(std::size_t i) {
+    DIMA_REQUIRE(i < size_, "eraseAtUnordered(" << i << ") out of range "
+                                                << size_);
+    T* d = data();
+    if (i + 1 != size_) d[i] = std::move(d[size_ - 1]);
+    pop_back();
+  }
+
+  void clear() {
+    destroyAll();
+    size_ = 0;
+  }
+
+  void reserve(std::size_t cap) {
+    if (cap > capacity()) grow(cap);
+  }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+
+ private:
+  T* inlinePtr() { return std::launder(reinterpret_cast<T*>(inline_)); }
+  const T* inlinePtr() const {
+    return std::launder(reinterpret_cast<const T*>(inline_));
+  }
+
+  void destroyAll() {
+    T* d = data();
+    for (std::size_t i = 0; i < size_; ++i) d[i].~T();
+  }
+
+  void releaseHeap() {
+    if (heap_) {
+      ::operator delete(static_cast<void*>(heap_),
+                        std::align_val_t{alignof(T)});
+      heap_ = nullptr;
+      heapCap_ = 0;
+    }
+  }
+
+  void grow(std::size_t newCap) {
+    newCap = std::max<std::size_t>(newCap, N * 2);
+    T* fresh = static_cast<T*>(::operator new(
+        newCap * sizeof(T), std::align_val_t{alignof(T)}));
+    T* old = data();
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move(old[i]));
+      old[i].~T();
+    }
+    releaseHeap();
+    heap_ = fresh;
+    heapCap_ = newCap;
+  }
+
+  void moveFrom(SmallVector&& other) noexcept {
+    if (other.heap_) {
+      heap_ = other.heap_;
+      heapCap_ = other.heapCap_;
+      size_ = other.size_;
+      other.heap_ = nullptr;
+      other.heapCap_ = 0;
+      other.size_ = 0;
+    } else {
+      heap_ = nullptr;
+      heapCap_ = 0;
+      size_ = 0;
+      for (std::size_t i = 0; i < other.size_; ++i) {
+        emplace_back(std::move(other.inlinePtr()[i]));
+      }
+      other.clear();
+    }
+  }
+
+  alignas(T) unsigned char inline_[sizeof(T) * N];
+  T* heap_ = nullptr;
+  std::size_t heapCap_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dima::support

@@ -1,0 +1,132 @@
+#include "src/support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/support/assert.hpp"
+
+namespace dima::support {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double OnlineStats::variance() const {
+  return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double OnlineStats::sampleVariance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void IntHistogram::add(std::int64_t key, std::uint64_t weight) {
+  counts_[key] += weight;
+  total_ += weight;
+}
+
+std::uint64_t IntHistogram::countOf(std::int64_t key) const {
+  const auto it = counts_.find(key);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::int64_t IntHistogram::minKey() const {
+  DIMA_REQUIRE(!counts_.empty(), "minKey of empty histogram");
+  return counts_.begin()->first;
+}
+
+std::int64_t IntHistogram::maxKey() const {
+  DIMA_REQUIRE(!counts_.empty(), "maxKey of empty histogram");
+  return counts_.rbegin()->first;
+}
+
+double IntHistogram::fraction(std::int64_t key) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(countOf(key)) / static_cast<double>(total_);
+}
+
+std::string IntHistogram::toString() const {
+  std::ostringstream oss;
+  bool first = true;
+  for (const auto& [k, c] : counts_) {
+    if (!first) oss << ' ';
+    first = false;
+    oss << k << ':' << c;
+  }
+  return oss.str();
+}
+
+double quantile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  DIMA_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1], got " << q);
+  std::sort(samples.begin(), samples.end());
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+void LinearFit::add(double x, double y) {
+  ++n_;
+  sx_ += x;
+  sy_ += y;
+  sxx_ += x * x;
+  sxy_ += x * y;
+  syy_ += y * y;
+}
+
+double LinearFit::slope() const {
+  if (n_ < 2) return 0.0;
+  const auto n = static_cast<double>(n_);
+  const double den = n * sxx_ - sx_ * sx_;
+  if (den == 0.0) return 0.0;
+  return (n * sxy_ - sx_ * sy_) / den;
+}
+
+double LinearFit::intercept() const {
+  if (n_ == 0) return 0.0;
+  const auto n = static_cast<double>(n_);
+  return (sy_ - slope() * sx_) / n;
+}
+
+double LinearFit::r2() const {
+  if (n_ < 2) return 0.0;
+  const auto n = static_cast<double>(n_);
+  const double sxxc = sxx_ - sx_ * sx_ / n;
+  const double syyc = syy_ - sy_ * sy_ / n;
+  const double sxyc = sxy_ - sx_ * sy_ / n;
+  if (sxxc <= 0.0 || syyc <= 0.0) return 0.0;
+  const double r = sxyc / std::sqrt(sxxc * syyc);
+  return r * r;
+}
+
+}  // namespace dima::support

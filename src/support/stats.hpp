@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file stats.hpp
+/// Statistics used by the experiment harness: streaming moments (Welford),
+/// integer histograms (color-excess distributions), sample quantiles, and
+/// ordinary least-squares regression (the "rounds grow linearly with Δ"
+/// claims of §IV are slope/r² statements).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dima::support {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm; stable
+/// for long runs).
+class OnlineStats {
+ public:
+  void add(double x);
+  void merge(const OnlineStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Population variance (n in the denominator); 0 for n < 1.
+  double variance() const;
+  /// Sample variance (n-1 in the denominator); 0 for n < 2.
+  double sampleVariance() const;
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Counting histogram over integer keys; used for "colors − Δ" distributions
+/// (e.g. the paper's "Δ+2 colors in only 2 of the 300 runs").
+class IntHistogram {
+ public:
+  void add(std::int64_t key, std::uint64_t weight = 1);
+  std::uint64_t countOf(std::int64_t key) const;
+  std::uint64_t total() const { return total_; }
+  bool empty() const { return counts_.empty(); }
+  std::int64_t minKey() const;
+  std::int64_t maxKey() const;
+  /// Fraction of mass at `key` (0 when the histogram is empty).
+  double fraction(std::int64_t key) const;
+  const std::map<std::int64_t, std::uint64_t>& buckets() const {
+    return counts_;
+  }
+  /// Renders as "k:count k:count ...".
+  std::string toString() const;
+
+ private:
+  std::map<std::int64_t, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Sample quantile with linear interpolation (type-7, the numpy default).
+/// `q` in [0,1]. The input is copied and sorted; empty input returns 0.
+double quantile(std::vector<double> samples, double q);
+
+/// Ordinary least squares y = slope*x + intercept.
+class LinearFit {
+ public:
+  void add(double x, double y);
+  std::size_t count() const { return n_; }
+  /// Slope of the fitted line; 0 when degenerate (n < 2 or zero x-variance).
+  double slope() const;
+  double intercept() const;
+  /// Coefficient of determination in [0,1]; 0 when degenerate.
+  double r2() const;
+
+ private:
+  std::size_t n_ = 0;
+  double sx_ = 0, sy_ = 0, sxx_ = 0, sxy_ = 0, syy_ = 0;
+};
+
+}  // namespace dima::support

@@ -1,0 +1,162 @@
+#include "src/support/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "src/support/assert.hpp"
+
+namespace dima::support {
+
+TextTable::TextTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  DIMA_REQUIRE(!columns_.empty(), "TextTable needs at least one column");
+}
+
+void TextTable::addRow(std::vector<std::string> cells) {
+  DIMA_REQUIRE(cells.size() == columns_.size(),
+               "row has " << cells.size() << " cells, table has "
+                          << columns_.size() << " columns");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::format(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  std::string s(buf);
+  // Trim trailing zeros but keep at least one decimal digit.
+  while (s.size() > 1 && s.back() == '0' && s[s.size() - 2] != '.') {
+    s.pop_back();
+  }
+  return s;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream oss;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      oss << cells[c];
+      if (c + 1 < cells.size()) {
+        oss << std::string(widths[c] - cells[c].size() + 2, ' ');
+      }
+    }
+    oss << '\n';
+  };
+  emit(columns_);
+  std::size_t ruleLen = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    ruleLen += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  oss << std::string(ruleLen, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return oss.str();
+}
+
+AsciiPlot::AsciiPlot(std::string title, std::string xLabel, std::string yLabel,
+                     int width, int height)
+    : title_(std::move(title)),
+      xLabel_(std::move(xLabel)),
+      yLabel_(std::move(yLabel)),
+      width_(width),
+      height_(height) {
+  DIMA_REQUIRE(width_ >= 16 && height_ >= 6, "plot area too small");
+}
+
+void AsciiPlot::add(PlotSeries series) {
+  DIMA_REQUIRE(series.x.size() == series.y.size(),
+               "series '" << series.name << "' has mismatched x/y sizes");
+  series_.push_back(std::move(series));
+}
+
+void AsciiPlot::addGuide(std::string name, double slope, double intercept) {
+  guides_.push_back(Guide{std::move(name), slope, intercept});
+}
+
+std::string AsciiPlot::render() const {
+  double xmin = 0, xmax = 1, ymin = 0, ymax = 1;
+  bool any = false;
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      if (!any) {
+        xmin = xmax = s.x[i];
+        ymin = ymax = s.y[i];
+        any = true;
+      } else {
+        xmin = std::min(xmin, s.x[i]);
+        xmax = std::max(xmax, s.x[i]);
+        ymin = std::min(ymin, s.y[i]);
+        ymax = std::max(ymax, s.y[i]);
+      }
+    }
+  }
+  // Pad degenerate ranges so every point lands inside the frame.
+  if (xmax - xmin < 1e-12) xmax = xmin + 1.0;
+  if (ymax - ymin < 1e-12) ymax = ymin + 1.0;
+  // Anchor at zero when near it: figures read better with a true origin.
+  if (xmin > 0 && xmin < 0.35 * xmax) xmin = 0;
+  if (ymin > 0 && ymin < 0.35 * ymax) ymin = 0;
+
+  const auto w = static_cast<std::size_t>(width_);
+  const auto h = static_cast<std::size_t>(height_);
+  std::vector<std::string> grid(h, std::string(w, ' '));
+
+  auto plot = [&](double px, double py, char glyph) {
+    const double fx = (px - xmin) / (xmax - xmin);
+    const double fy = (py - ymin) / (ymax - ymin);
+    if (fx < 0 || fx > 1 || fy < 0 || fy > 1) return;
+    auto col = static_cast<std::size_t>(
+        std::lround(fx * static_cast<double>(w - 1)));
+    auto row = h - 1 -
+               static_cast<std::size_t>(
+                   std::lround(fy * static_cast<double>(h - 1)));
+    grid[row][col] = glyph;
+  };
+
+  for (const auto& g : guides_) {
+    for (std::size_t c = 0; c < w; ++c) {
+      const double px =
+          xmin + (xmax - xmin) * static_cast<double>(c) /
+                     static_cast<double>(w - 1);
+      plot(px, g.slope * px + g.intercept, '.');
+    }
+  }
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) plot(s.x[i], s.y[i], s.glyph);
+  }
+
+  std::ostringstream oss;
+  oss << title_ << '\n';
+  char lab[64];
+  std::snprintf(lab, sizeof(lab), "%8.1f", ymax);
+  oss << lab << " +" << std::string(w, '-') << "+\n";
+  for (std::size_t r = 0; r < h; ++r) {
+    oss << std::string(9, ' ') << '|' << grid[r] << "|\n";
+  }
+  std::snprintf(lab, sizeof(lab), "%8.1f", ymin);
+  oss << lab << " +" << std::string(w, '-') << "+\n";
+  std::snprintf(lab, sizeof(lab), "%10.1f", xmin);
+  oss << lab;
+  std::snprintf(lab, sizeof(lab), "%*.1f", static_cast<int>(w) - 8, xmax);
+  oss << lab << '\n';
+  oss << std::string(10, ' ') << "x: " << xLabel_ << "   y: " << yLabel_
+      << '\n';
+  for (const auto& s : series_) {
+    oss << std::string(10, ' ') << s.glyph << " = " << s.name << '\n';
+  }
+  for (const auto& g : guides_) {
+    oss << std::string(10, ' ') << ". = " << g.name << '\n';
+  }
+  return oss.str();
+}
+
+}  // namespace dima::support

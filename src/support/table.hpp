@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file table.hpp
+/// Terminal rendering for the benchmark harness: aligned tables (the paper's
+/// in-text result summaries) and ASCII scatter plots (Figures 3–6 are
+/// rounds-vs-Δ scatters grouped by graph size).
+
+#include <string>
+#include <vector>
+
+namespace dima::support {
+
+/// Fixed-column ASCII table with a header rule, e.g.
+///
+///   family      n   avg-deg | mean-D  rounds  rounds/D
+///   ----------------------- | -------------------------
+///   erdos-renyi 200 4       | 6.9     14.2    2.06
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> columns);
+
+  void addRow(std::vector<std::string> cells);
+
+  template <class... Ts>
+  void addRowOf(const Ts&... values) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(values));
+    (cells.push_back(format(values)), ...);
+    addRow(std::move(cells));
+  }
+
+  std::string render() const;
+  std::size_t rowCount() const { return rows_.size(); }
+
+  /// Formats a double with trailing-zero trimming ("2.50" -> "2.5").
+  static std::string format(double v);
+  static std::string format(const std::string& v) { return v; }
+  static std::string format(const char* v) { return v; }
+  template <class T>
+  static std::string format(const T& v) {
+    return std::to_string(v);
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// One plotted series: named points sharing a glyph.
+struct PlotSeries {
+  std::string name;
+  char glyph = '*';
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Renders series as an ASCII scatter plot with axes and a legend; the
+/// harness uses it to regenerate the *shape* of the paper's figures in the
+/// bench output. Width/height are the plotting area in characters.
+class AsciiPlot {
+ public:
+  AsciiPlot(std::string title, std::string xLabel, std::string yLabel,
+            int width = 72, int height = 22);
+
+  void add(PlotSeries series);
+
+  /// Optional reference line y = slope*x + intercept drawn with '.' glyphs
+  /// (used for the 2Δ / 4Δ guides).
+  void addGuide(std::string name, double slope, double intercept);
+
+  std::string render() const;
+
+ private:
+  std::string title_, xLabel_, yLabel_;
+  int width_, height_;
+  std::vector<PlotSeries> series_;
+  struct Guide {
+    std::string name;
+    double slope;
+    double intercept;
+  };
+  std::vector<Guide> guides_;
+};
+
+}  // namespace dima::support

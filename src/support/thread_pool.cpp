@@ -1,0 +1,79 @@
+#include "src/support/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "src/support/assert.hpp"
+
+namespace dima::support {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) {
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  // The calling thread is worker 0; spawn the rest.
+  for (std::size_t i = 1; i < workers; ++i) {
+    threads_.emplace_back([this, i] { workerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::runBlock(std::size_t worker) {
+  // Contiguous block partitioning: worker w handles indices
+  // [w*count/W, (w+1)*count/W). Blocks are disjoint, so no atomics needed.
+  const std::size_t workers = workerCount();
+  const std::size_t lo = worker * jobCount_ / workers;
+  const std::size_t hi = (worker + 1) * jobCount_ / workers;
+  for (std::size_t i = lo; i < hi; ++i) (*job_)(i);
+}
+
+void ThreadPool::workerLoop(std::size_t self) {
+  std::size_t seen = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    runBlock(self);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::forEach(std::size_t count,
+                         const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (threads_.empty()) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    DIMA_REQUIRE(job_ == nullptr, "ThreadPool::forEach is not reentrant");
+    job_ = &fn;
+    jobCount_ = count;
+    pending_ = threads_.size();
+    ++generation_;
+  }
+  wake_.notify_all();
+  runBlock(0);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] { return pending_ == 0; });
+    job_ = nullptr;
+    jobCount_ = 0;
+  }
+}
+
+}  // namespace dima::support

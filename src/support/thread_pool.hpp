@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// Barrier-style parallel-for pool for the network simulator.
+///
+/// The simulator's round structure is bulk-synchronous (BSP, the same shape
+/// as an MPI program alternating compute and `MPI_Barrier`): every node runs
+/// its send step, a barrier, delivery, a barrier, every node runs its receive
+/// step. `ThreadPool::forEach(n, fn)` executes `fn(i)` for `i in [0,n)`
+/// partitioned into contiguous blocks across the workers and returns only
+/// when every index completed — the implicit barrier.
+///
+/// Determinism: node steps never touch shared mutable state (each node owns
+/// its RNG, state and outbox), so results are identical for any worker count;
+/// tests assert this.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dima::support {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads; 0 means `hardware_concurrency()` (min 1).
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t workerCount() const { return threads_.size() + 1; }
+
+  /// Runs `fn(i)` for every `i` in `[0, count)`, blocking until all are done.
+  /// The calling thread participates, so a pool with one worker degenerates
+  /// to a plain loop. `fn` must not throw.
+  void forEach(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void workerLoop(std::size_t self);
+  void runBlock(std::size_t worker);
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+
+  // Current job, guarded by mutex_ for setup/teardown; the index ranges are
+  // fixed per job so workers read them without contention.
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t jobCount_ = 0;
+  std::size_t generation_ = 0;
+  std::size_t pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace dima::support

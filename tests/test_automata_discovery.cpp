@@ -1,0 +1,134 @@
+#include "src/automata/discovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/graph/generators.hpp"
+#include "src/graph/metrics.hpp"
+#include "src/support/stats.hpp"
+
+namespace dima::automata {
+namespace {
+
+TEST(DiscoverMatching, OneRoundYieldsAValidMatching) {
+  support::Rng rng(1);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(100, 8.0, rng);
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const Matching m = discoverMatching(g, seed);
+    EXPECT_TRUE(isMatching(g, m)) << "seed " << seed;
+  }
+}
+
+TEST(DiscoverMatching, FindsPairsOnDenseGraphs) {
+  const graph::Graph g = graph::complete(20);
+  std::size_t totalPairs = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    totalPairs += discoverMatching(g, seed).size();
+  }
+  // Prop. 1: each of the 20 nodes pairs w.p. ≥ ~1/4 per round, so ~25 pairs
+  // over 10 rounds in expectation; 5 is a very safe floor.
+  EXPECT_GE(totalPairs, 5u);
+}
+
+TEST(MaximalMatching, IsMaximalOnManyFamilies) {
+  support::Rng rng(2);
+  const graph::Graph graphs[] = {
+      graph::complete(15),
+      graph::cycle(17),
+      graph::path(12),
+      graph::star(9),
+      graph::erdosRenyiAvgDegree(80, 6.0, rng),
+      graph::wattsStrogatz(60, 6, 0.2, rng),
+  };
+  for (const graph::Graph& g : graphs) {
+    const MaximalMatchingResult result = maximalMatching(g, 99);
+    EXPECT_TRUE(result.converged);
+    EXPECT_TRUE(isMaximalMatching(g, result.matching))
+        << "n=" << g.numVertices() << " m=" << g.numEdges();
+  }
+}
+
+TEST(MaximalMatching, EmptyAndIsolatedGraphs) {
+  const MaximalMatchingResult r1 = maximalMatching(graph::Graph(0), 1);
+  EXPECT_TRUE(r1.converged);
+  EXPECT_TRUE(r1.matching.empty());
+  const MaximalMatchingResult r2 = maximalMatching(graph::Graph(5), 1);
+  EXPECT_TRUE(r2.converged);
+  EXPECT_EQ(r2.rounds, 0u);
+}
+
+TEST(MaximalMatching, SingleEdgeEventuallyMatches) {
+  graph::Graph g(2, {graph::Edge{0, 1}});
+  const MaximalMatchingResult result = maximalMatching(g, 5);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.matching.size(), 1u);
+}
+
+TEST(MaximalMatching, ParticipationRateNearPropositionOne) {
+  // Proposition 1 argues an active node pairs with probability ≥ ~1/4 per
+  // round (between 1/4 and 1/2). Measure the empirical rate on a regular
+  // graph where the argument's assumptions are cleanest.
+  support::Rng rng(3);
+  const graph::Graph g = graph::randomRegular(100, 6, rng);
+  DiscoveryStats pooled;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const MaximalMatchingResult result = maximalMatching(g, seed);
+    pooled.activeNodeRounds += result.stats.activeNodeRounds;
+    pooled.matchedNodeRounds += result.stats.matchedNodeRounds;
+  }
+  const double rate = pooled.participationRate();
+  EXPECT_GT(rate, 0.15) << "participation collapsed";
+  EXPECT_LT(rate, 0.60) << "participation implausibly high";
+}
+
+TEST(MaximalMatching, PairsPerRoundAreRecorded) {
+  const graph::Graph g = graph::complete(12);
+  const MaximalMatchingResult result = maximalMatching(g, 7);
+  EXPECT_EQ(result.stats.pairsPerRound.size(), result.rounds);
+  std::size_t total = 0;
+  for (std::size_t pairs : result.stats.pairsPerRound) total += pairs;
+  EXPECT_EQ(total, result.matching.size());
+}
+
+TEST(MaximalMatching, RoundsScaleGentlyNotWithN) {
+  // The expected number of rounds to maximality is polylogarithmic; what
+  // matters here is that quadrupling n does not quadruple the rounds.
+  support::Rng rng(4);
+  const graph::Graph small = graph::erdosRenyiAvgDegree(100, 6.0, rng);
+  const graph::Graph large = graph::erdosRenyiAvgDegree(400, 6.0, rng);
+  support::OnlineStats smallRounds, largeRounds;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    smallRounds.add(static_cast<double>(maximalMatching(small, seed).rounds));
+    largeRounds.add(static_cast<double>(maximalMatching(large, seed).rounds));
+  }
+  EXPECT_LT(largeRounds.mean(), smallRounds.mean() * 3.0);
+}
+
+TEST(MatchingDiscovery, InvitorBiasValidated) {
+  const graph::Graph g = graph::cycle(4);
+  EXPECT_DEATH(MatchingDiscovery(g, 1, true, 0.0), "bias");
+  EXPECT_DEATH(MatchingDiscovery(g, 1, true, 1.0), "bias");
+}
+
+class MaximalMatchingSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double, int>> {};
+
+TEST_P(MaximalMatchingSweep, AlwaysMaximalAndSymmetric) {
+  const auto [n, degree, seed] = GetParam();
+  support::Rng rng(static_cast<std::uint64_t>(seed) * 1000 + n);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(n, degree, rng);
+  const MaximalMatchingResult result =
+      maximalMatching(g, static_cast<std::uint64_t>(seed));
+  ASSERT_TRUE(result.converged);
+  EXPECT_TRUE(isMaximalMatching(g, result.matching));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, MaximalMatchingSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(20, 60, 150),
+                       ::testing::Values(3.0, 8.0),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace dima::automata

@@ -1,0 +1,60 @@
+#include "src/automata/matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/automata/phase.hpp"
+#include "src/graph/generators.hpp"
+
+namespace dima::automata {
+namespace {
+
+TEST(Matching, EmptyIsValidEverywhere) {
+  const graph::Graph g = graph::complete(4);
+  EXPECT_TRUE(isMatching(g, Matching{}));
+  EXPECT_FALSE(isMaximalMatching(g, Matching{}));
+}
+
+TEST(Matching, DisjointEdgesAreAMatching) {
+  graph::Graph g(4, {graph::Edge{0, 1}, graph::Edge{2, 3},
+                     graph::Edge{1, 2}});
+  Matching m({0, 1});  // {0,1} and {2,3}
+  EXPECT_TRUE(isMatching(g, m));
+  EXPECT_TRUE(isMaximalMatching(g, m));
+}
+
+TEST(Matching, SharedEndpointRejected) {
+  graph::Graph g(3, {graph::Edge{0, 1}, graph::Edge{1, 2}});
+  EXPECT_FALSE(isMatching(g, Matching({0, 1})));
+}
+
+TEST(Matching, DuplicateAndBogusIdsRejected) {
+  graph::Graph g(4, {graph::Edge{0, 1}, graph::Edge{2, 3}});
+  EXPECT_FALSE(isMatching(g, Matching({0, 0})));
+  EXPECT_FALSE(isMatching(g, Matching({7})));
+}
+
+TEST(Matching, NonMaximalDetected) {
+  graph::Graph g(4, {graph::Edge{0, 1}, graph::Edge{2, 3}});
+  EXPECT_TRUE(isMatching(g, Matching({0})));
+  EXPECT_FALSE(isMaximalMatching(g, Matching({0})));  // {2,3} still free
+}
+
+TEST(Matching, MatchedVerticesDeduplicated) {
+  graph::Graph g(4, {graph::Edge{0, 1}, graph::Edge{2, 3}});
+  const auto verts = matchedVertices(g, Matching({0, 1}));
+  EXPECT_EQ(verts, (std::vector<graph::VertexId>{0, 1, 2, 3}));
+}
+
+TEST(Phase, NamesAreStable) {
+  EXPECT_STREQ(phaseName(Phase::Choose), "C");
+  EXPECT_STREQ(phaseName(Phase::Invite), "I");
+  EXPECT_STREQ(phaseName(Phase::Listen), "L");
+  EXPECT_STREQ(phaseName(Phase::Respond), "R");
+  EXPECT_STREQ(phaseName(Phase::Wait), "W");
+  EXPECT_STREQ(phaseName(Phase::Update), "U");
+  EXPECT_STREQ(phaseName(Phase::Exchange), "E");
+  EXPECT_STREQ(phaseName(Phase::Done), "D");
+}
+
+}  // namespace
+}  // namespace dima::automata

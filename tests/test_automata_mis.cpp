@@ -1,0 +1,93 @@
+#include "src/automata/mis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/graph/generators.hpp"
+
+namespace dima::automata {
+namespace {
+
+TEST(Mis, TrivialGraphs) {
+  const MisResult empty = maximalIndependentSet(graph::Graph(0), 1);
+  EXPECT_TRUE(empty.converged);
+  EXPECT_EQ(empty.setSize(), 0u);
+  // Isolated vertices all join.
+  const MisResult isolated = maximalIndependentSet(graph::Graph(5), 1);
+  EXPECT_TRUE(isolated.converged);
+  EXPECT_EQ(isolated.setSize(), 5u);
+  EXPECT_EQ(isolated.rounds, 0u);
+}
+
+TEST(Mis, SingleEdgePicksExactlyOne) {
+  graph::Graph g(2, {graph::Edge{0, 1}});
+  const MisResult result = maximalIndependentSet(g, 3);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.setSize(), 1u);
+  EXPECT_TRUE(isMaximalIndependentSet(g, result.inSet));
+}
+
+TEST(Mis, CompleteGraphHasSingletonMis) {
+  const graph::Graph g = graph::complete(12);
+  const MisResult result = maximalIndependentSet(g, 5);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.setSize(), 1u);
+}
+
+TEST(Mis, StarMisIsLeavesOrHub) {
+  const graph::Graph g = graph::star(10);
+  const MisResult result = maximalIndependentSet(g, 7);
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(isMaximalIndependentSet(g, result.inSet));
+  // Either the hub alone or all nine leaves.
+  EXPECT_TRUE(result.setSize() == 1u || result.setSize() == 9u);
+}
+
+TEST(Mis, DeterministicInSeed) {
+  support::Rng rng(4);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(80, 6.0, rng);
+  const MisResult a = maximalIndependentSet(g, 99);
+  const MisResult b = maximalIndependentSet(g, 99);
+  EXPECT_EQ(a.inSet, b.inSet);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+TEST(Mis, LogarithmicRounds) {
+  support::Rng rng(5);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(400, 8.0, rng);
+  const MisResult result = maximalIndependentSet(g, 11);
+  ASSERT_TRUE(result.converged);
+  EXPECT_LE(result.rounds, 30u);  // O(log n) w.h.p.; generous cap
+}
+
+class MisSweep : public ::testing::TestWithParam<
+                     std::tuple<std::size_t, double, int>> {};
+
+TEST_P(MisSweep, AlwaysIndependentAndMaximal) {
+  const auto [n, degree, seed] = GetParam();
+  support::Rng rng(static_cast<std::uint64_t>(seed) * 131 + n);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(n, degree, rng);
+  const MisResult result =
+      maximalIndependentSet(g, static_cast<std::uint64_t>(seed));
+  ASSERT_TRUE(result.converged);
+  EXPECT_TRUE(isMaximalIndependentSet(g, result.inSet));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, MisSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(20, 80, 200),
+                       ::testing::Values(3.0, 8.0),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(IsMaximalIndependentSet, RejectsBadSets) {
+  graph::Graph g(3, {graph::Edge{0, 1}, graph::Edge{1, 2}});
+  EXPECT_TRUE(isMaximalIndependentSet(g, {true, false, true}));
+  EXPECT_TRUE(isMaximalIndependentSet(g, {false, true, false}));
+  EXPECT_FALSE(isMaximalIndependentSet(g, {true, true, false}));  // adjacent
+  EXPECT_FALSE(isMaximalIndependentSet(g, {true, false, false}));  // not max
+  EXPECT_FALSE(isMaximalIndependentSet(g, {true, false}));  // wrong size
+}
+
+}  // namespace
+}  // namespace dima::automata

@@ -1,0 +1,56 @@
+#include "src/automata/vertex_cover.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.hpp"
+
+namespace dima::automata {
+namespace {
+
+TEST(VertexCover, CoversEveryEdge) {
+  support::Rng rng(1);
+  const graph::Graph graphs[] = {
+      graph::complete(12),
+      graph::star(15),
+      graph::cycle(11),
+      graph::erdosRenyiAvgDegree(90, 5.0, rng),
+  };
+  for (const graph::Graph& g : graphs) {
+    const VertexCoverResult result = vertexCoverViaMatching(g, 42);
+    EXPECT_TRUE(result.converged);
+    EXPECT_TRUE(isVertexCover(g, result.cover));
+  }
+}
+
+TEST(VertexCover, TwoApproximationCertificate) {
+  support::Rng rng(2);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(100, 8.0, rng);
+  const VertexCoverResult result = vertexCoverViaMatching(g, 7);
+  // |cover| = 2·|matching| and OPT ≥ |matching| ⇒ certified 2-approx.
+  EXPECT_EQ(result.cover.size(), 2 * result.matchingSize);
+}
+
+TEST(VertexCover, EmptyGraphNeedsNoCover) {
+  const VertexCoverResult result = vertexCoverViaMatching(graph::Graph(4), 1);
+  EXPECT_TRUE(result.cover.empty());
+  EXPECT_TRUE(isVertexCover(graph::Graph(4), result.cover));
+}
+
+TEST(IsVertexCover, DetectsUncoveredEdge) {
+  graph::Graph g(3, {graph::Edge{0, 1}, graph::Edge{1, 2}});
+  EXPECT_TRUE(isVertexCover(g, {1}));
+  EXPECT_FALSE(isVertexCover(g, {0}));
+  EXPECT_FALSE(isVertexCover(g, {}));
+  EXPECT_FALSE(isVertexCover(g, {9}));  // bogus id
+}
+
+TEST(VertexCover, StarCoverIsSmall) {
+  // On a star, any maximal matching has exactly one edge, so the cover has
+  // exactly two vertices (optimum is 1 — the 2-approx bound is tight here).
+  const VertexCoverResult result = vertexCoverViaMatching(graph::star(20), 3);
+  EXPECT_EQ(result.matchingSize, 1u);
+  EXPECT_EQ(result.cover.size(), 2u);
+}
+
+}  // namespace
+}  // namespace dima::automata

@@ -1,0 +1,58 @@
+#include "src/baselines/greedy_cover.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/automata/vertex_cover.hpp"
+#include "src/graph/generators.hpp"
+
+namespace dima::baselines {
+namespace {
+
+TEST(GreedyCover, CoversEveryEdge) {
+  support::Rng rng(1);
+  const graph::Graph graphs[] = {
+      graph::complete(10),
+      graph::star(12),
+      graph::cycle(9),
+      graph::erdosRenyiAvgDegree(80, 6.0, rng),
+  };
+  for (const graph::Graph& g : graphs) {
+    EXPECT_TRUE(automata::isVertexCover(g, greedyVertexCover(g).cover));
+    EXPECT_TRUE(automata::isVertexCover(g, matchingVertexCover(g).cover));
+  }
+}
+
+TEST(GreedyCover, StarIsOptimalForMaxDegreeGreedy) {
+  const CoverResult cover = greedyVertexCover(graph::star(20));
+  EXPECT_EQ(cover.cover.size(), 1u);
+  EXPECT_EQ(cover.cover[0], 0u);  // the hub
+}
+
+TEST(GreedyCover, EmptyGraphNeedsNothing) {
+  EXPECT_TRUE(greedyVertexCover(graph::Graph(5)).cover.empty());
+  EXPECT_TRUE(matchingVertexCover(graph::Graph(5)).cover.empty());
+}
+
+TEST(MatchingCover, IsWithinTwiceTheMatchingBound) {
+  support::Rng rng(2);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(100, 8.0, rng);
+  const CoverResult cover = matchingVertexCover(g);
+  EXPECT_EQ(cover.cover.size() % 2, 0u);  // endpoint pairs
+}
+
+TEST(CoverComparison, DistributedCoverWithinExpectedFactorOfGreedy) {
+  // The distributed 2-approx can't beat max-degree greedy by much and
+  // shouldn't be worse than its own 2x certificate allows. The comparison
+  // documents the quality gap the distributed algorithm pays.
+  support::Rng rng(3);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(150, 6.0, rng);
+  const auto distributed = automata::vertexCoverViaMatching(g, 7);
+  const auto greedy = greedyVertexCover(g);
+  ASSERT_TRUE(automata::isVertexCover(g, distributed.cover));
+  // Greedy ≥ OPT ≥ matchingSize; distributed = 2·matchingSize.
+  EXPECT_LE(distributed.cover.size(), 2 * greedy.cover.size());
+  EXPECT_GE(greedy.cover.size(), distributed.matchingSize);
+}
+
+}  // namespace
+}  // namespace dima::baselines

@@ -1,0 +1,65 @@
+#include "src/baselines/greedy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/coloring/validate.hpp"
+#include "src/graph/generators.hpp"
+
+namespace dima::baselines {
+namespace {
+
+TEST(Greedy, ProperOnRandomGraphs) {
+  support::Rng rng(1);
+  for (int i = 0; i < 5; ++i) {
+    const graph::Graph g = graph::erdosRenyiAvgDegree(100, 7.0, rng);
+    for (EdgeOrder order :
+         {EdgeOrder::ById, EdgeOrder::Random, EdgeOrder::HighDegreeFirst}) {
+      const GreedyResult result = greedyEdgeColoring(g, order, 9);
+      const coloring::Verdict verdict =
+          coloring::verifyEdgeColoring(g, result.colors);
+      EXPECT_TRUE(verdict.valid) << verdict.reason;
+      EXPECT_LE(result.colorsUsed, 2 * g.maxDegree() - 1);
+      EXPECT_GE(result.colorsUsed, g.maxDegree());
+    }
+  }
+}
+
+TEST(Greedy, EmptyGraph) {
+  const GreedyResult result = greedyEdgeColoring(graph::Graph(3));
+  EXPECT_TRUE(result.colors.empty());
+  EXPECT_EQ(result.colorsUsed, 0u);
+}
+
+TEST(Greedy, StarUsesExactlyDelta) {
+  const GreedyResult result = greedyEdgeColoring(graph::star(9));
+  EXPECT_EQ(result.colorsUsed, 8u);
+}
+
+TEST(Greedy, EvenCycleUsesTwoColors) {
+  const GreedyResult result = greedyEdgeColoring(graph::cycle(8));
+  EXPECT_EQ(result.colorsUsed, 2u);
+}
+
+TEST(Greedy, OddCycleNeedsThree) {
+  const GreedyResult result = greedyEdgeColoring(graph::cycle(9));
+  EXPECT_EQ(result.colorsUsed, 3u);
+}
+
+TEST(Greedy, RandomOrderIsSeedDeterministic) {
+  support::Rng rng(2);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(60, 6.0, rng);
+  const GreedyResult a = greedyEdgeColoring(g, EdgeOrder::Random, 5);
+  const GreedyResult b = greedyEdgeColoring(g, EdgeOrder::Random, 5);
+  EXPECT_EQ(a.colors, b.colors);
+}
+
+TEST(Greedy, CompleteGraphBounded) {
+  const graph::Graph g = graph::complete(9);  // Δ = 8, χ' = 9 (odd K_n)
+  const GreedyResult result = greedyEdgeColoring(g);
+  EXPECT_TRUE(coloring::verifyEdgeColoring(g, result.colors));
+  EXPECT_GE(result.colorsUsed, 9u);
+  EXPECT_LE(result.colorsUsed, 15u);
+}
+
+}  // namespace
+}  // namespace dima::baselines

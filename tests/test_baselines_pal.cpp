@@ -1,0 +1,94 @@
+#include "src/baselines/pal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/coloring/validate.hpp"
+#include "src/graph/generators.hpp"
+
+namespace dima::baselines {
+namespace {
+
+TEST(Pal, ProperColoringOnRandomGraphs) {
+  support::Rng rng(1);
+  for (int i = 0; i < 5; ++i) {
+    const graph::Graph g = graph::erdosRenyiAvgDegree(100, 7.0, rng);
+    PalOptions options;
+    options.seed = static_cast<std::uint64_t>(i);
+    const PalResult result = palEdgeColoring(g, options);
+    ASSERT_TRUE(result.converged);
+    const coloring::Verdict verdict =
+        coloring::verifyEdgeColoring(g, result.colors);
+    EXPECT_TRUE(verdict.valid) << verdict.reason;
+  }
+}
+
+TEST(Pal, EmptyGraphConvergesImmediately) {
+  const PalResult result = palEdgeColoring(graph::Graph(5));
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.rounds, 0u);
+}
+
+TEST(Pal, DeterministicInSeed) {
+  support::Rng rng(2);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(60, 5.0, rng);
+  PalOptions options;
+  options.seed = 42;
+  const PalResult a = palEdgeColoring(g, options);
+  const PalResult b = palEdgeColoring(g, options);
+  EXPECT_EQ(a.colors, b.colors);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+TEST(Pal, ConvergesInFewRounds) {
+  // O(log n) w.h.p. — assert a generous cap to catch regressions.
+  support::Rng rng(3);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(200, 8.0, rng);
+  const PalResult result = palEdgeColoring(g);
+  ASSERT_TRUE(result.converged);
+  EXPECT_LE(result.rounds, 60u);
+}
+
+TEST(Pal, LargerPaletteConvergesFasterOrEqual) {
+  support::Rng rng(4);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(150, 10.0, rng);
+  PalOptions tight;
+  tight.epsilon = 0.0;
+  tight.seed = 5;
+  PalOptions roomy;
+  roomy.epsilon = 1.0;
+  roomy.seed = 5;
+  const PalResult a = palEdgeColoring(g, tight);
+  const PalResult b = palEdgeColoring(g, roomy);
+  ASSERT_TRUE(a.converged);
+  ASSERT_TRUE(b.converged);
+  // Roomier palettes mean fewer collisions; allow a small tolerance since
+  // the claim is statistical.
+  EXPECT_LE(b.rounds, a.rounds + 4);
+}
+
+TEST(Pal, UsesMoreColorsThanGreedyButProper) {
+  // PAL trades color quality for speed: it may exceed Δ+1 but stays within
+  // the (1+ε)Δ palette (plus the rare overflow fallback).
+  support::Rng rng(5);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(120, 9.0, rng);
+  const PalResult result = palEdgeColoring(g);
+  ASSERT_TRUE(result.converged);
+  EXPECT_TRUE(coloring::verifyEdgeColoring(g, result.colors));
+  EXPECT_LE(result.colorsUsed, 2 * g.maxDegree());
+}
+
+TEST(Pal, StarGraphStress) {
+  // All edges conflict pairwise: the hardest case for random proposals.
+  const PalResult result = palEdgeColoring(graph::star(30));
+  ASSERT_TRUE(result.converged);
+  EXPECT_TRUE(coloring::verifyEdgeColoring(graph::star(30), result.colors));
+}
+
+TEST(PalDeathTest, NegativeEpsilonRejected) {
+  PalOptions options;
+  options.epsilon = -0.5;
+  EXPECT_DEATH(palEdgeColoring(graph::star(3), options), "epsilon");
+}
+
+}  // namespace
+}  // namespace dima::baselines

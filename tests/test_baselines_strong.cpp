@@ -1,0 +1,75 @@
+#include "src/baselines/strong_greedy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/coloring/validate.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/metrics.hpp"
+
+namespace dima::baselines {
+namespace {
+
+TEST(StrongGreedy, ValidStrongColoringOnFamilies) {
+  support::Rng rng(1);
+  const graph::Graph graphs[] = {
+      graph::path(8),
+      graph::cycle(9),
+      graph::star(8),
+      graph::complete(6),
+      graph::grid(4, 4),
+      graph::erdosRenyiAvgDegree(60, 5.0, rng),
+  };
+  for (const graph::Graph& g : graphs) {
+    const graph::Digraph d(g);
+    const StrongGreedyResult result = greedyStrongArcColoring(d);
+    const coloring::Verdict verdict =
+        coloring::verifyStrongArcColoring(d, result.colors);
+    EXPECT_TRUE(verdict.valid) << verdict.reason;
+    EXPECT_GE(result.colorsUsed, graph::strongColoringLowerBound(g));
+  }
+}
+
+TEST(StrongGreedy, EmptyDigraph) {
+  const StrongGreedyResult result =
+      greedyStrongArcColoring(graph::Digraph(graph::Graph(3)));
+  EXPECT_TRUE(result.colors.empty());
+  EXPECT_EQ(result.colorsUsed, 0u);
+}
+
+TEST(StrongGreedy, PathOfThreeEdgesIsAClique) {
+  // Every arc pair in the 3-edge path conflicts ⇒ all 6 arcs distinct.
+  const graph::Digraph d(graph::path(4));
+  const StrongGreedyResult result = greedyStrongArcColoring(d);
+  EXPECT_EQ(result.colorsUsed, 6u);
+}
+
+TEST(StrongGreedy, LongPathReusesColors) {
+  const graph::Digraph d(graph::path(30));
+  const StrongGreedyResult result = greedyStrongArcColoring(d);
+  EXPECT_TRUE(coloring::verifyStrongArcColoring(d, result.colors));
+  EXPECT_LT(result.colorsUsed, 12u);  // constant for paths
+}
+
+TEST(StrongGreedy, RandomOrderAlsoValidAndDeterministic) {
+  support::Rng rng(2);
+  const graph::Digraph d(graph::erdosRenyiAvgDegree(50, 4.0, rng));
+  const StrongGreedyResult a =
+      greedyStrongArcColoring(d, ArcOrder::Random, 7);
+  const StrongGreedyResult b =
+      greedyStrongArcColoring(d, ArcOrder::Random, 7);
+  EXPECT_EQ(a.colors, b.colors);
+  EXPECT_TRUE(coloring::verifyStrongArcColoring(d, a.colors));
+}
+
+TEST(StrongGreedy, GreedyNeverBeatenByMoreThanStructure) {
+  // Sanity: id-order greedy stays within a constant factor of the clique
+  // lower bound on bounded-degree random graphs.
+  support::Rng rng(3);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(100, 6.0, rng);
+  const graph::Digraph d(g);
+  const StrongGreedyResult result = greedyStrongArcColoring(d);
+  EXPECT_LE(result.colorsUsed, 3 * graph::strongColoringLowerBound(g) + 6);
+}
+
+}  // namespace
+}  // namespace dima::baselines

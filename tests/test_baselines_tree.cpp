@@ -1,0 +1,71 @@
+#include "src/baselines/tree_coloring.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/coloring/validate.hpp"
+#include "src/graph/builder.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/metrics.hpp"
+
+namespace dima::baselines {
+namespace {
+
+void expectTreeColoring(const graph::Graph& g) {
+  const TreeColoringResult result = treeEdgeColoring(g);
+  const coloring::Verdict verdict =
+      coloring::verifyEdgeColoring(g, result.colors);
+  ASSERT_TRUE(verdict.valid) << verdict.reason;
+  if (g.numEdges() > 0) {
+    EXPECT_LE(result.colorsUsed, g.maxDegree() + 1)
+        << "Gandham-style bound violated";
+    EXPECT_GE(result.colorsUsed, g.maxDegree());
+  }
+}
+
+TEST(TreeColoring, PathsAndStars) {
+  expectTreeColoring(graph::path(12));
+  expectTreeColoring(graph::star(10));
+  expectTreeColoring(graph::path(2));
+}
+
+TEST(TreeColoring, RandomTrees) {
+  support::Rng rng(1);
+  for (std::size_t n : {5u, 30u, 120u, 300u}) {
+    expectTreeColoring(graph::randomTree(n, rng));
+  }
+}
+
+TEST(TreeColoring, ForestsWithSeveralComponents) {
+  support::Rng rng(2);
+  graph::GraphBuilder b(0);
+  // Three disjoint random trees.
+  std::size_t offset = 0;
+  for (std::size_t n : {10u, 15u, 20u}) {
+    const graph::Graph t = graph::randomTree(n, rng);
+    for (const graph::Edge& e : t.edges()) {
+      b.addEdge(static_cast<graph::VertexId>(e.u + offset),
+                static_cast<graph::VertexId>(e.v + offset));
+    }
+    offset += n;
+  }
+  expectTreeColoring(b.build());
+}
+
+TEST(TreeColoring, EmptyForest) {
+  const TreeColoringResult result = treeEdgeColoring(graph::Graph(4));
+  EXPECT_EQ(result.colorsUsed, 0u);
+}
+
+TEST(TreeColoring, ScheduledRoundsReported) {
+  const TreeColoringResult result = treeEdgeColoring(graph::path(10));
+  // levels (9) + Δ (2) + 1
+  EXPECT_EQ(result.scheduledRounds, 12u);
+}
+
+TEST(TreeColoringDeathTest, RejectsCyclicGraphs) {
+  EXPECT_DEATH(treeEdgeColoring(graph::cycle(5)), "forest");
+  EXPECT_DEATH(treeEdgeColoring(graph::complete(4)), "forest");
+}
+
+}  // namespace
+}  // namespace dima::baselines

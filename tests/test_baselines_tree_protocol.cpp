@@ -1,0 +1,95 @@
+#include "src/baselines/tree_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/coloring/validate.hpp"
+#include "src/graph/builder.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/metrics.hpp"
+
+namespace dima::baselines {
+namespace {
+
+void expectGoodTreeColoring(const graph::Graph& g,
+                            const TreeProtocolResult& result) {
+  ASSERT_TRUE(result.coloring.metrics.converged);
+  const coloring::Verdict verdict =
+      coloring::verifyEdgeColoring(g, result.coloring.colors);
+  EXPECT_TRUE(verdict.valid) << verdict.reason;
+  if (g.numEdges() > 0) {
+    EXPECT_LE(result.coloring.colorsUsed(), g.maxDegree() + 1);
+  }
+}
+
+TEST(TreeProtocol, PathAndStar) {
+  {
+    const graph::Graph g = graph::path(10);
+    const TreeProtocolResult result = distributedTreeColoring(g);
+    expectGoodTreeColoring(g, result);
+    EXPECT_EQ(result.coloring.colorsUsed(), 2u);
+  }
+  {
+    const graph::Graph g = graph::star(9);
+    const TreeProtocolResult result = distributedTreeColoring(g);
+    expectGoodTreeColoring(g, result);
+    EXPECT_EQ(result.coloring.colorsUsed(), 8u);
+    // The hub assigns one edge per round: Δ rounds + termination slack.
+    EXPECT_LE(result.coloringRounds, 10u);
+  }
+}
+
+TEST(TreeProtocol, RandomTreesAcrossSizes) {
+  support::Rng rng(1);
+  for (std::size_t n : {2u, 17u, 60u, 200u}) {
+    const graph::Graph g = graph::randomTree(n, rng);
+    const TreeProtocolResult result = distributedTreeColoring(g);
+    expectGoodTreeColoring(g, result);
+  }
+}
+
+TEST(TreeProtocol, SingleVertex) {
+  const TreeProtocolResult result = distributedTreeColoring(graph::Graph(1));
+  EXPECT_TRUE(result.coloring.metrics.converged);
+}
+
+TEST(TreeProtocol, DeterministicAcrossRuns) {
+  support::Rng rng(2);
+  const graph::Graph g = graph::randomTree(50, rng);
+  const TreeProtocolResult a = distributedTreeColoring(g);
+  const TreeProtocolResult b = distributedTreeColoring(g);
+  EXPECT_EQ(a.coloring.colors, b.coloring.colors);
+  EXPECT_EQ(a.coloringRounds, b.coloringRounds);
+}
+
+TEST(TreeProtocol, PipelinedRoundsStayNearDepthPlusDelta) {
+  // A broom: a long path with a bushy end — depth and Δ must add, not
+  // multiply.
+  graph::GraphBuilder b(0);
+  constexpr graph::VertexId kPathLen = 30;
+  for (graph::VertexId v = 0; v + 1 < kPathLen; ++v) b.addEdge(v, v + 1);
+  for (graph::VertexId leaf = 0; leaf < 20; ++leaf) {
+    b.addEdge(kPathLen - 1, kPathLen + leaf);
+  }
+  const graph::Graph g = b.build();
+  const TreeProtocolResult result = distributedTreeColoring(g, 0);
+  expectGoodTreeColoring(g, result);
+  const std::size_t depth = graph::diameter(g);
+  EXPECT_LE(result.coloringRounds, depth + g.maxDegree() + 4);
+}
+
+TEST(TreeProtocol, RootChoiceDoesNotBreakCorrectness) {
+  support::Rng rng(3);
+  const graph::Graph g = graph::randomTree(40, rng);
+  for (graph::VertexId root : {0u, 7u, 39u}) {
+    const TreeProtocolResult result = distributedTreeColoring(g, root);
+    expectGoodTreeColoring(g, result);
+  }
+}
+
+TEST(TreeProtocolDeathTest, RejectsNonTrees) {
+  EXPECT_DEATH(distributedTreeColoring(graph::cycle(4)), "tree");
+  EXPECT_DEATH(distributedTreeColoring(graph::Graph(3)), "tree");  // forest
+}
+
+}  // namespace
+}  // namespace dima::baselines

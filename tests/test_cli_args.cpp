@@ -1,0 +1,78 @@
+#include "src/cli/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dima::cli {
+namespace {
+
+TEST(Args, PositionalsAndOptions) {
+  Args args({"color", "--n", "100", "--algo", "madec", "extra"});
+  EXPECT_EQ(args.positional(0), "color");
+  EXPECT_EQ(args.positional(1), "extra");
+  EXPECT_EQ(args.positional(9, "fallback"), "fallback");
+  EXPECT_EQ(args.get("n"), "100");
+  EXPECT_EQ(args.get("algo"), "madec");
+  EXPECT_TRUE(args.ok());
+}
+
+TEST(Args, EqualsSyntax) {
+  Args args({"gen", "--n=42", "--family=ws"});
+  EXPECT_EQ(args.getUint("n", 0), 42u);
+  EXPECT_EQ(args.get("family"), "ws");
+}
+
+TEST(Args, BooleanFlags) {
+  Args args({"validate", "--partial", "--kind", "edge"});
+  EXPECT_TRUE(args.has("partial"));
+  EXPECT_EQ(args.get("partial"), "");
+  EXPECT_EQ(args.get("kind"), "edge");
+  Args trailing({"cmd", "--flag"});
+  EXPECT_TRUE(trailing.has("flag"));
+}
+
+TEST(Args, TypedGettersWithDefaults) {
+  Args args({"x", "--count", "7", "--rate", "0.25", "--neg", "-3"});
+  EXPECT_EQ(args.getInt("count", 0), 7);
+  EXPECT_EQ(args.getInt("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(args.getDouble("rate", 0), 0.25);
+  EXPECT_EQ(args.getInt("neg", 0), -3);
+  EXPECT_TRUE(args.ok());
+}
+
+TEST(Args, TypeErrorsAreCollected) {
+  Args args({"x", "--count", "seven", "--rate", "fast"});
+  EXPECT_EQ(args.getInt("count", 5), 5);
+  EXPECT_DOUBLE_EQ(args.getDouble("rate", 1.5), 1.5);
+  EXPECT_FALSE(args.ok());
+  EXPECT_EQ(args.errors().size(), 2u);
+}
+
+TEST(Args, UintRejectsNegative) {
+  Args args({"x", "--n", "-4"});
+  EXPECT_EQ(args.getUint("n", 9), 9u);
+  EXPECT_FALSE(args.ok());
+}
+
+TEST(Args, UnusedOptionsReported) {
+  Args args({"x", "--used", "1", "--typo-option", "2"});
+  (void)args.get("used");
+  const auto unused = args.unusedOptions();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo-option");
+}
+
+TEST(Args, NegativeNumberAsOptionValue) {
+  // "-3" does not start with "--", so it is consumed as the value.
+  Args args({"x", "--offset", "-3"});
+  EXPECT_EQ(args.getInt("offset", 0), -3);
+}
+
+TEST(Args, EmptyArgv) {
+  const char* argv[] = {"dimacol"};
+  Args args(1, argv);
+  EXPECT_TRUE(args.positionals().empty());
+  EXPECT_EQ(args.positional(0, "help"), "help");
+}
+
+}  // namespace
+}  // namespace dima::cli

@@ -1,0 +1,225 @@
+#include "src/cli/commands.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace dima::cli {
+namespace {
+
+struct CommandResult {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+CommandResult run(const std::vector<std::string>& tokens) {
+  Args args(tokens);
+  std::ostringstream out, err;
+  CommandResult result;
+  result.code = runCommand(args, out, err);
+  result.out = out.str();
+  result.err = err.str();
+  return result;
+}
+
+TEST(Cli, HelpAndUnknownCommand) {
+  const CommandResult help = run({"help"});
+  EXPECT_EQ(help.code, 0);
+  EXPECT_NE(help.out.find("usage:"), std::string::npos);
+  const CommandResult none = run({});
+  EXPECT_EQ(none.code, 0);
+  const CommandResult bogus = run({"frobnicate"});
+  EXPECT_EQ(bogus.code, 2);
+  EXPECT_NE(bogus.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, ColorMadecOnGeneratedGraph) {
+  const CommandResult r =
+      run({"color", "--family", "er", "--n", "60", "--deg", "5", "--seed",
+           "3"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("algorithm: madec"), std::string::npos);
+  EXPECT_NE(r.out.find("valid: yes"), std::string::npos);
+}
+
+TEST(Cli, ColorEveryAlgorithm) {
+  for (const char* algo : {"madec", "greedy", "misra-gries", "pal"}) {
+    const CommandResult r =
+        run({"color", "--n", "40", "--deg", "4", "--algo", algo});
+    EXPECT_EQ(r.code, 0) << algo << ": " << r.err;
+    EXPECT_NE(r.out.find("valid: yes"), std::string::npos) << algo;
+  }
+  const CommandResult bad = run({"color", "--n", "10", "--algo", "nope"});
+  EXPECT_EQ(bad.code, 1);
+}
+
+TEST(Cli, StrongStrictIsValidPaperMayNotBe) {
+  const CommandResult strict =
+      run({"strong", "--n", "40", "--deg", "4", "--seed", "5"});
+  EXPECT_EQ(strict.code, 0) << strict.err;
+  EXPECT_NE(strict.out.find("valid: yes"), std::string::npos);
+  const CommandResult paper = run(
+      {"strong", "--n", "40", "--deg", "4", "--seed", "5", "--mode",
+       "paper"});
+  EXPECT_EQ(paper.code, 0) << "paper mode reports, not fails";
+}
+
+TEST(Cli, AutomataCommands) {
+  for (const char* cmd : {"matching", "cover", "mis", "vcolor"}) {
+    const CommandResult r = run({cmd, "--n", "50", "--deg", "5"});
+    EXPECT_EQ(r.code, 0) << cmd << ": " << r.err;
+    EXPECT_NE(r.out.find("valid: yes"), std::string::npos) << cmd;
+  }
+}
+
+TEST(Cli, GenRoundTripsThroughColorAndValidate) {
+  const std::string dir = ::testing::TempDir();
+  const std::string graphPath = dir + "cli_graph.txt";
+  const std::string colorsPath = dir + "cli_colors.txt";
+
+  const CommandResult gen = run({"gen", "--family", "ws", "--n", "32", "--k",
+                                 "4", "--out", graphPath});
+  EXPECT_EQ(gen.code, 0) << gen.err;
+
+  const CommandResult color = run({"color", "--input", graphPath,
+                                   "--colors-out", colorsPath});
+  EXPECT_EQ(color.code, 0) << color.err;
+
+  const CommandResult validate = run({"validate", "--input", graphPath,
+                                      "--colors", colorsPath, "--kind",
+                                      "edge"});
+  EXPECT_EQ(validate.code, 0) << validate.err;
+  EXPECT_NE(validate.out.find("valid"), std::string::npos);
+
+  std::remove(graphPath.c_str());
+  std::remove(colorsPath.c_str());
+}
+
+TEST(Cli, ValidateDetectsBadColoring) {
+  const std::string dir = ::testing::TempDir();
+  const std::string graphPath = dir + "cli_tri.txt";
+  const std::string colorsPath = dir + "cli_tri_colors.txt";
+  {
+    std::ofstream g(graphPath);
+    g << "n 3\n0 1\n1 2\n0 2\n";
+    std::ofstream c(colorsPath);
+    c << "0\n0\n1\n";  // edges 0 and 1 share vertex 1 and color 0
+  }
+  const CommandResult r = run({"validate", "--input", graphPath, "--colors",
+                               colorsPath, "--kind", "edge"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.out.find("INVALID"), std::string::npos);
+  std::remove(graphPath.c_str());
+  std::remove(colorsPath.c_str());
+}
+
+TEST(Cli, ValidateVertexAndStrongKinds) {
+  const std::string dir = ::testing::TempDir();
+  const std::string graphPath = dir + "cli_p3.txt";
+  {
+    std::ofstream g(graphPath);
+    g << "n 3\n0 1\n1 2\n";
+  }
+  const std::string vcPath = dir + "cli_vc.txt";
+  {
+    std::ofstream c(vcPath);
+    c << "0\n1\n0\n";
+  }
+  EXPECT_EQ(run({"validate", "--input", graphPath, "--colors", vcPath,
+                 "--kind", "vertex"})
+                .code,
+            0);
+  const std::string strongPath = dir + "cli_sc.txt";
+  {
+    std::ofstream c(strongPath);
+    c << "0\n1\n2\n3\n";  // 4 arcs of the 2-edge path, all distinct
+  }
+  EXPECT_EQ(run({"validate", "--input", graphPath, "--colors", strongPath,
+                 "--kind", "strong"})
+                .code,
+            0);
+  EXPECT_EQ(run({"validate", "--input", graphPath, "--colors", strongPath,
+                 "--kind", "bogus"})
+                .code,
+            1);
+  std::remove(graphPath.c_str());
+  std::remove(vcPath.c_str());
+  std::remove(strongPath.c_str());
+}
+
+TEST(Cli, StrongUndirectedVariant) {
+  const CommandResult r = run({"strong", "--n", "30", "--deg", "4",
+                               "--undirected", "--seed", "2"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("strong-madec"), std::string::npos);
+  EXPECT_NE(r.out.find("valid: yes"), std::string::npos);
+}
+
+TEST(Cli, StrongGreedyAlgo) {
+  const CommandResult r =
+      run({"strong", "--n", "30", "--deg", "4", "--algo", "greedy"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("valid: yes"), std::string::npos);
+}
+
+TEST(Cli, ProfileOnConnectedGraph) {
+  const CommandResult r =
+      run({"profile", "--family", "ws", "--n", "48", "--k", "4"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("completion rounds"), std::string::npos);
+  EXPECT_NE(r.out.find("termination detection"), std::string::npos);
+  // Disconnected graphs are rejected up front.
+  const CommandResult bad =
+      run({"profile", "--family", "er", "--n", "60", "--deg", "0.5"});
+  EXPECT_EQ(bad.code, 1);
+  EXPECT_NE(bad.err.find("connected"), std::string::npos);
+}
+
+TEST(Cli, AsyncAlphaAndBeta) {
+  for (const char* kind : {"alpha", "beta"}) {
+    const CommandResult r = run({"async", "--family", "ws", "--n", "32",
+                                 "--k", "4", "--synchronizer", kind});
+    EXPECT_EQ(r.code, 0) << kind << ": " << r.err;
+    EXPECT_NE(r.out.find("identical coloring: yes"), std::string::npos)
+        << kind;
+  }
+}
+
+TEST(Cli, FigureSmallScale) {
+  const CommandResult r = run({"figure", "--id", "3", "--runs", "2"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("FIG3"), std::string::npos);
+  const CommandResult bad = run({"figure", "--id", "9"});
+  EXPECT_EQ(bad.code, 1);
+}
+
+TEST(Cli, BadOptionValueYieldsExitCode2) {
+  const CommandResult r = run({"color", "--n", "many"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_FALSE(r.err.empty());
+}
+
+TEST(Cli, UnusedOptionWarns) {
+  const CommandResult r = run({"matching", "--n", "20", "--bogus-opt", "1"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.err.find("unused option --bogus-opt"), std::string::npos);
+}
+
+TEST(Cli, GenToStdout) {
+  const CommandResult r = run({"gen", "--family", "cycle", "--n", "5"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("n 5"), std::string::npos);
+  EXPECT_NE(r.out.find("0 1"), std::string::npos);
+}
+
+TEST(Cli, MissingInputFileFails) {
+  const CommandResult r = run({"color", "--input", "/no/such/file"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("cannot read"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dima::cli

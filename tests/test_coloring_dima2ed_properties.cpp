@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "src/coloring/dima2ed.hpp"
+#include "src/coloring/validate.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/metrics.hpp"
+
+namespace dima::coloring {
+namespace {
+
+class Dima2EdProperty : public ::testing::TestWithParam<
+                            std::tuple<const char*, std::size_t, int>> {
+ protected:
+  graph::Graph makeGraph() const {
+    const auto [family, n, seed] = GetParam();
+    support::Rng rng(static_cast<std::uint64_t>(seed) * 6271 + n);
+    const std::string f = family;
+    if (f == "erdos") return graph::erdosRenyiAvgDegree(n, 4.0, rng);
+    if (f == "tree") return graph::randomTree(n, rng);
+    if (f == "cycle") return graph::cycle(n);
+    if (f == "grid") return graph::grid(n / 6 + 2, 6);
+    if (f == "smallworld") return graph::wattsStrogatz(n, 4, 0.25, rng);
+    ADD_FAILURE() << "unknown family " << f;
+    return graph::Graph(0);
+  }
+
+  std::uint64_t runSeed() const {
+    const auto [family, n, seed] = GetParam();
+    return support::mix64(static_cast<std::uint64_t>(seed) + 17, n);
+  }
+};
+
+TEST_P(Dima2EdProperty, StrictModeProducesValidStrongColoring) {
+  const graph::Graph g = makeGraph();
+  const graph::Digraph d(g);
+  Dima2EdOptions options;
+  options.seed = runSeed();
+  const ArcColoringResult result = colorArcsDima2Ed(d, options);
+  ASSERT_TRUE(result.metrics.converged)
+      << "n=" << g.numVertices() << " m=" << g.numEdges();
+  const Verdict verdict = verifyStrongArcColoring(d, result.colors);
+  EXPECT_TRUE(verdict.valid) << verdict.reason;
+  // Any strong coloring needs at least the clique lower bound.
+  EXPECT_GE(result.colorsUsed(), graph::strongColoringLowerBound(g));
+}
+
+TEST_P(Dima2EdProperty, RoundsStayLinearInDelta) {
+  const graph::Graph g = makeGraph();
+  if (g.maxDegree() == 0) GTEST_SKIP();
+  const graph::Digraph d(g);
+  Dima2EdOptions options;
+  options.seed = runSeed();
+  const ArcColoringResult result = colorArcsDima2Ed(d, options);
+  ASSERT_TRUE(result.metrics.converged);
+  // Strong coloring pays a larger constant than MaDEC (a node must pair
+  // once per incident arc, 2δ of them) — budget 40Δ + 60 to catch
+  // super-linear regressions without flakiness.
+  EXPECT_LE(result.metrics.computationRounds, 40 * g.maxDegree() + 60)
+      << "n=" << g.numVertices() << " D=" << g.maxDegree();
+}
+
+TEST_P(Dima2EdProperty, RandomPolicyAlsoValid) {
+  const graph::Graph g = makeGraph();
+  const graph::Digraph d(g);
+  Dima2EdOptions options;
+  options.seed = runSeed() + 1;
+  options.policy = ColorPolicy::ExpandingWindow;
+  const ArcColoringResult result = colorArcsDima2Ed(d, options);
+  ASSERT_TRUE(result.metrics.converged);
+  EXPECT_TRUE(verifyStrongArcColoring(d, result.colors));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, Dima2EdProperty,
+    ::testing::Combine(
+        ::testing::Values("erdos", "tree", "cycle", "grid", "smallworld"),
+        ::testing::Values<std::size_t>(18, 48, 96),
+        ::testing::Values(1, 2)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<const char*, std::size_t, int>>& paramInfo) {
+      return std::string(std::get<0>(paramInfo.param)) + "_n" +
+             std::to_string(std::get<1>(paramInfo.param)) + "_s" +
+             std::to_string(std::get<2>(paramInfo.param));
+    });
+
+/// The quality of the distributed coloring against the sequential greedy
+/// comparator should be within a small constant factor.
+TEST(Dima2EdQuality, WithinConstantFactorOfLowerBound) {
+  support::Rng rng(31);
+  for (int i = 0; i < 4; ++i) {
+    const graph::Graph g = graph::erdosRenyiAvgDegree(80, 5.0, rng);
+    const graph::Digraph d(g);
+    Dima2EdOptions options;
+    options.seed = static_cast<std::uint64_t>(i);
+    const ArcColoringResult result = colorArcsDima2Ed(d, options);
+    ASSERT_TRUE(result.metrics.converged);
+    const std::size_t lower = graph::strongColoringLowerBound(g);
+    EXPECT_LE(result.colorsUsed(), 4 * lower + 8)
+        << "distributed strong coloring quality collapsed";
+  }
+}
+
+}  // namespace
+}  // namespace dima::coloring

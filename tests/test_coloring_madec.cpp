@@ -1,0 +1,172 @@
+#include "src/coloring/madec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/coloring/validate.hpp"
+#include "src/graph/generators.hpp"
+#include "src/net/trace.hpp"
+
+namespace dima::coloring {
+namespace {
+
+TEST(Madec, TrivialGraphs) {
+  // No vertices, no edges: converges instantly.
+  const EdgeColoringResult empty = colorEdgesMadec(graph::Graph(0));
+  EXPECT_TRUE(empty.metrics.converged);
+  EXPECT_EQ(empty.metrics.computationRounds, 0u);
+  // Isolated vertices only.
+  const EdgeColoringResult isolated = colorEdgesMadec(graph::Graph(6));
+  EXPECT_TRUE(isolated.metrics.converged);
+  EXPECT_EQ(isolated.metrics.computationRounds, 0u);
+}
+
+TEST(Madec, SingleEdge) {
+  graph::Graph g(2, {graph::Edge{0, 1}});
+  const EdgeColoringResult result = colorEdgesMadec(g, {.seed = 3});
+  EXPECT_TRUE(result.metrics.converged);
+  ASSERT_EQ(result.colors.size(), 1u);
+  EXPECT_EQ(result.colors[0], 0);  // lowest-index rule
+  EXPECT_EQ(result.colorsUsed(), 1u);
+}
+
+TEST(Madec, CompleteGraphProperAndBounded) {
+  const graph::Graph g = graph::complete(8);  // Δ = 7
+  const EdgeColoringResult result = colorEdgesMadec(g, {.seed = 11});
+  EXPECT_TRUE(result.metrics.converged);
+  EXPECT_TRUE(verifyEdgeColoring(g, result.colors));
+  EXPECT_LE(result.colorsUsed(), 2 * g.maxDegree() - 1);
+}
+
+TEST(Madec, StarUsesExactlyDeltaColors) {
+  // All edges share the hub, so every color is distinct and the lowest-index
+  // rule uses exactly Δ of them.
+  const graph::Graph g = graph::star(10);
+  const EdgeColoringResult result = colorEdgesMadec(g, {.seed = 5});
+  EXPECT_TRUE(result.metrics.converged);
+  EXPECT_TRUE(verifyEdgeColoring(g, result.colors));
+  EXPECT_EQ(result.colorsUsed(), 9u);
+}
+
+TEST(Madec, MetricsAreConsistent) {
+  support::Rng rng(7);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(100, 6.0, rng);
+  const EdgeColoringResult result = colorEdgesMadec(g, {.seed = 7});
+  EXPECT_TRUE(result.metrics.converged);
+  // 3 communication rounds per computation round.
+  EXPECT_EQ(result.metrics.commRounds,
+            3 * result.metrics.computationRounds);
+  EXPECT_GT(result.metrics.broadcasts, 0u);
+  EXPECT_GT(result.metrics.messagesDelivered, 0u);
+}
+
+TEST(Madec, DeterministicInSeed) {
+  support::Rng rng(8);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(80, 5.0, rng);
+  const EdgeColoringResult a = colorEdgesMadec(g, {.seed = 1234});
+  const EdgeColoringResult b = colorEdgesMadec(g, {.seed = 1234});
+  EXPECT_EQ(a.colors, b.colors);
+  EXPECT_EQ(a.metrics.computationRounds, b.metrics.computationRounds);
+  const EdgeColoringResult c = colorEdgesMadec(g, {.seed = 999});
+  EXPECT_NE(a.metrics.computationRounds * 1000 + a.colorsUsed(),
+            c.metrics.computationRounds * 1000 + c.colorsUsed())
+      << "different seeds should (almost surely) differ somewhere";
+}
+
+TEST(Madec, ThreadedExecutorMatchesSerial) {
+  support::Rng rng(9);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(120, 8.0, rng);
+  MadecOptions serial;
+  serial.seed = 77;
+  const EdgeColoringResult a = colorEdgesMadec(g, serial);
+
+  support::ThreadPool pool(4);
+  MadecOptions pooled;
+  pooled.seed = 77;
+  pooled.pool = &pool;
+  const EdgeColoringResult b = colorEdgesMadec(g, pooled);
+
+  EXPECT_EQ(a.colors, b.colors);
+  EXPECT_EQ(a.metrics.computationRounds, b.metrics.computationRounds);
+}
+
+TEST(Madec, TraceRecordsTheRun) {
+  net::TraceLog trace;
+  trace.enable();
+  graph::Graph g(3, {graph::Edge{0, 1}, graph::Edge{1, 2},
+                     graph::Edge{0, 2}});
+  MadecOptions options;
+  options.seed = 21;
+  options.trace = &trace;
+  const EdgeColoringResult result = colorEdgesMadec(g, options);
+  EXPECT_TRUE(result.metrics.converged);
+  std::size_t colored = 0, doneEvents = 0;
+  for (const net::TraceEvent& e : trace.events()) {
+    if (e.kind == net::TraceKind::EdgeColored) ++colored;
+    if (e.kind == net::TraceKind::NodeDone) ++doneEvents;
+  }
+  EXPECT_EQ(colored, 2 * g.numEdges());  // both endpoints record each edge
+  EXPECT_EQ(doneEvents, g.numVertices());
+}
+
+TEST(Madec, InvitorBiasExtremesStillTerminate) {
+  support::Rng rng(10);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(60, 4.0, rng);
+  for (double bias : {0.1, 0.9}) {
+    MadecOptions options;
+    options.seed = 31;
+    options.invitorBias = bias;
+    const EdgeColoringResult result = colorEdgesMadec(g, options);
+    EXPECT_TRUE(result.metrics.converged) << "bias " << bias;
+    EXPECT_TRUE(verifyEdgeColoring(g, result.colors)) << "bias " << bias;
+  }
+}
+
+TEST(MadecDeathTest, InvalidBiasRejected) {
+  graph::Graph g(2, {graph::Edge{0, 1}});
+  MadecOptions options;
+  options.invitorBias = 0.0;
+  EXPECT_DEATH(colorEdgesMadec(g, options), "bias");
+}
+
+TEST(Madec, ReliableRunsNeverHalfCommit) {
+  support::Rng rng(20);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(80, 6.0, rng);
+  const EdgeColoringResult result = colorEdgesMadec(g, {.seed = 8});
+  ASSERT_TRUE(result.metrics.converged);
+  EXPECT_TRUE(result.halfCommitted.empty());
+}
+
+TEST(Madec, SafetyHoldsUnderMessageDropsModuloHalfCommits) {
+  // Message loss can half-commit an edge (the responder colored it, the
+  // invitor never learned — the two-generals limit; no protocol avoids it).
+  // The guarantee that survives: masking half-committed edges, the partial
+  // coloring is proper, i.e. every node's *agreed* colors stay conflict-free.
+  support::Rng rng(11);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(60, 6.0, rng);
+  for (double drop : {0.05, 0.2, 0.5}) {
+    MadecOptions options;
+    options.seed = 13;
+    options.faults.dropProbability = drop;
+    options.maxCycles = 400;
+    const EdgeColoringResult result = colorEdgesMadec(g, options);
+    std::vector<Color> agreed = result.colors;
+    for (graph::EdgeId e : result.halfCommitted) agreed[e] = kNoColor;
+    const Verdict verdict = verifyEdgeColoring(g, agreed, true);
+    EXPECT_TRUE(verdict.valid) << "drop " << drop << ": " << verdict.reason;
+  }
+}
+
+TEST(Madec, SafetyHoldsUnderDuplicates) {
+  support::Rng rng(12);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(60, 6.0, rng);
+  MadecOptions options;
+  options.seed = 17;
+  options.faults.duplicateProbability = 0.3;
+  options.maxCycles = 2000;
+  const EdgeColoringResult result = colorEdgesMadec(g, options);
+  EXPECT_TRUE(verifyEdgeColoring(g, result.colors,
+                                 !result.metrics.converged));
+}
+
+}  // namespace
+}  // namespace dima::coloring

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "src/coloring/madec.hpp"
+#include "src/coloring/validate.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/metrics.hpp"
+
+namespace dima::coloring {
+namespace {
+
+/// Property sweep over (family, size, density, seed): every MaDEC run must
+/// produce a proper coloring with at most 2Δ−1 colors (Propositions 2 & 3)
+/// and terminate within a generous O(Δ) round budget (Proposition 1).
+class MadecProperty : public ::testing::TestWithParam<
+                          std::tuple<const char*, std::size_t, int>> {
+ protected:
+  graph::Graph makeGraph() const {
+    const auto [family, n, seed] = GetParam();
+    support::Rng rng(static_cast<std::uint64_t>(seed) * 7919 + n);
+    const std::string f = family;
+    if (f == "erdos-sparse") return graph::erdosRenyiAvgDegree(n, 4.0, rng);
+    if (f == "erdos-dense") return graph::erdosRenyiAvgDegree(n, 12.0, rng);
+    if (f == "scale-free") return graph::barabasiAlbert(n, 3, 1.0, rng);
+    if (f == "small-world") {
+      return graph::wattsStrogatz(n, 6, 0.25, rng);
+    }
+    if (f == "tree") return graph::randomTree(n, rng);
+    if (f == "regular") return graph::randomRegular(n, 5 - (n % 2), rng);
+    if (f == "complete") return graph::complete(std::min<std::size_t>(n, 24));
+    ADD_FAILURE() << "unknown family " << f;
+    return graph::Graph(0);
+  }
+
+  std::uint64_t runSeed() const {
+    const auto [family, n, seed] = GetParam();
+    return support::mix64(static_cast<std::uint64_t>(seed), n);
+  }
+};
+
+TEST_P(MadecProperty, ProperColoringWithinWorstCaseBound) {
+  const graph::Graph g = makeGraph();
+  MadecOptions options;
+  options.seed = runSeed();
+  const EdgeColoringResult result = colorEdgesMadec(g, options);
+
+  ASSERT_TRUE(result.metrics.converged);
+  const Verdict verdict = verifyEdgeColoring(g, result.colors);
+  EXPECT_TRUE(verdict.valid) << verdict.reason;
+
+  const std::size_t delta = g.maxDegree();
+  if (delta >= 1) {
+    EXPECT_GE(result.colorsUsed(), delta == 1 ? 1 : delta)
+        << "cannot beat the Vizing lower bound";
+    EXPECT_LE(result.colorsUsed(), 2 * delta - 1)
+        << "Proposition 3 bound violated";
+  }
+}
+
+TEST_P(MadecProperty, TerminatesInLinearDeltaRounds) {
+  const graph::Graph g = makeGraph();
+  if (g.maxDegree() == 0) GTEST_SKIP() << "edgeless sample";
+  MadecOptions options;
+  options.seed = runSeed();
+  const EdgeColoringResult result = colorEdgesMadec(g, options);
+  ASSERT_TRUE(result.metrics.converged);
+  // Mean is ~2Δ; allow a wide tail (12Δ + 30) so the test is not flaky
+  // while still catching super-linear blowups.
+  EXPECT_LE(result.metrics.computationRounds,
+            12 * g.maxDegree() + 30)
+      << "n=" << g.numVertices() << " D=" << g.maxDegree();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, MadecProperty,
+    ::testing::Combine(
+        ::testing::Values("erdos-sparse", "erdos-dense", "scale-free",
+                          "small-world", "tree", "regular", "complete"),
+        ::testing::Values<std::size_t>(24, 72, 160),
+        ::testing::Values(1, 2, 3, 4)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<const char*, std::size_t, int>>& paramInfo) {
+      std::string name = std::get<0>(paramInfo.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_n" + std::to_string(std::get<1>(paramInfo.param)) + "_s" +
+             std::to_string(std::get<2>(paramInfo.param));
+    });
+
+/// The paper's worst-case witness (§II-B Prop. 3 discussion): a high-degree
+/// node surrounded by equally high-degree neighbors. MaDEC must stay within
+/// 2Δ−1 colors no matter the seed.
+TEST(MadecWorstCase, CompleteBipartiteStressStaysBounded) {
+  support::Rng rng(404);
+  const graph::Graph g = graph::randomBipartite(12, 12, 1.0, rng);  // K12,12
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    MadecOptions options;
+    options.seed = seed;
+    const EdgeColoringResult result = colorEdgesMadec(g, options);
+    ASSERT_TRUE(result.metrics.converged);
+    EXPECT_TRUE(verifyEdgeColoring(g, result.colors));
+    EXPECT_LE(result.colorsUsed(), 2 * g.maxDegree() - 1);
+  }
+}
+
+/// Conjecture 2 statistically: on moderate Erdős–Rényi graphs the run
+/// should almost always use at most Δ+1 colors.
+TEST(MadecQuality, MostRunsWithinDeltaPlusOne) {
+  support::Rng rng(500);
+  std::size_t within = 0;
+  constexpr std::size_t kRuns = 30;
+  for (std::size_t i = 0; i < kRuns; ++i) {
+    const graph::Graph g = graph::erdosRenyiAvgDegree(120, 8.0, rng);
+    MadecOptions options;
+    options.seed = 1000 + i;
+    const EdgeColoringResult result = colorEdgesMadec(g, options);
+    if (result.colorsUsed() <= g.maxDegree() + 1) ++within;
+  }
+  EXPECT_GE(within, kRuns - 2) << "Conjecture 2 should hold almost always";
+}
+
+}  // namespace
+}  // namespace dima::coloring

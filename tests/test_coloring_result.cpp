@@ -1,0 +1,76 @@
+#include "src/coloring/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/misra_gries.hpp"
+#include "src/coloring/madec.hpp"
+#include "src/coloring/validate.hpp"
+#include "src/graph/generators.hpp"
+
+namespace dima::coloring {
+namespace {
+
+TEST(PaletteSummary, CountsDistinctAndUncolored) {
+  const PaletteSummary s = summarizePalette({0, 2, 2, kNoColor, 5});
+  EXPECT_EQ(s.assigned, 4u);
+  EXPECT_EQ(s.uncolored, 1u);
+  EXPECT_EQ(s.distinct, 3u);
+  EXPECT_EQ(s.maxColor, 5);
+}
+
+TEST(PaletteSummary, EmptyVector) {
+  const PaletteSummary s = summarizePalette({});
+  EXPECT_EQ(s.assigned, 0u);
+  EXPECT_EQ(s.distinct, 0u);
+  EXPECT_EQ(s.maxColor, kNoColor);
+}
+
+TEST(Results, CompletePredicates) {
+  EdgeColoringResult edge;
+  edge.colors = {0, 1};
+  EXPECT_TRUE(edge.complete());
+  edge.colors.push_back(kNoColor);
+  EXPECT_FALSE(edge.complete());
+
+  ArcColoringResult arc;
+  arc.colors = {3};
+  EXPECT_TRUE(arc.complete());
+  EXPECT_EQ(arc.colorsUsed(), 1u);
+}
+
+/// Differential fuzz: on hundreds of small random graphs, MaDEC and
+/// Misra–Gries must both validate, and MaDEC may use at most (2Δ−1)
+/// against MG's Δ+1 — with the typical gap being ≤ 1 color.
+TEST(Differential, MadecVsMisraGriesOnSmallGraphs) {
+  std::size_t madecWithinOneOfMg = 0;
+  std::size_t runs = 0;
+  for (std::uint64_t seed = 0; seed < 150; ++seed) {
+    support::Rng rng(seed * 101 + 7);
+    const std::size_t n = 6 + rng.index(20);
+    const double degree = 2.0 + rng.uniform01() * 5.0;
+    const graph::Graph g = graph::erdosRenyiAvgDegree(n, degree, rng);
+    if (g.numEdges() == 0) continue;
+    ++runs;
+
+    MadecOptions options;
+    options.seed = seed;
+    const EdgeColoringResult distributed = colorEdgesMadec(g, options);
+    const baselines::MisraGriesResult sequential =
+        baselines::misraGriesEdgeColoring(g);
+
+    ASSERT_TRUE(verifyEdgeColoring(g, distributed.colors)) << "seed " << seed;
+    ASSERT_TRUE(verifyEdgeColoring(g, sequential.colors)) << "seed " << seed;
+    ASSERT_LE(sequential.colorsUsed, g.maxDegree() + 1);
+    ASSERT_LE(distributed.colorsUsed(), 2 * g.maxDegree() - 1);
+    if (distributed.colorsUsed() <= sequential.colorsUsed + 1) {
+      ++madecWithinOneOfMg;
+    }
+  }
+  ASSERT_GT(runs, 100u);
+  // Conjecture 2 in differential form: the distributed algorithm should
+  // track the Δ+1 gold standard closely on the vast majority of runs.
+  EXPECT_GE(madecWithinOneOfMg * 10, runs * 9);
+}
+
+}  // namespace
+}  // namespace dima::coloring

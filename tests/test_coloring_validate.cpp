@@ -1,0 +1,124 @@
+#include "src/coloring/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.hpp"
+
+namespace dima::coloring {
+namespace {
+
+graph::Graph pathGraph4() {
+  // 0-1-2-3: edges e0={0,1}, e1={1,2}, e2={2,3}
+  return graph::Graph(4, {graph::Edge{0, 1}, graph::Edge{1, 2},
+                          graph::Edge{2, 3}});
+}
+
+TEST(VerifyEdgeColoring, AcceptsProperColoring) {
+  const graph::Graph g = pathGraph4();
+  EXPECT_TRUE(verifyEdgeColoring(g, {0, 1, 0}));
+}
+
+TEST(VerifyEdgeColoring, RejectsAdjacentSameColor) {
+  const graph::Graph g = pathGraph4();
+  const Verdict v = verifyEdgeColoring(g, {0, 0, 1});
+  EXPECT_FALSE(v.valid);
+  EXPECT_NE(v.reason.find("vertex 1"), std::string::npos);
+}
+
+TEST(VerifyEdgeColoring, RejectsUncoloredUnlessPartialAllowed) {
+  const graph::Graph g = pathGraph4();
+  EXPECT_FALSE(verifyEdgeColoring(g, {0, kNoColor, 0}));
+  EXPECT_TRUE(verifyEdgeColoring(g, {0, kNoColor, 0}, true));
+  // Partial mode still rejects real conflicts.
+  EXPECT_FALSE(verifyEdgeColoring(g, {0, 0, kNoColor}, true));
+}
+
+TEST(VerifyEdgeColoring, RejectsSizeMismatchAndNegativeColors) {
+  const graph::Graph g = pathGraph4();
+  EXPECT_FALSE(verifyEdgeColoring(g, {0, 1}));
+  EXPECT_FALSE(verifyEdgeColoring(g, {0, -5, 1}));
+}
+
+TEST(StrongConflict, SharedEndpointAlwaysConflicts) {
+  const graph::Digraph d(pathGraph4());
+  const graph::ArcId a01 = d.findArc(0, 1);
+  const graph::ArcId a10 = d.findArc(1, 0);
+  const graph::ArcId a12 = d.findArc(1, 2);
+  EXPECT_TRUE(strongConflict(d, a01, a10));  // antiparallel twins
+  EXPECT_TRUE(strongConflict(d, a01, a12));  // share vertex 1
+  EXPECT_FALSE(strongConflict(d, a01, a01)); // self
+}
+
+TEST(StrongConflict, DistanceTwoConflictsDistanceThreeDoesNot) {
+  // Path 0-1-2-3: arcs (0→1) and (2→3) are joined by edge {1,2} → conflict.
+  const graph::Digraph d(pathGraph4());
+  EXPECT_TRUE(strongConflict(d, d.findArc(0, 1), d.findArc(2, 3)));
+  // Path 0-1-2-3-4: arcs (0→1) and (3→4) are two edges apart → no conflict.
+  const graph::Digraph d5(graph::path(5));
+  EXPECT_FALSE(strongConflict(d5, d5.findArc(0, 1), d5.findArc(3, 4)));
+}
+
+TEST(VerifyStrongArcColoring, AcceptsSequentialGreedyStyleColoring) {
+  // On the 4-path digraph every arc pair conflicts except none — the
+  // distance-2 closure of a 3-edge path is a clique, so all-distinct works.
+  const graph::Digraph d(pathGraph4());
+  std::vector<Color> colors(d.numArcs());
+  for (std::size_t i = 0; i < colors.size(); ++i) {
+    colors[i] = static_cast<Color>(i);
+  }
+  EXPECT_TRUE(verifyStrongArcColoring(d, colors));
+}
+
+TEST(VerifyStrongArcColoring, RejectsDistanceTwoClash) {
+  const graph::Digraph d(pathGraph4());
+  std::vector<Color> colors(d.numArcs());
+  for (std::size_t i = 0; i < colors.size(); ++i) {
+    colors[i] = static_cast<Color>(i);
+  }
+  colors[d.findArc(0, 1)] = 42;
+  colors[d.findArc(2, 3)] = 42;
+  const Verdict v = verifyStrongArcColoring(d, colors);
+  EXPECT_FALSE(v.valid);
+  EXPECT_NE(v.reason.find("42"), std::string::npos);
+}
+
+TEST(VerifyStrongArcColoring, DistanceThreeReuseAllowed) {
+  const graph::Digraph d(graph::path(5));
+  std::vector<Color> colors(d.numArcs());
+  for (std::size_t i = 0; i < colors.size(); ++i) {
+    colors[i] = static_cast<Color>(i);
+  }
+  colors[d.findArc(0, 1)] = 77;
+  colors[d.findArc(3, 4)] = 77;
+  EXPECT_TRUE(verifyStrongArcColoring(d, colors));
+}
+
+TEST(VerifyStrongArcColoring, PartialMode) {
+  const graph::Digraph d(pathGraph4());
+  std::vector<Color> colors(d.numArcs(), kNoColor);
+  colors[0] = 0;
+  EXPECT_FALSE(verifyStrongArcColoring(d, colors));
+  EXPECT_TRUE(verifyStrongArcColoring(d, colors, true));
+}
+
+TEST(CountStrongConflicts, CountsEachClashingPairOnce) {
+  const graph::Digraph d(pathGraph4());
+  std::vector<Color> colors(d.numArcs());
+  for (std::size_t i = 0; i < colors.size(); ++i) {
+    colors[i] = static_cast<Color>(i);
+  }
+  EXPECT_EQ(countStrongConflicts(d, colors), 0u);
+  colors[d.findArc(0, 1)] = 9;
+  colors[d.findArc(2, 3)] = 9;
+  EXPECT_EQ(countStrongConflicts(d, colors), 1u);
+  colors[d.findArc(1, 2)] = 9;  // conflicts with both
+  EXPECT_EQ(countStrongConflicts(d, colors), 3u);
+}
+
+TEST(Verdict, BooleanConversion) {
+  EXPECT_TRUE(static_cast<bool>(Verdict::ok()));
+  EXPECT_FALSE(static_cast<bool>(Verdict::fail("nope")));
+}
+
+}  // namespace
+}  // namespace dima::coloring

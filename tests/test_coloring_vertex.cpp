@@ -1,0 +1,87 @@
+#include "src/coloring/vertex_coloring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/graph/generators.hpp"
+
+namespace dima::coloring {
+namespace {
+
+TEST(VertexColoring, TrivialGraphs) {
+  const VertexColoringResult empty =
+      colorVerticesDistributed(graph::Graph(0), 1);
+  EXPECT_TRUE(empty.converged);
+  const VertexColoringResult isolated =
+      colorVerticesDistributed(graph::Graph(4), 1);
+  EXPECT_TRUE(isolated.converged);
+  EXPECT_EQ(isolated.colorsUsed(), 1u);  // all take color 0
+}
+
+TEST(VertexColoring, BipartiteUsesFewColors) {
+  // Even cycle is 2-chromatic; the randomized protocol won't necessarily
+  // find 2 but must stay within Δ+1 = 3.
+  const VertexColoringResult result =
+      colorVerticesDistributed(graph::cycle(12), 3);
+  ASSERT_TRUE(result.converged);
+  EXPECT_TRUE(isProperVertexColoring(graph::cycle(12), result.colors));
+  EXPECT_LE(result.colorsUsed(), 3u);
+}
+
+TEST(VertexColoring, CompleteGraphNeedsN) {
+  const graph::Graph g = graph::complete(9);
+  const VertexColoringResult result = colorVerticesDistributed(g, 5);
+  ASSERT_TRUE(result.converged);
+  EXPECT_TRUE(isProperVertexColoring(g, result.colors));
+  EXPECT_EQ(result.colorsUsed(), 9u);  // Δ+1 = n, all distinct
+}
+
+TEST(VertexColoring, DeterministicInSeed) {
+  support::Rng rng(2);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(60, 5.0, rng);
+  const VertexColoringResult a = colorVerticesDistributed(g, 77);
+  const VertexColoringResult b = colorVerticesDistributed(g, 77);
+  EXPECT_EQ(a.colors, b.colors);
+}
+
+TEST(VertexColoring, FastConvergence) {
+  support::Rng rng(3);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(300, 8.0, rng);
+  const VertexColoringResult result = colorVerticesDistributed(g, 9);
+  ASSERT_TRUE(result.converged);
+  EXPECT_LE(result.rounds, 30u);
+}
+
+class VertexColoringSweep : public ::testing::TestWithParam<
+                                std::tuple<std::size_t, double, int>> {};
+
+TEST_P(VertexColoringSweep, ProperWithinDeltaPlusOne) {
+  const auto [n, degree, seed] = GetParam();
+  support::Rng rng(static_cast<std::uint64_t>(seed) * 151 + n);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(n, degree, rng);
+  const VertexColoringResult result =
+      colorVerticesDistributed(g, static_cast<std::uint64_t>(seed));
+  ASSERT_TRUE(result.converged);
+  EXPECT_TRUE(isProperVertexColoring(g, result.colors));
+  // Every node's palette is [0, deg(u)], so the global bound is Δ+1.
+  EXPECT_LE(result.colorsUsed(), g.maxDegree() + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, VertexColoringSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(20, 80, 200),
+                       ::testing::Values(3.0, 8.0),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(IsProperVertexColoring, Checks) {
+  graph::Graph g(3, {graph::Edge{0, 1}, graph::Edge{1, 2}});
+  EXPECT_TRUE(isProperVertexColoring(g, {0, 1, 0}));
+  EXPECT_FALSE(isProperVertexColoring(g, {0, 0, 1}));
+  EXPECT_FALSE(isProperVertexColoring(g, {0, kNoColor, 0}));
+  EXPECT_TRUE(isProperVertexColoring(g, {0, kNoColor, 0}, true));
+  EXPECT_FALSE(isProperVertexColoring(g, {0, 1}));  // wrong size
+}
+
+}  // namespace
+}  // namespace dima::coloring

@@ -1,0 +1,130 @@
+/// \file test_edge_cases.cpp
+/// Focused edge-case coverage across modules that the main suites touch
+/// only incidentally.
+
+#include <gtest/gtest.h>
+
+#include "src/cli/args.hpp"
+#include "src/coloring/dima2ed.hpp"
+#include "src/coloring/madec.hpp"
+#include "src/coloring/validate.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/io.hpp"
+#include "src/net/engine.hpp"
+#include "src/net/trace.hpp"
+#include "src/support/small_vector.hpp"
+
+namespace dima {
+namespace {
+
+TEST(EdgeCases, StrictDima2EdActuallyAborts) {
+  // The tentative/abort handshake must be doing real work, not just
+  // sitting idle: on a dense workload the same-round collisions it exists
+  // to catch occur every run (8–28 aborts measured across seeds 0–9).
+  support::Rng rng(9);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(60, 8.0, rng);
+  const graph::Digraph d(g);
+  net::TraceLog trace;
+  trace.enable();
+  coloring::Dima2EdOptions options;
+  options.seed = 0;
+  options.trace = &trace;
+  const auto result = coloring::colorArcsDima2Ed(d, options);
+  ASSERT_TRUE(result.metrics.converged);
+  std::size_t aborts = 0;
+  for (const net::TraceEvent& e : trace.events()) {
+    if (e.kind == net::TraceKind::Aborted) ++aborts;
+  }
+  EXPECT_GT(aborts, 0u)
+      << "no same-round collisions on a dense graph — either the workload "
+         "is wrong or the abort path is dead";
+}
+
+TEST(EdgeCases, EngineMaxCyclesZeroRunsNothing) {
+  struct Idle {
+    struct Msg {};
+    using Message = Msg;
+    int subRounds() const { return 1; }
+    void beginCycle(net::NodeId) { ++begun; }
+    void send(net::NodeId, int, net::SyncNetwork<Msg>&) {}
+    void receive(net::NodeId, int, std::span<const net::Envelope<Msg>>) {}
+    void endCycle(net::NodeId) {}
+    bool done(net::NodeId) const { return false; }
+    int begun = 0;
+  };
+  const graph::Graph g = graph::cycle(3);
+  Idle proto;
+  net::SyncNetwork<Idle::Msg> net(g);
+  net::EngineOptions options;
+  options.maxCycles = 0;
+  const net::EngineResult result = runSyncProtocol(proto, net, options);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.cycles, 0u);
+  EXPECT_EQ(proto.begun, 0);
+}
+
+TEST(EdgeCases, SmallVectorEraseDeathOnBadIndex) {
+  support::SmallVector<int, 2> v{1, 2};
+  EXPECT_DEATH(v.eraseAt(5), "out of range");
+  EXPECT_DEATH(v.eraseAtUnordered(2), "out of range");
+}
+
+TEST(EdgeCases, SmallVectorReserveBelowSizeIsNoOp) {
+  support::SmallVector<int, 2> v{1, 2, 3, 4};
+  const auto cap = v.capacity();
+  v.reserve(1);
+  EXPECT_EQ(v.capacity(), cap);
+  EXPECT_EQ(v.size(), 4u);
+}
+
+TEST(EdgeCases, ArgsEqualsWithEmptyValue) {
+  cli::Args args({"cmd", "--name="});
+  EXPECT_TRUE(args.has("name"));
+  EXPECT_EQ(args.get("name", "fallback"), "");
+}
+
+TEST(EdgeCases, LoadEdgeListWithoutOkPointerOnMissingFile) {
+  const graph::Graph g = graph::loadEdgeList("/no/such/file");
+  EXPECT_EQ(g.numVertices(), 0u);
+}
+
+TEST(EdgeCases, EdgeListHeaderSmallerThanEdgesGrows) {
+  // An `n` header smaller than the actual endpoints must not truncate.
+  const graph::Graph g = graph::fromEdgeList("n 2\n0 5\n");
+  EXPECT_EQ(g.numVertices(), 6u);
+}
+
+TEST(EdgeCases, MadecOnDisconnectedGraphColorsEachComponent) {
+  // Two separate triangles plus isolated vertices.
+  graph::Graph g(8, {graph::Edge{0, 1}, graph::Edge{1, 2}, graph::Edge{0, 2},
+                     graph::Edge{3, 4}, graph::Edge{4, 5},
+                     graph::Edge{3, 5}});
+  const auto result = coloring::colorEdgesMadec(g, {.seed = 5});
+  ASSERT_TRUE(result.metrics.converged);
+  EXPECT_TRUE(coloring::verifyEdgeColoring(g, result.colors));
+  EXPECT_EQ(result.colorsUsed(), 3u);  // each triangle needs exactly 3
+}
+
+TEST(EdgeCases, Dima2EdOnStarTerminatesBothDirections) {
+  // The hub must accept Δ invitations *and* win Δ of its own — the
+  // one-sided role rule (only-in ⇒ listen, only-out ⇒ invite) is what
+  // keeps the endgame alive.
+  const graph::Graph g = graph::star(8);
+  const graph::Digraph d(g);
+  const auto result = coloring::colorArcsDima2Ed(d, {.seed = 6});
+  ASSERT_TRUE(result.metrics.converged);
+  EXPECT_TRUE(result.complete());
+  EXPECT_TRUE(coloring::verifyStrongArcColoring(d, result.colors));
+  EXPECT_EQ(result.colorsUsed(), d.numArcs());  // star arcs all conflict
+}
+
+TEST(EdgeCases, TwoNodeGraphFastPath) {
+  graph::Graph g(2, {graph::Edge{0, 1}});
+  const auto madec = coloring::colorEdgesMadec(g, {.seed = 1});
+  EXPECT_TRUE(madec.metrics.converged);
+  // Exactly one coin-agreement needed; expected 4 rounds, tail-bounded.
+  EXPECT_LE(madec.metrics.computationRounds, 64u);
+}
+
+}  // namespace
+}  // namespace dima

@@ -1,0 +1,84 @@
+#include "src/experiments/figures.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dima::exp {
+namespace {
+
+// The full 50-runs-per-config sweeps belong to the bench harness; the tests
+// run scaled-down versions (3 runs per config) and assert the properties
+// that are scale-robust: validity of every run, presence of all outputs,
+// and the linear-in-Δ shape. Claim thresholds that need the full sample
+// size (e.g. "≥97% of runs within Δ+1") are exercised by the benches.
+
+void expectWellFormed(const FigureReport& report) {
+  EXPECT_FALSE(report.table.empty());
+  EXPECT_FALSE(report.plot.empty());
+  EXPECT_FALSE(report.csv.empty());
+  EXPECT_FALSE(report.claims.empty());
+  EXPECT_GT(report.records.size(), 0u);
+  EXPECT_EQ(report.summary.invalidRuns, 0u);
+  EXPECT_EQ(report.summary.unconverged, 0u);
+  // Rendered report mentions the figure id and every claim.
+  const std::string text = report.render();
+  EXPECT_NE(text.find(report.id), std::string::npos);
+  for (const ClaimCheck& claim : report.claims) {
+    EXPECT_NE(text.find(claim.claim), std::string::npos);
+  }
+  // CSV has a header plus one row per record.
+  const std::size_t lines =
+      static_cast<std::size_t>(std::count(report.csv.begin(),
+                                          report.csv.end(), '\n'));
+  EXPECT_EQ(lines, report.records.size() + 1);
+}
+
+TEST(Figures, Figure3SmallScale) {
+  const FigureReport report = runFigure3(101, 3);
+  expectWellFormed(report);
+  EXPECT_EQ(report.id, "FIG3");
+  EXPECT_EQ(report.records.size(), 18u);  // 6 configs × 3
+  EXPECT_GT(report.summary.roundsVsDelta.slope(), 0.5);
+  EXPECT_LT(report.summary.roundsVsDelta.slope(), 6.0);
+}
+
+TEST(Figures, Figure4SmallScale) {
+  const FigureReport report = runFigure4(102, 3);
+  expectWellFormed(report);
+  EXPECT_EQ(report.id, "FIG4");
+  // Scale-free quality claim: the paper observed ≤ Δ always; at any scale
+  // no run should exceed Δ by more than 1.
+  for (const RunRecord& rec : report.records) {
+    EXPECT_LE(rec.colorExcess, 1);
+  }
+}
+
+TEST(Figures, Figure5SmallScale) {
+  const FigureReport report = runFigure5(103, 3);
+  expectWellFormed(report);
+  EXPECT_EQ(report.id, "FIG5");
+  // The 2Δ−1 bound must hold in every run (Proposition 3).
+  for (const RunRecord& rec : report.records) {
+    if (rec.delta >= 2) {
+      EXPECT_LT(rec.colors, 2 * rec.delta - 1);
+    }
+  }
+}
+
+TEST(Figures, Figure6SmallScale) {
+  const FigureReport report = runFigure6(104, 2);
+  expectWellFormed(report);
+  EXPECT_EQ(report.id, "FIG6");
+  for (const RunRecord& rec : report.records) {
+    EXPECT_EQ(rec.conflicts, 0u) << "strict mode leaked a conflict";
+  }
+}
+
+TEST(Figures, ReportsAreSeedDeterministic) {
+  const FigureReport a = runFigure3(55, 2);
+  const FigureReport b = runFigure3(55, 2);
+  EXPECT_EQ(a.csv, b.csv);
+  EXPECT_EQ(a.table, b.table);
+}
+
+}  // namespace
+}  // namespace dima::exp

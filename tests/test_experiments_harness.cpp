@@ -1,0 +1,134 @@
+#include "src/experiments/harness.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dima::exp {
+namespace {
+
+TEST(Workload, FamilyNamesAndLabels) {
+  GraphSpec er{Family::ErdosRenyi, 200, 8.0, 0.0};
+  EXPECT_EQ(er.label(), "erdos-renyi n=200 d=8");
+  GraphSpec ws{Family::SmallWorld, 64, 4.0, 0.25};
+  EXPECT_EQ(ws.label(), "small-world n=64 k=4 beta=0.25");
+  GraphSpec ba{Family::ScaleFree, 100, 4.0, 1.5};
+  EXPECT_EQ(ba.label(), "scale-free n=100 m=4 pow=1.5");
+}
+
+TEST(Workload, MakeGraphHonorsSpecs) {
+  support::Rng rng(1);
+  const graph::Graph er =
+      makeGraph(GraphSpec{Family::ErdosRenyi, 100, 6.0, 0.0}, rng);
+  EXPECT_EQ(er.numVertices(), 100u);
+  EXPECT_EQ(er.numEdges(), 300u);
+
+  const graph::Graph tree =
+      makeGraph(GraphSpec{Family::RandomTree, 40, 0, 0}, rng);
+  EXPECT_EQ(tree.numEdges(), 39u);
+
+  const graph::Graph reg =
+      makeGraph(GraphSpec{Family::RandomRegular, 20, 4.0, 0.0}, rng);
+  EXPECT_EQ(reg.maxDegree(), 4u);
+}
+
+TEST(Workload, PaperWorkloadsHaveTheRightShape) {
+  EXPECT_EQ(figure3Workload().size(), 6u);  // {200,400} × {4,8,16}
+  EXPECT_EQ(figure4Workload().size(), 6u);  // {100,400} × 3 powers
+  EXPECT_EQ(figure5Workload().size(), 6u);  // {16,64,256} × {sparse,dense}
+  EXPECT_EQ(figure6Workload().size(), 4u);  // {200,400} × {4,8}
+  for (const GraphSpec& spec : figure3Workload()) {
+    EXPECT_EQ(spec.family, Family::ErdosRenyi);
+  }
+  for (const GraphSpec& spec : figure5Workload()) {
+    EXPECT_EQ(spec.family, Family::SmallWorld);
+  }
+}
+
+TEST(Sweep, MadecRecordsAreCompleteAndValid) {
+  SweepConfig config;
+  config.specs = {GraphSpec{Family::ErdosRenyi, 60, 4.0, 0.0},
+                  GraphSpec{Family::ErdosRenyi, 60, 8.0, 0.0}};
+  config.runsPerSpec = 3;
+  config.seed = 77;
+  const auto records = sweepMadec(config);
+  ASSERT_EQ(records.size(), 6u);
+  for (const RunRecord& rec : records) {
+    EXPECT_TRUE(rec.valid);
+    EXPECT_TRUE(rec.converged);
+    EXPECT_GT(rec.rounds, 0u);
+    EXPECT_GT(rec.delta, 0u);
+    EXPECT_EQ(rec.n, 60u);
+    EXPECT_EQ(rec.colorExcess,
+              static_cast<std::int64_t>(rec.colors) -
+                  static_cast<std::int64_t>(rec.delta));
+  }
+}
+
+TEST(Sweep, IsDeterministicInSeed) {
+  SweepConfig config;
+  config.specs = {GraphSpec{Family::ErdosRenyi, 50, 5.0, 0.0}};
+  config.runsPerSpec = 2;
+  config.seed = 123;
+  const auto a = sweepMadec(config);
+  const auto b = sweepMadec(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].rounds, b[i].rounds);
+    EXPECT_EQ(a[i].colors, b[i].colors);
+    EXPECT_EQ(a[i].delta, b[i].delta);
+  }
+}
+
+TEST(Sweep, Dima2EdStrictHasNoConflicts) {
+  SweepConfig config;
+  config.specs = {GraphSpec{Family::ErdosRenyi, 40, 4.0, 0.0}};
+  config.runsPerSpec = 3;
+  config.seed = 9;
+  const auto records = sweepDima2Ed(config);
+  for (const RunRecord& rec : records) {
+    EXPECT_TRUE(rec.valid);
+    EXPECT_EQ(rec.conflicts, 0u);
+  }
+}
+
+TEST(Summarize, AggregatesPerSpecAndPooled) {
+  std::vector<GraphSpec> specs = {GraphSpec{Family::ErdosRenyi, 10, 2, 0},
+                                  GraphSpec{Family::ErdosRenyi, 20, 2, 0}};
+  std::vector<RunRecord> records;
+  RunRecord r;
+  r.specIndex = 0;
+  r.delta = 4;
+  r.rounds = 8;
+  r.colors = 5;
+  r.colorExcess = 1;
+  r.valid = true;
+  r.converged = true;
+  records.push_back(r);
+  r.specIndex = 1;
+  r.delta = 6;
+  r.rounds = 12;
+  r.colors = 6;
+  r.colorExcess = 0;
+  r.valid = false;
+  records.push_back(r);
+
+  const SweepSummary summary = summarize(specs, records);
+  EXPECT_EQ(summary.runs, 2u);
+  EXPECT_EQ(summary.invalidRuns, 1u);
+  EXPECT_EQ(summary.perSpec[0].runs, 1u);
+  EXPECT_DOUBLE_EQ(summary.perSpec[0].rounds.mean(), 8.0);
+  EXPECT_DOUBLE_EQ(summary.perSpec[0].roundsPerDelta.mean(), 2.0);
+  EXPECT_EQ(summary.perSpec[1].invalidRuns, 1u);
+  EXPECT_EQ(summary.colorExcess.countOf(1), 1u);
+  // Pooled fit through (4,8) and (6,12): slope 2, intercept 0.
+  EXPECT_NEAR(summary.roundsVsDelta.slope(), 2.0, 1e-9);
+}
+
+TEST(SummarizeDeathTest, RejectsOutOfRangeSpecIndex) {
+  std::vector<GraphSpec> specs = {GraphSpec{Family::ErdosRenyi, 10, 2, 0}};
+  std::vector<RunRecord> records(1);
+  records[0].specIndex = 5;
+  EXPECT_DEATH(summarize(specs, records), "out of range");
+}
+
+}  // namespace
+}  // namespace dima::exp

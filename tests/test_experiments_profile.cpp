@@ -1,0 +1,95 @@
+#include "src/experiments/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/experiments/figures.hpp"
+#include "src/experiments/replot.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/metrics.hpp"
+
+namespace dima::exp {
+namespace {
+
+graph::Graph connectedEr(std::size_t n, double deg, std::uint64_t seed) {
+  support::Rng rng(seed);
+  for (int i = 0; i < 50; ++i) {
+    graph::Graph g = graph::erdosRenyiAvgDegree(n, deg, rng);
+    if (graph::isConnected(g)) return g;
+  }
+  return graph::wattsStrogatz(n, 6, 0.2, rng);  // always connected
+}
+
+TEST(CompletionProfile, QuantilesAndDetectionAreConsistent) {
+  const graph::Graph g = connectedEr(80, 8.0, 1);
+  coloring::MadecOptions options;
+  options.seed = 5;
+  const CompletionProfile profile = madecCompletionProfile(g, options);
+
+  EXPECT_EQ(profile.completionRound.size(), g.numVertices());
+  EXPECT_GT(profile.lastCompletion, 0u);
+  EXPECT_LE(profile.p50, profile.p90);
+  EXPECT_LE(profile.p90, profile.p99);
+  EXPECT_LE(profile.p99, static_cast<double>(profile.lastCompletion));
+  // Detection happens after the last completion, within tree height.
+  EXPECT_GE(profile.detectionRound, profile.lastCompletion);
+  const auto height = static_cast<std::uint64_t>(graph::diameter(g));
+  EXPECT_LE(profile.detectionRound, profile.lastCompletion + height);
+  EXPECT_GT(profile.treeBuildRounds, 0u);
+  EXPECT_GT(profile.colors, 0u);
+}
+
+TEST(CompletionProfile, MatchesRunRoundCount) {
+  const graph::Graph g = connectedEr(60, 6.0, 2);
+  coloring::MadecOptions options;
+  options.seed = 9;
+  const CompletionProfile profile = madecCompletionProfile(g, options);
+  const coloring::EdgeColoringResult rerun = colorEdgesMadec(g, options);
+  EXPECT_EQ(profile.lastCompletion, rerun.metrics.computationRounds);
+}
+
+TEST(CompletionProfile, MostNodesFinishWellBeforeTheLast) {
+  // The round count is a max statistic; the median should sit clearly
+  // below it on any non-trivial run (the tail is what Prop. 3 worries
+  // about).
+  const graph::Graph g = connectedEr(150, 8.0, 3);
+  coloring::MadecOptions options;
+  options.seed = 4;
+  const CompletionProfile profile = madecCompletionProfile(g, options);
+  EXPECT_LT(profile.p50, static_cast<double>(profile.lastCompletion));
+}
+
+TEST(CompletionProfileDeathTest, RequiresConnectedGraph) {
+  EXPECT_DEATH(madecCompletionProfile(graph::Graph(4)), "connected");
+}
+
+TEST(Replot, RoundTripsFigureCsv) {
+  const FigureReport report = runFigure3(77, 2);
+  const ReplotResult replot = replotFigureCsv(report.csv, "roundtrip");
+  ASSERT_TRUE(replot.ok) << replot.error;
+  EXPECT_EQ(replot.rows, report.records.size());
+  EXPECT_NE(replot.plot.find("roundtrip"), std::string::npos);
+  EXPECT_NE(replot.plot.find("n=200"), std::string::npos);
+  EXPECT_NE(replot.plot.find("n=400"), std::string::npos);
+  EXPECT_NE(replot.plot.find("fit:"), std::string::npos);
+}
+
+TEST(Replot, RejectsMalformedInput) {
+  EXPECT_FALSE(replotFigureCsv("").ok);
+  EXPECT_FALSE(replotFigureCsv("a,b,c\n1,2,3\n").ok);  // missing columns
+  const ReplotResult headerOnly = replotFigureCsv("config,n,delta,rounds\n");
+  EXPECT_FALSE(headerOnly.ok);
+  EXPECT_NE(headerOnly.error.find("no data"), std::string::npos);
+  const ReplotResult shortRow =
+      replotFigureCsv("config,n,delta,rounds\nx,1\n");
+  EXPECT_FALSE(shortRow.ok);
+}
+
+TEST(Replot, MinimalValidCsv) {
+  const ReplotResult r = replotFigureCsv(
+      "n,delta,rounds\n100,4,9\n100,8,17\n200,4,8\n200,8,18\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.rows, 4u);
+}
+
+}  // namespace
+}  // namespace dima::exp

@@ -1,0 +1,57 @@
+/// \file test_golden.cpp
+/// Golden regression pins: exact outputs for fixed seeds. The RNG stack is
+/// platform-independent (Xoshiro256**, Lemire bounded draws — no standard-
+/// library distributions), so these values must be stable everywhere; a
+/// change means the random stream or a protocol's draw order moved, which
+/// silently invalidates every recorded experiment. Update deliberately.
+
+#include <gtest/gtest.h>
+
+#include "src/automata/discovery.hpp"
+#include "src/coloring/dima2ed.hpp"
+#include "src/coloring/madec.hpp"
+#include "src/graph/generators.hpp"
+
+namespace dima {
+namespace {
+
+graph::Graph goldenGraph() {
+  support::Rng rng(0xfeed);
+  return graph::erdosRenyiAvgDegree(50, 6.0, rng);
+}
+
+TEST(Golden, GeneratorStreamIsPinned) {
+  const graph::Graph g = goldenGraph();
+  EXPECT_EQ(g.numEdges(), 150u);
+  EXPECT_EQ(g.maxDegree(), 11u);
+  EXPECT_EQ(g.edge(0).u, 25u);
+  EXPECT_EQ(g.edge(0).v, 26u);
+}
+
+TEST(Golden, MadecRunIsPinned) {
+  const auto result = coloring::colorEdgesMadec(goldenGraph(), {.seed = 1234});
+  ASSERT_TRUE(result.metrics.converged);
+  EXPECT_EQ(result.metrics.computationRounds, 30u);
+  EXPECT_EQ(result.colorsUsed(), 12u);
+  EXPECT_EQ(result.colors[0], 7);
+  EXPECT_EQ(result.colors[5], 6);
+}
+
+TEST(Golden, Dima2EdRunIsPinned) {
+  const graph::Digraph d(goldenGraph());
+  const auto result = coloring::colorArcsDima2Ed(d, {.seed = 1234});
+  ASSERT_TRUE(result.metrics.converged);
+  EXPECT_EQ(result.metrics.computationRounds, 156u);
+  EXPECT_EQ(result.colorsUsed(), 78u);
+  EXPECT_EQ(result.colors[0], 20);
+}
+
+TEST(Golden, MaximalMatchingIsPinned) {
+  const auto result = automata::maximalMatching(goldenGraph(), 77);
+  ASSERT_TRUE(result.converged);
+  EXPECT_EQ(result.matching.size(), 22u);
+  EXPECT_EQ(result.rounds, 6u);
+}
+
+}  // namespace
+}  // namespace dima

@@ -1,0 +1,129 @@
+#include "src/graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/builder.hpp"
+
+namespace dima::graph {
+namespace {
+
+Graph triangle() {
+  return Graph(3, {Edge{0, 1}, Edge{1, 2}, Edge{0, 2}});
+}
+
+TEST(Graph, EmptyGraph) {
+  Graph g(0);
+  EXPECT_EQ(g.numVertices(), 0u);
+  EXPECT_EQ(g.numEdges(), 0u);
+  EXPECT_EQ(g.maxDegree(), 0u);
+  EXPECT_DOUBLE_EQ(g.averageDegree(), 0.0);
+}
+
+TEST(Graph, IsolatedVertices) {
+  Graph g(5);
+  EXPECT_EQ(g.numVertices(), 5u);
+  EXPECT_EQ(g.degree(3), 0u);
+  EXPECT_TRUE(g.incidences(3).empty());
+}
+
+TEST(Graph, TriangleBasics) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.numEdges(), 3u);
+  EXPECT_EQ(g.maxDegree(), 2u);
+  EXPECT_DOUBLE_EQ(g.averageDegree(), 2.0);
+  for (VertexId v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 2u);
+}
+
+TEST(Graph, EndpointsAreCanonicalized) {
+  Graph g(3, {Edge{2, 0}});
+  EXPECT_EQ(g.edge(0).u, 0u);
+  EXPECT_EQ(g.edge(0).v, 2u);
+}
+
+TEST(Graph, EdgeOther) {
+  const Edge e{3, 7};
+  EXPECT_EQ(e.other(3), 7u);
+  EXPECT_EQ(e.other(7), 3u);
+}
+
+TEST(Graph, IncidencesAreNeighborSortedAndConsistent) {
+  Graph g(5, {Edge{0, 4}, Edge{0, 1}, Edge{0, 3}, Edge{1, 4}});
+  const auto inc = g.incidences(0);
+  ASSERT_EQ(inc.size(), 3u);
+  EXPECT_EQ(inc[0].neighbor, 1u);
+  EXPECT_EQ(inc[1].neighbor, 3u);
+  EXPECT_EQ(inc[2].neighbor, 4u);
+  for (const Incidence& i : inc) {
+    const Edge& e = g.edge(i.edge);
+    EXPECT_TRUE(e.u == 0 || e.v == 0);
+    EXPECT_EQ(e.other(0), i.neighbor);
+  }
+}
+
+TEST(Graph, HasEdgeAndFindEdge) {
+  const Graph g = triangle();
+  EXPECT_TRUE(g.hasEdge(0, 1));
+  EXPECT_TRUE(g.hasEdge(1, 0));
+  const EdgeId e = g.findEdge(2, 0);
+  ASSERT_NE(e, kNoEdge);
+  EXPECT_EQ(g.edge(e).u, 0u);
+  EXPECT_EQ(g.edge(e).v, 2u);
+  Graph h(4, {Edge{0, 1}});
+  EXPECT_FALSE(h.hasEdge(2, 3));
+  EXPECT_EQ(h.findEdge(0, 2), kNoEdge);
+}
+
+TEST(Graph, MaxDegreeOnStar) {
+  Graph g(5, {Edge{0, 1}, Edge{0, 2}, Edge{0, 3}, Edge{0, 4}});
+  EXPECT_EQ(g.maxDegree(), 4u);
+  EXPECT_EQ(g.degree(0), 4u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(GraphDeathTest, RejectsSelfLoop) {
+  EXPECT_DEATH(Graph(3, {Edge{1, 1}}), "self-loop");
+}
+
+TEST(GraphDeathTest, RejectsOutOfRangeEndpoint) {
+  EXPECT_DEATH(Graph(3, {Edge{0, 5}}), "outside vertex range");
+}
+
+TEST(GraphDeathTest, RejectsDuplicateEdge) {
+  EXPECT_DEATH(Graph(3, {Edge{0, 1}, Edge{1, 0}}), "duplicate edge");
+}
+
+TEST(GraphBuilder, DeduplicatesAndCanonicalizes) {
+  GraphBuilder b(3);
+  EXPECT_TRUE(b.addEdge(0, 1));
+  EXPECT_FALSE(b.addEdge(1, 0));  // duplicate in reverse order
+  EXPECT_FALSE(b.addEdge(2, 2));  // self-loop rejected quietly
+  EXPECT_TRUE(b.hasEdge(0, 1));
+  EXPECT_FALSE(b.hasEdge(0, 2));
+  const Graph g = b.build();
+  EXPECT_EQ(g.numEdges(), 1u);
+  EXPECT_EQ(g.numVertices(), 3u);
+}
+
+TEST(GraphBuilder, GrowsVertexRangeOnDemand) {
+  GraphBuilder b;
+  b.addEdge(2, 9);
+  const Graph g = b.build();
+  EXPECT_EQ(g.numVertices(), 10u);
+}
+
+TEST(GraphBuilder, BuildResetsBuilder) {
+  GraphBuilder b(2);
+  b.addEdge(0, 1);
+  (void)b.build();
+  EXPECT_EQ(b.numEdges(), 0u);
+  EXPECT_EQ(b.numVertices(), 0u);
+}
+
+TEST(Graph, EqualityByStructure) {
+  EXPECT_TRUE(triangle() == triangle());
+  Graph other(3, {Edge{0, 1}, Edge{1, 2}});
+  EXPECT_FALSE(triangle() == other);
+}
+
+}  // namespace
+}  // namespace dima::graph

@@ -1,0 +1,96 @@
+#include "src/graph/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/graph/generators.hpp"
+
+namespace dima::graph {
+namespace {
+
+TEST(Digraph, SymmetricClosureCounts) {
+  support::Rng rng(1);
+  const Graph g = erdosRenyiGnm(20, 50, rng);
+  const Digraph d(g);
+  EXPECT_EQ(d.numVertices(), 20u);
+  EXPECT_EQ(d.numArcs(), 100u);
+}
+
+TEST(Digraph, ArcEndpointsMatchEdge) {
+  Graph g(3, {Edge{0, 2}, Edge{1, 2}});
+  const Digraph d(g);
+  for (ArcId a = 0; a < d.numArcs(); ++a) {
+    const Arc arc = d.arc(a);
+    const Edge& e = g.edge(arc.edge);
+    EXPECT_TRUE((arc.from == e.u && arc.to == e.v) ||
+                (arc.from == e.v && arc.to == e.u));
+  }
+}
+
+TEST(Digraph, ReverseIsInvolutionWithSwappedEndpoints) {
+  support::Rng rng(2);
+  const Digraph d(erdosRenyiGnm(15, 30, rng));
+  for (ArcId a = 0; a < d.numArcs(); ++a) {
+    const ArcId r = Digraph::reverse(a);
+    EXPECT_NE(r, a);
+    EXPECT_EQ(Digraph::reverse(r), a);
+    EXPECT_EQ(d.arc(a).from, d.arc(r).to);
+    EXPECT_EQ(d.arc(a).to, d.arc(r).from);
+  }
+}
+
+TEST(Digraph, FindArcDirectionality) {
+  Graph g(2, {Edge{0, 1}});
+  const Digraph d(g);
+  const ArcId fwd = d.findArc(0, 1);
+  const ArcId bwd = d.findArc(1, 0);
+  ASSERT_NE(fwd, kNoArc);
+  ASSERT_NE(bwd, kNoArc);
+  EXPECT_EQ(Digraph::reverse(fwd), bwd);
+  EXPECT_EQ(d.arc(fwd).from, 0u);
+  EXPECT_EQ(d.arc(bwd).from, 1u);
+  EXPECT_EQ(d.findArc(0, 0), kNoArc);
+}
+
+TEST(Digraph, OutArcsLeaveTheVertexAndCoverAllArcs) {
+  support::Rng rng(3);
+  const Digraph d(erdosRenyiGnm(25, 60, rng));
+  std::set<ArcId> seen;
+  for (VertexId v = 0; v < d.numVertices(); ++v) {
+    EXPECT_EQ(d.outArcs(v).size(), d.outDegree(v));
+    for (ArcId a : d.outArcs(v)) {
+      EXPECT_EQ(d.arc(a).from, v);
+      EXPECT_TRUE(seen.insert(a).second) << "arc listed twice";
+    }
+  }
+  EXPECT_EQ(seen.size(), d.numArcs());
+}
+
+TEST(Digraph, EdgeArcIdScheme) {
+  Graph g(3, {Edge{0, 1}, Edge{1, 2}});
+  const Digraph d(g);
+  for (EdgeId e = 0; e < g.numEdges(); ++e) {
+    const ArcId f = Digraph::arcOfEdgeForward(e);
+    const ArcId b = Digraph::arcOfEdgeBackward(e);
+    EXPECT_EQ(f, 2 * e);
+    EXPECT_EQ(b, 2 * e + 1);
+    EXPECT_EQ(d.arc(f).from, g.edge(e).u);
+    EXPECT_EQ(d.arc(b).from, g.edge(e).v);
+  }
+}
+
+TEST(Digraph, EmptyAndIsolated) {
+  const Digraph d(Graph(4));
+  EXPECT_EQ(d.numArcs(), 0u);
+  EXPECT_TRUE(d.outArcs(2).empty());
+}
+
+TEST(DigraphDeathTest, BadIdsRejected) {
+  const Digraph d(Graph(2, {Edge{0, 1}}));
+  EXPECT_DEATH(d.arc(2), "out of range");
+  EXPECT_DEATH(d.outArcs(5), "out of range");
+}
+
+}  // namespace
+}  // namespace dima::graph

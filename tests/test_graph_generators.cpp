@@ -1,0 +1,187 @@
+#include "src/graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/metrics.hpp"
+#include "src/support/stats.hpp"
+
+namespace dima::graph {
+namespace {
+
+using support::Rng;
+
+TEST(ErdosRenyiGnm, ExactEdgeCount) {
+  Rng rng(1);
+  for (std::size_t m : {0u, 1u, 10u, 100u, 300u}) {
+    const Graph g = erdosRenyiGnm(50, m, rng);
+    EXPECT_EQ(g.numEdges(), m);
+    EXPECT_EQ(g.numVertices(), 50u);
+  }
+}
+
+TEST(ErdosRenyiGnm, DenseRegimeAndCompleteGraph) {
+  Rng rng(2);
+  const std::size_t maxEdges = 10 * 9 / 2;
+  const Graph g = erdosRenyiGnm(10, maxEdges, rng);
+  EXPECT_EQ(g.numEdges(), maxEdges);
+  EXPECT_EQ(g.maxDegree(), 9u);
+}
+
+TEST(ErdosRenyiAvgDegree, HitsRequestedAverage) {
+  Rng rng(3);
+  const Graph g = erdosRenyiAvgDegree(200, 8.0, rng);
+  EXPECT_EQ(g.numEdges(), 800u);
+  EXPECT_NEAR(g.averageDegree(), 8.0, 1e-9);
+}
+
+TEST(ErdosRenyiGnp, EdgeCountNearExpectation) {
+  Rng rng(4);
+  const std::size_t n = 300;
+  const double p = 0.05;
+  support::OnlineStats ms;
+  for (int i = 0; i < 10; ++i) {
+    ms.add(static_cast<double>(erdosRenyiGnp(n, p, rng).numEdges()));
+  }
+  const double expected = p * static_cast<double>(n * (n - 1) / 2);
+  EXPECT_NEAR(ms.mean(), expected, expected * 0.15);
+}
+
+TEST(ErdosRenyiGnp, ExtremeProbabilities) {
+  Rng rng(5);
+  EXPECT_EQ(erdosRenyiGnp(20, 0.0, rng).numEdges(), 0u);
+  EXPECT_EQ(erdosRenyiGnp(20, 1.0, rng).numEdges(), 20u * 19 / 2);
+}
+
+TEST(BarabasiAlbert, SizeAndConnectivity) {
+  Rng rng(6);
+  const Graph g = barabasiAlbert(100, 3, 1.0, rng);
+  EXPECT_EQ(g.numVertices(), 100u);
+  // Every newcomer adds m edges (subject to dedup, rare at this density).
+  EXPECT_GE(g.numEdges(), 95u * 3 / 2);
+  EXPECT_TRUE(isConnected(g));
+}
+
+TEST(BarabasiAlbert, HigherPowerConcentratesDegree) {
+  support::OnlineStats flatMax, steepMax;
+  for (int i = 0; i < 12; ++i) {
+    Rng rngA(100 + static_cast<unsigned>(i));
+    Rng rngB(100 + static_cast<unsigned>(i));
+    flatMax.add(static_cast<double>(
+        barabasiAlbert(150, 2, 0.0, rngA).maxDegree()));
+    steepMax.add(static_cast<double>(
+        barabasiAlbert(150, 2, 2.0, rngB).maxDegree()));
+  }
+  EXPECT_GT(steepMax.mean(), flatMax.mean());
+}
+
+TEST(WattsStrogatz, ZeroBetaIsRingLattice) {
+  Rng rng(7);
+  const Graph g = wattsStrogatz(20, 4, 0.0, rng);
+  EXPECT_EQ(g.numEdges(), 20u * 2);
+  for (VertexId v = 0; v < 20; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_TRUE(g.hasEdge(0, 1));
+  EXPECT_TRUE(g.hasEdge(0, 2));
+  EXPECT_FALSE(g.hasEdge(0, 3));
+}
+
+TEST(WattsStrogatz, RewiringPreservesEdgeCount) {
+  Rng rng(8);
+  const Graph g = wattsStrogatz(64, 6, 0.3, rng);
+  EXPECT_EQ(g.numEdges(), 64u * 3);
+  EXPECT_GE(g.maxDegree(), 6u);
+}
+
+TEST(WattsStrogatz, FullRewireStillSimple) {
+  Rng rng(9);
+  const Graph g = wattsStrogatz(40, 4, 1.0, rng);
+  EXPECT_EQ(g.numEdges(), 80u);  // builder would have deduped violations
+}
+
+TEST(StructuredFamilies, Complete) {
+  const Graph g = complete(6);
+  EXPECT_EQ(g.numEdges(), 15u);
+  EXPECT_EQ(g.maxDegree(), 5u);
+}
+
+TEST(StructuredFamilies, CyclePathStar) {
+  EXPECT_EQ(cycle(5).numEdges(), 5u);
+  EXPECT_EQ(cycle(5).maxDegree(), 2u);
+  EXPECT_EQ(path(5).numEdges(), 4u);
+  EXPECT_EQ(path(1).numEdges(), 0u);
+  EXPECT_EQ(star(7).maxDegree(), 6u);
+  EXPECT_EQ(star(1).numEdges(), 0u);
+}
+
+TEST(StructuredFamilies, Grid) {
+  const Graph g = grid(3, 4);
+  EXPECT_EQ(g.numVertices(), 12u);
+  EXPECT_EQ(g.numEdges(), 3u * 3 + 2u * 4);  // horizontal + vertical
+  EXPECT_EQ(g.maxDegree(), 4u);
+  EXPECT_TRUE(isConnected(g));
+}
+
+TEST(RandomTree, IsATree) {
+  Rng rng(10);
+  for (std::size_t n : {1u, 2u, 10u, 100u}) {
+    const Graph g = randomTree(n, rng);
+    EXPECT_EQ(g.numEdges(), n - (n > 0 ? 1 : 0));
+    EXPECT_TRUE(isForest(g));
+    EXPECT_TRUE(isConnected(g));
+  }
+}
+
+TEST(RandomRegular, DegreesAreExact) {
+  Rng rng(11);
+  for (std::size_t d : {0u, 2u, 3u, 4u}) {
+    const Graph g = randomRegular(20, d, rng);
+    for (VertexId v = 0; v < 20; ++v) ASSERT_EQ(g.degree(v), d);
+  }
+}
+
+TEST(RandomBipartite, NoIntraSideEdges) {
+  Rng rng(12);
+  const Graph g = randomBipartite(10, 15, 0.4, rng);
+  EXPECT_EQ(g.numVertices(), 25u);
+  for (const Edge& e : g.edges()) {
+    EXPECT_LT(e.u, 10u);
+    EXPECT_GE(e.v, 10u);
+  }
+}
+
+TEST(RandomGeometric, EdgesRespectRadius) {
+  Rng rng(13);
+  const GeometricGraph gg = randomGeometric(60, 0.25, rng);
+  EXPECT_EQ(gg.positions.size(), 60u);
+  for (const Edge& e : gg.graph.edges()) {
+    const double dx = gg.positions[e.u].first - gg.positions[e.v].first;
+    const double dy = gg.positions[e.u].second - gg.positions[e.v].second;
+    EXPECT_LE(dx * dx + dy * dy, 0.25 * 0.25 + 1e-12);
+  }
+}
+
+TEST(RandomGeometric, ZeroRadiusHasNoEdges) {
+  Rng rng(14);
+  EXPECT_EQ(randomGeometric(30, 0.0, rng).graph.numEdges(), 0u);
+}
+
+TEST(Generators, SameSeedSameGraph) {
+  Rng a(42), b(42);
+  EXPECT_TRUE(erdosRenyiGnm(50, 100, a) == erdosRenyiGnm(50, 100, b));
+  Rng c(43), d(43);
+  EXPECT_TRUE(wattsStrogatz(30, 4, 0.5, c) == wattsStrogatz(30, 4, 0.5, d));
+  Rng e(44), f(44);
+  EXPECT_TRUE(barabasiAlbert(40, 2, 1.0, e) ==
+              barabasiAlbert(40, 2, 1.0, f));
+}
+
+TEST(GeneratorsDeathTest, InvalidParametersRejected) {
+  Rng rng(15);
+  EXPECT_DEATH(erdosRenyiGnm(4, 100, rng), "exceeds max");
+  EXPECT_DEATH(wattsStrogatz(10, 3, 0.1, rng), "even k");
+  EXPECT_DEATH(wattsStrogatz(4, 4, 0.1, rng), "0 < k < n");
+  EXPECT_DEATH(barabasiAlbert(5, 5, 1.0, rng), "1 <= m < n");
+  EXPECT_DEATH(randomRegular(5, 3, rng), "even");
+}
+
+}  // namespace
+}  // namespace dima::graph

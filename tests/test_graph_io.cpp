@@ -1,0 +1,86 @@
+#include "src/graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/graph/generators.hpp"
+
+namespace dima::graph {
+namespace {
+
+TEST(EdgeListIo, RoundTripInMemory) {
+  support::Rng rng(1);
+  const Graph g = erdosRenyiGnm(30, 60, rng);
+  const Graph back = fromEdgeList(toEdgeList(g));
+  EXPECT_TRUE(g == back);
+}
+
+TEST(EdgeListIo, PreservesIsolatedVerticesViaHeader) {
+  Graph g(7, {Edge{0, 1}});
+  const Graph back = fromEdgeList(toEdgeList(g));
+  EXPECT_EQ(back.numVertices(), 7u);
+  EXPECT_EQ(back.numEdges(), 1u);
+}
+
+TEST(EdgeListIo, ParsesCommentsAndBlankLines) {
+  const Graph g = fromEdgeList("# header\n\n0 1  # inline comment\n1 2\n");
+  EXPECT_EQ(g.numEdges(), 2u);
+  EXPECT_EQ(g.numVertices(), 3u);
+}
+
+TEST(EdgeListIo, DeduplicatesInput) {
+  const Graph g = fromEdgeList("0 1\n1 0\n0 1\n");
+  EXPECT_EQ(g.numEdges(), 1u);
+}
+
+TEST(EdgeListIoDeathTest, MalformedLineDies) {
+  EXPECT_DEATH(fromEdgeList("0\n"), "expected 'u v'");
+  EXPECT_DEATH(fromEdgeList("3 3\n"), "self-loop");
+}
+
+TEST(EdgeListIo, FileRoundTrip) {
+  support::Rng rng(2);
+  const Graph g = erdosRenyiGnm(20, 40, rng);
+  const std::string path = ::testing::TempDir() + "dima_graph_io.txt";
+  ASSERT_TRUE(saveEdgeList(g, path));
+  bool ok = false;
+  const Graph back = loadEdgeList(path, &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(g == back);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIo, MissingFileReportsFailure) {
+  bool ok = true;
+  const Graph g = loadEdgeList("/nonexistent/nowhere.txt", &ok);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(g.numVertices(), 0u);
+}
+
+TEST(DotExport, UndirectedContainsEdgesAndColors) {
+  Graph g(3, {Edge{0, 1}, Edge{1, 2}});
+  const std::string plain = toDot(g);
+  EXPECT_NE(plain.find("graph dimacol"), std::string::npos);
+  EXPECT_NE(plain.find("0 -- 1"), std::string::npos);
+  const std::string colored = toDot(g, {0, 1});
+  EXPECT_NE(colored.find("label=\"0\""), std::string::npos);
+  EXPECT_NE(colored.find("color="), std::string::npos);
+}
+
+TEST(DotExport, DirectedContainsArcs) {
+  Graph g(2, {Edge{0, 1}});
+  const Digraph d(g);
+  const std::string dot = toDot(d, {2, 3});
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("0 -> 1"), std::string::npos);
+  EXPECT_NE(dot.find("1 -> 0"), std::string::npos);
+}
+
+TEST(DotExportDeathTest, ColorSizeMismatchDies) {
+  Graph g(3, {Edge{0, 1}, Edge{1, 2}});
+  EXPECT_DEATH(toDot(g, {0}), "size mismatch");
+}
+
+}  // namespace
+}  // namespace dima::graph

@@ -1,0 +1,103 @@
+#include "src/graph/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.hpp"
+
+namespace dima::graph {
+namespace {
+
+TEST(DegreeStats, StarGraph) {
+  const DegreeStats s = degreeStats(star(5));
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 8.0 / 5.0);
+}
+
+TEST(DegreeStats, EmptyGraph) {
+  const DegreeStats s = degreeStats(Graph(0));
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(DegreeHistogram, CountsPerDegree) {
+  const auto hist = degreeHistogram(star(5));
+  ASSERT_EQ(hist.size(), 5u);
+  EXPECT_EQ(hist[1], 4u);
+  EXPECT_EQ(hist[4], 1u);
+  EXPECT_EQ(hist[0], 0u);
+}
+
+TEST(Components, DisjointPieces) {
+  Graph g(6, {Edge{0, 1}, Edge{1, 2}, Edge{3, 4}});
+  const Components c = connectedComponents(g);
+  EXPECT_EQ(c.count, 3u);  // {0,1,2}, {3,4}, {5}
+  EXPECT_EQ(c.label[0], c.label[2]);
+  EXPECT_NE(c.label[0], c.label[3]);
+  EXPECT_NE(c.label[3], c.label[5]);
+}
+
+TEST(Components, ConnectedGraph) {
+  EXPECT_TRUE(isConnected(complete(5)));
+  EXPECT_TRUE(isConnected(Graph(1)));
+  EXPECT_TRUE(isConnected(Graph(0)));
+  EXPECT_FALSE(isConnected(Graph(2)));
+}
+
+TEST(IsForest, TreesAndCycles) {
+  EXPECT_TRUE(isForest(path(6)));
+  EXPECT_TRUE(isForest(star(6)));
+  EXPECT_TRUE(isForest(Graph(4)));  // isolated vertices
+  EXPECT_FALSE(isForest(cycle(4)));
+  EXPECT_FALSE(isForest(complete(4)));
+  Graph twoTrees(6, {Edge{0, 1}, Edge{2, 3}, Edge{3, 4}});
+  EXPECT_TRUE(isForest(twoTrees));
+}
+
+TEST(BfsDistances, PathGraph) {
+  const auto dist = bfsDistances(path(5), 0);
+  for (std::uint32_t i = 0; i < 5; ++i) EXPECT_EQ(dist[i], i);
+}
+
+TEST(BfsDistances, UnreachableMarked) {
+  Graph g(4, {Edge{0, 1}});
+  const auto dist = bfsDistances(g, 0);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], kUnreachable);
+}
+
+TEST(Diameter, KnownValues) {
+  EXPECT_EQ(diameter(path(7)), 6u);
+  EXPECT_EQ(diameter(cycle(8)), 4u);
+  EXPECT_EQ(diameter(complete(5)), 1u);
+  EXPECT_EQ(diameter(star(9)), 2u);
+  EXPECT_EQ(diameter(Graph(1)), 0u);
+}
+
+TEST(ClusteringCoefficient, ExtremeCases) {
+  EXPECT_DOUBLE_EQ(clusteringCoefficient(complete(5)), 1.0);
+  EXPECT_DOUBLE_EQ(clusteringCoefficient(star(6)), 0.0);
+  EXPECT_DOUBLE_EQ(clusteringCoefficient(path(2)), 0.0);
+}
+
+TEST(ClusteringCoefficient, SmallWorldBeatsRandom) {
+  support::Rng rng(77);
+  const Graph ws = wattsStrogatz(200, 8, 0.1, rng);
+  const Graph er = erdosRenyiAvgDegree(200, 8.0, rng);
+  EXPECT_GT(clusteringCoefficient(ws), 2.0 * clusteringCoefficient(er));
+}
+
+TEST(StrongColoringLowerBound, StarAndCycle) {
+  // Star K_{1,4}: best edge pairs hub(4) with leaf(1): 2*(4+1-1) = 8.
+  EXPECT_EQ(strongColoringLowerBound(star(5)), 8u);
+  // Cycle: every edge joins two degree-2 vertices: 2*(2+2-1) = 6.
+  EXPECT_EQ(strongColoringLowerBound(cycle(6)), 6u);
+  EXPECT_EQ(strongColoringLowerBound(Graph(3)), 0u);
+}
+
+TEST(EdgeColoringLowerBound, IsDelta) {
+  EXPECT_EQ(edgeColoringLowerBound(star(9)), 8u);
+}
+
+}  // namespace
+}  // namespace dima::graph

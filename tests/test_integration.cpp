@@ -1,0 +1,148 @@
+/// \file test_integration.cpp
+/// Cross-module end-to-end scenarios: each test exercises a realistic user
+/// pipeline spanning generators, protocols, validators, I/O and the CLI —
+/// the flows the examples demonstrate, held to assertions.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "src/automata/mis.hpp"
+#include "src/baselines/greedy.hpp"
+#include "src/cli/commands.hpp"
+#include "src/coloring/dima2ed.hpp"
+#include "src/coloring/madec.hpp"
+#include "src/coloring/validate.hpp"
+#include "src/coloring/vertex_coloring.hpp"
+#include "src/experiments/replot.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/io.hpp"
+#include "src/graph/metrics.hpp"
+
+namespace dima {
+namespace {
+
+TEST(Integration, TdmaSchedulePipeline) {
+  // Generate a sensor network, negotiate slots with MaDEC, then simulate a
+  // TDMA superframe and assert the scheduling invariant per slot.
+  support::Rng rng(1);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(70, 5.0, rng);
+  const auto schedule = coloring::colorEdgesMadec(g, {.seed = 2});
+  ASSERT_TRUE(schedule.metrics.converged);
+  ASSERT_TRUE(coloring::verifyEdgeColoring(g, schedule.colors));
+
+  coloring::Color maxSlot = 0;
+  for (coloring::Color c : schedule.colors) maxSlot = std::max(maxSlot, c);
+  std::size_t served = 0;
+  for (coloring::Color slot = 0; slot <= maxSlot; ++slot) {
+    std::vector<bool> busy(g.numVertices(), false);
+    for (graph::EdgeId e = 0; e < g.numEdges(); ++e) {
+      if (schedule.colors[e] != slot) continue;
+      const graph::Edge& link = g.edge(e);
+      ASSERT_FALSE(busy[link.u]) << "node collision in slot " << slot;
+      ASSERT_FALSE(busy[link.v]) << "node collision in slot " << slot;
+      busy[link.u] = busy[link.v] = true;
+      ++served;
+    }
+  }
+  EXPECT_EQ(served, g.numEdges());
+}
+
+TEST(Integration, ChannelAssignmentPipeline) {
+  // Unit-disk radio network → strong coloring → per-radio channel schedule
+  // where every channel within interference range is distinct.
+  support::Rng rng(2);
+  const graph::GeometricGraph deployment =
+      graph::randomGeometric(40, 0.25, rng);
+  const graph::Digraph network(deployment.graph);
+  if (network.numArcs() == 0) GTEST_SKIP() << "degenerate deployment";
+  const auto assignment = coloring::colorArcsDima2Ed(network, {.seed = 3});
+  ASSERT_TRUE(assignment.metrics.converged);
+  ASSERT_TRUE(coloring::verifyStrongArcColoring(network, assignment.colors));
+  // Every radio's incident channels (tx + rx) are pairwise distinct — a
+  // consequence of the strong coloring that the MAC layer relies on.
+  for (graph::VertexId v = 0; v < network.numVertices(); ++v) {
+    std::set<coloring::Color> channels;
+    for (graph::ArcId out : network.outArcs(v)) {
+      EXPECT_TRUE(channels.insert(assignment.colors[out]).second);
+      EXPECT_TRUE(
+          channels.insert(assignment.colors[graph::Digraph::reverse(out)])
+              .second);
+    }
+  }
+}
+
+TEST(Integration, GraphFileToFigureCsvToReplot) {
+  // Disk round-trip across three subsystems: graph I/O → CLI coloring with
+  // colors file → validator; then a figure CSV → replot.
+  const std::string dir = ::testing::TempDir();
+  const std::string graphPath = dir + "integration_graph.txt";
+  support::Rng rng(3);
+  const graph::Graph g = graph::wattsStrogatz(48, 6, 0.3, rng);
+  ASSERT_TRUE(graph::saveEdgeList(g, graphPath));
+
+  std::ostringstream out, err;
+  cli::Args colorArgs({"color", "--input", graphPath, "--algo",
+                       "misra-gries"});
+  EXPECT_EQ(cli::runCommand(colorArgs, out, err), 0) << err.str();
+
+  cli::Args figArgs({"figure", "--id", "4", "--runs", "1", "--csv-out",
+                     dir + "integration_fig.csv"});
+  std::ostringstream out2, err2;
+  EXPECT_EQ(cli::runCommand(figArgs, out2, err2), 0) << err2.str();
+  std::ifstream csv(dir + "integration_fig.csv");
+  std::ostringstream csvText;
+  csvText << csv.rdbuf();
+  const exp::ReplotResult replot = exp::replotFigureCsv(csvText.str());
+  EXPECT_TRUE(replot.ok) << replot.error;
+  EXPECT_EQ(replot.rows, 6u);  // 6 configs × 1 run
+
+  std::remove(graphPath.c_str());
+  std::remove((dir + "integration_fig.csv").c_str());
+}
+
+TEST(Integration, MisThenColorRemainder) {
+  // Compose two automaton-family algorithms: take an MIS, then vertex-color
+  // the whole graph and check the MIS members could all share one color
+  // class only if independent — cross-validating both validators.
+  support::Rng rng(4);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(90, 6.0, rng);
+  const auto mis = automata::maximalIndependentSet(g, 5);
+  ASSERT_TRUE(mis.converged);
+  ASSERT_TRUE(automata::isMaximalIndependentSet(g, mis.inSet));
+
+  const auto coloring = coloring::colorVerticesDistributed(g, 6);
+  ASSERT_TRUE(coloring.converged);
+  ASSERT_TRUE(coloring::isProperVertexColoring(g, coloring.colors));
+
+  // Recolor MIS members with a fresh color: still proper, because an
+  // independent set can always share one class.
+  std::vector<coloring::Color> recolored = coloring.colors;
+  const auto fresh = static_cast<coloring::Color>(g.maxDegree() + 2);
+  for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
+    if (mis.inSet[v]) recolored[v] = fresh;
+  }
+  EXPECT_TRUE(coloring::isProperVertexColoring(g, recolored));
+}
+
+TEST(Integration, GreedySeedsMatchDistributedQualityEnvelope) {
+  // Run the same workload through the sequential and distributed pipelines
+  // and assert the documented quality envelope holds simultaneously.
+  support::Rng rng(5);
+  for (int i = 0; i < 4; ++i) {
+    const graph::Graph g = graph::barabasiAlbert(120, 3, 1.0, rng);
+    const auto distributed =
+        coloring::colorEdgesMadec(g, {.seed = 10 + (unsigned)i});
+    const auto sequential = baselines::greedyEdgeColoring(g);
+    ASSERT_TRUE(coloring::verifyEdgeColoring(g, distributed.colors));
+    ASSERT_TRUE(coloring::verifyEdgeColoring(g, sequential.colors));
+    EXPECT_LE(distributed.colorsUsed(), sequential.colorsUsed + 2);
+    EXPECT_GE(distributed.colorsUsed(), g.maxDegree());
+  }
+}
+
+}  // namespace
+}  // namespace dima

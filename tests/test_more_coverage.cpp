@@ -1,0 +1,144 @@
+/// \file test_more_coverage.cpp
+/// Final coverage batch: round-cap behaviour, CLI generator families, and
+/// mode-specific trace properties that the main suites don't pin down.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/baselines/pal.hpp"
+#include "src/cli/commands.hpp"
+#include "src/coloring/dima2ed.hpp"
+#include "src/coloring/madec.hpp"
+#include "src/coloring/validate.hpp"
+#include "src/graph/generators.hpp"
+#include "src/net/trace.hpp"
+
+namespace dima {
+namespace {
+
+TEST(Caps, MadecRoundCapYieldsValidPartialColoring) {
+  support::Rng rng(1);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(80, 8.0, rng);
+  coloring::MadecOptions options;
+  options.seed = 2;
+  options.maxCycles = 1;  // one cycle can color at most a matching
+  const auto result = coloring::colorEdgesMadec(g, options);
+  EXPECT_FALSE(result.metrics.converged);
+  EXPECT_EQ(result.metrics.computationRounds, 1u);
+  EXPECT_FALSE(result.complete());
+  EXPECT_TRUE(coloring::verifyEdgeColoring(g, result.colors, true));
+  EXPECT_TRUE(result.halfCommitted.empty());  // reliable links: no halves
+}
+
+TEST(Caps, PalRoundCapReportsNonConvergence) {
+  baselines::PalOptions options;
+  options.seed = 3;
+  options.maxRounds = 1;
+  const graph::Graph g = graph::star(40);  // all edges conflict: slow start
+  const auto result = baselines::palEdgeColoring(g, options);
+  EXPECT_EQ(result.rounds, 1u);
+  // One round colors at most a few edges of a star; whatever exists is
+  // proper.
+  EXPECT_TRUE(coloring::verifyEdgeColoring(g, result.colors, true));
+}
+
+TEST(Caps, Dima2EdRoundCapSafePartial) {
+  support::Rng rng(4);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(50, 5.0, rng);
+  const graph::Digraph d(g);
+  coloring::Dima2EdOptions options;
+  options.seed = 5;
+  options.maxCycles = 2;
+  const auto result = coloring::colorArcsDima2Ed(d, options);
+  EXPECT_FALSE(result.metrics.converged);
+  EXPECT_TRUE(coloring::verifyStrongArcColoring(d, result.colors, true));
+}
+
+TEST(Trace, PaperModeNeverAborts) {
+  // The abort machinery exists only in strict mode; the faithful mode must
+  // not touch it (that's exactly why it leaks conflicts).
+  support::Rng rng(9);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(60, 8.0, rng);
+  const graph::Digraph d(g);
+  net::TraceLog trace;
+  trace.enable();
+  coloring::Dima2EdOptions options;
+  options.seed = 0;
+  options.mode = coloring::Dima2EdMode::Paper;
+  options.trace = &trace;
+  (void)coloring::colorArcsDima2Ed(d, options);
+  for (const net::TraceEvent& e : trace.events()) {
+    ASSERT_NE(e.kind, net::TraceKind::Aborted);
+  }
+}
+
+struct CliRun {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliRun runCli(const std::vector<std::string>& tokens) {
+  cli::Args args(tokens);
+  std::ostringstream out, err;
+  CliRun r;
+  r.code = cli::runCommand(args, out, err);
+  r.out = out.str();
+  r.err = err.str();
+  return r;
+}
+
+TEST(CliFamilies, EveryGeneratorFamilyColorsCleanly) {
+  const std::vector<std::vector<std::string>> cases = {
+      {"color", "--family", "gnp", "--n", "40", "--p", "0.1"},
+      {"color", "--family", "ba", "--n", "40", "--m", "2"},
+      {"color", "--family", "tree", "--n", "40"},
+      {"color", "--family", "regular", "--n", "20", "--deg", "4"},
+      {"color", "--family", "complete", "--n", "8"},
+      {"color", "--family", "cycle", "--n", "9"},
+      {"color", "--family", "path", "--n", "9"},
+      {"color", "--family", "star", "--n", "9"},
+      {"color", "--family", "grid", "--rows", "4", "--cols", "5"},
+      {"color", "--family", "geometric", "--n", "40", "--radius", "0.3"},
+  };
+  for (const auto& tokens : cases) {
+    const CliRun r = runCli(tokens);
+    EXPECT_EQ(r.code, 0) << tokens[2] << ": " << r.err;
+    EXPECT_NE(r.out.find("valid: yes"), std::string::npos) << tokens[2];
+  }
+  EXPECT_EQ(runCli({"color", "--family", "nonsense"}).code, 1);
+}
+
+TEST(CliFamilies, GenWritesDotCompatibleColorFile) {
+  const std::string dir = ::testing::TempDir();
+  const std::string dot = dir + "coverage.dot";
+  const CliRun r = runCli({"color", "--family", "cycle", "--n", "6",
+                           "--dot-out", dot});
+  EXPECT_EQ(r.code, 0) << r.err;
+  std::ifstream in(dot);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("graph dimacol"), std::string::npos);
+  EXPECT_NE(text.find("--"), std::string::npos);
+  std::remove(dot.c_str());
+}
+
+TEST(Determinism, HalfCommitListIsStableUnderDrops) {
+  // The half-commit diagnosis must be reproducible for debugging.
+  support::Rng rng(6);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(50, 6.0, rng);
+  coloring::MadecOptions options;
+  options.seed = 7;
+  options.faults.dropProbability = 0.2;
+  options.maxCycles = 100;
+  const auto a = coloring::colorEdgesMadec(g, options);
+  const auto b = coloring::colorEdgesMadec(g, options);
+  EXPECT_EQ(a.halfCommitted, b.halfCommitted);
+  EXPECT_EQ(a.colors, b.colors);
+}
+
+}  // namespace
+}  // namespace dima

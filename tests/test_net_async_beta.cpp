@@ -1,0 +1,103 @@
+#include "src/net/async_beta.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/coloring/madec.hpp"
+#include "src/coloring/validate.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/metrics.hpp"
+
+namespace dima::net {
+namespace {
+
+graph::Graph connectedGraph(std::size_t n, std::uint64_t seed) {
+  support::Rng rng(seed);
+  return graph::wattsStrogatz(n, 6, 0.25, rng);  // always connected
+}
+
+TEST(BetaSynchronizer, MadecBetaMatchesSynchronousBitForBit) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const graph::Graph g = connectedGraph(50, 10 + seed);
+    coloring::MadecOptions options;
+    options.seed = 1000 + seed;
+    const auto sync = coloring::colorEdgesMadec(g, options);
+    AsyncRunResult stats;
+    const auto beta = coloring::colorEdgesMadecAsync(
+        g, options, {}, &stats, coloring::Synchronizer::Beta);
+    ASSERT_TRUE(beta.metrics.converged);
+    EXPECT_EQ(sync.colors, beta.colors);
+    EXPECT_TRUE(coloring::verifyEdgeColoring(g, beta.colors));
+  }
+}
+
+TEST(BetaSynchronizer, AlphaAndBetaAgreeOnResults) {
+  const graph::Graph g = connectedGraph(60, 4);
+  coloring::MadecOptions options;
+  options.seed = 77;
+  AsyncRunResult alphaStats, betaStats;
+  const auto alpha = coloring::colorEdgesMadecAsync(
+      g, options, {}, &alphaStats, coloring::Synchronizer::Alpha);
+  const auto beta = coloring::colorEdgesMadecAsync(
+      g, options, {}, &betaStats, coloring::Synchronizer::Beta);
+  EXPECT_EQ(alpha.colors, beta.colors);
+  EXPECT_EQ(alphaStats.payloadMessages, betaStats.payloadMessages);
+  EXPECT_EQ(alphaStats.ackMessages, betaStats.ackMessages);
+}
+
+TEST(BetaSynchronizer, TradesMessagesForLatency) {
+  // On a dense graph β's per-pulse control traffic is 2(n−1) messages vs
+  // α's 2m — β must send fewer control messages; its simulated time per
+  // pulse must be larger (the wave crosses the tree twice).
+  support::Rng rng(5);
+  const graph::Graph g = graph::erdosRenyiGnp(40, 0.5, rng);
+  ASSERT_TRUE(graph::isConnected(g));
+  coloring::MadecOptions options;
+  options.seed = 3;
+  AsyncRunResult alphaStats, betaStats;
+  (void)coloring::colorEdgesMadecAsync(g, options, {}, &alphaStats,
+                                       coloring::Synchronizer::Alpha);
+  (void)coloring::colorEdgesMadecAsync(g, options, {}, &betaStats,
+                                       coloring::Synchronizer::Beta);
+  EXPECT_LT(betaStats.safeMessages, alphaStats.safeMessages);
+  EXPECT_GT(betaStats.simTime, alphaStats.simTime);
+}
+
+TEST(BetaSynchronizer, RunsDirectProtocolOnTrees) {
+  // Exercise the synchronizer on the tree itself (root = vertex 0).
+  const graph::Graph g = graph::path(12);
+  coloring::MadecOptions options;
+  options.seed = 8;
+  AsyncRunResult stats;
+  const auto result = coloring::colorEdgesMadecAsync(
+      g, options, {}, &stats, coloring::Synchronizer::Beta);
+  ASSERT_TRUE(result.metrics.converged);
+  EXPECT_TRUE(coloring::verifyEdgeColoring(g, result.colors));
+  EXPECT_LE(result.colorsUsed(), 3u);  // ≤ 2Δ−1 on a path
+  EXPECT_EQ(stats.payloadMessages, stats.ackMessages);
+}
+
+TEST(BetaSynchronizer, DeterministicInDelaySeed) {
+  const graph::Graph g = connectedGraph(30, 6);
+  coloring::MadecOptions options;
+  options.seed = 11;
+  DelayModel delays;
+  delays.seed = 42;
+  AsyncRunResult a, b;
+  (void)coloring::colorEdgesMadecAsync(g, options, delays, &a,
+                                       coloring::Synchronizer::Beta);
+  (void)coloring::colorEdgesMadecAsync(g, options, delays, &b,
+                                       coloring::Synchronizer::Beta);
+  EXPECT_DOUBLE_EQ(a.simTime, b.simTime);
+  EXPECT_EQ(a.totalMessages(), b.totalMessages());
+}
+
+TEST(BetaSynchronizerDeathTest, RequiresConnectedGraph) {
+  graph::Graph g(4, {graph::Edge{0, 1}});  // two isolated vertices
+  coloring::MadecOptions options;
+  EXPECT_DEATH(coloring::colorEdgesMadecAsync(
+                   g, options, {}, nullptr, coloring::Synchronizer::Beta),
+               "connected");
+}
+
+}  // namespace
+}  // namespace dima::net

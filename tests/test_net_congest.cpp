@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/coloring/dima2ed.hpp"
+#include "src/coloring/madec.hpp"
+#include "src/coloring/strong_madec.hpp"
+#include "src/graph/generators.hpp"
+#include "src/net/message.hpp"
+#include "src/net/network.hpp"
+
+namespace dima::net {
+namespace {
+
+TEST(BitWidth, KnownValues) {
+  EXPECT_EQ(bitWidth(0), 1u);
+  EXPECT_EQ(bitWidth(1), 1u);
+  EXPECT_EQ(bitWidth(2), 2u);
+  EXPECT_EQ(bitWidth(3), 2u);
+  EXPECT_EQ(bitWidth(4), 3u);
+  EXPECT_EQ(bitWidth(255), 8u);
+  EXPECT_EQ(bitWidth(256), 9u);
+  EXPECT_EQ(bitWidth(~std::uint64_t{0}), 64u);
+}
+
+TEST(Congest, NetworkAccumulatesBits) {
+  struct Sized {
+    std::uint64_t payload = 0;
+    std::uint64_t wireBits() const { return 10; }
+  };
+  const graph::Graph g = graph::complete(4);
+  SyncNetwork<Sized> net(g);
+  net.broadcast(0, Sized{});
+  net.deliverRound();
+  EXPECT_EQ(net.counters().bitsDelivered, 30u);  // 3 neighbors × 10 bits
+  EXPECT_EQ(net.counters().maxMessageBits, 10u);
+  EXPECT_NE(net.counters().toString().find("bits=30"), std::string::npos);
+}
+
+TEST(Congest, TypesWithoutWireBitsStillWork) {
+  struct Plain {
+    int x = 0;
+  };
+  const graph::Graph g = graph::complete(3);
+  SyncNetwork<Plain> net(g);
+  net.broadcast(0, Plain{});
+  net.deliverRound();
+  EXPECT_EQ(net.counters().bitsDelivered, 0u);
+  EXPECT_EQ(net.counters().messagesDelivered, 2u);
+}
+
+/// The paper's "one hop information" premise means the algorithms live in
+/// the CONGEST model: every message is O(log n) bits. Growing n by 8×
+/// must add only a constant handful of bits to the largest message.
+TEST(Congest, MadecLargestMessageGrowsLogarithmically) {
+  std::uint64_t maxBits[2] = {0, 0};
+  const std::size_t sizes[2] = {100, 800};
+  for (int i = 0; i < 2; ++i) {
+    support::Rng rng(7);
+    const graph::Graph g = graph::erdosRenyiAvgDegree(sizes[i], 8.0, rng);
+    coloring::MadecOptions options;
+    options.seed = 3;
+    const auto result = coloring::colorEdgesMadec(g, options);
+    ASSERT_TRUE(result.metrics.converged);
+    ASSERT_GT(result.metrics.bitsDelivered, 0u);
+    maxBits[i] = result.metrics.maxMessageBits;
+    // Sanity: a MaDEC message is a kind + node id + color.
+    EXPECT_LE(result.metrics.maxMessageBits,
+              2 + bitWidth(sizes[i]) + bitWidth(2 * g.maxDegree()));
+  }
+  EXPECT_LE(maxBits[1], maxBits[0] + 8);
+}
+
+TEST(Congest, StrongColoringMessagesAreAlsoSmall) {
+  support::Rng rng(5);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(60, 4.0, rng);
+  const auto dima2ed =
+      coloring::colorArcsDima2Ed(graph::Digraph(g), {.seed = 2});
+  ASSERT_TRUE(dima2ed.metrics.converged);
+  EXPECT_GT(dima2ed.metrics.bitsDelivered, 0u);
+  // kind + node id + color + arc id, all logarithmic in the run size.
+  EXPECT_LE(dima2ed.metrics.maxMessageBits, 3 + 7 + 8 + 8);
+
+  const auto strong = coloring::colorEdgesStrongMadec(g, {.seed = 2});
+  ASSERT_TRUE(strong.metrics.converged);
+  EXPECT_GT(strong.metrics.bitsDelivered, 0u);
+  EXPECT_LE(strong.metrics.maxMessageBits, 3 + 7 + 8 + 8);
+}
+
+TEST(Congest, BitsScaleWithMessagesDelivered) {
+  support::Rng rng(6);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(80, 6.0, rng);
+  const auto result = coloring::colorEdgesMadec(g, {.seed = 4});
+  ASSERT_TRUE(result.metrics.converged);
+  // Average message is at least the 2-bit kind plus something.
+  EXPECT_GE(result.metrics.bitsDelivered,
+            3 * result.metrics.messagesDelivered);
+  EXPECT_LE(result.metrics.bitsDelivered,
+            result.metrics.maxMessageBits * result.metrics.messagesDelivered);
+}
+
+}  // namespace
+}  // namespace dima::net

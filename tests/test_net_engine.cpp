@@ -1,0 +1,133 @@
+#include "src/net/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/graph/generators.hpp"
+
+namespace dima::net {
+namespace {
+
+/// A toy protocol: every node must hear from each neighbor once; each cycle
+/// every pending node broadcasts its id, collects neighbors' ids, and is
+/// done when all neighbors were heard. Finishes in exactly one cycle on a
+/// reliable network, which makes engine bookkeeping easy to assert.
+struct GossipProtocol {
+  struct Msg {
+    NodeId id = graph::kNoVertex;
+  };
+  using Message = Msg;
+
+  explicit GossipProtocol(const graph::Graph& g)
+      : graph(&g), heard(g.numVertices(), 0), begun(g.numVertices(), 0),
+        ended(g.numVertices(), 0) {}
+
+  int subRounds() const { return 1; }
+  void beginCycle(NodeId u) { ++begun[u]; }
+  void send(NodeId u, int, SyncNetwork<Msg>& net) {
+    if (!done(u) && graph->degree(u) > 0) net.broadcast(u, Msg{u});
+  }
+  void receive(NodeId u, int, std::span<const Envelope<Msg>> inbox) {
+    heard[u] += inbox.size();
+  }
+  void endCycle(NodeId u) { ++ended[u]; }
+  bool done(NodeId u) const { return heard[u] >= graph->degree(u); }
+
+  const graph::Graph* graph;
+  std::vector<std::size_t> heard;
+  std::vector<int> begun;
+  std::vector<int> ended;
+};
+
+TEST(RoundEngine, ConvergesAndCountsCycles) {
+  const graph::Graph g = graph::complete(5);
+  GossipProtocol proto(g);
+  SyncNetwork<GossipProtocol::Msg> net(g);
+  const EngineResult result = runSyncProtocol(proto, net);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.cycles, 1u);
+  EXPECT_EQ(result.counters.commRounds, 1u);
+  EXPECT_EQ(result.counters.broadcasts, 5u);
+}
+
+TEST(RoundEngine, AlreadyDoneRunsZeroCycles) {
+  const graph::Graph g(4);  // no edges: degree 0 ⇒ done immediately
+  GossipProtocol proto(g);
+  SyncNetwork<GossipProtocol::Msg> net(g);
+  const EngineResult result = runSyncProtocol(proto, net);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.cycles, 0u);
+  EXPECT_EQ(proto.begun[0], 0);
+}
+
+TEST(RoundEngine, HooksRunForEveryNodeEveryCycle) {
+  const graph::Graph g = graph::cycle(6);
+  GossipProtocol proto(g);
+  SyncNetwork<GossipProtocol::Msg> net(g);
+  (void)runSyncProtocol(proto, net);
+  for (NodeId u = 0; u < 6; ++u) {
+    EXPECT_EQ(proto.begun[u], 1);
+    EXPECT_EQ(proto.ended[u], 1);
+  }
+}
+
+/// A protocol that never finishes, to exercise the round cap.
+struct StubbornProtocol {
+  struct Msg {};
+  using Message = Msg;
+  int subRounds() const { return 2; }
+  void beginCycle(NodeId) {}
+  void send(NodeId, int, SyncNetwork<Msg>&) {}
+  void receive(NodeId, int, std::span<const Envelope<Msg>>) {}
+  void endCycle(NodeId) {}
+  bool done(NodeId) const { return false; }
+};
+
+TEST(RoundEngine, MaxCyclesCapsRun) {
+  const graph::Graph g = graph::cycle(3);
+  StubbornProtocol proto;
+  SyncNetwork<StubbornProtocol::Msg> net(g);
+  EngineOptions options;
+  options.maxCycles = 10;
+  const EngineResult result = runSyncProtocol(proto, net, options);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.cycles, 10u);
+  EXPECT_EQ(result.counters.commRounds, 20u);  // 2 sub-rounds per cycle
+}
+
+TEST(RoundEngine, ObserverSeesProgress) {
+  const graph::Graph g = graph::complete(4);
+  GossipProtocol proto(g);
+  SyncNetwork<GossipProtocol::Msg> net(g);
+  std::vector<CycleInfo> observed;
+  EngineOptions options;
+  options.observer = [&](const CycleInfo& info) { observed.push_back(info); };
+  (void)runSyncProtocol(proto, net, options);
+  ASSERT_EQ(observed.size(), 1u);
+  EXPECT_EQ(observed[0].cycle, 0u);
+  EXPECT_EQ(observed[0].nodesDone, 4u);
+  EXPECT_EQ(observed[0].nodesTotal, 4u);
+}
+
+TEST(RoundEngine, ThreadedExecutorMatchesSerial) {
+  const graph::Graph g = graph::complete(8);
+  GossipProtocol serialProto(g);
+  SyncNetwork<GossipProtocol::Msg> serialNet(g);
+  const EngineResult serial = runSyncProtocol(serialProto, serialNet);
+
+  GossipProtocol pooledProto(g);
+  SyncNetwork<GossipProtocol::Msg> pooledNet(g);
+  support::ThreadPool pool(4);
+  EngineOptions options;
+  options.pool = &pool;
+  const EngineResult pooled = runSyncProtocol(pooledProto, pooledNet, options);
+
+  EXPECT_EQ(serial.cycles, pooled.cycles);
+  EXPECT_EQ(serial.counters.messagesDelivered,
+            pooled.counters.messagesDelivered);
+  EXPECT_EQ(serialProto.heard, pooledProto.heard);
+}
+
+}  // namespace
+}  // namespace dima::net

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.hpp"
+#include "src/net/network.hpp"
+#include "src/net/trace.hpp"
+
+namespace dima::net {
+namespace {
+
+struct Ping {
+  int value = 0;
+};
+
+TEST(FaultModel, DefaultIsReliable) {
+  FaultModel faults;
+  EXPECT_FALSE(faults.perturbs());
+  FaultModel dropping{.dropProbability = 0.1};
+  EXPECT_TRUE(dropping.perturbs());
+}
+
+TEST(FaultModel, DropRateMatchesProbability) {
+  const graph::Graph g = graph::complete(20);
+  FaultModel faults;
+  faults.dropProbability = 0.3;
+  SyncNetwork<Ping> net(g, faults);
+  constexpr int kRounds = 200;
+  for (int r = 0; r < kRounds; ++r) {
+    for (NodeId v = 0; v < 20; ++v) net.broadcast(v, Ping{r});
+    net.deliverRound();
+  }
+  const auto& c = net.counters();
+  const auto attempts = c.messagesDelivered + c.messagesDropped -
+                        c.messagesDuplicated;
+  EXPECT_EQ(attempts, 20u * 19u * kRounds);
+  const double dropRate = static_cast<double>(c.messagesDropped) /
+                          static_cast<double>(attempts);
+  EXPECT_NEAR(dropRate, 0.3, 0.02);
+}
+
+TEST(FaultModel, DuplicatesArriveTwice) {
+  const graph::Graph g = graph::complete(10);
+  FaultModel faults;
+  faults.duplicateProbability = 0.5;
+  SyncNetwork<Ping> net(g, faults);
+  for (int r = 0; r < 100; ++r) {
+    for (NodeId v = 0; v < 10; ++v) net.broadcast(v, Ping{r});
+    net.deliverRound();
+  }
+  const auto& c = net.counters();
+  EXPECT_GT(c.messagesDuplicated, 0u);
+  EXPECT_EQ(c.messagesDelivered,
+            100u * 10 * 9 + c.messagesDuplicated);
+}
+
+TEST(FaultModel, FaultsAreDeterministicInSeed) {
+  const graph::Graph g = graph::complete(8);
+  auto run = [&](std::uint64_t seed) {
+    FaultModel faults;
+    faults.dropProbability = 0.25;
+    faults.seed = seed;
+    SyncNetwork<Ping> net(g, faults);
+    for (int r = 0; r < 50; ++r) {
+      for (NodeId v = 0; v < 8; ++v) net.broadcast(v, Ping{r});
+      net.deliverRound();
+    }
+    return net.counters().messagesDropped;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(FaultModel, ZeroProbabilityDropsNothing) {
+  const graph::Graph g = graph::cycle(5);
+  SyncNetwork<Ping> net(g, FaultModel{.dropProbability = 0.0,
+                                      .duplicateProbability = 0.0});
+  for (int r = 0; r < 20; ++r) {
+    for (NodeId v = 0; v < 5; ++v) net.broadcast(v, Ping{r});
+    net.deliverRound();
+  }
+  EXPECT_EQ(net.counters().messagesDropped, 0u);
+  EXPECT_EQ(net.counters().messagesDuplicated, 0u);
+}
+
+TEST(TraceLog, DisabledRecordIsNoOp) {
+  TraceLog trace;
+  trace.record(0, 1, TraceKind::InviteSent, 2, 3);
+  EXPECT_TRUE(trace.events().empty());
+}
+
+TEST(TraceLog, RecordsAndRenders) {
+  TraceLog trace;
+  trace.enable();
+  trace.record(0, 1, TraceKind::InviteSent, 2, 5);
+  trace.record(0, 2, TraceKind::ResponseSent, 1, 5);
+  trace.record(1, 1, TraceKind::EdgeColored, 2, 5);
+  EXPECT_EQ(trace.events().size(), 3u);
+  EXPECT_EQ(trace.countInCycle(0, TraceKind::InviteSent), 1u);
+  EXPECT_EQ(trace.countInCycle(0, TraceKind::EdgeColored), 0u);
+  const std::string text = trace.render();
+  EXPECT_NE(text.find("invite-sent"), std::string::npos);
+  EXPECT_NE(text.find("cycle 1"), std::string::npos);
+  trace.clear();
+  EXPECT_TRUE(trace.events().empty());
+}
+
+TEST(TraceLog, KindNamesAreDistinct) {
+  EXPECT_STRNE(traceKindName(TraceKind::InviteSent),
+               traceKindName(TraceKind::ResponseSent));
+  EXPECT_STRNE(traceKindName(TraceKind::Aborted),
+               traceKindName(TraceKind::NodeDone));
+}
+
+}  // namespace
+}  // namespace dima::net

@@ -1,0 +1,133 @@
+#include "src/net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.hpp"
+
+namespace dima::net {
+namespace {
+
+struct Ping {
+  int value = 0;
+};
+
+graph::Graph triangle() {
+  return graph::Graph(3, {graph::Edge{0, 1}, graph::Edge{1, 2},
+                          graph::Edge{0, 2}});
+}
+
+TEST(SyncNetwork, BroadcastReachesAllNeighborsOnly) {
+  const graph::Graph g = graph::star(4);  // hub 0, leaves 1..3
+  SyncNetwork<Ping> net(g);
+  net.broadcast(0, Ping{7});
+  net.deliverRound();
+  for (NodeId leaf = 1; leaf < 4; ++leaf) {
+    ASSERT_EQ(net.inbox(leaf).size(), 1u);
+    EXPECT_EQ(net.inbox(leaf)[0].from, 0u);
+    EXPECT_EQ(net.inbox(leaf)[0].msg.value, 7);
+  }
+  EXPECT_TRUE(net.inbox(0).empty());  // no self-delivery
+}
+
+TEST(SyncNetwork, UnicastReachesOnlyTarget) {
+  const graph::Graph g = triangle();
+  SyncNetwork<Ping> net(g);
+  net.unicast(0, 1, Ping{5});
+  net.deliverRound();
+  EXPECT_EQ(net.inbox(1).size(), 1u);
+  EXPECT_TRUE(net.inbox(2).empty());
+  EXPECT_TRUE(net.inbox(0).empty());
+}
+
+TEST(SyncNetwork, MultipleUnicastsToDistinctNeighbors) {
+  const graph::Graph g = triangle();
+  SyncNetwork<Ping> net(g);
+  net.unicast(0, 1, Ping{1});
+  net.unicast(0, 2, Ping{2});
+  net.deliverRound();
+  EXPECT_EQ(net.inbox(1)[0].msg.value, 1);
+  EXPECT_EQ(net.inbox(2)[0].msg.value, 2);
+}
+
+TEST(SyncNetwork, InboxClearedEachRound) {
+  const graph::Graph g = triangle();
+  SyncNetwork<Ping> net(g);
+  net.broadcast(0, Ping{1});
+  net.deliverRound();
+  EXPECT_FALSE(net.inbox(1).empty());
+  net.deliverRound();  // nothing sent
+  EXPECT_TRUE(net.inbox(1).empty());
+}
+
+TEST(SyncNetwork, SimultaneousSendersAllDeliver) {
+  const graph::Graph g = triangle();
+  SyncNetwork<Ping> net(g);
+  net.broadcast(0, Ping{10});
+  net.broadcast(1, Ping{11});
+  net.broadcast(2, Ping{12});
+  net.deliverRound();
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_EQ(net.inbox(v).size(), 2u);  // both neighbors' broadcasts
+  }
+}
+
+TEST(SyncNetwork, CountersTrackTraffic) {
+  const graph::Graph g = triangle();
+  SyncNetwork<Ping> net(g);
+  net.broadcast(0, Ping{1});  // 2 deliveries
+  net.unicast(1, 2, Ping{2}); // 1 delivery
+  net.deliverRound();
+  net.deliverRound();
+  const Counters& c = net.counters();
+  EXPECT_EQ(c.commRounds, 2u);
+  EXPECT_EQ(c.broadcasts, 1u);
+  EXPECT_EQ(c.unicasts, 1u);
+  EXPECT_EQ(c.messagesDelivered, 3u);
+  EXPECT_EQ(c.messagesDropped, 0u);
+  EXPECT_FALSE(c.toString().empty());
+}
+
+TEST(SyncNetwork, IsolatedVertexBroadcastGoesNowhere) {
+  graph::Graph g(3, {graph::Edge{0, 1}});
+  SyncNetwork<Ping> net(g);
+  net.broadcast(2, Ping{9});
+  net.deliverRound();
+  EXPECT_EQ(net.counters().messagesDelivered, 0u);
+}
+
+TEST(SyncNetworkDeathTest, DoubleBroadcastRejected) {
+  const graph::Graph g = triangle();
+  SyncNetwork<Ping> net(g);
+  net.broadcast(0, Ping{1});
+  EXPECT_DEATH(net.broadcast(0, Ping{2}), "allowance");
+}
+
+TEST(SyncNetworkDeathTest, UnicastToNonNeighborRejected) {
+  graph::Graph g(3, {graph::Edge{0, 1}});
+  SyncNetwork<Ping> net(g);
+  EXPECT_DEATH(net.unicast(0, 2, Ping{1}), "without a link");
+}
+
+TEST(SyncNetworkDeathTest, DuplicateUnicastTargetRejected) {
+  const graph::Graph g = triangle();
+  SyncNetwork<Ping> net(g);
+  net.unicast(0, 1, Ping{1});
+  EXPECT_DEATH(net.unicast(0, 1, Ping{2}), "twice in a round");
+}
+
+TEST(SyncNetworkDeathTest, MixedBroadcastUnicastRejected) {
+  const graph::Graph g = triangle();
+  SyncNetwork<Ping> net(g);
+  net.broadcast(0, Ping{1});
+  EXPECT_DEATH(net.unicast(0, 1, Ping{2}), "mixed broadcast");
+}
+
+TEST(SyncNetworkDeathTest, OutOfRangeNodeRejected) {
+  const graph::Graph g = triangle();
+  SyncNetwork<Ping> net(g);
+  EXPECT_DEATH(net.broadcast(9, Ping{1}), "out of range");
+  EXPECT_DEATH(net.inbox(9), "out of range");
+}
+
+}  // namespace
+}  // namespace dima::net

@@ -1,0 +1,105 @@
+#include "src/net/spanning_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.hpp"
+#include "src/graph/metrics.hpp"
+
+namespace dima::net {
+namespace {
+
+void expectBfsTree(const graph::Graph& g, const SpanningTree& tree) {
+  const auto dist = graph::bfsDistances(g, tree.root);
+  for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
+    EXPECT_EQ(tree.depth[v], dist[v]) << "vertex " << v;
+    if (v == tree.root) {
+      EXPECT_EQ(tree.parent[v], graph::kNoVertex);
+    } else {
+      ASSERT_NE(tree.parent[v], graph::kNoVertex);
+      EXPECT_TRUE(g.hasEdge(v, tree.parent[v]));
+      EXPECT_EQ(tree.depth[v], tree.depth[tree.parent[v]] + 1);
+    }
+  }
+}
+
+TEST(SpanningTreeFlood, PathGraph) {
+  const graph::Graph g = graph::path(6);
+  const SpanningTree tree = buildSpanningTreeFlood(g, 0);
+  expectBfsTree(g, tree);
+  EXPECT_EQ(tree.height(), 5u);
+  // The wavefront needs one round per depth level plus the root's own.
+  EXPECT_EQ(tree.buildRounds, 6u);
+}
+
+TEST(SpanningTreeFlood, RandomConnectedGraphs) {
+  support::Rng rng(1);
+  for (int i = 0; i < 5; ++i) {
+    graph::Graph g = graph::erdosRenyiAvgDegree(80, 6.0, rng);
+    if (!graph::isConnected(g)) {
+      g = graph::wattsStrogatz(80, 6, 0.2, rng);  // always connected
+    }
+    const SpanningTree tree = buildSpanningTreeFlood(g, 3);
+    expectBfsTree(g, tree);
+  }
+}
+
+TEST(SpanningTreeFlood, SingleVertex) {
+  const SpanningTree tree = buildSpanningTreeFlood(graph::Graph(1), 0);
+  EXPECT_EQ(tree.height(), 0u);
+  EXPECT_EQ(tree.parent[0], graph::kNoVertex);
+}
+
+TEST(SpanningTreeFloodDeathTest, RejectsDisconnectedGraphs) {
+  EXPECT_DEATH(buildSpanningTreeFlood(graph::Graph(3), 0), "connected");
+}
+
+TEST(DetectionRound, SingleNode) {
+  const SpanningTree tree = buildSpanningTreeFlood(graph::Graph(1), 0);
+  EXPECT_EQ(detectionRound(tree, {7}), 7u);
+}
+
+TEST(DetectionRound, PathWorstCase) {
+  // Path rooted at one end: if the far leaf finishes last at round R, the
+  // root learns at R + (n-1) hops.
+  const graph::Graph g = graph::path(5);
+  const SpanningTree tree = buildSpanningTreeFlood(g, 0);
+  std::vector<std::uint64_t> completion{0, 0, 0, 0, 10};
+  EXPECT_EQ(detectionRound(tree, completion), 14u);
+}
+
+TEST(DetectionRound, EarlyLeafHidesBehindLateInner) {
+  const graph::Graph g = graph::path(4);  // 0-1-2-3, root 0
+  const SpanningTree tree = buildSpanningTreeFlood(g, 0);
+  // Leaf finishes first; node 1 finishes late: root learns one hop after 1.
+  std::vector<std::uint64_t> completion{0, 20, 0, 0};
+  EXPECT_EQ(detectionRound(tree, completion), 21u);
+}
+
+TEST(DetectionRound, StarIsShallow) {
+  const graph::Graph g = graph::star(10);
+  const SpanningTree tree = buildSpanningTreeFlood(g, 0);
+  std::vector<std::uint64_t> completion(10, 5);
+  // Every leaf reports at round 6; the hub/root is done itself at 5.
+  EXPECT_EQ(detectionRound(tree, completion), 6u);
+}
+
+TEST(DetectionRound, BoundedByCompletionPlusHeight) {
+  support::Rng rng(2);
+  const graph::Graph g = graph::wattsStrogatz(60, 6, 0.3, rng);
+  const SpanningTree tree = buildSpanningTreeFlood(g, 0);
+  std::vector<std::uint64_t> completion(60);
+  for (std::size_t i = 0; i < 60; ++i) completion[i] = (i * 13) % 29;
+  const std::uint64_t detect = detectionRound(tree, completion);
+  std::uint64_t maxDone = 0;
+  for (auto c : completion) maxDone = std::max(maxDone, c);
+  EXPECT_GE(detect, maxDone);
+  EXPECT_LE(detect, maxDone + tree.height());
+}
+
+TEST(DetectionRoundDeathTest, SizeMismatch) {
+  const SpanningTree tree = buildSpanningTreeFlood(graph::path(3), 0);
+  EXPECT_DEATH(detectionRound(tree, {1, 2}), "size mismatch");
+}
+
+}  // namespace
+}  // namespace dima::net

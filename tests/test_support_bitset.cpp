@@ -1,0 +1,191 @@
+#include "src/support/bitset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/support/rng.hpp"
+
+namespace dima::support {
+namespace {
+
+TEST(DynamicBitset, StartsEmpty) {
+  DynamicBitset b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.none());
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_EQ(b.firstClear(), 0u);
+  EXPECT_EQ(b.firstSet(), DynamicBitset::npos);
+}
+
+TEST(DynamicBitset, SetGrowsAutomatically) {
+  DynamicBitset b;
+  b.set(100);
+  EXPECT_GE(b.size(), 101u);
+  EXPECT_TRUE(b.test(100));
+  EXPECT_FALSE(b.test(99));
+  EXPECT_EQ(b.count(), 1u);
+}
+
+TEST(DynamicBitset, OutOfRangeReadsAsClear) {
+  DynamicBitset b(4);
+  EXPECT_FALSE(b.test(1000));
+}
+
+TEST(DynamicBitset, ResetAndClear) {
+  DynamicBitset b;
+  b.set(3);
+  b.set(64);
+  b.reset(3);
+  EXPECT_FALSE(b.test(3));
+  EXPECT_TRUE(b.test(64));
+  b.reset(9999);  // out of range: no-op
+  b.clear();
+  EXPECT_TRUE(b.none());
+  EXPECT_GE(b.size(), 65u);  // size preserved
+}
+
+TEST(DynamicBitset, FirstClearFindsLowestHole) {
+  DynamicBitset b;
+  b.set(0);
+  b.set(1);
+  b.set(3);
+  EXPECT_EQ(b.firstClear(), 2u);
+  b.set(2);
+  EXPECT_EQ(b.firstClear(), 4u);
+}
+
+TEST(DynamicBitset, FirstClearOnFullWordBoundary) {
+  DynamicBitset b;
+  for (std::size_t i = 0; i < 64; ++i) b.set(i);
+  EXPECT_EQ(b.firstClear(), 64u);
+  for (std::size_t i = 64; i < 128; ++i) b.set(i);
+  EXPECT_EQ(b.firstClear(), 128u);
+}
+
+TEST(DynamicBitset, FirstClearAlsoClearInUnionSemantics) {
+  DynamicBitset a, b;
+  a.set(0);
+  b.set(1);
+  a.set(2);
+  b.set(3);
+  EXPECT_EQ(a.firstClearAlsoClearIn(b), 4u);
+  // Asymmetric sizes: the tail of the longer operand matters.
+  DynamicBitset longOne;
+  for (std::size_t i = 0; i < 70; ++i) longOne.set(i);
+  DynamicBitset shortOne;
+  shortOne.set(0);
+  EXPECT_EQ(longOne.firstClearAlsoClearIn(shortOne), 70u);
+  EXPECT_EQ(shortOne.firstClearAlsoClearIn(longOne), 70u);
+}
+
+TEST(DynamicBitset, FirstClearAlsoClearInBothEmpty) {
+  DynamicBitset a, b;
+  EXPECT_EQ(a.firstClearAlsoClearIn(b), 0u);
+}
+
+TEST(DynamicBitset, SetBitIteration) {
+  DynamicBitset b;
+  const std::set<std::size_t> expected{1, 5, 63, 64, 130};
+  for (std::size_t i : expected) b.set(i);
+  std::set<std::size_t> seen;
+  for (std::size_t i = b.firstSet(); i != DynamicBitset::npos;
+       i = b.nextSet(i)) {
+    seen.insert(i);
+  }
+  EXPECT_EQ(seen, expected);
+  EXPECT_EQ(b.setBits(), std::vector<std::size_t>({1, 5, 63, 64, 130}));
+}
+
+TEST(DynamicBitset, OrMergesAndGrows) {
+  DynamicBitset a, b;
+  a.set(1);
+  b.set(100);
+  a |= b;
+  EXPECT_TRUE(a.test(1));
+  EXPECT_TRUE(a.test(100));
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(DynamicBitset, AndIntersects) {
+  DynamicBitset a, b;
+  a.set(1);
+  a.set(2);
+  a.set(200);
+  b.set(2);
+  b.set(3);
+  a &= b;
+  EXPECT_EQ(a.setBits(), std::vector<std::size_t>{2});
+}
+
+TEST(DynamicBitset, MinusRemoves) {
+  DynamicBitset a, b;
+  a.set(1);
+  a.set(2);
+  b.set(2);
+  b.set(300);
+  a -= b;
+  EXPECT_EQ(a.setBits(), std::vector<std::size_t>{1});
+}
+
+TEST(DynamicBitset, IntersectsDetectsSharedBit) {
+  DynamicBitset a, b;
+  a.set(64);
+  EXPECT_FALSE(a.intersects(b));
+  b.set(64);
+  EXPECT_TRUE(a.intersects(b));
+  b.reset(64);
+  b.set(65);
+  EXPECT_FALSE(a.intersects(b));
+}
+
+TEST(DynamicBitset, EqualityIgnoresCapacityDifferences) {
+  DynamicBitset a(10), b(500);
+  a.set(3);
+  b.set(3);
+  EXPECT_EQ(a, b);
+  b.set(400);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(DynamicBitset, ToStringRendersLowestFirst) {
+  DynamicBitset b(4);
+  b.set(1);
+  EXPECT_EQ(b.toString(), "0100");
+}
+
+TEST(DynamicBitset, ShrinkingResizeDropsHighBits) {
+  DynamicBitset b;
+  b.set(10);
+  b.set(2);
+  b.resize(5);
+  EXPECT_TRUE(b.test(2));
+  EXPECT_FALSE(b.test(10));
+  EXPECT_EQ(b.count(), 1u);
+}
+
+TEST(DynamicBitset, RandomizedAgainstReferenceSet) {
+  Rng rng(55);
+  DynamicBitset b;
+  std::set<std::size_t> reference;
+  for (int step = 0; step < 3000; ++step) {
+    const auto bit = static_cast<std::size_t>(rng.below(400));
+    if (rng.coin()) {
+      b.set(bit);
+      reference.insert(bit);
+    } else {
+      b.reset(bit);
+      reference.erase(bit);
+    }
+  }
+  EXPECT_EQ(b.count(), reference.size());
+  std::size_t expectedFirstClear = 0;
+  while (reference.contains(expectedFirstClear)) ++expectedFirstClear;
+  EXPECT_EQ(b.firstClear(), expectedFirstClear);
+  const auto bits = b.setBits();
+  EXPECT_TRUE(std::equal(bits.begin(), bits.end(), reference.begin(),
+                         reference.end()));
+}
+
+}  // namespace
+}  // namespace dima::support

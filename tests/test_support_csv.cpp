@@ -1,0 +1,82 @@
+#include "src/support/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace dima::support {
+namespace {
+
+TEST(CsvWriter, HeaderAndRows) {
+  CsvWriter csv;
+  csv.header({"a", "b"});
+  csv.row({"1", "2"});
+  csv.rowOf(3, 4.5);
+  EXPECT_EQ(csv.str(), "a,b\n1,2\n3,4.5\n");
+  EXPECT_EQ(csv.rowCount(), 3u);
+}
+
+TEST(CsvWriter, EscapesSeparatorsQuotesAndNewlines) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(CsvWriter, RoundTripsThroughParser) {
+  CsvWriter csv;
+  csv.row({"x,y", "he said \"no\"", "plain"});
+  std::string line = csv.str();
+  line.pop_back();  // trailing newline
+  const auto cells = parseCsvLine(line);
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0], "x,y");
+  EXPECT_EQ(cells[1], "he said \"no\"");
+  EXPECT_EQ(cells[2], "plain");
+}
+
+TEST(CsvWriter, SaveWritesFile) {
+  CsvWriter csv;
+  csv.header({"k", "v"});
+  csv.rowOf("answer", 42);
+  const std::string path = ::testing::TempDir() + "dima_csv_test.csv";
+  ASSERT_TRUE(csv.save(path));
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "k,v");
+  EXPECT_EQ(line2, "answer,42");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, SaveToBadPathFails) {
+  CsvWriter csv;
+  csv.rowOf(1);
+  EXPECT_FALSE(csv.save("/nonexistent-dir-xyz/file.csv"));
+}
+
+TEST(ParseCsvLine, EmptyAndEdgeCells) {
+  const auto cells = parseCsvLine("a,,c,");
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[0], "a");
+  EXPECT_EQ(cells[1], "");
+  EXPECT_EQ(cells[2], "c");
+  EXPECT_EQ(cells[3], "");
+}
+
+TEST(ParseCsvLine, StripsCarriageReturn) {
+  const auto cells = parseCsvLine("a,b\r");
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[1], "b");
+}
+
+TEST(ParseCsvLine, QuotedCommaStaysInCell) {
+  const auto cells = parseCsvLine("\"1,5\",2");
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0], "1,5");
+}
+
+}  // namespace
+}  // namespace dima::support

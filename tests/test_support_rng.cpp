@@ -1,0 +1,190 @@
+#include "src/support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <vector>
+
+namespace dima::support {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Mix64, IsAFunctionOfBothArguments) {
+  EXPECT_EQ(mix64(1, 2), mix64(1, 2));
+  EXPECT_NE(mix64(1, 2), mix64(2, 1));
+  EXPECT_NE(mix64(1, 2), mix64(1, 3));
+}
+
+TEST(Xoshiro256, ReproducibleStream) {
+  Xoshiro256 a(99), b(99);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, JumpChangesState) {
+  Xoshiro256 a(7), b(7);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(5);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 7ULL, 100ULL, 1'000'000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kDraws = 100'000;
+  std::array<int, kBuckets> counts{};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, BetweenCoversInclusiveRange) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, BetweenSinglePoint) {
+  Rng rng(3);
+  EXPECT_EQ(rng.between(42, 42), 42);
+}
+
+TEST(Rng, CoinIsFair) {
+  Rng rng(17);
+  int heads = 0;
+  constexpr int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) heads += rng.coin() ? 1 : 0;
+  EXPECT_NEAR(heads, kDraws / 2, kDraws * 0.02);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(23);
+  constexpr int kDraws = 100'000;
+  int hits = 0;
+  for (int i = 0; i < kDraws; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits, 0.3 * kDraws, kDraws * 0.02);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(29);
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(31);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, v);
+}
+
+TEST(Rng, ShuffleHandlesTinyInputs) {
+  Rng rng(31);
+  std::vector<int> empty;
+  rng.shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{7};
+  rng.shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{7});
+}
+
+TEST(Rng, PickReturnsContainedElement) {
+  Rng rng(37);
+  const std::vector<int> v{10, 20, 30};
+  for (int i = 0; i < 100; ++i) {
+    const int p = rng.pick(v);
+    EXPECT_TRUE(p == 10 || p == 20 || p == 30);
+  }
+}
+
+TEST(SeedSequence, StreamsAreIndependentAndReproducible) {
+  SeedSequence seq(1234);
+  Rng a1 = seq.stream(0);
+  Rng a2 = seq.stream(0);
+  Rng b = seq.stream(1);
+  bool diverged = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a1();
+    ASSERT_EQ(va, a2());
+    if (va != b()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(SeedSequence, DifferentMastersGiveDifferentStreams) {
+  SeedSequence s1(1), s2(2);
+  Rng a = s1.stream(0), b = s2.stream(0);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(SeedSequence, StreamsFactoryMatchesIndividualStreams) {
+  SeedSequence seq(77);
+  auto streams = seq.streams(4);
+  ASSERT_EQ(streams.size(), 4u);
+  for (std::size_t k = 0; k < 4; ++k) {
+    Rng individual = seq.stream(k);
+    for (int i = 0; i < 16; ++i) ASSERT_EQ(streams[k](), individual());
+  }
+}
+
+}  // namespace
+}  // namespace dima::support

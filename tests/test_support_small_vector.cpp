@@ -1,0 +1,174 @@
+#include "src/support/small_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dima::support {
+namespace {
+
+TEST(SmallVector, StartsEmptyInline) {
+  SmallVector<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.usesInlineStorage());
+  EXPECT_EQ(v.capacity(), 4u);
+}
+
+TEST(SmallVector, PushWithinInlineCapacity) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_TRUE(v.usesInlineStorage());
+  EXPECT_EQ(v.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVector, SpillsToHeapAndKeepsContents) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_FALSE(v.usesInlineStorage());
+  EXPECT_EQ(v.size(), 100u);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVector, FrontBackAndPop) {
+  SmallVector<int, 2> v{1, 2, 3};
+  EXPECT_EQ(v.front(), 1);
+  EXPECT_EQ(v.back(), 3);
+  v.pop_back();
+  EXPECT_EQ(v.back(), 2);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(SmallVector, EraseAtPreservesOrder) {
+  SmallVector<int, 8> v{10, 20, 30, 40};
+  v.eraseAt(1);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 10);
+  EXPECT_EQ(v[1], 30);
+  EXPECT_EQ(v[2], 40);
+}
+
+TEST(SmallVector, EraseAtUnorderedSwapsLast) {
+  SmallVector<int, 8> v{10, 20, 30, 40};
+  v.eraseAtUnordered(0);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 40);
+}
+
+TEST(SmallVector, ClearKeepsCapacity) {
+  SmallVector<int, 2> v{1, 2, 3, 4};
+  const auto cap = v.capacity();
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), cap);
+}
+
+TEST(SmallVector, CopyConstructDeepCopies) {
+  SmallVector<std::string, 2> a{"alpha", "beta", "gamma"};
+  SmallVector<std::string, 2> b(a);
+  b[0] = "changed";
+  EXPECT_EQ(a[0], "alpha");
+  EXPECT_EQ(b[0], "changed");
+  EXPECT_EQ(b.size(), 3u);
+}
+
+TEST(SmallVector, CopyAssign) {
+  SmallVector<std::string, 2> a{"x", "y"};
+  SmallVector<std::string, 2> b{"1", "2", "3", "4"};
+  b = a;
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[1], "y");
+}
+
+TEST(SmallVector, MoveConstructStealsHeap) {
+  SmallVector<int, 2> a;
+  for (int i = 0; i < 50; ++i) a.push_back(i);
+  const int* data = a.data();
+  SmallVector<int, 2> b(std::move(a));
+  EXPECT_EQ(b.data(), data);  // heap buffer moved, not copied
+  EXPECT_EQ(b.size(), 50u);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(SmallVector, MoveConstructInlineCopiesElements) {
+  SmallVector<std::string, 4> a{"a", "b"};
+  SmallVector<std::string, 4> b(std::move(a));
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0], "a");
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(SmallVector, MoveAssign) {
+  SmallVector<int, 2> a{1, 2, 3, 4, 5};
+  SmallVector<int, 2> b{9};
+  b = std::move(a);
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_EQ(b[4], 5);
+}
+
+TEST(SmallVector, WorksWithMoveOnlyTypes) {
+  SmallVector<std::unique_ptr<int>, 2> v;
+  for (int i = 0; i < 10; ++i) v.push_back(std::make_unique<int>(i));
+  EXPECT_EQ(*v[9], 9);
+  SmallVector<std::unique_ptr<int>, 2> w(std::move(v));
+  EXPECT_EQ(*w[3], 3);
+}
+
+TEST(SmallVector, DestructorRunsElementDestructors) {
+  auto counter = std::make_shared<int>(0);
+  // Move-aware probe: only probes still holding the counter tally their
+  // destruction, so moved-from temporaries and grow() relocations don't
+  // inflate the count.
+  struct Probe {
+    std::shared_ptr<int> c;
+    explicit Probe(std::shared_ptr<int> p) : c(std::move(p)) {}
+    Probe(Probe&& other) noexcept : c(std::move(other.c)) {}
+    Probe& operator=(Probe&& other) noexcept {
+      c = std::move(other.c);
+      return *this;
+    }
+    ~Probe() {
+      if (c) ++*c;
+    }
+  };
+  {
+    SmallVector<Probe, 2> v;
+    for (int i = 0; i < 5; ++i) v.push_back(Probe{counter});
+  }
+  EXPECT_EQ(*counter, 5);
+}
+
+TEST(SmallVector, EqualityComparesElements) {
+  SmallVector<int, 2> a{1, 2, 3};
+  SmallVector<int, 4> bSameType{1, 2, 3};
+  (void)bSameType;  // different N is a different type; compare same-N only
+  SmallVector<int, 2> b{1, 2, 3};
+  SmallVector<int, 2> c{1, 2};
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(SmallVector, IterationMatchesIndexing) {
+  SmallVector<int, 3> v;
+  for (int i = 0; i < 20; ++i) v.push_back(i * i);
+  int idx = 0;
+  for (int x : v) {
+    ASSERT_EQ(x, idx * idx);
+    ++idx;
+  }
+  EXPECT_EQ(idx, 20);
+}
+
+TEST(SmallVector, ReserveAvoidsLaterReallocation) {
+  SmallVector<int, 2> v;
+  v.reserve(64);
+  const int* data = v.data();
+  for (int i = 0; i < 64; ++i) v.push_back(i);
+  EXPECT_EQ(v.data(), data);
+}
+
+}  // namespace
+}  // namespace dima::support

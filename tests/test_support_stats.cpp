@@ -1,0 +1,152 @@
+#include "src/support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dima::support {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(OnlineStats, KnownMoments) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_NEAR(s.sampleVariance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeMatchesPooledStream) {
+  OnlineStats a, b, pooled;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10;
+    a.add(x);
+    pooled.add(x);
+  }
+  for (int i = 50; i < 120; ++i) {
+    const double x = std::cos(i) * 3 + 1;
+    b.add(x);
+    pooled.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), pooled.count());
+  EXPECT_NEAR(a.mean(), pooled.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), pooled.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), pooled.min());
+  EXPECT_DOUBLE_EQ(a.max(), pooled.max());
+}
+
+TEST(OnlineStats, MergeWithEmptySides) {
+  OnlineStats empty, filled;
+  filled.add(1.0);
+  filled.add(3.0);
+  OnlineStats target = filled;
+  target.merge(empty);
+  EXPECT_EQ(target.count(), 2u);
+  OnlineStats target2 = empty;
+  target2.merge(filled);
+  EXPECT_EQ(target2.count(), 2u);
+  EXPECT_DOUBLE_EQ(target2.mean(), 2.0);
+}
+
+TEST(IntHistogram, CountsAndFractions) {
+  IntHistogram h;
+  h.add(0);
+  h.add(0);
+  h.add(1);
+  h.add(-3, 2);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.countOf(0), 2u);
+  EXPECT_EQ(h.countOf(1), 1u);
+  EXPECT_EQ(h.countOf(-3), 2u);
+  EXPECT_EQ(h.countOf(99), 0u);
+  EXPECT_EQ(h.minKey(), -3);
+  EXPECT_EQ(h.maxKey(), 1);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.4);
+  EXPECT_EQ(h.toString(), "-3:2 0:2 1:1");
+}
+
+TEST(IntHistogram, EmptyFractionIsZero) {
+  IntHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+}
+
+TEST(Quantile, MedianAndExtremes) {
+  std::vector<double> v{5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+}
+
+TEST(Quantile, InterpolatesBetweenSamples) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.75), 7.5);
+}
+
+TEST(Quantile, EmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+}
+
+TEST(LinearFit, RecoversExactLine) {
+  LinearFit fit;
+  for (int i = 0; i < 20; ++i) {
+    fit.add(i, 2.5 * i - 4.0);
+  }
+  EXPECT_NEAR(fit.slope(), 2.5, 1e-9);
+  EXPECT_NEAR(fit.intercept(), -4.0, 1e-9);
+  EXPECT_NEAR(fit.r2(), 1.0, 1e-9);
+}
+
+TEST(LinearFit, NoisyLineHasHighR2) {
+  LinearFit fit;
+  for (int i = 0; i < 100; ++i) {
+    const double noise = ((i * 37) % 11 - 5) * 0.1;
+    fit.add(i, 3.0 * i + noise);
+  }
+  EXPECT_NEAR(fit.slope(), 3.0, 0.01);
+  EXPECT_GT(fit.r2(), 0.999);
+}
+
+TEST(LinearFit, DegenerateInputsAreSafe) {
+  LinearFit fit;
+  EXPECT_EQ(fit.slope(), 0.0);
+  EXPECT_EQ(fit.r2(), 0.0);
+  fit.add(1.0, 2.0);
+  EXPECT_EQ(fit.slope(), 0.0);  // one point: undefined → 0
+  fit.add(1.0, 5.0);            // zero x-variance
+  EXPECT_EQ(fit.slope(), 0.0);
+  EXPECT_EQ(fit.r2(), 0.0);
+}
+
+TEST(LinearFit, UncorrelatedDataHasLowR2) {
+  LinearFit fit;
+  const double ys[] = {1, -1, 1, -1, 1, -1, 1, -1};
+  for (int i = 0; i < 8; ++i) fit.add(i, ys[i]);
+  EXPECT_LT(fit.r2(), 0.2);
+}
+
+}  // namespace
+}  // namespace dima::support

@@ -1,0 +1,85 @@
+#include "src/support/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dima::support {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.addRow({"alpha", "1"});
+  t.addRowOf("b", 22);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  // Header rule present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TextTable, FormatTrimsTrailingZeros) {
+  EXPECT_EQ(TextTable::format(2.5), "2.5");
+  EXPECT_EQ(TextTable::format(2.0), "2.0");
+  EXPECT_EQ(TextTable::format(2.125), "2.125");
+  EXPECT_EQ(TextTable::format(std::string("str")), "str");
+  EXPECT_EQ(TextTable::format(7), "7");
+}
+
+TEST(TextTable, ColumnsStayAlignedWithWideCells) {
+  TextTable t({"a", "b"});
+  t.addRow({"very-long-cell-content", "x"});
+  t.addRow({"s", "y"});
+  const std::string out = t.render();
+  // "x" and "y" must land in the same column.
+  const auto lineWithX = out.find("very-long-cell-content");
+  const auto lineWithS = out.find("\ns ");
+  ASSERT_NE(lineWithX, std::string::npos);
+  ASSERT_NE(lineWithS, std::string::npos);
+}
+
+TEST(AsciiPlot, RendersPointsAndLegend) {
+  AsciiPlot plot("test plot", "xs", "ys");
+  PlotSeries s;
+  s.name = "series-one";
+  s.glyph = 'o';
+  s.x = {0, 1, 2, 3};
+  s.y = {0, 10, 20, 30};
+  plot.add(s);
+  const std::string out = plot.render();
+  EXPECT_NE(out.find("test plot"), std::string::npos);
+  EXPECT_NE(out.find("series-one"), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+  EXPECT_NE(out.find("x: xs"), std::string::npos);
+}
+
+TEST(AsciiPlot, GuideLineAppears) {
+  AsciiPlot plot("guides", "x", "y");
+  PlotSeries s;
+  s.name = "pts";
+  s.x = {0, 10};
+  s.y = {0, 20};
+  plot.add(s);
+  plot.addGuide("two-x", 2.0, 0.0);
+  const std::string out = plot.render();
+  EXPECT_NE(out.find("two-x"), std::string::npos);
+  EXPECT_NE(out.find('.'), std::string::npos);
+}
+
+TEST(AsciiPlot, DegenerateSinglePointDoesNotCrash) {
+  AsciiPlot plot("one point", "x", "y");
+  PlotSeries s;
+  s.name = "p";
+  s.x = {5};
+  s.y = {5};
+  plot.add(s);
+  EXPECT_FALSE(plot.render().empty());
+}
+
+TEST(AsciiPlot, EmptySeriesListRenders) {
+  AsciiPlot plot("empty", "x", "y");
+  EXPECT_FALSE(plot.render().empty());
+}
+
+}  // namespace
+}  // namespace dima::support

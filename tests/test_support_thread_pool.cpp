@@ -1,0 +1,69 @@
+#include "src/support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace dima::support {
+namespace {
+
+TEST(ThreadPool, SingleWorkerDegradesToLoop) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.workerCount(), 1u);
+  std::vector<int> hits(100, 0);
+  pool.forEach(100, [&](std::size_t i) { hits[i] = 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 100);
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 10'000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.forEach(kCount, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ZeroCountIsNoOp) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.forEach(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, CountSmallerThanWorkers) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.forEach(3, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SequentialJobsReuseWorkers) {
+  ThreadPool pool(3);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.forEach(64, [&](std::size_t i) {
+      total.fetch_add(static_cast<long>(i));
+    });
+  }
+  EXPECT_EQ(total.load(), 50L * (63 * 64 / 2));
+}
+
+TEST(ThreadPool, ForEachIsABarrier) {
+  // After forEach returns, all side effects must be visible serially.
+  ThreadPool pool(4);
+  std::vector<int> data(1000, 0);
+  pool.forEach(1000, [&](std::size_t i) { data[i] = static_cast<int>(i); });
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(data[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPool, DefaultWorkerCountPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.workerCount(), 1u);
+}
+
+}  // namespace
+}  // namespace dima::support

@@ -1,0 +1,12 @@
+/// \file dimacol.cpp
+/// The `dimacol` command-line tool: run, compare and validate every
+/// algorithm in the library from the shell. See `dimacol help`.
+
+#include <iostream>
+
+#include "src/cli/commands.hpp"
+
+int main(int argc, char** argv) {
+  dima::cli::Args args(argc, argv);
+  return dima::cli::runCommand(args, std::cout, std::cerr);
+}

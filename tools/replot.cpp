@@ -1,0 +1,30 @@
+/// \file replot.cpp
+/// Re-renders a figure bench's raw CSV as the ASCII figure:
+///   $ ./replot fig3_records.csv
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "src/experiments/replot.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: replot <figN_records.csv> [title]\n";
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::cerr << "error: cannot read '" << argv[1] << "'\n";
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const dima::exp::ReplotResult result = dima::exp::replotFigureCsv(
+      buffer.str(), argc > 2 ? argv[2] : argv[1]);
+  if (!result.ok) {
+    std::cerr << "error: " << result.error << '\n';
+    return 1;
+  }
+  std::cout << result.plot << result.rows << " runs plotted\n";
+  return 0;
+}
