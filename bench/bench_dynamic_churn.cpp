@@ -1,0 +1,154 @@
+/// \file bench_dynamic_churn.cpp
+/// DYNAMIC (beyond the paper): the paper's target application — channel
+/// assignment under node mobility — is a moving target, yet its evaluation
+/// colors static graphs. This bench measures what the dynamic subsystem
+/// buys: incremental frontier repair vs from-scratch recoloring on an ER
+/// graph under sustained topology churn.
+///
+/// The work proxy is `automaton cycles × participating vertices`: a full
+/// recolor drives all n nodes for its whole run, while the incremental
+/// repair drives only the dirty frontier (endpoints of inserted/evicted
+/// edges). The acceptance target is ≥5× less work per batch at 1% churn on
+/// the n=10000, Δ≈16 configuration; the table sweeps churn rates to show
+/// where the advantage erodes.
+///
+/// The google-benchmark section times one batch end-to-end (draw + apply +
+/// repair) at several churn rates so the wall-clock story is visible next
+/// to the cycle accounting.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <set>
+
+#include "src/dynamic/churn.hpp"
+#include "src/dynamic/incremental.hpp"
+#include "src/graph/generators.hpp"
+#include "src/support/stats.hpp"
+#include "src/support/table.hpp"
+
+namespace {
+
+using namespace dima;
+
+dynamic::DynamicGraph makeOverlay(std::size_t n, double avgDeg,
+                                  std::uint64_t seed) {
+  support::Rng rng(seed);
+  return dynamic::DynamicGraph(graph::erdosRenyiAvgDegree(n, avgDeg, rng));
+}
+
+void BM_ChurnBatchIncremental(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const double rate = static_cast<double>(state.range(1)) / 1000.0;
+  dynamic::DynamicGraph g = makeOverlay(n, 8.0, 5);
+  dynamic::IncrementalRecolorer recolorer(g, {.seed = 2});
+  recolorer.repair();
+  dynamic::EventStream stream({.seed = 11, .rate = rate});
+  for (auto _ : state) {
+    recolorer.applyBatch(stream.nextBatch(g));
+    const dynamic::RepairStats stats = recolorer.repair();
+    benchmark::DoNotOptimize(stats.cycles);
+  }
+}
+BENCHMARK(BM_ChurnBatchIncremental)
+    ->Args({2000, 10})   // 1% churn per batch
+    ->Args({2000, 50})   // 5%
+    ->Args({2000, 200})  // 20%
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ChurnBatchFullRecolor(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  dynamic::DynamicGraph g = makeOverlay(n, 8.0, 5);
+  dynamic::EventStream stream({.seed = 11, .rate = 0.01});
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    stream.nextBatch(g);
+    benchmark::DoNotOptimize(
+        dynamic::fullRecolor(g, {.seed = seed++}).colors.data());
+  }
+}
+BENCHMARK(BM_ChurnBatchFullRecolor)->Arg(2000)->Unit(benchmark::kMicrosecond);
+
+/// Full-scale run of the acceptance configuration: ER n=10000 with average
+/// degree 16, a dozen batches per churn rate, every batch validated.
+void runChurnTable() {
+  constexpr std::size_t kNodes = 10000;
+  constexpr double kAvgDegree = 16.0;
+  constexpr int kBatches = 12;
+
+  std::printf("\n== DYNAMIC: incremental frontier repair vs full recolor "
+              "(ER n=%zu, avg degree %.0f, %d batches per rate) ==\n\n",
+              kNodes, kAvgDegree, kBatches);
+  support::TextTable table({"churn/batch", "mean frontier", "mean cycles",
+                            "inc work", "full work", "advantage", "invalid"});
+
+  bool onePercentMeetsTarget = false;
+  double onePercentAdvantage = 0.0;
+  for (const double rate : {0.001, 0.01, 0.05, 0.20}) {
+    dynamic::DynamicGraph g = makeOverlay(kNodes, kAvgDegree, 0xd1a);
+    dynamic::IncrementalRecolorer recolorer(g, {.seed = 3});
+    recolorer.repair();
+    dynamic::EventStream stream(
+        {.seed = support::mix64(0xc4, static_cast<std::uint64_t>(rate * 1e4)),
+         .rate = rate});
+
+    support::OnlineStats frontier, cycles;
+    double incWork = 0.0;
+    double fullWork = 0.0;
+    std::size_t invalid = 0;
+    for (int batch = 0; batch < kBatches; ++batch) {
+      recolorer.applyBatch(stream.nextBatch(g));
+      const dynamic::RepairStats stats = recolorer.repair();
+      if (!stats.converged ||
+          !dynamic::verifyDynamicColoring(g, recolorer.colors())) {
+        ++invalid;
+      }
+      frontier.add(static_cast<double>(stats.frontierVertices));
+      cycles.add(static_cast<double>(stats.cycles));
+      incWork += static_cast<double>(stats.activeWork());
+      // From-scratch comparator on the same post-batch topology; its work
+      // proxy is cycles × n because every node runs for the whole pass.
+      const dynamic::FullRecolorResult full =
+          dynamic::fullRecolor(g, {.seed = 17 + static_cast<std::uint64_t>(
+                                                    batch)});
+      if (!full.converged ||
+          !dynamic::verifyDynamicColoring(g, full.colors)) {
+        ++invalid;
+      }
+      fullWork +=
+          static_cast<double>(full.cycles) * static_cast<double>(kNodes);
+    }
+
+    const double advantage = incWork > 0.0 ? fullWork / incWork : 0.0;
+    if (rate == 0.01) {
+      onePercentMeetsTarget = advantage >= 5.0 && invalid == 0;
+      onePercentAdvantage = advantage;
+    }
+    table.addRowOf(support::TextTable::format(rate * 100.0) + "%",
+                   support::TextTable::format(frontier.mean()),
+                   support::TextTable::format(cycles.mean()),
+                   support::TextTable::format(incWork),
+                   support::TextTable::format(fullWork),
+                   support::TextTable::format(advantage) + "x", invalid);
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "reading: work = automaton cycles x participating vertices, summed "
+      "over\nthe batches. At 1%% churn the incremental repair touches only "
+      "the dirty\nfrontier, so the advantage target is >= 5x: %.1fx "
+      "measured — %s.\nHigher churn rates widen the frontier until repair "
+      "approaches a full\nrecolor, which is the expected crossover.\n",
+      onePercentAdvantage,
+      onePercentMeetsTarget ? "MET" : "NOT MET");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  runChurnTable();
+  return 0;
+}

@@ -16,11 +16,14 @@
 #include "src/coloring/strong_madec.hpp"
 #include "src/coloring/validate.hpp"
 #include "src/coloring/vertex_coloring.hpp"
+#include "src/dynamic/churn.hpp"
+#include "src/dynamic/incremental.hpp"
 #include "src/experiments/figures.hpp"
 #include "src/experiments/profile.hpp"
 #include "src/graph/generators.hpp"
 #include "src/graph/io.hpp"
 #include "src/graph/metrics.hpp"
+#include "src/support/table.hpp"
 #include "src/support/version.hpp"
 
 namespace dima::cli {
@@ -415,6 +418,65 @@ int cmdAsync(Args& args, std::ostream& out, std::ostream& err) {
   return identical ? 0 : 1;
 }
 
+int cmdChurn(Args& args, std::ostream& out, std::ostream& err) {
+  bool ok = false;
+  const graph::Graph g = makeInputGraph(args, err, &ok);
+  if (!ok) return 1;
+  describeGraph(g, out);
+
+  dynamic::DynamicGraph overlay(g);
+  dynamic::RecolorOptions recolor;
+  recolor.seed = args.getUint("seed", 1);
+  recolor.invitorBias = args.getDouble("bias", 0.5);
+  dynamic::IncrementalRecolorer recolorer(overlay, recolor);
+
+  dynamic::ChurnOptions churn;
+  churn.seed = args.getUint("churn-seed", 0xc4u);
+  churn.opsPerBatch = static_cast<std::size_t>(args.getUint("ops", 0));
+  churn.rate = args.getDouble("rate", 0.01);
+  churn.insertFraction = args.getDouble("insert-frac", 0.5);
+  dynamic::EventStream stream(churn);
+
+  const auto batches = static_cast<std::size_t>(args.getUint("batches", 10));
+
+  // Batch 0 is the initial full coloring (the whole graph is the frontier);
+  // subsequent batches repair only around the churned edges.
+  support::TextTable table({"batch", "+ins", "-del", "evict", "frontier",
+                            "cycles", "work", "colors", "2D-1", "valid"});
+  bool allValid = true;
+  std::size_t failures = 0;
+  for (std::size_t b = 0; b <= batches; ++b) {
+    dynamic::ChurnBatch batch;
+    if (b > 0) {
+      batch = stream.nextBatch(overlay);
+      recolorer.applyBatch(batch);
+    }
+    const dynamic::RepairStats stats = recolorer.repair();
+    const auto palette = coloring::summarizePalette(recolorer.colors());
+    const std::size_t bound =
+        overlay.maxDegree() == 0 ? 0 : 2 * overlay.maxDegree() - 1;
+    const coloring::Verdict verdict =
+        dynamic::verifyDynamicColoring(overlay, recolorer.colors());
+    const bool valid = verdict.valid && stats.converged &&
+                       palette.distinct <= std::max<std::size_t>(bound, 1);
+    if (!valid) {
+      allValid = false;
+      ++failures;
+      if (!verdict.valid) err << "batch " << b << ": " << verdict.reason
+                              << '\n';
+    }
+    table.addRowOf(b, batch.inserts, batch.erases, stats.evictedEdges,
+                   stats.frontierVertices, stats.cycles, stats.activeWork(),
+                   palette.distinct, bound, valid ? "yes" : "NO");
+  }
+  out << table.render();
+  out << "final: n=" << overlay.numVertices() << " m=" << overlay.numEdges()
+      << " max-degree=" << overlay.maxDegree() << '\n';
+  out << "all batches valid: " << (allValid ? "yes" : "NO") << '\n';
+  if (!allValid) err << failures << " batch(es) failed validation\n";
+  return allValid ? 0 : 1;
+}
+
 int cmdValidate(Args& args, std::ostream& out, std::ostream& err) {
   bool ok = false;
   const graph::Graph g = makeInputGraph(args, err, &ok);
@@ -475,6 +537,8 @@ std::string usage() {
          "detection cost (connected graphs)\n"
          "  async     run madec on an async network via a synchronizer "
          "(--synchronizer alpha|beta, --delay-seed)\n"
+         "  churn     incremental recoloring under topology churn "
+         "(--batches, --rate|--ops, --insert-frac, --churn-seed, --seed)\n"
          "  validate  check a coloring file      (--colors <file>, --kind "
          "edge|strong|vertex, --partial)\n"
          "  help      this text\n\n"
@@ -506,6 +570,8 @@ int runCommand(Args& args, std::ostream& out, std::ostream& err) {
     code = cmdProfile(args, out, err);
   } else if (command == "async") {
     code = cmdAsync(args, out, err);
+  } else if (command == "churn") {
+    code = cmdChurn(args, out, err);
   } else if (command == "validate") {
     code = cmdValidate(args, out, err);
   } else if (command == "help" || command.empty()) {

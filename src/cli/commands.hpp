@@ -16,6 +16,8 @@
 ///   mis       maximal independent set (Luby) on the same substrate
 ///   vcolor    distributed (Δ+1) vertex coloring
 ///   figure    regenerate a paper figure (3..6)
+///   churn     incremental recoloring under topology churn (per-batch
+///             repair stats against the dynamic overlay)
 ///   validate  check a coloring file against a graph
 ///   help      usage
 

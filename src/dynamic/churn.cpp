@@ -1,0 +1,70 @@
+#include "src/dynamic/churn.hpp"
+
+#include <algorithm>
+
+namespace dima::dynamic {
+
+namespace {
+
+/// Rejection-sampling budget per insert. A draw fails only when the sampled
+/// pair is a self-loop or an existing edge; on the sparse graphs churn
+/// targets the first try almost always lands.
+constexpr int kInsertTries = 64;
+
+}  // namespace
+
+bool EventStream::drawInsert(DynamicGraph& g, ChurnOp* op) {
+  const std::size_t n = g.numVertices();
+  if (n < 2) return false;
+  for (int attempt = 0; attempt < kInsertTries; ++attempt) {
+    const auto a = static_cast<VertexId>(rng_.index(n));
+    const auto b = static_cast<VertexId>(rng_.index(n));
+    const EdgeId e = g.insertEdge(a, b);
+    if (e == kNoEdge) continue;
+    op->kind = ChurnOp::Kind::Insert;
+    op->u = std::min(a, b);
+    op->v = std::max(a, b);
+    op->edge = e;
+    return true;
+  }
+  return false;
+}
+
+bool EventStream::drawErase(DynamicGraph& g, ChurnOp* op) {
+  if (g.numEdges() == 0) return false;
+  const EdgeId e = g.sampleEdge(rng_);
+  const Edge edge = g.edge(e);
+  g.eraseEdge(e);
+  op->kind = ChurnOp::Kind::Erase;
+  op->u = edge.u;
+  op->v = edge.v;
+  op->edge = e;
+  return true;
+}
+
+ChurnBatch EventStream::nextBatch(DynamicGraph& g) {
+  std::size_t ops = options_.opsPerBatch;
+  if (ops == 0) {
+    const double scaled =
+        options_.rate * static_cast<double>(g.numEdges());
+    ops = std::max<std::size_t>(1, static_cast<std::size_t>(scaled));
+  }
+  ChurnBatch batch;
+  batch.ops.reserve(ops);
+  for (std::size_t i = 0; i < ops; ++i) {
+    ChurnOp op;
+    if (rng_.bernoulli(options_.insertFraction) ? drawInsert(g, &op)
+                                                : drawErase(g, &op)) {
+      batch.ops.push_back(op);
+      if (op.kind == ChurnOp::Kind::Insert) {
+        ++batch.inserts;
+      } else {
+        ++batch.erases;
+      }
+    }
+  }
+  ++batches_;
+  return batch;
+}
+
+}  // namespace dima::dynamic

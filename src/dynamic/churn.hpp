@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file churn.hpp
+/// `EventStream`: a seeded topology-churn workload generator.
+///
+/// Models link churn in an ad-hoc network as batches of edge inserts and
+/// erases applied to a `DynamicGraph`: each batch draws `opsPerBatch`
+/// operations (or `rate` × current edge count when a relative rate is set),
+/// choosing insert vs erase with probability `insertFraction`. Erases pick
+/// a uniform live edge; inserts pick a uniform non-adjacent vertex pair by
+/// rejection sampling (bounded tries, so near-complete graphs degrade to
+/// erase-only batches instead of spinning).
+///
+/// Ops are applied to the overlay *as they are drawn* — later ops in a
+/// batch see earlier ones — and the batch records exactly what happened
+/// (kind, endpoints, and the stable edge id), which is all the incremental
+/// recolorer needs to keep its per-edge color array in sync. Everything is
+/// driven by one `support::Rng` stream, so a (seed, initial graph) pair
+/// reproduces the whole trace.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/dynamic/dynamic_graph.hpp"
+#include "src/support/rng.hpp"
+
+namespace dima::dynamic {
+
+struct ChurnOptions {
+  std::uint64_t seed = 0xc4u;
+  /// Operations per batch when > 0; otherwise `rate` applies.
+  std::size_t opsPerBatch = 0;
+  /// Fraction of the current live-edge count churned per batch (used when
+  /// opsPerBatch == 0); at least one op per non-empty batch.
+  double rate = 0.01;
+  /// Probability that an op is an insert (the rest are erases).
+  double insertFraction = 0.5;
+};
+
+struct ChurnOp {
+  enum class Kind : std::uint8_t { Insert, Erase };
+  Kind kind = Kind::Insert;
+  VertexId u = kNoVertex;
+  VertexId v = kNoVertex;
+  /// Stable overlay id of the inserted/erased edge.
+  EdgeId edge = kNoEdge;
+};
+
+struct ChurnBatch {
+  std::vector<ChurnOp> ops;
+  std::size_t inserts = 0;
+  std::size_t erases = 0;
+};
+
+class EventStream {
+ public:
+  explicit EventStream(const ChurnOptions& options = {})
+      : options_(options), rng_(options.seed) {}
+
+  const ChurnOptions& options() const { return options_; }
+  std::size_t batchesGenerated() const { return batches_; }
+
+  /// Draws the next batch and applies it to `g` op by op. Ops that cannot
+  /// be satisfied (no live edge to erase, no free pair found within the
+  /// rejection budget) are skipped, so the returned batch may be smaller
+  /// than the configured size.
+  ChurnBatch nextBatch(DynamicGraph& g);
+
+ private:
+  bool drawInsert(DynamicGraph& g, ChurnOp* op);
+  bool drawErase(DynamicGraph& g, ChurnOp* op);
+
+  ChurnOptions options_;
+  support::Rng rng_;
+  std::size_t batches_ = 0;
+};
+
+}  // namespace dima::dynamic

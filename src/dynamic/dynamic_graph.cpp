@@ -1,0 +1,165 @@
+#include "src/dynamic/dynamic_graph.hpp"
+
+#include <algorithm>
+
+namespace dima::dynamic {
+
+DynamicGraph::DynamicGraph(std::size_t n)
+    : adjacency_(n), degHist_(1, n), dirtyMark_(n, 0) {}
+
+DynamicGraph::DynamicGraph(const graph::Graph& base)
+    : DynamicGraph(base.numVertices()) {
+  edges_.assign(base.edges().begin(), base.edges().end());
+  live_.resize(edges_.size());
+  livePos_.resize(edges_.size());
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    live_[e] = e;
+    livePos_[e] = e;
+  }
+  for (VertexId v = 0; v < adjacency_.size(); ++v) {
+    const auto inc = base.incidences(v);
+    adjacency_[v].assign(inc.begin(), inc.end());
+    const std::size_t deg = adjacency_[v].size();
+    --degHist_[0];
+    if (deg >= degHist_.size()) degHist_.resize(deg + 1, 0);
+    ++degHist_[deg];
+    if (deg > maxDegree_) maxDegree_ = deg;
+  }
+}
+
+double DynamicGraph::averageDegree() const {
+  const std::size_t n = numVertices();
+  if (n == 0) return 0.0;
+  return 2.0 * static_cast<double>(numEdges()) / static_cast<double>(n);
+}
+
+EdgeId DynamicGraph::findEdge(VertexId a, VertexId b) const {
+  checkVertex(a);
+  checkVertex(b);
+  if (degree(a) > degree(b)) std::swap(a, b);
+  const auto& inc = adjacency_[a];
+  const auto it = std::lower_bound(
+      inc.begin(), inc.end(), b,
+      [](const Incidence& i, VertexId target) { return i.neighbor < target; });
+  if (it != inc.end() && it->neighbor == b) return it->edge;
+  return kNoEdge;
+}
+
+void DynamicGraph::markDirty(VertexId v) {
+  if (dirtyMark_[v] != 0) return;
+  dirtyMark_[v] = 1;
+  dirty_.push_back(v);
+}
+
+void DynamicGraph::clearDirty() {
+  for (const VertexId v : dirty_) dirtyMark_[v] = 0;
+  dirty_.clear();
+}
+
+void DynamicGraph::bumpDegree(VertexId v) {
+  const std::size_t deg = adjacency_[v].size();  // already grown
+  --degHist_[deg - 1];
+  if (deg >= degHist_.size()) degHist_.resize(deg + 1, 0);
+  ++degHist_[deg];
+  if (deg > maxDegree_) maxDegree_ = deg;
+}
+
+void DynamicGraph::dropDegree(VertexId v) {
+  const std::size_t deg = adjacency_[v].size();  // already shrunk
+  --degHist_[deg + 1];
+  ++degHist_[deg];
+  while (maxDegree_ > 0 && degHist_[maxDegree_] == 0) --maxDegree_;
+}
+
+void DynamicGraph::linkIncidence(VertexId at, VertexId neighbor, EdgeId e) {
+  auto& inc = adjacency_[at];
+  const auto it = std::lower_bound(
+      inc.begin(), inc.end(), neighbor,
+      [](const Incidence& i, VertexId target) { return i.neighbor < target; });
+  inc.insert(it, Incidence{neighbor, e});
+  bumpDegree(at);
+}
+
+void DynamicGraph::unlinkIncidence(VertexId at, VertexId neighbor) {
+  auto& inc = adjacency_[at];
+  const auto it = std::lower_bound(
+      inc.begin(), inc.end(), neighbor,
+      [](const Incidence& i, VertexId target) { return i.neighbor < target; });
+  DIMA_ASSERT(it != inc.end() && it->neighbor == neighbor,
+              "missing incidence " << at << "→" << neighbor);
+  inc.erase(it);
+  dropDegree(at);
+}
+
+EdgeId DynamicGraph::insertEdge(VertexId a, VertexId b) {
+  checkVertex(a);
+  checkVertex(b);
+  if (a == b) return kNoEdge;
+  if (a > b) std::swap(a, b);
+  if (hasEdge(a, b)) return kNoEdge;
+
+  EdgeId e;
+  if (!freeIds_.empty()) {
+    e = freeIds_.back();
+    freeIds_.pop_back();
+    edges_[e] = Edge{a, b};
+  } else {
+    e = static_cast<EdgeId>(edges_.size());
+    edges_.push_back(Edge{a, b});
+    livePos_.push_back(0);
+  }
+  livePos_[e] = static_cast<std::uint32_t>(live_.size());
+  live_.push_back(e);
+  linkIncidence(a, b, e);
+  linkIncidence(b, a, e);
+  markDirty(a);
+  markDirty(b);
+  return e;
+}
+
+void DynamicGraph::retireEdge(EdgeId e) {
+  const Edge edge = edges_[e];
+  unlinkIncidence(edge.u, edge.v);
+  unlinkIncidence(edge.v, edge.u);
+  // Swap-remove from the live list, keeping positions consistent.
+  const std::uint32_t pos = livePos_[e];
+  const EdgeId lastId = live_.back();
+  live_[pos] = lastId;
+  livePos_[lastId] = pos;
+  live_.pop_back();
+  edges_[e] = Edge{};  // u = kNoVertex marks the slot dead
+  freeIds_.push_back(e);
+  markDirty(edge.u);
+  markDirty(edge.v);
+}
+
+EdgeId DynamicGraph::eraseEdge(VertexId a, VertexId b) {
+  const EdgeId e = findEdge(a, b);
+  if (e == kNoEdge) return kNoEdge;
+  retireEdge(e);
+  return e;
+}
+
+bool DynamicGraph::eraseEdge(EdgeId e) {
+  if (!alive(e)) return false;
+  retireEdge(e);
+  return true;
+}
+
+graph::Graph DynamicGraph::snapshot(std::vector<EdgeId>* denseToOverlay) const {
+  std::vector<Edge> edges;
+  edges.reserve(live_.size());
+  if (denseToOverlay != nullptr) {
+    denseToOverlay->clear();
+    denseToOverlay->reserve(live_.size());
+  }
+  // Id order keeps the snapshot deterministic regardless of churn history.
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    if (edges_[e].u == kNoVertex) continue;
+    edges.push_back(edges_[e]);
+    if (denseToOverlay != nullptr) denseToOverlay->push_back(e);
+  }
+  return graph::Graph(numVertices(), std::move(edges));
+}
+
+}  // namespace dima::dynamic

@@ -1,0 +1,141 @@
+#pragma once
+
+/// \file dynamic_graph.hpp
+/// `DynamicGraph`: a mutable edge-set overlay for topology churn.
+///
+/// The paper's target application — channel assignment in ad-hoc wireless
+/// networks — is dynamic: links appear and disappear as nodes move. The
+/// immutable CSR `graph::Graph` is the right representation for a fixed
+/// run, so instead of making it mutable the dynamic subsystem layers a
+/// mutable overlay on top:
+///
+///  * **Stable edge ids.** Every edge keeps its id for its whole lifetime;
+///    ids of deleted edges are recycled for later inserts. Per-edge arrays
+///    (colors, TDMA slots, ...) indexed by id therefore stay valid across
+///    arbitrary churn — `edgeSlots()` bounds the indices ever in use.
+///  * **Per-vertex dirty sets.** Both endpoints of every inserted or erased
+///    edge are recorded until `clearDirty()`; the incremental recoloring
+///    protocol seeds its frontier from exactly these vertices.
+///  * **The `graph::Graph` topology surface.** `numVertices`, `degree`,
+///    `maxDegree`, `incidences`, `hasEdge`, `findEdge` match the immutable
+///    graph, so `net::SyncNetwork<M, DynamicGraph>` runs protocols directly
+///    over the current overlay — no per-batch snapshot on the hot path.
+///
+/// Mutations are O(deg) (sorted adjacency vectors, like the CSR slices they
+/// replace); `maxDegree` is maintained by a degree histogram in O(1)
+/// amortized; uniform live-edge sampling is O(1) via a swap-remove list.
+/// `snapshot()` materializes the current topology as an immutable `Graph`
+/// for validators and from-scratch comparison runs.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+#include "src/support/rng.hpp"
+
+namespace dima::dynamic {
+
+using graph::Edge;
+using graph::EdgeId;
+using graph::Incidence;
+using graph::kNoEdge;
+using graph::kNoVertex;
+using graph::VertexId;
+
+class DynamicGraph {
+ public:
+  /// Starts from `base`: same vertices, same edges with the same ids.
+  explicit DynamicGraph(const graph::Graph& base);
+  /// Empty overlay with `n` isolated vertices.
+  explicit DynamicGraph(std::size_t n);
+
+  // --- graph::Graph topology surface -------------------------------------
+  std::size_t numVertices() const { return adjacency_.size(); }
+  /// Live edges (dead id slots excluded).
+  std::size_t numEdges() const { return live_.size(); }
+  std::size_t degree(VertexId v) const {
+    checkVertex(v);
+    return adjacency_[v].size();
+  }
+  /// Maximum degree Δ of the *current* overlay (maintained incrementally).
+  std::size_t maxDegree() const { return maxDegree_; }
+  double averageDegree() const;
+  /// Incident (neighbor, edge) pairs of `v`, neighbor-sorted. Invalidated
+  /// by mutations touching `v`.
+  std::span<const Incidence> incidences(VertexId v) const {
+    checkVertex(v);
+    return {adjacency_[v].data(), adjacency_[v].size()};
+  }
+  bool hasEdge(VertexId a, VertexId b) const {
+    return findEdge(a, b) != kNoEdge;
+  }
+  /// Edge id joining `a` and `b`, or kNoEdge (binary search, O(log deg)).
+  EdgeId findEdge(VertexId a, VertexId b) const;
+  /// Endpoints of the *live* edge `e`.
+  const Edge& edge(EdgeId e) const {
+    DIMA_REQUIRE(alive(e), "edge id " << e << " is not alive");
+    return edges_[e];
+  }
+
+  // --- overlay-specific surface ------------------------------------------
+  /// One past the largest edge id ever issued: size per-edge arrays to this.
+  std::size_t edgeSlots() const { return edges_.size(); }
+  bool alive(EdgeId e) const {
+    return e < edges_.size() && edges_[e].u != kNoVertex;
+  }
+
+  /// Inserts the undirected edge {a,b}; returns its id (recycled when
+  /// possible), or kNoEdge if the edge already exists or a == b. Marks both
+  /// endpoints dirty on success.
+  EdgeId insertEdge(VertexId a, VertexId b);
+
+  /// Erases the live edge {a,b}; returns its (now recyclable) id, or
+  /// kNoEdge when absent. Marks both endpoints dirty on success.
+  EdgeId eraseEdge(VertexId a, VertexId b);
+  /// Erases by id; false when the id is not alive.
+  bool eraseEdge(EdgeId e);
+
+  /// Uniform live edge (O(1)); precondition: numEdges() > 0.
+  EdgeId sampleEdge(support::Rng& rng) const {
+    DIMA_REQUIRE(!live_.empty(), "sampleEdge on an edgeless overlay");
+    return live_[rng.index(live_.size())];
+  }
+  /// All live edge ids, unspecified order.
+  std::span<const EdgeId> liveEdges() const { return live_; }
+
+  /// Vertices incident to an edge inserted or erased since the last
+  /// `clearDirty()`, in first-dirtied order, without duplicates.
+  std::span<const VertexId> dirtyVertices() const { return dirty_; }
+  bool isDirty(VertexId v) const { return dirtyMark_[v] != 0; }
+  void clearDirty();
+
+  /// Immutable copy of the current topology with dense edge ids `0..m-1`.
+  /// When `denseToOverlay` is non-null it receives, per dense id, the
+  /// overlay id of the same edge (for mapping per-edge arrays).
+  graph::Graph snapshot(std::vector<EdgeId>* denseToOverlay = nullptr) const;
+
+ private:
+  void checkVertex(VertexId v) const {
+    DIMA_REQUIRE(v < adjacency_.size(), "vertex id " << v << " out of range");
+  }
+  void markDirty(VertexId v);
+  void bumpDegree(VertexId v);
+  void dropDegree(VertexId v);
+  void linkIncidence(VertexId at, VertexId neighbor, EdgeId e);
+  void unlinkIncidence(VertexId at, VertexId neighbor);
+  void retireEdge(EdgeId e);
+
+  std::vector<std::vector<Incidence>> adjacency_;  // neighbor-sorted
+  std::vector<Edge> edges_;        // slot per id; dead slots have u=kNoVertex
+  std::vector<EdgeId> freeIds_;    // dead slots available for reuse
+  std::vector<EdgeId> live_;       // live ids, swap-remove order
+  std::vector<std::uint32_t> livePos_;  // live_[livePos_[e]] == e
+  std::vector<std::size_t> degHist_;    // degHist_[d] = #vertices of degree d
+  std::size_t maxDegree_ = 0;
+
+  std::vector<VertexId> dirty_;
+  std::vector<std::uint8_t> dirtyMark_;
+};
+
+}  // namespace dima::dynamic

@@ -1,0 +1,394 @@
+#include "src/dynamic/incremental.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "src/coloring/madec.hpp"
+#include "src/net/engine.hpp"
+#include "src/net/network.hpp"
+#include "src/support/bitset.hpp"
+#include "src/support/rng.hpp"
+#include "src/support/small_vector.hpp"
+
+namespace dima::dynamic {
+
+namespace {
+
+using coloring::Color;
+using coloring::kNoColor;
+using net::NodeId;
+using support::DynamicBitset;
+
+/// Same wire format as MaDEC: invitations and responses carry the target
+/// node and proposed color; exchange announcements carry the adopted color.
+struct RepairMessage {
+  enum class Kind : std::uint8_t { Invite, Response, ColorAnnounce };
+  Kind kind = Kind::Invite;
+  NodeId target = kNoVertex;
+  Color color = kNoColor;
+
+  std::uint64_t wireBits() const {
+    return 2 + (target == kNoVertex ? 1 : net::bitWidth(target)) +
+           (color < 0 ? 1 : net::bitWidth(static_cast<std::uint64_t>(color)));
+  }
+};
+
+/// MaDEC (coloring/madec.cpp) restricted to the dirty frontier: vertices
+/// with no uncolored incident edge start done and no-op every hook, so the
+/// automaton runs only where the topology churned. See incremental.hpp for
+/// the correctness and color-bound story.
+class RepairProtocol {
+ public:
+  using Message = RepairMessage;
+
+  RepairProtocol(const DynamicGraph& g, std::vector<Color>& colors,
+                 std::span<const EdgeId> uncolored,
+                 const RecolorOptions& options, std::size_t repairIndex)
+      : g_(&g), colors_(&colors), options_(options) {
+    nodes_.resize(g.numVertices());
+    // Pass 1 — frontier membership from the uncolored edge set.
+    for (const EdgeId e : uncolored) {
+      const Edge edge = g.edge(e);
+      nodes_[edge.u].active = true;
+      nodes_[edge.v].active = true;
+    }
+    // Pass 2 — local state: per-vertex RNG stream (keyed by repair index so
+    // successive batches draw fresh randomness), uncolored incidence list,
+    // exact own used-set from the overlay's surviving colors.
+    const support::SeedSequence seq(
+        support::mix64(options.seed, repairIndex));
+    for (NodeId u = 0; u < nodes_.size(); ++u) {
+      NodeState& s = nodes_[u];
+      if (!s.active) {
+        s.done = true;
+        continue;
+      }
+      ++frontier_;
+      s.rng = seq.stream(u);
+      const auto inc = g.incidences(u);
+      for (std::uint32_t i = 0; i < inc.size(); ++i) {
+        if ((*colors_)[inc[i].edge] == kNoColor) {
+          s.uncolored.push_back(i);
+        } else {
+          s.ownUsed.set(static_cast<std::size_t>((*colors_)[inc[i].edge]));
+        }
+      }
+      DIMA_ASSERT(!s.uncolored.empty(), "frontier vertex with no dirty edge");
+      s.neighborUsed.resize(inc.size());
+    }
+    // Pass 3 — the link-up exchange: a frontier vertex learns the partner's
+    // used-set across each uncolored edge (one message over that link in a
+    // deployment; the partner is on the frontier too, so its set is ready).
+    for (NodeId u = 0; u < nodes_.size(); ++u) {
+      NodeState& s = nodes_[u];
+      if (!s.active) continue;
+      const auto inc = g.incidences(u);
+      for (const std::uint32_t i : s.uncolored) {
+        s.neighborUsed[i] = nodes_[inc[i].neighbor].ownUsed;
+      }
+    }
+  }
+
+  std::size_t frontierVertices() const { return frontier_; }
+
+  int subRounds() const { return 3; }
+
+  void beginCycle(NodeId u) {
+    NodeState& s = nodes_[u];
+    if (!s.active) return;
+    // Scratch is cleared even for just-finished nodes so a final-cycle
+    // announcement is not replayed.
+    s.keptInvites.clear();
+    s.invitee = kNoVertex;
+    s.proposed = kNoColor;
+    s.newColor = kNoColor;
+    if (s.done) return;
+    s.role = s.rng.bernoulli(options_.invitorBias) ? Role::Invite
+                                                   : Role::Listen;
+  }
+
+  void send(NodeId u, int sub, net::SyncNetwork<Message, DynamicGraph>& net) {
+    NodeState& s = nodes_[u];
+    if (!s.active) return;
+    switch (sub) {
+      case 0: {  // I: invite over a random uncolored edge, lowest free color.
+        if (s.done || s.role != Role::Invite) return;
+        const std::uint32_t idx = s.uncolored[s.rng.index(s.uncolored.size())];
+        const Incidence inc = g_->incidences(u)[idx];
+        s.invitee = inc.neighbor;
+        s.proposed = static_cast<Color>(
+            s.ownUsed.firstClearAlsoClearIn(s.neighborUsed[idx]));
+        net.broadcast(u, Message{Message::Kind::Invite, s.invitee,
+                                 s.proposed});
+        break;
+      }
+      case 1: {  // R: accept one kept invitation at random.
+        if (s.done || s.role != Role::Listen || s.keptInvites.empty()) return;
+        const auto& [from, color] =
+            s.keptInvites[s.rng.index(s.keptInvites.size())];
+        net.broadcast(u, Message{Message::Kind::Response, from, color});
+        colorEdgeAt(u, from, color);
+        break;
+      }
+      case 2: {  // E: announce the color adopted this cycle, if any.
+        if (s.newColor == kNoColor) return;
+        net.broadcast(u, Message{Message::Kind::ColorAnnounce, kNoVertex,
+                                 s.newColor});
+        break;
+      }
+      default:
+        DIMA_ASSERT(false, "unexpected sub-round " << sub);
+    }
+  }
+
+  void receive(NodeId u, int sub,
+               std::span<const net::Envelope<Message>> inbox) {
+    NodeState& s = nodes_[u];
+    if (!s.active) return;
+    switch (sub) {
+      case 0: {  // L: keep invitations arriving over my uncolored edges.
+        if (s.done || s.role != Role::Listen) return;
+        for (const auto& env : inbox) {
+          if (env.msg.kind != Message::Kind::Invite || env.msg.target != u) {
+            continue;
+          }
+          // The connecting edge must still be uncolored on my side, and the
+          // proposal fresh — both hold by construction on reliable links
+          // (the invitor knows used(u) exactly); checked defensively.
+          if (uncoloredIndexOf(u, env.from) != kNoIndex &&
+              !s.ownUsed.test(static_cast<std::size_t>(env.msg.color))) {
+            s.keptInvites.push_back({env.from, env.msg.color});
+          }
+        }
+        break;
+      }
+      case 1: {  // W: my invitation echoed back — the pair formed.
+        if (s.done || s.role != Role::Invite || s.invitee == kNoVertex) return;
+        for (const auto& env : inbox) {
+          if (env.msg.kind == Message::Kind::Response &&
+              env.msg.target == u && env.from == s.invitee) {
+            DIMA_ASSERT(env.msg.color == s.proposed,
+                        "response color " << env.msg.color
+                                          << " != proposal " << s.proposed);
+            colorEdgeAt(u, s.invitee, env.msg.color);
+            break;
+          }
+        }
+        break;
+      }
+      case 2: {  // E: fold neighbors' announcements into their used-sets.
+        if (s.done) return;
+        const auto inc = g_->incidences(u);
+        for (const auto& env : inbox) {
+          if (env.msg.kind != Message::Kind::ColorAnnounce) continue;
+          for (std::size_t i = 0; i < inc.size(); ++i) {
+            if (inc[i].neighbor == env.from) {
+              s.neighborUsed[i].set(
+                  static_cast<std::size_t>(env.msg.color));
+              break;
+            }
+          }
+        }
+        break;
+      }
+      default:
+        DIMA_ASSERT(false, "unexpected sub-round " << sub);
+    }
+  }
+
+  void endCycle(NodeId u) {
+    NodeState& s = nodes_[u];
+    if (!s.done && s.uncolored.empty()) s.done = true;
+  }
+
+  bool done(NodeId u) const { return nodes_[u].done; }
+
+ private:
+  enum class Role : std::uint8_t { Invite, Listen };
+  static constexpr std::uint32_t kNoIndex = static_cast<std::uint32_t>(-1);
+
+  struct NodeState {
+    support::Rng rng{0};
+    Role role = Role::Listen;
+    bool active = false;
+    bool done = false;
+    /// Incidence indices (into incidences(u)) of uncolored edges.
+    support::SmallVector<std::uint32_t, 8> uncolored;
+    DynamicBitset ownUsed;                    ///< colors on my edges
+    std::vector<DynamicBitset> neighborUsed;  ///< per incidence index
+    // Per-cycle scratch:
+    support::SmallVector<std::pair<NodeId, Color>, 4> keptInvites;
+    NodeId invitee = kNoVertex;
+    Color proposed = kNoColor;
+    Color newColor = kNoColor;  ///< color adopted this cycle (to announce)
+  };
+
+  /// Position of `partner` in u's uncolored list, or kNoIndex.
+  std::uint32_t uncoloredIndexOf(NodeId u, NodeId partner) const {
+    const NodeState& s = nodes_[u];
+    const auto inc = g_->incidences(u);
+    for (std::size_t k = 0; k < s.uncolored.size(); ++k) {
+      if (inc[s.uncolored[k]].neighbor == partner) {
+        return static_cast<std::uint32_t>(k);
+      }
+    }
+    return kNoIndex;
+  }
+
+  /// Commits {u, partner} from u's side: writes the shared color slot,
+  /// retires the incidence, schedules the announcement.
+  void colorEdgeAt(NodeId u, NodeId partner, Color color) {
+    NodeState& s = nodes_[u];
+    const std::uint32_t k = uncoloredIndexOf(u, partner);
+    DIMA_ASSERT(k != kNoIndex,
+                "node " << u << " has no uncolored edge to " << partner);
+    const EdgeId e = g_->incidences(u)[s.uncolored[k]].edge;
+    DIMA_ASSERT((*colors_)[e] == kNoColor || (*colors_)[e] == color,
+                "edge " << e << " recolored " << (*colors_)[e] << "→"
+                        << color);
+    (*colors_)[e] = color;
+    DIMA_ASSERT(!s.ownUsed.test(static_cast<std::size_t>(color)),
+                "node " << u << " reused color " << color);
+    s.ownUsed.set(static_cast<std::size_t>(color));
+    s.newColor = color;
+    s.uncolored.eraseAtUnordered(k);
+  }
+
+  const DynamicGraph* g_;
+  std::vector<Color>* colors_;
+  RecolorOptions options_;
+  std::vector<NodeState> nodes_;
+  std::size_t frontier_ = 0;
+};
+
+}  // namespace
+
+IncrementalRecolorer::IncrementalRecolorer(DynamicGraph& g,
+                                           const RecolorOptions& options)
+    : g_(&g), options_(options) {
+  DIMA_REQUIRE(options.invitorBias > 0.0 && options.invitorBias < 1.0,
+               "invitor bias must be in (0,1)");
+  colors_.resize(g.edgeSlots(), kNoColor);
+  uncoloredMark_.resize(g.edgeSlots(), 0);
+  for (const EdgeId e : g.liveEdges()) markUncolored(e);
+}
+
+void IncrementalRecolorer::markUncolored(EdgeId e) {
+  if (e >= colors_.size()) {
+    colors_.resize(g_->edgeSlots(), kNoColor);
+    uncoloredMark_.resize(g_->edgeSlots(), 0);
+  }
+  colors_[e] = kNoColor;
+  if (uncoloredMark_[e] == 0) {
+    uncoloredMark_[e] = 1;
+    uncolored_.push_back(e);
+  }
+}
+
+void IncrementalRecolorer::applyBatch(const ChurnBatch& batch) {
+  for (const ChurnOp& op : batch.ops) {
+    if (op.kind == ChurnOp::Kind::Insert) {
+      markUncolored(op.edge);
+    } else if (op.edge < colors_.size()) {
+      // Erase frees the color; the stale queue entry (if the edge was
+      // inserted and erased between repairs) is filtered out by liveness
+      // at repair start.
+      colors_[op.edge] = kNoColor;
+    }
+  }
+}
+
+RepairStats IncrementalRecolorer::repair() {
+  RepairStats stats;
+  stats.repairIndex = repairs_;
+
+  // Budget eviction: deletions can leave an old color above the current
+  // degrees' budget; such edges rejoin the frontier. Only edges incident
+  // to dirty vertices can violate (a violation needs a degree to shrink).
+  for (const VertexId v : g_->dirtyVertices()) {
+    for (const Incidence& inc : g_->incidences(v)) {
+      const Color c = colors_[inc.edge];
+      if (c == kNoColor) continue;
+      const std::size_t budget =
+          g_->degree(v) + g_->degree(inc.neighbor) - 2;
+      if (static_cast<std::size_t>(c) > budget) {
+        markUncolored(inc.edge);
+        ++stats.evictedEdges;
+      }
+    }
+  }
+
+  // Live uncolored edges = this repair's work list; stale entries (erased
+  // since they were queued) drop out here, and their marks are cleared so
+  // recycled ids start clean.
+  stats.recolored.reserve(uncolored_.size());
+  for (const EdgeId e : uncolored_) {
+    uncoloredMark_[e] = 0;
+    if (g_->alive(e) && colors_[e] == kNoColor) stats.recolored.push_back(e);
+  }
+  uncolored_.clear();
+  stats.insertedEdges = stats.recolored.size() - stats.evictedEdges;
+
+  if (stats.recolored.empty()) {
+    stats.converged = true;
+    g_->clearDirty();
+    ++repairs_;
+    return stats;
+  }
+
+  RepairProtocol proto(*g_, colors_, stats.recolored, options_, repairs_);
+  net::SyncNetwork<RepairMessage, DynamicGraph> net(*g_);
+  net::EngineOptions engineOptions;
+  engineOptions.maxCycles = options_.maxCycles;
+  engineOptions.pool = options_.pool;
+  const net::EngineResult run = runSyncProtocol(proto, net, engineOptions);
+
+  stats.frontierVertices = proto.frontierVertices();
+  stats.cycles = run.cycles;
+  stats.converged = run.converged;
+  if (!run.converged) {
+    // Possible only at the round cap; requeue what is still uncolored.
+    for (const EdgeId e : stats.recolored) {
+      if (colors_[e] == kNoColor) markUncolored(e);
+    }
+  }
+  g_->clearDirty();
+  ++repairs_;
+  return stats;
+}
+
+coloring::Verdict verifyDynamicColoring(
+    const DynamicGraph& g, const std::vector<coloring::Color>& colors) {
+  std::vector<EdgeId> denseToOverlay;
+  const graph::Graph snap = g.snapshot(&denseToOverlay);
+  std::vector<Color> dense(denseToOverlay.size(), kNoColor);
+  for (std::size_t i = 0; i < denseToOverlay.size(); ++i) {
+    if (denseToOverlay[i] < colors.size()) {
+      dense[i] = colors[denseToOverlay[i]];
+    }
+  }
+  return coloring::verifyEdgeColoring(snap, dense);
+}
+
+FullRecolorResult fullRecolor(const DynamicGraph& g,
+                              const RecolorOptions& options) {
+  std::vector<EdgeId> denseToOverlay;
+  const graph::Graph snap = g.snapshot(&denseToOverlay);
+  coloring::MadecOptions madec;
+  madec.seed = options.seed;
+  madec.invitorBias = options.invitorBias;
+  madec.maxCycles = options.maxCycles;
+  madec.pool = options.pool;
+  const coloring::EdgeColoringResult run = coloring::colorEdgesMadec(snap,
+                                                                    madec);
+  FullRecolorResult result;
+  result.cycles = run.metrics.computationRounds;
+  result.converged = run.metrics.converged;
+  result.colors.resize(g.edgeSlots(), kNoColor);
+  for (std::size_t i = 0; i < denseToOverlay.size(); ++i) {
+    result.colors[denseToOverlay[i]] = run.colors[i];
+  }
+  return result;
+}
+
+}  // namespace dima::dynamic

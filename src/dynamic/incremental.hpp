@@ -1,0 +1,134 @@
+#pragma once
+
+/// \file incremental.hpp
+/// Incremental edge recoloring under topology churn.
+///
+/// `IncrementalRecolorer` keeps a proper `≤ 2Δ−1` edge coloring of a
+/// `DynamicGraph` alive across insert/erase batches by running the paper's
+/// Fig. 1 automaton only on the *dirty frontier* — the vertices incident to
+/// uncolored edges — instead of recoloring the whole graph:
+///
+///  * **Erase** never breaks properness; it only frees the edge's color at
+///    both endpoints (their used-sets shrink).
+///  * **Insert** leaves the new edge uncolored; both endpoints join the
+///    frontier.
+///  * **Budget eviction** restores the current-topology color bound: every
+///    colored edge must satisfy `color(e) ≤ deg(u) + deg(v) − 2` (the
+///    MaDEC selection rule guarantees this at assignment time, see below).
+///    Deletions can shrink degrees under an old color; such edges are
+///    uncolored and rejoin the frontier. Eviction checks touch only edges
+///    incident to dirty vertices, so repair work stays local to the 1-hop
+///    neighborhood of the churn.
+///
+/// The repair protocol is MaDEC verbatim (invite over a random uncolored
+/// edge with the lowest color free at both endpoints; listeners accept one
+/// invitation; both sides commit and announce) with two dynamic-specific
+/// twists, both one-hop local:
+///  * non-frontier vertices start in state D and never act — the engine
+///    still drives all n nodes, but only frontier vertices participate, and
+///    the per-batch work proxy is `cycles × frontierVertices`;
+///  * a frontier vertex initializes its partner's used-set from the overlay
+///    state (the "link-up exchange": when a link comes up, its endpoints
+///    trade used-color lists — one message over the new link) instead of
+///    from the empty history a from-scratch run starts with.
+///
+/// Color-bound argument (the `≤ 2Δ−1` invariant): a proposal for edge
+/// {u,v} is the lowest color outside used(u) ∪ used(v); since {u,v} itself
+/// is uncolored, |used(u)| ≤ deg(u)−1 and |used(v)| ≤ deg(v)−1, so the
+/// proposal is ≤ deg(u)+deg(v)−2 ≤ 2Δ−2. Eviction re-establishes exactly
+/// this per-edge inequality after degree-shrinking deletions, hence after
+/// every converged repair the palette is within [0, 2Δ−2]: at most 2Δ−1
+/// colors for the *current* Δ. Properness is Proposition 2 unchanged: each
+/// vertex commits at most one edge per cycle, used-sets are exact at cycle
+/// start (initial exchange + per-cycle announcements), so same-cycle
+/// commits are vertex-disjoint and every proposal avoids both endpoints'
+/// full used-sets — including colors inherited from previous batches.
+/// Edges colored at repair start are never rewritten: only inserted or
+/// evicted edges change color (tested property).
+
+#include <cstdint>
+#include <vector>
+
+#include "src/coloring/color.hpp"
+#include "src/coloring/validate.hpp"
+#include "src/dynamic/churn.hpp"
+#include "src/dynamic/dynamic_graph.hpp"
+#include "src/support/thread_pool.hpp"
+
+namespace dima::dynamic {
+
+struct RecolorOptions {
+  /// Master seed; per-(repair, node) streams are derived from it, so
+  /// successive repairs use fresh randomness deterministically.
+  std::uint64_t seed = 0x1edc02ULL;
+  /// Invitor-role probability of the automaton's C state.
+  double invitorBias = 0.5;
+  /// Engine round cap per repair.
+  std::uint64_t maxCycles = 1u << 20;
+  /// Optional parallel executor (results identical to serial; tested).
+  support::ThreadPool* pool = nullptr;
+};
+
+/// Cost and outcome accounting of one repair pass.
+struct RepairStats {
+  std::size_t repairIndex = 0;      ///< 0 = initial full coloring
+  std::size_t insertedEdges = 0;    ///< uncolored because newly inserted
+  std::size_t evictedEdges = 0;     ///< uncolored by the budget eviction
+  std::size_t frontierVertices = 0; ///< vertices that participated
+  std::uint64_t cycles = 0;         ///< automaton cycles this repair ran
+  bool converged = false;
+  /// Edge ids recolored this pass (== uncolored set at repair start).
+  std::vector<EdgeId> recolored;
+
+  /// Work proxy comparable across incremental and full runs:
+  /// automaton cycles × participating vertices.
+  std::uint64_t activeWork() const { return cycles * frontierVertices; }
+};
+
+class IncrementalRecolorer {
+ public:
+  /// Binds to `g` (which must outlive the recolorer). All live edges start
+  /// uncolored; the first `repair()` produces the initial coloring (it is
+  /// simply a repair whose frontier is the whole graph).
+  IncrementalRecolorer(DynamicGraph& g, const RecolorOptions& options = {});
+
+  /// Color per overlay edge id (kNoColor for dead or not-yet-repaired
+  /// slots); indexed up to `g.edgeSlots()`.
+  const std::vector<coloring::Color>& colors() const { return colors_; }
+
+  /// Syncs the color array with a churn batch already applied to the graph:
+  /// erased edges lose their color, inserted edges are queued for repair.
+  void applyBatch(const ChurnBatch& batch);
+
+  /// Runs budget eviction plus the frontier automaton until every live
+  /// edge is colored; consumes and clears the graph's dirty set.
+  RepairStats repair();
+
+ private:
+  void markUncolored(EdgeId e);
+
+  DynamicGraph* g_;
+  RecolorOptions options_;
+  std::vector<coloring::Color> colors_;
+  std::vector<EdgeId> uncolored_;          // queued for the next repair
+  std::vector<std::uint8_t> uncoloredMark_;  // per edge slot
+  std::size_t repairs_ = 0;
+};
+
+/// Independent validation of the overlay coloring: snapshots the topology
+/// and runs the static checker (`coloring/validate`) on the mapped colors.
+coloring::Verdict verifyDynamicColoring(
+    const DynamicGraph& g, const std::vector<coloring::Color>& colors);
+
+/// From-scratch comparator: full MaDEC on a snapshot of the current
+/// topology. `colors` come back indexed by *overlay* edge id; `cycles × n`
+/// is the full-recolor work proxy the benches compare against.
+struct FullRecolorResult {
+  std::vector<coloring::Color> colors;
+  std::uint64_t cycles = 0;
+  bool converged = false;
+};
+FullRecolorResult fullRecolor(const DynamicGraph& g,
+                              const RecolorOptions& options = {});
+
+}  // namespace dima::dynamic

@@ -67,9 +67,12 @@ struct EngineResult {
   Counters counters;          ///< network traffic totals
 };
 
-template <class Protocol>
-EngineResult runSyncProtocol(Protocol& proto,
-                             SyncNetwork<typename Protocol::Message>& net,
+/// `Net` is any synchronous substrate with the `SyncNetwork` surface
+/// (`numNodes`, `deliverRound`, `inbox`, `counters`) — in particular
+/// `SyncNetwork` instantiated over any topology type, which is how the
+/// dynamic-graph subsystem runs protocols directly on its mutable overlay.
+template <class Protocol, class Net>
+EngineResult runSyncProtocol(Protocol& proto, Net& net,
                              const EngineOptions& options = {}) {
   const std::size_t n = net.numNodes();
   auto forEachNode = [&](auto&& fn) {
@@ -89,8 +92,13 @@ EngineResult runSyncProtocol(Protocol& proto,
   };
 
   EngineResult result;
+  // `done()` changes only inside the protocol hooks, so one scan after each
+  // round (plus one up front) serves both the loop exit check and the
+  // observer's CycleInfo — the scan is O(n) and used to run twice per round
+  // when an observer was set.
+  std::size_t nodesDone = countDone();
   while (true) {
-    if (countDone() == n) {
+    if (nodesDone == n) {
       result.converged = true;
       break;
     }
@@ -115,8 +123,9 @@ EngineResult runSyncProtocol(Protocol& proto,
     });
     ++result.cycles;
 
+    nodesDone = countDone();
     if (options.observer) {
-      options.observer(CycleInfo{result.cycles - 1, countDone(), n});
+      options.observer(CycleInfo{result.cycles - 1, nodesDone, n});
     }
   }
   result.counters = net.counters();

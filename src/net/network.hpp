@@ -30,18 +30,22 @@
 
 namespace dima::net {
 
-template <class M>
+/// `Topo` is any adjacency structure exposing the `graph::Graph` topology
+/// surface (`numVertices`, `incidences`, `hasEdge`) — the immutable `Graph`
+/// by default, or `dynamic::DynamicGraph` so churn protocols message over
+/// the current overlay without materializing a snapshot per batch.
+template <class M, class Topo = graph::Graph>
 class SyncNetwork {
  public:
   /// The network's links are the edges of `topology`; the graph must outlive
   /// the network.
-  explicit SyncNetwork(const graph::Graph& topology, FaultModel faults = {})
+  explicit SyncNetwork(const Topo& topology, FaultModel faults = {})
       : topo_(&topology),
         faults_(faults),
         staged_(topology.numVertices()),
         inbox_(topology.numVertices()) {}
 
-  const graph::Graph& topology() const { return *topo_; }
+  const Topo& topology() const { return *topo_; }
   std::size_t numNodes() const {
     return static_cast<std::size_t>(topo_->numVertices());
   }
@@ -176,7 +180,7 @@ class SyncNetwork {
     ++counters_.messagesDelivered;
   }
 
-  const graph::Graph* topo_;
+  const Topo* topo_;
   FaultModel faults_;
   std::vector<Staged> staged_;
   std::vector<support::SmallVector<Envelope<M>, 8>> inbox_;

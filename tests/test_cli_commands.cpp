@@ -221,5 +221,15 @@ TEST(Cli, MissingInputFileFails) {
   EXPECT_NE(r.err.find("cannot read"), std::string::npos);
 }
 
+TEST(Cli, ChurnEndToEnd) {
+  const CommandResult r =
+      run({"churn", "--family", "er", "--n", "120", "--deg", "6", "--seed",
+           "3", "--batches", "5", "--rate", "0.05"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("batch"), std::string::npos);
+  EXPECT_NE(r.out.find("frontier"), std::string::npos);
+  EXPECT_NE(r.out.find("all batches valid: yes"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace dima::cli

@@ -1,0 +1,118 @@
+#include "src/dynamic/churn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+#include "src/graph/generators.hpp"
+#include "src/support/rng.hpp"
+
+namespace dima::dynamic {
+namespace {
+
+graph::Graph sampleGraph(std::size_t n, double avgDeg, std::uint64_t seed) {
+  support::Rng rng(seed);
+  return graph::erdosRenyiAvgDegree(n, avgDeg, rng);
+}
+
+std::set<std::pair<VertexId, VertexId>> edgeSet(const DynamicGraph& g) {
+  std::set<std::pair<VertexId, VertexId>> edges;
+  for (const EdgeId e : g.liveEdges()) {
+    const Edge& edge = g.edge(e);
+    edges.insert({std::min(edge.u, edge.v), std::max(edge.u, edge.v)});
+  }
+  return edges;
+}
+
+TEST(EventStream, SameSeedReproducesTheWholeTrace) {
+  const graph::Graph base = sampleGraph(100, 6.0, 17);
+  DynamicGraph g1(base);
+  DynamicGraph g2(base);
+  EventStream s1({.seed = 42, .rate = 0.05});
+  EventStream s2({.seed = 42, .rate = 0.05});
+
+  for (int batch = 0; batch < 8; ++batch) {
+    const ChurnBatch b1 = s1.nextBatch(g1);
+    const ChurnBatch b2 = s2.nextBatch(g2);
+    ASSERT_EQ(b1.ops.size(), b2.ops.size());
+    for (std::size_t i = 0; i < b1.ops.size(); ++i) {
+      EXPECT_EQ(b1.ops[i].kind, b2.ops[i].kind);
+      EXPECT_EQ(b1.ops[i].u, b2.ops[i].u);
+      EXPECT_EQ(b1.ops[i].v, b2.ops[i].v);
+      EXPECT_EQ(b1.ops[i].edge, b2.ops[i].edge);
+    }
+  }
+  EXPECT_EQ(edgeSet(g1), edgeSet(g2));
+  EXPECT_EQ(s1.batchesGenerated(), 8u);
+}
+
+TEST(EventStream, BatchRecordsExactlyWhatWasApplied) {
+  const graph::Graph base = sampleGraph(60, 4.0, 5);
+  DynamicGraph g(base);
+  EventStream stream({.seed = 9, .opsPerBatch = 25});
+  const std::size_t edgesBefore = g.numEdges();
+  const ChurnBatch batch = stream.nextBatch(g);
+
+  EXPECT_EQ(batch.inserts + batch.erases, batch.ops.size());
+  EXPECT_LE(batch.ops.size(), 25u);
+  EXPECT_EQ(g.numEdges(), edgesBefore + batch.inserts - batch.erases);
+  for (const ChurnOp& op : batch.ops) {
+    ASSERT_NE(op.edge, kNoEdge);
+    ASSERT_NE(op.u, op.v);
+    if (op.kind == ChurnOp::Kind::Insert) {
+      // Inserted edges carry the id the overlay assigned; the edge may have
+      // been erased again by a later op in the same batch, so only check
+      // consistency when it is still alive.
+      if (g.alive(op.edge)) {
+        EXPECT_EQ(g.findEdge(op.u, op.v), op.edge);
+      }
+    }
+  }
+}
+
+TEST(EventStream, RateSizesBatchesRelativeToCurrentEdgeCount) {
+  const graph::Graph base = sampleGraph(200, 10.0, 31);
+  DynamicGraph g(base);
+  EventStream stream({.seed = 3, .rate = 0.1});
+  const std::size_t m = g.numEdges();
+  const ChurnBatch batch = stream.nextBatch(g);
+  const auto target = static_cast<std::size_t>(0.1 * static_cast<double>(m));
+  EXPECT_GE(batch.ops.size(), 1u);
+  EXPECT_LE(batch.ops.size(), target + 1);
+}
+
+TEST(EventStream, InsertFractionExtremesAreRespected) {
+  const graph::Graph base = sampleGraph(80, 5.0, 13);
+  {
+    DynamicGraph g(base);
+    EventStream inserts({.seed = 1, .opsPerBatch = 30, .insertFraction = 1.0});
+    const ChurnBatch batch = inserts.nextBatch(g);
+    EXPECT_EQ(batch.erases, 0u);
+    EXPECT_GT(batch.inserts, 0u);
+  }
+  {
+    DynamicGraph g(base);
+    EventStream erases({.seed = 1, .opsPerBatch = 30, .insertFraction = 0.0});
+    const ChurnBatch batch = erases.nextBatch(g);
+    EXPECT_EQ(batch.inserts, 0u);
+    EXPECT_EQ(batch.erases, batch.ops.size());
+    EXPECT_GT(batch.erases, 0u);
+  }
+}
+
+TEST(EventStream, EraseOnlyStreamDrainsToEmptyWithoutSpinning) {
+  DynamicGraph g(6);
+  g.insertEdge(0, 1);
+  g.insertEdge(2, 3);
+  EventStream stream({.seed = 4, .opsPerBatch = 10, .insertFraction = 0.0});
+  const ChurnBatch batch = stream.nextBatch(g);
+  EXPECT_EQ(batch.erases, 2u);  // further erase draws are unsatisfiable
+  EXPECT_EQ(g.numEdges(), 0u);
+  // A batch on the now-empty graph must terminate (all ops skipped).
+  const ChurnBatch empty = stream.nextBatch(g);
+  EXPECT_EQ(empty.ops.size(), 0u);
+}
+
+}  // namespace
+}  // namespace dima::dynamic

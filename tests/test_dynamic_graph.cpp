@@ -1,0 +1,180 @@
+#include "src/dynamic/dynamic_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/graph/generators.hpp"
+#include "src/support/rng.hpp"
+
+namespace dima::dynamic {
+namespace {
+
+graph::Graph sampleGraph(std::size_t n, double avgDeg, std::uint64_t seed) {
+  support::Rng rng(seed);
+  return graph::erdosRenyiAvgDegree(n, avgDeg, rng);
+}
+
+/// Brute-force mirror of the overlay used to cross-check every query.
+std::size_t bruteMaxDegree(const DynamicGraph& g) {
+  std::size_t best = 0;
+  for (VertexId v = 0; v < g.numVertices(); ++v) {
+    best = std::max(best, g.degree(v));
+  }
+  return best;
+}
+
+TEST(DynamicGraph, MirrorsBaseGraphAndKeepsEdgeIds) {
+  const graph::Graph base = sampleGraph(80, 6.0, 11);
+  const DynamicGraph g(base);
+
+  EXPECT_EQ(g.numVertices(), base.numVertices());
+  EXPECT_EQ(g.numEdges(), base.numEdges());
+  EXPECT_EQ(g.edgeSlots(), base.numEdges());
+  EXPECT_EQ(g.maxDegree(), base.maxDegree());
+  for (VertexId v = 0; v < base.numVertices(); ++v) {
+    EXPECT_EQ(g.degree(v), base.degree(v));
+  }
+  for (EdgeId e = 0; e < base.numEdges(); ++e) {
+    ASSERT_TRUE(g.alive(e));
+    EXPECT_EQ(g.edge(e).u, base.edge(e).u);
+    EXPECT_EQ(g.edge(e).v, base.edge(e).v);
+    EXPECT_EQ(g.findEdge(base.edge(e).u, base.edge(e).v), e);
+  }
+  EXPECT_TRUE(g.dirtyVertices().empty());
+}
+
+TEST(DynamicGraph, InsertRejectsDuplicatesAndSelfLoops) {
+  DynamicGraph g(4);
+  const EdgeId e = g.insertEdge(0, 1);
+  ASSERT_NE(e, kNoEdge);
+  EXPECT_EQ(g.insertEdge(1, 0), kNoEdge);  // duplicate, either orientation
+  EXPECT_EQ(g.insertEdge(2, 2), kNoEdge);  // self loop
+  EXPECT_EQ(g.numEdges(), 1u);
+  EXPECT_TRUE(g.hasEdge(0, 1));
+  EXPECT_TRUE(g.hasEdge(1, 0));
+}
+
+TEST(DynamicGraph, EraseRecyclesIdsAndKeepsSlotsStable) {
+  DynamicGraph g(6);
+  const EdgeId a = g.insertEdge(0, 1);
+  const EdgeId b = g.insertEdge(1, 2);
+  const EdgeId c = g.insertEdge(2, 3);
+  ASSERT_EQ(g.edgeSlots(), 3u);
+
+  EXPECT_EQ(g.eraseEdge(1, 2), b);
+  EXPECT_FALSE(g.alive(b));
+  EXPECT_TRUE(g.alive(a));
+  EXPECT_TRUE(g.alive(c));
+  EXPECT_EQ(g.numEdges(), 2u);
+  EXPECT_EQ(g.eraseEdge(1, 2), kNoEdge);  // already gone
+  EXPECT_FALSE(g.eraseEdge(b));           // dead id
+
+  // The freed id is reused; the slot bound does not grow.
+  const EdgeId d = g.insertEdge(4, 5);
+  EXPECT_EQ(d, b);
+  EXPECT_EQ(g.edgeSlots(), 3u);
+  EXPECT_EQ(g.edge(d).u, 4u);
+  EXPECT_EQ(g.edge(d).v, 5u);
+}
+
+TEST(DynamicGraph, DirtyTracksChurnEndpointsWithoutDuplicates) {
+  DynamicGraph g(5);
+  g.insertEdge(0, 1);
+  g.insertEdge(1, 2);
+  g.eraseEdge(0, 1);
+  const auto dirty = g.dirtyVertices();
+  const std::set<VertexId> got(dirty.begin(), dirty.end());
+  EXPECT_EQ(got, (std::set<VertexId>{0, 1, 2}));
+  EXPECT_EQ(dirty.size(), 3u);  // no duplicates despite repeat touches
+  EXPECT_TRUE(g.isDirty(1));
+  EXPECT_FALSE(g.isDirty(4));
+
+  g.clearDirty();
+  EXPECT_TRUE(g.dirtyVertices().empty());
+  EXPECT_FALSE(g.isDirty(1));
+  g.insertEdge(3, 4);
+  EXPECT_EQ(g.dirtyVertices().size(), 2u);
+}
+
+TEST(DynamicGraph, MaxDegreeStaysExactUnderRandomChurn) {
+  const graph::Graph base = sampleGraph(60, 5.0, 23);
+  DynamicGraph g(base);
+  support::Rng rng(99);
+  for (int step = 0; step < 500; ++step) {
+    if (rng.uniform01() < 0.5 && g.numEdges() > 0) {
+      g.eraseEdge(g.sampleEdge(rng));
+    } else {
+      const auto u = static_cast<VertexId>(rng.index(g.numVertices()));
+      const auto v = static_cast<VertexId>(rng.index(g.numVertices()));
+      g.insertEdge(u, v);
+    }
+    ASSERT_EQ(g.maxDegree(), bruteMaxDegree(g)) << "after step " << step;
+  }
+}
+
+TEST(DynamicGraph, SampleEdgeOnlyReturnsLiveEdges) {
+  DynamicGraph g(10);
+  std::vector<EdgeId> ids;
+  for (VertexId v = 1; v < 10; ++v) ids.push_back(g.insertEdge(0, v));
+  for (std::size_t i = 0; i < ids.size(); i += 2) g.eraseEdge(ids[i]);
+
+  support::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const EdgeId e = g.sampleEdge(rng);
+    EXPECT_TRUE(g.alive(e));
+  }
+  EXPECT_EQ(g.liveEdges().size(), g.numEdges());
+  for (const EdgeId e : g.liveEdges()) EXPECT_TRUE(g.alive(e));
+}
+
+TEST(DynamicGraph, SnapshotMatchesOverlayTopology) {
+  const graph::Graph base = sampleGraph(50, 4.0, 3);
+  DynamicGraph g(base);
+  support::Rng rng(5);
+  for (int step = 0; step < 120; ++step) {
+    if (rng.uniform01() < 0.4 && g.numEdges() > 0) {
+      g.eraseEdge(g.sampleEdge(rng));
+    } else {
+      g.insertEdge(static_cast<VertexId>(rng.index(g.numVertices())),
+                   static_cast<VertexId>(rng.index(g.numVertices())));
+    }
+  }
+
+  std::vector<EdgeId> denseToOverlay;
+  const graph::Graph snap = g.snapshot(&denseToOverlay);
+  ASSERT_EQ(snap.numVertices(), g.numVertices());
+  ASSERT_EQ(snap.numEdges(), g.numEdges());
+  ASSERT_EQ(denseToOverlay.size(), snap.numEdges());
+  EXPECT_EQ(snap.maxDegree(), g.maxDegree());
+
+  std::set<std::pair<VertexId, VertexId>> overlayEdges;
+  for (const EdgeId e : g.liveEdges()) {
+    const Edge& edge = g.edge(e);
+    overlayEdges.insert({std::min(edge.u, edge.v), std::max(edge.u, edge.v)});
+  }
+  for (EdgeId dense = 0; dense < snap.numEdges(); ++dense) {
+    const Edge& edge = snap.edge(dense);
+    EXPECT_TRUE(overlayEdges.count(
+        {std::min(edge.u, edge.v), std::max(edge.u, edge.v)}));
+    const EdgeId overlayId = denseToOverlay[dense];
+    ASSERT_TRUE(g.alive(overlayId));
+    EXPECT_EQ(g.findEdge(edge.u, edge.v), overlayId);
+  }
+}
+
+TEST(DynamicGraph, AverageDegreeReflectsLiveEdges) {
+  DynamicGraph g(4);
+  EXPECT_DOUBLE_EQ(g.averageDegree(), 0.0);
+  g.insertEdge(0, 1);
+  g.insertEdge(2, 3);
+  EXPECT_DOUBLE_EQ(g.averageDegree(), 1.0);
+  g.eraseEdge(0, 1);
+  EXPECT_DOUBLE_EQ(g.averageDegree(), 0.5);
+}
+
+}  // namespace
+}  // namespace dima::dynamic

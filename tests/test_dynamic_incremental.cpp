@@ -1,0 +1,202 @@
+#include "src/dynamic/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "src/coloring/color.hpp"
+#include "src/dynamic/churn.hpp"
+#include "src/graph/generators.hpp"
+#include "src/support/rng.hpp"
+#include "src/support/thread_pool.hpp"
+
+namespace dima::dynamic {
+namespace {
+
+using coloring::Color;
+using coloring::kNoColor;
+
+graph::Graph sampleGraph(std::size_t n, double avgDeg, std::uint64_t seed) {
+  support::Rng rng(seed);
+  return graph::erdosRenyiAvgDegree(n, avgDeg, rng);
+}
+
+std::size_t distinctLiveColors(const DynamicGraph& g,
+                               const std::vector<Color>& colors) {
+  std::set<Color> palette;
+  for (const EdgeId e : g.liveEdges()) palette.insert(colors[e]);
+  return palette.size();
+}
+
+void expectProperWithinBound(const DynamicGraph& g,
+                             const std::vector<Color>& colors,
+                             const char* where) {
+  const coloring::Verdict verdict = verifyDynamicColoring(g, colors);
+  EXPECT_TRUE(verdict.valid) << where << ": " << verdict.reason;
+  const std::size_t delta = g.maxDegree();
+  if (delta >= 1) {
+    EXPECT_LE(distinctLiveColors(g, colors), 2 * delta - 1)
+        << where << ": 2D-1 bound violated (D=" << delta << ")";
+  }
+}
+
+TEST(IncrementalRecolor, FirstRepairIsAFullColoring) {
+  const graph::Graph base = sampleGraph(150, 6.0, 19);
+  DynamicGraph g(base);
+  IncrementalRecolorer recolorer(g, {.seed = 7});
+  const RepairStats stats = recolorer.repair();
+
+  ASSERT_TRUE(stats.converged);
+  EXPECT_EQ(stats.repairIndex, 0u);
+  EXPECT_EQ(stats.recolored.size(), g.numEdges());
+  EXPECT_EQ(stats.insertedEdges, g.numEdges());
+  for (const EdgeId e : g.liveEdges()) {
+    EXPECT_NE(recolorer.colors()[e], kNoColor);
+  }
+  expectProperWithinBound(g, recolorer.colors(), "initial repair");
+}
+
+/// The headline property: proper and within the *current* 2Δ−1 bound after
+/// every single churn batch, across several randomized traces.
+TEST(IncrementalRecolor, ProperAndBoundedAfterEveryBatch) {
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const graph::Graph base = sampleGraph(200, 8.0, seed * 101 + 7);
+    DynamicGraph g(base);
+    IncrementalRecolorer recolorer(g, {.seed = seed});
+    ASSERT_TRUE(recolorer.repair().converged);
+
+    EventStream stream({.seed = seed * 31 + 1, .rate = 0.05});
+    for (int batch = 0; batch < 12; ++batch) {
+      const ChurnBatch churn = stream.nextBatch(g);
+      recolorer.applyBatch(churn);
+      const RepairStats stats = recolorer.repair();
+      ASSERT_TRUE(stats.converged)
+          << "seed " << seed << " batch " << batch;
+      expectProperWithinBound(g, recolorer.colors(), "after batch");
+    }
+  }
+}
+
+TEST(IncrementalRecolor, UntouchedEdgesKeepTheirColors) {
+  const graph::Graph base = sampleGraph(180, 7.0, 29);
+  DynamicGraph g(base);
+  IncrementalRecolorer recolorer(g, {.seed = 4});
+  ASSERT_TRUE(recolorer.repair().converged);
+
+  EventStream stream({.seed = 77, .rate = 0.04});
+  for (int batch = 0; batch < 8; ++batch) {
+    const std::vector<Color> before = recolorer.colors();
+    const ChurnBatch churn = stream.nextBatch(g);
+    recolorer.applyBatch(churn);
+    const RepairStats stats = recolorer.repair();
+    ASSERT_TRUE(stats.converged);
+
+    const std::set<EdgeId> touched(stats.recolored.begin(),
+                                   stats.recolored.end());
+    for (const EdgeId e : g.liveEdges()) {
+      if (touched.count(e) == 0 && e < before.size()) {
+        EXPECT_EQ(recolorer.colors()[e], before[e])
+            << "edge " << e << " changed color without being repaired";
+      }
+    }
+    // Every surviving insert of the batch was (re)colored this pass.
+    for (const ChurnOp& op : churn.ops) {
+      if (op.kind == ChurnOp::Kind::Insert && g.alive(op.edge) &&
+          g.findEdge(op.u, op.v) == op.edge) {
+        EXPECT_TRUE(touched.count(op.edge))
+            << "inserted edge " << op.edge << " was not repaired";
+      }
+    }
+  }
+}
+
+TEST(IncrementalRecolor, FrontierStaysLocalUnderLightChurn) {
+  const graph::Graph base = sampleGraph(2000, 8.0, 41);
+  DynamicGraph g(base);
+  IncrementalRecolorer recolorer(g, {.seed = 6});
+  const RepairStats initial = recolorer.repair();
+  ASSERT_TRUE(initial.converged);
+  EXPECT_EQ(initial.frontierVertices, g.numVertices())
+      << "the initial coloring is a whole-graph repair";
+
+  EventStream stream({.seed = 5, .opsPerBatch = 10});
+  const ChurnBatch churn = stream.nextBatch(g);
+  recolorer.applyBatch(churn);
+  const RepairStats stats = recolorer.repair();
+  ASSERT_TRUE(stats.converged);
+  // Only endpoints of uncolored (inserted or evicted) edges participate.
+  EXPECT_LE(stats.frontierVertices, 2 * stats.recolored.size());
+  EXPECT_LT(stats.frontierVertices, g.numVertices() / 10);
+  expectProperWithinBound(g, recolorer.colors(), "after light churn");
+}
+
+TEST(IncrementalRecolor, EvictionRestoresBoundUnderEraseOnlyChurn) {
+  const graph::Graph base = sampleGraph(120, 10.0, 53);
+  DynamicGraph g(base);
+  IncrementalRecolorer recolorer(g, {.seed = 9});
+  ASSERT_TRUE(recolorer.repair().converged);
+
+  EventStream stream({.seed = 8, .rate = 0.2, .insertFraction = 0.0});
+  for (int batch = 0; batch < 10; ++batch) {
+    const ChurnBatch churn = stream.nextBatch(g);
+    ASSERT_EQ(churn.inserts, 0u);
+    recolorer.applyBatch(churn);
+    const RepairStats stats = recolorer.repair();
+    ASSERT_TRUE(stats.converged);
+    EXPECT_EQ(stats.insertedEdges, 0u);
+    EXPECT_EQ(stats.recolored.size(), stats.evictedEdges);
+    expectProperWithinBound(g, recolorer.colors(), "erase-only batch");
+    if (g.numEdges() == 0) break;
+  }
+}
+
+TEST(IncrementalRecolor, SerialAndThreadedRepairsProduceIdenticalColors) {
+  const graph::Graph base = sampleGraph(150, 6.0, 61);
+  support::ThreadPool pool(4);
+
+  DynamicGraph serialGraph(base);
+  DynamicGraph threadedGraph(base);
+  IncrementalRecolorer serial(serialGraph, {.seed = 12});
+  IncrementalRecolorer threaded(threadedGraph, {.seed = 12, .pool = &pool});
+
+  EventStream serialStream({.seed = 33, .rate = 0.05});
+  EventStream threadedStream({.seed = 33, .rate = 0.05});
+  for (int batch = 0; batch < 6; ++batch) {
+    if (batch > 0) {
+      serial.applyBatch(serialStream.nextBatch(serialGraph));
+      threaded.applyBatch(threadedStream.nextBatch(threadedGraph));
+    }
+    const RepairStats a = serial.repair();
+    const RepairStats b = threaded.repair();
+    ASSERT_TRUE(a.converged);
+    ASSERT_TRUE(b.converged);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(serial.colors(), threaded.colors()) << "batch " << batch;
+  }
+}
+
+TEST(IncrementalRecolor, ValidityMatchesFromScratchRecoloring) {
+  const graph::Graph base = sampleGraph(160, 7.0, 71);
+  DynamicGraph g(base);
+  IncrementalRecolorer recolorer(g, {.seed = 15});
+  ASSERT_TRUE(recolorer.repair().converged);
+
+  EventStream stream({.seed = 21, .rate = 0.06});
+  for (int batch = 0; batch < 5; ++batch) {
+    recolorer.applyBatch(stream.nextBatch(g));
+    ASSERT_TRUE(recolorer.repair().converged);
+  }
+
+  // Both the incremental coloring and a from-scratch MaDEC run on the same
+  // final topology must pass the same independent checker with the same
+  // worst-case palette bound.
+  expectProperWithinBound(g, recolorer.colors(), "incremental");
+  const FullRecolorResult full = fullRecolor(g, {.seed = 15});
+  ASSERT_TRUE(full.converged);
+  expectProperWithinBound(g, full.colors, "from scratch");
+}
+
+}  // namespace
+}  // namespace dima::dynamic
