@@ -1,21 +1,320 @@
 /// \file bench_substrate.cpp
 /// SUB (DESIGN.md §4): microbenchmarks of the substrates every experiment
-/// stands on — graph generation throughput, the synchronous network's
-/// per-round overhead, palette (bitset) operations, and the matching
-/// automaton itself. These establish that the figure benches measure the
-/// algorithms, not simulator overhead.
+/// stands on — graph generation throughput, the message substrate's
+/// per-round cost, palette (bitset) operations, and the matching automaton
+/// itself. These establish that the figure benches measure the algorithms,
+/// not simulator overhead.
+///
+/// The substrate section compares the slot-arena `SyncNetwork` against the
+/// pre-arena staging substrate (`LegacyNetwork` below, kept verbatim as the
+/// baseline): every node broadcasts every round at n=10⁵, average degree 16,
+/// with 1 and 8 workers. The legacy design pays a single-threaded
+/// `deliverRound()` scan over all staging buffers between the parallel
+/// phases; the arena delivers at send time and its `deliverRound()` is an
+/// epoch bump. A second pair measures the engine tail: cycles where 90% of
+/// nodes are already done, where the frontier engine does O(active) work
+/// while the legacy loop re-ran hooks and a done-scan over every node.
+///
+/// Besides the console table, the binary writes `BENCH_substrate.json`
+/// (ns/round, ops/s, threads, and the arena-vs-legacy speedups) so the perf
+/// trajectory is tracked across PRs.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "src/automata/discovery.hpp"
 #include "src/graph/generators.hpp"
 #include "src/net/engine.hpp"
 #include "src/net/network.hpp"
 #include "src/support/bitset.hpp"
+#include "src/support/small_vector.hpp"
+#include "src/support/thread_pool.hpp"
 
 namespace {
 
 using namespace dima;
+
+constexpr std::size_t kSubstrateNodes = 100000;
+constexpr double kSubstrateAvgDeg = 16.0;
+constexpr std::size_t kSubstrateThreads = 8;
+
+/// The pre-arena staging substrate, preserved as the comparison baseline:
+/// sends go into per-sender staging buffers and a *serial* `deliverRound()`
+/// moves every staged transmission into per-receiver inbox vectors. Only the
+/// surface the benchmarks touch is kept (broadcast / deliverRound / inbox).
+template <class M>
+class LegacyNetwork {
+ public:
+  explicit LegacyNetwork(const graph::Graph& g)
+      : g_(&g), staged_(g.numVertices()), inbox_(g.numVertices()) {}
+
+  void broadcast(net::NodeId from, const M& m) {
+    Staged& out = staged_[from];
+    out.broadcastSet = true;
+    out.broadcastPayload = m;
+  }
+
+  void deliverRound() {
+    const std::size_t n = g_->numVertices();
+    for (net::NodeId v = 0; v < n; ++v) inbox_[v].clear();
+    for (net::NodeId from = 0; from < n; ++from) {
+      Staged& out = staged_[from];
+      if (!out.broadcastSet) continue;
+      ++broadcasts_;
+      for (const graph::Incidence& inc : g_->incidences(from)) {
+        inbox_[inc.neighbor].push_back(
+            net::Envelope<M>{from, out.broadcastPayload});
+        ++delivered_;
+      }
+      out.broadcastSet = false;
+    }
+  }
+
+  const net::Envelope<M>* inboxData(net::NodeId v) const {
+    return inbox_[v].data();
+  }
+  std::span<const net::Envelope<M>> inbox(net::NodeId v) const {
+    return {inbox_[v].data(), inbox_[v].size()};
+  }
+  std::uint64_t delivered() const { return delivered_; }
+
+ private:
+  struct Staged {
+    bool broadcastSet = false;
+    M broadcastPayload{};
+  };
+  const graph::Graph* g_;
+  std::vector<Staged> staged_;
+  std::vector<support::SmallVector<net::Envelope<M>, 8>> inbox_;
+  std::uint64_t broadcasts_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+struct Word {
+  std::uint64_t w = 0;
+};
+
+graph::Graph substrateGraph() {
+  support::Rng rng(5);
+  return graph::erdosRenyiAvgDegree(kSubstrateNodes, kSubstrateAvgDeg, rng);
+}
+
+/// One iteration = one full broadcast round (send phase on `threads`
+/// workers, then delivery) on the slot arena.
+void BM_SubstrateArenaRound(benchmark::State& state) {
+  const graph::Graph g = substrateGraph();
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  support::ThreadPool pool(threads);
+  net::SyncNetwork<Word> netSim(g);
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    pool.forEach(g.numVertices(), [&](std::size_t v) {
+      netSim.broadcast(static_cast<net::NodeId>(v), Word{round});
+    });
+    netSim.deliverRound();
+    benchmark::DoNotOptimize(netSim.inbox(0).empty());
+    ++round;
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(netSim.counters().messagesDelivered));
+}
+BENCHMARK(BM_SubstrateArenaRound)
+    ->Arg(1)
+    ->Arg(static_cast<int>(kSubstrateThreads))
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Same round on the legacy staging substrate: the send phase parallelizes
+/// identically, but every payload then funnels through the serial
+/// `deliverRound()` scan.
+void BM_SubstrateLegacyRound(benchmark::State& state) {
+  const graph::Graph g = substrateGraph();
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  support::ThreadPool pool(threads);
+  LegacyNetwork<Word> netSim(g);
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    pool.forEach(g.numVertices(), [&](std::size_t v) {
+      netSim.broadcast(static_cast<net::NodeId>(v), Word{round});
+    });
+    netSim.deliverRound();
+    benchmark::DoNotOptimize(netSim.inboxData(0));
+    ++round;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(netSim.delivered()));
+}
+BENCHMARK(BM_SubstrateLegacyRound)
+    ->Arg(1)
+    ->Arg(static_cast<int>(kSubstrateThreads))
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// A *sparse* round — only every `stride`-th node broadcasts — the shape of
+/// the late rounds that dominate an O(Δ)-cycle protocol run once most nodes
+/// are done (stride 10 ≈ the last-10% regime, stride 100 ≈ the final
+/// stragglers). The arena's cost scales with actual traffic (plus an O(1)
+/// epoch bump); the legacy substrate still pays its O(n) staging scan and
+/// O(n) inbox clears no matter how little was sent.
+void BM_SubstrateArenaSparseRound(benchmark::State& state) {
+  const graph::Graph g = substrateGraph();
+  const auto stride = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  support::ThreadPool pool(threads);
+  net::SyncNetwork<Word> netSim(g);
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    pool.forEach(g.numVertices() / stride, [&](std::size_t i) {
+      netSim.broadcast(static_cast<net::NodeId>(i * stride), Word{round});
+    });
+    netSim.deliverRound();
+    benchmark::DoNotOptimize(netSim.inbox(0).empty());
+    ++round;
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(netSim.counters().messagesDelivered));
+}
+BENCHMARK(BM_SubstrateArenaSparseRound)
+    ->Args({10, 1})
+    ->Args({10, static_cast<int>(kSubstrateThreads)})
+    ->Args({100, 1})
+    ->Args({100, static_cast<int>(kSubstrateThreads)})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_SubstrateLegacySparseRound(benchmark::State& state) {
+  const graph::Graph g = substrateGraph();
+  const auto stride = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  support::ThreadPool pool(threads);
+  LegacyNetwork<Word> netSim(g);
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    pool.forEach(g.numVertices() / stride, [&](std::size_t i) {
+      netSim.broadcast(static_cast<net::NodeId>(i * stride), Word{round});
+    });
+    netSim.deliverRound();
+    benchmark::DoNotOptimize(netSim.inboxData(0));
+    ++round;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(netSim.delivered()));
+}
+BENCHMARK(BM_SubstrateLegacySparseRound)
+    ->Args({10, 1})
+    ->Args({10, static_cast<int>(kSubstrateThreads)})
+    ->Args({100, 1})
+    ->Args({100, static_cast<int>(kSubstrateThreads)})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Straggler protocol for the engine-tail benches: 90% of nodes are done
+/// from the start, the rest (one node in ten) broadcast for `kTailCycles`
+/// cycles and fold their inboxes — the last-10%-of-nodes regime every
+/// O(Δ)-cycle run ends in. The frontier engine touches only the stragglers;
+/// the pre-frontier loop re-ran every hook over all n nodes plus a serial
+/// done-scan per cycle.
+struct TailProtocol {
+  using Message = Word;
+  static constexpr int kTailCycles = 10;
+
+  explicit TailProtocol(std::size_t n) { reset(n); }
+
+  void reset(std::size_t n) {
+    remaining.assign(n, 0);
+    heard.assign(n, 0);
+    for (std::size_t u = 0; u + 1 < n; u += 10) {
+      remaining[u + 1] = kTailCycles;
+    }
+  }
+
+  int subRounds() const { return 1; }
+  void beginCycle(net::NodeId) {}
+  template <class Net>
+  void send(net::NodeId u, int, Net& net) {
+    if (remaining[u] > 0) net.broadcast(u, Word{remaining[u]});
+  }
+  // Templated so the same protocol runs on both substrates (the arena's
+  // InboxView and the legacy span-of-envelopes inbox).
+  template <class InboxT>
+  void receive(net::NodeId u, int, InboxT inbox) {
+    for (const auto& env : inbox) heard[u] += env.msg.w;
+  }
+  void endCycle(net::NodeId u) {
+    if (remaining[u] > 0) --remaining[u];
+  }
+  bool done(net::NodeId u) const { return remaining[u] == 0; }
+
+  std::vector<std::uint64_t> remaining;
+  std::vector<std::uint64_t> heard;
+};
+
+/// One iteration = one full straggler run under the frontier engine.
+void BM_EngineTailFrontier(benchmark::State& state) {
+  const graph::Graph g = substrateGraph();
+  support::ThreadPool pool(kSubstrateThreads);
+  net::EngineOptions options;
+  options.pool = &pool;
+  net::SyncNetwork<Word> netSim(g);
+  TailProtocol proto(g.numVertices());
+  for (auto _ : state) {
+    proto.reset(g.numVertices());
+    benchmark::DoNotOptimize(
+        net::runSyncProtocol(proto, netSim, options).cycles);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          TailProtocol::kTailCycles);
+}
+BENCHMARK(BM_EngineTailFrontier)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// The full pre-PR configuration, inlined: the legacy staging substrate with
+/// its serial deliverRound underneath the pre-frontier engine loop, where
+/// every hook runs over all n nodes every cycle and a serial done-scan
+/// closes each cycle.
+void BM_EngineTailFullScan(benchmark::State& state) {
+  const graph::Graph g = substrateGraph();
+  support::ThreadPool pool(kSubstrateThreads);
+  const std::size_t n = g.numVertices();
+  LegacyNetwork<Word> netSim(g);
+  TailProtocol proto(n);
+  for (auto _ : state) {
+    proto.reset(n);
+    auto countDone = [&] {
+      std::size_t done = 0;
+      for (net::NodeId u = 0; u < n; ++u) {
+        if (proto.done(u)) ++done;
+      }
+      return done;
+    };
+    std::size_t nodesDone = countDone();
+    std::uint64_t cycles = 0;
+    while (nodesDone < n) {
+      pool.forEach(n, [&](std::size_t u) {
+        proto.beginCycle(static_cast<net::NodeId>(u));
+      });
+      pool.forEach(n, [&](std::size_t u) {
+        proto.send(static_cast<net::NodeId>(u), 0, netSim);
+      });
+      netSim.deliverRound();
+      pool.forEach(n, [&](std::size_t u) {
+        const auto v = static_cast<net::NodeId>(u);
+        proto.receive(v, 0, netSim.inbox(v));
+      });
+      pool.forEach(n, [&](std::size_t u) {
+        proto.endCycle(static_cast<net::NodeId>(u));
+      });
+      ++cycles;
+      nodesDone = countDone();
+    }
+    benchmark::DoNotOptimize(cycles);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          TailProtocol::kTailCycles);
+}
+BENCHMARK(BM_EngineTailFullScan)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_GenerateErdosRenyi(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -29,41 +328,6 @@ void BM_GenerateErdosRenyi(benchmark::State& state) {
                           static_cast<std::int64_t>(n) * 4);
 }
 BENCHMARK(BM_GenerateErdosRenyi)->Arg(200)->Arg(400)->Arg(1600);
-
-void BM_GenerateWattsStrogatz(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  std::uint64_t seed = 1;
-  for (auto _ : state) {
-    support::Rng rng(seed++);
-    benchmark::DoNotOptimize(
-        graph::wattsStrogatz(n, 8, 0.25, rng).numEdges());
-  }
-}
-BENCHMARK(BM_GenerateWattsStrogatz)->Arg(256)->Arg(1024);
-
-void BM_NetworkBroadcastRound(benchmark::State& state) {
-  // Every node broadcasts every round: the worst-case traffic the coloring
-  // protocols generate. Reports per-round wall time.
-  support::Rng rng(5);
-  const graph::Graph g = graph::erdosRenyiAvgDegree(
-      static_cast<std::size_t>(state.range(0)), 8.0, rng);
-  struct Word {
-    std::uint64_t w = 0;
-  };
-  net::SyncNetwork<Word> netSim(g);
-  std::uint64_t round = 0;
-  for (auto _ : state) {
-    for (net::NodeId v = 0; v < g.numVertices(); ++v) {
-      netSim.broadcast(v, Word{round});
-    }
-    netSim.deliverRound();
-    benchmark::DoNotOptimize(netSim.inbox(0).data());
-    ++round;
-  }
-  state.SetItemsProcessed(
-      static_cast<std::int64_t>(netSim.counters().messagesDelivered));
-}
-BENCHMARK(BM_NetworkBroadcastRound)->Arg(200)->Arg(400)->Arg(1600);
 
 void BM_BitsetFirstClearAlsoClearIn(benchmark::State& state) {
   // The color-selection primitive of Algorithm 1 line 11.
@@ -103,6 +367,121 @@ void BM_RngStreamDraws(benchmark::State& state) {
 }
 BENCHMARK(BM_RngStreamDraws);
 
+/// Console reporter that additionally captures per-benchmark timings so
+/// main() can compute the arena-vs-legacy speedups and write the JSON
+/// artifact.
+class TeeReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;
+    double nsPerIter = 0;
+    double itemsPerSecond = 0;
+  };
+
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& run : report) {
+      if (run.error_occurred || run.iterations == 0) continue;
+      Row row;
+      row.name = run.benchmark_name();
+      row.nsPerIter = run.real_accumulated_time /
+                      static_cast<double>(run.iterations) * 1e9;
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) row.itemsPerSecond = items->second;
+      rows.push_back(row);
+    }
+    ConsoleReporter::ReportRuns(report);
+  }
+
+  std::vector<Row> rows;
+};
+
+double nsFor(const std::vector<TeeReporter::Row>& rows,
+             const std::string& name) {
+  for (const auto& row : rows) {
+    if (row.name == name) return row.nsPerIter;
+  }
+  return 0;
+}
+
+void writeJson(const std::vector<TeeReporter::Row>& rows) {
+  std::FILE* out = std::fopen("BENCH_substrate.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_substrate.json\n");
+    return;
+  }
+  const std::string threadSuffix =
+      "/" + std::to_string(kSubstrateThreads) + "/real_time";
+  const double arena1 =
+      nsFor(rows, "BM_SubstrateArenaRound/1/real_time");
+  const double arena8 = nsFor(rows, "BM_SubstrateArenaRound" + threadSuffix);
+  const double legacy1 =
+      nsFor(rows, "BM_SubstrateLegacyRound/1/real_time");
+  const double legacy8 = nsFor(rows, "BM_SubstrateLegacyRound" + threadSuffix);
+  const double sparseArena1 =
+      nsFor(rows, "BM_SubstrateArenaSparseRound/10/1/real_time");
+  const double sparseArena8 =
+      nsFor(rows, "BM_SubstrateArenaSparseRound/10" + threadSuffix);
+  const double sparseLegacy1 =
+      nsFor(rows, "BM_SubstrateLegacySparseRound/10/1/real_time");
+  const double sparseLegacy8 =
+      nsFor(rows, "BM_SubstrateLegacySparseRound/10" + threadSuffix);
+  const double tailRoundArena1 =
+      nsFor(rows, "BM_SubstrateArenaSparseRound/100/1/real_time");
+  const double tailRoundArena8 =
+      nsFor(rows, "BM_SubstrateArenaSparseRound/100" + threadSuffix);
+  const double tailRoundLegacy1 =
+      nsFor(rows, "BM_SubstrateLegacySparseRound/100/1/real_time");
+  const double tailRoundLegacy8 =
+      nsFor(rows, "BM_SubstrateLegacySparseRound/100" + threadSuffix);
+  const double tailFrontier = nsFor(rows, "BM_EngineTailFrontier/real_time");
+  const double tailFull = nsFor(rows, "BM_EngineTailFullScan/real_time");
+
+  std::fprintf(out, "{\n  \"config\": {\"n\": %zu, \"avg_degree\": %.1f, "
+               "\"threads\": %zu, \"host_cpus\": %u},\n",
+               kSubstrateNodes, kSubstrateAvgDeg, kSubstrateThreads,
+               std::thread::hardware_concurrency());
+  std::fprintf(out, "  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"ns_per_round\": %.1f, "
+                 "\"ops_per_s\": %.1f, \"items_per_s\": %.1f}%s\n",
+                 rows[i].name.c_str(), rows[i].nsPerIter,
+                 rows[i].nsPerIter > 0 ? 1e9 / rows[i].nsPerIter : 0.0,
+                 rows[i].itemsPerSecond, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"substrate_speedup_1t\": %.2f,\n",
+               arena1 > 0 ? legacy1 / arena1 : 0.0);
+  std::fprintf(out, "  \"substrate_speedup_8t\": %.2f,\n",
+               arena8 > 0 ? legacy8 / arena8 : 0.0);
+  std::fprintf(out, "  \"sparse_round_speedup_1t\": %.2f,\n",
+               sparseArena1 > 0 ? sparseLegacy1 / sparseArena1 : 0.0);
+  std::fprintf(out, "  \"sparse_round_speedup_8t\": %.2f,\n",
+               sparseArena8 > 0 ? sparseLegacy8 / sparseArena8 : 0.0);
+  std::fprintf(out, "  \"tail_round_speedup_1t\": %.2f,\n",
+               tailRoundArena1 > 0 ? tailRoundLegacy1 / tailRoundArena1 : 0.0);
+  std::fprintf(out, "  \"tail_round_speedup_8t\": %.2f,\n",
+               tailRoundArena8 > 0 ? tailRoundLegacy8 / tailRoundArena8 : 0.0);
+  std::fprintf(out, "  \"tail_run_speedup_8t\": %.2f\n",
+               tailFrontier > 0 ? tailFull / tailFrontier : 0.0);
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("\nwrote BENCH_substrate.json (dense substrate speedup @%zu "
+              "threads: %.2fx, sparse round: %.2fx, tail round: %.2fx, "
+              "tail run: %.2fx)\n",
+              kSubstrateThreads, arena8 > 0 ? legacy8 / arena8 : 0.0,
+              sparseArena8 > 0 ? sparseLegacy8 / sparseArena8 : 0.0,
+              tailRoundArena8 > 0 ? tailRoundLegacy8 / tailRoundArena8 : 0.0,
+              tailFrontier > 0 ? tailFull / tailFrontier : 0.0);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  TeeReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  writeJson(reporter.rows);
+  return 0;
+}

@@ -70,7 +70,7 @@ void MatchingDiscovery::send(net::NodeId u, int sub,
 }
 
 void MatchingDiscovery::receive(net::NodeId u, int sub,
-                                std::span<const net::Envelope<Message>> inbox) {
+                                net::Inbox<Message> inbox) {
   NodeState& s = nodes_[u];
   switch (sub) {
     case 0: {  // L: keep invitations that name me.
@@ -127,8 +127,15 @@ void MatchingDiscovery::endCycle(net::NodeId u) {
 
 void MatchingDiscovery::finishRoundAccounting() {
   std::size_t pairs = 0;
-  for (const NodeState& s : nodes_) {
-    if (s.matchedThisRound) ++pairs;
+  for (NodeState& s : nodes_) {
+    if (s.matchedThisRound) {
+      ++pairs;
+      // Consume the flag here rather than relying on beginCycle: a node that
+      // matched is done, and the frontier engine stops running its hooks, so
+      // a beginCycle reset would never happen and the pair would be
+      // recounted every later round.
+      s.matchedThisRound = false;
+    }
   }
   stats_.pairsPerRound.push_back(pairs / 2);
   ++round_;

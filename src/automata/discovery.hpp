@@ -87,7 +87,7 @@ class MatchingDiscovery {
   void beginCycle(net::NodeId u);
   void send(net::NodeId u, int sub, net::SyncNetwork<Message>& net);
   void receive(net::NodeId u, int sub,
-               std::span<const net::Envelope<Message>> inbox);
+               net::Inbox<Message> inbox);
   void endCycle(net::NodeId u);
   bool done(net::NodeId u) const { return nodes_[u].done; }
 

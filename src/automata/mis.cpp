@@ -70,7 +70,7 @@ class MisProtocol {
   }
 
   void receive(NodeId u, int sub,
-               std::span<const net::Envelope<Message>> inbox) {
+               net::Inbox<Message> inbox) {
     NodeState& s = nodes_[u];
     switch (sub) {
       case 0: {

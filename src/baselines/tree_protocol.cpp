@@ -55,7 +55,7 @@ class TreeColorProtocol {
   }
 
   void receive(NodeId u, int,
-               std::span<const net::Envelope<Message>> inbox) {
+               net::Inbox<Message> inbox) {
     NodeState& s = nodes_[u];
     for (const auto& env : inbox) {
       // The parent's assignment for my parent edge.

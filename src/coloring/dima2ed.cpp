@@ -50,8 +50,7 @@ class Dima2EdProtocol {
       : d_(&d),
         g_(&d.underlying()),
         options_(options),
-        arcColor_(d.numArcs(), kNoColor),
-        commitCount_(d.numArcs(), 0) {
+        sideColor_(2 * static_cast<std::size_t>(d.numArcs()), kNoColor) {
     const support::SeedSequence seq(options.seed);
     nodes_.resize(d.numVertices());
     for (NodeId u = 0; u < d.numVertices(); ++u) {
@@ -179,7 +178,7 @@ class Dima2EdProtocol {
   }
 
   void receive(NodeId u, int sub,
-               std::span<const net::Envelope<Message>> inbox) {
+               net::Inbox<Message> inbox) {
     NodeState& s = nodes_[u];
     const bool strict = options_.mode == Dima2EdMode::Strict;
     switch (sub) {
@@ -192,10 +191,12 @@ class Dima2EdProtocol {
           if (env.msg.kind != Message::Kind::Invite) continue;
           if (env.msg.target == u) {
             // Reject proposals for arcs already colored on this side (only
-            // reachable under fault injection) and remember the rest.
+            // reachable under fault injection) and remember the rest. (The
+            // commit halves are written in later sub-rounds, so this
+            // sub-round-0 read is barrier-separated from every writer.)
             const std::uint32_t idx = incidenceIndexOf(u, env.from);
             const ArcId arc = d_->findArc(env.from, u);
-            if (!s.inColored[idx] && arcColor_[arc] == kNoColor) {
+            if (!s.inColored[idx] && arcColor(arc) == kNoColor) {
               s.mine.push_back(KeptInvite{env.from, env.msg.color, idx});
               trace(u, net::TraceKind::InviteKept, env.from, env.msg.color);
             }
@@ -287,13 +288,30 @@ class Dima2EdProtocol {
 
   bool done(NodeId u) const { return nodes_[u].done; }
 
-  std::vector<Color> takeColors() { return std::move(arcColor_); }
+  /// Folds the two commit halves of every arc into the output coloring;
+  /// the cross-endpoint agreement check lives here (serial, post-run)
+  /// because during the run the halves are written concurrently.
+  std::vector<Color> takeColors() {
+    std::vector<Color> out(sideColor_.size() / 2, kNoColor);
+    for (ArcId a = 0; a < out.size(); ++a) {
+      const Color origin = sideColor_[2 * a];
+      const Color target = sideColor_[2 * a + 1];
+      DIMA_ASSERT(origin == kNoColor || target == kNoColor || origin == target,
+                  "arc " << a << " committed with two colors " << origin
+                         << "≠" << target);
+      out[a] = origin != kNoColor ? origin : target;
+    }
+    return out;
+  }
 
   /// Arcs only one endpoint committed (possible only under message loss).
   std::vector<ArcId> halfCommittedArcs() const {
     std::vector<ArcId> out;
-    for (ArcId a = 0; a < commitCount_.size(); ++a) {
-      if (commitCount_[a] == 1) out.push_back(a);
+    for (ArcId a = 0; 2 * a < sideColor_.size(); ++a) {
+      if ((sideColor_[2 * a] != kNoColor) !=
+          (sideColor_[2 * a + 1] != kNoColor)) {
+        out.push_back(a);
+      }
     }
     return out;
   }
@@ -362,7 +380,7 @@ class Dima2EdProtocol {
   void commitIncoming(NodeId u, std::uint32_t idx, ArcId arc, Color color) {
     NodeState& s = nodes_[u];
     DIMA_ASSERT(!s.inColored[idx], "incoming arc recolored at node " << u);
-    writeArc(arc, color);
+    writeArc(arc, /*incoming=*/true, color);
     s.inColored[idx] = true;
     DIMA_ASSERT(s.inUncoloredCount > 0, "in-arc underflow at node " << u);
     --s.inUncoloredCount;
@@ -376,7 +394,7 @@ class Dima2EdProtocol {
     NodeState& s = nodes_[u];
     for (std::size_t k = 0; k < s.outUncolored.size(); ++k) {
       if (s.outUncolored[k] == idx) {
-        writeArc(arc, color);
+        writeArc(arc, /*incoming=*/false, color);
         s.outUncolored.eraseAtUnordered(k);
         s.forbidden.set(static_cast<std::size_t>(color));
         s.pendingAnnounce = color;
@@ -388,11 +406,13 @@ class Dima2EdProtocol {
     DIMA_ASSERT(false, "outgoing arc " << arc << " not uncolored at " << u);
   }
 
-  void writeArc(ArcId arc, Color color) {
-    DIMA_ASSERT(arcColor_[arc] == kNoColor || arcColor_[arc] == color,
-                "arc " << arc << " recolored");
-    arcColor_[arc] = color;
-    ++commitCount_[arc];
+  /// Writes one commit half of `arc`: slot 2·arc belongs to the arc's
+  /// origin, 2·arc+1 to its target, so concurrent same-cycle commits from
+  /// the two endpoints never touch the same slot.
+  void writeArc(ArcId arc, bool incoming, Color color) {
+    Color& half = sideColor_[2 * arc + (incoming ? 1 : 0)];
+    DIMA_ASSERT(half == kNoColor, "arc " << arc << " recolored");
+    half = color;
   }
 
   void sendAnnounce(NodeId u, net::SyncNetwork<Message>& net) {
@@ -403,7 +423,7 @@ class Dima2EdProtocol {
   }
 
   void receiveAnnounce(NodeState& s,
-                       std::span<const net::Envelope<Message>> inbox) {
+                       net::Inbox<Message> inbox) {
     for (const auto& env : inbox) {
       if (env.msg.kind == Message::Kind::ColorAnnounce) {
         s.forbidden.set(static_cast<std::size_t>(env.msg.color));
@@ -418,12 +438,21 @@ class Dima2EdProtocol {
     }
   }
 
+  /// Merged view of arc a's two commit halves; kNoColor while uncolored.
+  Color arcColor(ArcId a) const {
+    return sideColor_[2 * a] != kNoColor ? sideColor_[2 * a]
+                                         : sideColor_[2 * a + 1];
+  }
+
   const graph::Digraph* d_;
   const graph::Graph* g_;
   Dima2EdOptions options_;
   std::vector<NodeState> nodes_;
-  std::vector<Color> arcColor_;
-  std::vector<std::uint8_t> commitCount_;
+  /// Per-endpoint commit halves: slot 2a is written only by arc a's origin
+  /// (`commitOutgoing`), slot 2a+1 only by its target (`commitIncoming`),
+  /// so the parallel receive phase has a single writer per slot.
+  /// `takeColors()` merges them after the run.
+  std::vector<Color> sideColor_;
   std::uint64_t cycle_ = 0;
 };
 

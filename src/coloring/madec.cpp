@@ -42,8 +42,7 @@ class MadecProtocol {
   MadecProtocol(const graph::Graph& g, const MadecOptions& options)
       : g_(&g),
         options_(options),
-        edgeColor_(g.numEdges(), kNoColor),
-        commitCount_(g.numEdges(), 0) {
+        sideColor_(2 * static_cast<std::size_t>(g.numEdges()), kNoColor) {
     const support::SeedSequence seq(options.seed);
     nodes_.resize(g.numVertices());
     for (NodeId u = 0; u < g.numVertices(); ++u) {
@@ -116,7 +115,7 @@ class MadecProtocol {
   }
 
   void receive(NodeId u, int sub,
-               std::span<const net::Envelope<Message>> inbox) {
+               net::Inbox<Message> inbox) {
     NodeState& s = nodes_[u];
     switch (sub) {
       case 0: {  // L: keep invitations addressed to me.
@@ -126,11 +125,12 @@ class MadecProtocol {
             // With reliable channels the proposal is fresh by construction
             // (the invitor knows used(u) exactly). Under fault injection an
             // announcement or response may have been lost, so the edge may
-            // already be colored on this side, or the proposed color may
-            // already be in use here; both checks read only state this node
-            // set itself, and both are vacuous in the fault-free model.
+            // already be colored, or the proposed color may already be in
+            // use here; both are vacuous in the fault-free model. (Commit
+            // halves are written in sub-round 1, so this sub-round-0 read is
+            // barrier-separated from every writer.)
             const graph::EdgeId e = g_->findEdge(u, env.from);
-            if (e != graph::kNoEdge && edgeColor_[e] == kNoColor &&
+            if (e != graph::kNoEdge && edgeColor(e) == kNoColor &&
                 !s.ownUsed.test(static_cast<std::size_t>(env.msg.color))) {
               s.keptInvites.push_back({env.from, env.msg.color});
               trace(u, net::TraceKind::InviteKept, env.from, env.msg.color);
@@ -181,13 +181,30 @@ class MadecProtocol {
 
   bool done(NodeId u) const { return nodes_[u].done; }
 
-  std::vector<Color> takeColors() { return std::move(edgeColor_); }
+  /// Folds the two commit halves of every edge into the output coloring;
+  /// the cross-endpoint agreement check lives here (serial, post-run)
+  /// because during the run the halves are written concurrently.
+  std::vector<Color> takeColors() {
+    std::vector<Color> out(sideColor_.size() / 2, kNoColor);
+    for (graph::EdgeId e = 0; e < out.size(); ++e) {
+      const Color lo = sideColor_[2 * e];
+      const Color hi = sideColor_[2 * e + 1];
+      DIMA_ASSERT(lo == kNoColor || hi == kNoColor || lo == hi,
+                  "edge " << e << " committed with two colors " << lo << "≠"
+                          << hi);
+      out[e] = lo != kNoColor ? lo : hi;
+    }
+    return out;
+  }
 
   /// Edges only one endpoint committed (possible only under message loss).
   std::vector<graph::EdgeId> halfCommittedEdges() const {
     std::vector<graph::EdgeId> out;
-    for (graph::EdgeId e = 0; e < commitCount_.size(); ++e) {
-      if (commitCount_[e] == 1) out.push_back(e);
+    for (graph::EdgeId e = 0; 2 * e < sideColor_.size(); ++e) {
+      if ((sideColor_[2 * e] != kNoColor) !=
+          (sideColor_[2 * e + 1] != kNoColor)) {
+        out.push_back(e);
+      }
     }
     return out;
   }
@@ -218,11 +235,10 @@ class MadecProtocol {
       const std::uint32_t idx = s.uncolored[k];
       if (inc[idx].neighbor == partner) {
         const graph::EdgeId e = inc[idx].edge;
-        DIMA_ASSERT(edgeColor_[e] == kNoColor || edgeColor_[e] == color,
-                    "edge " << e << " recolored " << edgeColor_[e] << "→"
-                            << color);
-        edgeColor_[e] = color;
-        ++commitCount_[e];
+        Color& half = sideColor_[2 * e + (u < partner ? 0 : 1)];
+        DIMA_ASSERT(half == kNoColor,
+                    "edge " << e << " recolored at node " << u);
+        half = color;
         DIMA_ASSERT(!s.ownUsed.test(static_cast<std::size_t>(color)),
                     "node " << u << " reused color " << color);
         s.ownUsed.set(static_cast<std::size_t>(color));
@@ -248,11 +264,21 @@ class MadecProtocol {
   void tickCycle() { ++cycle_; }
 
  private:
+  /// Merged view of edge e's two commit halves; kNoColor while uncolored.
+  Color edgeColor(graph::EdgeId e) const {
+    return sideColor_[2 * e] != kNoColor ? sideColor_[2 * e]
+                                         : sideColor_[2 * e + 1];
+  }
+
   const graph::Graph* g_;
   MadecOptions options_;
   std::vector<NodeState> nodes_;
-  std::vector<Color> edgeColor_;
-  std::vector<std::uint8_t> commitCount_;
+  /// Per-endpoint commit halves: slot 2e is written only by the lower-id
+  /// endpoint of edge e, slot 2e+1 only by the higher-id one, so the
+  /// parallel receive phase has a single writer per slot (the pre-arena
+  /// substrate shared one slot between both endpoints — a data race under
+  /// a thread-pool executor). `takeColors()` merges them after the run.
+  std::vector<Color> sideColor_;
   std::uint64_t cycle_ = 0;
 };
 

@@ -50,8 +50,7 @@ class StrongMadecProtocol {
                       const StrongMadecOptions& options)
       : g_(&g),
         options_(options),
-        edgeColor_(g.numEdges(), kNoColor),
-        commitCount_(g.numEdges(), 0) {
+        sideColor_(2 * static_cast<std::size_t>(g.numEdges()), kNoColor) {
     const support::SeedSequence seq(options.seed);
     nodes_.resize(g.numVertices());
     for (NodeId u = 0; u < g.numVertices(); ++u) {
@@ -147,7 +146,7 @@ class StrongMadecProtocol {
   }
 
   void receive(NodeId u, int sub,
-               std::span<const net::Envelope<Message>> inbox) {
+               net::Inbox<Message> inbox) {
     NodeState& s = nodes_[u];
     switch (sub) {
       case 0: {
@@ -157,7 +156,9 @@ class StrongMadecProtocol {
           if (env.msg.target == u) {
             const std::uint32_t idx = incidenceIndexOf(u, env.from);
             const EdgeId e = g_->incidences(u)[idx].edge;
-            if (edgeColor_[e] == kNoColor) {
+            // Commit halves are written in later sub-rounds, so this
+            // sub-round-0 read is barrier-separated from every writer.
+            if (edgeColor(e) == kNoColor) {
               s.mine.push_back(KeptInvite{env.from, env.msg.color, idx});
             }
           } else {
@@ -230,12 +231,29 @@ class StrongMadecProtocol {
 
   bool done(NodeId u) const { return nodes_[u].done; }
 
-  std::vector<Color> takeColors() { return std::move(edgeColor_); }
+  /// Folds the two commit halves of every edge into the output coloring;
+  /// the cross-endpoint agreement check lives here (serial, post-run)
+  /// because during the run the halves are written concurrently.
+  std::vector<Color> takeColors() {
+    std::vector<Color> out(sideColor_.size() / 2, kNoColor);
+    for (EdgeId e = 0; e < out.size(); ++e) {
+      const Color lo = sideColor_[2 * e];
+      const Color hi = sideColor_[2 * e + 1];
+      DIMA_ASSERT(lo == kNoColor || hi == kNoColor || lo == hi,
+                  "edge " << e << " committed with two colors " << lo << "≠"
+                          << hi);
+      out[e] = lo != kNoColor ? lo : hi;
+    }
+    return out;
+  }
 
   std::vector<EdgeId> halfCommittedEdges() const {
     std::vector<EdgeId> out;
-    for (EdgeId e = 0; e < commitCount_.size(); ++e) {
-      if (commitCount_[e] == 1) out.push_back(e);
+    for (EdgeId e = 0; 2 * e < sideColor_.size(); ++e) {
+      if ((sideColor_[2 * e] != kNoColor) !=
+          (sideColor_[2 * e + 1] != kNoColor)) {
+        out.push_back(e);
+      }
     }
     return out;
   }
@@ -293,12 +311,13 @@ class StrongMadecProtocol {
 
   void commitEdge(NodeId u, std::uint32_t idx, EdgeId e, Color color) {
     NodeState& s = nodes_[u];
+    const NodeId partner = g_->incidences(u)[idx].neighbor;
     for (std::size_t k = 0; k < s.uncolored.size(); ++k) {
       if (s.uncolored[k] == idx) {
-        DIMA_ASSERT(edgeColor_[e] == kNoColor || edgeColor_[e] == color,
-                    "edge " << e << " recolored");
-        edgeColor_[e] = color;
-        ++commitCount_[e];
+        Color& half = sideColor_[2 * e + (u < partner ? 0 : 1)];
+        DIMA_ASSERT(half == kNoColor,
+                    "edge " << e << " recolored at node " << u);
+        half = color;
         s.uncolored.eraseAtUnordered(k);
         s.forbidden.set(static_cast<std::size_t>(color));
         s.pendingAnnounce = color;
@@ -308,11 +327,20 @@ class StrongMadecProtocol {
     DIMA_ASSERT(false, "edge " << e << " not uncolored at node " << u);
   }
 
+  /// Merged view of edge e's two commit halves; kNoColor while uncolored.
+  Color edgeColor(EdgeId e) const {
+    return sideColor_[2 * e] != kNoColor ? sideColor_[2 * e]
+                                         : sideColor_[2 * e + 1];
+  }
+
   const graph::Graph* g_;
   StrongMadecOptions options_;
   std::vector<NodeState> nodes_;
-  std::vector<Color> edgeColor_;
-  std::vector<std::uint8_t> commitCount_;
+  /// Per-endpoint commit halves: slot 2e is written only by the lower-id
+  /// endpoint of edge e, slot 2e+1 only by the higher-id one, so the
+  /// parallel receive phase has a single writer per slot. `takeColors()`
+  /// merges them after the run.
+  std::vector<Color> sideColor_;
 };
 
 }  // namespace

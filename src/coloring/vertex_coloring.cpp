@@ -80,7 +80,7 @@ class VertexColoringProtocol {
   }
 
   void receive(NodeId u, int sub,
-               std::span<const net::Envelope<Message>> inbox) {
+               net::Inbox<Message> inbox) {
     NodeState& s = nodes_[u];
     switch (sub) {
       case 0: {

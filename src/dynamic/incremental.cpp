@@ -44,7 +44,10 @@ class RepairProtocol {
   RepairProtocol(const DynamicGraph& g, std::vector<Color>& colors,
                  std::span<const EdgeId> uncolored,
                  const RecolorOptions& options, std::size_t repairIndex)
-      : g_(&g), colors_(&colors), options_(options) {
+      : g_(&g),
+        colors_(&colors),
+        options_(options),
+        sideColor_(2 * colors.size(), kNoColor) {
     nodes_.resize(g.numVertices());
     // Pass 1 — frontier membership from the uncolored edge set.
     for (const EdgeId e : uncolored) {
@@ -90,6 +93,21 @@ class RepairProtocol {
   }
 
   std::size_t frontierVertices() const { return frontier_; }
+
+  /// Folds the per-endpoint commit halves into the shared coloring; called
+  /// once after the engine run, serially (during the run the halves are
+  /// written concurrently by the parallel receive phase).
+  void mergeCommits() {
+    for (EdgeId e = 0; 2 * e < sideColor_.size(); ++e) {
+      const Color lo = sideColor_[2 * e];
+      const Color hi = sideColor_[2 * e + 1];
+      if (lo == kNoColor && hi == kNoColor) continue;
+      DIMA_ASSERT(lo == kNoColor || hi == kNoColor || lo == hi,
+                  "edge " << e << " committed with two colors " << lo << "≠"
+                          << hi);
+      (*colors_)[e] = lo != kNoColor ? lo : hi;
+    }
+  }
 
   int subRounds() const { return 3; }
 
@@ -142,7 +160,7 @@ class RepairProtocol {
   }
 
   void receive(NodeId u, int sub,
-               std::span<const net::Envelope<Message>> inbox) {
+               net::Inbox<Message> inbox) {
     NodeState& s = nodes_[u];
     if (!s.active) return;
     switch (sub) {
@@ -243,10 +261,13 @@ class RepairProtocol {
     DIMA_ASSERT(k != kNoIndex,
                 "node " << u << " has no uncolored edge to " << partner);
     const EdgeId e = g_->incidences(u)[s.uncolored[k]].edge;
-    DIMA_ASSERT((*colors_)[e] == kNoColor || (*colors_)[e] == color,
-                "edge " << e << " recolored " << (*colors_)[e] << "→"
-                        << color);
-    (*colors_)[e] = color;
+    // Each endpoint writes its own commit half (slot 2e for the lower-id
+    // endpoint, 2e+1 for the higher), so concurrent same-cycle commits from
+    // the two endpoints never touch the same slot; `mergeCommits()` folds
+    // the halves into the shared coloring after the engine run.
+    Color& half = sideColor_[2 * e + (u < partner ? 0 : 1)];
+    DIMA_ASSERT(half == kNoColor, "edge " << e << " recolored at " << u);
+    half = color;
     DIMA_ASSERT(!s.ownUsed.test(static_cast<std::size_t>(color)),
                 "node " << u << " reused color " << color);
     s.ownUsed.set(static_cast<std::size_t>(color));
@@ -258,6 +279,8 @@ class RepairProtocol {
   std::vector<Color>* colors_;
   RecolorOptions options_;
   std::vector<NodeState> nodes_;
+  /// Per-endpoint commit halves for this batch (see `colorEdgeAt`).
+  std::vector<Color> sideColor_;
   std::size_t frontier_ = 0;
 };
 
@@ -342,6 +365,7 @@ RepairStats IncrementalRecolorer::repair() {
   engineOptions.maxCycles = options_.maxCycles;
   engineOptions.pool = options_.pool;
   const net::EngineResult run = runSyncProtocol(proto, net, engineOptions);
+  proto.mergeCommits();
 
   stats.frontierVertices = proto.frontierVertices();
   stats.cycles = run.cycles;

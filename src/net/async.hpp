@@ -63,6 +63,12 @@ struct AsyncRunResult {
   std::uint64_t payloadMessages = 0;
   std::uint64_t ackMessages = 0;
   std::uint64_t safeMessages = 0;
+  /// Protocol-level traffic accounting from the collector network. Since the
+  /// arena substrate accounts at send time, the synchronizer path reports
+  /// the same `bitsDelivered`/`maxMessageBits` as the sync engine for
+  /// identical traffic (it used to under-report: drainStaged bypassed bit
+  /// accounting). `commRounds` stays 0 here — pulses play that role.
+  Counters counters;
   std::uint64_t totalMessages() const {
     return payloadMessages + ackMessages + safeMessages;
   }
@@ -129,6 +135,7 @@ class AlphaSynchronizer {
     result.payloadMessages = payloadCount_;
     result.ackMessages = ackCount_;
     result.safeMessages = safeCount_;
+    result.counters = collector_.counters();
     return result;
   }
 
@@ -252,25 +259,27 @@ class AlphaSynchronizer {
       NodeSyncState& s = nodes_[u];
       if (!s.selfSafe || s.neighborsSafe < g_->degree(u)) return;
       // Deliver the pulse's inbox in sender order (the synchronous
-      // engine's order) so protocol behaviour matches the serial executor
-      // exactly.
-      std::vector<Envelope<M>> inbox;
+      // engine's incidence order) so protocol behaviour matches the serial
+      // executor exactly. Buffered envelopes are materialized as live slots
+      // (epoch 1, one copy each) viewed through the same Inbox type the
+      // sync substrate hands out.
+      std::vector<MessageSlot<M>> inbox;
       for (auto it = s.buffered.begin(); it != s.buffered.end();) {
         if (it->first == s.pulse) {
-          inbox.push_back(it->second);
+          inbox.push_back(MessageSlot<M>{1, 1, it->second});
           it = s.buffered.erase(it);
         } else {
           ++it;
         }
       }
       std::sort(inbox.begin(), inbox.end(),
-                [](const Envelope<M>& a, const Envelope<M>& b) {
-                  return a.from < b.from;
+                [](const MessageSlot<M>& a, const MessageSlot<M>& b) {
+                  return a.env.from < b.env.from;
                 });
       const int subs = proto_->subRounds();
       const int sub =
           static_cast<int>(s.pulse % static_cast<std::uint64_t>(subs));
-      proto_->receive(u, sub, std::span<const Envelope<M>>(inbox));
+      proto_->receive(u, sub, Inbox<M>(inbox.data(), inbox.size(), 1));
       if (sub == subs - 1) proto_->endCycle(u);
       refreshDone(u);
 

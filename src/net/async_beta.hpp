@@ -89,6 +89,7 @@ class BetaSynchronizer {
     result.payloadMessages = payloadCount_;
     result.ackMessages = ackCount_;
     result.safeMessages = safeCount_;  // SafeUp + Go control traffic
+    result.counters = collector_.counters();
     return result;
   }
 
@@ -210,23 +211,23 @@ class BetaSynchronizer {
     const std::uint64_t p = s.pulse;
     for (NodeId child : children_[u]) post(Kind::Go, u, child, p);
 
-    std::vector<Envelope<M>> inbox;
+    std::vector<MessageSlot<M>> inbox;
     for (auto it = s.buffered.begin(); it != s.buffered.end();) {
       if (it->first == p) {
-        inbox.push_back(it->second);
+        inbox.push_back(MessageSlot<M>{1, 1, it->second});
         it = s.buffered.erase(it);
       } else {
         ++it;
       }
     }
     std::sort(inbox.begin(), inbox.end(),
-              [](const Envelope<M>& a, const Envelope<M>& b) {
-                return a.from < b.from;
+              [](const MessageSlot<M>& a, const MessageSlot<M>& b) {
+                return a.env.from < b.env.from;
               });
     const int subs = proto_->subRounds();
     const int sub = static_cast<int>(p % static_cast<std::uint64_t>(subs));
     const bool wasDone = proto_->done(u);
-    proto_->receive(u, sub, std::span<const Envelope<M>>(inbox));
+    proto_->receive(u, sub, Inbox<M>(inbox.data(), inbox.size(), 1));
     if (sub == subs - 1) proto_->endCycle(u);
     if (!wasDone && proto_->done(u)) ++doneCount_;
 

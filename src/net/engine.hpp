@@ -7,18 +7,29 @@
 /// automaton) is a fixed schedule of *communication rounds*. The engine
 /// drives a protocol object through that schedule:
 ///
-///     while not all nodes done:
-///       beginCycle(u)   for every node        (the C "choose" step; local)
+///     while some node not done:
+///       beginCycle(u)   for every active node  (the C "choose" step; local)
 ///       for sub in [0, subRounds):
-///         send(u, sub)  for every node        (stage transmissions)
-///         deliverRound()                      (synchronous delivery barrier)
-///         receive(u, sub, inbox)  for every node
-///       endCycle(u)     for every node        (the E "exchange" bookkeeping)
+///         send(u, sub)  for every active node  (write into receiver slots)
+///         deliverRound()                       (synchronous delivery barrier)
+///         receive(u, sub, inbox)  for every active node
+///       endCycle(u)     for every active node  (the E "exchange" bookkeeping)
+///       compact the active set
+///
+/// Execution is *frontier-driven*: the engine keeps the set of nodes not yet
+/// done (in ascending id order) and runs hooks only over it, so late rounds
+/// with a handful of stragglers cost O(active) instead of O(n). The frontier
+/// is fixed at the start of each cycle — a node that flips done mid-cycle
+/// (e.g. committing a color in a receive sub-round) still runs its remaining
+/// hooks that cycle, including any announce-style send, and leaves the
+/// frontier only at the compaction step. Done counting falls out of the
+/// compaction (per-worker survivor counts folded in a prefix sum); there is
+/// no per-cycle O(n) scan.
 ///
 /// The engine is executor-agnostic: pass a `ThreadPool` to run the per-node
 /// hooks in parallel (bulk-synchronous, a barrier between phases — the same
 /// shape as an MPI compute/barrier loop), or leave it null for serial
-/// execution. Protocol hooks must touch only node-`u` state plus the staging
+/// execution. Protocol hooks must touch only node-`u` state plus the send
 /// API of the network, which is what makes the two executors equivalent;
 /// tests assert identical results.
 ///
@@ -27,15 +38,18 @@
 ///   int subRounds() const;
 ///   void beginCycle(NodeId u);
 ///   void send(NodeId u, int sub, SyncNetwork<Message>& net);
-///   void receive(NodeId u, int sub, std::span<const Envelope<Message>>);
+///   void receive(NodeId u, int sub, Inbox<Message> inbox);
 ///   void endCycle(NodeId u);
 ///   bool done(NodeId u) const;
-/// Hooks are invoked for every node each cycle, including nodes already done
-/// (which are expected to no-op).
+/// Contract: `done(u)` must be monotone (once true it stays true for the
+/// run), and hooks are invoked only for nodes that were not done when the
+/// cycle began — a done node neither sends nor receives, so any terminal
+/// announcement must go out in the same cycle the node becomes done.
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <span>
+#include <vector>
 
 #include "src/net/network.hpp"
 #include "src/support/thread_pool.hpp"
@@ -75,57 +89,84 @@ template <class Protocol, class Net>
 EngineResult runSyncProtocol(Protocol& proto, Net& net,
                              const EngineOptions& options = {}) {
   const std::size_t n = net.numNodes();
-  auto forEachNode = [&](auto&& fn) {
+
+  // The frontier: ids of not-yet-done nodes in ascending order. Built with
+  // the engine's only full O(n) scan; afterwards everything is O(active).
+  std::vector<NodeId> active;
+  active.reserve(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    if (!proto.done(static_cast<NodeId>(u))) {
+      active.push_back(static_cast<NodeId>(u));
+    }
+  }
+  std::vector<NodeId> scratch;  // parallel-compaction target, reused
+
+  auto forEachActive = [&](auto&& fn) {
     if (options.pool != nullptr) {
-      options.pool->forEach(n, fn);
+      options.pool->forEach(active.size(),
+                            [&](std::size_t i) { fn(active[i]); });
     } else {
-      for (std::size_t i = 0; i < n; ++i) fn(i);
+      for (NodeId u : active) fn(u);
     }
   };
 
-  auto countDone = [&] {
-    std::size_t done = 0;
-    for (NodeId u = 0; u < n; ++u) {
-      if (proto.done(u)) ++done;
+  // Order-preserving removal of freshly-done nodes. The parallel variant is
+  // the classic two-pass count/scatter: per-worker survivor counts over
+  // identical chunk boundaries, an exclusive prefix sum over the ≤ workers
+  // counts, then a parallel scatter — no atomics, and the surviving order
+  // (hence every downstream result) is identical to the serial path.
+  auto compactFrontier = [&] {
+    constexpr std::size_t kParallelCompactMin = 4096;
+    if (options.pool == nullptr || active.size() < kParallelCompactMin) {
+      active.erase(std::remove_if(active.begin(), active.end(),
+                                  [&](NodeId u) { return proto.done(u); }),
+                   active.end());
+      return;
     }
-    return done;
+    const std::size_t workers = options.pool->workerCount();
+    std::vector<std::size_t> base(workers + 1, 0);
+    options.pool->forEachChunk(
+        active.size(), [&](std::size_t w, std::size_t lo, std::size_t hi) {
+          std::size_t kept = 0;
+          for (std::size_t i = lo; i < hi; ++i) {
+            if (!proto.done(active[i])) ++kept;
+          }
+          base[w + 1] = kept;
+        });
+    for (std::size_t w = 0; w < workers; ++w) base[w + 1] += base[w];
+    scratch.resize(base[workers]);
+    options.pool->forEachChunk(
+        active.size(), [&](std::size_t w, std::size_t lo, std::size_t hi) {
+          std::size_t out = base[w];
+          for (std::size_t i = lo; i < hi; ++i) {
+            if (!proto.done(active[i])) scratch[out++] = active[i];
+          }
+        });
+    active.swap(scratch);
   };
 
   EngineResult result;
-  // `done()` changes only inside the protocol hooks, so one scan after each
-  // round (plus one up front) serves both the loop exit check and the
-  // observer's CycleInfo — the scan is O(n) and used to run twice per round
-  // when an observer was set.
-  std::size_t nodesDone = countDone();
   while (true) {
-    if (nodesDone == n) {
+    if (active.empty()) {
       result.converged = true;
       break;
     }
     if (result.cycles >= options.maxCycles) break;
 
-    forEachNode([&](std::size_t i) {
-      proto.beginCycle(static_cast<NodeId>(i));
-    });
+    forEachActive([&](NodeId u) { proto.beginCycle(u); });
     const int subs = proto.subRounds();
     for (int sub = 0; sub < subs; ++sub) {
-      forEachNode([&](std::size_t i) {
-        proto.send(static_cast<NodeId>(i), sub, net);
-      });
+      forEachActive([&](NodeId u) { proto.send(u, sub, net); });
       net.deliverRound();
-      forEachNode([&](std::size_t i) {
-        const auto u = static_cast<NodeId>(i);
-        proto.receive(u, sub, net.inbox(u));
-      });
+      forEachActive([&](NodeId u) { proto.receive(u, sub, net.inbox(u)); });
     }
-    forEachNode([&](std::size_t i) {
-      proto.endCycle(static_cast<NodeId>(i));
-    });
+    forEachActive([&](NodeId u) { proto.endCycle(u); });
     ++result.cycles;
 
-    nodesDone = countDone();
+    compactFrontier();
     if (options.observer) {
-      options.observer(CycleInfo{result.cycles - 1, nodesDone, n});
+      options.observer(
+          CycleInfo{result.cycles - 1, n - active.size(), n});
     }
   }
   result.counters = net.counters();

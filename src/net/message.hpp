@@ -4,7 +4,9 @@
 /// Common message-layer types for the synchronous network simulator:
 /// delivery envelopes, traffic accounting, and the channel fault model.
 
+#include <cstddef>
 #include <cstdint>
+#include <iterator>
 #include <string>
 
 #include "src/graph/graph.hpp"
@@ -21,6 +23,116 @@ struct Envelope {
   NodeId from = graph::kNoVertex;
   M msg{};
 };
+
+/// One receiver-side delivery slot of the zero-copy message arena
+/// (`SyncNetwork`). Every receiver owns one slot per incident edge; the
+/// unique sender across that edge writes its payload straight into the
+/// slot. Instead of clearing 2m slots every round, each slot carries the
+/// epoch (communication round) it was written in: a slot is *live* exactly
+/// when its tag equals the round being read. `copies` is the number of
+/// times the payload arrived (0 = dropped by the fault model, 2 =
+/// duplicated), so fault outcomes ride in the slot too.
+template <class M>
+struct MessageSlot {
+  std::uint32_t epoch = 0;   ///< round tag; 0 = never written
+  std::uint32_t copies = 0;  ///< deliveries this payload counts for
+  Envelope<M> env{};         ///< `from` is fixed per slot at construction
+};
+
+/// A receiver's view of its live slots for one communication round: a
+/// forward range of `const Envelope<M>&` in *incidence order* (neighbor-
+/// sorted, i.e. ascending sender id — exactly the order the old staging
+/// substrate delivered in, which is what keeps runs bit-identical across
+/// executors). Slots from other rounds are skipped; a slot with
+/// `copies == 2` is yielded twice. Views are invalidated by the next send
+/// phase, not by `deliverRound()` itself.
+template <class M>
+class InboxView {
+ public:
+  class iterator {
+   public:
+    using value_type = Envelope<M>;
+    using reference = const Envelope<M>&;
+    using pointer = const Envelope<M>*;
+    using difference_type = std::ptrdiff_t;
+    using iterator_category = std::forward_iterator_tag;
+
+    iterator() = default;
+    iterator(const MessageSlot<M>* cur, const MessageSlot<M>* last,
+             std::uint32_t epoch)
+        : cur_(cur), last_(last), epoch_(epoch) {
+      skipStale();
+    }
+
+    reference operator*() const { return cur_->env; }
+    pointer operator->() const { return &cur_->env; }
+
+    iterator& operator++() {
+      if (++emitted_ >= cur_->copies) {
+        ++cur_;
+        emitted_ = 0;
+        skipStale();
+      }
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator copy = *this;
+      ++*this;
+      return copy;
+    }
+
+    friend bool operator==(const iterator& a, const iterator& b) {
+      return a.cur_ == b.cur_ && a.emitted_ == b.emitted_;
+    }
+
+   private:
+    void skipStale() {
+      while (cur_ != last_ && (cur_->epoch != epoch_ || cur_->copies == 0)) {
+        ++cur_;
+      }
+    }
+
+    const MessageSlot<M>* cur_ = nullptr;
+    const MessageSlot<M>* last_ = nullptr;
+    std::uint32_t epoch_ = 0;
+    std::uint32_t emitted_ = 0;
+  };
+
+  InboxView() = default;
+  /// Views `count` slots, live iff tagged `epoch`. Epoch 0 (no round
+  /// delivered yet) is an always-empty view.
+  InboxView(const MessageSlot<M>* slots, std::size_t count,
+            std::uint32_t epoch)
+      : first_(slots), last_(slots + count), epoch_(epoch) {
+    if (epoch_ == 0) first_ = last_;
+  }
+
+  iterator begin() const { return iterator(first_, last_, epoch_); }
+  iterator end() const { return iterator(last_, last_, epoch_); }
+
+  bool empty() const { return begin() == end(); }
+
+  /// Deliveries in the view, fault duplicates counted twice. O(slots).
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const MessageSlot<M>* s = first_; s != last_; ++s) {
+      if (s->epoch == epoch_) n += s->copies;
+    }
+    return n;
+  }
+
+  /// First delivery; precondition: `!empty()`.
+  const Envelope<M>& front() const { return *begin(); }
+
+ private:
+  const MessageSlot<M>* first_ = nullptr;
+  const MessageSlot<M>* last_ = nullptr;
+  std::uint32_t epoch_ = 0;
+};
+
+/// The inbox type protocol `receive` hooks take. Cheap to pass by value.
+template <class M>
+using Inbox = InboxView<M>;
 
 /// Traffic and synchronization accounting, updated by `SyncNetwork`.
 ///
@@ -41,6 +153,10 @@ struct Counters {
   /// information" premise implies O(log n)-bit messages; tests check it.
   std::uint64_t bitsDelivered = 0;
   std::uint64_t maxMessageBits = 0;
+
+  /// Member-wise equality; the determinism sweep asserts counters match
+  /// across worker counts.
+  friend bool operator==(const Counters&, const Counters&) = default;
 
   std::string toString() const;
 };

@@ -11,180 +11,319 @@
 ///    everything its neighbors transmitted that round;
 ///  * links exist only along graph edges (one-hop information).
 ///
-/// Mechanics: sends during a round go into per-sender staging buffers (so a
-/// thread-pool executor can run senders concurrently without locks);
-/// `deliverRound()` then moves them into per-receiver inboxes, applying the
-/// optional fault model. Receivers read their inbox in the following
-/// receive step. Inboxes are stable until the next `deliverRound()`.
+/// Mechanics — the slot-addressed message arena. Links are exactly the edges
+/// of the (fixed) topology, so every receiver `v` owns one `MessageSlot` per
+/// incident edge, laid out CSR-style in incidence order. A send writes the
+/// payload *directly* into the receiver-side slot for that edge via a
+/// precomputed mirror-arc table: no staging buffer, no allocation, no serial
+/// delivery pass. Each slot has exactly one writer per round (the sender
+/// across its edge), so the send phase is lock-free; the fault model is
+/// evaluated at send time and its outcome stored in the slot (`copies`).
+/// `deliverRound()` degenerates to an epoch bump — slots carry the round tag
+/// they were written in instead of being cleared — and `inbox(v)` is a view
+/// over `v`'s slots filtered to the current read epoch, yielding envelopes in
+/// incidence order (ascending sender id), which keeps runs bit-identical for
+/// any worker count. Traffic counters are sharded relaxed atomics folded on
+/// demand; every fold is order-independent (sums and a max), so `counters()`
+/// is deterministic too.
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <concepts>
-#include <span>
+#include <cstdint>
 #include <vector>
 
 #include "src/graph/graph.hpp"
 #include "src/net/message.hpp"
 #include "src/support/assert.hpp"
 #include "src/support/rng.hpp"
-#include "src/support/small_vector.hpp"
 
 namespace dima::net {
 
 /// `Topo` is any adjacency structure exposing the `graph::Graph` topology
-/// surface (`numVertices`, `incidences`, `hasEdge`) — the immutable `Graph`
-/// by default, or `dynamic::DynamicGraph` so churn protocols message over
-/// the current overlay without materializing a snapshot per batch.
+/// surface (`numVertices`, `incidences` in neighbor-sorted order) — the
+/// immutable `Graph` by default, or `dynamic::DynamicGraph` so churn
+/// protocols message over the current overlay without materializing a
+/// snapshot per batch. The topology must not mutate while a network built on
+/// it is in use (the dynamic recolorer constructs a fresh network per repair
+/// batch).
 template <class M, class Topo = graph::Graph>
 class SyncNetwork {
  public:
   /// The network's links are the edges of `topology`; the graph must outlive
-  /// the network.
+  /// the network. Construction is O(n + m): it lays out the slot arena and
+  /// the mirror-arc table (for each directed arc `u→w`, the index of `w`'s
+  /// receiver slot for sender `u`).
   explicit SyncNetwork(const Topo& topology, FaultModel faults = {})
-      : topo_(&topology),
-        faults_(faults),
-        staged_(topology.numVertices()),
-        inbox_(topology.numVertices()) {}
+      : topo_(&topology), faults_(faults) {
+    const std::size_t n = numNodes();
+    offsets_.resize(n + 1, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+      offsets_[v + 1] =
+          offsets_[v] + static_cast<std::uint32_t>(
+                            topo_->incidences(static_cast<NodeId>(v)).size());
+    }
+    slots_.resize(offsets_[n]);
+    mirror_.resize(offsets_[n]);
+    sendState_.assign(n, SendState{});
+    // Fix each slot's sender once: receiver v's j-th slot belongs to its j-th
+    // incidence. Then build the mirror table with a cursor sweep — scanning
+    // senders u in ascending order, the arcs landing on any receiver w arrive
+    // in ascending-u order, which is exactly w's neighbor-sorted slot order,
+    // so each arc consumes the next free slot of its receiver.
+    std::vector<std::uint32_t> cursor(n, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+      const auto incs = topo_->incidences(static_cast<NodeId>(v));
+      for (std::size_t j = 0; j < incs.size(); ++j) {
+        slots_[offsets_[v] + j].env.from = incs[j].neighbor;
+      }
+    }
+    for (std::size_t u = 0; u < n; ++u) {
+      const auto incs = topo_->incidences(static_cast<NodeId>(u));
+      for (std::size_t j = 0; j < incs.size(); ++j) {
+        const NodeId w = incs[j].neighbor;
+        mirror_[offsets_[u] + j] = offsets_[w] + cursor[w]++;
+      }
+    }
+  }
 
   const Topo& topology() const { return *topo_; }
   std::size_t numNodes() const {
     return static_cast<std::size_t>(topo_->numVertices());
   }
 
-  /// Queues `m` for every neighbor of `from`; counts as one transmission.
-  /// A broadcast is the node's entire allowance for the round: it cannot be
-  /// combined with unicasts or another broadcast. Callable concurrently for
-  /// distinct senders.
+  /// Writes `m` into the receiver-side slot of every neighbor of `from`;
+  /// counts as one transmission. A broadcast is the node's entire allowance
+  /// for the round: it cannot be combined with unicasts or another
+  /// broadcast. Callable concurrently for distinct senders.
   void broadcast(NodeId from, const M& m) {
     checkNode(from);
-    Staged& out = staged_[from];
-    DIMA_REQUIRE(!out.broadcastSet && out.unicasts.empty(),
+    SendState& st = sendState_[from];
+    DIMA_REQUIRE(st.epoch != sendEpoch_,
                  "node " << from << " exceeded its round send allowance");
-    out.broadcastSet = true;
-    out.broadcastPayload = m;
+    st.epoch = sendEpoch_;
+    st.broadcast = true;
+    const auto incs = topo_->incidences(from);
+    const std::uint32_t base = offsets_[from];
+    Tally tally;
+    for (std::size_t j = 0; j < incs.size(); ++j) {
+      writeSlot(mirror_[base + j], from, incs[j].neighbor, m, tally);
+    }
+    Shard& sh = shards_[shardFor(from)];
+    sh.broadcasts.fetch_add(1, std::memory_order_relaxed);
+    accountSend(sh, m, incs.size(), tally);
   }
 
-  /// Queues `m` for the single neighbor `to`, which must be adjacent and not
-  /// already targeted this round. Callable concurrently for distinct senders.
+  /// Writes `m` into the single receiver-side slot of neighbor `to`, which
+  /// must be adjacent and not already targeted this round (the slot's epoch
+  /// tag doubles as the duplicate-target mark, so the check is O(log deg)
+  /// for the adjacency lookup and O(1) beyond it). Callable concurrently for
+  /// distinct senders.
   void unicast(NodeId from, NodeId to, const M& m) {
     checkNode(from);
     checkNode(to);
-    DIMA_REQUIRE(topo_->hasEdge(from, to),
+    const auto incs = topo_->incidences(from);
+    const auto it = std::lower_bound(
+        incs.begin(), incs.end(), to,
+        [](const graph::Incidence& inc, NodeId v) { return inc.neighbor < v; });
+    DIMA_REQUIRE(it != incs.end() && it->neighbor == to,
                  "unicast " << from << "→" << to << " without a link");
-    Staged& out = staged_[from];
-    DIMA_REQUIRE(!out.broadcastSet,
+    SendState& st = sendState_[from];
+    DIMA_REQUIRE(!(st.epoch == sendEpoch_ && st.broadcast),
                  "node " << from << " mixed broadcast and unicast in a round");
-    for (const auto& u : out.unicasts) {
-      DIMA_REQUIRE(u.to != to, "node " << from << " sent to " << to
-                                       << " twice in a round");
-    }
-    out.unicasts.push_back(Unicast{to, m});
+    const std::uint32_t arc =
+        offsets_[from] + static_cast<std::uint32_t>(it - incs.begin());
+    DIMA_REQUIRE(slots_[mirror_[arc]].epoch != sendEpoch_,
+                 "node " << from << " sent to " << to << " twice in a round");
+    st.epoch = sendEpoch_;
+    st.broadcast = false;
+    Tally tally;
+    writeSlot(mirror_[arc], from, to, m, tally);
+    Shard& sh = shards_[shardFor(from)];
+    sh.unicasts.fetch_add(1, std::memory_order_relaxed);
+    accountSend(sh, m, 1, tally);
   }
 
-  /// Closes the communication round: every staged transmission is delivered
-  /// into receiver inboxes (subject to the fault model), staging is cleared,
-  /// and the round counter advances. Must be called from one thread.
+  /// Closes the communication round. With send-time slot delivery this is
+  /// O(1): publish the just-written epoch for readers and open the next one.
+  /// Nothing is cleared — stale slots are filtered by tag. Must be called
+  /// from one thread, between the send and receive phases (the executor's
+  /// barrier provides the ordering).
   void deliverRound() {
-    const std::size_t n = numNodes();
-    for (NodeId v = 0; v < n; ++v) inbox_[v].clear();
-    for (NodeId from = 0; from < n; ++from) {
-      Staged& out = staged_[from];
-      if (out.broadcastSet) {
-        ++counters_.broadcasts;
-        for (const graph::Incidence& inc : topo_->incidences(from)) {
-          deliverOne(from, inc.neighbor, out.broadcastPayload);
-        }
-        out.broadcastSet = false;
-      } else if (!out.unicasts.empty()) {
-        counters_.unicasts += out.unicasts.size();
-        for (const Unicast& u : out.unicasts) {
-          deliverOne(from, u.to, u.payload);
-        }
-        out.unicasts.clear();
-      }
-    }
-    ++counters_.commRounds;
+    readEpoch_ = sendEpoch_;
+    ++sendEpoch_;
+    ++commRounds_;
   }
 
-  /// Messages delivered to `v` in the last `deliverRound()`.
-  std::span<const Envelope<M>> inbox(NodeId v) const {
+  /// Messages delivered to `v` in the last `deliverRound()`, as a forward
+  /// range of envelopes in incidence order (ascending sender id — the same
+  /// order the old staging substrate produced). The view is valid until the
+  /// next send phase begins.
+  Inbox<M> inbox(NodeId v) const {
     checkNode(v);
-    return {inbox_[v].data(), inbox_[v].size()};
+    return Inbox<M>(slots_.data() + offsets_[v], offsets_[v + 1] - offsets_[v],
+                    readEpoch_);
   }
 
   /// For alternative executors (e.g. the α-synchronizer in async.hpp):
-  /// drains node `from`'s staged transmissions as `fn(to, payload)` calls —
-  /// a broadcast expands to one call per neighbor — without running a
-  /// delivery round. Counters are not advanced; the caller accounts for its
-  /// own transport.
+  /// drains node `from`'s transmissions staged since the last drain as
+  /// `fn(to, payload)` calls — a broadcast expands to one call per neighbor —
+  /// without running a delivery round, and re-opens `from`'s send allowance.
+  /// Unlike the pre-arena substrate, traffic counters (including CONGEST
+  /// bits) are already accounted at send time, so the synchronizer path
+  /// reports the same `bitsDelivered`/`maxMessageBits` as the sync path for
+  /// identical traffic.
   template <class Fn>
   void drainStaged(NodeId from, Fn&& fn) {
     checkNode(from);
-    Staged& out = staged_[from];
-    if (out.broadcastSet) {
-      for (const graph::Incidence& inc : topo_->incidences(from)) {
-        fn(inc.neighbor, out.broadcastPayload);
-      }
-      out.broadcastSet = false;
-    } else {
-      for (const Unicast& u : out.unicasts) fn(u.to, u.payload);
-      out.unicasts.clear();
+    const auto incs = topo_->incidences(from);
+    const std::uint32_t base = offsets_[from];
+    for (std::size_t j = 0; j < incs.size(); ++j) {
+      MessageSlot<M>& s = slots_[mirror_[base + j]];
+      if (s.epoch != sendEpoch_) continue;
+      for (std::uint32_t c = 0; c < s.copies; ++c) fn(incs[j].neighbor, s.env.msg);
+      s.epoch = 0;
     }
+    sendState_[from].epoch = 0;
   }
 
-  const Counters& counters() const { return counters_; }
+  /// Folds the sharded traffic counters into one `Counters` snapshot. Every
+  /// component is a sum or a max of per-shard values, so the result is
+  /// independent of which worker bumped which shard.
+  Counters counters() const {
+    Counters c;
+    c.commRounds = commRounds_;
+    for (const Shard& s : shards_) {
+      c.broadcasts += s.broadcasts.load(std::memory_order_relaxed);
+      c.unicasts += s.unicasts.load(std::memory_order_relaxed);
+      c.messagesDelivered += s.delivered.load(std::memory_order_relaxed);
+      c.messagesDropped += s.dropped.load(std::memory_order_relaxed);
+      c.messagesDuplicated += s.duplicated.load(std::memory_order_relaxed);
+      c.bitsDelivered += s.bits.load(std::memory_order_relaxed);
+      c.maxMessageBits =
+          std::max(c.maxMessageBits, s.maxBits.load(std::memory_order_relaxed));
+    }
+    return c;
+  }
   const FaultModel& faults() const { return faults_; }
 
  private:
-  struct Unicast {
-    NodeId to = graph::kNoVertex;
-    M payload{};
+  /// Per-sender round state: `epoch == sendEpoch_` means this node already
+  /// transmitted this round (`broadcast` says in which mode). Each sender
+  /// writes only its own entry, so the send phase stays lock-free.
+  struct SendState {
+    std::uint32_t epoch = 0;
+    bool broadcast = false;
   };
-  struct Staged {
-    bool broadcastSet = false;
-    M broadcastPayload{};
-    support::SmallVector<Unicast, 4> unicasts;
+
+  /// Counter shard: one cache line of relaxed atomics. Senders are mapped to
+  /// shards in blocks of 64 ids, matching the executor's contiguous
+  /// per-worker partitions, so concurrent workers rarely touch the same line.
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> broadcasts{0};
+    std::atomic<std::uint64_t> unicasts{0};
+    std::atomic<std::uint64_t> delivered{0};
+    std::atomic<std::uint64_t> dropped{0};
+    std::atomic<std::uint64_t> duplicated{0};
+    std::atomic<std::uint64_t> bits{0};
+    std::atomic<std::uint64_t> maxBits{0};
   };
+  static constexpr std::size_t kShards = 64;
+
+  static std::size_t shardFor(NodeId from) {
+    return (static_cast<std::size_t>(from) >> 6) & (kShards - 1);
+  }
 
   void checkNode(NodeId v) const {
     DIMA_REQUIRE(v < numNodes(), "node id " << v << " out of range");
   }
 
-  void accountBits(const M& payload) {
-    if constexpr (requires(const M& m) {
-                    { m.wireBits() } -> std::convertible_to<std::uint64_t>;
-                  }) {
-      const std::uint64_t bits = payload.wireBits();
-      counters_.bitsDelivered += bits;
-      counters_.maxMessageBits = std::max(counters_.maxMessageBits, bits);
+  static void atomicMax(std::atomic<std::uint64_t>& target,
+                        std::uint64_t value) {
+    std::uint64_t cur = target.load(std::memory_order_relaxed);
+    while (cur < value && !target.compare_exchange_weak(
+                              cur, value, std::memory_order_relaxed)) {
     }
   }
 
-  void deliverOne(NodeId from, NodeId to, const M& payload) {
-    accountBits(payload);
+  /// Per-call fault/delivery tally, accumulated locally so a broadcast of
+  /// degree d issues O(1) atomic updates, not O(d).
+  struct Tally {
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t duplicated = 0;
+  };
+
+  /// Stamps one receiver-side slot with this round's payload. The fault
+  /// stream is keyed on (seed, completed rounds, from, to) exactly as in the
+  /// pre-arena substrate, so fault outcomes are reproducible and
+  /// executor-independent.
+  void writeSlot(std::uint32_t slotIdx, NodeId from, NodeId to, const M& m,
+                 Tally& tally) {
+    MessageSlot<M>& s = slots_[slotIdx];
+    std::uint32_t copies = 1;
     if (faults_.perturbs()) {
       const std::uint64_t key = support::mix64(
-          support::mix64(faults_.seed, counters_.commRounds),
+          support::mix64(faults_.seed, commRounds_),
           (static_cast<std::uint64_t>(from) << 32) | to);
       support::Rng faultRng(key);
       if (faultRng.bernoulli(faults_.dropProbability)) {
-        ++counters_.messagesDropped;
-        return;
-      }
-      if (faultRng.bernoulli(faults_.duplicateProbability)) {
-        inbox_[to].push_back(Envelope<M>{from, payload});
-        ++counters_.messagesDuplicated;
-        ++counters_.messagesDelivered;
+        copies = 0;
+        ++tally.dropped;
+      } else if (faultRng.bernoulli(faults_.duplicateProbability)) {
+        copies = 2;
+        ++tally.duplicated;
       }
     }
-    inbox_[to].push_back(Envelope<M>{from, payload});
-    ++counters_.messagesDelivered;
+    tally.delivered += copies;
+    s.epoch = sendEpoch_;
+    s.copies = copies;
+    s.env.msg = m;
+  }
+
+  /// Folds one send call's tally into the sender's shard. CONGEST bits are
+  /// accounted per attempt, before fault evaluation (a dropped message still
+  /// crossed the wire — matching the previous substrate); all `attempts`
+  /// carry the same payload, so the per-attempt accounting batches into one
+  /// multiply.
+  void accountSend(Shard& sh, const M& m, std::size_t attempts, const Tally& tally) {
+    if constexpr (requires(const M& mm) {
+                    { mm.wireBits() } -> std::convertible_to<std::uint64_t>;
+                  }) {
+      if (attempts != 0) {
+        const std::uint64_t bits = m.wireBits();
+        sh.bits.fetch_add(bits * attempts, std::memory_order_relaxed);
+        atomicMax(sh.maxBits, bits);
+      }
+    }
+    if (tally.delivered != 0) {
+      sh.delivered.fetch_add(tally.delivered, std::memory_order_relaxed);
+    }
+    if (tally.dropped != 0) {
+      sh.dropped.fetch_add(tally.dropped, std::memory_order_relaxed);
+    }
+    if (tally.duplicated != 0) {
+      sh.duplicated.fetch_add(tally.duplicated, std::memory_order_relaxed);
+    }
   }
 
   const Topo* topo_;
   FaultModel faults_;
-  std::vector<Staged> staged_;
-  std::vector<support::SmallVector<Envelope<M>, 8>> inbox_;
-  Counters counters_;
+  /// CSR slot layout: receiver v's slots are `[offsets_[v], offsets_[v+1])`.
+  std::vector<std::uint32_t> offsets_;
+  std::vector<MessageSlot<M>> slots_;
+  /// `mirror_[offsets_[u] + j]` = index of the receiver-side slot for the
+  /// arc from `u` to its j-th neighbor.
+  std::vector<std::uint32_t> mirror_;
+  std::vector<SendState> sendState_;
+  std::array<Shard, kShards> shards_{};
+  /// Rounds are tagged by `sendEpoch_` (starts at 1 so the untouched-slot
+  /// tag 0 never matches). `readEpoch_` is the tag `inbox()` filters on; it
+  /// lags until the first `deliverRound()`, so inboxes start empty.
+  std::uint32_t sendEpoch_ = 1;
+  std::uint32_t readEpoch_ = 0;
+  std::uint64_t commRounds_ = 0;
 };
 
 }  // namespace dima::net

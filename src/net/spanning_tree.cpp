@@ -36,7 +36,7 @@ class FloodProtocol {
     }
   }
 
-  void receive(NodeId u, int, std::span<const Envelope<Message>> inbox) {
+  void receive(NodeId u, int, Inbox<Message> inbox) {
     if (depth_[u] != graph::kUnreachable) return;  // already claimed
     // Adopt the lowest-id claimant heard this round; all claims arriving
     // in one round carry the same depth (BFS wavefront).

@@ -31,7 +31,7 @@ void ThreadPool::runBlock(std::size_t worker) {
   const std::size_t workers = workerCount();
   const std::size_t lo = worker * jobCount_ / workers;
   const std::size_t hi = (worker + 1) * jobCount_ / workers;
-  for (std::size_t i = lo; i < hi; ++i) (*job_)(i);
+  if (lo < hi) job_(jobCtx_, lo, hi, worker);
 }
 
 void ThreadPool::workerLoop(std::size_t self) {
@@ -51,17 +51,17 @@ void ThreadPool::workerLoop(std::size_t self) {
   }
 }
 
-void ThreadPool::forEach(std::size_t count,
-                         const std::function<void(std::size_t)>& fn) {
+void ThreadPool::dispatch(std::size_t count, BlockFn block, const void* ctx) {
   if (count == 0) return;
   if (threads_.empty()) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
+    block(ctx, 0, count, 0);
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     DIMA_REQUIRE(job_ == nullptr, "ThreadPool::forEach is not reentrant");
-    job_ = &fn;
+    job_ = block;
+    jobCtx_ = ctx;
     jobCount_ = count;
     pending_ = threads_.size();
     ++generation_;
@@ -72,6 +72,7 @@ void ThreadPool::forEach(std::size_t count,
     std::unique_lock<std::mutex> lock(mutex_);
     done_.wait(lock, [&] { return pending_ == 0; });
     job_ = nullptr;
+    jobCtx_ = nullptr;
     jobCount_ = 0;
   }
 }

@@ -10,15 +10,22 @@
 /// partitioned into contiguous blocks across the workers and returns only
 /// when every index completed — the implicit barrier.
 ///
+/// `forEach` is a template: the callable is passed through a captureless
+/// trampoline as one indirect call *per worker block*, not one
+/// `std::function` call per element (which at n=10⁵ nodes × 4 hooks × many
+/// rounds was real overhead). `forEachChunk(n, fn)` hands each worker its
+/// whole contiguous range `fn(worker, lo, hi)` — the building block for
+/// per-worker reductions (done-counter folds, two-pass compaction).
+///
 /// Determinism: node steps never touch shared mutable state (each node owns
 /// its RNG, state and outbox), so results are identical for any worker count;
 /// tests assert this.
 
 #include <condition_variable>
 #include <cstddef>
-#include <functional>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace dima::support {
@@ -37,9 +44,46 @@ class ThreadPool {
   /// Runs `fn(i)` for every `i` in `[0, count)`, blocking until all are done.
   /// The calling thread participates, so a pool with one worker degenerates
   /// to a plain loop. `fn` must not throw.
-  void forEach(std::size_t count, const std::function<void(std::size_t)>& fn);
+  template <class Fn>
+  void forEach(std::size_t count, Fn&& fn) {
+    using F = std::remove_reference_t<Fn>;
+    dispatch(
+        count,
+        [](const void* ctx, std::size_t lo, std::size_t hi, std::size_t) {
+          const F& f = *static_cast<const F*>(ctx);
+          for (std::size_t i = lo; i < hi; ++i) f(i);
+        },
+        &fn);
+  }
+
+  /// Runs `fn(worker, lo, hi)` once per worker with that worker's contiguous
+  /// index block of `[0, count)`; workers with an empty block are skipped.
+  /// The block boundaries depend only on `count` and the worker count, so
+  /// two `forEachChunk` calls with the same `count` see identical ranges
+  /// (what two-pass count/scatter algorithms rely on). `fn` must not throw.
+  template <class Fn>
+  void forEachChunk(std::size_t count, Fn&& fn) {
+    using F = std::remove_reference_t<Fn>;
+    dispatch(
+        count,
+        [](const void* ctx, std::size_t lo, std::size_t hi,
+           std::size_t worker) {
+          const F& f = *static_cast<const F*>(ctx);
+          f(worker, lo, hi);
+        },
+        &fn);
+  }
 
  private:
+  /// Per-block trampoline: invoked once per worker with its index range.
+  using BlockFn = void (*)(const void* ctx, std::size_t lo, std::size_t hi,
+                           std::size_t worker);
+
+  /// Shared barrier machinery behind both templates: partitions `[0, count)`
+  /// into contiguous per-worker blocks, runs `block(ctx, lo, hi, worker)` on
+  /// each non-empty block, and returns when every block completed.
+  void dispatch(std::size_t count, BlockFn block, const void* ctx);
+
   void workerLoop(std::size_t self);
   void runBlock(std::size_t worker);
 
@@ -50,7 +94,8 @@ class ThreadPool {
 
   // Current job, guarded by mutex_ for setup/teardown; the index ranges are
   // fixed per job so workers read them without contention.
-  const std::function<void(std::size_t)>* job_ = nullptr;
+  BlockFn job_ = nullptr;
+  const void* jobCtx_ = nullptr;
   std::size_t jobCount_ = 0;
   std::size_t generation_ = 0;
   std::size_t pending_ = 0;

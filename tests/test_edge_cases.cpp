@@ -47,7 +47,7 @@ TEST(EdgeCases, EngineMaxCyclesZeroRunsNothing) {
     int subRounds() const { return 1; }
     void beginCycle(net::NodeId) { ++begun; }
     void send(net::NodeId, int, net::SyncNetwork<Msg>&) {}
-    void receive(net::NodeId, int, std::span<const net::Envelope<Msg>>) {}
+    void receive(net::NodeId, int, net::Inbox<Msg>) {}
     void endCycle(net::NodeId) {}
     bool done(net::NodeId) const { return false; }
     int begun = 0;

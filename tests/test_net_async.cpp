@@ -31,7 +31,7 @@ struct CountingProtocol {
       net.broadcast(u, Msg{cyclesDone[u]});
     }
   }
-  void receive(NodeId u, int, std::span<const Envelope<Msg>> inbox) {
+  void receive(NodeId u, int, Inbox<Msg> inbox) {
     heardPerCycle[u] += inbox.size();
   }
   void endCycle(NodeId u) {

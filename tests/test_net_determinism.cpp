@@ -1,0 +1,114 @@
+/// Determinism sweep for the slot-arena substrate and frontier engine: the
+/// same protocol run must be bit-identical — same colors, same traffic
+/// counters — for any worker count, because inbox order is incidence order
+/// (fixed by the topology, not by delivery timing) and every counter fold is
+/// order-independent. Sweeps worker counts {1, 2, 8} over ER and scale-free
+/// graphs for both MaDEC and DiMa2Ed, plus a fault-model run where drops and
+/// duplicates are keyed on (seed, round, edge) and so must also replay
+/// identically.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "src/coloring/dima2ed.hpp"
+#include "src/coloring/madec.hpp"
+#include "src/graph/digraph.hpp"
+#include "src/graph/generators.hpp"
+#include "src/support/thread_pool.hpp"
+
+namespace dima {
+namespace {
+
+constexpr std::size_t kWorkerCounts[] = {1, 2, 8};
+
+void expectSameMetrics(const coloring::RunMetrics& a,
+                       const coloring::RunMetrics& b, std::size_t workers) {
+  EXPECT_EQ(a.computationRounds, b.computationRounds) << workers << " workers";
+  EXPECT_EQ(a.commRounds, b.commRounds) << workers << " workers";
+  EXPECT_EQ(a.broadcasts, b.broadcasts) << workers << " workers";
+  EXPECT_EQ(a.messagesDelivered, b.messagesDelivered) << workers << " workers";
+  EXPECT_EQ(a.bitsDelivered, b.bitsDelivered) << workers << " workers";
+  EXPECT_EQ(a.maxMessageBits, b.maxMessageBits) << workers << " workers";
+  EXPECT_EQ(a.converged, b.converged) << workers << " workers";
+}
+
+void sweepMadec(const graph::Graph& g, const net::FaultModel& faults) {
+  std::optional<coloring::EdgeColoringResult> serial;
+  for (const std::size_t workers : kWorkerCounts) {
+    support::ThreadPool pool(workers);
+    coloring::MadecOptions options;
+    options.seed = 0xdeed5;
+    options.faults = faults;
+    // Message loss breaks liveness (two-generals), so the perturbed sweep
+    // would otherwise spin to the engine's huge default cap; a capped run
+    // still has to replay bit-identically across worker counts.
+    if (faults.perturbs()) options.maxCycles = 100;
+    options.pool = workers == 1 ? nullptr : &pool;
+    const coloring::EdgeColoringResult run = coloring::colorEdgesMadec(
+        g, options);
+    if (!serial) {
+      serial = run;
+      EXPECT_TRUE(run.metrics.converged || faults.perturbs());
+      continue;
+    }
+    EXPECT_EQ(serial->colors, run.colors) << workers << " workers";
+    EXPECT_EQ(serial->halfCommitted, run.halfCommitted)
+        << workers << " workers";
+    expectSameMetrics(serial->metrics, run.metrics, workers);
+  }
+}
+
+void sweepDima2Ed(const graph::Graph& g) {
+  const graph::Digraph d(g);
+  std::optional<coloring::ArcColoringResult> serial;
+  for (const std::size_t workers : kWorkerCounts) {
+    support::ThreadPool pool(workers);
+    coloring::Dima2EdOptions options;
+    options.seed = 0xfeed7;
+    options.pool = workers == 1 ? nullptr : &pool;
+    const coloring::ArcColoringResult run = coloring::colorArcsDima2Ed(
+        d, options);
+    if (!serial) {
+      serial = run;
+      EXPECT_TRUE(run.metrics.converged);
+      continue;
+    }
+    EXPECT_EQ(serial->colors, run.colors) << workers << " workers";
+    expectSameMetrics(serial->metrics, run.metrics, workers);
+  }
+}
+
+TEST(DeterminismSweep, MadecErdosRenyiBitIdenticalAcrossWorkerCounts) {
+  support::Rng rng(21);
+  sweepMadec(graph::erdosRenyiAvgDegree(400, 8.0, rng), net::FaultModel{});
+}
+
+TEST(DeterminismSweep, MadecScaleFreeBitIdenticalAcrossWorkerCounts) {
+  support::Rng rng(22);
+  sweepMadec(graph::barabasiAlbert(400, 4, 1.0, rng), net::FaultModel{});
+}
+
+TEST(DeterminismSweep, MadecFaultyChannelsReplayIdentically) {
+  // Drops and duplicates are decided per (seed, round, edge), independent of
+  // which worker issues the send — the perturbed run must sweep clean too.
+  support::Rng rng(23);
+  net::FaultModel faults;
+  faults.dropProbability = 0.05;
+  faults.duplicateProbability = 0.05;
+  sweepMadec(graph::erdosRenyiAvgDegree(300, 6.0, rng), faults);
+}
+
+TEST(DeterminismSweep, Dima2EdErdosRenyiBitIdenticalAcrossWorkerCounts) {
+  support::Rng rng(24);
+  sweepDima2Ed(graph::erdosRenyiAvgDegree(300, 6.0, rng));
+}
+
+TEST(DeterminismSweep, Dima2EdScaleFreeBitIdenticalAcrossWorkerCounts) {
+  support::Rng rng(25);
+  sweepDima2Ed(graph::barabasiAlbert(300, 3, 1.0, rng));
+}
+
+}  // namespace
+}  // namespace dima

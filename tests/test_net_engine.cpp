@@ -28,7 +28,7 @@ struct GossipProtocol {
   void send(NodeId u, int, SyncNetwork<Msg>& net) {
     if (!done(u) && graph->degree(u) > 0) net.broadcast(u, Msg{u});
   }
-  void receive(NodeId u, int, std::span<const Envelope<Msg>> inbox) {
+  void receive(NodeId u, int, Inbox<Msg> inbox) {
     heard[u] += inbox.size();
   }
   void endCycle(NodeId u) { ++ended[u]; }
@@ -79,7 +79,7 @@ struct StubbornProtocol {
   int subRounds() const { return 2; }
   void beginCycle(NodeId) {}
   void send(NodeId, int, SyncNetwork<Msg>&) {}
-  void receive(NodeId, int, std::span<const Envelope<Msg>>) {}
+  void receive(NodeId, int, Inbox<Msg>) {}
   void endCycle(NodeId) {}
   bool done(NodeId) const { return false; }
 };

@@ -23,8 +23,8 @@ TEST(SyncNetwork, BroadcastReachesAllNeighborsOnly) {
   net.deliverRound();
   for (NodeId leaf = 1; leaf < 4; ++leaf) {
     ASSERT_EQ(net.inbox(leaf).size(), 1u);
-    EXPECT_EQ(net.inbox(leaf)[0].from, 0u);
-    EXPECT_EQ(net.inbox(leaf)[0].msg.value, 7);
+    EXPECT_EQ(net.inbox(leaf).front().from, 0u);
+    EXPECT_EQ(net.inbox(leaf).front().msg.value, 7);
   }
   EXPECT_TRUE(net.inbox(0).empty());  // no self-delivery
 }
@@ -45,8 +45,8 @@ TEST(SyncNetwork, MultipleUnicastsToDistinctNeighbors) {
   net.unicast(0, 1, Ping{1});
   net.unicast(0, 2, Ping{2});
   net.deliverRound();
-  EXPECT_EQ(net.inbox(1)[0].msg.value, 1);
-  EXPECT_EQ(net.inbox(2)[0].msg.value, 2);
+  EXPECT_EQ(net.inbox(1).front().msg.value, 1);
+  EXPECT_EQ(net.inbox(2).front().msg.value, 2);
 }
 
 TEST(SyncNetwork, InboxClearedEachRound) {
