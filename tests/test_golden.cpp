@@ -7,9 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "src/automata/discovery.hpp"
 #include "src/coloring/dima2ed.hpp"
 #include "src/coloring/madec.hpp"
+#include "src/coloring/strong_madec.hpp"
+#include "src/dynamic/churn.hpp"
+#include "src/dynamic/incremental.hpp"
 #include "src/graph/generators.hpp"
 
 namespace dima {
@@ -35,6 +40,12 @@ TEST(Golden, MadecRunIsPinned) {
   EXPECT_EQ(result.colorsUsed(), 12u);
   EXPECT_EQ(result.colors[0], 7);
   EXPECT_EQ(result.colors[5], 6);
+  // Full traffic accounting: any drift in the message schedule shows here.
+  EXPECT_EQ(result.metrics.commRounds, 90u);
+  EXPECT_EQ(result.metrics.broadcasts, 831u);
+  EXPECT_EQ(result.metrics.messagesDelivered, 5589u);
+  EXPECT_EQ(result.metrics.bitsDelivered, 42849u);
+  EXPECT_EQ(result.metrics.maxMessageBits, 12u);
 }
 
 TEST(Golden, Dima2EdRunIsPinned) {
@@ -44,6 +55,66 @@ TEST(Golden, Dima2EdRunIsPinned) {
   EXPECT_EQ(result.metrics.computationRounds, 156u);
   EXPECT_EQ(result.colorsUsed(), 78u);
   EXPECT_EQ(result.colors[0], 20);
+  EXPECT_EQ(result.metrics.commRounds, 780u);
+  EXPECT_EQ(result.metrics.broadcasts, 3643u);
+  EXPECT_EQ(result.metrics.messagesDelivered, 23712u);
+  EXPECT_EQ(result.metrics.bitsDelivered, 307388u);
+  EXPECT_EQ(result.metrics.maxMessageBits, 20u);
+}
+
+TEST(Golden, StrongMadecRunIsPinned) {
+  const auto result =
+      coloring::colorEdgesStrongMadec(goldenGraph(), {.seed = 1234});
+  ASSERT_TRUE(result.metrics.converged);
+  EXPECT_EQ(result.metrics.computationRounds, 64u);
+  EXPECT_EQ(result.colorsUsed(), 39u);
+  EXPECT_EQ(result.colors[0], 7);
+  EXPECT_EQ(result.colors[5], 36);
+  EXPECT_EQ(result.metrics.commRounds, 320u);
+  EXPECT_EQ(result.metrics.broadcasts, 1799u);
+  EXPECT_EQ(result.metrics.messagesDelivered, 11583u);
+  EXPECT_EQ(result.metrics.bitsDelivered, 137809u);
+  EXPECT_EQ(result.metrics.maxMessageBits, 17u);
+}
+
+TEST(Golden, IncrementalRecolorIsPinned) {
+  dynamic::DynamicGraph g(goldenGraph());
+  dynamic::IncrementalRecolorer recolorer(g, {.seed = 1234});
+
+  // Repair 0 is the initial full coloring: the frontier is the whole graph.
+  const dynamic::RepairStats first = recolorer.repair();
+  ASSERT_TRUE(first.converged);
+  EXPECT_EQ(first.cycles, 21u);
+  EXPECT_EQ(first.recolored.size(), 150u);
+  EXPECT_EQ(first.frontierVertices, 50u);
+  EXPECT_EQ(recolorer.colors()[0], 7);
+  EXPECT_EQ(recolorer.colors()[5], 7);
+
+  std::set<coloring::Color> palette;
+  for (const dynamic::EdgeId e : g.liveEdges()) {
+    palette.insert(recolorer.colors()[e]);
+  }
+  EXPECT_EQ(palette.size(), 11u);
+
+  // One churn batch, then the localized repair.
+  dynamic::EventStream churn({.seed = 99, .opsPerBatch = 12});
+  const dynamic::ChurnBatch batch = churn.nextBatch(g);
+  EXPECT_EQ(batch.inserts, 6u);
+  EXPECT_EQ(batch.erases, 6u);
+  recolorer.applyBatch(batch);
+
+  const dynamic::RepairStats second = recolorer.repair();
+  ASSERT_TRUE(second.converged);
+  EXPECT_EQ(second.cycles, 2u);
+  EXPECT_EQ(second.recolored.size(), 6u);
+  EXPECT_EQ(second.evictedEdges, 0u);
+  EXPECT_EQ(second.frontierVertices, 12u);
+
+  std::set<coloring::Color> repaired;
+  for (const dynamic::EdgeId e : g.liveEdges()) {
+    repaired.insert(recolorer.colors()[e]);
+  }
+  EXPECT_EQ(repaired.size(), 11u);
 }
 
 TEST(Golden, MaximalMatchingIsPinned) {

@@ -1,0 +1,90 @@
+/// \file test_trace_parity.cpp
+/// Trace-sequence pins: the exact `TraceLog` event stream of a MaDEC and a
+/// DiMa2Ed run on a small fixed graph, fingerprinted pre-refactor. The
+/// automaton-core refactor must reproduce not just final colors but every
+/// intermediate event (cycle, node, kind, detail) in the same order —
+/// this is the strongest cheap witness that the shared core walks the
+/// Fig. 1 states exactly as the hand-rolled protocols did. Update only
+/// alongside a deliberate schedule change.
+
+#include <gtest/gtest.h>
+
+#include "src/coloring/dima2ed.hpp"
+#include "src/coloring/madec.hpp"
+#include "src/graph/generators.hpp"
+#include "src/net/trace.hpp"
+
+namespace dima {
+namespace {
+
+graph::Graph traceGraph() {
+  support::Rng rng(0x7ace);
+  return graph::erdosRenyiAvgDegree(12, 3.0, rng);
+}
+
+/// FNV-1a over the event tuples; order-sensitive by construction.
+std::uint64_t traceFingerprint(const net::TraceLog& log) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (const net::TraceEvent& e : log.events()) {
+    mix(e.cycle);
+    mix(e.node);
+    mix(static_cast<std::uint64_t>(e.kind));
+    mix(static_cast<std::uint64_t>(e.a));
+    mix(static_cast<std::uint64_t>(e.b));
+  }
+  return h;
+}
+
+TEST(TraceParity, MadecEventSequenceIsPinned) {
+  net::TraceLog log;
+  log.enable();
+  coloring::MadecOptions options{.seed = 42};
+  options.trace = &log;
+  const auto result = coloring::colorEdgesMadec(traceGraph(), options);
+  ASSERT_TRUE(result.metrics.converged);
+  EXPECT_EQ(result.metrics.computationRounds, 11u);
+
+  ASSERT_EQ(log.events().size(), 197u);
+  EXPECT_EQ(traceFingerprint(log), 6479313804059149941ULL);
+
+  // Spot anchors so a fingerprint mismatch has a readable first suspect.
+  const net::TraceEvent& first = log.events().front();
+  EXPECT_EQ(first.cycle, 0u);
+  EXPECT_EQ(first.node, 0u);
+  EXPECT_EQ(first.kind, net::TraceKind::StateChoice);
+  EXPECT_EQ(first.a, 0);
+  const net::TraceEvent& last = log.events().back();
+  EXPECT_EQ(last.cycle, 10u);
+  EXPECT_EQ(last.node, 11u);
+  EXPECT_EQ(last.kind, net::TraceKind::NodeDone);
+}
+
+TEST(TraceParity, Dima2EdEventSequenceIsPinned) {
+  net::TraceLog log;
+  log.enable();
+  coloring::Dima2EdOptions options{.seed = 42};
+  options.trace = &log;
+  const graph::Digraph d(traceGraph());
+  const auto result = coloring::colorArcsDima2Ed(d, options);
+  ASSERT_TRUE(result.metrics.converged);
+  EXPECT_EQ(result.metrics.computationRounds, 45u);
+
+  ASSERT_EQ(log.events().size(), 613u);
+  EXPECT_EQ(traceFingerprint(log), 9472849560119812593ULL);
+
+  const net::TraceEvent& first = log.events().front();
+  EXPECT_EQ(first.cycle, 0u);
+  EXPECT_EQ(first.node, 0u);
+  EXPECT_EQ(first.kind, net::TraceKind::StateChoice);
+  const net::TraceEvent& last = log.events().back();
+  EXPECT_EQ(last.cycle, 44u);
+  EXPECT_EQ(last.node, 9u);
+  EXPECT_EQ(last.kind, net::TraceKind::NodeDone);
+}
+
+}  // namespace
+}  // namespace dima
