@@ -1,0 +1,389 @@
+#pragma once
+
+/// \file core.hpp
+/// The matching-discovery automaton of the paper (Fig. 1) as a reusable
+/// engine. One cycle walks the states C → I/L → R/W → U → E → (D): the
+/// role coin in `beginCycle` (C), the invitation broadcast in send
+/// sub-round 0 (I) against the keep scan in receive 0 (L), the acceptance
+/// in send 1 (R) against the echo wait in receive 1 (W), protocol tail
+/// sub-rounds for the update/exchange states (U/E — a color announce, a
+/// matched announce, or the strict tentative/abort handshake), and done
+/// tracking (D) in `endCycle`.
+///
+/// Every protocol in this library — matching discovery, MaDEC, DiMa2Ed,
+/// strong MaDEC, the dynamic repair protocol — is this automaton with
+/// different *decisions*: whom to invite, what the invitation carries,
+/// which invitations are acceptable, what a formed pair computes, and what
+/// gets announced. `MatchingCore` owns the shared walk; a derived protocol
+/// supplies only those decisions as CRTP hooks. The core is written so a
+/// rebased protocol is bit-identical to its hand-rolled ancestor: hooks
+/// fire at the exact points the old code drew random numbers, broadcast
+/// messages, and recorded trace events (tests/test_golden.cpp and
+/// tests/test_trace_parity.cpp pin this).
+///
+/// Hook reference (D = required in Derived, d = defaulted here):
+///
+///   state/schedule
+///     d participates(u)      gate for nodes outside the protocol's frontier
+///     D resetScratch(u)      clear per-cycle scratch (runs even when done)
+///     d onActiveCycle(u)     accounting for a not-done node starting a cycle
+///     d chooseRole(u)        C: Invite/Listen draw (default: biased coin)
+///     D tailSubRounds()      extra sub-rounds after the invite/respond pair
+///     D tailSend(u,t,net)    U/E sends for tail sub-round t
+///     D tailReceive(u,t,in)  U/E receives for tail sub-round t
+///     d onCycleEnd(u)        end-of-cycle accounting (before the done check)
+///     D localWorkDone(u)     D: true once the node has nothing left
+///   invitation (I/L)
+///     D pickInvitee(u)       choose the peer (and any proposal scratch);
+///                            kNoVertex = sit this cycle out, no send
+///     D inviteMessage(u)     payload for the invitation broadcast
+///     D keepInvite(u,env)    L: store an invitation addressed to me?
+///     d overheardInvite(u,env)  L: invitation addressed to someone else
+///   response (R/W)
+///     D chooseAccept(u)      R: pick one kept invitation; false = silent
+///     D acceptMessage(u)     payload echoing the accepted invitation
+///     d onAcceptSent(u)      listener-side pair formed (commit/tentative)
+///     D onEcho(u,msg)        W: invitor-side pair formed
+///     d onNoEcho(u)          W: invitation went unanswered
+///   tracing
+///     d messageDetail(m)     detail column for Invite/Response trace rows
+///
+/// Protected helpers implement the recurring tail policies over the unified
+/// wire kinds (net::WireKind): `announceSend` (E-state color/matched
+/// announce via `announceMessage`/`pendingAnnounce`), and the strict
+/// handshake quartet `tentativeSend` / `tentativeConflictScan` /
+/// `abortSend` / `abortResolve` over a node's `TentativeState` (lower
+/// item id wins color conflicts; the loser re-draws next cycle).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/automata/phase.hpp"
+#include "src/graph/graph.hpp"
+#include "src/net/message.hpp"
+#include "src/net/trace.hpp"
+#include "src/support/assert.hpp"
+#include "src/support/rng.hpp"
+
+namespace dima::automata {
+
+/// Per-node state every protocol shares; protocol node types extend it.
+struct CoreNode {
+  support::Rng rng{0};
+  Phase role = Phase::Choose;
+  bool done = false;
+  net::NodeId invitee = graph::kNoVertex;  ///< per-cycle: whom I invited
+};
+
+/// One in-flight pairing of the strict tentative/abort handshake: the item
+/// (arc or edge id — the conflict tiebreaker), the color at stake, the
+/// protocol's incidence index for the item, and which side of the pair this
+/// node played (the invitor charges failed handshakes to its color window).
+struct TentativeState {
+  std::uint32_t item = net::kNoWireItem;
+  std::int32_t color = -1;
+  std::uint32_t idx = 0;
+  bool asInvitor = false;
+  bool abortMine = false;
+
+  void reset() { *this = TentativeState{}; }
+};
+
+/// Per-endpoint commit slots for items (edges or arcs) two nodes finalize
+/// concurrently: slot 2i belongs to one fixed endpoint of item i, slot
+/// 2i+1 to the other, so the parallel receive phase has a single writer
+/// per slot (one shared slot was a data race under the thread pool).
+/// `merged`/`takeMerged` fold the halves after the barrier; the halves can
+/// disagree in presence only under message loss (`halfCommitted`).
+template <class Value>
+class CommitHalves {
+ public:
+  CommitHalves(std::size_t items, Value unset)
+      : unset_(unset), slots_(2 * items, unset) {}
+
+  std::size_t items() const { return slots_.size() / 2; }
+
+  /// The half of `item` owned by one endpoint; callers fix the mapping
+  /// (e.g. `second = (u > partner)` or `second = incoming`).
+  Value& half(std::uint32_t item, bool second) {
+    return slots_[2 * static_cast<std::size_t>(item) + (second ? 1 : 0)];
+  }
+
+  /// Merged view, first half preferred; `unset` while uncommitted. No
+  /// agreement check — this is the hot read on the keep-invite path.
+  Value merged(std::uint32_t item) const {
+    const Value first = slots_[2 * static_cast<std::size_t>(item)];
+    return first != unset_ ? first
+                           : slots_[2 * static_cast<std::size_t>(item) + 1];
+  }
+
+  /// Merged view with the cross-endpoint agreement assert; used post-run.
+  Value mergedChecked(std::uint32_t item) const {
+    const Value first = slots_[2 * static_cast<std::size_t>(item)];
+    const Value second = slots_[2 * static_cast<std::size_t>(item) + 1];
+    DIMA_ASSERT(first == unset_ || second == unset_ || first == second,
+                "item " << item << " committed with two values");
+    return first != unset_ ? first : second;
+  }
+
+  /// Folds every item's halves into one output vector (checked).
+  std::vector<Value> takeMerged() const {
+    std::vector<Value> out(items(), unset_);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = mergedChecked(static_cast<std::uint32_t>(i));
+    }
+    return out;
+  }
+
+  /// Items only one endpoint committed (possible only under message loss).
+  std::vector<std::uint32_t> halfCommitted() const {
+    std::vector<std::uint32_t> out;
+    for (std::size_t i = 0; i < items(); ++i) {
+      if ((slots_[2 * i] != unset_) != (slots_[2 * i + 1] != unset_)) {
+        out.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+    return out;
+  }
+
+ private:
+  Value unset_;
+  std::vector<Value> slots_;
+};
+
+/// CRTP base running the shared automaton. `Derived` supplies the decision
+/// hooks (see the file comment), `MessageT` the wire format (a type with
+/// `kind`/`target` fields over `net::WireKind`), and `NodeT` the node state
+/// (must derive from `CoreNode`). The message and node types are template
+/// parameters rather than `Derived::Message` lookups because `Derived` is
+/// incomplete while this base instantiates.
+template <class Derived, class MessageT, class NodeT>
+class MatchingCore {
+ public:
+  using Message = MessageT;
+
+  int subRounds() const { return 2 + self().tailSubRounds(); }
+
+  void beginCycle(net::NodeId u) {
+    if (!self().participates(u)) return;
+    NodeT& s = nodes_[u];
+    // Scratch is cleared even for nodes that just finished, so stale
+    // invitations can never leak into a later cycle.
+    s.invitee = graph::kNoVertex;
+    self().resetScratch(u);
+    if (s.done) {
+      s.role = Phase::Done;
+      return;
+    }
+    self().onActiveCycle(u);
+    s.role = self().chooseRole(u);
+    trace(u, net::TraceKind::StateChoice, s.role == Phase::Invite ? 1 : 0);
+  }
+
+  template <class Net>
+  void send(net::NodeId u, int sub, Net& net) {
+    if (!self().participates(u)) return;
+    NodeT& s = nodes_[u];
+    switch (sub) {
+      case 0: {  // I: propose to one peer.
+        if (s.role != Phase::Invite) return;
+        s.invitee = self().pickInvitee(u);
+        if (s.invitee == graph::kNoVertex) return;
+        const Message m = self().inviteMessage(u);
+        net.broadcast(u, m);
+        trace(u, net::TraceKind::InviteSent, s.invitee,
+              self().messageDetail(m));
+        break;
+      }
+      case 1: {  // R: accept one kept invitation.
+        if (s.role != Phase::Listen) return;
+        if (!self().chooseAccept(u)) return;
+        const Message m = self().acceptMessage(u);
+        net.broadcast(u, m);
+        trace(u, net::TraceKind::ResponseSent, m.target,
+              self().messageDetail(m));
+        self().onAcceptSent(u);
+        break;
+      }
+      default:
+        self().tailSend(u, sub - 2, net);
+    }
+  }
+
+  void receive(net::NodeId u, int sub, net::Inbox<Message> inbox) {
+    if (!self().participates(u)) return;
+    NodeT& s = nodes_[u];
+    switch (sub) {
+      case 0: {  // L: keep invitations addressed to me.
+        if (s.role != Phase::Listen) {
+          return;  // paper: invitors are in W and do not listen here
+        }
+        for (const auto& env : inbox) {
+          if (env.msg.kind != net::WireKind::Invite) continue;
+          if (env.msg.target == u) {
+            if (self().keepInvite(u, env)) {
+              trace(u, net::TraceKind::InviteKept, env.from,
+                    self().messageDetail(env.msg));
+            }
+          } else {
+            self().overheardInvite(u, env);
+          }
+        }
+        break;
+      }
+      case 1: {  // W: my invitation echoed back — the pair formed.
+        if (s.role != Phase::Invite || s.invitee == graph::kNoVertex) return;
+        bool echoed = false;
+        for (const auto& env : inbox) {
+          if (env.msg.kind == net::WireKind::Response &&
+              env.msg.target == u && env.from == s.invitee) {
+            self().onEcho(u, env.msg);
+            echoed = true;
+            break;
+          }
+        }
+        if (!echoed) self().onNoEcho(u);
+        break;
+      }
+      default:
+        self().tailReceive(u, sub - 2, inbox);
+    }
+  }
+
+  void endCycle(net::NodeId u) {
+    if (!self().participates(u)) return;
+    NodeT& s = nodes_[u];
+    if (s.done) return;
+    self().onCycleEnd(u);
+    if (self().localWorkDone(u)) {
+      s.done = true;
+      trace(u, net::TraceKind::NodeDone);
+    }
+  }
+
+  bool done(net::NodeId u) const { return nodes_[u].done; }
+
+  /// Advances the trace clock; wired to the engine observer.
+  void tickCycle() { ++cycle_; }
+
+  // Default hooks; shadow in Derived to override. Public because the base
+  // calls them through `self()`.
+
+  /// Nodes outside the protocol's scope skip every hook (e.g. the dynamic
+  /// repair frontier). Must be constant over a run.
+  bool participates(net::NodeId) const { return true; }
+
+  void onActiveCycle(net::NodeId) {}
+
+  /// C: the paper's biased coin.
+  Phase chooseRole(net::NodeId u) {
+    return nodes_[u].rng.bernoulli(invitorBias_) ? Phase::Invite
+                                                 : Phase::Listen;
+  }
+
+  void overheardInvite(net::NodeId, const net::Envelope<Message>&) {}
+  void onAcceptSent(net::NodeId) {}
+  void onNoEcho(net::NodeId) {}
+  void onCycleEnd(net::NodeId) {}
+
+  /// Detail column of Invite/Response trace rows: the carried color when
+  /// the wire format has one, -1 otherwise.
+  static std::int64_t messageDetail(const Message& m) {
+    if constexpr (requires { m.color; }) {
+      return m.color;
+    } else {
+      return -1;
+    }
+  }
+
+ protected:
+  MatchingCore(std::size_t numNodes, double invitorBias,
+               net::TraceLog* traceLog)
+      : invitorBias_(invitorBias), traceLog_(traceLog) {
+    nodes_.resize(numNodes);
+  }
+
+  void trace(net::NodeId u, net::TraceKind kind, std::int64_t a = -1,
+             std::int64_t b = -1) {
+    if (traceLog_ != nullptr) traceLog_->record(cycle_, u, kind, a, b);
+  }
+
+  // E-state announce tail, over `NodeT::pendingAnnounce` (a color; < 0 =
+  // nothing committed this cycle) and `Derived::announceMessage`.
+
+  template <class Net>
+  void announceSend(net::NodeId u, Net& net) {
+    if (nodes_[u].pendingAnnounce < 0) return;
+    net.broadcast(u, self().announceMessage(u));
+  }
+
+  // Strict tentative/abort handshake, over `NodeT::tent` (a
+  // `TentativeState`). A same-color conflict between adjacent same-cycle
+  // pairings is resolved by item id: lower wins, higher aborts and re-draws
+  // next cycle. Requires a wire format with `color`/`item` fields
+  // (net::TentativeColorWire).
+
+  template <class Net>
+  void tentativeSend(net::NodeId u, Net& net) {
+    const NodeT& s = nodes_[u];
+    if (s.tent.item == net::kNoWireItem) return;
+    net.broadcast(u, Message{net::WireKind::Tentative, graph::kNoVertex,
+                             s.tent.color, s.tent.item});
+  }
+
+  void tentativeConflictScan(net::NodeId u, net::Inbox<Message> inbox) {
+    NodeT& s = nodes_[u];
+    if (s.tent.item == net::kNoWireItem) return;
+    for (const auto& env : inbox) {
+      if (env.msg.kind != net::WireKind::Tentative) continue;
+      if (env.msg.item == s.tent.item) continue;  // partner's echo
+      // The sender is a neighbor and an endpoint of its item, this node an
+      // endpoint of its own — adjacency makes any equal-colored pair a
+      // conflict. Lower item id wins.
+      if (env.msg.color == s.tent.color && env.msg.item < s.tent.item) {
+        s.tent.abortMine = true;
+      }
+    }
+  }
+
+  template <class Net>
+  void abortSend(net::NodeId u, Net& net) {
+    const NodeT& s = nodes_[u];
+    if (s.tent.item == net::kNoWireItem || !s.tent.abortMine) return;
+    net.broadcast(u, Message{net::WireKind::Abort, graph::kNoVertex, -1,
+                             s.tent.item});
+  }
+
+  /// Resolves the handshake: adopt a partner's abort, then either roll back
+  /// (`onTentativeAborted`) or finalize (`commitTentative`).
+  void abortResolve(net::NodeId u, net::Inbox<Message> inbox) {
+    NodeT& s = nodes_[u];
+    if (s.tent.item == net::kNoWireItem) return;
+    if (!s.tent.abortMine) {
+      for (const auto& env : inbox) {
+        if (env.msg.kind == net::WireKind::Abort &&
+            env.msg.item == s.tent.item) {
+          s.tent.abortMine = true;
+          break;
+        }
+      }
+    }
+    if (s.tent.abortMine) {
+      trace(u, net::TraceKind::Aborted, s.tent.item, s.tent.color);
+      self().onTentativeAborted(u);
+    } else {
+      self().commitTentative(u);
+    }
+  }
+
+  Derived& self() { return static_cast<Derived&>(*this); }
+  const Derived& self() const { return static_cast<const Derived&>(*this); }
+
+  std::vector<NodeT> nodes_;
+  double invitorBias_ = 0.5;
+  net::TraceLog* traceLog_ = nullptr;
+  std::uint64_t cycle_ = 0;
+};
+
+}  // namespace dima::automata

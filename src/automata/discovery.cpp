@@ -5,14 +5,16 @@
 namespace dima::automata {
 
 MatchingDiscovery::MatchingDiscovery(const graph::Graph& g, std::uint64_t seed,
-                                     bool stopWhenMatched, double invitorBias)
-    : g_(&g), stopWhenMatched_(stopWhenMatched), invitorBias_(invitorBias) {
+                                     bool stopWhenMatched, double invitorBias,
+                                     net::TraceLog* trace)
+    : Core(g.numVertices(), invitorBias, trace),
+      g_(&g),
+      stopWhenMatched_(stopWhenMatched) {
   DIMA_REQUIRE(invitorBias > 0.0 && invitorBias < 1.0,
                "invitor bias must be in (0,1), got " << invitorBias);
   const support::SeedSequence seq(seed);
-  nodes_.resize(g.numVertices());
   for (net::NodeId u = 0; u < g.numVertices(); ++u) {
-    NodeState& s = nodes_[u];
+    DiscoveryNode& s = nodes_[u];
     s.rng = seq.stream(u);
     s.neighborRetired.assign(g.degree(u), false);
     // Isolated vertices have no one to match with.
@@ -20,114 +22,100 @@ MatchingDiscovery::MatchingDiscovery(const graph::Graph& g, std::uint64_t seed,
   }
 }
 
-void MatchingDiscovery::beginCycle(net::NodeId u) {
-  NodeState& s = nodes_[u];
+void MatchingDiscovery::resetScratch(net::NodeId u) {
+  DiscoveryNode& s = nodes_[u];
   s.keptInvites.clear();
-  s.invitee = graph::kNoVertex;
   s.matchedThisRound = false;
-  if (s.done) {
-    s.role = Phase::Done;
-    return;
-  }
+}
+
+void MatchingDiscovery::onActiveCycle(net::NodeId) {
   ++stats_.activeNodeRounds;
-  s.role = s.rng.bernoulli(invitorBias_) ? Phase::Invite : Phase::Listen;
 }
 
-void MatchingDiscovery::send(net::NodeId u, int sub,
-                             net::SyncNetwork<Message>& net) {
-  NodeState& s = nodes_[u];
-  switch (sub) {
-    case 0: {  // I: broadcast one invitation to a random eligible neighbor.
-      if (s.role != Phase::Invite) return;
-      const auto inc = g_->incidences(u);
-      support::SmallVector<net::NodeId, 8> eligible;
-      for (std::size_t i = 0; i < inc.size(); ++i) {
-        if (!s.neighborRetired[i]) eligible.push_back(inc[i].neighbor);
-      }
-      if (eligible.empty()) return;
-      s.invitee = eligible[s.rng.index(eligible.size())];
-      net.broadcast(u, Message{Message::Kind::Invite, s.invitee});
-      break;
-    }
-    case 1: {  // R: accept one kept invitation uniformly at random.
-      if (s.role != Phase::Listen || s.keptInvites.empty()) return;
-      const net::NodeId chosen =
-          s.keptInvites[s.rng.index(s.keptInvites.size())];
-      s.matchedWith = chosen;
-      s.matchedThisRound = true;
-      net.broadcast(u, Message{Message::Kind::Response, chosen});
-      break;
-    }
-    case 2: {  // E: announce a fresh match so neighbors retire us.
-      if (s.matchedThisRound && stopWhenMatched_) {
-        net.broadcast(u, Message{Message::Kind::MatchedAnnounce, u});
-      }
-      break;
-    }
-    default:
-      DIMA_ASSERT(false, "unexpected sub-round " << sub);
+// I: one invitation to a random eligible neighbor; a node whose neighbors
+// all retired sits the round out (no draw, no send).
+net::NodeId MatchingDiscovery::pickInvitee(net::NodeId u) {
+  DiscoveryNode& s = nodes_[u];
+  const auto inc = g_->incidences(u);
+  support::SmallVector<net::NodeId, 8> eligible;
+  for (std::size_t i = 0; i < inc.size(); ++i) {
+    if (!s.neighborRetired[i]) eligible.push_back(inc[i].neighbor);
+  }
+  if (eligible.empty()) return graph::kNoVertex;
+  return eligible[s.rng.index(eligible.size())];
+}
+
+MatchMessage MatchingDiscovery::inviteMessage(net::NodeId u) {
+  return Message{net::WireKind::Invite, nodes_[u].invitee};
+}
+
+// L: every invitation naming me is keepable.
+bool MatchingDiscovery::keepInvite(net::NodeId u,
+                                   const net::Envelope<Message>& env) {
+  nodes_[u].keptInvites.push_back(env.from);
+  return true;
+}
+
+// R: accept one kept invitation uniformly at random.
+bool MatchingDiscovery::chooseAccept(net::NodeId u) {
+  DiscoveryNode& s = nodes_[u];
+  if (s.keptInvites.empty()) return false;
+  s.matchedWith = s.keptInvites[s.rng.index(s.keptInvites.size())];
+  s.matchedThisRound = true;
+  return true;
+}
+
+MatchMessage MatchingDiscovery::acceptMessage(net::NodeId u) {
+  return Message{net::WireKind::Response, nodes_[u].matchedWith};
+}
+
+// W: my invitation echoed back means the pair formed.
+void MatchingDiscovery::onEcho(net::NodeId u, const Message&) {
+  DiscoveryNode& s = nodes_[u];
+  s.matchedWith = s.invitee;
+  s.matchedThisRound = true;
+}
+
+// E: announce a fresh match so neighbors retire us.
+void MatchingDiscovery::tailSend(net::NodeId u, int,
+                                 net::SyncNetwork<Message>& net) {
+  const DiscoveryNode& s = nodes_[u];
+  if (s.matchedThisRound && stopWhenMatched_) {
+    net.broadcast(u, Message{net::WireKind::MatchedAnnounce, u});
   }
 }
 
-void MatchingDiscovery::receive(net::NodeId u, int sub,
-                                net::Inbox<Message> inbox) {
-  NodeState& s = nodes_[u];
-  switch (sub) {
-    case 0: {  // L: keep invitations that name me.
-      if (s.role != Phase::Listen) return;
-      for (const auto& env : inbox) {
-        if (env.msg.kind == Message::Kind::Invite && env.msg.target == u) {
-          s.keptInvites.push_back(env.from);
-        }
+// E: retire announced neighbors from the eligible set.
+void MatchingDiscovery::tailReceive(net::NodeId u, int,
+                                    net::Inbox<Message> inbox) {
+  DiscoveryNode& s = nodes_[u];
+  const auto inc = g_->incidences(u);
+  for (const auto& env : inbox) {
+    if (env.msg.kind != net::WireKind::MatchedAnnounce) continue;
+    for (std::size_t i = 0; i < inc.size(); ++i) {
+      if (inc[i].neighbor == env.from) {
+        s.neighborRetired[i] = true;
+        break;
       }
-      break;
     }
-    case 1: {  // W: my invitation echoed back means the pair formed.
-      if (s.role != Phase::Invite || s.invitee == graph::kNoVertex) return;
-      for (const auto& env : inbox) {
-        if (env.msg.kind == Message::Kind::Response && env.msg.target == u &&
-            env.from == s.invitee) {
-          s.matchedWith = s.invitee;
-          s.matchedThisRound = true;
-          break;
-        }
-      }
-      break;
-    }
-    case 2: {  // E: retire announced neighbors from the eligible set.
-      const auto inc = g_->incidences(u);
-      for (const auto& env : inbox) {
-        if (env.msg.kind != Message::Kind::MatchedAnnounce) continue;
-        for (std::size_t i = 0; i < inc.size(); ++i) {
-          if (inc[i].neighbor == env.from) {
-            s.neighborRetired[i] = true;
-            break;
-          }
-        }
-      }
-      break;
-    }
-    default:
-      DIMA_ASSERT(false, "unexpected sub-round " << sub);
   }
 }
 
-void MatchingDiscovery::endCycle(net::NodeId u) {
-  NodeState& s = nodes_[u];
-  if (s.done) return;
-  if (s.matchedThisRound) ++stats_.matchedNodeRounds;
-  if (!stopWhenMatched_) return;
-  if (s.matchedWith != graph::kNoVertex) {
-    s.done = true;
-    return;
-  }
-  s.done = std::all_of(s.neighborRetired.begin(), s.neighborRetired.end(),
-                       [](bool retired) { return retired; });
+void MatchingDiscovery::onCycleEnd(net::NodeId u) {
+  if (nodes_[u].matchedThisRound) ++stats_.matchedNodeRounds;
+}
+
+bool MatchingDiscovery::localWorkDone(net::NodeId u) const {
+  const DiscoveryNode& s = nodes_[u];
+  if (!stopWhenMatched_) return false;
+  if (s.matchedWith != graph::kNoVertex) return true;
+  return std::all_of(s.neighborRetired.begin(), s.neighborRetired.end(),
+                     [](bool retired) { return retired; });
 }
 
 void MatchingDiscovery::finishRoundAccounting() {
   std::size_t pairs = 0;
-  for (NodeState& s : nodes_) {
+  for (DiscoveryNode& s : nodes_) {
     if (s.matchedThisRound) {
       ++pairs;
       // Consume the flag here rather than relying on beginCycle: a node that
@@ -138,7 +126,7 @@ void MatchingDiscovery::finishRoundAccounting() {
     }
   }
   stats_.pairsPerRound.push_back(pairs / 2);
-  ++round_;
+  tickCycle();
 }
 
 Matching MatchingDiscovery::matching() const {

@@ -15,6 +15,11 @@
 ///   E  — freshly matched nodes announce it, so neighbors drop them from
 ///        their eligible sets.
 ///
+/// This is the purest instantiation of the shared automaton core
+/// (automata/core.hpp): the C/I/L/R/W schedule is inherited verbatim, and
+/// the policy code below only decides eligibility, records matches, and
+/// runs the retire-announce tail.
+///
 /// Run for one round it emits one matching (`discoverMatching`); iterated to
 /// exhaustion every node ends matched or with no unmatched neighbors, i.e.
 /// the union-of-rounds greedy yields a *maximal* matching
@@ -28,6 +33,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/automata/core.hpp"
 #include "src/automata/matching.hpp"
 #include "src/automata/phase.hpp"
 #include "src/graph/graph.hpp"
@@ -38,18 +44,9 @@
 
 namespace dima::automata {
 
-/// Wire format of the discovery automaton.
-struct MatchMessage {
-  enum class Kind : std::uint8_t { Invite, Response, MatchedAnnounce };
-  Kind kind = Kind::Invite;
-  /// Invite: the invited listener. Response: the accepted invitor.
-  net::NodeId target = graph::kNoVertex;
-
-  /// CONGEST wire size: 2-bit kind + target id.
-  std::uint64_t wireBits() const {
-    return 2 + (target == graph::kNoVertex ? 1 : net::bitWidth(target));
-  }
-};
+/// Wire format of the discovery automaton: the shared bare pairing format
+/// (Invite / Response / MatchedAnnounce).
+using MatchMessage = net::PairWire;
 
 /// Aggregate statistics of a discovery run.
 struct DiscoveryStats {
@@ -69,27 +66,44 @@ struct DiscoveryStats {
   }
 };
 
+/// Node state: core fields plus match bookkeeping.
+struct DiscoveryNode : CoreNode {
+  net::NodeId matchedWith = graph::kNoVertex;
+  bool matchedThisRound = false;
+  support::SmallVector<net::NodeId, 4> keptInvites;
+  std::vector<bool> neighborRetired;  ///< parallel to incidences(u)
+};
+
 /// The automaton as an engine protocol. Most callers want the convenience
 /// drivers below; the class is public so the ablation bench can tweak the
 /// invitor-coin bias (the paper's 1/2) and observe the effect on round
 /// counts.
-class MatchingDiscovery {
- public:
-  using Message = MatchMessage;
+class MatchingDiscovery
+    : public MatchingCore<MatchingDiscovery, MatchMessage, DiscoveryNode> {
+  using Core = MatchingCore<MatchingDiscovery, MatchMessage, DiscoveryNode>;
 
+ public:
   /// `stopWhenMatched == true` gives the maximal-matching behaviour (matched
   /// nodes retire); `false` re-matches every round (used by the one-round
   /// driver). `invitorBias` is the probability of choosing I in state C.
   MatchingDiscovery(const graph::Graph& g, std::uint64_t seed,
-                    bool stopWhenMatched = true, double invitorBias = 0.5);
+                    bool stopWhenMatched = true, double invitorBias = 0.5,
+                    net::TraceLog* trace = nullptr);
 
-  int subRounds() const { return 3; }
-  void beginCycle(net::NodeId u);
-  void send(net::NodeId u, int sub, net::SyncNetwork<Message>& net);
-  void receive(net::NodeId u, int sub,
-               net::Inbox<Message> inbox);
-  void endCycle(net::NodeId u);
-  bool done(net::NodeId u) const { return nodes_[u].done; }
+  // Decision hooks of the shared automaton (see automata/core.hpp).
+  void resetScratch(net::NodeId u);
+  void onActiveCycle(net::NodeId u);
+  net::NodeId pickInvitee(net::NodeId u);
+  Message inviteMessage(net::NodeId u);
+  bool keepInvite(net::NodeId u, const net::Envelope<Message>& env);
+  bool chooseAccept(net::NodeId u);
+  Message acceptMessage(net::NodeId u);
+  void onEcho(net::NodeId u, const Message& msg);
+  int tailSubRounds() const { return 1; }
+  void tailSend(net::NodeId u, int tail, net::SyncNetwork<Message>& net);
+  void tailReceive(net::NodeId u, int tail, net::Inbox<Message> inbox);
+  void onCycleEnd(net::NodeId u);
+  bool localWorkDone(net::NodeId u) const;
 
   /// Partner of `u` (kNoVertex while unmatched).
   net::NodeId matchedWith(net::NodeId u) const {
@@ -105,23 +119,9 @@ class MatchingDiscovery {
   void finishRoundAccounting();
 
  private:
-  struct NodeState {
-    Phase role = Phase::Choose;  ///< Invite or Listen for the current round
-    bool done = false;
-    net::NodeId matchedWith = graph::kNoVertex;
-    net::NodeId invitee = graph::kNoVertex;   ///< whom I invited this round
-    bool matchedThisRound = false;
-    support::SmallVector<net::NodeId, 4> keptInvites;
-    std::vector<bool> neighborRetired;  ///< parallel to incidences(u)
-    support::Rng rng{0};
-  };
-
   const graph::Graph* g_;
   bool stopWhenMatched_;
-  double invitorBias_;
-  std::vector<NodeState> nodes_;
   DiscoveryStats stats_;
-  std::uint64_t round_ = 0;
 };
 
 /// Runs the automaton for exactly one computation round and returns the

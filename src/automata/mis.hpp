@@ -14,6 +14,11 @@
 ///      announces it; neighbors of joiners retire.
 /// Terminates in O(log n) rounds w.h.p.; the result is independent (no two
 /// adjacent members) and maximal (every non-member has a member neighbor).
+///
+/// Deliberately *not* built on `automata/core.hpp`: the rank exchange is a
+/// symmetric compare-with-all-neighbors step with no invite/accept pairing
+/// and no roles, so it is a structurally different automaton from Fig. 1
+/// (see docs/PROTOCOLS.md §10).
 
 #include <cstdint>
 #include <vector>

@@ -1,15 +1,51 @@
 #pragma once
 
 /// \file color.hpp
-/// Color indices. The paper's palette is conceptually unbounded ("the lowest
-/// indexed color available"); colors are small dense integers allocated on
-/// demand, `kNoColor` marks an uncolored edge/arc.
+/// Color indices and the shared proposal-color policy. The paper's palette
+/// is conceptually unbounded ("the lowest indexed color available"); colors
+/// are small dense integers allocated on demand, `kNoColor` marks an
+/// uncolored edge/arc.
 
+#include <cstddef>
 #include <cstdint>
+
+#include "src/support/bitset.hpp"
+#include "src/support/rng.hpp"
+#include "src/support/small_vector.hpp"
 
 namespace dima::coloring {
 
 using Color = std::int32_t;
 inline constexpr Color kNoColor = -1;
+
+/// How an invitor picks the color it proposes (see dima2ed.hpp for why the
+/// literal lowest-free-index rule of the pseudo-code can livelock).
+enum class ColorPolicy : std::uint8_t {
+  ExpandingWindow,  ///< random among first (1 + failures) free colors
+  LowestIndex,      ///< always the lowest free color (can livelock)
+};
+
+/// Draws a proposal color outside `forbidden`. `failures` is the number of
+/// unanswered invitations on the item being proposed for; under
+/// `ExpandingWindow` it widens the draw window, which starts at
+/// lowest-index quality and gains almost-sure progress on every failure.
+inline Color chooseProposalColor(ColorPolicy policy,
+                                 const support::DynamicBitset& forbidden,
+                                 std::uint32_t failures, support::Rng& rng) {
+  if (policy == ColorPolicy::LowestIndex) {
+    return static_cast<Color>(forbidden.firstClear());
+  }
+  // ExpandingWindow: uniform among the first (1 + failures) free colors.
+  const std::size_t window = 1 + failures;
+  support::SmallVector<std::size_t, 16> candidates;
+  std::size_t c = forbidden.firstClear();
+  while (candidates.size() < window) {
+    candidates.push_back(c);
+    // Next free color after c.
+    ++c;
+    while (forbidden.test(c)) ++c;
+  }
+  return static_cast<Color>(candidates[rng.index(candidates.size())]);
+}
 
 }  // namespace dima::coloring

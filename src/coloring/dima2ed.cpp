@@ -1,8 +1,8 @@
 #include "src/coloring/dima2ed.hpp"
 
-#include <utility>
 #include <vector>
 
+#include "src/automata/core.hpp"
 #include "src/automata/phase.hpp"
 #include "src/net/network.hpp"
 #include "src/support/bitset.hpp"
@@ -20,41 +20,55 @@ using graph::kNoVertex;
 using net::NodeId;
 using support::DynamicBitset;
 
-struct D2Message {
-  enum class Kind : std::uint8_t {
-    Invite,         ///< target = invitee, color = proposal
-    Response,       ///< target = inviter, color = accepted proposal
-    Tentative,      ///< strict: arc + color pending commit
-    Abort,          ///< strict: arc rolled back
-    ColorAnnounce,  ///< E: color committed this round
-  };
-  Kind kind = Kind::Invite;
-  NodeId target = kNoVertex;
+/// An invitation kept in sub-round 0 ("group a" of Procedure 2-b).
+struct KeptInvite {
+  NodeId from = kNoVertex;
   Color color = kNoColor;
-  ArcId arc = kNoArc;
-
-  /// CONGEST wire size: 3-bit kind + id + color + arc id.
-  std::uint64_t wireBits() const {
-    return 3 + (target == kNoVertex ? 1 : net::bitWidth(target)) +
-           (color < 0 ? 1
-                      : net::bitWidth(static_cast<std::uint64_t>(color))) +
-           (arc == kNoArc ? 1 : net::bitWidth(arc));
-  }
+  std::uint32_t idx = 0;  ///< incidence index of `from` at this node
 };
 
-class Dima2EdProtocol {
- public:
-  using Message = D2Message;
+/// Node state: the core fields plus Algorithm 2's two-sided bookkeeping.
+struct D2Node : automata::CoreNode {
+  /// Incidence indices whose outgoing arc is uncolored.
+  support::SmallVector<std::uint32_t, 8> outUncolored;
+  std::vector<bool> inColored;  ///< per incidence index
+  std::size_t inUncoloredCount = 0;
+  /// Colors on arcs incident to me or to a neighbor (one-hop knowledge).
+  DynamicBitset forbidden;
+  /// Failed invitations per out-arc; widens the color window.
+  std::vector<std::uint32_t> failures;
+  // Per-round scratch:
+  support::SmallVector<KeptInvite, 4> mine;
+  DynamicBitset overheard;
+  std::uint32_t inviteIdx = 0;
+  Color proposed = kNoColor;
+  KeptInvite accepted;
+  automata::TentativeState tent;  ///< item = the pending arc id
+  Color pendingAnnounce = kNoColor;
+};
 
+/// Algorithm 2 as a policy over the shared automaton (see dima2ed.hpp for
+/// the round story, automata/core.hpp for the hook contract). The state
+/// machine lives in the core; this class decides the one-sided role rule,
+/// the out-arc proposal (expanding color window), which invitations are
+/// valid here, the per-side arc commits, and — in strict mode — it wires
+/// the core's tentative/abort handshake into the tail sub-rounds.
+class Dima2EdProtocol
+    : public automata::MatchingCore<Dima2EdProtocol, net::TentativeColorWire,
+                                    D2Node> {
+  using Core = automata::MatchingCore<Dima2EdProtocol, net::TentativeColorWire,
+                                      D2Node>;
+
+ public:
   Dima2EdProtocol(const graph::Digraph& d, const Dima2EdOptions& options)
-      : d_(&d),
+      : Core(d.numVertices(), options.invitorBias, options.trace),
+        d_(&d),
         g_(&d.underlying()),
         options_(options),
-        sideColor_(2 * static_cast<std::size_t>(d.numArcs()), kNoColor) {
+        halves_(d.numArcs(), kNoColor) {
     const support::SeedSequence seq(options.seed);
-    nodes_.resize(d.numVertices());
     for (NodeId u = 0; u < d.numVertices(); ++u) {
-      NodeState& s = nodes_[u];
+      D2Node& s = nodes_[u];
       s.rng = seq.stream(u);
       const auto deg = static_cast<std::uint32_t>(g_->degree(u));
       s.outUncolored.reserve(deg);
@@ -66,308 +80,187 @@ class Dima2EdProtocol {
     }
   }
 
-  int subRounds() const {
-    return options_.mode == Dima2EdMode::Strict ? 5 : 3;
-  }
-
-  void beginCycle(NodeId u) {
-    NodeState& s = nodes_[u];
+  void resetScratch(NodeId u) {
+    D2Node& s = nodes_[u];
     s.mine.clear();
     s.overheard.clear();
-    s.invitee = kNoVertex;
     s.inviteIdx = 0;
     s.proposed = kNoColor;
-    s.tentArc = kNoArc;
-    s.tentColor = kNoColor;
-    s.tentIdx = 0;
-    s.tentIsOut = false;
-    s.abortMine = false;
+    s.tent.reset();
     s.pendingAnnounce = kNoColor;
-    if (s.done) {
-      s.role = Phase::Done;
-      return;
-    }
-    // Role choice: a node whose remaining work is one-sided plays the only
-    // useful role; otherwise the paper's fair coin. (A node with only
-    // uncolored out-arcs is never deadlocked against a peer in the same
-    // situation: an uncolored out-arc u→v implies v still has the uncolored
-    // in-arc u→v, so v keeps listening with positive probability.)
+  }
+
+  // C: a node whose remaining work is one-sided plays the only useful role;
+  // otherwise the paper's fair coin. (A node with only uncolored out-arcs
+  // is never deadlocked against a peer in the same situation: an uncolored
+  // out-arc u→v implies v still has the uncolored in-arc u→v, so v keeps
+  // listening with positive probability.)
+  Phase chooseRole(NodeId u) {
+    D2Node& s = nodes_[u];
     const bool hasOut = !s.outUncolored.empty();
     const bool hasIn = s.inUncoloredCount > 0;
     DIMA_ASSERT(hasOut || hasIn, "active node with no uncolored arcs");
-    if (!hasOut) {
-      s.role = Phase::Listen;
-    } else if (!hasIn) {
-      s.role = Phase::Invite;
+    if (!hasOut) return Phase::Listen;
+    if (!hasIn) return Phase::Invite;
+    return s.rng.bernoulli(invitorBias_) ? Phase::Invite : Phase::Listen;
+  }
+
+  // I: Procedure 2-a, ChooseRoundPartner — random uncolored out-arc,
+  // proposal from the expanding color window.
+  NodeId pickInvitee(NodeId u) {
+    D2Node& s = nodes_[u];
+    DIMA_ASSERT(!s.outUncolored.empty(), "invitor without uncolored arc");
+    s.inviteIdx = s.outUncolored[s.rng.index(s.outUncolored.size())];
+    s.proposed = chooseProposalColor(options_.policy, s.forbidden,
+                                     s.failures[s.inviteIdx], s.rng);
+    return g_->incidences(u)[s.inviteIdx].neighbor;
+  }
+
+  Message inviteMessage(NodeId u) {
+    const D2Node& s = nodes_[u];
+    return Message{net::WireKind::Invite, s.invitee, s.proposed, kNoArc};
+  }
+
+  bool keepInvite(NodeId u, const net::Envelope<Message>& env) {
+    D2Node& s = nodes_[u];
+    // Reject proposals for arcs already colored on this side (only
+    // reachable under fault injection) and remember the rest. (The commit
+    // halves are written in later sub-rounds, so this sub-round-0 read is
+    // barrier-separated from every writer.)
+    const std::uint32_t idx = incidenceIndexOf(u, env.from);
+    const ArcId arc = d_->findArc(env.from, u);
+    if (s.inColored[idx] || halves_.merged(arc) != kNoColor) return false;
+    s.mine.push_back(KeptInvite{env.from, env.msg.color, idx});
+    return true;
+  }
+
+  // L: colors proposed to someone else are "group b" — unusable this round.
+  void overheardInvite(NodeId u, const net::Envelope<Message>& env) {
+    nodes_[u].overheard.set(static_cast<std::size_t>(env.msg.color));
+  }
+
+  // R: Procedure 2-b, EvaluateInvites — accept a random valid invitation.
+  bool chooseAccept(NodeId u) {
+    D2Node& s = nodes_[u];
+    if (s.mine.empty()) return false;
+    // Valid = usable here, not overheard in someone else's proposal.
+    support::SmallVector<std::size_t, 4> valid;
+    for (std::size_t i = 0; i < s.mine.size(); ++i) {
+      const Color c = s.mine[i].color;
+      if (!s.overheard.test(static_cast<std::size_t>(c)) &&
+          !s.forbidden.test(static_cast<std::size_t>(c))) {
+        valid.push_back(i);
+      }
+    }
+    if (valid.empty()) return false;
+    s.accepted = s.mine[valid[s.rng.index(valid.size())]];
+    return true;
+  }
+
+  Message acceptMessage(NodeId u) {
+    const D2Node& s = nodes_[u];
+    return Message{net::WireKind::Response, s.accepted.from, s.accepted.color,
+                   kNoArc};
+  }
+
+  void onAcceptSent(NodeId u) {
+    D2Node& s = nodes_[u];
+    // The colored arc is the inviter's outgoing arc accepted.from → u.
+    const ArcId arc = d_->findArc(s.accepted.from, u);
+    DIMA_ASSERT(arc != kNoArc, "response without an arc");
+    if (options_.mode == Dima2EdMode::Strict) {
+      s.tent = {arc, s.accepted.color, s.accepted.idx, /*asInvitor=*/false,
+                /*abortMine=*/false};
     } else {
-      s.role = s.rng.bernoulli(options_.invitorBias) ? Phase::Invite
-                                                     : Phase::Listen;
-    }
-    trace(u, net::TraceKind::StateChoice, s.role == Phase::Invite ? 1 : 0);
-  }
-
-  void send(NodeId u, int sub, net::SyncNetwork<Message>& net) {
-    NodeState& s = nodes_[u];
-    const bool strict = options_.mode == Dima2EdMode::Strict;
-    switch (sub) {
-      case 0: {  // I: Procedure 2-a, ChooseRoundPartner.
-        if (s.role != Phase::Invite) return;
-        DIMA_ASSERT(!s.outUncolored.empty(), "invitor without uncolored arc");
-        s.inviteIdx = s.outUncolored[s.rng.index(s.outUncolored.size())];
-        s.invitee = g_->incidences(u)[s.inviteIdx].neighbor;
-        s.proposed = chooseColor(s, s.inviteIdx);
-        net.broadcast(u, Message{Message::Kind::Invite, s.invitee, s.proposed,
-                                 kNoArc});
-        trace(u, net::TraceKind::InviteSent, s.invitee, s.proposed);
-        break;
-      }
-      case 1: {  // R: Procedure 2-b, EvaluateInvites.
-        if (s.role != Phase::Listen || s.mine.empty()) return;
-        // Valid = usable here, not overheard in someone else's proposal.
-        support::SmallVector<std::size_t, 4> valid;
-        for (std::size_t i = 0; i < s.mine.size(); ++i) {
-          const Color c = s.mine[i].color;
-          if (!s.overheard.test(static_cast<std::size_t>(c)) &&
-              !s.forbidden.test(static_cast<std::size_t>(c))) {
-            valid.push_back(i);
-          }
-        }
-        if (valid.empty()) return;
-        const auto& kept = s.mine[valid[s.rng.index(valid.size())]];
-        net.broadcast(u, Message{Message::Kind::Response, kept.from,
-                                 kept.color, kNoArc});
-        trace(u, net::TraceKind::ResponseSent, kept.from, kept.color);
-        // The colored arc is the inviter's outgoing arc kept.from → u.
-        const ArcId arc = d_->findArc(kept.from, u);
-        DIMA_ASSERT(arc != kNoArc, "response without an arc");
-        if (strict) {
-          s.tentArc = arc;
-          s.tentColor = kept.color;
-          s.tentIdx = kept.idx;
-          s.tentIsOut = false;
-        } else {
-          commitIncoming(u, kept.idx, arc, kept.color);
-        }
-        break;
-      }
-      case 2: {
-        if (strict) {  // strict: announce the tentative pair.
-          if (s.tentArc != kNoArc) {
-            net.broadcast(u, Message{Message::Kind::Tentative, kNoVertex,
-                                     s.tentColor, s.tentArc});
-          }
-        } else {  // paper: E-state color exchange.
-          sendAnnounce(u, net);
-        }
-        break;
-      }
-      case 3: {  // strict: abort notices.
-        if (s.tentArc != kNoArc && s.abortMine) {
-          net.broadcast(u, Message{Message::Kind::Abort, kNoVertex, kNoColor,
-                                   s.tentArc});
-        }
-        break;
-      }
-      case 4: {  // strict: E-state color exchange.
-        sendAnnounce(u, net);
-        break;
-      }
-      default:
-        DIMA_ASSERT(false, "unexpected sub-round " << sub);
+      commitIncoming(u, s.accepted.idx, arc, s.accepted.color);
     }
   }
 
-  void receive(NodeId u, int sub,
-               net::Inbox<Message> inbox) {
-    NodeState& s = nodes_[u];
-    const bool strict = options_.mode == Dima2EdMode::Strict;
-    switch (sub) {
-      case 0: {  // L: collect own invites ("group a") and overheard colors
-                 // ("group b", Procedure 2-b line 8).
-        if (s.role != Phase::Listen) {
-          return;  // paper: invitors are in W and do not listen here
-        }
-        for (const auto& env : inbox) {
-          if (env.msg.kind != Message::Kind::Invite) continue;
-          if (env.msg.target == u) {
-            // Reject proposals for arcs already colored on this side (only
-            // reachable under fault injection) and remember the rest. (The
-            // commit halves are written in later sub-rounds, so this
-            // sub-round-0 read is barrier-separated from every writer.)
-            const std::uint32_t idx = incidenceIndexOf(u, env.from);
-            const ArcId arc = d_->findArc(env.from, u);
-            if (!s.inColored[idx] && arcColor(arc) == kNoColor) {
-              s.mine.push_back(KeptInvite{env.from, env.msg.color, idx});
-              trace(u, net::TraceKind::InviteKept, env.from, env.msg.color);
-            }
-          } else {
-            s.overheard.set(static_cast<std::size_t>(env.msg.color));
-          }
-        }
-        break;
-      }
-      case 1: {  // W: find the echo of my invitation.
-        if (s.role != Phase::Invite || s.invitee == kNoVertex) return;
-        for (const auto& env : inbox) {
-          if (env.msg.kind == Message::Kind::Response &&
-              env.msg.target == u && env.from == s.invitee) {
-            DIMA_ASSERT(env.msg.color == s.proposed,
-                        "echoed color mismatches proposal");
-            const ArcId arc = d_->findArc(u, s.invitee);
-            DIMA_ASSERT(arc != kNoArc, "response without an arc");
-            if (strict) {
-              s.tentArc = arc;
-              s.tentColor = s.proposed;
-              s.tentIdx = s.inviteIdx;
-              s.tentIsOut = true;
-            } else {
-              commitOutgoing(u, s.inviteIdx, arc, s.proposed);
-            }
-            return;
-          }
-        }
-        // No echo: the invitation failed; widen this arc's color window.
-        ++s.failures[s.inviteIdx];
-        break;
-      }
-      case 2: {
-        if (strict) {  // conflict scan among same-round tentatives.
-          if (s.tentArc == kNoArc) return;
-          for (const auto& env : inbox) {
-            if (env.msg.kind != Message::Kind::Tentative) continue;
-            if (env.msg.arc == s.tentArc) continue;  // partner's echo
-            // The sender is a neighbor and an endpoint of its arc, this
-            // node is an endpoint of its own arc — adjacency makes any
-            // equal-colored pair a strong conflict. Lower arc id wins.
-            if (env.msg.color == s.tentColor && env.msg.arc < s.tentArc) {
-              s.abortMine = true;
-            }
-          }
-        } else {  // paper: fold announcements into the forbidden set.
-          receiveAnnounce(s, inbox);
-        }
-        break;
-      }
-      case 3: {  // strict: resolve aborts, then commit survivors.
-        if (s.tentArc == kNoArc) return;
-        if (!s.abortMine) {
-          for (const auto& env : inbox) {
-            if (env.msg.kind == Message::Kind::Abort &&
-                env.msg.arc == s.tentArc) {
-              s.abortMine = true;
-              break;
-            }
-          }
-        }
-        if (s.abortMine) {
-          trace(u, net::TraceKind::Aborted, s.tentArc, s.tentColor);
-          if (s.tentIsOut) ++s.failures[s.tentIdx];
-        } else if (s.tentIsOut) {
-          commitOutgoing(u, s.tentIdx, s.tentArc, s.tentColor);
-        } else {
-          commitIncoming(u, s.tentIdx, s.tentArc, s.tentColor);
-        }
-        break;
-      }
-      case 4: {  // strict: E-state update.
-        receiveAnnounce(s, inbox);
-        break;
-      }
-      default:
-        DIMA_ASSERT(false, "unexpected sub-round " << sub);
+  // W: the echo of my invitation.
+  void onEcho(NodeId u, [[maybe_unused]] const Message& msg) {
+    D2Node& s = nodes_[u];
+    DIMA_ASSERT(msg.color == s.proposed, "echoed color mismatches proposal");
+    const ArcId arc = d_->findArc(u, s.invitee);
+    DIMA_ASSERT(arc != kNoArc, "response without an arc");
+    if (options_.mode == Dima2EdMode::Strict) {
+      s.tent = {arc, s.proposed, s.inviteIdx, /*asInvitor=*/true,
+                /*abortMine=*/false};
+    } else {
+      commitOutgoing(u, s.inviteIdx, arc, s.proposed);
     }
   }
 
-  void endCycle(NodeId u) {
-    NodeState& s = nodes_[u];
-    if (!s.done && s.outUncolored.empty() && s.inUncoloredCount == 0) {
-      s.done = true;
-      trace(u, net::TraceKind::NodeDone);
+  // No echo: the invitation failed; widen this arc's color window.
+  void onNoEcho(NodeId u) {
+    D2Node& s = nodes_[u];
+    ++s.failures[s.inviteIdx];
+  }
+
+  // Strict mode interleaves the core's tentative/abort handshake before the
+  // E-state announce; paper mode announces immediately.
+  int tailSubRounds() const {
+    return options_.mode == Dima2EdMode::Strict ? 3 : 1;
+  }
+
+  void tailSend(NodeId u, int tail, net::SyncNetwork<Message>& net) {
+    if (options_.mode == Dima2EdMode::Strict) {
+      switch (tail) {
+        case 0: tentativeSend(u, net); return;
+        case 1: abortSend(u, net); return;
+        default: announceSend(u, net); return;
+      }
+    }
+    announceSend(u, net);
+  }
+
+  void tailReceive(NodeId u, int tail, net::Inbox<Message> inbox) {
+    if (options_.mode == Dima2EdMode::Strict) {
+      switch (tail) {
+        case 0: tentativeConflictScan(u, inbox); return;
+        case 1: abortResolve(u, inbox); return;
+        default: receiveAnnounce(u, inbox); return;
+      }
+    }
+    receiveAnnounce(u, inbox);
+  }
+
+  Message announceMessage(NodeId u) {
+    return Message{net::WireKind::ColorAnnounce, kNoVertex,
+                   nodes_[u].pendingAnnounce, kNoArc};
+  }
+
+  /// Handshake survivor: finalize the side this node played.
+  void commitTentative(NodeId u) {
+    const D2Node& s = nodes_[u];
+    if (s.tent.asInvitor) {
+      commitOutgoing(u, s.tent.idx, s.tent.item, s.tent.color);
+    } else {
+      commitIncoming(u, s.tent.idx, s.tent.item, s.tent.color);
     }
   }
 
-  bool done(NodeId u) const { return nodes_[u].done; }
+  /// Handshake loser: an invitor charges the failure to its color window.
+  void onTentativeAborted(NodeId u) {
+    D2Node& s = nodes_[u];
+    if (s.tent.asInvitor) ++s.failures[s.tent.idx];
+  }
+
+  bool localWorkDone(NodeId u) const {
+    const D2Node& s = nodes_[u];
+    return s.outUncolored.empty() && s.inUncoloredCount == 0;
+  }
 
   /// Folds the two commit halves of every arc into the output coloring;
-  /// the cross-endpoint agreement check lives here (serial, post-run)
+  /// the cross-endpoint agreement check lives there (serial, post-run)
   /// because during the run the halves are written concurrently.
-  std::vector<Color> takeColors() {
-    std::vector<Color> out(sideColor_.size() / 2, kNoColor);
-    for (ArcId a = 0; a < out.size(); ++a) {
-      const Color origin = sideColor_[2 * a];
-      const Color target = sideColor_[2 * a + 1];
-      DIMA_ASSERT(origin == kNoColor || target == kNoColor || origin == target,
-                  "arc " << a << " committed with two colors " << origin
-                         << "≠" << target);
-      out[a] = origin != kNoColor ? origin : target;
-    }
-    return out;
-  }
+  std::vector<Color> takeColors() const { return halves_.takeMerged(); }
 
   /// Arcs only one endpoint committed (possible only under message loss).
   std::vector<ArcId> halfCommittedArcs() const {
-    std::vector<ArcId> out;
-    for (ArcId a = 0; 2 * a < sideColor_.size(); ++a) {
-      if ((sideColor_[2 * a] != kNoColor) !=
-          (sideColor_[2 * a + 1] != kNoColor)) {
-        out.push_back(a);
-      }
-    }
-    return out;
+    return halves_.halfCommitted();
   }
-
-  void tickCycle() { ++cycle_; }
 
  private:
-  struct KeptInvite {
-    NodeId from = kNoVertex;
-    Color color = kNoColor;
-    std::uint32_t idx = 0;  ///< incidence index of `from` at this node
-  };
-
-  struct NodeState {
-    support::Rng rng{0};
-    Phase role = Phase::Choose;
-    bool done = false;
-    /// Incidence indices whose outgoing arc is uncolored.
-    support::SmallVector<std::uint32_t, 8> outUncolored;
-    std::vector<bool> inColored;  ///< per incidence index
-    std::size_t inUncoloredCount = 0;
-    /// Colors on arcs incident to me or to a neighbor (one-hop knowledge).
-    DynamicBitset forbidden;
-    /// Failed invitations per out-arc; widens the color window.
-    std::vector<std::uint32_t> failures;
-    // Per-round scratch:
-    support::SmallVector<KeptInvite, 4> mine;
-    DynamicBitset overheard;
-    NodeId invitee = kNoVertex;
-    std::uint32_t inviteIdx = 0;
-    Color proposed = kNoColor;
-    ArcId tentArc = kNoArc;
-    Color tentColor = kNoColor;
-    std::uint32_t tentIdx = 0;
-    bool tentIsOut = false;
-    bool abortMine = false;
-    Color pendingAnnounce = kNoColor;
-  };
-
-  Color chooseColor(NodeState& s, std::uint32_t idx) {
-    if (options_.policy == ColorPolicy::LowestIndex) {
-      return static_cast<Color>(s.forbidden.firstClear());
-    }
-    // ExpandingWindow: uniform among the first (1 + failures) free colors.
-    const std::size_t window = 1 + s.failures[idx];
-    support::SmallVector<std::size_t, 16> candidates;
-    std::size_t c = s.forbidden.firstClear();
-    while (candidates.size() < window) {
-      candidates.push_back(c);
-      // Next free color after c.
-      ++c;
-      while (s.forbidden.test(c)) ++c;
-    }
-    return static_cast<Color>(candidates[s.rng.index(candidates.size())]);
-  }
-
   std::uint32_t incidenceIndexOf(NodeId u, NodeId neighbor) const {
     const auto inc = g_->incidences(u);
     for (std::uint32_t i = 0; i < inc.size(); ++i) {
@@ -378,7 +271,7 @@ class Dima2EdProtocol {
   }
 
   void commitIncoming(NodeId u, std::uint32_t idx, ArcId arc, Color color) {
-    NodeState& s = nodes_[u];
+    D2Node& s = nodes_[u];
     DIMA_ASSERT(!s.inColored[idx], "incoming arc recolored at node " << u);
     writeArc(arc, /*incoming=*/true, color);
     s.inColored[idx] = true;
@@ -391,7 +284,7 @@ class Dima2EdProtocol {
   }
 
   void commitOutgoing(NodeId u, std::uint32_t idx, ArcId arc, Color color) {
-    NodeState& s = nodes_[u];
+    D2Node& s = nodes_[u];
     for (std::size_t k = 0; k < s.outUncolored.size(); ++k) {
       if (s.outUncolored[k] == idx) {
         writeArc(arc, /*incoming=*/false, color);
@@ -406,54 +299,28 @@ class Dima2EdProtocol {
     DIMA_ASSERT(false, "outgoing arc " << arc << " not uncolored at " << u);
   }
 
-  /// Writes one commit half of `arc`: slot 2·arc belongs to the arc's
-  /// origin, 2·arc+1 to its target, so concurrent same-cycle commits from
-  /// the two endpoints never touch the same slot.
+  /// Writes one commit half of `arc`: the origin owns the first slot, the
+  /// target the second, so concurrent same-cycle commits from the two
+  /// endpoints never touch the same slot.
   void writeArc(ArcId arc, bool incoming, Color color) {
-    Color& half = sideColor_[2 * arc + (incoming ? 1 : 0)];
+    Color& half = halves_.half(arc, incoming);
     DIMA_ASSERT(half == kNoColor, "arc " << arc << " recolored");
     half = color;
   }
 
-  void sendAnnounce(NodeId u, net::SyncNetwork<Message>& net) {
-    NodeState& s = nodes_[u];
-    if (s.pendingAnnounce == kNoColor) return;
-    net.broadcast(u, Message{Message::Kind::ColorAnnounce, kNoVertex,
-                             s.pendingAnnounce, kNoArc});
-  }
-
-  void receiveAnnounce(NodeState& s,
-                       net::Inbox<Message> inbox) {
+  void receiveAnnounce(NodeId u, net::Inbox<Message> inbox) {
+    D2Node& s = nodes_[u];
     for (const auto& env : inbox) {
-      if (env.msg.kind == Message::Kind::ColorAnnounce) {
+      if (env.msg.kind == net::WireKind::ColorAnnounce) {
         s.forbidden.set(static_cast<std::size_t>(env.msg.color));
       }
     }
   }
 
-  void trace(NodeId u, net::TraceKind kind, std::int64_t a = -1,
-             std::int64_t b = -1) {
-    if (options_.trace != nullptr) {
-      options_.trace->record(cycle_, u, kind, a, b);
-    }
-  }
-
-  /// Merged view of arc a's two commit halves; kNoColor while uncolored.
-  Color arcColor(ArcId a) const {
-    return sideColor_[2 * a] != kNoColor ? sideColor_[2 * a]
-                                         : sideColor_[2 * a + 1];
-  }
-
   const graph::Digraph* d_;
   const graph::Graph* g_;
   Dima2EdOptions options_;
-  std::vector<NodeState> nodes_;
-  /// Per-endpoint commit halves: slot 2a is written only by arc a's origin
-  /// (`commitOutgoing`), slot 2a+1 only by its target (`commitIncoming`),
-  /// so the parallel receive phase has a single writer per slot.
-  /// `takeColors()` merges them after the run.
-  std::vector<Color> sideColor_;
-  std::uint64_t cycle_ = 0;
+  automata::CommitHalves<Color> halves_;
 };
 
 }  // namespace
@@ -463,7 +330,8 @@ ArcColoringResult colorArcsDima2Ed(const graph::Digraph& d,
   DIMA_REQUIRE(options.invitorBias > 0.0 && options.invitorBias < 1.0,
                "invitor bias must be in (0,1)");
   Dima2EdProtocol proto(d, options);
-  net::SyncNetwork<D2Message> net(d.underlying(), options.faults);
+  net::SyncNetwork<Dima2EdProtocol::Message> net(d.underlying(),
+                                                 options.faults);
   net::EngineOptions engineOptions;
   engineOptions.maxCycles = options.maxCycles;
   engineOptions.pool = options.pool;

@@ -69,10 +69,8 @@ enum class Dima2EdMode : std::uint8_t {
   Strict,  ///< + tentative/abort handshake; validated conflict-free
 };
 
-enum class ColorPolicy : std::uint8_t {
-  ExpandingWindow,  ///< random among first (1 + failures) free colors
-  LowestIndex,      ///< always the lowest free color (can livelock)
-};
+// ColorPolicy (ExpandingWindow / LowestIndex) lives in color.hpp — strong
+// MaDEC shares the same proposal draw (`chooseProposalColor`).
 
 struct Dima2EdOptions {
   std::uint64_t seed = 0xd12a2edULL;

@@ -3,6 +3,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/automata/core.hpp"
 #include "src/automata/phase.hpp"
 #include "src/net/async_beta.hpp"
 #include "src/net/network.hpp"
@@ -19,34 +20,40 @@ using graph::kNoVertex;
 using net::NodeId;
 using support::DynamicBitset;
 
-/// Wire format: invitations and responses carry the target node and the
-/// proposed color; exchange announcements carry the freshly used color.
-struct MadecMessage {
-  enum class Kind : std::uint8_t { Invite, Response, ColorAnnounce };
-  Kind kind = Kind::Invite;
-  NodeId target = kNoVertex;
-  Color color = kNoColor;
-
-  /// CONGEST wire size: 2-bit kind + id + color (self-delimiting widths).
-  std::uint64_t wireBits() const {
-    return 2 + (target == kNoVertex ? 1 : net::bitWidth(target)) +
-           (color < 0 ? 1 : net::bitWidth(static_cast<std::uint64_t>(color)));
-  }
+/// Node state: the core fields plus Algorithm 1's color bookkeeping.
+struct MadecNode : automata::CoreNode {
+  /// Incidence indices (into incidences(u)) of uncolored edges.
+  support::SmallVector<std::uint32_t, 8> uncolored;
+  DynamicBitset ownUsed;                    ///< colors on my edges
+  std::vector<DynamicBitset> neighborUsed;  ///< per incidence index
+  // Per-round scratch:
+  support::SmallVector<std::pair<NodeId, Color>, 4> keptInvites;
+  std::uint32_t inviteIdx = 0;
+  Color proposed = kNoColor;
+  std::pair<NodeId, Color> accepted{kNoVertex, kNoColor};
+  Color pendingAnnounce = kNoColor;  ///< color adopted this round
 };
 
-/// Algorithm 1 as an engine protocol (see madec.hpp for the round story).
-class MadecProtocol {
- public:
-  using Message = MadecMessage;
+/// Algorithm 1 as a policy over the shared automaton (see madec.hpp for
+/// the round story, automata/core.hpp for the hook contract). The state
+/// machine — role coin, invite/keep/accept/echo schedule, tracing, done
+/// tracking — lives in the core; this class decides only whom to invite
+/// (random uncolored edge, lowest jointly free color), which invitations
+/// are keepable, and how a formed pair commits and announces its edge.
+class MadecProtocol
+    : public automata::MatchingCore<MadecProtocol, net::ColorWire,
+                                    MadecNode> {
+  using Core =
+      automata::MatchingCore<MadecProtocol, net::ColorWire, MadecNode>;
 
+ public:
   MadecProtocol(const graph::Graph& g, const MadecOptions& options)
-      : g_(&g),
-        options_(options),
-        sideColor_(2 * static_cast<std::size_t>(g.numEdges()), kNoColor) {
+      : Core(g.numVertices(), options.invitorBias, options.trace),
+        g_(&g),
+        halves_(g.numEdges(), kNoColor) {
     const support::SeedSequence seq(options.seed);
-    nodes_.resize(g.numVertices());
     for (NodeId u = 0; u < g.numVertices(); ++u) {
-      NodeState& s = nodes_[u];
+      MadecNode& s = nodes_[u];
       s.rng = seq.stream(u);
       const auto deg = g.degree(u);
       s.uncolored.reserve(deg);
@@ -58,191 +65,131 @@ class MadecProtocol {
     }
   }
 
-  int subRounds() const { return 3; }
-
-  void beginCycle(NodeId u) {
-    NodeState& s = nodes_[u];
+  void resetScratch(NodeId u) {
+    MadecNode& s = nodes_[u];
     s.keptInvites.clear();
-    s.invitee = kNoVertex;
     s.inviteIdx = 0;
     s.proposed = kNoColor;
-    s.newColor = kNoColor;
-    if (s.done) {
-      s.role = Phase::Done;
-      return;
-    }
-    s.role = s.rng.bernoulli(options_.invitorBias) ? Phase::Invite
-                                                   : Phase::Listen;
-    trace(u, net::TraceKind::StateChoice,
-          s.role == Phase::Invite ? 1 : 0);
+    s.pendingAnnounce = kNoColor;
   }
 
-  void send(NodeId u, int sub, net::SyncNetwork<Message>& net) {
-    NodeState& s = nodes_[u];
-    switch (sub) {
-      case 0: {  // I: invite over a random uncolored edge, lowest free color.
-        if (s.role != Phase::Invite) return;
-        DIMA_ASSERT(!s.uncolored.empty(), "active node with no uncolored edge");
-        s.inviteIdx = s.uncolored[s.rng.index(s.uncolored.size())];
-        const graph::Incidence inc = g_->incidences(u)[s.inviteIdx];
-        s.invitee = inc.neighbor;
-        // Lowest color outside used(u) ∪ used(v) — Algorithm 1 line 11.
-        s.proposed = static_cast<Color>(
-            s.ownUsed.firstClearAlsoClearIn(s.neighborUsed[s.inviteIdx]));
-        net.broadcast(u, Message{Message::Kind::Invite, s.invitee,
-                                 s.proposed});
-        trace(u, net::TraceKind::InviteSent, s.invitee, s.proposed);
-        break;
-      }
-      case 1: {  // R: accept one kept invitation at random.
-        if (s.role != Phase::Listen || s.keptInvites.empty()) return;
-        const auto& [from, color] =
-            s.keptInvites[s.rng.index(s.keptInvites.size())];
-        net.broadcast(u, Message{Message::Kind::Response, from, color});
-        trace(u, net::TraceKind::ResponseSent, from, color);
-        colorEdgeAt(u, from, color);
-        break;
-      }
-      case 2: {  // E: announce the color used this round, if any.
-        if (s.newColor == kNoColor) return;
-        net.broadcast(u, Message{Message::Kind::ColorAnnounce, kNoVertex,
-                                 s.newColor});
-        break;
-      }
-      default:
-        DIMA_ASSERT(false, "unexpected sub-round " << sub);
-    }
+  // I: invite over a random uncolored edge, lowest free color.
+  NodeId pickInvitee(NodeId u) {
+    MadecNode& s = nodes_[u];
+    DIMA_ASSERT(!s.uncolored.empty(), "active node with no uncolored edge");
+    s.inviteIdx = s.uncolored[s.rng.index(s.uncolored.size())];
+    // Lowest color outside used(u) ∪ used(v) — Algorithm 1 line 11.
+    s.proposed = static_cast<Color>(
+        s.ownUsed.firstClearAlsoClearIn(s.neighborUsed[s.inviteIdx]));
+    return g_->incidences(u)[s.inviteIdx].neighbor;
   }
 
-  void receive(NodeId u, int sub,
-               net::Inbox<Message> inbox) {
-    NodeState& s = nodes_[u];
-    switch (sub) {
-      case 0: {  // L: keep invitations addressed to me.
-        if (s.role != Phase::Listen) return;
-        for (const auto& env : inbox) {
-          if (env.msg.kind == Message::Kind::Invite && env.msg.target == u) {
-            // With reliable channels the proposal is fresh by construction
-            // (the invitor knows used(u) exactly). Under fault injection an
-            // announcement or response may have been lost, so the edge may
-            // already be colored, or the proposed color may already be in
-            // use here; both are vacuous in the fault-free model. (Commit
-            // halves are written in sub-round 1, so this sub-round-0 read is
-            // barrier-separated from every writer.)
-            const graph::EdgeId e = g_->findEdge(u, env.from);
-            if (e != graph::kNoEdge && edgeColor(e) == kNoColor &&
-                !s.ownUsed.test(static_cast<std::size_t>(env.msg.color))) {
-              s.keptInvites.push_back({env.from, env.msg.color});
-              trace(u, net::TraceKind::InviteKept, env.from, env.msg.color);
-            }
-          }
+  Message inviteMessage(NodeId u) {
+    const MadecNode& s = nodes_[u];
+    return Message{net::WireKind::Invite, s.invitee, s.proposed};
+  }
+
+  bool keepInvite(NodeId u, const net::Envelope<Message>& env) {
+    MadecNode& s = nodes_[u];
+    // With reliable channels the proposal is fresh by construction (the
+    // invitor knows used(u) exactly). Under fault injection an announcement
+    // or response may have been lost, so the edge may already be colored,
+    // or the proposed color may already be in use here; both are vacuous in
+    // the fault-free model. (Commit halves are written in sub-round 1, so
+    // this sub-round-0 read is barrier-separated from every writer.)
+    const graph::EdgeId e = g_->findEdge(u, env.from);
+    if (e == graph::kNoEdge || halves_.merged(e) != kNoColor ||
+        s.ownUsed.test(static_cast<std::size_t>(env.msg.color))) {
+      return false;
+    }
+    s.keptInvites.push_back({env.from, env.msg.color});
+    return true;
+  }
+
+  // R: accept one kept invitation at random.
+  bool chooseAccept(NodeId u) {
+    MadecNode& s = nodes_[u];
+    if (s.keptInvites.empty()) return false;
+    s.accepted = s.keptInvites[s.rng.index(s.keptInvites.size())];
+    return true;
+  }
+
+  Message acceptMessage(NodeId u) {
+    const MadecNode& s = nodes_[u];
+    return Message{net::WireKind::Response, s.accepted.first,
+                   s.accepted.second};
+  }
+
+  void onAcceptSent(NodeId u) {
+    const MadecNode& s = nodes_[u];
+    colorEdgeAt(u, s.accepted.first, s.accepted.second);
+  }
+
+  void onEcho(NodeId u, const Message& msg) {
+    const MadecNode& s = nodes_[u];
+    DIMA_ASSERT(msg.color == s.proposed, "response color "
+                                             << msg.color << " != proposal "
+                                             << s.proposed);
+    colorEdgeAt(u, s.invitee, msg.color);
+  }
+
+  // E: announce the color used this round, if any.
+  int tailSubRounds() const { return 1; }
+
+  void tailSend(NodeId u, int, net::SyncNetwork<Message>& net) {
+    announceSend(u, net);
+  }
+
+  Message announceMessage(NodeId u) {
+    return Message{net::WireKind::ColorAnnounce, kNoVertex,
+                   nodes_[u].pendingAnnounce};
+  }
+
+  // E: fold neighbors' announcements into their used lists.
+  void tailReceive(NodeId u, int, net::Inbox<Message> inbox) {
+    MadecNode& s = nodes_[u];
+    const auto inc = g_->incidences(u);
+    for (const auto& env : inbox) {
+      if (env.msg.kind != net::WireKind::ColorAnnounce) continue;
+      for (std::size_t i = 0; i < inc.size(); ++i) {
+        if (inc[i].neighbor == env.from) {
+          s.neighborUsed[i].set(static_cast<std::size_t>(env.msg.color));
+          break;
         }
-        break;
       }
-      case 1: {  // W: my invitation echoed back — the pair formed.
-        if (s.role != Phase::Invite || s.invitee == kNoVertex) return;
-        for (const auto& env : inbox) {
-          if (env.msg.kind == Message::Kind::Response &&
-              env.msg.target == u && env.from == s.invitee) {
-            DIMA_ASSERT(env.msg.color == s.proposed,
-                        "response color " << env.msg.color
-                                          << " != proposal " << s.proposed);
-            colorEdgeAt(u, s.invitee, env.msg.color);
-            break;
-          }
-        }
-        break;
-      }
-      case 2: {  // E: fold neighbors' announcements into their used lists.
-        const auto inc = g_->incidences(u);
-        for (const auto& env : inbox) {
-          if (env.msg.kind != Message::Kind::ColorAnnounce) continue;
-          for (std::size_t i = 0; i < inc.size(); ++i) {
-            if (inc[i].neighbor == env.from) {
-              s.neighborUsed[i].set(static_cast<std::size_t>(env.msg.color));
-              break;
-            }
-          }
-        }
-        break;
-      }
-      default:
-        DIMA_ASSERT(false, "unexpected sub-round " << sub);
     }
   }
 
-  void endCycle(NodeId u) {
-    NodeState& s = nodes_[u];
-    if (!s.done && s.uncolored.empty()) {
-      s.done = true;
-      trace(u, net::TraceKind::NodeDone);
-    }
-  }
-
-  bool done(NodeId u) const { return nodes_[u].done; }
+  bool localWorkDone(NodeId u) const { return nodes_[u].uncolored.empty(); }
 
   /// Folds the two commit halves of every edge into the output coloring;
-  /// the cross-endpoint agreement check lives here (serial, post-run)
+  /// the cross-endpoint agreement check lives there (serial, post-run)
   /// because during the run the halves are written concurrently.
-  std::vector<Color> takeColors() {
-    std::vector<Color> out(sideColor_.size() / 2, kNoColor);
-    for (graph::EdgeId e = 0; e < out.size(); ++e) {
-      const Color lo = sideColor_[2 * e];
-      const Color hi = sideColor_[2 * e + 1];
-      DIMA_ASSERT(lo == kNoColor || hi == kNoColor || lo == hi,
-                  "edge " << e << " committed with two colors " << lo << "≠"
-                          << hi);
-      out[e] = lo != kNoColor ? lo : hi;
-    }
-    return out;
-  }
+  std::vector<Color> takeColors() const { return halves_.takeMerged(); }
 
   /// Edges only one endpoint committed (possible only under message loss).
   std::vector<graph::EdgeId> halfCommittedEdges() const {
-    std::vector<graph::EdgeId> out;
-    for (graph::EdgeId e = 0; 2 * e < sideColor_.size(); ++e) {
-      if ((sideColor_[2 * e] != kNoColor) !=
-          (sideColor_[2 * e + 1] != kNoColor)) {
-        out.push_back(e);
-      }
-    }
-    return out;
+    return halves_.halfCommitted();
   }
 
  private:
-  struct NodeState {
-    support::Rng rng{0};
-    Phase role = Phase::Choose;
-    bool done = false;
-    /// Incidence indices (into incidences(u)) of uncolored edges.
-    support::SmallVector<std::uint32_t, 8> uncolored;
-    DynamicBitset ownUsed;                   ///< colors on my edges
-    std::vector<DynamicBitset> neighborUsed; ///< per incidence index
-    // Per-round scratch:
-    support::SmallVector<std::pair<NodeId, Color>, 4> keptInvites;
-    NodeId invitee = kNoVertex;
-    std::uint32_t inviteIdx = 0;
-    Color proposed = kNoColor;
-    Color newColor = kNoColor;  ///< color adopted this round (to announce)
-  };
-
-  /// Colors the edge {u, partner} from u's perspective: writes the shared
-  /// output slot, retires the incidence, and schedules the announcement.
+  /// Colors the edge {u, partner} from u's perspective: writes this
+  /// endpoint's commit half, retires the incidence, and schedules the
+  /// announcement.
   void colorEdgeAt(NodeId u, NodeId partner, Color color) {
-    NodeState& s = nodes_[u];
+    MadecNode& s = nodes_[u];
     const auto inc = g_->incidences(u);
     for (std::size_t k = 0; k < s.uncolored.size(); ++k) {
       const std::uint32_t idx = s.uncolored[k];
       if (inc[idx].neighbor == partner) {
-        const graph::EdgeId e = inc[idx].edge;
-        Color& half = sideColor_[2 * e + (u < partner ? 0 : 1)];
+        Color& half = halves_.half(inc[idx].edge, u > partner);
         DIMA_ASSERT(half == kNoColor,
-                    "edge " << e << " recolored at node " << u);
+                    "edge " << inc[idx].edge << " recolored at node " << u);
         half = color;
         DIMA_ASSERT(!s.ownUsed.test(static_cast<std::size_t>(color)),
                     "node " << u << " reused color " << color);
         s.ownUsed.set(static_cast<std::size_t>(color));
-        s.newColor = color;
+        s.pendingAnnounce = color;
         s.uncolored.eraseAtUnordered(k);
         trace(u, net::TraceKind::EdgeColored, partner, color);
         return;
@@ -252,34 +199,8 @@ class MadecProtocol {
                                << partner);
   }
 
-  void trace(NodeId u, net::TraceKind kind, std::int64_t a = -1,
-             std::int64_t b = -1) {
-    if (options_.trace != nullptr) {
-      options_.trace->record(cycle_, u, kind, a, b);
-    }
-  }
-
- public:
-  /// Advances the trace clock; wired to the engine observer.
-  void tickCycle() { ++cycle_; }
-
- private:
-  /// Merged view of edge e's two commit halves; kNoColor while uncolored.
-  Color edgeColor(graph::EdgeId e) const {
-    return sideColor_[2 * e] != kNoColor ? sideColor_[2 * e]
-                                         : sideColor_[2 * e + 1];
-  }
-
   const graph::Graph* g_;
-  MadecOptions options_;
-  std::vector<NodeState> nodes_;
-  /// Per-endpoint commit halves: slot 2e is written only by the lower-id
-  /// endpoint of edge e, slot 2e+1 only by the higher-id one, so the
-  /// parallel receive phase has a single writer per slot (the pre-arena
-  /// substrate shared one slot between both endpoints — a data race under
-  /// a thread-pool executor). `takeColors()` merges them after the run.
-  std::vector<Color> sideColor_;
-  std::uint64_t cycle_ = 0;
+  automata::CommitHalves<Color> halves_;
 };
 
 }  // namespace
@@ -320,7 +241,7 @@ EdgeColoringResult colorEdgesMadec(const graph::Graph& g,
   DIMA_REQUIRE(options.invitorBias > 0.0 && options.invitorBias < 1.0,
                "invitor bias must be in (0,1)");
   MadecProtocol proto(g, options);
-  net::SyncNetwork<MadecMessage> net(g, options.faults);
+  net::SyncNetwork<MadecProtocol::Message> net(g, options.faults);
   net::EngineOptions engineOptions;
   engineOptions.maxCycles = options.maxCycles;
   engineOptions.pool = options.pool;

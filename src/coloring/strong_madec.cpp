@@ -1,8 +1,8 @@
 #include "src/coloring/strong_madec.hpp"
 
-#include <utility>
 #include <vector>
 
+#include "src/automata/core.hpp"
 #include "src/automata/phase.hpp"
 #include "src/net/network.hpp"
 #include "src/support/bitset.hpp"
@@ -20,41 +20,48 @@ using graph::kNoVertex;
 using net::NodeId;
 using support::DynamicBitset;
 
-struct SmMessage {
-  enum class Kind : std::uint8_t {
-    Invite,
-    Response,
-    Tentative,
-    Abort,
-    ColorAnnounce,
-  };
-  Kind kind = Kind::Invite;
-  NodeId target = kNoVertex;
+/// An invitation kept in sub-round 0.
+struct KeptInvite {
+  NodeId from = kNoVertex;
   Color color = kNoColor;
-  EdgeId edge = kNoEdge;
-
-  /// CONGEST wire size: 3-bit kind + id + color + edge id.
-  std::uint64_t wireBits() const {
-    return 3 + (target == kNoVertex ? 1 : net::bitWidth(target)) +
-           (color < 0 ? 1
-                      : net::bitWidth(static_cast<std::uint64_t>(color))) +
-           (edge == kNoEdge ? 1 : net::bitWidth(edge));
-  }
+  std::uint32_t idx = 0;  ///< incidence index of `from` at this node
 };
 
-class StrongMadecProtocol {
- public:
-  using Message = SmMessage;
+/// Node state: the core fields plus the distance-2 bookkeeping.
+struct SmNode : automata::CoreNode {
+  support::SmallVector<std::uint32_t, 8> uncolored;
+  DynamicBitset forbidden;  ///< colors within one hop (own + neighbors')
+  std::vector<std::uint32_t> failures;
+  // Per-round scratch:
+  support::SmallVector<KeptInvite, 4> mine;
+  DynamicBitset overheard;
+  std::uint32_t inviteIdx = 0;
+  Color proposed = kNoColor;
+  KeptInvite accepted;
+  automata::TentativeState tent;  ///< item = the pending edge id
+  Color pendingAnnounce = kNoColor;
+};
 
-  StrongMadecProtocol(const graph::Graph& g,
-                      const StrongMadecOptions& options)
-      : g_(&g),
-        options_(options),
-        sideColor_(2 * static_cast<std::size_t>(g.numEdges()), kNoColor) {
+/// Strong (distance-2) undirected edge coloring as a policy over the
+/// shared automaton (see strong_madec.hpp for the round story,
+/// automata/core.hpp for the hook contract). The schedule is DiMa2Ed's
+/// strict mode with edges in place of arcs: expanding-window proposals
+/// against the one-hop forbidden set, the core's tentative/abort handshake
+/// keyed by edge id, then the E-state color announce.
+class StrongMadecProtocol
+    : public automata::MatchingCore<StrongMadecProtocol,
+                                    net::TentativeColorWire, SmNode> {
+  using Core = automata::MatchingCore<StrongMadecProtocol,
+                                      net::TentativeColorWire, SmNode>;
+
+ public:
+  StrongMadecProtocol(const graph::Graph& g, const StrongMadecOptions& options)
+      : Core(g.numVertices(), options.invitorBias, options.trace),
+        g_(&g),
+        halves_(g.numEdges(), kNoColor) {
     const support::SeedSequence seq(options.seed);
-    nodes_.resize(g.numVertices());
     for (NodeId u = 0; u < g.numVertices(); ++u) {
-      NodeState& s = nodes_[u];
+      SmNode& s = nodes_[u];
       s.rng = seq.stream(u);
       const auto deg = static_cast<std::uint32_t>(g.degree(u));
       for (std::uint32_t i = 0; i < deg; ++i) s.uncolored.push_back(i);
@@ -63,243 +70,143 @@ class StrongMadecProtocol {
     }
   }
 
-  int subRounds() const { return 5; }
-
-  void beginCycle(NodeId u) {
-    NodeState& s = nodes_[u];
+  void resetScratch(NodeId u) {
+    SmNode& s = nodes_[u];
     s.mine.clear();
     s.overheard.clear();
-    s.invitee = kNoVertex;
     s.inviteIdx = 0;
     s.proposed = kNoColor;
-    s.tentEdge = kNoEdge;
-    s.tentColor = kNoColor;
-    s.tentIdx = 0;
-    s.tentAsInvitor = false;
-    s.abortMine = false;
+    s.tent.reset();
     s.pendingAnnounce = kNoColor;
-    if (s.done) {
-      s.role = Phase::Done;
-      return;
-    }
-    s.role = s.rng.bernoulli(options_.invitorBias) ? Phase::Invite
-                                                   : Phase::Listen;
   }
 
-  void send(NodeId u, int sub, net::SyncNetwork<Message>& net) {
-    NodeState& s = nodes_[u];
-    switch (sub) {
-      case 0: {  // invite over a random uncolored edge.
-        if (s.role != Phase::Invite) return;
-        DIMA_ASSERT(!s.uncolored.empty(), "invitor without uncolored edge");
-        s.inviteIdx = s.uncolored[s.rng.index(s.uncolored.size())];
-        s.invitee = g_->incidences(u)[s.inviteIdx].neighbor;
-        s.proposed = chooseColor(s, s.inviteIdx);
-        net.broadcast(u, Message{Message::Kind::Invite, s.invitee,
-                                 s.proposed, kNoEdge});
-        break;
+  // I: invite over a random uncolored edge, proposal from the expanding
+  // color window against the one-hop forbidden set.
+  NodeId pickInvitee(NodeId u) {
+    SmNode& s = nodes_[u];
+    DIMA_ASSERT(!s.uncolored.empty(), "invitor without uncolored edge");
+    s.inviteIdx = s.uncolored[s.rng.index(s.uncolored.size())];
+    s.proposed = chooseProposalColor(ColorPolicy::ExpandingWindow, s.forbidden,
+                                     s.failures[s.inviteIdx], s.rng);
+    return g_->incidences(u)[s.inviteIdx].neighbor;
+  }
+
+  Message inviteMessage(NodeId u) {
+    const SmNode& s = nodes_[u];
+    return Message{net::WireKind::Invite, s.invitee, s.proposed, kNoEdge};
+  }
+
+  bool keepInvite(NodeId u, const net::Envelope<Message>& env) {
+    SmNode& s = nodes_[u];
+    const std::uint32_t idx = incidenceIndexOf(u, env.from);
+    const EdgeId e = g_->incidences(u)[idx].edge;
+    // Commit halves are written in later sub-rounds, so this sub-round-0
+    // read is barrier-separated from every writer.
+    if (halves_.merged(e) != kNoColor) return false;
+    s.mine.push_back(KeptInvite{env.from, env.msg.color, idx});
+    return true;
+  }
+
+  // L: colors proposed to someone else are unusable this round.
+  void overheardInvite(NodeId u, const net::Envelope<Message>& env) {
+    nodes_[u].overheard.set(static_cast<std::size_t>(env.msg.color));
+  }
+
+  // R: respond to one acceptable invitation.
+  bool chooseAccept(NodeId u) {
+    SmNode& s = nodes_[u];
+    if (s.mine.empty()) return false;
+    support::SmallVector<std::size_t, 4> valid;
+    for (std::size_t i = 0; i < s.mine.size(); ++i) {
+      const Color c = s.mine[i].color;
+      if (!s.overheard.test(static_cast<std::size_t>(c)) &&
+          !s.forbidden.test(static_cast<std::size_t>(c))) {
+        valid.push_back(i);
       }
-      case 1: {  // respond to one acceptable invitation.
-        if (s.role != Phase::Listen || s.mine.empty()) return;
-        support::SmallVector<std::size_t, 4> valid;
-        for (std::size_t i = 0; i < s.mine.size(); ++i) {
-          const Color c = s.mine[i].color;
-          if (!s.overheard.test(static_cast<std::size_t>(c)) &&
-              !s.forbidden.test(static_cast<std::size_t>(c))) {
-            valid.push_back(i);
-          }
-        }
-        if (valid.empty()) return;
-        const KeptInvite& kept = s.mine[valid[s.rng.index(valid.size())]];
-        net.broadcast(u, Message{Message::Kind::Response, kept.from,
-                                 kept.color, kNoEdge});
-        s.tentEdge = g_->incidences(u)[kept.idx].edge;
-        s.tentColor = kept.color;
-        s.tentIdx = kept.idx;
-        s.tentAsInvitor = false;
-        break;
-      }
-      case 2: {  // tentative announcements.
-        if (s.tentEdge != kNoEdge) {
-          net.broadcast(u, Message{Message::Kind::Tentative, kNoVertex,
-                                   s.tentColor, s.tentEdge});
-        }
-        break;
-      }
-      case 3: {  // abort notices.
-        if (s.tentEdge != kNoEdge && s.abortMine) {
-          net.broadcast(u, Message{Message::Kind::Abort, kNoVertex, kNoColor,
-                                   s.tentEdge});
-        }
-        break;
-      }
-      case 4: {  // exchange committed colors.
-        if (s.pendingAnnounce != kNoColor) {
-          net.broadcast(u, Message{Message::Kind::ColorAnnounce, kNoVertex,
-                                   s.pendingAnnounce, kNoEdge});
-        }
-        break;
-      }
+    }
+    if (valid.empty()) return false;
+    s.accepted = s.mine[valid[s.rng.index(valid.size())]];
+    return true;
+  }
+
+  Message acceptMessage(NodeId u) {
+    const SmNode& s = nodes_[u];
+    return Message{net::WireKind::Response, s.accepted.from, s.accepted.color,
+                   kNoEdge};
+  }
+
+  // Both pair sides go tentative; every commit runs through the handshake.
+  void onAcceptSent(NodeId u) {
+    SmNode& s = nodes_[u];
+    s.tent = {g_->incidences(u)[s.accepted.idx].edge, s.accepted.color,
+              s.accepted.idx, /*asInvitor=*/false, /*abortMine=*/false};
+  }
+
+  void onEcho(NodeId u, const Message&) {
+    SmNode& s = nodes_[u];
+    s.tent = {g_->incidences(u)[s.inviteIdx].edge, s.proposed, s.inviteIdx,
+              /*asInvitor=*/true, /*abortMine=*/false};
+  }
+
+  void onNoEcho(NodeId u) {
+    SmNode& s = nodes_[u];
+    ++s.failures[s.inviteIdx];
+  }
+
+  // Tail: the core's tentative/abort handshake, then the color exchange.
+  int tailSubRounds() const { return 3; }
+
+  void tailSend(NodeId u, int tail, net::SyncNetwork<Message>& net) {
+    switch (tail) {
+      case 0: tentativeSend(u, net); return;
+      case 1: abortSend(u, net); return;
+      default: announceSend(u, net); return;
+    }
+  }
+
+  void tailReceive(NodeId u, int tail, net::Inbox<Message> inbox) {
+    switch (tail) {
+      case 0: tentativeConflictScan(u, inbox); return;
+      case 1: abortResolve(u, inbox); return;
       default:
-        DIMA_ASSERT(false, "unexpected sub-round " << sub);
-    }
-  }
-
-  void receive(NodeId u, int sub,
-               net::Inbox<Message> inbox) {
-    NodeState& s = nodes_[u];
-    switch (sub) {
-      case 0: {
-        if (s.role != Phase::Listen) return;
+        SmNode& s = nodes_[u];
         for (const auto& env : inbox) {
-          if (env.msg.kind != Message::Kind::Invite) continue;
-          if (env.msg.target == u) {
-            const std::uint32_t idx = incidenceIndexOf(u, env.from);
-            const EdgeId e = g_->incidences(u)[idx].edge;
-            // Commit halves are written in later sub-rounds, so this
-            // sub-round-0 read is barrier-separated from every writer.
-            if (edgeColor(e) == kNoColor) {
-              s.mine.push_back(KeptInvite{env.from, env.msg.color, idx});
-            }
-          } else {
-            s.overheard.set(static_cast<std::size_t>(env.msg.color));
-          }
-        }
-        break;
-      }
-      case 1: {  // inviter waits for its echo.
-        if (s.role != Phase::Invite || s.invitee == kNoVertex) return;
-        for (const auto& env : inbox) {
-          if (env.msg.kind == Message::Kind::Response &&
-              env.msg.target == u && env.from == s.invitee) {
-            s.tentEdge = g_->incidences(u)[s.inviteIdx].edge;
-            s.tentColor = s.proposed;
-            s.tentIdx = s.inviteIdx;
-            s.tentAsInvitor = true;
-            return;
-          }
-        }
-        ++s.failures[s.inviteIdx];
-        break;
-      }
-      case 2: {  // conflict scan among same-round tentatives.
-        if (s.tentEdge == kNoEdge) return;
-        for (const auto& env : inbox) {
-          if (env.msg.kind != Message::Kind::Tentative) continue;
-          if (env.msg.edge == s.tentEdge) continue;  // partner's echo
-          if (env.msg.color == s.tentColor && env.msg.edge < s.tentEdge) {
-            s.abortMine = true;
-          }
-        }
-        break;
-      }
-      case 3: {  // resolve aborts, commit survivors.
-        if (s.tentEdge == kNoEdge) return;
-        if (!s.abortMine) {
-          for (const auto& env : inbox) {
-            if (env.msg.kind == Message::Kind::Abort &&
-                env.msg.edge == s.tentEdge) {
-              s.abortMine = true;
-              break;
-            }
-          }
-        }
-        if (s.abortMine) {
-          if (s.tentAsInvitor) ++s.failures[s.tentIdx];
-        } else {
-          commitEdge(u, s.tentIdx, s.tentEdge, s.tentColor);
-        }
-        break;
-      }
-      case 4: {
-        for (const auto& env : inbox) {
-          if (env.msg.kind == Message::Kind::ColorAnnounce) {
+          if (env.msg.kind == net::WireKind::ColorAnnounce) {
             s.forbidden.set(static_cast<std::size_t>(env.msg.color));
           }
         }
-        break;
-      }
-      default:
-        DIMA_ASSERT(false, "unexpected sub-round " << sub);
+        return;
     }
   }
 
-  void endCycle(NodeId u) {
-    NodeState& s = nodes_[u];
-    if (!s.done && s.uncolored.empty()) s.done = true;
+  Message announceMessage(NodeId u) {
+    return Message{net::WireKind::ColorAnnounce, kNoVertex,
+                   nodes_[u].pendingAnnounce, kNoEdge};
   }
 
-  bool done(NodeId u) const { return nodes_[u].done; }
+  void commitTentative(NodeId u) {
+    const SmNode& s = nodes_[u];
+    commitEdge(u, s.tent.idx, s.tent.item, s.tent.color);
+  }
+
+  void onTentativeAborted(NodeId u) {
+    SmNode& s = nodes_[u];
+    if (s.tent.asInvitor) ++s.failures[s.tent.idx];
+  }
+
+  bool localWorkDone(NodeId u) const { return nodes_[u].uncolored.empty(); }
 
   /// Folds the two commit halves of every edge into the output coloring;
-  /// the cross-endpoint agreement check lives here (serial, post-run)
+  /// the cross-endpoint agreement check lives there (serial, post-run)
   /// because during the run the halves are written concurrently.
-  std::vector<Color> takeColors() {
-    std::vector<Color> out(sideColor_.size() / 2, kNoColor);
-    for (EdgeId e = 0; e < out.size(); ++e) {
-      const Color lo = sideColor_[2 * e];
-      const Color hi = sideColor_[2 * e + 1];
-      DIMA_ASSERT(lo == kNoColor || hi == kNoColor || lo == hi,
-                  "edge " << e << " committed with two colors " << lo << "≠"
-                          << hi);
-      out[e] = lo != kNoColor ? lo : hi;
-    }
-    return out;
-  }
+  std::vector<Color> takeColors() const { return halves_.takeMerged(); }
 
+  /// Edges only one endpoint committed (possible only under message loss).
   std::vector<EdgeId> halfCommittedEdges() const {
-    std::vector<EdgeId> out;
-    for (EdgeId e = 0; 2 * e < sideColor_.size(); ++e) {
-      if ((sideColor_[2 * e] != kNoColor) !=
-          (sideColor_[2 * e + 1] != kNoColor)) {
-        out.push_back(e);
-      }
-    }
-    return out;
+    return halves_.halfCommitted();
   }
 
  private:
-  struct KeptInvite {
-    NodeId from = kNoVertex;
-    Color color = kNoColor;
-    std::uint32_t idx = 0;
-  };
-
-  struct NodeState {
-    support::Rng rng{0};
-    Phase role = Phase::Choose;
-    bool done = false;
-    support::SmallVector<std::uint32_t, 8> uncolored;
-    DynamicBitset forbidden;  ///< colors within one hop (own + neighbors')
-    std::vector<std::uint32_t> failures;
-    // Per-round scratch:
-    support::SmallVector<KeptInvite, 4> mine;
-    DynamicBitset overheard;
-    NodeId invitee = kNoVertex;
-    std::uint32_t inviteIdx = 0;
-    Color proposed = kNoColor;
-    EdgeId tentEdge = kNoEdge;
-    Color tentColor = kNoColor;
-    std::uint32_t tentIdx = 0;
-    bool tentAsInvitor = false;
-    bool abortMine = false;
-    Color pendingAnnounce = kNoColor;
-  };
-
-  Color chooseColor(NodeState& s, std::uint32_t idx) {
-    // Expanding window (see dima2ed.hpp): uniform among the first
-    // (1 + failures) free colors, widening on every failed invitation.
-    const std::size_t window = 1 + s.failures[idx];
-    support::SmallVector<std::size_t, 16> candidates;
-    std::size_t c = s.forbidden.firstClear();
-    while (candidates.size() < window) {
-      candidates.push_back(c);
-      ++c;
-      while (s.forbidden.test(c)) ++c;
-    }
-    return static_cast<Color>(candidates[s.rng.index(candidates.size())]);
-  }
-
   std::uint32_t incidenceIndexOf(NodeId u, NodeId neighbor) const {
     const auto inc = g_->incidences(u);
     for (std::uint32_t i = 0; i < inc.size(); ++i) {
@@ -310,37 +217,26 @@ class StrongMadecProtocol {
   }
 
   void commitEdge(NodeId u, std::uint32_t idx, EdgeId e, Color color) {
-    NodeState& s = nodes_[u];
+    SmNode& s = nodes_[u];
     const NodeId partner = g_->incidences(u)[idx].neighbor;
     for (std::size_t k = 0; k < s.uncolored.size(); ++k) {
       if (s.uncolored[k] == idx) {
-        Color& half = sideColor_[2 * e + (u < partner ? 0 : 1)];
+        Color& half = halves_.half(e, u > partner);
         DIMA_ASSERT(half == kNoColor,
                     "edge " << e << " recolored at node " << u);
         half = color;
         s.uncolored.eraseAtUnordered(k);
         s.forbidden.set(static_cast<std::size_t>(color));
         s.pendingAnnounce = color;
+        trace(u, net::TraceKind::EdgeColored, partner, color);
         return;
       }
     }
     DIMA_ASSERT(false, "edge " << e << " not uncolored at node " << u);
   }
 
-  /// Merged view of edge e's two commit halves; kNoColor while uncolored.
-  Color edgeColor(EdgeId e) const {
-    return sideColor_[2 * e] != kNoColor ? sideColor_[2 * e]
-                                         : sideColor_[2 * e + 1];
-  }
-
   const graph::Graph* g_;
-  StrongMadecOptions options_;
-  std::vector<NodeState> nodes_;
-  /// Per-endpoint commit halves: slot 2e is written only by the lower-id
-  /// endpoint of edge e, slot 2e+1 only by the higher-id one, so the
-  /// parallel receive phase has a single writer per slot. `takeColors()`
-  /// merges them after the run.
-  std::vector<Color> sideColor_;
+  automata::CommitHalves<Color> halves_;
 };
 
 }  // namespace
@@ -350,10 +246,11 @@ EdgeColoringResult colorEdgesStrongMadec(const graph::Graph& g,
   DIMA_REQUIRE(options.invitorBias > 0.0 && options.invitorBias < 1.0,
                "invitor bias must be in (0,1)");
   StrongMadecProtocol proto(g, options);
-  net::SyncNetwork<SmMessage> net(g, options.faults);
+  net::SyncNetwork<StrongMadecProtocol::Message> net(g, options.faults);
   net::EngineOptions engineOptions;
   engineOptions.maxCycles = options.maxCycles;
   engineOptions.pool = options.pool;
+  engineOptions.observer = [&](const net::CycleInfo&) { proto.tickCycle(); };
   const net::EngineResult run = runSyncProtocol(proto, net, engineOptions);
 
   EdgeColoringResult result;

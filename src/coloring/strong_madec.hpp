@@ -23,6 +23,7 @@
 #include "src/coloring/result.hpp"
 #include "src/graph/graph.hpp"
 #include "src/net/engine.hpp"
+#include "src/net/trace.hpp"
 #include "src/support/thread_pool.hpp"
 
 namespace dima::coloring {
@@ -33,6 +34,8 @@ struct StrongMadecOptions {
   net::FaultModel faults;
   std::uint64_t maxCycles = 1u << 20;
   support::ThreadPool* pool = nullptr;
+  /// Optional event trace (serial executor only).
+  net::TraceLog* trace = nullptr;
 };
 
 /// Runs the strong (distance-2) undirected edge coloring on `g`.

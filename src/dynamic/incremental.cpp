@@ -3,6 +3,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/automata/core.hpp"
 #include "src/coloring/madec.hpp"
 #include "src/net/engine.hpp"
 #include "src/net/network.hpp"
@@ -19,36 +20,42 @@ using coloring::kNoColor;
 using net::NodeId;
 using support::DynamicBitset;
 
-/// Same wire format as MaDEC: invitations and responses carry the target
-/// node and proposed color; exchange announcements carry the adopted color.
-struct RepairMessage {
-  enum class Kind : std::uint8_t { Invite, Response, ColorAnnounce };
-  Kind kind = Kind::Invite;
-  NodeId target = kNoVertex;
-  Color color = kNoColor;
+constexpr std::uint32_t kNoIndex = static_cast<std::uint32_t>(-1);
 
-  std::uint64_t wireBits() const {
-    return 2 + (target == kNoVertex ? 1 : net::bitWidth(target)) +
-           (color < 0 ? 1 : net::bitWidth(static_cast<std::uint64_t>(color)));
-  }
+/// Node state: the core fields plus the frontier flag and MaDEC's color
+/// bookkeeping rebuilt from the overlay at repair start.
+struct RepairNode : automata::CoreNode {
+  bool active = false;
+  /// Incidence indices (into incidences(u)) of uncolored edges.
+  support::SmallVector<std::uint32_t, 8> uncolored;
+  DynamicBitset ownUsed;                    ///< colors on my edges
+  std::vector<DynamicBitset> neighborUsed;  ///< per incidence index
+  // Per-cycle scratch:
+  support::SmallVector<std::pair<NodeId, Color>, 4> keptInvites;
+  std::pair<NodeId, Color> accepted{kNoVertex, kNoColor};
+  Color proposed = kNoColor;
+  Color pendingAnnounce = kNoColor;  ///< color adopted this cycle
 };
 
-/// MaDEC (coloring/madec.cpp) restricted to the dirty frontier: vertices
-/// with no uncolored incident edge start done and no-op every hook, so the
-/// automaton runs only where the topology churned. See incremental.hpp for
-/// the correctness and color-bound story.
-class RepairProtocol {
- public:
-  using Message = RepairMessage;
+/// MaDEC (coloring/madec.cpp) restricted to the dirty frontier: the same
+/// automaton core with `participates` gating every hook on frontier
+/// membership, so non-frontier vertices no-op while the engine still
+/// drives all n nodes. See incremental.hpp for the correctness and
+/// color-bound story.
+class RepairProtocol
+    : public automata::MatchingCore<RepairProtocol, net::ColorWire,
+                                    RepairNode> {
+  using Core =
+      automata::MatchingCore<RepairProtocol, net::ColorWire, RepairNode>;
 
+ public:
   RepairProtocol(const DynamicGraph& g, std::vector<Color>& colors,
                  std::span<const EdgeId> uncolored,
                  const RecolorOptions& options, std::size_t repairIndex)
-      : g_(&g),
+      : Core(g.numVertices(), options.invitorBias, options.trace),
+        g_(&g),
         colors_(&colors),
-        options_(options),
-        sideColor_(2 * colors.size(), kNoColor) {
-    nodes_.resize(g.numVertices());
+        halves_(colors.size(), kNoColor) {
     // Pass 1 — frontier membership from the uncolored edge set.
     for (const EdgeId e : uncolored) {
       const Edge edge = g.edge(e);
@@ -61,7 +68,7 @@ class RepairProtocol {
     const support::SeedSequence seq(
         support::mix64(options.seed, repairIndex));
     for (NodeId u = 0; u < nodes_.size(); ++u) {
-      NodeState& s = nodes_[u];
+      RepairNode& s = nodes_[u];
       if (!s.active) {
         s.done = true;
         continue;
@@ -83,7 +90,7 @@ class RepairProtocol {
     // used-set across each uncolored edge (one message over that link in a
     // deployment; the partner is on the frontier too, so its set is ready).
     for (NodeId u = 0; u < nodes_.size(); ++u) {
-      NodeState& s = nodes_[u];
+      RepairNode& s = nodes_[u];
       if (!s.active) continue;
       const auto inc = g.incidences(u);
       for (const std::uint32_t i : s.uncolored) {
@@ -98,152 +105,113 @@ class RepairProtocol {
   /// once after the engine run, serially (during the run the halves are
   /// written concurrently by the parallel receive phase).
   void mergeCommits() {
-    for (EdgeId e = 0; 2 * e < sideColor_.size(); ++e) {
-      const Color lo = sideColor_[2 * e];
-      const Color hi = sideColor_[2 * e + 1];
-      if (lo == kNoColor && hi == kNoColor) continue;
-      DIMA_ASSERT(lo == kNoColor || hi == kNoColor || lo == hi,
-                  "edge " << e << " committed with two colors " << lo << "≠"
-                          << hi);
-      (*colors_)[e] = lo != kNoColor ? lo : hi;
+    for (EdgeId e = 0; e < halves_.items(); ++e) {
+      const Color merged = halves_.mergedChecked(e);
+      if (merged != kNoColor) (*colors_)[e] = merged;
     }
   }
 
-  int subRounds() const { return 3; }
+  bool participates(NodeId u) const { return nodes_[u].active; }
 
-  void beginCycle(NodeId u) {
-    NodeState& s = nodes_[u];
-    if (!s.active) return;
-    // Scratch is cleared even for just-finished nodes so a final-cycle
-    // announcement is not replayed.
+  void resetScratch(NodeId u) {
+    // Runs even for just-finished nodes so a final-cycle announcement is
+    // not replayed.
+    RepairNode& s = nodes_[u];
     s.keptInvites.clear();
-    s.invitee = kNoVertex;
     s.proposed = kNoColor;
-    s.newColor = kNoColor;
+    s.pendingAnnounce = kNoColor;
+  }
+
+  // I: invite over a random uncolored edge, lowest free color.
+  NodeId pickInvitee(NodeId u) {
+    RepairNode& s = nodes_[u];
+    const std::uint32_t idx = s.uncolored[s.rng.index(s.uncolored.size())];
+    s.proposed = static_cast<Color>(
+        s.ownUsed.firstClearAlsoClearIn(s.neighborUsed[idx]));
+    return g_->incidences(u)[idx].neighbor;
+  }
+
+  Message inviteMessage(NodeId u) {
+    const RepairNode& s = nodes_[u];
+    return Message{net::WireKind::Invite, s.invitee, s.proposed};
+  }
+
+  // L: keep invitations arriving over my uncolored edges.
+  bool keepInvite(NodeId u, const net::Envelope<Message>& env) {
+    RepairNode& s = nodes_[u];
+    // The connecting edge must still be uncolored on my side, and the
+    // proposal fresh — both hold by construction on reliable links (the
+    // invitor knows used(u) exactly); checked defensively.
+    if (uncoloredIndexOf(u, env.from) == kNoIndex ||
+        s.ownUsed.test(static_cast<std::size_t>(env.msg.color))) {
+      return false;
+    }
+    s.keptInvites.push_back({env.from, env.msg.color});
+    return true;
+  }
+
+  // R: accept one kept invitation at random.
+  bool chooseAccept(NodeId u) {
+    RepairNode& s = nodes_[u];
+    if (s.keptInvites.empty()) return false;
+    s.accepted = s.keptInvites[s.rng.index(s.keptInvites.size())];
+    return true;
+  }
+
+  Message acceptMessage(NodeId u) {
+    const RepairNode& s = nodes_[u];
+    return Message{net::WireKind::Response, s.accepted.first,
+                   s.accepted.second};
+  }
+
+  void onAcceptSent(NodeId u) {
+    const RepairNode& s = nodes_[u];
+    colorEdgeAt(u, s.accepted.first, s.accepted.second);
+  }
+
+  void onEcho(NodeId u, const Message& msg) {
+    const RepairNode& s = nodes_[u];
+    DIMA_ASSERT(msg.color == s.proposed, "response color "
+                                             << msg.color << " != proposal "
+                                             << s.proposed);
+    colorEdgeAt(u, s.invitee, msg.color);
+  }
+
+  // E: announce the color adopted this cycle, if any.
+  int tailSubRounds() const { return 1; }
+
+  void tailSend(NodeId u, int,
+                net::SyncNetwork<Message, DynamicGraph>& net) {
+    announceSend(u, net);
+  }
+
+  Message announceMessage(NodeId u) {
+    return Message{net::WireKind::ColorAnnounce, kNoVertex,
+                   nodes_[u].pendingAnnounce};
+  }
+
+  // E: fold neighbors' announcements into their used-sets.
+  void tailReceive(NodeId u, int, net::Inbox<Message> inbox) {
+    RepairNode& s = nodes_[u];
     if (s.done) return;
-    s.role = s.rng.bernoulli(options_.invitorBias) ? Role::Invite
-                                                   : Role::Listen;
-  }
-
-  void send(NodeId u, int sub, net::SyncNetwork<Message, DynamicGraph>& net) {
-    NodeState& s = nodes_[u];
-    if (!s.active) return;
-    switch (sub) {
-      case 0: {  // I: invite over a random uncolored edge, lowest free color.
-        if (s.done || s.role != Role::Invite) return;
-        const std::uint32_t idx = s.uncolored[s.rng.index(s.uncolored.size())];
-        const Incidence inc = g_->incidences(u)[idx];
-        s.invitee = inc.neighbor;
-        s.proposed = static_cast<Color>(
-            s.ownUsed.firstClearAlsoClearIn(s.neighborUsed[idx]));
-        net.broadcast(u, Message{Message::Kind::Invite, s.invitee,
-                                 s.proposed});
-        break;
+    const auto inc = g_->incidences(u);
+    for (const auto& env : inbox) {
+      if (env.msg.kind != net::WireKind::ColorAnnounce) continue;
+      for (std::size_t i = 0; i < inc.size(); ++i) {
+        if (inc[i].neighbor == env.from) {
+          s.neighborUsed[i].set(static_cast<std::size_t>(env.msg.color));
+          break;
+        }
       }
-      case 1: {  // R: accept one kept invitation at random.
-        if (s.done || s.role != Role::Listen || s.keptInvites.empty()) return;
-        const auto& [from, color] =
-            s.keptInvites[s.rng.index(s.keptInvites.size())];
-        net.broadcast(u, Message{Message::Kind::Response, from, color});
-        colorEdgeAt(u, from, color);
-        break;
-      }
-      case 2: {  // E: announce the color adopted this cycle, if any.
-        if (s.newColor == kNoColor) return;
-        net.broadcast(u, Message{Message::Kind::ColorAnnounce, kNoVertex,
-                                 s.newColor});
-        break;
-      }
-      default:
-        DIMA_ASSERT(false, "unexpected sub-round " << sub);
     }
   }
 
-  void receive(NodeId u, int sub,
-               net::Inbox<Message> inbox) {
-    NodeState& s = nodes_[u];
-    if (!s.active) return;
-    switch (sub) {
-      case 0: {  // L: keep invitations arriving over my uncolored edges.
-        if (s.done || s.role != Role::Listen) return;
-        for (const auto& env : inbox) {
-          if (env.msg.kind != Message::Kind::Invite || env.msg.target != u) {
-            continue;
-          }
-          // The connecting edge must still be uncolored on my side, and the
-          // proposal fresh — both hold by construction on reliable links
-          // (the invitor knows used(u) exactly); checked defensively.
-          if (uncoloredIndexOf(u, env.from) != kNoIndex &&
-              !s.ownUsed.test(static_cast<std::size_t>(env.msg.color))) {
-            s.keptInvites.push_back({env.from, env.msg.color});
-          }
-        }
-        break;
-      }
-      case 1: {  // W: my invitation echoed back — the pair formed.
-        if (s.done || s.role != Role::Invite || s.invitee == kNoVertex) return;
-        for (const auto& env : inbox) {
-          if (env.msg.kind == Message::Kind::Response &&
-              env.msg.target == u && env.from == s.invitee) {
-            DIMA_ASSERT(env.msg.color == s.proposed,
-                        "response color " << env.msg.color
-                                          << " != proposal " << s.proposed);
-            colorEdgeAt(u, s.invitee, env.msg.color);
-            break;
-          }
-        }
-        break;
-      }
-      case 2: {  // E: fold neighbors' announcements into their used-sets.
-        if (s.done) return;
-        const auto inc = g_->incidences(u);
-        for (const auto& env : inbox) {
-          if (env.msg.kind != Message::Kind::ColorAnnounce) continue;
-          for (std::size_t i = 0; i < inc.size(); ++i) {
-            if (inc[i].neighbor == env.from) {
-              s.neighborUsed[i].set(
-                  static_cast<std::size_t>(env.msg.color));
-              break;
-            }
-          }
-        }
-        break;
-      }
-      default:
-        DIMA_ASSERT(false, "unexpected sub-round " << sub);
-    }
-  }
-
-  void endCycle(NodeId u) {
-    NodeState& s = nodes_[u];
-    if (!s.done && s.uncolored.empty()) s.done = true;
-  }
-
-  bool done(NodeId u) const { return nodes_[u].done; }
+  bool localWorkDone(NodeId u) const { return nodes_[u].uncolored.empty(); }
 
  private:
-  enum class Role : std::uint8_t { Invite, Listen };
-  static constexpr std::uint32_t kNoIndex = static_cast<std::uint32_t>(-1);
-
-  struct NodeState {
-    support::Rng rng{0};
-    Role role = Role::Listen;
-    bool active = false;
-    bool done = false;
-    /// Incidence indices (into incidences(u)) of uncolored edges.
-    support::SmallVector<std::uint32_t, 8> uncolored;
-    DynamicBitset ownUsed;                    ///< colors on my edges
-    std::vector<DynamicBitset> neighborUsed;  ///< per incidence index
-    // Per-cycle scratch:
-    support::SmallVector<std::pair<NodeId, Color>, 4> keptInvites;
-    NodeId invitee = kNoVertex;
-    Color proposed = kNoColor;
-    Color newColor = kNoColor;  ///< color adopted this cycle (to announce)
-  };
-
   /// Position of `partner` in u's uncolored list, or kNoIndex.
   std::uint32_t uncoloredIndexOf(NodeId u, NodeId partner) const {
-    const NodeState& s = nodes_[u];
+    const RepairNode& s = nodes_[u];
     const auto inc = g_->incidences(u);
     for (std::size_t k = 0; k < s.uncolored.size(); ++k) {
       if (inc[s.uncolored[k]].neighbor == partner) {
@@ -253,34 +221,30 @@ class RepairProtocol {
     return kNoIndex;
   }
 
-  /// Commits {u, partner} from u's side: writes the shared color slot,
-  /// retires the incidence, schedules the announcement.
+  /// Commits {u, partner} from u's side: writes this endpoint's commit
+  /// half, retires the incidence, schedules the announcement.
   void colorEdgeAt(NodeId u, NodeId partner, Color color) {
-    NodeState& s = nodes_[u];
+    RepairNode& s = nodes_[u];
     const std::uint32_t k = uncoloredIndexOf(u, partner);
     DIMA_ASSERT(k != kNoIndex,
                 "node " << u << " has no uncolored edge to " << partner);
     const EdgeId e = g_->incidences(u)[s.uncolored[k]].edge;
-    // Each endpoint writes its own commit half (slot 2e for the lower-id
-    // endpoint, 2e+1 for the higher), so concurrent same-cycle commits from
-    // the two endpoints never touch the same slot; `mergeCommits()` folds
-    // the halves into the shared coloring after the engine run.
-    Color& half = sideColor_[2 * e + (u < partner ? 0 : 1)];
+    Color& half = halves_.half(e, u > partner);
     DIMA_ASSERT(half == kNoColor, "edge " << e << " recolored at " << u);
     half = color;
     DIMA_ASSERT(!s.ownUsed.test(static_cast<std::size_t>(color)),
                 "node " << u << " reused color " << color);
     s.ownUsed.set(static_cast<std::size_t>(color));
-    s.newColor = color;
+    s.pendingAnnounce = color;
     s.uncolored.eraseAtUnordered(k);
+    trace(u, net::TraceKind::EdgeColored, partner, color);
   }
 
   const DynamicGraph* g_;
   std::vector<Color>* colors_;
-  RecolorOptions options_;
-  std::vector<NodeState> nodes_;
-  /// Per-endpoint commit halves for this batch (see `colorEdgeAt`).
-  std::vector<Color> sideColor_;
+  /// Per-endpoint commit halves for this batch (slot pair per edge slot);
+  /// `mergeCommits()` folds them into the shared coloring after the run.
+  automata::CommitHalves<Color> halves_;
   std::size_t frontier_ = 0;
 };
 
@@ -360,10 +324,11 @@ RepairStats IncrementalRecolorer::repair() {
   }
 
   RepairProtocol proto(*g_, colors_, stats.recolored, options_, repairs_);
-  net::SyncNetwork<RepairMessage, DynamicGraph> net(*g_);
+  net::SyncNetwork<RepairProtocol::Message, DynamicGraph> net(*g_);
   net::EngineOptions engineOptions;
   engineOptions.maxCycles = options_.maxCycles;
   engineOptions.pool = options_.pool;
+  engineOptions.observer = [&](const net::CycleInfo&) { proto.tickCycle(); };
   const net::EngineResult run = runSyncProtocol(proto, net, engineOptions);
   proto.mergeCommits();
 

@@ -53,6 +53,7 @@
 #include "src/coloring/validate.hpp"
 #include "src/dynamic/churn.hpp"
 #include "src/dynamic/dynamic_graph.hpp"
+#include "src/net/trace.hpp"
 #include "src/support/thread_pool.hpp"
 
 namespace dima::dynamic {
@@ -67,6 +68,9 @@ struct RecolorOptions {
   std::uint64_t maxCycles = 1u << 20;
   /// Optional parallel executor (results identical to serial; tested).
   support::ThreadPool* pool = nullptr;
+  /// Optional event trace (serial executor only). The cycle clock restarts
+  /// at 0 for every repair pass.
+  net::TraceLog* trace = nullptr;
 };
 
 /// Cost and outcome accounting of one repair pass.

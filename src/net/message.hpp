@@ -171,6 +171,74 @@ constexpr std::uint64_t bitWidth(std::uint64_t v) {
   return bits;
 }
 
+/// Unified message kinds of the matching-automaton protocols (the Fig. 1
+/// core in src/automata/core.hpp). Each wire format below uses a subset of
+/// these kinds, and its `wireBits()` charges only the bits needed to index
+/// that subset — 2 bits for the three-kind formats, 3 bits for the
+/// five-kind one — so unifying the enum does not change any CONGEST
+/// accounting.
+enum class WireKind : std::uint8_t {
+  Invite,           ///< I: proposal naming the invited listener
+  Response,         ///< R: acceptance naming the invitor
+  Tentative,        ///< strict handshake: item + color pending commit
+  Abort,            ///< strict handshake: tentative item rolled back
+  ColorAnnounce,    ///< E: color committed this round
+  MatchedAnnounce,  ///< E: sender matched; neighbors retire it
+};
+
+/// "No arc/edge" sentinel of `TentativeColorWire::item` (the same bit
+/// pattern as `graph::kNoEdge` and `graph::kNoArc`).
+inline constexpr std::uint32_t kNoWireItem = static_cast<std::uint32_t>(-1);
+
+/// Bare pairing wire format (matching discovery): the kind plus the named
+/// peer. Uses Invite/Response/MatchedAnnounce — 3 kinds, 2-bit kind field.
+struct PairWire {
+  WireKind kind = WireKind::Invite;
+  /// Invite: the invited listener. Response: the accepted invitor.
+  /// MatchedAnnounce: the sender itself.
+  NodeId target = graph::kNoVertex;
+
+  /// CONGEST wire size: 2-bit kind + target id.
+  std::uint64_t wireBits() const {
+    return 2 + (target == graph::kNoVertex ? 1 : bitWidth(target));
+  }
+};
+
+/// Pairing-with-color wire format (MaDEC and the dynamic repair protocol):
+/// invitations and responses carry the target node and the proposed color;
+/// exchange announcements carry the freshly used color. Uses
+/// Invite/Response/ColorAnnounce — 3 kinds, 2-bit kind field. `color` is a
+/// `coloring::Color` by value (the net layer sits below coloring, so the
+/// underlying integer type is spelled out here).
+struct ColorWire {
+  WireKind kind = WireKind::Invite;
+  NodeId target = graph::kNoVertex;
+  std::int32_t color = -1;
+
+  /// CONGEST wire size: 2-bit kind + id + color (self-delimiting widths).
+  std::uint64_t wireBits() const {
+    return 2 + (target == graph::kNoVertex ? 1 : bitWidth(target)) +
+           (color < 0 ? 1 : bitWidth(static_cast<std::uint64_t>(color)));
+  }
+};
+
+/// `ColorWire` plus the committed item id (arc or edge) that the strict
+/// tentative/abort handshake orders conflicts by (DiMa2Ed, strong MaDEC).
+/// Uses all kinds but MatchedAnnounce — 5 kinds, 3-bit kind field.
+struct TentativeColorWire {
+  WireKind kind = WireKind::Invite;
+  NodeId target = graph::kNoVertex;
+  std::int32_t color = -1;
+  std::uint32_t item = kNoWireItem;  ///< arc/edge id; kNoWireItem = unused
+
+  /// CONGEST wire size: 3-bit kind + id + color + item id.
+  std::uint64_t wireBits() const {
+    return 3 + (target == graph::kNoVertex ? 1 : bitWidth(target)) +
+           (color < 0 ? 1 : bitWidth(static_cast<std::uint64_t>(color))) +
+           (item == kNoWireItem ? 1 : bitWidth(item));
+  }
+};
+
 /// Channel perturbations. The paper's model assumes perfectly reliable
 /// synchronous links; the fault model exists to *test* which guarantees
 /// survive outside the model (safety must, liveness need not — see

@@ -43,7 +43,9 @@ TEST(EdgeCases, StrictDima2EdActuallyAborts) {
 TEST(EdgeCases, EngineMaxCyclesZeroRunsNothing) {
   struct Idle {
     struct Msg {};
-    using Message = Msg;
+    // Part of the engine's duck-typed protocol contract, even if no round
+    // ever runs here.
+    using Message [[maybe_unused]] = Msg;
     int subRounds() const { return 1; }
     void beginCycle(net::NodeId) { ++begun; }
     void send(net::NodeId, int, net::SyncNetwork<Msg>&) {}
