@@ -330,6 +330,11 @@ class MatchingCore {
     if (s.tent.item == net::kNoWireItem) return;
     net.broadcast(u, Message{net::WireKind::Tentative, graph::kNoVertex,
                              s.tent.color, s.tent.item});
+    // Extended-trace subscribers (the invariant monitor) see who went
+    // tentative on what; gated so default-trace fingerprints are untouched.
+    if (traceLog_ != nullptr && traceLog_->extended()) {
+      trace(u, net::TraceKind::TentativeSet, s.tent.item, s.tent.color);
+    }
   }
 
   void tentativeConflictScan(net::NodeId u, net::Inbox<Message> inbox) {

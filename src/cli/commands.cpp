@@ -23,6 +23,8 @@
 #include "src/graph/generators.hpp"
 #include "src/graph/io.hpp"
 #include "src/graph/metrics.hpp"
+#include "src/sim/fuzz.hpp"
+#include "src/sim/repro.hpp"
 #include "src/support/table.hpp"
 #include "src/support/version.hpp"
 
@@ -511,6 +513,157 @@ int cmdValidate(Args& args, std::ostream& out, std::ostream& err) {
   return verdict.valid ? 0 : 1;
 }
 
+/// Comma-separated protocol list → FuzzProtocol values.
+bool parseFuzzProtocols(const std::string& list, std::ostream& err,
+                        std::vector<sim::FuzzProtocol>* out) {
+  std::stringstream ss(list);
+  std::string name;
+  while (std::getline(ss, name, ',')) {
+    if (name.empty()) continue;
+    sim::FuzzProtocol p;
+    if (!sim::fuzzProtocolFromName(name, &p)) {
+      err << "error: unknown protocol '" << name
+          << "' (madec, dima2ed, strong-madec, strong-madec-mutant, "
+             "incremental)\n";
+      return false;
+    }
+    out->push_back(p);
+  }
+  if (out->empty()) {
+    err << "error: --protocols names no protocol\n";
+    return false;
+  }
+  return true;
+}
+
+/// `dimacol fuzz`: chaos-test the protocols under the invariant monitor,
+/// either by seeded random search (default) or by exhaustively enumerating
+/// drop/crash fault patterns on tiny canonical graphs.
+int cmdFuzz(Args& args, std::ostream& out, std::ostream& err) {
+  const std::string mode = args.get("mode", "random");
+
+  if (mode == "exhaustive") {
+    std::vector<sim::FuzzProtocol> protocols;
+    if (!parseFuzzProtocols(
+            args.get("protocols", "madec,dima2ed,strong-madec"), err,
+            &protocols)) {
+      return 2;
+    }
+    sim::SweepOptions so;
+    so.cyclesHorizon = args.getUint("cycles-horizon", 2);
+    so.maxScriptedDrops =
+        static_cast<std::size_t>(args.getUint("max-drops", 2));
+    so.crashDropProducts = !args.has("no-crash-products");
+    so.maxCycles = args.getUint("max-cycles", 64);
+
+    // The canonical tiny topologies: every fault pattern is enumerable
+    // within a CI budget, yet they already exercise chains, odd cycles and
+    // full adjacency (P4, C5, K4).
+    const std::vector<
+        std::pair<std::size_t,
+                  std::vector<std::pair<graph::VertexId, graph::VertexId>>>>
+        shapes = {
+            {4, {{0, 1}, {1, 2}, {2, 3}}},
+            {5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}}},
+            {4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}},
+        };
+    std::vector<sim::FuzzCase> bases;
+    for (const sim::FuzzProtocol p : protocols) {
+      for (const auto& [n, edges] : shapes) {
+        sim::FuzzCase base;
+        base.protocol = p;
+        base.numVertices = n;
+        base.edges = edges;
+        base.seed = args.getUint("seed", 1);
+        bases.push_back(std::move(base));
+      }
+    }
+    const sim::SweepReport report = sim::exhaustiveSweep(bases, so);
+    out << "exhaustive sweep: " << report.casesRun << " cases over "
+        << bases.size() << " (protocol, graph) bases, up to "
+        << report.patterns << " fault patterns each\n";
+    if (report.allSafe()) {
+      out << "all safe\n";
+      return 0;
+    }
+    out << report.failures.size() << " FAILING case(s); first repro:\n\n";
+    const sim::SweepFailure& f = report.failures.front();
+    out << sim::serializeRepro(sim::makeRepro(f.fuzzCase, f.outcome));
+    return 1;
+  }
+
+  if (mode != "random") {
+    err << "error: --mode must be random or exhaustive\n";
+    return 2;
+  }
+  sim::RandomFuzzOptions fo;
+  if (args.has("protocols") &&
+      !parseFuzzProtocols(args.get("protocols"), err, &fo.protocols)) {
+    return 2;
+  }
+  fo.seed = args.getUint("seed", 1);
+  fo.iterations = static_cast<std::size_t>(args.getUint("iters", 200));
+  fo.maxVertices = static_cast<std::size_t>(args.getUint("max-vertices", 10));
+  fo.maxCycles = args.getUint("max-cycles", 512);
+  const sim::RandomFuzzResult result = sim::randomFuzz(fo);
+  out << "random fuzz: " << result.casesRun << " cases, " << result.failures
+      << " failure(s)\n";
+  if (!result.found()) return 0;
+
+  for (const sim::Violation& v : result.firstOutcome.violations) {
+    out << "  " << v.toString() << '\n';
+  }
+  const sim::ShrinkResult shrunk = sim::shrinkFailure(result.firstFailure);
+  out << "shrunk to " << shrunk.minimized.numVertices << " vertices / "
+      << shrunk.minimized.edges.size() << " edges in " << shrunk.runsUsed
+      << " runs\n\n";
+  const std::string repro =
+      sim::serializeRepro(sim::makeRepro(shrunk.minimized, shrunk.outcome));
+  out << repro;
+  const std::string path = args.get("out");
+  if (!path.empty()) {
+    std::ofstream file(path);
+    if (!file) {
+      err << "error: cannot write '" << path << "'\n";
+      return 2;
+    }
+    file << repro;
+    out << "\nrepro written to " << path << '\n';
+  }
+  return 1;
+}
+
+/// `dimacol replay <file>`: re-run a committed repro and check that the
+/// outcome still matches its `expect` line.
+int cmdReplay(Args& args, std::ostream& out, std::ostream& err) {
+  const std::string path = args.positional(1);
+  if (path.empty()) {
+    err << "error: replay needs a repro file argument\n";
+    return 2;
+  }
+  std::ifstream file(path);
+  if (!file) {
+    err << "error: cannot read '" << path << "'\n";
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  sim::Repro repro;
+  std::string parseError;
+  if (!sim::parseRepro(buffer.str(), &repro, &parseError)) {
+    err << "error: " << path << ": " << parseError << '\n';
+    return 2;
+  }
+  const sim::ReplayResult result = sim::replayRepro(repro);
+  out << path << ": " << result.summary << '\n';
+  if (!result.outcome.safe()) {
+    for (const sim::Violation& v : result.outcome.violations) {
+      out << "  " << v.toString() << '\n';
+    }
+  }
+  return result.matched ? 0 : 1;
+}
+
 }  // namespace
 
 std::string usage() {
@@ -541,6 +694,11 @@ std::string usage() {
          "(--batches, --rate|--ops, --insert-frac, --churn-seed, --seed)\n"
          "  validate  check a coloring file      (--colors <file>, --kind "
          "edge|strong|vertex, --partial)\n"
+         "  fuzz      chaos-test the protocols   (--mode random|exhaustive, "
+         "--iters, --seed, --protocols <list>, --max-vertices, --max-cycles, "
+         "--cycles-horizon, --out <repro>)\n"
+         "  replay    re-run a repro file        (replay <file>; exit 0 iff "
+         "the pinned outcome reproduces)\n"
          "  help      this text\n\n"
          "every command accepts --input <edge-list> instead of a generator "
          "family.\n";
@@ -574,6 +732,10 @@ int runCommand(Args& args, std::ostream& out, std::ostream& err) {
     code = cmdChurn(args, out, err);
   } else if (command == "validate") {
     code = cmdValidate(args, out, err);
+  } else if (command == "fuzz") {
+    code = cmdFuzz(args, out, err);
+  } else if (command == "replay") {
+    code = cmdReplay(args, out, err);
   } else if (command == "help" || command.empty()) {
     out << usage();
   } else {

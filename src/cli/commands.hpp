@@ -19,6 +19,10 @@
 ///   churn     incremental recoloring under topology churn (per-batch
 ///             repair stats against the dynamic overlay)
 ///   validate  check a coloring file against a graph
+///   fuzz      chaos-test the protocols under the invariant monitor
+///             (random search or exhaustive fault enumeration; failures
+///             are shrunk and printed as replayable repro files)
+///   replay    re-run a repro file and check its pinned outcome
 ///   help      usage
 
 #include <iosfwd>

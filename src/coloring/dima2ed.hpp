@@ -58,6 +58,7 @@
 
 #include "src/coloring/result.hpp"
 #include "src/graph/digraph.hpp"
+#include "src/net/chaos.hpp"
 #include "src/net/engine.hpp"
 #include "src/net/trace.hpp"
 #include "src/support/thread_pool.hpp"
@@ -78,7 +79,7 @@ struct Dima2EdOptions {
   ColorPolicy policy = ColorPolicy::ExpandingWindow;
   /// Invitor-coin probability when both arc directions still need work.
   double invitorBias = 0.5;
-  net::FaultModel faults;
+  net::ChaosModel faults;
   std::uint64_t maxCycles = 1u << 20;
   support::ThreadPool* pool = nullptr;
   net::TraceLog* trace = nullptr;

@@ -31,6 +31,7 @@
 #include "src/coloring/result.hpp"
 #include "src/graph/graph.hpp"
 #include "src/net/async.hpp"
+#include "src/net/chaos.hpp"
 #include "src/net/engine.hpp"
 #include "src/net/trace.hpp"
 #include "src/support/thread_pool.hpp"
@@ -45,7 +46,7 @@ struct MadecOptions {
   /// constant degrades toward either extreme).
   double invitorBias = 0.5;
   /// Channel perturbations (all-reliable by default, the paper's model).
-  net::FaultModel faults;
+  net::ChaosModel faults;
   /// Engine round cap; runs hitting it return converged = false.
   std::uint64_t maxCycles = 1u << 20;
   /// Optional parallel executor.

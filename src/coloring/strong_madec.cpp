@@ -58,7 +58,8 @@ class StrongMadecProtocol
   StrongMadecProtocol(const graph::Graph& g, const StrongMadecOptions& options)
       : Core(g.numVertices(), options.invitorBias, options.trace),
         g_(&g),
-        halves_(g.numEdges(), kNoColor) {
+        halves_(g.numEdges(), kNoColor),
+        mutantSkipAbortEcho_(options.mutantSkipAbortEcho) {
     const support::SeedSequence seq(options.seed);
     for (NodeId u = 0; u < g.numVertices(); ++u) {
       SmNode& s = nodes_[u];
@@ -167,7 +168,13 @@ class StrongMadecProtocol
   void tailReceive(NodeId u, int tail, net::Inbox<Message> inbox) {
     switch (tail) {
       case 0: tentativeConflictScan(u, inbox); return;
-      case 1: abortResolve(u, inbox); return;
+      case 1:
+        if (mutantSkipAbortEcho_) {
+          mutantAbortResolve(u);
+        } else {
+          abortResolve(u, inbox);
+        }
+        return;
       default:
         SmNode& s = nodes_[u];
         for (const auto& env : inbox) {
@@ -207,6 +214,22 @@ class StrongMadecProtocol
   }
 
  private:
+  /// The planted handshake bug (StrongMadecOptions::mutantSkipAbortEcho):
+  /// `abortResolve` minus the inbox scan that adopts the partner's Abort.
+  /// An endpoint that did not itself hear the conflicting lower-id
+  /// tentative commits its half even though its partner rolled back —
+  /// yielding a half-committed edge whose color can conflict at distance 2.
+  void mutantAbortResolve(NodeId u) {
+    SmNode& s = nodes_[u];
+    if (s.tent.item == net::kNoWireItem) return;
+    if (s.tent.abortMine) {
+      trace(u, net::TraceKind::Aborted, s.tent.item, s.tent.color);
+      onTentativeAborted(u);
+    } else {
+      commitTentative(u);
+    }
+  }
+
   std::uint32_t incidenceIndexOf(NodeId u, NodeId neighbor) const {
     const auto inc = g_->incidences(u);
     for (std::uint32_t i = 0; i < inc.size(); ++i) {
@@ -237,6 +260,7 @@ class StrongMadecProtocol
 
   const graph::Graph* g_;
   automata::CommitHalves<Color> halves_;
+  bool mutantSkipAbortEcho_ = false;
 };
 
 }  // namespace

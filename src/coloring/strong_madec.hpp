@@ -22,6 +22,7 @@
 
 #include "src/coloring/result.hpp"
 #include "src/graph/graph.hpp"
+#include "src/net/chaos.hpp"
 #include "src/net/engine.hpp"
 #include "src/net/trace.hpp"
 #include "src/support/thread_pool.hpp"
@@ -31,11 +32,17 @@ namespace dima::coloring {
 struct StrongMadecOptions {
   std::uint64_t seed = 0x57406ULL;
   double invitorBias = 0.5;
-  net::FaultModel faults;
+  net::ChaosModel faults;
   std::uint64_t maxCycles = 1u << 20;
   support::ThreadPool* pool = nullptr;
   /// Optional event trace (serial executor only).
   net::TraceLog* trace = nullptr;
+  /// Planted bug for the fuzzer's mutation self-test (tests/test_sim_fuzz):
+  /// the abort-resolve step skips reading the partner's Abort notice, so an
+  /// endpoint whose partner aborted a conflicting tentative commits its half
+  /// anyway — exactly the handshake hole the strict mode exists to close.
+  /// Never set outside the simulation tests.
+  bool mutantSkipAbortEcho = false;
 };
 
 /// Runs the strong (distance-2) undirected edge coloring on `g`.

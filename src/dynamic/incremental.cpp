@@ -324,7 +324,8 @@ RepairStats IncrementalRecolorer::repair() {
   }
 
   RepairProtocol proto(*g_, colors_, stats.recolored, options_, repairs_);
-  net::SyncNetwork<RepairProtocol::Message, DynamicGraph> net(*g_);
+  net::SyncNetwork<RepairProtocol::Message, DynamicGraph> net(*g_,
+                                                              options_.faults);
   net::EngineOptions engineOptions;
   engineOptions.maxCycles = options_.maxCycles;
   engineOptions.pool = options_.pool;

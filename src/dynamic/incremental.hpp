@@ -53,6 +53,7 @@
 #include "src/coloring/validate.hpp"
 #include "src/dynamic/churn.hpp"
 #include "src/dynamic/dynamic_graph.hpp"
+#include "src/net/chaos.hpp"
 #include "src/net/trace.hpp"
 #include "src/support/thread_pool.hpp"
 
@@ -64,6 +65,10 @@ struct RecolorOptions {
   std::uint64_t seed = 0x1edc02ULL;
   /// Invitor-role probability of the automaton's C state.
   double invitorBias = 0.5;
+  /// Channel perturbations for the repair runs (all-reliable by default).
+  /// Under message loss a repair may fail to converge within `maxCycles`;
+  /// unrepaired edges simply stay queued for the next `repair()` call.
+  net::ChaosModel faults;
   /// Engine round cap per repair.
   std::uint64_t maxCycles = 1u << 20;
   /// Optional parallel executor (results identical to serial; tested).

@@ -1,0 +1,180 @@
+#pragma once
+
+/// \file chaos.hpp
+/// `ChaosModel`: the adversarial superset of `FaultModel` driving the
+/// deterministic simulation tests (src/sim). Where `FaultModel` probes two
+/// uniform probabilistic knobs, the chaos model adds the fault classes an
+/// adversary would pick deliberately:
+///
+///  * **Per-link asymmetric drop rates** (`linkDrops`) — the channel
+///    `from → to` can be lossier than its reverse, breaking the implicit
+///    symmetry of a uniform drop probability.
+///  * **Crash-stop nodes** (`crashes`) — from a scheduled communication
+///    round on, a node neither transmits nor hears anything; its links act
+///    as if cut. Liveness is expected to be lost (runs cap at maxCycles);
+///    safety of what the *live* nodes commit must survive.
+///  * **Adversarial inbox permutation** (`permuteInboxes`) — receiver slot
+///    order is shuffled per node at construction, so inboxes no longer
+///    arrive in incidence order. Protocols must not depend on ascending
+///    sender id for correctness (determinism pins do, which is why the
+///    reliable fast path keeps the incidence layout bit-identical).
+///  * **Bounded payload corruption** (`corruptProbability` and scripted
+///    `Corrupt` faults) — one wire field of a delivered payload is
+///    rewritten to a different in-domain value (a kind, a node id, a color
+///    or item id a few bit-flips away). Corruption stays in-domain so it
+///    probes protocol logic, not `std::vector` bounds; it can still trip
+///    `DIMA_ASSERT`-checked protocol preconditions by design, which is why
+///    the fuzz driver exercises it at the network layer rather than under
+///    the protocols (PROTOCOLS.md §11).
+///  * **Scripted per-message faults** (`script`) — exact (kind, round,
+///    from, to) triples, the currency of the exhaustive fault enumerator,
+///    the delta-debugging shrinker, and replayable repro files.
+///
+/// Determinism: every probabilistic outcome is keyed on
+/// (seed, commRound, from, to) exactly like the base model, so a chaos run
+/// is a pure function of (topology, protocol seed, ChaosModel). Setting
+/// `recordTo` captures the faults that actually fired as a script; running
+/// the same model again with only that script reproduces the run.
+
+#include <concepts>
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+#include "src/net/message.hpp"
+#include "src/support/rng.hpp"
+
+namespace dima::net {
+
+/// Drop-rate override for one directed link; wins over `dropProbability`.
+struct LinkDrop {
+  NodeId from = graph::kNoVertex;
+  NodeId to = graph::kNoVertex;
+  double dropProbability = 0.0;
+
+  friend bool operator==(const LinkDrop&, const LinkDrop&) = default;
+};
+
+/// Crash-stop schedule entry: from communication round `round` on (counted
+/// like `Counters::commRounds`, starting at 0), `node` is silent and deaf.
+struct CrashEvent {
+  NodeId node = graph::kNoVertex;
+  std::uint64_t round = 0;
+
+  friend bool operator==(const CrashEvent&, const CrashEvent&) = default;
+};
+
+/// One scripted (or recorded) per-message fault: what happens to the
+/// delivery attempted on link `from → to` in communication round `round`.
+struct MessageFault {
+  enum class Kind : std::uint8_t { Drop, Duplicate, Corrupt };
+
+  Kind kind = Kind::Drop;
+  std::uint64_t round = 0;
+  NodeId from = graph::kNoVertex;
+  NodeId to = graph::kNoVertex;
+
+  friend bool operator==(const MessageFault&, const MessageFault&) = default;
+};
+
+/// `FaultModel` plus the adversarial knobs above. Implicitly convertible
+/// from the base model so every `options.faults = net::FaultModel{...}`
+/// call site keeps compiling unchanged.
+struct ChaosModel : FaultModel {
+  ChaosModel() = default;
+  ChaosModel(const FaultModel& base) : FaultModel(base) {}  // NOLINT(google-explicit-constructor)
+
+  std::vector<LinkDrop> linkDrops;
+  std::vector<CrashEvent> crashes;
+  std::vector<MessageFault> script;
+  double corruptProbability = 0.0;
+  bool permuteInboxes = false;
+
+  /// When set, every fired per-message fault is appended here (crash
+  /// silencing is not recorded — it is already explicit in `crashes`).
+  /// Serial executor only: recording from the thread pool would race.
+  std::vector<MessageFault>* recordTo = nullptr;
+
+  /// True when messages can be lost, duplicated, or altered — the classes
+  /// under which half-committed items and stale one-hop views are expected
+  /// (the invariant monitor relaxes exactly the checks those break;
+  /// PROTOCOLS.md §11 documents the mapping).
+  bool lossy() const {
+    return FaultModel::perturbs() || !linkDrops.empty() || !crashes.empty() ||
+           !script.empty() || corruptProbability > 0.0;
+  }
+
+  /// Shadows the base: any knob (including the delivery-order permutation,
+  /// which loses no messages but perturbs the run) routes `writeSlot` off
+  /// the reliable fast path.
+  bool perturbs() const { return lossy() || permuteInboxes; }
+
+  /// Effective drop probability of the directed link `from → to`.
+  double dropRate(NodeId from, NodeId to) const {
+    for (const LinkDrop& l : linkDrops) {
+      if (l.from == from && l.to == to) return l.dropProbability;
+    }
+    return dropProbability;
+  }
+};
+
+/// Rewrites one wire field of `m` to a different in-domain value (see the
+/// file comment). Message types without any known field are left intact.
+/// Deterministic in the caller-supplied stream.
+template <class M>
+void chaosCorruptPayload(M& m, support::Rng& rng, std::size_t numNodes) {
+  // Only the unified wire fields are touched (matched by name *and* type,
+  // so foreign message structs with an unrelated `kind` are left alone).
+  constexpr bool kHasKind = requires { { m.kind } -> std::same_as<WireKind&>; };
+  constexpr bool kHasTarget =
+      requires { { m.target } -> std::same_as<NodeId&>; };
+  constexpr bool kHasColor =
+      requires { { m.color } -> std::same_as<std::int32_t&>; };
+  constexpr bool kHasItem =
+      requires { { m.item } -> std::same_as<std::uint32_t&>; };
+  int fields = 0;
+  if constexpr (kHasKind) ++fields;
+  if constexpr (kHasTarget) ++fields;
+  if constexpr (kHasColor) ++fields;
+  if constexpr (kHasItem) ++fields;
+  if (fields == 0) return;
+  std::size_t pick = rng.index(static_cast<std::size_t>(fields));
+  if constexpr (kHasKind) {
+    if (pick == 0) {
+      // A different one of the six wire kinds.
+      m.kind = static_cast<WireKind>(
+          (static_cast<std::uint8_t>(m.kind) + 1 + rng.index(5)) % 6);
+      return;
+    }
+    --pick;
+  }
+  if constexpr (kHasTarget) {
+    if (pick == 0) {
+      const std::size_t t = rng.index(numNodes + 1);
+      m.target = t == numNodes ? graph::kNoVertex : static_cast<NodeId>(t);
+      return;
+    }
+    --pick;
+  }
+  if constexpr (kHasColor) {
+    if (pick == 0) {
+      if (m.color < 0) {
+        m.color = static_cast<std::int32_t>(rng.index(8));
+      } else {
+        m.color ^= std::int32_t{1} << rng.index(5);
+      }
+      return;
+    }
+    --pick;
+  }
+  if constexpr (kHasItem) {
+    if (m.item == kNoWireItem) {
+      m.item = static_cast<std::uint32_t>(rng.index(8));
+    } else {
+      m.item ^= std::uint32_t{1} << rng.index(4);
+      if (m.item == kNoWireItem) m.item = 0;
+    }
+  }
+}
+
+}  // namespace dima::net

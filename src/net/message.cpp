@@ -10,6 +10,7 @@ std::string Counters::toString() const {
       << " unicasts=" << unicasts << " delivered=" << messagesDelivered
       << " dropped=" << messagesDropped
       << " duplicated=" << messagesDuplicated
+      << " corrupted=" << messagesCorrupted
       << " bits=" << bitsDelivered << " maxMsgBits=" << maxMessageBits;
   return oss.str();
 }

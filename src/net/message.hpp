@@ -147,6 +147,8 @@ struct Counters {
   std::uint64_t messagesDelivered = 0;
   std::uint64_t messagesDropped = 0;
   std::uint64_t messagesDuplicated = 0;
+  /// Deliveries whose payload the chaos model rewrote (net/chaos.hpp).
+  std::uint64_t messagesCorrupted = 0;
   /// CONGEST accounting, populated when the message type models
   /// `wireBits()` (all protocol messages in this library do): total payload
   /// bits delivered and the largest single message. The paper's "one hop

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "src/graph/graph.hpp"
+#include "src/net/chaos.hpp"
 #include "src/net/message.hpp"
 #include "src/support/assert.hpp"
 #include "src/support/rng.hpp"
@@ -55,8 +56,8 @@ class SyncNetwork {
   /// the network. Construction is O(n + m): it lays out the slot arena and
   /// the mirror-arc table (for each directed arc `u→w`, the index of `w`'s
   /// receiver slot for sender `u`).
-  explicit SyncNetwork(const Topo& topology, FaultModel faults = {})
-      : topo_(&topology), faults_(faults) {
+  explicit SyncNetwork(const Topo& topology, ChaosModel chaos = {})
+      : topo_(&topology), chaos_(std::move(chaos)) {
     const std::size_t n = numNodes();
     offsets_.resize(n + 1, 0);
     for (std::size_t v = 0; v < n; ++v) {
@@ -86,6 +87,22 @@ class SyncNetwork {
         mirror_[offsets_[u] + j] = offsets_[w] + cursor[w]++;
       }
     }
+    if (chaos_.permuteInboxes) permuteSlots();
+    if (!chaos_.crashes.empty()) {
+      crashRound_.assign(n, kNeverCrash);
+      for (const CrashEvent& ev : chaos_.crashes) {
+        if (ev.node < n) {
+          crashRound_[ev.node] = std::min(crashRound_[ev.node], ev.round);
+        }
+      }
+    }
+    script_ = chaos_.script;
+    std::sort(script_.begin(), script_.end(),
+              [](const MessageFault& a, const MessageFault& b) {
+                if (a.round != b.round) return a.round < b.round;
+                if (a.from != b.from) return a.from < b.from;
+                return a.to < b.to;
+              });
   }
 
   const Topo& topology() const { return *topo_; }
@@ -200,13 +217,15 @@ class SyncNetwork {
       c.messagesDelivered += s.delivered.load(std::memory_order_relaxed);
       c.messagesDropped += s.dropped.load(std::memory_order_relaxed);
       c.messagesDuplicated += s.duplicated.load(std::memory_order_relaxed);
+      c.messagesCorrupted += s.corrupted.load(std::memory_order_relaxed);
       c.bitsDelivered += s.bits.load(std::memory_order_relaxed);
       c.maxMessageBits =
           std::max(c.maxMessageBits, s.maxBits.load(std::memory_order_relaxed));
     }
     return c;
   }
-  const FaultModel& faults() const { return faults_; }
+  const FaultModel& faults() const { return chaos_; }
+  const ChaosModel& chaos() const { return chaos_; }
 
  private:
   /// Per-sender round state: `epoch == sendEpoch_` means this node already
@@ -226,6 +245,7 @@ class SyncNetwork {
     std::atomic<std::uint64_t> delivered{0};
     std::atomic<std::uint64_t> dropped{0};
     std::atomic<std::uint64_t> duplicated{0};
+    std::atomic<std::uint64_t> corrupted{0};
     std::atomic<std::uint64_t> bits{0};
     std::atomic<std::uint64_t> maxBits{0};
   };
@@ -253,33 +273,127 @@ class SyncNetwork {
     std::uint64_t delivered = 0;
     std::uint64_t dropped = 0;
     std::uint64_t duplicated = 0;
+    std::uint64_t corrupted = 0;
   };
 
   /// Stamps one receiver-side slot with this round's payload. The fault
   /// stream is keyed on (seed, completed rounds, from, to) exactly as in the
   /// pre-arena substrate, so fault outcomes are reproducible and
-  /// executor-independent.
+  /// executor-independent; the plain drop/duplicate draws are bit-identical
+  /// to the pre-chaos model (golden pins depend on it). The chaos extensions
+  /// layer on top: a crashed endpoint silences the link outright, scripted
+  /// faults force outcomes, and corruption rewrites the stored payload.
   void writeSlot(std::uint32_t slotIdx, NodeId from, NodeId to, const M& m,
                  Tally& tally) {
     MessageSlot<M>& s = slots_[slotIdx];
     std::uint32_t copies = 1;
-    if (faults_.perturbs()) {
-      const std::uint64_t key = support::mix64(
-          support::mix64(faults_.seed, commRounds_),
-          (static_cast<std::uint64_t>(from) << 32) | to);
-      support::Rng faultRng(key);
-      if (faultRng.bernoulli(faults_.dropProbability)) {
+    bool corrupt = false;
+    std::uint64_t key = 0;
+    if (chaos_.perturbs()) {
+      if (!crashRound_.empty() && (crashRound_[from] <= commRounds_ ||
+                                   crashRound_[to] <= commRounds_)) {
+        // Crash-stop: the dead endpoint neither transmits nor hears. Not
+        // recorded — the crash schedule is already explicit in the model.
         copies = 0;
         ++tally.dropped;
-      } else if (faultRng.bernoulli(faults_.duplicateProbability)) {
-        copies = 2;
-        ++tally.duplicated;
+      } else {
+        bool scriptedDrop = false;
+        bool scriptedDup = false;
+        scriptedFaults(from, to, &scriptedDrop, &scriptedDup, &corrupt);
+        key = support::mix64(
+            support::mix64(chaos_.seed, commRounds_),
+            (static_cast<std::uint64_t>(from) << 32) | to);
+        support::Rng faultRng(key);
+        if (scriptedDrop || faultRng.bernoulli(chaos_.dropRate(from, to))) {
+          copies = 0;
+          ++tally.dropped;
+        } else if (scriptedDup ||
+                   faultRng.bernoulli(chaos_.duplicateProbability)) {
+          copies = 2;
+          ++tally.duplicated;
+        }
+        corrupt = copies != 0 &&
+                  (corrupt || (chaos_.corruptProbability > 0.0 &&
+                               faultRng.bernoulli(chaos_.corruptProbability)));
+        if (corrupt) ++tally.corrupted;
+        if (chaos_.recordTo != nullptr) {
+          if (copies == 0) {
+            chaos_.recordTo->push_back(
+                {MessageFault::Kind::Drop, commRounds_, from, to});
+          } else if (copies == 2) {
+            chaos_.recordTo->push_back(
+                {MessageFault::Kind::Duplicate, commRounds_, from, to});
+          }
+          if (corrupt) {
+            chaos_.recordTo->push_back(
+                {MessageFault::Kind::Corrupt, commRounds_, from, to});
+          }
+        }
       }
     }
     tally.delivered += copies;
     s.epoch = sendEpoch_;
     s.copies = copies;
     s.env.msg = m;
+    if (corrupt) {
+      support::Rng corruptRng(support::mix64(key, 0x0ddba11c0dedULL));
+      chaosCorruptPayload(s.env.msg, corruptRng, numNodes());
+    }
+  }
+
+  /// Scripted fault lookup for this round's delivery on `from → to`
+  /// (binary search over the (round, from, to)-sorted script).
+  void scriptedFaults(NodeId from, NodeId to, bool* drop, bool* dup,
+                      bool* corrupt) const {
+    if (script_.empty()) return;
+    const auto before = [](const MessageFault& f, std::uint64_t round,
+                           NodeId a, NodeId b) {
+      if (f.round != round) return f.round < round;
+      if (f.from != a) return f.from < a;
+      return f.to < b;
+    };
+    auto it = std::lower_bound(
+        script_.begin(), script_.end(), 0,
+        [&](const MessageFault& f, int) { return before(f, commRounds_, from, to); });
+    for (; it != script_.end() && it->round == commRounds_ &&
+           it->from == from && it->to == to;
+         ++it) {
+      switch (it->kind) {
+        case MessageFault::Kind::Drop: *drop = true; break;
+        case MessageFault::Kind::Duplicate: *dup = true; break;
+        case MessageFault::Kind::Corrupt: *corrupt = true; break;
+      }
+    }
+  }
+
+  /// Adversarial delivery order: deterministically shuffles every
+  /// receiver's slot block (seeded per (chaos seed, receiver)) and rewires
+  /// the mirror table to match, so `inbox()` yields envelopes in an
+  /// arbitrary-but-reproducible order instead of ascending sender id.
+  void permuteSlots() {
+    const std::size_t n = numNodes();
+    std::vector<std::uint32_t> remap(slots_.size());
+    std::vector<std::uint32_t> perm;
+    for (std::size_t v = 0; v < n; ++v) {
+      const std::uint32_t base = offsets_[v];
+      const std::uint32_t deg = offsets_[v + 1] - base;
+      perm.resize(deg);
+      for (std::uint32_t j = 0; j < deg; ++j) perm[j] = j;
+      support::Rng rng(support::mix64(chaos_.seed, 0x5108ffe1eULL ^ v));
+      for (std::uint32_t j = deg; j > 1; --j) {
+        std::swap(perm[j - 1], perm[rng.index(j)]);
+      }
+      // New position j holds what incidence order put at perm[j].
+      for (std::uint32_t j = 0; j < deg; ++j) remap[base + perm[j]] = base + j;
+    }
+    std::vector<NodeId> sender(slots_.size());
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      sender[remap[i]] = slots_[i].env.from;
+    }
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      slots_[i].env.from = sender[i];
+    }
+    for (std::uint32_t& slot : mirror_) slot = remap[slot];
   }
 
   /// Folds one send call's tally into the sender's shard. CONGEST bits are
@@ -306,10 +420,20 @@ class SyncNetwork {
     if (tally.duplicated != 0) {
       sh.duplicated.fetch_add(tally.duplicated, std::memory_order_relaxed);
     }
+    if (tally.corrupted != 0) {
+      sh.corrupted.fetch_add(tally.corrupted, std::memory_order_relaxed);
+    }
   }
 
+  static constexpr std::uint64_t kNeverCrash = ~std::uint64_t{0};
+
   const Topo* topo_;
-  FaultModel faults_;
+  ChaosModel chaos_;
+  /// Per-node first crashed round (kNeverCrash when alive forever); empty
+  /// when the model schedules no crashes.
+  std::vector<std::uint64_t> crashRound_;
+  /// `chaos_.script` sorted by (round, from, to) for the per-send lookup.
+  std::vector<MessageFault> script_;
   /// CSR slot layout: receiver v's slots are `[offsets_[v], offsets_[v+1])`.
   std::vector<std::uint32_t> offsets_;
   std::vector<MessageSlot<M>> slots_;

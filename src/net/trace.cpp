@@ -20,6 +20,8 @@ const char* traceKindName(TraceKind kind) {
       return "aborted";
     case TraceKind::NodeDone:
       return "node-done";
+    case TraceKind::TentativeSet:
+      return "tentative-set";
   }
   return "?";
 }

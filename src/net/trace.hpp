@@ -6,7 +6,9 @@
 /// `trace_rounds` example renders into a per-round account of the automaton.
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/net/message.hpp"
@@ -21,6 +23,10 @@ enum class TraceKind : std::uint8_t {
   EdgeColored,   ///< U: an edge/arc received its final color
   Aborted,       ///< strict DiMa2Ed: tentative color rolled back
   NodeDone,      ///< node entered D
+  /// Extended event (emitted only when `TraceLog::extended()`): a node went
+  /// tentative on (item, color) in the strict handshake. Appended after the
+  /// original kinds so the pinned trace fingerprints keep their values.
+  TentativeSet,
 };
 
 const char* traceKindName(TraceKind kind);
@@ -36,12 +42,26 @@ struct TraceEvent {
 
 class TraceLog {
  public:
-  /// Tracing starts disabled; `record` is a no-op until enabled.
+  using Sink = std::function<void(const TraceEvent&)>;
+
+  /// Tracing starts disabled; `record` stores nothing until enabled. A
+  /// sink (below) observes events regardless.
   void enable(bool on = true) { enabled_ = on; }
   bool enabled() const { return enabled_; }
 
+  /// Streams every recorded event to `sink` without storing it — the
+  /// invariant monitor's memory-light subscription (src/sim/monitor.hpp).
+  void setSink(Sink sink) { sink_ = std::move(sink); }
+
+  /// Opt-in for the extended kinds (TentativeSet): protocols emit them only
+  /// when this is set, so the pinned default-trace fingerprints are
+  /// untouched.
+  void enableExtended(bool on = true) { extended_ = on; }
+  bool extended() const { return extended_; }
+
   void record(std::uint64_t cycle, NodeId node, TraceKind kind,
               std::int64_t a = -1, std::int64_t b = -1) {
+    if (sink_) sink_(TraceEvent{cycle, node, kind, a, b});
     if (!enabled_) return;
     events_.push_back(TraceEvent{cycle, node, kind, a, b});
   }
@@ -57,6 +77,8 @@ class TraceLog {
 
  private:
   bool enabled_ = false;
+  bool extended_ = false;
+  Sink sink_;
   std::vector<TraceEvent> events_;
 };
 

@@ -1,0 +1,610 @@
+#include "src/sim/fuzz.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "src/coloring/dima2ed.hpp"
+#include "src/coloring/madec.hpp"
+#include "src/coloring/strong_madec.hpp"
+#include "src/coloring/validate.hpp"
+#include "src/dynamic/churn.hpp"
+#include "src/dynamic/dynamic_graph.hpp"
+#include "src/dynamic/incremental.hpp"
+#include "src/graph/digraph.hpp"
+#include "src/net/trace.hpp"
+#include "src/support/assert.hpp"
+#include "src/support/rng.hpp"
+
+namespace dima::sim {
+
+using coloring::Color;
+using coloring::kNoColor;
+using graph::EdgeId;
+using graph::VertexId;
+using net::MessageFault;
+using net::NodeId;
+
+const char* fuzzProtocolName(FuzzProtocol p) {
+  switch (p) {
+    case FuzzProtocol::Madec: return "madec";
+    case FuzzProtocol::Dima2Ed: return "dima2ed";
+    case FuzzProtocol::StrongMadec: return "strong-madec";
+    case FuzzProtocol::StrongMadecMutant: return "strong-madec-mutant";
+    case FuzzProtocol::Incremental: return "incremental";
+  }
+  return "unknown";
+}
+
+bool fuzzProtocolFromName(const std::string& name, FuzzProtocol* out) {
+  for (int i = 0; i <= static_cast<int>(FuzzProtocol::Incremental); ++i) {
+    const auto p = static_cast<FuzzProtocol>(i);
+    if (name == fuzzProtocolName(p)) {
+      *out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+graph::Graph buildCaseGraph(const FuzzCase& c) {
+  std::vector<graph::Edge> edges;
+  edges.reserve(c.edges.size());
+  for (const auto& [a, b] : c.edges) {
+    DIMA_REQUIRE(a != b, "fuzz case contains the self-loop " << a);
+    DIMA_REQUIRE(a < c.numVertices && b < c.numVertices,
+                 "fuzz case edge endpoint out of range");
+    edges.push_back(graph::Edge{std::min(a, b), std::max(a, b)});
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const graph::Edge& x, const graph::Edge& y) {
+              return x.u != y.u ? x.u < y.u : x.v < y.v;
+            });
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return graph::Graph(c.numVertices, std::move(edges));
+}
+
+MonitorOptions monitorOptionsFor(const FuzzCase& c, const graph::Graph& g) {
+  MonitorOptions o;
+  o.lossy = c.chaos.lossy();
+  switch (c.protocol) {
+    case FuzzProtocol::Madec:
+    case FuzzProtocol::Incremental:
+      o.semantics = Semantics::ProperEdge;
+      // MaDEC proposes the lowest color free at both endpoints, so commits
+      // stay within 2Δ−1 colors even under loss (stale views are subsets).
+      o.paletteBound = g.maxDegree() == 0 ? 0 : 2 * g.maxDegree() - 1;
+      break;
+    case FuzzProtocol::Dima2Ed:
+      o.semantics = Semantics::StrongArc;
+      break;
+    case FuzzProtocol::StrongMadec:
+    case FuzzProtocol::StrongMadecMutant:
+      o.semantics = Semantics::StrongEdge;
+      break;
+  }
+  return o;
+}
+
+namespace {
+
+/// Communication rounds per automaton cycle (2 + tail sub-rounds).
+std::uint64_t subRoundsPerCycle(FuzzProtocol p) {
+  switch (p) {
+    case FuzzProtocol::Madec:
+    case FuzzProtocol::Incremental:
+      return 3;  // invite, respond, announce
+    case FuzzProtocol::Dima2Ed:
+    case FuzzProtocol::StrongMadec:
+    case FuzzProtocol::StrongMadecMutant:
+      return 5;  // + tentative, abort
+  }
+  return 3;
+}
+
+void appendValidatorFailure(CaseOutcome* out, const coloring::Verdict& v) {
+  if (v.valid) return;
+  out->violations.push_back(Violation{ViolationCode::CommitConflict, 0,
+                                      graph::kNoVertex,
+                                      "post-run validator: " + v.reason});
+}
+
+CaseOutcome runStaticCase(const FuzzCase& c, const graph::Graph& g,
+                          std::vector<MessageFault>* recordFired) {
+  net::TraceLog log;
+  InvariantMonitor monitor(g, monitorOptionsFor(c, g));
+  monitor.attach(log);
+  const bool lossy = c.chaos.lossy();
+
+  CaseOutcome out;
+  switch (c.protocol) {
+    case FuzzProtocol::Madec: {
+      coloring::MadecOptions o;
+      o.seed = c.seed;
+      o.faults = c.chaos;
+      o.faults.recordTo = recordFired;
+      o.maxCycles = c.maxCycles;
+      o.trace = &log;
+      const auto res = coloring::colorEdgesMadec(g, o);
+      out.converged = res.metrics.converged;
+      monitor.finish();
+      out.violations = monitor.violations();
+      if (!lossy) {
+        appendValidatorFailure(
+            &out, coloring::verifyEdgeColoring(g, res.colors, !out.converged));
+      }
+      break;
+    }
+    case FuzzProtocol::Dima2Ed: {
+      const graph::Digraph d(g);
+      coloring::Dima2EdOptions o;
+      o.seed = c.seed;
+      o.mode = coloring::Dima2EdMode::Strict;
+      o.faults = c.chaos;
+      o.faults.recordTo = recordFired;
+      o.maxCycles = c.maxCycles;
+      o.trace = &log;
+      const auto res = coloring::colorArcsDima2Ed(d, o);
+      out.converged = res.metrics.converged;
+      monitor.finish();
+      out.violations = monitor.violations();
+      if (!lossy) {
+        appendValidatorFailure(
+            &out, coloring::verifyStrongArcColoring(d, res.colors,
+                                                    !out.converged));
+      }
+      break;
+    }
+    case FuzzProtocol::StrongMadec:
+    case FuzzProtocol::StrongMadecMutant: {
+      coloring::StrongMadecOptions o;
+      o.seed = c.seed;
+      o.faults = c.chaos;
+      o.faults.recordTo = recordFired;
+      o.maxCycles = c.maxCycles;
+      o.trace = &log;
+      o.mutantSkipAbortEcho = c.protocol == FuzzProtocol::StrongMadecMutant;
+      const auto res = coloring::colorEdgesStrongMadec(g, o);
+      out.converged = res.metrics.converged;
+      monitor.finish();
+      out.violations = monitor.violations();
+      // The mutant half-commits under conflict; treat its half-committed
+      // edges as partial so the validator judges the rest.
+      const bool partial = !out.converged || !res.halfCommitted.empty();
+      if (!lossy) {
+        appendValidatorFailure(
+            &out, coloring::verifyStrongEdgeColoring(g, res.colors, partial));
+      }
+      break;
+    }
+    case FuzzProtocol::Incremental:
+      DIMA_REQUIRE(false, "incremental cases run through runIncrementalCase");
+  }
+  out.eventsSeen = monitor.eventsSeen();
+  log.setSink({});
+  return out;
+}
+
+CaseOutcome runIncrementalCase(const FuzzCase& c,
+                               std::vector<MessageFault>* recordFired) {
+  const graph::Graph base = buildCaseGraph(c);
+  dynamic::DynamicGraph dg(base);
+  net::TraceLog log;
+
+  dynamic::RecolorOptions ro;
+  ro.seed = c.seed;
+  ro.faults = c.chaos;
+  ro.faults.recordTo = recordFired;
+  ro.maxCycles = c.maxCycles;
+  ro.trace = &log;
+  dynamic::IncrementalRecolorer rec(dg, ro);
+
+  CaseOutcome out;
+  out.converged = true;
+  std::size_t pass = 0;
+
+  const auto monitoredRepair = [&]() {
+    std::vector<EdgeId> denseToOverlay;
+    const graph::Graph snap = dg.snapshot(&denseToOverlay);
+    InvariantMonitor monitor(snap, monitorOptionsFor(c, snap));
+    monitor.attach(log);
+    // Seed the baseline this repair starts from: live colored edges whose
+    // color still fits the degree budget (the rest are evicted and
+    // recolored inside repair(), so they are commits the monitor will see).
+    for (EdgeId e = 0; e < snap.numEdges(); ++e) {
+      const Color col = rec.colors()[denseToOverlay[e]];
+      if (col == kNoColor) continue;
+      const graph::Edge ed = snap.edges()[e];
+      const std::size_t budget = snap.degree(ed.u) + snap.degree(ed.v) - 2;
+      if (static_cast<std::size_t>(col) <= budget) monitor.seedCommit(e, col);
+    }
+    const dynamic::RepairStats stats = rec.repair();
+    monitor.finish();
+    log.setSink({});
+    out.converged = out.converged && stats.converged;
+    out.eventsSeen += monitor.eventsSeen();
+    for (Violation v : monitor.violations()) {
+      std::ostringstream os;
+      os << v.detail << " [repair pass " << pass << ']';
+      v.detail = os.str();
+      out.violations.push_back(std::move(v));
+    }
+    ++pass;
+  };
+
+  monitoredRepair();  // initial coloring
+
+  dynamic::ChurnOptions co;
+  co.seed = support::mix64(c.seed, 0xc402u);
+  co.opsPerBatch = 2;
+  dynamic::EventStream stream(co);
+  for (std::size_t i = 0; i < c.churnBatches; ++i) {
+    const dynamic::ChurnBatch batch = stream.nextBatch(dg);
+    rec.applyBatch(batch);
+    monitoredRepair();
+  }
+
+  if (!c.chaos.lossy() && out.converged) {
+    appendValidatorFailure(&out,
+                           dynamic::verifyDynamicColoring(dg, rec.colors()));
+  }
+  return out;
+}
+
+}  // namespace
+
+CaseOutcome runCase(const FuzzCase& c,
+                    std::vector<MessageFault>* recordFired) {
+  if (c.protocol == FuzzProtocol::Incremental) {
+    return runIncrementalCase(c, recordFired);
+  }
+  return runStaticCase(c, buildCaseGraph(c), recordFired);
+}
+
+// -- Exhaustive enumeration ------------------------------------------------
+
+SweepReport exhaustiveSweep(const std::vector<FuzzCase>& bases,
+                            const SweepOptions& options) {
+  SweepReport report;
+  for (const FuzzCase& base : bases) {
+    FuzzCase t = base;
+    t.chaos = net::ChaosModel{};
+    t.maxCycles = options.maxCycles;
+    const graph::Graph g = buildCaseGraph(t);
+    const std::uint64_t horizon =
+        options.cyclesHorizon * subRoundsPerCycle(t.protocol);
+
+    std::vector<MessageFault> points;
+    for (const graph::Edge& e : g.edges()) {
+      for (std::uint64_t r = 0; r < horizon; ++r) {
+        points.push_back({MessageFault::Kind::Drop, r, e.u, e.v});
+        points.push_back({MessageFault::Kind::Drop, r, e.v, e.u});
+      }
+    }
+
+    std::size_t patterns = 0;
+    const auto runPattern = [&](const std::vector<MessageFault>& script,
+                                const std::vector<net::CrashEvent>& crashes) {
+      ++patterns;
+      ++report.casesRun;
+      t.chaos.script = script;
+      t.chaos.crashes = crashes;
+      const CaseOutcome out = runCase(t);
+      if (!out.safe() && report.failures.size() < options.maxFailures) {
+        report.failures.push_back(SweepFailure{t, out});
+      }
+    };
+
+    runPattern({}, {});  // fault-free baseline
+    if (options.maxScriptedDrops >= 1) {
+      for (const MessageFault& p : points) runPattern({p}, {});
+    }
+    if (options.maxScriptedDrops >= 2) {
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        for (std::size_t j = i + 1; j < points.size(); ++j) {
+          runPattern({points[i], points[j]}, {});
+        }
+      }
+    }
+    if (options.crashes) {
+      for (NodeId v = 0; v < g.numVertices(); ++v) {
+        for (std::uint64_t r = 0; r < horizon; ++r) {
+          runPattern({}, {net::CrashEvent{v, r}});
+          if (!options.crashDropProducts) continue;
+          for (const MessageFault& p : points) {
+            runPattern({p}, {net::CrashEvent{v, r}});
+          }
+        }
+      }
+    }
+    report.patterns = std::max(report.patterns, patterns);
+  }
+  return report;
+}
+
+// -- Seeded random search --------------------------------------------------
+
+namespace {
+
+FuzzCase drawRandomCase(const RandomFuzzOptions& options, std::size_t iter) {
+  support::Rng rng(support::mix64(options.seed, 0x8a2fu ^ iter));
+  FuzzCase c;
+  c.protocol = options.protocols[rng.index(options.protocols.size())];
+  c.numVertices = 2 + rng.index(options.maxVertices - 1);
+  const double density = 0.25 + 0.25 * static_cast<double>(rng.index(3));
+  for (VertexId u = 0; u < c.numVertices; ++u) {
+    for (VertexId v = u + 1; v < c.numVertices; ++v) {
+      if (rng.bernoulli(density)) c.edges.emplace_back(u, v);
+    }
+  }
+  if (c.edges.empty()) c.edges.emplace_back(0, 1);
+  c.seed = support::mix64(options.seed, 2 * iter + 1);
+  c.maxCycles = options.maxCycles;
+  c.chaos.seed = support::mix64(c.seed, 0xfau);
+  // Chaos style: reliable, uniform loss, per-link loss, crashes, loss +
+  // duplication, or adversarial inbox order (possibly lossy too). Payload
+  // corruption is excluded on protocol runs (file comment).
+  switch (rng.index(6)) {
+    case 0:
+      break;
+    case 1:
+      c.chaos.dropProbability = 0.05 + 0.1 * static_cast<double>(rng.index(4));
+      break;
+    case 2:
+      for (const auto& [u, v] : c.edges) {
+        if (rng.bernoulli(0.3)) {
+          c.chaos.linkDrops.push_back(net::LinkDrop{
+              u, v, 0.1 + 0.2 * static_cast<double>(rng.index(3))});
+        }
+        if (rng.bernoulli(0.3)) {
+          c.chaos.linkDrops.push_back(net::LinkDrop{
+              v, u, 0.1 + 0.2 * static_cast<double>(rng.index(3))});
+        }
+      }
+      break;
+    case 3: {
+      const std::size_t k = 1 + rng.index(2);
+      for (std::size_t i = 0; i < k; ++i) {
+        c.chaos.crashes.push_back(net::CrashEvent{
+            static_cast<NodeId>(rng.index(c.numVertices)), rng.index(12)});
+      }
+      break;
+    }
+    case 4:
+      c.chaos.dropProbability = 0.05 + 0.1 * static_cast<double>(rng.index(3));
+      c.chaos.duplicateProbability =
+          0.05 + 0.1 * static_cast<double>(rng.index(3));
+      break;
+    default:
+      c.chaos.permuteInboxes = true;
+      if (rng.bernoulli(0.5)) c.chaos.dropProbability = 0.1;
+      break;
+  }
+  if (c.protocol == FuzzProtocol::Incremental) {
+    c.churnBatches = rng.index(3);
+  }
+  return c;
+}
+
+}  // namespace
+
+RandomFuzzResult randomFuzz(const RandomFuzzOptions& options) {
+  DIMA_REQUIRE(!options.protocols.empty(), "randomFuzz without protocols");
+  DIMA_REQUIRE(options.maxVertices >= 2, "randomFuzz needs >= 2 vertices");
+  RandomFuzzResult result;
+  for (std::size_t iter = 0; iter < options.iterations; ++iter) {
+    const FuzzCase c = drawRandomCase(options, iter);
+    const CaseOutcome out = runCase(c);
+    ++result.casesRun;
+    if (out.safe()) continue;
+    ++result.failures;
+    if (result.failures == 1) {
+      result.firstFailure = c;
+      result.firstOutcome = out;
+    }
+  }
+  return result;
+}
+
+// -- Shrinking -------------------------------------------------------------
+
+namespace {
+
+bool reproduces(const FuzzCase& c, ViolationCode code, CaseOutcome* out,
+                std::size_t* runs) {
+  ++*runs;
+  CaseOutcome o = runCase(c);
+  if (o.safe() || o.violations.front().code != code) return false;
+  *out = std::move(o);
+  return true;
+}
+
+/// Removes vertex `v`: incident edges and chaos entries referencing it are
+/// dropped, higher vertex ids shift down by one.
+FuzzCase withoutVertex(const FuzzCase& c, VertexId v) {
+  const auto remap = [v](VertexId x) {
+    return x > v ? x - 1 : x;
+  };
+  FuzzCase out = c;
+  out.numVertices = c.numVertices - 1;
+  out.edges.clear();
+  for (const auto& [a, b] : c.edges) {
+    if (a == v || b == v) continue;
+    out.edges.emplace_back(remap(a), remap(b));
+  }
+  out.chaos.linkDrops.clear();
+  for (const net::LinkDrop& l : c.chaos.linkDrops) {
+    if (l.from == v || l.to == v) continue;
+    out.chaos.linkDrops.push_back(
+        net::LinkDrop{remap(l.from), remap(l.to), l.dropProbability});
+  }
+  out.chaos.crashes.clear();
+  for (const net::CrashEvent& e : c.chaos.crashes) {
+    if (e.node == v) continue;
+    out.chaos.crashes.push_back(net::CrashEvent{remap(e.node), e.round});
+  }
+  out.chaos.script.clear();
+  for (const MessageFault& f : c.chaos.script) {
+    if (f.from == v || f.to == v) continue;
+    out.chaos.script.push_back(
+        MessageFault{f.kind, f.round, remap(f.from), remap(f.to)});
+  }
+  return out;
+}
+
+bool probabilistic(const net::ChaosModel& chaos) {
+  return chaos.dropProbability > 0.0 || chaos.duplicateProbability > 0.0 ||
+         chaos.corruptProbability > 0.0 || !chaos.linkDrops.empty();
+}
+
+}  // namespace
+
+ShrinkResult shrinkFailure(const FuzzCase& failing) {
+  ShrinkResult r;
+  CaseOutcome cur = runCase(failing);
+  ++r.runsUsed;
+  DIMA_REQUIRE(!cur.safe(), "shrinkFailure requires a failing case");
+  r.code = cur.violations.front().code;
+  FuzzCase best = failing;
+  CaseOutcome out;
+
+  // Greedy vertex removal to a fixpoint (scan restarts on success so the
+  // result is independent of incidental id shifts).
+  bool progress = true;
+  while (progress && best.numVertices > 1) {
+    progress = false;
+    for (VertexId v = 0; v < best.numVertices; ++v) {
+      const FuzzCase cand = withoutVertex(best, v);
+      if (reproduces(cand, r.code, &out, &r.runsUsed)) {
+        best = cand;
+        cur = std::move(out);
+        progress = true;
+        break;
+      }
+    }
+  }
+
+  // Greedy edge removal.
+  progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < best.edges.size(); ++i) {
+      FuzzCase cand = best;
+      cand.edges.erase(cand.edges.begin() +
+                       static_cast<std::ptrdiff_t>(i));
+      if (reproduces(cand, r.code, &out, &r.runsUsed)) {
+        best = std::move(cand);
+        cur = std::move(out);
+        progress = true;
+        break;
+      }
+    }
+  }
+
+  // Probabilistic → scripted: replay once recording which faults fired,
+  // then try the recorded script with every probability zeroed. The
+  // scripted form is what ddmin below can bisect.
+  if (probabilistic(best.chaos)) {
+    std::vector<MessageFault> fired;
+    runCase(best, &fired);
+    ++r.runsUsed;
+    FuzzCase cand = best;
+    cand.chaos.dropProbability = 0.0;
+    cand.chaos.duplicateProbability = 0.0;
+    cand.chaos.corruptProbability = 0.0;
+    cand.chaos.linkDrops.clear();
+    cand.chaos.script = std::move(fired);
+    if (reproduces(cand, r.code, &out, &r.runsUsed)) {
+      best = std::move(cand);
+      cur = std::move(out);
+    }
+  }
+
+  // ddmin over the script: try the empty script, then remove chunks of
+  // shrinking size until 1-minimal.
+  if (!best.chaos.script.empty()) {
+    FuzzCase cand = best;
+    cand.chaos.script.clear();
+    if (reproduces(cand, r.code, &out, &r.runsUsed)) {
+      best = std::move(cand);
+      cur = std::move(out);
+    }
+  }
+  if (best.chaos.script.size() >= 2) {
+    std::size_t chunks = 2;
+    while (true) {
+      const std::vector<MessageFault>& script = best.chaos.script;
+      const std::size_t chunkSize = (script.size() + chunks - 1) / chunks;
+      bool reduced = false;
+      for (std::size_t start = 0; start < script.size();
+           start += chunkSize) {
+        FuzzCase cand = best;
+        cand.chaos.script.clear();
+        for (std::size_t i = 0; i < script.size(); ++i) {
+          if (i >= start && i < start + chunkSize) continue;
+          cand.chaos.script.push_back(script[i]);
+        }
+        if (reproduces(cand, r.code, &out, &r.runsUsed)) {
+          best = std::move(cand);
+          cur = std::move(out);
+          chunks = std::max<std::size_t>(chunks - 1, 2);
+          reduced = true;
+          break;
+        }
+      }
+      if (best.chaos.script.size() < 2) break;
+      if (!reduced) {
+        if (chunks >= best.chaos.script.size()) break;
+        chunks = std::min(chunks * 2, best.chaos.script.size());
+      }
+    }
+  }
+
+  // Crash-list minimization: all gone, then one at a time.
+  if (!best.chaos.crashes.empty()) {
+    FuzzCase cand = best;
+    cand.chaos.crashes.clear();
+    if (reproduces(cand, r.code, &out, &r.runsUsed)) {
+      best = std::move(cand);
+      cur = std::move(out);
+    }
+  }
+  progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < best.chaos.crashes.size(); ++i) {
+      FuzzCase cand = best;
+      cand.chaos.crashes.erase(cand.chaos.crashes.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+      if (reproduces(cand, r.code, &out, &r.runsUsed)) {
+        best = std::move(cand);
+        cur = std::move(out);
+        progress = true;
+        break;
+      }
+    }
+  }
+
+  // Drop the inbox permutation and trailing churn when not needed.
+  if (best.chaos.permuteInboxes) {
+    FuzzCase cand = best;
+    cand.chaos.permuteInboxes = false;
+    if (reproduces(cand, r.code, &out, &r.runsUsed)) {
+      best = std::move(cand);
+      cur = std::move(out);
+    }
+  }
+  while (best.churnBatches > 0) {
+    FuzzCase cand = best;
+    cand.churnBatches = best.churnBatches - 1;
+    if (!reproduces(cand, r.code, &out, &r.runsUsed)) break;
+    best = std::move(cand);
+    cur = std::move(out);
+  }
+
+  r.minimized = std::move(best);
+  r.outcome = std::move(cur);
+  return r;
+}
+
+}  // namespace dima::sim

@@ -1,0 +1,161 @@
+#pragma once
+
+/// \file fuzz.hpp
+/// The simulation fuzz driver: runs any of the library's protocols under a
+/// `net::ChaosModel` with an `InvariantMonitor` attached, enumerates fault
+/// patterns exhaustively on tiny graphs, searches randomly on larger ones,
+/// and shrinks any failure to a minimal deterministic reproducer.
+///
+/// Everything here is a pure function of its inputs — a `FuzzCase` fully
+/// determines the run (topology, protocol seed, chaos model, round cap), so
+/// a failure found once is a failure found forever, and the shrinker's
+/// output is byte-stable across runs (tested). Repro files (repro.hpp)
+/// serialize exactly a `FuzzCase` plus the expected outcome.
+///
+/// The monitor gets the semantics and palette bound matching the protocol
+/// (proper-edge + 2Δ−1 for MaDEC and the incremental repair, strong
+/// undirected for strong MaDEC, strong directed for DiMa2Ed strict) and is
+/// told whether the chaos can lose messages, which relaxes exactly the
+/// checks message loss is allowed to break (monitor.hpp). Payload
+/// corruption is deliberately *not* drawn by the random generator for
+/// protocol runs: corrupted fields can trip `DIMA_ASSERT`-checked protocol
+/// preconditions by design, so corruption is exercised by the
+/// network-layer tests instead (PROTOCOLS.md §11).
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+#include "src/net/chaos.hpp"
+#include "src/sim/monitor.hpp"
+
+namespace dima::sim {
+
+enum class FuzzProtocol : std::uint8_t {
+  Madec,             ///< Algorithm 1, proper edge coloring
+  Dima2Ed,           ///< Algorithm 2 (strict mode), strong arc coloring
+  StrongMadec,       ///< strong undirected edge coloring
+  StrongMadecMutant, ///< strong MaDEC with the planted abort-echo bug
+  Incremental,       ///< dynamic repair under churn batches
+};
+
+const char* fuzzProtocolName(FuzzProtocol p);
+bool fuzzProtocolFromName(const std::string& name, FuzzProtocol* out);
+
+/// One fully-determined simulation run.
+struct FuzzCase {
+  FuzzProtocol protocol = FuzzProtocol::Madec;
+  std::size_t numVertices = 0;
+  /// Undirected edge list; normalized (u < v, sorted, unique) by
+  /// `buildCaseGraph`.
+  std::vector<std::pair<graph::VertexId, graph::VertexId>> edges;
+  std::uint64_t seed = 1;
+  std::uint64_t maxCycles = 256;
+  net::ChaosModel chaos;
+  /// Incremental protocol only: churn batches applied (with a monitored
+  /// repair pass after each) once the initial coloring converged.
+  std::size_t churnBatches = 0;
+};
+
+/// The case's topology as an immutable graph (normalizes the edge list).
+graph::Graph buildCaseGraph(const FuzzCase& c);
+
+/// Monitor configuration matching the case's protocol and chaos.
+MonitorOptions monitorOptionsFor(const FuzzCase& c, const graph::Graph& g);
+
+struct CaseOutcome {
+  std::vector<Violation> violations;
+  /// All runs converged within the round cap (expected to be false under
+  /// heavy loss or crashes — that alone is never a failure).
+  bool converged = false;
+  std::size_t eventsSeen = 0;
+
+  bool safe() const { return violations.empty(); }
+};
+
+/// Runs the case start to finish under its monitor. With `recordFired`,
+/// the chaos faults that actually fired are captured there (the shrinkers'
+/// probabilistic-to-scripted conversion).
+CaseOutcome runCase(const FuzzCase& c,
+                    std::vector<net::MessageFault>* recordFired = nullptr);
+
+// -- Exhaustive enumeration on tiny graphs ---------------------------------
+
+struct SweepOptions {
+  /// Fault rounds 0..(cyclesHorizon × sub-rounds − 1) are enumerated; the
+  /// automaton settles tiny graphs within a couple of cycles, so faults
+  /// beyond that horizon hit an idle network.
+  std::uint64_t cyclesHorizon = 2;
+  /// Enumerate all drop subsets up to this size (2 = all pairs).
+  std::size_t maxScriptedDrops = 2;
+  /// Also enumerate single crash-stops (every node × every round within the
+  /// horizon), and every crash × single-drop product.
+  bool crashes = true;
+  bool crashDropProducts = true;
+  std::uint64_t maxCycles = 64;
+  std::size_t maxFailures = 8;  ///< stop collecting after this many
+};
+
+struct SweepFailure {
+  FuzzCase fuzzCase;
+  CaseOutcome outcome;
+};
+
+struct SweepReport {
+  std::size_t casesRun = 0;
+  std::size_t patterns = 0;  ///< fault patterns per base case, for reporting
+  std::vector<SweepFailure> failures;
+
+  bool allSafe() const { return failures.empty(); }
+};
+
+/// Runs every fault pattern in `options` against every base case (protocol
+/// + topology + seed; the base's own chaos is ignored). Deterministic; the
+/// pattern space is the scripted-drop/crash product described above.
+SweepReport exhaustiveSweep(const std::vector<FuzzCase>& bases,
+                            const SweepOptions& options = {});
+
+// -- Seeded random search --------------------------------------------------
+
+struct RandomFuzzOptions {
+  std::vector<FuzzProtocol> protocols = {
+      FuzzProtocol::Madec, FuzzProtocol::Dima2Ed, FuzzProtocol::StrongMadec,
+      FuzzProtocol::Incremental};
+  std::uint64_t seed = 1;
+  std::size_t iterations = 100;
+  std::size_t maxVertices = 10;
+  std::uint64_t maxCycles = 512;
+};
+
+struct RandomFuzzResult {
+  std::size_t casesRun = 0;
+  std::size_t failures = 0;
+  FuzzCase firstFailure;
+  CaseOutcome firstOutcome;
+
+  bool found() const { return failures > 0; }
+};
+
+/// Draws `iterations` random (graph, protocol, chaos) cases — case `i` is a
+/// pure function of (seed, i) — and runs each under its monitor.
+RandomFuzzResult randomFuzz(const RandomFuzzOptions& options);
+
+// -- Shrinking -------------------------------------------------------------
+
+struct ShrinkResult {
+  FuzzCase minimized;
+  CaseOutcome outcome;          ///< outcome of the minimized case
+  ViolationCode code;           ///< the violation class preserved throughout
+  std::size_t runsUsed = 0;     ///< candidate executions spent shrinking
+};
+
+/// Minimizes a failing case while preserving its first violation's code:
+/// greedy vertex removal (ids relabeled, chaos references remapped), greedy
+/// edge removal, conversion of probabilistic faults to the recorded script,
+/// ddmin over the script, crash-list and permutation minimization. Fully
+/// deterministic. Precondition: `runCase(failing)` reports a violation.
+ShrinkResult shrinkFailure(const FuzzCase& failing);
+
+}  // namespace dima::sim

@@ -1,0 +1,457 @@
+#include "src/sim/monitor.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "src/coloring/validate.hpp"
+#include "src/support/assert.hpp"
+
+namespace dima::sim {
+
+using coloring::Color;
+using coloring::kNoColor;
+using graph::EdgeId;
+using graph::kNoEdge;
+using graph::kNoVertex;
+using net::NodeId;
+using net::TraceEvent;
+using net::TraceKind;
+
+const char* violationCodeName(ViolationCode code) {
+  switch (code) {
+    case ViolationCode::IllegalEvent: return "illegal-event";
+    case ViolationCode::PairingViolation: return "pairing-violation";
+    case ViolationCode::DoneRegression: return "done-regression";
+    case ViolationCode::CommitConflict: return "commit-conflict";
+    case ViolationCode::HalfCommitMismatch: return "half-commit-mismatch";
+    case ViolationCode::ColorReuse: return "color-reuse";
+    case ViolationCode::HandshakeViolation: return "handshake-violation";
+    case ViolationCode::PaletteOverflow: return "palette-overflow";
+  }
+  return "unknown";
+}
+
+bool violationCodeFromName(const std::string& name, ViolationCode* out) {
+  for (int i = 0; i <= static_cast<int>(ViolationCode::PaletteOverflow); ++i) {
+    const auto code = static_cast<ViolationCode>(i);
+    if (name == violationCodeName(code)) {
+      *out = code;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Violation::toString() const {
+  std::ostringstream os;
+  os << "cycle " << cycle << ": node " << node << ' '
+     << violationCodeName(code) << " (" << detail << ')';
+  return os.str();
+}
+
+InvariantMonitor::InvariantMonitor(const graph::Graph& g,
+                                   MonitorOptions options)
+    : g_(&g), options_(options) {
+  const std::size_t n = g.numVertices();
+  nodeCycles_.resize(n);
+  done_.assign(n, 0);
+  nodeUsed_.resize(n);
+  const std::size_t items = options_.semantics == Semantics::StrongArc
+                                ? g.numEdges() * 2
+                                : g.numEdges();
+  items_.resize(items);
+  if (options_.semantics == Semantics::StrongArc) {
+    digraph_ = graph::Digraph(g);
+  }
+}
+
+void InvariantMonitor::attach(net::TraceLog& log) {
+  log.enableExtended();
+  log.setSink([this](const TraceEvent& e) { onEvent(e); });
+}
+
+void InvariantMonitor::seedCommit(EdgeId edge, Color color) {
+  DIMA_REQUIRE(options_.semantics != Semantics::StrongArc,
+               "seedCommit takes undirected edge ids");
+  DIMA_REQUIRE(edge < items_.size(), "seedCommit: edge out of range");
+  ItemCommit& item = items_[edge];
+  item.half[0] = color;
+  item.half[1] = color;
+  if (!item.inConflictSet) {
+    item.inConflictSet = true;
+    conflictSet_.push_back(edge);
+  }
+  const graph::Edge e = g_->edges()[edge];
+  nodeUsed_[e.u].push_back(color);
+  nodeUsed_[e.v].push_back(color);
+}
+
+void InvariantMonitor::finish() { flushCycle(); }
+
+std::string InvariantMonitor::report() const {
+  std::string out;
+  for (const Violation& v : violations_) {
+    out += v.toString();
+    out += '\n';
+  }
+  return out;
+}
+
+void InvariantMonitor::addViolation(ViolationCode code, std::uint64_t cycle,
+                                    NodeId node, std::string detail) {
+  if (violations_.size() >= options_.maxViolations) return;
+  violations_.push_back(Violation{code, cycle, node, std::move(detail)});
+}
+
+InvariantMonitor::NodeCycle& InvariantMonitor::slot(NodeId node) {
+  NodeCycle& s = nodeCycles_[node];
+  if (s.stamp != cycle_ + 1) {
+    s = NodeCycle{};
+    s.stamp = cycle_ + 1;
+    activeNodes_.push_back(node);
+  }
+  return s;
+}
+
+bool InvariantMonitor::resolveCommit(const TraceEvent& e, std::uint32_t* item,
+                                     bool* secondHalf) {
+  if (options_.semantics == Semantics::StrongArc) {
+    if (e.a < 0 || static_cast<std::size_t>(e.a) >= digraph_.numArcs()) {
+      return false;
+    }
+    const auto arcId = static_cast<graph::ArcId>(e.a);
+    const graph::Arc arc = digraph_.arc(arcId);
+    if (e.node != arc.from && e.node != arc.to) return false;
+    *item = arcId;
+    // DiMa2Ed writes the origin's half first, the target's second.
+    *secondHalf = e.node == arc.to;
+    return true;
+  }
+  if (e.a < 0 || static_cast<std::size_t>(e.a) >= g_->numVertices()) {
+    return false;
+  }
+  const auto partner = static_cast<NodeId>(e.a);
+  const EdgeId edge = g_->findEdge(e.node, partner);
+  if (edge == kNoEdge) return false;
+  *item = edge;
+  *secondHalf = e.node > partner;
+  return true;
+}
+
+bool InvariantMonitor::itemsShareEndpoint(std::uint32_t a,
+                                          std::uint32_t b) const {
+  if (options_.semantics == Semantics::StrongArc) {
+    const graph::Arc x = digraph_.arc(a);
+    const graph::Arc y = digraph_.arc(b);
+    return x.from == y.from || x.from == y.to || x.to == y.from ||
+           x.to == y.to;
+  }
+  const graph::Edge x = g_->edges()[a];
+  const graph::Edge y = g_->edges()[b];
+  return x.u == y.u || x.u == y.v || x.v == y.u || x.v == y.v;
+}
+
+bool InvariantMonitor::itemsConflict(std::uint32_t a, std::uint32_t b) const {
+  switch (options_.semantics) {
+    case Semantics::ProperEdge:
+      return itemsShareEndpoint(a, b);
+    case Semantics::StrongEdge:
+      // Under loss, stale one-hop views excuse distance-2 conflicts but
+      // never same-endpoint ones (PROTOCOLS.md §11).
+      return options_.lossy ? itemsShareEndpoint(a, b)
+                            : coloring::strongEdgeConflict(*g_, a, b);
+    case Semantics::StrongArc:
+      return options_.lossy ? itemsShareEndpoint(a, b)
+                            : coloring::strongConflict(digraph_, a, b);
+  }
+  return false;
+}
+
+void InvariantMonitor::onEvent(const TraceEvent& e) {
+  ++eventsSeen_;
+  if (e.cycle != cycle_) {
+    flushCycle();
+    cycle_ = e.cycle;
+  }
+  if (done_[e.node] != 0) {
+    addViolation(ViolationCode::DoneRegression, e.cycle, e.node,
+                 std::string("event ") + net::traceKindName(e.kind) +
+                     " after NodeDone");
+    return;
+  }
+  NodeCycle& s = slot(e.node);
+  const bool strict = options_.semantics != Semantics::ProperEdge;
+
+  switch (e.kind) {
+    case TraceKind::StateChoice:
+      if (s.role != -1) {
+        addViolation(ViolationCode::IllegalEvent, e.cycle, e.node,
+                     "second StateChoice in one cycle");
+        return;
+      }
+      if (e.a != 0 && e.a != 1) {
+        addViolation(ViolationCode::IllegalEvent, e.cycle, e.node,
+                     "StateChoice with role outside {0,1}");
+        return;
+      }
+      s.role = static_cast<int>(e.a);
+      return;
+
+    case TraceKind::InviteSent:
+      if (s.role != 1) {
+        addViolation(ViolationCode::IllegalEvent, e.cycle, e.node,
+                     "InviteSent without invitor StateChoice");
+        return;
+      }
+      if (s.inviteSent) {
+        addViolation(ViolationCode::IllegalEvent, e.cycle, e.node,
+                     "second InviteSent in one cycle");
+        return;
+      }
+      s.inviteSent = true;
+      s.inviteTarget = static_cast<NodeId>(e.a);
+      return;
+
+    case TraceKind::InviteKept:
+      if (s.role != 0) {
+        addViolation(ViolationCode::IllegalEvent, e.cycle, e.node,
+                     "InviteKept without listener StateChoice");
+        return;
+      }
+      if (s.responseSent) {
+        addViolation(ViolationCode::IllegalEvent, e.cycle, e.node,
+                     "InviteKept after ResponseSent");
+        return;
+      }
+      s.keptFrom.push_back(static_cast<NodeId>(e.a));
+      return;
+
+    case TraceKind::ResponseSent: {
+      if (s.role != 0) {
+        addViolation(ViolationCode::IllegalEvent, e.cycle, e.node,
+                     "ResponseSent without listener StateChoice");
+        return;
+      }
+      if (s.responseSent) {
+        addViolation(ViolationCode::IllegalEvent, e.cycle, e.node,
+                     "second ResponseSent in one cycle");
+        return;
+      }
+      if (s.keptFrom.empty()) {
+        addViolation(ViolationCode::PairingViolation, e.cycle, e.node,
+                     "ResponseSent without any kept invitation");
+        return;
+      }
+      const auto target = static_cast<NodeId>(e.a);
+      if (std::find(s.keptFrom.begin(), s.keptFrom.end(), target) ==
+          s.keptFrom.end()) {
+        std::ostringstream os;
+        os << "response to " << target << " which sent no kept invitation";
+        addViolation(ViolationCode::PairingViolation, e.cycle, e.node,
+                     os.str());
+        return;
+      }
+      s.responseSent = true;
+      s.responseTarget = target;
+      return;
+    }
+
+    case TraceKind::TentativeSet:
+      if (s.role == -1 || (s.role == 1 && !s.inviteSent) ||
+          (s.role == 0 && !s.responseSent)) {
+        addViolation(ViolationCode::IllegalEvent, e.cycle, e.node,
+                     "TentativeSet without a formed pair");
+        return;
+      }
+      if (s.tentativeSet) {
+        addViolation(ViolationCode::IllegalEvent, e.cycle, e.node,
+                     "second TentativeSet in one cycle");
+        return;
+      }
+      s.tentativeSet = true;
+      s.tentItem = static_cast<std::uint32_t>(e.a);
+      tentatives_.push_back(PendingTentative{
+          e.node, static_cast<std::uint32_t>(e.a),
+          static_cast<Color>(e.b)});
+      return;
+
+    case TraceKind::Aborted:
+      if (!s.tentativeSet || s.tentItem != static_cast<std::uint32_t>(e.a)) {
+        addViolation(ViolationCode::IllegalEvent, e.cycle, e.node,
+                     "Aborted without a matching TentativeSet");
+        return;
+      }
+      if (s.committed || s.aborted) {
+        addViolation(ViolationCode::IllegalEvent, e.cycle, e.node,
+                     "Aborted after a same-cycle commit or abort");
+        return;
+      }
+      s.aborted = true;
+      return;
+
+    case TraceKind::EdgeColored: {
+      if (s.role == -1 || (s.role == 1 && !s.inviteSent) ||
+          (s.role == 0 && !s.responseSent)) {
+        addViolation(ViolationCode::IllegalEvent, e.cycle, e.node,
+                     "EdgeColored without a formed pair");
+        return;
+      }
+      if (s.committed) {
+        addViolation(ViolationCode::IllegalEvent, e.cycle, e.node,
+                     "second commit in one cycle");
+        return;
+      }
+      if (s.aborted) {
+        addViolation(ViolationCode::IllegalEvent, e.cycle, e.node,
+                     "commit after a same-cycle abort");
+        return;
+      }
+      std::uint32_t item = 0;
+      bool secondHalf = false;
+      if (!resolveCommit(e, &item, &secondHalf)) {
+        std::ostringstream os;
+        os << "EdgeColored names no incident item (a=" << e.a << ')';
+        addViolation(ViolationCode::IllegalEvent, e.cycle, e.node, os.str());
+        return;
+      }
+      if (strict && (!s.tentativeSet || s.tentItem != item)) {
+        addViolation(ViolationCode::IllegalEvent, e.cycle, e.node,
+                     "strict commit without a matching TentativeSet");
+        return;
+      }
+      const auto color = static_cast<Color>(e.b);
+      if (color < 0) {
+        addViolation(ViolationCode::IllegalEvent, e.cycle, e.node,
+                     "commit with a negative color");
+        return;
+      }
+      s.committed = true;
+      ItemCommit& commit = items_[item];
+      Color& half = commit.half[secondHalf ? 1 : 0];
+      if (half != kNoColor) {
+        std::ostringstream os;
+        os << "item " << item << " half recommitted (had " << half << ')';
+        addViolation(ViolationCode::IllegalEvent, e.cycle, e.node, os.str());
+        return;
+      }
+      half = color;
+      touchedItems_.push_back(item);
+      if (options_.paletteBound > 0 &&
+          static_cast<std::size_t>(color) >= options_.paletteBound) {
+        std::ostringstream os;
+        os << "color " << color << " outside palette bound "
+           << options_.paletteBound;
+        addViolation(ViolationCode::PaletteOverflow, e.cycle, e.node,
+                     os.str());
+      }
+      std::vector<Color>& used = nodeUsed_[e.node];
+      if (std::find(used.begin(), used.end(), color) != used.end()) {
+        std::ostringstream os;
+        os << "node recommitted its own color " << color << " (item " << item
+           << ')';
+        addViolation(ViolationCode::ColorReuse, e.cycle, e.node, os.str());
+      }
+      used.push_back(color);
+      return;
+    }
+
+    case TraceKind::NodeDone:
+      done_[e.node] = 1;
+      return;
+  }
+  addViolation(ViolationCode::IllegalEvent, e.cycle, e.node,
+               "unknown trace kind");
+}
+
+void InvariantMonitor::flushCycle() {
+  // Cross-node pairing: a response must echo an invitation actually
+  // addressed to the responder this cycle. Holds under every message fault
+  // we inject (a kept invitation was necessarily sent; payloads are not
+  // corrupted on protocol runs).
+  for (const NodeId v : activeNodes_) {
+    const NodeCycle& s = nodeCycles_[v];
+    if (!s.responseSent) continue;
+    const NodeCycle& w = nodeCycles_[s.responseTarget];
+    if (w.stamp != cycle_ + 1 || !w.inviteSent || w.inviteTarget != v) {
+      std::ostringstream os;
+      os << "response to " << s.responseTarget
+         << " which sent no matching invitation this cycle";
+      addViolation(ViolationCode::PairingViolation, cycle_, v, os.str());
+    }
+  }
+
+  // Handshake exclusivity (reliable runs only): when any holder of one
+  // tentative neighbors any holder of an equal-colored other, the
+  // conflict is heard, so the higher item must abort at BOTH its holders —
+  // the one that heard it directly and the one that only gets the abort
+  // echo (exactly the propagation the mutant self-test severs).
+  if (!options_.lossy && !tentatives_.empty()) {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> implicated;
+    for (std::size_t i = 0; i < tentatives_.size(); ++i) {
+      for (std::size_t j = i + 1; j < tentatives_.size(); ++j) {
+        const PendingTentative& a = tentatives_[i];
+        const PendingTentative& b = tentatives_[j];
+        if (a.item == b.item || a.color != b.color) continue;
+        if (g_->findEdge(a.node, b.node) == kNoEdge) continue;
+        implicated.emplace_back(std::max(a.item, b.item),
+                                std::min(a.item, b.item));
+      }
+    }
+    std::sort(implicated.begin(), implicated.end());
+    implicated.erase(std::unique(implicated.begin(), implicated.end()),
+                     implicated.end());
+    for (const auto& [loser, winner] : implicated) {
+      for (const PendingTentative& t : tentatives_) {
+        if (t.item != loser) continue;
+        const NodeCycle& s = nodeCycles_[t.node];
+        if (s.committed && s.tentItem == loser) {
+          std::ostringstream os;
+          os << "item " << loser << " committed color " << t.color
+             << " despite an adjacent lower-id tentative (item " << winner
+             << ')';
+          addViolation(ViolationCode::HandshakeViolation, cycle_, t.node,
+                       os.str());
+        }
+      }
+    }
+  }
+
+  // Coloring-prefix properness: every item committed this cycle is checked
+  // against all previously checkable commits and against each other. Under
+  // loss only fully-committed items take part (half commits are the
+  // two-generals residue, PROTOCOLS.md §11).
+  std::sort(touchedItems_.begin(), touchedItems_.end());
+  touchedItems_.erase(
+      std::unique(touchedItems_.begin(), touchedItems_.end()),
+      touchedItems_.end());
+  for (const std::uint32_t item : touchedItems_) {
+    ItemCommit& commit = items_[item];
+    if (commit.full() && commit.half[0] != commit.half[1]) {
+      std::ostringstream os;
+      os << "item " << item << " halves committed " << commit.half[0]
+         << " and " << commit.half[1];
+      addViolation(ViolationCode::HalfCommitMismatch, cycle_, kNoVertex,
+                   os.str());
+    }
+    const bool checkable = options_.lossy ? commit.full() : commit.any();
+    if (!checkable || commit.inConflictSet) continue;
+    for (const std::uint32_t other : conflictSet_) {
+      if (items_[other].color() != commit.color()) continue;
+      if (!itemsConflict(item, other)) continue;
+      std::ostringstream os;
+      os << "items " << item << " and " << other << " share color "
+         << commit.color();
+      addViolation(ViolationCode::CommitConflict, cycle_, kNoVertex,
+                   os.str());
+    }
+    commit.inConflictSet = true;
+    conflictSet_.push_back(item);
+  }
+
+  activeNodes_.clear();
+  touchedItems_.clear();
+  tentatives_.clear();
+}
+
+}  // namespace dima::sim

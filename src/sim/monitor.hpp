@@ -1,0 +1,191 @@
+#pragma once
+
+/// \file monitor.hpp
+/// `InvariantMonitor`: an online checker of the Fig. 1 automaton safety
+/// catalog, subscribed to `MatchingCore` trace events via the `TraceLog`
+/// sink. While a protocol runs it rebuilds, per computation cycle, what
+/// every node claimed to do and cross-checks the claims against each other
+/// and against the topology:
+///
+///  * **Legal state walks** — events must follow the C → I/L → R/W → U/E
+///    → D schedule: a node announces its role (C) before acting, invitors
+///    never keep or answer invitations, listeners never invite, responses
+///    require a kept invitation, commits require the role's pairing step,
+///    and a tentative abort excludes a commit in the same cycle.
+///  * **At-most-one-partner** — every response must echo an invitation
+///    actually addressed to the responder this cycle, and a node commits at
+///    most one item per cycle.
+///  * **Handshake exclusivity (lower item id wins)** — when two same-cycle
+///    tentatives carry equal colors and some holder of one neighbors a
+///    holder of the other, the higher item must abort, not commit.
+///    (Extended TentativeSet events power this; checked on reliable runs —
+///    under message loss the conflicting tentative may legitimately never
+///    arrive.)
+///  * **Monotone done-set** — after NodeDone a node stays silent forever.
+///  * **Proper-coloring-prefix** — the committed items form, at every cycle
+///    boundary, a partial coloring with no conflict under the protocol's
+///    semantics (edge-adjacent, strong undirected, or strong directed), no
+///    node ever reuses one of its own committed colors, the two halves of a
+///    committed item agree, and (optionally) every color respects the
+///    2Δ−1 palette bound.
+///
+/// **The lossy relaxation.** Under message-losing chaos two safety
+/// fictions are unavoidable (the two-generals limit, see PROTOCOLS.md
+/// §11): an item can end up half-committed, and one-hop color views go
+/// stale, which breaks distance-2 (but never same-endpoint) properness.
+/// With `MonitorOptions::lossy` set, conflict checks are restricted to
+/// fully-committed items, the strong semantics fall back to
+/// endpoint-sharing conflicts, and the handshake check is skipped — the
+/// per-node color-reuse and state-walk checks stay on, because local
+/// bookkeeping owes nothing to the channel.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/coloring/color.hpp"
+#include "src/graph/digraph.hpp"
+#include "src/graph/graph.hpp"
+#include "src/net/trace.hpp"
+
+namespace dima::sim {
+
+/// Which conflict notion the committed prefix is checked under.
+enum class Semantics : std::uint8_t {
+  ProperEdge,  ///< MaDEC / incremental repair: adjacent edges differ
+  StrongEdge,  ///< strong MaDEC: undirected distance-2 (Barrett et al.)
+  StrongArc,   ///< DiMa2Ed: directed distance-2 over the symmetric digraph
+};
+
+enum class ViolationCode : std::uint8_t {
+  IllegalEvent,        ///< event outside the legal automaton walk
+  PairingViolation,    ///< response without the matching same-cycle invite
+  DoneRegression,      ///< activity from a node after its NodeDone
+  CommitConflict,      ///< coloring-prefix conflict under the semantics
+  HalfCommitMismatch,  ///< an item's two halves committed different colors
+  ColorReuse,          ///< a node committed one of its own colors twice
+  HandshakeViolation,  ///< higher item survived an adjacent equal tentative
+  PaletteOverflow,     ///< committed color outside the 2Δ−1 budget
+};
+
+const char* violationCodeName(ViolationCode code);
+/// Inverse of `violationCodeName`; false when `name` matches no code.
+bool violationCodeFromName(const std::string& name, ViolationCode* out);
+
+struct Violation {
+  ViolationCode code = ViolationCode::IllegalEvent;
+  std::uint64_t cycle = 0;
+  net::NodeId node = graph::kNoVertex;
+  std::string detail;
+
+  std::string toString() const;
+};
+
+struct MonitorOptions {
+  Semantics semantics = Semantics::ProperEdge;
+  /// Message-losing chaos is in play: apply the lossy relaxation above.
+  bool lossy = false;
+  /// When > 0, every committed color must be < `paletteBound` (pass 2Δ−1
+  /// for MaDEC; leave 0 for the expanding-window strong protocols, whose
+  /// palette is unbounded by design).
+  std::size_t paletteBound = 0;
+  /// Collection stops after this many violations (the first is what the
+  /// fuzzer shrinks on; the rest are context).
+  std::size_t maxViolations = 16;
+};
+
+/// One monitor observes one protocol run over one fixed topology. Attach
+/// it to the `TraceLog` passed to the protocol, run, then call `finish()`
+/// to flush the final cycle. Not copyable/movable: the sink installed by
+/// `attach` captures `this`.
+class InvariantMonitor {
+ public:
+  InvariantMonitor(const graph::Graph& g, MonitorOptions options = {});
+  InvariantMonitor(const InvariantMonitor&) = delete;
+  InvariantMonitor& operator=(const InvariantMonitor&) = delete;
+
+  /// Subscribes this monitor to `log` (installs the sink and opts into
+  /// extended events). The log must not outlive the monitor with the sink
+  /// still installed.
+  void attach(net::TraceLog& log);
+
+  /// Registers a pre-existing full commit (both halves) — the baseline
+  /// coloring a dynamic repair pass starts from. Call before the run.
+  void seedCommit(graph::EdgeId edge, coloring::Color color);
+
+  /// Flushes the last open cycle's cross-checks. Call after the run.
+  void finish();
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<Violation>& violations() const { return violations_; }
+  std::size_t eventsSeen() const { return eventsSeen_; }
+
+  /// Multi-line rendering of every violation (empty string when ok).
+  std::string report() const;
+
+ private:
+  /// What one node claimed during the cycle being assembled.
+  struct NodeCycle {
+    std::uint64_t stamp = 0;  ///< cycle + 1 this record belongs to
+    int role = -1;            ///< 1 invitor, 0 listener, -1 no StateChoice
+    bool inviteSent = false;
+    bool responseSent = false;
+    bool tentativeSet = false;
+    bool committed = false;
+    bool aborted = false;
+    std::vector<net::NodeId> keptFrom;  ///< senders of kept invitations
+    net::NodeId inviteTarget = graph::kNoVertex;
+    net::NodeId responseTarget = graph::kNoVertex;
+    std::uint32_t tentItem = net::kNoWireItem;
+  };
+
+  /// Commit registry entry: the two endpoint halves of one item.
+  struct ItemCommit {
+    coloring::Color half[2] = {coloring::kNoColor, coloring::kNoColor};
+    bool inConflictSet = false;
+
+    bool any() const { return half[0] != coloring::kNoColor ||
+                              half[1] != coloring::kNoColor; }
+    bool full() const { return half[0] != coloring::kNoColor &&
+                               half[1] != coloring::kNoColor; }
+    coloring::Color color() const {
+      return half[0] != coloring::kNoColor ? half[0] : half[1];
+    }
+  };
+
+  struct PendingTentative {
+    net::NodeId node;
+    std::uint32_t item;
+    coloring::Color color;
+  };
+
+  void onEvent(const net::TraceEvent& e);
+  void flushCycle();
+  void addViolation(ViolationCode code, std::uint64_t cycle, net::NodeId node,
+                    std::string detail);
+  NodeCycle& slot(net::NodeId node);
+  /// Item id + endpoint half for an EdgeColored event; false = malformed.
+  bool resolveCommit(const net::TraceEvent& e, std::uint32_t* item,
+                     bool* secondHalf);
+  /// Do items `a` and `b` conflict under the (possibly relaxed) semantics?
+  bool itemsConflict(std::uint32_t a, std::uint32_t b) const;
+  bool itemsShareEndpoint(std::uint32_t a, std::uint32_t b) const;
+
+  const graph::Graph* g_;
+  graph::Digraph digraph_;  ///< built only for Semantics::StrongArc
+  MonitorOptions options_;
+
+  std::uint64_t cycle_ = 0;
+  std::size_t eventsSeen_ = 0;
+  std::vector<NodeCycle> nodeCycles_;
+  std::vector<net::NodeId> activeNodes_;       // nodes with events this cycle
+  std::vector<std::uint8_t> done_;
+  std::vector<ItemCommit> items_;
+  std::vector<std::uint32_t> conflictSet_;     // items participating in checks
+  std::vector<std::uint32_t> touchedItems_;    // items committed this cycle
+  std::vector<PendingTentative> tentatives_;   // this cycle's TentativeSet
+  std::vector<std::vector<coloring::Color>> nodeUsed_;
+  std::vector<Violation> violations_;
+};
+
+}  // namespace dima::sim

@@ -1,0 +1,230 @@
+#include "src/sim/repro.hpp"
+
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace dima::sim {
+
+using net::MessageFault;
+
+namespace {
+
+void putDouble(std::ostream& os, const char* key, double value) {
+  if (value == 0.0) return;
+  os << key << ' ' << std::setprecision(17) << value << '\n';
+}
+
+const char* faultKeyword(MessageFault::Kind kind) {
+  switch (kind) {
+    case MessageFault::Kind::Drop: return "drop";
+    case MessageFault::Kind::Duplicate: return "dup";
+    case MessageFault::Kind::Corrupt: return "corrupt";
+  }
+  return "drop";
+}
+
+}  // namespace
+
+Repro makeRepro(const FuzzCase& c, const CaseOutcome& outcome) {
+  Repro r;
+  r.fuzzCase = c;
+  r.expectViolation = !outcome.safe();
+  if (r.expectViolation) r.expectCode = outcome.violations.front().code;
+  return r;
+}
+
+std::string serializeRepro(const Repro& r) {
+  const FuzzCase& c = r.fuzzCase;
+  std::ostringstream os;
+  os << "dimacol-repro v1\n";
+  os << "protocol " << fuzzProtocolName(c.protocol) << '\n';
+  os << "seed " << c.seed << '\n';
+  os << "max-cycles " << c.maxCycles << '\n';
+  os << "nodes " << c.numVertices << '\n';
+  for (const auto& [u, v] : c.edges) os << "edge " << u << ' ' << v << '\n';
+  for (const net::CrashEvent& e : c.chaos.crashes) {
+    os << "crash " << e.node << ' ' << e.round << '\n';
+  }
+  for (const MessageFault& f : c.chaos.script) {
+    os << faultKeyword(f.kind) << ' ' << f.round << ' ' << f.from << ' '
+       << f.to << '\n';
+  }
+  putDouble(os, "drop-p", c.chaos.dropProbability);
+  putDouble(os, "dup-p", c.chaos.duplicateProbability);
+  putDouble(os, "corrupt-p", c.chaos.corruptProbability);
+  for (const net::LinkDrop& l : c.chaos.linkDrops) {
+    os << "link-drop " << l.from << ' ' << l.to << ' '
+       << std::setprecision(17) << l.dropProbability << '\n';
+  }
+  os << "chaos-seed " << c.chaos.seed << '\n';
+  if (c.chaos.permuteInboxes) os << "permute\n";
+  if (c.churnBatches > 0) os << "churn-batches " << c.churnBatches << '\n';
+  if (r.expectViolation) {
+    os << "expect violation " << violationCodeName(r.expectCode) << '\n';
+  } else {
+    os << "expect safe\n";
+  }
+  return os.str();
+}
+
+bool parseRepro(const std::string& text, Repro* out, std::string* error) {
+  const auto fail = [&](std::size_t line, const std::string& why) {
+    if (error != nullptr) {
+      std::ostringstream os;
+      os << "line " << line << ": " << why;
+      *error = os.str();
+    }
+    return false;
+  };
+
+  Repro r;
+  bool sawHeader = false;
+  bool sawExpect = false;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string key;
+    if (!(ls >> key)) continue;  // blank / comment-only line
+
+    if (!sawHeader) {
+      std::string version;
+      if (key != "dimacol-repro" || !(ls >> version) || version != "v1") {
+        return fail(lineNo, "expected header 'dimacol-repro v1'");
+      }
+      sawHeader = true;
+      continue;
+    }
+
+    FuzzCase& c = r.fuzzCase;
+    if (key == "protocol") {
+      std::string name;
+      if (!(ls >> name) || !fuzzProtocolFromName(name, &c.protocol)) {
+        return fail(lineNo, "unknown protocol '" + name + "'");
+      }
+    } else if (key == "seed") {
+      if (!(ls >> c.seed)) return fail(lineNo, "seed needs an integer");
+    } else if (key == "max-cycles") {
+      if (!(ls >> c.maxCycles)) {
+        return fail(lineNo, "max-cycles needs an integer");
+      }
+    } else if (key == "nodes") {
+      if (!(ls >> c.numVertices)) return fail(lineNo, "nodes needs a count");
+    } else if (key == "edge") {
+      graph::VertexId u = 0;
+      graph::VertexId v = 0;
+      if (!(ls >> u >> v)) return fail(lineNo, "edge needs two endpoints");
+      if (u == v || u >= c.numVertices || v >= c.numVertices) {
+        return fail(lineNo, "edge endpoints out of range (declare nodes "
+                            "before edges)");
+      }
+      c.edges.emplace_back(u, v);
+    } else if (key == "crash") {
+      net::CrashEvent e;
+      if (!(ls >> e.node >> e.round)) {
+        return fail(lineNo, "crash needs node and round");
+      }
+      if (e.node >= c.numVertices) {
+        return fail(lineNo, "crash node out of range");
+      }
+      c.chaos.crashes.push_back(e);
+    } else if (key == "drop" || key == "dup" || key == "corrupt") {
+      MessageFault f;
+      f.kind = key == "drop"  ? MessageFault::Kind::Drop
+               : key == "dup" ? MessageFault::Kind::Duplicate
+                              : MessageFault::Kind::Corrupt;
+      if (!(ls >> f.round >> f.from >> f.to)) {
+        return fail(lineNo, key + " needs round, from, to");
+      }
+      if (f.from >= c.numVertices || f.to >= c.numVertices) {
+        return fail(lineNo, key + " endpoint out of range");
+      }
+      c.chaos.script.push_back(f);
+    } else if (key == "drop-p") {
+      if (!(ls >> c.chaos.dropProbability)) {
+        return fail(lineNo, "drop-p needs a probability");
+      }
+    } else if (key == "dup-p") {
+      if (!(ls >> c.chaos.duplicateProbability)) {
+        return fail(lineNo, "dup-p needs a probability");
+      }
+    } else if (key == "corrupt-p") {
+      if (!(ls >> c.chaos.corruptProbability)) {
+        return fail(lineNo, "corrupt-p needs a probability");
+      }
+    } else if (key == "link-drop") {
+      net::LinkDrop l;
+      if (!(ls >> l.from >> l.to >> l.dropProbability)) {
+        return fail(lineNo, "link-drop needs from, to, probability");
+      }
+      if (l.from >= c.numVertices || l.to >= c.numVertices) {
+        return fail(lineNo, "link-drop endpoint out of range");
+      }
+      c.chaos.linkDrops.push_back(l);
+    } else if (key == "chaos-seed") {
+      if (!(ls >> c.chaos.seed)) {
+        return fail(lineNo, "chaos-seed needs an integer");
+      }
+    } else if (key == "permute") {
+      c.chaos.permuteInboxes = true;
+    } else if (key == "churn-batches") {
+      if (!(ls >> c.churnBatches)) {
+        return fail(lineNo, "churn-batches needs a count");
+      }
+    } else if (key == "expect") {
+      std::string what;
+      if (!(ls >> what)) return fail(lineNo, "expect needs a verdict");
+      if (what == "safe") {
+        r.expectViolation = false;
+      } else if (what == "violation") {
+        std::string code;
+        if (!(ls >> code) || !violationCodeFromName(code, &r.expectCode)) {
+          return fail(lineNo, "unknown violation code '" + code + "'");
+        }
+        r.expectViolation = true;
+      } else {
+        return fail(lineNo, "expect takes 'safe' or 'violation <code>'");
+      }
+      sawExpect = true;
+    } else {
+      return fail(lineNo, "unknown directive '" + key + "'");
+    }
+  }
+  if (!sawHeader) return fail(lineNo, "missing 'dimacol-repro v1' header");
+  if (!sawExpect) return fail(lineNo, "missing 'expect' line");
+  *out = std::move(r);
+  return true;
+}
+
+ReplayResult replayRepro(const Repro& r) {
+  ReplayResult result;
+  result.outcome = runCase(r.fuzzCase);
+  std::ostringstream os;
+  if (r.expectViolation) {
+    result.matched =
+        !result.outcome.safe() &&
+        result.outcome.violations.front().code == r.expectCode;
+    os << "expected violation " << violationCodeName(r.expectCode) << ", got ";
+  } else {
+    result.matched = result.outcome.safe();
+    os << "expected safe, got ";
+  }
+  if (result.outcome.safe()) {
+    os << "safe";
+  } else {
+    os << "violation "
+       << violationCodeName(result.outcome.violations.front().code) << " ("
+       << result.outcome.violations.front().detail << ')';
+  }
+  os << (result.matched ? " [match]" : " [MISMATCH]");
+  result.summary = os.str();
+  return result;
+}
+
+}  // namespace dima::sim

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file repro.hpp
+/// Replayable reproducer files for the simulation fuzzer.
+///
+/// A repro is a `FuzzCase` plus the outcome it pins, serialized as a
+/// line-oriented text file so failures can be committed to `tests/corpus/`,
+/// attached to bug reports, and replayed with `dimacol replay <file>`.
+/// Serialization is byte-deterministic (fixed line order, doubles with 17
+/// significant digits round-trip exactly), so the shrinker's same-seed
+/// output is byte-identical across runs — pinned by tests/test_sim_fuzz.
+///
+/// Format (`#` starts a comment line; one directive per line):
+///
+///     dimacol-repro v1
+///     protocol strong-madec-mutant
+///     seed 42
+///     max-cycles 64
+///     nodes 4
+///     edge 0 1
+///     crash 2 7            # node, first silent comm round
+///     drop 3 0 1           # scripted: round, from, to
+///     dup 4 1 0
+///     corrupt 5 0 1
+///     drop-p 0.25          # probabilistic knobs (omitted when 0)
+///     dup-p 0.1
+///     corrupt-p 0.01
+///     link-drop 0 1 0.5    # from, to, probability
+///     chaos-seed 7
+///     permute
+///     churn-batches 2      # incremental protocol only
+///     expect violation handshake-violation   # or: expect safe
+
+#include <string>
+
+#include "src/sim/fuzz.hpp"
+#include "src/sim/monitor.hpp"
+
+namespace dima::sim {
+
+struct Repro {
+  FuzzCase fuzzCase;
+  bool expectViolation = false;
+  /// Meaningful only when `expectViolation`: the first violation's code.
+  ViolationCode expectCode = ViolationCode::IllegalEvent;
+};
+
+/// A repro pinning `outcome` as the expectation for `c`.
+Repro makeRepro(const FuzzCase& c, const CaseOutcome& outcome);
+
+/// Deterministic text rendering (format above).
+std::string serializeRepro(const Repro& r);
+
+/// Parses the format above. On failure returns false and describes the
+/// problem (with its line number) in `*error`.
+bool parseRepro(const std::string& text, Repro* out, std::string* error);
+
+struct ReplayResult {
+  CaseOutcome outcome;
+  /// The run reproduced the pinned expectation (same safe/violation
+  /// verdict; for violations, the same first-violation code).
+  bool matched = false;
+  std::string summary;  ///< one human-readable line
+};
+
+/// Runs the repro's case and compares against its expectation.
+ReplayResult replayRepro(const Repro& r);
+
+}  // namespace dima::sim

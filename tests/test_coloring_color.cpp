@@ -1,0 +1,147 @@
+#include "src/coloring/color.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/support/bitset.hpp"
+#include "src/support/rng.hpp"
+
+namespace dima::coloring {
+namespace {
+
+using support::DynamicBitset;
+using support::Rng;
+
+/// A random forbidden set with `setBits` colors drawn from [0, domain).
+DynamicBitset randomForbidden(Rng& rng, std::size_t domain,
+                              std::size_t setBits) {
+  DynamicBitset forbidden(domain);
+  while (forbidden.count() < setBits) {
+    forbidden.set(rng.index(domain));
+  }
+  return forbidden;
+}
+
+/// The first `window` free colors of `forbidden`, in increasing order.
+std::vector<Color> freePrefix(const DynamicBitset& forbidden,
+                              std::size_t window) {
+  std::vector<Color> out;
+  for (std::size_t c = 0; out.size() < window; ++c) {
+    if (!forbidden.test(c)) out.push_back(static_cast<Color>(c));
+  }
+  return out;
+}
+
+TEST(ChooseProposalColor, LowestIndexIsExactlyFirstClear) {
+  Rng rng(101);
+  for (std::size_t trial = 0; trial < 200; ++trial) {
+    const DynamicBitset forbidden = randomForbidden(rng, 40, trial % 30);
+    Rng draw(55);
+    EXPECT_EQ(chooseProposalColor(ColorPolicy::LowestIndex, forbidden,
+                                  static_cast<std::uint32_t>(trial), draw),
+              static_cast<Color>(forbidden.firstClear()));
+  }
+}
+
+TEST(ChooseProposalColor, NeverProposesAForbiddenColor) {
+  Rng rng(202);
+  Rng draw(303);
+  for (std::size_t trial = 0; trial < 500; ++trial) {
+    const DynamicBitset forbidden = randomForbidden(rng, 32, trial % 28);
+    for (const ColorPolicy policy :
+         {ColorPolicy::LowestIndex, ColorPolicy::ExpandingWindow}) {
+      const Color c = chooseProposalColor(
+          policy, forbidden, static_cast<std::uint32_t>(trial % 5), draw);
+      ASSERT_GE(c, 0);
+      EXPECT_FALSE(forbidden.test(static_cast<std::size_t>(c)))
+          << "policy proposed forbidden color " << c;
+    }
+  }
+}
+
+TEST(ChooseProposalColor, LowestIndexRespectsThePaletteBound) {
+  // The 2Δ−1 argument: when an edge {u,v} is colored, used(u) ∪ used(v)
+  // holds at most 2Δ−2 colors, so the lowest free index is ≤ 2Δ−2 — i.e.
+  // the proposal is always ≤ the number of forbidden colors.
+  Rng rng(404);
+  Rng draw(1);
+  for (std::size_t delta = 1; delta <= 12; ++delta) {
+    const std::size_t maxForbidden = 2 * delta - 2;
+    for (std::size_t trial = 0; trial < 50; ++trial) {
+      const std::size_t k =
+          maxForbidden == 0 ? 0 : rng.index(maxForbidden + 1);
+      const DynamicBitset forbidden = randomForbidden(rng, 64, k);
+      const Color c =
+          chooseProposalColor(ColorPolicy::LowestIndex, forbidden, 0, draw);
+      EXPECT_LE(static_cast<std::size_t>(c), forbidden.count());
+      EXPECT_LE(static_cast<std::size_t>(c), 2 * delta - 2);
+    }
+  }
+}
+
+TEST(ChooseProposalColor, ExpandingWindowStaysInTheWindow) {
+  Rng rng(505);
+  Rng draw(606);
+  for (std::size_t trial = 0; trial < 300; ++trial) {
+    const DynamicBitset forbidden = randomForbidden(rng, 24, trial % 20);
+    const auto failures = static_cast<std::uint32_t>(trial % 7);
+    const std::vector<Color> window = freePrefix(forbidden, 1 + failures);
+    const Color c = chooseProposalColor(ColorPolicy::ExpandingWindow,
+                                        forbidden, failures, draw);
+    bool inWindow = false;
+    for (const Color w : window) inWindow = inWindow || (w == c);
+    EXPECT_TRUE(inWindow) << "color " << c << " outside the first "
+                          << (1 + failures) << " free colors";
+  }
+}
+
+TEST(ChooseProposalColor, ZeroFailuresWindowDegeneratesToLowestIndex) {
+  Rng rng(707);
+  for (std::size_t trial = 0; trial < 100; ++trial) {
+    const DynamicBitset forbidden = randomForbidden(rng, 30, trial % 25);
+    Rng draw(static_cast<std::uint64_t>(trial));
+    EXPECT_EQ(chooseProposalColor(ColorPolicy::ExpandingWindow, forbidden, 0,
+                                  draw),
+              static_cast<Color>(forbidden.firstClear()));
+  }
+}
+
+TEST(ChooseProposalColor, DeterministicInTheRngState) {
+  Rng rng(808);
+  for (std::size_t trial = 0; trial < 100; ++trial) {
+    const DynamicBitset forbidden = randomForbidden(rng, 20, trial % 15);
+    const auto failures = static_cast<std::uint32_t>(trial % 6);
+    Rng a(static_cast<std::uint64_t>(trial) * 17 + 1);
+    Rng b = a;  // identical state → identical draw
+    EXPECT_EQ(chooseProposalColor(ColorPolicy::ExpandingWindow, forbidden,
+                                  failures, a),
+              chooseProposalColor(ColorPolicy::ExpandingWindow, forbidden,
+                                  failures, b));
+  }
+}
+
+TEST(ChooseProposalColor, EveryWindowColorIsReachable) {
+  // With 3 failures the window holds 4 free colors; across many draws each
+  // must appear (the ablation bench relies on the window actually spreading
+  // proposals, not collapsing to the lowest index).
+  DynamicBitset forbidden(8);
+  forbidden.set(0);
+  forbidden.set(2);
+  const std::vector<Color> window = freePrefix(forbidden, 4);  // 1,3,4,5
+  Rng draw(909);
+  std::vector<int> hits(window.size(), 0);
+  for (std::size_t trial = 0; trial < 400; ++trial) {
+    const Color c =
+        chooseProposalColor(ColorPolicy::ExpandingWindow, forbidden, 3, draw);
+    for (std::size_t i = 0; i < window.size(); ++i) {
+      if (window[i] == c) ++hits[i];
+    }
+  }
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_GT(hits[i], 0) << "window color " << window[i] << " never drawn";
+  }
+}
+
+}  // namespace
+}  // namespace dima::coloring

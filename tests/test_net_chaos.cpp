@@ -1,0 +1,238 @@
+#include "src/net/chaos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/graph/generators.hpp"
+#include "src/graph/graph.hpp"
+#include "src/net/network.hpp"
+
+namespace dima::net {
+namespace {
+
+struct Ping {
+  int value = 0;
+};
+
+/// A payload exposing one of the unified wire fields so the chaos layer's
+/// in-domain corruption has something to rewrite.
+struct ColorWire {
+  std::int32_t color = 0;
+};
+
+std::vector<NodeId> sendersOf(const SyncNetwork<Ping>& net, NodeId v) {
+  std::vector<NodeId> out;
+  for (const auto& env : net.inbox(v)) out.push_back(env.from);
+  return out;
+}
+
+TEST(ChaosModel, PerturbsAndLossyClassifyTheKnobs) {
+  ChaosModel quiet;
+  EXPECT_FALSE(quiet.perturbs());
+  EXPECT_FALSE(quiet.lossy());
+
+  ChaosModel permuted;
+  permuted.permuteInboxes = true;
+  EXPECT_TRUE(permuted.perturbs());
+  EXPECT_FALSE(permuted.lossy());  // reorders, loses nothing
+
+  ChaosModel crashing;
+  crashing.crashes.push_back({0, 3});
+  EXPECT_TRUE(crashing.lossy());
+
+  ChaosModel scripted;
+  scripted.script.push_back({MessageFault::Kind::Drop, 0, 0, 1});
+  EXPECT_TRUE(scripted.lossy());
+
+  // Implicit conversion keeps FaultModel call sites compiling.
+  FaultModel base;
+  base.dropProbability = 0.1;
+  const ChaosModel widened = base;
+  EXPECT_TRUE(widened.lossy());
+  EXPECT_EQ(widened.dropProbability, 0.1);
+}
+
+TEST(ChaosModel, LinkDropsAreAsymmetric) {
+  const graph::Graph g(2, {{0, 1}});
+  ChaosModel chaos;
+  chaos.linkDrops.push_back({0, 1, 1.0});  // 0→1 always lost, 1→0 reliable
+  SyncNetwork<Ping> net(g, chaos);
+  constexpr int kRounds = 20;
+  for (int r = 0; r < kRounds; ++r) {
+    net.broadcast(0, Ping{r});
+    net.broadcast(1, Ping{r});
+    net.deliverRound();
+    EXPECT_TRUE(net.inbox(1).empty());
+    ASSERT_EQ(net.inbox(0).size(), 1u);
+    EXPECT_EQ(net.inbox(0).front().msg.value, r);
+  }
+  const Counters c = net.counters();
+  EXPECT_EQ(c.messagesDropped, static_cast<std::uint64_t>(kRounds));
+  EXPECT_EQ(c.messagesDelivered, static_cast<std::uint64_t>(kRounds));
+}
+
+TEST(ChaosModel, DropRateHonorsPerLinkOverride) {
+  ChaosModel chaos;
+  chaos.dropProbability = 0.1;
+  chaos.linkDrops.push_back({2, 3, 0.9});
+  EXPECT_EQ(chaos.dropRate(2, 3), 0.9);
+  EXPECT_EQ(chaos.dropRate(3, 2), 0.1);  // reverse keeps the uniform rate
+  EXPECT_EQ(chaos.dropRate(0, 1), 0.1);
+}
+
+TEST(ChaosModel, CrashSilencesBothDirectionsFromItsRound) {
+  const graph::Graph g(3, {{0, 1}, {1, 2}});
+  ChaosModel chaos;
+  chaos.crashes.push_back({1, 1});  // node 1 dies before round 1 delivers
+  SyncNetwork<Ping> net(g, chaos);
+  for (int r = 0; r < 4; ++r) {
+    net.broadcast(0, Ping{r});
+    net.broadcast(1, Ping{r});
+    net.broadcast(2, Ping{r});
+    net.deliverRound();
+    if (r == 0) {
+      // Pre-crash round: everything flows.
+      EXPECT_EQ(net.inbox(1).size(), 2u);
+      EXPECT_EQ(net.inbox(0).size(), 1u);
+      EXPECT_EQ(net.inbox(2).size(), 1u);
+    } else {
+      // Crash-stop: node 1 neither hears nor is heard.
+      EXPECT_TRUE(net.inbox(1).empty());
+      EXPECT_TRUE(net.inbox(0).empty());
+      EXPECT_TRUE(net.inbox(2).empty());
+    }
+  }
+}
+
+TEST(ChaosModel, ScriptedFaultsFireExactlyAsWritten) {
+  const graph::Graph g(2, {{0, 1}});
+  ChaosModel chaos;
+  chaos.script.push_back({MessageFault::Kind::Drop, 0, 0, 1});
+  chaos.script.push_back({MessageFault::Kind::Duplicate, 1, 0, 1});
+  SyncNetwork<Ping> net(g, chaos);
+
+  net.broadcast(0, Ping{10});
+  net.deliverRound();
+  EXPECT_TRUE(net.inbox(1).empty());  // round 0: scripted drop
+
+  net.broadcast(0, Ping{11});
+  net.deliverRound();
+  EXPECT_EQ(net.inbox(1).size(), 2u);  // round 1: scripted duplicate
+
+  net.broadcast(0, Ping{12});
+  net.deliverRound();
+  EXPECT_EQ(net.inbox(1).size(), 1u);  // round 2: script exhausted
+
+  const Counters c = net.counters();
+  EXPECT_EQ(c.messagesDropped, 1u);
+  EXPECT_EQ(c.messagesDuplicated, 1u);
+}
+
+TEST(ChaosModel, InboxPermutationIsDeterministicAndLossless) {
+  const graph::Graph g = graph::complete(6);
+  ChaosModel chaos;
+  chaos.permuteInboxes = true;
+  chaos.seed = 17;
+
+  const auto runOnce = [&] {
+    SyncNetwork<Ping> net(g, chaos);
+    for (NodeId v = 0; v < 6; ++v) net.broadcast(v, Ping{int(v)});
+    net.deliverRound();
+    std::vector<std::vector<NodeId>> orders;
+    for (NodeId v = 0; v < 6; ++v) orders.push_back(sendersOf(net, v));
+    return orders;
+  };
+
+  const auto first = runOnce();
+  EXPECT_EQ(first, runOnce());  // pure function of (topology, seed)
+
+  bool someOrderChanged = false;
+  for (NodeId v = 0; v < 6; ++v) {
+    // Content is preserved: exactly one delivery per neighbor...
+    std::vector<NodeId> sorted = first[v];
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<NodeId> neighbors;
+    for (NodeId u = 0; u < 6; ++u) {
+      if (u != v) neighbors.push_back(u);
+    }
+    EXPECT_EQ(sorted, neighbors);
+    // ...but the slot order is no longer the incidence order everywhere.
+    someOrderChanged = someOrderChanged || first[v] != neighbors;
+  }
+  EXPECT_TRUE(someOrderChanged);
+
+  ChaosModel reseeded = chaos;
+  reseeded.seed = 18;
+  SyncNetwork<Ping> other(g, reseeded);
+  for (NodeId v = 0; v < 6; ++v) other.broadcast(v, Ping{int(v)});
+  other.deliverRound();
+  bool differsFromFirstSeed = false;
+  for (NodeId v = 0; v < 6; ++v) {
+    differsFromFirstSeed = differsFromFirstSeed || sendersOf(other, v) != first[v];
+  }
+  EXPECT_TRUE(differsFromFirstSeed);
+}
+
+TEST(ChaosModel, CorruptionStaysInDomainAndIsCounted) {
+  const graph::Graph g(2, {{0, 1}});
+  ChaosModel chaos;
+  chaos.corruptProbability = 0.5;
+  chaos.seed = 23;
+  SyncNetwork<ColorWire> net(g, chaos);
+  constexpr int kRounds = 200;
+  int rewritten = 0;
+  for (int r = 0; r < kRounds; ++r) {
+    net.broadcast(0, ColorWire{r % 16});
+    net.deliverRound();
+    ASSERT_EQ(net.inbox(1).size(), 1u);
+    const std::int32_t got = net.inbox(1).front().msg.color;
+    EXPECT_GE(got, 0);  // bounded bit-flips keep the field in-domain
+    if (got != r % 16) ++rewritten;
+  }
+  const Counters c = net.counters();
+  EXPECT_EQ(c.messagesCorrupted, static_cast<std::uint64_t>(rewritten));
+  EXPECT_GT(c.messagesCorrupted, 0u);
+  EXPECT_LT(c.messagesCorrupted, static_cast<std::uint64_t>(kRounds));
+  EXPECT_EQ(c.messagesDelivered, static_cast<std::uint64_t>(kRounds));
+}
+
+TEST(ChaosModel, RecordedFaultsReplayAsAScript) {
+  const graph::Graph g = graph::complete(5);
+  ChaosModel chaos;
+  chaos.dropProbability = 0.3;
+  chaos.duplicateProbability = 0.2;
+  chaos.seed = 31;
+  std::vector<MessageFault> fired;
+  chaos.recordTo = &fired;
+
+  constexpr int kRounds = 30;
+  Counters probabilistic;
+  {
+    SyncNetwork<Ping> net(g, chaos);
+    for (int r = 0; r < kRounds; ++r) {
+      for (NodeId v = 0; v < 5; ++v) net.broadcast(v, Ping{r});
+      net.deliverRound();
+    }
+    probabilistic = net.counters();
+  }
+  EXPECT_FALSE(fired.empty());
+  EXPECT_EQ(probabilistic.messagesDropped + probabilistic.messagesDuplicated,
+            fired.size());
+
+  ChaosModel scripted;  // only the recorded script, no probabilities
+  scripted.script = fired;
+  SyncNetwork<Ping> replay(g, scripted);
+  for (int r = 0; r < kRounds; ++r) {
+    for (NodeId v = 0; v < 5; ++v) replay.broadcast(v, Ping{r});
+    replay.deliverRound();
+  }
+  const Counters c = replay.counters();
+  EXPECT_EQ(c.messagesDropped, probabilistic.messagesDropped);
+  EXPECT_EQ(c.messagesDuplicated, probabilistic.messagesDuplicated);
+  EXPECT_EQ(c.messagesDelivered, probabilistic.messagesDelivered);
+}
+
+}  // namespace
+}  // namespace dima::net

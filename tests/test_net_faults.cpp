@@ -81,6 +81,34 @@ TEST(FaultModel, ZeroProbabilityDropsNothing) {
   EXPECT_EQ(net.counters().messagesDuplicated, 0u);
 }
 
+TEST(FaultModel, CombinedDropAndDuplicateCountersArePinned) {
+  // Exact per-seed audit of the fault path: drops and duplicates drawn from
+  // one keyed stream must never drift, or every recorded chaos script and
+  // committed repro file silently changes meaning. The attempt identity
+  // delivered + dropped − duplicated is re-checked alongside the pins.
+  const graph::Graph g = graph::complete(10);
+  FaultModel faults;
+  faults.dropProbability = 0.25;
+  faults.duplicateProbability = 0.15;
+  faults.seed = 2026;
+  SyncNetwork<Ping> net(g, faults);
+  constexpr int kRounds = 50;
+  for (int r = 0; r < kRounds; ++r) {
+    for (NodeId v = 0; v < 10; ++v) net.broadcast(v, Ping{r});
+    net.deliverRound();
+  }
+  const Counters c = net.counters();
+  constexpr std::uint64_t kAttempts = 10u * 9u * kRounds;
+  EXPECT_EQ(c.messagesDelivered + c.messagesDropped - c.messagesDuplicated,
+            kAttempts);
+  EXPECT_EQ(c.commRounds, static_cast<std::uint64_t>(kRounds));
+  EXPECT_EQ(c.broadcasts, 10u * kRounds);
+  EXPECT_EQ(c.messagesDropped, 1108u);
+  EXPECT_EQ(c.messagesDuplicated, 530u);
+  EXPECT_EQ(c.messagesDelivered, 3922u);
+  EXPECT_EQ(c.messagesCorrupted, 0u);
+}
+
 TEST(TraceLog, DisabledRecordIsNoOp) {
   TraceLog trace;
   trace.record(0, 1, TraceKind::InviteSent, 2, 3);

@@ -1,0 +1,283 @@
+#include "src/sim/fuzz.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/sim/repro.hpp"
+
+namespace dima::sim {
+namespace {
+
+/// The committed minimal reproducer of the planted abort-echo bug (also in
+/// tests/corpus/): the run is a pure function of these fields, so the
+/// violation is pinned forever.
+FuzzCase pinnedMutantCase() {
+  FuzzCase c;
+  c.protocol = FuzzProtocol::StrongMadecMutant;
+  c.numVertices = 5;
+  c.edges = {{1, 3}, {2, 4}, {3, 4}};
+  c.seed = 6153782575289481321ULL;
+  c.maxCycles = 512;
+  return c;
+}
+
+FuzzCase smallHonestCase(FuzzProtocol protocol) {
+  FuzzCase c;
+  c.protocol = protocol;
+  c.numVertices = 6;
+  c.edges = {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {0, 5}, {1, 4}};
+  c.seed = 11;
+  return c;
+}
+
+TEST(Fuzz, ProtocolNamesRoundTrip) {
+  constexpr FuzzProtocol kAll[] = {
+      FuzzProtocol::Madec, FuzzProtocol::Dima2Ed, FuzzProtocol::StrongMadec,
+      FuzzProtocol::StrongMadecMutant, FuzzProtocol::Incremental};
+  for (const FuzzProtocol p : kAll) {
+    FuzzProtocol parsed{};
+    ASSERT_TRUE(fuzzProtocolFromName(fuzzProtocolName(p), &parsed))
+        << fuzzProtocolName(p);
+    EXPECT_EQ(parsed, p);
+  }
+  FuzzProtocol parsed{};
+  EXPECT_FALSE(fuzzProtocolFromName("bogus", &parsed));
+}
+
+TEST(Fuzz, BuildCaseGraphNormalizesEdges) {
+  FuzzCase c;
+  c.numVertices = 4;
+  c.edges = {{2, 1}, {1, 2}, {3, 0}, {0, 3}, {1, 0}};
+  const graph::Graph g = buildCaseGraph(c);
+  EXPECT_EQ(g.numVertices(), 4u);
+  EXPECT_EQ(g.numEdges(), 3u);
+  EXPECT_NE(g.findEdge(1, 2), graph::kNoEdge);
+  EXPECT_NE(g.findEdge(0, 3), graph::kNoEdge);
+  EXPECT_NE(g.findEdge(0, 1), graph::kNoEdge);
+}
+
+TEST(Fuzz, MonitorOptionsMatchProtocolSemantics) {
+  const FuzzCase madec = smallHonestCase(FuzzProtocol::Madec);
+  const graph::Graph g = buildCaseGraph(madec);
+  const MonitorOptions m = monitorOptionsFor(madec, g);
+  EXPECT_EQ(m.semantics, Semantics::ProperEdge);
+  EXPECT_EQ(m.paletteBound, 2 * g.maxDegree() - 1);
+  EXPECT_FALSE(m.lossy);
+
+  FuzzCase strong = smallHonestCase(FuzzProtocol::StrongMadec);
+  strong.chaos.dropProbability = 0.1;
+  const MonitorOptions s = monitorOptionsFor(strong, buildCaseGraph(strong));
+  EXPECT_EQ(s.semantics, Semantics::StrongEdge);
+  EXPECT_EQ(s.paletteBound, 0u);  // expanding window: unbounded by design
+  EXPECT_TRUE(s.lossy);
+
+  const FuzzCase arcs = smallHonestCase(FuzzProtocol::Dima2Ed);
+  EXPECT_EQ(monitorOptionsFor(arcs, buildCaseGraph(arcs)).semantics,
+            Semantics::StrongArc);
+}
+
+TEST(Fuzz, HonestProtocolsRunClean) {
+  for (const FuzzProtocol p : {FuzzProtocol::Madec, FuzzProtocol::Dima2Ed,
+                               FuzzProtocol::StrongMadec}) {
+    const CaseOutcome outcome = runCase(smallHonestCase(p));
+    EXPECT_TRUE(outcome.safe()) << fuzzProtocolName(p);
+    EXPECT_TRUE(outcome.converged) << fuzzProtocolName(p);
+    EXPECT_GT(outcome.eventsSeen, 0u) << fuzzProtocolName(p);
+  }
+}
+
+TEST(Fuzz, IncrementalChurnRunsClean) {
+  FuzzCase c = smallHonestCase(FuzzProtocol::Incremental);
+  c.churnBatches = 3;
+  const CaseOutcome outcome = runCase(c);
+  EXPECT_TRUE(outcome.safe()) << outcome.violations.front().toString();
+  EXPECT_TRUE(outcome.converged);
+}
+
+TEST(Fuzz, RecordedFaultsReplayIdentically) {
+  FuzzCase c = smallHonestCase(FuzzProtocol::Madec);
+  c.chaos.dropProbability = 0.3;
+  c.chaos.duplicateProbability = 0.1;
+  c.chaos.seed = 9;
+  std::vector<net::MessageFault> fired;
+  const CaseOutcome probabilistic = runCase(c, &fired);
+  EXPECT_FALSE(fired.empty());
+
+  FuzzCase scripted = c;
+  scripted.chaos = net::ChaosModel{};
+  scripted.chaos.script = fired;
+  const CaseOutcome replayed = runCase(scripted);
+  EXPECT_EQ(replayed.eventsSeen, probabilistic.eventsSeen);
+  EXPECT_EQ(replayed.converged, probabilistic.converged);
+  EXPECT_EQ(replayed.violations.size(), probabilistic.violations.size());
+}
+
+TEST(Fuzz, RandomFuzzHonestProtocolsAreSafe) {
+  RandomFuzzOptions options;
+  options.seed = 7;
+  options.iterations = 300;
+  options.maxVertices = 8;
+  const RandomFuzzResult result = randomFuzz(options);
+  EXPECT_EQ(result.casesRun, 300u);
+  EXPECT_EQ(result.failures, 0u)
+      << result.firstOutcome.violations.front().toString();
+}
+
+TEST(Fuzz, ExhaustiveSweepPathsCyclesCliqueIsSafe) {
+  // The CI-budget slice of the sweep the CLI runs in full: every ≤2-drop
+  // script, every crash, and every crash × drop product on a path, a cycle,
+  // and K4.
+  std::vector<FuzzCase> bases;
+  FuzzCase path;
+  path.protocol = FuzzProtocol::Madec;
+  path.numVertices = 4;
+  path.edges = {{0, 1}, {1, 2}, {2, 3}};
+  bases.push_back(path);
+  FuzzCase cycle;
+  cycle.protocol = FuzzProtocol::Madec;
+  cycle.numVertices = 5;
+  cycle.edges = {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}};
+  bases.push_back(cycle);
+  FuzzCase clique;
+  clique.protocol = FuzzProtocol::Madec;
+  clique.numVertices = 4;
+  clique.edges = {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}};
+  bases.push_back(clique);
+
+  const SweepReport report = exhaustiveSweep(bases);
+  EXPECT_GT(report.casesRun, 1000u);
+  EXPECT_TRUE(report.allSafe())
+      << report.failures.front().outcome.violations.front().toString();
+}
+
+TEST(Fuzz, PinnedMutantCaseViolatesHandshake) {
+  const CaseOutcome outcome = runCase(pinnedMutantCase());
+  ASSERT_FALSE(outcome.safe());
+  EXPECT_EQ(outcome.violations.front().code,
+            ViolationCode::HandshakeViolation);
+
+  // Same topology and seed under the honest protocol: clean, so the
+  // monitor is reacting to the planted bug, not to the scenario.
+  FuzzCase honest = pinnedMutantCase();
+  honest.protocol = FuzzProtocol::StrongMadec;
+  EXPECT_TRUE(runCase(honest).safe());
+}
+
+TEST(Fuzz, MutationSelfTestFindsAndShrinksThePlantedBug) {
+  RandomFuzzOptions options;
+  options.protocols = {FuzzProtocol::StrongMadecMutant};
+  options.seed = 1;
+  options.iterations = 600;
+  options.maxVertices = 8;
+  const RandomFuzzResult result = randomFuzz(options);
+  ASSERT_TRUE(result.found()) << "mutant survived 600 cases";
+
+  const ShrinkResult shrunk = shrinkFailure(result.firstFailure);
+  EXPECT_EQ(shrunk.code, ViolationCode::HandshakeViolation);
+  EXPECT_LE(shrunk.minimized.numVertices, 6u);
+  EXPECT_GT(shrunk.runsUsed, 0u);
+  ASSERT_FALSE(shrunk.outcome.safe());
+  EXPECT_EQ(shrunk.outcome.violations.front().code, shrunk.code);
+
+  // Determinism: the whole pipeline is a pure function of the seed, so a
+  // second search + shrink must emit a byte-identical repro file.
+  const RandomFuzzResult again = randomFuzz(options);
+  ASSERT_TRUE(again.found());
+  const ShrinkResult shrunkAgain = shrinkFailure(again.firstFailure);
+  EXPECT_EQ(serializeRepro(makeRepro(shrunk.minimized, shrunk.outcome)),
+            serializeRepro(makeRepro(shrunkAgain.minimized,
+                                     shrunkAgain.outcome)));
+}
+
+TEST(Fuzz, ShrinkDropsAnIrrelevantInboxPermutation) {
+  FuzzCase noisy = pinnedMutantCase();
+  noisy.chaos.permuteInboxes = true;
+  ASSERT_FALSE(runCase(noisy).safe());
+
+  const ShrinkResult shrunk = shrinkFailure(noisy);
+  EXPECT_EQ(shrunk.code, ViolationCode::HandshakeViolation);
+  EXPECT_FALSE(shrunk.minimized.chaos.permuteInboxes);
+  EXPECT_LE(shrunk.minimized.numVertices, noisy.numVertices);
+}
+
+TEST(Repro, SerializationRoundTrips) {
+  const FuzzCase c = pinnedMutantCase();
+  const Repro repro = makeRepro(c, runCase(c));
+  EXPECT_TRUE(repro.expectViolation);
+  const std::string text = serializeRepro(repro);
+
+  Repro parsed;
+  std::string error;
+  ASSERT_TRUE(parseRepro(text, &parsed, &error)) << error;
+  EXPECT_EQ(serializeRepro(parsed), text);
+  EXPECT_EQ(parsed.fuzzCase.numVertices, c.numVertices);
+  EXPECT_EQ(parsed.fuzzCase.edges, c.edges);
+  EXPECT_EQ(parsed.fuzzCase.seed, c.seed);
+  EXPECT_EQ(parsed.expectCode, ViolationCode::HandshakeViolation);
+}
+
+TEST(Repro, SerializationKeepsChaosKnobs) {
+  FuzzCase c = smallHonestCase(FuzzProtocol::Dima2Ed);
+  c.chaos.dropProbability = 0.125;
+  c.chaos.linkDrops.push_back({0, 1, 0.5});
+  c.chaos.crashes.push_back({2, 7});
+  c.chaos.script.push_back(
+      {net::MessageFault::Kind::Duplicate, 3, 4, 5});
+  c.chaos.permuteInboxes = true;
+  c.churnBatches = 0;
+  Repro repro;
+  repro.fuzzCase = c;
+  repro.expectViolation = false;
+
+  Repro parsed;
+  std::string error;
+  ASSERT_TRUE(parseRepro(serializeRepro(repro), &parsed, &error)) << error;
+  EXPECT_EQ(parsed.fuzzCase.chaos.dropProbability, 0.125);
+  EXPECT_EQ(parsed.fuzzCase.chaos.linkDrops, c.chaos.linkDrops);
+  EXPECT_EQ(parsed.fuzzCase.chaos.crashes, c.chaos.crashes);
+  EXPECT_EQ(parsed.fuzzCase.chaos.script, c.chaos.script);
+  EXPECT_TRUE(parsed.fuzzCase.chaos.permuteInboxes);
+}
+
+TEST(Repro, ParserRejectsMalformedFilesWithLineNumbers) {
+  Repro parsed;
+  std::string error;
+  EXPECT_FALSE(parseRepro("not-a-repro\n", &parsed, &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+
+  EXPECT_FALSE(parseRepro(
+      "dimacol-repro v1\nnodes 2\nedge 0 5\nexpect safe\n", &parsed, &error));
+  EXPECT_NE(error.find("line 3"), std::string::npos);
+
+  EXPECT_FALSE(parseRepro(
+      "dimacol-repro v1\nnodes 2\nfrobnicate\nexpect safe\n", &parsed,
+      &error));
+  EXPECT_NE(error.find("frobnicate"), std::string::npos);
+
+  // Missing the expect verdict.
+  EXPECT_FALSE(parseRepro("dimacol-repro v1\nnodes 2\n", &parsed, &error));
+  EXPECT_NE(error.find("expect"), std::string::npos);
+}
+
+TEST(Repro, ReplayMatchesPinnedOutcomes) {
+  const FuzzCase mutant = pinnedMutantCase();
+  const ReplayResult bad = replayRepro(makeRepro(mutant, runCase(mutant)));
+  EXPECT_TRUE(bad.matched) << bad.summary;
+
+  const FuzzCase honest = smallHonestCase(FuzzProtocol::Madec);
+  const ReplayResult good = replayRepro(makeRepro(honest, runCase(honest)));
+  EXPECT_TRUE(good.matched) << good.summary;
+
+  // A stale expectation is reported as a mismatch, not an error.
+  Repro wrong = makeRepro(honest, runCase(honest));
+  wrong.expectViolation = true;
+  wrong.expectCode = ViolationCode::ColorReuse;
+  const ReplayResult stale = replayRepro(wrong);
+  EXPECT_FALSE(stale.matched);
+  EXPECT_NE(stale.summary.find("MISMATCH"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dima::sim

@@ -1,0 +1,330 @@
+#include "src/sim/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/coloring/madec.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/graph.hpp"
+#include "src/net/trace.hpp"
+
+namespace dima::sim {
+namespace {
+
+using net::TraceKind;
+using net::TraceLog;
+
+// Path 0-1 (one edge, item 0).
+graph::Graph path2() { return graph::Graph(2, {{0, 1}}); }
+// Path 0-1-2 (items 0 and 1 sharing endpoint 1).
+graph::Graph path3() { return graph::Graph(3, {{0, 1}, {1, 2}}); }
+// Path 1-0-2 (both edges incident to node 0).
+graph::Graph star3() { return graph::Graph(3, {{0, 1}, {0, 2}}); }
+// Path 0-1-2-3.
+graph::Graph path4() {
+  return graph::Graph(4, {{0, 1}, {1, 2}, {2, 3}});
+}
+
+/// A complete honest pairing of nodes `a` (invitor) and `b` (listener) on
+/// their shared edge in cycle `c`, committing `color` on both halves.
+void honestPair(TraceLog& log, std::uint64_t c, net::NodeId a, net::NodeId b,
+                coloring::Color color) {
+  log.record(c, a, TraceKind::StateChoice, 1);
+  log.record(c, b, TraceKind::StateChoice, 0);
+  log.record(c, a, TraceKind::InviteSent, b);
+  log.record(c, b, TraceKind::InviteKept, a);
+  log.record(c, b, TraceKind::ResponseSent, a);
+  log.record(c, b, TraceKind::EdgeColored, a, color);
+  log.record(c, a, TraceKind::EdgeColored, b, color);
+}
+
+TEST(InvariantMonitor, ViolationCodeNamesRoundTrip) {
+  constexpr ViolationCode kAll[] = {
+      ViolationCode::IllegalEvent,       ViolationCode::PairingViolation,
+      ViolationCode::DoneRegression,     ViolationCode::CommitConflict,
+      ViolationCode::HalfCommitMismatch, ViolationCode::ColorReuse,
+      ViolationCode::HandshakeViolation, ViolationCode::PaletteOverflow,
+  };
+  for (const ViolationCode code : kAll) {
+    ViolationCode parsed{};
+    ASSERT_TRUE(violationCodeFromName(violationCodeName(code), &parsed))
+        << violationCodeName(code);
+    EXPECT_EQ(parsed, code);
+  }
+  ViolationCode parsed{};
+  EXPECT_FALSE(violationCodeFromName("no-such-code", &parsed));
+}
+
+TEST(InvariantMonitor, HonestSyntheticCycleIsClean) {
+  const graph::Graph g = path2();
+  InvariantMonitor m(g);
+  TraceLog log;
+  m.attach(log);
+  EXPECT_TRUE(log.extended());
+  honestPair(log, 0, 0, 1, 0);
+  log.record(0, 0, TraceKind::NodeDone);
+  log.record(0, 1, TraceKind::NodeDone);
+  m.finish();
+  log.setSink({});
+  EXPECT_TRUE(m.ok()) << m.report();
+  EXPECT_EQ(m.eventsSeen(), 9u);
+}
+
+TEST(InvariantMonitor, RealMadecRunIsClean) {
+  const graph::Graph g = graph::complete(8);
+  MonitorOptions options;
+  options.semantics = Semantics::ProperEdge;
+  options.paletteBound = 2 * g.maxDegree() - 1;
+  InvariantMonitor m(g, options);
+  TraceLog log;
+  m.attach(log);
+  coloring::MadecOptions madec;
+  madec.trace = &log;
+  const auto result = coloring::colorEdgesMadec(g, madec);
+  m.finish();
+  log.setSink({});
+  EXPECT_TRUE(result.complete());
+  EXPECT_TRUE(m.ok()) << m.report();
+  EXPECT_GT(m.eventsSeen(), 0u);
+}
+
+TEST(InvariantMonitor, ActivityAfterNodeDoneIsDoneRegression) {
+  const graph::Graph g = path2();
+  InvariantMonitor m(g);
+  TraceLog log;
+  m.attach(log);
+  log.record(0, 0, TraceKind::NodeDone);
+  log.record(1, 0, TraceKind::StateChoice, 1);
+  m.finish();
+  log.setSink({});
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.violations().front().code, ViolationCode::DoneRegression);
+  EXPECT_EQ(m.violations().front().node, 0u);
+}
+
+TEST(InvariantMonitor, FabricatedResponseIsPairingViolation) {
+  const graph::Graph g = path2();
+  InvariantMonitor m(g);
+  TraceLog log;
+  m.attach(log);
+  // Node 1 claims it kept and answered an invitation node 0 never sent.
+  log.record(0, 0, TraceKind::StateChoice, 1);
+  log.record(0, 1, TraceKind::StateChoice, 0);
+  log.record(0, 1, TraceKind::InviteKept, 0);
+  log.record(0, 1, TraceKind::ResponseSent, 0);
+  m.finish();
+  log.setSink({});
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.violations().front().code, ViolationCode::PairingViolation);
+  EXPECT_EQ(m.violations().front().node, 1u);
+}
+
+TEST(InvariantMonitor, ResponseWithoutKeptInvitationIsPairingViolation) {
+  const graph::Graph g = path2();
+  InvariantMonitor m(g);
+  TraceLog log;
+  m.attach(log);
+  log.record(0, 1, TraceKind::StateChoice, 0);
+  log.record(0, 1, TraceKind::ResponseSent, 0);
+  m.finish();
+  log.setSink({});
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.violations().front().code, ViolationCode::PairingViolation);
+}
+
+TEST(InvariantMonitor, ListenerInvitingIsIllegal) {
+  const graph::Graph g = path2();
+  InvariantMonitor m(g);
+  TraceLog log;
+  m.attach(log);
+  log.record(0, 0, TraceKind::StateChoice, 0);
+  log.record(0, 0, TraceKind::InviteSent, 1);
+  m.finish();
+  log.setSink({});
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.violations().front().code, ViolationCode::IllegalEvent);
+}
+
+TEST(InvariantMonitor, CommitWithoutFormedPairIsIllegal) {
+  const graph::Graph g = path2();
+  InvariantMonitor m(g);
+  TraceLog log;
+  m.attach(log);
+  log.record(0, 0, TraceKind::StateChoice, 1);
+  log.record(0, 0, TraceKind::EdgeColored, 1, 0);  // invited nobody
+  m.finish();
+  log.setSink({});
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.violations().front().code, ViolationCode::IllegalEvent);
+}
+
+TEST(InvariantMonitor, DisagreeingHalvesAreHalfCommitMismatch) {
+  const graph::Graph g = path2();
+  InvariantMonitor m(g);
+  TraceLog log;
+  m.attach(log);
+  log.record(0, 0, TraceKind::StateChoice, 1);
+  log.record(0, 1, TraceKind::StateChoice, 0);
+  log.record(0, 0, TraceKind::InviteSent, 1);
+  log.record(0, 1, TraceKind::InviteKept, 0);
+  log.record(0, 1, TraceKind::ResponseSent, 0);
+  log.record(0, 1, TraceKind::EdgeColored, 0, 1);
+  log.record(0, 0, TraceKind::EdgeColored, 1, 0);  // other half says 0
+  m.finish();
+  log.setSink({});
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.violations().front().code, ViolationCode::HalfCommitMismatch);
+}
+
+TEST(InvariantMonitor, AdjacentEqualColorsAreCommitConflict) {
+  const graph::Graph g = path3();
+  InvariantMonitor m(g);
+  TraceLog log;
+  m.attach(log);
+  honestPair(log, 0, 0, 1, 5);  // edge {0,1} gets color 5
+  // Next cycle node 2 half-commits the adjacent edge {1,2} with the same
+  // color (node 2 never used 5 itself, so ColorReuse stays quiet and the
+  // prefix scan is what must catch it).
+  log.record(1, 2, TraceKind::StateChoice, 1);
+  log.record(1, 2, TraceKind::InviteSent, 1);
+  log.record(1, 2, TraceKind::EdgeColored, 1, 5);
+  m.finish();
+  log.setSink({});
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.violations().front().code, ViolationCode::CommitConflict);
+  EXPECT_EQ(m.violations().front().cycle, 1u);
+}
+
+TEST(InvariantMonitor, OwnColorRecommitIsColorReuse) {
+  const graph::Graph g = star3();
+  InvariantMonitor m(g);
+  TraceLog log;
+  m.attach(log);
+  honestPair(log, 0, 0, 1, 3);  // edge {0,1}
+  honestPair(log, 1, 0, 2, 3);  // edge {0,2}: node 0 reuses 3
+  m.finish();
+  log.setSink({});
+  ASSERT_FALSE(m.ok());
+  bool sawReuse = false;
+  for (const Violation& v : m.violations()) {
+    sawReuse = sawReuse || (v.code == ViolationCode::ColorReuse && v.node == 0);
+  }
+  EXPECT_TRUE(sawReuse) << m.report();
+}
+
+TEST(InvariantMonitor, PaletteBoundIsEnforced) {
+  const graph::Graph g = path2();
+  MonitorOptions options;
+  options.paletteBound = 1;  // 2Δ−1 for a single edge
+  InvariantMonitor m(g, options);
+  TraceLog log;
+  m.attach(log);
+  honestPair(log, 0, 0, 1, 1);  // color 1 is outside {0}
+  m.finish();
+  log.setSink({});
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.violations().front().code, ViolationCode::PaletteOverflow);
+}
+
+TEST(InvariantMonitor, SurvivingHigherTentativeIsHandshakeViolation) {
+  // Strong semantics on 0-1-2: both pairs go tentative on color 0 in the
+  // same cycle; the tentative holders 1 and 2 are adjacent, so the higher
+  // item {1,2} must abort — committing it is the abort-echo bug.
+  const graph::Graph g = path3();
+  MonitorOptions options;
+  options.semantics = Semantics::StrongEdge;
+  InvariantMonitor m(g, options);
+  TraceLog log;
+  m.attach(log);
+  log.record(0, 1, TraceKind::StateChoice, 1);
+  log.record(0, 1, TraceKind::InviteSent, 0);
+  log.record(0, 1, TraceKind::TentativeSet, 0, 0);  // item 0, color 0
+  log.record(0, 2, TraceKind::StateChoice, 1);
+  log.record(0, 2, TraceKind::InviteSent, 1);
+  log.record(0, 2, TraceKind::TentativeSet, 1, 0);  // item 1, color 0
+  log.record(0, 2, TraceKind::EdgeColored, 1, 0);   // commits the loser
+  m.finish();
+  log.setSink({});
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.violations().front().code, ViolationCode::HandshakeViolation);
+  EXPECT_EQ(m.violations().front().node, 2u);
+}
+
+TEST(InvariantMonitor, SeededBaselineJoinsTheConflictScan) {
+  const graph::Graph g = path3();
+  InvariantMonitor m(g);
+  m.seedCommit(0, 4);  // pre-existing coloring: edge {0,1} has color 4
+  TraceLog log;
+  m.attach(log);
+  log.record(0, 2, TraceKind::StateChoice, 1);
+  log.record(0, 2, TraceKind::InviteSent, 1);
+  log.record(0, 2, TraceKind::EdgeColored, 1, 4);  // adjacent, same color
+  m.finish();
+  log.setSink({});
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.violations().front().code, ViolationCode::CommitConflict);
+}
+
+TEST(InvariantMonitor, SeededBaselineAllowsDistantEqualColors) {
+  const graph::Graph g = path4();
+  InvariantMonitor m(g);
+  m.seedCommit(0, 4);  // edge {0,1}
+  TraceLog log;
+  m.attach(log);
+  honestPair(log, 0, 2, 3, 4);  // edge {2,3} shares no endpoint
+  m.finish();
+  log.setSink({});
+  EXPECT_TRUE(m.ok()) << m.report();
+}
+
+TEST(InvariantMonitor, LossyModeToleratesHalfCommittedConflicts) {
+  // Under message loss an item can legitimately stay half-committed; the
+  // relaxed prefix scan must not cry wolf over it.
+  const graph::Graph g = path3();
+  MonitorOptions options;
+  options.lossy = true;
+  InvariantMonitor m(g, options);
+  TraceLog log;
+  m.attach(log);
+  log.record(0, 0, TraceKind::StateChoice, 1);
+  log.record(0, 0, TraceKind::InviteSent, 1);
+  log.record(0, 0, TraceKind::EdgeColored, 1, 0);  // half of edge {0,1}
+  log.record(1, 2, TraceKind::StateChoice, 1);
+  log.record(1, 2, TraceKind::InviteSent, 1);
+  log.record(1, 2, TraceKind::EdgeColored, 1, 0);  // half of edge {1,2}
+  m.finish();
+  log.setSink({});
+  EXPECT_TRUE(m.ok()) << m.report();
+}
+
+TEST(InvariantMonitor, LossyModeStillChecksLocalBookkeeping) {
+  const graph::Graph g = path2();
+  MonitorOptions options;
+  options.lossy = true;
+  InvariantMonitor m(g, options);
+  TraceLog log;
+  m.attach(log);
+  log.record(0, 0, TraceKind::StateChoice, 0);
+  log.record(0, 0, TraceKind::InviteSent, 1);  // listener inviting
+  m.finish();
+  log.setSink({});
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.violations().front().code, ViolationCode::IllegalEvent);
+}
+
+TEST(InvariantMonitor, ReportRendersEveryViolation) {
+  const graph::Graph g = path2();
+  InvariantMonitor m(g);
+  TraceLog log;
+  m.attach(log);
+  log.record(0, 0, TraceKind::NodeDone);
+  log.record(1, 0, TraceKind::StateChoice, 1);
+  m.finish();
+  log.setSink({});
+  ASSERT_FALSE(m.ok());
+  const std::string report = m.report();
+  EXPECT_NE(report.find("done-regression"), std::string::npos);
+  EXPECT_EQ(m.violations().front().toString().empty(), false);
+}
+
+}  // namespace
+}  // namespace dima::sim
