@@ -43,6 +43,7 @@
 #include "src/graph/metrics.hpp"
 #include "src/net/engine.hpp"
 #include "src/net/network.hpp"
+#include "src/support/mutex.hpp"
 #include "src/support/rng.hpp"
 
 namespace dima::net {
@@ -106,6 +107,9 @@ class AlphaSynchronizer {
   }
 
   AsyncRunResult run() {
+    // The synchronizer is one event loop on one thread; the capability
+    // makes that explicit so no helper grows a concurrent caller.
+    eventLoop_.assertExclusive();
     const std::size_t n = g_->numVertices();
     AsyncRunResult result;
     if (n == 0 || doneCount_ == n) {
@@ -185,7 +189,7 @@ class AlphaSynchronizer {
     }
   }
 
-  double drawDelay() {
+  double drawDelay() DIMA_REQUIRES(eventLoop_) {
     const std::uint64_t key = support::mix64(delays_.seed, seq_);
     support::Rng rng(key);
     return delays_.minDelay +
@@ -193,7 +197,7 @@ class AlphaSynchronizer {
   }
 
   void post(Kind kind, NodeId from, NodeId to, std::uint64_t pulse,
-            const M& payload = {}) {
+            const M& payload = {}) DIMA_REQUIRES(eventLoop_) {
     Event ev;
     ev.seq = seq_++;
     ev.time = now_ + drawDelay();
@@ -216,7 +220,7 @@ class AlphaSynchronizer {
     }
   }
 
-  void enterPulse(NodeId u, std::uint64_t pulse) {
+  void enterPulse(NodeId u, std::uint64_t pulse) DIMA_REQUIRES(eventLoop_) {
     NodeSyncState& s = nodes_[u];
     s.pulse = pulse;
     s.selfSafe = false;
@@ -241,7 +245,7 @@ class AlphaSynchronizer {
     if (s.pendingAcks == 0) becomeSafe(u);
   }
 
-  void becomeSafe(NodeId u) {
+  void becomeSafe(NodeId u) DIMA_REQUIRES(eventLoop_) {
     NodeSyncState& s = nodes_[u];
     if (s.selfSafe) return;
     s.selfSafe = true;
@@ -253,7 +257,7 @@ class AlphaSynchronizer {
   /// Advances `u` through as many pulses as its safety state allows; a
   /// loop (not recursion) because a node with no neighbors can cross a
   /// pulse without consuming any event.
-  void maybeAdvance(NodeId u) {
+  void maybeAdvance(NodeId u) DIMA_REQUIRES(eventLoop_) {
     while (true) {
       if (componentParked_[component_[u]]) return;
       NodeSyncState& s = nodes_[u];
@@ -290,7 +294,7 @@ class AlphaSynchronizer {
     }
   }
 
-  void handle(const Event& ev) {
+  void handle(const Event& ev) DIMA_REQUIRES(eventLoop_) {
     if (componentParked_[component_[ev.to]]) return;  // stale traffic
     NodeSyncState& s = nodes_[ev.to];
     switch (ev.kind) {
@@ -332,9 +336,13 @@ class AlphaSynchronizer {
   std::vector<std::size_t> componentSize_;
   std::vector<std::size_t> componentDone_;
   std::vector<bool> componentParked_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
-  double now_ = 0;
-  std::uint64_t seq_ = 0;
+  /// Single-threaded event-loop discipline: the staging queue, clock and
+  /// sequence counter belong to `run()`'s loop alone.
+  support::PhaseCapability eventLoop_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+      events_ DIMA_GUARDED_BY(eventLoop_);
+  double now_ DIMA_GUARDED_BY(eventLoop_) = 0;
+  std::uint64_t seq_ DIMA_GUARDED_BY(eventLoop_) = 0;
   std::size_t doneCount_ = 0;
   std::uint64_t payloadCount_ = 0;
   std::uint64_t ackCount_ = 0;

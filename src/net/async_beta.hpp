@@ -31,6 +31,7 @@
 #include "src/graph/metrics.hpp"
 #include "src/net/async.hpp"
 #include "src/net/spanning_tree.hpp"
+#include "src/support/mutex.hpp"
 
 namespace dima::net {
 
@@ -65,6 +66,8 @@ class BetaSynchronizer {
   }
 
   AsyncRunResult run() {
+    // One event loop, one thread — same discipline as the α-synchronizer.
+    eventLoop_.assertExclusive();
     const std::size_t n = g_->numVertices();
     AsyncRunResult result;
     if (n == 0 || doneCount_ == n) {
@@ -121,7 +124,7 @@ class BetaSynchronizer {
     std::vector<std::pair<std::uint64_t, Envelope<M>>> buffered;
   };
 
-  double drawDelay() {
+  double drawDelay() DIMA_REQUIRES(eventLoop_) {
     const std::uint64_t key = support::mix64(delays_.seed, seq_);
     support::Rng rng(key);
     return delays_.minDelay +
@@ -129,7 +132,7 @@ class BetaSynchronizer {
   }
 
   void post(Kind kind, NodeId from, NodeId to, std::uint64_t pulse,
-            const M& payload = {}) {
+            const M& payload = {}) DIMA_REQUIRES(eventLoop_) {
     Event ev;
     ev.seq = seq_++;
     ev.time = now_ + drawDelay();
@@ -153,7 +156,7 @@ class BetaSynchronizer {
     }
   }
 
-  void enterPulse(NodeId u, std::uint64_t pulse) {
+  void enterPulse(NodeId u, std::uint64_t pulse) DIMA_REQUIRES(eventLoop_) {
     NodeSyncState& s = nodes_[u];
     s.pulse = pulse;
     s.selfSafe = false;
@@ -187,7 +190,7 @@ class BetaSynchronizer {
 
   /// Sends SafeUp once the subtree condition holds; at the root, launches
   /// the Go wave instead.
-  void maybeReportUp(NodeId u) {
+  void maybeReportUp(NodeId u) DIMA_REQUIRES(eventLoop_) {
     if (!upConditionHolds(u)) return;
     NodeSyncState& s = nodes_[u];
     const graph::VertexId parent = tree_->parent[u];
@@ -206,7 +209,7 @@ class BetaSynchronizer {
 
   /// Delivers pulse p at `u`, forwards the Go wave, and enters p+1.
   /// Returns false when the run should stop (all done / round cap).
-  bool advance(NodeId u) {
+  bool advance(NodeId u) DIMA_REQUIRES(eventLoop_) {
     NodeSyncState& s = nodes_[u];
     const std::uint64_t p = s.pulse;
     for (NodeId child : children_[u]) post(Kind::Go, u, child, p);
@@ -238,7 +241,7 @@ class BetaSynchronizer {
     return true;
   }
 
-  void handle(const Event& ev) {
+  void handle(const Event& ev) DIMA_REQUIRES(eventLoop_) {
     NodeSyncState& s = nodes_[ev.to];
     switch (ev.kind) {
       case Kind::Payload: {
@@ -283,9 +286,12 @@ class BetaSynchronizer {
   std::uint64_t maxPulses_;
   std::vector<NodeSyncState> nodes_;
   std::vector<std::vector<NodeId>> children_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
-  double now_ = 0;
-  std::uint64_t seq_ = 0;
+  /// Single-threaded event-loop discipline (see async.hpp).
+  support::PhaseCapability eventLoop_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+      events_ DIMA_GUARDED_BY(eventLoop_);
+  double now_ DIMA_GUARDED_BY(eventLoop_) = 0;
+  std::uint64_t seq_ DIMA_GUARDED_BY(eventLoop_) = 0;
   std::size_t doneCount_ = 0;
   std::uint64_t payloadCount_ = 0;
   std::uint64_t ackCount_ = 0;

@@ -34,10 +34,13 @@
 #include <cstdint>
 #include <vector>
 
+// dimalint: hot-path — no std::function, no per-message allocation.
+
 #include "src/graph/graph.hpp"
 #include "src/net/chaos.hpp"
 #include "src/net/message.hpp"
 #include "src/support/assert.hpp"
+#include "src/support/mutex.hpp"
 #include "src/support/rng.hpp"
 
 namespace dima::net {
@@ -115,6 +118,7 @@ class SyncNetwork {
   /// for the round: it cannot be combined with unicasts or another
   /// broadcast. Callable concurrently for distinct senders.
   void broadcast(NodeId from, const M& m) {
+    roundPhase_.assertShared();  // send phase: epochs are read-only
     checkNode(from);
     SendState& st = sendState_[from];
     DIMA_REQUIRE(st.epoch != sendEpoch_,
@@ -138,6 +142,7 @@ class SyncNetwork {
   /// for the adjacency lookup and O(1) beyond it). Callable concurrently for
   /// distinct senders.
   void unicast(NodeId from, NodeId to, const M& m) {
+    roundPhase_.assertShared();  // send phase: epochs are read-only
     checkNode(from);
     checkNode(to);
     const auto incs = topo_->incidences(from);
@@ -168,6 +173,9 @@ class SyncNetwork {
   /// from one thread, between the send and receive phases (the executor's
   /// barrier provides the ordering).
   void deliverRound() {
+    // The executor's barrier serializes this against every sender/reader;
+    // it is the only mutation point of the epoch counters.
+    roundPhase_.assertExclusive();
     readEpoch_ = sendEpoch_;
     ++sendEpoch_;
     ++commRounds_;
@@ -178,6 +186,7 @@ class SyncNetwork {
   /// order the old staging substrate produced). The view is valid until the
   /// next send phase begins.
   Inbox<M> inbox(NodeId v) const {
+    roundPhase_.assertShared();  // receive phase: epochs are read-only
     checkNode(v);
     return Inbox<M>(slots_.data() + offsets_[v], offsets_[v + 1] - offsets_[v],
                     readEpoch_);
@@ -193,6 +202,7 @@ class SyncNetwork {
   /// identical traffic.
   template <class Fn>
   void drainStaged(NodeId from, Fn&& fn) {
+    roundPhase_.assertShared();  // synchronizers drain serially
     checkNode(from);
     const auto incs = topo_->incidences(from);
     const std::uint32_t base = offsets_[from];
@@ -209,6 +219,7 @@ class SyncNetwork {
   /// component is a sum or a max of per-shard values, so the result is
   /// independent of which worker bumped which shard.
   Counters counters() const {
+    roundPhase_.assertShared();
     Counters c;
     c.commRounds = commRounds_;
     for (const Shard& s : shards_) {
@@ -284,7 +295,7 @@ class SyncNetwork {
   /// layer on top: a crashed endpoint silences the link outright, scripted
   /// faults force outcomes, and corruption rewrites the stored payload.
   void writeSlot(std::uint32_t slotIdx, NodeId from, NodeId to, const M& m,
-                 Tally& tally) {
+                 Tally& tally) DIMA_REQUIRES_SHARED(roundPhase_) {
     MessageSlot<M>& s = slots_[slotIdx];
     std::uint32_t copies = 1;
     bool corrupt = false;
@@ -344,7 +355,7 @@ class SyncNetwork {
   /// Scripted fault lookup for this round's delivery on `from → to`
   /// (binary search over the (round, from, to)-sorted script).
   void scriptedFaults(NodeId from, NodeId to, bool* drop, bool* dup,
-                      bool* corrupt) const {
+                      bool* corrupt) const DIMA_REQUIRES_SHARED(roundPhase_) {
     if (script_.empty()) return;
     const auto before = [](const MessageFault& f, std::uint64_t round,
                            NodeId a, NodeId b) {
@@ -442,12 +453,18 @@ class SyncNetwork {
   std::vector<std::uint32_t> mirror_;
   std::vector<SendState> sendState_;
   std::array<Shard, kShards> shards_{};
+  /// Phase discipline of the epoch counters: mutated only by the serial
+  /// `deliverRound()` barrier (exclusive), read concurrently by the
+  /// lock-free send/receive phases (shared). Slots and per-sender state
+  /// have finer single-writer disciplines the analysis cannot express;
+  /// the TSan job covers those.
+  support::PhaseCapability roundPhase_;
   /// Rounds are tagged by `sendEpoch_` (starts at 1 so the untouched-slot
   /// tag 0 never matches). `readEpoch_` is the tag `inbox()` filters on; it
   /// lags until the first `deliverRound()`, so inboxes start empty.
-  std::uint32_t sendEpoch_ = 1;
-  std::uint32_t readEpoch_ = 0;
-  std::uint64_t commRounds_ = 0;
+  std::uint32_t sendEpoch_ DIMA_GUARDED_BY(roundPhase_) = 1;
+  std::uint32_t readEpoch_ DIMA_GUARDED_BY(roundPhase_) = 0;
+  std::uint64_t commRounds_ DIMA_GUARDED_BY(roundPhase_) = 0;
 };
 
 }  // namespace dima::net

@@ -27,6 +27,7 @@ const char* traceKindName(TraceKind kind) {
 }
 
 std::size_t TraceLog::countInCycle(std::uint64_t cycle, TraceKind kind) const {
+  serialPhase_.assertShared();
   std::size_t c = 0;
   for (const TraceEvent& e : events_) {
     if (e.cycle == cycle && e.kind == kind) ++c;
@@ -35,6 +36,7 @@ std::size_t TraceLog::countInCycle(std::uint64_t cycle, TraceKind kind) const {
 }
 
 std::string TraceLog::render() const {
+  serialPhase_.assertShared();
   std::ostringstream oss;
   for (const TraceEvent& e : events_) {
     oss << "cycle " << e.cycle << ": node " << e.node << ' '

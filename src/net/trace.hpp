@@ -4,6 +4,14 @@
 /// Optional event tracing for protocol runs. Disabled traces cost one branch
 /// per event; enabled traces record (cycle, node, kind, detail) rows that the
 /// `trace_rounds` example renders into a per-round account of the automaton.
+///
+/// Concurrency: a `TraceLog` is **serial-executor-only**. `record` appends
+/// to an unsynchronized vector and calls the sink inline, so a traced run
+/// must not use a `ThreadPool` (it would race, and the event order — hence
+/// the pinned fingerprints — would depend on the interleaving). The
+/// `serialPhase_` capability writes that contract into the type: every
+/// accessor passes an assertion choke point, and clang's analysis flags any
+/// new access path that skips it.
 
 #include <cstdint>
 #include <functional>
@@ -12,6 +20,7 @@
 #include <vector>
 
 #include "src/net/message.hpp"
+#include "src/support/mutex.hpp"
 
 namespace dima::net {
 
@@ -28,6 +37,14 @@ enum class TraceKind : std::uint8_t {
   /// original kinds so the pinned trace fingerprints keep their values.
   TentativeSet,
 };
+
+/// Number of `TraceKind` enumerators. A new kind must grow this, name
+/// itself in `traceKindName`, and be consumed by the `InvariantMonitor`
+/// (src/sim/monitor.cpp) — `tools/dimalint` enforces the last leg.
+inline constexpr std::size_t kTraceKindCount = 8;
+static_assert(static_cast<std::size_t>(TraceKind::TentativeSet) + 1 ==
+                  kTraceKindCount,
+              "kTraceKindCount must track the TraceKind enumerator list");
 
 const char* traceKindName(TraceKind kind);
 
@@ -46,28 +63,51 @@ class TraceLog {
 
   /// Tracing starts disabled; `record` stores nothing until enabled. A
   /// sink (below) observes events regardless.
-  void enable(bool on = true) { enabled_ = on; }
-  bool enabled() const { return enabled_; }
+  void enable(bool on = true) {
+    serialPhase_.assertExclusive();
+    enabled_ = on;
+  }
+  bool enabled() const {
+    serialPhase_.assertShared();
+    return enabled_;
+  }
 
   /// Streams every recorded event to `sink` without storing it — the
   /// invariant monitor's memory-light subscription (src/sim/monitor.hpp).
-  void setSink(Sink sink) { sink_ = std::move(sink); }
+  /// Registration is setup-phase: install sinks before the run starts.
+  void setSink(Sink sink) {
+    serialPhase_.assertExclusive();
+    sink_ = std::move(sink);
+  }
 
   /// Opt-in for the extended kinds (TentativeSet): protocols emit them only
   /// when this is set, so the pinned default-trace fingerprints are
   /// untouched.
-  void enableExtended(bool on = true) { extended_ = on; }
-  bool extended() const { return extended_; }
+  void enableExtended(bool on = true) {
+    serialPhase_.assertExclusive();
+    extended_ = on;
+  }
+  bool extended() const {
+    serialPhase_.assertShared();
+    return extended_;
+  }
 
   void record(std::uint64_t cycle, NodeId node, TraceKind kind,
               std::int64_t a = -1, std::int64_t b = -1) {
+    serialPhase_.assertExclusive();  // traced runs use the serial executor
     if (sink_) sink_(TraceEvent{cycle, node, kind, a, b});
     if (!enabled_) return;
     events_.push_back(TraceEvent{cycle, node, kind, a, b});
   }
 
-  const std::vector<TraceEvent>& events() const { return events_; }
-  void clear() { events_.clear(); }
+  const std::vector<TraceEvent>& events() const {
+    serialPhase_.assertShared();
+    return events_;
+  }
+  void clear() {
+    serialPhase_.assertExclusive();
+    events_.clear();
+  }
 
   /// Events of one kind within one cycle.
   std::size_t countInCycle(std::uint64_t cycle, TraceKind kind) const;
@@ -76,10 +116,13 @@ class TraceLog {
   std::string render() const;
 
  private:
-  bool enabled_ = false;
-  bool extended_ = false;
-  Sink sink_;
-  std::vector<TraceEvent> events_;
+  /// Single-threaded discipline (see the file comment): exclusive for
+  /// mutation and `record`, shared for the read-only accessors.
+  support::PhaseCapability serialPhase_;
+  bool enabled_ DIMA_GUARDED_BY(serialPhase_) = false;
+  bool extended_ DIMA_GUARDED_BY(serialPhase_) = false;
+  Sink sink_ DIMA_GUARDED_BY(serialPhase_);
+  std::vector<TraceEvent> events_ DIMA_GUARDED_BY(serialPhase_);
 };
 
 }  // namespace dima::net

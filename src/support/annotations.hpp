@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file annotations.hpp
+/// Portable macros over clang's thread-safety (capability) analysis.
+///
+/// The concurrency substrate's contracts — which fields a mutex guards,
+/// which functions require it, which phases may touch the network's epoch
+/// counters — are written into the types with these macros and checked by
+/// clang's `-Wthread-safety` at zero runtime cost; the Werror static-
+/// analysis build (`DIMA_WERROR=ON` under clang, see the `static-analysis`
+/// CI job) turns a violation into a compile error. Off clang (GCC, MSVC)
+/// every macro expands to nothing, so annotated code builds everywhere.
+///
+/// Naming follows the clang documentation's modern capability vocabulary
+/// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html); the `DIMA_`
+/// prefix keeps the macros out of other libraries' namespaces. Use the
+/// wrappers in src/support/mutex.hpp rather than raw `std::mutex` —
+/// libstdc++'s mutex types carry no capability attribute, so the analysis
+/// cannot see them.
+
+#if defined(__clang__) && !defined(SWIG)
+#define DIMA_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DIMA_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+/// Marks a type as a capability (lockable / phase token). The string names
+/// the capability kind in diagnostics ("mutex", "phase", ...).
+#define DIMA_CAPABILITY(x) DIMA_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define DIMA_SCOPED_CAPABILITY DIMA_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be accessed while holding the given capability.
+#define DIMA_GUARDED_BY(x) DIMA_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field whose *pointee* is guarded by the given capability.
+#define DIMA_PT_GUARDED_BY(x) DIMA_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Lock-ordering declarations (deadlock detection).
+#define DIMA_ACQUIRED_BEFORE(...) \
+  DIMA_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define DIMA_ACQUIRED_AFTER(...) \
+  DIMA_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function requires the capability held exclusively (resp. shared) on
+/// entry and does not release it.
+#define DIMA_REQUIRES(...) \
+  DIMA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define DIMA_REQUIRES_SHARED(...) \
+  DIMA_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires (resp. releases) the capability.
+#define DIMA_ACQUIRE(...) \
+  DIMA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define DIMA_ACQUIRE_SHARED(...) \
+  DIMA_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define DIMA_RELEASE(...) \
+  DIMA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define DIMA_RELEASE_SHARED(...) \
+  DIMA_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; first argument is the success value.
+#define DIMA_TRY_ACQUIRE(...) \
+  DIMA_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (non-reentrancy declaration).
+#define DIMA_EXCLUDES(...) DIMA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Tells the analysis the capability is held here without acquiring it —
+/// the choke point for disciplines enforced by structure rather than locks
+/// (the engine's phase barriers, single-threaded setup code).
+#define DIMA_ASSERT_CAPABILITY(x) \
+  DIMA_THREAD_ANNOTATION(assert_capability(x))
+#define DIMA_ASSERT_SHARED_CAPABILITY(x) \
+  DIMA_THREAD_ANNOTATION(assert_shared_capability(x))
+
+/// Function returns a reference to the given capability.
+#define DIMA_RETURN_CAPABILITY(x) DIMA_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for code whose safety argument the analysis cannot follow
+/// (e.g. the thread pool's publish-by-generation handoff). Every use must
+/// carry a comment stating the actual happens-before argument.
+#define DIMA_NO_THREAD_SAFETY_ANALYSIS \
+  DIMA_THREAD_ANNOTATION(no_thread_safety_analysis)

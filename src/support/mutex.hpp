@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file mutex.hpp
+/// Capability-annotated synchronization wrappers (see annotations.hpp).
+///
+/// libstdc++'s `std::mutex` carries no capability attribute, so clang's
+/// thread-safety analysis cannot track it. These thin wrappers are the
+/// standard fix: `Mutex` is byte-for-byte a `std::mutex` with annotated
+/// lock/unlock, and the RAII types mirror `std::lock_guard` /
+/// `std::unique_lock`. Condition-variable waits go through
+/// `UniqueLock::native()` — the analysis treats the capability as held
+/// across the wait, which is the conventional (and safe) fiction: the
+/// guarded predicate is only ever evaluated with the lock re-acquired.
+///
+/// `PhaseCapability` annotates disciplines enforced by *structure* instead
+/// of a lock: the engine's bulk-synchronous barriers serialize
+/// `deliverRound()` against the parallel send/receive phases, and setup
+/// code (sink registration, option setting) runs before any worker exists.
+/// It occupies no storage beyond an empty byte and its methods compile to
+/// nothing; the value is that any *new* member function touching a
+/// phase-guarded field must pass one of the assertion choke points, where
+/// a reviewer sees the claim being made.
+
+#include <mutex>
+
+#include "src/support/annotations.hpp"
+
+namespace dima::support {
+
+/// `std::mutex` with capability annotations.
+class DIMA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DIMA_ACQUIRE() { m_.lock(); }
+  void unlock() DIMA_RELEASE() { m_.unlock(); }
+  bool try_lock() DIMA_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  /// The wrapped mutex, for APIs that need the std type (condition
+  /// variables via `UniqueLock::native()`).
+  std::mutex& native() { return m_; }
+
+ private:
+  std::mutex m_;
+};
+
+/// `std::lock_guard` over `Mutex`.
+class DIMA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) DIMA_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~MutexLock() DIMA_RELEASE() { m_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+/// `std::unique_lock` over `Mutex`; `native()` feeds condition-variable
+/// waits. Always constructed locked and destructed unlocked (no deferred
+/// or adopted states — the analysis cannot follow those).
+class DIMA_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& m) DIMA_ACQUIRE(m) : lock_(m.native()) {}
+  ~UniqueLock() DIMA_RELEASE() {}
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// A lock-less capability modeling a structural discipline (bulk-
+/// synchronous phase barriers, single-threaded setup). Fields annotated
+/// `DIMA_GUARDED_BY(phase_)` can only be touched by functions that pass an
+/// assertion choke point — the annotation names the discipline, clang
+/// checks that no unaudited access path exists, and everything compiles to
+/// nothing at runtime.
+class DIMA_CAPABILITY("phase") PhaseCapability {
+ public:
+  /// The caller is the phase's single writer (e.g. the serial barrier
+  /// between send and receive phases).
+  void assertExclusive() const DIMA_ASSERT_CAPABILITY(this) {}
+  /// The caller only reads phase-guarded state (e.g. concurrent senders
+  /// reading the open epoch).
+  void assertShared() const DIMA_ASSERT_SHARED_CAPABILITY(this) {}
+};
+
+}  // namespace dima::support

@@ -18,7 +18,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   wake_.notify_all();
@@ -38,14 +38,16 @@ void ThreadPool::workerLoop(std::size_t self) {
   std::size_t seen = 0;
   while (true) {
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      UniqueLock lock(mutex_);
+      wake_.wait(lock.native(), [&]() DIMA_REQUIRES(mutex_) {
+        return stop_ || generation_ != seen;
+      });
       if (stop_) return;
       seen = generation_;
     }
     runBlock(self);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (--pending_ == 0) done_.notify_one();
     }
   }
@@ -58,7 +60,7 @@ void ThreadPool::dispatch(std::size_t count, BlockFn block, const void* ctx) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     DIMA_REQUIRE(job_ == nullptr, "ThreadPool::forEach is not reentrant");
     job_ = block;
     jobCtx_ = ctx;
@@ -69,8 +71,9 @@ void ThreadPool::dispatch(std::size_t count, BlockFn block, const void* ctx) {
   wake_.notify_all();
   runBlock(0);
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_.wait(lock, [&] { return pending_ == 0; });
+    UniqueLock lock(mutex_);
+    done_.wait(lock.native(),
+               [&]() DIMA_REQUIRES(mutex_) { return pending_ == 0; });
     job_ = nullptr;
     jobCtx_ = nullptr;
     jobCount_ = 0;

@@ -21,12 +21,16 @@
 /// its RNG, state and outbox), so results are identical for any worker count;
 /// tests assert this.
 
+// dimalint: hot-path — no std::function, no per-message allocation.
+
 #include <condition_variable>
 #include <cstddef>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "src/support/annotations.hpp"
+#include "src/support/mutex.hpp"
 
 namespace dima::support {
 
@@ -85,21 +89,25 @@ class ThreadPool {
   void dispatch(std::size_t count, BlockFn block, const void* ctx);
 
   void workerLoop(std::size_t self);
-  void runBlock(std::size_t worker);
+  /// Runs outside the lock on purpose: the job fields are published under
+  /// `mutex_` before `generation_` is bumped, and a worker reads them only
+  /// after observing the bump under the same mutex — that unlock/lock pair
+  /// is the happens-before edge the analysis cannot follow.
+  void runBlock(std::size_t worker) DIMA_NO_THREAD_SAFETY_ANALYSIS;
 
   std::vector<std::thread> threads_;
-  std::mutex mutex_;
+  Mutex mutex_;
   std::condition_variable wake_;
   std::condition_variable done_;
 
   // Current job, guarded by mutex_ for setup/teardown; the index ranges are
-  // fixed per job so workers read them without contention.
-  BlockFn job_ = nullptr;
-  const void* jobCtx_ = nullptr;
-  std::size_t jobCount_ = 0;
-  std::size_t generation_ = 0;
-  std::size_t pending_ = 0;
-  bool stop_ = false;
+  // fixed per job so workers read them without contention (see runBlock).
+  BlockFn job_ DIMA_GUARDED_BY(mutex_) = nullptr;
+  const void* jobCtx_ DIMA_GUARDED_BY(mutex_) = nullptr;
+  std::size_t jobCount_ DIMA_GUARDED_BY(mutex_) = 0;
+  std::size_t generation_ DIMA_GUARDED_BY(mutex_) = 0;
+  std::size_t pending_ DIMA_GUARDED_BY(mutex_) = 0;
+  bool stop_ DIMA_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace dima::support
