@@ -55,6 +55,8 @@
 /// `abortSend` / `abortResolve` over a node's `TentativeState` (lower
 /// item id wins color conflicts; the loser re-draws next cycle).
 
+// dimalint: hot-path — no std::function, no per-message allocation.
+
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -90,10 +92,39 @@ struct TentativeState {
   void reset() { *this = TentativeState{}; }
 };
 
+/// Which commit half of a shared item the caller owns — the capability
+/// token gating writes into `CommitHalves`. It is mintable only through
+/// the two blessed endpoint→slot mappings below, so the single-writer
+/// discipline lives in one audited place: a cross-half write (flipping a
+/// raw boolean, indexing the partner's slot) is a compile error, not a
+/// convention. tests/negative_compile pins that it stays one.
+class EndpointHalf {
+ public:
+  /// Undirected items (edges): node `me` owns the half determined by the
+  /// fixed id order — the higher-id endpoint owns the second slot.
+  static constexpr EndpointHalf ownedBy(net::NodeId me, net::NodeId partner) {
+    return EndpointHalf(me > partner);
+  }
+
+  /// Directed items (arcs): the tail (origin) owns the first slot, the
+  /// head owns the second; `incoming` is true at the head's side.
+  static constexpr EndpointHalf arcEnd(bool incoming) {
+    return EndpointHalf(incoming);
+  }
+
+  constexpr bool second() const { return second_; }
+
+ private:
+  explicit constexpr EndpointHalf(bool second) : second_(second) {}
+
+  bool second_;
+};
+
 /// Per-endpoint commit slots for items (edges or arcs) two nodes finalize
 /// concurrently: slot 2i belongs to one fixed endpoint of item i, slot
 /// 2i+1 to the other, so the parallel receive phase has a single writer
 /// per slot (one shared slot was a data race under the thread pool).
+/// Writes require an `EndpointHalf` capability naming the caller's side.
 /// `merged`/`takeMerged` fold the halves after the barrier; the halves can
 /// disagree in presence only under message loss (`halfCommitted`).
 template <class Value>
@@ -104,10 +135,9 @@ class CommitHalves {
 
   std::size_t items() const { return slots_.size() / 2; }
 
-  /// The half of `item` owned by one endpoint; callers fix the mapping
-  /// (e.g. `second = (u > partner)` or `second = incoming`).
-  Value& half(std::uint32_t item, bool second) {
-    return slots_[2 * static_cast<std::size_t>(item) + (second ? 1 : 0)];
+  /// The half of `item` owned by the endpoint named by `end`.
+  Value& half(std::uint32_t item, EndpointHalf end) {
+    return slots_[2 * static_cast<std::size_t>(item) + (end.second() ? 1 : 0)];
   }
 
   /// Merged view, first half preferred; `unset` while uncommitted. No

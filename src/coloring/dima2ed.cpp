@@ -303,7 +303,7 @@ class Dima2EdProtocol
   /// target the second, so concurrent same-cycle commits from the two
   /// endpoints never touch the same slot.
   void writeArc(ArcId arc, bool incoming, Color color) {
-    Color& half = halves_.half(arc, incoming);
+    Color& half = halves_.half(arc, automata::EndpointHalf::arcEnd(incoming));
     DIMA_ASSERT(half == kNoColor, "arc " << arc << " recolored");
     half = color;
   }

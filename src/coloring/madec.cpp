@@ -182,7 +182,9 @@ class MadecProtocol
     for (std::size_t k = 0; k < s.uncolored.size(); ++k) {
       const std::uint32_t idx = s.uncolored[k];
       if (inc[idx].neighbor == partner) {
-        Color& half = halves_.half(inc[idx].edge, u > partner);
+        Color& half =
+            halves_.half(inc[idx].edge,
+                         automata::EndpointHalf::ownedBy(u, partner));
         DIMA_ASSERT(half == kNoColor,
                     "edge " << inc[idx].edge << " recolored at node " << u);
         half = color;

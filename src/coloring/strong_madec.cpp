@@ -244,7 +244,8 @@ class StrongMadecProtocol
     const NodeId partner = g_->incidences(u)[idx].neighbor;
     for (std::size_t k = 0; k < s.uncolored.size(); ++k) {
       if (s.uncolored[k] == idx) {
-        Color& half = halves_.half(e, u > partner);
+        Color& half =
+            halves_.half(e, automata::EndpointHalf::ownedBy(u, partner));
         DIMA_ASSERT(half == kNoColor,
                     "edge " << e << " recolored at node " << u);
         half = color;

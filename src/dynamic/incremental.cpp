@@ -229,7 +229,7 @@ class RepairProtocol
     DIMA_ASSERT(k != kNoIndex,
                 "node " << u << " has no uncolored edge to " << partner);
     const EdgeId e = g_->incidences(u)[s.uncolored[k]].edge;
-    Color& half = halves_.half(e, u > partner);
+    Color& half = halves_.half(e, automata::EndpointHalf::ownedBy(u, partner));
     DIMA_ASSERT(half == kNoColor, "edge " << e << " recolored at " << u);
     half = color;
     DIMA_ASSERT(!s.ownUsed.test(static_cast<std::size_t>(color)),
