@@ -4,6 +4,26 @@
 
 namespace dima::net {
 
+const char* wireKindName(WireKind kind) {
+  // Exhaustive on purpose: -Wswitch flags a new kind with no name, and the
+  // Werror static-analysis build turns that into a compile error.
+  switch (kind) {
+    case WireKind::Invite:
+      return "invite";
+    case WireKind::Response:
+      return "response";
+    case WireKind::Tentative:
+      return "tentative";
+    case WireKind::Abort:
+      return "abort";
+    case WireKind::ColorAnnounce:
+      return "color-announce";
+    case WireKind::MatchedAnnounce:
+      return "matched-announce";
+  }
+  return "?";
+}
+
 std::string Counters::toString() const {
   std::ostringstream oss;
   oss << "commRounds=" << commRounds << " broadcasts=" << broadcasts

@@ -4,6 +4,8 @@
 /// Common message-layer types for the synchronous network simulator:
 /// delivery envelopes, traffic accounting, and the channel fault model.
 
+// dimalint: hot-path — no std::function, no per-message allocation.
+
 #include <cstddef>
 #include <cstdint>
 #include <iterator>
@@ -188,6 +190,20 @@ enum class WireKind : std::uint8_t {
   MatchedAnnounce,  ///< E: sender matched; neighbors retire it
 };
 
+/// Number of `WireKind` enumerators. Adding a kind means growing this,
+/// which in turn forces the registries the static gates check: the
+/// `wireKindName` switch (message.cpp, `-Wswitch` makes the missing case a
+/// warning and the Werror build an error), at least one wire format's
+/// `kKinds` table (the `wireKindsRegistered` static_assert below), and the
+/// `InvariantMonitor`'s handling (`tools/dimalint` checks textually).
+inline constexpr std::size_t kWireKindCount = 6;
+static_assert(static_cast<std::size_t>(WireKind::MatchedAnnounce) + 1 ==
+                  kWireKindCount,
+              "kWireKindCount must track the WireKind enumerator list");
+
+/// Diagnostic name of a wire kind ("invite", "abort", ...).
+const char* wireKindName(WireKind kind);
+
 /// "No arc/edge" sentinel of `TentativeColorWire::item` (the same bit
 /// pattern as `graph::kNoEdge` and `graph::kNoArc`).
 inline constexpr std::uint32_t kNoWireItem = static_cast<std::uint32_t>(-1);
@@ -195,6 +211,11 @@ inline constexpr std::uint32_t kNoWireItem = static_cast<std::uint32_t>(-1);
 /// Bare pairing wire format (matching discovery): the kind plus the named
 /// peer. Uses Invite/Response/MatchedAnnounce — 3 kinds, 2-bit kind field.
 struct PairWire {
+  /// Kind subset this format encodes; the kind field is sized to index it.
+  static constexpr WireKind kKinds[] = {
+      WireKind::Invite, WireKind::Response, WireKind::MatchedAnnounce};
+  static constexpr std::uint64_t kKindBits = bitWidth(std::size(kKinds) - 1);
+
   WireKind kind = WireKind::Invite;
   /// Invite: the invited listener. Response: the accepted invitor.
   /// MatchedAnnounce: the sender itself.
@@ -202,7 +223,7 @@ struct PairWire {
 
   /// CONGEST wire size: 2-bit kind + target id.
   std::uint64_t wireBits() const {
-    return 2 + (target == graph::kNoVertex ? 1 : bitWidth(target));
+    return kKindBits + (target == graph::kNoVertex ? 1 : bitWidth(target));
   }
 };
 
@@ -213,13 +234,17 @@ struct PairWire {
 /// `coloring::Color` by value (the net layer sits below coloring, so the
 /// underlying integer type is spelled out here).
 struct ColorWire {
+  static constexpr WireKind kKinds[] = {
+      WireKind::Invite, WireKind::Response, WireKind::ColorAnnounce};
+  static constexpr std::uint64_t kKindBits = bitWidth(std::size(kKinds) - 1);
+
   WireKind kind = WireKind::Invite;
   NodeId target = graph::kNoVertex;
   std::int32_t color = -1;
 
   /// CONGEST wire size: 2-bit kind + id + color (self-delimiting widths).
   std::uint64_t wireBits() const {
-    return 2 + (target == graph::kNoVertex ? 1 : bitWidth(target)) +
+    return kKindBits + (target == graph::kNoVertex ? 1 : bitWidth(target)) +
            (color < 0 ? 1 : bitWidth(static_cast<std::uint64_t>(color)));
   }
 };
@@ -228,6 +253,11 @@ struct ColorWire {
 /// tentative/abort handshake orders conflicts by (DiMa2Ed, strong MaDEC).
 /// Uses all kinds but MatchedAnnounce — 5 kinds, 3-bit kind field.
 struct TentativeColorWire {
+  static constexpr WireKind kKinds[] = {
+      WireKind::Invite, WireKind::Response, WireKind::Tentative,
+      WireKind::Abort, WireKind::ColorAnnounce};
+  static constexpr std::uint64_t kKindBits = bitWidth(std::size(kKinds) - 1);
+
   WireKind kind = WireKind::Invite;
   NodeId target = graph::kNoVertex;
   std::int32_t color = -1;
@@ -235,11 +265,43 @@ struct TentativeColorWire {
 
   /// CONGEST wire size: 3-bit kind + id + color + item id.
   std::uint64_t wireBits() const {
-    return 3 + (target == graph::kNoVertex ? 1 : bitWidth(target)) +
+    return kKindBits + (target == graph::kNoVertex ? 1 : bitWidth(target)) +
            (color < 0 ? 1 : bitWidth(static_cast<std::uint64_t>(color))) +
            (item == kNoWireItem ? 1 : bitWidth(item));
   }
 };
+
+namespace detail {
+/// Does `Format`'s kind table carry `k` (and hence size a kind field that
+/// can encode it)?
+template <class Format>
+constexpr bool formatCarries(WireKind k) {
+  for (const WireKind f : Format::kKinds) {
+    if (f == k) return true;
+  }
+  return false;
+}
+}  // namespace detail
+
+/// True when every `WireKind` value below `count` is carried by at least
+/// one of the formats, i.e. has a registered kind-field width through that
+/// format's `kKinds`/`kKindBits`. The static_assert below is the
+/// compile-time half of the registry gate (tests/negative_compile pins
+/// that an uncarried kind fails to compile); `tools/dimalint` re-checks
+/// the same property textually so it also catches a weakened assert.
+template <class... Formats>
+constexpr bool wireKindsRegistered(std::size_t count) {
+  for (std::size_t v = 0; v < count; ++v) {
+    const WireKind k = static_cast<WireKind>(v);
+    if (!(detail::formatCarries<Formats>(k) || ...)) return false;
+  }
+  return true;
+}
+
+static_assert(
+    wireKindsRegistered<PairWire, ColorWire, TentativeColorWire>(
+        kWireKindCount),
+    "every WireKind needs a wire format registering its kind-field width");
 
 /// Channel perturbations. The paper's model assumes perfectly reliable
 /// synchronous links; the fault model exists to *test* which guarantees
