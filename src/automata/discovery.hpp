@@ -38,7 +38,6 @@
 #include "src/automata/phase.hpp"
 #include "src/graph/graph.hpp"
 #include "src/net/engine.hpp"
-#include "src/net/network.hpp"
 #include "src/support/rng.hpp"
 #include "src/support/small_vector.hpp"
 

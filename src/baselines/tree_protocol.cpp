@@ -1,7 +1,7 @@
 #include "src/baselines/tree_protocol.hpp"
 
 #include "src/graph/metrics.hpp"
-#include "src/net/network.hpp"
+#include "src/net/engine.hpp"
 #include "src/net/spanning_tree.hpp"
 #include "src/support/bitset.hpp"
 

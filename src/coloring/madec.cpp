@@ -6,7 +6,7 @@
 #include "src/automata/core.hpp"
 #include "src/automata/phase.hpp"
 #include "src/net/async_beta.hpp"
-#include "src/net/network.hpp"
+#include "src/net/engine.hpp"
 #include "src/support/bitset.hpp"
 #include "src/support/rng.hpp"
 #include "src/support/small_vector.hpp"

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "src/net/network.hpp"
+#include "src/net/engine.hpp"
 #include "src/support/bitset.hpp"
 #include "src/support/rng.hpp"
 #include "src/support/small_vector.hpp"

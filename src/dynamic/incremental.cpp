@@ -6,7 +6,6 @@
 #include "src/automata/core.hpp"
 #include "src/coloring/madec.hpp"
 #include "src/net/engine.hpp"
-#include "src/net/network.hpp"
 #include "src/support/bitset.hpp"
 #include "src/support/rng.hpp"
 #include "src/support/small_vector.hpp"
