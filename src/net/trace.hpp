@@ -95,9 +95,10 @@ class TraceLog {
   void record(std::uint64_t cycle, NodeId node, TraceKind kind,
               std::int64_t a = -1, std::int64_t b = -1) {
     serialPhase_.assertExclusive();  // traced runs use the serial executor
-    if (sink_) sink_(TraceEvent{cycle, node, kind, a, b});
+    const TraceEvent event{cycle, node, kind, a, b};
+    if (sink_) sink_(event);
     if (!enabled_) return;
-    events_.push_back(TraceEvent{cycle, node, kind, a, b});
+    events_.push_back(event);
   }
 
   const std::vector<TraceEvent>& events() const {
