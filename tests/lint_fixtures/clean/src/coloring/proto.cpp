@@ -1,0 +1,9 @@
+// A protocol policy TU that respects the layering: it talks to the engine
+// surface, never to src/net/network.hpp directly.
+#include "src/proto/engine.hpp"
+
+namespace fixture {
+
+int protocolStep() { return 0; }
+
+}  // namespace fixture

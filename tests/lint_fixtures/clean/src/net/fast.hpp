@@ -1,0 +1,15 @@
+#pragma once
+
+// dimalint: hot-path — a tagged file that keeps the zero-copy promise.
+// The words std::function and new appear only in this comment, which the
+// token scan strips before matching.
+
+namespace fixture {
+
+struct Slot {
+  unsigned bits = 0;
+};
+
+inline unsigned renewed(Slot s) { return s.bits; }  // 'renew' != 'new'
+
+}  // namespace fixture

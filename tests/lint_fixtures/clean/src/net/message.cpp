@@ -1,0 +1,15 @@
+#include "src/net/message.hpp"
+
+namespace fixture {
+
+const char* wireKindName(WireKind kind) {
+  switch (kind) {
+    case WireKind::Invite:
+      return "invite";
+    case WireKind::Response:
+      return "response";
+  }
+  return "?";
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+#pragma once
+
+// Clean fixture: every WireKind enumerator has a kKinds width-table entry
+// here and a wireKindName entry in message.cpp — no rule may fire.
+
+namespace fixture {
+
+enum class WireKind { Invite, Response };
+
+struct PairWire {
+  static constexpr WireKind kKinds[] = {WireKind::Invite, WireKind::Response};
+};
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+#include "src/net/trace.hpp"
+
+namespace fixture {
+
+const char* traceKindName(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::StateChoice:
+      return "state-choice";
+    case TraceKind::NodeDone:
+      return "node-done";
+  }
+  return "?";
+}
+
+}  // namespace fixture

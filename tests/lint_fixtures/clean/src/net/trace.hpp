@@ -1,0 +1,7 @@
+#pragma once
+
+namespace fixture {
+
+enum class TraceKind { StateChoice, NodeDone };
+
+}  // namespace fixture

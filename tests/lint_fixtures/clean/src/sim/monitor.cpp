@@ -1,0 +1,14 @@
+#include "src/net/trace.hpp"
+
+namespace fixture {
+
+void consume(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::StateChoice:
+      break;
+    case TraceKind::NodeDone:
+      break;
+  }
+}
+
+}  // namespace fixture

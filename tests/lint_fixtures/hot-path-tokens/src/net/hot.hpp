@@ -1,0 +1,14 @@
+#pragma once
+
+// dimalint: hot-path
+// Bad fixture: a hot-path-tagged file smuggling in a type-erased callback.
+
+#include <functional>
+
+namespace fixture {
+
+struct Slot {
+  std::function<void()> onDeliver;
+};
+
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Bad fixture: a protocol policy TU reaching under the engine surface to
+// the network substrate directly.
+#include "src/net/network.hpp"
+
+namespace fixture {
+
+int protocolStep() { return 0; }
+
+}  // namespace fixture

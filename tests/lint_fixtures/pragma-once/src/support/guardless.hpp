@@ -1,0 +1,9 @@
+// Bad fixture: a header under src/ with no #pragma once guard.
+
+namespace fixture {
+
+struct Guardless {
+  int value = 0;
+};
+
+}  // namespace fixture

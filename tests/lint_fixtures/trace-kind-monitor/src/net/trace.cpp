@@ -1,0 +1,10 @@
+#include "src/net/trace.hpp"
+
+namespace fixture {
+
+const char* traceKindName(TraceKind kind) {
+  if (kind == TraceKind::StateChoice) return "state-choice";
+  return "?";
+}
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+#pragma once
+
+// Bad fixture: `Rogue` is a TraceKind the InvariantMonitor never consumes
+// and traceKindName never names.
+
+namespace fixture {
+
+enum class TraceKind { StateChoice, Rogue };
+
+}  // namespace fixture

@@ -1,0 +1,9 @@
+#include "src/net/trace.hpp"
+
+namespace fixture {
+
+void consume(TraceKind kind) {
+  if (kind == TraceKind::StateChoice) return;
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+#include "src/net/message.hpp"
+
+namespace fixture {
+
+// `Rogue` is also missing from the name registry.
+const char* wireKindName(WireKind kind) {
+  if (kind == WireKind::Invite) return "invite";
+  return "?";
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+#pragma once
+
+// Bad fixture: `Rogue` was added to WireKind but never registered in a
+// kKinds width table — the acceptance scenario for the wire-kind-registry
+// rule ("adding a WireKind without a width must be flagged").
+
+namespace fixture {
+
+enum class WireKind { Invite, Rogue };
+
+struct PairWire {
+  static constexpr WireKind kKinds[] = {WireKind::Invite};
+};
+
+}  // namespace fixture

@@ -1,0 +1,32 @@
+// Negative compile case: the CommitHalves single-writer discipline is
+// type-enforced. An `EndpointHalf` can only be minted through the two
+// blessed factories (`ownedBy` for undirected edges, `arcEnd` for arcs), so
+// the historical bug class — indexing the partner's half with a hand-rolled
+// bool — no longer compiles.
+//
+// Compiled twice by the harness (tests/negative_compile/run_case.cmake):
+// without DIMA_EXPECT_FAIL it must compile; with it, it must not.
+
+#include <cstdint>
+
+#include "src/automata/core.hpp"
+
+int main() {
+  using dima::automata::CommitHalves;
+  using dima::automata::EndpointHalf;
+
+  CommitHalves<int> halves(4, -1);
+  const dima::net::NodeId me = 3;
+  const dima::net::NodeId partner = 1;
+  halves.half(0, EndpointHalf::ownedBy(me, partner)) = 7;
+  halves.half(1, EndpointHalf::arcEnd(/*incoming=*/true)) = 9;
+
+#ifdef DIMA_EXPECT_FAIL
+  // A raw bool is not an endpoint identity: this selected the *partner's*
+  // slot whenever the comparison was written backwards. The EndpointHalf
+  // constructor is private, so this must not compile.
+  halves.half(2, true) = 11;
+#endif
+
+  return halves.merged(0) == 7 ? 0 : 1;
+}

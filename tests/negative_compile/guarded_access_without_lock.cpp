@@ -1,0 +1,43 @@
+// Negative compile case (clang only): reading a DIMA_GUARDED_BY field
+// without holding its mutex is a compile error under
+// `-Wthread-safety -Werror=thread-safety`. The harness skips this case on
+// compilers without the capability analysis (gcc expands the annotation
+// macros to nothing).
+//
+// Compiled twice by the harness (tests/negative_compile/run_case.cmake):
+// without DIMA_EXPECT_FAIL it must compile; with it, it must not.
+
+#include "src/support/annotations.hpp"
+#include "src/support/mutex.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(int amount) {
+    dima::support::MutexLock lock(mutex_);
+    balance_ += amount;
+  }
+
+  int balanceLocked() {
+    dima::support::MutexLock lock(mutex_);
+    return balance_;
+  }
+
+#ifdef DIMA_EXPECT_FAIL
+  // No lock held: clang's thread-safety analysis must reject this read.
+  int balanceRacy() { return balance_; }
+#endif
+
+ private:
+  dima::support::Mutex mutex_;
+  int balance_ DIMA_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit(3);
+  return account.balanceLocked() == 3 ? 0 : 1;
+}

@@ -1,0 +1,45 @@
+# Compile-twice harness for the negative compile cases. Invoked both at
+# configure time (so a broken gate fails `cmake -B build` immediately) and
+# as a ctest entry (so the red-by-construction check shows up in test runs):
+#
+#   cmake -DCXX=<compiler> -DSRC=<case.cpp> -DREPO_ROOT=<root>
+#         [-DEXTRA_FLAGS=<semicolon-list>] -P run_case.cmake
+#
+# The case must compile WITHOUT -DDIMA_EXPECT_FAIL (the blessed usage is
+# legal) and must FAIL to compile WITH it (the forbidden usage is rejected).
+# Any other outcome is a FATAL_ERROR: a gate that never fires is worse than
+# no gate, because it reads as enforcement.
+
+foreach(var CXX SRC REPO_ROOT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_case.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+if(NOT DEFINED EXTRA_FLAGS)
+  set(EXTRA_FLAGS "")
+endif()
+
+set(base_cmd "${CXX}" -std=c++20 -fsyntax-only "-I${REPO_ROOT}" ${EXTRA_FLAGS})
+
+execute_process(
+  COMMAND ${base_cmd} "${SRC}"
+  RESULT_VARIABLE ok_result
+  OUTPUT_VARIABLE ok_out ERROR_VARIABLE ok_out)
+if(NOT ok_result EQUAL 0)
+  message(FATAL_ERROR
+    "negative-compile case ${SRC}: the ALLOWED variant failed to compile "
+    "— the blessed API broke:\n${ok_out}")
+endif()
+
+execute_process(
+  COMMAND ${base_cmd} -DDIMA_EXPECT_FAIL "${SRC}"
+  RESULT_VARIABLE fail_result
+  OUTPUT_VARIABLE fail_out ERROR_VARIABLE fail_out)
+if(fail_result EQUAL 0)
+  message(FATAL_ERROR
+    "negative-compile case ${SRC}: the FORBIDDEN variant compiled — the "
+    "gate is not enforcing anything")
+endif()
+
+get_filename_component(case_name "${SRC}" NAME_WE)
+message(STATUS "negative-compile ${case_name}: allowed=ok forbidden=rejected")

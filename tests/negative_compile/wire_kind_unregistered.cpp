@@ -1,0 +1,29 @@
+// Negative compile case: the WireKind width registry is exhaustive by
+// static_assert. `wireKindsRegistered<Formats...>(kWireKindCount)` is true
+// only when every enumerator appears in some listed format's `kKinds`
+// table; claiming coverage with a partial format set must fail to compile —
+// the same failure a new WireKind without a width entry would produce in
+// src/net/message.hpp itself.
+//
+// Compiled twice by the harness (tests/negative_compile/run_case.cmake):
+// without DIMA_EXPECT_FAIL it must compile; with it, it must not.
+
+#include "src/net/message.hpp"
+
+namespace n = dima::net;
+
+// The full format set covers every kind — this mirrors the registry assert
+// in message.hpp and must always hold.
+static_assert(
+    n::wireKindsRegistered<n::PairWire, n::ColorWire, n::TentativeColorWire>(
+        n::kWireKindCount),
+    "full format set must register every WireKind");
+
+#ifdef DIMA_EXPECT_FAIL
+// PairWire alone carries no Tentative/Abort/ColorAnnounce: the registry
+// check must reject it.
+static_assert(n::wireKindsRegistered<n::PairWire>(n::kWireKindCount),
+              "partial format set must NOT satisfy the registry");
+#endif
+
+int main() { return 0; }

@@ -1,0 +1,506 @@
+/// \file dimalint.cpp
+/// `dimalint`: the repo-specific static checker — the middle layer of the
+/// static gate (clang thread-safety annotations below it, clang-tidy above
+/// it; see DESIGN.md §11). It enforces the contracts generic tooling cannot
+/// see because they live in *this* codebase's conventions:
+///
+///   wire-kind-registry   every `WireKind` enumerator is registered in a
+///                        wire format's `kKinds` width table
+///                        (src/net/message.hpp) and named in the
+///                        encode/decode-side `wireKindName` registry
+///                        (src/net/message.cpp). Textual re-check of the
+///                        `wireKindsRegistered` static_assert, so the gate
+///                        survives even if the assert is edited away.
+///   trace-kind-monitor   every `TraceKind` enumerator is consumed by the
+///                        `InvariantMonitor` (src/sim/monitor.cpp) and
+///                        named in `traceKindName` (src/net/trace.cpp) —
+///                        an unmonitored event kind is a hole in the
+///                        simulation-testing safety catalog.
+///   layering             protocol policy TUs (src/automata, src/coloring,
+///                        src/dynamic, src/baselines) never include
+///                        src/net/network.hpp directly; they talk to the
+///                        substrate through the engine/protocol surface.
+///   hot-path-tokens      files tagged `// dimalint: hot-path` contain no
+///                        `std::function`, no `new`/`malloc`, and no
+///                        node-based containers — the zero-copy substrate's
+///                        "no per-message allocation" promise.
+///   pragma-once          every header under src/ starts with #pragma once.
+///
+/// The scan is token-level (comments and string literals stripped first),
+/// deliberately not libclang-based: it must build everywhere the project
+/// builds and run in milliseconds on every CI push.
+///
+/// Self-test: `dimalint --self-check tests/lint_fixtures` runs every rule
+/// over per-rule fixture trees; each known-bad tree must trip exactly its
+/// rule, the `clean` tree must trip nothing, and every rule must have a
+/// fixture (so a new rule cannot ship untested).
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string rule;
+  std::string file;   // repo-relative path
+  std::size_t line = 0;
+  std::string message;
+};
+
+/// One scanned source file: repo-relative path, raw text, and the text with
+/// comments and string/char literals blanked (newlines preserved so
+/// offsets map to line numbers).
+struct SourceFile {
+  std::string path;
+  std::string raw;
+  std::string code;
+};
+
+struct Tree {
+  fs::path root;
+  std::vector<SourceFile> files;  // sorted by path
+
+  const SourceFile* find(const std::string& relPath) const {
+    for (const SourceFile& f : files) {
+      if (f.path == relPath) return &f;
+    }
+    return nullptr;
+  }
+};
+
+/// Blanks comments, string literals (including raw strings), and char
+/// literals; every replaced character becomes a space, newlines survive.
+std::string stripCommentsAndStrings(const std::string& in) {
+  std::string out(in.size(), ' ');
+  enum class St { Code, Line, Block, Str, Chr, Raw };
+  St st = St::Code;
+  std::string rawDelim;  // raw-string delimiter, including the closing paren
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char next = i + 1 < in.size() ? in[i + 1] : '\0';
+    if (c == '\n') out[i] = '\n';
+    switch (st) {
+      case St::Code:
+        if (c == '/' && next == '/') {
+          st = St::Line;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          st = St::Block;
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   in[i - 1])) &&
+                               in[i - 1] != '_'))) {
+          const std::size_t open = in.find('(', i + 2);
+          if (open != std::string::npos) {
+            rawDelim = ")" + in.substr(i + 2, open - i - 2) + "\"";
+            st = St::Raw;
+            i = open;
+          }
+        } else if (c == '"') {
+          st = St::Str;
+        } else if (c == '\'') {
+          st = St::Chr;
+        } else {
+          out[i] = c;
+        }
+        break;
+      case St::Line:
+        if (c == '\n') st = St::Code;
+        break;
+      case St::Block:
+        if (c == '*' && next == '/') {
+          st = St::Code;
+          ++i;
+        }
+        break;
+      case St::Str:
+        if (c == '\\') {
+          ++i;
+          if (i < in.size() && in[i] == '\n') out[i] = '\n';
+        } else if (c == '"') {
+          st = St::Code;
+        }
+        break;
+      case St::Chr:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          st = St::Code;
+        }
+        break;
+      case St::Raw:
+        if (in.compare(i, rawDelim.size(), rawDelim) == 0) {
+          i += rawDelim.size() - 1;
+          st = St::Code;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::size_t lineOf(const std::string& text, std::size_t offset) {
+  return 1 + static_cast<std::size_t>(
+                 std::count(text.begin(), text.begin() + static_cast<long>(
+                                                             offset), '\n'));
+}
+
+/// Whole-token occurrence check: `needle` present in `hay` with no
+/// identifier character on either side.
+bool containsToken(const std::string& hay, const std::string& needle) {
+  const auto isIdent = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  };
+  std::size_t pos = 0;
+  while ((pos = hay.find(needle, pos)) != std::string::npos) {
+    const bool leftOk = pos == 0 || !isIdent(hay[pos - 1]);
+    const std::size_t end = pos + needle.size();
+    const bool rightOk = end >= hay.size() || !isIdent(hay[end]);
+    if (leftOk && rightOk) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+struct Enumerator {
+  std::string name;
+  std::size_t line = 0;
+};
+
+/// Parses the enumerators of `enum class <enumName> ... { A, B, ... };`
+/// from stripped code. Empty when the enum is absent.
+std::vector<Enumerator> parseEnumClass(const SourceFile& f,
+                                       const std::string& enumName) {
+  std::vector<Enumerator> out;
+  const std::string key = "enum class " + enumName;
+  std::size_t pos = f.code.find(key);
+  if (pos == std::string::npos) return out;
+  const std::size_t open = f.code.find('{', pos);
+  const std::size_t close = f.code.find('}', open);
+  if (open == std::string::npos || close == std::string::npos) return out;
+  std::size_t i = open + 1;
+  while (i < close) {
+    while (i < close && !(std::isalpha(static_cast<unsigned char>(
+                              f.code[i])) ||
+                          f.code[i] == '_')) {
+      ++i;
+    }
+    if (i >= close) break;
+    std::size_t j = i;
+    while (j < close && (std::isalnum(static_cast<unsigned char>(
+                             f.code[j])) ||
+                         f.code[j] == '_')) {
+      ++j;
+    }
+    out.push_back(Enumerator{f.code.substr(i, j - i), lineOf(f.code, i)});
+    // Skip to the comma ending this enumerator (ignores `= value` parts).
+    const std::size_t comma = f.code.find(',', j);
+    if (comma == std::string::npos || comma > close) break;
+    i = comma + 1;
+  }
+  return out;
+}
+
+void addFinding(std::vector<Finding>& out, const char* rule,
+                const std::string& file, std::size_t line,
+                std::string message) {
+  out.push_back(Finding{rule, file, line, std::move(message)});
+}
+
+// ---------------------------------------------------------------------------
+// Rules. Each scans the tree and appends findings; a rule whose anchor file
+// is absent from the tree reports nothing (fixture trees are minimal).
+
+void ruleWireKindRegistry(const Tree& t, std::vector<Finding>& out) {
+  const SourceFile* hpp = t.find("src/net/message.hpp");
+  if (hpp == nullptr) return;
+  const SourceFile* cpp = t.find("src/net/message.cpp");
+  for (const Enumerator& e : parseEnumClass(*hpp, "WireKind")) {
+    const std::string qualified = "WireKind::" + e.name;
+    if (!containsToken(hpp->code, qualified)) {
+      addFinding(out, "wire-kind-registry", hpp->path, e.line,
+                 "WireKind::" + e.name +
+                     " is not registered in any wire format's kKinds table "
+                     "(no kind-field width)");
+    }
+    if (cpp != nullptr && !containsToken(cpp->code, qualified)) {
+      addFinding(out, "wire-kind-registry", cpp->path, 1,
+                 "WireKind::" + e.name +
+                     " is missing from the wireKindName encode/decode "
+                     "registry");
+    }
+  }
+}
+
+void ruleTraceKindMonitor(const Tree& t, std::vector<Finding>& out) {
+  const SourceFile* hpp = t.find("src/net/trace.hpp");
+  if (hpp == nullptr) return;
+  const SourceFile* monitor = t.find("src/sim/monitor.cpp");
+  const SourceFile* cpp = t.find("src/net/trace.cpp");
+  for (const Enumerator& e : parseEnumClass(*hpp, "TraceKind")) {
+    const std::string qualified = "TraceKind::" + e.name;
+    if (monitor != nullptr && !containsToken(monitor->code, qualified)) {
+      addFinding(out, "trace-kind-monitor", monitor->path, 1,
+                 "TraceKind::" + e.name +
+                     " is never consumed by the InvariantMonitor — the "
+                     "event kind is outside the safety catalog");
+    }
+    if (cpp != nullptr && !containsToken(cpp->code, qualified)) {
+      addFinding(out, "trace-kind-monitor", cpp->path, 1,
+                 "TraceKind::" + e.name + " has no traceKindName entry");
+    }
+  }
+}
+
+void ruleLayering(const Tree& t, std::vector<Finding>& out) {
+  static const char* kPolicyDirs[] = {"src/automata/", "src/coloring/",
+                                      "src/dynamic/", "src/baselines/"};
+  for (const SourceFile& f : t.files) {
+    const bool policy =
+        std::any_of(std::begin(kPolicyDirs), std::end(kPolicyDirs),
+                    [&](const char* d) { return f.path.starts_with(d); });
+    if (!policy) continue;
+    const std::string inc = "\"src/net/network.hpp\"";
+    const std::size_t pos = f.raw.find(inc);
+    if (pos != std::string::npos) {
+      addFinding(out, "layering", f.path, lineOf(f.raw, pos),
+                 "protocol policy layer includes src/net/network.hpp "
+                 "directly; go through the engine/protocol surface");
+    }
+  }
+}
+
+void ruleHotPathTokens(const Tree& t, std::vector<Finding>& out) {
+  static const char* kBanned[] = {"std::function", "std::bind",
+                                  "malloc",        "calloc",
+                                  "std::map",      "std::unordered_map",
+                                  "std::list"};
+  for (const SourceFile& f : t.files) {
+    if (f.raw.find("dimalint: hot-path") == std::string::npos) continue;
+    for (const char* token : kBanned) {
+      if (containsToken(f.code, token)) {
+        addFinding(out, "hot-path-tokens", f.path,
+                   lineOf(f.code, f.code.find(token)),
+                   std::string(token) +
+                       " in a hot-path-tagged file (zero-copy substrate "
+                       "promise: no per-message allocation or indirection)");
+      }
+    }
+    if (containsToken(f.code, "new")) {
+      addFinding(out, "hot-path-tokens", f.path,
+                 lineOf(f.code, f.code.find("new")),
+                 "operator new in a hot-path-tagged file");
+    }
+  }
+}
+
+void rulePragmaOnce(const Tree& t, std::vector<Finding>& out) {
+  for (const SourceFile& f : t.files) {
+    if (!f.path.ends_with(".hpp")) continue;
+    // The guard must appear before any code token (doc comments may lead).
+    const std::size_t pragma = f.raw.find("#pragma once");
+    const std::size_t firstCode =
+        f.code.find_first_not_of(" \t\n\r");
+    if (pragma == std::string::npos ||
+        (firstCode != std::string::npos &&
+         f.code.compare(firstCode, 7, "#pragma") != 0)) {
+      addFinding(out, "pragma-once", f.path, 1,
+                 "header does not start with #pragma once");
+    }
+  }
+}
+
+struct Rule {
+  const char* id;
+  const char* summary;
+  void (*run)(const Tree&, std::vector<Finding>&);
+};
+
+constexpr Rule kRules[] = {
+    {"wire-kind-registry",
+     "every WireKind has a kKinds width entry and a wireKindName entry",
+     ruleWireKindRegistry},
+    {"trace-kind-monitor",
+     "every TraceKind is consumed by the InvariantMonitor and named",
+     ruleTraceKindMonitor},
+    {"layering",
+     "protocol policy TUs never include src/net/network.hpp directly",
+     ruleLayering},
+    {"hot-path-tokens",
+     "hot-path-tagged files are free of std::function/allocation tokens",
+     ruleHotPathTokens},
+    {"pragma-once", "headers under src/ start with #pragma once",
+     rulePragmaOnce},
+};
+
+// ---------------------------------------------------------------------------
+
+bool loadTree(const fs::path& root, Tree* tree, std::string* error) {
+  tree->root = root;
+  tree->files.clear();
+  const fs::path srcRoot = root / "src";
+  if (!fs::exists(srcRoot)) {
+    *error = "no src/ directory under " + root.string();
+    return false;
+  }
+  for (const auto& entry : fs::recursive_directory_iterator(srcRoot)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".hpp" && ext != ".cpp") continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    SourceFile f;
+    f.path = fs::relative(entry.path(), root).generic_string();
+    f.raw = buf.str();
+    f.code = stripCommentsAndStrings(f.raw);
+    tree->files.push_back(std::move(f));
+  }
+  std::sort(tree->files.begin(), tree->files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.path < b.path;
+            });
+  return true;
+}
+
+std::vector<Finding> lintTree(const Tree& tree) {
+  std::vector<Finding> findings;
+  for (const Rule& rule : kRules) rule.run(tree, findings);
+  return findings;
+}
+
+void printFindings(const std::vector<Finding>& findings) {
+  for (const Finding& f : findings) {
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  }
+}
+
+/// Runs every rule over the per-rule fixture trees; see the file comment.
+int selfCheck(const fs::path& fixturesRoot) {
+  if (!fs::exists(fixturesRoot)) {
+    std::cerr << "dimalint: fixtures directory not found: " << fixturesRoot
+              << "\n";
+    return 2;
+  }
+  int failures = 0;
+  std::set<std::string> coveredRules;
+  for (const auto& entry : fs::directory_iterator(fixturesRoot)) {
+    if (!entry.is_directory()) continue;
+    const std::string name = entry.path().filename().string();
+    Tree tree;
+    std::string error;
+    if (!loadTree(entry.path(), &tree, &error)) {
+      std::cerr << "self-check: fixture " << name << ": " << error << "\n";
+      ++failures;
+      continue;
+    }
+    std::set<std::string> tripped;
+    const std::vector<Finding> findings = lintTree(tree);
+    for (const Finding& f : findings) tripped.insert(f.rule);
+    if (name == "clean") {
+      if (!tripped.empty()) {
+        std::cerr << "self-check FAIL: clean fixture tripped rules:\n";
+        printFindings(findings);
+        ++failures;
+      }
+    } else {
+      coveredRules.insert(name);
+      const std::set<std::string> expected{name};
+      if (tripped != expected) {
+        std::cerr << "self-check FAIL: fixture '" << name
+                  << "' expected to trip exactly [" << name << "], got [";
+        for (const std::string& r : tripped) std::cerr << r << " ";
+        std::cerr << "]\n";
+        printFindings(findings);
+        ++failures;
+      }
+    }
+  }
+  for (const Rule& rule : kRules) {
+    if (coveredRules.find(rule.id) == coveredRules.end()) {
+      std::cerr << "self-check FAIL: rule '" << rule.id
+                << "' has no fixture under " << fixturesRoot << "\n";
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::cout << "dimalint self-check: " << std::size(kRules)
+              << " rules, all fixtures behave as pinned\n";
+    return 0;
+  }
+  return 1;
+}
+
+void usage() {
+  std::cout
+      << "usage: dimalint [--root DIR] | --self-check FIXTURES | "
+         "--list-rules\n\n"
+         "Lints the dimacol source tree (default --root .). See the file\n"
+         "comment in tools/dimalint.cpp and DESIGN.md section 11.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const Rule& rule : kRules) {
+        std::cout << rule.id << ": " << rule.summary << "\n";
+      }
+      return 0;
+    }
+    if (arg == "--self-check") {
+      if (i + 1 >= argc) {
+        usage();
+        return 2;
+      }
+      return selfCheck(argv[i + 1]);
+    }
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        usage();
+        return 2;
+      }
+      root = argv[++i];
+      continue;
+    }
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    }
+    std::cerr << "dimalint: unknown argument '" << arg << "'\n";
+    usage();
+    return 2;
+  }
+
+  Tree tree;
+  std::string error;
+  if (!loadTree(root, &tree, &error)) {
+    std::cerr << "dimalint: " << error << "\n";
+    return 2;
+  }
+  const std::vector<Finding> findings = lintTree(tree);
+  if (findings.empty()) {
+    std::cout << "dimalint: " << tree.files.size() << " files, "
+              << std::size(kRules) << " rules, clean\n";
+    return 0;
+  }
+  printFindings(findings);
+  std::cerr << "dimalint: " << findings.size() << " finding(s)\n";
+  return 1;
+}
