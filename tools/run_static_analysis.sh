@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Local entry point for the static gate (DESIGN.md §11): exactly what CI's
+# static-analysis job runs, so a green local run means a green CI wall.
+#
+#   tools/run_static_analysis.sh [build-dir]
+#
+# Stages:
+#   1. configure+build with clang, -DDIMA_WERROR=ON  (thread-safety analysis
+#      promoted to errors, negative compile cases verified at configure)
+#   2. dimalint over the tree + its fixture self-check
+#   3. run-clang-tidy over the exported compile_commands.json
+#
+# Requires clang/clang-tidy at the pinned major (or newer). On machines
+# without clang the annotation macros expand to nothing and the thread-safety
+# and tidy stages cannot run — fail loudly rather than green-wash.
+
+set -euo pipefail
+
+PIN_MAJOR=18  # keep in sync with DIMA_CLANG_PIN_MAJOR in CMakeLists.txt
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build-static-analysis}"
+
+find_tool() {
+  # Prefer the pinned-major suffix, fall back to the bare name.
+  local base="$1"
+  for cand in "${base}-${PIN_MAJOR}" "${base}"; do
+    if command -v "${cand}" >/dev/null 2>&1; then
+      echo "${cand}"
+      return 0
+    fi
+  done
+  return 1
+}
+
+require_major() {
+  local tool="$1" name="$2"
+  local version major
+  version="$("${tool}" --version | grep -oE '[0-9]+\.[0-9]+\.[0-9]+' | head -1)"
+  major="${version%%.*}"
+  if [ "${major}" -lt "${PIN_MAJOR}" ]; then
+    echo "error: ${name} ${version} is older than the pinned major" \
+         "${PIN_MAJOR}." >&2
+    echo "The static gate is calibrated against clang ${PIN_MAJOR}: older" \
+         "releases miss thread-safety diagnostics and tidy checks the tree" \
+         "relies on, so a green run would not mean what it claims." >&2
+    echo "Install clang-${PIN_MAJOR}/clang-tidy-${PIN_MAJOR} (e.g. from" \
+         "apt.llvm.org) or run in the CI container." >&2
+    exit 2
+  fi
+}
+
+CLANGXX="$(find_tool clang++)" || {
+  echo "error: clang++ not found — the static gate needs clang's" \
+       "-Wthread-safety analysis (gcc expands the annotations to nothing)." >&2
+  exit 2
+}
+CLANG_TIDY="$(find_tool clang-tidy)" || {
+  echo "error: clang-tidy not found (want major ${PIN_MAJOR}+)." >&2
+  exit 2
+}
+require_major "${CLANGXX}" clang++
+require_major "${CLANG_TIDY}" clang-tidy
+
+echo "== stage 1/3: clang build, -Werror=thread-safety, negative compiles =="
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
+  -DCMAKE_CXX_COMPILER="${CLANGXX}" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DDIMA_WERROR=ON
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+
+echo "== stage 2/3: dimalint =="
+"${BUILD_DIR}/tools/dimalint" --root "${REPO_ROOT}"
+"${BUILD_DIR}/tools/dimalint" --self-check "${REPO_ROOT}/tests/lint_fixtures"
+
+echo "== stage 3/3: clang-tidy =="
+RUN_CLANG_TIDY="$(find_tool run-clang-tidy)" || {
+  echo "error: run-clang-tidy not found (ships with clang-tidy)." >&2
+  exit 2
+}
+"${RUN_CLANG_TIDY}" -clang-tidy-binary "${CLANG_TIDY}" \
+  -p "${BUILD_DIR}" -quiet "${REPO_ROOT}/src/.*\.cpp$"
+
+echo "static gate: all three stages green"
