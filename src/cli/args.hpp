@@ -23,7 +23,13 @@ class Args {
   const std::vector<std::string>& positionals() const { return positionals_; }
   std::string positional(std::size_t i, const std::string& fallback = "") const;
 
-  bool has(const std::string& name) const { return options_.contains(name); }
+  /// Flag presence. Marks the flag read, so boolean options (`--hostile`,
+  /// `--partial`, ...) don't trip the unused-option warning.
+  bool has(const std::string& name) const {
+    const bool present = options_.contains(name);
+    if (present) touched_[name] = true;
+    return present;
+  }
 
   std::string get(const std::string& name,
                   const std::string& fallback = "") const;

@@ -1,6 +1,9 @@
 #include "src/cli/commands.hpp"
 
+#include <cstdio>
 #include <fstream>
+#include <iostream>
+#include <memory>
 #include <ostream>
 #include <sstream>
 
@@ -23,6 +26,11 @@
 #include "src/graph/generators.hpp"
 #include "src/graph/io.hpp"
 #include "src/graph/metrics.hpp"
+#include "src/service/checkpoint.hpp"
+#include "src/service/driver.hpp"
+#include "src/service/hostile.hpp"
+#include "src/service/service.hpp"
+#include "src/service/session.hpp"
 #include "src/sim/fuzz.hpp"
 #include "src/sim/repro.hpp"
 #include "src/support/table.hpp"
@@ -664,11 +672,236 @@ int cmdReplay(Args& args, std::ostream& out, std::ostream& err) {
   return result.matched ? 0 : 1;
 }
 
+/// `dimacol serve`: the long-running coloring service. Binary replies go
+/// to stdout; human diagnostics go to stderr, so a piped session stays a
+/// clean wire stream.
+int cmdServe(Args& args, std::ostream& out, std::ostream& err) {
+  if (args.has("hostile")) {
+    service::HostileOptions ho;
+    ho.seed = args.getUint("seed", ho.seed);
+    ho.rounds = static_cast<std::size_t>(args.getUint("rounds", 60));
+    ho.n = static_cast<std::uint32_t>(args.getUint("n", 48));
+    ho.commands = static_cast<std::size_t>(args.getUint("commands", 120));
+    ho.maxBatch = static_cast<std::size_t>(args.getUint("max-batch", 16));
+    ho.verbose = args.has("verbose");
+    const service::HostileReport report = service::runHostileCampaign(ho);
+    out << "hostile campaign: " << report.rounds << " rounds, "
+        << report.commandsServed << " commands served\n"
+        << "  sessions: clean=" << report.cleanSessions
+        << " framing-rejects=" << report.framingRejections
+        << " truncated=" << report.truncatedSessions << '\n'
+        << "  error replies: " << report.errorReplies << '\n'
+        << "monitor violations: " << report.monitorViolations
+        << ", verify failures: " << report.verifyFailures << '\n';
+    if (!report.ok()) {
+      err << "FIRST FAILURE: " << report.firstFailure << '\n';
+      return 1;
+    }
+    out << "invariant catalog clean\n";
+    return 0;
+  }
+
+  service::ServiceOptions so;
+  so.seed = args.getUint("seed", so.seed);
+  so.policy.maxBatch =
+      static_cast<std::size_t>(args.getUint("max-batch", 64));
+  so.policy.maxStaleness =
+      static_cast<std::size_t>(args.getUint("max-staleness", 0));
+  so.monitor = args.has("monitor");
+
+  std::unique_ptr<service::ColoringService> svc;
+  const std::string restore = args.get("restore");
+  if (!restore.empty()) {
+    service::Checkpoint cp;
+    std::string error;
+    if (!service::loadCheckpoint(restore, &cp, &error)) {
+      err << "error: " << error << '\n';
+      return 1;
+    }
+    svc = std::make_unique<service::ColoringService>(cp, so);
+    err << versionLine() << " serve (restored " << restore << ": n=" << cp.n
+        << ", " << cp.slots.size() << " edge slots, epoch " << cp.epoch
+        << ", " << cp.repairs << " repairs)\n";
+  } else {
+    svc = std::make_unique<service::ColoringService>(so);
+    err << versionLine() << " serve\n";
+  }
+
+  std::ifstream fileIn;
+  std::istream* in = &std::cin;
+  const std::string inPath = args.get("in");
+  if (!inPath.empty()) {
+    fileIn.open(inPath, std::ios::binary);
+    if (!fileIn) {
+      err << "error: cannot read '" << inPath << "'\n";
+      return 1;
+    }
+    in = &fileIn;
+  }
+
+  const service::SessionResult session = service::runSession(*svc, *in, out);
+  err << "session: " << session.commands << " commands, " << session.replies
+      << " replies, ";
+  if (session.shutdown) {
+    err << "shutdown\n";
+  } else if (session.framingError) {
+    err << "framing error: " << session.error << '\n';
+  } else if (session.truncated) {
+    err << "truncated mid-frame\n";
+  } else {
+    err << "eof\n";
+  }
+
+  const std::string colorsOut = args.get("colors-out");
+  if (!colorsOut.empty() && svc->ready()) {
+    std::ofstream f(colorsOut);
+    if (!f) {
+      err << "error: cannot write '" << colorsOut << "'\n";
+      return 1;
+    }
+    f << svc->colorTable();
+    err << "colors: " << colorsOut << " (digest " << svc->colorDigest()
+        << ")\n";
+  }
+  if (so.monitor) {
+    err << "monitor violations: " << svc->violations().size() << '\n';
+    for (const sim::Violation& v : svc->violations()) {
+      err << "  " << v.toString() << '\n';
+    }
+    if (!svc->violations().empty()) return 1;
+  }
+  return session.clean() ? 0 : 1;
+}
+
+/// `dimacol serve-stream`: deterministic client workloads on disk — the
+/// full run plus the head (ends in Snapshot) / tail (resumes) split the
+/// checkpoint smoke test replays.
+int cmdServeStream(Args& args, std::ostream& out, std::ostream& err) {
+  const std::string prefix = args.get("out-prefix");
+  if (prefix.empty()) {
+    err << "error: serve-stream needs --out-prefix <path>\n";
+    return 2;
+  }
+  service::StreamSpec spec;
+  spec.seed = args.getUint("seed", spec.seed);
+  spec.n = static_cast<std::uint32_t>(args.getUint("n", spec.n));
+  spec.commands =
+      static_cast<std::size_t>(args.getUint("commands", spec.commands));
+  spec.queryFraction = args.getDouble("query-frac", spec.queryFraction);
+  spec.insertFraction = args.getDouble("insert-frac", spec.insertFraction);
+  spec.split = static_cast<std::size_t>(args.getUint("split", 0));
+  const std::string snapshot = args.get("snapshot", prefix + ".ckpt");
+  const service::StreamBundle bundle = service::buildStreams(spec, snapshot);
+
+  const auto write = [&err](const std::string& path,
+                            const std::vector<std::uint8_t>& bytes) {
+    std::ofstream f(path, std::ios::binary);
+    if (f) {
+      f.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    }
+    if (!f) err << "error: cannot write '" << path << "'\n";
+    return static_cast<bool>(f);
+  };
+  if (!write(prefix + ".full.bin", bundle.full) ||
+      !write(prefix + ".head.bin", bundle.head) ||
+      !write(prefix + ".tail.bin", bundle.tail)) {
+    return 1;
+  }
+  out << "streams: " << spec.commands << " commands over n=" << spec.n
+      << " (seed " << spec.seed << ")\n"
+      << "  " << prefix << ".full.bin  (" << bundle.full.size() << " bytes)\n"
+      << "  " << prefix << ".head.bin  (" << bundle.head.size()
+      << " bytes, snapshots to " << snapshot << ")\n"
+      << "  " << prefix << ".tail.bin  (" << bundle.tail.size()
+      << " bytes, resumes via --restore)\n";
+  return 0;
+}
+
+/// `dimacol bench-serve`: sustained churn through the wire path; commits
+/// commands/s and repair-latency quantiles to BENCH_service.json.
+int cmdBenchServe(Args& args, std::ostream& out, std::ostream& err) {
+  service::StreamSpec spec;
+  spec.seed = args.getUint("seed", spec.seed);
+  spec.n = static_cast<std::uint32_t>(args.getUint("n", 128));
+  spec.commands =
+      static_cast<std::size_t>(args.getUint("commands", 4000));
+  spec.queryFraction = args.getDouble("query-frac", spec.queryFraction);
+  spec.insertFraction = args.getDouble("insert-frac", spec.insertFraction);
+  service::EpochPolicy policy;
+  policy.maxBatch = static_cast<std::size_t>(args.getUint("max-batch", 64));
+  policy.maxStaleness =
+      static_cast<std::size_t>(args.getUint("max-staleness", 0));
+
+  const service::ServeBenchReport r = service::runServeBench(spec, policy);
+
+  support::TextTable table({"metric", "value"});
+  table.addRowOf("commands", r.commands);
+  table.addRowOf("mutations admitted", r.mutations);
+  table.addRowOf("queries", r.queries);
+  table.addRowOf("epochs", r.epochs);
+  table.addRowOf("commands/s", r.commandsPerSec);
+  table.addRowOf("mean epoch batch", r.meanEpochBatch);
+  table.addRowOf("repair p50 (us)", r.p50RepairMicros);
+  table.addRowOf("repair p99 (us)", r.p99RepairMicros);
+  table.addRowOf("backlog peak", r.backlogPeak);
+  table.addRowOf("final edges", r.finalEdges);
+  out << table.render();
+  out << "color digest: " << r.colorDigest << '\n';
+
+  const std::string jsonOut = args.get("json-out");
+  if (!jsonOut.empty()) {
+    std::FILE* f = std::fopen(jsonOut.c_str(), "w");
+    if (f == nullptr) {
+      err << "error: cannot write '" << jsonOut << "'\n";
+      return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"config\": {\n");
+    std::fprintf(f, "    \"seed\": %llu,\n",
+                 static_cast<unsigned long long>(spec.seed));
+    std::fprintf(f, "    \"vertices\": %u,\n", spec.n);
+    std::fprintf(f, "    \"commands\": %zu,\n", spec.commands);
+    std::fprintf(f, "    \"query_fraction\": %.3f,\n", spec.queryFraction);
+    std::fprintf(f, "    \"insert_fraction\": %.3f,\n", spec.insertFraction);
+    std::fprintf(f, "    \"max_batch\": %zu,\n", policy.maxBatch);
+    std::fprintf(f, "    \"max_staleness\": %zu\n", policy.maxStaleness);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"results\": {\n");
+    std::fprintf(f, "    \"commands\": %llu,\n",
+                 static_cast<unsigned long long>(r.commands));
+    std::fprintf(f, "    \"mutations_admitted\": %llu,\n",
+                 static_cast<unsigned long long>(r.mutations));
+    std::fprintf(f, "    \"queries\": %llu,\n",
+                 static_cast<unsigned long long>(r.queries));
+    std::fprintf(f, "    \"epochs\": %llu,\n",
+                 static_cast<unsigned long long>(r.epochs));
+    std::fprintf(f, "    \"seconds\": %.6f,\n", r.seconds);
+    std::fprintf(f, "    \"commands_per_sec\": %.1f,\n", r.commandsPerSec);
+    std::fprintf(f, "    \"mean_epoch_batch\": %.2f,\n", r.meanEpochBatch);
+    std::fprintf(f, "    \"repair_latency_p50_us\": %llu,\n",
+                 static_cast<unsigned long long>(r.p50RepairMicros));
+    std::fprintf(f, "    \"repair_latency_p99_us\": %llu,\n",
+                 static_cast<unsigned long long>(r.p99RepairMicros));
+    std::fprintf(f, "    \"backlog_peak\": %zu,\n", r.backlogPeak);
+    std::fprintf(f, "    \"final_edges\": %zu,\n", r.finalEdges);
+    std::fprintf(f, "    \"color_digest\": %llu\n",
+                 static_cast<unsigned long long>(r.colorDigest));
+    std::fprintf(f, "  }\n");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    out << "json: " << jsonOut << '\n';
+  }
+  return 0;
+}
+
 }  // namespace
+
+std::string versionLine() { return std::string("dimacol ") + kVersionString; }
 
 std::string usage() {
   std::ostringstream oss;
-  oss << "dimacol " << kVersionString
+  oss << versionLine()
       << " — distributed matching-automata edge coloring "
          "(Daigle & Prasad, IPPS 2012)\n\n"
          "usage: dimacol <command> [options]\n\n"
@@ -699,6 +932,15 @@ std::string usage() {
          "--cycles-horizon, --out <repro>)\n"
          "  replay    re-run a repro file        (replay <file>; exit 0 iff "
          "the pinned outcome reproduces)\n"
+         "  serve     long-running coloring service (wire protocol on "
+         "stdin/stdout; --in <stream>, --restore <ckpt>, --max-batch, "
+         "--max-staleness, --monitor, --colors-out, --hostile)\n"
+         "  serve-stream  generate client streams for serve "
+         "(--out-prefix, --commands, --n, --seed, --split, --snapshot)\n"
+         "  bench-serve   sustained-churn service benchmark "
+         "(--commands, --n, --max-batch, --json-out BENCH_service.json)\n"
+         "  version   print \"" << versionLine() << "\" and exit "
+         "(also --version)\n"
          "  help      this text\n\n"
          "every command accepts --input <edge-list> instead of a generator "
          "family.\n";
@@ -707,6 +949,10 @@ std::string usage() {
 
 int runCommand(Args& args, std::ostream& out, std::ostream& err) {
   const std::string command = args.positional(0, "help");
+  if (args.has("version") || command == "version") {
+    out << versionLine() << '\n';
+    return 0;
+  }
   int code = 0;
   if (command == "gen") {
     code = cmdGen(args, out, err);
@@ -736,6 +982,12 @@ int runCommand(Args& args, std::ostream& out, std::ostream& err) {
     code = cmdFuzz(args, out, err);
   } else if (command == "replay") {
     code = cmdReplay(args, out, err);
+  } else if (command == "serve") {
+    code = cmdServe(args, out, err);
+  } else if (command == "serve-stream") {
+    code = cmdServeStream(args, out, err);
+  } else if (command == "bench-serve") {
+    code = cmdBenchServe(args, out, err);
   } else if (command == "help" || command.empty()) {
     out << usage();
   } else {

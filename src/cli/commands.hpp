@@ -23,6 +23,13 @@
 ///             (random search or exhaustive fault enumeration; failures
 ///             are shrunk and printed as replayable repro files)
 ///   replay    re-run a repro file and check its pinned outcome
+///   serve     long-running coloring service over the wire protocol
+///             (PROTOCOLS.md §12); --restore resumes a checkpoint,
+///             --hostile runs the adversarial-client campaign
+///   serve-stream  generate deterministic client streams (full/head/tail)
+///             for the checkpoint/restore smoke test
+///   bench-serve   sustained-churn service benchmark (BENCH_service.json)
+///   version   print the version line
 ///   help      usage
 
 #include <iosfwd>
@@ -37,5 +44,9 @@ int runCommand(Args& args, std::ostream& out, std::ostream& err);
 
 /// Usage text.
 std::string usage();
+
+/// The one place the tool renders its identity: "dimacol <semver>" from
+/// support/version.hpp. Used by `--version`, `help`, and the serve banner.
+std::string versionLine();
 
 }  // namespace dima::cli

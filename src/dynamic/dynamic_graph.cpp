@@ -146,6 +146,43 @@ bool DynamicGraph::eraseEdge(EdgeId e) {
   return true;
 }
 
+DynamicGraph DynamicGraph::fromSlots(std::size_t n,
+                                     std::span<const Edge> slots,
+                                     std::span<const EdgeId> freeIds) {
+  DynamicGraph g(n);
+  g.edges_.assign(slots.begin(), slots.end());
+  g.livePos_.assign(slots.size(), 0);
+  std::size_t dead = 0;
+  for (EdgeId e = 0; e < g.edges_.size(); ++e) {
+    const Edge edge = g.edges_[e];
+    if (edge.u == kNoVertex) {
+      ++dead;
+      continue;
+    }
+    DIMA_REQUIRE(edge.u < n && edge.v < n && edge.u < edge.v,
+                 "slot " << e << " holds an invalid edge");
+    DIMA_REQUIRE(g.findEdge(edge.u, edge.v) == kNoEdge,
+                 "slot " << e << " duplicates edge {" << edge.u << ","
+                         << edge.v << "}");
+    g.livePos_[e] = static_cast<std::uint32_t>(g.live_.size());
+    g.live_.push_back(e);
+    g.linkIncidence(edge.u, edge.v, e);
+    g.linkIncidence(edge.v, edge.u, e);
+  }
+  DIMA_REQUIRE(freeIds.size() == dead,
+               "free-id stack size " << freeIds.size() << " does not cover "
+                                     << dead << " dead slots");
+  std::vector<std::uint8_t> seen(slots.size(), 0);
+  for (const EdgeId e : freeIds) {
+    DIMA_REQUIRE(e < slots.size() && g.edges_[e].u == kNoVertex,
+                 "free-id " << e << " is not a dead slot");
+    DIMA_REQUIRE(seen[e] == 0, "free-id " << e << " listed twice");
+    seen[e] = 1;
+  }
+  g.freeIds_.assign(freeIds.begin(), freeIds.end());
+  return g;
+}
+
 graph::Graph DynamicGraph::snapshot(std::vector<EdgeId>* denseToOverlay) const {
   std::vector<Edge> edges;
   edges.reserve(live_.size());

@@ -115,6 +115,22 @@ class DynamicGraph {
   /// overlay id of the same edge (for mapping per-edge arrays).
   graph::Graph snapshot(std::vector<EdgeId>* denseToOverlay = nullptr) const;
 
+  /// The id-recycling stack (dead slots; back = next id reused). Exposed
+  /// for checkpointing: together with `edgeSlots()` + `edge()` it pins the
+  /// overlay's id-assignment state, so a restored process recycles the
+  /// same ids for the same future inserts (`service/checkpoint.hpp`).
+  std::span<const EdgeId> freeIdStack() const { return freeIds_; }
+
+  /// Rebuilds an overlay from checkpointed slot state: `slots[e]` holds
+  /// the endpoints of edge id `e` (`u == kNoVertex` marks a dead slot,
+  /// live slots are normalized `u < v`) and `freeIds` is the recycling
+  /// stack, verbatim. Dirty sets start empty. The live-edge *order* is
+  /// rebuilt in id order — unobservable to the repair protocols, which
+  /// walk sorted incidences; only `sampleEdge` draw sequences could differ
+  /// from the checkpointed process.
+  static DynamicGraph fromSlots(std::size_t n, std::span<const Edge> slots,
+                                std::span<const EdgeId> freeIds);
+
  private:
   void checkVertex(VertexId v) const {
     DIMA_REQUIRE(v < adjacency_.size(), "vertex id " << v << " out of range");

@@ -271,6 +271,22 @@ void IncrementalRecolorer::markUncolored(EdgeId e) {
   }
 }
 
+void IncrementalRecolorer::restoreState(std::vector<coloring::Color> colors,
+                                        std::size_t repairsDone) {
+  DIMA_REQUIRE(colors.size() == g_->edgeSlots(),
+               "restored color array sized " << colors.size() << ", graph has "
+                                             << g_->edgeSlots() << " slots");
+  colors_ = std::move(colors);
+  repairs_ = repairsDone;
+  uncolored_.clear();
+  uncoloredMark_.assign(g_->edgeSlots(), 0);
+  // liveEdges() is in id order after DynamicGraph::fromSlots, so any
+  // re-queued stragglers repair in a deterministic order.
+  for (const EdgeId e : g_->liveEdges()) {
+    if (colors_[e] == kNoColor) markUncolored(e);
+  }
+}
+
 void IncrementalRecolorer::applyBatch(const ChurnBatch& batch) {
   for (const ChurnOp& op : batch.ops) {
     if (op.kind == ChurnOp::Kind::Insert) {

@@ -113,6 +113,23 @@ class IncrementalRecolorer {
   /// edge is colored; consumes and clears the graph's dirty set.
   RepairStats repair();
 
+  /// Completed repair passes. Together with `options.seed` this pins every
+  /// future RNG stream (`SeedSequence(mix64(seed, repairIndex))`), so a
+  /// process restored with the same graph, colors and count replays
+  /// bit-identical repairs (service/checkpoint.hpp).
+  std::size_t repairsCompleted() const { return repairs_; }
+
+  /// Overwrites the repair state with checkpointed values: per-slot colors
+  /// (sized to `g.edgeSlots()`) and the completed-repair count. Live slots
+  /// left `kNoColor` are re-queued; a checkpoint taken at a converged epoch
+  /// boundary has none.
+  void restoreState(std::vector<coloring::Color> colors,
+                    std::size_t repairsDone);
+
+  /// Re-points the optional event trace for subsequent repairs (the
+  /// service's monitor mode attaches a fresh log per epoch).
+  void setTrace(net::TraceLog* trace) { options_.trace = trace; }
+
  private:
   void markUncolored(EdgeId e);
 

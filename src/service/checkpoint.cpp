@@ -1,0 +1,199 @@
+#include "src/service/checkpoint.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace dima::service {
+
+namespace {
+
+constexpr char kMagic[8] = {'D', 'I', 'M', 'A', 'C', 'K', 'P', '1'};
+
+void putU32(std::vector<std::uint8_t>* out, std::uint32_t v) {
+  out->push_back(static_cast<std::uint8_t>(v & 0xffU));
+  out->push_back(static_cast<std::uint8_t>((v >> 8) & 0xffU));
+  out->push_back(static_cast<std::uint8_t>((v >> 16) & 0xffU));
+  out->push_back(static_cast<std::uint8_t>((v >> 24) & 0xffU));
+}
+
+void putU64(std::vector<std::uint8_t>* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xffU));
+  }
+}
+
+/// Bounds-checked little-endian reader over the checkpoint bytes.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint32_t takeU32() {
+    if (size_ - pos_ < 4) {
+      ok_ = false;
+      return 0;
+    }
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t takeU64() {
+    if (size_ - pos_ < 8) {
+      ok_ = false;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  bool ok() const { return ok_; }
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+bool fail(std::string* error, const std::string& why) {
+  if (error != nullptr) *error = why;
+  return false;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::vector<std::uint8_t> encodeCheckpoint(const Checkpoint& cp) {
+  std::vector<std::uint8_t> out;
+  out.reserve(64 + cp.slots.size() * 12 + cp.freeIds.size() * 4);
+  for (const char c : kMagic) out.push_back(static_cast<std::uint8_t>(c));
+  putU64(&out, cp.seed);
+  putU64(&out, cp.repairs);
+  putU64(&out, cp.epoch);
+  putU64(&out, cp.n);
+  putU64(&out, cp.slots.size());
+  for (const graph::Edge& e : cp.slots) {
+    putU32(&out, e.u);
+    putU32(&out, e.v);
+  }
+  putU64(&out, cp.freeIds.size());
+  for (const graph::EdgeId e : cp.freeIds) putU32(&out, e);
+  for (const coloring::Color c : cp.colors) {
+    putU32(&out, static_cast<std::uint32_t>(c));
+  }
+  putU64(&out, fnv1a64(out.data(), out.size()));
+  return out;
+}
+
+bool decodeCheckpoint(const std::uint8_t* data, std::size_t size,
+                      Checkpoint* cp, std::string* error) {
+  if (size < sizeof(kMagic) + 8) return fail(error, "checkpoint truncated");
+  for (std::size_t i = 0; i < sizeof(kMagic); ++i) {
+    if (data[i] != static_cast<std::uint8_t>(kMagic[i])) {
+      return fail(error, "bad checkpoint magic");
+    }
+  }
+  // Digest covers everything before the trailing 8 bytes.
+  const std::size_t body = size - 8;
+  std::uint64_t storedDigest = 0;
+  for (int i = 0; i < 8; ++i) {
+    storedDigest |=
+        static_cast<std::uint64_t>(data[body + static_cast<std::size_t>(i)])
+        << (8 * i);
+  }
+  if (fnv1a64(data, body) != storedDigest) {
+    return fail(error, "checkpoint digest mismatch (corrupt or truncated)");
+  }
+
+  Reader in(data + sizeof(kMagic), body - sizeof(kMagic));
+  cp->seed = in.takeU64();
+  cp->repairs = in.takeU64();
+  cp->epoch = in.takeU64();
+  cp->n = in.takeU64();
+  const std::uint64_t slotCount = in.takeU64();
+  if (!in.ok() || slotCount > in.remaining() / 8) {
+    return fail(error, "checkpoint slot count implausible");
+  }
+  cp->slots.clear();
+  cp->slots.reserve(static_cast<std::size_t>(slotCount));
+  for (std::uint64_t i = 0; i < slotCount; ++i) {
+    graph::Edge e;
+    e.u = in.takeU32();
+    e.v = in.takeU32();
+    cp->slots.push_back(e);
+  }
+  const std::uint64_t freeCount = in.takeU64();
+  if (!in.ok() || freeCount > in.remaining() / 4) {
+    return fail(error, "checkpoint free-id count implausible");
+  }
+  cp->freeIds.clear();
+  cp->freeIds.reserve(static_cast<std::size_t>(freeCount));
+  for (std::uint64_t i = 0; i < freeCount; ++i) {
+    cp->freeIds.push_back(in.takeU32());
+  }
+  cp->colors.clear();
+  cp->colors.reserve(static_cast<std::size_t>(slotCount));
+  for (std::uint64_t i = 0; i < slotCount; ++i) {
+    cp->colors.push_back(static_cast<coloring::Color>(in.takeU32()));
+  }
+  if (!in.ok()) return fail(error, "checkpoint truncated");
+  if (in.remaining() != 0) return fail(error, "checkpoint has trailing bytes");
+  return true;
+}
+
+bool saveCheckpoint(const Checkpoint& cp, const std::string& path,
+                    std::string* error, std::uint64_t* bytesOut,
+                    std::uint64_t* digestOut) {
+  const std::vector<std::uint8_t> bytes = encodeCheckpoint(cp);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return fail(error, "cannot open " + path + " for write");
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != bytes.size() || !closed) {
+    return fail(error, "short write to " + path);
+  }
+  if (bytesOut != nullptr) *bytesOut = bytes.size();
+  if (digestOut != nullptr) {
+    // The stored digest (over everything before the trailing 8 bytes).
+    *digestOut = fnv1a64(bytes.data(), bytes.size() - 8);
+  }
+  return true;
+}
+
+bool loadCheckpoint(const std::string& path, Checkpoint* cp,
+                    std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return fail(error, "cannot open " + path);
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + got);
+  }
+  const bool readOk = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!readOk) return fail(error, "read error on " + path);
+  return decodeCheckpoint(bytes.data(), bytes.size(), cp, error);
+}
+
+}  // namespace dima::service

@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file checkpoint.hpp
+/// Checkpoint/restore of a served coloring: the `Snapshot` command writes
+/// the complete resumable state of the service to disk, so the process can
+/// be killed and a fresh one restored to continue the exact same run.
+///
+/// What makes the restore *bit-identical* rather than merely valid:
+///
+///  * Checkpoints are only taken at converged epoch boundaries (`Snapshot`
+///    forces a flush epoch first), so there is no in-flight repair state —
+///    the resumable state is exactly {graph slots, free-id stack, colors,
+///    completed-repair count, seed}.
+///  * `IncrementalRecolorer` derives each repair's RNG streams from
+///    `mix64(seed, repairIndex)` alone; restoring the repair count makes
+///    repair k of the restored process draw the same randomness as repair
+///    k of the original.
+///  * `DynamicGraph::fromSlots` rebuilds the id-recycling stack verbatim,
+///    so future inserts are assigned the same stable edge ids.
+///
+/// The file format is little-endian, self-describing, and self-checking:
+///
+///     "DIMACKP1" | u64 seed | u64 repairs | u64 epoch | u64 n
+///     u64 slotCount | slotCount × {u32 u, u32 v}   (dead slot: u = 2^32-1)
+///     u64 freeCount | freeCount × u32
+///     slotCount × i32 color                        (uncolored: -1)
+///     u64 digest                                   (FNV-1a of all prior bytes)
+///
+/// `load` verifies the magic, the digest, and every structural invariant
+/// (via `fromSlots`); a truncated or bit-flipped file is rejected with a
+/// message, never half-restored.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/coloring/color.hpp"
+#include "src/graph/graph.hpp"
+
+namespace dima::service {
+
+/// Resumable service state, decoupled from the live objects.
+struct Checkpoint {
+  std::uint64_t seed = 0;     ///< RecolorOptions::seed of the run
+  std::uint64_t repairs = 0;  ///< completed repair passes
+  std::uint64_t epoch = 0;    ///< completed service epochs
+  std::uint64_t n = 0;        ///< vertex count
+  std::vector<graph::Edge> slots;       ///< per edge id; dead: u = kNoVertex
+  std::vector<graph::EdgeId> freeIds;   ///< id-recycling stack, verbatim
+  std::vector<coloring::Color> colors;  ///< per edge id; kNoColor when dead
+
+  friend bool operator==(const Checkpoint&, const Checkpoint&) = default;
+};
+
+/// FNV-1a 64 over `size` bytes (the checkpoint's integrity digest; also
+/// reported by `SnapshotOk` so clients can compare checkpoints cheaply).
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t size);
+
+/// Serializes `cp` to the on-disk byte layout (digest appended).
+std::vector<std::uint8_t> encodeCheckpoint(const Checkpoint& cp);
+
+/// Parses bytes back into `*cp`. False (with `*error` set) on a bad magic,
+/// bad digest, truncation, trailing bytes, or inconsistent counts.
+bool decodeCheckpoint(const std::uint8_t* data, std::size_t size,
+                      Checkpoint* cp, std::string* error);
+
+/// Writes `cp` to `path`; false with `*error` on I/O failure. Returns the
+/// byte count via `*bytesOut` and the digest via `*digestOut` (both
+/// optional) for the `SnapshotOk` reply.
+bool saveCheckpoint(const Checkpoint& cp, const std::string& path,
+                    std::string* error, std::uint64_t* bytesOut = nullptr,
+                    std::uint64_t* digestOut = nullptr);
+
+/// Reads and verifies `path`; false with `*error` on I/O or format errors.
+bool loadCheckpoint(const std::string& path, Checkpoint* cp,
+                    std::string* error);
+
+}  // namespace dima::service

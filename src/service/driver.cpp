@@ -1,0 +1,149 @@
+#include "src/service/driver.hpp"
+
+#include <sstream>
+
+#include "src/service/session.hpp"
+#include "src/support/rng.hpp"
+#include "src/support/stopwatch.hpp"
+
+namespace dima::service {
+
+namespace {
+
+CommandFrame helloFrame(std::uint32_t n) {
+  CommandFrame f = makeFrame<ServiceKind::Hello, CommandFrame>();
+  f.a = kServiceWireVersion;
+  f.b = n;
+  return f;
+}
+
+CommandFrame controlFrame(ServiceKind kind) {
+  CommandFrame f;
+  f.kind = kind;
+  return f;
+}
+
+/// Appends `frames` to `out` with sequence numbers continuing at `*seq`.
+void appendFrames(const std::vector<CommandFrame>& frames,
+                  std::vector<std::uint8_t>* out, std::uint32_t* seq) {
+  for (CommandFrame f : frames) {
+    f.seq = (*seq)++;
+    encodeCommand(f, out);
+  }
+}
+
+}  // namespace
+
+std::vector<CommandFrame> buildCommandList(const StreamSpec& spec) {
+  DIMA_REQUIRE(spec.n >= 2, "stream spec needs at least 2 vertices");
+  support::Rng rng(spec.seed);
+  std::vector<CommandFrame> cmds;
+  cmds.reserve(spec.commands);
+  for (std::size_t i = 0; i < spec.commands; ++i) {
+    CommandFrame f;
+    if (rng.bernoulli(spec.queryFraction)) {
+      f = makeFrame<ServiceKind::QueryColor, CommandFrame>();
+    } else if (rng.bernoulli(spec.insertFraction)) {
+      f = makeFrame<ServiceKind::InsertEdge, CommandFrame>();
+    } else {
+      f = makeFrame<ServiceKind::EraseEdge, CommandFrame>();
+    }
+    f.a = static_cast<std::uint32_t>(rng.below(spec.n));
+    f.b = static_cast<std::uint32_t>(rng.below(spec.n));
+    if (f.a == f.b) f.b = (f.b + 1) % spec.n;
+    cmds.push_back(f);
+  }
+  return cmds;
+}
+
+StreamBundle buildStreams(const StreamSpec& spec,
+                          const std::string& snapshotPath) {
+  const std::vector<CommandFrame> cmds = buildCommandList(spec);
+  std::size_t split = spec.split == 0 ? cmds.size() / 2 : spec.split;
+  if (split > cmds.size()) split = cmds.size();
+  const std::vector<CommandFrame> headCmds(cmds.begin(),
+                                           cmds.begin() +
+                                               static_cast<std::ptrdiff_t>(
+                                                   split));
+  const std::vector<CommandFrame> tailCmds(cmds.begin() +
+                                               static_cast<std::ptrdiff_t>(
+                                                   split),
+                                           cmds.end());
+
+  StreamBundle bundle;
+  std::uint32_t seq = 0;
+
+  // full: the uninterrupted run. The Flush at the split position mirrors
+  // the epoch that head's Snapshot forces, keeping repair indices aligned
+  // between the two schedules.
+  seq = 0;
+  appendFrames({helloFrame(spec.n)}, &bundle.full, &seq);
+  appendFrames(headCmds, &bundle.full, &seq);
+  appendFrames({controlFrame(ServiceKind::Flush)}, &bundle.full, &seq);
+  appendFrames(tailCmds, &bundle.full, &seq);
+  appendFrames({controlFrame(ServiceKind::Flush),
+                controlFrame(ServiceKind::Shutdown)},
+               &bundle.full, &seq);
+
+  // head: run to the split, checkpoint, stop.
+  seq = 0;
+  appendFrames({helloFrame(spec.n)}, &bundle.head, &seq);
+  appendFrames(headCmds, &bundle.head, &seq);
+  CommandFrame snap = makeFrame<ServiceKind::Snapshot, CommandFrame>();
+  snap.path = snapshotPath;
+  appendFrames({snap, controlFrame(ServiceKind::Shutdown)}, &bundle.head,
+               &seq);
+
+  // tail: attach to the restored graph (Hello with n = 0) and finish.
+  seq = 0;
+  appendFrames({helloFrame(0)}, &bundle.tail, &seq);
+  appendFrames(tailCmds, &bundle.tail, &seq);
+  appendFrames({controlFrame(ServiceKind::Flush),
+                controlFrame(ServiceKind::Shutdown)},
+               &bundle.tail, &seq);
+  return bundle;
+}
+
+ServeBenchReport runServeBench(const StreamSpec& spec,
+                               const EpochPolicy& policy) {
+  StreamSpec benchSpec = spec;
+  benchSpec.split = spec.commands;  // no mid-stream flush
+  const StreamBundle bundle = buildStreams(benchSpec, "/dev/null");
+
+  ServiceOptions options;
+  options.seed = spec.seed;
+  options.policy = policy;
+  ColoringService service(options);
+
+  std::stringstream in(std::ios::in | std::ios::out | std::ios::binary);
+  in.write(reinterpret_cast<const char*>(bundle.full.data()),
+           static_cast<std::streamsize>(bundle.full.size()));
+  std::ostringstream out(std::ios::binary);
+
+  support::Stopwatch sw;
+  const SessionResult session = runSession(service, in, out);
+  const double seconds = sw.seconds();
+  DIMA_REQUIRE(session.shutdown && session.clean(),
+               "bench stream did not run to Shutdown");
+
+  ServeBenchReport report;
+  report.commands = session.commands;
+  report.mutations = service.scheduler().mutationsAdmitted();
+  report.queries = service.scheduler().queriesAdmitted();
+  report.epochs = service.scheduler().epochsRun();
+  report.seconds = seconds;
+  report.commandsPerSec =
+      seconds > 0.0 ? static_cast<double>(session.commands) / seconds : 0.0;
+  report.meanEpochBatch =
+      report.epochs > 0 ? static_cast<double>(report.mutations) /
+                              static_cast<double>(report.epochs)
+                        : 0.0;
+  report.p50RepairMicros = service.scheduler().p50Micros();
+  report.p99RepairMicros = service.scheduler().p99Micros();
+  report.backlogPeak = service.scheduler().backlogPeak();
+  report.finalEdges = service.graph().numEdges();
+  report.colorDigest = service.colorDigest();
+  return report;
+}
+
+}  // namespace dima::service

@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file driver.hpp
+/// Deterministic client workloads for the service: the stream generator
+/// behind `dimacol serve-stream` (and the CI smoke step) and the
+/// sustained-churn measurement behind `dimacol bench-serve`.
+///
+/// **Stream bundles.** `buildStreams` derives one command list from a seed
+/// and assembles it into three wire-format byte streams:
+///
+///  * `full`  — Hello, commands[0..C), with a `Flush` at the split point,
+///              a final `Flush`, `Shutdown`;
+///  * `head`  — Hello, commands[0..split), `Snapshot{path}`, `Shutdown`;
+///  * `tail`  — Hello(attach), commands[split..C), final `Flush`,
+///              `Shutdown`.
+///
+/// Running `full` against a fresh service, or `head` → kill → restore →
+/// `tail`, must end in bit-identical colorings: the explicit `Flush` in
+/// `full` mirrors the epoch `Snapshot` forces in `head`, so both schedules
+/// run the same repairs in the same order with the same RNG streams. The
+/// CI smoke step and tests/test_service_checkpoint.cpp diff the two.
+///
+/// **Bench.** `runServeBench` pushes a generated stream through the real
+/// byte path (`runSession` over in-memory streams) and reports
+/// commands/s plus the scheduler's epoch and repair-latency metrics —
+/// the numbers `dimacol bench-serve` commits to BENCH_service.json.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/service/service.hpp"
+#include "src/service/wire.hpp"
+
+namespace dima::service {
+
+struct StreamSpec {
+  std::uint64_t seed = 0x57a7eULL;
+  std::uint32_t n = 96;           ///< vertex count carried by Hello
+  std::size_t commands = 1000;    ///< body commands (excl. handshake/ctrl)
+  double queryFraction = 0.25;    ///< P(command is QueryColor)
+  double insertFraction = 0.6;    ///< P(mutation is InsertEdge)
+  std::size_t split = 0;          ///< checkpoint position; 0 → commands/2
+};
+
+/// The seed-derived body commands (inserts/erases/queries only); exposed
+/// separately so tests can drive `ColoringService::handle` frame by frame.
+std::vector<CommandFrame> buildCommandList(const StreamSpec& spec);
+
+struct StreamBundle {
+  std::vector<std::uint8_t> full;
+  std::vector<std::uint8_t> head;
+  std::vector<std::uint8_t> tail;
+};
+
+/// Assembles the three streams; `snapshotPath` is embedded in `head`'s
+/// Snapshot command.
+StreamBundle buildStreams(const StreamSpec& spec,
+                          const std::string& snapshotPath);
+
+struct ServeBenchReport {
+  std::uint64_t commands = 0;      ///< commands decoded and handled
+  std::uint64_t mutations = 0;     ///< admitted (applied) mutations
+  std::uint64_t queries = 0;
+  std::uint64_t epochs = 0;
+  double seconds = 0.0;
+  double commandsPerSec = 0.0;
+  double meanEpochBatch = 0.0;     ///< admitted mutations / epochs
+  std::uint64_t p50RepairMicros = 0;
+  std::uint64_t p99RepairMicros = 0;
+  std::size_t backlogPeak = 0;
+  std::size_t finalEdges = 0;
+  std::uint64_t colorDigest = 0;   ///< determinism pin across runs
+};
+
+/// One sustained-churn run through the wire path: fresh service, the
+/// spec's full stream (no snapshot), wall-clocked end to end.
+ServeBenchReport runServeBench(const StreamSpec& spec,
+                               const EpochPolicy& policy);
+
+}  // namespace dima::service

@@ -1,0 +1,15 @@
+#include "src/service/epoch.hpp"
+
+#include "src/support/stats.hpp"
+
+namespace dima::service {
+
+std::uint64_t EpochScheduler::p50Micros() const {
+  return static_cast<std::uint64_t>(support::quantile(latencySamples_, 0.5));
+}
+
+std::uint64_t EpochScheduler::p99Micros() const {
+  return static_cast<std::uint64_t>(support::quantile(latencySamples_, 0.99));
+}
+
+}  // namespace dima::service

@@ -1,0 +1,124 @@
+#pragma once
+
+/// \file epoch.hpp
+/// Repair-epoch scheduling and admission/backlog accounting for the
+/// long-running coloring service.
+///
+/// The service batches mutations into *repair epochs*: inserts and erases
+/// are applied to the overlay immediately (so duplicate detection and
+/// queries see the true topology), but recoloring runs only at epoch
+/// boundaries, amortizing the automaton's startup over many commands. Two
+/// knobs bound how far the coloring may lag the topology:
+///
+///  * `maxBatch` — an epoch is forced once this many mutations are
+///    pending (admission control: the backlog can never exceed it).
+///  * `maxStaleness` — a `QueryColor` tolerates at most this many pending
+///    mutations; a query over a staler coloring forces an epoch first.
+///    0 means queries always see a fully repaired coloring.
+///
+/// `Flush` and `Snapshot` force an epoch unconditionally, so checkpoints
+/// are always taken at a converged boundary.
+///
+/// `EpochScheduler` also owns the service metrics: command admission
+/// counters, the backlog gauge and its peak, and per-epoch repair-latency
+/// samples that `p50Micros()`/`p99Micros()` summarize via
+/// `support::quantile` — the numbers `dimacol bench-serve` commits to
+/// BENCH_service.json.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dima::service {
+
+struct EpochPolicy {
+  /// Pending mutations that force a repair epoch. 1 = repair every
+  /// mutation immediately (the PR 1 `churn` behavior).
+  std::size_t maxBatch = 64;
+  /// Pending mutations a query tolerates before forcing an epoch.
+  std::size_t maxStaleness = 0;
+};
+
+/// One completed repair epoch, as recorded by the service.
+struct EpochRecord {
+  std::uint64_t index = 0;       ///< 0 = the initial full coloring
+  std::size_t batch = 0;         ///< mutations drained into this epoch
+  std::size_t repaired = 0;      ///< edges recolored (inserted + evicted)
+  std::size_t evicted = 0;       ///< uncolored by the budget eviction
+  std::size_t frontier = 0;      ///< vertices that participated
+  std::uint64_t cycles = 0;      ///< automaton cycles
+  std::uint64_t micros = 0;      ///< wall-clock repair latency
+  bool converged = false;
+};
+
+class EpochScheduler {
+ public:
+  explicit EpochScheduler(const EpochPolicy& policy = {}) : policy_(policy) {}
+
+  const EpochPolicy& policy() const { return policy_; }
+
+  // --- admission ----------------------------------------------------------
+  /// Records an admitted mutation; true when the batch threshold says an
+  /// epoch must run now.
+  bool admitMutation() {
+    ++mutations_;
+    ++backlog_;
+    if (backlog_ > backlogPeak_) backlogPeak_ = backlog_;
+    return backlog_ >= policy_.maxBatch;
+  }
+
+  /// Records a query; true when the backlog exceeds the staleness bound
+  /// and the epoch must run before answering.
+  bool admitQuery() {
+    ++queries_;
+    return backlog_ > policy_.maxStaleness;
+  }
+
+  // --- epoch completion ---------------------------------------------------
+  /// Drains the backlog into an epoch record; returns the drained batch
+  /// size. Call exactly once per repair pass, right after it finishes.
+  std::size_t drain(EpochRecord* record) {
+    const std::size_t batch = backlog_;
+    backlog_ = 0;
+    if (record != nullptr) {
+      record->index = epochs_;
+      record->batch = batch;
+    }
+    ++epochs_;
+    return batch;
+  }
+
+  /// Resumes the epoch counter from a checkpoint so restored processes
+  /// report continuous epoch indices (admission counters restart at zero —
+  /// they describe this process, not the run).
+  void restoreEpochs(std::uint64_t epochs) { epochs_ = epochs; }
+
+  void recordLatency(std::uint64_t micros) {
+    latencySamples_.push_back(static_cast<double>(micros));
+  }
+
+  // --- metrics ------------------------------------------------------------
+  std::size_t backlog() const { return backlog_; }
+  std::size_t backlogPeak() const { return backlogPeak_; }
+  std::uint64_t mutationsAdmitted() const { return mutations_; }
+  std::uint64_t queriesAdmitted() const { return queries_; }
+  std::uint64_t epochsRun() const { return epochs_; }
+  const std::vector<double>& latencySamples() const {
+    return latencySamples_;
+  }
+
+  /// Repair-latency quantiles over all completed epochs (0 when none ran).
+  std::uint64_t p50Micros() const;
+  std::uint64_t p99Micros() const;
+
+ private:
+  EpochPolicy policy_;
+  std::size_t backlog_ = 0;
+  std::size_t backlogPeak_ = 0;
+  std::uint64_t mutations_ = 0;
+  std::uint64_t queries_ = 0;
+  std::uint64_t epochs_ = 0;
+  std::vector<double> latencySamples_;
+};
+
+}  // namespace dima::service

@@ -1,0 +1,198 @@
+#include "src/service/hostile.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "src/dynamic/incremental.hpp"
+#include "src/service/driver.hpp"
+#include "src/service/session.hpp"
+#include "src/support/rng.hpp"
+
+#include <cstdio>
+
+namespace dima::service {
+
+namespace {
+
+enum class Mode : std::uint8_t {
+  Clean,
+  Truncate,
+  Duplicate,
+  Reorder,
+  Garbage,
+  BitFlip,
+};
+constexpr std::size_t kModeCount = 6;
+
+const char* modeName(Mode m) {
+  switch (m) {
+    case Mode::Clean: return "clean";
+    case Mode::Truncate: return "truncate";
+    case Mode::Duplicate: return "duplicate";
+    case Mode::Reorder: return "reorder";
+    case Mode::Garbage: return "garbage";
+    case Mode::BitFlip: return "bit-flip";
+  }
+  return "?";
+}
+
+/// One round's well-formed stream, frame by frame (so corruption can work
+/// at frame granularity).
+std::vector<std::vector<std::uint8_t>> buildFrames(
+    const HostileOptions& options, std::uint64_t roundSeed) {
+  StreamSpec spec;
+  spec.seed = roundSeed;
+  spec.n = options.n;
+  spec.commands = options.commands;
+  const std::vector<CommandFrame> body = buildCommandList(spec);
+
+  std::vector<std::vector<std::uint8_t>> frames;
+  frames.reserve(body.size() + 3);
+  std::uint32_t seq = 0;
+  const auto push = [&frames, &seq](CommandFrame f) {
+    f.seq = seq++;
+    std::vector<std::uint8_t> bytes;
+    encodeCommand(f, &bytes);
+    frames.push_back(std::move(bytes));
+  };
+
+  CommandFrame hello = makeFrame<ServiceKind::Hello, CommandFrame>();
+  hello.a = kServiceWireVersion;
+  hello.b = options.n;
+  push(hello);
+  for (const CommandFrame& f : body) push(f);
+  push(makeFrame<ServiceKind::Flush, CommandFrame>());
+  push(makeFrame<ServiceKind::Shutdown, CommandFrame>());
+  return frames;
+}
+
+/// Assembles the frames into one byte stream, applying `mode`'s mangling.
+std::vector<std::uint8_t> assemble(
+    const std::vector<std::vector<std::uint8_t>>& frames, Mode mode,
+    support::Rng& rng) {
+  std::vector<std::vector<std::uint8_t>> work = frames;
+  switch (mode) {
+    case Mode::Clean:
+    case Mode::Truncate:
+    case Mode::BitFlip:
+      break;  // byte-level modes mangle after concatenation
+    case Mode::Duplicate: {
+      const std::size_t i = rng.index(work.size());
+      work.insert(work.begin() + static_cast<std::ptrdiff_t>(i), work[i]);
+      break;
+    }
+    case Mode::Reorder: {
+      if (work.size() >= 2) {
+        const std::size_t i = rng.index(work.size() - 1);
+        std::swap(work[i], work[i + 1]);
+      }
+      break;
+    }
+    case Mode::Garbage: {
+      // Splice 1–16 random bytes at a frame boundary; the decoder reads
+      // them as a frame header and must reject without ever crashing.
+      std::vector<std::uint8_t> junk(1 + rng.index(16));
+      for (std::uint8_t& b : junk) {
+        b = static_cast<std::uint8_t>(rng.below(256));
+      }
+      const std::size_t i = rng.index(work.size() + 1);
+      work.insert(work.begin() + static_cast<std::ptrdiff_t>(i),
+                  std::move(junk));
+      break;
+    }
+  }
+
+  std::vector<std::uint8_t> bytes;
+  for (const auto& frame : work) {
+    bytes.insert(bytes.end(), frame.begin(), frame.end());
+  }
+  if (mode == Mode::Truncate && bytes.size() > 1) {
+    bytes.resize(1 + rng.index(bytes.size() - 1));
+  }
+  if (mode == Mode::BitFlip && !bytes.empty()) {
+    const std::size_t at = rng.index(bytes.size());
+    bytes[at] ^= static_cast<std::uint8_t>(1u << rng.index(8));
+  }
+  return bytes;
+}
+
+/// Counts the structured Error replies in the session's output bytes —
+/// which also pushes every reply the service produced back through the
+/// reply decoder (round-trip exercise under sanitizers).
+std::uint64_t countErrorReplies(const std::string& replyBytes) {
+  ReplyReader reader;
+  reader.feed(reinterpret_cast<const std::uint8_t*>(replyBytes.data()),
+              replyBytes.size());
+  ReplyFrame reply;
+  std::string error;
+  std::uint64_t errors = 0;
+  while (reader.next(&reply, &error) == DecodeStatus::Frame) {
+    if (reply.kind == ServiceKind::Error) ++errors;
+  }
+  return errors;
+}
+
+}  // namespace
+
+HostileReport runHostileCampaign(const HostileOptions& options) {
+  HostileReport report;
+  support::Rng rng(options.seed);
+  for (std::size_t round = 0; round < options.rounds; ++round) {
+    const Mode mode = static_cast<Mode>(round % kModeCount);
+    const std::uint64_t roundSeed = support::mix64(options.seed, round);
+    const auto frames = buildFrames(options, roundSeed);
+    const std::vector<std::uint8_t> bytes = assemble(frames, mode, rng);
+
+    ServiceOptions so;
+    so.seed = roundSeed;
+    so.policy.maxBatch = options.maxBatch;
+    so.monitor = true;
+    ColoringService service(so);
+
+    std::stringstream in(std::ios::in | std::ios::out | std::ios::binary);
+    in.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+    std::ostringstream out(std::ios::binary);
+    const SessionResult session = runSession(service, in, out);
+
+    ++report.rounds;
+    report.commandsServed += session.commands;
+    report.errorReplies += countErrorReplies(out.str());
+    if (session.shutdown) ++report.cleanSessions;
+    if (session.framingError) ++report.framingRejections;
+    if (session.truncated) ++report.truncatedSessions;
+    report.monitorViolations += service.violations().size();
+    if (!service.violations().empty() && report.firstFailure.empty()) {
+      report.firstFailure = service.violations().front().toString();
+    }
+
+    // Whatever prefix landed must still be a proper partial coloring:
+    // flush the backlog (service object outlives the session unless the
+    // client said Shutdown with nothing pending) and verify.
+    if (service.ready() && !service.shutdownRequested()) {
+      CommandFrame flush = makeFrame<ServiceKind::Flush, CommandFrame>();
+      (void)service.handle(flush);
+    }
+    if (service.ready()) {
+      const coloring::Verdict verdict = dynamic::verifyDynamicColoring(
+          service.graph(), service.colors());
+      if (!verdict.valid) {
+        ++report.verifyFailures;
+        if (report.firstFailure.empty()) report.firstFailure = verdict.reason;
+      }
+    }
+    if (options.verbose) {
+      std::printf("round %zu [%s]: %llu cmds, %s, violations so far %zu\n",
+                  round, modeName(mode),
+                  static_cast<unsigned long long>(session.commands),
+                  session.shutdown ? "shutdown"
+                  : session.framingError ? "framing-reject"
+                  : session.truncated ? "truncated"
+                                      : "eof",
+                  report.monitorViolations);
+    }
+  }
+  return report;
+}
+
+}  // namespace dima::service

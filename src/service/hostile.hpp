@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file hostile.hpp
+/// Adversarial client replays: `dimacol serve --hostile`'s engine.
+///
+/// Each round builds a well-formed command stream from the seed, mangles
+/// it with one of the corruption modes below, and replays it against a
+/// fresh service running in monitor mode — every repair epoch is checked
+/// against the full `sim::InvariantMonitor` safety catalog. The contract
+/// under attack bytes is *graceful rejection*, never corruption:
+///
+///  * the decoder reports `Bad` (or the service replies a structured
+///    `Error`) — no crash, no hang, no out-of-bounds read (the CI
+///    ASan/UBSan job runs this mode);
+///  * whatever prefix of commands did land is served correctly: the
+///    monitor catalog stays clean and the surviving coloring verifies.
+///
+/// Corruption modes, cycled per round:
+///
+///  * `Clean`     — control group; the whole stream must apply;
+///  * `Truncate`  — cut the byte stream mid-frame;
+///  * `Duplicate` — replay one frame twice (dup insert → Duplicate ack);
+///  * `Reorder`   — swap two adjacent frames (may front-run Hello);
+///  * `Garbage`   — splice random bytes between two frames;
+///  * `BitFlip`   — flip one bit somewhere in the stream.
+
+#include <cstdint>
+#include <string>
+
+namespace dima::service {
+
+struct HostileOptions {
+  std::uint64_t seed = 0xad5e7ULL;
+  std::size_t rounds = 60;        ///< corrupted replays (modes cycle)
+  std::uint32_t n = 48;           ///< vertices per round's service
+  std::size_t commands = 120;     ///< well-formed commands per round
+  std::size_t maxBatch = 16;      ///< epoch policy of the attacked service
+  bool verbose = false;           ///< per-round line on stdout
+};
+
+struct HostileReport {
+  std::size_t rounds = 0;
+  std::size_t cleanSessions = 0;     ///< sessions that ended via Shutdown
+  std::size_t framingRejections = 0; ///< sessions ended by DecodeStatus::Bad
+  std::size_t truncatedSessions = 0; ///< sessions ended by EOF mid-frame
+  std::uint64_t commandsServed = 0;
+  std::uint64_t errorReplies = 0;    ///< structured Error replies sent
+  std::size_t monitorViolations = 0; ///< safety-catalog violations (want 0)
+  std::size_t verifyFailures = 0;    ///< surviving colorings that failed
+  std::string firstFailure;          ///< detail of the first violation
+
+  bool ok() const { return monitorViolations == 0 && verifyFailures == 0; }
+};
+
+/// Runs the full adversarial campaign; deterministic in `options.seed`.
+HostileReport runHostileCampaign(const HostileOptions& options);
+
+}  // namespace dima::service

@@ -1,0 +1,373 @@
+#include "src/service/service.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "src/dynamic/churn.hpp"
+#include "src/support/stopwatch.hpp"
+
+namespace dima::service {
+
+namespace {
+
+using coloring::Color;
+using coloring::kNoColor;
+using dynamic::ChurnBatch;
+using dynamic::ChurnOp;
+using graph::Edge;
+using graph::EdgeId;
+using graph::kNoEdge;
+using graph::VertexId;
+
+/// Incremental FNV-1a fold of one little-endian u64.
+void fnvMix(std::uint64_t* h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    *h ^= (v >> (8 * i)) & 0xffU;
+    *h *= 0x100000001b3ULL;
+  }
+}
+
+}  // namespace
+
+ColoringService::ColoringService(const ServiceOptions& options)
+    : options_(options) {}
+
+ColoringService::ColoringService(const Checkpoint& cp,
+                                 const ServiceOptions& options)
+    : options_(options) {
+  options_.seed = cp.seed;  // the run's seed wins over the process flag
+  n_ = static_cast<std::size_t>(cp.n);
+  dynamic::DynamicGraph g = dynamic::DynamicGraph::fromSlots(
+      n_, cp.slots, cp.freeIds);
+  core_ = std::make_unique<Core>(std::move(g), recolorOptions());
+  std::vector<Color> colors = cp.colors;
+  colors.resize(core_->dg.edgeSlots(), kNoColor);
+  core_->rec.restoreState(std::move(colors), cp.repairs);
+  sched_ = EpochScheduler(options_.policy);
+  sched_.restoreEpochs(cp.epoch);
+}
+
+dynamic::RecolorOptions ColoringService::recolorOptions() {
+  dynamic::RecolorOptions ro;
+  ro.seed = options_.seed;
+  ro.maxCycles = options_.maxCycles;
+  // Monitor mode needs the automaton trace; the log outlives core_ by
+  // member order.
+  ro.trace = options_.monitor ? &traceLog_ : nullptr;
+  return ro;
+}
+
+void ColoringService::createCore(std::size_t n) {
+  n_ = n;
+  core_ = std::make_unique<Core>(dynamic::DynamicGraph(n), recolorOptions());
+  sched_ = EpochScheduler(options_.policy);
+}
+
+const dynamic::DynamicGraph& ColoringService::graph() const {
+  DIMA_REQUIRE(core_ != nullptr, "service has no graph before Hello/restore");
+  return core_->dg;
+}
+
+const std::vector<Color>& ColoringService::colors() const {
+  DIMA_REQUIRE(core_ != nullptr, "service has no colors before Hello/restore");
+  return core_->rec.colors();
+}
+
+ReplyFrame ColoringService::errorReply(std::uint32_t seq, ErrorCode code,
+                                       std::string message) const {
+  ReplyFrame r = makeFrame<ServiceKind::Error, ReplyFrame>();
+  r.seq = seq;
+  r.status = static_cast<std::uint8_t>(code);
+  r.text = std::move(message);
+  return r;
+}
+
+ReplyFrame ColoringService::handle(const CommandFrame& cmd) {
+  if (shutdown_) {
+    return errorReply(cmd.seq, ErrorCode::BadState,
+                      "session already shut down");
+  }
+  if (cmd.kind != ServiceKind::Hello && !hello_) {
+    return errorReply(cmd.seq, ErrorCode::BadState,
+                      "first frame must be Hello");
+  }
+  switch (cmd.kind) {
+    case ServiceKind::Hello:
+      return handleHello(cmd);
+    case ServiceKind::InsertEdge:
+    case ServiceKind::EraseEdge:
+      return handleMutation(cmd);
+    case ServiceKind::QueryColor:
+      return handleQuery(cmd);
+    case ServiceKind::Flush: {
+      const EpochRecord epoch = runEpoch();
+      if (!epoch.converged) {
+        return errorReply(cmd.seq, ErrorCode::NotConverged,
+                          "repair epoch hit the cycle cap");
+      }
+      ReplyFrame r = makeFrame<ServiceKind::EpochDone, ReplyFrame>();
+      r.seq = cmd.seq;
+      r.a = static_cast<std::uint32_t>(epoch.index);
+      r.b = static_cast<std::uint32_t>(epoch.repaired);
+      r.value = epoch.micros;
+      return r;
+    }
+    case ServiceKind::Snapshot:
+      return handleSnapshot(cmd);
+    case ServiceKind::Stats:
+      return statsReply(cmd.seq);
+    case ServiceKind::Shutdown: {
+      shutdown_ = true;
+      ReplyFrame r = makeFrame<ServiceKind::Ack, ReplyFrame>();
+      r.seq = cmd.seq;
+      r.status = static_cast<std::uint8_t>(AckStatus::Applied);
+      r.a = kNoServiceEdge;
+      return r;
+    }
+    // Reply kinds never decode into a CommandFrame; direct callers (tests)
+    // get the same structured rejection a hostile stream would.
+    case ServiceKind::HelloOk:
+    case ServiceKind::Ack:
+    case ServiceKind::ColorInfo:
+    case ServiceKind::EpochDone:
+    case ServiceKind::SnapshotOk:
+    case ServiceKind::StatsInfo:
+    case ServiceKind::Error:
+      break;
+  }
+  return errorReply(cmd.seq, ErrorCode::BadFrame,
+                    "reply kind in command position");
+}
+
+ReplyFrame ColoringService::handleHello(const CommandFrame& cmd) {
+  if (hello_) {
+    return errorReply(cmd.seq, ErrorCode::BadState, "session already open");
+  }
+  if (cmd.a != kServiceWireVersion) {
+    std::ostringstream os;
+    os << "wire version " << cmd.a << " unsupported (this server speaks "
+       << kServiceWireVersion << ')';
+    return errorReply(cmd.seq, ErrorCode::BadVersion, os.str());
+  }
+  if (core_ != nullptr) {
+    // Restored service: Hello re-attaches; 0 means "whatever you have".
+    if (cmd.b != 0 && static_cast<std::size_t>(cmd.b) != n_) {
+      std::ostringstream os;
+      os << "restored graph has " << n_ << " vertices, Hello asked for "
+         << cmd.b;
+      return errorReply(cmd.seq, ErrorCode::BadState, os.str());
+    }
+  } else {
+    if (cmd.b == 0 || cmd.b > kMaxServiceVertices) {
+      return errorReply(cmd.seq, ErrorCode::BadArgument,
+                        "Hello needs a vertex count in [1, 2^24]");
+    }
+    createCore(static_cast<std::size_t>(cmd.b));
+  }
+  hello_ = true;
+  ReplyFrame r = makeFrame<ServiceKind::HelloOk, ReplyFrame>();
+  r.seq = cmd.seq;
+  r.a = kServiceWireVersion;
+  r.b = static_cast<std::uint32_t>(n_);
+  return r;
+}
+
+ReplyFrame ColoringService::handleMutation(const CommandFrame& cmd) {
+  ReplyFrame r = makeFrame<ServiceKind::Ack, ReplyFrame>();
+  r.seq = cmd.seq;
+  r.a = kNoServiceEdge;
+  const VertexId u = cmd.a;
+  const VertexId v = cmd.b;
+  if (u >= n_ || v >= n_ || u == v) {
+    r.status = static_cast<std::uint8_t>(AckStatus::Rejected);
+    return r;
+  }
+  ChurnBatch batch;
+  if (cmd.kind == ServiceKind::InsertEdge) {
+    const EdgeId e = core_->dg.insertEdge(u, v);
+    if (e == kNoEdge) {
+      r.status = static_cast<std::uint8_t>(AckStatus::Duplicate);
+      return r;
+    }
+    batch.ops.push_back(ChurnOp{ChurnOp::Kind::Insert, u, v, e});
+    batch.inserts = 1;
+    r.a = e;
+  } else {
+    const EdgeId e = core_->dg.eraseEdge(u, v);
+    if (e == kNoEdge) {
+      r.status = static_cast<std::uint8_t>(AckStatus::Missing);
+      return r;
+    }
+    batch.ops.push_back(ChurnOp{ChurnOp::Kind::Erase, u, v, e});
+    batch.erases = 1;
+    r.a = e;
+  }
+  core_->rec.applyBatch(batch);
+  r.status = static_cast<std::uint8_t>(AckStatus::Applied);
+  if (sched_.admitMutation()) runEpoch();
+  return r;
+}
+
+ReplyFrame ColoringService::handleQuery(const CommandFrame& cmd) {
+  ReplyFrame r = makeFrame<ServiceKind::ColorInfo, ReplyFrame>();
+  r.seq = cmd.seq;
+  if (sched_.admitQuery()) runEpoch();
+  r.a = static_cast<std::uint32_t>(sched_.epochsRun());
+  r.b = static_cast<std::uint32_t>(sched_.backlog());
+  const VertexId u = cmd.a;
+  const VertexId v = cmd.b;
+  const EdgeId e =
+      (u < n_ && v < n_ && u != v) ? core_->dg.findEdge(u, v) : kNoEdge;
+  if (e == kNoEdge) {
+    r.status = static_cast<std::uint8_t>(ColorStatus::NoSuchEdge);
+    return r;
+  }
+  const auto& colors = core_->rec.colors();
+  const Color c = e < colors.size() ? colors[e] : kNoColor;
+  r.color = c;
+  r.status = static_cast<std::uint8_t>(c == kNoColor ? ColorStatus::Pending
+                                                     : ColorStatus::Colored);
+  return r;
+}
+
+ReplyFrame ColoringService::handleSnapshot(const CommandFrame& cmd) {
+  if (cmd.path.empty()) {
+    return errorReply(cmd.seq, ErrorCode::BadArgument,
+                      "Snapshot needs a destination path");
+  }
+  const EpochRecord epoch = runEpoch();
+  if (!epoch.converged) {
+    return errorReply(cmd.seq, ErrorCode::NotConverged,
+                      "cannot checkpoint an unconverged coloring");
+  }
+  const Checkpoint cp = checkpoint();
+  std::string error;
+  std::uint64_t bytes = 0;
+  std::uint64_t digest = 0;
+  if (!saveCheckpoint(cp, cmd.path, &error, &bytes, &digest)) {
+    return errorReply(cmd.seq, ErrorCode::IoError, error);
+  }
+  ReplyFrame r = makeFrame<ServiceKind::SnapshotOk, ReplyFrame>();
+  r.seq = cmd.seq;
+  r.a = static_cast<std::uint32_t>(bytes);
+  r.value = digest;
+  return r;
+}
+
+ReplyFrame ColoringService::statsReply(std::uint32_t seq) const {
+  ReplyFrame r = makeFrame<ServiceKind::StatsInfo, ReplyFrame>();
+  r.seq = seq;
+  // Fixed order, documented in PROTOCOLS.md §12.
+  r.stats = {static_cast<std::uint64_t>(n_),
+             static_cast<std::uint64_t>(core_->dg.numEdges()),
+             static_cast<std::uint64_t>(core_->dg.maxDegree()),
+             sched_.mutationsAdmitted(),
+             sched_.queriesAdmitted(),
+             sched_.epochsRun(),
+             static_cast<std::uint64_t>(sched_.backlog()),
+             static_cast<std::uint64_t>(sched_.backlogPeak()),
+             sched_.p50Micros(),
+             sched_.p99Micros()};
+  return r;
+}
+
+EpochRecord ColoringService::runEpoch() {
+  support::Stopwatch sw;
+  const dynamic::RepairStats stats =
+      options_.monitor ? monitoredRepair() : core_->rec.repair();
+  const std::uint64_t micros = static_cast<std::uint64_t>(sw.seconds() * 1e6);
+  EpochRecord record;
+  sched_.drain(&record);
+  record.repaired = stats.recolored.size();
+  record.evicted = stats.evictedEdges;
+  record.frontier = stats.frontierVertices;
+  record.cycles = stats.cycles;
+  record.micros = micros;
+  record.converged = stats.converged;
+  sched_.recordLatency(micros);
+  lastEpoch_ = record;
+  return record;
+}
+
+dynamic::RepairStats ColoringService::monitoredRepair() {
+  // The fuzz harness's per-repair monitoring idiom (sim/fuzz.cpp): snapshot
+  // the topology, seed the surviving colors as prior commits, cross-check
+  // the automaton trace of this one repair pass.
+  std::vector<EdgeId> denseToOverlay;
+  const graph::Graph snap = core_->dg.snapshot(&denseToOverlay);
+  sim::MonitorOptions mo;
+  mo.semantics = sim::Semantics::ProperEdge;
+  if (snap.maxDegree() > 0) mo.paletteBound = 2 * snap.maxDegree() - 1;
+  sim::InvariantMonitor monitor(snap, mo);
+  monitor.attach(traceLog_);
+  const auto& colors = core_->rec.colors();
+  for (EdgeId e = 0; e < snap.numEdges(); ++e) {
+    const Color col =
+        denseToOverlay[e] < colors.size() ? colors[denseToOverlay[e]]
+                                          : kNoColor;
+    if (col == kNoColor) continue;
+    const Edge ed = snap.edges()[e];
+    const std::size_t budget = snap.degree(ed.u) + snap.degree(ed.v) - 2;
+    if (static_cast<std::size_t>(col) <= budget) monitor.seedCommit(e, col);
+  }
+  dynamic::RepairStats stats = core_->rec.repair();
+  monitor.finish();
+  traceLog_.setSink({});
+  for (sim::Violation v : monitor.violations()) {
+    std::ostringstream os;
+    os << v.detail << " [epoch " << sched_.epochsRun() << ']';
+    v.detail = os.str();
+    violations_.push_back(std::move(v));
+  }
+  return stats;
+}
+
+Checkpoint ColoringService::checkpoint() const {
+  DIMA_REQUIRE(core_ != nullptr, "no state to checkpoint before Hello");
+  Checkpoint cp;
+  cp.seed = options_.seed;
+  cp.repairs = core_->rec.repairsCompleted();
+  cp.epoch = sched_.epochsRun();
+  cp.n = n_;
+  const std::size_t slots = core_->dg.edgeSlots();
+  cp.slots.reserve(slots);
+  for (EdgeId e = 0; e < slots; ++e) {
+    cp.slots.push_back(core_->dg.alive(e) ? core_->dg.edge(e) : Edge{});
+  }
+  const auto free = core_->dg.freeIdStack();
+  cp.freeIds.assign(free.begin(), free.end());
+  cp.colors = core_->rec.colors();
+  cp.colors.resize(slots, kNoColor);
+  return cp;
+}
+
+std::uint64_t ColoringService::colorDigest() const {
+  DIMA_REQUIRE(core_ != nullptr, "no coloring to digest before Hello");
+  const auto& colors = core_->rec.colors();
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (EdgeId e = 0; e < core_->dg.edgeSlots(); ++e) {
+    if (!core_->dg.alive(e)) continue;
+    const Edge ed = core_->dg.edge(e);
+    fnvMix(&h, e);
+    fnvMix(&h, ed.u);
+    fnvMix(&h, ed.v);
+    fnvMix(&h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                   e < colors.size() ? colors[e] : kNoColor)));
+  }
+  return h;
+}
+
+std::string ColoringService::colorTable() const {
+  DIMA_REQUIRE(core_ != nullptr, "no coloring to print before Hello");
+  const auto& colors = core_->rec.colors();
+  std::ostringstream os;
+  for (EdgeId e = 0; e < core_->dg.edgeSlots(); ++e) {
+    if (!core_->dg.alive(e)) continue;
+    const Edge ed = core_->dg.edge(e);
+    const Color c = e < colors.size() ? colors[e] : kNoColor;
+    os << ed.u << ' ' << ed.v << ' ' << c << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace dima::service

@@ -1,0 +1,138 @@
+#pragma once
+
+/// \file service.hpp
+/// `ColoringService`: the long-running edge-coloring server core.
+///
+/// One instance owns a `DynamicGraph` plus a live `≤ 2Δ−1` coloring kept by
+/// `dynamic::IncrementalRecolorer`, and maps every decoded `CommandFrame`
+/// to exactly one `ReplyFrame` (`handle()`). The session/transport layer
+/// (src/service/session.hpp) is a separate concern: this class never
+/// touches bytes, so tests drive it frame-by-frame.
+///
+/// **Epoch discipline.** Mutations mutate the overlay immediately — so
+/// duplicate/missing detection and topology queries always see the true
+/// graph — but recoloring is deferred to repair epochs per the
+/// `EpochPolicy` (src/service/epoch.hpp): a full batch, an over-stale
+/// query, `Flush`, or `Snapshot` triggers one. Between epochs a queried
+/// edge may report `Pending`; the staleness bound caps how long.
+///
+/// **Checkpoint/restore.** `Snapshot` forces a converged epoch, then
+/// persists {seed, repair count, epoch index, graph slots, free-id stack,
+/// colors} via service/checkpoint.hpp. Constructing a service from a
+/// `Checkpoint` resumes the run: because repair randomness is keyed by
+/// (seed, repairIndex) and edge ids by the free-id stack, the restored
+/// process colors every future edge exactly as the uninterrupted one —
+/// bit-identical, tested in tests/test_service_checkpoint.cpp and the CI
+/// smoke step.
+///
+/// **Monitor mode.** With `ServiceOptions::monitor` every epoch runs under
+/// the full `sim::InvariantMonitor` safety catalog (the fuzz harness's
+/// per-repair idiom): the topology is snapshotted, surviving colors are
+/// seeded as prior commits, and the automaton trace is cross-checked live.
+/// The hostile-client mode (src/service/hostile.hpp) runs with this on.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/dynamic/dynamic_graph.hpp"
+#include "src/dynamic/incremental.hpp"
+#include "src/net/trace.hpp"
+#include "src/service/checkpoint.hpp"
+#include "src/service/epoch.hpp"
+#include "src/service/wire.hpp"
+#include "src/sim/monitor.hpp"
+
+namespace dima::service {
+
+struct ServiceOptions {
+  /// Master seed of the run (checkpoints carry it; restore overrides it).
+  std::uint64_t seed = 0x5e57eULL;
+  EpochPolicy policy;
+  /// Engine round cap per repair epoch.
+  std::uint64_t maxCycles = 1u << 20;
+  /// Run every epoch under the InvariantMonitor catalog (hostile mode).
+  bool monitor = false;
+};
+
+/// Hard cap on the vertex count a Hello may request (memory guard: the
+/// overlay allocates per-vertex state eagerly).
+inline constexpr std::uint32_t kMaxServiceVertices = 1u << 24;
+
+class ColoringService {
+ public:
+  /// A fresh service; the graph is created by the `Hello` handshake.
+  explicit ColoringService(const ServiceOptions& options = {});
+
+  /// A restored service resuming `cp` (seed and epoch/repair counters come
+  /// from the checkpoint). `Hello` then re-attaches: its vertex count must
+  /// be 0 ("whatever you have") or match.
+  ColoringService(const Checkpoint& cp, const ServiceOptions& options = {});
+
+  /// Maps one command to its reply; runs repair epochs as the policy
+  /// demands. After a `BadFrame`-class error the *session* ends, but the
+  /// service object itself only stops accepting work after `Shutdown`.
+  ReplyFrame handle(const CommandFrame& cmd);
+
+  bool ready() const { return core_ != nullptr; }
+  bool shutdownRequested() const { return shutdown_; }
+
+  // --- introspection (tests, bench, CLI) -----------------------------------
+  const EpochScheduler& scheduler() const { return sched_; }
+  const EpochRecord& lastEpoch() const { return lastEpoch_; }
+  const dynamic::DynamicGraph& graph() const;
+  const std::vector<coloring::Color>& colors() const;
+  std::size_t numVertices() const { return n_; }
+
+  /// Monitor-mode violations accumulated across all epochs (empty when the
+  /// catalog held, or when monitor mode is off).
+  const std::vector<sim::Violation>& violations() const { return violations_; }
+
+  /// FNV-1a over (u, v, color) of every live edge in id order — the
+  /// fingerprint the restore tests and the CI smoke step compare.
+  std::uint64_t colorDigest() const;
+
+  /// Writes "u v color" per live edge in id order (the CI smoke diff).
+  std::string colorTable() const;
+
+  /// Current resumable state; requires a converged coloring (callers go
+  /// through the Snapshot command, which flushes first).
+  Checkpoint checkpoint() const;
+
+ private:
+  /// The graph + recolorer pair (recolorer holds a reference to the graph,
+  /// so both live behind one stable allocation, created on Hello/restore).
+  struct Core {
+    dynamic::DynamicGraph dg;
+    dynamic::IncrementalRecolorer rec;
+    Core(dynamic::DynamicGraph&& g, const dynamic::RecolorOptions& ro)
+        : dg(std::move(g)), rec(dg, ro) {}
+  };
+
+  ReplyFrame handleHello(const CommandFrame& cmd);
+  ReplyFrame handleMutation(const CommandFrame& cmd);
+  ReplyFrame handleQuery(const CommandFrame& cmd);
+  ReplyFrame handleSnapshot(const CommandFrame& cmd);
+  ReplyFrame statsReply(std::uint32_t seq) const;
+  ReplyFrame errorReply(std::uint32_t seq, ErrorCode code,
+                        std::string message) const;
+
+  dynamic::RecolorOptions recolorOptions();
+  void createCore(std::size_t n);
+  /// Runs one repair epoch (drain + latency accounting + monitor hooks).
+  EpochRecord runEpoch();
+  dynamic::RepairStats monitoredRepair();
+
+  ServiceOptions options_;
+  std::size_t n_ = 0;
+  bool hello_ = false;
+  bool shutdown_ = false;
+  net::TraceLog traceLog_;  ///< monitor mode only; must outlive core_
+  std::unique_ptr<Core> core_;
+  EpochScheduler sched_;
+  EpochRecord lastEpoch_;
+  std::vector<sim::Violation> violations_;
+};
+
+}  // namespace dima::service

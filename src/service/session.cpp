@@ -1,0 +1,74 @@
+#include "src/service/session.hpp"
+
+#include <istream>
+#include <ostream>
+
+namespace dima::service {
+
+namespace {
+
+void writeReply(const ReplyFrame& reply, std::ostream& out,
+                SessionResult* result) {
+  std::vector<std::uint8_t> bytes;
+  encodeReply(reply, &bytes);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  ++result->replies;
+}
+
+ReplyFrame framingErrorReply(std::string detail) {
+  ReplyFrame r = makeFrame<ServiceKind::Error, ReplyFrame>();
+  r.seq = 0;  // the offending frame never yielded a seq
+  r.status = static_cast<std::uint8_t>(ErrorCode::BadFrame);
+  r.text = std::move(detail);
+  return r;
+}
+
+}  // namespace
+
+SessionResult runSession(ColoringService& service, std::istream& in,
+                         std::ostream& out) {
+  SessionResult result;
+  CommandReader reader;
+  char chunk[4096];
+  bool done = false;
+  while (!done) {
+    in.read(chunk, sizeof(chunk));
+    const std::streamsize got = in.gcount();
+    if (got > 0) {
+      reader.feed(reinterpret_cast<const std::uint8_t*>(chunk),
+                  static_cast<std::size_t>(got));
+    }
+    CommandFrame cmd;
+    std::string error;
+    DecodeStatus status;
+    while ((status = reader.next(&cmd, &error)) == DecodeStatus::Frame) {
+      ++result.commands;
+      writeReply(service.handle(cmd), out, &result);
+      if (cmd.kind == ServiceKind::Shutdown && service.shutdownRequested()) {
+        result.shutdown = true;
+        done = true;
+        break;
+      }
+    }
+    if (status == DecodeStatus::Bad) {
+      result.framingError = true;
+      result.error = error;
+      writeReply(framingErrorReply(error), out, &result);
+      done = true;
+    }
+    if (!done && got <= 0) {
+      // EOF. Mid-frame bytes mean the client died mid-send.
+      if (reader.midFrame()) {
+        result.truncated = true;
+        writeReply(framingErrorReply("stream truncated mid-frame"), out,
+                   &result);
+      }
+      done = true;
+    }
+  }
+  out.flush();
+  return result;
+}
+
+}  // namespace dima::service

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file session.hpp
+/// The transport loop of `dimacol serve`: bytes in, bytes out.
+///
+/// `runSession` pumps a byte stream (stdin pipe, socket wrapped in
+/// iostreams, or a test's `std::stringstream`) through the wire decoder
+/// into `ColoringService::handle`, writing one encoded reply per decoded
+/// command. The loop is strictly sequential — one service, one session at
+/// a time — which is what makes the run replayable: the reply stream is a
+/// pure function of the command bytes and the service seed.
+///
+/// Error handling at this layer is about *bytes*, not semantics (the
+/// service replies `Error` for semantic problems itself):
+///
+///  * a malformed frame gets a final `Error{BadFrame}` reply and ends the
+///    session — a length-prefixed binary stream cannot resynchronize;
+///  * EOF in the middle of a frame is reported as truncation (also with a
+///    trailing `Error{BadFrame}`), distinguishing a killed client from a
+///    polite `Shutdown`;
+///  * a `Shutdown` command ends the loop after its ack is written.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "src/service/service.hpp"
+
+namespace dima::service {
+
+/// What one session pump observed (counters for tests and the CLI exit
+/// path; the service's own metrics live in `EpochScheduler`).
+struct SessionResult {
+  std::uint64_t commands = 0;  ///< frames decoded and handled
+  std::uint64_t replies = 0;   ///< frames written (== commands + errors)
+  bool shutdown = false;       ///< ended by a Shutdown command
+  bool framingError = false;   ///< ended by malformed bytes
+  bool truncated = false;      ///< ended by EOF mid-frame
+  std::string error;           ///< decoder detail when framingError
+
+  /// A session that ended the way a well-behaved client ends it.
+  bool clean() const { return !framingError && !truncated; }
+};
+
+/// Pumps `in` until Shutdown, EOF, or a framing error; replies go to
+/// `out` (flushed before returning).
+SessionResult runSession(ColoringService& service, std::istream& in,
+                         std::ostream& out);
+
+}  // namespace dima::service

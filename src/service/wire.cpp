@@ -1,0 +1,387 @@
+#include "src/service/wire.hpp"
+
+#include <cstring>
+
+namespace dima::service {
+
+namespace {
+
+// --- byte-level helpers (little-endian, explicit so the format is the
+// same on every host) -------------------------------------------------------
+
+void putU8(std::vector<std::uint8_t>* out, std::uint8_t v) {
+  out->push_back(v);
+}
+
+void putU16(std::vector<std::uint8_t>* out, std::uint16_t v) {
+  out->push_back(static_cast<std::uint8_t>(v & 0xff));
+  out->push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void putU32(std::vector<std::uint8_t>* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void putU64(std::vector<std::uint8_t>* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+/// Bounds-checked sequential reader over one payload. Every `take*` either
+/// succeeds or flips `ok` and returns 0 — callers check once at the end,
+/// so a truncated payload can never cause an out-of-range read.
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint8_t takeU8() {
+    if (pos_ + 1 > size_) return fail();
+    return data_[pos_++];
+  }
+
+  std::uint16_t takeU16() {
+    if (pos_ + 2 > size_) return fail();
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i) {
+      v = static_cast<std::uint16_t>(
+          v | static_cast<std::uint16_t>(data_[pos_ + static_cast<std::size_t>(
+                                                         i)])
+                  << (8 * i));
+    }
+    pos_ += 2;
+    return v;
+  }
+
+  std::uint32_t takeU32() {
+    if (pos_ + 4 > size_) return fail();
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(
+                                                       i)])
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t takeU64() {
+    if (pos_ + 8 > size_) return fail();
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(
+                                                       i)])
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  std::string takeString(std::size_t length) {
+    if (pos_ + length > size_) {
+      fail();
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), length);
+    pos_ += length;
+    return s;
+  }
+
+  bool ok() const { return ok_; }
+  /// The whole payload must be consumed: trailing bytes are a frame error.
+  bool exhausted() const { return ok_ && pos_ == size_; }
+
+ private:
+  std::uint8_t fail() {
+    ok_ = false;
+    return 0;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+bool decodeFail(std::string* error, const char* what) {
+  if (error != nullptr) *error = what;
+  return false;
+}
+
+}  // namespace
+
+const char* serviceKindName(ServiceKind kind) {
+  switch (kind) {
+    case ServiceKind::Hello: return "hello";
+    case ServiceKind::InsertEdge: return "insert-edge";
+    case ServiceKind::EraseEdge: return "erase-edge";
+    case ServiceKind::QueryColor: return "query-color";
+    case ServiceKind::Flush: return "flush";
+    case ServiceKind::Snapshot: return "snapshot";
+    case ServiceKind::Stats: return "stats";
+    case ServiceKind::Shutdown: return "shutdown";
+    case ServiceKind::HelloOk: return "hello-ok";
+    case ServiceKind::Ack: return "ack";
+    case ServiceKind::ColorInfo: return "color-info";
+    case ServiceKind::EpochDone: return "epoch-done";
+    case ServiceKind::SnapshotOk: return "snapshot-ok";
+    case ServiceKind::StatsInfo: return "stats-info";
+    case ServiceKind::Error: return "error";
+  }
+  return "?";
+}
+
+void encodeCommand(const CommandFrame& frame, std::vector<std::uint8_t>* out) {
+  std::vector<std::uint8_t> payload;
+  putU8(&payload, static_cast<std::uint8_t>(frame.kind));
+  putU32(&payload, frame.seq);
+  switch (frame.kind) {
+    case ServiceKind::Hello:
+    case ServiceKind::InsertEdge:
+    case ServiceKind::EraseEdge:
+    case ServiceKind::QueryColor:
+      putU32(&payload, frame.a);
+      putU32(&payload, frame.b);
+      break;
+    case ServiceKind::Snapshot:
+      putU16(&payload, static_cast<std::uint16_t>(frame.path.size()));
+      for (const char c : frame.path) {
+        payload.push_back(static_cast<std::uint8_t>(c));
+      }
+      break;
+    case ServiceKind::Flush:
+    case ServiceKind::Stats:
+    case ServiceKind::Shutdown:
+      break;
+    default:
+      // Reply kinds cannot reach here: makeFrame<> pins directions at
+      // compile time and the decoders reject them; tolerate a hand-built
+      // frame by encoding an empty body (the peer will reject the kind).
+      break;
+  }
+  putU32(out, static_cast<std::uint32_t>(payload.size()));
+  out->insert(out->end(), payload.begin(), payload.end());
+}
+
+void encodeReply(const ReplyFrame& frame, std::vector<std::uint8_t>* out) {
+  std::vector<std::uint8_t> payload;
+  putU8(&payload, static_cast<std::uint8_t>(frame.kind));
+  putU32(&payload, frame.seq);
+  switch (frame.kind) {
+    case ServiceKind::HelloOk:
+      putU32(&payload, frame.a);
+      putU32(&payload, frame.b);
+      break;
+    case ServiceKind::Ack:
+      putU8(&payload, frame.status);
+      putU32(&payload, frame.a);
+      break;
+    case ServiceKind::ColorInfo:
+      putU8(&payload, frame.status);
+      putU32(&payload, static_cast<std::uint32_t>(frame.color));
+      putU32(&payload, frame.a);
+      putU32(&payload, frame.b);
+      break;
+    case ServiceKind::EpochDone:
+      putU32(&payload, frame.a);
+      putU32(&payload, frame.b);
+      putU64(&payload, frame.value);
+      break;
+    case ServiceKind::SnapshotOk:
+      putU32(&payload, frame.a);
+      putU64(&payload, frame.value);
+      break;
+    case ServiceKind::StatsInfo:
+      putU8(&payload, static_cast<std::uint8_t>(frame.stats.size()));
+      for (const std::uint64_t v : frame.stats) putU64(&payload, v);
+      break;
+    case ServiceKind::Error:
+      putU8(&payload, frame.status);
+      putU16(&payload, static_cast<std::uint16_t>(frame.text.size()));
+      for (const char c : frame.text) {
+        payload.push_back(static_cast<std::uint8_t>(c));
+      }
+      break;
+    default:
+      break;
+  }
+  putU32(out, static_cast<std::uint32_t>(payload.size()));
+  out->insert(out->end(), payload.begin(), payload.end());
+}
+
+bool decodeCommandPayload(const std::uint8_t* data, std::size_t size,
+                          CommandFrame* frame, std::string* error) {
+  ByteReader r(data, size);
+  const std::uint8_t rawKind = r.takeU8();
+  if (!r.ok()) return decodeFail(error, "payload shorter than a kind byte");
+  const ServiceKind kind = static_cast<ServiceKind>(rawKind);
+  if (!detail::formatCarries<CommandFrame>(kind)) {
+    return decodeFail(error, "byte is not a command kind");
+  }
+  *frame = CommandFrame{};
+  frame->kind = kind;
+  frame->seq = r.takeU32();
+  switch (kind) {
+    case ServiceKind::Hello:
+    case ServiceKind::InsertEdge:
+    case ServiceKind::EraseEdge:
+    case ServiceKind::QueryColor:
+      frame->a = r.takeU32();
+      frame->b = r.takeU32();
+      break;
+    case ServiceKind::Snapshot: {
+      const std::uint16_t len = r.takeU16();
+      frame->path = r.takeString(len);
+      break;
+    }
+    default:
+      break;  // Flush/Stats/Shutdown carry no fields.
+  }
+  if (!r.exhausted()) {
+    return decodeFail(error, "payload size does not match the command kind");
+  }
+  return true;
+}
+
+bool decodeReplyPayload(const std::uint8_t* data, std::size_t size,
+                        ReplyFrame* frame, std::string* error) {
+  ByteReader r(data, size);
+  const std::uint8_t rawKind = r.takeU8();
+  if (!r.ok()) return decodeFail(error, "payload shorter than a kind byte");
+  const ServiceKind kind = static_cast<ServiceKind>(rawKind);
+  if (!detail::formatCarries<ReplyFrame>(kind)) {
+    return decodeFail(error, "byte is not a reply kind");
+  }
+  *frame = ReplyFrame{};
+  frame->kind = kind;
+  frame->seq = r.takeU32();
+  switch (kind) {
+    case ServiceKind::HelloOk:
+      frame->a = r.takeU32();
+      frame->b = r.takeU32();
+      break;
+    case ServiceKind::Ack:
+      frame->status = r.takeU8();
+      frame->a = r.takeU32();
+      break;
+    case ServiceKind::ColorInfo:
+      frame->status = r.takeU8();
+      frame->color = static_cast<std::int32_t>(r.takeU32());
+      frame->a = r.takeU32();
+      frame->b = r.takeU32();
+      break;
+    case ServiceKind::EpochDone:
+      frame->a = r.takeU32();
+      frame->b = r.takeU32();
+      frame->value = r.takeU64();
+      break;
+    case ServiceKind::SnapshotOk:
+      frame->a = r.takeU32();
+      frame->value = r.takeU64();
+      break;
+    case ServiceKind::StatsInfo: {
+      const std::uint8_t count = r.takeU8();
+      if (count != kStatsFieldCount) {
+        return decodeFail(error, "stats block has the wrong field count");
+      }
+      frame->stats.reserve(count);
+      for (std::uint8_t i = 0; i < count; ++i) {
+        frame->stats.push_back(r.takeU64());
+      }
+      if (!r.ok()) return decodeFail(error, "stats block truncated");
+      break;
+    }
+    case ServiceKind::Error: {
+      frame->status = r.takeU8();
+      const std::uint16_t len = r.takeU16();
+      frame->text = r.takeString(len);
+      break;
+    }
+    default:
+      break;
+  }
+  if (!r.exhausted()) {
+    return decodeFail(error, "payload size does not match the reply kind");
+  }
+  return true;
+}
+
+namespace detail {
+
+/// Shared framing walk: splits `buffer[pos..)` into length-prefixed
+/// payloads and hands each to the per-direction payload decoder.
+template <class Frame>
+DecodeStatus frameNext(std::vector<std::uint8_t>& buffer, std::size_t& pos,
+                       bool& bad, Frame* frame, std::string* error,
+                       bool (*decodePayload)(const std::uint8_t*, std::size_t,
+                                             Frame*, std::string*)) {
+  if (bad) {
+    if (error != nullptr) *error = "stream already failed";
+    return DecodeStatus::Bad;
+  }
+  // Compact the consumed prefix occasionally so a long session does not
+  // grow the buffer without bound.
+  if (pos > 0 && (pos == buffer.size() || pos >= 64 * 1024)) {
+    buffer.erase(buffer.begin(),
+                 buffer.begin() + static_cast<std::ptrdiff_t>(pos));
+    pos = 0;
+  }
+  const std::size_t avail = buffer.size() - pos;
+  if (avail < 4) return DecodeStatus::NeedMore;
+  std::uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<std::uint32_t>(buffer[pos + static_cast<std::size_t>(
+                                                         i)])
+              << (8 * i);
+  }
+  if (length > kMaxPayloadBytes) {
+    bad = true;
+    if (error != nullptr) {
+      *error = "frame length " + std::to_string(length) +
+               " exceeds the payload ceiling";
+    }
+    return DecodeStatus::Bad;
+  }
+  if (avail < 4 + static_cast<std::size_t>(length)) {
+    return DecodeStatus::NeedMore;
+  }
+  std::string payloadError;
+  const bool ok =
+      decodePayload(buffer.data() + pos + 4, length, frame, &payloadError);
+  if (!ok) {
+    bad = true;
+    if (error != nullptr) *error = payloadError;
+    return DecodeStatus::Bad;
+  }
+  pos += 4 + static_cast<std::size_t>(length);
+  return DecodeStatus::Frame;
+}
+
+}  // namespace detail
+
+template <class Frame>
+void FrameReader<Frame>::feed(const std::uint8_t* data, std::size_t size) {
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+template <>
+DecodeStatus FrameReader<CommandFrame>::next(CommandFrame* frame,
+                                             std::string* error) {
+  return detail::frameNext(buffer_, pos_, bad_, frame, error,
+                           &decodeCommandPayload);
+}
+
+template <>
+DecodeStatus FrameReader<ReplyFrame>::next(ReplyFrame* frame,
+                                           std::string* error) {
+  return detail::frameNext(buffer_, pos_, bad_, frame, error,
+                           &decodeReplyPayload);
+}
+
+template class FrameReader<CommandFrame>;
+template class FrameReader<ReplyFrame>;
+
+}  // namespace dima::service

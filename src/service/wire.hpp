@@ -1,0 +1,255 @@
+#pragma once
+
+/// \file wire.hpp
+/// The `dimacol serve` v1 wire format: length-prefixed binary frames over a
+/// byte stream (stdin pipe or socket), one frame per command or reply.
+///
+/// Framing (all integers little-endian):
+///
+///     u32 payloadLength | payload
+///     payload = u8 kind | u32 seq | kind-specific fields
+///
+/// `seq` is a client-chosen request id echoed verbatim in the reply, so a
+/// pipelining client can match replies to requests. The format is
+/// versioned through the `Hello` handshake: the first frame of a session
+/// carries `kServiceWireVersion`, and a server that cannot speak that
+/// version answers `Error{BadVersion}` instead of guessing.
+///
+/// **Kind registry.** Like `net::WireKind`, every `ServiceKind` enumerator
+/// must be registered in a frame format's `kKinds` table — commands in
+/// `CommandFrame::kKinds`, replies in `ReplyFrame::kKinds` — and named in
+/// `serviceKindName`. The `serviceKindsRegistered` static_assert below is
+/// the compile-time half of the gate; `makeFrame<K>` additionally pins the
+/// *direction*: constructing a `CommandFrame` with a reply-only kind (or
+/// any unregistered kind) does not compile
+/// (tests/negative_compile/service_frame_unregistered.cpp).
+///
+/// **Robustness.** The decoder is the only part of the process that reads
+/// attacker-controlled bytes, so it is written to reject, never to trust:
+/// lengths are bounded by `kMaxPayloadBytes`, every field read is bounds-
+/// checked, payload sizes must match their kind exactly, and a malformed
+/// frame yields a structured `DecodeStatus::Bad` — the session layer turns
+/// it into an `Error` reply and a clean disconnect. The frame-fuzz tests
+/// (tests/test_service_wire.cpp) and the hostile-client mode
+/// (src/service/hostile.hpp) drive random, truncated, duplicated and
+/// reordered bytes through this path under ASan/UBSan.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/coloring/color.hpp"
+
+namespace dima::service {
+
+/// Protocol version spoken by this build; carried in `Hello`.
+inline constexpr std::uint32_t kServiceWireVersion = 1;
+
+/// Hard ceiling on one frame's payload. Commands are tiny (the largest is
+/// `Snapshot` with a path); anything bigger is a length-bomb, rejected
+/// before any allocation happens.
+inline constexpr std::size_t kMaxPayloadBytes = 64 * 1024;
+
+/// Unified frame kinds of the service protocol. The first block is
+/// client → server (commands), the second server → client (replies); each
+/// direction's frame format registers exactly its block in `kKinds`.
+enum class ServiceKind : std::uint8_t {
+  // --- commands -----------------------------------------------------------
+  Hello,       ///< open a session: wire version + vertex count
+  InsertEdge,  ///< link up: {u,v} joins the graph, queued for repair
+  EraseEdge,   ///< link down: {u,v} leaves, its color is freed
+  QueryColor,  ///< read the color of {u,v} (bounded staleness)
+  Flush,       ///< force a repair epoch now
+  Snapshot,    ///< checkpoint the colored graph to a path
+  Stats,       ///< admission/backlog/latency counters
+  Shutdown,    ///< finish: ack and close the session
+  // --- replies ------------------------------------------------------------
+  HelloOk,     ///< session open: negotiated version + vertex count
+  Ack,         ///< mutation outcome + the stable edge id
+  ColorInfo,   ///< color + epoch + staleness of the queried edge
+  EpochDone,   ///< a forced epoch ran: index, repaired edges, latency
+  SnapshotOk,  ///< checkpoint written: byte count + digest
+  StatsInfo,   ///< counter block (order documented in PROTOCOLS.md §12)
+  Error,       ///< code + message; framing errors also end the session
+};
+
+/// Number of `ServiceKind` enumerators. Adding a kind means growing this,
+/// which forces the registries the static gates check: the
+/// `serviceKindName` switch (wire.cpp, -Wswitch + Werror), one direction's
+/// `kKinds` table (the `serviceKindsRegistered` static_assert below), and
+/// the decoder's per-kind payload layout (`dimalint`'s
+/// service-kind-registry rule re-checks the tables textually).
+inline constexpr std::size_t kServiceKindCount = 15;
+static_assert(static_cast<std::size_t>(ServiceKind::Error) + 1 ==
+                  kServiceKindCount,
+              "kServiceKindCount must track the ServiceKind enumerator list");
+
+/// Diagnostic name of a service kind ("insert-edge", "color-info", ...).
+const char* serviceKindName(ServiceKind kind);
+
+/// Mutation outcomes carried by `Ack::status`.
+enum class AckStatus : std::uint8_t {
+  Applied,    ///< insert/erase took effect; `edge` is the stable id
+  Duplicate,  ///< insert of an edge that already exists (no-op)
+  Missing,    ///< erase of an absent edge (no-op)
+  Rejected,   ///< self-loop or out-of-range endpoint
+};
+
+/// Query outcomes carried by `ColorInfo::status`.
+enum class ColorStatus : std::uint8_t {
+  Colored,     ///< `color` is the edge's current color
+  Pending,     ///< edge exists but awaits its repair epoch
+  NoSuchEdge,  ///< {u,v} is not in the graph
+};
+
+/// Error codes carried by `Error::status`.
+enum class ErrorCode : std::uint8_t {
+  BadFrame,    ///< malformed bytes; the session ends after this reply
+  BadVersion,  ///< Hello carried an unsupported wire version
+  BadState,    ///< command before Hello, or Hello re-negotiating n
+  BadArgument, ///< semantically invalid field (e.g. empty snapshot path)
+  IoError,     ///< snapshot/restore file system failure
+  NotConverged,///< a forced epoch hit the cycle cap; coloring incomplete
+};
+
+/// "No edge" sentinel for `Ack::edge`.
+inline constexpr std::uint32_t kNoServiceEdge = static_cast<std::uint32_t>(-1);
+
+/// Client → server frame. `a`/`b` are the kind-specific integer fields
+/// (endpoints for the edge commands, version/n for Hello), `path` rides
+/// only on Snapshot.
+struct CommandFrame {
+  /// Kind subset this direction carries; the registry gate checks that the
+  /// command/reply tables together cover every `ServiceKind`.
+  static constexpr ServiceKind kKinds[] = {
+      ServiceKind::Hello,      ServiceKind::InsertEdge,
+      ServiceKind::EraseEdge,  ServiceKind::QueryColor,
+      ServiceKind::Flush,      ServiceKind::Snapshot,
+      ServiceKind::Stats,      ServiceKind::Shutdown};
+
+  ServiceKind kind = ServiceKind::Hello;
+  std::uint32_t seq = 0;
+  std::uint32_t a = 0;  ///< Hello: wire version. Edge commands: endpoint u.
+  std::uint32_t b = 0;  ///< Hello: vertex count.  Edge commands: endpoint v.
+  std::string path;     ///< Snapshot: checkpoint destination.
+
+  friend bool operator==(const CommandFrame&, const CommandFrame&) = default;
+};
+
+/// Fixed order of the `StatsInfo` counter block (PROTOCOLS.md §12).
+inline constexpr std::size_t kStatsFieldCount = 10;
+
+/// Server → client frame. Field usage per kind is documented in
+/// PROTOCOLS.md §12; unused fields encode as absent and decode to their
+/// defaults, so encode→decode is an identity on well-formed frames.
+struct ReplyFrame {
+  static constexpr ServiceKind kKinds[] = {
+      ServiceKind::HelloOk,   ServiceKind::Ack,
+      ServiceKind::ColorInfo, ServiceKind::EpochDone,
+      ServiceKind::SnapshotOk, ServiceKind::StatsInfo,
+      ServiceKind::Error};
+
+  ServiceKind kind = ServiceKind::Error;
+  std::uint32_t seq = 0;
+  std::uint8_t status = 0;   ///< AckStatus / ColorStatus / ErrorCode
+  std::uint32_t a = 0;       ///< HelloOk: version. Ack: edge id.
+                             ///< ColorInfo: epoch. EpochDone: epoch index.
+  std::uint32_t b = 0;       ///< HelloOk: n. ColorInfo: staleness.
+                             ///< EpochDone: repaired edges.
+  std::int32_t color = coloring::kNoColor;  ///< ColorInfo only
+  std::uint64_t value = 0;   ///< EpochDone: latency µs. SnapshotOk: digest.
+  std::string text;          ///< Error: message.
+  /// StatsInfo: exactly `kStatsFieldCount` counters, fixed order.
+  std::vector<std::uint64_t> stats;
+
+  friend bool operator==(const ReplyFrame&, const ReplyFrame&) = default;
+};
+
+namespace detail {
+/// Does `Format`'s kind table carry `k`?
+template <class Format>
+constexpr bool formatCarries(ServiceKind k) {
+  for (const ServiceKind f : Format::kKinds) {
+    if (f == k) return true;
+  }
+  return false;
+}
+}  // namespace detail
+
+/// True when every `ServiceKind` value below `count` is carried by one of
+/// the formats. Compile-time half of the kind registry
+/// (tests/negative_compile/service_frame_unregistered.cpp pins that a
+/// partial format set fails; `tools/dimalint` re-checks textually).
+template <class... Formats>
+constexpr bool serviceKindsRegistered(std::size_t count) {
+  for (std::size_t v = 0; v < count; ++v) {
+    const ServiceKind k = static_cast<ServiceKind>(v);
+    if (!(detail::formatCarries<Formats>(k) || ...)) return false;
+  }
+  return true;
+}
+
+static_assert(
+    serviceKindsRegistered<CommandFrame, ReplyFrame>(kServiceKindCount),
+    "every ServiceKind needs a frame format registering it");
+
+/// Kind-checked frame construction: `makeFrame<K, Format>()` compiles only
+/// when `Format` registers `K` in its `kKinds` table — a command built with
+/// a reply-only (or unregistered) kind is a build error, not a runtime
+/// surprise. Returns `frame` with its kind pinned to `K`.
+template <ServiceKind K, class Format>
+Format makeFrame(Format frame = {}) {
+  static_assert(detail::formatCarries<Format>(K),
+                "ServiceKind is not registered in this frame format's "
+                "kKinds table — wrong direction or unregistered kind");
+  frame.kind = K;
+  return frame;
+}
+
+// --- encoding --------------------------------------------------------------
+
+/// Appends the length-prefixed encoding of `frame` to `out`.
+void encodeCommand(const CommandFrame& frame, std::vector<std::uint8_t>* out);
+void encodeReply(const ReplyFrame& frame, std::vector<std::uint8_t>* out);
+
+// --- decoding --------------------------------------------------------------
+
+enum class DecodeStatus : std::uint8_t {
+  Frame,     ///< one frame decoded
+  NeedMore,  ///< buffer holds no complete frame yet
+  Bad,       ///< malformed bytes; the stream is unrecoverable
+};
+
+/// Incremental frame splitter + per-direction payload decoder. Feed bytes
+/// as they arrive; `next()` yields frames until NeedMore (or Bad, which is
+/// sticky — a binary stream cannot resynchronize after a framing error).
+template <class Frame>
+class FrameReader {
+ public:
+  /// Appends raw bytes to the internal buffer.
+  void feed(const std::uint8_t* data, std::size_t size);
+
+  /// Decodes the next frame into `*frame`; on Bad, `*error` says why.
+  DecodeStatus next(Frame* frame, std::string* error);
+
+  /// True when fed bytes ended mid-frame (truncated stream at EOF).
+  bool midFrame() const { return pos_ != buffer_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t pos_ = 0;  ///< consumed prefix of buffer_
+  bool bad_ = false;
+};
+
+using CommandReader = FrameReader<CommandFrame>;
+using ReplyReader = FrameReader<ReplyFrame>;
+
+/// Decodes one payload (the bytes after the length prefix). Exposed for
+/// the frame-fuzz tests; `FrameReader` is the streaming interface.
+bool decodeCommandPayload(const std::uint8_t* data, std::size_t size,
+                          CommandFrame* frame, std::string* error);
+bool decodeReplyPayload(const std::uint8_t* data, std::size_t size,
+                        ReplyFrame* frame, std::string* error);
+
+}  // namespace dima::service

@@ -1,0 +1,16 @@
+#include "src/service/wire.hpp"
+
+namespace dima::service {
+
+const char* serviceKindName(ServiceKind k) {
+  switch (k) {
+    case ServiceKind::Hello:
+      return "Hello";
+    case ServiceKind::Shutdown:
+      return "Shutdown";
+    default:
+      return "?";  // Probe is missing: the rule reports it here too.
+  }
+}
+
+}  // namespace dima::service

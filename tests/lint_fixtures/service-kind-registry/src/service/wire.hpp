@@ -1,0 +1,22 @@
+#pragma once
+
+// dimalint fixture: `Probe` was added to ServiceKind but never registered in
+// a frame format's kKinds table (here) nor in the codec registry (wire.cpp).
+// The service-kind-registry rule must flag both omissions.
+
+#include <cstdint>
+
+namespace dima::service {
+
+enum class ServiceKind : std::uint8_t {
+  Hello,
+  Probe,
+  Shutdown,
+};
+
+struct CommandFrame {
+  static constexpr ServiceKind kKinds[] = {ServiceKind::Hello,
+                                           ServiceKind::Shutdown};
+};
+
+}  // namespace dima::service

@@ -1,0 +1,10 @@
+// dimalint fixture: a service TU reaching below IncrementalRecolorer into
+// the message substrate. The service-layering rule must flag the include.
+
+#include "src/net/network.hpp"
+
+namespace dima::service {
+
+int touchSubstrateDirectly() { return 0; }
+
+}  // namespace dima::service

@@ -1,0 +1,33 @@
+// Negative compile case: the service wire format's kind registry is
+// direction-checked at compile time. `makeFrame<K, Format>` static_asserts
+// that `K` appears in `Format::kKinds`, so building a *command* frame with
+// a reply-only kind (the classic copy-paste protocol bug) is a build
+// error, not a mysterious `Error{BadFrame}` at runtime.
+//
+// Compiled twice by the harness (tests/negative_compile/run_case.cmake):
+// without DIMA_EXPECT_FAIL it must compile; with it, it must not.
+
+#include "src/service/wire.hpp"
+
+int main() {
+  using dima::service::CommandFrame;
+  using dima::service::ReplyFrame;
+  using dima::service::ServiceKind;
+  using dima::service::makeFrame;
+
+  // Blessed: commands carry command kinds, replies carry reply kinds.
+  const CommandFrame cmd = makeFrame<ServiceKind::Flush, CommandFrame>();
+  const ReplyFrame reply = makeFrame<ServiceKind::Ack, ReplyFrame>();
+
+#ifdef DIMA_EXPECT_FAIL
+  // `Ack` is a reply kind; CommandFrame::kKinds does not register it, so
+  // this frame cannot be constructed.
+  const CommandFrame bogus = makeFrame<ServiceKind::Ack, CommandFrame>();
+  (void)bogus;
+#endif
+
+  return cmd.kind == ServiceKind::Flush &&
+                 reply.kind == ServiceKind::Ack
+             ? 0
+             : 1;
+}

@@ -1,0 +1,182 @@
+#include "src/service/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/dynamic/incremental.hpp"
+#include "src/service/driver.hpp"
+#include "src/service/service.hpp"
+#include "src/service/session.hpp"
+
+namespace dima::service {
+namespace {
+
+std::string asStream(const std::vector<std::uint8_t>& bytes) {
+  return std::string(reinterpret_cast<const char*>(bytes.data()),
+                     bytes.size());
+}
+
+/// Temp path unique to the test (ctest runs suites in parallel).
+std::string tempPath(const char* stem) {
+  return testing::TempDir() + stem;
+}
+
+TEST(ServiceCheckpoint, EncodeDecodeIsAnIdentity) {
+  Checkpoint cp;
+  cp.seed = 0x1122334455667788ULL;
+  cp.repairs = 42;
+  cp.epoch = 17;
+  cp.n = 9;
+  cp.slots = {{0, 1}, {}, {2, 3}};  // slot 1 is dead
+  cp.freeIds = {1};
+  cp.colors = {5, -1, 0};
+
+  const std::vector<std::uint8_t> bytes = encodeCheckpoint(cp);
+  Checkpoint back;
+  std::string error;
+  ASSERT_TRUE(decodeCheckpoint(bytes.data(), bytes.size(), &back, &error))
+      << error;
+  EXPECT_EQ(back, cp);
+}
+
+TEST(ServiceCheckpoint, CorruptAndTruncatedFilesAreRejected) {
+  Checkpoint cp;
+  cp.n = 4;
+  cp.slots = {{0, 1}};
+  cp.colors = {2};
+  const std::vector<std::uint8_t> bytes = encodeCheckpoint(cp);
+
+  Checkpoint back;
+  std::string error;
+  // Every truncation fails (magic, digest, or field reads).
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(decodeCheckpoint(bytes.data(), cut, &back, &error)) << cut;
+  }
+  // Any single flipped byte breaks the digest (or the magic).
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::vector<std::uint8_t> mangled = bytes;
+    mangled[i] ^= 0x40;
+    EXPECT_FALSE(
+        decodeCheckpoint(mangled.data(), mangled.size(), &back, &error))
+        << i;
+  }
+  // Trailing bytes after a valid digest position are also rejected.
+  std::vector<std::uint8_t> padded = bytes;
+  padded.push_back(0);
+  EXPECT_FALSE(decodeCheckpoint(padded.data(), padded.size(), &back, &error));
+}
+
+TEST(ServiceCheckpoint, SaveLoadRoundTripsThroughTheFileSystem) {
+  Checkpoint cp;
+  cp.seed = 7;
+  cp.n = 3;
+  cp.slots = {{0, 2}};
+  cp.colors = {1};
+  const std::string path = tempPath("dima_ckpt_roundtrip.bin");
+
+  std::string error;
+  std::uint64_t bytes = 0;
+  std::uint64_t digest = 0;
+  ASSERT_TRUE(saveCheckpoint(cp, path, &error, &bytes, &digest)) << error;
+  EXPECT_GT(bytes, 0u);
+
+  Checkpoint back;
+  ASSERT_TRUE(loadCheckpoint(path, &back, &error)) << error;
+  EXPECT_EQ(back, cp);
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(loadCheckpoint(tempPath("dima_ckpt_missing.bin"), &back,
+                              &error));
+}
+
+/// The headline guarantee: an uninterrupted run and a snapshot → kill →
+/// restore → resume run end in bit-identical colorings. Repair randomness
+/// is keyed by (seed, repairIndex) and edge ids by the restored free-id
+/// stack, so the two schedules are indistinguishable to the automaton.
+TEST(ServiceCheckpoint, RestoredRunColorsBitIdenticallyToTheFullRun) {
+  StreamSpec spec;
+  spec.seed = 0xc0ffeeULL;
+  spec.n = 64;
+  spec.commands = 400;
+  const std::string ckpt = tempPath("dima_ckpt_resume.bin");
+  const StreamBundle streams = buildStreams(spec, ckpt);
+
+  // Uninterrupted run.
+  ColoringService fullSvc;
+  std::stringstream fullIn(asStream(streams.full));
+  std::stringstream fullOut;
+  const SessionResult fullSession = runSession(fullSvc, fullIn, fullOut);
+  ASSERT_TRUE(fullSession.clean() && fullSession.shutdown);
+
+  // Head run: ends in Snapshot + Shutdown; the service object dies here,
+  // simulating the kill.
+  std::uint64_t headDigest = 0;
+  {
+    ColoringService headSvc;
+    std::stringstream headIn(asStream(streams.head));
+    std::stringstream headOut;
+    const SessionResult headSession = runSession(headSvc, headIn, headOut);
+    ASSERT_TRUE(headSession.clean() && headSession.shutdown);
+    headDigest = headSvc.colorDigest();
+  }
+
+  // Restore from the checkpoint file and resume with the tail stream.
+  Checkpoint cp;
+  std::string error;
+  ASSERT_TRUE(loadCheckpoint(ckpt, &cp, &error)) << error;
+  ColoringService restored(cp);
+  EXPECT_EQ(restored.colorDigest(), headDigest)
+      << "restore must reproduce the checkpointed coloring exactly";
+
+  std::stringstream tailIn(asStream(streams.tail));
+  std::stringstream tailOut;
+  const SessionResult tailSession = runSession(restored, tailIn, tailOut);
+  ASSERT_TRUE(tailSession.clean() && tailSession.shutdown);
+
+  // Bit-identical: same digest, same table, same live topology.
+  EXPECT_EQ(restored.colorDigest(), fullSvc.colorDigest());
+  EXPECT_EQ(restored.colorTable(), fullSvc.colorTable());
+  EXPECT_EQ(restored.graph().numEdges(), fullSvc.graph().numEdges());
+
+  // And the result is a valid coloring, not just a matching one.
+  const auto verdict =
+      dynamic::verifyDynamicColoring(restored.graph(), restored.colors());
+  EXPECT_TRUE(verdict.valid) << verdict.reason;
+  std::remove(ckpt.c_str());
+}
+
+TEST(ServiceCheckpoint, RestoredHelloPinsTheVertexCount) {
+  // Build a small colored service and checkpoint it directly.
+  ColoringService svc;
+  CommandFrame h = makeFrame<ServiceKind::Hello, CommandFrame>();
+  h.a = kServiceWireVersion;
+  h.b = 10;
+  ASSERT_EQ(svc.handle(h).kind, ServiceKind::HelloOk);
+  CommandFrame ins = makeFrame<ServiceKind::InsertEdge, CommandFrame>();
+  ins.a = 1;
+  ins.b = 2;
+  svc.handle(ins);
+  svc.handle(makeFrame<ServiceKind::Flush, CommandFrame>());
+  const Checkpoint cp = svc.checkpoint();
+
+  ColoringService restored(cp);
+  CommandFrame wrongN = h;
+  wrongN.b = 11;
+  ReplyFrame r = restored.handle(wrongN);
+  EXPECT_EQ(r.kind, ServiceKind::Error);
+  EXPECT_EQ(r.status, static_cast<std::uint8_t>(ErrorCode::BadState));
+
+  CommandFrame attach = h;
+  attach.b = 0;  // "whatever you have"
+  r = restored.handle(attach);
+  ASSERT_EQ(r.kind, ServiceKind::HelloOk);
+  EXPECT_EQ(r.b, 10u);
+}
+
+}  // namespace
+}  // namespace dima::service

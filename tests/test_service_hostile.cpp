@@ -1,0 +1,50 @@
+#include "src/service/hostile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dima::service {
+namespace {
+
+/// A scaled-down adversarial campaign (the full one runs under the CLI and
+/// the ASan/UBSan CI job). Every corruption mode cycles at least twice;
+/// the safety catalog and the post-session verifier must stay clean.
+TEST(ServiceHostile, CampaignKeepsTheInvariantCatalogClean) {
+  HostileOptions options;
+  options.seed = 0x5eedULL;
+  options.rounds = 12;
+  options.n = 32;
+  options.commands = 60;
+  options.maxBatch = 8;
+  const HostileReport report = runHostileCampaign(options);
+
+  EXPECT_EQ(report.rounds, options.rounds);
+  EXPECT_TRUE(report.ok()) << report.firstFailure;
+  EXPECT_EQ(report.monitorViolations, 0u);
+  EXPECT_EQ(report.verifyFailures, 0u);
+  // The clean control rounds (mode Clean cycles every 6th round) must have
+  // ended via Shutdown, so at least those count as clean sessions.
+  EXPECT_GE(report.cleanSessions, options.rounds / 6);
+  EXPECT_GT(report.commandsServed, 0u);
+  // Some corruption must actually have bitten: the campaign is vacuous if
+  // every mangled stream still parsed end to end.
+  EXPECT_GT(report.framingRejections + report.truncatedSessions +
+                report.errorReplies,
+            0u);
+}
+
+TEST(ServiceHostile, CampaignIsDeterministicInItsSeed) {
+  HostileOptions options;
+  options.rounds = 6;
+  options.n = 24;
+  options.commands = 40;
+  const HostileReport a = runHostileCampaign(options);
+  const HostileReport b = runHostileCampaign(options);
+  EXPECT_EQ(a.cleanSessions, b.cleanSessions);
+  EXPECT_EQ(a.framingRejections, b.framingRejections);
+  EXPECT_EQ(a.truncatedSessions, b.truncatedSessions);
+  EXPECT_EQ(a.commandsServed, b.commandsServed);
+  EXPECT_EQ(a.errorReplies, b.errorReplies);
+}
+
+}  // namespace
+}  // namespace dima::service

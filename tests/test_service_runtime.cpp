@@ -1,0 +1,275 @@
+#include "src/service/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/dynamic/incremental.hpp"
+#include "src/service/driver.hpp"
+#include "src/service/session.hpp"
+#include "src/service/wire.hpp"
+
+namespace dima::service {
+namespace {
+
+CommandFrame hello(std::uint32_t n, std::uint32_t seq = 1) {
+  CommandFrame f = makeFrame<ServiceKind::Hello, CommandFrame>();
+  f.seq = seq;
+  f.a = kServiceWireVersion;
+  f.b = n;
+  return f;
+}
+
+CommandFrame edgeCmd(ServiceKind kind, std::uint32_t u, std::uint32_t v,
+                     std::uint32_t seq = 0) {
+  CommandFrame f;
+  f.kind = kind;
+  f.seq = seq;
+  f.a = u;
+  f.b = v;
+  return f;
+}
+
+TEST(ServiceRuntime, CommandsBeforeHelloAreBadState) {
+  ColoringService svc;
+  const ReplyFrame r = svc.handle(edgeCmd(ServiceKind::InsertEdge, 0, 1, 7));
+  EXPECT_EQ(r.kind, ServiceKind::Error);
+  EXPECT_EQ(r.status, static_cast<std::uint8_t>(ErrorCode::BadState));
+  EXPECT_EQ(r.seq, 7u);
+  EXPECT_FALSE(svc.ready());
+}
+
+TEST(ServiceRuntime, HelloNegotiatesVersionAndVertexCount) {
+  ColoringService svc;
+  CommandFrame wrongVersion = hello(16);
+  wrongVersion.a = kServiceWireVersion + 5;
+  ReplyFrame r = svc.handle(wrongVersion);
+  EXPECT_EQ(r.kind, ServiceKind::Error);
+  EXPECT_EQ(r.status, static_cast<std::uint8_t>(ErrorCode::BadVersion));
+
+  r = svc.handle(hello(0));  // n = 0 is meaningless for a fresh service
+  EXPECT_EQ(r.kind, ServiceKind::Error);
+  EXPECT_EQ(r.status, static_cast<std::uint8_t>(ErrorCode::BadArgument));
+
+  r = svc.handle(hello(16));
+  ASSERT_EQ(r.kind, ServiceKind::HelloOk);
+  EXPECT_EQ(r.a, kServiceWireVersion);
+  EXPECT_EQ(r.b, 16u);
+  EXPECT_TRUE(svc.ready());
+
+  // Re-negotiating an open session is a state error.
+  r = svc.handle(hello(16));
+  EXPECT_EQ(r.kind, ServiceKind::Error);
+  EXPECT_EQ(r.status, static_cast<std::uint8_t>(ErrorCode::BadState));
+}
+
+TEST(ServiceRuntime, AckStatusesCoverTheMutationOutcomes) {
+  ColoringService svc;
+  ASSERT_EQ(svc.handle(hello(8)).kind, ServiceKind::HelloOk);
+
+  ReplyFrame r = svc.handle(edgeCmd(ServiceKind::InsertEdge, 2, 3));
+  EXPECT_EQ(r.kind, ServiceKind::Ack);
+  EXPECT_EQ(r.status, static_cast<std::uint8_t>(AckStatus::Applied));
+  const std::uint32_t edgeId = r.a;
+  EXPECT_NE(edgeId, kNoServiceEdge);
+
+  r = svc.handle(edgeCmd(ServiceKind::InsertEdge, 3, 2));  // same edge
+  EXPECT_EQ(r.status, static_cast<std::uint8_t>(AckStatus::Duplicate));
+
+  r = svc.handle(edgeCmd(ServiceKind::EraseEdge, 4, 5));  // never inserted
+  EXPECT_EQ(r.status, static_cast<std::uint8_t>(AckStatus::Missing));
+
+  r = svc.handle(edgeCmd(ServiceKind::InsertEdge, 6, 6));  // self-loop
+  EXPECT_EQ(r.status, static_cast<std::uint8_t>(AckStatus::Rejected));
+  r = svc.handle(edgeCmd(ServiceKind::InsertEdge, 1, 8));  // out of range
+  EXPECT_EQ(r.status, static_cast<std::uint8_t>(AckStatus::Rejected));
+
+  r = svc.handle(edgeCmd(ServiceKind::EraseEdge, 2, 3));
+  EXPECT_EQ(r.status, static_cast<std::uint8_t>(AckStatus::Applied));
+  EXPECT_EQ(r.a, edgeId);
+}
+
+TEST(ServiceRuntime, BatchThresholdForcesAnEpoch) {
+  ServiceOptions opts;
+  opts.policy.maxBatch = 4;
+  opts.policy.maxStaleness = 100;  // keep queries from forcing epochs
+  ColoringService svc(opts);
+  ASSERT_EQ(svc.handle(hello(32)).kind, ServiceKind::HelloOk);
+
+  svc.handle(edgeCmd(ServiceKind::InsertEdge, 0, 1));
+  svc.handle(edgeCmd(ServiceKind::InsertEdge, 1, 2));
+  svc.handle(edgeCmd(ServiceKind::InsertEdge, 2, 3));
+  EXPECT_EQ(svc.scheduler().epochsRun(), 0u);
+  EXPECT_EQ(svc.scheduler().backlog(), 3u);
+
+  svc.handle(edgeCmd(ServiceKind::InsertEdge, 3, 4));  // fourth: epoch fires
+  EXPECT_EQ(svc.scheduler().epochsRun(), 1u);
+  EXPECT_EQ(svc.scheduler().backlog(), 0u);
+  EXPECT_EQ(svc.lastEpoch().batch, 4u);
+  EXPECT_TRUE(svc.lastEpoch().converged);
+  EXPECT_EQ(svc.scheduler().backlogPeak(), 4u);
+}
+
+TEST(ServiceRuntime, StalenessBoundGovernsQueries) {
+  ServiceOptions opts;
+  opts.policy.maxBatch = 100;
+  opts.policy.maxStaleness = 2;
+  ColoringService svc(opts);
+  ASSERT_EQ(svc.handle(hello(32)).kind, ServiceKind::HelloOk);
+
+  svc.handle(edgeCmd(ServiceKind::InsertEdge, 0, 1));
+  svc.handle(edgeCmd(ServiceKind::InsertEdge, 1, 2));
+
+  // Backlog 2 ≤ maxStaleness: the query tolerates the lag and the fresh
+  // edge reports Pending (mutated topology, deferred recoloring).
+  ReplyFrame r = svc.handle(edgeCmd(ServiceKind::QueryColor, 0, 1));
+  EXPECT_EQ(r.kind, ServiceKind::ColorInfo);
+  EXPECT_EQ(r.status, static_cast<std::uint8_t>(ColorStatus::Pending));
+  EXPECT_EQ(r.b, 2u);  // reported staleness = backlog
+  EXPECT_EQ(svc.scheduler().epochsRun(), 0u);
+
+  // Backlog 3 > maxStaleness: the query forces the epoch first and then
+  // sees a colored edge over a drained backlog.
+  svc.handle(edgeCmd(ServiceKind::InsertEdge, 2, 3));
+  r = svc.handle(edgeCmd(ServiceKind::QueryColor, 0, 1));
+  EXPECT_EQ(r.status, static_cast<std::uint8_t>(ColorStatus::Colored));
+  EXPECT_GE(r.color, 0);
+  EXPECT_EQ(r.b, 0u);
+  EXPECT_EQ(svc.scheduler().epochsRun(), 1u);
+
+  r = svc.handle(edgeCmd(ServiceKind::QueryColor, 5, 6));
+  EXPECT_EQ(r.status, static_cast<std::uint8_t>(ColorStatus::NoSuchEdge));
+}
+
+TEST(ServiceRuntime, StatsBlockKeepsItsDocumentedOrder) {
+  ServiceOptions opts;
+  opts.policy.maxBatch = 2;
+  ColoringService svc(opts);
+  ASSERT_EQ(svc.handle(hello(16)).kind, ServiceKind::HelloOk);
+  svc.handle(edgeCmd(ServiceKind::InsertEdge, 0, 1));
+  svc.handle(edgeCmd(ServiceKind::InsertEdge, 1, 2));  // epoch
+  svc.handle(edgeCmd(ServiceKind::InsertEdge, 2, 3));
+  svc.handle(edgeCmd(ServiceKind::QueryColor, 0, 1));  // forces another
+
+  const ReplyFrame r = svc.handle(makeFrame<ServiceKind::Stats, CommandFrame>());
+  ASSERT_EQ(r.kind, ServiceKind::StatsInfo);
+  ASSERT_EQ(r.stats.size(), kStatsFieldCount);
+  EXPECT_EQ(r.stats[0], 16u);  // n
+  EXPECT_EQ(r.stats[1], 3u);   // live edges
+  EXPECT_EQ(r.stats[2], 2u);   // max degree (path 0-1-2-3)
+  EXPECT_EQ(r.stats[3], 3u);   // mutations admitted
+  EXPECT_EQ(r.stats[4], 1u);   // queries admitted
+  EXPECT_EQ(r.stats[5], 2u);   // epochs run
+  EXPECT_EQ(r.stats[6], 0u);   // backlog now
+  EXPECT_EQ(r.stats[7], 2u);   // backlog peak
+}
+
+TEST(ServiceRuntime, FlushRepliesEpochDoneAndShutdownSticks) {
+  ColoringService svc;
+  ASSERT_EQ(svc.handle(hello(8)).kind, ServiceKind::HelloOk);
+  svc.handle(edgeCmd(ServiceKind::InsertEdge, 0, 1));
+
+  ReplyFrame r = svc.handle(makeFrame<ServiceKind::Flush, CommandFrame>(
+      CommandFrame{.seq = 4}));
+  ASSERT_EQ(r.kind, ServiceKind::EpochDone);
+  EXPECT_EQ(r.seq, 4u);
+  EXPECT_EQ(r.b, 1u);  // one edge repaired
+
+  r = svc.handle(makeFrame<ServiceKind::Shutdown, CommandFrame>());
+  EXPECT_EQ(r.kind, ServiceKind::Ack);
+  EXPECT_TRUE(svc.shutdownRequested());
+  r = svc.handle(edgeCmd(ServiceKind::InsertEdge, 1, 2));
+  EXPECT_EQ(r.kind, ServiceKind::Error);
+  EXPECT_EQ(r.status, static_cast<std::uint8_t>(ErrorCode::BadState));
+}
+
+TEST(ServiceRuntime, ReplyKindInCommandPositionIsBadFrame) {
+  ColoringService svc;
+  ASSERT_EQ(svc.handle(hello(8)).kind, ServiceKind::HelloOk);
+  CommandFrame bogus;
+  bogus.kind = ServiceKind::Ack;  // hand-built; decoders never produce this
+  const ReplyFrame r = svc.handle(bogus);
+  EXPECT_EQ(r.kind, ServiceKind::Error);
+  EXPECT_EQ(r.status, static_cast<std::uint8_t>(ErrorCode::BadFrame));
+}
+
+TEST(ServiceRuntime, SessionPumpsAStreamEndToEnd) {
+  StreamSpec spec;
+  spec.seed = 0x1234;
+  spec.n = 48;
+  spec.commands = 200;
+  spec.split = spec.commands;  // no mid-stream snapshot in `full`
+  const StreamBundle streams = buildStreams(spec, "/tmp/unused.ckpt");
+
+  std::stringstream in(std::string(
+      reinterpret_cast<const char*>(streams.full.data()), streams.full.size()));
+  std::stringstream out;
+  ColoringService svc;
+  const SessionResult session = runSession(svc, in, out);
+  EXPECT_TRUE(session.clean());
+  EXPECT_TRUE(session.shutdown);
+  EXPECT_EQ(session.commands, session.replies);
+  // Hello + 200 body commands + split Flush + final Flush + Shutdown.
+  EXPECT_EQ(session.commands, spec.commands + 4);
+
+  // One reply per command, all decodable.
+  const std::string replyBytes = out.str();
+  ReplyReader reader;
+  reader.feed(reinterpret_cast<const std::uint8_t*>(replyBytes.data()),
+              replyBytes.size());
+  ReplyFrame reply;
+  std::string error;
+  std::uint64_t replies = 0;
+  while (reader.next(&reply, &error) == DecodeStatus::Frame) ++replies;
+  EXPECT_EQ(replies, session.replies);
+  EXPECT_FALSE(reader.midFrame());
+
+  // The surviving coloring is a valid ≤ 2Δ−1 edge coloring.
+  const auto verdict = dynamic::verifyDynamicColoring(svc.graph(), svc.colors());
+  EXPECT_TRUE(verdict.valid) << verdict.reason;
+}
+
+TEST(ServiceRuntime, TruncatedSessionEndsWithAnErrorReply) {
+  StreamSpec spec;
+  spec.n = 16;
+  spec.commands = 20;
+  spec.split = spec.commands;
+  const StreamBundle streams = buildStreams(spec, "/tmp/unused.ckpt");
+  std::string bytes(reinterpret_cast<const char*>(streams.full.data()),
+                    streams.full.size());
+  bytes.resize(bytes.size() - 3);  // cut mid-frame
+
+  std::stringstream in(bytes);
+  std::stringstream out;
+  ColoringService svc;
+  const SessionResult session = runSession(svc, in, out);
+  EXPECT_TRUE(session.truncated);
+  EXPECT_FALSE(session.clean());
+  EXPECT_EQ(session.replies, session.commands + 1);  // trailing Error frame
+}
+
+TEST(ServiceRuntime, MonitoredChurnKeepsTheCatalogClean) {
+  ServiceOptions opts;
+  opts.monitor = true;
+  opts.policy.maxBatch = 8;
+  ColoringService svc(opts);
+  ASSERT_EQ(svc.handle(hello(24)).kind, ServiceKind::HelloOk);
+
+  StreamSpec spec;
+  spec.seed = 0x777;
+  spec.n = 24;
+  spec.commands = 150;
+  for (const CommandFrame& cmd : buildCommandList(spec)) svc.handle(cmd);
+  svc.handle(makeFrame<ServiceKind::Flush, CommandFrame>());
+
+  EXPECT_TRUE(svc.violations().empty())
+      << svc.violations().front().detail;
+  const auto verdict = dynamic::verifyDynamicColoring(svc.graph(), svc.colors());
+  EXPECT_TRUE(verdict.valid) << verdict.reason;
+}
+
+}  // namespace
+}  // namespace dima::service

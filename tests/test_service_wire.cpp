@@ -1,0 +1,306 @@
+#include "src/service/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/support/rng.hpp"
+
+namespace dima::service {
+namespace {
+
+std::vector<std::uint8_t> encodeOne(const CommandFrame& f) {
+  std::vector<std::uint8_t> bytes;
+  encodeCommand(f, &bytes);
+  return bytes;
+}
+
+std::vector<std::uint8_t> encodeOne(const ReplyFrame& f) {
+  std::vector<std::uint8_t> bytes;
+  encodeReply(f, &bytes);
+  return bytes;
+}
+
+/// Every command kind with every field populated the way the service uses
+/// it; encode→decode must be an identity on each.
+std::vector<CommandFrame> sampleCommands() {
+  std::vector<CommandFrame> out;
+  CommandFrame hello = makeFrame<ServiceKind::Hello, CommandFrame>();
+  hello.seq = 1;
+  hello.a = kServiceWireVersion;
+  hello.b = 128;
+  out.push_back(hello);
+
+  CommandFrame ins = makeFrame<ServiceKind::InsertEdge, CommandFrame>();
+  ins.seq = 2;
+  ins.a = 3;
+  ins.b = 77;
+  out.push_back(ins);
+
+  CommandFrame era = makeFrame<ServiceKind::EraseEdge, CommandFrame>();
+  era.seq = 3;
+  era.a = 0;
+  era.b = 127;
+  out.push_back(era);
+
+  CommandFrame qry = makeFrame<ServiceKind::QueryColor, CommandFrame>();
+  qry.seq = 0xffffffffU;
+  qry.a = 5;
+  qry.b = 6;
+  out.push_back(qry);
+
+  out.push_back(makeFrame<ServiceKind::Flush, CommandFrame>(
+      CommandFrame{.seq = 5}));
+
+  CommandFrame snap = makeFrame<ServiceKind::Snapshot, CommandFrame>();
+  snap.seq = 6;
+  snap.path = "/tmp/service.ckpt";
+  out.push_back(snap);
+
+  out.push_back(makeFrame<ServiceKind::Stats, CommandFrame>(
+      CommandFrame{.seq = 7}));
+  out.push_back(makeFrame<ServiceKind::Shutdown, CommandFrame>(
+      CommandFrame{.seq = 8}));
+  return out;
+}
+
+/// Every reply kind with its kind-specific fields set.
+std::vector<ReplyFrame> sampleReplies() {
+  std::vector<ReplyFrame> out;
+  ReplyFrame helloOk = makeFrame<ServiceKind::HelloOk, ReplyFrame>();
+  helloOk.seq = 1;
+  helloOk.a = kServiceWireVersion;
+  helloOk.b = 128;
+  out.push_back(helloOk);
+
+  ReplyFrame ack = makeFrame<ServiceKind::Ack, ReplyFrame>();
+  ack.seq = 2;
+  ack.status = static_cast<std::uint8_t>(AckStatus::Applied);
+  ack.a = 41;
+  out.push_back(ack);
+
+  ReplyFrame color = makeFrame<ServiceKind::ColorInfo, ReplyFrame>();
+  color.seq = 3;
+  color.status = static_cast<std::uint8_t>(ColorStatus::Colored);
+  color.color = 9;
+  color.a = 17;  // epoch
+  color.b = 2;   // staleness
+  out.push_back(color);
+
+  ReplyFrame epoch = makeFrame<ServiceKind::EpochDone, ReplyFrame>();
+  epoch.seq = 4;
+  epoch.a = 18;
+  epoch.b = 12;
+  epoch.value = 431;
+  out.push_back(epoch);
+
+  ReplyFrame snapOk = makeFrame<ServiceKind::SnapshotOk, ReplyFrame>();
+  snapOk.seq = 5;
+  snapOk.a = 4096;
+  snapOk.value = 0xdeadbeefcafef00dULL;
+  out.push_back(snapOk);
+
+  ReplyFrame stats = makeFrame<ServiceKind::StatsInfo, ReplyFrame>();
+  stats.seq = 6;
+  stats.stats = {96, 300, 11, 1000, 250, 40, 3, 64, 18, 95};
+  out.push_back(stats);
+
+  ReplyFrame err = makeFrame<ServiceKind::Error, ReplyFrame>();
+  err.seq = 7;
+  err.status = static_cast<std::uint8_t>(ErrorCode::BadVersion);
+  err.text = "wire version 9 unsupported";
+  out.push_back(err);
+  return out;
+}
+
+TEST(ServiceWire, EveryCommandKindRoundTrips) {
+  for (const CommandFrame& f : sampleCommands()) {
+    CommandReader reader;
+    const std::vector<std::uint8_t> bytes = encodeOne(f);
+    reader.feed(bytes.data(), bytes.size());
+    CommandFrame decoded;
+    std::string error;
+    ASSERT_EQ(reader.next(&decoded, &error), DecodeStatus::Frame)
+        << serviceKindName(f.kind) << ": " << error;
+    EXPECT_EQ(decoded, f) << serviceKindName(f.kind);
+    EXPECT_EQ(reader.next(&decoded, &error), DecodeStatus::NeedMore);
+    EXPECT_FALSE(reader.midFrame());
+  }
+}
+
+TEST(ServiceWire, EveryReplyKindRoundTrips) {
+  for (const ReplyFrame& f : sampleReplies()) {
+    ReplyReader reader;
+    const std::vector<std::uint8_t> bytes = encodeOne(f);
+    reader.feed(bytes.data(), bytes.size());
+    ReplyFrame decoded;
+    std::string error;
+    ASSERT_EQ(reader.next(&decoded, &error), DecodeStatus::Frame)
+        << serviceKindName(f.kind) << ": " << error;
+    EXPECT_EQ(decoded, f) << serviceKindName(f.kind);
+    EXPECT_EQ(reader.next(&decoded, &error), DecodeStatus::NeedMore);
+  }
+}
+
+TEST(ServiceWire, ByteAtATimeFeedingReassemblesFrames) {
+  const std::vector<CommandFrame> frames = sampleCommands();
+  std::vector<std::uint8_t> stream;
+  for (const CommandFrame& f : frames) encodeCommand(f, &stream);
+
+  CommandReader reader;
+  std::vector<CommandFrame> decoded;
+  CommandFrame frame;
+  std::string error;
+  for (const std::uint8_t byte : stream) {
+    reader.feed(&byte, 1);
+    while (reader.next(&frame, &error) == DecodeStatus::Frame) {
+      decoded.push_back(frame);
+    }
+  }
+  ASSERT_EQ(decoded.size(), frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(decoded[i], frames[i]) << i;
+  }
+  EXPECT_FALSE(reader.midFrame());
+}
+
+TEST(ServiceWire, TruncatedFrameReportsMidFrameNotBad) {
+  const std::vector<std::uint8_t> bytes =
+      encodeOne(makeFrame<ServiceKind::InsertEdge, CommandFrame>(
+          CommandFrame{.seq = 9, .a = 1, .b = 2}));
+  for (std::size_t cut = 1; cut < bytes.size(); ++cut) {
+    CommandReader reader;
+    reader.feed(bytes.data(), cut);
+    CommandFrame frame;
+    std::string error;
+    EXPECT_EQ(reader.next(&frame, &error), DecodeStatus::NeedMore) << cut;
+    EXPECT_TRUE(reader.midFrame()) << cut;
+  }
+}
+
+TEST(ServiceWire, LengthBombIsRejectedBeforeBuffering) {
+  // A 4 GiB length prefix must flip the reader to Bad immediately; waiting
+  // for the bytes would be an allocation bomb.
+  std::vector<std::uint8_t> bytes = {0xff, 0xff, 0xff, 0xff};
+  CommandReader reader;
+  reader.feed(bytes.data(), bytes.size());
+  CommandFrame frame;
+  std::string error;
+  EXPECT_EQ(reader.next(&frame, &error), DecodeStatus::Bad);
+  EXPECT_NE(error.find("ceiling"), std::string::npos) << error;
+}
+
+TEST(ServiceWire, BadIsSticky) {
+  CommandReader reader;
+  const std::uint8_t garbage[5] = {1, 0, 0, 0, 0xee};  // unknown kind 0xee
+  reader.feed(garbage, sizeof(garbage));
+  CommandFrame frame;
+  std::string error;
+  ASSERT_EQ(reader.next(&frame, &error), DecodeStatus::Bad);
+  // Feeding a perfectly valid frame afterwards cannot resynchronize.
+  const std::vector<std::uint8_t> good =
+      encodeOne(makeFrame<ServiceKind::Flush, CommandFrame>());
+  reader.feed(good.data(), good.size());
+  EXPECT_EQ(reader.next(&frame, &error), DecodeStatus::Bad);
+}
+
+TEST(ServiceWire, ReplyKindInCommandPositionIsRejected) {
+  const std::vector<std::uint8_t> bytes =
+      encodeOne(makeFrame<ServiceKind::Ack, ReplyFrame>());
+  CommandReader reader;
+  reader.feed(bytes.data(), bytes.size());
+  CommandFrame frame;
+  std::string error;
+  EXPECT_EQ(reader.next(&frame, &error), DecodeStatus::Bad);
+  EXPECT_NE(error.find("not a command kind"), std::string::npos) << error;
+}
+
+TEST(ServiceWire, PayloadSizeMustMatchTheKindExactly) {
+  // A Flush payload with one trailing byte: same kind, wrong size.
+  std::vector<std::uint8_t> bytes;
+  encodeCommand(makeFrame<ServiceKind::Flush, CommandFrame>(), &bytes);
+  bytes.push_back(0);      // the stray payload byte
+  bytes[0] += 1;           // patch the length prefix to cover it
+  CommandReader reader;
+  reader.feed(bytes.data(), bytes.size());
+  CommandFrame frame;
+  std::string error;
+  EXPECT_EQ(reader.next(&frame, &error), DecodeStatus::Bad);
+}
+
+TEST(ServiceWire, StatsBlockWithWrongFieldCountIsRejected) {
+  ReplyFrame stats = makeFrame<ServiceKind::StatsInfo, ReplyFrame>();
+  stats.stats = {1, 2, 3};  // kStatsFieldCount is 10
+  const std::vector<std::uint8_t> bytes = encodeOne(stats);
+  ReplyReader reader;
+  reader.feed(bytes.data(), bytes.size());
+  ReplyFrame frame;
+  std::string error;
+  EXPECT_EQ(reader.next(&frame, &error), DecodeStatus::Bad);
+}
+
+// --- frame fuzz ------------------------------------------------------------
+// The decoder is the one component that reads attacker bytes; these loops
+// run under the ASan/UBSan CI job, where "rejects cleanly" means no crash,
+// no overflow, no uninitialized read — only Frame/NeedMore/Bad.
+
+TEST(ServiceWireFuzz, RandomBytesNeverCrashTheCommandReader) {
+  support::Rng rng(0xf00dULL);
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t size = 1 + rng.below(256);
+    std::vector<std::uint8_t> bytes(size);
+    for (std::uint8_t& b : bytes) {
+      b = static_cast<std::uint8_t>(rng.below(256));
+    }
+    CommandReader reader;
+    reader.feed(bytes.data(), bytes.size());
+    CommandFrame frame;
+    std::string error;
+    for (int step = 0; step < 64; ++step) {
+      const DecodeStatus st = reader.next(&frame, &error);
+      if (st != DecodeStatus::Frame) break;
+    }
+  }
+}
+
+TEST(ServiceWireFuzz, TruncatedAndMangledValidStreamsRejectCleanly) {
+  support::Rng rng(0xbeefULL);
+  std::vector<std::uint8_t> stream;
+  for (const CommandFrame& f : sampleCommands()) encodeCommand(f, &stream);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::uint8_t> bytes = stream;
+    // Mangle: truncate somewhere and flip a handful of bytes.
+    bytes.resize(1 + rng.below(bytes.size()));
+    for (int flips = 0; flips < 4 && !bytes.empty(); ++flips) {
+      bytes[rng.below(bytes.size())] ^=
+          static_cast<std::uint8_t>(1 + rng.below(255));
+    }
+    CommandReader reader;
+    reader.feed(bytes.data(), bytes.size());
+    CommandFrame frame;
+    std::string error;
+    while (reader.next(&frame, &error) == DecodeStatus::Frame) {
+    }
+  }
+}
+
+TEST(ServiceWireFuzz, RawPayloadDecodersBoundEveryRead) {
+  support::Rng rng(0xcafeULL);
+  for (int round = 0; round < 400; ++round) {
+    const std::size_t size = rng.below(64);
+    std::vector<std::uint8_t> payload(size);
+    for (std::uint8_t& b : payload) {
+      b = static_cast<std::uint8_t>(rng.below(256));
+    }
+    CommandFrame cmd;
+    ReplyFrame reply;
+    std::string error;
+    decodeCommandPayload(payload.data(), payload.size(), &cmd, &error);
+    decodeReplyPayload(payload.data(), payload.size(), &reply, &error);
+  }
+}
+
+}  // namespace
+}  // namespace dima::service

@@ -20,6 +20,15 @@
 ///                        src/dynamic, src/baselines) never include
 ///                        src/net/network.hpp directly; they talk to the
 ///                        substrate through the engine/protocol surface.
+///   service-layering     src/service TUs never include src/net/network.hpp
+///                        directly either: the serve subsystem depends on
+///                        dynamic/coloring/support and drives all repairs
+///                        through `IncrementalRecolorer`.
+///   service-kind-registry  every `ServiceKind` enumerator is registered in
+///                        a frame format's `kKinds` table
+///                        (src/service/wire.hpp) and named/decoded in
+///                        src/service/wire.cpp — textual re-check of the
+///                        `serviceKindsRegistered` static_assert.
 ///   hot-path-tokens      files tagged `// dimalint: hot-path` contain no
 ///                        `std::function`, no `new`/`malloc`, and no
 ///                        node-based containers — the zero-copy substrate's
@@ -282,6 +291,46 @@ void ruleLayering(const Tree& t, std::vector<Finding>& out) {
   }
 }
 
+void ruleServiceLayering(const Tree& t, std::vector<Finding>& out) {
+  // The service subsystem sits above dynamic/coloring/support and talks to
+  // the automaton only through IncrementalRecolorer; reaching into the
+  // message substrate directly would bypass the repair-epoch discipline.
+  for (const SourceFile& f : t.files) {
+    if (!f.path.starts_with("src/service/")) continue;
+    const std::string inc = "\"src/net/network.hpp\"";
+    const std::size_t pos = f.raw.find(inc);
+    if (pos != std::string::npos) {
+      addFinding(out, "service-layering", f.path, lineOf(f.raw, pos),
+                 "service layer includes src/net/network.hpp directly; "
+                 "drive repairs through dynamic::IncrementalRecolorer");
+    }
+  }
+}
+
+void ruleServiceKindRegistry(const Tree& t, std::vector<Finding>& out) {
+  // Textual re-check of the serviceKindsRegistered static_assert in
+  // src/service/wire.hpp (same belt-and-braces as wire-kind-registry): the
+  // gate survives even if the assert is edited away.
+  const SourceFile* hpp = t.find("src/service/wire.hpp");
+  if (hpp == nullptr) return;
+  const SourceFile* cpp = t.find("src/service/wire.cpp");
+  for (const Enumerator& e : parseEnumClass(*hpp, "ServiceKind")) {
+    const std::string qualified = "ServiceKind::" + e.name;
+    if (!containsToken(hpp->code, qualified)) {
+      addFinding(out, "service-kind-registry", hpp->path, e.line,
+                 "ServiceKind::" + e.name +
+                     " is not registered in any frame format's kKinds "
+                     "table");
+    }
+    if (cpp != nullptr && !containsToken(cpp->code, qualified)) {
+      addFinding(out, "service-kind-registry", cpp->path, 1,
+                 "ServiceKind::" + e.name +
+                     " is missing from the serviceKindName / payload codec "
+                     "registry");
+    }
+  }
+}
+
 void ruleHotPathTokens(const Tree& t, std::vector<Finding>& out) {
   static const char* kBanned[] = {"std::function", "std::bind",
                                   "malloc",        "calloc",
@@ -338,6 +387,13 @@ constexpr Rule kRules[] = {
     {"layering",
      "protocol policy TUs never include src/net/network.hpp directly",
      ruleLayering},
+    {"service-layering",
+     "src/service TUs never include src/net/network.hpp directly",
+     ruleServiceLayering},
+    {"service-kind-registry",
+     "every ServiceKind has a frame-format kKinds entry and a "
+     "serviceKindName entry",
+     ruleServiceKindRegistry},
     {"hot-path-tokens",
      "hot-path-tagged files are free of std::function/allocation tokens",
      ruleHotPathTokens},
