@@ -27,7 +27,10 @@
 #include <thread>
 #include <vector>
 
+#include "src/automata/bitplane.hpp"
 #include "src/automata/discovery.hpp"
+#include "src/coloring/bitplane_engines.hpp"
+#include "src/coloring/madec.hpp"
 #include "src/graph/generators.hpp"
 #include "src/net/engine.hpp"
 #include "src/net/network.hpp"
@@ -35,9 +38,24 @@
 #include "src/support/small_vector.hpp"
 #include "src/support/thread_pool.hpp"
 
+// Provenance (DESIGN.md §4): a benchmark JSON without the commit, compiler,
+// and dispatched ISA path cannot be compared across PRs or machines.
+#ifndef DIMA_GIT_COMMIT
+#define DIMA_GIT_COMMIT "unknown"
+#endif
+
 namespace {
 
 using namespace dima;
+namespace bp = dima::automata::bitplane;
+
+#if defined(__clang__)
+constexpr const char* kCompiler = "clang " __VERSION__;
+#elif defined(__GNUC__)
+constexpr const char* kCompiler = "gcc " __VERSION__;
+#else
+constexpr const char* kCompiler = "unknown";
+#endif
 
 constexpr std::size_t kSubstrateNodes = 100000;
 constexpr double kSubstrateAvgDeg = 16.0;
@@ -316,6 +334,87 @@ void BM_EngineTailFullScan(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineTailFullScan)->Unit(benchmark::kMillisecond)->UseRealTime();
 
+/// One iteration = the *first* MaDEC cycle on the bit-plane engine — every
+/// node active, the densest round of the run and the shape every
+/// O(Δ)-cycle protocol starts in. One cycle is 3 comm rounds, so the
+/// apples-to-apples comparison against `BM_SubstrateArenaRound` (one
+/// broadcast round of envelope traffic, no protocol work) is
+/// arena_ns / (cycle_ns / 3) — computed as `bitplane_speedup_*` in the
+/// JSON artifact. The reset (RNG re-seeding, plane clears) is excluded
+/// from the timed region; it is per-run setup, not round cost.
+void BM_BitPlaneRound(benchmark::State& state) {
+  const graph::Graph g = substrateGraph();
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  support::ThreadPool pool(threads);
+  coloring::MadecOptions options;
+  options.pool = threads == 1 ? nullptr : &pool;
+  coloring::BitPlaneMadec engine(g, options);
+  for (auto _ : state) {
+    state.PauseTiming();
+    engine.reset();
+    state.ResumeTiming();
+    engine.runCycle();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.numVertices()));
+}
+BENCHMARK(BM_BitPlaneRound)
+    ->Arg(1)
+    ->Arg(static_cast<int>(kSubstrateThreads))
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// The word-parallel palette primitive (lowest color clear in BOTH rows —
+/// Algorithm 1 line 11) over every node's row pair, on the scalar kernels
+/// (arg 1 == 0) and the best compiled ISA path (arg 1 == 1), at two row
+/// widths: 2 words (128 colors — MaDEC's 2Δ bound at this config) and 16
+/// words (1024 colors — the grown-palette regime of large-Δ DiMa2Ed). The
+/// wide-row ratio is the `bitplane_palette_simd_speedup` JSON line; short
+/// rows are tail-mask-dominated, so SIMD is not expected to win there. On
+/// a toolchain with only scalar kernels both args time the same code and
+/// the ratio pins at ~1.
+void BM_BitPlanePalette(benchmark::State& state) {
+  const auto strideWords = static_cast<std::size_t>(state.range(0));
+  bp::PaletteRows own(kSubstrateNodes, strideWords);
+  bp::PaletteRows neighbor(kSubstrateNodes, strideWords);
+  // Near-exhaustion fill: all colors taken except one in the upper half of
+  // the row, so the scan actually walks the words. (A sparse row exits at
+  // word 0 and times only call overhead — the regime where the primitive's
+  // cost matters to a run is the last free color, not the first.)
+  support::Rng rng(17);
+  const std::size_t bits = strideWords * bp::kWordBits;
+  for (net::NodeId u = 0; u < kSubstrateNodes; ++u) {
+    bp::Word* a = own.row(u);
+    bp::Word* b = neighbor.row(u);
+    for (std::size_t w = 0; w < strideWords; ++w) {
+      a[w] = ~bp::Word{0};
+      b[w] = ~bp::Word{0};
+    }
+    const std::size_t freeBit = bits / 2 + rng.index(bits / 2);
+    a[freeBit / bp::kWordBits] &= ~(bp::Word{1} << (freeBit % bp::kWordBits));
+    b[freeBit / bp::kWordBits] &= ~(bp::Word{1} << (freeBit % bp::kWordBits));
+  }
+  const bp::Isa original = bp::activeIsa();
+  bp::setIsa(state.range(1) == 0 ? bp::Isa::Scalar : bp::bestIsa());
+  std::size_t sink = 0;
+  for (auto _ : state) {
+    for (net::NodeId u = 0; u < kSubstrateNodes; ++u) {
+      sink += bp::kernels().firstClearPair(own.row(u), neighbor.row(u),
+                                           strideWords);
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  bp::setIsa(original);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kSubstrateNodes));
+}
+BENCHMARK(BM_BitPlanePalette)
+    ->Args({2, 0})
+    ->Args({2, 1})
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_GenerateErdosRenyi(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   std::uint64_t seed = 1;
@@ -435,11 +534,22 @@ void writeJson(const std::vector<TeeReporter::Row>& rows) {
       nsFor(rows, "BM_SubstrateLegacySparseRound/100" + threadSuffix);
   const double tailFrontier = nsFor(rows, "BM_EngineTailFrontier/real_time");
   const double tailFull = nsFor(rows, "BM_EngineTailFullScan/real_time");
+  const double bitplane1 = nsFor(rows, "BM_BitPlaneRound/1/real_time");
+  const double bitplane8 = nsFor(rows, "BM_BitPlaneRound" + threadSuffix);
+  const double paletteScalar = nsFor(rows, "BM_BitPlanePalette/16/0");
+  const double paletteBest = nsFor(rows, "BM_BitPlanePalette/16/1");
+  // A MaDEC cycle is 3 comm rounds; normalize before comparing against the
+  // one-round substrate bench (see BM_BitPlaneRound's comment).
+  const double bitplaneRound1 = bitplane1 / 3.0;
+  const double bitplaneRound8 = bitplane8 / 3.0;
 
   std::fprintf(out, "{\n  \"config\": {\"n\": %zu, \"avg_degree\": %.1f, "
-               "\"threads\": %zu, \"host_cpus\": %u},\n",
+               "\"threads\": %zu, \"host_cpus\": %u,\n"
+               "    \"git_commit\": \"%s\", \"compiler\": \"%s\", "
+               "\"bitplane_isa\": \"%s\"},\n",
                kSubstrateNodes, kSubstrateAvgDeg, kSubstrateThreads,
-               std::thread::hardware_concurrency());
+               std::thread::hardware_concurrency(), DIMA_GIT_COMMIT,
+               kCompiler, bp::isaName(bp::activeIsa()));
   std::fprintf(out, "  \"benchmarks\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     std::fprintf(out,
@@ -462,17 +572,33 @@ void writeJson(const std::vector<TeeReporter::Row>& rows) {
                tailRoundArena1 > 0 ? tailRoundLegacy1 / tailRoundArena1 : 0.0);
   std::fprintf(out, "  \"tail_round_speedup_8t\": %.2f,\n",
                tailRoundArena8 > 0 ? tailRoundLegacy8 / tailRoundArena8 : 0.0);
-  std::fprintf(out, "  \"tail_run_speedup_8t\": %.2f\n",
+  std::fprintf(out, "  \"tail_run_speedup_8t\": %.2f,\n",
                tailFrontier > 0 ? tailFull / tailFrontier : 0.0);
+  // Bit-plane engine round throughput vs the slot-arena substrate round
+  // (per comm round; a MaDEC cycle on the bit-plane side also does all the
+  // protocol work the substrate bench doesn't, so these understate the
+  // engine — see BM_BitPlaneRound).
+  std::fprintf(out, "  \"bitplane_speedup_1t\": %.2f,\n",
+               bitplaneRound1 > 0 ? arena1 / bitplaneRound1 : 0.0);
+  std::fprintf(out, "  \"bitplane_speedup_8t\": %.2f,\n",
+               bitplaneRound8 > 0 ? arena8 / bitplaneRound8 : 0.0);
+  std::fprintf(out, "  \"bitplane_palette_simd_speedup\": %.2f\n",
+               paletteBest > 0 ? paletteScalar / paletteBest : 0.0);
   std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("\nwrote BENCH_substrate.json (dense substrate speedup @%zu "
               "threads: %.2fx, sparse round: %.2fx, tail round: %.2fx, "
-              "tail run: %.2fx)\n",
+              "tail run: %.2fx, bit-plane round: %.2fx @1t / %.2fx @%zut, "
+              "palette SIMD: %.2fx on %s)\n",
               kSubstrateThreads, arena8 > 0 ? legacy8 / arena8 : 0.0,
               sparseArena8 > 0 ? sparseLegacy8 / sparseArena8 : 0.0,
               tailRoundArena8 > 0 ? tailRoundLegacy8 / tailRoundArena8 : 0.0,
-              tailFrontier > 0 ? tailFull / tailFrontier : 0.0);
+              tailFrontier > 0 ? tailFull / tailFrontier : 0.0,
+              bitplaneRound1 > 0 ? arena1 / bitplaneRound1 : 0.0,
+              bitplaneRound8 > 0 ? arena8 / bitplaneRound8 : 0.0,
+              kSubstrateThreads,
+              paletteBest > 0 ? paletteScalar / paletteBest : 0.0,
+              bp::isaName(bp::activeIsa()));
 }
 
 }  // namespace

@@ -1,0 +1,604 @@
+#include "src/automata/bitplane.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/support/assert.hpp"
+#include "src/support/log.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define DIMA_BITPLANE_X86 1
+#include <immintrin.h>
+#endif
+
+namespace dima::automata::bitplane {
+
+// ---------------------------------------------------------------------------
+// Kernels: scalar path (always compiled, the semantic definition).
+
+namespace {
+
+void clearScalar(Word* words, std::size_t n) {
+  std::fill_n(words, n, Word{0});
+}
+
+void andNotScalar(Word* dst, const Word* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] &= ~src[i];
+}
+
+std::size_t popcountScalar(const Word* words, std::size_t n) {
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    c += static_cast<std::size_t>(std::popcount(words[i]));
+  }
+  return c;
+}
+
+std::size_t firstClearPairScalar(const Word* a, const Word* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const Word inv = ~(a[i] | b[i]);
+    if (inv != 0) {
+      return i * kWordBits + static_cast<std::size_t>(std::countr_zero(inv));
+    }
+  }
+  return n * kWordBits;
+}
+
+constexpr Kernels kScalarKernels{clearScalar, andNotScalar, popcountScalar,
+                                 firstClearPairScalar};
+
+#if DIMA_BITPLANE_X86
+
+// AVX2 path: 256-bit (4-word) strides, scalar tail. Bit-exact with the
+// scalar path by construction — same words, same results, wider loads.
+
+__attribute__((target("avx2"))) void clearAvx2(Word* words, std::size_t n) {
+  const __m256i zero = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(words + i), zero);
+  }
+  for (; i < n; ++i) words[i] = 0;
+}
+
+__attribute__((target("avx2"))) void andNotAvx2(Word* dst, const Word* src,
+                                                std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    // andnot(a, b) = ~a & b: clear in dst every bit set in src.
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_andnot_si256(s, d));
+  }
+  for (; i < n; ++i) dst[i] &= ~src[i];
+}
+
+__attribute__((target("avx2"))) std::size_t firstClearPairAvx2(
+    const Word* a, const Word* b, std::size_t n) {
+  const __m256i ones = _mm256_set1_epi64x(-1);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i merged = _mm256_or_si256(va, vb);
+    // Lane mask of words that are fully set; any clear lane holds the bit.
+    const int full = _mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_cmpeq_epi64(merged, ones)));
+    if (full != 0xF) {
+      const auto lane = static_cast<std::size_t>(
+          std::countr_zero(static_cast<unsigned>(~full & 0xF)));
+      const Word word = a[i + lane] | b[i + lane];
+      return (i + lane) * kWordBits +
+             static_cast<std::size_t>(std::countr_zero(~word));
+    }
+  }
+  for (; i < n; ++i) {
+    const Word inv = ~(a[i] | b[i]);
+    if (inv != 0) {
+      return i * kWordBits + static_cast<std::size_t>(std::countr_zero(inv));
+    }
+  }
+  return n * kWordBits;
+}
+
+constexpr Kernels kAvx2Kernels{clearAvx2, andNotAvx2, popcountScalar,
+                               firstClearPairAvx2};
+
+// AVX-512F path: 512-bit (8-word) strides.
+
+__attribute__((target("avx512f"))) void clearAvx512(Word* words,
+                                                    std::size_t n) {
+  const __m512i zero = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm512_storeu_si512(reinterpret_cast<void*>(words + i), zero);
+  }
+  for (; i < n; ++i) words[i] = 0;
+}
+
+__attribute__((target("avx512f"))) void andNotAvx512(Word* dst,
+                                                     const Word* src,
+                                                     std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i s =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(src + i));
+    const __m512i d =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(dst + i));
+    _mm512_storeu_si512(reinterpret_cast<void*>(dst + i),
+                        _mm512_andnot_si512(s, d));
+  }
+  for (; i < n; ++i) dst[i] &= ~src[i];
+}
+
+__attribute__((target("avx512f"))) std::size_t firstClearPairAvx512(
+    const Word* a, const Word* b, std::size_t n) {
+  const __m512i ones = _mm512_set1_epi64(-1);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i va =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(a + i));
+    const __m512i vb =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(b + i));
+    const __mmask8 notFull =
+        _mm512_cmpneq_epu64_mask(_mm512_or_si512(va, vb), ones);
+    if (notFull != 0) {
+      const auto lane = static_cast<std::size_t>(
+          std::countr_zero(static_cast<unsigned>(notFull)));
+      const Word word = a[i + lane] | b[i + lane];
+      return (i + lane) * kWordBits +
+             static_cast<std::size_t>(std::countr_zero(~word));
+    }
+  }
+  for (; i < n; ++i) {
+    const Word inv = ~(a[i] | b[i]);
+    if (inv != 0) {
+      return i * kWordBits + static_cast<std::size_t>(std::countr_zero(inv));
+    }
+  }
+  return n * kWordBits;
+}
+
+constexpr Kernels kAvx512Kernels{clearAvx512, andNotAvx512, popcountScalar,
+                                 firstClearPairAvx512};
+
+#endif  // DIMA_BITPLANE_X86
+
+Isa initialIsa() {
+  const Isa best = bestIsa();
+  const char* env = std::getenv("DIMA_BITPLANE_ISA");
+  if (env == nullptr || std::strcmp(env, "best") == 0) return best;
+  for (const Isa isa : {Isa::Scalar, Isa::Avx2, Isa::Avx512}) {
+    if (std::strcmp(env, isaName(isa)) == 0) {
+      if (isaSupported(isa)) return isa;
+      DIMA_LOG_WARN("DIMA_BITPLANE_ISA=" << env
+                                         << " not supported here; using "
+                                         << isaName(best));
+      return best;
+    }
+  }
+  DIMA_LOG_WARN("unknown DIMA_BITPLANE_ISA value '" << env << "'; using "
+                                                    << isaName(best));
+  return best;
+}
+
+Isa& activeIsaSlot() {
+  static Isa isa = initialIsa();
+  return isa;
+}
+
+}  // namespace
+
+const char* isaName(Isa isa) {
+  switch (isa) {
+    case Isa::Scalar:
+      return "scalar";
+    case Isa::Avx2:
+      return "avx2";
+    case Isa::Avx512:
+      return "avx512";
+  }
+  return "scalar";
+}
+
+bool isaCompiled(Isa isa) {
+#if DIMA_BITPLANE_X86
+  return isa == Isa::Scalar || isa == Isa::Avx2 || isa == Isa::Avx512;
+#else
+  return isa == Isa::Scalar;
+#endif
+}
+
+bool isaSupported(Isa isa) {
+  if (!isaCompiled(isa)) return false;
+#if DIMA_BITPLANE_X86
+  __builtin_cpu_init();
+  switch (isa) {
+    case Isa::Scalar:
+      return true;
+    case Isa::Avx2:
+      return __builtin_cpu_supports("avx2") != 0;
+    case Isa::Avx512:
+      return __builtin_cpu_supports("avx512f") != 0;
+  }
+#endif
+  return isa == Isa::Scalar;
+}
+
+Isa bestIsa() {
+  if (isaSupported(Isa::Avx512)) return Isa::Avx512;
+  if (isaSupported(Isa::Avx2)) return Isa::Avx2;
+  return Isa::Scalar;
+}
+
+Isa activeIsa() { return activeIsaSlot(); }
+
+void setIsa(Isa isa) {
+  DIMA_REQUIRE(isaSupported(isa),
+               "ISA path " << isaName(isa) << " not supported on this host");
+  activeIsaSlot() = isa;
+}
+
+const Kernels& kernels() {
+  switch (activeIsaSlot()) {
+#if DIMA_BITPLANE_X86
+    case Isa::Avx2:
+      return kAvx2Kernels;
+    case Isa::Avx512:
+      return kAvx512Kernels;
+#endif
+    default:
+      return kScalarKernels;
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+net::Counters Traffic::fold(std::uint64_t commRounds) const {
+  net::Counters c;
+  c.commRounds = commRounds;
+  for (const TrafficShard& s : shards_) {
+    c.broadcasts += s.broadcasts;
+    c.messagesDelivered += s.delivered;
+    c.bitsDelivered += s.bits;
+    c.maxMessageBits = std::max(c.maxMessageBits, s.maxBits);
+  }
+  return c;
+}
+
+StatePlanes::StatePlanes(std::size_t n)
+    : active(n), invite(n), listen(n), respond(n), update(n), doneNew(n) {}
+
+void StatePlanes::beginCycle() {
+  const Kernels& k = kernels();
+  for (support::DynamicBitset* plane :
+       {&invite, &listen, &respond, &update, &doneNew}) {
+    const auto words = plane->mutableWords();
+    k.clearWords(words.data(), words.size());
+  }
+}
+
+std::size_t StatePlanes::retire() {
+  const Kernels& k = kernels();
+  const auto act = active.mutableWords();
+  const auto done = doneNew.words();
+  const std::size_t retired = k.popcountWords(done.data(), done.size());
+  k.andNotInPlace(act.data(), done.data(), act.size());
+  return retired;
+}
+
+std::vector<std::size_t> incidenceOffsets(const graph::Graph& g) {
+  std::vector<std::size_t> off(g.numVertices() + 1, 0);
+  for (net::NodeId u = 0; u < g.numVertices(); ++u) {
+    off[u + 1] = off[u] + g.degree(u);
+  }
+  return off;
+}
+
+void PaletteRows::growStride(std::size_t strideWords) {
+  if (strideWords <= stride_) return;
+  std::vector<Word> wide(nodes_ * strideWords, Word{0});
+  for (std::size_t u = 0; u < nodes_; ++u) {
+    std::memcpy(wide.data() + u * strideWords, words_.data() + u * stride_,
+                stride_ * sizeof(Word));
+  }
+  words_.swap(wide);
+  stride_ = strideWords;
+}
+
+std::size_t nthClearBit(const Word* row, std::size_t strideWords,
+                        std::size_t k) {
+  for (std::size_t w = 0; w < strideWords; ++w) {
+    Word inv = ~row[w];
+    const auto free = static_cast<std::size_t>(std::popcount(inv));
+    if (k < free) {
+      while (k > 0) {
+        inv &= inv - 1;  // drop the lowest set bit
+        --k;
+      }
+      return w * kWordBits + static_cast<std::size_t>(std::countr_zero(inv));
+    }
+    k -= free;
+  }
+  return strideWords * kWordBits + k;  // every later color is free
+}
+
+// ---------------------------------------------------------------------------
+// BitPlaneDiscovery: Fig. 1 maximal-matching mode as plane passes.
+//
+// Pass order per cycle (each a barrier; the comment names the reference
+// hook it replays):
+//   C  role coin + scratch reset                 (beginCycle)
+//   I  pick invitee, account the broadcast       (send sub 0)
+//   L  incidence-scan the invite plane           (receive sub 0)
+//   R  accept one kept invite, commit listener   (send sub 1)
+//   W  echo check via the respond plane          (receive sub 1)
+//   E  announce traffic + retire announced       (tail send/receive)
+//   D  done check, retire frontier               (endCycle + compaction)
+
+BitPlaneDiscovery::BitPlaneDiscovery(const graph::Graph& g,
+                                     std::uint64_t seed, double invitorBias,
+                                     const net::EngineOptions& options,
+                                     net::TraceLog* trace)
+    : g_(&g),
+      options_(options),
+      pool_(options.pool),
+      trace_(trace),
+      invitorBias_(invitorBias),
+      planes_(g.numVertices()),
+      matchedNow_(g.numVertices()),
+      invitee_(g.numVertices(), graph::kNoVertex),
+      matchedWith_(g.numVertices(), graph::kNoVertex),
+      off_(incidenceOffsets(g)),
+      keptFrom_(off_.back(), graph::kNoVertex),
+      keptCount_(g.numVertices(), 0),
+      retired_(off_.back(), 0),
+      retiredCount_(g.numVertices(), 0),
+      traffic_(pool_ != nullptr ? pool_->workerCount() : 1) {
+  DIMA_REQUIRE(invitorBias > 0.0 && invitorBias < 1.0,
+               "invitor bias must be in (0,1), got " << invitorBias);
+  DIMA_REQUIRE(trace_ == nullptr || pool_ == nullptr,
+               "tracing requires the serial engine");
+  const support::SeedSequence seq(seed);
+  rng_.reserve(g.numVertices());
+  for (net::NodeId u = 0; u < g.numVertices(); ++u) {
+    rng_.push_back(seq.stream(u));
+    if (g.degree(u) != 0) {  // isolated vertices start done (reference ctor)
+      planes_.active.set(u);
+      ++activeCount_;
+    }
+  }
+}
+
+void BitPlaneDiscovery::runCycle() {
+  const Kernels& k = kernels();
+  planes_.beginCycle();
+  {
+    const auto words = matchedNow_.mutableWords();
+    k.clearWords(words.data(), words.size());
+  }
+  stats_.activeNodeRounds += activeCount_;  // onActiveCycle per frontier node
+
+  // C: scratch reset + role coin; build the I/L planes a word at a time.
+  forPlaneWords(planes_.active, pool_, [&](std::size_t, std::size_t w,
+                                           Word bits) {
+    Word inviteW = 0;
+    Word listenW = 0;
+    forEachBitIn(w, bits, [&](net::NodeId u) {
+      invitee_[u] = graph::kNoVertex;
+      keptCount_[u] = 0;
+      const bool invitor = rng_[u].bernoulli(invitorBias_);
+      const Word bit = Word{1} << (u % kWordBits);
+      if (invitor) {
+        inviteW |= bit;
+      } else {
+        listenW |= bit;
+      }
+      if (trace_ != nullptr) {
+        trace_->record(cycle_, u, net::TraceKind::StateChoice,
+                       invitor ? 1 : 0);
+      }
+    });
+    planes_.invite.mutableWords()[w] = inviteW;
+    planes_.listen.mutableWords()[w] = listenW;
+  });
+
+  // I: pick the k-th eligible (non-retired) neighbor, account the
+  // broadcast. A node whose neighbors all retired sits out: no draw, no
+  // send (reference pickInvitee).
+  forPlaneWords(planes_.invite, pool_, [&](std::size_t shard, std::size_t w,
+                                           Word bits) {
+    forEachBitIn(w, bits, [&](net::NodeId u) {
+      const auto inc = g_->incidences(u);
+      const std::uint32_t eligible =
+          static_cast<std::uint32_t>(inc.size()) - retiredCount_[u];
+      if (eligible == 0) return;
+      // The reference builds the eligible list in incidence order and draws
+      // an index into it; walking to the pick-th non-retired incidence
+      // selects the identical neighbor without materializing the list.
+      const std::uint8_t* ret = &retired_[off_[u]];
+      auto pick = static_cast<std::uint32_t>(rng_[u].index(eligible));
+      std::size_t i = 0;
+      for (;; ++i) {
+        if (ret[i] != 0) continue;
+        if (pick == 0) break;
+        --pick;
+      }
+      const net::NodeId v = inc[i].neighbor;
+      invitee_[u] = v;
+      const MatchMessage m{net::WireKind::Invite, v};
+      traffic_.onBroadcast(shard, m.wireBits(), inc.size());
+      if (trace_ != nullptr) {
+        trace_->record(cycle_, u, net::TraceKind::InviteSent, v);
+      }
+    });
+  });
+
+  // L: an inbox is an incidence scan testing the sender's invite-plane bit;
+  // incidence order is exactly the arena's slot order, so the kept list
+  // (and its trace events) come out in the same order.
+  forPlaneWords(planes_.listen, pool_, [&](std::size_t, std::size_t w,
+                                           Word bits) {
+    forEachBitIn(w, bits, [&](net::NodeId v) {
+      const auto inc = g_->incidences(v);
+      net::NodeId* kept = &keptFrom_[off_[v]];
+      std::uint32_t cnt = 0;
+      for (const auto& ic : inc) {
+        const net::NodeId sender = ic.neighbor;
+        if (!planes_.invite.test(sender) || invitee_[sender] != v) continue;
+        kept[cnt++] = sender;
+        if (trace_ != nullptr) {
+          trace_->record(cycle_, v, net::TraceKind::InviteKept, sender);
+        }
+      }
+      keptCount_[v] = cnt;
+    });
+  });
+
+  // R: accept one kept invite uniformly at random.
+  forPlaneWords(planes_.listen, pool_, [&](std::size_t shard, std::size_t w,
+                                           Word bits) {
+    Word respondW = 0;
+    forEachBitIn(w, bits, [&](net::NodeId v) {
+      const std::uint32_t cnt = keptCount_[v];
+      if (cnt == 0) return;
+      const net::NodeId from = keptFrom_[off_[v] + rng_[v].index(cnt)];
+      matchedWith_[v] = from;
+      respondW |= Word{1} << (v % kWordBits);
+      const MatchMessage m{net::WireKind::Response, from};
+      traffic_.onBroadcast(shard, m.wireBits(),
+                           static_cast<std::uint64_t>(g_->degree(v)));
+      if (trace_ != nullptr) {
+        trace_->record(cycle_, v, net::TraceKind::ResponseSent, from);
+      }
+    });
+    if (respondW != 0) {
+      planes_.respond.mutableWords()[w] = respondW;
+      matchedNow_.mutableWords()[w] = respondW;
+    }
+  });
+
+  // W: the invitor's echo check — did my invitee respond naming me?
+  forPlaneWords(planes_.invite, pool_, [&](std::size_t, std::size_t w,
+                                           Word bits) {
+    Word matchedW = matchedNow_.mutableWords()[w];
+    forEachBitIn(w, bits, [&](net::NodeId u) {
+      const net::NodeId v = invitee_[u];
+      if (v == graph::kNoVertex) return;
+      if (!planes_.respond.test(v) || matchedWith_[v] != u) return;
+      matchedWith_[u] = v;
+      matchedW |= Word{1} << (u % kWordBits);
+    });
+    matchedNow_.mutableWords()[w] = matchedW;
+  });
+
+  // E (send): freshly matched nodes announce themselves.
+  forPlaneWords(matchedNow_, pool_, [&](std::size_t shard, std::size_t w,
+                                        Word bits) {
+    forEachBitIn(w, bits, [&](net::NodeId u) {
+      const MatchMessage m{net::WireKind::MatchedAnnounce, u};
+      traffic_.onBroadcast(shard, m.wireBits(),
+                           static_cast<std::uint64_t>(g_->degree(u)));
+    });
+  });
+
+  // E (receive): retire announced neighbors from the eligible sets.
+  forPlaneWords(planes_.active, pool_, [&](std::size_t, std::size_t w,
+                                           Word bits) {
+    forEachBitIn(w, bits, [&](net::NodeId u) {
+      const auto inc = g_->incidences(u);
+      std::uint8_t* ret = &retired_[off_[u]];
+      std::uint32_t cnt = retiredCount_[u];
+      for (std::size_t i = 0; i < inc.size(); ++i) {
+        if (ret[i] == 0 && matchedNow_.test(inc[i].neighbor)) {
+          ret[i] = 1;
+          ++cnt;
+        }
+      }
+      retiredCount_[u] = cnt;
+    });
+  });
+
+  // D: done check over the frontier, then retire in one and-not sweep.
+  {
+    const auto words = matchedNow_.words();
+    matchedThisCycle_ = k.popcountWords(words.data(), words.size());
+  }
+  stats_.matchedNodeRounds += matchedThisCycle_;  // onCycleEnd equivalent
+  forPlaneWords(planes_.active, pool_, [&](std::size_t, std::size_t w,
+                                           Word bits) {
+    Word doneW = 0;
+    forEachBitIn(w, bits, [&](net::NodeId u) {
+      if (matchedWith_[u] == graph::kNoVertex &&
+          retiredCount_[u] != g_->degree(u)) {
+        return;
+      }
+      doneW |= Word{1} << (u % kWordBits);
+      if (trace_ != nullptr) {
+        trace_->record(cycle_, u, net::TraceKind::NodeDone);
+      }
+    });
+    if (doneW != 0) planes_.doneNew.mutableWords()[w] = doneW;
+  });
+  activeCount_ -= planes_.retire();
+}
+
+net::EngineResult BitPlaneDiscovery::run() {
+  constexpr std::uint64_t kSubRounds = 3;  // invite, respond, announce
+  const std::size_t n = g_->numVertices();
+  net::EngineResult result;
+  while (true) {
+    if (activeCount_ == 0) {
+      result.converged = true;
+      break;
+    }
+    if (result.cycles >= options_.maxCycles) break;
+    runCycle();
+    ++result.cycles;
+    // finishRoundAccounting + the user observer, in reference order.
+    stats_.pairsPerRound.push_back(matchedThisCycle_ / 2);
+    ++cycle_;
+    if (options_.observer) {
+      options_.observer(
+          net::CycleInfo{result.cycles - 1, n - activeCount_, n});
+    }
+  }
+  result.counters = traffic_.fold(result.cycles * kSubRounds);
+  return result;
+}
+
+Matching BitPlaneDiscovery::matching() const {
+  Matching m;
+  for (net::NodeId u = 0; u < g_->numVertices(); ++u) {
+    const net::NodeId v = matchedWith_[u];
+    if (v != graph::kNoVertex && u < v) {
+      DIMA_REQUIRE(matchedWith_[v] == u, "asymmetric match " << u << "↔" << v);
+      const graph::EdgeId e = g_->findEdge(u, v);
+      DIMA_REQUIRE(e != graph::kNoEdge, "match without an edge");
+      m.add(e);
+    }
+  }
+  return m;
+}
+
+MaximalMatchingResult maximalMatchingBitPlane(const graph::Graph& g,
+                                              std::uint64_t seed,
+                                              double invitorBias,
+                                              net::EngineOptions options) {
+  BitPlaneDiscovery proto(g, seed, invitorBias, options, /*trace=*/nullptr);
+  const net::EngineResult run = proto.run();
+  MaximalMatchingResult out;
+  out.matching = proto.matching();
+  out.rounds = run.cycles;
+  out.converged = run.converged;
+  out.stats = proto.stats();
+  return out;
+}
+
+}  // namespace dima::automata::bitplane

@@ -1,0 +1,345 @@
+#pragma once
+
+/// \file bitplane.hpp
+/// The bit-plane automaton engine: a structure-of-arrays replay of the
+/// Fig. 1 matching-discovery automaton where each machine state is a
+/// `DynamicBitset` *plane* over all nodes and one computation round becomes
+/// a short sequence of word-parallel passes.
+///
+/// ## Why a second engine
+///
+/// `runSyncProtocol` + `MatchingCore` (the *reference* engine) walks every
+/// node as an object: per-node virtual-free CRTP hooks, a slot-arena
+/// message substrate, per-message accounting. That shape is ideal for
+/// fault injection and tracing, but the automaton itself is embarrassingly
+/// data-parallel across nodes — every node runs the same tiny transition
+/// function — so on the fault-free model the entire message plane can be
+/// *computed* instead of *delivered*. This engine does exactly that:
+///
+///  * each automaton state (C/I/L/R/W/U/E/D) is one bit-plane over nodes;
+///    a transition like "retire freshly done nodes" is `active &= ~doneNew`
+///    over whole 64-bit words (with AVX2/AVX-512 paths, 256/512 bits at a
+///    time);
+///  * palettes live in a planes-by-color layout: node u's used-color set is
+///    a row of `stride` words in one flat array, so `used(u) ∪ used(v)` and
+///    first-clear-color are word-parallel scans over two rows
+///    (`DynamicBitset::firstClearInWords`);
+///  * messages are never materialized. An "inbox" is an incidence scan that
+///    tests the sender's state-plane bit; traffic `Counters` are computed
+///    arithmetically with the exact formulas `SyncNetwork` uses, so the
+///    totals stay bit-identical to the reference run.
+///
+/// ## The equivalence contract
+///
+/// The engine is *semantics-pinned* to the reference: same per-node RNG
+/// streams drawn in the same order, same commit arithmetic
+/// (`CommitHalves`), same trace event sequence, same counters. The parity
+/// harness (tests/test_bitplane_parity.cpp) asserts bit-identical colors,
+/// `Counters` and TraceLog fingerprints over the full scenario grid, which
+/// is what lets every downstream consumer (InvariantMonitor, determinism
+/// sweep, golden pins) verify this engine for free. The pin only holds on
+/// the *fault-free* model: drops, duplicates, corruption and inbox
+/// permutation all make the message plane stateful, so perturbed runs must
+/// use the reference engine (drivers enforce this with DIMA_REQUIRE).
+///
+/// ## ISA dispatch contract (DESIGN.md §12)
+///
+/// Every word-parallel kernel has a portable scalar form, always compiled,
+/// plus AVX2/AVX-512 forms compiled when the toolchain targets x86-64
+/// (per-function `target` attributes; no global -march). At startup the
+/// highest CPU-supported path becomes active; `DIMA_BITPLANE_ISA`
+/// (`scalar` | `avx2` | `avx512` | `best`) or `setIsa()` force a path, which
+/// is how CI runs the parity harness once per compiled path. Engines call
+/// kernels only through the dispatch table, so a forced path is the path
+/// actually executed — and since kernels are bit-exact by contract, the
+/// choice is observably invisible everywhere but the clock.
+
+// dimalint: hot-path — no std::function, no per-message allocation.
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/automata/discovery.hpp"
+#include "src/graph/graph.hpp"
+#include "src/net/engine.hpp"
+#include "src/net/message.hpp"
+#include "src/net/trace.hpp"
+#include "src/support/assert.hpp"
+#include "src/support/bitset.hpp"
+#include "src/support/rng.hpp"
+#include "src/support/thread_pool.hpp"
+
+namespace dima::automata::bitplane {
+
+using Word = support::DynamicBitset::Word;
+inline constexpr std::size_t kWordBits = support::DynamicBitset::kWordBits;
+
+// ---------------------------------------------------------------------------
+// Runtime ISA dispatch.
+
+enum class Isa : std::uint8_t { Scalar = 0, Avx2 = 1, Avx512 = 2 };
+
+/// Stable lowercase name ("scalar"/"avx2"/"avx512") — used by the env-var
+/// override, bench provenance, and test logs.
+const char* isaName(Isa isa);
+
+/// Whether this binary contains code for `isa` (toolchain/arch gate).
+bool isaCompiled(Isa isa);
+/// Whether `isa` is compiled *and* the running CPU supports it.
+bool isaSupported(Isa isa);
+/// Highest supported path on this machine (>= Scalar always).
+Isa bestIsa();
+
+/// Currently active path. First use applies `DIMA_BITPLANE_ISA` if set
+/// (values: scalar|avx2|avx512|best; unsupported values fall back to best
+/// so a forced-AVX CI job degrades loudly in logs, not by crashing).
+Isa activeIsa();
+/// Forces a path for this process; requires `isaSupported(isa)`.
+void setIsa(Isa isa);
+
+/// The word-parallel kernels behind every plane operation. All kernels are
+/// bit-exact across ISA paths; the dispatch table is the only place the
+/// paths differ.
+struct Kernels {
+  /// words[0..n) = 0.
+  void (*clearWords)(Word* words, std::size_t n);
+  /// dst[i] &= ~src[i] — the frontier update `active &= ~doneNew`.
+  void (*andNotInPlace)(Word* dst, const Word* src, std::size_t n);
+  /// Total set bits over the span.
+  std::size_t (*popcountWords)(const Word* words, std::size_t n);
+  /// Lowest index clear in both spans (same length); n * 64 when none —
+  /// the palette scan `lowest color outside used(u) ∪ used(v)`.
+  std::size_t (*firstClearPair)(const Word* a, const Word* b, std::size_t n);
+};
+
+/// Kernel table for the active ISA path.
+const Kernels& kernels();
+
+// ---------------------------------------------------------------------------
+// Plane iteration helpers.
+
+/// Calls `fn(node)` for every set bit of `word` (bit b = node
+/// wordIndex*64+b), ascending.
+template <class Fn>
+inline void forEachBitIn(std::size_t wordIndex, Word word, Fn&& fn) {
+  while (word != 0) {
+    const auto b = static_cast<std::size_t>(std::countr_zero(word));
+    fn(static_cast<net::NodeId>(wordIndex * kWordBits + b));
+    word &= word - 1;
+  }
+}
+
+/// Runs `fn(shard, wordIndex, word)` over every nonzero word of `plane`:
+/// serial (shard 0) without a pool, chunked by word index across workers
+/// with one. Chunking by *word* is what makes the parallel passes safe by
+/// construction — node u's bit in every plane lives at word u/64, so a pass
+/// that writes only node-local state and planes never writes a word another
+/// worker owns, and two passes over same-sized planes see identical chunk
+/// boundaries (`ThreadPool::forEachChunk` contract).
+template <class Fn>
+inline void forPlaneWords(const support::DynamicBitset& plane,
+                          support::ThreadPool* pool, Fn&& fn) {
+  const auto words = plane.words();
+  if (pool == nullptr) {
+    for (std::size_t w = 0; w < words.size(); ++w) {
+      if (words[w] != 0) fn(std::size_t{0}, w, words[w]);
+    }
+    return;
+  }
+  pool->forEachChunk(
+      words.size(), [&](std::size_t worker, std::size_t lo, std::size_t hi) {
+        for (std::size_t w = lo; w < hi; ++w) {
+          if (words[w] != 0) fn(worker, w, words[w]);
+        }
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Traffic accounting.
+
+/// Per-worker shard of the arithmetic traffic model; cache-line padded so
+/// parallel passes never false-share.
+struct alignas(64) TrafficShard {
+  std::uint64_t broadcasts = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t bits = 0;
+  std::uint64_t maxBits = 0;
+};
+
+/// Computes the exact `Counters` a fault-free `SyncNetwork` run would
+/// produce, without materializing a single message: one `onBroadcast` per
+/// reference `net.broadcast(u, m)` call, with the sender's degree as the
+/// delivery fan-out (`SyncNetwork::writeSlot` delivers one copy per
+/// incidence on reliable channels) and the real wire format's `wireBits()`.
+class Traffic {
+ public:
+  explicit Traffic(std::size_t shards) : shards_(shards) {}
+
+  void onBroadcast(std::size_t shard, std::uint64_t wireBits,
+                   std::uint64_t degree) {
+    TrafficShard& s = shards_[shard];
+    s.broadcasts += 1;  // SyncNetwork counts the send even to zero receivers
+    if (degree != 0) {
+      s.delivered += degree;
+      s.bits += wireBits * degree;
+      if (wireBits > s.maxBits) s.maxBits = wireBits;
+    }
+  }
+
+  /// Order-independent fold of the shards; `commRounds` is cycles × the
+  /// protocol's sub-round count (the engine calls `deliverRound` once per
+  /// sub-round whether or not anyone sent).
+  net::Counters fold(std::uint64_t commRounds) const;
+
+ private:
+  std::vector<TrafficShard> shards_;
+};
+
+// ---------------------------------------------------------------------------
+// The state planes.
+
+/// One bit per node per automaton state (paper Fig. 1). `active` persists
+/// across cycles (C = the frontier); the rest are per-cycle and cleared by
+/// `beginCycle`. Two states need no storage of their own: W (an invitor
+/// awaiting its echo) is exactly the `invite` plane after the send pass,
+/// and E (announce) is exactly `update` — on the fault-free model every
+/// commit is announced the same cycle. D accumulates as `¬active`;
+/// `doneNew` holds only this cycle's entrants so the frontier update is a
+/// single and-not sweep.
+struct StatePlanes {
+  support::DynamicBitset active;   ///< C: not yet done
+  support::DynamicBitset invite;   ///< I (and W): chose invitor this cycle
+  support::DynamicBitset listen;   ///< L: chose listener this cycle
+  support::DynamicBitset respond;  ///< R: listener accepted this cycle
+  support::DynamicBitset update;   ///< U (and E): committed this cycle
+  support::DynamicBitset doneNew;  ///< D: entered done this cycle
+
+  explicit StatePlanes(std::size_t n);
+
+  /// Word-clears every per-cycle plane.
+  void beginCycle();
+  /// Retires freshly done nodes: `active &= ~doneNew`. Returns the number
+  /// retired.
+  std::size_t retire();
+};
+
+/// CSR offsets of a graph's incidence lists: `off[u]..off[u+1]` indexes
+/// flat per-incidence arrays (kept-invite lists, retired flags, failure
+/// counters) without per-node vectors.
+std::vector<std::size_t> incidenceOffsets(const graph::Graph& g);
+
+/// The planes-by-color palette layout: one row of `stride` words per node,
+/// flat and contiguous, so `used(u) ∪ used(v)` / first-clear-color are
+/// word-parallel scans over two rows and a whole-population palette op
+/// touches memory sequentially. Bits at or beyond `capacityBits()` read as
+/// clear (a color never seen is never used), which mirrors
+/// `DynamicBitset::test` past its size; `set` requires capacity, so
+/// engines with unbounded palettes (DiMa2Ed) grow the matrix at a serial
+/// barrier before any out-of-capacity write can happen.
+class PaletteRows {
+ public:
+  PaletteRows(std::size_t nodes, std::size_t strideWords)
+      : nodes_(nodes),
+        stride_(strideWords),
+        words_(nodes * strideWords, Word{0}) {}
+
+  std::size_t stride() const { return stride_; }
+  std::size_t capacityBits() const { return stride_ * kWordBits; }
+
+  Word* row(net::NodeId u) { return words_.data() + u * stride_; }
+  const Word* row(net::NodeId u) const { return words_.data() + u * stride_; }
+
+  bool test(net::NodeId u, std::size_t bit) const {
+    if (bit >= capacityBits()) return false;
+    return (row(u)[bit / kWordBits] >> (bit % kWordBits)) & 1U;
+  }
+
+  void set(net::NodeId u, std::size_t bit) {
+    DIMA_ASSERT(bit < capacityBits(),
+                "palette bit " << bit << " outside row capacity "
+                               << capacityBits());
+    row(u)[bit / kWordBits] |= Word{1} << (bit % kWordBits);
+  }
+
+  void clearRow(net::NodeId u) { kernels().clearWords(row(u), stride_); }
+
+  /// Widens every row to `strideWords` (no-op when already that wide).
+  /// Serial: relayouts the whole matrix.
+  void growStride(std::size_t strideWords);
+
+  /// Rewinds every row to empty without changing capacity.
+  void clearAll() { kernels().clearWords(words_.data(), words_.size()); }
+
+ private:
+  std::size_t nodes_;
+  std::size_t stride_;
+  std::vector<Word> words_;
+};
+
+/// The `k`-th (0-based) clear bit of a palette row, counting bits at or
+/// beyond capacity as clear — the span form of "the k-th free color", which
+/// is how the engines replay `chooseProposalColor`'s candidate walk without
+/// materializing the candidate list.
+std::size_t nthClearBit(const Word* row, std::size_t strideWords,
+                        std::size_t k);
+
+// ---------------------------------------------------------------------------
+// Plain matching discovery on the bit-plane engine.
+
+/// Bit-plane replay of `MatchingDiscovery` + `runSyncProtocol` (maximal
+/// matching mode): same seed → same matching, rounds, stats, counters and
+/// trace. Exposed as a class so the parity harness can drive it cycle by
+/// cycle; most callers want `maximalMatchingBitPlane`.
+class BitPlaneDiscovery {
+ public:
+  /// Tracing requires the serial path (TraceLog is single-threaded), so
+  /// `trace != nullptr` requires `options.pool == nullptr`. `options`
+  /// carries the executor, round cap, and per-cycle observer (the same
+  /// surface the reference engine takes).
+  BitPlaneDiscovery(const graph::Graph& g, std::uint64_t seed,
+                    double invitorBias, const net::EngineOptions& options,
+                    net::TraceLog* trace);
+
+  /// Runs to maximality (or the round cap); the observer fires after each
+  /// cycle with the same `CycleInfo` the reference engine reports.
+  net::EngineResult run();
+
+  Matching matching() const;
+  const DiscoveryStats& stats() const { return stats_; }
+
+ private:
+  void runCycle();
+
+  const graph::Graph* g_;
+  net::EngineOptions options_;
+  support::ThreadPool* pool_;
+  net::TraceLog* trace_;
+  double invitorBias_;
+  std::uint64_t cycle_ = 0;
+
+  StatePlanes planes_;
+  support::DynamicBitset matchedNow_;  ///< matched this cycle (both roles)
+  std::vector<support::Rng> rng_;
+  std::vector<net::NodeId> invitee_;      ///< per-invitor pick
+  std::vector<net::NodeId> matchedWith_;  ///< partner, kNoVertex if none
+  std::vector<std::size_t> off_;          ///< incidence CSR offsets
+  std::vector<net::NodeId> keptFrom_;     ///< CSR kept-invite senders
+  std::vector<std::uint32_t> keptCount_;
+  std::vector<std::uint8_t> retired_;  ///< CSR: neighbor retired flags
+  std::vector<std::uint32_t> retiredCount_;
+  Traffic traffic_;
+  DiscoveryStats stats_;
+  std::size_t activeCount_ = 0;
+  std::size_t matchedThisCycle_ = 0;
+};
+
+/// Drop-in for `automata::maximalMatching` on the bit-plane engine; the
+/// reference driver dispatches here on `EngineKind::BitPlane`.
+MaximalMatchingResult maximalMatchingBitPlane(const graph::Graph& g,
+                                              std::uint64_t seed,
+                                              double invitorBias = 0.5,
+                                              net::EngineOptions options = {});
+
+}  // namespace dima::automata::bitplane

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/automata/bitplane.hpp"
+
 namespace dima::automata {
 
 MatchingDiscovery::MatchingDiscovery(const graph::Graph& g, std::uint64_t seed,
@@ -160,6 +162,9 @@ Matching discoverMatching(const graph::Graph& g, std::uint64_t seed) {
 MaximalMatchingResult maximalMatching(const graph::Graph& g,
                                       std::uint64_t seed, double invitorBias,
                                       net::EngineOptions options) {
+  if (options.engine == net::EngineKind::BitPlane) {
+    return bitplane::maximalMatchingBitPlane(g, seed, invitorBias, options);
+  }
   MatchingDiscovery proto(g, seed, /*stopWhenMatched=*/true, invitorBias);
   net::SyncNetwork<MatchMessage> net(g);
   auto userObserver = options.observer;

@@ -7,6 +7,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "src/automata/bitplane.hpp"
 #include "src/automata/discovery.hpp"
 #include "src/automata/mis.hpp"
 #include "src/automata/vertex_cover.hpp"
@@ -26,6 +27,7 @@
 #include "src/graph/generators.hpp"
 #include "src/graph/io.hpp"
 #include "src/graph/metrics.hpp"
+#include "src/net/engine.hpp"
 #include "src/service/checkpoint.hpp"
 #include "src/service/driver.hpp"
 #include "src/service/hostile.hpp"
@@ -35,6 +37,20 @@
 #include "src/sim/repro.hpp"
 #include "src/support/table.hpp"
 #include "src/support/version.hpp"
+
+// Provenance stamped into the committed benchmark JSON (see the top-level
+// CMakeLists): a throughput number is only comparable across PRs when the
+// artifact names the commit and toolchain that produced it.
+#ifndef DIMA_GIT_COMMIT
+#define DIMA_GIT_COMMIT "unknown"
+#endif
+#if defined(__clang__)
+#define DIMA_COMPILER_STRING "clang " __VERSION__
+#elif defined(__GNUC__)
+#define DIMA_COMPILER_STRING "gcc " __VERSION__
+#else
+#define DIMA_COMPILER_STRING "unknown"
+#endif
 
 namespace dima::cli {
 
@@ -123,6 +139,25 @@ void describeGraph(const graph::Graph& g, std::ostream& out) {
       << " avg-degree=" << g.averageDegree() << '\n';
 }
 
+/// Engine selection for the protocols that have a bit-plane substrate
+/// (MaDEC, DiMa2Ed, discovery). The choice is observably invisible —
+/// identical colors, metrics, and traces (PROTOCOLS.md §9) — so the flag
+/// only changes which execution substrate runs.
+net::EngineKind parseEngine(Args& args, std::ostream& err, bool* ok) {
+  *ok = true;
+  const std::string name = args.get("engine", "reference");
+  if (name == "reference") return net::EngineKind::Reference;
+  if (name == "bitplane") return net::EngineKind::BitPlane;
+  err << "error: unknown --engine '" << name
+      << "' (expected reference|bitplane)\n";
+  *ok = false;
+  return net::EngineKind::Reference;
+}
+
+const char* engineName(net::EngineKind engine) {
+  return engine == net::EngineKind::BitPlane ? "bitplane" : "reference";
+}
+
 int finishColoringCommand(Args& args, std::ostream& out, std::ostream& err,
                           const graph::Graph& g,
                           const std::vector<coloring::Color>& colors) {
@@ -180,8 +215,12 @@ int cmdColor(Args& args, std::ostream& out, std::ostream& err) {
     coloring::MadecOptions options;
     options.seed = seed;
     options.invitorBias = args.getDouble("bias", 0.5);
+    bool engineOk = false;
+    options.engine = parseEngine(args, err, &engineOk);
+    if (!engineOk) return 1;
     const auto result = coloring::colorEdgesMadec(g, options);
     out << "algorithm: madec (distributed)\n"
+        << "engine: " << engineName(options.engine) << '\n'
         << "rounds: " << result.metrics.computationRounds
         << " (comm rounds " << result.metrics.commRounds << ", broadcasts "
         << result.metrics.broadcasts << ")\n";
@@ -243,11 +282,15 @@ int cmdStrong(Args& args, std::ostream& out, std::ostream& err) {
     options.mode = args.get("mode", "strict") == "paper"
                        ? coloring::Dima2EdMode::Paper
                        : coloring::Dima2EdMode::Strict;
+    bool engineOk = false;
+    options.engine = parseEngine(args, err, &engineOk);
+    if (!engineOk) return 1;
     const auto result = coloring::colorArcsDima2Ed(d, options);
     out << "algorithm: dima2ed ("
         << (options.mode == coloring::Dima2EdMode::Paper ? "paper mode"
                                                          : "strict mode")
-        << ")\nrounds: " << result.metrics.computationRounds << '\n';
+        << ")\nengine: " << engineName(options.engine)
+        << "\nrounds: " << result.metrics.computationRounds << '\n';
     colors = result.colors;
   } else if (algo == "greedy") {
     colors = baselines::greedyStrongArcColoring(d).colors;
@@ -280,10 +323,15 @@ int cmdMatching(Args& args, std::ostream& out, std::ostream& err) {
   const graph::Graph g = makeInputGraph(args, err, &ok);
   if (!ok) return 1;
   describeGraph(g, out);
+  bool engineOk = false;
+  net::EngineOptions engineOptions;
+  engineOptions.engine = parseEngine(args, err, &engineOk);
+  if (!engineOk) return 1;
   const auto result =
       automata::maximalMatching(g, args.getUint("seed", 1),
-                                args.getDouble("bias", 0.5));
-  out << "matching: " << result.matching.size() << " edges in "
+                                args.getDouble("bias", 0.5), engineOptions);
+  out << "engine: " << engineName(engineOptions.engine) << '\n'
+      << "matching: " << result.matching.size() << " edges in "
       << result.rounds << " rounds (participation rate "
       << result.stats.participationRate() << ")\n";
   const bool valid = automata::isMaximalMatching(g, result.matching);
@@ -865,7 +913,11 @@ int cmdBenchServe(Args& args, std::ostream& out, std::ostream& err) {
     std::fprintf(f, "    \"query_fraction\": %.3f,\n", spec.queryFraction);
     std::fprintf(f, "    \"insert_fraction\": %.3f,\n", spec.insertFraction);
     std::fprintf(f, "    \"max_batch\": %zu,\n", policy.maxBatch);
-    std::fprintf(f, "    \"max_staleness\": %zu\n", policy.maxStaleness);
+    std::fprintf(f, "    \"max_staleness\": %zu,\n", policy.maxStaleness);
+    std::fprintf(f, "    \"git_commit\": \"%s\",\n", DIMA_GIT_COMMIT);
+    std::fprintf(f, "    \"compiler\": \"%s\",\n", DIMA_COMPILER_STRING);
+    std::fprintf(f, "    \"bitplane_isa\": \"%s\"\n",
+                 automata::bitplane::isaName(automata::bitplane::activeIsa()));
     std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"results\": {\n");
     std::fprintf(f, "    \"commands\": %llu,\n",
@@ -910,10 +962,13 @@ std::string usage() {
          "regular|complete|cycle|path|star|grid|geometric, --n, --deg/--m/"
          "--k/--p/--power/--beta/--radius, --graph-seed, --out)\n"
          "  color     edge coloring              (--algo madec|greedy|"
-         "misra-gries|pal, --seed, --bias, --colors-out, --dot-out)\n"
+         "misra-gries|pal, --engine reference|bitplane, --seed, --bias, "
+         "--colors-out, --dot-out)\n"
          "  strong    strong distance-2 coloring (--algo dima2ed|greedy, "
-         "--mode strict|paper, --undirected, --seed)\n"
-         "  matching  maximal matching via the discovery automaton\n"
+         "--mode strict|paper, --engine reference|bitplane, --undirected, "
+         "--seed)\n"
+         "  matching  maximal matching via the discovery automaton "
+         "(--engine reference|bitplane)\n"
          "  cover     2-approx vertex cover via the automaton\n"
          "  mis       maximal independent set (Luby)\n"
          "  vcolor    distributed (Delta+1) vertex coloring\n"

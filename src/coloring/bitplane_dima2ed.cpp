@@ -1,0 +1,532 @@
+#include <algorithm>
+
+#include "src/coloring/bitplane_engines.hpp"
+#include "src/net/message.hpp"
+#include "src/support/assert.hpp"
+#include "src/support/small_vector.hpp"
+
+// dimalint: hot-path — no std::function, no per-message allocation.
+
+namespace dima::coloring {
+
+namespace {
+
+using bp::forEachBitIn;
+using bp::forPlaneWords;
+using bp::Word;
+using graph::ArcId;
+using graph::kNoArc;
+using graph::kNoVertex;
+using net::NodeId;
+
+std::uint64_t wireBits(net::WireKind kind, NodeId target, Color color,
+                       std::uint32_t item) {
+  return net::TentativeColorWire{kind, target, color, item}.wireBits();
+}
+
+/// The reference `chooseProposalColor` replayed over a palette row: the
+/// candidate walk draws nothing, so drawing the window index first and
+/// walking to that free color is the same single `rng.index` call with the
+/// same result.
+Color chooseProposalFromRow(ColorPolicy policy, const Word* row,
+                            std::size_t stride, std::uint32_t failures,
+                            support::Rng& rng) {
+  if (policy == ColorPolicy::LowestIndex) {
+    return static_cast<Color>(bp::nthClearBit(row, stride, 0));
+  }
+  const std::size_t window = 1 + failures;
+  return static_cast<Color>(
+      bp::nthClearBit(row, stride, rng.index(window)));
+}
+
+}  // namespace
+
+BitPlaneDima2Ed::BitPlaneDima2Ed(const graph::Digraph& d,
+                                 const Dima2EdOptions& options)
+    : d_(&d),
+      g_(&d.underlying()),
+      options_(options),
+      pool_(options.pool),
+      trace_(options.trace),
+      planes_(g_->numVertices()),
+      rng_(g_->numVertices()),
+      off_(bp::incidenceOffsets(*g_)),
+      forbidden_(g_->numVertices(), 1),
+      overheard_(g_->numVertices(), 1),
+      halves_(d.numArcs(), kNoColor),
+      outUncolored_(off_.back(), 0),
+      outCount_(g_->numVertices(), 0),
+      inColored_(off_.back(), 0),
+      inCount_(g_->numVertices(), 0),
+      failures_(off_.back(), 0),
+      keptFrom_(off_.back(), kNoVertex),
+      keptColor_(off_.back(), kNoColor),
+      keptIdx_(off_.back(), 0),
+      keptCount_(g_->numVertices(), 0),
+      invitee_(g_->numVertices(), kNoVertex),
+      inviteIdx_(g_->numVertices(), 0),
+      proposed_(g_->numVertices(), kNoColor),
+      acceptedFrom_(g_->numVertices(), kNoVertex),
+      acceptedColor_(g_->numVertices(), kNoColor),
+      acceptedIdx_(g_->numVertices(), 0),
+      tentItem_(g_->numVertices(), net::kNoWireItem),
+      tentColor_(g_->numVertices(), kNoColor),
+      tentIdx_(g_->numVertices(), 0),
+      tentAsInvitor_(g_->numVertices(), 0),
+      tentAbort_(g_->numVertices(), 0),
+      pendingAnnounce_(g_->numVertices(), kNoColor),
+      shardMax_(pool_ != nullptr ? pool_->workerCount() : 1),
+      traffic_(pool_ != nullptr ? pool_->workerCount() : 1) {
+  DIMA_REQUIRE(options.invitorBias > 0.0 && options.invitorBias < 1.0,
+               "invitor bias must be in (0,1)");
+  DIMA_REQUIRE(!options.faults.perturbs(),
+               "the bit-plane engine computes the message plane instead of "
+               "delivering it; perturbed channels need EngineKind::Reference");
+  DIMA_REQUIRE(trace_ == nullptr || pool_ == nullptr,
+               "tracing requires the serial executor");
+  reset();
+}
+
+void BitPlaneDima2Ed::reset() {
+  cycle_ = 0;
+  activeCount_ = 0;
+  planes_ = bp::StatePlanes(g_->numVertices());
+  tentative_ = support::DynamicBitset(g_->numVertices());
+  abortSent_ = support::DynamicBitset(g_->numVertices());
+  forbidden_.clearAll();
+  overheard_.clearAll();
+  halves_ = automata::CommitHalves<Color>(d_->numArcs(), kNoColor);
+  traffic_ = bp::Traffic(pool_ != nullptr ? pool_->workerCount() : 1);
+  std::fill(inColored_.begin(), inColored_.end(), std::uint8_t{0});
+  std::fill(failures_.begin(), failures_.end(), 0U);
+  const support::SeedSequence seq(options_.seed);
+  for (NodeId u = 0; u < g_->numVertices(); ++u) {
+    rng_[u] = seq.stream(u);
+    const auto deg = static_cast<std::uint32_t>(g_->degree(u));
+    outCount_[u] = deg;
+    inCount_[u] = deg;
+    for (std::uint32_t i = 0; i < deg; ++i) outUncolored_[off_[u] + i] = i;
+    if (deg != 0) {
+      planes_.active.set(u);
+      ++activeCount_;
+    }
+  }
+}
+
+void BitPlaneDima2Ed::commitIncoming(std::size_t /*shard*/, NodeId u,
+                                     std::uint32_t idx, ArcId arc,
+                                     Color color) {
+  DIMA_ASSERT(!inColored_[off_[u] + idx],
+              "incoming arc recolored at node " << u);
+  Color& half = halves_.half(arc, automata::EndpointHalf::arcEnd(true));
+  DIMA_ASSERT(half == kNoColor, "arc " << arc << " recolored");
+  half = color;
+  inColored_[off_[u] + idx] = 1;
+  DIMA_ASSERT(inCount_[u] > 0, "in-arc underflow at node " << u);
+  --inCount_[u];
+  forbidden_.set(u, static_cast<std::size_t>(color));
+  pendingAnnounce_[u] = color;
+  if (trace_ != nullptr) {
+    trace_->record(cycle_, u, net::TraceKind::EdgeColored,
+                   static_cast<std::int64_t>(arc), color);
+  }
+}
+
+void BitPlaneDima2Ed::commitOutgoing(std::size_t /*shard*/, NodeId u,
+                                     std::uint32_t idx, ArcId arc,
+                                     Color color) {
+  const std::size_t base = off_[u];
+  const std::uint32_t cnt = outCount_[u];
+  for (std::uint32_t k = 0; k < cnt; ++k) {
+    if (outUncolored_[base + k] != idx) continue;
+    Color& half = halves_.half(arc, automata::EndpointHalf::arcEnd(false));
+    DIMA_ASSERT(half == kNoColor, "arc " << arc << " recolored");
+    half = color;
+    outUncolored_[base + k] = outUncolored_[base + cnt - 1];
+    outCount_[u] = cnt - 1;
+    forbidden_.set(u, static_cast<std::size_t>(color));
+    pendingAnnounce_[u] = color;
+    if (trace_ != nullptr) {
+      trace_->record(cycle_, u, net::TraceKind::EdgeColored,
+                     static_cast<std::int64_t>(arc), color);
+    }
+    return;
+  }
+  DIMA_ASSERT(false, "outgoing arc " << arc << " not uncolored at " << u);
+}
+
+void BitPlaneDima2Ed::runCycle() {
+  const bool strict = options_.mode == Dima2EdMode::Strict;
+  planes_.beginCycle();
+  if (strict) {
+    auto tw = tentative_.mutableWords();
+    auto aw = abortSent_.mutableWords();
+    bp::kernels().clearWords(tw.data(), tw.size());
+    bp::kernels().clearWords(aw.data(), aw.size());
+  }
+  for (auto& s : shardMax_) s.maxProposed = kNoColor;
+
+  // --- C: one-sided nodes play the only useful role; otherwise the coin.
+  {
+    auto inviteWords = planes_.invite.mutableWords();
+    auto listenWords = planes_.listen.mutableWords();
+    forPlaneWords(planes_.active, pool_, [&](std::size_t, std::size_t w,
+                                             Word word) {
+      Word inviteW = 0;
+      Word listenW = 0;
+      forEachBitIn(w, word, [&](NodeId u) {
+        invitee_[u] = kNoVertex;
+        keptCount_[u] = 0;
+        proposed_[u] = kNoColor;
+        tentItem_[u] = net::kNoWireItem;
+        tentAbort_[u] = 0;
+        pendingAnnounce_[u] = kNoColor;
+        const bool hasOut = outCount_[u] > 0;
+        const bool hasIn = inCount_[u] > 0;
+        DIMA_ASSERT(hasOut || hasIn, "active node with no uncolored arcs");
+        bool invitor;
+        if (!hasOut) {
+          invitor = false;
+        } else if (!hasIn) {
+          invitor = true;
+        } else {
+          invitor = rng_[u].bernoulli(options_.invitorBias);
+        }
+        (invitor ? inviteW : listenW) |= Word{1} << (u % bp::kWordBits);
+        if (trace_ != nullptr) {
+          trace_->record(cycle_, u, net::TraceKind::StateChoice,
+                         invitor ? 1 : 0);
+        }
+      });
+      inviteWords[w] = inviteW;
+      listenWords[w] = listenW;
+    });
+  }
+
+  // --- I: random uncolored out-arc, proposal from the expanding window.
+  forPlaneWords(planes_.invite, pool_, [&](std::size_t shard, std::size_t w,
+                                           Word word) {
+    forEachBitIn(w, word, [&](NodeId u) {
+      const std::uint32_t cnt = outCount_[u];
+      DIMA_ASSERT(cnt != 0, "invitor without uncolored arc");
+      const std::uint32_t idx = outUncolored_[off_[u] + rng_[u].index(cnt)];
+      inviteIdx_[u] = idx;
+      const Color c = chooseProposalFromRow(
+          options_.policy, forbidden_.row(u), forbidden_.stride(),
+          failures_[off_[u] + idx], rng_[u]);
+      proposed_[u] = c;
+      const NodeId v = g_->incidences(u)[idx].neighbor;
+      invitee_[u] = v;
+      if (c > shardMax_[shard].maxProposed) shardMax_[shard].maxProposed = c;
+      traffic_.onBroadcast(
+          shard, wireBits(net::WireKind::Invite, v, c, kNoArc),
+          g_->degree(u));
+      if (trace_ != nullptr) {
+        trace_->record(cycle_, u, net::TraceKind::InviteSent, v, c);
+      }
+    });
+  });
+
+  // Serial palette-growth barrier: this cycle's proposals bound every
+  // later palette write (overheard entries, commits, announce folds), so
+  // one relayout here keeps every subsequent `set` within capacity.
+  {
+    Color maxProposed = kNoColor;
+    for (const auto& s : shardMax_) {
+      maxProposed = std::max(maxProposed, s.maxProposed);
+    }
+    if (maxProposed >= 0) {
+      const auto bits = static_cast<std::size_t>(maxProposed) + 1;
+      const std::size_t stride = (bits + bp::kWordBits - 1) / bp::kWordBits;
+      forbidden_.growStride(stride);
+      overheard_.growStride(stride);
+    }
+  }
+
+  // --- L: keep invitations naming me; overhear the rest ("group b").
+  forPlaneWords(planes_.listen, pool_, [&](std::size_t, std::size_t w,
+                                           Word word) {
+    forEachBitIn(w, word, [&](NodeId v) {
+      overheard_.clearRow(v);
+      const auto inc = g_->incidences(v);
+      for (std::uint32_t j = 0; j < inc.size(); ++j) {
+        const NodeId u = inc[j].neighbor;
+        if (!planes_.invite.test(u)) continue;
+        if (invitee_[u] != v) {
+          overheard_.set(v, static_cast<std::size_t>(proposed_[u]));
+          continue;
+        }
+        // The reference rejects already-colored arcs here; fault-free that
+        // path is unreachable (the invitor only proposes over its own
+        // uncolored out-arcs, and both sides commit in the same cycle).
+        DIMA_ASSERT(!inColored_[off_[v] + j],
+                    "invite over a colored arc reached node " << v);
+        const std::size_t slot = off_[v] + keptCount_[v]++;
+        keptFrom_[slot] = u;
+        keptColor_[slot] = proposed_[u];
+        keptIdx_[slot] = j;
+        if (trace_ != nullptr) {
+          trace_->record(cycle_, v, net::TraceKind::InviteKept, u,
+                         proposed_[u]);
+        }
+      }
+    });
+  });
+
+  // --- R: accept a random valid invitation (usable here, not overheard).
+  {
+    auto respondWords = planes_.respond.mutableWords();
+    auto tentWords = tentative_.mutableWords();
+    auto updateWords = planes_.update.mutableWords();
+    forPlaneWords(planes_.listen, pool_, [&](std::size_t shard, std::size_t w,
+                                             Word word) {
+      Word respondW = 0;
+      Word tentW = 0;
+      Word updateW = 0;
+      forEachBitIn(w, word, [&](NodeId v) {
+        const std::uint32_t cnt = keptCount_[v];
+        if (cnt == 0) return;
+        support::SmallVector<std::uint32_t, 8> valid;
+        for (std::uint32_t i = 0; i < cnt; ++i) {
+          const auto c = static_cast<std::size_t>(keptColor_[off_[v] + i]);
+          if (!overheard_.test(v, c) && !forbidden_.test(v, c)) {
+            valid.push_back(i);
+          }
+        }
+        if (valid.empty()) return;  // no draw, exactly like the reference
+        const std::size_t slot =
+            off_[v] + valid[rng_[v].index(valid.size())];
+        const NodeId from = keptFrom_[slot];
+        const Color color = keptColor_[slot];
+        const std::uint32_t idx = keptIdx_[slot];
+        acceptedFrom_[v] = from;
+        acceptedColor_[v] = color;
+        acceptedIdx_[v] = idx;
+        respondW |= Word{1} << (v % bp::kWordBits);
+        traffic_.onBroadcast(
+            shard, wireBits(net::WireKind::Response, from, color, kNoArc),
+            g_->degree(v));
+        if (trace_ != nullptr) {
+          trace_->record(cycle_, v, net::TraceKind::ResponseSent, from,
+                         color);
+        }
+        // onAcceptSent: the colored arc is the invitor's out-arc from → v,
+        // the reverse of my out-arc over the same incidence.
+        const ArcId arc = graph::Digraph::reverse(d_->outArcs(v)[idx]);
+        if (strict) {
+          tentItem_[v] = arc;
+          tentColor_[v] = color;
+          tentIdx_[v] = idx;
+          tentAsInvitor_[v] = 0;
+          tentW |= Word{1} << (v % bp::kWordBits);
+        } else {
+          commitIncoming(shard, v, idx, arc, color);
+          updateW |= Word{1} << (v % bp::kWordBits);
+        }
+      });
+      respondWords[w] |= respondW;
+      tentWords[w] |= tentW;
+      updateWords[w] |= updateW;
+    });
+  }
+
+  // --- W: the echo of my invitation, or a charged failure.
+  {
+    auto tentWords = tentative_.mutableWords();
+    auto updateWords = planes_.update.mutableWords();
+    forPlaneWords(planes_.invite, pool_, [&](std::size_t shard, std::size_t w,
+                                             Word word) {
+      Word tentW = 0;
+      Word updateW = 0;
+      forEachBitIn(w, word, [&](NodeId u) {
+        const NodeId v = invitee_[u];
+        if (!planes_.respond.test(v) || acceptedFrom_[v] != u) {
+          ++failures_[off_[u] + inviteIdx_[u]];  // onNoEcho
+          return;
+        }
+        DIMA_ASSERT(acceptedColor_[v] == proposed_[u],
+                    "echoed color mismatches proposal at node " << u);
+        const ArcId arc = d_->outArcs(u)[inviteIdx_[u]];
+        if (strict) {
+          tentItem_[u] = arc;
+          tentColor_[u] = proposed_[u];
+          tentIdx_[u] = inviteIdx_[u];
+          tentAsInvitor_[u] = 1;
+          tentW |= Word{1} << (u % bp::kWordBits);
+        } else {
+          commitOutgoing(shard, u, inviteIdx_[u], arc, proposed_[u]);
+          updateW |= Word{1} << (u % bp::kWordBits);
+        }
+      });
+      tentWords[w] |= tentW;
+      updateWords[w] |= updateW;
+    });
+  }
+
+  if (strict) {
+    // --- Tentative send: pure traffic (plus the extended-trace event).
+    forPlaneWords(tentative_, pool_, [&](std::size_t shard, std::size_t w,
+                                         Word word) {
+      forEachBitIn(w, word, [&](NodeId u) {
+        traffic_.onBroadcast(shard,
+                             wireBits(net::WireKind::Tentative, kNoVertex,
+                                      tentColor_[u], tentItem_[u]),
+                             g_->degree(u));
+        if (trace_ != nullptr && trace_->extended()) {
+          trace_->record(cycle_, u, net::TraceKind::TentativeSet,
+                         tentItem_[u], tentColor_[u]);
+        }
+      });
+    });
+
+    // --- Conflict scan: adjacent same-color tentatives; lower item wins.
+    forPlaneWords(tentative_, pool_, [&](std::size_t, std::size_t w,
+                                         Word word) {
+      forEachBitIn(w, word, [&](NodeId u) {
+        for (const auto& inc : g_->incidences(u)) {
+          const NodeId nb = inc.neighbor;
+          if (!tentative_.test(nb)) continue;
+          if (tentItem_[nb] == tentItem_[u]) continue;  // partner's echo
+          if (tentColor_[nb] == tentColor_[u] &&
+              tentItem_[nb] < tentItem_[u]) {
+            tentAbort_[u] = 1;
+          }
+        }
+      });
+    });
+
+    // --- Abort send: snapshot who broadcast an abort, so the resolve
+    // pass's adoption reads abort state as of this sub-round, not values
+    // mutated while the pass runs.
+    {
+      auto abortWords = abortSent_.mutableWords();
+      forPlaneWords(tentative_, pool_, [&](std::size_t shard, std::size_t w,
+                                           Word word) {
+        Word abortW = 0;
+        forEachBitIn(w, word, [&](NodeId u) {
+          if (tentAbort_[u] == 0) return;
+          abortW |= Word{1} << (u % bp::kWordBits);
+          traffic_.onBroadcast(shard,
+                               wireBits(net::WireKind::Abort, kNoVertex, -1,
+                                        tentItem_[u]),
+                               g_->degree(u));
+        });
+        abortWords[w] = abortW;
+      });
+    }
+
+    // --- Resolve: adopt a partner's abort, then roll back or finalize.
+    {
+      auto updateWords = planes_.update.mutableWords();
+      forPlaneWords(tentative_, pool_, [&](std::size_t shard, std::size_t w,
+                                           Word word) {
+        Word updateW = 0;
+        forEachBitIn(w, word, [&](NodeId u) {
+          if (tentAbort_[u] == 0) {
+            for (const auto& inc : g_->incidences(u)) {
+              const NodeId nb = inc.neighbor;
+              if (abortSent_.test(nb) && tentItem_[nb] == tentItem_[u]) {
+                tentAbort_[u] = 1;
+                break;
+              }
+            }
+          }
+          if (tentAbort_[u] != 0) {
+            if (trace_ != nullptr) {
+              trace_->record(cycle_, u, net::TraceKind::Aborted, tentItem_[u],
+                             tentColor_[u]);
+            }
+            // onTentativeAborted: invitors charge the failed window.
+            if (tentAsInvitor_[u] != 0) ++failures_[off_[u] + tentIdx_[u]];
+            return;
+          }
+          if (tentAsInvitor_[u] != 0) {
+            commitOutgoing(shard, u, tentIdx_[u], tentItem_[u],
+                           tentColor_[u]);
+          } else {
+            commitIncoming(shard, u, tentIdx_[u], tentItem_[u],
+                           tentColor_[u]);
+          }
+          updateW |= Word{1} << (u % bp::kWordBits);
+        });
+        updateWords[w] |= updateW;
+      });
+    }
+  }
+
+  // --- E: announce adopted colors (traffic), then fold neighbors'
+  // announcements into the one-hop forbidden rows.
+  forPlaneWords(planes_.update, pool_, [&](std::size_t shard, std::size_t w,
+                                           Word word) {
+    forEachBitIn(w, word, [&](NodeId u) {
+      traffic_.onBroadcast(shard,
+                           wireBits(net::WireKind::ColorAnnounce, kNoVertex,
+                                    pendingAnnounce_[u], kNoArc),
+                           g_->degree(u));
+    });
+  });
+  forPlaneWords(planes_.active, pool_, [&](std::size_t, std::size_t w,
+                                           Word word) {
+    forEachBitIn(w, word, [&](NodeId u) {
+      for (const auto& inc : g_->incidences(u)) {
+        const NodeId nb = inc.neighbor;
+        if (!planes_.update.test(nb)) continue;
+        forbidden_.set(u, static_cast<std::size_t>(pendingAnnounce_[nb]));
+      }
+    });
+  });
+
+  // --- D: retire nodes with no uncolored arcs on either side.
+  {
+    auto doneWords = planes_.doneNew.mutableWords();
+    forPlaneWords(planes_.active, pool_, [&](std::size_t, std::size_t w,
+                                             Word word) {
+      Word doneW = 0;
+      forEachBitIn(w, word, [&](NodeId u) {
+        if (outCount_[u] != 0 || inCount_[u] != 0) return;
+        doneW |= Word{1} << (u % bp::kWordBits);
+        if (trace_ != nullptr) {
+          trace_->record(cycle_, u, net::TraceKind::NodeDone);
+        }
+      });
+      doneWords[w] = doneW;
+    });
+  }
+  activeCount_ -= planes_.retire();
+}
+
+ArcColoringResult BitPlaneDima2Ed::run() {
+  const std::uint64_t subRounds =
+      options_.mode == Dima2EdMode::Strict ? 5 : 3;
+  bool converged = false;
+  while (true) {
+    if (activeCount_ == 0) {
+      converged = true;
+      break;
+    }
+    if (cycle_ >= options_.maxCycles) break;
+    runCycle();
+    ++cycle_;  // the reference's tickCycle: trace clock follows the round
+  }
+
+  ArcColoringResult result;
+  result.halfCommitted = halves_.halfCommitted();
+  result.colors = halves_.takeMerged();
+  const net::Counters counters = traffic_.fold(cycle_ * subRounds);
+  result.metrics.computationRounds = cycle_;
+  result.metrics.commRounds = counters.commRounds;
+  result.metrics.broadcasts = counters.broadcasts;
+  result.metrics.messagesDelivered = counters.messagesDelivered;
+  result.metrics.bitsDelivered = counters.bitsDelivered;
+  result.metrics.maxMessageBits = counters.maxMessageBits;
+  result.metrics.converged = converged;
+  return result;
+}
+
+ArcColoringResult colorArcsDima2EdBitPlane(const graph::Digraph& d,
+                                           const Dima2EdOptions& options) {
+  BitPlaneDima2Ed engine(d, options);
+  return engine.run();
+}
+
+}  // namespace dima::coloring

@@ -1,0 +1,188 @@
+#pragma once
+
+/// \file bitplane_engines.hpp
+/// MaDEC and DiMa2Ed on the bit-plane automaton engine
+/// (src/automata/bitplane.hpp): structure-of-arrays replays of the two
+/// reference protocols, bit-identical fault-free — same colors, same
+/// `RunMetrics`, same trace event sequence (the parity harness pins all
+/// three; PROTOCOLS.md documents the invisibility contract).
+///
+/// The replay recipe, shared by both engines:
+///  * automaton states are the engine's `StatePlanes`; one computation
+///    round is a fixed sequence of plane passes, each pass reading only
+///    state the previous barrier finished writing (the same discipline
+///    that makes the reference engine's parallel executor deterministic);
+///  * per-node RNG streams are the reference's streams, drawn in the same
+///    per-node order, so every coin lands identically;
+///  * palettes are `PaletteRows` — used/forbidden color sets as word rows —
+///    and the paper's "lowest jointly free color" is one `firstClearPair`
+///    kernel call instead of a per-bit scan;
+///  * messages are never materialized: an inbox is an incidence scan that
+///    tests the sender's plane bit, and traffic `Counters` are computed
+///    with the wire formats' own `wireBits()`, one `onBroadcast` per
+///    reference broadcast.
+///
+/// MaDEC gains one structural simplification the reference cannot make:
+/// the per-node `neighborUsed` lists (O(m) bitsets maintained by the
+/// announce fold) vanish, because on the fault-free model a neighbor's
+/// announced colors ARE its own used-row as of the previous cycle's end —
+/// the invite pass just reads the partner's row.
+///
+/// Most callers never name these classes: `colorEdgesMadec` /
+/// `colorArcsDima2Ed` dispatch here on `options.engine ==
+/// net::EngineKind::BitPlane`. The classes are exposed so the benches can
+/// drive single cycles (`reset` + `runCycle`) and the parity harness can
+/// poke at internals-adjacent surfaces.
+
+// dimalint: hot-path — no std::function, no per-message allocation.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/automata/bitplane.hpp"
+#include "src/automata/core.hpp"
+#include "src/coloring/dima2ed.hpp"
+#include "src/coloring/madec.hpp"
+#include "src/coloring/result.hpp"
+#include "src/graph/digraph.hpp"
+#include "src/graph/graph.hpp"
+#include "src/support/bitset.hpp"
+#include "src/support/rng.hpp"
+
+namespace dima::coloring {
+
+namespace bp = automata::bitplane;
+
+/// Algorithm 1 (MaDEC) as plane passes. One cycle = the reference's three
+/// communication sub-rounds collapsed into seven passes:
+/// begin (C: coin + scratch) → invite (I) → keep (L) → accept (R, commits
+/// the listener half) → echo (W, commits the invitor half) → announce (E,
+/// traffic only — see the header comment) → end (D).
+class BitPlaneMadec {
+ public:
+  BitPlaneMadec(const graph::Graph& g, const MadecOptions& options);
+
+  /// Rewinds to the pre-run state (same seed → same run); the benches use
+  /// this to time single dense cycles without reconstructing the engine.
+  void reset();
+
+  /// One computation round over the current frontier.
+  void runCycle();
+
+  bool finished() const { return activeCount_ == 0; }
+  std::uint64_t cycles() const { return cycle_; }
+
+  /// Runs to completion (or the round cap) and folds the result exactly
+  /// like the reference driver.
+  EdgeColoringResult run();
+
+ private:
+  void colorEdgeAt(std::size_t shard, net::NodeId u, net::NodeId partner,
+                   Color color);
+
+  const graph::Graph* g_;
+  MadecOptions options_;
+  support::ThreadPool* pool_;
+  net::TraceLog* trace_;
+  std::uint64_t cycle_ = 0;
+  std::size_t activeCount_ = 0;
+
+  bp::StatePlanes planes_;
+  std::vector<support::Rng> rng_;
+  std::vector<std::size_t> off_;  ///< incidence CSR offsets
+  bp::PaletteRows own_;           ///< used(u); bound: < 2Δ−1 colors
+  automata::CommitHalves<Color> halves_;
+  std::vector<std::uint32_t> uncolored_;  ///< CSR uncolored incidence idxs
+  std::vector<std::uint32_t> uncoloredCount_;
+  std::vector<net::NodeId> invitee_;
+  std::vector<std::uint32_t> inviteIdx_;
+  std::vector<Color> proposed_;
+  std::vector<net::NodeId> keptFrom_;  ///< CSR kept invites (ascending from)
+  std::vector<Color> keptColor_;
+  std::vector<std::uint32_t> keptCount_;
+  std::vector<net::NodeId> acceptedFrom_;
+  std::vector<Color> acceptedColor_;
+  std::vector<Color> pendingAnnounce_;
+  bp::Traffic traffic_;
+};
+
+/// Algorithm 2 (DiMa2Ed) as plane passes, both modes. Paper mode is the
+/// MaDEC pass shape plus overheard-color rows and the announce fold;
+/// strict mode inserts the tentative/abort handshake as four more passes
+/// (tentative-send → conflict-scan → abort-send → resolve) between echo
+/// and announce, exactly mirroring the reference's tail sub-rounds.
+class BitPlaneDima2Ed {
+ public:
+  BitPlaneDima2Ed(const graph::Digraph& d, const Dima2EdOptions& options);
+
+  void reset();
+  void runCycle();
+  bool finished() const { return activeCount_ == 0; }
+  std::uint64_t cycles() const { return cycle_; }
+
+  ArcColoringResult run();
+
+ private:
+  void commitIncoming(std::size_t shard, net::NodeId u, std::uint32_t idx,
+                      graph::ArcId arc, Color color);
+  void commitOutgoing(std::size_t shard, net::NodeId u, std::uint32_t idx,
+                      graph::ArcId arc, Color color);
+
+  const graph::Digraph* d_;
+  const graph::Graph* g_;
+  Dima2EdOptions options_;
+  support::ThreadPool* pool_;
+  net::TraceLog* trace_;
+  std::uint64_t cycle_ = 0;
+  std::size_t activeCount_ = 0;
+
+  bp::StatePlanes planes_;
+  support::DynamicBitset tentative_;  ///< strict: holds a pending (arc,color)
+  support::DynamicBitset abortSent_;  ///< strict: broadcast an abort this cycle
+  std::vector<support::Rng> rng_;
+  std::vector<std::size_t> off_;
+  /// One-hop forbidden/overheard palettes; stride grows at a serial
+  /// barrier after the invite pass (proposals bound every later write).
+  bp::PaletteRows forbidden_;
+  bp::PaletteRows overheard_;
+  automata::CommitHalves<Color> halves_;
+  std::vector<std::uint32_t> outUncolored_;  ///< CSR, mirrors D2Node
+  std::vector<std::uint32_t> outCount_;
+  std::vector<std::uint8_t> inColored_;  ///< CSR per incidence
+  std::vector<std::uint32_t> inCount_;
+  std::vector<std::uint32_t> failures_;  ///< CSR per out-arc
+  std::vector<net::NodeId> keptFrom_;    ///< CSR kept invites
+  std::vector<Color> keptColor_;
+  std::vector<std::uint32_t> keptIdx_;
+  std::vector<std::uint32_t> keptCount_;
+  std::vector<net::NodeId> invitee_;
+  std::vector<std::uint32_t> inviteIdx_;
+  std::vector<Color> proposed_;
+  std::vector<net::NodeId> acceptedFrom_;
+  std::vector<Color> acceptedColor_;
+  std::vector<std::uint32_t> acceptedIdx_;
+  // Tentative state, SoA over TentativeState:
+  std::vector<std::uint32_t> tentItem_;
+  std::vector<Color> tentColor_;
+  std::vector<std::uint32_t> tentIdx_;
+  std::vector<std::uint8_t> tentAsInvitor_;
+  std::vector<std::uint8_t> tentAbort_;
+  std::vector<Color> pendingAnnounce_;
+  /// Per-shard max proposed color this cycle; folded at the palette-growth
+  /// barrier. Padded so parallel invite passes never false-share.
+  struct alignas(64) ShardMax {
+    Color maxProposed = kNoColor;
+  };
+  std::vector<ShardMax> shardMax_;
+  bp::Traffic traffic_;
+};
+
+/// Entry points the reference drivers dispatch to on
+/// `EngineKind::BitPlane`; equivalent to the reference functions on the
+/// fault-free model (DIMA_REQUIRE enforces it).
+EdgeColoringResult colorEdgesMadecBitPlane(const graph::Graph& g,
+                                           const MadecOptions& options);
+ArcColoringResult colorArcsDima2EdBitPlane(const graph::Digraph& d,
+                                           const Dima2EdOptions& options);
+
+}  // namespace dima::coloring

@@ -1,0 +1,317 @@
+#include <cstring>
+
+#include "src/coloring/bitplane_engines.hpp"
+#include "src/net/message.hpp"
+#include "src/support/assert.hpp"
+
+// dimalint: hot-path — no std::function, no per-message allocation.
+
+namespace dima::coloring {
+
+namespace {
+
+using bp::forEachBitIn;
+using bp::forPlaneWords;
+using bp::Word;
+using graph::kNoVertex;
+using net::NodeId;
+
+std::uint64_t inviteBits(NodeId invitee, Color proposed) {
+  return net::ColorWire{net::WireKind::Invite, invitee, proposed}.wireBits();
+}
+std::uint64_t responseBits(NodeId target, Color color) {
+  return net::ColorWire{net::WireKind::Response, target, color}.wireBits();
+}
+std::uint64_t announceBits(Color color) {
+  return net::ColorWire{net::WireKind::ColorAnnounce, kNoVertex, color}
+      .wireBits();
+}
+
+}  // namespace
+
+BitPlaneMadec::BitPlaneMadec(const graph::Graph& g,
+                             const MadecOptions& options)
+    : g_(&g),
+      options_(options),
+      pool_(options.pool),
+      trace_(options.trace),
+      planes_(g.numVertices()),
+      rng_(g.numVertices()),
+      off_(bp::incidenceOffsets(g)),
+      // An edge {u,v} is colored with the lowest index clear in
+      // used(u) ∪ used(v); both sets have ≤ deg−1 entries at that moment,
+      // so every color index is < 2Δ−1 — a fixed row stride suffices.
+      own_(g.numVertices(),
+           std::max<std::size_t>(
+               1, (2 * g.maxDegree() + bp::kWordBits - 1) / bp::kWordBits)),
+      halves_(g.numEdges(), kNoColor),
+      uncolored_(off_.back(), 0),
+      uncoloredCount_(g.numVertices(), 0),
+      invitee_(g.numVertices(), kNoVertex),
+      inviteIdx_(g.numVertices(), 0),
+      proposed_(g.numVertices(), kNoColor),
+      keptFrom_(off_.back(), kNoVertex),
+      keptColor_(off_.back(), kNoColor),
+      keptCount_(g.numVertices(), 0),
+      acceptedFrom_(g.numVertices(), kNoVertex),
+      acceptedColor_(g.numVertices(), kNoColor),
+      pendingAnnounce_(g.numVertices(), kNoColor),
+      traffic_(pool_ != nullptr ? pool_->workerCount() : 1) {
+  DIMA_REQUIRE(options.invitorBias > 0.0 && options.invitorBias < 1.0,
+               "invitor bias must be in (0,1)");
+  DIMA_REQUIRE(!options.faults.perturbs(),
+               "the bit-plane engine computes the message plane instead of "
+               "delivering it; perturbed channels need EngineKind::Reference");
+  DIMA_REQUIRE(trace_ == nullptr || pool_ == nullptr,
+               "tracing requires the serial executor");
+  reset();
+}
+
+void BitPlaneMadec::reset() {
+  cycle_ = 0;
+  activeCount_ = 0;
+  planes_ = bp::StatePlanes(g_->numVertices());
+  own_.clearAll();
+  halves_ = automata::CommitHalves<Color>(g_->numEdges(), kNoColor);
+  traffic_ = bp::Traffic(pool_ != nullptr ? pool_->workerCount() : 1);
+  const support::SeedSequence seq(options_.seed);
+  for (NodeId u = 0; u < g_->numVertices(); ++u) {
+    rng_[u] = seq.stream(u);
+    const auto deg = static_cast<std::uint32_t>(g_->degree(u));
+    uncoloredCount_[u] = deg;
+    for (std::uint32_t i = 0; i < deg; ++i) uncolored_[off_[u] + i] = i;
+    if (deg != 0) {  // isolated vertices have nothing to color
+      planes_.active.set(u);
+      ++activeCount_;
+    }
+  }
+}
+
+/// Colors the edge {u, partner} from u's side: this endpoint's commit half,
+/// used-row bit, uncolored-list retirement, announce scheduling. The exact
+/// replay of the reference `colorEdgeAt` (madec.cpp), minus the reference's
+/// per-node heap state.
+void BitPlaneMadec::colorEdgeAt(std::size_t /*shard*/, NodeId u,
+                                NodeId partner, Color color) {
+  const auto inc = g_->incidences(u);
+  const std::size_t base = off_[u];
+  const std::uint32_t cnt = uncoloredCount_[u];
+  for (std::uint32_t k = 0; k < cnt; ++k) {
+    const std::uint32_t idx = uncolored_[base + k];
+    if (inc[idx].neighbor != partner) continue;
+    Color& half = halves_.half(inc[idx].edge,
+                               automata::EndpointHalf::ownedBy(u, partner));
+    DIMA_ASSERT(half == kNoColor,
+                "edge " << inc[idx].edge << " recolored at node " << u);
+    half = color;
+    DIMA_ASSERT(!own_.test(u, static_cast<std::size_t>(color)),
+                "node " << u << " reused color " << color);
+    own_.set(u, static_cast<std::size_t>(color));
+    pendingAnnounce_[u] = color;
+    uncolored_[base + k] = uncolored_[base + cnt - 1];  // eraseAtUnordered
+    uncoloredCount_[u] = cnt - 1;
+    if (trace_ != nullptr) {
+      trace_->record(cycle_, u, net::TraceKind::EdgeColored, partner, color);
+    }
+    return;
+  }
+  DIMA_ASSERT(false, "node " << u << " has no uncolored edge to " << partner);
+}
+
+void BitPlaneMadec::runCycle() {
+  planes_.beginCycle();
+
+  // --- C: coin toss + scratch reset, one plane word at a time.
+  {
+    auto inviteWords = planes_.invite.mutableWords();
+    auto listenWords = planes_.listen.mutableWords();
+    forPlaneWords(planes_.active, pool_, [&](std::size_t, std::size_t w,
+                                             Word word) {
+      Word inviteW = 0;
+      Word listenW = 0;
+      forEachBitIn(w, word, [&](NodeId u) {
+        invitee_[u] = kNoVertex;
+        keptCount_[u] = 0;
+        pendingAnnounce_[u] = kNoColor;
+        const bool invitor = rng_[u].bernoulli(options_.invitorBias);
+        const Word bit = Word{1} << (u % bp::kWordBits);
+        (invitor ? inviteW : listenW) |= bit;
+        if (trace_ != nullptr) {
+          trace_->record(cycle_, u, net::TraceKind::StateChoice,
+                         invitor ? 1 : 0);
+        }
+      });
+      inviteWords[w] = inviteW;
+      listenWords[w] = listenW;
+    });
+  }
+
+  // --- I: pick a random uncolored edge and the lowest jointly free color.
+  // The partner's row read here equals the reference's `neighborUsed`
+  // snapshot: fault-free, every color a neighbor uses was announced the
+  // cycle it was committed, and no row changed since the last barrier.
+  forPlaneWords(planes_.invite, pool_, [&](std::size_t shard, std::size_t w,
+                                           Word word) {
+    forEachBitIn(w, word, [&](NodeId u) {
+      const std::uint32_t cnt = uncoloredCount_[u];
+      DIMA_ASSERT(cnt != 0, "active node with no uncolored edge");
+      const std::uint32_t idx =
+          uncolored_[off_[u] + rng_[u].index(cnt)];
+      inviteIdx_[u] = idx;
+      const NodeId v = g_->incidences(u)[idx].neighbor;
+      invitee_[u] = v;
+      proposed_[u] = static_cast<Color>(
+          bp::kernels().firstClearPair(own_.row(u), own_.row(v),
+                                       own_.stride()));
+      traffic_.onBroadcast(shard, inviteBits(v, proposed_[u]), g_->degree(u));
+      if (trace_ != nullptr) {
+        trace_->record(cycle_, u, net::TraceKind::InviteSent, v, proposed_[u]);
+      }
+    });
+  });
+
+  // --- L: keep invitations naming me. Incidence lists are ascending by
+  // neighbor id — the same order the reference inbox yields — so both
+  // paths below build identical kept lists and the accept draw matches.
+  if (pool_ == nullptr && trace_ == nullptr) {
+    // Serial fast path: scatter over invitors, O(active) instead of O(m).
+    forPlaneWords(planes_.invite, nullptr, [&](std::size_t, std::size_t w,
+                                               Word word) {
+      forEachBitIn(w, word, [&](NodeId u) {
+        const NodeId v = invitee_[u];
+        if (!planes_.listen.test(v)) return;
+        const std::size_t slot = off_[v] + keptCount_[v]++;
+        keptFrom_[slot] = u;
+        keptColor_[slot] = proposed_[u];
+      });
+    });
+  } else {
+    forPlaneWords(planes_.listen, pool_, [&](std::size_t, std::size_t w,
+                                             Word word) {
+      forEachBitIn(w, word, [&](NodeId v) {
+        for (const auto& inc : g_->incidences(v)) {
+          const NodeId u = inc.neighbor;
+          if (!planes_.invite.test(u) || invitee_[u] != v) continue;
+          const std::size_t slot = off_[v] + keptCount_[v]++;
+          keptFrom_[slot] = u;
+          keptColor_[slot] = proposed_[u];
+          if (trace_ != nullptr) {
+            trace_->record(cycle_, v, net::TraceKind::InviteKept, u,
+                           proposed_[u]);
+          }
+        }
+      });
+    });
+  }
+
+  // --- R: accept one kept invitation at random; commit the listener half.
+  {
+    auto respondWords = planes_.respond.mutableWords();
+    auto updateWords = planes_.update.mutableWords();
+    forPlaneWords(planes_.listen, pool_, [&](std::size_t shard, std::size_t w,
+                                             Word word) {
+      Word respondW = 0;
+      Word updateW = 0;
+      forEachBitIn(w, word, [&](NodeId v) {
+        const std::uint32_t cnt = keptCount_[v];
+        if (cnt == 0) return;
+        const std::size_t slot = off_[v] + rng_[v].index(cnt);
+        const NodeId from = keptFrom_[slot];
+        const Color color = keptColor_[slot];
+        acceptedFrom_[v] = from;
+        acceptedColor_[v] = color;
+        const Word bit = Word{1} << (v % bp::kWordBits);
+        respondW |= bit;
+        updateW |= bit;
+        traffic_.onBroadcast(shard, responseBits(from, color), g_->degree(v));
+        if (trace_ != nullptr) {
+          trace_->record(cycle_, v, net::TraceKind::ResponseSent, from, color);
+        }
+        colorEdgeAt(shard, v, from, color);
+      });
+      respondWords[w] |= respondW;
+      updateWords[w] |= updateW;
+    });
+  }
+
+  // --- W: my invitation echoed back — commit the invitor half.
+  {
+    auto updateWords = planes_.update.mutableWords();
+    forPlaneWords(planes_.invite, pool_, [&](std::size_t shard, std::size_t w,
+                                             Word word) {
+      Word updateW = 0;
+      forEachBitIn(w, word, [&](NodeId u) {
+        const NodeId v = invitee_[u];
+        if (!planes_.respond.test(v) || acceptedFrom_[v] != u) return;
+        DIMA_ASSERT(acceptedColor_[v] == proposed_[u],
+                    "response color mismatches proposal at node " << u);
+        colorEdgeAt(shard, u, v, proposed_[u]);
+        updateW |= Word{1} << (u % bp::kWordBits);
+      });
+      updateWords[w] |= updateW;
+    });
+  }
+
+  // --- E: announce the adopted color. Pure traffic — receivers' folds are
+  // subsumed by the invite pass reading partner rows directly.
+  forPlaneWords(planes_.update, pool_, [&](std::size_t shard, std::size_t w,
+                                           Word word) {
+    forEachBitIn(w, word, [&](NodeId u) {
+      traffic_.onBroadcast(shard, announceBits(pendingAnnounce_[u]),
+                           g_->degree(u));
+    });
+  });
+
+  // --- D: retire nodes whose last edge just colored.
+  {
+    auto doneWords = planes_.doneNew.mutableWords();
+    forPlaneWords(planes_.active, pool_, [&](std::size_t, std::size_t w,
+                                             Word word) {
+      Word doneW = 0;
+      forEachBitIn(w, word, [&](NodeId u) {
+        if (uncoloredCount_[u] != 0) return;
+        doneW |= Word{1} << (u % bp::kWordBits);
+        if (trace_ != nullptr) {
+          trace_->record(cycle_, u, net::TraceKind::NodeDone);
+        }
+      });
+      doneWords[w] = doneW;
+    });
+  }
+  activeCount_ -= planes_.retire();
+}
+
+EdgeColoringResult BitPlaneMadec::run() {
+  constexpr std::uint64_t kSubRounds = 3;  // invite, respond, announce
+  bool converged = false;
+  while (true) {
+    if (activeCount_ == 0) {
+      converged = true;
+      break;
+    }
+    if (cycle_ >= options_.maxCycles) break;
+    runCycle();
+    ++cycle_;  // the reference's tickCycle: trace clock follows the round
+  }
+
+  EdgeColoringResult result;
+  result.halfCommitted = halves_.halfCommitted();
+  result.colors = halves_.takeMerged();
+  const net::Counters counters = traffic_.fold(cycle_ * kSubRounds);
+  result.metrics.computationRounds = cycle_;
+  result.metrics.commRounds = counters.commRounds;
+  result.metrics.broadcasts = counters.broadcasts;
+  result.metrics.messagesDelivered = counters.messagesDelivered;
+  result.metrics.bitsDelivered = counters.bitsDelivered;
+  result.metrics.maxMessageBits = counters.maxMessageBits;
+  result.metrics.converged = converged;
+  return result;
+}
+
+EdgeColoringResult colorEdgesMadecBitPlane(const graph::Graph& g,
+                                           const MadecOptions& options) {
+  BitPlaneMadec engine(g, options);
+  return engine.run();
+}
+
+}  // namespace dima::coloring

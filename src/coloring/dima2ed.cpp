@@ -4,6 +4,7 @@
 
 #include "src/automata/core.hpp"
 #include "src/automata/phase.hpp"
+#include "src/coloring/bitplane_engines.hpp"
 #include "src/net/engine.hpp"
 #include "src/support/bitset.hpp"
 #include "src/support/rng.hpp"
@@ -327,6 +328,9 @@ class Dima2EdProtocol
 
 ArcColoringResult colorArcsDima2Ed(const graph::Digraph& d,
                                    const Dima2EdOptions& options) {
+  if (options.engine == net::EngineKind::BitPlane) {
+    return colorArcsDima2EdBitPlane(d, options);
+  }
   DIMA_REQUIRE(options.invitorBias > 0.0 && options.invitorBias < 1.0,
                "invitor bias must be in (0,1)");
   Dima2EdProtocol proto(d, options);

@@ -83,6 +83,10 @@ struct Dima2EdOptions {
   std::uint64_t maxCycles = 1u << 20;
   support::ThreadPool* pool = nullptr;
   net::TraceLog* trace = nullptr;
+  /// Execution substrate. `BitPlane` (fault-free only) replays the run on
+  /// the SoA engine — bit-identical colors, metrics and traces, pinned by
+  /// the engine-parity harness.
+  net::EngineKind engine = net::EngineKind::Reference;
 };
 
 /// Runs DiMa2Ed on `d` until every arc is colored (or maxCycles fires).

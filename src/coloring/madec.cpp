@@ -5,6 +5,7 @@
 
 #include "src/automata/core.hpp"
 #include "src/automata/phase.hpp"
+#include "src/coloring/bitplane_engines.hpp"
 #include "src/net/async_beta.hpp"
 #include "src/net/engine.hpp"
 #include "src/support/bitset.hpp"
@@ -240,6 +241,9 @@ EdgeColoringResult colorEdgesMadecAsync(const graph::Graph& g,
 
 EdgeColoringResult colorEdgesMadec(const graph::Graph& g,
                                    const MadecOptions& options) {
+  if (options.engine == net::EngineKind::BitPlane) {
+    return colorEdgesMadecBitPlane(g, options);
+  }
   DIMA_REQUIRE(options.invitorBias > 0.0 && options.invitorBias < 1.0,
                "invitor bias must be in (0,1)");
   MadecProtocol proto(g, options);

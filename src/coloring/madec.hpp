@@ -53,6 +53,10 @@ struct MadecOptions {
   support::ThreadPool* pool = nullptr;
   /// Optional event trace (serial executor only).
   net::TraceLog* trace = nullptr;
+  /// Execution substrate. `BitPlane` (fault-free only) replays the run on
+  /// the SoA engine — bit-identical colors, metrics and traces, pinned by
+  /// the engine-parity harness.
+  net::EngineKind engine = net::EngineKind::Reference;
 };
 
 /// Runs Algorithm 1 on `g` until every edge is colored (or the round cap

@@ -63,6 +63,22 @@ struct CycleInfo {
   std::size_t nodesTotal = 0;
 };
 
+/// Which execution substrate carries a protocol run. The choice is
+/// observably invisible on the fault-free model — same colors, same
+/// counters, same traces, bit for bit (pinned by the engine-parity
+/// harness) — so it is a pure performance knob.
+enum class EngineKind : std::uint8_t {
+  /// `runSyncProtocol` over `SyncNetwork`: per-node protocol objects and a
+  /// slot-arena message substrate. The semantic reference; required for
+  /// fault injection (drops/duplicates/chaos make the message plane
+  /// stateful).
+  Reference,
+  /// The structure-of-arrays engine (automata/bitplane.hpp): automaton
+  /// states as bit-planes, palettes as word rows, messages computed rather
+  /// than delivered. Fault-free runs only; drivers enforce the restriction.
+  BitPlane,
+};
+
 struct EngineOptions {
   /// Safety valve: abort as non-converged after this many computation
   /// rounds. The algorithms finish in O(Δ) rounds with overwhelming
@@ -73,6 +89,11 @@ struct EngineOptions {
   support::ThreadPool* pool = nullptr;
   /// Optional per-round progress callback.
   std::function<void(const CycleInfo&)> observer;
+  /// Substrate selector. `runSyncProtocol` itself *is* the reference
+  /// engine and ignores the field; drivers that know how to replay their
+  /// protocol on the bit-plane engine (maximalMatching, colorEdgesMadec,
+  /// colorArcsDima2Ed) dispatch on it.
+  EngineKind engine = EngineKind::Reference;
 };
 
 struct EngineResult {

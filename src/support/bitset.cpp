@@ -77,6 +77,38 @@ std::size_t DynamicBitset::firstClearAlsoClearIn(
   return longer.words_.size() * kWordBits;
 }
 
+void DynamicBitset::andNotInto(const DynamicBitset& other,
+                               DynamicBitset& out) const {
+  out.bits_ = bits_;
+  out.words_.resize(words_.size());
+  const std::size_t common = std::min(words_.size(), other.words_.size());
+  for (std::size_t w = 0; w < common; ++w) {
+    out.words_[w] = words_[w] & ~other.words_[w];
+  }
+  for (std::size_t w = common; w < words_.size(); ++w) {
+    out.words_[w] = words_[w];
+  }
+}
+
+std::size_t DynamicBitset::firstClearInWords(std::span<const Word> a,
+                                             std::span<const Word> b) {
+  const std::size_t common = std::min(a.size(), b.size());
+  for (std::size_t w = 0; w < common; ++w) {
+    const Word inv = ~(a[w] | b[w]);
+    if (inv != 0) {
+      return w * kWordBits + static_cast<std::size_t>(std::countr_zero(inv));
+    }
+  }
+  const std::span<const Word> longer = a.size() >= b.size() ? a : b;
+  for (std::size_t w = common; w < longer.size(); ++w) {
+    const Word inv = ~longer[w];
+    if (inv != 0) {
+      return w * kWordBits + static_cast<std::size_t>(std::countr_zero(inv));
+    }
+  }
+  return longer.size() * kWordBits;
+}
+
 std::size_t DynamicBitset::firstSet() const {
   for (std::size_t w = 0; w < words_.size(); ++w) {
     if (words_[w] != 0) {

@@ -16,6 +16,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -83,6 +84,39 @@ class DynamicBitset {
   bool intersects(const DynamicBitset& other) const;
 
   friend bool operator==(const DynamicBitset& a, const DynamicBitset& b);
+
+  /// Read-only view of the backing words, lowest-indexed bits first. The
+  /// class invariant (trimTail) keeps bits at index >= size() clear, so word
+  /// loops over this span need no tail mask of their own.
+  std::span<const Word> words() const { return words_; }
+
+  /// Mutable word view for engines that batch-update whole state planes.
+  /// Callers own the invariant: bits at index >= size() must stay clear,
+  /// or count()/scans over this set become wrong.
+  std::span<Word> mutableWords() { return words_; }
+
+  /// Calls `fn(wordIndex, word)` for every nonzero backing word in ascending
+  /// order — the batched form of set-bit iteration: one callback per 64 bits
+  /// instead of one per bit, so dense planes iterate at word speed.
+  template <class Fn>
+  void forEachSetWord(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      if (words_[w] != 0) fn(w, words_[w]);
+    }
+  }
+
+  /// out = this & ~other, sized to `size()`. The word-parallel form of the
+  /// frontier update `active &= ~doneNew`; unlike operator-= it writes a
+  /// destination set, leaving both operands untouched.
+  void andNotInto(const DynamicBitset& other, DynamicBitset& out) const;
+
+  /// Lowest index clear in both raw word spans; indices beyond either span
+  /// read as clear. This is `firstClearAlsoClearIn` over a word range, for
+  /// callers that store many palettes as rows of a flat word array (the
+  /// planes-by-color layout) rather than as DynamicBitset objects. Callers
+  /// own tail masking: any padding bits set in the final words count as used.
+  static std::size_t firstClearInWords(std::span<const Word> a,
+                                       std::span<const Word> b);
 
   /// Dense "0101..." rendering, lowest index first (debugging aid).
   std::string toString() const;

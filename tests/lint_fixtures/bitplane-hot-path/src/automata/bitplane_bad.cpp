@@ -1,0 +1,19 @@
+// Bad fixture: a bit-plane engine TU (matched by its `bitplane*` filename —
+// deliberately NOT carrying the hot-path marker, so only the path-keyed
+// bitplane-hot-path rule may trip) using per-node virtual dispatch and a
+// type-erased callback in what would be the round loop.
+
+#include <functional>
+
+namespace fixture {
+
+struct NodeVisitor {
+  virtual void visit(unsigned node) = 0;
+  virtual ~NodeVisitor() = default;
+};
+
+struct Pass {
+  std::function<void(unsigned)> perNode;
+};
+
+}  // namespace fixture

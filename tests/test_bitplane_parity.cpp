@@ -1,0 +1,304 @@
+/// \file test_bitplane_parity.cpp
+/// Engine-parity pins for the bit-plane automaton engine
+/// (src/automata/bitplane.hpp, src/coloring/bitplane_engines.hpp): on the
+/// fault-free model, `EngineKind::BitPlane` must be observably invisible —
+/// bit-identical colors, `Counters`, and TraceLog event streams versus the
+/// reference engine, over ER / scale-free / small-world topologies and
+/// worker counts {1, 2, 8}. The grid is what lets every downstream
+/// consumer (golden pins, invariant monitor, experiments) trust the fast
+/// engine for free; a single mismatched bit here means the replay drifted
+/// and must be fixed, never re-pinned.
+///
+/// The ISA dispatch contract rides along: every compiled kernel path must
+/// produce the same bits, so the golden pins are re-checked under each
+/// supported path (CI also forces paths process-wide via
+/// DIMA_BITPLANE_ISA).
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "src/automata/bitplane.hpp"
+#include "src/automata/discovery.hpp"
+#include "src/coloring/bitplane_engines.hpp"
+#include "src/coloring/dima2ed.hpp"
+#include "src/coloring/madec.hpp"
+#include "src/graph/digraph.hpp"
+#include "src/graph/generators.hpp"
+#include "src/net/trace.hpp"
+#include "src/sim/monitor.hpp"
+#include "src/support/thread_pool.hpp"
+
+namespace dima {
+namespace {
+
+namespace bp = automata::bitplane;
+
+constexpr std::size_t kWorkerCounts[] = {1, 2, 8};
+
+graph::Graph erGraph() {
+  support::Rng rng(21);
+  return graph::erdosRenyiAvgDegree(400, 8.0, rng);
+}
+graph::Graph scaleFreeGraph() {
+  support::Rng rng(22);
+  return graph::barabasiAlbert(400, 4, 1.0, rng);
+}
+graph::Graph smallWorldGraph() {
+  support::Rng rng(23);
+  return graph::wattsStrogatz(300, 6, 0.1, rng);
+}
+graph::Graph goldenGraph() {
+  support::Rng rng(0xfeed);
+  return graph::erdosRenyiAvgDegree(50, 6.0, rng);
+}
+
+std::vector<graph::Graph> parityGrid() {
+  std::vector<graph::Graph> grid;
+  grid.push_back(erGraph());
+  grid.push_back(scaleFreeGraph());
+  grid.push_back(smallWorldGraph());
+  return grid;
+}
+
+void expectSameMetrics(const coloring::RunMetrics& a,
+                       const coloring::RunMetrics& b, std::size_t workers) {
+  EXPECT_EQ(a.computationRounds, b.computationRounds) << workers << " workers";
+  EXPECT_EQ(a.commRounds, b.commRounds) << workers << " workers";
+  EXPECT_EQ(a.broadcasts, b.broadcasts) << workers << " workers";
+  EXPECT_EQ(a.messagesDelivered, b.messagesDelivered) << workers << " workers";
+  EXPECT_EQ(a.bitsDelivered, b.bitsDelivered) << workers << " workers";
+  EXPECT_EQ(a.maxMessageBits, b.maxMessageBits) << workers << " workers";
+  EXPECT_EQ(a.converged, b.converged) << workers << " workers";
+}
+
+TEST(BitPlaneParity, MadecMatchesReferenceAcrossGridAndWorkers) {
+  for (const graph::Graph& g : parityGrid()) {
+    coloring::MadecOptions reference;
+    reference.seed = 0xb17b17;
+    const auto ref = coloring::colorEdgesMadec(g, reference);
+    ASSERT_TRUE(ref.metrics.converged);
+    for (const std::size_t workers : kWorkerCounts) {
+      support::ThreadPool pool(workers);
+      coloring::MadecOptions options = reference;
+      options.engine = net::EngineKind::BitPlane;
+      options.pool = workers == 1 ? nullptr : &pool;
+      const auto run = coloring::colorEdgesMadec(g, options);
+      EXPECT_EQ(ref.colors, run.colors) << workers << " workers";
+      EXPECT_EQ(ref.halfCommitted, run.halfCommitted) << workers;
+      expectSameMetrics(ref.metrics, run.metrics, workers);
+    }
+  }
+}
+
+TEST(BitPlaneParity, Dima2EdMatchesReferenceBothModes) {
+  for (const graph::Graph& g : parityGrid()) {
+    const graph::Digraph d(g);
+    for (const auto mode :
+         {coloring::Dima2EdMode::Strict, coloring::Dima2EdMode::Paper}) {
+      coloring::Dima2EdOptions reference;
+      reference.seed = 0xb17d2;
+      reference.mode = mode;
+      const auto ref = coloring::colorArcsDima2Ed(d, reference);
+      ASSERT_TRUE(ref.metrics.converged);
+      for (const std::size_t workers : kWorkerCounts) {
+        support::ThreadPool pool(workers);
+        coloring::Dima2EdOptions options = reference;
+        options.engine = net::EngineKind::BitPlane;
+        options.pool = workers == 1 ? nullptr : &pool;
+        const auto run = coloring::colorArcsDima2Ed(d, options);
+        EXPECT_EQ(ref.colors, run.colors)
+            << workers << " workers, mode " << static_cast<int>(mode);
+        EXPECT_EQ(ref.halfCommitted, run.halfCommitted) << workers;
+        expectSameMetrics(ref.metrics, run.metrics, workers);
+      }
+    }
+  }
+}
+
+TEST(BitPlaneParity, LowestIndexPolicyMatchesReference) {
+  const graph::Digraph d(erGraph());
+  coloring::Dima2EdOptions reference;
+  reference.policy = coloring::ColorPolicy::LowestIndex;
+  reference.maxCycles = 4000;
+  const auto ref = coloring::colorArcsDima2Ed(d, reference);
+  coloring::Dima2EdOptions options = reference;
+  options.engine = net::EngineKind::BitPlane;
+  const auto run = coloring::colorArcsDima2Ed(d, options);
+  EXPECT_EQ(ref.colors, run.colors);
+  expectSameMetrics(ref.metrics, run.metrics, 1);
+}
+
+TEST(BitPlaneParity, DiscoveryMatchesReferenceAcrossWorkers) {
+  for (const graph::Graph& g : parityGrid()) {
+    const auto ref = automata::maximalMatching(g, 0xd15c0);
+    ASSERT_TRUE(ref.converged);
+    for (const std::size_t workers : kWorkerCounts) {
+      support::ThreadPool pool(workers);
+      net::EngineOptions options;
+      options.engine = net::EngineKind::BitPlane;
+      options.pool = workers == 1 ? nullptr : &pool;
+      const auto run = automata::maximalMatching(g, 0xd15c0, 0.5, options);
+      EXPECT_EQ(ref.matching.edges(), run.matching.edges()) << workers;
+      EXPECT_EQ(ref.rounds, run.rounds) << workers;
+      EXPECT_EQ(ref.stats.activeNodeRounds, run.stats.activeNodeRounds);
+      EXPECT_EQ(ref.stats.matchedNodeRounds, run.stats.matchedNodeRounds);
+      EXPECT_EQ(ref.stats.pairsPerRound, run.stats.pairsPerRound);
+    }
+  }
+}
+
+// --- Trace parity: every intermediate event, not just final outputs.
+
+void expectSameTrace(const net::TraceLog& a, const net::TraceLog& b) {
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    const net::TraceEvent& ea = a.events()[i];
+    const net::TraceEvent& eb = b.events()[i];
+    ASSERT_TRUE(ea.cycle == eb.cycle && ea.node == eb.node &&
+                ea.kind == eb.kind && ea.a == eb.a && ea.b == eb.b)
+        << "event " << i << ": (" << ea.cycle << "," << ea.node << ","
+        << static_cast<int>(ea.kind) << "," << ea.a << "," << ea.b
+        << ") vs (" << eb.cycle << "," << eb.node << ","
+        << static_cast<int>(eb.kind) << "," << eb.a << "," << eb.b << ")";
+  }
+}
+
+TEST(BitPlaneParity, MadecTraceStreamIsIdentical) {
+  const graph::Graph g = goldenGraph();
+  net::TraceLog refLog;
+  refLog.enable();
+  coloring::MadecOptions reference{.seed = 42};
+  reference.trace = &refLog;
+  (void)coloring::colorEdgesMadec(g, reference);
+
+  net::TraceLog bpLog;
+  bpLog.enable();
+  coloring::MadecOptions options{.seed = 42};
+  options.trace = &bpLog;
+  options.engine = net::EngineKind::BitPlane;
+  (void)coloring::colorEdgesMadec(g, options);
+  expectSameTrace(refLog, bpLog);
+}
+
+TEST(BitPlaneParity, Dima2EdExtendedTraceStreamIsIdentical) {
+  const graph::Digraph d(goldenGraph());
+  net::TraceLog refLog;
+  refLog.enable();
+  refLog.enableExtended();  // TentativeSet events must replay too
+  coloring::Dima2EdOptions reference{.seed = 42};
+  reference.trace = &refLog;
+  (void)coloring::colorArcsDima2Ed(d, reference);
+
+  net::TraceLog bpLog;
+  bpLog.enable();
+  bpLog.enableExtended();
+  coloring::Dima2EdOptions options{.seed = 42};
+  options.trace = &bpLog;
+  options.engine = net::EngineKind::BitPlane;
+  (void)coloring::colorArcsDima2Ed(d, options);
+  expectSameTrace(refLog, bpLog);
+}
+
+// --- Golden pins, engine-forced: the exact values test_golden.cpp pins
+// for the reference engine must fall out of the bit-plane engine too.
+
+TEST(BitPlaneParity, MadecGoldenRunIsPinned) {
+  coloring::MadecOptions options{.seed = 1234};
+  options.engine = net::EngineKind::BitPlane;
+  const auto result = coloring::colorEdgesMadec(goldenGraph(), options);
+  ASSERT_TRUE(result.metrics.converged);
+  EXPECT_EQ(result.metrics.computationRounds, 30u);
+  EXPECT_EQ(result.colorsUsed(), 12u);
+  EXPECT_EQ(result.colors[0], 7);
+  EXPECT_EQ(result.colors[5], 6);
+  EXPECT_EQ(result.metrics.commRounds, 90u);
+  EXPECT_EQ(result.metrics.broadcasts, 831u);
+  EXPECT_EQ(result.metrics.messagesDelivered, 5589u);
+  EXPECT_EQ(result.metrics.bitsDelivered, 42849u);
+  EXPECT_EQ(result.metrics.maxMessageBits, 12u);
+}
+
+TEST(BitPlaneParity, Dima2EdGoldenRunIsPinned) {
+  const graph::Digraph d(goldenGraph());
+  coloring::Dima2EdOptions options{.seed = 1234};
+  options.engine = net::EngineKind::BitPlane;
+  const auto result = coloring::colorArcsDima2Ed(d, options);
+  ASSERT_TRUE(result.metrics.converged);
+  EXPECT_EQ(result.metrics.computationRounds, 156u);
+  EXPECT_EQ(result.colorsUsed(), 78u);
+  EXPECT_EQ(result.colors[0], 20);
+  EXPECT_EQ(result.metrics.commRounds, 780u);
+  EXPECT_EQ(result.metrics.broadcasts, 3643u);
+  EXPECT_EQ(result.metrics.messagesDelivered, 23712u);
+  EXPECT_EQ(result.metrics.bitsDelivered, 307388u);
+  EXPECT_EQ(result.metrics.maxMessageBits, 20u);
+}
+
+// --- ISA dispatch: every compiled path must produce the same bits.
+
+TEST(BitPlaneParity, GoldenPinsHoldUnderEveryCompiledIsaPath) {
+  const bp::Isa original = bp::activeIsa();
+  for (const bp::Isa isa : {bp::Isa::Scalar, bp::Isa::Avx2, bp::Isa::Avx512}) {
+    if (!bp::isaSupported(isa)) continue;
+    bp::setIsa(isa);
+    coloring::MadecOptions options{.seed = 1234};
+    options.engine = net::EngineKind::BitPlane;
+    const auto result = coloring::colorEdgesMadec(goldenGraph(), options);
+    EXPECT_EQ(result.metrics.computationRounds, 30u) << bp::isaName(isa);
+    EXPECT_EQ(result.colorsUsed(), 12u) << bp::isaName(isa);
+    EXPECT_EQ(result.metrics.bitsDelivered, 42849u) << bp::isaName(isa);
+  }
+  bp::setIsa(original);
+}
+
+// --- The invariant monitor consumes bit-plane traces like any other run.
+
+TEST(BitPlaneParity, MonitoredBitPlaneRunIsClean) {
+  const graph::Graph g = goldenGraph();
+  sim::MonitorOptions monitorOptions;
+  monitorOptions.semantics = sim::Semantics::ProperEdge;
+  monitorOptions.paletteBound = 2 * g.maxDegree() - 1;
+  sim::InvariantMonitor monitor(g, monitorOptions);
+  net::TraceLog log;
+  monitor.attach(log);
+  coloring::MadecOptions options{.seed = 1234};
+  options.trace = &log;
+  options.engine = net::EngineKind::BitPlane;
+  const auto result = coloring::colorEdgesMadec(g, options);
+  monitor.finish();
+  log.setSink({});
+  EXPECT_TRUE(result.complete());
+  EXPECT_TRUE(monitor.ok()) << monitor.report();
+  EXPECT_GT(monitor.eventsSeen(), 0u);
+}
+
+// --- Degenerate shapes: isolated vertices, empty graphs, single edges.
+
+TEST(BitPlaneParity, DegenerateGraphsMatchReference) {
+  std::vector<graph::Graph> shapes;
+  shapes.emplace_back(0);  // empty
+  shapes.emplace_back(5);  // all isolated
+  shapes.emplace_back(2, std::vector<graph::Edge>{{0, 1}});  // single edge
+  shapes.emplace_back(6, std::vector<graph::Edge>{
+                             {0, 1}, {0, 2}, {0, 3}, {0, 4}});  // star + lone
+  for (const graph::Graph& g : shapes) {
+    const auto ref = coloring::colorEdgesMadec(g, {.seed = 9});
+    coloring::MadecOptions options{.seed = 9};
+    options.engine = net::EngineKind::BitPlane;
+    const auto run = coloring::colorEdgesMadec(g, options);
+    EXPECT_EQ(ref.colors, run.colors);
+    expectSameMetrics(ref.metrics, run.metrics, 1);
+    const graph::Digraph d(g);
+    const auto dref = coloring::colorArcsDima2Ed(d, {.seed = 9});
+    coloring::Dima2EdOptions d2{.seed = 9};
+    d2.engine = net::EngineKind::BitPlane;
+    const auto drun = coloring::colorArcsDima2Ed(d, d2);
+    EXPECT_EQ(dref.colors, drun.colors);
+    expectSameMetrics(dref.metrics, drun.metrics, 1);
+  }
+}
+
+}  // namespace
+}  // namespace dima

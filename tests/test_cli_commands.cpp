@@ -56,6 +56,33 @@ TEST(Cli, ColorEveryAlgorithm) {
   EXPECT_EQ(bad.code, 1);
 }
 
+// --engine only swaps the execution substrate; every observable line of
+// output except the engine: banner must be byte-identical (PROTOCOLS.md §9).
+TEST(Cli, EngineFlagIsObservablyInvisible) {
+  const std::vector<std::string> base = {"--family", "er",   "--n", "80",
+                                         "--deg",    "6",    "--seed", "7"};
+  for (const char* command : {"color", "strong", "matching"}) {
+    std::vector<std::string> reference = {command};
+    reference.insert(reference.end(), base.begin(), base.end());
+    std::vector<std::string> bitplane = reference;
+    bitplane.insert(bitplane.end(), {"--engine", "bitplane"});
+    const CommandResult ref = run(reference);
+    const CommandResult bit = run(bitplane);
+    EXPECT_EQ(ref.code, 0) << command << ": " << ref.err;
+    EXPECT_EQ(bit.code, 0) << command << ": " << bit.err;
+    EXPECT_NE(ref.out.find("engine: reference"), std::string::npos) << command;
+    EXPECT_NE(bit.out.find("engine: bitplane"), std::string::npos) << command;
+    std::string refRest = ref.out, bitRest = bit.out;
+    refRest.replace(refRest.find("engine: reference"), 17, "engine: X");
+    bitRest.replace(bitRest.find("engine: bitplane"), 16, "engine: X");
+    EXPECT_EQ(refRest, bitRest) << command;
+  }
+  const CommandResult bad =
+      run({"color", "--n", "10", "--engine", "simd-ish"});
+  EXPECT_EQ(bad.code, 1);
+  EXPECT_NE(bad.err.find("unknown --engine"), std::string::npos);
+}
+
 TEST(Cli, StrongStrictIsValidPaperMayNotBe) {
   const CommandResult strict =
       run({"strong", "--n", "40", "--deg", "4", "--seed", "5"});

@@ -34,13 +34,15 @@ void expectSameMetrics(const coloring::RunMetrics& a,
   EXPECT_EQ(a.converged, b.converged) << workers << " workers";
 }
 
-void sweepMadec(const graph::Graph& g, const net::FaultModel& faults) {
+void sweepMadec(const graph::Graph& g, const net::FaultModel& faults,
+                net::EngineKind engine = net::EngineKind::Reference) {
   std::optional<coloring::EdgeColoringResult> serial;
   for (const std::size_t workers : kWorkerCounts) {
     support::ThreadPool pool(workers);
     coloring::MadecOptions options;
     options.seed = 0xdeed5;
     options.faults = faults;
+    options.engine = engine;
     // Message loss breaks liveness (two-generals), so the perturbed sweep
     // would otherwise spin to the engine's huge default cap; a capped run
     // still has to replay bit-identically across worker counts.
@@ -60,13 +62,15 @@ void sweepMadec(const graph::Graph& g, const net::FaultModel& faults) {
   }
 }
 
-void sweepDima2Ed(const graph::Graph& g) {
+void sweepDima2Ed(const graph::Graph& g,
+                  net::EngineKind engine = net::EngineKind::Reference) {
   const graph::Digraph d(g);
   std::optional<coloring::ArcColoringResult> serial;
   for (const std::size_t workers : kWorkerCounts) {
     support::ThreadPool pool(workers);
     coloring::Dima2EdOptions options;
     options.seed = 0xfeed7;
+    options.engine = engine;
     options.pool = workers == 1 ? nullptr : &pool;
     const coloring::ArcColoringResult run = coloring::colorArcsDima2Ed(
         d, options);
@@ -108,6 +112,29 @@ TEST(DeterminismSweep, Dima2EdErdosRenyiBitIdenticalAcrossWorkerCounts) {
 TEST(DeterminismSweep, Dima2EdScaleFreeBitIdenticalAcrossWorkerCounts) {
   support::Rng rng(25);
   sweepDima2Ed(graph::barabasiAlbert(300, 3, 1.0, rng));
+}
+
+// The bit-plane engine chunks work by plane word instead of by node, so its
+// worker-count independence rests on a different argument (word ownership
+// instead of slot-arena ownership) and gets its own sweep. Fault-free only:
+// the bit-plane engine refuses perturbed channels by contract.
+
+TEST(DeterminismSweep, BitPlaneMadecBitIdenticalAcrossWorkerCounts) {
+  support::Rng rng(21);
+  sweepMadec(graph::erdosRenyiAvgDegree(400, 8.0, rng), net::FaultModel{},
+             net::EngineKind::BitPlane);
+}
+
+TEST(DeterminismSweep, BitPlaneMadecScaleFreeBitIdenticalAcrossWorkerCounts) {
+  support::Rng rng(22);
+  sweepMadec(graph::barabasiAlbert(400, 4, 1.0, rng), net::FaultModel{},
+             net::EngineKind::BitPlane);
+}
+
+TEST(DeterminismSweep, BitPlaneDima2EdBitIdenticalAcrossWorkerCounts) {
+  support::Rng rng(24);
+  sweepDima2Ed(graph::erdosRenyiAvgDegree(300, 6.0, rng),
+               net::EngineKind::BitPlane);
 }
 
 }  // namespace

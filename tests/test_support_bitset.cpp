@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "src/support/rng.hpp"
 
@@ -162,6 +165,128 @@ TEST(DynamicBitset, ShrinkingResizeDropsHighBits) {
   EXPECT_TRUE(b.test(2));
   EXPECT_FALSE(b.test(10));
   EXPECT_EQ(b.count(), 1u);
+}
+
+// --- Word-level primitives for the bit-plane engine -----------------------
+// The sizes 63/64/65 straddle a word boundary: 63 exercises a masked tail
+// word, 64 an exactly-full word, 65 a one-bit tail word. Each primitive must
+// honor the "bits >= size() are clear" invariant at all three.
+
+TEST(DynamicBitsetWords, WordsSpanReflectsSizeAndTailMask) {
+  for (const std::size_t n : {63u, 64u, 65u}) {
+    DynamicBitset b(n);
+    for (std::size_t i = 0; i < n; ++i) b.set(i);
+    const auto words = b.words();
+    EXPECT_EQ(words.size(), (n + 63) / 64) << n;
+    // All in-range bits set; any padding bits in the last word must be clear.
+    std::size_t pop = 0;
+    for (const auto w : words) pop += static_cast<std::size_t>(std::popcount(w));
+    EXPECT_EQ(pop, n) << n;
+  }
+}
+
+TEST(DynamicBitsetWords, ForEachSetWordSkipsZeroWordsAndAscends) {
+  DynamicBitset b(200);
+  b.set(1);
+  b.set(130);
+  b.set(131);
+  std::vector<std::pair<std::size_t, DynamicBitset::Word>> seen;
+  b.forEachSetWord([&](std::size_t w, DynamicBitset::Word bits) {
+    seen.emplace_back(w, bits);
+  });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].first, 0u);
+  EXPECT_EQ(seen[0].second, DynamicBitset::Word{1} << 1);
+  EXPECT_EQ(seen[1].first, 2u);
+  EXPECT_EQ(seen[1].second, (DynamicBitset::Word{1} << 2) |
+                                (DynamicBitset::Word{1} << 3));
+}
+
+TEST(DynamicBitsetWords, ForEachSetWordTailMaskedAt63And65) {
+  for (const std::size_t n : {63u, 65u}) {
+    DynamicBitset b(n);
+    b.set(n - 1);
+    std::size_t calls = 0;
+    b.forEachSetWord([&](std::size_t w, DynamicBitset::Word bits) {
+      ++calls;
+      EXPECT_EQ(w, (n - 1) / 64) << n;
+      EXPECT_EQ(bits, DynamicBitset::Word{1} << ((n - 1) % 64)) << n;
+    });
+    EXPECT_EQ(calls, 1u) << n;
+  }
+}
+
+TEST(DynamicBitsetWords, AndNotIntoMatchesOperatorMinusAtBoundarySizes) {
+  Rng rng(63);
+  for (const std::size_t n : {63u, 64u, 65u, 130u}) {
+    DynamicBitset a(n);
+    DynamicBitset mask(n / 2);  // shorter operand: tail must pass through
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.coin()) a.set(i);
+      if (i < n / 2 && rng.coin()) mask.set(i);
+    }
+    DynamicBitset out;
+    a.andNotInto(mask, out);
+    DynamicBitset expected = a;
+    expected -= mask;
+    EXPECT_EQ(out, expected) << n;
+    EXPECT_EQ(out.size(), a.size()) << n;
+    // Operands untouched.
+    EXPECT_EQ(a.count() >= out.count(), true) << n;
+  }
+}
+
+TEST(DynamicBitsetWords, AndNotIntoReusesDestinationAtFullWord) {
+  DynamicBitset a(64);
+  DynamicBitset b(64);
+  for (std::size_t i = 0; i < 64; ++i) a.set(i);
+  b.set(0);
+  b.set(63);
+  DynamicBitset out(7);  // stale, differently sized destination
+  out.set(3);
+  a.andNotInto(b, out);
+  EXPECT_EQ(out.size(), 64u);
+  EXPECT_EQ(out.count(), 62u);
+  EXPECT_FALSE(out.test(0));
+  EXPECT_FALSE(out.test(63));
+  EXPECT_TRUE(out.test(1));
+}
+
+TEST(DynamicBitsetWords, FirstClearInWordsMatchesBitsetForm) {
+  Rng rng(64);
+  for (const std::size_t n : {63u, 64u, 65u}) {
+    DynamicBitset a(n);
+    DynamicBitset b(n + 64);  // differing word counts: tail path
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.coin()) a.set(i);
+    }
+    for (std::size_t i = 0; i + 64 < n + 64; ++i) {
+      if (rng.coin()) b.set(i);
+    }
+    EXPECT_EQ(DynamicBitset::firstClearInWords(a.words(), b.words()),
+              a.firstClearAlsoClearIn(b))
+        << n;
+  }
+}
+
+TEST(DynamicBitsetWords, FirstClearInWordsSaturatedSpans) {
+  // Both spans fully set: the first clear bit is one past the longer span.
+  const DynamicBitset::Word full = ~DynamicBitset::Word{0};
+  const DynamicBitset::Word one[] = {full};
+  const DynamicBitset::Word two[] = {full, full};
+  EXPECT_EQ(DynamicBitset::firstClearInWords(one, two), 128u);
+  EXPECT_EQ(DynamicBitset::firstClearInWords(two, one), 128u);
+  EXPECT_EQ(DynamicBitset::firstClearInWords({}, {}), 0u);
+  EXPECT_EQ(DynamicBitset::firstClearInWords(one, {}), 64u);
+}
+
+TEST(DynamicBitsetWords, FirstClearInWordsHonorsPaddingBitsAsUsed) {
+  // Spans carry no bit-length, so a caller that sets padding bits sees them
+  // as used: size-63 row with all 63 logical bits set plus the tail bit set
+  // pushes first-clear into the next word.
+  const DynamicBitset::Word all63AndPad = ~DynamicBitset::Word{0};
+  const DynamicBitset::Word row[] = {all63AndPad};
+  EXPECT_EQ(DynamicBitset::firstClearInWords(row, row), 64u);
 }
 
 TEST(DynamicBitset, RandomizedAgainstReferenceSet) {

@@ -33,6 +33,11 @@
 ///                        `std::function`, no `new`/`malloc`, and no
 ///                        node-based containers — the zero-copy substrate's
 ///                        "no per-message allocation" promise.
+///   bitplane-hot-path    bit-plane engine TUs (`bitplane*.{hpp,cpp}`,
+///                        keyed by path, not by marker) additionally ban
+///                        `virtual` — the engine's word-parallel round
+///                        loops must stay free of indirection, per-node
+///                        virtual dispatch, and allocation.
 ///   pragma-once          every header under src/ starts with #pragma once.
 ///
 /// The scan is token-level (comments and string literals stripped first),
@@ -355,6 +360,43 @@ void ruleHotPathTokens(const Tree& t, std::vector<Finding>& out) {
   }
 }
 
+void ruleBitPlaneHotPath(const Tree& t, std::vector<Finding>& out) {
+  // The bit-plane engine's whole point is branch-free, allocation-free,
+  // word-parallel round loops (DESIGN.md §12): one std::function call or
+  // per-node virtual dispatch inside a plane pass costs more than the pass
+  // itself. The rule keys on the file *path* (any TU named `bitplane*`), not
+  // on the hot-path marker, so deleting the marker comment cannot un-gate
+  // the engine. Token-level approximation of "no allocation in the round
+  // loop": bare `new`/`malloc` are banned outright; std::vector members are
+  // fine because they are sized at construction/reset, outside the loop.
+  static const char* kBanned[] = {"std::function",
+                                  "std::bind",
+                                  "virtual",
+                                  "malloc",
+                                  "calloc",
+                                  "new",
+                                  "std::map",
+                                  "std::unordered_map",
+                                  "std::list",
+                                  "std::deque"};
+  for (const SourceFile& f : t.files) {
+    const std::size_t slash = f.path.rfind('/');
+    const std::string name =
+        slash == std::string::npos ? f.path : f.path.substr(slash + 1);
+    if (!name.starts_with("bitplane")) continue;
+    for (const char* token : kBanned) {
+      if (containsToken(f.code, token)) {
+        addFinding(out, "bitplane-hot-path", f.path,
+                   lineOf(f.code, f.code.find(token)),
+                   std::string(token) +
+                       " in a bit-plane engine TU (word-parallel round "
+                       "loops must stay free of indirection, virtual "
+                       "dispatch, and allocation)");
+      }
+    }
+  }
+}
+
 void rulePragmaOnce(const Tree& t, std::vector<Finding>& out) {
   for (const SourceFile& f : t.files) {
     if (!f.path.ends_with(".hpp")) continue;
@@ -397,6 +439,10 @@ constexpr Rule kRules[] = {
     {"hot-path-tokens",
      "hot-path-tagged files are free of std::function/allocation tokens",
      ruleHotPathTokens},
+    {"bitplane-hot-path",
+     "bit-plane engine TUs are free of std::function, virtual dispatch, "
+     "and allocation tokens",
+     ruleBitPlaneHotPath},
     {"pragma-once", "headers under src/ start with #pragma once",
      rulePragmaOnce},
 };
