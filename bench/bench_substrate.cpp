@@ -15,9 +15,13 @@
 /// nodes are already done, where the frontier engine does O(active) work
 /// while the legacy loop re-ran hooks and a done-scan over every node.
 ///
+/// A third section sweeps the sharded engine: full MaDEC runs at shard
+/// counts K ∈ {1, 2, 4, 8} on the same n=10⁵ graph, each row tagged with
+/// its partition's boundary-arc fraction (the cross-shard delivery tax).
+///
 /// Besides the console table, the binary writes `BENCH_substrate.json`
-/// (ns/round, ops/s, threads, and the arena-vs-legacy speedups) so the perf
-/// trajectory is tracked across PRs.
+/// (ns/round, ops/s, threads, and the arena-vs-legacy plus shard-sweep
+/// speedups) so the perf trajectory is tracked across PRs.
 
 #include <benchmark/benchmark.h>
 
@@ -32,6 +36,7 @@
 #include "src/coloring/bitplane_engines.hpp"
 #include "src/coloring/madec.hpp"
 #include "src/graph/generators.hpp"
+#include "src/graph/partition.hpp"
 #include "src/net/engine.hpp"
 #include "src/net/network.hpp"
 #include "src/support/bitset.hpp"
@@ -334,6 +339,36 @@ void BM_EngineTailFullScan(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineTailFullScan)->Unit(benchmark::kMillisecond)->UseRealTime();
 
+/// One iteration = a full MaDEC run at n=10⁵, degree 16, through the
+/// sharded engine at K shards (block partition, one worker per shard; K=1
+/// is the single-arena reference substrate and the speedup baseline). The
+/// colors are bit-identical across K by construction (DESIGN.md §13), so
+/// this times exactly the same work partitioned K ways; what it exposes is
+/// the cross-shard tax — each row carries its partition's boundary-arc
+/// fraction, the share of deliveries that cross a shard boundary and pay
+/// the epoch-tagged record exchange instead of a direct slot write.
+void BM_ShardedMadecRun(benchmark::State& state) {
+  const graph::Graph g = substrateGraph();
+  const auto shardCount = static_cast<std::uint32_t>(state.range(0));
+  coloring::MadecOptions options;
+  options.shards.count = shardCount;
+  state.counters["boundary_arc_fraction"] = graph::boundaryArcFraction(
+      g, graph::makePartition(g, graph::PartitionKind::Block, shardCount));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        coloring::colorEdgesMadec(g, options).colors.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.numVertices()));
+}
+BENCHMARK(BM_ShardedMadecRun)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 /// One iteration = the *first* MaDEC cycle on the bit-plane engine — every
 /// node active, the densest round of the run and the shape every
 /// O(Δ)-cycle protocol starts in. One cycle is 3 comm rounds, so the
@@ -475,6 +510,7 @@ class TeeReporter : public benchmark::ConsoleReporter {
     std::string name;
     double nsPerIter = 0;
     double itemsPerSecond = 0;
+    double boundaryArcFraction = -1;  // < 0: not a sharded row
   };
 
   void ReportRuns(const std::vector<Run>& report) override {
@@ -486,6 +522,10 @@ class TeeReporter : public benchmark::ConsoleReporter {
                       static_cast<double>(run.iterations) * 1e9;
       const auto items = run.counters.find("items_per_second");
       if (items != run.counters.end()) row.itemsPerSecond = items->second;
+      const auto boundary = run.counters.find("boundary_arc_fraction");
+      if (boundary != run.counters.end()) {
+        row.boundaryArcFraction = boundary->second;
+      }
       rows.push_back(row);
     }
     ConsoleReporter::ReportRuns(report);
@@ -534,6 +574,10 @@ void writeJson(const std::vector<TeeReporter::Row>& rows) {
       nsFor(rows, "BM_SubstrateLegacySparseRound/100" + threadSuffix);
   const double tailFrontier = nsFor(rows, "BM_EngineTailFrontier/real_time");
   const double tailFull = nsFor(rows, "BM_EngineTailFullScan/real_time");
+  const double shard1 = nsFor(rows, "BM_ShardedMadecRun/1/real_time");
+  const double shard2 = nsFor(rows, "BM_ShardedMadecRun/2/real_time");
+  const double shard4 = nsFor(rows, "BM_ShardedMadecRun/4/real_time");
+  const double shard8 = nsFor(rows, "BM_ShardedMadecRun/8/real_time");
   const double bitplane1 = nsFor(rows, "BM_BitPlaneRound/1/real_time");
   const double bitplane8 = nsFor(rows, "BM_BitPlaneRound" + threadSuffix);
   const double paletteScalar = nsFor(rows, "BM_BitPlanePalette/16/0");
@@ -554,10 +598,15 @@ void writeJson(const std::vector<TeeReporter::Row>& rows) {
   for (std::size_t i = 0; i < rows.size(); ++i) {
     std::fprintf(out,
                  "    {\"name\": \"%s\", \"ns_per_round\": %.1f, "
-                 "\"ops_per_s\": %.1f, \"items_per_s\": %.1f}%s\n",
+                 "\"ops_per_s\": %.1f, \"items_per_s\": %.1f",
                  rows[i].name.c_str(), rows[i].nsPerIter,
                  rows[i].nsPerIter > 0 ? 1e9 / rows[i].nsPerIter : 0.0,
-                 rows[i].itemsPerSecond, i + 1 < rows.size() ? "," : "");
+                 rows[i].itemsPerSecond);
+    if (rows[i].boundaryArcFraction >= 0) {
+      std::fprintf(out, ", \"boundary_arc_fraction\": %.4f",
+                   rows[i].boundaryArcFraction);
+    }
+    std::fprintf(out, "}%s\n", i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
   std::fprintf(out, "  \"substrate_speedup_1t\": %.2f,\n",
@@ -574,6 +623,15 @@ void writeJson(const std::vector<TeeReporter::Row>& rows) {
                tailRoundArena8 > 0 ? tailRoundLegacy8 / tailRoundArena8 : 0.0);
   std::fprintf(out, "  \"tail_run_speedup_8t\": %.2f,\n",
                tailFrontier > 0 ? tailFull / tailFrontier : 0.0);
+  // Full-run MaDEC speedup of K shard driver threads over the single-arena
+  // reference run on the same graph (colors bit-identical across rows; the
+  // per-row boundary_arc_fraction above is the cross-shard tax each K pays).
+  std::fprintf(out, "  \"shard_speedup_2\": %.2f,\n",
+               shard2 > 0 ? shard1 / shard2 : 0.0);
+  std::fprintf(out, "  \"shard_speedup_4\": %.2f,\n",
+               shard4 > 0 ? shard1 / shard4 : 0.0);
+  std::fprintf(out, "  \"shard_speedup_8\": %.2f,\n",
+               shard8 > 0 ? shard1 / shard8 : 0.0);
   // Bit-plane engine round throughput vs the slot-arena substrate round
   // (per comm round; a MaDEC cycle on the bit-plane side also does all the
   // protocol work the substrate bench doesn't, so these understate the
@@ -588,12 +646,16 @@ void writeJson(const std::vector<TeeReporter::Row>& rows) {
   std::fclose(out);
   std::printf("\nwrote BENCH_substrate.json (dense substrate speedup @%zu "
               "threads: %.2fx, sparse round: %.2fx, tail round: %.2fx, "
-              "tail run: %.2fx, bit-plane round: %.2fx @1t / %.2fx @%zut, "
+              "tail run: %.2fx, shard run: %.2fx @2 / %.2fx @4 / %.2fx @8, "
+              "bit-plane round: %.2fx @1t / %.2fx @%zut, "
               "palette SIMD: %.2fx on %s)\n",
               kSubstrateThreads, arena8 > 0 ? legacy8 / arena8 : 0.0,
               sparseArena8 > 0 ? sparseLegacy8 / sparseArena8 : 0.0,
               tailRoundArena8 > 0 ? tailRoundLegacy8 / tailRoundArena8 : 0.0,
               tailFrontier > 0 ? tailFull / tailFrontier : 0.0,
+              shard2 > 0 ? shard1 / shard2 : 0.0,
+              shard4 > 0 ? shard1 / shard4 : 0.0,
+              shard8 > 0 ? shard1 / shard8 : 0.0,
               bitplaneRound1 > 0 ? arena1 / bitplaneRound1 : 0.0,
               bitplaneRound8 > 0 ? arena8 / bitplaneRound8 : 0.0,
               kSubstrateThreads,

@@ -78,15 +78,6 @@ void MatchingDiscovery::onEcho(net::NodeId u, const Message&) {
   s.matchedThisRound = true;
 }
 
-// E: announce a fresh match so neighbors retire us.
-void MatchingDiscovery::tailSend(net::NodeId u, int,
-                                 net::SyncNetwork<Message>& net) {
-  const DiscoveryNode& s = nodes_[u];
-  if (s.matchedThisRound && stopWhenMatched_) {
-    net.broadcast(u, Message{net::WireKind::MatchedAnnounce, u});
-  }
-}
-
 // E: retire announced neighbors from the eligible set.
 void MatchingDiscovery::tailReceive(net::NodeId u, int,
                                     net::Inbox<Message> inbox) {
@@ -166,13 +157,21 @@ MaximalMatchingResult maximalMatching(const graph::Graph& g,
     return bitplane::maximalMatchingBitPlane(g, seed, invitorBias, options);
   }
   MatchingDiscovery proto(g, seed, /*stopWhenMatched=*/true, invitorBias);
-  net::SyncNetwork<MatchMessage> net(g);
   auto userObserver = options.observer;
   options.observer = [&](const net::CycleInfo& info) {
     proto.finishRoundAccounting();
     if (userObserver) userObserver(info);
   };
-  const net::EngineResult run = runSyncProtocol(proto, net, options);
+  net::EngineResult run;
+  if (options.shards.count > 1) {
+    net::ShardedNetwork<MatchMessage> net(
+        g, graph::makePartition(g, options.shards.partition,
+                                options.shards.count));
+    run = runShardedProtocol(proto, net, options);
+  } else {
+    net::SyncNetwork<MatchMessage> net(g);
+    run = runSyncProtocol(proto, net, options);
+  }
   MaximalMatchingResult out;
   out.matching = proto.matching();
   out.rounds = run.cycles;

@@ -99,7 +99,15 @@ class MatchingDiscovery
   Message acceptMessage(net::NodeId u);
   void onEcho(net::NodeId u, const Message& msg);
   int tailSubRounds() const { return 1; }
-  void tailSend(net::NodeId u, int tail, net::SyncNetwork<Message>& net);
+  // E: announce a fresh match so neighbors retire us. Templated over the
+  // substrate so the same hook runs on SyncNetwork and ShardedNetwork.
+  template <class Net>
+  void tailSend(net::NodeId u, int, Net& net) {
+    const DiscoveryNode& s = nodes_[u];
+    if (s.matchedThisRound && stopWhenMatched_) {
+      net.broadcast(u, Message{net::WireKind::MatchedAnnounce, u});
+    }
+  }
   void tailReceive(net::NodeId u, int tail, net::Inbox<Message> inbox);
   void onCycleEnd(net::NodeId u);
   bool localWorkDone(net::NodeId u) const;

@@ -24,6 +24,8 @@
 #include "src/dynamic/incremental.hpp"
 #include "src/experiments/figures.hpp"
 #include "src/experiments/profile.hpp"
+#include "src/graph/builder.hpp"
+#include "src/graph/csr.hpp"
 #include "src/graph/generators.hpp"
 #include "src/graph/io.hpp"
 #include "src/graph/metrics.hpp"
@@ -36,6 +38,7 @@
 #include "src/sim/fuzz.hpp"
 #include "src/sim/repro.hpp"
 #include "src/support/table.hpp"
+#include "src/support/thread_pool.hpp"
 #include "src/support/version.hpp"
 
 // Provenance stamped into the committed benchmark JSON (see the top-level
@@ -56,20 +59,91 @@ namespace dima::cli {
 
 namespace {
 
-/// Builds the command's input graph: `--input <edge-list>` wins, otherwise
-/// a generator family: `--family er|gnp|ba|ws|tree|regular|complete|cycle|
-/// path|star|grid|geometric` with its parameters.
+/// Resolves `--format auto|edgelist|snap|dimacs|csr` for `path`, with
+/// content sniffing when unspecified (graph/io.hpp).
+graph::GraphFormat resolveFormat(Args& args, const std::string& path,
+                                 std::ostream& err, bool* ok) {
+  *ok = true;
+  const std::string name = args.get("format", "auto");
+  graph::GraphFormat requested = graph::GraphFormat::Auto;
+  if (!graph::parseGraphFormat(name, &requested)) {
+    err << "error: unknown --format '" << name
+        << "' (expected auto|edgelist|snap|dimacs|csr)\n";
+    *ok = false;
+    return graph::GraphFormat::Auto;
+  }
+  return graph::detectGraphFormat(path, requested);
+}
+
+/// Loads `path` as a materialized Graph under `format`. CSR images are
+/// rebuilt through the builder — callers that can run directly on the
+/// mapped view (madec) branch before reaching here.
+graph::Graph loadInputAs(const std::string& path, graph::GraphFormat format,
+                         std::ostream& err, bool* ok) {
+  *ok = true;
+  switch (format) {
+    case graph::GraphFormat::Auto:  // detectGraphFormat never returns Auto
+    case graph::GraphFormat::EdgeList: {
+      bool loaded = false;
+      graph::Graph g = graph::loadEdgeList(path, &loaded);
+      if (!loaded) {
+        err << "error: cannot read edge list '" << path << "'\n";
+        *ok = false;
+      }
+      return g;
+    }
+    case graph::GraphFormat::Snap: {
+      graph::ParseReport report;
+      graph::Graph g = graph::loadSnap(path, &report);
+      if (!report.ok) {
+        err << "error: " << report.error << '\n';
+        *ok = false;
+      } else if (report.selfLoopsSkipped + report.duplicatesSkipped > 0) {
+        err << "note: skipped " << report.selfLoopsSkipped
+            << " self-loop(s) and " << report.duplicatesSkipped
+            << " duplicate edge(s)\n";
+      }
+      return g;
+    }
+    case graph::GraphFormat::Dimacs: {
+      graph::ParseReport report;
+      graph::Graph g = graph::loadDimacs(path, &report);
+      if (!report.ok) {
+        err << "error: " << report.error << '\n';
+        *ok = false;
+      }
+      return g;
+    }
+    case graph::GraphFormat::Csr: {
+      std::string error;
+      const graph::MappedGraph mg = graph::MappedGraph::open(path, &error);
+      if (!mg.ok()) {
+        err << "error: " << error << '\n';
+        *ok = false;
+        return graph::Graph(0);
+      }
+      graph::GraphBuilder b(mg.numVertices());
+      for (graph::EdgeId e = 0; e < mg.numEdges(); ++e) {
+        b.addEdge(mg.edge(e).u, mg.edge(e).v);
+      }
+      return b.build();
+    }
+  }
+  *ok = false;
+  return graph::Graph(0);
+}
+
+/// Builds the command's input graph: `--input <file>` wins (format from
+/// `--format`/sniffing), otherwise a generator family: `--family er|gnp|ba|
+/// ws|tree|regular|complete|cycle|path|star|grid|geometric` with its
+/// parameters.
 graph::Graph makeInputGraph(Args& args, std::ostream& err, bool* ok) {
   *ok = true;
   const std::string input = args.get("input");
   if (!input.empty()) {
-    bool loaded = false;
-    graph::Graph g = graph::loadEdgeList(input, &loaded);
-    if (!loaded) {
-      err << "error: cannot read edge list '" << input << "'\n";
-      *ok = false;
-    }
-    return g;
+    const graph::GraphFormat format = resolveFormat(args, input, err, ok);
+    if (!*ok) return graph::Graph(0);
+    return loadInputAs(input, format, err, ok);
   }
   const std::string family = args.get("family", "er");
   const auto n = static_cast<std::size_t>(args.getUint("n", 100));
@@ -158,6 +232,37 @@ const char* engineName(net::EngineKind engine) {
   return engine == net::EngineKind::BitPlane ? "bitplane" : "reference";
 }
 
+/// Sharding flags shared by color/strong/matching: `--shards K`,
+/// `--partition block|degree`, `--workers W` (workers per shard). The
+/// substrate choice is engine-invisible — colors, counters and traces are
+/// bit-identical across shard counts (DESIGN.md §13).
+net::ShardOptions parseShardOptions(Args& args, std::ostream& err, bool* ok) {
+  *ok = true;
+  net::ShardOptions shards;
+  shards.count = static_cast<std::uint32_t>(args.getUint("shards", 1));
+  shards.workersPerShard =
+      static_cast<std::size_t>(args.getUint("workers", 1));
+  if (shards.count == 0 || shards.workersPerShard == 0) {
+    err << "error: --shards and --workers must be >= 1\n";
+    *ok = false;
+    return shards;
+  }
+  const std::string partition = args.get("partition", "block");
+  if (!graph::parsePartitionKind(partition, &shards.partition)) {
+    err << "error: unknown --partition '" << partition
+        << "' (expected block|degree)\n";
+    *ok = false;
+  }
+  return shards;
+}
+
+void describeShards(const net::ShardOptions& shards, std::ostream& out) {
+  if (shards.count <= 1) return;
+  out << "shards: " << shards.count << " ("
+      << graph::partitionKindName(shards.partition) << " partition, "
+      << shards.workersPerShard << " worker(s) each)\n";
+}
+
 int finishColoringCommand(Args& args, std::ostream& out, std::ostream& err,
                           const graph::Graph& g,
                           const std::vector<coloring::Color>& colors) {
@@ -202,8 +307,102 @@ int cmdGen(Args& args, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+/// `dimacol color` on a CSR image: runs MaDEC straight off the mapped
+/// view — the graph is never materialized, so coloring a multi-gigabyte
+/// SNAP export costs one mmap plus the per-vertex protocol state.
+int cmdColorMapped(Args& args, std::ostream& out, std::ostream& err,
+                   const std::string& path) {
+  std::string error;
+  const graph::MappedGraph g = graph::MappedGraph::open(path, &error);
+  if (!g.ok()) {
+    err << "error: " << error << '\n';
+    return 1;
+  }
+  out << "graph: n=" << g.numVertices() << " m=" << g.numEdges()
+      << " max-degree=" << g.maxDegree()
+      << " avg-degree=" << g.averageDegree() << " ("
+      << (g.isMapped() ? "mmap" : "read") << " CSR)\n";
+  coloring::MadecOptions options;
+  options.seed = args.getUint("seed", 1);
+  options.invitorBias = args.getDouble("bias", 0.5);
+  bool shardsOk = false;
+  options.shards = parseShardOptions(args, err, &shardsOk);
+  if (!shardsOk) return 1;
+  describeShards(options.shards, out);
+  support::ThreadPool pool(
+      options.shards.count == 1 ? options.shards.workersPerShard : 1);
+  if (options.shards.count == 1 && options.shards.workersPerShard > 1) {
+    options.pool = &pool;
+  }
+  const auto result = coloring::colorEdgesMadec(g, options);
+  out << "algorithm: madec (distributed, mapped)\n"
+      << "rounds: " << result.metrics.computationRounds << " (comm rounds "
+      << result.metrics.commRounds << ", broadcasts "
+      << result.metrics.broadcasts << ")\n";
+  const auto summary = coloring::summarizePalette(result.colors);
+  out << "colors: " << summary.distinct << " (Delta=" << g.maxDegree()
+      << ", worst-case bound " << (2 * g.maxDegree() - 1) << ")\n";
+  const coloring::Verdict verdict =
+      coloring::verifyEdgeColoring(g, result.colors);
+  if (!verdict.valid) {
+    err << "INVALID coloring: " << verdict.reason << '\n';
+    return 1;
+  }
+  out << "valid: yes\n";
+  const std::string colorsOut = args.get("colors-out");
+  if (!colorsOut.empty() && !saveColors(result.colors, colorsOut)) {
+    err << "error: cannot write '" << colorsOut << "'\n";
+    return 1;
+  }
+  return 0;
+}
+
+/// `dimacol ingest <input> --out <file.csr>`: one-time conversion of a
+/// SNAP / DIMACS / edge-list file into the mmap-ready CSR image that the
+/// mapped color path consumes.
+int cmdIngest(Args& args, std::ostream& out, std::ostream& err) {
+  const std::string input =
+      args.has("input") ? args.get("input") : args.positional(1);
+  if (input.empty()) {
+    err << "error: ingest needs an input file (positional or --input)\n";
+    return 2;
+  }
+  const std::string outPath = args.get("out");
+  if (outPath.empty()) {
+    err << "error: ingest needs --out <file.csr>\n";
+    return 2;
+  }
+  bool ok = false;
+  const graph::GraphFormat format = resolveFormat(args, input, err, &ok);
+  if (!ok) return 1;
+  std::string error;
+  if (!graph::ingestToCsr(input, format, outPath, &error)) {
+    err << "error: " << error << '\n';
+    return 1;
+  }
+  const graph::MappedGraph g = graph::MappedGraph::open(outPath, &error);
+  if (!g.ok()) {
+    err << "error: wrote '" << outPath
+        << "' but it fails validation: " << error << '\n';
+    return 1;
+  }
+  out << "ingested " << graph::graphFormatName(format) << " '" << input
+      << "': n=" << g.numVertices() << " m=" << g.numEdges()
+      << " max-degree=" << g.maxDegree() << '\n'
+      << "written: " << outPath << '\n';
+  return 0;
+}
+
 int cmdColor(Args& args, std::ostream& out, std::ostream& err) {
   bool ok = false;
+  const std::string input = args.get("input");
+  if (!input.empty() && args.get("algo", "madec") == "madec") {
+    const graph::GraphFormat format = resolveFormat(args, input, err, &ok);
+    if (!ok) return 1;
+    if (format == graph::GraphFormat::Csr) {
+      return cmdColorMapped(args, out, err, input);
+    }
+  }
   const graph::Graph g = makeInputGraph(args, err, &ok);
   if (!ok) return 1;
   describeGraph(g, out);
@@ -218,6 +417,15 @@ int cmdColor(Args& args, std::ostream& out, std::ostream& err) {
     bool engineOk = false;
     options.engine = parseEngine(args, err, &engineOk);
     if (!engineOk) return 1;
+    bool shardsOk = false;
+    options.shards = parseShardOptions(args, err, &shardsOk);
+    if (!shardsOk) return 1;
+    describeShards(options.shards, out);
+    support::ThreadPool pool(
+        options.shards.count == 1 ? options.shards.workersPerShard : 1);
+    if (options.shards.count == 1 && options.shards.workersPerShard > 1) {
+      options.pool = &pool;
+    }
     const auto result = coloring::colorEdgesMadec(g, options);
     out << "algorithm: madec (distributed)\n"
         << "engine: " << engineName(options.engine) << '\n'
@@ -259,6 +467,15 @@ int cmdStrong(Args& args, std::ostream& out, std::ostream& err) {
     describeGraph(g, out);
     coloring::StrongMadecOptions options;
     options.seed = args.getUint("seed", 1);
+    bool shardsOk = false;
+    options.shards = parseShardOptions(args, err, &shardsOk);
+    if (!shardsOk) return 1;
+    describeShards(options.shards, out);
+    support::ThreadPool pool(
+        options.shards.count == 1 ? options.shards.workersPerShard : 1);
+    if (options.shards.count == 1 && options.shards.workersPerShard > 1) {
+      options.pool = &pool;
+    }
     const auto result = coloring::colorEdgesStrongMadec(g, options);
     out << "algorithm: strong-madec (undirected distance-2)\nrounds: "
         << result.metrics.computationRounds << "\ncolors: "
@@ -285,6 +502,15 @@ int cmdStrong(Args& args, std::ostream& out, std::ostream& err) {
     bool engineOk = false;
     options.engine = parseEngine(args, err, &engineOk);
     if (!engineOk) return 1;
+    bool shardsOk = false;
+    options.shards = parseShardOptions(args, err, &shardsOk);
+    if (!shardsOk) return 1;
+    describeShards(options.shards, out);
+    support::ThreadPool pool(
+        options.shards.count == 1 ? options.shards.workersPerShard : 1);
+    if (options.shards.count == 1 && options.shards.workersPerShard > 1) {
+      options.pool = &pool;
+    }
     const auto result = coloring::colorArcsDima2Ed(d, options);
     out << "algorithm: dima2ed ("
         << (options.mode == coloring::Dima2EdMode::Paper ? "paper mode"
@@ -327,6 +553,22 @@ int cmdMatching(Args& args, std::ostream& out, std::ostream& err) {
   net::EngineOptions engineOptions;
   engineOptions.engine = parseEngine(args, err, &engineOk);
   if (!engineOk) return 1;
+  bool shardsOk = false;
+  engineOptions.shards = parseShardOptions(args, err, &shardsOk);
+  if (!shardsOk) return 1;
+  if (engineOptions.shards.count > 1 &&
+      engineOptions.engine == net::EngineKind::BitPlane) {
+    err << "error: --shards and --engine bitplane are mutually exclusive\n";
+    return 1;
+  }
+  describeShards(engineOptions.shards, out);
+  support::ThreadPool pool(engineOptions.shards.count == 1
+                               ? engineOptions.shards.workersPerShard
+                               : 1);
+  if (engineOptions.shards.count == 1 &&
+      engineOptions.shards.workersPerShard > 1) {
+    engineOptions.pool = &pool;
+  }
   const auto result =
       automata::maximalMatching(g, args.getUint("seed", 1),
                                 args.getDouble("bias", 0.5), engineOptions);
@@ -961,14 +1203,17 @@ std::string usage() {
          "  gen       generate a graph           (--family er|gnp|ba|ws|tree|"
          "regular|complete|cycle|path|star|grid|geometric, --n, --deg/--m/"
          "--k/--p/--power/--beta/--radius, --graph-seed, --out)\n"
+         "  ingest    convert SNAP/DIMACS/edge-list to a mmap-able CSR "
+         "image (ingest <input> --out <file.csr>, --format)\n"
          "  color     edge coloring              (--algo madec|greedy|"
-         "misra-gries|pal, --engine reference|bitplane, --seed, --bias, "
+         "misra-gries|pal, --engine reference|bitplane, --shards K, "
+         "--partition block|degree, --workers W, --seed, --bias, "
          "--colors-out, --dot-out)\n"
          "  strong    strong distance-2 coloring (--algo dima2ed|greedy, "
          "--mode strict|paper, --engine reference|bitplane, --undirected, "
-         "--seed)\n"
+         "--shards, --partition, --workers, --seed)\n"
          "  matching  maximal matching via the discovery automaton "
-         "(--engine reference|bitplane)\n"
+         "(--engine reference|bitplane, --shards, --partition, --workers)\n"
          "  cover     2-approx vertex cover via the automaton\n"
          "  mis       maximal independent set (Luby)\n"
          "  vcolor    distributed (Delta+1) vertex coloring\n"
@@ -997,8 +1242,11 @@ std::string usage() {
          "  version   print \"" << versionLine() << "\" and exit "
          "(also --version)\n"
          "  help      this text\n\n"
-         "every command accepts --input <edge-list> instead of a generator "
-         "family.\n";
+         "every command accepts --input <file> instead of a generator "
+         "family; --format auto|edgelist|snap|dimacs|csr picks the parser "
+         "(auto sniffs by extension, magic and content). `color --algo "
+         "madec --input g.csr` runs off the memory-mapped image without "
+         "materializing the graph.\n";
   return oss.str();
 }
 
@@ -1011,6 +1259,8 @@ int runCommand(Args& args, std::ostream& out, std::ostream& err) {
   int code = 0;
   if (command == "gen") {
     code = cmdGen(args, out, err);
+  } else if (command == "ingest") {
+    code = cmdIngest(args, out, err);
   } else if (command == "color") {
     code = cmdColor(args, out, err);
   } else if (command == "strong") {

@@ -203,7 +203,8 @@ class Dima2EdProtocol
     return options_.mode == Dima2EdMode::Strict ? 3 : 1;
   }
 
-  void tailSend(NodeId u, int tail, net::SyncNetwork<Message>& net) {
+  template <class Net>
+  void tailSend(NodeId u, int tail, Net& net) {
     if (options_.mode == Dima2EdMode::Strict) {
       switch (tail) {
         case 0: tentativeSend(u, net); return;
@@ -328,19 +329,38 @@ class Dima2EdProtocol
 
 ArcColoringResult colorArcsDima2Ed(const graph::Digraph& d,
                                    const Dima2EdOptions& options) {
+  DIMA_REQUIRE(
+      options.shards.count == 1 ||
+          options.engine == net::EngineKind::Reference,
+      "sharding runs on the reference substrate; pick one of shards/engine");
   if (options.engine == net::EngineKind::BitPlane) {
     return colorArcsDima2EdBitPlane(d, options);
   }
   DIMA_REQUIRE(options.invitorBias > 0.0 && options.invitorBias < 1.0,
                "invitor bias must be in (0,1)");
   Dima2EdProtocol proto(d, options);
-  net::SyncNetwork<Dima2EdProtocol::Message> net(d.underlying(),
-                                                 options.faults);
   net::EngineOptions engineOptions;
   engineOptions.maxCycles = options.maxCycles;
   engineOptions.pool = options.pool;
+  engineOptions.shards = options.shards;
   engineOptions.observer = [&](const net::CycleInfo&) { proto.tickCycle(); };
-  const net::EngineResult run = runSyncProtocol(proto, net, engineOptions);
+  net::EngineResult run;
+  if (options.shards.count > 1) {
+    DIMA_REQUIRE(!options.faults.perturbs(),
+                 "sharded runs assume reliable links; run fault injection "
+                 "on the unsharded reference substrate");
+    net::ShardedNetwork<Dima2EdProtocol::Message> net(
+        d.underlying(),
+        graph::makePartition(d.underlying(), options.shards.partition,
+                             options.shards.count));
+    run = options.trace != nullptr
+              ? runSyncProtocol(proto, net, engineOptions)
+              : runShardedProtocol(proto, net, engineOptions);
+  } else {
+    net::SyncNetwork<Dima2EdProtocol::Message> net(d.underlying(),
+                                                   options.faults);
+    run = runSyncProtocol(proto, net, engineOptions);
+  }
 
   ArcColoringResult result;
   result.halfCommitted = proto.halfCommittedArcs();

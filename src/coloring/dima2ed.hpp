@@ -87,6 +87,10 @@ struct Dima2EdOptions {
   /// the SoA engine — bit-identical colors, metrics and traces, pinned by
   /// the engine-parity harness.
   net::EngineKind engine = net::EngineKind::Reference;
+  /// Multi-shard execution (net/engine.hpp). `count == 1` keeps the
+  /// single-arena reference substrate; colors are bit-identical either way.
+  /// Mutually exclusive with `engine == BitPlane` and with fault injection.
+  net::ShardOptions shards;
 };
 
 /// Runs DiMa2Ed on `d` until every arc is colored (or maxCycles fires).

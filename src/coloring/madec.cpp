@@ -6,6 +6,7 @@
 #include "src/automata/core.hpp"
 #include "src/automata/phase.hpp"
 #include "src/coloring/bitplane_engines.hpp"
+#include "src/graph/csr.hpp"
 #include "src/net/async_beta.hpp"
 #include "src/net/engine.hpp"
 #include "src/support/bitset.hpp"
@@ -41,14 +42,24 @@ struct MadecNode : automata::CoreNode {
 /// tracking — lives in the core; this class decides only whom to invite
 /// (random uncolored edge, lowest jointly free color), which invitations
 /// are keepable, and how a formed pair commits and announces its edge.
-class MadecProtocol
-    : public automata::MatchingCore<MadecProtocol, net::ColorWire,
+///
+/// Templated on the topology like the network itself, so the mmap'd CSR
+/// view (`graph::MappedGraph`) runs the protocol without materializing a
+/// `graph::Graph`.
+template <class Topo>
+class MadecProtocolT
+    : public automata::MatchingCore<MadecProtocolT<Topo>, net::ColorWire,
                                     MadecNode> {
   using Core =
-      automata::MatchingCore<MadecProtocol, net::ColorWire, MadecNode>;
+      automata::MatchingCore<MadecProtocolT<Topo>, net::ColorWire, MadecNode>;
+  using Core::announceSend;
+  using Core::nodes_;
+  using Core::trace;
 
  public:
-  MadecProtocol(const graph::Graph& g, const MadecOptions& options)
+  using typename Core::Message;
+
+  MadecProtocolT(const Topo& g, const MadecOptions& options)
       : Core(g.numVertices(), options.invitorBias, options.trace),
         g_(&g),
         halves_(g.numEdges(), kNoColor) {
@@ -137,7 +148,8 @@ class MadecProtocol
   // E: announce the color used this round, if any.
   int tailSubRounds() const { return 1; }
 
-  void tailSend(NodeId u, int, net::SyncNetwork<Message>& net) {
+  template <class Net>
+  void tailSend(NodeId u, int, Net& net) {
     announceSend(u, net);
   }
 
@@ -202,9 +214,57 @@ class MadecProtocol
                                << partner);
   }
 
-  const graph::Graph* g_;
+  const Topo* g_;
   automata::CommitHalves<Color> halves_;
 };
+
+using MadecProtocol = MadecProtocolT<graph::Graph>;
+
+/// The reference-substrate run, generic over the topology: the unsharded
+/// slot arena for K == 1 (with fault injection), the sharded arenas plus
+/// boundary-buffer exchange otherwise. A traced sharded run goes through
+/// the serial engine over the sharded substrate — hook order is globally
+/// ascending, so the trace stream is bit-identical to the unsharded one
+/// for any partition.
+template <class Topo>
+EdgeColoringResult colorEdgesMadecSync(const Topo& g,
+                                       const MadecOptions& options) {
+  DIMA_REQUIRE(options.invitorBias > 0.0 && options.invitorBias < 1.0,
+               "invitor bias must be in (0,1)");
+  MadecProtocolT<Topo> proto(g, options);
+  net::EngineOptions engineOptions;
+  engineOptions.maxCycles = options.maxCycles;
+  engineOptions.pool = options.pool;
+  engineOptions.shards = options.shards;
+  engineOptions.observer = [&](const net::CycleInfo&) { proto.tickCycle(); };
+  net::EngineResult run;
+  if (options.shards.count > 1) {
+    DIMA_REQUIRE(!options.faults.perturbs(),
+                 "sharded runs assume reliable links; run fault injection "
+                 "on the unsharded reference substrate");
+    net::ShardedNetwork<net::ColorWire, Topo> net(
+        g, graph::makePartition(g, options.shards.partition,
+                                options.shards.count));
+    run = options.trace != nullptr
+              ? runSyncProtocol(proto, net, engineOptions)
+              : runShardedProtocol(proto, net, engineOptions);
+  } else {
+    net::SyncNetwork<net::ColorWire, Topo> net(g, options.faults);
+    run = runSyncProtocol(proto, net, engineOptions);
+  }
+
+  EdgeColoringResult result;
+  result.halfCommitted = proto.halfCommittedEdges();
+  result.colors = proto.takeColors();
+  result.metrics.computationRounds = run.cycles;
+  result.metrics.commRounds = run.counters.commRounds;
+  result.metrics.broadcasts = run.counters.broadcasts;
+  result.metrics.messagesDelivered = run.counters.messagesDelivered;
+  result.metrics.bitsDelivered = run.counters.bitsDelivered;
+  result.metrics.maxMessageBits = run.counters.maxMessageBits;
+  result.metrics.converged = run.converged;
+  return result;
+}
 
 }  // namespace
 
@@ -241,30 +301,21 @@ EdgeColoringResult colorEdgesMadecAsync(const graph::Graph& g,
 
 EdgeColoringResult colorEdgesMadec(const graph::Graph& g,
                                    const MadecOptions& options) {
+  DIMA_REQUIRE(
+      options.shards.count == 1 ||
+          options.engine == net::EngineKind::Reference,
+      "sharding runs on the reference substrate; pick one of shards/engine");
   if (options.engine == net::EngineKind::BitPlane) {
     return colorEdgesMadecBitPlane(g, options);
   }
-  DIMA_REQUIRE(options.invitorBias > 0.0 && options.invitorBias < 1.0,
-               "invitor bias must be in (0,1)");
-  MadecProtocol proto(g, options);
-  net::SyncNetwork<MadecProtocol::Message> net(g, options.faults);
-  net::EngineOptions engineOptions;
-  engineOptions.maxCycles = options.maxCycles;
-  engineOptions.pool = options.pool;
-  engineOptions.observer = [&](const net::CycleInfo&) { proto.tickCycle(); };
-  const net::EngineResult run = runSyncProtocol(proto, net, engineOptions);
+  return colorEdgesMadecSync(g, options);
+}
 
-  EdgeColoringResult result;
-  result.halfCommitted = proto.halfCommittedEdges();
-  result.colors = proto.takeColors();
-  result.metrics.computationRounds = run.cycles;
-  result.metrics.commRounds = run.counters.commRounds;
-  result.metrics.broadcasts = run.counters.broadcasts;
-  result.metrics.messagesDelivered = run.counters.messagesDelivered;
-  result.metrics.bitsDelivered = run.counters.bitsDelivered;
-  result.metrics.maxMessageBits = run.counters.maxMessageBits;
-  result.metrics.converged = run.converged;
-  return result;
+EdgeColoringResult colorEdgesMadec(const graph::MappedGraph& g,
+                                   const MadecOptions& options) {
+  DIMA_REQUIRE(options.engine == net::EngineKind::Reference,
+               "mapped CSR graphs run on the reference substrate");
+  return colorEdgesMadecSync(g, options);
 }
 
 }  // namespace dima::coloring

@@ -36,6 +36,10 @@
 #include "src/net/trace.hpp"
 #include "src/support/thread_pool.hpp"
 
+namespace dima::graph {
+class MappedGraph;  // graph/csr.hpp — the mmap'd zero-copy topology
+}
+
 namespace dima::coloring {
 
 struct MadecOptions {
@@ -57,11 +61,23 @@ struct MadecOptions {
   /// the SoA engine — bit-identical colors, metrics and traces, pinned by
   /// the engine-parity harness.
   net::EngineKind engine = net::EngineKind::Reference;
+  /// Sharded execution (fault-free, reference substrate only): K > 1
+  /// partitions the vertices and runs one arena + driver thread per shard
+  /// with boundary-arc exchange — bit-identical colors, Counters and
+  /// traces for any K and any partition (DESIGN.md §13).
+  net::ShardOptions shards;
 };
 
 /// Runs Algorithm 1 on `g` until every edge is colored (or the round cap
 /// fires, possible only under fault injection).
 EdgeColoringResult colorEdgesMadec(const graph::Graph& g,
+                                   const MadecOptions& options = {});
+
+/// The same algorithm over a memory-mapped CSR graph (graph/csr.hpp) —
+/// social-network-scale inputs color straight off the file image, no
+/// mutable `Graph` materialized. Reference substrate only (sharding
+/// encouraged); fault injection unsupported.
+EdgeColoringResult colorEdgesMadec(const graph::MappedGraph& g,
                                    const MadecOptions& options = {});
 
 /// Which synchronizer carries the protocol over the asynchronous network:

@@ -157,7 +157,8 @@ class StrongMadecProtocol
   // Tail: the core's tentative/abort handshake, then the color exchange.
   int tailSubRounds() const { return 3; }
 
-  void tailSend(NodeId u, int tail, net::SyncNetwork<Message>& net) {
+  template <class Net>
+  void tailSend(NodeId u, int tail, Net& net) {
     switch (tail) {
       case 0: tentativeSend(u, net); return;
       case 1: abortSend(u, net); return;
@@ -271,12 +272,26 @@ EdgeColoringResult colorEdgesStrongMadec(const graph::Graph& g,
   DIMA_REQUIRE(options.invitorBias > 0.0 && options.invitorBias < 1.0,
                "invitor bias must be in (0,1)");
   StrongMadecProtocol proto(g, options);
-  net::SyncNetwork<StrongMadecProtocol::Message> net(g, options.faults);
   net::EngineOptions engineOptions;
   engineOptions.maxCycles = options.maxCycles;
   engineOptions.pool = options.pool;
+  engineOptions.shards = options.shards;
   engineOptions.observer = [&](const net::CycleInfo&) { proto.tickCycle(); };
-  const net::EngineResult run = runSyncProtocol(proto, net, engineOptions);
+  net::EngineResult run;
+  if (options.shards.count > 1) {
+    DIMA_REQUIRE(!options.faults.perturbs(),
+                 "sharded runs assume reliable links; run fault injection "
+                 "on the unsharded reference substrate");
+    net::ShardedNetwork<StrongMadecProtocol::Message> net(
+        g, graph::makePartition(g, options.shards.partition,
+                                options.shards.count));
+    run = options.trace != nullptr
+              ? runSyncProtocol(proto, net, engineOptions)
+              : runShardedProtocol(proto, net, engineOptions);
+  } else {
+    net::SyncNetwork<StrongMadecProtocol::Message> net(g, options.faults);
+    run = runSyncProtocol(proto, net, engineOptions);
+  }
 
   EdgeColoringResult result;
   result.halfCommitted = proto.halfCommittedEdges();

@@ -35,6 +35,9 @@ struct StrongMadecOptions {
   net::ChaosModel faults;
   std::uint64_t maxCycles = 1u << 20;
   support::ThreadPool* pool = nullptr;
+  /// Multi-shard execution (net/engine.hpp). `count == 1` keeps the
+  /// single-arena reference substrate; colors are bit-identical either way.
+  net::ShardOptions shards;
   /// Optional event trace (serial executor only).
   net::TraceLog* trace = nullptr;
   /// Planted bug for the fuzzer's mutation self-test (tests/test_sim_fuzz):

@@ -3,11 +3,14 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "src/graph/csr.hpp"
+
 namespace dima::coloring {
 
 namespace {
 
-std::string describeEdge(const graph::Graph& g, graph::EdgeId e) {
+template <class Topo>
+std::string describeEdge(const Topo& g, graph::EdgeId e) {
   std::ostringstream oss;
   oss << "edge " << e << "=(" << g.edge(e).u << "," << g.edge(e).v << ")";
   return oss.str();
@@ -20,11 +23,11 @@ std::string describeArc(const graph::Digraph& d, graph::ArcId a) {
   return oss.str();
 }
 
-}  // namespace
-
-Verdict verifyEdgeColoring(const graph::Graph& g,
-                           const std::vector<Color>& colors,
-                           bool allowPartial) {
+/// The checker body, generic over the topology surface (Graph or the
+/// mmap'd CSR view) — shared so both overloads stay one implementation.
+template <class Topo>
+Verdict verifyEdgeColoringOn(const Topo& g, const std::vector<Color>& colors,
+                             bool allowPartial) {
   if (colors.size() != g.numEdges()) {
     return Verdict::fail("color vector size mismatch");
   }
@@ -54,6 +57,20 @@ Verdict verifyEdgeColoring(const graph::Graph& g,
     }
   }
   return Verdict::ok();
+}
+
+}  // namespace
+
+Verdict verifyEdgeColoring(const graph::Graph& g,
+                           const std::vector<Color>& colors,
+                           bool allowPartial) {
+  return verifyEdgeColoringOn(g, colors, allowPartial);
+}
+
+Verdict verifyEdgeColoring(const graph::MappedGraph& g,
+                           const std::vector<Color>& colors,
+                           bool allowPartial) {
+  return verifyEdgeColoringOn(g, colors, allowPartial);
 }
 
 bool strongConflict(const graph::Digraph& d, graph::ArcId a1,

@@ -20,6 +20,10 @@
 #include "src/graph/digraph.hpp"
 #include "src/graph/graph.hpp"
 
+namespace dima::graph {
+class MappedGraph;  // graph/csr.hpp
+}
+
 namespace dima::coloring {
 
 /// Outcome of a validation; `ok()` or an explanation of the first violation.
@@ -36,6 +40,12 @@ struct Verdict {
 /// `allowPartial` skips uncolored edges (used by the fault-injection tests,
 /// where safety must hold even when liveness is lost).
 Verdict verifyEdgeColoring(const graph::Graph& g,
+                           const std::vector<Color>& colors,
+                           bool allowPartial = false);
+
+/// The same checker over a memory-mapped CSR graph (graph/csr.hpp), so
+/// zero-copy runs are validated without materializing a `Graph`.
+Verdict verifyEdgeColoring(const graph::MappedGraph& g,
                            const std::vector<Color>& colors,
                            bool allowPartial = false);
 

@@ -179,8 +179,8 @@ class RepairProtocol
   // E: announce the color adopted this cycle, if any.
   int tailSubRounds() const { return 1; }
 
-  void tailSend(NodeId u, int,
-                net::SyncNetwork<Message, DynamicGraph>& net) {
+  template <class Net>
+  void tailSend(NodeId u, int, Net& net) {
     announceSend(u, net);
   }
 

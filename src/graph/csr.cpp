@@ -1,0 +1,277 @@
+#include "src/graph/csr.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DIMA_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define DIMA_HAS_MMAP 0
+#endif
+
+namespace dima::graph {
+
+namespace {
+
+void setError(std::string* error, std::string why) {
+  if (error != nullptr) *error = std::move(why);
+}
+
+}  // namespace
+
+bool writeCsr(const Graph& g, const std::string& path, std::string* error) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    setError(error, "cannot open '" + path + "' for writing");
+    return false;
+  }
+  CsrHeader header{};
+  std::memcpy(header.magic, kCsrMagic, sizeof(kCsrMagic));
+  header.numVertices = g.numVertices();
+  header.numEdges = g.numEdges();
+  header.maxDegree = g.maxDegree();
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  std::vector<std::uint64_t> offsets(g.numVertices() + 1, 0);
+  for (std::size_t v = 0; v < g.numVertices(); ++v) {
+    offsets[v + 1] = offsets[v] + g.degree(static_cast<VertexId>(v));
+  }
+  out.write(reinterpret_cast<const char*>(offsets.data()),
+            static_cast<std::streamsize>(offsets.size() * sizeof(offsets[0])));
+  for (std::size_t v = 0; v < g.numVertices(); ++v) {
+    const auto incs = g.incidences(static_cast<VertexId>(v));
+    out.write(reinterpret_cast<const char*>(incs.data()),
+              static_cast<std::streamsize>(incs.size() * sizeof(Incidence)));
+  }
+  const auto edges = g.edges();
+  out.write(reinterpret_cast<const char*>(edges.data()),
+            static_cast<std::streamsize>(edges.size() * sizeof(Edge)));
+  out.flush();
+  if (!out) {
+    setError(error, "write failed for '" + path + "'");
+    return false;
+  }
+  return true;
+}
+
+MappedGraph& MappedGraph::operator=(MappedGraph&& other) noexcept {
+  if (this == &other) return *this;
+  reset();
+  mapBase_ = std::exchange(other.mapBase_, nullptr);
+  mapLength_ = std::exchange(other.mapLength_, 0);
+  buffer_ = std::move(other.buffer_);
+  n_ = std::exchange(other.n_, 0);
+  m_ = std::exchange(other.m_, 0);
+  maxDegree_ = std::exchange(other.maxDegree_, 0);
+  offsets_ = std::exchange(other.offsets_, nullptr);
+  adjacency_ = std::exchange(other.adjacency_, nullptr);
+  edges_ = std::exchange(other.edges_, nullptr);
+  return *this;
+}
+
+MappedGraph::~MappedGraph() { reset(); }
+
+void MappedGraph::reset() {
+#if DIMA_HAS_MMAP
+  if (mapBase_ != nullptr) ::munmap(mapBase_, mapLength_);
+#endif
+  mapBase_ = nullptr;
+  mapLength_ = 0;
+  buffer_.clear();
+  buffer_.shrink_to_fit();
+  n_ = m_ = maxDegree_ = 0;
+  offsets_ = nullptr;
+  adjacency_ = nullptr;
+  edges_ = nullptr;
+}
+
+bool MappedGraph::adopt(const std::uint8_t* data, std::size_t size,
+                        std::string* error) {
+  if (size < sizeof(CsrHeader)) {
+    setError(error, "truncated CSR image: smaller than the header");
+    return false;
+  }
+  CsrHeader header;
+  std::memcpy(&header, data, sizeof(header));
+  if (std::memcmp(header.magic, kCsrMagic, sizeof(kCsrMagic)) != 0) {
+    setError(error, "not a CSR graph image (bad magic)");
+    return false;
+  }
+  const std::uint64_t n = header.numVertices;
+  const std::uint64_t m = header.numEdges;
+  // Dense u32 ids and a u32-indexed slot arena downstream: both counts must
+  // leave the sentinels representable and 2m must fit 32 bits.
+  if (n >= kNoVertex || m >= kNoEdge || 2 * m > 0xffffffffULL) {
+    setError(error, "CSR header out of range (n=" + std::to_string(n) +
+                        ", m=" + std::to_string(m) + ")");
+    return false;
+  }
+  const std::uint64_t expected = sizeof(CsrHeader) + 8 * (n + 1) +
+                                 sizeof(Incidence) * 2 * m + sizeof(Edge) * m;
+  if (size != expected) {
+    setError(error, "CSR image is " + std::to_string(size) +
+                        " bytes; header implies " + std::to_string(expected) +
+                        " (truncated or corrupt)");
+    return false;
+  }
+  const auto* offsets =
+      reinterpret_cast<const std::uint64_t*>(data + sizeof(CsrHeader));
+  const auto* adjacency =
+      reinterpret_cast<const Incidence*>(data + sizeof(CsrHeader) + 8 * (n + 1));
+  const auto* edges = reinterpret_cast<const Edge*>(
+      data + sizeof(CsrHeader) + 8 * (n + 1) + sizeof(Incidence) * 2 * m);
+  if (offsets[0] != 0 || offsets[n] != 2 * m) {
+    setError(error, "CSR offsets do not span the adjacency section");
+    return false;
+  }
+  std::uint64_t maxDeg = 0;
+  for (std::uint64_t v = 0; v < n; ++v) {
+    if (offsets[v + 1] < offsets[v]) {
+      setError(error,
+               "CSR offsets not monotone at vertex " + std::to_string(v));
+      return false;
+    }
+    const std::uint64_t deg = offsets[v + 1] - offsets[v];
+    maxDeg = std::max(maxDeg, deg);
+    VertexId prev = kNoVertex;
+    for (std::uint64_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      const Incidence& inc = adjacency[i];
+      if (inc.neighbor >= n || inc.edge >= m ||
+          inc.neighbor == static_cast<VertexId>(v) ||
+          (i != offsets[v] && inc.neighbor <= prev)) {
+        setError(error, "CSR adjacency invalid at vertex " +
+                            std::to_string(v) + " (entry " +
+                            std::to_string(i - offsets[v]) + ")");
+        return false;
+      }
+      prev = inc.neighbor;
+    }
+  }
+  if (maxDeg != header.maxDegree) {
+    setError(error, "CSR header maxDegree " +
+                        std::to_string(header.maxDegree) +
+                        " disagrees with offsets (" + std::to_string(maxDeg) +
+                        ")");
+    return false;
+  }
+  for (std::uint64_t e = 0; e < m; ++e) {
+    if (edges[e].u >= edges[e].v || edges[e].v >= n) {
+      setError(error, "CSR edge " + std::to_string(e) +
+                          " has invalid endpoints");
+      return false;
+    }
+  }
+  n_ = static_cast<std::size_t>(n);
+  m_ = static_cast<std::size_t>(m);
+  maxDegree_ = static_cast<std::size_t>(maxDeg);
+  offsets_ = offsets;
+  adjacency_ = adjacency;
+  edges_ = edges;
+  return true;
+}
+
+MappedGraph MappedGraph::open(const std::string& path, std::string* error,
+                              CsrLoadMode mode) {
+  MappedGraph g;
+#if DIMA_HAS_MMAP
+  if (mode == CsrLoadMode::PreferMmap) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd >= 0) {
+      struct stat st{};
+      if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+        void* base = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                            PROT_READ, MAP_PRIVATE, fd, 0);
+        ::close(fd);
+        if (base != MAP_FAILED) {
+          g.mapBase_ = base;
+          g.mapLength_ = static_cast<std::size_t>(st.st_size);
+          if (g.adopt(static_cast<const std::uint8_t*>(base), g.mapLength_,
+                      error)) {
+            return g;
+          }
+          // Validation failure is final — the bytes are the same either
+          // way, so don't retry via read().
+          g.reset();
+          return g;
+        }
+      } else {
+        ::close(fd);
+      }
+      // mmap itself unavailable/refused: fall through to the read() path.
+    }
+  }
+#endif
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    setError(error, "cannot open '" + path + "'");
+    return g;
+  }
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (!g.adopt(bytes.data(), bytes.size(), error)) {
+    g.reset();
+    return g;
+  }
+  g.buffer_ = std::move(bytes);  // pointers already target this allocation
+  return g;
+}
+
+EdgeId MappedGraph::findEdge(VertexId a, VertexId b) const {
+  if (static_cast<std::size_t>(a) >= n_ || static_cast<std::size_t>(b) >= n_) {
+    return kNoEdge;
+  }
+  const auto incs = incidences(a);
+  const auto it = std::lower_bound(
+      incs.begin(), incs.end(), b,
+      [](const Incidence& inc, VertexId v) { return inc.neighbor < v; });
+  if (it == incs.end() || it->neighbor != b) return kNoEdge;
+  return it->edge;
+}
+
+bool ingestToCsr(const std::string& inputPath, GraphFormat format,
+                 const std::string& csrPath, std::string* error) {
+  const GraphFormat resolved = detectGraphFormat(inputPath, format);
+  Graph g(0);
+  switch (resolved) {
+    case GraphFormat::Csr:
+      setError(error, "'" + inputPath + "' is already a CSR image");
+      return false;
+    case GraphFormat::EdgeList: {
+      bool ok = false;
+      g = loadEdgeList(inputPath, &ok);
+      if (!ok) {
+        setError(error, "cannot open '" + inputPath + "'");
+        return false;
+      }
+      break;
+    }
+    case GraphFormat::Auto:  // detectGraphFormat never returns Auto
+    case GraphFormat::Snap: {
+      ParseReport report;
+      g = loadSnap(inputPath, &report);
+      if (!report.ok) {
+        setError(error, report.error);
+        return false;
+      }
+      break;
+    }
+    case GraphFormat::Dimacs: {
+      ParseReport report;
+      g = loadDimacs(inputPath, &report);
+      if (!report.ok) {
+        setError(error, report.error);
+        return false;
+      }
+      break;
+    }
+  }
+  return writeCsr(g, csrPath, error);
+}
+
+}  // namespace dima::graph

@@ -1,0 +1,146 @@
+#pragma once
+
+/// \file csr.hpp
+/// The binary CSR graph image and its memory-mapped view (DESIGN.md §13).
+///
+/// Social-network-scale inputs (SNAP exports, DIMACS instances) are parsed
+/// once into a flat on-disk CSR image; every later run `mmap`s the file and
+/// colors straight off the page cache — no mutable `Graph`, no per-run
+/// parse, and the kernel pages in only what the run touches. The layout is
+/// the in-memory `Graph` flattened, all sections naturally 8-aligned:
+///
+///     CsrHeader                  48 bytes: magic "DIMACSR1", n, m, Δ
+///     offsets    (n+1) × u64     receiver-block boundaries into adjacency
+///     adjacency   2m  × Incidence  (neighbor u32, edge u32), neighbor-sorted
+///     edges        m  × Edge       canonical endpoints (u ≤ v), id order
+///
+/// `MappedGraph` exposes the `graph::Graph` topology surface (`numVertices`,
+/// `degree`, `incidences`, `edge`, `findEdge`, …), so the networks, the
+/// protocols, and the validators template over either without caring which
+/// is underneath.
+///
+/// Robustness contract: `MappedGraph::open` fully validates the image —
+/// magic, exact file size against the header, monotone offsets, neighbor
+/// sorting, id ranges — and returns a cleared error message instead of
+/// touching out-of-range memory, so a truncated or corrupted file can never
+/// turn into UB. When `mmap` is unavailable (or refused), loading falls
+/// back to a plain `read()` into an owned buffer with identical semantics.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+#include "src/graph/io.hpp"
+
+namespace dima::graph {
+
+/// On-disk header of the CSR image. Field order and the 48-byte size are
+/// the format; bump the magic when either changes.
+struct CsrHeader {
+  char magic[8];
+  std::uint64_t numVertices = 0;
+  std::uint64_t numEdges = 0;
+  std::uint64_t maxDegree = 0;
+  std::uint64_t reserved[2] = {0, 0};
+};
+static_assert(sizeof(CsrHeader) == 48, "CSR header layout is the format");
+static_assert(sizeof(Incidence) == 8 && sizeof(Edge) == 8,
+              "CSR sections store these structs verbatim");
+
+inline constexpr char kCsrMagic[8] = {'D', 'I', 'M', 'A', 'C', 'S', 'R', '1'};
+
+/// Serializes `g` as a CSR image at `path`. Returns false with `*error`
+/// set on I/O failure.
+bool writeCsr(const Graph& g, const std::string& path, std::string* error);
+
+/// How `MappedGraph::open` acquires the bytes.
+enum class CsrLoadMode : std::uint8_t {
+  PreferMmap,  ///< mmap the file; silently fall back to read() on failure
+  ForceRead,   ///< read() into an owned buffer (the no-mmap platform path)
+};
+
+/// A validated, read-only view of a CSR image: zero-copy when mapped, an
+/// owned buffer otherwise. Movable, not copyable; the file contents must
+/// not change while the view is alive.
+class MappedGraph {
+ public:
+  MappedGraph() = default;
+  MappedGraph(MappedGraph&& other) noexcept { *this = std::move(other); }
+  MappedGraph& operator=(MappedGraph&& other) noexcept;
+  MappedGraph(const MappedGraph&) = delete;
+  MappedGraph& operator=(const MappedGraph&) = delete;
+  ~MappedGraph();
+
+  /// Opens and validates `path`. On any failure — unreadable file, bad
+  /// magic, size/section mismatch, non-monotone offsets, out-of-range or
+  /// unsorted neighbors — returns a view with `ok() == false` and a
+  /// human-readable `*error`.
+  static MappedGraph open(const std::string& path, std::string* error,
+                          CsrLoadMode mode = CsrLoadMode::PreferMmap);
+
+  bool ok() const { return offsets_ != nullptr; }
+  /// True when the bytes are a live mmap (false: owned read() buffer).
+  bool isMapped() const { return mapBase_ != nullptr; }
+
+  // --- the graph::Graph topology surface ---
+  std::size_t numVertices() const { return n_; }
+  std::size_t numEdges() const { return m_; }
+  std::size_t degree(VertexId v) const {
+    checkVertex(v);
+    return static_cast<std::size_t>(offsets_[v + 1] - offsets_[v]);
+  }
+  std::size_t maxDegree() const { return maxDegree_; }
+  double averageDegree() const {
+    return n_ == 0 ? 0.0
+                   : 2.0 * static_cast<double>(m_) / static_cast<double>(n_);
+  }
+  std::span<const Incidence> incidences(VertexId v) const {
+    checkVertex(v);
+    return {adjacency_ + offsets_[v],
+            static_cast<std::size_t>(offsets_[v + 1] - offsets_[v])};
+  }
+  const Edge& edge(EdgeId e) const {
+    DIMA_REQUIRE(e < m_, "edge id " << e << " out of range");
+    return edges_[e];
+  }
+  std::span<const Edge> edges() const { return {edges_, m_}; }
+  bool hasEdge(VertexId a, VertexId b) const {
+    return findEdge(a, b) != kNoEdge;
+  }
+  EdgeId findEdge(VertexId a, VertexId b) const;
+
+ private:
+  void reset();
+  /// Points the section pointers into `data` after full validation;
+  /// returns false with `*error` set when the image is not a well-formed
+  /// CSR graph.
+  bool adopt(const std::uint8_t* data, std::size_t size, std::string* error);
+
+  void checkVertex(VertexId v) const {
+    DIMA_REQUIRE(static_cast<std::size_t>(v) < n_,
+                 "vertex id " << v << " out of range");
+  }
+
+  // Byte ownership: exactly one of (mapBase_, buffer_) holds the image.
+  void* mapBase_ = nullptr;
+  std::size_t mapLength_ = 0;
+  std::vector<std::uint8_t> buffer_;
+
+  // Validated section views.
+  std::size_t n_ = 0;
+  std::size_t m_ = 0;
+  std::size_t maxDegree_ = 0;
+  const std::uint64_t* offsets_ = nullptr;
+  const Incidence* adjacency_ = nullptr;
+  const Edge* edges_ = nullptr;
+};
+
+/// Parses `inputPath` (per `format`; `Auto` sniffs) and writes the CSR
+/// image to `csrPath` — the one-time ingestion step that makes every later
+/// run zero-copy. Returns false with `*error` set on parse or I/O failure.
+bool ingestToCsr(const std::string& inputPath, GraphFormat format,
+                 const std::string& csrPath, std::string* error);
+
+}  // namespace dima::graph

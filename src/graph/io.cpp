@@ -1,7 +1,11 @@
 #include "src/graph/io.hpp"
 
+#include <algorithm>
+#include <cctype>
+#include <charconv>
 #include <fstream>
 #include <sstream>
+#include <unordered_map>
 
 #include "src/graph/builder.hpp"
 
@@ -20,7 +24,271 @@ const char* dotColor(int cls) {
                                                    sizeof(kPalette[0]))];
 }
 
+/// Pulls the next line off `rest` (without the terminator, tolerating
+/// CRLF); returns false at end of input.
+bool nextLine(std::string_view* rest, std::string_view* line) {
+  if (rest->empty()) return false;
+  const std::size_t nl = rest->find('\n');
+  if (nl == std::string_view::npos) {
+    *line = *rest;
+    rest->remove_prefix(rest->size());
+  } else {
+    *line = rest->substr(0, nl);
+    rest->remove_prefix(nl + 1);
+  }
+  if (!line->empty() && line->back() == '\r') line->remove_suffix(1);
+  return true;
+}
+
+bool isSpace(char c) { return c == ' ' || c == '\t' || c == '\v' || c == '\f'; }
+
+std::string_view trimLeft(std::string_view s) {
+  while (!s.empty() && isSpace(s.front())) s.remove_prefix(1);
+  return s;
+}
+
+/// Pulls the next whitespace-delimited token; empty result = line done.
+std::string_view nextToken(std::string_view* rest) {
+  *rest = trimLeft(*rest);
+  std::size_t end = 0;
+  while (end < rest->size() && !isSpace((*rest)[end])) ++end;
+  const std::string_view tok = rest->substr(0, end);
+  rest->remove_prefix(end);
+  return tok;
+}
+
+/// Strict decimal u64 parse: the whole token, no signs, no overflow.
+bool parseU64(std::string_view tok, std::uint64_t* out) {
+  if (tok.empty()) return false;
+  const auto [ptr, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), *out);
+  return ec == std::errc{} && ptr == tok.data() + tok.size();
+}
+
+std::string lineError(const char* format, std::size_t lineNo,
+                      const std::string& detail) {
+  std::ostringstream oss;
+  oss << format << " line " << lineNo << ": " << detail;
+  return oss.str();
+}
+
+Graph failParse(ParseReport* report, ParseReport rep, std::string why) {
+  rep.ok = false;
+  rep.error = std::move(why);
+  if (report != nullptr) *report = std::move(rep);
+  return Graph(0);
+}
+
+Graph loadTextAs(const std::string& path, ParseReport* report,
+                 Graph (*parse)(std::string_view, ParseReport*)) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return failParse(report, {}, "cannot read '" + path + "'");
+  }
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  const std::string text = oss.str();
+  return parse(text, report);
+}
+
 }  // namespace
+
+Graph fromSnap(std::string_view text, ParseReport* report) {
+  ParseReport rep;
+  GraphBuilder b;
+  // SNAP ids are arbitrary u64s (often sparse); compact them to dense ids
+  // in first-appearance order — deterministic, and exactly the order a
+  // streaming ingester would assign.
+  std::unordered_map<std::uint64_t, VertexId> dense;
+  const auto denseId = [&](std::uint64_t raw) {
+    return dense.emplace(raw, static_cast<VertexId>(dense.size()))
+        .first->second;
+  };
+  std::string_view rest = text;
+  std::string_view line;
+  std::size_t lineNo = 0;
+  while (nextLine(&rest, &line)) {
+    ++lineNo;
+    std::string_view cursor = trimLeft(line);
+    if (cursor.empty() || cursor.front() == '#') continue;
+    const std::string_view a = nextToken(&cursor);
+    const std::string_view bTok = nextToken(&cursor);
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    if (!parseU64(a, &u) || !parseU64(bTok, &v)) {
+      return failParse(report, std::move(rep),
+                       lineError("snap", lineNo,
+                                 "expected two node ids, got '" +
+                                     std::string(line) + "'"));
+    }
+    if (!trimLeft(cursor).empty()) {
+      return failParse(report, std::move(rep),
+                       lineError("snap", lineNo,
+                                 "trailing tokens after 'u v' in '" +
+                                     std::string(line) + "'"));
+    }
+    if (dense.size() + 2 >= static_cast<std::uint64_t>(kNoVertex)) {
+      return failParse(report, std::move(rep),
+                       lineError("snap", lineNo, "too many distinct ids"));
+    }
+    const VertexId du = denseId(u);
+    const VertexId dv = denseId(v);
+    b.ensureVertex(du);
+    b.ensureVertex(dv);
+    if (du == dv) {
+      ++rep.selfLoopsSkipped;
+      continue;
+    }
+    if (!b.addEdge(du, dv)) ++rep.duplicatesSkipped;
+  }
+  rep.ok = true;
+  if (report != nullptr) *report = std::move(rep);
+  return b.build();
+}
+
+Graph fromDimacs(std::string_view text, ParseReport* report) {
+  ParseReport rep;
+  GraphBuilder b;
+  bool haveProblem = false;
+  std::uint64_t n = 0;
+  std::string_view rest = text;
+  std::string_view line;
+  std::size_t lineNo = 0;
+  while (nextLine(&rest, &line)) {
+    ++lineNo;
+    std::string_view cursor = trimLeft(line);
+    if (cursor.empty()) continue;
+    const std::string_view kind = nextToken(&cursor);
+    if (kind == "c") continue;  // comment
+    if (kind == "p") {
+      if (haveProblem) {
+        return failParse(report, std::move(rep),
+                         lineError("dimacs", lineNo, "duplicate 'p' line"));
+      }
+      const std::string_view fmt = nextToken(&cursor);
+      std::uint64_t m = 0;
+      if ((fmt != "edge" && fmt != "col") ||
+          !parseU64(nextToken(&cursor), &n) ||
+          !parseU64(nextToken(&cursor), &m) || !trimLeft(cursor).empty()) {
+        return failParse(
+            report, std::move(rep),
+            lineError("dimacs", lineNo,
+                      "expected 'p edge <n> <m>', got '" + std::string(line) +
+                          "'"));
+      }
+      if (n >= static_cast<std::uint64_t>(kNoVertex)) {
+        return failParse(report, std::move(rep),
+                         lineError("dimacs", lineNo, "vertex count too large"));
+      }
+      if (n > 0) b.ensureVertex(static_cast<VertexId>(n - 1));
+      haveProblem = true;
+      continue;
+    }
+    if (kind == "e") {
+      if (!haveProblem) {
+        return failParse(report, std::move(rep),
+                         lineError("dimacs", lineNo,
+                                   "'e' line before the 'p edge' header"));
+      }
+      std::uint64_t u = 0;
+      std::uint64_t v = 0;
+      if (!parseU64(nextToken(&cursor), &u) ||
+          !parseU64(nextToken(&cursor), &v) || !trimLeft(cursor).empty()) {
+        return failParse(report, std::move(rep),
+                         lineError("dimacs", lineNo,
+                                   "expected 'e <u> <v>', got '" +
+                                       std::string(line) + "'"));
+      }
+      if (u < 1 || v < 1 || u > n || v > n) {
+        return failParse(
+            report, std::move(rep),
+            lineError("dimacs", lineNo, "endpoint outside 1..n"));
+      }
+      if (u == v) {
+        ++rep.selfLoopsSkipped;
+        continue;
+      }
+      if (!b.addEdge(static_cast<VertexId>(u - 1),
+                     static_cast<VertexId>(v - 1))) {
+        ++rep.duplicatesSkipped;
+      }
+      continue;
+    }
+    return failParse(report, std::move(rep),
+                     lineError("dimacs", lineNo,
+                               "unknown line type '" + std::string(kind) +
+                                   "'"));
+  }
+  if (!haveProblem) {
+    return failParse(report, std::move(rep), "dimacs: missing 'p edge' line");
+  }
+  rep.ok = true;
+  if (report != nullptr) *report = std::move(rep);
+  return b.build();
+}
+
+Graph loadSnap(const std::string& path, ParseReport* report) {
+  return loadTextAs(path, report, &fromSnap);
+}
+
+Graph loadDimacs(const std::string& path, ParseReport* report) {
+  return loadTextAs(path, report, &fromDimacs);
+}
+
+bool parseGraphFormat(std::string_view text, GraphFormat* out) {
+  if (text == "auto") *out = GraphFormat::Auto;
+  else if (text == "edgelist") *out = GraphFormat::EdgeList;
+  else if (text == "snap") *out = GraphFormat::Snap;
+  else if (text == "dimacs") *out = GraphFormat::Dimacs;
+  else if (text == "csr") *out = GraphFormat::Csr;
+  else return false;
+  return true;
+}
+
+const char* graphFormatName(GraphFormat format) {
+  switch (format) {
+    case GraphFormat::Auto: return "auto";
+    case GraphFormat::EdgeList: return "edgelist";
+    case GraphFormat::Snap: return "snap";
+    case GraphFormat::Dimacs: return "dimacs";
+    case GraphFormat::Csr: return "csr";
+  }
+  return "auto";
+}
+
+GraphFormat detectGraphFormat(const std::string& path, GraphFormat requested) {
+  if (requested != GraphFormat::Auto) return requested;
+  std::string ext;
+  const std::size_t dot = path.rfind('.');
+  if (dot != std::string::npos) {
+    ext = path.substr(dot + 1);
+    std::transform(ext.begin(), ext.end(), ext.begin(), [](unsigned char c) {
+      return static_cast<char>(std::tolower(c));
+    });
+  }
+  if (ext == "csr") return GraphFormat::Csr;
+  if (ext == "col" || ext == "dimacs" || ext == "gr") return GraphFormat::Dimacs;
+  // Sniff the head: the CSR magic, then the first non-blank, non-'#' line.
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return GraphFormat::Snap;  // the loader will report the error
+  char head[4096];
+  in.read(head, sizeof(head));
+  const std::string_view text(head, static_cast<std::size_t>(in.gcount()));
+  if (text.size() >= 8 && text.substr(0, 8) == std::string_view("DIMACSR1")) {
+    return GraphFormat::Csr;
+  }
+  std::string_view rest = text;
+  std::string_view line;
+  while (nextLine(&rest, &line)) {
+    std::string_view cursor = trimLeft(line);
+    if (cursor.empty() || cursor.front() == '#') continue;
+    const std::string_view tok = nextToken(&cursor);
+    if (tok == "c" || tok == "p") return GraphFormat::Dimacs;
+    if (tok == "n") return GraphFormat::EdgeList;
+    break;
+  }
+  return GraphFormat::Snap;
+}
 
 std::string toEdgeList(const Graph& g) {
   std::ostringstream oss;

@@ -1,13 +1,26 @@
 #pragma once
 
 /// \file io.hpp
-/// Plain-text graph exchange: whitespace edge lists (one `u v` pair per line,
-/// `#` comments, optional leading `n <count>` header for isolated vertices)
-/// and Graphviz DOT export with optional per-edge color classes for visual
-/// inspection of colorings.
+/// Graph exchange formats.
+///
+///  * Whitespace edge lists (one `u v` pair per line, `#` comments,
+///    optional leading `n <count>` header for isolated vertices) — the
+///    repo's native text format, strict ids, contract-failure on garbage.
+///  * SNAP edge lists (https://snap.stanford.edu/data/): `#` comments,
+///    arbitrary 64-bit node ids compacted to dense ids in first-appearance
+///    order, self-loops and duplicate/reverse edges tolerated (counted,
+///    skipped). Malformed lines are *errors*, reported with line numbers —
+///    real downloads feed this path, so no DIMA_REQUIRE aborts.
+///  * DIMACS coloring instances: `c` comments, one `p edge <n> <m>`
+///    header, `e <u> <v>` lines with 1-based ids. Same error discipline.
+///  * Graphviz DOT export with optional per-edge color classes.
+///
+/// The SNAP/DIMACS parsers are the ingestion front of the mmap'd CSR cache
+/// (graph/csr.hpp): parse once, then color off the binary image.
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/graph/digraph.hpp"
@@ -26,6 +39,39 @@ bool saveEdgeList(const Graph& g, const std::string& path);
 /// Loads a graph; `ok` (when non-null) reports I/O failure instead of
 /// contract failure.
 Graph loadEdgeList(const std::string& path, bool* ok = nullptr);
+
+/// Outcome of parsing an external (untrusted) graph file.
+struct ParseReport {
+  bool ok = false;
+  std::string error;  ///< first malformed line, with its line number
+  std::uint64_t selfLoopsSkipped = 0;
+  std::uint64_t duplicatesSkipped = 0;
+};
+
+/// Parses a SNAP edge list from `text`. On failure returns an empty graph
+/// and `report->ok == false` with the offending line in `report->error`.
+Graph fromSnap(std::string_view text, ParseReport* report);
+/// Parses a DIMACS coloring instance (`p edge n m` + `e u v` lines).
+Graph fromDimacs(std::string_view text, ParseReport* report);
+
+/// File wrappers; I/O failures land in `report->error` too.
+Graph loadSnap(const std::string& path, ParseReport* report);
+Graph loadDimacs(const std::string& path, ParseReport* report);
+
+/// Input-format selector for the CLI and the CSR ingestion pipeline.
+enum class GraphFormat : std::uint8_t { Auto, EdgeList, Snap, Dimacs, Csr };
+
+/// Parses "auto" / "edgelist" / "snap" / "dimacs" / "csr".
+bool parseGraphFormat(std::string_view text, GraphFormat* out);
+const char* graphFormatName(GraphFormat format);
+
+/// Resolves `Auto` for `path`: the `.csr` extension wins, then known
+/// DIMACS extensions (`.col`, `.dimacs`, `.gr`), then a peek at the first
+/// non-blank line — `c`/`p` lines mean DIMACS, an `n <count>` header means
+/// the native edge list, anything else (including `#` comments) is treated
+/// as SNAP, the most forgiving of the three. Non-`Auto` values pass
+/// through unchanged.
+GraphFormat detectGraphFormat(const std::string& path, GraphFormat requested);
 
 /// Graphviz export. `edgeColorClasses` (optional, size m) assigns each edge a
 /// palette index rendered as a distinct color; -1 leaves the edge black.

@@ -1,0 +1,82 @@
+#include "src/graph/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/support/assert.hpp"
+
+namespace dima::graph {
+
+bool parsePartitionKind(std::string_view text, PartitionKind* out) {
+  if (text == "block") {
+    *out = PartitionKind::Block;
+    return true;
+  }
+  if (text == "degree") {
+    *out = PartitionKind::DegreeBalanced;
+    return true;
+  }
+  return false;
+}
+
+const char* partitionKindName(PartitionKind kind) {
+  return kind == PartitionKind::Block ? "block" : "degree";
+}
+
+namespace {
+
+Partition emptyPartition(std::size_t n, std::uint32_t shards) {
+  DIMA_REQUIRE(shards >= 1, "partition needs at least one shard");
+  Partition p;
+  p.count = shards;
+  p.shardOf.assign(n, 0);
+  p.members.resize(shards);
+  return p;
+}
+
+}  // namespace
+
+Partition makeBlockPartition(std::size_t numVertices, std::uint32_t shards) {
+  Partition p = emptyPartition(numVertices, shards);
+  // First (n mod K) shards take one extra vertex, so sizes differ by ≤ 1
+  // and the ranges are a pure function of (n, K).
+  const std::size_t base = numVertices / shards;
+  const std::size_t extra = numVertices % shards;
+  std::size_t v = 0;
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    const std::size_t size = base + (s < extra ? 1 : 0);
+    p.members[s].reserve(size);
+    for (std::size_t i = 0; i < size; ++i, ++v) {
+      p.shardOf[v] = s;
+      p.members[s].push_back(static_cast<VertexId>(v));
+    }
+  }
+  return p;
+}
+
+Partition makeDegreeBalancedPartition(std::span<const std::uint32_t> degrees,
+                                      std::uint32_t shards) {
+  const std::size_t n = degrees.size();
+  Partition p = emptyPartition(n, shards);
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), VertexId{0});
+  std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return degrees[a] > degrees[b];  // descending degree, ties by id
+  });
+  std::vector<std::uint64_t> load(shards, 0);
+  for (const VertexId v : order) {
+    std::uint32_t best = 0;
+    for (std::uint32_t s = 1; s < shards; ++s) {
+      if (load[s] < load[best]) best = s;  // ties stay at the lowest shard
+    }
+    p.shardOf[v] = best;
+    // Weight 1 + degree: pure degree would pile every isolated vertex onto
+    // shard 0 once loads tie; the +1 spreads vertex count as a tiebreaker.
+    load[best] += 1 + degrees[v];
+    p.members[best].push_back(v);
+  }
+  for (auto& m : p.members) std::sort(m.begin(), m.end());
+  return p;
+}
+
+}  // namespace dima::graph

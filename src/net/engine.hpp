@@ -47,11 +47,15 @@
 /// announcement must go out in the same cycle the node becomes done.
 
 #include <algorithm>
+#include <barrier>
 #include <cstdint>
 #include <functional>
+#include <thread>
 #include <vector>
 
+#include "src/graph/partition.hpp"
 #include "src/net/network.hpp"
+#include "src/net/shard.hpp"
 #include "src/support/thread_pool.hpp"
 
 namespace dima::net {
@@ -79,6 +83,22 @@ enum class EngineKind : std::uint8_t {
   BitPlane,
 };
 
+/// Sharded-execution knobs (DESIGN.md §13). Like `EngineKind`, sharding is
+/// observably invisible on the fault-free model — the boundary-buffer merge
+/// reproduces every inbox bit for bit — so these are pure deployment/
+/// performance knobs. `count == 1` means the unsharded substrate.
+struct ShardOptions {
+  /// Number of shards K. Drivers route K > 1 through `ShardedNetwork` +
+  /// `runShardedProtocol`; fault injection and the bit-plane engine are
+  /// mutually exclusive with sharding (drivers enforce both).
+  std::uint32_t count = 1;
+  /// Vertex-assignment strategy (deterministic either way).
+  graph::PartitionKind partition = graph::PartitionKind::Block;
+  /// Worker threads of each shard's private pool (1 = each shard runs its
+  /// nodes serially on its own shard thread).
+  std::size_t workersPerShard = 1;
+};
+
 struct EngineOptions {
   /// Safety valve: abort as non-converged after this many computation
   /// rounds. The algorithms finish in O(Δ) rounds with overwhelming
@@ -94,6 +114,10 @@ struct EngineOptions {
   /// protocol on the bit-plane engine (maximalMatching, colorEdgesMadec,
   /// colorArcsDima2Ed) dispatch on it.
   EngineKind engine = EngineKind::Reference;
+  /// Shard selector; as with `engine`, `runSyncProtocol` ignores it and
+  /// drivers dispatch (maximalMatching, colorEdgesMadec, colorArcsDima2Ed,
+  /// colorEdgesStrongMadec).
+  ShardOptions shards;
 };
 
 struct EngineResult {
@@ -190,6 +214,129 @@ EngineResult runSyncProtocol(Protocol& proto, Net& net,
           CycleInfo{result.cycles - 1, n - active.size(), n});
     }
   }
+  result.counters = net.counters();
+  return result;
+}
+
+/// The sharded bulk-synchronous runner: one driver thread per shard, each
+/// iterating its shard's frontier (ascending node id, so the within-shard
+/// hook order equals the serial engine's order restricted to the shard),
+/// with `std::barrier`s reproducing the engine's phase structure across
+/// shards:
+///
+///     beginCycle over the shard frontier          (node-local, no barrier)
+///     for sub in [0, subRounds):
+///       [barrier — previous sub's receives done]
+///       send over the shard frontier              (slots + boundary records)
+///       [barrier — all sends done]
+///       mergeInbound(own shard)                   (records → own slots)
+///       [barrier; completion: advanceEpochs]      (serial epoch bump)
+///       receive over the shard frontier
+///     endCycle; compact the shard frontier        (order-preserving)
+///     [barrier; completion: fold counts, observer, stop decision]
+///
+/// Every protocol hook touches only node-`u` state plus the lock-free send
+/// API, every slot/record has a single writer per round, and the barriers
+/// order writers before readers — the same argument that makes the pooled
+/// executor race-free, now across shard threads (the TSan job runs the
+/// sweep). Determinism needs no new argument: inbox contents are
+/// bit-identical to `SyncNetwork` (see shard.hpp), hooks are node-local,
+/// and per-shard serial compaction preserves ascending order.
+///
+/// `options.shards.workersPerShard > 1` gives each shard thread a private
+/// `ThreadPool` for its hook loops; `options.pool` is ignored (the shard
+/// threads *are* the executor). The observer (and so the protocol's trace
+/// clock) fires once per cycle from the barrier's completion step.
+template <class Protocol, class M, class Topo>
+EngineResult runShardedProtocol(Protocol& proto, ShardedNetwork<M, Topo>& net,
+                                const EngineOptions& options = {}) {
+  const std::uint32_t shardCount = net.shardCount();
+  const std::size_t n = net.numNodes();
+
+  std::vector<std::vector<NodeId>> active(shardCount);
+  std::size_t initiallyActive = 0;
+  for (std::uint32_t s = 0; s < shardCount; ++s) {
+    for (const NodeId u : net.shardMembers(s)) {
+      if (!proto.done(u)) active[s].push_back(u);
+    }
+    initiallyActive += active[s].size();
+  }
+
+  EngineResult result;
+  if (initiallyActive == 0) {
+    result.converged = true;
+    result.counters = net.counters();
+    return result;
+  }
+
+  std::vector<std::size_t> activeCount(shardCount, 0);
+  bool stop = false;
+
+  // Three barrier points, each with its fixed serial completion step; the
+  // completion runs after every thread arrives and before any is released,
+  // which is exactly the engine's "serial section at the barrier" slot.
+  std::barrier<> sendsDone(shardCount);
+  auto bumpEpoch = [&net]() noexcept { net.advanceEpochs(); };
+  std::barrier<decltype(bumpEpoch)> mergesDone(shardCount, bumpEpoch);
+  auto closeCycle = [&]() noexcept {
+    std::size_t remaining = 0;
+    for (const std::size_t c : activeCount) remaining += c;
+    ++result.cycles;
+    if (options.observer) {
+      options.observer(CycleInfo{result.cycles - 1, n - remaining, n});
+    }
+    if (remaining == 0) {
+      result.converged = true;
+      stop = true;
+    } else if (result.cycles >= options.maxCycles) {
+      stop = true;
+    }
+  };
+  std::barrier<decltype(closeCycle)> cycleDone(shardCount, closeCycle);
+
+  auto runShard = [&](std::uint32_t s) {
+    support::ThreadPool ownPool(options.shards.workersPerShard > 1
+                                    ? options.shards.workersPerShard
+                                    : 1);
+    support::ThreadPool* pool =
+        options.shards.workersPerShard > 1 ? &ownPool : nullptr;
+    std::vector<NodeId>& mine = active[s];
+    auto forEachMine = [&](auto&& fn) {
+      if (pool != nullptr) {
+        pool->forEach(mine.size(), [&](std::size_t i) { fn(mine[i]); });
+      } else {
+        for (const NodeId u : mine) fn(u);
+      }
+    };
+    while (true) {
+      forEachMine([&](NodeId u) { proto.beginCycle(u); });
+      const int subs = proto.subRounds();
+      for (int sub = 0; sub < subs; ++sub) {
+        if (sub > 0) sendsDone.arrive_and_wait();  // prior receives done
+        forEachMine([&](NodeId u) { proto.send(u, sub, net); });
+        sendsDone.arrive_and_wait();
+        net.mergeInbound(s);
+        mergesDone.arrive_and_wait();  // completion: advanceEpochs
+        forEachMine([&](NodeId u) { proto.receive(u, sub, net.inbox(u)); });
+      }
+      forEachMine([&](NodeId u) { proto.endCycle(u); });
+      mine.erase(std::remove_if(mine.begin(), mine.end(),
+                                [&](NodeId u) { return proto.done(u); }),
+                 mine.end());
+      activeCount[s] = mine.size();
+      cycleDone.arrive_and_wait();  // completion: fold, observer, stop
+      if (stop) break;
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(shardCount - 1);
+  for (std::uint32_t s = 1; s < shardCount; ++s) {
+    threads.emplace_back(runShard, s);
+  }
+  runShard(0);
+  for (std::thread& t : threads) t.join();
+
   result.counters = net.counters();
   return result;
 }

@@ -1,0 +1,368 @@
+#pragma once
+
+/// \file shard.hpp
+/// `ShardedNetwork<M>`: the multi-shard message substrate (DESIGN.md §13).
+///
+/// Partition the vertices into K shards (graph/partition.hpp) and give each
+/// shard its own slot arena — the same CSR slot layout as `SyncNetwork`,
+/// restricted to the shard's own receivers. Sends split by destination:
+///
+///  * *intra-shard* (both endpoints in one shard): written directly into
+///    the receiver-side slot via the precomputed route table — byte for
+///    byte the `SyncNetwork` hot path;
+///  * *boundary* (endpoints in different shards): written into a
+///    preassigned record of the destination shard's inbound buffer. One
+///    record per boundary arc, fixed at construction, so the send phase
+///    stays lock-free (single writer per record) and a round's cross-shard
+///    traffic is exactly the records tagged with the open epoch — a
+///    batched, epoch-tagged delta, the unit a future multi-process
+///    deployment would put on the wire.
+///
+/// `deliverRound()` (or the sharded engine's per-shard `mergeInbound`)
+/// copies each live record into its destination slot and bumps the epoch.
+/// Every record targets the slot the mirror-arc table of an unsharded run
+/// would have written, and slots sit in the receiver's incidence-ordered
+/// block, so `InboxView` iteration is bit-identical to `SyncNetwork` for
+/// *any* partition — colors, `Counters`, and traces cannot observe K.
+///
+/// Fault injection is out of scope by contract (like the bit-plane
+/// engine): chaos models make the message plane stateful in ways a
+/// boundary buffer would have to replicate exactly; drivers route
+/// perturbed runs to the reference substrate instead.
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <concepts>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+// dimalint: hot-path — no std::function, no per-message allocation.
+
+#include "src/graph/graph.hpp"
+#include "src/graph/partition.hpp"
+#include "src/net/message.hpp"
+#include "src/support/assert.hpp"
+#include "src/support/mutex.hpp"
+
+namespace dima::net {
+
+/// `Topo` as in `SyncNetwork`: anything with the `graph::Graph` topology
+/// surface (`numVertices`, neighbor-sorted `incidences`), immutable while
+/// the network is in use. The partition must cover exactly the topology's
+/// vertices.
+template <class M, class Topo = graph::Graph>
+class ShardedNetwork {
+ public:
+  /// Lays out K arenas, the route table, and the boundary buffers in
+  /// O(n + m). `part` is copied in; the topology must outlive the network.
+  ShardedNetwork(const Topo& topology, graph::Partition part)
+      : topo_(&topology), part_(std::move(part)) {
+    const std::size_t n = numNodes();
+    DIMA_REQUIRE(part_.shardOf.size() == n,
+                 "partition covers " << part_.shardOf.size()
+                                     << " vertices, topology has " << n);
+    offsets_.resize(n + 1, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+      offsets_[v + 1] =
+          offsets_[v] + static_cast<std::uint32_t>(
+                            topo_->incidences(static_cast<NodeId>(v)).size());
+    }
+    // Each shard's arena holds its members' slot blocks in ascending
+    // member order; `slotBase_[v]` is v's block offset within its arena.
+    slotBase_.resize(n, 0);
+    arenas_.resize(part_.count);
+    for (std::uint32_t s = 0; s < part_.count; ++s) {
+      std::uint32_t cursor = 0;
+      for (const graph::VertexId v : part_.members[s]) {
+        slotBase_[v] = cursor;
+        cursor += offsets_[v + 1] - offsets_[v];
+      }
+      arenas_[s].resize(cursor);
+      for (const graph::VertexId v : part_.members[s]) {
+        const auto incs = topo_->incidences(v);
+        for (std::size_t j = 0; j < incs.size(); ++j) {
+          arenas_[s][slotBase_[v] + j].env.from = incs[j].neighbor;
+        }
+      }
+    }
+    // Route table, by the same cursor sweep that builds `SyncNetwork`'s
+    // mirror table: scanning senders u in ascending order, the arcs landing
+    // on any receiver w arrive in ascending-u order — exactly w's
+    // neighbor-sorted slot order — so each arc consumes w's next free slot.
+    // An intra-shard arc routes straight to that slot; a boundary arc
+    // claims the next record of the destination shard's inbound buffer,
+    // remembering the slot the record will be merged into.
+    route_.resize(offsets_[n]);
+    inbound_.resize(part_.count);
+    sendState_.assign(n, SendState{});
+    std::vector<std::uint32_t> cursor(n, 0);
+    for (std::size_t u = 0; u < n; ++u) {
+      const auto incs = topo_->incidences(static_cast<NodeId>(u));
+      for (std::size_t j = 0; j < incs.size(); ++j) {
+        const NodeId w = incs[j].neighbor;
+        const std::uint32_t slot = slotBase_[w] + cursor[w]++;
+        if (part_.shardOf[u] == part_.shardOf[w]) {
+          route_[offsets_[u] + j] = slot;
+        } else {
+          auto& records = inbound_[part_.shardOf[w]];
+          DIMA_REQUIRE(records.size() < kBoundaryFlag,
+                       "boundary buffer overflow");
+          route_[offsets_[u] + j] =
+              static_cast<std::uint32_t>(records.size()) | kBoundaryFlag;
+          records.push_back(BoundaryRecord{0, slot, M{}});
+          ++boundaryArcs_;
+        }
+      }
+    }
+  }
+
+  const Topo& topology() const { return *topo_; }
+  const graph::Partition& partition() const { return part_; }
+  std::size_t numNodes() const {
+    return static_cast<std::size_t>(topo_->numVertices());
+  }
+  std::uint32_t shardCount() const { return part_.count; }
+  std::span<const graph::VertexId> shardMembers(std::uint32_t s) const {
+    return part_.members[s];
+  }
+  /// Directed arcs crossing shards — the per-round cross-shard traffic
+  /// ceiling (records written ≤ this each communication round).
+  std::uint64_t boundaryArcs() const { return boundaryArcs_; }
+  double boundaryArcFraction() const {
+    return offsets_.back() == 0 ? 0.0
+                                : static_cast<double>(boundaryArcs_) /
+                                      static_cast<double>(offsets_.back());
+  }
+
+  /// Same contract as `SyncNetwork::broadcast`: one transmission into every
+  /// neighbor's slot (or boundary record), the sender's whole round
+  /// allowance. Callable concurrently for distinct senders.
+  void broadcast(NodeId from, const M& m) {
+    roundPhase_.assertShared();
+    checkNode(from);
+    SendState& st = sendState_[from];
+    DIMA_REQUIRE(st.epoch != sendEpoch_,
+                 "node " << from << " exceeded its round send allowance");
+    st.epoch = sendEpoch_;
+    st.broadcast = true;
+    const auto incs = topo_->incidences(from);
+    const std::uint32_t base = offsets_[from];
+    for (std::size_t j = 0; j < incs.size(); ++j) {
+      writeArc(base + static_cast<std::uint32_t>(j), incs[j].neighbor, m);
+    }
+    CounterShard& sh = shards_[shardFor(from)];
+    sh.broadcasts.fetch_add(1, std::memory_order_relaxed);
+    accountSend(sh, m, incs.size());
+  }
+
+  /// Same contract as `SyncNetwork::unicast`: one slot, adjacency checked,
+  /// duplicate targets and broadcast/unicast mixing rejected.
+  void unicast(NodeId from, NodeId to, const M& m) {
+    roundPhase_.assertShared();
+    checkNode(from);
+    checkNode(to);
+    const auto incs = topo_->incidences(from);
+    const auto it = std::lower_bound(
+        incs.begin(), incs.end(), to,
+        [](const graph::Incidence& inc, NodeId v) { return inc.neighbor < v; });
+    DIMA_REQUIRE(it != incs.end() && it->neighbor == to,
+                 "unicast " << from << "→" << to << " without a link");
+    SendState& st = sendState_[from];
+    DIMA_REQUIRE(!(st.epoch == sendEpoch_ && st.broadcast),
+                 "node " << from << " mixed broadcast and unicast in a round");
+    const std::uint32_t arc =
+        offsets_[from] + static_cast<std::uint32_t>(it - incs.begin());
+    DIMA_REQUIRE(arcEpoch(arc, to) != sendEpoch_,
+                 "node " << from << " sent to " << to << " twice in a round");
+    st.epoch = sendEpoch_;
+    st.broadcast = false;
+    writeArc(arc, to, m);
+    CounterShard& sh = shards_[shardFor(from)];
+    sh.unicasts.fetch_add(1, std::memory_order_relaxed);
+    accountSend(sh, m, 1);
+  }
+
+  /// Merges shard `s`'s live inbound records into its arena slots. The
+  /// sharded engine calls this once per shard per communication round,
+  /// from the shard's own thread, between the all-sends-done barrier and
+  /// the epoch bump; each record has a fixed destination slot, so merge
+  /// order cannot affect inbox contents.
+  void mergeInbound(std::uint32_t s) {
+    roundPhase_.assertShared();
+    mergeRecords(s);
+  }
+
+  /// Publishes the just-written epoch and opens the next one. Serial, at
+  /// the executor's barrier — `mergeInbound` must already have run for
+  /// every shard (the barrier schedule guarantees it).
+  void advanceEpochs() {
+    roundPhase_.assertExclusive();
+    readEpoch_ = sendEpoch_;
+    ++sendEpoch_;
+    ++commRounds_;
+  }
+
+  /// Serial-executor delivery: merge every shard, then bump. This is what
+  /// `runSyncProtocol` calls, so a traced (serial) run drives the sharded
+  /// substrate with no engine changes at all.
+  void deliverRound() {
+    roundPhase_.assertExclusive();
+    for (std::uint32_t s = 0; s < part_.count; ++s) mergeRecords(s);
+    readEpoch_ = sendEpoch_;
+    ++sendEpoch_;
+    ++commRounds_;
+  }
+
+  /// Incidence-ordered view of `v`'s slots, exactly as `SyncNetwork`.
+  Inbox<M> inbox(NodeId v) const {
+    roundPhase_.assertShared();
+    checkNode(v);
+    return Inbox<M>(arenas_[part_.shardOf[v]].data() + slotBase_[v],
+                    offsets_[v + 1] - offsets_[v], readEpoch_);
+  }
+
+  /// Order-independent fold of the sharded counters (sums and a max).
+  Counters counters() const {
+    roundPhase_.assertShared();
+    Counters c;
+    c.commRounds = commRounds_;
+    for (const CounterShard& s : shards_) {
+      c.broadcasts += s.broadcasts.load(std::memory_order_relaxed);
+      c.unicasts += s.unicasts.load(std::memory_order_relaxed);
+      c.messagesDelivered += s.delivered.load(std::memory_order_relaxed);
+      c.bitsDelivered += s.bits.load(std::memory_order_relaxed);
+      c.maxMessageBits =
+          std::max(c.maxMessageBits, s.maxBits.load(std::memory_order_relaxed));
+    }
+    return c;
+  }
+
+ private:
+  /// A boundary arc's per-round delta: the payload plus the destination
+  /// slot it merges into. `epoch` tags the round the record was written
+  /// (0 = never); stale records are simply skipped at merge time, so
+  /// nothing is cleared between rounds.
+  struct BoundaryRecord {
+    std::uint32_t epoch = 0;
+    std::uint32_t slot = 0;  ///< index into the destination shard's arena
+    M msg{};
+  };
+
+  struct SendState {
+    std::uint32_t epoch = 0;
+    bool broadcast = false;
+  };
+
+  struct alignas(64) CounterShard {
+    std::atomic<std::uint64_t> broadcasts{0};
+    std::atomic<std::uint64_t> unicasts{0};
+    std::atomic<std::uint64_t> delivered{0};
+    std::atomic<std::uint64_t> bits{0};
+    std::atomic<std::uint64_t> maxBits{0};
+  };
+  static constexpr std::size_t kCounterShards = 64;
+  static constexpr std::uint32_t kBoundaryFlag = 0x80000000u;
+
+  static std::size_t shardFor(NodeId from) {
+    return (static_cast<std::size_t>(from) >> 6) & (kCounterShards - 1);
+  }
+
+  void checkNode(NodeId v) const {
+    DIMA_REQUIRE(v < numNodes(), "node id " << v << " out of range");
+  }
+
+  static void atomicMax(std::atomic<std::uint64_t>& target,
+                        std::uint64_t value) {
+    std::uint64_t cur = target.load(std::memory_order_relaxed);
+    while (cur < value && !target.compare_exchange_weak(
+                              cur, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Routes one arc's payload: straight to the receiver slot when the
+  /// endpoints share a shard, into the destination shard's preassigned
+  /// boundary record otherwise. Single writer per slot/record per round.
+  void writeArc(std::uint32_t arc, NodeId to, const M& m)
+      DIMA_REQUIRES_SHARED(roundPhase_) {
+    const std::uint32_t r = route_[arc];
+    if (r & kBoundaryFlag) {
+      BoundaryRecord& rec = inbound_[part_.shardOf[to]][r & ~kBoundaryFlag];
+      rec.epoch = sendEpoch_;
+      rec.msg = m;
+    } else {
+      MessageSlot<M>& s = arenas_[part_.shardOf[to]][r];
+      s.epoch = sendEpoch_;
+      s.copies = 1;
+      s.env.msg = m;
+    }
+  }
+
+  /// The round tag last written on `arc`'s destination (slot or record) —
+  /// the duplicate-target check for unicasts.
+  std::uint32_t arcEpoch(std::uint32_t arc, NodeId to) const
+      DIMA_REQUIRES_SHARED(roundPhase_) {
+    const std::uint32_t r = route_[arc];
+    if (r & kBoundaryFlag) {
+      return inbound_[part_.shardOf[to]][r & ~kBoundaryFlag].epoch;
+    }
+    return arenas_[part_.shardOf[to]][r].epoch;
+  }
+
+  void mergeRecords(std::uint32_t s) DIMA_REQUIRES_SHARED(roundPhase_) {
+    auto& arena = arenas_[s];
+    for (const BoundaryRecord& rec : inbound_[s]) {
+      if (rec.epoch != sendEpoch_) continue;
+      MessageSlot<M>& slot = arena[rec.slot];
+      slot.epoch = rec.epoch;
+      slot.copies = 1;
+      slot.env.msg = rec.msg;
+    }
+  }
+
+  /// CONGEST accounting identical to `SyncNetwork::accountSend` on the
+  /// fault-free model: bits per attempt, every attempt delivered.
+  void accountSend(CounterShard& sh, const M& m, std::size_t attempts) {
+    if constexpr (requires(const M& mm) {
+                    { mm.wireBits() } -> std::convertible_to<std::uint64_t>;
+                  }) {
+      if (attempts != 0) {
+        const std::uint64_t bits = m.wireBits();
+        sh.bits.fetch_add(bits * attempts, std::memory_order_relaxed);
+        atomicMax(sh.maxBits, bits);
+      }
+    }
+    if (attempts != 0) {
+      sh.delivered.fetch_add(attempts, std::memory_order_relaxed);
+    }
+  }
+
+  const Topo* topo_;
+  graph::Partition part_;
+  /// Global CSR degrees: v's slots span `[slotBase_[v], slotBase_[v] +
+  /// offsets_[v+1] - offsets_[v])` of its shard's arena.
+  std::vector<std::uint32_t> offsets_;
+  std::vector<std::uint32_t> slotBase_;
+  std::vector<std::vector<MessageSlot<M>>> arenas_;
+  /// Per directed arc `offsets_[u] + j`: destination slot index, or
+  /// (with `kBoundaryFlag`) destination-shard boundary-record index.
+  std::vector<std::uint32_t> route_;
+  /// Per destination shard: one record per inbound boundary arc, in
+  /// ascending (sender, incidence) order, fixed at construction.
+  std::vector<std::vector<BoundaryRecord>> inbound_;
+  std::vector<SendState> sendState_;
+  std::array<CounterShard, kCounterShards> shards_{};
+  std::uint64_t boundaryArcs_ = 0;
+  /// Same phase discipline as `SyncNetwork`: epochs mutate only at the
+  /// serial barrier (exclusive); sends/merges/reads run shared with
+  /// single-writer disciplines the analysis cannot express (TSan covers
+  /// those).
+  support::PhaseCapability roundPhase_;
+  std::uint32_t sendEpoch_ DIMA_GUARDED_BY(roundPhase_) = 1;
+  std::uint32_t readEpoch_ DIMA_GUARDED_BY(roundPhase_) = 0;
+  std::uint64_t commRounds_ DIMA_GUARDED_BY(roundPhase_) = 0;
+};
+
+}  // namespace dima::net

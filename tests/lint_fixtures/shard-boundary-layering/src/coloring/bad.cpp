@@ -1,0 +1,10 @@
+// Bad fixture: a protocol policy TU naming the shard substrate and the
+// partitioner directly instead of going through src/net/engine.hpp.
+#include "src/graph/partition.hpp"
+#include "src/net/shard.hpp"
+
+namespace fixture {
+
+int protocolStep() { return 0; }
+
+}  // namespace fixture

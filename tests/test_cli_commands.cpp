@@ -248,6 +248,90 @@ TEST(Cli, MissingInputFileFails) {
   EXPECT_NE(r.err.find("cannot read"), std::string::npos);
 }
 
+// --shards only swaps the execution substrate, exactly like --engine:
+// after stripping the `shards:` banner, every observable line must be
+// byte-identical to the single-arena run (DESIGN.md §13).
+TEST(Cli, ShardFlagIsObservablyInvisible) {
+  const std::vector<std::string> base = {"--family", "er", "--n", "80",
+                                         "--deg", "6", "--seed", "7"};
+  for (const char* command : {"color", "strong", "matching"}) {
+    std::vector<std::string> reference = {command};
+    reference.insert(reference.end(), base.begin(), base.end());
+    std::vector<std::string> sharded = reference;
+    sharded.insert(sharded.end(), {"--shards", "4", "--partition", "degree",
+                                   "--workers", "2"});
+    const CommandResult ref = run(reference);
+    const CommandResult shd = run(sharded);
+    EXPECT_EQ(ref.code, 0) << command << ": " << ref.err;
+    EXPECT_EQ(shd.code, 0) << command << ": " << shd.err;
+    const std::string banner = "shards: 4 (degree partition, 2 worker(s) each)\n";
+    const std::size_t at = shd.out.find(banner);
+    ASSERT_NE(at, std::string::npos) << command << ":\n" << shd.out;
+    std::string stripped = shd.out;
+    stripped.erase(at, banner.size());
+    EXPECT_EQ(ref.out, stripped) << command;
+  }
+  const CommandResult bad =
+      run({"color", "--n", "10", "--shards", "2", "--partition", "random"});
+  EXPECT_EQ(bad.code, 1);
+  EXPECT_NE(bad.err.find("unknown --partition"), std::string::npos);
+}
+
+// The committed SNAP fixture end to end: text load (skipping the planted
+// self-loop and duplicate), ingest to a CSR image, and the mapped sharded
+// color path must produce the identical palette.
+TEST(Cli, SnapFixtureColorsIdenticallyViaTextAndMappedCsr) {
+  const std::string fixture = std::string(DIMA_TESTDATA_DIR) +
+                              "/tiny_social.snap";
+  const std::string dir = ::testing::TempDir();
+  const std::string textColors = dir + "cli_snap_text.colors";
+  const std::string csr = dir + "cli_snap.csr";
+  const std::string csrColors = dir + "cli_snap_csr.colors";
+
+  const CommandResult text = run({"color", "--input", fixture, "--shards",
+                                  "2", "--seed", "9", "--colors-out",
+                                  textColors});
+  EXPECT_EQ(text.code, 0) << text.err;
+  EXPECT_NE(text.err.find("skipped 1 self-loop(s) and 1 duplicate edge(s)"),
+            std::string::npos)
+      << text.err;
+  EXPECT_NE(text.out.find("valid: yes"), std::string::npos);
+
+  const CommandResult ingest = run({"ingest", fixture, "--out", csr});
+  EXPECT_EQ(ingest.code, 0) << ingest.err;
+  EXPECT_NE(ingest.out.find("ingested snap"), std::string::npos);
+  EXPECT_NE(ingest.out.find("n=24 m=36"), std::string::npos) << ingest.out;
+
+  const CommandResult mapped = run({"color", "--input", csr, "--shards", "2",
+                                    "--seed", "9", "--colors-out",
+                                    csrColors});
+  EXPECT_EQ(mapped.code, 0) << mapped.err;
+  EXPECT_NE(mapped.out.find("CSR)"), std::string::npos) << mapped.out;
+  EXPECT_NE(mapped.out.find("valid: yes"), std::string::npos);
+
+  std::ifstream a(textColors), b(csrColors);
+  const std::string colorsA((std::istreambuf_iterator<char>(a)),
+                            std::istreambuf_iterator<char>());
+  const std::string colorsB((std::istreambuf_iterator<char>(b)),
+                            std::istreambuf_iterator<char>());
+  EXPECT_FALSE(colorsA.empty());
+  EXPECT_EQ(colorsA, colorsB);
+
+  std::remove(textColors.c_str());
+  std::remove(csr.c_str());
+  std::remove(csrColors.c_str());
+}
+
+TEST(Cli, IngestRejectsBadInput) {
+  const CommandResult noOut = run({"ingest", "/no/such/file"});
+  EXPECT_EQ(noOut.code, 2);
+  const CommandResult missing =
+      run({"ingest", "/no/such/file", "--out", ::testing::TempDir() +
+           "cli_missing.csr"});
+  EXPECT_EQ(missing.code, 1);
+  EXPECT_FALSE(missing.err.empty());
+}
+
 TEST(Cli, ChurnEndToEnd) {
   const CommandResult r =
       run({"churn", "--family", "er", "--n", "120", "--deg", "6", "--seed",

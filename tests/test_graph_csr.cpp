@@ -1,0 +1,241 @@
+/// \file test_graph_csr.cpp
+/// The mmap CSR layer (graph/csr.hpp): write→open round-trips must expose
+/// the identical topology surface; every class of damaged image — short
+/// header, truncated sections, bad magic, non-monotone offsets, corrupt
+/// adjacency or edge entries, lying degree summary — must be rejected with
+/// a clear error before any pointer is exposed (no UB on hostile input);
+/// and the read() fallback must behave identically to the mapped path.
+
+#include "src/graph/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "src/graph/generators.hpp"
+
+namespace dima::graph {
+namespace {
+
+std::string tempPath(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+std::vector<std::uint8_t> readAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>((std::istreambuf_iterator<char>(in)),
+                                   std::istreambuf_iterator<char>());
+}
+
+void writeAll(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+void expectSameTopology(const Graph& g, const MappedGraph& m) {
+  ASSERT_EQ(g.numVertices(), m.numVertices());
+  ASSERT_EQ(g.numEdges(), m.numEdges());
+  EXPECT_EQ(g.maxDegree(), m.maxDegree());
+  EXPECT_DOUBLE_EQ(g.averageDegree(), m.averageDegree());
+  for (VertexId v = 0; v < g.numVertices(); ++v) {
+    const auto a = g.incidences(v);
+    const auto b = m.incidences(v);
+    ASSERT_EQ(a.size(), b.size()) << "vertex " << v;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].neighbor, b[i].neighbor);
+      EXPECT_EQ(a[i].edge, b[i].edge);
+    }
+  }
+  for (EdgeId e = 0; e < g.numEdges(); ++e) {
+    EXPECT_EQ(g.edge(e).u, m.edge(e).u);
+    EXPECT_EQ(g.edge(e).v, m.edge(e).v);
+  }
+  // Spot-check the lookup surface.
+  const Edge& probe = g.edge(0);
+  EXPECT_TRUE(m.hasEdge(probe.u, probe.v));
+  EXPECT_EQ(m.findEdge(probe.u, probe.v), 0u);
+  EXPECT_EQ(m.findEdge(probe.v, probe.u), 0u);
+}
+
+TEST(CsrRoundTrip, WriteOpenExposesIdenticalTopology) {
+  support::Rng rng(31);
+  const Graph g = erdosRenyiAvgDegree(120, 7.0, rng);
+  const std::string path = tempPath("roundtrip.csr");
+  std::string error;
+  ASSERT_TRUE(writeCsr(g, path, &error)) << error;
+  const MappedGraph m = MappedGraph::open(path, &error);
+  ASSERT_TRUE(m.ok()) << error;
+  expectSameTopology(g, m);
+  std::remove(path.c_str());
+}
+
+TEST(CsrRoundTrip, ReadFallbackMatchesMmap) {
+  support::Rng rng(32);
+  const Graph g = barabasiAlbert(80, 3, 1.0, rng);
+  const std::string path = tempPath("fallback.csr");
+  std::string error;
+  ASSERT_TRUE(writeCsr(g, path, &error)) << error;
+  const MappedGraph viaRead =
+      MappedGraph::open(path, &error, CsrLoadMode::ForceRead);
+  ASSERT_TRUE(viaRead.ok()) << error;
+  EXPECT_FALSE(viaRead.isMapped());
+  expectSameTopology(g, viaRead);
+  const MappedGraph viaMmap = MappedGraph::open(path, &error);
+  ASSERT_TRUE(viaMmap.ok()) << error;
+  expectSameTopology(g, viaMmap);
+  std::remove(path.c_str());
+}
+
+TEST(CsrRoundTrip, IsolatedVerticesAndEmptyGraphSurvive) {
+  const std::string path = tempPath("sparse.csr");
+  std::string error;
+  Graph g(5, {Edge{1, 3}});
+  ASSERT_TRUE(writeCsr(g, path, &error)) << error;
+  MappedGraph m = MappedGraph::open(path, &error);
+  ASSERT_TRUE(m.ok()) << error;
+  expectSameTopology(g, m);
+  EXPECT_EQ(m.degree(0), 0u);
+  const Graph empty(0);
+  ASSERT_TRUE(writeCsr(empty, path, &error)) << error;
+  m = MappedGraph::open(path, &error);
+  ASSERT_TRUE(m.ok()) << error;
+  EXPECT_EQ(m.numVertices(), 0u);
+  EXPECT_EQ(m.numEdges(), 0u);
+  std::remove(path.c_str());
+}
+
+/// Writes a valid image, lets `damage` mutate the bytes, and expects both
+/// load paths to reject the result with a non-empty diagnostic.
+void expectRejected(const char* label,
+                    void (*damage)(std::vector<std::uint8_t>*)) {
+  support::Rng rng(33);
+  const Graph g = erdosRenyiAvgDegree(40, 5.0, rng);
+  const std::string path = tempPath(std::string("damaged_") + label + ".csr");
+  std::string error;
+  ASSERT_TRUE(writeCsr(g, path, &error)) << error;
+  std::vector<std::uint8_t> bytes = readAll(path);
+  damage(&bytes);
+  writeAll(path, bytes);
+  for (const CsrLoadMode mode :
+       {CsrLoadMode::PreferMmap, CsrLoadMode::ForceRead}) {
+    error.clear();
+    const MappedGraph m = MappedGraph::open(path, &error, mode);
+    EXPECT_FALSE(m.ok()) << label;
+    EXPECT_FALSE(error.empty()) << label;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsrRejection, TruncatedBelowHeader) {
+  expectRejected("short", [](std::vector<std::uint8_t>* b) { b->resize(10); });
+}
+
+TEST(CsrRejection, TruncatedMidSections) {
+  expectRejected("trunc",
+                 [](std::vector<std::uint8_t>* b) { b->resize(b->size() - 7); });
+}
+
+TEST(CsrRejection, TrailingGarbage) {
+  expectRejected("long",
+                 [](std::vector<std::uint8_t>* b) { b->push_back(0); });
+}
+
+TEST(CsrRejection, BadMagic) {
+  expectRejected("magic", [](std::vector<std::uint8_t>* b) { (*b)[0] = 'X'; });
+}
+
+TEST(CsrRejection, HeaderCountLies) {
+  expectRejected("count", [](std::vector<std::uint8_t>* b) {
+    std::uint64_t n = 0;
+    std::memcpy(&n, b->data() + 8, sizeof(n));
+    ++n;  // one more vertex than the sections carry
+    std::memcpy(b->data() + 8, &n, sizeof(n));
+  });
+}
+
+TEST(CsrRejection, NonMonotoneOffsets) {
+  expectRejected("offsets", [](std::vector<std::uint8_t>* b) {
+    // offsets[1] lives right after the 48-byte header + offsets[0].
+    const std::uint64_t huge = ~0ULL;
+    std::memcpy(b->data() + sizeof(CsrHeader) + 8, &huge, sizeof(huge));
+  });
+}
+
+TEST(CsrRejection, CorruptAdjacencyEntry) {
+  expectRejected("adjacency", [](std::vector<std::uint8_t>* b) {
+    CsrHeader header;
+    std::memcpy(&header, b->data(), sizeof(header));
+    const std::size_t adj =
+        sizeof(CsrHeader) + 8 * (header.numVertices + 1);
+    const std::uint32_t bogus = 0xfffffffe;  // neighbor way out of range
+    std::memcpy(b->data() + adj, &bogus, sizeof(bogus));
+  });
+}
+
+TEST(CsrRejection, CorruptEdgeEndpoints) {
+  expectRejected("edges", [](std::vector<std::uint8_t>*b) {
+    CsrHeader header;
+    std::memcpy(&header, b->data(), sizeof(header));
+    const std::size_t edges = sizeof(CsrHeader) +
+                              8 * (header.numVertices + 1) +
+                              sizeof(Incidence) * 2 * header.numEdges;
+    const std::uint32_t bogus[2] = {5, 5};  // u == v is never canonical
+    std::memcpy(b->data() + edges, bogus, sizeof(bogus));
+  });
+}
+
+TEST(CsrRejection, MissingFile) {
+  std::string error;
+  const MappedGraph m = MappedGraph::open("/nonexistent/nowhere.csr", &error);
+  EXPECT_FALSE(m.ok());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(CsrIngest, SnapAndDimacsConvertAndValidate) {
+  const std::string snap = tempPath("ingest.snap.txt");
+  {
+    std::ofstream out(snap);
+    out << "# snap fixture\n5 6\n6 7\n5 7\n7 8\n";
+  }
+  const std::string csr = tempPath("ingest.csr");
+  std::string error;
+  ASSERT_TRUE(ingestToCsr(snap, GraphFormat::Auto, csr, &error)) << error;
+  const MappedGraph m = MappedGraph::open(csr, &error);
+  ASSERT_TRUE(m.ok()) << error;
+  EXPECT_EQ(m.numVertices(), 4u);
+  EXPECT_EQ(m.numEdges(), 4u);
+
+  const std::string dimacs = tempPath("ingest.col");
+  {
+    std::ofstream out(dimacs);
+    out << "c fixture\np edge 3 2\ne 1 2\ne 2 3\n";
+  }
+  ASSERT_TRUE(ingestToCsr(dimacs, GraphFormat::Auto, csr, &error)) << error;
+  const MappedGraph m2 = MappedGraph::open(csr, &error);
+  ASSERT_TRUE(m2.ok()) << error;
+  EXPECT_EQ(m2.numVertices(), 3u);
+  EXPECT_EQ(m2.numEdges(), 2u);
+
+  // Ingesting a CSR image again is an explicit error, and parse failures
+  // propagate as errors instead of writing a bogus image.
+  EXPECT_FALSE(ingestToCsr(csr, GraphFormat::Auto, csr + ".2", &error));
+  const std::string bad = tempPath("ingest.bad.txt");
+  {
+    std::ofstream out(bad);
+    out << "1 2\nnot numbers\n";
+  }
+  EXPECT_FALSE(ingestToCsr(bad, GraphFormat::Snap, csr + ".2", &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+
+  std::remove(snap.c_str());
+  std::remove(dimacs.c_str());
+  std::remove(csr.c_str());
+  std::remove(bad.c_str());
+}
+
+}  // namespace
+}  // namespace dima::graph

@@ -82,5 +82,131 @@ TEST(DotExportDeathTest, ColorSizeMismatchDies) {
   EXPECT_DEATH(toDot(g, {0}), "size mismatch");
 }
 
+// ---------------------------------------------------------------------------
+// SNAP edge lists: '#' comments, arbitrary u64 raw ids compacted in
+// first-appearance order, self-loops and duplicates counted and skipped,
+// malformed lines rejected with a line number instead of silently dropped.
+
+TEST(SnapIo, ParsesCommentsTabsAndArbitraryIds) {
+  ParseReport report;
+  const Graph g = fromSnap(
+      "# Directed graph (each unordered pair once)\n"
+      "# FromNodeId\tToNodeId\n"
+      "1000000\t42\n"
+      "42 7\n"
+      "7\t1000000\r\n",
+      &report);
+  EXPECT_TRUE(report.ok) << report.error;
+  EXPECT_EQ(g.numVertices(), 3u);  // dense ids in first-appearance order
+  EXPECT_EQ(g.numEdges(), 3u);
+  EXPECT_TRUE(g.hasEdge(0, 1));  // 1000000-42
+  EXPECT_TRUE(g.hasEdge(1, 2));  // 42-7
+  EXPECT_TRUE(g.hasEdge(2, 0));  // 7-1000000
+}
+
+TEST(SnapIo, CountsSelfLoopsAndDuplicates) {
+  ParseReport report;
+  const Graph g = fromSnap("0 1\n1 1\n1 0\n0 1\n", &report);
+  EXPECT_TRUE(report.ok) << report.error;
+  EXPECT_EQ(g.numEdges(), 1u);
+  EXPECT_EQ(report.selfLoopsSkipped, 1u);
+  EXPECT_EQ(report.duplicatesSkipped, 2u);
+}
+
+TEST(SnapIo, MalformedLinesAreErrorsWithLineNumbers) {
+  const char* bad[] = {
+      "0 1\nx y\n",            // non-numeric
+      "0 1\n2\n",              // missing endpoint
+      "0 1\n1 2 3\n",          // trailing token
+      "0 1\n1 99999999999999999999\n",  // u64 overflow
+  };
+  for (const char* text : bad) {
+    ParseReport report;
+    fromSnap(text, &report);
+    EXPECT_FALSE(report.ok) << text;
+    EXPECT_NE(report.error.find("line 2"), std::string::npos)
+        << text << " -> " << report.error;
+  }
+}
+
+TEST(SnapIo, MissingFileReportsFailure) {
+  ParseReport report;
+  loadSnap("/nonexistent/nowhere.snap", &report);
+  EXPECT_FALSE(report.ok);
+  EXPECT_FALSE(report.error.empty());
+}
+
+// DIMACS: `c` comments, one `p edge n m` line, 1-based `e u v` lines.
+
+TEST(DimacsIo, ParsesTheStandardShape) {
+  ParseReport report;
+  const Graph g = fromDimacs(
+      "c a DIMACS coloring instance\n"
+      "p edge 4 3\n"
+      "e 1 2\n"
+      "e 2 3\n"
+      "e 3 4\n",
+      &report);
+  EXPECT_TRUE(report.ok) << report.error;
+  EXPECT_EQ(g.numVertices(), 4u);
+  EXPECT_EQ(g.numEdges(), 3u);
+  EXPECT_TRUE(g.hasEdge(0, 1));
+  EXPECT_TRUE(g.hasEdge(2, 3));
+}
+
+TEST(DimacsIo, RejectsMalformedInstances) {
+  const char* bad[] = {
+      "e 1 2\n",                        // edge before p
+      "p edge 2 1\np edge 2 1\ne 1 2\n",  // duplicate p
+      "p edge 2 1\ne 1 3\n",            // endpoint out of range
+      "p edge 2 1\ne 0 1\n",            // 1-based ids, 0 invalid
+      "p edge 2 1\nq 1 2\n",            // unknown line type
+      "p edge x 1\ne 1 2\n",            // non-numeric header
+  };
+  for (const char* text : bad) {
+    ParseReport report;
+    fromDimacs(text, &report);
+    EXPECT_FALSE(report.ok) << text;
+    EXPECT_FALSE(report.error.empty()) << text;
+  }
+}
+
+// Format detection: extension first, then content sniffing.
+
+TEST(GraphFormatDetect, ParseNamesAndSniffing) {
+  GraphFormat f = GraphFormat::Auto;
+  EXPECT_TRUE(parseGraphFormat("snap", &f));
+  EXPECT_EQ(f, GraphFormat::Snap);
+  EXPECT_TRUE(parseGraphFormat("dimacs", &f));
+  EXPECT_EQ(f, GraphFormat::Dimacs);
+  EXPECT_TRUE(parseGraphFormat("csr", &f));
+  EXPECT_EQ(f, GraphFormat::Csr);
+  EXPECT_FALSE(parseGraphFormat("gml", &f));
+
+  const std::string dir = ::testing::TempDir();
+  const auto write = [&](const std::string& name, const std::string& body) {
+    const std::string path = dir + name;
+    std::FILE* out = std::fopen(path.c_str(), "wb");
+    std::fwrite(body.data(), 1, body.size(), out);
+    std::fclose(out);
+    return path;
+  };
+  const std::string dimacs = write("sniff.txt", "c x\np edge 2 1\ne 1 2\n");
+  EXPECT_EQ(detectGraphFormat(dimacs, GraphFormat::Auto), GraphFormat::Dimacs);
+  const std::string edgelist = write("sniff2.txt", "n 3\n0 1\n");
+  EXPECT_EQ(detectGraphFormat(edgelist, GraphFormat::Auto),
+            GraphFormat::EdgeList);
+  const std::string snap = write("sniff3.txt", "# snap\n10 20\n");
+  EXPECT_EQ(detectGraphFormat(snap, GraphFormat::Auto), GraphFormat::Snap);
+  const std::string col = write("sniff4.col", "");
+  EXPECT_EQ(detectGraphFormat(col, GraphFormat::Auto), GraphFormat::Dimacs);
+  // An explicit request always wins over extension and content.
+  EXPECT_EQ(detectGraphFormat(dimacs, GraphFormat::Snap), GraphFormat::Snap);
+  std::remove(dimacs.c_str());
+  std::remove(edgelist.c_str());
+  std::remove(snap.c_str());
+  std::remove(col.c_str());
+}
+
 }  // namespace
 }  // namespace dima::graph

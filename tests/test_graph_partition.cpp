@@ -1,0 +1,109 @@
+/// \file test_graph_partition.cpp
+/// The partitioner (graph/partition.hpp): both strategies must produce a
+/// complete, consistent assignment (shardOf and members agree, members
+/// ascending), be deterministic pure functions of (topology, K), and honor
+/// their respective balance guarantees.
+
+#include "src/graph/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/graph/generators.hpp"
+
+namespace dima::graph {
+namespace {
+
+void expectConsistent(const Partition& p, std::size_t n) {
+  ASSERT_EQ(p.shardOf.size(), n);
+  ASSERT_EQ(p.members.size(), p.count);
+  std::size_t covered = 0;
+  for (std::uint32_t s = 0; s < p.count; ++s) {
+    EXPECT_TRUE(std::is_sorted(p.members[s].begin(), p.members[s].end()))
+        << "shard " << s;
+    for (const VertexId v : p.members[s]) {
+      EXPECT_EQ(p.shardOf[v], s) << "vertex " << v;
+    }
+    covered += p.members[s].size();
+  }
+  EXPECT_EQ(covered, n);
+}
+
+TEST(Partition, BlockIsContiguousAndBalanced) {
+  const Partition p = makeBlockPartition(10, 3);
+  expectConsistent(p, 10);
+  // 10 over 3 shards: sizes 4, 3, 3 with contiguous ranges.
+  EXPECT_EQ(p.members[0].size(), 4u);
+  EXPECT_EQ(p.members[1].size(), 3u);
+  EXPECT_EQ(p.members[2].size(), 3u);
+  EXPECT_EQ(p.members[0].front(), 0u);
+  EXPECT_EQ(p.members[0].back(), 3u);
+  EXPECT_EQ(p.members[2].back(), 9u);
+}
+
+TEST(Partition, BlockHandlesMoreShardsThanVertices) {
+  const Partition p = makeBlockPartition(2, 8);
+  expectConsistent(p, 2);
+  EXPECT_EQ(p.count, 8u);  // trailing shards are simply empty
+  EXPECT_EQ(p.members[0].size(), 1u);
+  EXPECT_EQ(p.members[1].size(), 1u);
+  for (std::uint32_t s = 2; s < 8; ++s) EXPECT_TRUE(p.members[s].empty());
+}
+
+TEST(Partition, DegreeBalancedSpreadsTheLoad) {
+  // A star's hub dominates the degree mass; the balanced strategy must not
+  // put it with all the leaves on one shard.
+  const Graph g = star(64);
+  const Partition p = makePartition(g, PartitionKind::DegreeBalanced, 2);
+  expectConsistent(p, g.numVertices());
+  std::uint64_t load[2] = {0, 0};
+  for (VertexId v = 0; v < g.numVertices(); ++v) {
+    load[p.shardOf[v]] += 1 + g.degree(v);
+  }
+  const std::uint64_t hi = std::max(load[0], load[1]);
+  const std::uint64_t lo = std::min(load[0], load[1]);
+  EXPECT_LE(hi - lo, 64u);  // within one heaviest-vertex weight
+}
+
+TEST(Partition, DegreeBalancedIsDeterministic) {
+  support::Rng rng(11);
+  const Graph g = barabasiAlbert(200, 3, 1.0, rng);
+  const Partition a = makePartition(g, PartitionKind::DegreeBalanced, 4);
+  const Partition b = makePartition(g, PartitionKind::DegreeBalanced, 4);
+  EXPECT_EQ(a.shardOf, b.shardOf);
+  expectConsistent(a, g.numVertices());
+}
+
+TEST(Partition, ParseNamesRoundTrip) {
+  PartitionKind k = PartitionKind::DegreeBalanced;
+  EXPECT_TRUE(parsePartitionKind("block", &k));
+  EXPECT_EQ(k, PartitionKind::Block);
+  EXPECT_TRUE(parsePartitionKind("degree", &k));
+  EXPECT_EQ(k, PartitionKind::DegreeBalanced);
+  EXPECT_FALSE(parsePartitionKind("random", &k));
+  EXPECT_STREQ(partitionKindName(PartitionKind::Block), "block");
+  EXPECT_STREQ(partitionKindName(PartitionKind::DegreeBalanced), "degree");
+}
+
+TEST(Partition, BoundaryArcFractionBounds) {
+  support::Rng rng(12);
+  const Graph g = erdosRenyiAvgDegree(200, 6.0, rng);
+  const Partition one = makePartition(g, PartitionKind::Block, 1);
+  EXPECT_EQ(boundaryArcFraction(g, one), 0.0);
+  const Partition many = makePartition(g, PartitionKind::Block, 8);
+  const double f = boundaryArcFraction(g, many);
+  EXPECT_GT(f, 0.0);
+  EXPECT_LE(f, 1.0);
+}
+
+TEST(Partition, SingletonAndEmptyGraphs) {
+  expectConsistent(makeBlockPartition(0, 4), 0);
+  const Graph g(1);
+  const Partition p = makePartition(g, PartitionKind::DegreeBalanced, 4);
+  expectConsistent(p, 1);
+}
+
+}  // namespace
+}  // namespace dima::graph

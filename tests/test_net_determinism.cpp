@@ -16,6 +16,8 @@
 #include "src/coloring/madec.hpp"
 #include "src/graph/digraph.hpp"
 #include "src/graph/generators.hpp"
+#include "src/graph/partition.hpp"
+#include "src/net/trace.hpp"
 #include "src/support/thread_pool.hpp"
 
 namespace dima {
@@ -135,6 +137,171 @@ TEST(DeterminismSweep, BitPlaneDima2EdBitIdenticalAcrossWorkerCounts) {
   support::Rng rng(24);
   sweepDima2Ed(graph::erdosRenyiAvgDegree(300, 6.0, rng),
                net::EngineKind::BitPlane);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded substrate (net/shard.hpp, DESIGN.md §13): boundary records are
+// merged into the very slots the mirror table would have written, so the
+// sharded engine must be *observably invisible* — bit-identical colors,
+// half-committed lists, and the full Counters fold — for every shard count,
+// worker count, and partition strategy. The sweep crosses shards {1, 2, 8}
+// with workers-per-shard {1, 2, 8} on ER and scale-free graphs for both
+// MaDEC and DiMa2Ed, anchored against the unsharded reference run.
+
+constexpr std::uint32_t kShardCounts[] = {1, 2, 8};
+
+void sweepMadecSharded(const graph::Graph& g, graph::PartitionKind partition) {
+  coloring::MadecOptions base;
+  base.seed = 0xdeed5;
+  const coloring::EdgeColoringResult anchor = coloring::colorEdgesMadec(g, base);
+  ASSERT_TRUE(anchor.metrics.converged);
+  for (const std::uint32_t shards : kShardCounts) {
+    for (const std::size_t workers : kWorkerCounts) {
+      coloring::MadecOptions options;
+      options.seed = 0xdeed5;
+      options.shards.count = shards;
+      options.shards.partition = partition;
+      options.shards.workersPerShard = workers;
+      support::ThreadPool pool(workers);
+      if (shards == 1 && workers > 1) options.pool = &pool;
+      const coloring::EdgeColoringResult run =
+          coloring::colorEdgesMadec(g, options);
+      EXPECT_EQ(anchor.colors, run.colors)
+          << shards << " shards x " << workers << " workers";
+      EXPECT_EQ(anchor.halfCommitted, run.halfCommitted)
+          << shards << " shards x " << workers << " workers";
+      expectSameMetrics(anchor.metrics, run.metrics, workers);
+    }
+  }
+}
+
+void sweepDima2EdSharded(const graph::Graph& g,
+                         graph::PartitionKind partition) {
+  const graph::Digraph d(g);
+  coloring::Dima2EdOptions base;
+  base.seed = 0xfeed7;
+  const coloring::ArcColoringResult anchor = coloring::colorArcsDima2Ed(d, base);
+  ASSERT_TRUE(anchor.metrics.converged);
+  for (const std::uint32_t shards : kShardCounts) {
+    for (const std::size_t workers : kWorkerCounts) {
+      coloring::Dima2EdOptions options;
+      options.seed = 0xfeed7;
+      options.shards.count = shards;
+      options.shards.partition = partition;
+      options.shards.workersPerShard = workers;
+      support::ThreadPool pool(workers);
+      if (shards == 1 && workers > 1) options.pool = &pool;
+      const coloring::ArcColoringResult run =
+          coloring::colorArcsDima2Ed(d, options);
+      EXPECT_EQ(anchor.colors, run.colors)
+          << shards << " shards x " << workers << " workers";
+      expectSameMetrics(anchor.metrics, run.metrics, workers);
+    }
+  }
+}
+
+TEST(ShardDeterminism, MadecErdosRenyiBitIdenticalAcrossShardMatrix) {
+  support::Rng rng(21);
+  sweepMadecSharded(graph::erdosRenyiAvgDegree(400, 8.0, rng),
+                    graph::PartitionKind::Block);
+}
+
+TEST(ShardDeterminism, MadecScaleFreeBitIdenticalAcrossShardMatrix) {
+  support::Rng rng(22);
+  sweepMadecSharded(graph::barabasiAlbert(400, 4, 1.0, rng),
+                    graph::PartitionKind::Block);
+}
+
+TEST(ShardDeterminism, MadecDegreeBalancedPartitionIsAlsoInvisible) {
+  // Determinism must hold for ANY vertex assignment, not just contiguous
+  // blocks — the scattered ids of the degree-balanced strategy are the
+  // adversarial case for the incidence-order merge argument.
+  support::Rng rng(22);
+  sweepMadecSharded(graph::barabasiAlbert(400, 4, 1.0, rng),
+                    graph::PartitionKind::DegreeBalanced);
+}
+
+TEST(ShardDeterminism, Dima2EdErdosRenyiBitIdenticalAcrossShardMatrix) {
+  support::Rng rng(24);
+  sweepDima2EdSharded(graph::erdosRenyiAvgDegree(300, 6.0, rng),
+                      graph::PartitionKind::Block);
+}
+
+TEST(ShardDeterminism, Dima2EdScaleFreeBitIdenticalAcrossShardMatrix) {
+  support::Rng rng(25);
+  sweepDima2EdSharded(graph::barabasiAlbert(300, 3, 1.0, rng),
+                      graph::PartitionKind::DegreeBalanced);
+}
+
+/// Order-sensitive FNV-1a over the event tuples (same hash as the
+/// trace-parity pins).
+std::uint64_t traceFingerprint(const net::TraceLog& log) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (const net::TraceEvent& e : log.events()) {
+    mix(e.cycle);
+    mix(e.node);
+    mix(static_cast<std::uint64_t>(e.kind));
+    mix(static_cast<std::uint64_t>(e.a));
+    mix(static_cast<std::uint64_t>(e.b));
+  }
+  return h;
+}
+
+TEST(ShardDeterminism, TracedShardedRunsReproduceTheReferenceEventStream) {
+  // Traced sharded runs execute serially over the sharded arenas (global
+  // ascending hook order), so the full event stream — not just the final
+  // colors — must fingerprint identically to the unsharded reference.
+  support::Rng rng(26);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(64, 5.0, rng);
+  net::TraceLog reference;
+  reference.enable();
+  coloring::MadecOptions base;
+  base.seed = 0x7ace5;
+  base.trace = &reference;
+  const auto anchor = coloring::colorEdgesMadec(g, base);
+  ASSERT_TRUE(anchor.metrics.converged);
+  for (const std::uint32_t shards : kShardCounts) {
+    net::TraceLog log;
+    log.enable();
+    coloring::MadecOptions options;
+    options.seed = 0x7ace5;
+    options.trace = &log;
+    options.shards.count = shards;
+    const auto run = coloring::colorEdgesMadec(g, options);
+    EXPECT_EQ(anchor.colors, run.colors) << shards << " shards";
+    ASSERT_EQ(reference.events().size(), log.events().size())
+        << shards << " shards";
+    EXPECT_EQ(traceFingerprint(reference), traceFingerprint(log))
+        << shards << " shards";
+  }
+}
+
+TEST(ShardDeterminism, TracedDima2EdShardedRunsFingerprintIdentically) {
+  support::Rng rng(27);
+  const graph::Digraph d(graph::erdosRenyiAvgDegree(48, 4.0, rng));
+  net::TraceLog reference;
+  reference.enable();
+  coloring::Dima2EdOptions base;
+  base.seed = 0x7ace6;
+  base.trace = &reference;
+  const auto anchor = coloring::colorArcsDima2Ed(d, base);
+  ASSERT_TRUE(anchor.metrics.converged);
+  for (const std::uint32_t shards : kShardCounts) {
+    net::TraceLog log;
+    log.enable();
+    coloring::Dima2EdOptions options;
+    options.seed = 0x7ace6;
+    options.trace = &log;
+    options.shards.count = shards;
+    const auto run = coloring::colorArcsDima2Ed(d, options);
+    EXPECT_EQ(anchor.colors, run.colors) << shards << " shards";
+    EXPECT_EQ(traceFingerprint(reference), traceFingerprint(log))
+        << shards << " shards";
+  }
 }
 
 }  // namespace

@@ -1,0 +1,161 @@
+/// \file test_net_shard.cpp
+/// Unit tests for `ShardedNetwork` (net/shard.hpp): send/merge/inbox
+/// semantics must match `SyncNetwork` exactly for any partition. The
+/// structural accessors (boundary-arc count, shard membership) and the
+/// serial `deliverRound` compatibility path are covered here; the full
+/// protocol-level bit-identity matrix lives in test_net_determinism.cpp.
+
+#include "src/net/shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/graph/generators.hpp"
+#include "src/graph/partition.hpp"
+#include "src/net/network.hpp"
+
+namespace dima::net {
+namespace {
+
+struct Ping {
+  int value = 0;
+};
+
+graph::Graph triangle() {
+  return graph::Graph(3, {graph::Edge{0, 1}, graph::Edge{1, 2},
+                          graph::Edge{0, 2}});
+}
+
+ShardedNetwork<Ping> makeSharded(const graph::Graph& g, std::uint32_t k) {
+  return ShardedNetwork<Ping>(
+      g, graph::makePartition(g, graph::PartitionKind::Block, k));
+}
+
+TEST(ShardedNetwork, BroadcastCrossesShardBoundaries) {
+  const graph::Graph g = graph::star(4);  // hub 0, leaves 1..3
+  ShardedNetwork<Ping> net = makeSharded(g, 2);
+  ASSERT_GT(net.boundaryArcs(), 0u);
+  net.broadcast(0, Ping{7});
+  net.deliverRound();
+  for (NodeId leaf = 1; leaf < 4; ++leaf) {
+    ASSERT_EQ(net.inbox(leaf).size(), 1u);
+    EXPECT_EQ(net.inbox(leaf).front().from, 0u);
+    EXPECT_EQ(net.inbox(leaf).front().msg.value, 7);
+  }
+  EXPECT_TRUE(net.inbox(0).empty());
+}
+
+TEST(ShardedNetwork, UnicastAcrossBoundaryReachesOnlyTarget) {
+  const graph::Graph g = triangle();
+  ShardedNetwork<Ping> net = makeSharded(g, 3);  // every arc is boundary
+  EXPECT_EQ(net.boundaryArcs(), 6u);
+  net.unicast(0, 1, Ping{5});
+  net.deliverRound();
+  EXPECT_EQ(net.inbox(1).size(), 1u);
+  EXPECT_TRUE(net.inbox(2).empty());
+  EXPECT_TRUE(net.inbox(0).empty());
+}
+
+TEST(ShardedNetwork, StaleBoundaryRecordsDoNotResurface) {
+  // A record written in round r must not be re-merged in round r+1: the
+  // epoch tag, not a clear pass, is what retires it.
+  const graph::Graph g = triangle();
+  ShardedNetwork<Ping> net = makeSharded(g, 3);
+  net.broadcast(0, Ping{1});
+  net.deliverRound();
+  EXPECT_FALSE(net.inbox(1).empty());
+  net.deliverRound();  // nothing sent this round
+  EXPECT_TRUE(net.inbox(1).empty());
+  EXPECT_TRUE(net.inbox(2).empty());
+}
+
+TEST(ShardedNetwork, PerShardMergeMatchesSerialDelivery) {
+  // Drive the split-phase API the sharded engine uses (mergeInbound per
+  // shard, then advanceEpochs) and check it equals deliverRound().
+  const graph::Graph g = triangle();
+  ShardedNetwork<Ping> net = makeSharded(g, 2);
+  net.broadcast(0, Ping{10});
+  net.broadcast(2, Ping{12});
+  for (std::uint32_t s = 0; s < net.shardCount(); ++s) net.mergeInbound(s);
+  net.advanceEpochs();
+  EXPECT_EQ(net.inbox(1).size(), 2u);  // from 0 and 2
+  EXPECT_EQ(net.inbox(0).size(), 1u);
+  EXPECT_EQ(net.inbox(0).front().msg.value, 12);
+}
+
+TEST(ShardedNetwork, SingleShardHasNoBoundaryArcs) {
+  support::Rng rng(5);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(50, 4.0, rng);
+  ShardedNetwork<Ping> net = makeSharded(g, 1);
+  EXPECT_EQ(net.boundaryArcs(), 0u);
+  EXPECT_EQ(net.boundaryArcFraction(), 0.0);
+}
+
+TEST(ShardedNetwork, InboxOrderIsIncidenceOrderRegardlessOfShards) {
+  // Receiver 2 of P4 plus chords: senders arrive in ascending-sender order
+  // for both substrates, whatever shard each sender lives in.
+  support::Rng rng(6);
+  const graph::Graph g = graph::erdosRenyiAvgDegree(64, 6.0, rng);
+  for (const std::uint32_t k : {2u, 5u, 8u}) {
+    SyncNetwork<Ping> ref(g);
+    ShardedNetwork<Ping> net = makeSharded(g, k);
+    for (NodeId u = 0; u < g.numVertices(); ++u) {
+      if (g.degree(u) == 0) continue;
+      ref.broadcast(u, Ping{static_cast<int>(u)});
+      net.broadcast(u, Ping{static_cast<int>(u)});
+    }
+    ref.deliverRound();
+    net.deliverRound();
+    for (NodeId v = 0; v < g.numVertices(); ++v) {
+      const auto a = ref.inbox(v);
+      const auto b = net.inbox(v);
+      ASSERT_EQ(a.size(), b.size()) << "node " << v << ", " << k << " shards";
+      auto ai = a.begin();
+      auto bi = b.begin();
+      for (; ai != a.end(); ++ai, ++bi) {
+        EXPECT_EQ((*ai).from, (*bi).from) << "node " << v;
+        EXPECT_EQ((*ai).msg.value, (*bi).msg.value) << "node " << v;
+      }
+    }
+    const Counters ca = ref.counters();
+    const Counters cb = net.counters();
+    EXPECT_EQ(ca.broadcasts, cb.broadcasts);
+    EXPECT_EQ(ca.messagesDelivered, cb.messagesDelivered);
+  }
+}
+
+TEST(ShardedNetwork, CountersFoldAcrossShards) {
+  const graph::Graph g = triangle();
+  ShardedNetwork<Ping> net = makeSharded(g, 3);
+  net.broadcast(0, Ping{1});
+  net.unicast(1, 2, Ping{2});
+  net.deliverRound();
+  const Counters c = net.counters();
+  EXPECT_EQ(c.broadcasts, 1u);
+  EXPECT_EQ(c.unicasts, 1u);
+  EXPECT_EQ(c.messagesDelivered, 3u);
+  EXPECT_EQ(c.commRounds, 1u);
+}
+
+TEST(ShardedNetworkDeath, DoubleSendInOneRoundIsRejected) {
+  const graph::Graph g = triangle();
+  ShardedNetwork<Ping> net = makeSharded(g, 2);
+  net.broadcast(0, Ping{1});
+  EXPECT_DEATH(net.broadcast(0, Ping{2}), "allowance");
+}
+
+TEST(ShardedNetworkDeath, UnicastWithoutLinkIsRejected) {
+  const graph::Graph g = graph::path(3);  // 0-1-2
+  ShardedNetwork<Ping> net = makeSharded(g, 2);
+  EXPECT_DEATH(net.unicast(0, 2, Ping{1}), "without a link");
+}
+
+TEST(ShardedNetworkDeath, PartitionMustCoverTopology) {
+  const graph::Graph g = triangle();
+  EXPECT_DEATH(ShardedNetwork<Ping>(g, graph::makeBlockPartition(2, 2)),
+               "partition covers");
+}
+
+}  // namespace
+}  // namespace dima::net

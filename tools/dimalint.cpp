@@ -20,6 +20,11 @@
 ///                        src/dynamic, src/baselines) never include
 ///                        src/net/network.hpp directly; they talk to the
 ///                        substrate through the engine/protocol surface.
+///   shard-boundary-layering  the same policy TUs never include
+///                        src/net/shard.hpp or src/graph/partition.hpp
+///                        directly: sharding is engine-internal (DESIGN.md
+///                        §13) and protocols must stay partition-blind to
+///                        keep colors bit-identical across shard counts.
 ///   service-layering     src/service TUs never include src/net/network.hpp
 ///                        directly either: the serve subsystem depends on
 ///                        dynamic/coloring/support and drives all repairs
@@ -296,6 +301,36 @@ void ruleLayering(const Tree& t, std::vector<Finding>& out) {
   }
 }
 
+void ruleShardBoundaryLayering(const Tree& t, std::vector<Finding>& out) {
+  // Sharding is an engine concern (DESIGN.md §13): protocols observe one
+  // inbox in incidence order and must stay partition-blind. A policy TU
+  // that names the shard substrate or the partitioner directly could grow
+  // shard-count-dependent behavior, which breaks the bit-identity contract.
+  // Route through src/net/engine.hpp, which owns both headers.
+  static const char* kPolicyDirs[] = {"src/automata/", "src/coloring/",
+                                      "src/dynamic/", "src/baselines/"};
+  static const char* kBannedIncludes[] = {"\"src/net/shard.hpp\"",
+                                          "\"src/graph/partition.hpp\""};
+  for (const SourceFile& f : t.files) {
+    const bool policy =
+        std::any_of(std::begin(kPolicyDirs), std::end(kPolicyDirs),
+                    [&](const char* d) { return f.path.starts_with(d); });
+    if (!policy) continue;
+    for (const char* inc : kBannedIncludes) {
+      const std::size_t pos = f.raw.find(inc);
+      if (pos != std::string::npos) {
+        addFinding(out, "shard-boundary-layering", f.path,
+                   lineOf(f.raw, pos),
+                   "protocol policy layer includes " +
+                       std::string(inc).substr(1,
+                                               std::string(inc).size() - 2) +
+                       " directly; sharding is engine-internal — include "
+                       "src/net/engine.hpp instead");
+      }
+    }
+  }
+}
+
 void ruleServiceLayering(const Tree& t, std::vector<Finding>& out) {
   // The service subsystem sits above dynamic/coloring/support and talks to
   // the automaton only through IncrementalRecolorer; reaching into the
@@ -429,6 +464,10 @@ constexpr Rule kRules[] = {
     {"layering",
      "protocol policy TUs never include src/net/network.hpp directly",
      ruleLayering},
+    {"shard-boundary-layering",
+     "protocol policy TUs never include src/net/shard.hpp or "
+     "src/graph/partition.hpp directly",
+     ruleShardBoundaryLayering},
     {"service-layering",
      "src/service TUs never include src/net/network.hpp directly",
      ruleServiceLayering},
