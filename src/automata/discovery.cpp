@@ -30,8 +30,12 @@ void MatchingDiscovery::resetScratch(net::NodeId u) {
   s.matchedThisRound = false;
 }
 
-void MatchingDiscovery::onActiveCycle(net::NodeId) {
-  ++stats_.activeNodeRounds;
+// Per-node hooks run concurrently under the pooled and sharded executors,
+// so they must not touch the shared DiscoveryStats: mark the node here and
+// fold the counters in finishRoundAccounting, which runs in the exclusive
+// observer slot.
+void MatchingDiscovery::onActiveCycle(net::NodeId u) {
+  nodes_[u].activeThisRound = true;
 }
 
 // I: one invitation to a random eligible neighbor; a node whose neighbors
@@ -94,10 +98,6 @@ void MatchingDiscovery::tailReceive(net::NodeId u, int,
   }
 }
 
-void MatchingDiscovery::onCycleEnd(net::NodeId u) {
-  if (nodes_[u].matchedThisRound) ++stats_.matchedNodeRounds;
-}
-
 bool MatchingDiscovery::localWorkDone(net::NodeId u) const {
   const DiscoveryNode& s = nodes_[u];
   if (!stopWhenMatched_) return false;
@@ -109,8 +109,13 @@ bool MatchingDiscovery::localWorkDone(net::NodeId u) const {
 void MatchingDiscovery::finishRoundAccounting() {
   std::size_t pairs = 0;
   for (DiscoveryNode& s : nodes_) {
+    if (s.activeThisRound) {
+      ++stats_.activeNodeRounds;
+      s.activeThisRound = false;
+    }
     if (s.matchedThisRound) {
       ++pairs;
+      ++stats_.matchedNodeRounds;
       // Consume the flag here rather than relying on beginCycle: a node that
       // matched is done, and the frontier engine stops running its hooks, so
       // a beginCycle reset would never happen and the pair would be

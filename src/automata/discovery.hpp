@@ -69,6 +69,7 @@ struct DiscoveryStats {
 struct DiscoveryNode : CoreNode {
   net::NodeId matchedWith = graph::kNoVertex;
   bool matchedThisRound = false;
+  bool activeThisRound = false;  ///< folded into DiscoveryStats serially
   support::SmallVector<net::NodeId, 4> keptInvites;
   std::vector<bool> neighborRetired;  ///< parallel to incidences(u)
 };
@@ -109,7 +110,6 @@ class MatchingDiscovery
     }
   }
   void tailReceive(net::NodeId u, int tail, net::Inbox<Message> inbox);
-  void onCycleEnd(net::NodeId u);
   bool localWorkDone(net::NodeId u) const;
 
   /// Partner of `u` (kNoVertex while unmatched).

@@ -256,6 +256,18 @@ net::ShardOptions parseShardOptions(Args& args, std::ostream& err, bool* ok) {
   return shards;
 }
 
+/// Sharding runs on the reference substrate only (the drivers DIMA_REQUIRE
+/// it); catch the flag combination here so the CLI exits with an error
+/// message instead of a contract abort.
+bool checkShardEngineConflict(const net::ShardOptions& shards,
+                              net::EngineKind engine, std::ostream& err) {
+  if (shards.count > 1 && engine == net::EngineKind::BitPlane) {
+    err << "error: --shards and --engine bitplane are mutually exclusive\n";
+    return false;
+  }
+  return true;
+}
+
 void describeShards(const net::ShardOptions& shards, std::ostream& out) {
   if (shards.count <= 1) return;
   out << "shards: " << shards.count << " ("
@@ -325,6 +337,16 @@ int cmdColorMapped(Args& args, std::ostream& out, std::ostream& err,
   coloring::MadecOptions options;
   options.seed = args.getUint("seed", 1);
   options.invitorBias = args.getDouble("bias", 0.5);
+  // The mapped path runs the reference substrate only (colorEdgesMadec on a
+  // MappedGraph DIMA_REQUIREs it); reject other engines cleanly.
+  bool engineOk = false;
+  options.engine = parseEngine(args, err, &engineOk);
+  if (!engineOk) return 1;
+  if (options.engine != net::EngineKind::Reference) {
+    err << "error: --engine " << engineName(options.engine)
+        << " is not supported on the mapped CSR path (reference only)\n";
+    return 1;
+  }
   bool shardsOk = false;
   options.shards = parseShardOptions(args, err, &shardsOk);
   if (!shardsOk) return 1;
@@ -420,6 +442,9 @@ int cmdColor(Args& args, std::ostream& out, std::ostream& err) {
     bool shardsOk = false;
     options.shards = parseShardOptions(args, err, &shardsOk);
     if (!shardsOk) return 1;
+    if (!checkShardEngineConflict(options.shards, options.engine, err)) {
+      return 1;
+    }
     describeShards(options.shards, out);
     support::ThreadPool pool(
         options.shards.count == 1 ? options.shards.workersPerShard : 1);
@@ -505,6 +530,9 @@ int cmdStrong(Args& args, std::ostream& out, std::ostream& err) {
     bool shardsOk = false;
     options.shards = parseShardOptions(args, err, &shardsOk);
     if (!shardsOk) return 1;
+    if (!checkShardEngineConflict(options.shards, options.engine, err)) {
+      return 1;
+    }
     describeShards(options.shards, out);
     support::ThreadPool pool(
         options.shards.count == 1 ? options.shards.workersPerShard : 1);
@@ -556,9 +584,8 @@ int cmdMatching(Args& args, std::ostream& out, std::ostream& err) {
   bool shardsOk = false;
   engineOptions.shards = parseShardOptions(args, err, &shardsOk);
   if (!shardsOk) return 1;
-  if (engineOptions.shards.count > 1 &&
-      engineOptions.engine == net::EngineKind::BitPlane) {
-    err << "error: --shards and --engine bitplane are mutually exclusive\n";
+  if (!checkShardEngineConflict(engineOptions.shards, engineOptions.engine,
+                                err)) {
     return 1;
   }
   describeShards(engineOptions.shards, out);

@@ -50,6 +50,7 @@
 #include <barrier>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -295,11 +296,11 @@ EngineResult runShardedProtocol(Protocol& proto, ShardedNetwork<M, Topo>& net,
   std::barrier<decltype(closeCycle)> cycleDone(shardCount, closeCycle);
 
   auto runShard = [&](std::uint32_t s) {
-    support::ThreadPool ownPool(options.shards.workersPerShard > 1
-                                    ? options.shards.workersPerShard
-                                    : 1);
-    support::ThreadPool* pool =
-        options.shards.workersPerShard > 1 ? &ownPool : nullptr;
+    std::optional<support::ThreadPool> ownPool;
+    support::ThreadPool* pool = nullptr;
+    if (options.shards.workersPerShard > 1) {
+      pool = &ownPool.emplace(options.shards.workersPerShard);
+    }
     std::vector<NodeId>& mine = active[s];
     auto forEachMine = [&](auto&& fn) {
       if (pool != nullptr) {

@@ -80,6 +80,13 @@ class ShardedNetwork {
         slotBase_[v] = cursor;
         cursor += offsets_[v + 1] - offsets_[v];
       }
+      // Intra-shard routes carry a bare slot index with bit 31 reserved for
+      // kBoundaryFlag; a larger arena would alias the flag and misroute
+      // sends into the boundary buffer.
+      DIMA_REQUIRE(cursor <= kBoundaryFlag,
+                   "shard " << s << " arena needs " << cursor
+                            << " slots, beyond the route encoding's 2^31 cap;"
+                            << " use more shards");
       arenas_[s].resize(cursor);
       for (const graph::VertexId v : part_.members[s]) {
         const auto incs = topo_->incidences(v);

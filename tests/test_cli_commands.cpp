@@ -277,6 +277,22 @@ TEST(Cli, ShardFlagIsObservablyInvisible) {
   EXPECT_NE(bad.err.find("unknown --partition"), std::string::npos);
 }
 
+// Sharding runs on the reference substrate only; the flag conflict must be
+// a clean CLI error on every command that accepts both flags, not a
+// contract abort inside the driver.
+TEST(Cli, ShardsAndBitPlaneEngineConflictIsACleanError) {
+  for (const char* command : {"color", "strong", "matching"}) {
+    const CommandResult r = run({command, "--family", "er", "--n", "20",
+                                 "--deg", "4", "--shards", "2", "--engine",
+                                 "bitplane"});
+    EXPECT_EQ(r.code, 1) << command;
+    EXPECT_NE(r.err.find("--shards and --engine bitplane are mutually "
+                         "exclusive"),
+              std::string::npos)
+        << command << ": " << r.err;
+  }
+}
+
 // The committed SNAP fixture end to end: text load (skipping the planted
 // self-loop and duplicate), ingest to a CSR image, and the mapped sharded
 // color path must produce the identical palette.
@@ -308,6 +324,14 @@ TEST(Cli, SnapFixtureColorsIdenticallyViaTextAndMappedCsr) {
   EXPECT_EQ(mapped.code, 0) << mapped.err;
   EXPECT_NE(mapped.out.find("CSR)"), std::string::npos) << mapped.out;
   EXPECT_NE(mapped.out.find("valid: yes"), std::string::npos);
+
+  // --engine is parsed on the mapped path too: bitplane is rejected with a
+  // clean error instead of being silently ignored.
+  const CommandResult badEngine =
+      run({"color", "--input", csr, "--engine", "bitplane"});
+  EXPECT_EQ(badEngine.code, 1);
+  EXPECT_NE(badEngine.err.find("mapped CSR path"), std::string::npos)
+      << badEngine.err;
 
   std::ifstream a(textColors), b(csrColors);
   const std::string colorsA((std::istreambuf_iterator<char>(a)),

@@ -12,6 +12,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/automata/discovery.hpp"
 #include "src/coloring/dima2ed.hpp"
 #include "src/coloring/madec.hpp"
 #include "src/graph/digraph.hpp"
@@ -145,8 +146,9 @@ TEST(DeterminismSweep, BitPlaneDima2EdBitIdenticalAcrossWorkerCounts) {
 // sharded engine must be *observably invisible* — bit-identical colors,
 // half-committed lists, and the full Counters fold — for every shard count,
 // worker count, and partition strategy. The sweep crosses shards {1, 2, 8}
-// with workers-per-shard {1, 2, 8} on ER and scale-free graphs for both
-// MaDEC and DiMa2Ed, anchored against the unsharded reference run.
+// with workers-per-shard {1, 2, 8} on ER and scale-free graphs for MaDEC,
+// DiMa2Ed, and matching discovery, anchored against the unsharded
+// reference run.
 
 constexpr std::uint32_t kShardCounts[] = {1, 2, 8};
 
@@ -231,6 +233,52 @@ TEST(ShardDeterminism, Dima2EdScaleFreeBitIdenticalAcrossShardMatrix) {
   support::Rng rng(25);
   sweepDima2EdSharded(graph::barabasiAlbert(300, 3, 1.0, rng),
                       graph::PartitionKind::DegreeBalanced);
+}
+
+// Matching discovery rides the same sharded runner as the colorers, and its
+// DiscoveryStats fold (active/matched node-rounds, pairs per round) runs in
+// the exclusive observer slot — the sweep pins the matching, the round
+// count, and the full stats against the unsharded anchor, and doubles as
+// the TSan exercise of the matching hooks across shard threads.
+void sweepMatchingSharded(const graph::Graph& g,
+                          graph::PartitionKind partition) {
+  const automata::MaximalMatchingResult anchor =
+      automata::maximalMatching(g, 0xabcde);
+  ASSERT_TRUE(anchor.converged);
+  for (const std::uint32_t shards : kShardCounts) {
+    for (const std::size_t workers : kWorkerCounts) {
+      net::EngineOptions options;
+      options.shards.count = shards;
+      options.shards.partition = partition;
+      options.shards.workersPerShard = workers;
+      support::ThreadPool pool(workers);
+      if (shards == 1 && workers > 1) options.pool = &pool;
+      const automata::MaximalMatchingResult run =
+          automata::maximalMatching(g, 0xabcde, 0.5, options);
+      EXPECT_EQ(anchor.matching.edges(), run.matching.edges())
+          << shards << " shards x " << workers << " workers";
+      EXPECT_EQ(anchor.rounds, run.rounds)
+          << shards << " shards x " << workers << " workers";
+      EXPECT_EQ(anchor.stats.activeNodeRounds, run.stats.activeNodeRounds)
+          << shards << " shards x " << workers << " workers";
+      EXPECT_EQ(anchor.stats.matchedNodeRounds, run.stats.matchedNodeRounds)
+          << shards << " shards x " << workers << " workers";
+      EXPECT_EQ(anchor.stats.pairsPerRound, run.stats.pairsPerRound)
+          << shards << " shards x " << workers << " workers";
+    }
+  }
+}
+
+TEST(ShardDeterminism, MatchingErdosRenyiBitIdenticalAcrossShardMatrix) {
+  support::Rng rng(28);
+  sweepMatchingSharded(graph::erdosRenyiAvgDegree(400, 8.0, rng),
+                       graph::PartitionKind::Block);
+}
+
+TEST(ShardDeterminism, MatchingScaleFreeDegreeBalancedIsAlsoInvisible) {
+  support::Rng rng(29);
+  sweepMatchingSharded(graph::barabasiAlbert(400, 4, 1.0, rng),
+                       graph::PartitionKind::DegreeBalanced);
 }
 
 /// Order-sensitive FNV-1a over the event tuples (same hash as the
