@@ -1,11 +1,13 @@
 #include "src/cli/commands.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <ostream>
 #include <sstream>
+#include <thread>
 
 #include "src/automata/bitplane.hpp"
 #include "src/automata/discovery.hpp"
@@ -31,10 +33,13 @@
 #include "src/graph/metrics.hpp"
 #include "src/net/engine.hpp"
 #include "src/service/checkpoint.hpp"
+#include "src/service/drill.hpp"
 #include "src/service/driver.hpp"
 #include "src/service/hostile.hpp"
+#include "src/service/replica.hpp"
 #include "src/service/service.hpp"
 #include "src/service/session.hpp"
+#include "src/service/transport.hpp"
 #include "src/sim/fuzz.hpp"
 #include "src/sim/repro.hpp"
 #include "src/support/table.hpp"
@@ -989,6 +994,153 @@ int cmdReplay(Args& args, std::ostream& out, std::ostream& err) {
   return result.matched ? 0 : 1;
 }
 
+/// Splits "[HOST:]PORT" (dotted IPv4 or "localhost"); HOST defaults to
+/// 127.0.0.1.
+bool parseHostPort(const std::string& s, std::string* host,
+                   std::uint16_t* port, std::ostream& err) {
+  std::string portStr = s;
+  const std::size_t colon = s.rfind(':');
+  if (colon != std::string::npos) {
+    *host = s.substr(0, colon);
+    portStr = s.substr(colon + 1);
+  } else {
+    *host = "127.0.0.1";
+  }
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(portStr.c_str(), &end, 10);
+  if (portStr.empty() || *end != '\0' || v == 0 || v > 65535) {
+    err << "error: bad port in '" << s << "' (expected [HOST:]PORT)\n";
+    return false;
+  }
+  *port = static_cast<std::uint16_t>(v);
+  return true;
+}
+
+bool writeTextFile(const std::string& path, const std::string& text,
+                   std::ostream& err) {
+  std::ofstream f(path);
+  if (f) f << text;
+  if (!f) {
+    err << "error: cannot write '" << path << "'\n";
+    return false;
+  }
+  return true;
+}
+
+/// `dimacol serve --listen [HOST:]PORT`: the TCP transport around the same
+/// service. Blocks until a client Shutdown (with --exit-on-shutdown) or a
+/// signal kills the process — which is precisely what the failover drill
+/// does to it.
+int cmdServeListen(Args& args, std::ostream& out, std::ostream& err,
+                   service::ColoringService& svc, bool monitor) {
+  std::string host;
+  std::uint16_t port = 0;
+  if (!parseHostPort(args.get("listen"), &host, &port, err)) return 2;
+  service::TransportOptions to;
+  to.host = host;
+  to.port = port;
+  to.maxSessions = static_cast<std::size_t>(args.getUint("sessions", 16));
+  to.logPath = args.get("log");
+  to.snapshotEvery = args.getUint("snapshot-every", 0);
+  to.snapshotPath = args.get("snapshot-path");
+  to.exitOnShutdown = args.has("exit-on-shutdown");
+  if (to.snapshotEvery > 0 && to.snapshotPath.empty()) {
+    err << "error: --snapshot-every needs --snapshot-path\n";
+    return 2;
+  }
+
+  service::TransportServer server(svc, to);
+  std::string error;
+  if (!server.start(&error)) {
+    err << "error: " << error << '\n';
+    return 1;
+  }
+  out << "listening: " << to.host << ':' << server.port() << '\n';
+  out.flush();
+  err << versionLine() << " serve --listen (sessions<=" << to.maxSessions
+      << (to.logPath.empty() ? "" : ", log " + to.logPath) << ")\n";
+  server.waitShutdown();
+  server.stop();
+
+  const auto& stats = server.stats();
+  err << "transport: " << stats.sessionsAccepted.load() << " sessions, "
+      << stats.commandsAdmitted.load() << " commands, "
+      << stats.repliesWritten.load() << " replies, "
+      << stats.framingErrors.load() << " framing errors, "
+      << stats.replicasServed.load() << " replicas, "
+      << stats.snapshotsTaken.load() << " snapshots\n";
+
+  const std::string colorsOut = args.get("colors-out");
+  if (!colorsOut.empty() && svc.ready() &&
+      !writeTextFile(colorsOut, svc.colorTable(), err)) {
+    return 1;
+  }
+  const std::string statsOut = args.get("stats-out");
+  if (!statsOut.empty() &&
+      !writeTextFile(statsOut, svc.statsTable(), err)) {
+    return 1;
+  }
+  if (monitor) {
+    err << "monitor violations: " << svc.violations().size() << '\n';
+    if (!svc.violations().empty()) return 1;
+  }
+  return 0;
+}
+
+/// `dimacol serve --replica-of HOST:PORT`: warm standby. Syncs a bootstrap,
+/// follows the replicated command stream, and on primary EOF *is* the
+/// primary state — colors and stats land in --colors-out/--stats-out.
+int cmdServeReplica(Args& args, std::ostream& out, std::ostream& err) {
+  std::string host;
+  std::uint16_t port = 0;
+  if (!parseHostPort(args.get("replica-of"), &host, &port, err)) return 2;
+
+  // The primary may still be binding (CI starts both in one script):
+  // retry the connect briefly instead of demanding strict ordering.
+  std::string error;
+  service::Fd fd;
+  const auto retries = args.getUint("connect-retries", 50);
+  for (std::uint64_t attempt = 0;; ++attempt) {
+    fd = service::connectTcp(host, port, &error);
+    if (fd.valid()) break;
+    if (attempt >= retries) {
+      err << "error: cannot connect to " << host << ':' << port << ": "
+          << error << '\n';
+      return 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  service::ReplicaClient replica;
+  if (!replica.sync(fd.get(), &error, args.has("monitor"))) {
+    err << "error: replica sync failed: " << error << '\n';
+    return 1;
+  }
+  err << versionLine() << " serve --replica-of " << host << ':' << port
+      << " (synced)\n";
+  if (!replica.followUntilEof(fd.get(), &error)) {
+    err << "error: replication stream broke: " << error << '\n';
+    return 1;
+  }
+  const std::unique_ptr<service::ColoringService> svc = replica.takeService();
+  out << "promoted: " << replica.applied() << " replicated commands applied\n";
+  const std::string colorsOut = args.get("colors-out");
+  if (!colorsOut.empty() && svc != nullptr && svc->ready() &&
+      !writeTextFile(colorsOut, svc->colorTable(), err)) {
+    return 1;
+  }
+  const std::string statsOut = args.get("stats-out");
+  if (!statsOut.empty() && svc != nullptr &&
+      !writeTextFile(statsOut, svc->statsTable(), err)) {
+    return 1;
+  }
+  if (args.has("monitor") && svc != nullptr) {
+    err << "monitor violations: " << svc->violations().size() << '\n';
+    if (!svc->violations().empty()) return 1;
+  }
+  return 0;
+}
+
 /// `dimacol serve`: the long-running coloring service. Binary replies go
 /// to stdout; human diagnostics go to stderr, so a piped session stays a
 /// clean wire stream.
@@ -1000,9 +1152,11 @@ int cmdServe(Args& args, std::ostream& out, std::ostream& err) {
     ho.n = static_cast<std::uint32_t>(args.getUint("n", 48));
     ho.commands = static_cast<std::size_t>(args.getUint("commands", 120));
     ho.maxBatch = static_cast<std::size_t>(args.getUint("max-batch", 16));
+    ho.socket = args.has("socket");
     ho.verbose = args.has("verbose");
     const service::HostileReport report = service::runHostileCampaign(ho);
-    out << "hostile campaign: " << report.rounds << " rounds, "
+    out << "hostile campaign: " << report.rounds << " rounds ("
+        << (ho.socket ? "socket" : "pipe") << " path), "
         << report.commandsServed << " commands served\n"
         << "  sessions: clean=" << report.cleanSessions
         << " framing-rejects=" << report.framingRejections
@@ -1018,6 +1172,8 @@ int cmdServe(Args& args, std::ostream& out, std::ostream& err) {
     return 0;
   }
 
+  if (args.has("replica-of")) return cmdServeReplica(args, out, err);
+
   service::ServiceOptions so;
   so.seed = args.getUint("seed", so.seed);
   so.policy.maxBatch =
@@ -1025,10 +1181,26 @@ int cmdServe(Args& args, std::ostream& out, std::ostream& err) {
   so.policy.maxStaleness =
       static_cast<std::size_t>(args.getUint("max-staleness", 0));
   so.monitor = args.has("monitor");
+  so.detTime = args.has("det-time");
 
   std::unique_ptr<service::ColoringService> svc;
+  const std::string recoverLog = args.get("recover-log");
   const std::string restore = args.get("restore");
-  if (!restore.empty()) {
+  if (!recoverLog.empty()) {
+    service::LogRecoverResult recovered;
+    std::string error;
+    if (!service::recoverFromLog(recoverLog, so, &recovered, &error)) {
+      err << "error: " << error << '\n';
+      return 1;
+    }
+    svc = std::move(recovered.service);
+    err << versionLine() << " serve (recovered " << recoverLog << ": "
+        << recovered.applied << " commands replayed"
+        << (recovered.checkpointPath.empty()
+                ? std::string(" from scratch")
+                : " after " + recovered.checkpointPath)
+        << (recovered.torn ? ", torn tail dropped" : "") << ")\n";
+  } else if (!restore.empty()) {
     service::Checkpoint cp;
     std::string error;
     if (!service::loadCheckpoint(restore, &cp, &error)) {
@@ -1042,6 +1214,10 @@ int cmdServe(Args& args, std::ostream& out, std::ostream& err) {
   } else {
     svc = std::make_unique<service::ColoringService>(so);
     err << versionLine() << " serve\n";
+  }
+
+  if (args.has("listen")) {
+    return cmdServeListen(args, out, err, *svc, so.monitor);
   }
 
   std::ifstream fileIn;
@@ -1079,6 +1255,10 @@ int cmdServe(Args& args, std::ostream& out, std::ostream& err) {
     f << svc->colorTable();
     err << "colors: " << colorsOut << " (digest " << svc->colorDigest()
         << ")\n";
+  }
+  const std::string statsOut = args.get("stats-out");
+  if (!statsOut.empty() && !writeTextFile(statsOut, svc->statsTable(), err)) {
+    return 1;
   }
   if (so.monitor) {
     err << "monitor violations: " << svc->violations().size() << '\n';
@@ -1135,6 +1315,103 @@ int cmdServeStream(Args& args, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+/// `dimacol serve-client --connect HOST:PORT --in FILE`: streams a wire
+/// file into a listening server and writes every reply byte to --out (or
+/// stdout). The write half closes after the stream; replies drain until
+/// the server ends the session.
+int cmdServeClient(Args& args, std::ostream& out, std::ostream& err) {
+  std::string host;
+  std::uint16_t port = 0;
+  if (!parseHostPort(args.get("connect"), &host, &port, err)) return 2;
+  const std::string inPath = args.get("in");
+  if (inPath.empty()) {
+    err << "error: serve-client needs --in <stream>\n";
+    return 2;
+  }
+  std::ifstream in(inPath, std::ios::binary);
+  if (!in) {
+    err << "error: cannot read '" << inPath << "'\n";
+    return 1;
+  }
+  std::ostringstream buf(std::ios::binary);
+  buf << in.rdbuf();
+  const std::string bytes = buf.str();
+
+  std::string error;
+  service::Fd fd = service::connectTcp(host, port, &error);
+  if (!fd.valid()) {
+    err << "error: cannot connect to " << host << ':' << port << ": "
+        << error << '\n';
+    return 1;
+  }
+  std::thread writer([&] {
+    (void)!service::writeAll(
+        fd.get(), reinterpret_cast<const std::uint8_t*>(bytes.data()),
+        bytes.size());
+    service::shutdownWrite(fd.get());
+  });
+
+  std::ofstream fileOut;
+  std::ostream* replyOut = &out;
+  const std::string outPath = args.get("out");
+  if (!outPath.empty()) {
+    fileOut.open(outPath, std::ios::binary);
+    if (!fileOut) {
+      err << "error: cannot write '" << outPath << "'\n";
+      writer.join();
+      return 1;
+    }
+    replyOut = &fileOut;
+  }
+  std::uint8_t chunk[8192];
+  std::ptrdiff_t got;
+  std::uint64_t replyBytes = 0;
+  while ((got = service::readSome(fd.get(), chunk, sizeof(chunk))) > 0) {
+    replyOut->write(reinterpret_cast<const char*>(chunk),
+                    static_cast<std::streamsize>(got));
+    replyBytes += static_cast<std::uint64_t>(got);
+  }
+  writer.join();
+  err << "serve-client: " << bytes.size() << " bytes sent, " << replyBytes
+      << " reply bytes\n";
+  return 0;
+}
+
+/// `dimacol failover-drill`: kill-the-primary-at-every-epoch-boundary
+/// sweep; exit 0 iff every promoted standby matches the golden run
+/// byte-for-byte.
+int cmdFailoverDrill(Args& args, std::ostream& out, std::ostream& err) {
+  service::DrillOptions options;
+  options.spec.seed = args.getUint("seed", options.spec.seed);
+  options.spec.n =
+      static_cast<std::uint32_t>(args.getUint("n", options.spec.n));
+  options.spec.commands =
+      static_cast<std::size_t>(args.getUint("commands", 200));
+  options.spec.queryFraction =
+      args.getDouble("query-frac", options.spec.queryFraction);
+  options.policy.maxBatch =
+      static_cast<std::size_t>(args.getUint("max-batch", 16));
+  options.policy.maxStaleness =
+      static_cast<std::size_t>(args.getUint("max-staleness", 0));
+  options.serviceSeed = args.getUint("service-seed", options.serviceSeed);
+  options.maxKillPoints =
+      static_cast<std::size_t>(args.getUint("max-kill-points", 0));
+  options.verbose = args.has("verbose");
+
+  const service::DrillReport report = service::runFailoverDrill(options);
+  out << "failover drill: " << report.killPoints << " kill points over "
+      << report.epochBoundaries << " epoch boundaries\n"
+      << "  takeovers byte-identical: " << report.passed << '/'
+      << report.killPoints << '\n'
+      << "  golden color digest: " << report.goldenColorDigest << '\n';
+  if (!report.ok()) {
+    err << "FIRST FAILURE: " << report.firstFailure << '\n';
+    return 1;
+  }
+  out << "all takeovers byte-identical\n";
+  return 0;
+}
+
 /// `dimacol bench-serve`: sustained churn through the wire path; commits
 /// commands/s and repair-latency quantiles to BENCH_service.json.
 int cmdBenchServe(Args& args, std::ostream& out, std::ostream& err) {
@@ -1152,6 +1429,25 @@ int cmdBenchServe(Args& args, std::ostream& out, std::ostream& err) {
 
   const service::ServeBenchReport r = service::runServeBench(spec, policy);
 
+  // --sessions K adds a concurrent-transport measurement: K clean clients
+  // over real TCP sessions into one service (no hostile traffic — this is
+  // the throughput number, not the robustness gate).
+  const auto sessions = static_cast<std::size_t>(args.getUint("sessions", 0));
+  service::SoakReport tr;
+  if (sessions > 0) {
+    service::SoakSpec soak;
+    soak.seed = spec.seed;
+    soak.n = spec.n;
+    soak.cleanSessions = sessions;
+    soak.hostileSessions = 0;
+    soak.commands = spec.commands;
+    soak.hostileRounds = 0;
+    soak.maxBatch = policy.maxBatch;
+    soak.queryFraction = spec.queryFraction;
+    soak.monitor = false;
+    tr = service::runSoakCampaign(soak);
+  }
+
   support::TextTable table({"metric", "value"});
   table.addRowOf("commands", r.commands);
   table.addRowOf("mutations admitted", r.mutations);
@@ -1163,6 +1459,12 @@ int cmdBenchServe(Args& args, std::ostream& out, std::ostream& err) {
   table.addRowOf("repair p99 (us)", r.p99RepairMicros);
   table.addRowOf("backlog peak", r.backlogPeak);
   table.addRowOf("final edges", r.finalEdges);
+  if (sessions > 0) {
+    table.addRowOf("transport sessions", tr.sessions);
+    table.addRowOf("transport commands/s", tr.commandsPerSec);
+    table.addRowOf("transport p50 (us)", tr.p50RepairMicros);
+    table.addRowOf("transport p99 (us)", tr.p99RepairMicros);
+  }
   out << table.render();
   out << "color digest: " << r.colorDigest << '\n';
 
@@ -1208,7 +1510,24 @@ int cmdBenchServe(Args& args, std::ostream& out, std::ostream& err) {
     std::fprintf(f, "    \"final_edges\": %zu,\n", r.finalEdges);
     std::fprintf(f, "    \"color_digest\": %llu\n",
                  static_cast<unsigned long long>(r.colorDigest));
-    std::fprintf(f, "  }\n");
+    if (sessions > 0) {
+      std::fprintf(f, "  },\n");
+      std::fprintf(f, "  \"transport\": {\n");
+      std::fprintf(f, "    \"sessions\": %zu,\n", tr.sessions);
+      std::fprintf(f, "    \"commands_admitted\": %llu,\n",
+                   static_cast<unsigned long long>(tr.commandsAdmitted));
+      std::fprintf(f, "    \"replies_written\": %llu,\n",
+                   static_cast<unsigned long long>(tr.repliesWritten));
+      std::fprintf(f, "    \"seconds\": %.6f,\n", tr.seconds);
+      std::fprintf(f, "    \"commands_per_sec\": %.1f,\n", tr.commandsPerSec);
+      std::fprintf(f, "    \"repair_latency_p50_us\": %llu,\n",
+                   static_cast<unsigned long long>(tr.p50RepairMicros));
+      std::fprintf(f, "    \"repair_latency_p99_us\": %llu\n",
+                   static_cast<unsigned long long>(tr.p99RepairMicros));
+      std::fprintf(f, "  }\n");
+    } else {
+      std::fprintf(f, "  }\n");
+    }
     std::fprintf(f, "}\n");
     std::fclose(f);
     out << "json: " << jsonOut << '\n';
@@ -1260,12 +1579,23 @@ std::string usage() {
          "  replay    re-run a repro file        (replay <file>; exit 0 iff "
          "the pinned outcome reproduces)\n"
          "  serve     long-running coloring service (wire protocol on "
-         "stdin/stdout; --in <stream>, --restore <ckpt>, --max-batch, "
-         "--max-staleness, --monitor, --colors-out, --hostile)\n"
+         "stdin/stdout; --in <stream>, --restore <ckpt>, --recover-log "
+         "<log>, --max-batch, --max-staleness, --monitor, --det-time, "
+         "--colors-out, --stats-out, --hostile [--socket]); with --listen "
+         "[HOST:]PORT it serves N TCP sessions (--sessions, --log, "
+         "--snapshot-every, --snapshot-path, --exit-on-shutdown); with "
+         "--replica-of HOST:PORT it runs as a warm standby and promotes "
+         "itself when the primary dies\n"
+         "  serve-client  stream a wire file into a listening server "
+         "(--connect HOST:PORT, --in <stream>, --out <replies>)\n"
+         "  failover-drill  kill-the-primary sweep over every epoch "
+         "boundary; takeovers must be byte-identical (--commands, --n, "
+         "--seed, --max-batch, --max-kill-points, --verbose)\n"
          "  serve-stream  generate client streams for serve "
          "(--out-prefix, --commands, --n, --seed, --split, --snapshot)\n"
          "  bench-serve   sustained-churn service benchmark "
-         "(--commands, --n, --max-batch, --json-out BENCH_service.json)\n"
+         "(--commands, --n, --max-batch, --sessions K, "
+         "--json-out BENCH_service.json)\n"
          "  version   print \"" << versionLine() << "\" and exit "
          "(also --version)\n"
          "  help      this text\n\n"
@@ -1316,6 +1646,10 @@ int runCommand(Args& args, std::ostream& out, std::ostream& err) {
     code = cmdReplay(args, out, err);
   } else if (command == "serve") {
     code = cmdServe(args, out, err);
+  } else if (command == "serve-client") {
+    code = cmdServeClient(args, out, err);
+  } else if (command == "failover-drill") {
+    code = cmdFailoverDrill(args, out, err);
   } else if (command == "serve-stream") {
     code = cmdServeStream(args, out, err);
   } else if (command == "bench-serve") {

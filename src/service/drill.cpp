@@ -1,0 +1,188 @@
+#include "src/service/drill.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "src/service/replica.hpp"
+#include "src/service/transport.hpp"
+
+namespace dima::service {
+
+namespace {
+
+/// The full scripted session, Hello first, final Flush last.
+std::vector<CommandFrame> scriptedSession(const DrillOptions& options) {
+  std::vector<CommandFrame> cmds;
+  const std::vector<CommandFrame> body = buildCommandList(options.spec);
+  cmds.reserve(body.size() + 2);
+  CommandFrame hello = makeFrame<ServiceKind::Hello, CommandFrame>();
+  hello.a = kServiceWireVersion;
+  hello.b = options.spec.n;
+  cmds.push_back(hello);
+  cmds.insert(cmds.end(), body.begin(), body.end());
+  cmds.push_back(makeFrame<ServiceKind::Flush, CommandFrame>());
+  std::uint32_t seq = 0;
+  for (CommandFrame& cmd : cmds) cmd.seq = seq++;
+  return cmds;
+}
+
+ServiceOptions drillServiceOptions(const DrillOptions& options) {
+  ServiceOptions so;
+  so.seed = options.serviceSeed;
+  so.policy = options.policy;
+  so.detTime = true;  // latency = cycles, so quantiles replicate exactly
+  return so;
+}
+
+/// Blocking request/response over the drill client's socket.
+bool roundTrip(int fd, ReplyReader& reader, const CommandFrame& cmd,
+               ReplyFrame* reply, std::string* error) {
+  std::vector<std::uint8_t> bytes;
+  encodeCommand(cmd, &bytes);
+  if (!writeAll(fd, bytes.data(), bytes.size())) {
+    *error = "client write failed";
+    return false;
+  }
+  for (;;) {
+    const DecodeStatus status = reader.next(reply, error);
+    if (status == DecodeStatus::Frame) return true;
+    if (status == DecodeStatus::Bad) return false;
+    std::uint8_t buf[4096];
+    const std::ptrdiff_t got = readSome(fd, buf, sizeof(buf));
+    if (got <= 0) {
+      *error = "server closed before replying";
+      return false;
+    }
+    reader.feed(buf, static_cast<std::size_t>(got));
+  }
+}
+
+}  // namespace
+
+DrillReport runFailoverDrill(const DrillOptions& options) {
+  DrillReport report;
+  const std::vector<CommandFrame> cmds = scriptedSession(options);
+
+  // --- the uninterrupted golden, recording epoch boundaries ---------------
+  ColoringService golden(drillServiceOptions(options));
+  std::vector<std::size_t> boundaries;
+  for (std::size_t i = 0; i < cmds.size(); ++i) {
+    const std::uint64_t before = golden.scheduler().epochsRun();
+    (void)golden.handle(cmds[i]);
+    if (golden.scheduler().epochsRun() != before && i + 1 < cmds.size()) {
+      // Kill after the client has the reply to command i: the primary died
+      // exactly at a completed epoch boundary.
+      boundaries.push_back(i + 1);
+    }
+  }
+  report.epochBoundaries = boundaries.size();
+  const Checkpoint goldenCp = golden.checkpoint();
+  const std::string goldenStats = golden.statsTable();
+  report.goldenColorDigest = golden.colorDigest();
+
+  // k = commands acknowledged before the kill. 0 (nothing but the replica
+  // bootstrap happened) and every epoch boundary; the all-but-Flush point
+  // is a boundary already whenever the stream mutates at all.
+  std::vector<std::size_t> killPoints;
+  killPoints.push_back(0);
+  killPoints.insert(killPoints.end(), boundaries.begin(), boundaries.end());
+  if (options.maxKillPoints > 0 && killPoints.size() > options.maxKillPoints) {
+    // Budgeted sweep (CI smoke): keep an evenly-spaced subset, endpoints
+    // included.
+    std::vector<std::size_t> kept;
+    const std::size_t n = killPoints.size();
+    const std::size_t m = options.maxKillPoints;
+    for (std::size_t j = 0; j < m; ++j) {
+      kept.push_back(killPoints[m == 1 ? 0 : j * (n - 1) / (m - 1)]);
+    }
+    kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
+    killPoints.swap(kept);
+  }
+
+  for (const std::size_t k : killPoints) {
+    ++report.killPoints;
+    const auto fail = [&](const std::string& what) {
+      ++report.failed;
+      if (report.firstFailure.empty()) {
+        std::ostringstream os;
+        os << "kill point " << k << ": " << what;
+        report.firstFailure = os.str();
+      }
+    };
+
+    ColoringService primary(drillServiceOptions(options));
+    TransportOptions to;
+    to.port = 0;
+    TransportServer server(primary, to);
+    std::string error;
+    if (!server.start(&error)) {
+      fail("server start: " + error);
+      continue;
+    }
+
+    // Standby subscribes before the client exists: the bootstrap is the
+    // pre-Hello empty state and the whole session arrives as ReplCmds.
+    Fd replicaFd = connectTcp("127.0.0.1", server.port(), &error);
+    ReplicaClient replica;
+    if (!replicaFd.valid() || !replica.sync(replicaFd.get(), &error)) {
+      fail("replica sync: " + error);
+      server.stop();
+      continue;
+    }
+    bool followOk = false;
+    std::string followError;
+    std::thread follower([&] {
+      followOk = replica.followUntilEof(replicaFd.get(), &followError);
+    });
+
+    Fd clientFd = connectTcp("127.0.0.1", server.port(), &error);
+    bool streamed = clientFd.valid();
+    if (!streamed) error = "client connect: " + error;
+    ReplyReader replies;
+    for (std::size_t i = 0; streamed && i < k; ++i) {
+      ReplyFrame reply;
+      streamed = roundTrip(clientFd.get(), replies, cmds[i], &reply, &error);
+    }
+
+    server.stop();  // SIGKILL stand-in: abrupt, nothing flushed on purpose
+    follower.join();
+
+    if (!streamed) {
+      fail(error);
+      continue;
+    }
+    if (!followOk) {
+      fail("replica stream: " + followError);
+      continue;
+    }
+
+    // Promotion: finish the session locally on the standby.
+    std::unique_ptr<ColoringService> standby = replica.takeService();
+    for (std::size_t i = k; i < cmds.size(); ++i) {
+      (void)standby->handle(cmds[i]);
+    }
+
+    const bool colorsOk = standby->checkpoint() == goldenCp;
+    const bool statsOk = standby->statsTable() == goldenStats;
+    if (colorsOk && statsOk) {
+      ++report.passed;
+    } else {
+      std::ostringstream os;
+      os << (colorsOk ? "" : "checkpoint diverged ")
+         << (statsOk ? "" : "stats diverged");
+      fail(os.str());
+    }
+    if (options.verbose) {
+      std::printf("kill %zu/%zu commands: replica applied %llu, %s\n", k,
+                  cmds.size(),
+                  static_cast<unsigned long long>(replica.applied()),
+                  colorsOk && statsOk ? "byte-identical" : "DIVERGED");
+    }
+  }
+  return report;
+}
+
+}  // namespace dima::service

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file drill.hpp
+/// The failover drill: prove the warm-standby takeover bit-identical at
+/// every epoch boundary of a scripted stream.
+///
+/// For one seed-derived command stream the drill first runs an
+/// *uninterrupted golden*: a fresh service (deterministic-latency mode on)
+/// handles Hello, every body command, and a final Flush, while the drill
+/// records which commands completed an epoch. Each such boundary — plus
+/// "before anything" and "after everything" — becomes a kill point k:
+///
+///   1. fresh primary behind a real `TransportServer` on an ephemeral
+///      localhost port, durable-order semantics and all;
+///   2. a `ReplicaClient` subscribes (bootstrap lands pre-Hello, so the
+///      standby replays the whole session);
+///   3. a real socket client sends Hello + commands[0..k), reading every
+///      reply — so each of those k commands is *acknowledged*;
+///   4. the server is torn down abruptly (`stop()` — the in-process stand-
+///      in for SIGKILL: sockets close, buffered bytes still deliver);
+///   5. the standby drains the replication stream to EOF, is promoted, and
+///      finishes commands[k..) + Flush locally.
+///
+/// The promoted run must match the golden *byte-for-byte*: the checkpoint
+/// (colors, free-id stack, RNG cursor via the repair count, graph slots)
+/// compares equal and the StatsInfo table compares equal (PROTOCOLS.md
+/// §12.8). One drill is both the `failover-drill` CLI subcommand and the
+/// sweep in tests/test_service_failover.cpp.
+
+#include <cstdint>
+#include <string>
+
+#include "src/service/driver.hpp"
+#include "src/service/epoch.hpp"
+
+namespace dima::service {
+
+struct DrillOptions {
+  StreamSpec spec;      ///< the scripted stream (seed, n, command count)
+  EpochPolicy policy;   ///< primary's (and so the standby's) epoch policy
+  std::uint64_t serviceSeed = 0x5e57eULL;
+  std::size_t maxKillPoints = 0;  ///< 0 = sweep every boundary
+  bool verbose = false;           ///< per-kill-point line on stdout
+};
+
+struct DrillReport {
+  std::size_t epochBoundaries = 0;  ///< boundaries found in the golden run
+  std::size_t killPoints = 0;       ///< takeovers attempted
+  std::size_t passed = 0;           ///< byte-identical takeovers
+  std::size_t failed = 0;
+  std::uint64_t goldenColorDigest = 0;
+  std::string firstFailure;
+
+  bool ok() const { return killPoints > 0 && failed == 0; }
+};
+
+/// Runs the sweep; deterministic in the options.
+DrillReport runFailoverDrill(const DrillOptions& options);
+
+}  // namespace dima::service

@@ -1,8 +1,12 @@
 #include "src/service/driver.hpp"
 
 #include <sstream>
+#include <thread>
 
+#include "src/dynamic/incremental.hpp"
+#include "src/service/hostile.hpp"
 #include "src/service/session.hpp"
+#include "src/service/transport.hpp"
 #include "src/support/rng.hpp"
 #include "src/support/stopwatch.hpp"
 
@@ -143,6 +147,109 @@ ServeBenchReport runServeBench(const StreamSpec& spec,
   report.backlogPeak = service.scheduler().backlogPeak();
   report.finalEdges = service.graph().numEdges();
   report.colorDigest = service.colorDigest();
+  return report;
+}
+
+namespace {
+
+/// Writes `bytes` to a fresh connection and drains replies until the
+/// server closes the session (clean streams end in Shutdown; anything else
+/// ends when the write half closes and the server reacts).
+void runSoakClient(const std::string& host, std::uint16_t port,
+                   const std::vector<std::uint8_t>& bytes) {
+  std::string error;
+  Fd fd = connectTcp(host, port, &error);
+  if (!fd.valid()) return;  // server saturated or stopping; campaign still counts
+  std::thread writer([&] {
+    (void)!writeAll(fd.get(), bytes.data(), bytes.size());
+    shutdownWrite(fd.get());
+  });
+  std::uint8_t buf[8192];
+  while (readSome(fd.get(), buf, sizeof(buf)) > 0) {
+  }
+  writer.join();
+}
+
+}  // namespace
+
+SoakReport runSoakCampaign(const SoakSpec& spec) {
+  SoakReport report;
+  ServiceOptions so;
+  so.seed = spec.seed;
+  so.policy.maxBatch = spec.maxBatch;
+  so.monitor = spec.monitor;
+  ColoringService service(so);
+
+  TransportOptions to;  // ephemeral localhost port
+  to.maxSessions = spec.cleanSessions + spec.hostileSessions + 2;
+  TransportServer server(service, to);
+  std::string error;
+  DIMA_REQUIRE(server.start(&error), "soak server failed to start");
+
+  const std::size_t cleanCount = spec.cleanSessions > 0 ? spec.cleanSessions : 1;
+  const std::size_t perSession = spec.commands / cleanCount;
+
+  support::Stopwatch sw;
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < spec.cleanSessions; ++c) {
+    clients.emplace_back([&, c] {
+      StreamSpec stream;
+      stream.seed = support::mix64(spec.seed, c);
+      stream.n = spec.n;
+      stream.commands = perSession;
+      stream.queryFraction = spec.queryFraction;
+      std::vector<std::uint8_t> bytes;
+      std::uint32_t seq = 0;
+      appendFrames({helloFrame(spec.n)}, &bytes, &seq);
+      appendFrames(buildCommandList(stream), &bytes, &seq);
+      appendFrames({controlFrame(ServiceKind::Flush),
+                    controlFrame(ServiceKind::Shutdown)},
+                   &bytes, &seq);
+      runSoakClient(to.host, server.port(), bytes);
+    });
+  }
+  for (std::size_t h = 0; h < spec.hostileSessions; ++h) {
+    clients.emplace_back([&, h] {
+      HostileOptions ho;
+      ho.seed = support::mix64(spec.seed, 0xbadULL + h);
+      ho.n = spec.n;  // same graph: valid prefixes attach to the live session
+      ho.commands = 64;
+      for (std::size_t round = 0; round < spec.hostileRounds; ++round) {
+        runSoakClient(to.host, server.port(), buildHostileBytes(ho, round));
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  server.stop();
+  report.seconds = sw.seconds();
+
+  report.sessions =
+      static_cast<std::size_t>(server.stats().sessionsAccepted.load());
+  report.commandsAdmitted = server.stats().commandsAdmitted.load();
+  report.repliesWritten = server.stats().repliesWritten.load();
+  report.framingErrors = server.stats().framingErrors.load();
+  report.commandsPerSec =
+      report.seconds > 0.0
+          ? static_cast<double>(report.commandsAdmitted) / report.seconds
+          : 0.0;
+  report.p50RepairMicros = service.scheduler().p50Micros();
+  report.p99RepairMicros = service.scheduler().p99Micros();
+
+  // Whatever landed must be a proper partial coloring: converge and check.
+  if (service.ready()) {
+    CommandFrame flush = makeFrame<ServiceKind::Flush, CommandFrame>();
+    (void)service.handle(flush);
+    const coloring::Verdict verdict =
+        dynamic::verifyDynamicColoring(service.graph(), service.colors());
+    report.verifyOk = verdict.valid;
+    if (!verdict.valid) report.firstFailure = verdict.reason;
+  } else {
+    report.verifyOk = true;  // nothing ever attached; vacuously proper
+  }
+  report.monitorViolations = service.violations().size();
+  if (report.monitorViolations > 0 && report.firstFailure.empty()) {
+    report.firstFailure = service.violations().front().toString();
+  }
   return report;
 }
 

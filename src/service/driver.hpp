@@ -78,4 +78,42 @@ struct ServeBenchReport {
 ServeBenchReport runServeBench(const StreamSpec& spec,
                                const EpochPolicy& policy);
 
+/// **Soak.** A multi-session sustained-load campaign against one real
+/// `TransportServer`: N clean clients stream seed-derived workloads over
+/// concurrent TCP sessions while M hostile clients replay corrupted
+/// streams (`buildHostileBytes`) into the same service, invariant monitor
+/// on. The pass condition is the hostile-mode contract at scale: zero
+/// safety-catalog violations and a surviving coloring that verifies, under
+/// arbitrary admission interleavings. `ctest -L soak` runs this at ~10⁶
+/// commands; the fast tier runs a small budget.
+struct SoakSpec {
+  std::uint64_t seed = 0x50a7eULL;
+  std::uint32_t n = 64;
+  std::size_t cleanSessions = 3;    ///< long-lived well-formed streams
+  std::size_t hostileSessions = 1;  ///< clients cycling corrupted streams
+  std::size_t commands = 20000;     ///< total clean-body budget, split evenly
+  std::size_t hostileRounds = 12;   ///< corrupted streams per hostile client
+  std::size_t maxBatch = 32;
+  double queryFraction = 0.25;
+  bool monitor = true;
+};
+
+struct SoakReport {
+  std::size_t sessions = 0;           ///< sessions the server accepted
+  std::uint64_t commandsAdmitted = 0;
+  std::uint64_t repliesWritten = 0;
+  std::uint64_t framingErrors = 0;    ///< hostile streams rejected at the frame layer
+  double seconds = 0.0;
+  double commandsPerSec = 0.0;
+  std::uint64_t p50RepairMicros = 0;
+  std::uint64_t p99RepairMicros = 0;
+  std::size_t monitorViolations = 0;
+  bool verifyOk = false;
+  std::string firstFailure;
+
+  bool ok() const { return monitorViolations == 0 && verifyOk; }
+};
+
+SoakReport runSoakCampaign(const SoakSpec& spec);
+
 }  // namespace dima::service

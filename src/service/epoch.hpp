@@ -51,6 +51,19 @@ struct EpochRecord {
   bool converged = false;
 };
 
+/// The scheduler's transferable counters: what a warm standby needs on top
+/// of the checkpoint so its StatsInfo matches the primary byte-for-byte
+/// (the checkpoint alone only carries the epoch index). Latency samples are
+/// exchanged as integer ticks — every recorded sample originates from a
+/// `std::uint64_t`, so the round-trip through the internal `double` store
+/// is lossless.
+struct SchedulerMetrics {
+  std::uint64_t mutations = 0;
+  std::uint64_t queries = 0;
+  std::size_t backlogPeak = 0;
+  std::vector<std::uint64_t> latency;
+};
+
 class EpochScheduler {
  public:
   explicit EpochScheduler(const EpochPolicy& policy = {}) : policy_(policy) {}
@@ -95,6 +108,34 @@ class EpochScheduler {
 
   void recordLatency(std::uint64_t micros) {
     latencySamples_.push_back(static_cast<double>(micros));
+  }
+
+  /// Snapshot of every transferable counter, for replication bootstrap.
+  SchedulerMetrics metrics() const {
+    SchedulerMetrics m;
+    m.mutations = mutations_;
+    m.queries = queries_;
+    m.backlogPeak = backlogPeak_;
+    m.latency.reserve(latencySamples_.size());
+    for (const double s : latencySamples_) {
+      m.latency.push_back(static_cast<std::uint64_t>(s));
+    }
+    return m;
+  }
+
+  /// Installs counters captured by `metrics()` on the source process, so a
+  /// promoted standby reports the whole run, not just its own lifetime.
+  /// The backlog gauge stays untouched: bootstrap happens at a converged
+  /// boundary where it is zero on both sides.
+  void restoreMetrics(const SchedulerMetrics& m) {
+    mutations_ = m.mutations;
+    queries_ = m.queries;
+    backlogPeak_ = m.backlogPeak;
+    latencySamples_.clear();
+    latencySamples_.reserve(m.latency.size());
+    for (const std::uint64_t s : m.latency) {
+      latencySamples_.push_back(static_cast<double>(s));
+    }
   }
 
   // --- metrics ------------------------------------------------------------

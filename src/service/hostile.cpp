@@ -1,11 +1,13 @@
 #include "src/service/hostile.hpp"
 
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "src/dynamic/incremental.hpp"
 #include "src/service/driver.hpp"
 #include "src/service/session.hpp"
+#include "src/service/transport.hpp"
 #include "src/support/rng.hpp"
 
 #include <cstdio>
@@ -132,7 +134,78 @@ std::uint64_t countErrorReplies(const std::string& replyBytes) {
   return errors;
 }
 
+/// Drives one corrupted stream through a real TCP session against the
+/// same service a pipe round would attack. The reply *bytes* must match
+/// the pipe path exactly (tests/test_service_transport.cpp pins this);
+/// here we reconstruct the pipe path's SessionResult from them.
+SessionResult runSocketRound(ColoringService& service,
+                             const std::vector<std::uint8_t>& bytes,
+                             std::string* replyBytes) {
+  TransportOptions to;  // ephemeral localhost port
+  TransportServer server(service, to);
+  std::string error;
+  DIMA_REQUIRE(server.start(&error), "hostile socket server failed to start");
+  Fd fd = connectTcp("127.0.0.1", server.port(), &error);
+  DIMA_REQUIRE(fd.valid(), "hostile socket client failed to connect");
+
+  std::thread writer([&] {
+    (void)!writeAll(fd.get(), bytes.data(), bytes.size());
+    shutdownWrite(fd.get());
+  });
+  std::string replies;
+  std::uint8_t buf[4096];
+  std::ptrdiff_t got;
+  while ((got = readSome(fd.get(), buf, sizeof(buf))) > 0) {
+    replies.append(reinterpret_cast<const char*>(buf),
+                   static_cast<std::size_t>(got));
+  }
+  writer.join();
+  server.stop();
+  if (replyBytes != nullptr) *replyBytes = replies;
+
+  // Rebuild the pipe loop's counters from the reply stream: one reply per
+  // handled command, plus one trailing BadFrame reply when framing broke.
+  SessionResult result;
+  ReplyReader reader;
+  reader.feed(reinterpret_cast<const std::uint8_t*>(replies.data()),
+              replies.size());
+  ReplyFrame reply;
+  std::string decodeError;
+  ReplyFrame last;
+  while (reader.next(&reply, &decodeError) == DecodeStatus::Frame) {
+    ++result.replies;
+    last = reply;
+  }
+  result.commands = result.replies;
+  if (result.replies > 0) {
+    if (last.kind == ServiceKind::Error && last.seq == 0 &&
+        last.status == static_cast<std::uint8_t>(ErrorCode::BadFrame)) {
+      --result.commands;  // the trailing framing reply answers no command
+      if (last.text == "stream truncated mid-frame") {
+        result.truncated = true;
+      } else {
+        result.framingError = true;
+        result.error = last.text;
+      }
+    } else if (last.kind == ServiceKind::Ack &&
+               last.status ==
+                   static_cast<std::uint8_t>(AckStatus::Applied) &&
+               last.a == kNoServiceEdge) {
+      result.shutdown = true;  // the transport's per-session Shutdown ack
+    }
+  }
+  return result;
+}
+
 }  // namespace
+
+std::vector<std::uint8_t> buildHostileBytes(const HostileOptions& options,
+                                            std::size_t round) {
+  const Mode mode = static_cast<Mode>(round % kModeCount);
+  const std::uint64_t roundSeed = support::mix64(options.seed, round);
+  support::Rng rng(support::mix64(roundSeed, 0x6057173ULL));
+  return assemble(buildFrames(options, roundSeed), mode, rng);
+}
 
 HostileReport runHostileCampaign(const HostileOptions& options) {
   HostileReport report;
@@ -149,15 +222,22 @@ HostileReport runHostileCampaign(const HostileOptions& options) {
     so.monitor = true;
     ColoringService service(so);
 
-    std::stringstream in(std::ios::in | std::ios::out | std::ios::binary);
-    in.write(reinterpret_cast<const char*>(bytes.data()),
-             static_cast<std::streamsize>(bytes.size()));
-    std::ostringstream out(std::ios::binary);
-    const SessionResult session = runSession(service, in, out);
+    SessionResult session;
+    std::string replyBytes;
+    if (options.socket) {
+      session = runSocketRound(service, bytes, &replyBytes);
+    } else {
+      std::stringstream in(std::ios::in | std::ios::out | std::ios::binary);
+      in.write(reinterpret_cast<const char*>(bytes.data()),
+               static_cast<std::streamsize>(bytes.size()));
+      std::ostringstream out(std::ios::binary);
+      session = runSession(service, in, out);
+      replyBytes = out.str();
+    }
 
     ++report.rounds;
     report.commandsServed += session.commands;
-    report.errorReplies += countErrorReplies(out.str());
+    report.errorReplies += countErrorReplies(replyBytes);
     if (session.shutdown) ++report.cleanSessions;
     if (session.framingError) ++report.framingRejections;
     if (session.truncated) ++report.truncatedSessions;

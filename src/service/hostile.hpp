@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace dima::service {
 
@@ -35,6 +36,8 @@ struct HostileOptions {
   std::uint32_t n = 48;           ///< vertices per round's service
   std::size_t commands = 120;     ///< well-formed commands per round
   std::size_t maxBatch = 16;      ///< epoch policy of the attacked service
+  bool socket = false;            ///< replay through a real TCP session
+                                  ///< (TransportServer) instead of the pipe
   bool verbose = false;           ///< per-round line on stdout
 };
 
@@ -54,5 +57,12 @@ struct HostileReport {
 
 /// Runs the full adversarial campaign; deterministic in `options.seed`.
 HostileReport runHostileCampaign(const HostileOptions& options);
+
+/// One self-contained corrupted byte stream — what round `round` of a
+/// campaign replays, but derived from its own RNG so callers (the soak
+/// campaign's hostile clients, the pipe-vs-socket parity test) can build
+/// any round independently. Mode cycles with `round` as in the campaign.
+std::vector<std::uint8_t> buildHostileBytes(const HostileOptions& options,
+                                            std::size_t round);
 
 }  // namespace dima::service

@@ -1,0 +1,452 @@
+#include "src/service/replica.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "src/service/transport.hpp"
+#include "src/support/assert.hpp"
+
+namespace dima::service {
+
+namespace {
+
+constexpr char kLogMagic[8] = {'D', 'I', 'M', 'A', 'L', 'O', 'G', '1'};
+constexpr char kRepMagic[8] = {'D', 'I', 'M', 'A', 'R', 'E', 'P', '1'};
+
+/// Cap on one log record's byte length: the largest legal command frame is
+/// 4 + kMaxPayloadBytes, markers are paths; anything bigger is corruption.
+constexpr std::size_t kMaxLogRecordBytes = 4 + kMaxPayloadBytes;
+
+void putU32(std::vector<std::uint8_t>* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void putU64(std::vector<std::uint8_t>* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint32_t getU32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t getU64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+/// Decodes one full encoded command frame (length prefix included); false
+/// unless the bytes are exactly one well-formed frame.
+bool decodeOneCommandFrame(const std::uint8_t* data, std::size_t size,
+                           CommandFrame* cmd, std::string* error) {
+  CommandReader reader;
+  reader.feed(data, size);
+  const DecodeStatus status = reader.next(cmd, error);
+  if (status != DecodeStatus::Frame) {
+    if (status == DecodeStatus::NeedMore && error != nullptr) {
+      *error = "embedded command frame truncated";
+    }
+    return false;
+  }
+  if (reader.midFrame()) {
+    if (error != nullptr) *error = "trailing bytes after embedded frame";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+CommandFrame replicatedForm(const CommandFrame& cmd) {
+  // Snapshot is logged/replicated as Flush: state-identical (one forced
+  // converged epoch + one latency sample) and path-free.
+  if (cmd.kind != ServiceKind::Snapshot) return cmd;
+  CommandFrame flush = makeFrame<ServiceKind::Flush, CommandFrame>();
+  flush.seq = cmd.seq;
+  return flush;
+}
+
+// --- CommandLog -------------------------------------------------------------
+
+bool CommandLog::open(const std::string& path, std::string* error) {
+  close();
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    if (error != nullptr) *error = "cannot open command log " + path;
+    return false;
+  }
+  if (std::fwrite(kLogMagic, 1, sizeof(kLogMagic), file_) !=
+          sizeof(kLogMagic) ||
+      std::fflush(file_) != 0) {
+    if (error != nullptr) *error = "cannot write command log header";
+    close();
+    return false;
+  }
+  return true;
+}
+
+void CommandLog::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+bool CommandLog::appendRecord(std::uint8_t type,
+                              const std::vector<std::uint8_t>& body) {
+  if (file_ == nullptr) return true;  // logging disabled
+  std::vector<std::uint8_t> digested;
+  digested.reserve(1 + body.size());
+  digested.push_back(type);
+  digested.insert(digested.end(), body.begin(), body.end());
+  const std::uint64_t digest = fnv1a64(digested.data(), digested.size());
+
+  std::vector<std::uint8_t> record;
+  record.reserve(4 + digested.size() + 8);
+  putU32(&record, static_cast<std::uint32_t>(body.size()));
+  record.insert(record.end(), digested.begin(), digested.end());
+  putU64(&record, digest);
+  return std::fwrite(record.data(), 1, record.size(), file_) ==
+             record.size() &&
+         std::fflush(file_) == 0;
+}
+
+bool CommandLog::appendCommand(const CommandFrame& cmd) {
+  std::vector<std::uint8_t> bytes;
+  encodeCommand(replicatedForm(cmd), &bytes);
+  return appendRecord(0, bytes);
+}
+
+bool CommandLog::appendMarker(const std::string& checkpointPath,
+                              std::uint64_t digest) {
+  std::vector<std::uint8_t> body;
+  body.reserve(8 + checkpointPath.size());
+  putU64(&body, digest);
+  body.insert(body.end(), checkpointPath.begin(), checkpointPath.end());
+  return appendRecord(1, body);
+}
+
+bool readCommandLog(const std::string& path, LogReadResult* out,
+                    std::string* error) {
+  out->records.clear();
+  out->torn = false;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot read command log " + path;
+    return false;
+  }
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  if (bytes.size() < sizeof(kLogMagic) ||
+      std::memcmp(bytes.data(), kLogMagic, sizeof(kLogMagic)) != 0) {
+    if (error != nullptr) *error = "bad command log magic";
+    return false;
+  }
+  std::size_t pos = sizeof(kLogMagic);
+  while (pos < bytes.size()) {
+    // Every exit below the length word is a *torn tail*: the good prefix
+    // stands, replay stops here.
+    if (bytes.size() - pos < 4) {
+      out->torn = true;
+      break;
+    }
+    const std::size_t len = getU32(bytes.data() + pos);
+    if (len > kMaxLogRecordBytes ||
+        bytes.size() - pos < 4 + 1 + len + 8) {
+      out->torn = true;
+      break;
+    }
+    const std::uint8_t* digested = bytes.data() + pos + 4;
+    const std::uint64_t want = getU64(digested + 1 + len);
+    if (fnv1a64(digested, 1 + len) != want) {
+      out->torn = true;
+      break;
+    }
+    const std::uint8_t type = digested[0];
+    LogRecord record;
+    if (type == 0) {
+      record.type = LogRecord::Type::Command;
+      std::string decodeError;
+      if (!decodeOneCommandFrame(digested + 1, len, &record.cmd,
+                                 &decodeError)) {
+        out->torn = true;
+        break;
+      }
+    } else if (type == 1) {
+      if (len < 8) {
+        out->torn = true;
+        break;
+      }
+      record.type = LogRecord::Type::Marker;
+      record.markerDigest = getU64(digested + 1);
+      record.marker.assign(reinterpret_cast<const char*>(digested + 9),
+                           len - 8);
+    } else {
+      out->torn = true;
+      break;
+    }
+    out->records.push_back(std::move(record));
+    pos += 4 + 1 + len + 8;
+  }
+  return true;
+}
+
+bool recoverFromLog(const std::string& path, const ServiceOptions& options,
+                    LogRecoverResult* out, std::string* error) {
+  LogReadResult log;
+  if (!readCommandLog(path, &log, error)) return false;
+  out->torn = log.torn;
+  out->applied = 0;
+  out->checkpointPath.clear();
+
+  // Newest *matching* snapshot marker wins. Background snapshots overwrite
+  // one path, so a marker only counts when the file's digest still equals
+  // the one recorded at append time — a deleted, damaged, or since-
+  // overwritten checkpoint falls back to the marker before it.
+  std::size_t replayFrom = 0;
+  for (std::size_t i = log.records.size(); i > 0; --i) {
+    const LogRecord& record = log.records[i - 1];
+    if (record.type != LogRecord::Type::Marker) continue;
+    Checkpoint cp;
+    std::string loadError;
+    if (!loadCheckpoint(record.marker, &cp, &loadError)) continue;
+    const std::vector<std::uint8_t> encoded = encodeCheckpoint(cp);
+    const std::uint64_t digest =
+        getU64(encoded.data() + encoded.size() - 8);
+    if (digest != record.markerDigest) continue;
+    out->service = std::make_unique<ColoringService>(cp, options);
+    out->service->markSessionOpen();
+    out->checkpointPath = record.marker;
+    replayFrom = i;
+    break;
+  }
+  if (out->service == nullptr) {
+    out->service = std::make_unique<ColoringService>(options);
+  }
+  for (std::size_t i = replayFrom; i < log.records.size(); ++i) {
+    const LogRecord& record = log.records[i];
+    if (record.type != LogRecord::Type::Command) continue;
+    applyReplicatedCommand(*out->service, record.cmd);
+    ++out->applied;
+  }
+  return true;
+}
+
+// --- bootstrap ---------------------------------------------------------------
+
+ReplicaBootstrap captureBootstrap(const ColoringService& service) {
+  ReplicaBootstrap b;
+  b.hasCore = service.ready();
+  b.helloDone = service.helloDone();
+  b.seed = service.options().seed;
+  b.maxBatch = service.options().policy.maxBatch;
+  b.maxStaleness = service.options().policy.maxStaleness;
+  b.maxCycles = service.options().maxCycles;
+  b.detTime = service.options().detTime;
+  b.metrics = service.schedulerMetrics();
+  if (b.hasCore) b.cp = service.checkpoint();
+  return b;
+}
+
+std::vector<std::uint8_t> encodeBootstrap(const ReplicaBootstrap& b) {
+  std::vector<std::uint8_t> out(kRepMagic, kRepMagic + sizeof(kRepMagic));
+  const std::uint8_t flags =
+      static_cast<std::uint8_t>((b.hasCore ? 1u : 0u) |
+                                (b.helloDone ? 2u : 0u) |
+                                (b.detTime ? 4u : 0u));
+  out.push_back(flags);
+  putU64(&out, b.seed);
+  putU64(&out, b.maxBatch);
+  putU64(&out, b.maxStaleness);
+  putU64(&out, b.maxCycles);
+  putU64(&out, b.metrics.mutations);
+  putU64(&out, b.metrics.queries);
+  putU64(&out, static_cast<std::uint64_t>(b.metrics.backlogPeak));
+  putU64(&out, static_cast<std::uint64_t>(b.metrics.latency.size()));
+  for (const std::uint64_t s : b.metrics.latency) putU64(&out, s);
+  if (b.hasCore) {
+    const std::vector<std::uint8_t> cp = encodeCheckpoint(b.cp);
+    putU64(&out, static_cast<std::uint64_t>(cp.size()));
+    out.insert(out.end(), cp.begin(), cp.end());
+  }
+  putU64(&out, fnv1a64(out.data(), out.size()));
+  return out;
+}
+
+bool decodeBootstrap(const std::uint8_t* data, std::size_t size,
+                     ReplicaBootstrap* b, std::string* error) {
+  const auto fail = [error](const char* what) {
+    if (error != nullptr) *error = what;
+    return false;
+  };
+  if (size < sizeof(kRepMagic) + 8 ||
+      std::memcmp(data, kRepMagic, sizeof(kRepMagic)) != 0) {
+    return fail("bad bootstrap magic");
+  }
+  if (fnv1a64(data, size - 8) != getU64(data + size - 8)) {
+    return fail("bootstrap digest mismatch");
+  }
+  const std::uint8_t* p = data + sizeof(kRepMagic);
+  const std::uint8_t* end = data + size - 8;
+  const auto need = [&p, end, &fail](std::size_t bytes) {
+    return static_cast<std::size_t>(end - p) >= bytes ||
+           !fail("bootstrap truncated");
+  };
+  if (!need(1 + 8 * 8)) return false;
+  const std::uint8_t flags = *p++;
+  *b = ReplicaBootstrap{};
+  b->hasCore = (flags & 1u) != 0;
+  b->helloDone = (flags & 2u) != 0;
+  b->detTime = (flags & 4u) != 0;
+  b->seed = getU64(p); p += 8;
+  b->maxBatch = getU64(p); p += 8;
+  b->maxStaleness = getU64(p); p += 8;
+  b->maxCycles = getU64(p); p += 8;
+  b->metrics.mutations = getU64(p); p += 8;
+  b->metrics.queries = getU64(p); p += 8;
+  b->metrics.backlogPeak = static_cast<std::size_t>(getU64(p)); p += 8;
+  const std::uint64_t samples = getU64(p); p += 8;
+  if (!need(static_cast<std::size_t>(samples) * 8)) return false;
+  b->metrics.latency.reserve(static_cast<std::size_t>(samples));
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    b->metrics.latency.push_back(getU64(p));
+    p += 8;
+  }
+  if (b->hasCore) {
+    if (!need(8)) return false;
+    const std::uint64_t cpLen = getU64(p); p += 8;
+    if (!need(static_cast<std::size_t>(cpLen))) return false;
+    if (!decodeCheckpoint(p, static_cast<std::size_t>(cpLen), &b->cp,
+                          error)) {
+      return false;
+    }
+    p += cpLen;
+  }
+  if (p != end) return fail("bootstrap has trailing bytes");
+  return true;
+}
+
+std::unique_ptr<ColoringService> serviceFromBootstrap(
+    const ReplicaBootstrap& b, bool monitor) {
+  ServiceOptions so;
+  so.seed = b.seed;
+  so.policy.maxBatch = static_cast<std::size_t>(b.maxBatch);
+  so.policy.maxStaleness = static_cast<std::size_t>(b.maxStaleness);
+  so.maxCycles = b.maxCycles;
+  so.detTime = b.detTime;
+  so.monitor = monitor;
+  std::unique_ptr<ColoringService> service =
+      b.hasCore ? std::make_unique<ColoringService>(b.cp, so)
+                : std::make_unique<ColoringService>(so);
+  if (b.helloDone) service->markSessionOpen();
+  service->restoreSchedulerMetrics(b.metrics);
+  return service;
+}
+
+// --- ReplicaClient -----------------------------------------------------------
+
+void applyReplicatedCommand(ColoringService& service,
+                            const CommandFrame& cmd) {
+  (void)service.handle(replicatedForm(cmd));
+}
+
+namespace {
+
+/// Pumps `fd` until the reply reader yields a frame. 1 = frame, 0 = EOF
+/// (or peer reset — the expected primary-death signal), -1 = framing error.
+int nextReply(int fd, ReplyReader& reader, ReplyFrame* reply,
+              std::string* error) {
+  for (;;) {
+    DecodeStatus status = reader.next(reply, error);
+    if (status == DecodeStatus::Frame) return 1;
+    if (status == DecodeStatus::Bad) return -1;
+    std::uint8_t buf[4096];
+    const std::ptrdiff_t got = readSome(fd, buf, sizeof(buf));
+    if (got <= 0) return 0;
+    reader.feed(buf, static_cast<std::size_t>(got));
+  }
+}
+
+}  // namespace
+
+bool ReplicaClient::sync(int fd, std::string* error, bool monitor) {
+  CommandFrame req = makeFrame<ServiceKind::ReplSync, CommandFrame>();
+  req.a = kServiceWireVersion;
+  std::vector<std::uint8_t> bytes;
+  encodeCommand(req, &bytes);
+  if (!writeAll(fd, bytes.data(), bytes.size())) {
+    if (error != nullptr) *error = "cannot send ReplSync";
+    return false;
+  }
+
+  // Reassemble the chunked bootstrap. The reader persists into
+  // `followUntilEof`: ReplCmd frames may already ride the same packets.
+  std::vector<std::uint8_t> blob;
+  std::uint32_t expect = 0;
+  for (;;) {
+    ReplyFrame reply;
+    const int got = nextReply(fd, reader_, &reply, error);
+    if (got < 0) return false;
+    if (got == 0) {
+      if (error != nullptr) *error = "primary closed during bootstrap";
+      return false;
+    }
+    if (reply.kind == ServiceKind::Error) {
+      if (error != nullptr) *error = "primary refused sync: " + reply.text;
+      return false;
+    }
+    if (reply.kind != ServiceKind::ReplState || reply.a != expect) {
+      if (error != nullptr) *error = "unexpected frame during bootstrap";
+      return false;
+    }
+    blob.insert(blob.end(), reply.text.begin(), reply.text.end());
+    ++expect;
+    if (expect == reply.b) break;
+  }
+
+  ReplicaBootstrap bootstrap;
+  if (!decodeBootstrap(blob.data(), blob.size(), &bootstrap, error)) {
+    return false;
+  }
+  service_ = serviceFromBootstrap(bootstrap, monitor);
+  applied_ = 0;
+  return true;
+}
+
+bool ReplicaClient::followUntilEof(int fd, std::string* error) {
+  DIMA_REQUIRE(service_ != nullptr, "sync before following");
+  for (;;) {
+    ReplyFrame reply;
+    const int got = nextReply(fd, reader_, &reply, error);
+    if (got < 0) return false;
+    if (got == 0) return true;  // primary gone: we are the state now
+    if (reply.kind != ServiceKind::ReplCmd) {
+      if (error != nullptr) {
+        *error = std::string("unexpected ") + serviceKindName(reply.kind) +
+                 " on the replication stream";
+      }
+      return false;
+    }
+    CommandFrame cmd;
+    if (!decodeOneCommandFrame(
+            reinterpret_cast<const std::uint8_t*>(reply.text.data()),
+            reply.text.size(), &cmd, error)) {
+      return false;
+    }
+    applyReplicatedCommand(*service_, cmd);
+    ++applied_;
+  }
+}
+
+}  // namespace dima::service

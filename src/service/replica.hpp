@@ -1,0 +1,183 @@
+#pragma once
+
+/// \file replica.hpp
+/// Durable command log + warm-standby replication for the served coloring.
+///
+/// **The command log** records the primary's *admission order* — every
+/// command the consumer forwarded to `ColoringService::handle`, in the
+/// order it ran — plus snapshot markers naming the background checkpoints.
+/// Replaying the log from the newest loadable checkpoint reproduces the
+/// primary bit-for-bit, because the determinism contract (PROTOCOLS.md
+/// §12.4) makes the service a pure function of its admitted command
+/// sequence. On-disk layout (little-endian, PROTOCOLS.md §12.7):
+///
+///     "DIMALOG1"
+///     record := u32 byteLen | u8 type | byteLen × u8 | u64 digest
+///
+/// where `type` 0 carries one encoded v1 command frame (length prefix
+/// included) and `type` 1 is a snapshot marker: the checkpoint file's own
+/// u64 digest followed by its path. Background snapshots overwrite one
+/// path, so the digest is what proves a marker still describes the bytes
+/// on disk — recovery skips markers whose checkpoint no longer matches.
+/// The digest is FNV-1a 64 over (type || bytes), so a torn tail — the
+/// primary died mid-append — is detected and replay stops cleanly at the
+/// last complete record instead of propagating garbage.
+///
+/// **Snapshot→Flush.** `Snapshot` commands are logged and replicated as
+/// `Flush`: the two are state-identical (one forced converged epoch, one
+/// latency sample) and the rewrite keeps the replica from re-writing the
+/// primary's checkpoint files — and keeps every replicated frame small
+/// enough for the `ReplCmd` payload.
+///
+/// **The replica** (`ReplicaClient`) subscribes over the same transport
+/// with a `ReplSync` command, receives one `ReplicaBootstrap` blob chunked
+/// into `ReplState` replies — checkpoint, scheduler metrics, epoch policy,
+/// seed — then applies each `ReplCmd` exactly as the primary admitted it.
+/// When the primary dies (EOF on the socket) the replica *is* the primary
+/// state: colors, free-id stack, RNG cursors, and StatsInfo byte-identical
+/// (§12.8). This TU is socket-blind: it drives an `int` fd through the
+/// helpers declared in transport.hpp.
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/service/service.hpp"
+#include "src/service/wire.hpp"
+
+namespace dima::service {
+
+// --- durable command log ----------------------------------------------------
+
+/// One parsed log record.
+struct LogRecord {
+  enum class Type : std::uint8_t { Command = 0, Marker = 1 };
+  Type type = Type::Command;
+  CommandFrame cmd;     ///< Command records
+  std::string marker;   ///< Marker records: checkpoint path
+  std::uint64_t markerDigest = 0;  ///< Marker records: checkpoint digest
+};
+
+/// Append-only writer; every record is flushed so the log survives a
+/// primary kill up to (at worst) a torn final record.
+class CommandLog {
+ public:
+  CommandLog() = default;
+  ~CommandLog() { close(); }
+  CommandLog(const CommandLog&) = delete;
+  CommandLog& operator=(const CommandLog&) = delete;
+
+  /// Truncates and starts a fresh log at `path`.
+  bool open(const std::string& path, std::string* error);
+  bool isOpen() const { return file_ != nullptr; }
+  void close();
+
+  /// Appends one admitted command (Snapshot is rewritten to Flush).
+  bool appendCommand(const CommandFrame& cmd);
+  /// Appends a snapshot marker naming a checkpoint file just written,
+  /// pinned to that file's digest (from `saveCheckpoint`).
+  bool appendMarker(const std::string& checkpointPath, std::uint64_t digest);
+
+ private:
+  bool appendRecord(std::uint8_t type, const std::vector<std::uint8_t>& body);
+  std::FILE* file_ = nullptr;
+};
+
+struct LogReadResult {
+  std::vector<LogRecord> records;
+  bool torn = false;  ///< the tail was truncated/corrupt; records stop before it
+};
+
+/// Parses `path`. False with `*error` only when the file is unreadable or
+/// the magic is wrong; a damaged tail sets `torn` and keeps the good prefix.
+bool readCommandLog(const std::string& path, LogReadResult* out,
+                    std::string* error);
+
+struct LogRecoverResult {
+  std::unique_ptr<ColoringService> service;
+  std::uint64_t applied = 0;        ///< command records replayed
+  bool torn = false;
+  std::string checkpointPath;       ///< marker used; empty = replayed from scratch
+};
+
+/// Rebuilds a service from the log: restore from the newest *loadable*
+/// snapshot marker, then replay every later command record. With no usable
+/// marker the whole log replays against a fresh service (its Hello is
+/// record 0). `options` supplies policy/seed for the fresh case and must
+/// match the primary's.
+bool recoverFromLog(const std::string& path, const ServiceOptions& options,
+                    LogRecoverResult* out, std::string* error);
+
+// --- replication bootstrap ---------------------------------------------------
+
+/// Everything a standby needs beyond the future `ReplCmd` stream. Encoded
+/// little-endian: "DIMAREP1" | u8 flags | u64 seed | u64 maxBatch |
+/// u64 maxStaleness | u64 maxCycles | metrics{4×u64 + samples} |
+/// [u64 cpLen | checkpoint bytes] | u64 digest.
+struct ReplicaBootstrap {
+  bool hasCore = false;   ///< false: primary was still pre-Hello
+  bool helloDone = false; ///< session handshake already consumed upstream
+  std::uint64_t seed = 0;
+  std::uint64_t maxBatch = 0;
+  std::uint64_t maxStaleness = 0;
+  std::uint64_t maxCycles = 0;
+  bool detTime = false;
+  SchedulerMetrics metrics;
+  Checkpoint cp;          ///< valid when hasCore
+};
+
+/// Captures the primary's current state (requires a converged boundary:
+/// backlog 0, no in-flight repair — the transport defers `ReplSync` until
+/// one).
+ReplicaBootstrap captureBootstrap(const ColoringService& service);
+
+std::vector<std::uint8_t> encodeBootstrap(const ReplicaBootstrap& b);
+bool decodeBootstrap(const std::uint8_t* data, std::size_t size,
+                     ReplicaBootstrap* b, std::string* error);
+
+/// Builds the standby service a bootstrap describes (restored or fresh,
+/// metrics installed, handshake state replayed). `monitor` lets soak runs
+/// put the standby under the invariant catalog too.
+std::unique_ptr<ColoringService> serviceFromBootstrap(
+    const ReplicaBootstrap& b, bool monitor = false);
+
+// --- the warm standby --------------------------------------------------------
+
+class ReplicaClient {
+ public:
+  /// Subscribes over an already-connected fd (see `connectTcp`): sends
+  /// `ReplSync`, consumes the `ReplState` chunks, builds the standby
+  /// service. False with `*error` on any protocol or decode failure.
+  bool sync(int fd, std::string* error, bool monitor = false);
+
+  /// Applies `ReplCmd` frames until EOF (the primary died or closed).
+  /// False with `*error` on a framing/protocol error; plain EOF is success.
+  bool followUntilEof(int fd, std::string* error);
+
+  /// Commands applied since sync (mirrors the primary's admissions).
+  std::uint64_t applied() const { return applied_; }
+
+  ColoringService* service() { return service_.get(); }
+  /// Promotion: the standby service *is* the primary state now.
+  std::unique_ptr<ColoringService> takeService() {
+    return std::move(service_);
+  }
+
+ private:
+  std::unique_ptr<ColoringService> service_;
+  ReplyReader reader_;  ///< persists across sync → follow (coalesced packets)
+  std::uint64_t applied_ = 0;
+};
+
+/// Applies one replicated command to a standby service — the shared helper
+/// `ReplicaClient` and the log replay both use (Snapshot arrives already
+/// rewritten to Flush; a leading Hello opens a fresh service).
+void applyReplicatedCommand(ColoringService& service, const CommandFrame& cmd);
+
+/// The form a command is logged and replicated in: Snapshot becomes Flush
+/// (same seq), everything else passes through. See the file comment.
+CommandFrame replicatedForm(const CommandFrame& cmd);
+
+}  // namespace dima::service

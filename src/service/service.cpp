@@ -63,6 +63,12 @@ void ColoringService::createCore(std::size_t n) {
   sched_ = EpochScheduler(options_.policy);
 }
 
+void ColoringService::markSessionOpen() {
+  DIMA_REQUIRE(core_ != nullptr,
+               "markSessionOpen needs restored state to attach to");
+  hello_ = true;
+}
+
 const dynamic::DynamicGraph& ColoringService::graph() const {
   DIMA_REQUIRE(core_ != nullptr, "service has no graph before Hello/restore");
   return core_->dg;
@@ -124,6 +130,12 @@ ReplyFrame ColoringService::handle(const CommandFrame& cmd) {
       r.a = kNoServiceEdge;
       return r;
     }
+    case ServiceKind::ReplSync:
+      // A valid command kind, but subscription is a transport concern: the
+      // consumer intercepts it before the service ever sees one. A pipe
+      // client (or a direct caller) gets a structured rejection.
+      return errorReply(cmd.seq, ErrorCode::BadState,
+                        "replication requires the socket transport");
     // Reply kinds never decode into a CommandFrame; direct callers (tests)
     // get the same structured rejection a hostile stream would.
     case ServiceKind::HelloOk:
@@ -133,6 +145,8 @@ ReplyFrame ColoringService::handle(const CommandFrame& cmd) {
     case ServiceKind::SnapshotOk:
     case ServiceKind::StatsInfo:
     case ServiceKind::Error:
+    case ServiceKind::ReplState:
+    case ServiceKind::ReplCmd:
       break;
   }
   return errorReply(cmd.seq, ErrorCode::BadFrame,
@@ -275,7 +289,12 @@ EpochRecord ColoringService::runEpoch() {
   support::Stopwatch sw;
   const dynamic::RepairStats stats =
       options_.monitor ? monitoredRepair() : core_->rec.repair();
-  const std::uint64_t micros = static_cast<std::uint64_t>(sw.seconds() * 1e6);
+  // Deterministic-latency mode substitutes the automaton cycle count for
+  // wall-clock so two processes replaying the same stream report identical
+  // quantiles (failover pin, PROTOCOLS.md §12.8).
+  const std::uint64_t micros =
+      options_.detTime ? stats.cycles
+                       : static_cast<std::uint64_t>(sw.seconds() * 1e6);
   EpochRecord record;
   sched_.drain(&record);
   record.repaired = stats.recolored.size();
@@ -339,6 +358,18 @@ Checkpoint ColoringService::checkpoint() const {
   cp.colors = core_->rec.colors();
   cp.colors.resize(slots, kNoColor);
   return cp;
+}
+
+std::string ColoringService::statsTable() const {
+  const ReplyFrame r = statsReply(0);
+  static constexpr const char* kNames[kStatsFieldCount] = {
+      "n",          "edges",       "maxDegree", "mutations", "queries",
+      "epochs",     "backlog",     "backlogPeak", "p50", "p99"};
+  std::ostringstream os;
+  for (std::size_t i = 0; i < r.stats.size(); ++i) {
+    os << kNames[i] << ' ' << r.stats[i] << '\n';
+  }
+  return os.str();
 }
 
 std::uint64_t ColoringService::colorDigest() const {

@@ -54,6 +54,11 @@ struct ServiceOptions {
   std::uint64_t maxCycles = 1u << 20;
   /// Run every epoch under the InvariantMonitor catalog (hostile mode).
   bool monitor = false;
+  /// Deterministic-latency mode: record each epoch's automaton cycle count
+  /// as its latency metric instead of wall-clock µs, so StatsInfo — p50/p99
+  /// included — is byte-identical across processes. The failover drill and
+  /// its CI smoke depend on this (PROTOCOLS.md §12.8).
+  bool detTime = false;
 };
 
 /// Hard cap on the vertex count a Hello may request (memory guard: the
@@ -78,6 +83,18 @@ class ColoringService {
   bool ready() const { return core_ != nullptr; }
   bool shutdownRequested() const { return shutdown_; }
 
+  /// True once a Hello succeeded (or `markSessionOpen()` ran). The
+  /// transport consults this to decide whether a session's Hello attaches
+  /// to existing state or creates it.
+  bool helloDone() const { return hello_; }
+
+  /// Marks the handshake complete without a Hello frame: log recovery and
+  /// replica bootstrap restore a service whose original Hello was consumed
+  /// by the previous process. Requires restored state to attach to.
+  void markSessionOpen();
+
+  const ServiceOptions& options() const { return options_; }
+
   // --- introspection (tests, bench, CLI) -----------------------------------
   const EpochScheduler& scheduler() const { return sched_; }
   const EpochRecord& lastEpoch() const { return lastEpoch_; }
@@ -95,6 +112,16 @@ class ColoringService {
 
   /// Writes "u v color" per live edge in id order (the CI smoke diff).
   std::string colorTable() const;
+
+  /// Writes "name value" per StatsInfo field, in wire order (the failover
+  /// drill diffs this file between golden and promoted standby).
+  std::string statsTable() const;
+
+  /// Transferable scheduler counters for replication bootstrap.
+  SchedulerMetrics schedulerMetrics() const { return sched_.metrics(); }
+  void restoreSchedulerMetrics(const SchedulerMetrics& m) {
+    sched_.restoreMetrics(m);
+  }
 
   /// Current resumable state; requires a converged coloring (callers go
   /// through the Snapshot command, which flushes first).

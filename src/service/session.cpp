@@ -16,6 +16,8 @@ void writeReply(const ReplyFrame& reply, std::ostream& out,
   ++result->replies;
 }
 
+}  // namespace
+
 ReplyFrame framingErrorReply(std::string detail) {
   ReplyFrame r = makeFrame<ServiceKind::Error, ReplyFrame>();
   r.seq = 0;  // the offending frame never yielded a seq
@@ -23,8 +25,6 @@ ReplyFrame framingErrorReply(std::string detail) {
   r.text = std::move(detail);
   return r;
 }
-
-}  // namespace
 
 SessionResult runSession(ColoringService& service, std::istream& in,
                          std::ostream& out) {

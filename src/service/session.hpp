@@ -47,4 +47,10 @@ struct SessionResult {
 SessionResult runSession(ColoringService& service, std::istream& in,
                          std::ostream& out);
 
+/// The `Error{BadFrame}` reply a malformed or truncated byte stream earns.
+/// Shared between the pipe loop above and the socket transport so the two
+/// paths report framing errors byte-for-byte identically (seq 0: the
+/// offending frame never yielded one).
+ReplyFrame framingErrorReply(std::string detail);
+
 }  // namespace dima::service

@@ -1,0 +1,548 @@
+#include "src/service/transport.hpp"
+
+// The only TU allowed to speak to the socket layer: the dimalint
+// `transport-layering` rule pins these headers to this file.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <unistd.h>
+#include <utility>
+
+#include "src/support/assert.hpp"
+
+namespace dima::service {
+
+// --- fd helpers --------------------------------------------------------------
+
+void Fd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+namespace {
+
+/// Dotted IPv4 or "localhost"; false when the host does not parse (no DNS
+/// by design — the listener is localhost-first, remote use takes raw IPs).
+bool parseHost(const std::string& host, in_addr* out) {
+  const std::string dotted = host == "localhost" ? "127.0.0.1" : host;
+  return ::inet_pton(AF_INET, dotted.c_str(), out) == 1;
+}
+
+}  // namespace
+
+Fd connectTcp(const std::string& host, std::uint16_t port,
+              std::string* error) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (!parseHost(host, &addr.sin_addr)) {
+    if (error != nullptr) *error = "cannot parse host " + host;
+    return Fd();
+  }
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    if (error != nullptr) *error = "socket() failed";
+    return Fd();
+  }
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    if (error != nullptr) {
+      *error = "cannot connect to " + host + ":" + std::to_string(port) +
+               " (" + std::strerror(errno) + ")";
+    }
+    return Fd();
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool writeAll(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t got = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+std::ptrdiff_t readSome(int fd, std::uint8_t* buf, std::size_t size) {
+  for (;;) {
+    const ssize_t got = ::read(fd, buf, size);
+    if (got < 0 && errno == EINTR) continue;
+    return static_cast<std::ptrdiff_t>(got);
+  }
+}
+
+void shutdownFd(int fd) { ::shutdown(fd, SHUT_RDWR); }
+
+void shutdownWrite(int fd) { ::shutdown(fd, SHUT_WR); }
+
+// --- TransportServer ---------------------------------------------------------
+
+struct TransportServer::Session {
+  std::uint64_t id = 0;
+  Fd fd;
+  std::thread reader;
+  /// Consumer-set; the acceptor reads it to count live sessions and the
+  /// consumer reads it to drop queue items from sessions it already closed.
+  std::atomic<bool> closed{false};
+  // Consumer-thread state (single consumer; no locking needed).
+  bool helloed = false;
+  bool replica = false;
+};
+
+TransportServer::TransportServer(ColoringService& service,
+                                 const TransportOptions& options)
+    : service_(service), options_(options) {}
+
+TransportServer::~TransportServer() { stop(); }
+
+bool TransportServer::start(std::string* error) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (!parseHost(options_.host, &addr.sin_addr)) {
+    if (error != nullptr) *error = "cannot parse host " + options_.host;
+    return false;
+  }
+  listenFd_ = Fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!listenFd_.valid()) {
+    if (error != nullptr) *error = "socket() failed";
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listenFd_.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(listenFd_.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listenFd_.get(), 64) != 0) {
+    if (error != nullptr) {
+      *error = "cannot listen on " + options_.host + ":" +
+               std::to_string(options_.port) + " (" + std::strerror(errno) +
+               ")";
+    }
+    listenFd_.reset();
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listenFd_.get(), reinterpret_cast<sockaddr*>(&bound), &len);
+  boundPort_ = ntohs(bound.sin_port);
+
+  int pipeFds[2];
+  if (::pipe(pipeFds) != 0) {
+    if (error != nullptr) *error = "pipe() failed";
+    listenFd_.reset();
+    return false;
+  }
+  wakeRead_ = Fd(pipeFds[0]);
+  wakeWrite_ = Fd(pipeFds[1]);
+
+  if (!options_.logPath.empty() && !log_.open(options_.logPath, error)) {
+    listenFd_.reset();
+    return false;
+  }
+
+  serviceHello_ = service_.helloDone();
+  lastSnapshotEpoch_ = service_.scheduler().epochsRun();
+  acceptor_ = std::thread([this] { acceptorLoop(); });
+  consumer_ = std::thread([this] { consumerLoop(); });
+  return true;
+}
+
+void TransportServer::stop() {
+  if (stopping_.exchange(true)) return;
+  if (wakeWrite_.valid()) {
+    // write(2), not writeAll: the self-pipe is a pipe, and send(2) — which
+    // writeAll uses for MSG_NOSIGNAL — fails with ENOTSOCK on it.
+    const std::uint8_t byte = 1;
+    ssize_t wrote;
+    do {
+      wrote = ::write(wakeWrite_.get(), &byte, 1);
+    } while (wrote < 0 && errno == EINTR);
+  }
+  {
+    support::MutexLock lock(queueMutex_);
+  }
+  queueNotEmpty_.notify_all();
+  queueNotFull_.notify_all();
+  if (acceptor_.joinable()) acceptor_.join();
+  if (consumer_.joinable()) consumer_.join();
+  listenFd_.reset();
+  // Wake every reader blocked in read(2), then join. Sessions are only
+  // reaped here — `maxSessions` bounds the fd/thread footprint meanwhile.
+  std::vector<std::unique_ptr<Session>> sessions;
+  {
+    support::MutexLock lock(sessionsMutex_);
+    sessions.swap(sessions_);
+  }
+  for (auto& session : sessions) {
+    if (session->fd.valid()) shutdownFd(session->fd.get());
+  }
+  for (auto& session : sessions) {
+    if (session->reader.joinable()) session->reader.join();
+    session->fd.reset();
+  }
+  log_.close();
+  {
+    support::MutexLock lock(doneMutex_);
+    consumerDone_ = true;
+  }
+  doneCv_.notify_all();
+}
+
+void TransportServer::waitShutdown() {
+  support::UniqueLock lock(doneMutex_);
+  doneCv_.wait(lock.native(), [this]() DIMA_NO_THREAD_SAFETY_ANALYSIS {
+    return consumerDone_;
+  });
+}
+
+void TransportServer::acceptorLoop() {
+  for (;;) {
+    pollfd fds[2] = {{listenFd_.get(), POLLIN, 0},
+                     {wakeRead_.get(), POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (stopping_.load()) return;
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    Fd client(::accept(listenFd_.get(), nullptr, nullptr));
+    if (!client.valid()) continue;
+    const int one = 1;
+    ::setsockopt(client.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    support::MutexLock lock(sessionsMutex_);
+    std::size_t live = 0;
+    for (const auto& s : sessions_) {
+      if (!s->closed.load()) ++live;
+    }
+    if (live >= options_.maxSessions) continue;  // client is simply closed
+    auto session = std::make_unique<Session>();
+    session->id = stats_.sessionsAccepted.fetch_add(1) + 1;
+    session->fd = std::move(client);
+    Session* raw = session.get();
+    sessions_.push_back(std::move(session));
+    raw->reader = std::thread([this, raw] { readerLoop(raw); });
+  }
+}
+
+void TransportServer::readerLoop(Session* session) {
+  CommandReader reader;
+  std::uint8_t buf[4096];
+  for (;;) {
+    const std::ptrdiff_t got =
+        readSome(session->fd.get(), buf, sizeof(buf));
+    if (got > 0) {
+      reader.feed(buf, static_cast<std::size_t>(got));
+    }
+    CommandFrame cmd;
+    std::string error;
+    DecodeStatus status;
+    while ((status = reader.next(&cmd, &error)) == DecodeStatus::Frame) {
+      QueueItem item;
+      item.session = session;
+      item.kind = QueueItem::Kind::Frame;
+      item.cmd = std::move(cmd);
+      if (!queuePush(std::move(item))) return;
+    }
+    if (status == DecodeStatus::Bad) {
+      QueueItem item;
+      item.session = session;
+      item.kind = QueueItem::Kind::BadFrame;
+      item.error = std::move(error);
+      (void)queuePush(std::move(item));
+      return;
+    }
+    if (got <= 0) {
+      QueueItem item;
+      item.session = session;
+      item.kind = QueueItem::Kind::Eof;
+      item.midFrame = reader.midFrame();
+      (void)queuePush(std::move(item));
+      return;
+    }
+  }
+}
+
+bool TransportServer::queuePush(QueueItem item) {
+  support::UniqueLock lock(queueMutex_);
+  queueNotFull_.wait(lock.native(),
+                     [this]() DIMA_NO_THREAD_SAFETY_ANALYSIS {
+                       return queue_.size() < options_.queueCapacity ||
+                              stopping_.load();
+                     });
+  if (stopping_.load()) return false;
+  queue_.push_back(std::move(item));
+  queueNotEmpty_.notify_one();
+  return true;
+}
+
+bool TransportServer::queuePop(QueueItem* item) {
+  support::UniqueLock lock(queueMutex_);
+  queueNotEmpty_.wait(lock.native(),
+                      [this]() DIMA_NO_THREAD_SAFETY_ANALYSIS {
+                        return !queue_.empty() || stopping_.load();
+                      });
+  if (queue_.empty()) return false;
+  *item = std::move(queue_.front());
+  queue_.pop_front();
+  queueNotFull_.notify_one();
+  return true;
+}
+
+void TransportServer::consumerLoop() {
+  QueueItem item;
+  while (queuePop(&item)) {
+    Session* session = item.session;
+    if (session->closed.load()) continue;
+    switch (item.kind) {
+      case QueueItem::Kind::Frame:
+        consumeFrame(session, item.cmd);
+        break;
+      case QueueItem::Kind::BadFrame:
+        // Byte parity with the pipe path: the shared BadFrame reply, then
+        // the disconnect a length-prefixed stream cannot avoid.
+        stats_.framingErrors.fetch_add(1);
+        writeReply(session, framingErrorReply(item.error));
+        closeSession(session);
+        break;
+      case QueueItem::Kind::Eof:
+        if (item.midFrame) {
+          stats_.framingErrors.fetch_add(1);
+          writeReply(session,
+                     framingErrorReply("stream truncated mid-frame"));
+        }
+        closeSession(session);
+        break;
+    }
+    if (options_.exitOnShutdown && shutdownSeen_) break;
+  }
+  {
+    support::MutexLock lock(doneMutex_);
+    consumerDone_ = true;
+  }
+  doneCv_.notify_all();
+}
+
+void TransportServer::consumeFrame(Session* session, const CommandFrame& cmd) {
+  if (session->replica) return;  // subscribers only listen
+  if (cmd.kind == ServiceKind::ReplSync) {
+    startReplica(session, cmd);
+    return;
+  }
+  if (cmd.kind == ServiceKind::Hello) {
+    interceptHello(session, cmd);
+    return;
+  }
+  if (!session->helloed) {
+    // Synthesized, never forwarded: another session's handshake must not
+    // be disturbed. Text matches the pipe path's service reply, and like
+    // the pipe path the session stays open.
+    ReplyFrame r = makeFrame<ServiceKind::Error, ReplyFrame>();
+    r.seq = cmd.seq;
+    r.status = static_cast<std::uint8_t>(ErrorCode::BadState);
+    r.text = "first frame must be Hello";
+    writeReply(session, r);
+    return;
+  }
+  if (cmd.kind == ServiceKind::Shutdown) {
+    // Shutdown closes *this session*; the shared service lives on (the
+    // pipe path's ack, byte for byte). `exitOnShutdown` lets the CLI and
+    // the drill treat it as "stop the server" instead.
+    ReplyFrame r = makeFrame<ServiceKind::Ack, ReplyFrame>();
+    r.seq = cmd.seq;
+    r.status = static_cast<std::uint8_t>(AckStatus::Applied);
+    r.a = kNoServiceEdge;
+    writeReply(session, r);
+    closeSession(session);
+    shutdownSeen_ = true;
+    return;
+  }
+  admitCommand(session, cmd);
+}
+
+void TransportServer::admitCommand(Session* session, const CommandFrame& cmd) {
+  // Durability order (§12.8): log and replicate BEFORE the client reply is
+  // written, so an acknowledged command always survives a primary kill.
+  (void)log_.appendCommand(cmd);
+  const ReplyFrame reply = service_.handle(cmd);
+  replicate(cmd);
+  stats_.commandsAdmitted.fetch_add(1);
+  writeReply(session, reply);
+  flushPendingReplicas();
+  maybeBackgroundSnapshot();
+}
+
+void TransportServer::interceptHello(Session* session,
+                                     const CommandFrame& cmd) {
+  if (session->helloed) {
+    ReplyFrame r = makeFrame<ServiceKind::Error, ReplyFrame>();
+    r.seq = cmd.seq;
+    r.status = static_cast<std::uint8_t>(ErrorCode::BadState);
+    r.text = "session already open";
+    writeReply(session, r);
+    return;
+  }
+  if (!serviceHello_) {
+    // First handshake of the run: forwarded, logged, replicated — a
+    // standby that bootstrapped pre-Hello replays it to create the graph.
+    (void)log_.appendCommand(cmd);
+    const ReplyFrame reply = service_.handle(cmd);
+    if (reply.kind == ServiceKind::HelloOk) {
+      serviceHello_ = true;
+      session->helloed = true;
+      replicate(cmd);
+      stats_.commandsAdmitted.fetch_add(1);
+    }
+    writeReply(session, reply);
+    flushPendingReplicas();
+    return;
+  }
+  // Attach: the graph already exists; this session just joins it. Not
+  // forwarded (the service would reject a second Hello) and not logged
+  // (no state changes hands).
+  ReplyFrame r;
+  if (cmd.a != kServiceWireVersion) {
+    r = makeFrame<ServiceKind::Error, ReplyFrame>();
+    r.status = static_cast<std::uint8_t>(ErrorCode::BadVersion);
+    r.text = "wire version " + std::to_string(cmd.a) +
+             " unsupported (this server speaks " +
+             std::to_string(kServiceWireVersion) + ")";
+  } else if (cmd.b != 0 &&
+             static_cast<std::size_t>(cmd.b) != service_.numVertices()) {
+    r = makeFrame<ServiceKind::Error, ReplyFrame>();
+    r.status = static_cast<std::uint8_t>(ErrorCode::BadState);
+    r.text = "live graph has " + std::to_string(service_.numVertices()) +
+             " vertices, Hello asked for " + std::to_string(cmd.b);
+  } else {
+    r = makeFrame<ServiceKind::HelloOk, ReplyFrame>();
+    r.a = kServiceWireVersion;
+    r.b = static_cast<std::uint32_t>(service_.numVertices());
+    session->helloed = true;
+  }
+  r.seq = cmd.seq;
+  writeReply(session, r);
+}
+
+void TransportServer::startReplica(Session* session, const CommandFrame& cmd) {
+  if (cmd.a != kServiceWireVersion) {
+    ReplyFrame r = makeFrame<ServiceKind::Error, ReplyFrame>();
+    r.seq = cmd.seq;
+    r.status = static_cast<std::uint8_t>(ErrorCode::BadVersion);
+    r.text = "wire version " + std::to_string(cmd.a) +
+             " unsupported (this server speaks " +
+             std::to_string(kServiceWireVersion) + ")";
+    writeReply(session, r);
+    closeSession(session);
+    return;
+  }
+  session->replica = true;
+  if (service_.ready() && service_.scheduler().backlog() > 0) {
+    // Bootstrap only at a converged epoch boundary — never force an epoch
+    // for it (that would perturb the primary's schedule). The next
+    // admitted command that drains the backlog flushes this list.
+    pendingReplicas_.push_back(session);
+    return;
+  }
+  sendBootstrap(session);
+}
+
+void TransportServer::sendBootstrap(Session* session) {
+  const std::vector<std::uint8_t> blob =
+      encodeBootstrap(captureBootstrap(service_));
+  const std::size_t chunks =
+      blob.empty() ? 1 : (blob.size() + kReplChunkBytes - 1) / kReplChunkBytes;
+  for (std::size_t i = 0; i < chunks; ++i) {
+    const std::size_t begin = i * kReplChunkBytes;
+    const std::size_t count =
+        std::min(kReplChunkBytes, blob.size() - begin);
+    ReplyFrame r = makeFrame<ServiceKind::ReplState, ReplyFrame>();
+    r.a = static_cast<std::uint32_t>(i);
+    r.b = static_cast<std::uint32_t>(chunks);
+    r.text.assign(reinterpret_cast<const char*>(blob.data() + begin), count);
+    writeReply(session, r);
+    if (session->closed.load()) return;  // write failed mid-bootstrap
+  }
+  replicas_.push_back(session);
+  stats_.replicasServed.fetch_add(1);
+}
+
+void TransportServer::flushPendingReplicas() {
+  if (pendingReplicas_.empty() || service_.scheduler().backlog() > 0) return;
+  std::vector<Session*> pending;
+  pending.swap(pendingReplicas_);
+  for (Session* session : pending) {
+    if (!session->closed.load()) sendBootstrap(session);
+  }
+}
+
+void TransportServer::replicate(const CommandFrame& cmd) {
+  if (replicas_.empty()) return;
+  std::vector<std::uint8_t> frame;
+  encodeCommand(replicatedForm(cmd), &frame);
+  ReplyFrame r = makeFrame<ServiceKind::ReplCmd, ReplyFrame>();
+  r.text.assign(reinterpret_cast<const char*>(frame.data()), frame.size());
+  std::vector<std::uint8_t> bytes;
+  encodeReply(r, &bytes);
+  std::size_t keep = 0;
+  for (Session* session : replicas_) {
+    if (session->closed.load()) continue;
+    if (!writeAll(session->fd.get(), bytes.data(), bytes.size())) {
+      closeSession(session);
+      continue;
+    }
+    replicas_[keep++] = session;
+  }
+  replicas_.resize(keep);
+}
+
+void TransportServer::maybeBackgroundSnapshot() {
+  if (options_.snapshotEvery == 0 || options_.snapshotPath.empty()) return;
+  if (!service_.ready() || service_.scheduler().backlog() > 0) return;
+  const std::uint64_t epochs = service_.scheduler().epochsRun();
+  if (epochs < lastSnapshotEpoch_ + options_.snapshotEvery) return;
+  // A converged boundary (backlog 0) that the policy reached on its own —
+  // background snapshots never force an epoch, unlike the client-driven
+  // Snapshot command they replace.
+  const Checkpoint cp = service_.checkpoint();
+  std::string error;
+  std::uint64_t digest = 0;
+  if (!saveCheckpoint(cp, options_.snapshotPath, &error, nullptr, &digest)) {
+    return;  // disk trouble must not take the serving path down
+  }
+  (void)log_.appendMarker(options_.snapshotPath, digest);
+  lastSnapshotEpoch_ = epochs;
+  stats_.snapshotsTaken.fetch_add(1);
+}
+
+void TransportServer::writeReply(Session* session, const ReplyFrame& reply) {
+  if (session->closed.load()) return;
+  std::vector<std::uint8_t> bytes;
+  encodeReply(reply, &bytes);
+  if (!writeAll(session->fd.get(), bytes.data(), bytes.size())) {
+    closeSession(session);
+    return;
+  }
+  stats_.repliesWritten.fetch_add(1);
+}
+
+void TransportServer::closeSession(Session* session) {
+  if (session->closed.exchange(true)) return;
+  // Wakes the session's reader out of read(2); the fd itself is closed at
+  // stop(), after the reader thread has been joined.
+  shutdownFd(session->fd.get());
+}
+
+}  // namespace dima::service

@@ -1,0 +1,218 @@
+#pragma once
+
+/// \file transport.hpp
+/// The socket transport of `dimacol serve --listen`: a poll-based TCP
+/// listener (localhost-first) multiplexing N concurrent sessions onto the
+/// single `ColoringService`.
+///
+/// **Threading model.** One acceptor thread polls the listen socket; each
+/// accepted session gets a *reader* thread that pumps its bytes through a
+/// `CommandReader` and pushes decoded items into one bounded MPSC queue; a
+/// single *consumer* thread pops items in arrival order and is the only
+/// thread that touches the service, the command log, or any socket's write
+/// side. Epoch runs therefore stay strictly serialized, and the reply and
+/// metric stream is a pure function of the *admission order* — which is
+/// exactly what the durable command log records.
+///
+/// **Byte parity with the pipe path.** A session over TCP must be
+/// indistinguishable from `runSession` over a pipe: framing errors earn the
+/// shared `framingErrorReply` and a disconnect, semantic errors come from
+/// the service itself. The only transport-level frame handling is what
+/// multi-session *requires* (PROTOCOLS.md §12.6): second-and-later Hellos
+/// attach to the live graph instead of re-creating it, `Shutdown` closes
+/// one session instead of the shared service, and `ReplSync` diverts the
+/// session into the replication path (§12.7).
+///
+/// **Durability order.** For every admitted command the consumer appends to
+/// the command log and forwards to all subscribed replicas *before* writing
+/// the client's reply. A client that has seen reply k can therefore rely on
+/// command k surviving a primary SIGKILL: the kernel delivers a dead peer's
+/// buffered socket bytes before EOF, so the standby receives every
+/// acknowledged command (§12.8).
+///
+/// This header is deliberately socket-blind (ints, not sockaddrs): the
+/// `transport-layering` dimalint rule confines the socket system headers to
+/// transport.cpp, so the protocol TUs and the replica stay portable.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <condition_variable>
+#include <memory>
+
+#include "src/service/replica.hpp"
+#include "src/service/service.hpp"
+#include "src/service/session.hpp"
+#include "src/support/mutex.hpp"
+
+namespace dima::service {
+
+// --- socket-blind fd helpers (implemented in transport.cpp) ----------------
+
+/// Owning file descriptor (close-on-destroy); -1 means empty.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) reset(other.release());
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Blocking TCP connect to `host:port` (dotted IPv4 or "localhost").
+/// Invalid Fd with `*error` set on failure.
+Fd connectTcp(const std::string& host, std::uint16_t port,
+              std::string* error);
+
+/// write(2) until every byte is out; false on error (SIGPIPE suppressed).
+bool writeAll(int fd, const std::uint8_t* data, std::size_t size);
+
+/// One read(2), EINTR retried: >0 bytes, 0 on EOF, -1 on error.
+std::ptrdiff_t readSome(int fd, std::uint8_t* buf, std::size_t size);
+
+/// shutdown(2) both directions — wakes a reader blocked in read(2).
+void shutdownFd(int fd);
+
+/// shutdown(2) the write side only: "no more commands", replies still
+/// drain — how a client ends a stream that has no Shutdown frame.
+void shutdownWrite(int fd);
+
+// --- the transport server ---------------------------------------------------
+
+struct TransportOptions {
+  std::string host = "127.0.0.1";  ///< localhost-first by default
+  std::uint16_t port = 0;          ///< 0 = kernel-assigned (see `port()`)
+  std::size_t maxSessions = 16;    ///< accept cap; excess connects are closed
+  std::size_t queueCapacity = 1024;  ///< bounded MPSC depth (readers block)
+  std::string logPath;             ///< durable command log; empty = off
+  std::uint64_t snapshotEvery = 0;  ///< background snapshot period (epochs)
+  std::string snapshotPath;        ///< checkpoint file the background snapshots write
+  bool exitOnShutdown = false;     ///< a client Shutdown stops the server too
+};
+
+/// Consumer-side counters (readable from any thread while running).
+struct TransportStats {
+  std::atomic<std::uint64_t> sessionsAccepted{0};
+  std::atomic<std::uint64_t> commandsAdmitted{0};
+  std::atomic<std::uint64_t> repliesWritten{0};
+  std::atomic<std::uint64_t> framingErrors{0};
+  std::atomic<std::uint64_t> replicasServed{0};
+  std::atomic<std::uint64_t> snapshotsTaken{0};
+};
+
+class TransportServer {
+ public:
+  /// The server serves (and mutates) `service`; the caller keeps ownership
+  /// and must not touch it between `start()` and `stop()`.
+  TransportServer(ColoringService& service, const TransportOptions& options);
+  ~TransportServer();
+
+  TransportServer(const TransportServer&) = delete;
+  TransportServer& operator=(const TransportServer&) = delete;
+
+  /// Binds, listens, and spawns the acceptor + consumer threads. False
+  /// with `*error` on bind/listen failure.
+  bool start(std::string* error);
+
+  /// The bound port (after `start()`; resolves port 0 to the real one).
+  std::uint16_t port() const { return boundPort_; }
+
+  /// Hard stop: closes every socket, drains nothing, joins every thread.
+  /// This is the in-process stand-in for SIGKILL — replicas observe EOF
+  /// after the kernel delivers whatever was already written. Idempotent.
+  void stop();
+
+  /// Blocks until a client Shutdown stopped the consumer (requires
+  /// `exitOnShutdown`) or `stop()` was called.
+  void waitShutdown();
+
+  const TransportStats& stats() const { return stats_; }
+
+ private:
+  struct Session;
+
+  /// One decoded unit of session input, queued in arrival order.
+  struct QueueItem {
+    enum class Kind : std::uint8_t { Frame, BadFrame, Eof };
+    Session* session = nullptr;
+    Kind kind = Kind::Frame;
+    CommandFrame cmd;
+    std::string error;    ///< BadFrame: decoder detail
+    bool midFrame = false;  ///< Eof: bytes were cut inside a frame
+  };
+
+  void acceptorLoop();
+  void readerLoop(Session* session);
+  void consumerLoop();
+  bool queuePush(QueueItem item);
+  bool queuePop(QueueItem* item);
+  void consumeFrame(Session* session, const CommandFrame& cmd);
+  void admitCommand(Session* session, const CommandFrame& cmd);
+  void interceptHello(Session* session, const CommandFrame& cmd);
+  void startReplica(Session* session, const CommandFrame& cmd);
+  void sendBootstrap(Session* session);
+  void flushPendingReplicas();
+  void replicate(const CommandFrame& cmd);
+  void maybeBackgroundSnapshot();
+  void writeReply(Session* session, const ReplyFrame& reply);
+  void closeSession(Session* session);
+
+  ColoringService& service_;
+  TransportOptions options_;
+  TransportStats stats_;
+
+  Fd listenFd_;
+  Fd wakeRead_, wakeWrite_;  ///< self-pipe that unblocks the acceptor poll
+  std::uint16_t boundPort_ = 0;
+
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  std::thread consumer_;
+
+  support::Mutex sessionsMutex_;
+  /// Stable-address session registry; entries live until `stop()` joins
+  /// their reader threads (sessions are never reaped mid-run — bounded by
+  /// `maxSessions`, documented simplification).
+  std::vector<std::unique_ptr<Session>> sessions_
+      DIMA_GUARDED_BY(sessionsMutex_);
+
+  support::Mutex queueMutex_;
+  std::condition_variable queueNotEmpty_;
+  std::condition_variable queueNotFull_;
+  std::deque<QueueItem> queue_ DIMA_GUARDED_BY(queueMutex_);
+
+  // Consumer-thread state (single consumer; no locking needed).
+  bool serviceHello_ = false;         ///< a Hello reached the service
+  bool shutdownSeen_ = false;         ///< a session sent Shutdown (exitOnShutdown)
+  std::vector<Session*> replicas_;    ///< bootstrapped subscribers
+  std::vector<Session*> pendingReplicas_;  ///< waiting for a converged boundary
+  CommandLog log_;
+  std::uint64_t lastSnapshotEpoch_ = 0;
+
+  support::Mutex doneMutex_;
+  std::condition_variable doneCv_;
+  bool consumerDone_ DIMA_GUARDED_BY(doneMutex_) = false;
+};
+
+}  // namespace dima::service

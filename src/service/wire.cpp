@@ -130,6 +130,9 @@ const char* serviceKindName(ServiceKind kind) {
     case ServiceKind::SnapshotOk: return "snapshot-ok";
     case ServiceKind::StatsInfo: return "stats-info";
     case ServiceKind::Error: return "error";
+    case ServiceKind::ReplSync: return "repl-sync";
+    case ServiceKind::ReplState: return "repl-state";
+    case ServiceKind::ReplCmd: return "repl-cmd";
   }
   return "?";
 }
@@ -143,6 +146,7 @@ void encodeCommand(const CommandFrame& frame, std::vector<std::uint8_t>* out) {
     case ServiceKind::InsertEdge:
     case ServiceKind::EraseEdge:
     case ServiceKind::QueryColor:
+    case ServiceKind::ReplSync:
       putU32(&payload, frame.a);
       putU32(&payload, frame.b);
       break;
@@ -205,6 +209,20 @@ void encodeReply(const ReplyFrame& frame, std::vector<std::uint8_t>* out) {
         payload.push_back(static_cast<std::uint8_t>(c));
       }
       break;
+    case ServiceKind::ReplState:
+      putU32(&payload, frame.a);
+      putU32(&payload, frame.b);
+      putU16(&payload, static_cast<std::uint16_t>(frame.text.size()));
+      for (const char c : frame.text) {
+        payload.push_back(static_cast<std::uint8_t>(c));
+      }
+      break;
+    case ServiceKind::ReplCmd:
+      putU16(&payload, static_cast<std::uint16_t>(frame.text.size()));
+      for (const char c : frame.text) {
+        payload.push_back(static_cast<std::uint8_t>(c));
+      }
+      break;
     default:
       break;
   }
@@ -229,6 +247,7 @@ bool decodeCommandPayload(const std::uint8_t* data, std::size_t size,
     case ServiceKind::InsertEdge:
     case ServiceKind::EraseEdge:
     case ServiceKind::QueryColor:
+    case ServiceKind::ReplSync:
       frame->a = r.takeU32();
       frame->b = r.takeU32();
       break;
@@ -296,6 +315,18 @@ bool decodeReplyPayload(const std::uint8_t* data, std::size_t size,
     }
     case ServiceKind::Error: {
       frame->status = r.takeU8();
+      const std::uint16_t len = r.takeU16();
+      frame->text = r.takeString(len);
+      break;
+    }
+    case ServiceKind::ReplState: {
+      frame->a = r.takeU32();
+      frame->b = r.takeU32();
+      const std::uint16_t len = r.takeU16();
+      frame->text = r.takeString(len);
+      break;
+    }
+    case ServiceKind::ReplCmd: {
       const std::uint16_t len = r.takeU16();
       frame->text = r.takeString(len);
       break;

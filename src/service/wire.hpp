@@ -53,7 +53,10 @@ inline constexpr std::size_t kMaxPayloadBytes = 64 * 1024;
 
 /// Unified frame kinds of the service protocol. The first block is
 /// client → server (commands), the second server → client (replies); each
-/// direction's frame format registers exactly its block in `kKinds`.
+/// direction's frame format registers exactly its block in `kKinds`. The
+/// replication kinds (PR 9) are appended after the v1 blocks so every
+/// pre-existing kind keeps its wire value: `ReplSync` is a command, the
+/// two `Repl*` reply kinds carry the warm-standby feed.
 enum class ServiceKind : std::uint8_t {
   // --- commands -----------------------------------------------------------
   Hello,       ///< open a session: wire version + vertex count
@@ -72,6 +75,10 @@ enum class ServiceKind : std::uint8_t {
   SnapshotOk,  ///< checkpoint written: byte count + digest
   StatsInfo,   ///< counter block (order documented in PROTOCOLS.md §12)
   Error,       ///< code + message; framing errors also end the session
+  // --- replication (PROTOCOLS.md §12.7) ------------------------------------
+  ReplSync,    ///< command: subscribe this session as a warm standby
+  ReplState,   ///< reply: one bootstrap chunk (checkpoint + scheduler state)
+  ReplCmd,     ///< reply: one admitted command, forwarded in admission order
 };
 
 /// Number of `ServiceKind` enumerators. Adding a kind means growing this,
@@ -80,8 +87,8 @@ enum class ServiceKind : std::uint8_t {
 /// `kKinds` table (the `serviceKindsRegistered` static_assert below), and
 /// the decoder's per-kind payload layout (`dimalint`'s
 /// service-kind-registry rule re-checks the tables textually).
-inline constexpr std::size_t kServiceKindCount = 15;
-static_assert(static_cast<std::size_t>(ServiceKind::Error) + 1 ==
+inline constexpr std::size_t kServiceKindCount = 18;
+static_assert(static_cast<std::size_t>(ServiceKind::ReplCmd) + 1 ==
                   kServiceKindCount,
               "kServiceKindCount must track the ServiceKind enumerator list");
 
@@ -116,6 +123,11 @@ enum class ErrorCode : std::uint8_t {
 /// "No edge" sentinel for `Ack::edge`.
 inline constexpr std::uint32_t kNoServiceEdge = static_cast<std::uint32_t>(-1);
 
+/// Replication bootstrap chunk size: `ReplState` frames slice the encoded
+/// bootstrap into pieces this big, comfortably under `kMaxPayloadBytes`
+/// and the u16 text-length field of the reply codec.
+inline constexpr std::size_t kReplChunkBytes = 32 * 1024;
+
 /// Client → server frame. `a`/`b` are the kind-specific integer fields
 /// (endpoints for the edge commands, version/n for Hello), `path` rides
 /// only on Snapshot.
@@ -126,11 +138,12 @@ struct CommandFrame {
       ServiceKind::Hello,      ServiceKind::InsertEdge,
       ServiceKind::EraseEdge,  ServiceKind::QueryColor,
       ServiceKind::Flush,      ServiceKind::Snapshot,
-      ServiceKind::Stats,      ServiceKind::Shutdown};
+      ServiceKind::Stats,      ServiceKind::Shutdown,
+      ServiceKind::ReplSync};
 
   ServiceKind kind = ServiceKind::Hello;
   std::uint32_t seq = 0;
-  std::uint32_t a = 0;  ///< Hello: wire version. Edge commands: endpoint u.
+  std::uint32_t a = 0;  ///< Hello/ReplSync: wire version. Edge cmds: u.
   std::uint32_t b = 0;  ///< Hello: vertex count.  Edge commands: endpoint v.
   std::string path;     ///< Snapshot: checkpoint destination.
 
@@ -148,18 +161,22 @@ struct ReplyFrame {
       ServiceKind::HelloOk,   ServiceKind::Ack,
       ServiceKind::ColorInfo, ServiceKind::EpochDone,
       ServiceKind::SnapshotOk, ServiceKind::StatsInfo,
-      ServiceKind::Error};
+      ServiceKind::Error,     ServiceKind::ReplState,
+      ServiceKind::ReplCmd};
 
   ServiceKind kind = ServiceKind::Error;
   std::uint32_t seq = 0;
   std::uint8_t status = 0;   ///< AckStatus / ColorStatus / ErrorCode
   std::uint32_t a = 0;       ///< HelloOk: version. Ack: edge id.
                              ///< ColorInfo: epoch. EpochDone: epoch index.
+                             ///< ReplState: chunk index.
   std::uint32_t b = 0;       ///< HelloOk: n. ColorInfo: staleness.
                              ///< EpochDone: repaired edges.
+                             ///< ReplState: chunk count.
   std::int32_t color = coloring::kNoColor;  ///< ColorInfo only
   std::uint64_t value = 0;   ///< EpochDone: latency µs. SnapshotOk: digest.
-  std::string text;          ///< Error: message.
+  std::string text;          ///< Error: message. ReplState: bootstrap chunk.
+                             ///< ReplCmd: one encoded command frame.
   /// StatsInfo: exactly `kStatsFieldCount` counters, fixed order.
   std::vector<std::uint64_t> stats;
 

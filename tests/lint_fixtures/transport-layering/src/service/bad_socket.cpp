@@ -1,0 +1,9 @@
+// Known-bad fixture: a service TU other than transport.cpp reaching for the
+// raw socket API. Must trip exactly the transport-layering rule.
+#include <sys/socket.h>
+
+namespace dima::service {
+
+int openSomething() { return socket(AF_INET, SOCK_STREAM, 0); }
+
+}  // namespace dima::service

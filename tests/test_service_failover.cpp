@@ -1,0 +1,358 @@
+// Failover determinism (PROTOCOLS.md §12.8): the kill-at-every-epoch-
+// boundary drill, the durable command log's torn-tail handling, snapshot
+// markers gated by checkpoint digests, and the replication bootstrap blob.
+
+#include "src/service/drill.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/service/checkpoint.hpp"
+#include "src/service/driver.hpp"
+#include "src/service/replica.hpp"
+#include "src/service/service.hpp"
+#include "src/service/wire.hpp"
+
+namespace dima::service {
+namespace {
+
+std::string tmpPath(const std::string& stem) {
+  return testing::TempDir() + stem;
+}
+
+bool readFileBytes(const std::string& path, std::vector<std::uint8_t>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out->clear();
+  std::uint8_t buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->insert(out->end(), buf, buf + got);
+  }
+  std::fclose(f);
+  return true;
+}
+
+bool writeFileBytes(const std::string& path,
+                    const std::vector<std::uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok =
+      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  std::fclose(f);
+  return ok;
+}
+
+CommandFrame helloCmd(std::uint32_t n) {
+  CommandFrame f = makeFrame<ServiceKind::Hello, CommandFrame>();
+  f.a = kServiceWireVersion;
+  f.b = n;
+  return f;
+}
+
+CommandFrame flushCmd(std::uint32_t seq = 0) {
+  CommandFrame f = makeFrame<ServiceKind::Flush, CommandFrame>();
+  f.seq = seq;
+  return f;
+}
+
+std::vector<CommandFrame> scriptedBody(std::size_t count) {
+  StreamSpec spec;
+  spec.seed = 0xfa110ULL;
+  spec.n = 24;
+  spec.commands = count;
+  return buildCommandList(spec);
+}
+
+ServiceOptions primaryOptions() {
+  ServiceOptions so;
+  so.seed = 0x11ceULL;
+  so.policy.maxBatch = 8;
+  so.detTime = true;
+  return so;
+}
+
+// --- the drill sweep --------------------------------------------------------
+
+TEST(ServiceFailover, KillAtEveryEpochBoundaryIsByteIdentical) {
+  DrillOptions o;
+  o.spec.seed = 0x7e57ULL;
+  o.spec.n = 32;
+  o.spec.commands = 60;
+  o.policy.maxBatch = 8;
+  const DrillReport r = runFailoverDrill(o);
+  EXPECT_TRUE(r.ok()) << r.firstFailure;
+  EXPECT_GT(r.epochBoundaries, 0u);
+  // Full sweep: every boundary plus the kill-before-anything point.
+  EXPECT_EQ(r.killPoints, r.epochBoundaries + 1);
+  EXPECT_EQ(r.passed, r.killPoints);
+  EXPECT_EQ(r.failed, 0u);
+  EXPECT_NE(r.goldenColorDigest, 0u);
+}
+
+TEST(ServiceFailover, MaxKillPointsSubsamplesTheSweep) {
+  DrillOptions o;
+  o.spec.seed = 0x7e57ULL;
+  o.spec.n = 32;
+  o.spec.commands = 60;
+  o.policy.maxBatch = 8;
+  o.maxKillPoints = 4;
+  const DrillReport r = runFailoverDrill(o);
+  EXPECT_TRUE(r.ok()) << r.firstFailure;
+  EXPECT_EQ(r.killPoints, 4u);
+  EXPECT_EQ(r.passed, 4u);
+}
+
+// --- the durable command log ------------------------------------------------
+
+TEST(ServiceFailover, CommandLogRoundTripsAndRewritesSnapshotToFlush) {
+  const std::string path = tmpPath("dima_failover_roundtrip.dimalog");
+  std::vector<CommandFrame> cmds;
+  cmds.push_back(helloCmd(24));
+  std::uint32_t seq = 1;
+  for (CommandFrame f : scriptedBody(10)) {
+    f.seq = seq++;
+    cmds.push_back(f);
+  }
+  CommandFrame snap = makeFrame<ServiceKind::Snapshot, CommandFrame>();
+  snap.seq = 99;
+  snap.path = "never/replayed.ckp";
+  {
+    CommandLog log;
+    std::string error;
+    ASSERT_TRUE(log.open(path, &error)) << error;
+    for (const CommandFrame& f : cmds) ASSERT_TRUE(log.appendCommand(f));
+    ASSERT_TRUE(log.appendCommand(snap));
+  }
+
+  LogReadResult rr;
+  std::string error;
+  ASSERT_TRUE(readCommandLog(path, &rr, &error)) << error;
+  EXPECT_FALSE(rr.torn);
+  ASSERT_EQ(rr.records.size(), cmds.size() + 1);
+  for (std::size_t i = 0; i < cmds.size(); ++i) {
+    EXPECT_EQ(rr.records[i].type, LogRecord::Type::Command);
+    EXPECT_EQ(rr.records[i].cmd, cmds[i]) << "record " << i;
+  }
+  // Snapshot is logged in replicated form: a Flush with the same seq and
+  // no path — replay must not re-write the primary's checkpoint files.
+  const CommandFrame& last = rr.records.back().cmd;
+  EXPECT_EQ(last.kind, ServiceKind::Flush);
+  EXPECT_EQ(last.seq, 99u);
+  EXPECT_TRUE(last.path.empty());
+}
+
+TEST(ServiceFailover, TornTailStopsAtLastCompleteRecord) {
+  const std::string path = tmpPath("dima_failover_torn.dimalog");
+  std::vector<CommandFrame> cmds;
+  cmds.push_back(helloCmd(24));
+  std::uint32_t seq = 1;
+  for (CommandFrame f : scriptedBody(8)) {
+    f.seq = seq++;
+    cmds.push_back(f);
+  }
+  {
+    CommandLog log;
+    std::string error;
+    ASSERT_TRUE(log.open(path, &error)) << error;
+    for (const CommandFrame& f : cmds) ASSERT_TRUE(log.appendCommand(f));
+  }
+  std::vector<std::uint8_t> bytes;
+  ASSERT_TRUE(readFileBytes(path, &bytes));
+
+  // Truncation mid-record: the primary died inside an append.
+  std::vector<std::uint8_t> torn(bytes.begin(), bytes.end() - 3);
+  ASSERT_TRUE(writeFileBytes(path, torn));
+  LogReadResult rr;
+  std::string error;
+  ASSERT_TRUE(readCommandLog(path, &rr, &error)) << error;
+  EXPECT_TRUE(rr.torn);
+  ASSERT_EQ(rr.records.size(), cmds.size() - 1);
+  for (std::size_t i = 0; i + 1 < cmds.size(); ++i) {
+    EXPECT_EQ(rr.records[i].cmd, cmds[i]);
+  }
+
+  // Bit rot in the final record's digest: same verdict, same good prefix.
+  std::vector<std::uint8_t> rotted = bytes;
+  rotted.back() ^= 0x40;
+  ASSERT_TRUE(writeFileBytes(path, rotted));
+  rr = LogReadResult{};
+  ASSERT_TRUE(readCommandLog(path, &rr, &error)) << error;
+  EXPECT_TRUE(rr.torn);
+  EXPECT_EQ(rr.records.size(), cmds.size() - 1);
+
+  // A file cut inside the magic is not a log at all.
+  ASSERT_TRUE(writeFileBytes(
+      path, std::vector<std::uint8_t>(bytes.begin(), bytes.begin() + 4)));
+  rr = LogReadResult{};
+  EXPECT_FALSE(readCommandLog(path, &rr, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ServiceFailover, RecoverFromLogReplaysFromScratch) {
+  const std::string path = tmpPath("dima_failover_recover.dimalog");
+  const ServiceOptions so = primaryOptions();
+  ColoringService primary(so);
+  {
+    CommandLog log;
+    std::string error;
+    ASSERT_TRUE(log.open(path, &error)) << error;
+    std::uint32_t seq = 0;
+    CommandFrame h = helloCmd(24);
+    h.seq = seq++;
+    primary.handle(h);
+    ASSERT_TRUE(log.appendCommand(h));
+    for (CommandFrame f : scriptedBody(40)) {
+      f.seq = seq++;
+      primary.handle(f);
+      ASSERT_TRUE(log.appendCommand(f));
+    }
+    const CommandFrame flush = flushCmd(seq++);
+    primary.handle(flush);
+    ASSERT_TRUE(log.appendCommand(flush));
+  }
+
+  LogRecoverResult out;
+  std::string error;
+  ASSERT_TRUE(recoverFromLog(path, so, &out, &error)) << error;
+  ASSERT_NE(out.service, nullptr);
+  EXPECT_EQ(out.applied, 42u);  // Hello + 40 body + Flush
+  EXPECT_FALSE(out.torn);
+  EXPECT_TRUE(out.checkpointPath.empty());
+  EXPECT_TRUE(out.service->ready());
+  EXPECT_TRUE(out.service->helloDone());
+  EXPECT_EQ(out.service->checkpoint(), primary.checkpoint());
+  EXPECT_EQ(out.service->colorDigest(), primary.colorDigest());
+}
+
+TEST(ServiceFailover, RecoverUsesMarkerAndSkipsStaleDigest) {
+  const std::string path = tmpPath("dima_failover_marker.dimalog");
+  const std::string ckp = tmpPath("dima_failover_marker.ckp");
+  const ServiceOptions so = primaryOptions();
+  ColoringService primary(so);
+  const std::vector<CommandFrame> body = scriptedBody(40);
+  {
+    CommandLog log;
+    std::string error;
+    ASSERT_TRUE(log.open(path, &error)) << error;
+    std::uint32_t seq = 0;
+    CommandFrame h = helloCmd(24);
+    h.seq = seq++;
+    primary.handle(h);
+    ASSERT_TRUE(log.appendCommand(h));
+    for (std::size_t i = 0; i < 20; ++i) {
+      CommandFrame f = body[i];
+      f.seq = seq++;
+      primary.handle(f);
+      ASSERT_TRUE(log.appendCommand(f));
+    }
+    CommandFrame flush = flushCmd(seq++);
+    primary.handle(flush);
+    ASSERT_TRUE(log.appendCommand(flush));
+    // The background-snapshot idiom: checkpoint at the converged boundary,
+    // marker pinned to the file's digest.
+    std::uint64_t digest = 0;
+    ASSERT_TRUE(
+        saveCheckpoint(primary.checkpoint(), ckp, &error, nullptr, &digest))
+        << error;
+    ASSERT_TRUE(log.appendMarker(ckp, digest));
+    for (std::size_t i = 20; i < body.size(); ++i) {
+      CommandFrame f = body[i];
+      f.seq = seq++;
+      primary.handle(f);
+      ASSERT_TRUE(log.appendCommand(f));
+    }
+    flush = flushCmd(seq++);
+    primary.handle(flush);
+    ASSERT_TRUE(log.appendCommand(flush));
+  }
+  const Checkpoint want = primary.checkpoint();
+
+  // With the marker intact, recovery restores the checkpoint and replays
+  // only the 21 records logged after it.
+  LogRecoverResult out;
+  std::string error;
+  ASSERT_TRUE(recoverFromLog(path, so, &out, &error)) << error;
+  EXPECT_EQ(out.checkpointPath, ckp);
+  EXPECT_EQ(out.applied, 21u);  // 20 later commands + final Flush
+  EXPECT_EQ(out.service->checkpoint(), want);
+
+  // Corrupt the checkpoint file: the marker's digest no longer matches, so
+  // recovery must fall back to a full from-scratch replay — same state.
+  std::vector<std::uint8_t> ckpBytes;
+  ASSERT_TRUE(readFileBytes(ckp, &ckpBytes));
+  ckpBytes[ckpBytes.size() / 2] ^= 0x01;
+  ASSERT_TRUE(writeFileBytes(ckp, ckpBytes));
+  out = LogRecoverResult{};
+  ASSERT_TRUE(recoverFromLog(path, so, &out, &error)) << error;
+  EXPECT_TRUE(out.checkpointPath.empty());
+  EXPECT_EQ(out.applied, 43u);  // Hello + 40 body + both Flushes
+  EXPECT_EQ(out.service->checkpoint(), want);
+}
+
+// --- the replication bootstrap blob -----------------------------------------
+
+TEST(ServiceFailover, BootstrapRoundTripRebuildsTheStandbyExactly) {
+  const ServiceOptions so = primaryOptions();
+  ColoringService primary(so);
+  std::uint32_t seq = 0;
+  CommandFrame h = helloCmd(24);
+  h.seq = seq++;
+  primary.handle(h);
+  const std::vector<CommandFrame> body = scriptedBody(40);
+  for (std::size_t i = 0; i < 30; ++i) {
+    CommandFrame f = body[i];
+    f.seq = seq++;
+    primary.handle(f);
+  }
+  primary.handle(flushCmd(seq++));  // converged boundary, as the transport
+                                    // requires before capturing
+
+  const ReplicaBootstrap b = captureBootstrap(primary);
+  const std::vector<std::uint8_t> bytes = encodeBootstrap(b);
+  ReplicaBootstrap decoded;
+  std::string error;
+  ASSERT_TRUE(decodeBootstrap(bytes.data(), bytes.size(), &decoded, &error))
+      << error;
+  std::unique_ptr<ColoringService> standby = serviceFromBootstrap(decoded);
+  ASSERT_NE(standby, nullptr);
+  EXPECT_EQ(standby->checkpoint(), primary.checkpoint());
+  EXPECT_EQ(standby->statsTable(), primary.statsTable());
+
+  // The standby keeps tracking: the same replicated tail produces the same
+  // colors, stats included (detTime).
+  for (std::size_t i = 30; i < body.size(); ++i) {
+    CommandFrame f = body[i];
+    f.seq = seq++;
+    primary.handle(f);
+    applyReplicatedCommand(*standby, replicatedForm(f));
+  }
+  const CommandFrame flush = flushCmd(seq++);
+  primary.handle(flush);
+  applyReplicatedCommand(*standby, replicatedForm(flush));
+  EXPECT_EQ(standby->checkpoint(), primary.checkpoint());
+  EXPECT_EQ(standby->statsTable(), primary.statsTable());
+  EXPECT_EQ(standby->colorDigest(), primary.colorDigest());
+}
+
+TEST(ServiceFailover, CorruptBootstrapIsRejected) {
+  const ServiceOptions so = primaryOptions();
+  ColoringService primary(so);
+  CommandFrame h = helloCmd(16);
+  primary.handle(h);
+  primary.handle(flushCmd(1));
+  std::vector<std::uint8_t> bytes = encodeBootstrap(captureBootstrap(primary));
+  bytes[bytes.size() / 2] ^= 0x10;
+  ReplicaBootstrap decoded;
+  std::string error;
+  EXPECT_FALSE(
+      decodeBootstrap(bytes.data(), bytes.size(), &decoded, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace dima::service

@@ -1,0 +1,62 @@
+// The soak tier (`ctest -L soak`): a sustained multi-session campaign —
+// clean clients streaming seed-derived workloads over concurrent TCP
+// sessions while hostile clients replay corrupted streams into the same
+// service, invariant monitor on. CI scales the budget through the
+// environment (the ASan/UBSan job runs ~10⁶ commands; see
+// .github/workflows); the defaults here keep a local `ctest -L soak`
+// under a minute.
+
+#include "src/service/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace dima::service {
+namespace {
+
+std::size_t envSize(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || parsed == 0) return fallback;
+  return static_cast<std::size_t>(parsed);
+}
+
+TEST(ServiceSoak, SustainedMultiSessionCampaign) {
+  SoakSpec spec;
+  spec.commands = envSize("DIMA_SOAK_COMMANDS", spec.commands);
+  spec.cleanSessions = envSize("DIMA_SOAK_CLEAN_SESSIONS", spec.cleanSessions);
+  spec.hostileSessions =
+      envSize("DIMA_SOAK_HOSTILE_SESSIONS", spec.hostileSessions);
+  spec.hostileRounds = envSize("DIMA_SOAK_HOSTILE_ROUNDS", spec.hostileRounds);
+  spec.n = static_cast<std::uint32_t>(envSize("DIMA_SOAK_N", spec.n));
+
+  const SoakReport report = runSoakCampaign(spec);
+  std::printf(
+      "soak: %zu sessions, %llu commands admitted, %llu replies, "
+      "%llu framing errors, %.2fs (%.0f cmds/s), repair p50 %lluus "
+      "p99 %lluus\n",
+      report.sessions,
+      static_cast<unsigned long long>(report.commandsAdmitted),
+      static_cast<unsigned long long>(report.repliesWritten),
+      static_cast<unsigned long long>(report.framingErrors), report.seconds,
+      report.commandsPerSec,
+      static_cast<unsigned long long>(report.p50RepairMicros),
+      static_cast<unsigned long long>(report.p99RepairMicros));
+
+  EXPECT_TRUE(report.ok()) << report.firstFailure;
+  EXPECT_EQ(report.monitorViolations, 0u);
+  EXPECT_TRUE(report.verifyOk) << report.firstFailure;
+  EXPECT_GE(report.sessions, spec.cleanSessions + spec.hostileSessions);
+  EXPECT_GT(report.commandsAdmitted,
+            static_cast<std::uint64_t>(spec.commands));
+  // A full mode cycle of hostile rounds must hit the frame layer.
+  EXPECT_GT(report.framingErrors, 0u);
+}
+
+}  // namespace
+}  // namespace dima::service

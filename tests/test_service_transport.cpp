@@ -1,0 +1,414 @@
+// The socket transport (src/service/transport.hpp): frame reassembly under
+// every packetization the kernel can produce, listener accept/teardown,
+// concurrent-session interleaving, and the byte-parity contract between the
+// pipe path (`runSession`) and a real TCP session (PROTOCOLS.md §12.6).
+//
+// Tests may include the raw socket headers (socketpair below) — the
+// `transport-layering` dimalint rule confines them within src/ only.
+
+#include "src/service/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/service/driver.hpp"
+#include "src/service/hostile.hpp"
+#include "src/service/service.hpp"
+#include "src/service/session.hpp"
+#include "src/service/wire.hpp"
+#include "src/support/rng.hpp"
+
+namespace dima::service {
+namespace {
+
+CommandFrame hello(std::uint32_t n, std::uint32_t seq = 0) {
+  CommandFrame f = makeFrame<ServiceKind::Hello, CommandFrame>();
+  f.seq = seq;
+  f.a = kServiceWireVersion;
+  f.b = n;
+  return f;
+}
+
+CommandFrame edgeCmd(ServiceKind kind, std::uint32_t u, std::uint32_t v,
+                     std::uint32_t seq) {
+  CommandFrame f;
+  f.kind = kind;
+  f.seq = seq;
+  f.a = u;
+  f.b = v;
+  return f;
+}
+
+std::vector<std::uint8_t> concatEncoded(
+    const std::vector<CommandFrame>& frames) {
+  std::vector<std::uint8_t> bytes;
+  for (const CommandFrame& f : frames) {
+    std::vector<std::uint8_t> one;
+    encodeCommand(f, &one);
+    bytes.insert(bytes.end(), one.begin(), one.end());
+  }
+  return bytes;
+}
+
+/// A mixed scripted stream: handshake, edge commands, a Snapshot carrying a
+/// string payload, control frames — every encoder shape in one sequence.
+std::vector<CommandFrame> scriptedFrames() {
+  std::vector<CommandFrame> frames;
+  frames.push_back(hello(24, 0));
+  frames.push_back(edgeCmd(ServiceKind::InsertEdge, 0, 1, 1));
+  frames.push_back(edgeCmd(ServiceKind::QueryColor, 0, 1, 2));
+  CommandFrame snap = makeFrame<ServiceKind::Snapshot, CommandFrame>();
+  snap.seq = 3;
+  snap.path = "checkpoints/deep/dir/run.ckp";
+  frames.push_back(snap);
+  frames.push_back(edgeCmd(ServiceKind::EraseEdge, 0, 1, 4));
+  CommandFrame flush = makeFrame<ServiceKind::Flush, CommandFrame>();
+  flush.seq = 5;
+  frames.push_back(flush);
+  return frames;
+}
+
+/// An AF_UNIX stream socketpair — a real kernel byte stream, so the reader
+/// sees exactly the packetization the writer forces.
+struct SocketPair {
+  Fd a, b;
+  SocketPair() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a.reset(fds[0]);
+    b.reset(fds[1]);
+  }
+};
+
+void readExactly(int fd, std::size_t count, CommandReader* reader) {
+  std::uint8_t buf[4096];
+  std::size_t total = 0;
+  while (total < count) {
+    const std::size_t want = std::min(count - total, sizeof(buf));
+    const std::ptrdiff_t got = readSome(fd, buf, want);
+    ASSERT_GT(got, 0) << "unexpected EOF after " << total << " bytes";
+    reader->feed(buf, static_cast<std::size_t>(got));
+    total += static_cast<std::size_t>(got);
+  }
+}
+
+void drainFrames(CommandReader* reader, std::vector<CommandFrame>* out) {
+  CommandFrame cmd;
+  std::string error;
+  DecodeStatus status;
+  while ((status = reader->next(&cmd, &error)) == DecodeStatus::Frame) {
+    out->push_back(cmd);
+  }
+  EXPECT_EQ(status, DecodeStatus::NeedMore) << error;
+}
+
+TEST(ServiceTransportFraming, OneByteDripThroughSocketpair) {
+  const std::vector<CommandFrame> sent = scriptedFrames();
+  const std::vector<std::uint8_t> bytes = concatEncoded(sent);
+
+  SocketPair sp;
+  CommandReader reader;
+  std::vector<CommandFrame> got;
+  for (const std::uint8_t byte : bytes) {
+    ASSERT_TRUE(writeAll(sp.a.get(), &byte, 1));
+    readExactly(sp.b.get(), 1, &reader);
+    drainFrames(&reader, &got);
+  }
+  EXPECT_EQ(got, sent);
+  EXPECT_FALSE(reader.midFrame());
+}
+
+TEST(ServiceTransportFraming, SplitAtEveryOffsetThroughSocketpair) {
+  const std::vector<CommandFrame> sent = scriptedFrames();
+  const std::vector<std::uint8_t> bytes = concatEncoded(sent);
+
+  for (std::size_t split = 1; split + 1 < bytes.size(); ++split) {
+    SocketPair sp;
+    CommandReader reader;
+    std::vector<CommandFrame> got;
+    ASSERT_TRUE(writeAll(sp.a.get(), bytes.data(), split));
+    readExactly(sp.b.get(), split, &reader);
+    drainFrames(&reader, &got);
+    ASSERT_TRUE(writeAll(sp.a.get(), bytes.data() + split,
+                         bytes.size() - split));
+    readExactly(sp.b.get(), bytes.size() - split, &reader);
+    drainFrames(&reader, &got);
+    ASSERT_EQ(got, sent) << "split offset " << split;
+    ASSERT_FALSE(reader.midFrame()) << "split offset " << split;
+  }
+}
+
+TEST(ServiceTransportFraming, CoalescedFramesInOneRead) {
+  // Two frames written in one send must both decode out of a single read:
+  // the reader cannot assume one frame per packet.
+  const std::vector<CommandFrame> sent = {
+      hello(24, 0), edgeCmd(ServiceKind::InsertEdge, 2, 3, 1)};
+  const std::vector<std::uint8_t> bytes = concatEncoded(sent);
+
+  SocketPair sp;
+  ASSERT_TRUE(writeAll(sp.a.get(), bytes.data(), bytes.size()));
+  std::uint8_t buf[4096];
+  const std::ptrdiff_t got = readSome(sp.b.get(), buf, sizeof(buf));
+  ASSERT_EQ(static_cast<std::size_t>(got), bytes.size())
+      << "one local write should arrive as one coalesced read";
+
+  CommandReader reader;
+  reader.feed(buf, static_cast<std::size_t>(got));
+  std::vector<CommandFrame> decoded;
+  drainFrames(&reader, &decoded);
+  EXPECT_EQ(decoded, sent);
+  EXPECT_FALSE(reader.midFrame());
+}
+
+// --- listener lifecycle -----------------------------------------------------
+
+TEST(ServiceTransportListener, AcceptsSessionsAndTearsDownCleanly) {
+  ColoringService svc;
+  TransportServer server(svc, TransportOptions{});
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  ASSERT_NE(server.port(), 0);
+
+  std::vector<Fd> clients;
+  for (int i = 0; i < 3; ++i) {
+    Fd fd = connectTcp("127.0.0.1", server.port(), &error);
+    ASSERT_TRUE(fd.valid()) << error;
+    clients.push_back(std::move(fd));
+  }
+  while (server.stats().sessionsAccepted.load() < 3) {
+    std::this_thread::yield();
+  }
+
+  server.stop();  // idle sessions open — stop() must not hang on them
+  EXPECT_EQ(server.stats().sessionsAccepted.load(), 3u);
+  for (const Fd& fd : clients) {
+    std::uint8_t buf[16];
+    EXPECT_LE(readSome(fd.get(), buf, sizeof(buf)), 0)
+        << "stopped server left a client socket open";
+  }
+}
+
+ReplyFrame readReply(int fd, ReplyReader* reader) {
+  ReplyFrame reply;
+  std::string error;
+  for (;;) {
+    const DecodeStatus status = reader->next(&reply, &error);
+    if (status == DecodeStatus::Frame) return reply;
+    EXPECT_NE(status, DecodeStatus::Bad) << error;
+    std::uint8_t buf[4096];
+    const std::ptrdiff_t got = readSome(fd, buf, sizeof(buf));
+    if (got <= 0) {
+      ADD_FAILURE() << "EOF while waiting for a reply";
+      return reply;
+    }
+    reader->feed(buf, static_cast<std::size_t>(got));
+  }
+}
+
+void sendFrame(int fd, const CommandFrame& cmd) {
+  std::vector<std::uint8_t> bytes;
+  encodeCommand(cmd, &bytes);
+  ASSERT_TRUE(writeAll(fd, bytes.data(), bytes.size()));
+}
+
+TEST(ServiceTransportListener, SessionCapClosesExcessConnects) {
+  ColoringService svc;
+  TransportOptions to;
+  to.maxSessions = 1;
+  TransportServer server(svc, to);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  Fd first = connectTcp("127.0.0.1", server.port(), &error);
+  ASSERT_TRUE(first.valid()) << error;
+  while (server.stats().sessionsAccepted.load() < 1) {
+    std::this_thread::yield();
+  }
+
+  // Over the cap: the connect succeeds (listen backlog) but the acceptor
+  // closes it without a session — the client just sees EOF.
+  Fd second = connectTcp("127.0.0.1", server.port(), &error);
+  ASSERT_TRUE(second.valid()) << error;
+  std::uint8_t buf[16];
+  EXPECT_LE(readSome(second.get(), buf, sizeof(buf)), 0);
+  EXPECT_EQ(server.stats().sessionsAccepted.load(), 1u);
+
+  // The capped connect must not have disturbed the live session.
+  sendFrame(first.get(), hello(16, 1));
+  ReplyReader reader;
+  const ReplyFrame r = readReply(first.get(), &reader);
+  EXPECT_EQ(r.kind, ServiceKind::HelloOk);
+  EXPECT_EQ(r.seq, 1u);
+  server.stop();
+}
+
+// --- concurrent sessions ----------------------------------------------------
+
+TEST(ServiceTransportSessions, ConcurrentSessionsInterleaveDeterministically) {
+  ServiceOptions so;
+  so.seed = 0x1a7eULL;
+  so.policy.maxBatch = 64;
+  ColoringService svc(so);
+  TransportServer server(svc, TransportOptions{});
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  Fd a = connectTcp("127.0.0.1", server.port(), &error);
+  ASSERT_TRUE(a.valid()) << error;
+  Fd b = connectTcp("127.0.0.1", server.port(), &error);
+  ASSERT_TRUE(b.valid()) << error;
+  ReplyReader readerA, readerB;
+
+  // First Hello creates the graph; the second attaches to it.
+  sendFrame(a.get(), hello(64, 1));
+  ReplyFrame r = readReply(a.get(), &readerA);
+  ASSERT_EQ(r.kind, ServiceKind::HelloOk);
+  sendFrame(b.get(), hello(64, 1));
+  r = readReply(b.get(), &readerB);
+  ASSERT_EQ(r.kind, ServiceKind::HelloOk);
+  EXPECT_EQ(r.b, 64u);
+
+  // Both sessions burst 8 inserts of disjoint edges concurrently. Whatever
+  // admission order the queue produces, each session's replies must come
+  // back in its own seq order, one Ack per insert.
+  std::vector<std::uint8_t> burstA, burstB;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    std::vector<std::uint8_t> one;
+    encodeCommand(edgeCmd(ServiceKind::InsertEdge, 2 * i, 2 * i + 1, 10 + i),
+                  &one);
+    burstA.insert(burstA.end(), one.begin(), one.end());
+    one.clear();
+    encodeCommand(
+        edgeCmd(ServiceKind::InsertEdge, 32 + 2 * i, 33 + 2 * i, 20 + i),
+        &one);
+    burstB.insert(burstB.end(), one.begin(), one.end());
+  }
+  std::thread writerA(
+      [&] { (void)!writeAll(a.get(), burstA.data(), burstA.size()); });
+  std::thread writerB(
+      [&] { (void)!writeAll(b.get(), burstB.data(), burstB.size()); });
+  writerA.join();
+  writerB.join();
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    r = readReply(a.get(), &readerA);
+    EXPECT_EQ(r.kind, ServiceKind::Ack);
+    EXPECT_EQ(r.seq, 10 + i);
+    r = readReply(b.get(), &readerB);
+    EXPECT_EQ(r.kind, ServiceKind::Ack);
+    EXPECT_EQ(r.seq, 20 + i);
+  }
+
+  // Shutdown closes session A only (PROTOCOLS.md §12.6): A gets the ack
+  // and EOF, B keeps working against the same live graph.
+  CommandFrame bye = makeFrame<ServiceKind::Shutdown, CommandFrame>();
+  bye.seq = 99;
+  sendFrame(a.get(), bye);
+  r = readReply(a.get(), &readerA);
+  EXPECT_EQ(r.kind, ServiceKind::Ack);
+  EXPECT_EQ(r.seq, 99u);
+  EXPECT_EQ(r.a, kNoServiceEdge);
+  std::uint8_t buf[16];
+  EXPECT_LE(readSome(a.get(), buf, sizeof(buf)), 0);
+
+  sendFrame(b.get(), edgeCmd(ServiceKind::InsertEdge, 60, 61, 30));
+  r = readReply(b.get(), &readerB);
+  EXPECT_EQ(r.kind, ServiceKind::Ack);
+  EXPECT_EQ(r.seq, 30u);
+
+  server.stop();
+  EXPECT_EQ(server.stats().commandsAdmitted.load(),
+            1u + 8u + 8u + 1u);  // first Hello + both bursts + B's last
+  CommandFrame flush = makeFrame<ServiceKind::Flush, CommandFrame>();
+  svc.handle(flush);
+  EXPECT_EQ(svc.graph().numEdges(), 17u);
+}
+
+// --- pipe vs socket byte parity ---------------------------------------------
+
+/// Replays one byte stream through a real TCP session and returns the raw
+/// reply bytes (the socket half of the parity pin).
+std::string socketReplies(ColoringService& service,
+                          const std::vector<std::uint8_t>& bytes) {
+  TransportServer server(service, TransportOptions{});
+  std::string error;
+  EXPECT_TRUE(server.start(&error)) << error;
+  Fd fd = connectTcp("127.0.0.1", server.port(), &error);
+  EXPECT_TRUE(fd.valid()) << error;
+  if (!fd.valid()) {
+    server.stop();
+    return {};
+  }
+  std::thread writer([&] {
+    (void)!writeAll(fd.get(), bytes.data(), bytes.size());
+    shutdownWrite(fd.get());
+  });
+  std::string replies;
+  std::uint8_t buf[4096];
+  std::ptrdiff_t got;
+  while ((got = readSome(fd.get(), buf, sizeof(buf))) > 0) {
+    replies.append(reinterpret_cast<const char*>(buf),
+                   static_cast<std::size_t>(got));
+  }
+  writer.join();
+  server.stop();
+  return replies;
+}
+
+TEST(ServiceTransportParity, PipeAndSocketReplyBytesIdentical) {
+  // Every hostile corruption mode, twice over: the TCP path must emit the
+  // exact reply bytes `runSession` does — same framing-error replies, same
+  // disconnect points, same synthesized Shutdown ack (PROTOCOLS.md §12.6).
+  HostileOptions ho;
+  ho.seed = 0x9a11ULL;
+  ho.n = 32;
+  ho.commands = 48;
+  ho.maxBatch = 8;
+  for (std::size_t round = 0; round < 12; ++round) {
+    const std::vector<std::uint8_t> bytes = buildHostileBytes(ho, round);
+    ServiceOptions so;
+    so.seed = support::mix64(ho.seed, round);
+    so.policy.maxBatch = ho.maxBatch;
+    so.monitor = true;
+    so.detTime = true;  // EpochDone carries the latency metric — pin it
+
+    ColoringService pipeSvc(so);
+    std::stringstream in(std::ios::in | std::ios::out | std::ios::binary);
+    in.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+    std::ostringstream out(std::ios::binary);
+    runSession(pipeSvc, in, out);
+
+    ColoringService sockSvc(so);
+    const std::string viaSocket = socketReplies(sockSvc, bytes);
+
+    EXPECT_EQ(out.str(), viaSocket) << "round " << round;
+    EXPECT_EQ(pipeSvc.violations().size(), sockSvc.violations().size())
+        << "round " << round;
+  }
+}
+
+// --- small-budget soak (the `soak` tier runs the big one) --------------------
+
+TEST(ServiceTransportSoak, SmallBudgetCampaign) {
+  SoakSpec spec;
+  spec.n = 48;
+  spec.commands = 2000;
+  spec.hostileRounds = 6;  // one full cycle of the corruption modes
+  const SoakReport report = runSoakCampaign(spec);
+  EXPECT_TRUE(report.ok()) << report.firstFailure;
+  EXPECT_GE(report.sessions, spec.cleanSessions + spec.hostileSessions);
+  EXPECT_GT(report.commandsAdmitted, static_cast<std::uint64_t>(spec.commands));
+  EXPECT_GT(report.framingErrors, 0u);
+  EXPECT_EQ(report.monitorViolations, 0u);
+}
+
+}  // namespace
+}  // namespace dima::service

@@ -29,6 +29,13 @@
 ///                        directly either: the serve subsystem depends on
 ///                        dynamic/coloring/support and drives all repairs
 ///                        through `IncrementalRecolorer`.
+///   transport-layering   only src/service/transport.cpp includes the raw
+///                        socket headers (<sys/socket.h>, <netinet/*.h>,
+///                        <arpa/inet.h>, <poll.h>, <sys/un.h>): every other
+///                        TU — the wire codec, session loop, replica logic —
+///                        stays socket-blind and testable over any
+///                        iostream/fd, so the byte-parity contract between
+///                        the pipe and TCP paths cannot silently fork.
 ///   service-kind-registry  every `ServiceKind` enumerator is registered in
 ///                        a frame format's `kKinds` table
 ///                        (src/service/wire.hpp) and named/decoded in
@@ -347,6 +354,30 @@ void ruleServiceLayering(const Tree& t, std::vector<Finding>& out) {
   }
 }
 
+void ruleTransportLayering(const Tree& t, std::vector<Finding>& out) {
+  // The TCP transport is one TU deep by design (PROTOCOLS.md §12.6): frame
+  // codecs, the session loop, replication, and recovery all speak
+  // bytes/fds, never sockets, so the pipe path and the socket path share
+  // every line of protocol code. A second TU naming the socket headers is
+  // the start of a fork in that shared path.
+  static const char* kSocketHeaders[] = {
+      "<sys/socket.h>", "<netinet/in.h>", "<netinet/tcp.h>",
+      "<arpa/inet.h>",  "<poll.h>",       "<sys/poll.h>",
+      "<sys/un.h>"};
+  for (const SourceFile& f : t.files) {
+    if (f.path == "src/service/transport.cpp") continue;
+    for (const char* inc : kSocketHeaders) {
+      const std::size_t pos = f.raw.find(inc);
+      if (pos != std::string::npos) {
+        addFinding(out, "transport-layering", f.path, lineOf(f.raw, pos),
+                   "includes " + std::string(inc) +
+                       " outside src/service/transport.cpp; protocol TUs "
+                       "must stay socket-blind (fds and byte buffers only)");
+      }
+    }
+  }
+}
+
 void ruleServiceKindRegistry(const Tree& t, std::vector<Finding>& out) {
   // Textual re-check of the serviceKindsRegistered static_assert in
   // src/service/wire.hpp (same belt-and-braces as wire-kind-registry): the
@@ -471,6 +502,9 @@ constexpr Rule kRules[] = {
     {"service-layering",
      "src/service TUs never include src/net/network.hpp directly",
      ruleServiceLayering},
+    {"transport-layering",
+     "only src/service/transport.cpp includes the raw socket headers",
+     ruleTransportLayering},
     {"service-kind-registry",
      "every ServiceKind has a frame-format kKinds entry and a "
      "serviceKindName entry",
