@@ -1043,6 +1043,10 @@ int cmdServeListen(Args& args, std::ostream& out, std::ostream& err,
   to.logPath = args.get("log");
   to.snapshotEvery = args.getUint("snapshot-every", 0);
   to.snapshotPath = args.get("snapshot-path");
+  // Grace per write before a peer that stopped reading is dropped; 0
+  // disables the timeout (stop() still cannot deadlock behind a write).
+  to.writeTimeoutMs =
+      static_cast<std::uint32_t>(args.getUint("write-timeout-ms", 5000));
   to.exitOnShutdown = args.has("exit-on-shutdown");
   if (to.snapshotEvery > 0 && to.snapshotPath.empty()) {
     err << "error: --snapshot-every needs --snapshot-path\n";
@@ -1583,7 +1587,8 @@ std::string usage() {
          "<log>, --max-batch, --max-staleness, --monitor, --det-time, "
          "--colors-out, --stats-out, --hostile [--socket]); with --listen "
          "[HOST:]PORT it serves N TCP sessions (--sessions, --log, "
-         "--snapshot-every, --snapshot-path, --exit-on-shutdown); with "
+         "--snapshot-every, --snapshot-path, --write-timeout-ms, "
+         "--exit-on-shutdown); with "
          "--replica-of HOST:PORT it runs as a warm standby and promotes "
          "itself when the primary dies\n"
          "  serve-client  stream a wire file into a listening server "

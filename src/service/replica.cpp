@@ -81,6 +81,7 @@ CommandFrame replicatedForm(const CommandFrame& cmd) {
 
 bool CommandLog::open(const std::string& path, std::string* error) {
   close();
+  bad_.store(false);
   file_ = std::fopen(path.c_str(), "wb");
   if (file_ == nullptr) {
     if (error != nullptr) *error = "cannot open command log " + path;
@@ -106,6 +107,7 @@ void CommandLog::close() {
 bool CommandLog::appendRecord(std::uint8_t type,
                               const std::vector<std::uint8_t>& body) {
   if (file_ == nullptr) return true;  // logging disabled
+  if (bad_.load()) return false;      // sticky: see the member comment
   std::vector<std::uint8_t> digested;
   digested.reserve(1 + body.size());
   digested.push_back(type);
@@ -117,9 +119,11 @@ bool CommandLog::appendRecord(std::uint8_t type,
   putU32(&record, static_cast<std::uint32_t>(body.size()));
   record.insert(record.end(), digested.begin(), digested.end());
   putU64(&record, digest);
-  return std::fwrite(record.data(), 1, record.size(), file_) ==
-             record.size() &&
-         std::fflush(file_) == 0;
+  const bool ok = std::fwrite(record.data(), 1, record.size(), file_) ==
+                      record.size() &&
+                  std::fflush(file_) == 0;
+  if (!ok) bad_.store(true);
+  return ok;
 }
 
 bool CommandLog::appendCommand(const CommandFrame& cmd) {
@@ -317,7 +321,12 @@ bool decodeBootstrap(const std::uint8_t* data, std::size_t size,
   b->metrics.queries = getU64(p); p += 8;
   b->metrics.backlogPeak = static_cast<std::size_t>(getU64(p)); p += 8;
   const std::uint64_t samples = getU64(p); p += 8;
-  if (!need(static_cast<std::size_t>(samples) * 8)) return false;
+  // `samples` is wire-controlled (the FNV digest is an integrity check,
+  // not a MAC), so bound it without multiplying: samples*8 can wrap the
+  // counting type and slip past a `need()`-style check.
+  if (samples > static_cast<std::uint64_t>(end - p) / 8) {
+    return fail("bootstrap truncated");
+  }
   b->metrics.latency.reserve(static_cast<std::size_t>(samples));
   for (std::uint64_t i = 0; i < samples; ++i) {
     b->metrics.latency.push_back(getU64(p));
@@ -326,7 +335,10 @@ bool decodeBootstrap(const std::uint8_t* data, std::size_t size,
   if (b->hasCore) {
     if (!need(8)) return false;
     const std::uint64_t cpLen = getU64(p); p += 8;
-    if (!need(static_cast<std::size_t>(cpLen))) return false;
+    // Compare as u64 for the same reason: a size_t cast could truncate.
+    if (cpLen > static_cast<std::uint64_t>(end - p)) {
+      return fail("bootstrap truncated");
+    }
     if (!decodeCheckpoint(p, static_cast<std::size_t>(cpLen), &b->cp,
                           error)) {
       return false;

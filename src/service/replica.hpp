@@ -38,6 +38,7 @@
 /// (§12.8). This TU is socket-blind: it drives an `int` fd through the
 /// helpers declared in transport.hpp.
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
@@ -80,9 +81,18 @@ class CommandLog {
   /// pinned to that file's digest (from `saveCheckpoint`).
   bool appendMarker(const std::string& checkpointPath, std::uint64_t digest);
 
+  /// Fault injection (tests/chaos): fails every future append exactly as a
+  /// disk-full write would, until the next `open()`.
+  void poison() { bad_.store(true); }
+
  private:
   bool appendRecord(std::uint8_t type, const std::vector<std::uint8_t>& body);
   std::FILE* file_ = nullptr;
+  /// Sticky failure: a broken append may have written a partial record, so
+  /// any later record would land behind a torn tail and be lost on replay —
+  /// the log must refuse to "succeed" ever again. Atomic only for the
+  /// `poison()` test seam; the server's appends are consumer-thread-only.
+  std::atomic<bool> bad_{false};
 };
 
 struct LogReadResult {

@@ -30,7 +30,12 @@ void fnvMix(std::uint64_t* h, std::uint64_t v) {
 }  // namespace
 
 ColoringService::ColoringService(const ServiceOptions& options)
-    : options_(options) {}
+    : options_(options) {
+  // Before any epoch runs the service sits at a converged boundary by
+  // construction: a fresh (or empty) graph has nothing pending. The
+  // transport's snapshot/bootstrap gate reads this through lastEpoch().
+  lastEpoch_.converged = true;
+}
 
 ColoringService::ColoringService(const Checkpoint& cp,
                                  const ServiceOptions& options)
@@ -45,6 +50,9 @@ ColoringService::ColoringService(const Checkpoint& cp,
   core_->rec.restoreState(std::move(colors), cp.repairs);
   sched_ = EpochScheduler(options_.policy);
   sched_.restoreEpochs(cp.epoch);
+  // A checkpoint can only be taken at a converged boundary (§12.4), so a
+  // restored service starts at one even though no epoch ran here yet.
+  lastEpoch_.converged = true;
 }
 
 dynamic::RecolorOptions ColoringService::recolorOptions() {

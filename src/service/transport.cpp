@@ -7,6 +7,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 
 #include <algorithm>
 #include <cerrno>
@@ -69,6 +70,10 @@ bool writeAll(int fd, const std::uint8_t* data, std::size_t size) {
     const ssize_t got = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
     if (got < 0) {
       if (errno == EINTR) continue;
+      // EAGAIN/EWOULDBLOCK is how SO_SNDTIMEO reports an expired send
+      // budget: the peer stopped reading. Treat it as a write failure so
+      // the server drops that session instead of blocking the shared
+      // consumer (sockets without the timeout never return it).
       return false;
     }
     sent += static_cast<std::size_t>(got);
@@ -171,6 +176,17 @@ void TransportServer::stop() {
       wrote = ::write(wakeWrite_.get(), &byte, 1);
     } while (wrote < 0 && errno == EINTR);
   }
+  // Shut every session fd down BEFORE joining the consumer: a consumer
+  // blocked in send(2) on a peer that stopped reading returns with an
+  // error the moment its socket is shut down. Joining first would deadlock
+  // permanently in that state (the old stop() did exactly that). The fds
+  // themselves are only *closed* after their reader threads are joined.
+  {
+    support::MutexLock lock(sessionsMutex_);
+    for (auto& session : sessions_) {
+      if (session->fd.valid()) shutdownFd(session->fd.get());
+    }
+  }
   {
     support::MutexLock lock(queueMutex_);
   }
@@ -181,6 +197,8 @@ void TransportServer::stop() {
   listenFd_.reset();
   // Wake every reader blocked in read(2), then join. Sessions are only
   // reaped here — `maxSessions` bounds the fd/thread footprint meanwhile.
+  // The shutdown pass repeats because the acceptor may have admitted one
+  // last session between the pass above and its own join.
   std::vector<std::unique_ptr<Session>> sessions;
   {
     support::MutexLock lock(sessionsMutex_);
@@ -223,6 +241,19 @@ void TransportServer::acceptorLoop() {
     if (!client.valid()) continue;
     const int one = 1;
     ::setsockopt(client.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (options_.writeTimeoutMs > 0) {
+      // Bounds every consumer write to this session; an expired budget
+      // surfaces as EAGAIN in writeAll and drops the session.
+      timeval tv{};
+      tv.tv_sec = static_cast<time_t>(options_.writeTimeoutMs / 1000);
+      tv.tv_usec =
+          static_cast<suseconds_t>((options_.writeTimeoutMs % 1000) * 1000);
+      ::setsockopt(client.get(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
+    if (options_.sndbufBytes > 0) {
+      ::setsockopt(client.get(), SOL_SOCKET, SO_SNDBUF,
+                   &options_.sndbufBytes, sizeof(options_.sndbufBytes));
+    }
     support::MutexLock lock(sessionsMutex_);
     std::size_t live = 0;
     for (const auto& s : sessions_) {
@@ -376,13 +407,43 @@ void TransportServer::consumeFrame(Session* session, const CommandFrame& cmd) {
 void TransportServer::admitCommand(Session* session, const CommandFrame& cmd) {
   // Durability order (§12.8): log and replicate BEFORE the client reply is
   // written, so an acknowledged command always survives a primary kill.
-  (void)log_.appendCommand(cmd);
+  // The append must therefore gate admission: a command the log could not
+  // durably record (ENOSPC, dead disk) is refused loudly, never applied
+  // and acked as if the guarantee still held.
+  if (!log_.appendCommand(cmd)) {
+    failLogAppend(session, cmd.seq);
+    return;
+  }
   const ReplyFrame reply = service_.handle(cmd);
   replicate(cmd);
   stats_.commandsAdmitted.fetch_add(1);
   writeReply(session, reply);
   flushPendingReplicas();
   maybeBackgroundSnapshot();
+}
+
+void TransportServer::failLogAppend(Session* session, std::uint32_t seq) {
+  // The log is sticky-failed once an append breaks (CommandLog::poison's
+  // doc explains why a half-written record poisons the tail), so every
+  // session's next state-changing command lands here too: the server keeps
+  // answering but refuses to mutate state it can no longer make durable.
+  stats_.logAppendFailures.fetch_add(1);
+  ReplyFrame r = makeFrame<ServiceKind::Error, ReplyFrame>();
+  r.seq = seq;
+  r.status = static_cast<std::uint8_t>(ErrorCode::IoError);
+  r.text = "command log append failed; command not applied";
+  writeReply(session, r);
+  closeSession(session);
+}
+
+bool TransportServer::atConvergedBoundary() const {
+  // backlog()==0 alone is NOT a converged boundary: an epoch that hit the
+  // maxCycles cap drains the backlog with converged=false. Snapshot itself
+  // refuses such a state (NotConverged); background snapshots and replica
+  // bootstraps apply the same gate. A service that has run no epoch in
+  // this process reports converged=true by construction (fresh graph, or
+  // a checkpoint — which can only be taken at a converged boundary).
+  return service_.scheduler().backlog() == 0 && service_.lastEpoch().converged;
 }
 
 void TransportServer::interceptHello(Session* session,
@@ -398,7 +459,11 @@ void TransportServer::interceptHello(Session* session,
   if (!serviceHello_) {
     // First handshake of the run: forwarded, logged, replicated — a
     // standby that bootstrapped pre-Hello replays it to create the graph.
-    (void)log_.appendCommand(cmd);
+    // Same durability gate as admitCommand: no append, no graph.
+    if (!log_.appendCommand(cmd)) {
+      failLogAppend(session, cmd.seq);
+      return;
+    }
     const ReplyFrame reply = service_.handle(cmd);
     if (reply.kind == ServiceKind::HelloOk) {
       serviceHello_ = true;
@@ -449,10 +514,13 @@ void TransportServer::startReplica(Session* session, const CommandFrame& cmd) {
     return;
   }
   session->replica = true;
-  if (service_.ready() && service_.scheduler().backlog() > 0) {
+  if (service_.ready() && !atConvergedBoundary()) {
     // Bootstrap only at a converged epoch boundary — never force an epoch
     // for it (that would perturb the primary's schedule). The next
-    // admitted command that drains the backlog flushes this list.
+    // admitted command that reaches a converged boundary flushes this
+    // list (an unconverged cap-hit epoch does not count, see
+    // atConvergedBoundary).
+    stats_.replicasDeferred.fetch_add(1);
     pendingReplicas_.push_back(session);
     return;
   }
@@ -480,7 +548,7 @@ void TransportServer::sendBootstrap(Session* session) {
 }
 
 void TransportServer::flushPendingReplicas() {
-  if (pendingReplicas_.empty() || service_.scheduler().backlog() > 0) return;
+  if (pendingReplicas_.empty() || !atConvergedBoundary()) return;
   std::vector<Session*> pending;
   pending.swap(pendingReplicas_);
   for (Session* session : pending) {
@@ -510,12 +578,13 @@ void TransportServer::replicate(const CommandFrame& cmd) {
 
 void TransportServer::maybeBackgroundSnapshot() {
   if (options_.snapshotEvery == 0 || options_.snapshotPath.empty()) return;
-  if (!service_.ready() || service_.scheduler().backlog() > 0) return;
+  if (!service_.ready() || !atConvergedBoundary()) return;
   const std::uint64_t epochs = service_.scheduler().epochsRun();
   if (epochs < lastSnapshotEpoch_ + options_.snapshotEvery) return;
-  // A converged boundary (backlog 0) that the policy reached on its own —
-  // background snapshots never force an epoch, unlike the client-driven
-  // Snapshot command they replace.
+  // A converged boundary the policy reached on its own — background
+  // snapshots never force an epoch, unlike the client-driven Snapshot
+  // command they replace, and like it they refuse an unconverged coloring
+  // (the gate above).
   const Checkpoint cp = service_.checkpoint();
   std::string error;
   std::uint64_t digest = 0;

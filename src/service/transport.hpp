@@ -28,7 +28,16 @@
 /// the client's reply. A client that has seen reply k can therefore rely on
 /// command k surviving a primary SIGKILL: the kernel delivers a dead peer's
 /// buffered socket bytes before EOF, so the standby receives every
-/// acknowledged command (§12.8).
+/// acknowledged command (§12.8). The contrapositive is enforced too: a
+/// command whose append fails (disk full, dead volume) is *refused* —
+/// `Error{IoError}`, session closed, never applied — and the failure is
+/// sticky in the log, so an acknowledged-but-unlogged command cannot exist.
+///
+/// **Slow peers.** The consumer is shared, so its writes must be bounded: a
+/// peer (client or replica) that stops reading gets `writeTimeoutMs` of
+/// grace per write and is then dropped. `stop()` shuts every session fd
+/// down *before* joining the consumer, so shutdown cannot deadlock behind
+/// a write even with the timeout disabled.
 ///
 /// This header is deliberately socket-blind (ints, not sockaddrs): the
 /// `transport-layering` dimalint rule confines the socket system headers to
@@ -109,6 +118,15 @@ struct TransportOptions {
   std::uint64_t snapshotEvery = 0;  ///< background snapshot period (epochs)
   std::string snapshotPath;        ///< checkpoint file the background snapshots write
   bool exitOnShutdown = false;     ///< a client Shutdown stops the server too
+  /// Per-session send timeout (SO_SNDTIMEO). All writes happen on the one
+  /// consumer thread, so a peer that stops reading would otherwise stall
+  /// every session; a write that cannot complete within this budget drops
+  /// that session instead. 0 = block forever (stop() still unblocks it).
+  std::uint32_t writeTimeoutMs = 5000;
+  /// Kernel send-buffer size (SO_SNDBUF) for accepted sockets; 0 keeps the
+  /// kernel default. A test/chaos knob: shrinking it makes a stalled peer
+  /// back-pressure the consumer after a deterministic number of bytes.
+  int sndbufBytes = 0;
 };
 
 /// Consumer-side counters (readable from any thread while running).
@@ -118,7 +136,9 @@ struct TransportStats {
   std::atomic<std::uint64_t> repliesWritten{0};
   std::atomic<std::uint64_t> framingErrors{0};
   std::atomic<std::uint64_t> replicasServed{0};
+  std::atomic<std::uint64_t> replicasDeferred{0};  ///< ReplSync waiting for a converged boundary
   std::atomic<std::uint64_t> snapshotsTaken{0};
+  std::atomic<std::uint64_t> logAppendFailures{0};  ///< commands refused, log unwritable
 };
 
 class TransportServer {
@@ -149,6 +169,11 @@ class TransportServer {
 
   const TransportStats& stats() const { return stats_; }
 
+  /// Fault injection for tests: reach the durable log (e.g. `poison()` it
+  /// to simulate a full disk). Only safe to call while the server runs —
+  /// the log itself is touched by the consumer thread alone.
+  CommandLog& commandLogForTest() { return log_; }
+
  private:
   struct Session;
 
@@ -169,6 +194,8 @@ class TransportServer {
   bool queuePop(QueueItem* item);
   void consumeFrame(Session* session, const CommandFrame& cmd);
   void admitCommand(Session* session, const CommandFrame& cmd);
+  void failLogAppend(Session* session, std::uint32_t seq);
+  bool atConvergedBoundary() const;
   void interceptHello(Session* session, const CommandFrame& cmd);
   void startReplica(Session* session, const CommandFrame& cmd);
   void sendBootstrap(Session* session);

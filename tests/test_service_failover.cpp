@@ -339,6 +339,60 @@ TEST(ServiceFailover, BootstrapRoundTripRebuildsTheStandbyExactly) {
   EXPECT_EQ(standby->colorDigest(), primary.colorDigest());
 }
 
+namespace {
+
+/// Overwrites the u64 at `offset` and re-seals the trailing FNV digest, so
+/// the blob passes the integrity check with a hostile field value — the
+/// digest is an integrity check, not a MAC, and any peer can recompute it.
+void forgeU64Field(std::vector<std::uint8_t>* bytes, std::size_t offset,
+                   std::uint64_t value) {
+  ASSERT_GE(bytes->size(), offset + 8 + 8);
+  for (int i = 0; i < 8; ++i) {
+    (*bytes)[offset + i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+  const std::uint64_t digest = fnv1a64(bytes->data(), bytes->size() - 8);
+  for (int i = 0; i < 8; ++i) {
+    (*bytes)[bytes->size() - 8 + i] =
+        static_cast<std::uint8_t>(digest >> (8 * i));
+  }
+}
+
+/// Byte offset of the latency-sample count inside an encoded bootstrap:
+/// magic(8) | flags(1) | seed, maxBatch, maxStaleness, maxCycles,
+/// mutations, queries, backlogPeak (7 × u64).
+constexpr std::size_t kSamplesOffset = 8 + 1 + 7 * 8;
+
+}  // namespace
+
+TEST(ServiceFailover, OverflowingSampleCountIsRejected) {
+  // A sample count whose ×8 wraps the counting type must not slip past the
+  // bounds check and walk the decode loop off the end of the blob.
+  ColoringService primary(primaryOptions());
+  std::vector<std::uint8_t> bytes = encodeBootstrap(captureBootstrap(primary));
+  forgeU64Field(&bytes, kSamplesOffset, ~std::uint64_t{0});
+  ReplicaBootstrap decoded;
+  std::string error;
+  EXPECT_FALSE(decodeBootstrap(bytes.data(), bytes.size(), &decoded, &error));
+  EXPECT_EQ(error, "bootstrap truncated");
+}
+
+TEST(ServiceFailover, OverflowingCheckpointLengthIsRejected) {
+  ColoringService primary(primaryOptions());
+  primary.handle(helloCmd(16));
+  primary.handle(flushCmd(1));
+  const ReplicaBootstrap b = captureBootstrap(primary);
+  ASSERT_TRUE(b.hasCore);
+  std::vector<std::uint8_t> bytes = encodeBootstrap(b);
+  // cpLen sits right after the samples block.
+  const std::size_t cpLenOffset =
+      kSamplesOffset + 8 + 8 * b.metrics.latency.size();
+  forgeU64Field(&bytes, cpLenOffset, ~std::uint64_t{0});
+  ReplicaBootstrap decoded;
+  std::string error;
+  EXPECT_FALSE(decodeBootstrap(bytes.data(), bytes.size(), &decoded, &error));
+  EXPECT_EQ(error, "bootstrap truncated");
+}
+
 TEST(ServiceFailover, CorruptBootstrapIsRejected) {
   const ServiceOptions so = primaryOptions();
   ColoringService primary(so);

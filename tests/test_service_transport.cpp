@@ -10,9 +10,12 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdint>
 #include <sstream>
 #include <string>
@@ -21,6 +24,7 @@
 
 #include "src/service/driver.hpp"
 #include "src/service/hostile.hpp"
+#include "src/service/replica.hpp"
 #include "src/service/service.hpp"
 #include "src/service/session.hpp"
 #include "src/service/wire.hpp"
@@ -393,6 +397,251 @@ TEST(ServiceTransportParity, PipeAndSocketReplyBytesIdentical) {
     EXPECT_EQ(pipeSvc.violations().size(), sockSvc.violations().size())
         << "round " << round;
   }
+}
+
+// --- slow peers must not stall the shared consumer ---------------------------
+
+/// Connects with a tiny SO_RCVBUF (set before connect so the TCP window is
+/// negotiated small): together with a small server-side SO_SNDBUF this makes
+/// a client that stops reading back-pressure the consumer's send() after a
+/// few KiB of replies instead of after megabytes of kernel buffering.
+Fd connectSmallRcvbuf(std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  EXPECT_TRUE(fd.valid());
+  const int rcvbuf = 4096;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  return fd;
+}
+
+/// Hello + `count` QueryColor frames as one byte blob (the queries miss, so
+/// every one earns a ColorInfo{NoSuchEdge} reply — pure write pressure).
+std::vector<std::uint8_t> stallStream(std::size_t count) {
+  std::vector<CommandFrame> frames;
+  frames.push_back(hello(16, 0));
+  for (std::uint32_t i = 0; i < count; ++i) {
+    frames.push_back(edgeCmd(ServiceKind::QueryColor, 1, 2, 1 + i));
+  }
+  return concatEncoded(frames);
+}
+
+/// Blocks until `repliesWritten` has been nonzero and unchanged for
+/// `stableSamples` × 100 ms: the consumer is either wedged in send() on a
+/// full socket, has dropped the stalled session, or is simply done. Six
+/// samples (600 ms) outlasts any single 200 ms send timeout, so after this
+/// returns a timed-out session has definitely been dropped already.
+void awaitReplyPlateau(const TransportServer& server, int stableSamples) {
+  std::uint64_t last = 0;
+  int stable = 0;
+  while (stable < stableSamples) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    const std::uint64_t now = server.stats().repliesWritten.load();
+    stable = (now > 0 && now == last) ? stable + 1 : 0;
+    last = now;
+  }
+}
+
+TEST(ServiceTransportSlowPeer, StopUnblocksConsumerBlockedOnStalledPeer) {
+  // REVIEW pin: with no write timeout, a peer that stops reading blocks the
+  // consumer inside send(). stop() must shut the session fds down BEFORE
+  // joining the consumer — joining first deadlocks forever.
+  ColoringService svc;
+  TransportOptions to;
+  to.writeTimeoutMs = 0;  // block forever: stop() is the only way out
+  to.sndbufBytes = 4096;
+  TransportServer server(svc, to);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  Fd client = connectSmallRcvbuf(server.port());
+  const std::vector<std::uint8_t> bytes = stallStream(4000);
+  std::thread writer(
+      [&] { (void)!writeAll(client.get(), bytes.data(), bytes.size()); });
+
+  // Wait until the reply counter plateaus: the consumer is either wedged
+  // in send() on the full socket (the expected case — only a fraction of
+  // the replies fit in the shrunken buffers) or, at worst, done.
+  awaitReplyPlateau(server, 4);
+
+  server.stop();  // must return: the fd shutdown fails the blocked send
+  writer.join();
+  EXPECT_GT(server.stats().repliesWritten.load(), 0u);
+}
+
+TEST(ServiceTransportSlowPeer, StalledPeerIsDroppedAfterWriteTimeout) {
+  // With a write timeout the stalled session is dropped on its own and the
+  // consumer keeps serving everyone else.
+  ColoringService svc;
+  TransportOptions to;
+  to.writeTimeoutMs = 200;
+  to.sndbufBytes = 4096;
+  TransportServer server(svc, to);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  Fd stalled = connectSmallRcvbuf(server.port());
+  const std::vector<std::uint8_t> bytes = stallStream(4000);
+  std::thread writer(
+      [&] { (void)!writeAll(stalled.get(), bytes.data(), bytes.size()); });
+
+  // Stay stalled (read NOTHING) until the reply counter has been flat for
+  // longer than the write timeout — by then the wedged send has expired
+  // and the session is dropped. Only then drain: the replies already
+  // buffered for the dead session come out, followed by EOF.
+  awaitReplyPlateau(server, 6);
+  std::uint8_t buf[4096];
+  while (readSome(stalled.get(), buf, sizeof(buf)) > 0) {
+  }
+  writer.join();
+
+  // The consumer survived and still serves a healthy session.
+  Fd healthy = connectTcp("127.0.0.1", server.port(), &error);
+  ASSERT_TRUE(healthy.valid()) << error;
+  sendFrame(healthy.get(), hello(16, 7));
+  ReplyReader reader;
+  ReplyFrame r = readReply(healthy.get(), &reader);
+  EXPECT_EQ(r.kind, ServiceKind::HelloOk);
+  sendFrame(healthy.get(), edgeCmd(ServiceKind::InsertEdge, 0, 1, 8));
+  r = readReply(healthy.get(), &reader);
+  EXPECT_EQ(r.kind, ServiceKind::Ack);
+  server.stop();
+}
+
+// --- durability gate ---------------------------------------------------------
+
+TEST(ServiceTransportDurability, LogAppendFailureRefusesTheCommand) {
+  // REVIEW pin: an append the log could not durably record must never be
+  // applied and acked — reply Error{IoError}, close the session, and stay
+  // failed (a torn record would orphan everything appended after it).
+  ColoringService svc;
+  TransportOptions to;
+  to.logPath = testing::TempDir() + "transport_poisoned.dimalog";
+  TransportServer server(svc, to);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  Fd a = connectTcp("127.0.0.1", server.port(), &error);
+  ASSERT_TRUE(a.valid()) << error;
+  ReplyReader readerA;
+  sendFrame(a.get(), hello(16, 0));
+  ASSERT_EQ(readReply(a.get(), &readerA).kind, ServiceKind::HelloOk);
+  sendFrame(a.get(), edgeCmd(ServiceKind::InsertEdge, 0, 1, 1));
+  ASSERT_EQ(readReply(a.get(), &readerA).kind, ServiceKind::Ack);
+
+  server.commandLogForTest().poison();  // the disk just filled up
+
+  sendFrame(a.get(), edgeCmd(ServiceKind::InsertEdge, 1, 2, 2));
+  ReplyFrame r = readReply(a.get(), &readerA);
+  EXPECT_EQ(r.kind, ServiceKind::Error);
+  EXPECT_EQ(r.status, static_cast<std::uint8_t>(ErrorCode::IoError));
+  std::uint8_t buf[16];
+  EXPECT_LE(readSome(a.get(), buf, sizeof(buf)), 0)
+      << "refused session must be disconnected";
+
+  // Sticky: a fresh session attaches fine (no state change) but its next
+  // mutation is refused the same way.
+  Fd b = connectTcp("127.0.0.1", server.port(), &error);
+  ASSERT_TRUE(b.valid()) << error;
+  ReplyReader readerB;
+  sendFrame(b.get(), hello(16, 3));
+  EXPECT_EQ(readReply(b.get(), &readerB).kind, ServiceKind::HelloOk);
+  sendFrame(b.get(), edgeCmd(ServiceKind::InsertEdge, 2, 3, 4));
+  r = readReply(b.get(), &readerB);
+  EXPECT_EQ(r.kind, ServiceKind::Error);
+  EXPECT_EQ(r.status, static_cast<std::uint8_t>(ErrorCode::IoError));
+
+  server.stop();
+  EXPECT_EQ(server.stats().logAppendFailures.load(), 2u);
+  // Neither refused insert reached the service.
+  CommandFrame flush = makeFrame<ServiceKind::Flush, CommandFrame>();
+  svc.handle(flush);
+  EXPECT_EQ(svc.graph().numEdges(), 1u);
+}
+
+// --- converged-boundary gate -------------------------------------------------
+
+TEST(ServiceTransportBoundary, UnconvergedEpochDefersBootstrapAndSnapshot) {
+  // REVIEW pin: an epoch that hit the maxCycles cap drains the backlog with
+  // converged=false. backlog()==0 alone must not admit a background
+  // snapshot or a replica bootstrap — the Snapshot command itself refuses
+  // exactly that state (NotConverged).
+  ServiceOptions so;
+  so.seed = 0xcab1eULL;
+  so.maxCycles = 1;            // a 4-edge star cannot converge in one cycle
+  so.policy.maxBatch = 1024;   // only Flush runs epochs
+  ColoringService svc(so);
+  TransportOptions to;
+  to.snapshotEvery = 1;
+  to.snapshotPath = testing::TempDir() + "transport_boundary.ckp";
+  TransportServer server(svc, to);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  Fd a = connectTcp("127.0.0.1", server.port(), &error);
+  ASSERT_TRUE(a.valid()) << error;
+  ReplyReader readerA;
+  sendFrame(a.get(), hello(8, 0));
+  ASSERT_EQ(readReply(a.get(), &readerA).kind, ServiceKind::HelloOk);
+  for (std::uint32_t i = 1; i <= 4; ++i) {
+    sendFrame(a.get(), edgeCmd(ServiceKind::InsertEdge, 0, i, i));
+    ASSERT_EQ(readReply(a.get(), &readerA).kind, ServiceKind::Ack);
+  }
+  CommandFrame flush = makeFrame<ServiceKind::Flush, CommandFrame>();
+  flush.seq = 10;
+  sendFrame(a.get(), flush);
+  ReplyFrame r = readReply(a.get(), &readerA);
+  ASSERT_EQ(r.kind, ServiceKind::Error);
+  ASSERT_EQ(r.status, static_cast<std::uint8_t>(ErrorCode::NotConverged));
+  EXPECT_EQ(server.stats().snapshotsTaken.load(), 0u)
+      << "snapshotted an unconverged coloring";
+
+  // A standby syncing now must be deferred, not fed the unconverged state.
+  Fd b = connectTcp("127.0.0.1", server.port(), &error);
+  ASSERT_TRUE(b.valid()) << error;
+  ReplicaClient standby;
+  std::string syncError;
+  std::thread syncer([&] {
+    EXPECT_TRUE(standby.sync(b.get(), &syncError)) << syncError;
+  });
+  while (server.stats().replicasDeferred.load() +
+             server.stats().replicasServed.load() ==
+         0) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(server.stats().replicasServed.load(), 0u)
+      << "bootstrapped a standby off an unconverged boundary";
+
+  // Flush until the star converges (one cycle per epoch colors at least
+  // one edge); the converging admission flushes the pending standby.
+  bool converged = false;
+  for (std::uint32_t i = 0; i < 200 && !converged; ++i) {
+    flush.seq = 100 + i;
+    sendFrame(a.get(), flush);
+    r = readReply(a.get(), &readerA);
+    converged = r.kind == ServiceKind::EpochDone;
+  }
+  ASSERT_TRUE(converged) << "star never converged under the cycle cap";
+  syncer.join();
+  // The converging admission serves the pending bootstrap and then takes
+  // the deferred background snapshot; both land moments after the client
+  // saw its EpochDone reply, so wait rather than sample.
+  while (server.stats().replicasServed.load() < 1 ||
+         server.stats().snapshotsTaken.load() < 1) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(server.stats().replicasServed.load(), 1u);
+
+  server.stop();
+  // The standby got the *converged* state: bit-identical to the primary.
+  ASSERT_NE(standby.service(), nullptr);
+  EXPECT_EQ(standby.service()->colorDigest(), svc.colorDigest());
+  EXPECT_EQ(standby.service()->statsTable(), svc.statsTable());
 }
 
 // --- small-budget soak (the `soak` tier runs the big one) --------------------
