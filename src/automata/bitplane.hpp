@@ -139,6 +139,7 @@ inline void forEachBitIn(std::size_t wordIndex, Word word, Fn&& fn) {
 /// worker owns, and two passes over same-sized planes see identical chunk
 /// boundaries (`ThreadPool::forEachChunk` contract).
 template <class Fn>
+// dimacheck: hot-path
 inline void forPlaneWords(const support::DynamicBitset& plane,
                           support::ThreadPool* pool, Fn&& fn) {
   const auto words = plane.words();

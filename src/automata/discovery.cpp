@@ -106,6 +106,8 @@ bool MatchingDiscovery::localWorkDone(net::NodeId u) const {
                      [](bool retired) { return retired; });
 }
 
+// dimacheck: observer-slot — folds shared round counters; must only run
+// from the exclusive observer slot, never from a per-node hook.
 void MatchingDiscovery::finishRoundAccounting() {
   std::size_t pairs = 0;
   for (DiscoveryNode& s : nodes_) {

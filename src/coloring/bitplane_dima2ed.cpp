@@ -3,7 +3,6 @@
 #include "src/coloring/bitplane_engines.hpp"
 #include "src/net/message.hpp"
 #include "src/support/assert.hpp"
-#include "src/support/small_vector.hpp"
 
 // dimalint: hot-path — no std::function, no per-message allocation.
 
@@ -286,16 +285,33 @@ void BitPlaneDima2Ed::runCycle() {
       forEachBitIn(w, word, [&](NodeId v) {
         const std::uint32_t cnt = keptCount_[v];
         if (cnt == 0) return;
-        support::SmallVector<std::uint32_t, 8> valid;
+        // Draw among the valid invitations without materializing the set
+        // (the round loop must stay allocation-free, and cnt is degree-
+        // bounded): count them, draw once, then find the drawn one. The
+        // single index(validCount) call keeps the RNG stream — and hence
+        // the colors — bit-identical to the materialized version.
+        std::uint32_t validCount = 0;
         for (std::uint32_t i = 0; i < cnt; ++i) {
           const auto c = static_cast<std::size_t>(keptColor_[off_[v] + i]);
           if (!overheard_.test(v, c) && !forbidden_.test(v, c)) {
-            valid.push_back(i);
+            ++validCount;
           }
         }
-        if (valid.empty()) return;  // no draw, exactly like the reference
-        const std::size_t slot =
-            off_[v] + valid[rng_[v].index(valid.size())];
+        if (validCount == 0) return;  // no draw, exactly like the reference
+        auto pick =
+            static_cast<std::uint32_t>(rng_[v].index(validCount));
+        std::uint32_t chosen = 0;
+        for (std::uint32_t i = 0; i < cnt; ++i) {
+          const auto c = static_cast<std::size_t>(keptColor_[off_[v] + i]);
+          if (!overheard_.test(v, c) && !forbidden_.test(v, c)) {
+            if (pick == 0) {
+              chosen = i;
+              break;
+            }
+            --pick;
+          }
+        }
+        const std::size_t slot = off_[v] + chosen;
         const NodeId from = keptFrom_[slot];
         const Color color = keptColor_[slot];
         const std::uint32_t idx = keptIdx_[slot];

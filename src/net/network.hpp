@@ -117,6 +117,7 @@ class SyncNetwork {
   /// counts as one transmission. A broadcast is the node's entire allowance
   /// for the round: it cannot be combined with unicasts or another
   /// broadcast. Callable concurrently for distinct senders.
+  // dimacheck: hot-path
   void broadcast(NodeId from, const M& m) {
     roundPhase_.assertShared();  // send phase: epochs are read-only
     checkNode(from);
@@ -141,6 +142,7 @@ class SyncNetwork {
   /// tag doubles as the duplicate-target mark, so the check is O(log deg)
   /// for the adjacency lookup and O(1) beyond it). Callable concurrently for
   /// distinct senders.
+  // dimacheck: hot-path
   void unicast(NodeId from, NodeId to, const M& m) {
     roundPhase_.assertShared();  // send phase: epochs are read-only
     checkNode(from);
@@ -172,6 +174,7 @@ class SyncNetwork {
   /// Nothing is cleared — stale slots are filtered by tag. Must be called
   /// from one thread, between the send and receive phases (the executor's
   /// barrier provides the ordering).
+  // dimacheck: hot-path
   void deliverRound() {
     // The executor's barrier serializes this against every sender/reader;
     // it is the only mutation point of the epoch counters.

@@ -147,6 +147,7 @@ class ShardedNetwork {
   /// Same contract as `SyncNetwork::broadcast`: one transmission into every
   /// neighbor's slot (or boundary record), the sender's whole round
   /// allowance. Callable concurrently for distinct senders.
+  // dimacheck: hot-path
   void broadcast(NodeId from, const M& m) {
     roundPhase_.assertShared();
     checkNode(from);
@@ -167,6 +168,7 @@ class ShardedNetwork {
 
   /// Same contract as `SyncNetwork::unicast`: one slot, adjacency checked,
   /// duplicate targets and broadcast/unicast mixing rejected.
+  // dimacheck: hot-path
   void unicast(NodeId from, NodeId to, const M& m) {
     roundPhase_.assertShared();
     checkNode(from);
@@ -197,6 +199,7 @@ class ShardedNetwork {
   /// from the shard's own thread, between the all-sends-done barrier and
   /// the epoch bump; each record has a fixed destination slot, so merge
   /// order cannot affect inbox contents.
+  // dimacheck: hot-path
   void mergeInbound(std::uint32_t s) {
     roundPhase_.assertShared();
     mergeRecords(s);
@@ -205,6 +208,7 @@ class ShardedNetwork {
   /// Publishes the just-written epoch and opens the next one. Serial, at
   /// the executor's barrier — `mergeInbound` must already have run for
   /// every shard (the barrier schedule guarantees it).
+  // dimacheck: hot-path
   void advanceEpochs() {
     roundPhase_.assertExclusive();
     readEpoch_ = sendEpoch_;
@@ -215,6 +219,7 @@ class ShardedNetwork {
   /// Serial-executor delivery: merge every shard, then bump. This is what
   /// `runSyncProtocol` calls, so a traced (serial) run drives the sharded
   /// substrate with no engine changes at all.
+  // dimacheck: hot-path
   void deliverRound() {
     roundPhase_.assertExclusive();
     for (std::uint32_t s = 0; s < part_.count; ++s) mergeRecords(s);

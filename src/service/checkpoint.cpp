@@ -1,7 +1,10 @@
 #include "src/service/checkpoint.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
+
+#include "src/service/wire_length.hpp"
 
 namespace dima::service {
 
@@ -129,32 +132,80 @@ bool decodeCheckpoint(const std::uint8_t* data, std::size_t size,
   cp->seed = in.takeU64();
   cp->repairs = in.takeU64();
   cp->epoch = in.takeU64();
-  cp->n = in.takeU64();
-  const std::uint64_t slotCount = in.takeU64();
-  if (!in.ok() || slotCount > in.remaining() / 8) {
+
+  // Everything below is attacker-controlled until proven otherwise: the
+  // digest is an integrity check, not authentication, so a forged-but-
+  // self-consistent checkpoint arrives here via the replication bootstrap
+  // (`decodeBootstrap`). Every structural invariant that
+  // `DynamicGraph::fromSlots` / `restoreState` would enforce with a
+  // DIMA_REQUIRE abort must be re-checked here as a soft failure first —
+  // otherwise a hostile peer can crash the replica, or size `n` to make
+  // the per-vertex overlay allocation a memory bomb.
+  const auto n = WireLength(in.takeU64()).below(kMaxServiceVertices);
+  if (!in.ok() || !n) return fail(error, "checkpoint vertex count implausible");
+  cp->n = *n;
+
+  const auto slotCount = WireLength(in.takeU64()).below(in.remaining() / 8);
+  if (!in.ok() || !slotCount) {
     return fail(error, "checkpoint slot count implausible");
   }
   cp->slots.clear();
-  cp->slots.reserve(static_cast<std::size_t>(slotCount));
-  for (std::uint64_t i = 0; i < slotCount; ++i) {
+  cp->slots.reserve(static_cast<std::size_t>(*slotCount));
+  std::vector<std::uint64_t> liveKeys;
+  std::size_t deadSlots = 0;
+  for (std::uint64_t i = 0; i < *slotCount; ++i) {
     graph::Edge e;
     e.u = in.takeU32();
     e.v = in.takeU32();
+    if (e.u == graph::kNoVertex) {
+      ++deadSlots;
+    } else if (e.u >= e.v || e.v >= cp->n) {
+      return fail(error, "checkpoint slot holds an invalid edge");
+    } else {
+      liveKeys.push_back((static_cast<std::uint64_t>(e.u) << 32) | e.v);
+    }
     cp->slots.push_back(e);
   }
-  const std::uint64_t freeCount = in.takeU64();
-  if (!in.ok() || freeCount > in.remaining() / 4) {
+  std::sort(liveKeys.begin(), liveKeys.end());
+  if (std::adjacent_find(liveKeys.begin(), liveKeys.end()) !=
+      liveKeys.end()) {
+    return fail(error, "checkpoint slots duplicate an edge");
+  }
+
+  const auto freeCount = WireLength(in.takeU64()).below(in.remaining() / 4);
+  if (!in.ok() || !freeCount || *freeCount != deadSlots) {
     return fail(error, "checkpoint free-id count implausible");
   }
   cp->freeIds.clear();
-  cp->freeIds.reserve(static_cast<std::size_t>(freeCount));
-  for (std::uint64_t i = 0; i < freeCount; ++i) {
-    cp->freeIds.push_back(in.takeU32());
+  cp->freeIds.reserve(static_cast<std::size_t>(*freeCount));
+  std::vector<std::uint8_t> seen(cp->slots.size(), 0);
+  for (std::uint64_t i = 0; i < *freeCount; ++i) {
+    const graph::EdgeId id = in.takeU32();
+    if (id >= cp->slots.size() || cp->slots[id].u != graph::kNoVertex ||
+        seen[id] != 0) {
+      return fail(error, "checkpoint free-id is not a unique dead slot");
+    }
+    seen[id] = 1;
+    cp->freeIds.push_back(id);
   }
+
+  // Colors are fed straight into per-vertex used-color bitsets on restore,
+  // so an out-of-range color is an allocation bomb of its own. 2n is a
+  // generous structural bound: any proper edge coloring uses at most
+  // 2·Δ − 1 < 2n colors.
+  const std::uint64_t colorBound = 2 * cp->n;
   cp->colors.clear();
-  cp->colors.reserve(static_cast<std::size_t>(slotCount));
-  for (std::uint64_t i = 0; i < slotCount; ++i) {
-    cp->colors.push_back(static_cast<coloring::Color>(in.takeU32()));
+  cp->colors.reserve(static_cast<std::size_t>(*slotCount));
+  for (std::uint64_t i = 0; i < *slotCount; ++i) {
+    const auto c = static_cast<coloring::Color>(in.takeU32());
+    const bool dead = cp->slots[static_cast<std::size_t>(i)].u ==
+                      graph::kNoVertex;
+    if (dead ? c != coloring::kNoColor
+             : c != coloring::kNoColor &&
+                   (c < 0 || static_cast<std::uint64_t>(c) >= colorBound)) {
+      return fail(error, "checkpoint color out of range");
+    }
+    cp->colors.push_back(c);
   }
   if (!in.ok()) return fail(error, "checkpoint truncated");
   if (in.remaining() != 0) return fail(error, "checkpoint has trailing bytes");

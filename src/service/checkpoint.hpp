@@ -26,9 +26,15 @@
 ///     slotCount × i32 color                        (uncolored: -1)
 ///     u64 digest                                   (FNV-1a of all prior bytes)
 ///
-/// `load` verifies the magic, the digest, and every structural invariant
-/// (via `fromSlots`); a truncated or bit-flipped file is rejected with a
-/// message, never half-restored.
+/// The decoder verifies the magic, the digest, and — because checkpoints
+/// also arrive over the replication wire, where the digest is forgeable —
+/// every structural invariant itself, *before* anything allocates or
+/// reaches the aborting DIMA_REQUIREs in `fromSlots`/`restoreState`:
+/// `n ≤ kMaxServiceVertices`, live slots hold `u < v < n` with no
+/// duplicate edge, the free-id stack exactly covers the dead slots, and
+/// every color is kNoColor or inside the structural palette bound. A
+/// truncated, bit-flipped, or forged file is rejected with a message,
+/// never half-restored and never aborted on.
 
 #include <cstdint>
 #include <string>
@@ -38,6 +44,13 @@
 #include "src/graph/graph.hpp"
 
 namespace dima::service {
+
+/// Hard cap on the vertex count a Hello may request (memory guard: the
+/// overlay allocates per-vertex state eagerly). It also bounds `n` in a
+/// decoded checkpoint — checkpoints arrive over the replication wire
+/// (`decodeBootstrap`), so the decoder must reject an attacker-sized graph
+/// before anything allocates.
+inline constexpr std::uint32_t kMaxServiceVertices = 1u << 24;
 
 /// Resumable service state, decoupled from the live objects.
 struct Checkpoint {

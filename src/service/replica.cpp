@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/service/transport.hpp"
+#include "src/service/wire_length.hpp"
 #include "src/support/assert.hpp"
 
 namespace dima::service {
@@ -320,30 +321,31 @@ bool decodeBootstrap(const std::uint8_t* data, std::size_t size,
   b->metrics.mutations = getU64(p); p += 8;
   b->metrics.queries = getU64(p); p += 8;
   b->metrics.backlogPeak = static_cast<std::size_t>(getU64(p)); p += 8;
-  const std::uint64_t samples = getU64(p); p += 8;
   // `samples` is wire-controlled (the FNV digest is an integrity check,
-  // not a MAC), so bound it without multiplying: samples*8 can wrap the
-  // counting type and slip past a `need()`-style check.
-  if (samples > static_cast<std::uint64_t>(end - p) / 8) {
-    return fail("bootstrap truncated");
-  }
-  b->metrics.latency.reserve(static_cast<std::size_t>(samples));
-  for (std::uint64_t i = 0; i < samples; ++i) {
+  // not a MAC). WireLength has no arithmetic, so the bound must divide the
+  // budget rather than multiply the count: samples*8 can wrap the counting
+  // type and slip past a `need()`-style check.
+  const auto samples = WireLength(getU64(p)).below(
+      static_cast<std::uint64_t>(end - p - 8) / 8);
+  p += 8;
+  if (!samples) return fail("bootstrap truncated");
+  b->metrics.latency.reserve(static_cast<std::size_t>(*samples));
+  for (std::uint64_t i = 0; i < *samples; ++i) {
     b->metrics.latency.push_back(getU64(p));
     p += 8;
   }
   if (b->hasCore) {
     if (!need(8)) return false;
-    const std::uint64_t cpLen = getU64(p); p += 8;
-    // Compare as u64 for the same reason: a size_t cast could truncate.
-    if (cpLen > static_cast<std::uint64_t>(end - p)) {
-      return fail("bootstrap truncated");
-    }
-    if (!decodeCheckpoint(p, static_cast<std::size_t>(cpLen), &b->cp,
+    // Compared as u64 for the same reason: a size_t cast could truncate.
+    const auto cpLen = WireLength(getU64(p)).below(
+        static_cast<std::uint64_t>(end - p - 8));
+    p += 8;
+    if (!cpLen) return fail("bootstrap truncated");
+    if (!decodeCheckpoint(p, static_cast<std::size_t>(*cpLen), &b->cp,
                           error)) {
       return false;
     }
-    p += cpLen;
+    p += *cpLen;
   }
   if (p != end) return fail("bootstrap has trailing bytes");
   return true;

@@ -61,9 +61,8 @@ struct ServiceOptions {
   bool detTime = false;
 };
 
-/// Hard cap on the vertex count a Hello may request (memory guard: the
-/// overlay allocates per-vertex state eagerly).
-inline constexpr std::uint32_t kMaxServiceVertices = 1u << 24;
+// kMaxServiceVertices (the Hello/checkpoint vertex cap) lives in
+// checkpoint.hpp, next to the decoder that enforces it on the wire path.
 
 class ColoringService {
  public:

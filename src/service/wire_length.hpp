@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file wire_length.hpp
+/// `WireLength`: a strong type for counts and byte lengths read off the
+/// wire. The PR-9 bootstrap bug was a wire-controlled `samples * 8`
+/// overflowing the comparison type, turning the length check into a no-op;
+/// this type makes that shape unrepresentable. A `WireLength` has no
+/// arithmetic at all — the deleted operators below turn `len * 8` into a
+/// compile error (pinned by tests/negative_compile/wire_length_unchecked
+/// .cpp) — and the only way to extract the raw value is `below(limit)`,
+/// which forces the bounds comparison the dimacheck wire-taint rule looks
+/// for into the code path.
+///
+/// Usage at a decode site:
+///
+///     const auto samples = WireLength(getU64(&p));
+///     const auto n = samples.below(remaining / 8);
+///     if (!n) return fail(error, "truncated sample section");
+///     // *n is checked: *n * 8 <= remaining, no wrap possible.
+
+#include <cstdint>
+#include <optional>
+
+namespace dima::service {
+
+class WireLength {
+ public:
+  explicit constexpr WireLength(std::uint64_t raw) : raw_(raw) {}
+
+  /// The one exit: the raw value, provided it does not exceed `limit`.
+  /// Dividing the budget (`remaining / elemSize`) instead of multiplying
+  /// the count is what keeps the comparison wrap-free.
+  [[nodiscard]] constexpr std::optional<std::uint64_t> below(
+      std::uint64_t limit) const {
+    if (raw_ > limit) return std::nullopt;
+    return raw_;
+  }
+
+  /// For diagnostics only (log/error messages), never for sizing.
+  [[nodiscard]] constexpr std::uint64_t raw() const { return raw_; }
+
+  // No arithmetic on an unchecked length: every one of these is the first
+  // step of a wrap bug.
+  template <class T> WireLength operator*(T) const = delete;
+  template <class T> WireLength operator+(T) const = delete;
+  template <class T> WireLength operator-(T) const = delete;
+  template <class T> WireLength operator<<(T) const = delete;
+
+ private:
+  std::uint64_t raw_;
+};
+
+}  // namespace dima::service

@@ -1,0 +1,14 @@
+// Fixture: blocking-call-confinement must flag a socket/poll syscall in
+// any TU other than src/service/transport.cpp, with a caller trace.
+namespace fix {
+
+int waitReadable(int fd, int timeoutMs) {
+  // Blocking syscall outside the transport TU.
+  return ::poll(nullptr, 0, timeoutMs) + fd * 0;
+}
+
+int sessionLoop(int fd) {
+  return waitReadable(fd, 1000);
+}
+
+}  // namespace fix

@@ -1,0 +1,45 @@
+// Clean counterpart of single-writer-flow: every half() mutation is
+// EndpointHalf-minted, and the observer-slot fold is called from the
+// sync driver, not from a per-node hook.
+namespace fix {
+
+struct EndpointHalf {
+  static unsigned ownedBy(unsigned node);
+  static unsigned arcEnd(unsigned arc);
+};
+
+struct CommitHalves {
+  void half(unsigned arc, unsigned token);
+};
+
+class Proto {
+ public:
+  void onCycleEnd(unsigned v) { lastNode_ = v; }
+
+  void commitInline(CommitHalves& halves, unsigned arc, unsigned node) {
+    halves.half(arc, EndpointHalf::ownedBy(node));
+  }
+
+  void commitThreaded(CommitHalves& halves, unsigned arc,
+                      EndpointHalf token) {
+    halves.half(arc, tokenValue(token));
+  }
+
+  void finishRoundAccounting();
+
+ private:
+  unsigned tokenValue(EndpointHalf token);
+  unsigned lastNode_ = 0;
+  unsigned rounds_ = 0;
+};
+
+void Proto::finishRoundAccounting() { rounds_ += 1; }
+
+// The sync driver owns the exclusive observer slot; calling the fold from
+// here is the sanctioned path.
+void runSyncRound(Proto& proto, unsigned nodes) {
+  for (unsigned v = 0; v < nodes; ++v) proto.onCycleEnd(v);
+  proto.finishRoundAccounting();
+}
+
+}  // namespace fix

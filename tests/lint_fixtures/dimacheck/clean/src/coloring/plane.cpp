@@ -1,0 +1,34 @@
+// Clean counterpart of hot-path-reachability: the plane lambda and the
+// annotated hot function touch only preallocated state. The placement-new
+// in constructAt must NOT count as allocation.
+namespace fix {
+
+using Word = unsigned long long;
+
+template <class Fn>
+void forPlaneWords(const Word* words, unsigned n, Fn&& fn) {
+  for (unsigned w = 0; w < n; ++w) {
+    if (words[w] != 0) fn(w, words[w]);
+  }
+}
+
+void foldWord(unsigned w, Word word, unsigned* sink) {
+  *sink += static_cast<unsigned>(word >> (w % 8));
+}
+
+void runCycle(const Word* words, unsigned n, unsigned* sink) {
+  forPlaneWords(words, n, [&](unsigned w, Word word) {
+    foldWord(w, word, sink);
+  });
+}
+
+// dimacheck: hot-path
+void deliverRound(unsigned* slots, unsigned n, unsigned epoch) {
+  for (unsigned i = 0; i < n; ++i) slots[i] = epoch;
+}
+
+void constructAt(void* slot, unsigned value) {
+  ::new (slot) unsigned(value);  // placement new: no allocation
+}
+
+}  // namespace fix

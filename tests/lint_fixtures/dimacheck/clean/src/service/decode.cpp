@@ -1,0 +1,37 @@
+// Clean counterpart of the wire-taint fixture: every wire-decoded value
+// crosses a bounds comparison (dividing the budget, never multiplying the
+// count) before it sizes, indexes, or multiplies anything.
+#include <cstdint>
+#include <vector>
+
+namespace fix {
+
+std::uint64_t getU64(const std::uint8_t** p);
+
+struct Reader {
+  std::uint64_t takeU64();
+};
+
+bool decodeBootstrap(const std::uint8_t* p, const std::uint8_t* end,
+                     std::vector<std::uint64_t>* out) {
+  const std::uint64_t samples = getU64(&p);
+  // Right: divide the remaining budget; nothing can wrap.
+  if (samples > static_cast<std::uint64_t>(end - p) / 8) {
+    return false;
+  }
+  out->reserve(samples);
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    out->push_back(getU64(&p));
+  }
+  return true;
+}
+
+bool decodeHeader(Reader& in, std::vector<std::uint32_t>* slots,
+                  std::uint64_t limit) {
+  const std::uint64_t count = in.takeU64();
+  if (count > limit) return false;
+  slots->resize(count);
+  return true;
+}
+
+}  // namespace fix

@@ -1,0 +1,13 @@
+// Clean counterpart of blocking-call-confinement: the syscalls live in the
+// one TU allowed to make them.
+namespace fix {
+
+int waitIo(int fd, int timeoutMs) {
+  return ::poll(nullptr, 0, timeoutMs) + fd * 0;
+}
+
+int pump(int fd) {
+  return ::recv(fd, nullptr, 0, 0);
+}
+
+}  // namespace fix

@@ -1,0 +1,27 @@
+// Fixture: hot-path-reachability must flag an allocation reached
+// *transitively* from a forPlaneWords lambda — the banned token is two
+// hops from the root, in a helper the lambda calls.
+namespace fix {
+
+using Word = unsigned long long;
+
+template <class Fn>
+void forPlaneWords(const Word* words, unsigned n, Fn&& fn) {
+  for (unsigned w = 0; w < n; ++w) {
+    if (words[w] != 0) fn(w, words[w]);
+  }
+}
+
+unsigned* scratchBuffer() {
+  return new unsigned[64];  // the allocation the round loop must not reach
+}
+
+void runCycle(const Word* words, unsigned n, unsigned* sink) {
+  forPlaneWords(words, n, [&](unsigned w, Word word) {
+    unsigned* s = scratchBuffer();
+    s[0] = static_cast<unsigned>(word) + w;
+    *sink += s[0];
+  });
+}
+
+}  // namespace fix

@@ -1,0 +1,34 @@
+// Fixture: single-writer-flow must flag (a) a CommitHalves::half()
+// mutation with no EndpointHalf token anywhere in sight, and (b) a
+// per-node hook that reaches an observer-slot-only function.
+namespace fix {
+
+struct CommitHalves {
+  void half(unsigned arc, unsigned token);
+};
+
+class Proto {
+ public:
+  // Per-node hook: runs concurrently across nodes inside a cycle, so it
+  // must never reach the shared-counter fold.
+  void onCycleEnd(unsigned v) {
+    lastNode_ = v;
+    finishRoundAccounting();
+  }
+
+  void finishRoundAccounting();
+
+  // A forged integer where the capability token belongs.
+  void forgeCommit(CommitHalves& halves, unsigned arc) {
+    halves.half(arc, forgedToken_);
+  }
+
+ private:
+  unsigned forgedToken_ = 7;
+  unsigned lastNode_ = 0;
+  unsigned rounds_ = 0;
+};
+
+void Proto::finishRoundAccounting() { rounds_ += 1; }
+
+}  // namespace fix

@@ -1,0 +1,37 @@
+// Fixture: wire-taint must flag wire-decoded integers that reach a
+// multiplication, an index, or an allocation size before any bounds check.
+//
+// The first function is the PR-9 bootstrap bug in its original shape: the
+// length check multiplies the wire-controlled count, so `samples * 8`
+// wraps the comparison type and the check passes for absurd counts. The
+// self-check pins that this yields a *multiplication* finding forever.
+#include <cstdint>
+#include <vector>
+
+namespace fix {
+
+std::uint64_t getU64(const std::uint8_t** p);
+
+struct Reader {
+  std::uint64_t takeU64();
+};
+
+bool decodeBootstrap(const std::uint8_t* p, const std::uint8_t* end,
+                     std::vector<std::uint64_t>* out) {
+  const std::uint64_t samples = getU64(&p);
+  // Wrong: the product wraps, so the bound is a no-op for huge counts.
+  if (static_cast<std::uint64_t>(end - p) < samples * 8) {
+    return false;
+  }
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    out->push_back(getU64(&p));
+  }
+  return true;
+}
+
+void decodeHeader(Reader& in, std::vector<std::uint32_t>* slots) {
+  const std::uint64_t count = in.takeU64();
+  slots->resize(count);  // unchecked wire count sizes an allocation
+}
+
+}  // namespace fix

@@ -1,0 +1,38 @@
+// Negative compile case: `WireLength` (src/service/wire_length.hpp) makes
+// the PR-9 bug class — arithmetic on a wire-controlled length before its
+// bounds check — unrepresentable. The blessed path extracts the raw value
+// through `below(limit)`, which forces the comparison; multiplying the
+// length directly must hit the deleted operator and fail to compile.
+//
+// Compiled twice by the harness (tests/negative_compile/run_case.cmake):
+// without DIMA_EXPECT_FAIL it must compile; with it, it must not.
+
+#include <cstdint>
+
+#include "src/service/wire_length.hpp"
+
+namespace s = dima::service;
+
+std::uint64_t blessedDecode(std::uint64_t wireCount,
+                            std::uint64_t remainingBytes) {
+  const s::WireLength samples(wireCount);
+  // The one exit: divide the budget, never multiply the count.
+  const auto checked = samples.below(remainingBytes / 8);
+  return checked ? *checked : 0;
+}
+
+static_assert(s::WireLength(4).below(8).value() == 4,
+              "below() passes a length inside the limit");
+static_assert(!s::WireLength(9).below(8).has_value(),
+              "below() rejects a length beyond the limit");
+
+#ifdef DIMA_EXPECT_FAIL
+// The original bug shape: `samples * 8` can wrap the comparison type. The
+// deleted operator* must reject it at compile time.
+std::uint64_t forgedDecode(std::uint64_t wireCount) {
+  const s::WireLength samples(wireCount);
+  return (samples * 8).raw();
+}
+#endif
+
+int main() { return 0; }

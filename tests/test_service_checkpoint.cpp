@@ -71,6 +71,95 @@ TEST(ServiceCheckpoint, CorruptAndTruncatedFilesAreRejected) {
   EXPECT_FALSE(decodeCheckpoint(padded.data(), padded.size(), &back, &error));
 }
 
+/// Encodes the (possibly invalid) checkpoint and expects the decoder to
+/// reject it. encodeCheckpoint stamps a valid digest, so these are exactly
+/// the forged-but-self-consistent bytes a hostile replication peer can
+/// send (the FNV digest is an integrity check, not a MAC): each must fail
+/// *softly*, never reach the aborting DIMA_REQUIREs in fromSlots, and
+/// never drive an attacker-sized allocation.
+void expectForgedRejected(const Checkpoint& forged, const char* why) {
+  const std::vector<std::uint8_t> bytes = encodeCheckpoint(forged);
+  Checkpoint back;
+  std::string error;
+  EXPECT_FALSE(decodeCheckpoint(bytes.data(), bytes.size(), &back, &error))
+      << why;
+  EXPECT_FALSE(error.empty()) << why;
+}
+
+TEST(ServiceCheckpoint, ForgedStructureIsRejectedNotAborted) {
+  Checkpoint base;
+  base.n = 4;
+  base.slots = {{0, 1}, {}, {2, 3}};
+  base.freeIds = {1};
+  base.colors = {2, -1, 0};
+
+  {
+    Checkpoint forged = base;  // allocation bomb: n beyond the Hello cap
+    forged.n = std::uint64_t{kMaxServiceVertices} + 1;
+    expectForgedRejected(forged, "oversized n");
+  }
+  {
+    Checkpoint forged = base;
+    forged.slots[0] = {2, 2};  // self-loop: fromSlots would abort
+    expectForgedRejected(forged, "u == v");
+  }
+  {
+    Checkpoint forged = base;
+    forged.slots[0] = {3, 1};  // unnormalized: fromSlots requires u < v
+    expectForgedRejected(forged, "u > v");
+  }
+  {
+    Checkpoint forged = base;
+    forged.slots[0] = {1, 9};  // endpoint beyond n
+    expectForgedRejected(forged, "v >= n");
+  }
+  {
+    Checkpoint forged = base;
+    forged.slots[2] = {0, 1};  // duplicate live edge
+    expectForgedRejected(forged, "duplicate edge");
+  }
+  {
+    Checkpoint forged = base;
+    forged.freeIds = {};  // free-id stack does not cover the dead slots
+    expectForgedRejected(forged, "missing free id");
+  }
+  {
+    Checkpoint forged = base;
+    forged.freeIds = {0};  // free id pointing at a live slot
+    expectForgedRejected(forged, "free id -> live slot");
+  }
+  {
+    Checkpoint forged = base;
+    forged.slots[2] = {};  // two dead slots...
+    forged.colors[2] = -1;
+    forged.freeIds = {1, 1};  // ...but the same id listed twice
+    expectForgedRejected(forged, "duplicate free id");
+  }
+  {
+    Checkpoint forged = base;  // bitset bomb: color far past the palette
+    forged.colors[0] = 1 << 30;
+    expectForgedRejected(forged, "color out of range");
+  }
+  {
+    Checkpoint forged = base;
+    forged.colors[0] = -2;  // negative and not the kNoColor sentinel
+    expectForgedRejected(forged, "negative color");
+  }
+  {
+    Checkpoint forged = base;
+    forged.colors[1] = 3;  // dead slot must carry kNoColor
+    expectForgedRejected(forged, "colored dead slot");
+  }
+
+  // And the unforged base still round-trips.
+  const std::vector<std::uint8_t> bytes = encodeCheckpoint(base);
+  Checkpoint back;
+  std::string error;
+  ASSERT_TRUE(decodeCheckpoint(bytes.data(), bytes.size(), &back, &error))
+      << error;
+  EXPECT_EQ(back, base);
+}
+
 TEST(ServiceCheckpoint, SaveLoadRoundTripsThroughTheFileSystem) {
   Checkpoint cp;
   cp.seed = 7;

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Pins dimacheck's stale-compile-db detection (the gate that keeps a newly
+# added TU from being silently unanalyzed): a db covering every on-disk TU
+# is accepted; after a TU appears that the db does not know, both
+# --check-db and the analyzing run must fail with exit 2 and point at
+# regeneration; the --cache digest must also notice the new TU.
+#
+#   test_stale_db.sh <path-to-dimacheck>
+
+set -u
+
+DIMACHECK="${1:?usage: test_stale_db.sh <path-to-dimacheck>}"
+SCRATCH="$(mktemp -d)"
+trap 'rm -rf "${SCRATCH}"' EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+mkdir -p "${SCRATCH}/src"
+cat > "${SCRATCH}/src/a.cpp" <<'EOF'
+namespace t { int alpha() { return 1; } }
+EOF
+cat > "${SCRATCH}/src/b.cpp" <<'EOF'
+namespace t { int beta() { return 2; } }
+EOF
+
+DB="${SCRATCH}/compile_commands.json"
+cat > "${DB}" <<EOF
+[
+  {"directory": "${SCRATCH}", "command": "c++ -c src/a.cpp",
+   "file": "${SCRATCH}/src/a.cpp"},
+  {"directory": "${SCRATCH}", "command": "c++ -c src/b.cpp",
+   "file": "${SCRATCH}/src/b.cpp"}
+]
+EOF
+
+# 1. Fresh db: accepted by the freshness-only mode and by the real run.
+"${DIMACHECK}" --root "${SCRATCH}" --check-db "${DB}" \
+  || fail "fresh db rejected by --check-db"
+"${DIMACHECK}" --root "${SCRATCH}" --compile-db "${DB}" \
+  --cache "${SCRATCH}/dbcache" \
+  || fail "fresh db rejected by the analyzing run"
+[ -f "${SCRATCH}/dbcache" ] || fail "cache file not written on a fresh run"
+
+# 2. Cache hit: same db, same tree — the second run must report the hit.
+"${DIMACHECK}" --root "${SCRATCH}" --compile-db "${DB}" \
+  --cache "${SCRATCH}/dbcache" | grep -q "cache hit" \
+  || fail "second run with unchanged db/tree did not hit the cache"
+
+# 3. A TU the db has never heard of makes it stale.
+cat > "${SCRATCH}/src/c.cpp" <<'EOF'
+namespace t { int gamma() { return 3; } }
+EOF
+
+out="$("${DIMACHECK}" --root "${SCRATCH}" --check-db "${DB}" 2>&1)"
+rc=$?
+[ "${rc}" -eq 2 ] || fail "--check-db exit ${rc} for a stale db, want 2"
+echo "${out}" | grep -q "regenerate" \
+  || fail "stale-db message carries no regenerate hint: ${out}"
+echo "${out}" | grep -q "src/c.cpp" \
+  || fail "stale-db message does not name the missing TU: ${out}"
+
+# 4. The cache keys on the TU list too, so the new TU bypasses the cached
+# freshness verdict and the analyzing run fails the same way.
+out="$("${DIMACHECK}" --root "${SCRATCH}" --compile-db "${DB}" \
+  --cache "${SCRATCH}/dbcache" 2>&1)"
+rc=$?
+[ "${rc}" -eq 2 ] || fail "analyzing run exit ${rc} for a stale db, want 2"
+echo "${out}" | grep -q "regenerate" \
+  || fail "analyzing-run stale message carries no regenerate hint: ${out}"
+
+echo "stale-db detection behaves as pinned"

@@ -1,0 +1,749 @@
+#include "tools/dimacheck/checks.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+
+namespace dimatool {
+
+namespace {
+
+bool isPunct(const Token& t, const char* s) {
+  return t.kind == Tok::Punct && t.text == s;
+}
+
+std::size_t matchForward(const std::vector<Token>& t, std::size_t open,
+                         const char* openSym, const char* closeSym) {
+  int depth = 0;
+  for (std::size_t k = open; k < t.size(); ++k) {
+    if (isPunct(t[k], openSym)) {
+      ++depth;
+    } else if (isPunct(t[k], closeSym)) {
+      if (--depth == 0) return k;
+    }
+  }
+  return t.size();
+}
+
+const std::string& filePath(const Project& p, int file) {
+  return p.tree->files[static_cast<std::size_t>(file)].path;
+}
+
+std::string at(const Project& p, int file, std::size_t line) {
+  return filePath(p, file) + ":" + std::to_string(line);
+}
+
+void add(std::vector<CheckFinding>& out, const Project& p, const char* rule,
+         int file, std::size_t line, std::string message,
+         std::vector<std::string> trace = {}) {
+  if (p.allowed(file, static_cast<std::uint32_t>(line), rule)) return;
+  out.push_back(CheckFinding{rule, filePath(p, file), line,
+                             std::move(message), std::move(trace)});
+}
+
+// ===========================================================================
+// wire-taint — flow-sensitive, statement-ordered taint within each function.
+//
+// Sources: the project's untrusted byte readers — ByteReader/Reader
+// take*(), the replica/log getU*() helpers, and the CSR image header
+// fields. Sanitizers: a comparison adjacent to the value, DIMA_REQUIRE /
+// assert / std::min / std::max / std::clamp enclosing it, or the
+// WireLength::below() gate. Sinks, checked in that order: a multiplication
+// (the PR-9 `samples*8` wrap — flagged even when the product feeds a
+// comparison, because comparing a wrapped product bounds nothing), an
+// array subscript, and allocation-sizing calls (resize/reserve/memcpy/...).
+
+const std::set<std::string>& taintSources() {
+  static const std::set<std::string> kSet = {
+      "takeU8", "takeU16", "takeU32", "takeU64", "getU8",
+      "getU16", "getU32",  "getU64",  "readU16", "readU32",
+      "readU64"};
+  return kSet;
+}
+const std::set<std::string>& memberSources() {
+  static const std::set<std::string> kSet = {"numVertices", "numEdges",
+                                             "maxDegree"};
+  return kSet;
+}
+const std::set<std::string>& sinkCalls() {
+  static const std::set<std::string> kSet = {
+      "resize", "reserve", "memcpy", "memmove",
+      "memset", "malloc",  "calloc", "alloca"};
+  return kSet;
+}
+const std::set<std::string>& sanitizerCalls() {
+  static const std::set<std::string> kSet = {
+      "DIMA_REQUIRE", "DIMA_ASSERT", "assert", "min", "max", "clamp",
+      "below"};
+  return kSet;
+}
+bool isCmp(const Token& t) {
+  return t.kind == Tok::Punct &&
+         (t.text == "<" || t.text == "<=" || t.text == ">" ||
+          t.text == ">=" || t.text == "==" || t.text == "!=");
+}
+
+struct Taint {
+  std::string origin;  ///< source spelling, e.g. "takeU64"
+  std::uint32_t line = 0;
+};
+
+/// One statement's worth of context: for every position, the stack of
+/// enclosing call names and whether it sits inside a subscript.
+struct StmtContext {
+  std::vector<std::vector<std::string>> calls;
+  std::vector<int> bracket;
+
+  explicit StmtContext(const std::vector<Token>& t,
+                       const std::vector<std::size_t>& st) {
+    calls.resize(st.size());
+    bracket.resize(st.size(), 0);
+    std::vector<std::string> callStack;
+    std::vector<char> groups;
+    int brDepth = 0;
+    for (std::size_t n = 0; n < st.size(); ++n) {
+      calls[n] = callStack;
+      bracket[n] = brDepth;
+      const Token& tok = t[st[n]];
+      if (isPunct(tok, "(")) {
+        std::string name;
+        if (n > 0 && t[st[n - 1]].kind == Tok::Ident) {
+          name = std::string(t[st[n - 1]].text);
+        }
+        callStack.push_back(name);
+        groups.push_back('(');
+      } else if (isPunct(tok, ")")) {
+        while (!groups.empty() && groups.back() != '(') {
+          groups.pop_back();
+          --brDepth;
+        }
+        if (!groups.empty()) {
+          groups.pop_back();
+          if (!callStack.empty()) callStack.pop_back();
+        }
+      } else if (isPunct(tok, "[")) {
+        groups.push_back('[');
+        ++brDepth;
+      } else if (isPunct(tok, "]")) {
+        while (!groups.empty() && groups.back() != '[') {
+          groups.pop_back();
+          if (!callStack.empty()) callStack.pop_back();
+        }
+        if (!groups.empty()) {
+          groups.pop_back();
+          --brDepth;
+        }
+      }
+    }
+  }
+
+  bool inCallOf(std::size_t n, const std::set<std::string>& names) const {
+    for (const std::string& c : calls[n]) {
+      if (names.count(c) != 0) return true;
+    }
+    return false;
+  }
+};
+
+/// The identifier key an occurrence refers to: "x", "a.b", or "a->b"
+/// (one member level — enough for the decode structs the rule watches).
+/// `occStart` receives the first token of the spelling.
+std::string keyAt(const std::vector<Token>& t,
+                  const std::vector<std::size_t>& st, std::size_t n,
+                  std::size_t* occStart) {
+  const Token& tok = t[st[n]];
+  *occStart = n;
+  if (tok.kind != Tok::Ident) return {};
+  if (n >= 1 && (isPunct(t[st[n - 1]], ".") || isPunct(t[st[n - 1]], "->"))) {
+    if (n >= 2 && t[st[n - 2]].kind == Tok::Ident) {
+      *occStart = n - 2;
+      return std::string(t[st[n - 2]].text) +
+             std::string(t[st[n - 1]].text) + std::string(tok.text);
+    }
+    return {};  // deeper member chain; not tracked
+  }
+  if (n >= 1 && isPunct(t[st[n - 1]], "::")) return {};
+  return std::string(tok.text);
+}
+
+/// Binary-multiplication adjacency for the value spelled in [occStart, n].
+bool multAdjacent(const std::vector<Token>& t,
+                  const std::vector<std::size_t>& st, std::size_t occStart,
+                  std::size_t n) {
+  if (n + 1 < st.size()) {
+    const Token& next = t[st[n + 1]];
+    if (isPunct(next, "*") && n + 2 < st.size()) {
+      const Token& after = t[st[n + 2]];
+      if (after.kind == Tok::Ident || after.kind == Tok::Number ||
+          isPunct(after, "(")) {
+        return true;
+      }
+    }
+    if (isPunct(next, "*=")) return true;
+  }
+  if (occStart >= 1) {
+    const Token& prev = t[st[occStart - 1]];
+    if (isPunct(prev, "*") && occStart >= 2) {
+      const Token& before = t[st[occStart - 2]];
+      if (before.kind == Tok::Ident || before.kind == Tok::Number ||
+          isPunct(before, ")") || isPunct(before, "]")) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool cmpAdjacent(const std::vector<Token>& t,
+                 const std::vector<std::size_t>& st, std::size_t occStart,
+                 std::size_t n) {
+  if (occStart >= 1 && isCmp(t[st[occStart - 1]])) return true;
+  if (n + 1 < st.size() && isCmp(t[st[n + 1]])) return true;
+  return false;
+}
+
+/// Source occurrence ending at index `n` of the statement: a call of a
+/// reader (`name(`), possibly a method (`.name(`), or a header-field read
+/// (`.numVertices`). Returns the source's spelling, or empty.
+std::string sourceAt(const std::vector<Token>& t,
+                     const std::vector<std::size_t>& st, std::size_t n) {
+  const Token& tok = t[st[n]];
+  if (tok.kind != Tok::Ident) return {};
+  const std::string name(tok.text);
+  if (taintSources().count(name) != 0 && n + 1 < st.size() &&
+      isPunct(t[st[n + 1]], "(")) {
+    return name;
+  }
+  if (memberSources().count(name) != 0 && n >= 1 &&
+      (isPunct(t[st[n - 1]], ".") || isPunct(t[st[n - 1]], "->")) &&
+      !(n + 1 < st.size() && isPunct(t[st[n + 1]], "("))) {
+    return name;
+  }
+  return {};
+}
+
+void checkWireTaint(const Project& p, std::vector<CheckFinding>& out) {
+  for (std::size_t d = 0; d < p.defs.size(); ++d) {
+    const FunctionDef& def = p.defs[d];
+    const std::vector<Token>& t =
+        p.streams[static_cast<std::size_t>(def.file)].tokens;
+    std::map<std::string, Taint> taint;
+
+    std::vector<std::size_t> st;
+    const auto flush = [&]() {
+      if (st.empty()) return;
+      const StmtContext ctx(t, st);
+
+      // Pass 1 — occurrences of tainted keys and of raw sources.
+      for (std::size_t n = 0; n < st.size(); ++n) {
+        std::size_t occStart = n;
+        const std::string key = keyAt(t, st, n, &occStart);
+        const auto it = key.empty() ? taint.end() : taint.find(key);
+        if (it != taint.end()) {
+          const std::uint32_t line = t[st[n]].line;
+          const std::vector<std::string> chain = {
+              at(p, def.file, it->second.line) + ": `" + key +
+              "` tainted by " + it->second.origin + "()"};
+          if (multAdjacent(t, st, occStart, n)) {
+            add(out, p, "wire-taint", def.file, line,
+                "wire-sourced `" + key + "` (from " + it->second.origin +
+                    ", line " + std::to_string(it->second.line) +
+                    ") used as a multiplication operand before any bounds "
+                    "check — the product can wrap the counting type "
+                    "(PR-9 class); compare the factor first",
+                chain);
+            taint.erase(it);
+          } else if (ctx.inCallOf(n, sanitizerCalls()) ||
+                     cmpAdjacent(t, st, occStart, n)) {
+            taint.erase(it);
+          } else if (ctx.bracket[n] > 0) {
+            add(out, p, "wire-taint", def.file, line,
+                "wire-sourced `" + key + "` (from " + it->second.origin +
+                    ") used as an array index before any bounds check",
+                chain);
+            taint.erase(it);
+          } else if (ctx.inCallOf(n, sinkCalls())) {
+            add(out, p, "wire-taint", def.file, line,
+                "wire-sourced `" + key + "` (from " + it->second.origin +
+                    ") used as an allocation/copy size before any bounds "
+                    "check — DIMA_REQUIRE or compare it first",
+                chain);
+            taint.erase(it);
+          }
+          continue;
+        }
+        // Raw source used inline, no variable in between.
+        const std::string src = sourceAt(t, st, n);
+        if (!src.empty() && !ctx.inCallOf(n, sanitizerCalls())) {
+          // The value's extent: for calls, through the matching ')'.
+          std::size_t valEnd = n;
+          if (n + 1 < st.size() && isPunct(t[st[n + 1]], "(")) {
+            int depth = 0;
+            for (std::size_t k = n + 1; k < st.size(); ++k) {
+              if (isPunct(t[st[k]], "(")) ++depth;
+              if (isPunct(t[st[k]], ")") && --depth == 0) {
+                valEnd = k;
+                break;
+              }
+            }
+          }
+          std::size_t occ = n >= 2 && (isPunct(t[st[n - 1]], ".") ||
+                                       isPunct(t[st[n - 1]], "->"))
+                                ? n - 2
+                                : n;
+          if (multAdjacent(t, st, occ, valEnd)) {
+            add(out, p, "wire-taint", def.file, t[st[n]].line,
+                "unchecked wire read " + src +
+                    "() used directly as a multiplication operand — the "
+                    "product can wrap the counting type (PR-9 class)");
+          } else if (ctx.inCallOf(n, sinkCalls())) {
+            add(out, p, "wire-taint", def.file, t[st[n]].line,
+                "unchecked wire read " + src +
+                    "() used directly as an allocation/copy size");
+          }
+        }
+      }
+
+      // Pass 2 — assignment: generate, propagate, or kill taint.
+      std::size_t eq = st.size();
+      for (std::size_t n = 0; n < st.size(); ++n) {
+        if (!ctx.calls[n].empty() || ctx.bracket[n] > 0) continue;
+        const Token& tok = t[st[n]];
+        if (isPunct(tok, "=") || isPunct(tok, "+=") || isPunct(tok, "-=") ||
+            isPunct(tok, "*=") || isPunct(tok, "|=") || isPunct(tok, "&=")) {
+          eq = n;
+          break;
+        }
+      }
+      if (eq != st.size() && eq >= 1) {
+        std::size_t lhsStart = eq - 1;
+        const std::string lhsKey = keyAt(t, st, eq - 1, &lhsStart);
+        if (!lhsKey.empty()) {
+          std::string origin;
+          std::uint32_t originLine = 0;
+          bool gated = false;
+          for (std::size_t n = eq + 1; n < st.size(); ++n) {
+            const std::string src = sourceAt(t, st, n);
+            if (!src.empty() && origin.empty()) {
+              origin = src;
+              originLine = t[st[n]].line;
+            }
+            if (t[st[n]].kind == Tok::Ident && t[st[n]].text == "below" &&
+                n + 1 < st.size() && isPunct(t[st[n + 1]], "(")) {
+              gated = true;  // WireLength::below() bound-gates the value
+            }
+            std::size_t occStart = n;
+            const std::string key = keyAt(t, st, n, &occStart);
+            if (!key.empty() && origin.empty()) {
+              const auto it = taint.find(key);
+              if (it != taint.end() && !cmpAdjacent(t, st, occStart, n)) {
+                origin = it->second.origin;
+                originLine = it->second.line;
+              }
+            }
+          }
+          if (!origin.empty() && !gated) {
+            taint[lhsKey] = Taint{origin, originLine};
+          } else {
+            taint.erase(lhsKey);
+          }
+        }
+      }
+      st.clear();
+    };
+
+    for (std::size_t k = def.bodyBegin + 1; k < def.bodyEnd; ++k) {
+      if (isPunct(t[k], ";") || isPunct(t[k], "{") || isPunct(t[k], "}")) {
+        flush();
+        continue;
+      }
+      st.push_back(k);
+    }
+    flush();
+  }
+}
+
+// ===========================================================================
+// single-writer-flow.
+
+const std::set<std::string>& perNodeHooks() {
+  // MatchingCore's per-node policy surface (src/automata/core.hpp): these
+  // run concurrently across nodes inside a cycle, so anything they reach
+  // must never fold shared state — that is the exclusive observer slot's
+  // job (runSyncProtocol's barrier, DESIGN.md §10).
+  static const std::set<std::string> kSet = {
+      "participates",   "resetScratch",  "onActiveCycle", "chooseRole",
+      "tailSubRounds",  "tailSend",      "tailReceive",   "onCycleEnd",
+      "localWorkDone",  "pickInvitee",   "inviteMessage", "keepInvite",
+      "overheardInvite", "chooseAccept", "acceptMessage", "onAcceptSent",
+      "onEcho",         "onNoEcho",      "messageDetail"};
+  return kSet;
+}
+
+bool isObserverSlot(const FunctionDef& def) {
+  return def.observerSlot || def.name == "finishRoundAccounting";
+}
+
+void checkSingleWriter(const Project& p, std::vector<CheckFinding>& out) {
+  // (a) Every CommitHalves::half() mutation must be EndpointHalf-minted:
+  // the token must appear in the argument list (ownedBy/arcEnd minting
+  // inline) or name a parameter/local of type EndpointHalf.
+  for (std::size_t d = 0; d < p.defs.size(); ++d) {
+    const FunctionDef& def = p.defs[d];
+    const std::vector<Token>& t =
+        p.streams[static_cast<std::size_t>(def.file)].tokens;
+    for (std::size_t k = def.bodyBegin + 1; k + 1 < def.bodyEnd; ++k) {
+      if (!(t[k].kind == Tok::Ident && t[k].text == "half")) continue;
+      if (!(isPunct(t[k - 1], ".") || isPunct(t[k - 1], "->"))) continue;
+      if (!isPunct(t[k + 1], "(")) continue;
+      const std::size_t close = matchForward(t, k + 1, "(", ")");
+      bool minted = false;
+      std::vector<std::string> argIdents;
+      for (std::size_t a = k + 2; a < close; ++a) {
+        if (t[a].kind != Tok::Ident) continue;
+        if (t[a].text == "EndpointHalf" || t[a].text == "ownedBy" ||
+            t[a].text == "arcEnd") {
+          minted = true;
+          break;
+        }
+        argIdents.emplace_back(t[a].text);
+      }
+      if (!minted) {
+        // An argument declared `EndpointHalf x` in this function's
+        // parameters or body also proves the token was threaded through.
+        for (const std::string& id : argIdents) {
+          for (std::size_t q = def.paramsBegin; q < def.bodyEnd && !minted;
+               ++q) {
+            if (t[q].kind == Tok::Ident && t[q].text == "EndpointHalf") {
+              for (std::size_t w = q + 1;
+                   w < std::min(q + 4, static_cast<std::size_t>(def.bodyEnd));
+                   ++w) {
+                if (t[w].kind == Tok::Ident && t[w].text == id) {
+                  minted = true;
+                  break;
+                }
+              }
+            }
+          }
+          if (minted) break;
+        }
+      }
+      if (!minted) {
+        add(out, p, "single-writer-flow", def.file, t[k].line,
+            "CommitHalves::half() mutation in `" + def.qual +
+                "` without an EndpointHalf token in sight — mint one via "
+                "EndpointHalf::ownedBy()/arcEnd() or thread the parameter "
+                "through (the single-writer commit discipline, "
+                "src/automata/core.hpp)");
+      }
+    }
+  }
+
+  // (b) Observer-slot functions must be unreachable from per-node hooks.
+  for (std::size_t d = 0; d < p.defs.size(); ++d) {
+    const FunctionDef& root = p.defs[d];
+    if (perNodeHooks().count(root.name) == 0) continue;
+    // BFS with parent links for the chain trace.
+    std::map<int, int> parent;  // def -> predecessor def (-1 for root)
+    std::vector<int> queue{static_cast<int>(d)};
+    parent[static_cast<int>(d)] = -1;
+    int hit = -1;
+    for (std::size_t qi = 0; qi < queue.size() && hit < 0; ++qi) {
+      const int cur = queue[qi];
+      for (const CallSite& cs :
+           p.calls[static_cast<std::size_t>(cur)]) {
+        for (const int nxt :
+             p.resolve(p.defs[static_cast<std::size_t>(cur)].file, cs)) {
+          if (parent.count(nxt) != 0) continue;
+          parent[nxt] = cur;
+          if (isObserverSlot(p.defs[static_cast<std::size_t>(nxt)])) {
+            hit = nxt;
+            break;
+          }
+          if (parent.size() < 512) queue.push_back(nxt);
+        }
+        if (hit >= 0) break;
+      }
+    }
+    if (hit >= 0) {
+      std::vector<std::string> chain;
+      for (int cur = hit; cur != -1; cur = parent[cur]) {
+        const FunctionDef& f = p.defs[static_cast<std::size_t>(cur)];
+        chain.push_back(at(p, f.file, f.line) + ": " + f.qual);
+      }
+      std::reverse(chain.begin(), chain.end());
+      add(out, p, "single-writer-flow", root.file, root.line,
+          "per-node hook `" + root.qual + "` reaches observer-slot-only `" +
+              p.defs[static_cast<std::size_t>(hit)].qual +
+              "` — shared-state folding belongs to the exclusive observer "
+              "slot, not to hooks that run concurrently across nodes",
+          std::move(chain));
+    }
+  }
+}
+
+// ===========================================================================
+// blocking-call-confinement.
+
+const std::set<std::string>& blockingSyscalls() {
+  static const std::set<std::string> kSet = {
+      "socket",  "connect",  "bind",       "listen",     "accept",
+      "accept4", "poll",     "ppoll",      "select",     "send",
+      "recv",    "sendto",   "recvfrom",   "sendmsg",    "recvmsg",
+      "setsockopt", "getsockopt", "shutdown"};
+  return kSet;
+}
+/// Unambiguous even unqualified ("send" or "bind" could be a project
+/// function or std::bind, so those require the ::-spelling).
+const std::set<std::string>& bareBlockingSyscalls() {
+  static const std::set<std::string> kSet = {
+      "poll",    "ppoll",    "sendto",     "recvfrom", "sendmsg",
+      "recvmsg", "setsockopt", "getsockopt", "socket",  "recv",
+      "accept4"};
+  return kSet;
+}
+
+void checkBlockingConfinement(const Project& p,
+                              std::vector<CheckFinding>& out) {
+  for (std::size_t d = 0; d < p.defs.size(); ++d) {
+    const FunctionDef& def = p.defs[d];
+    if (filePath(p, def.file) == "src/service/transport.cpp") continue;
+    for (const CallSite& cs : p.calls[d]) {
+      const bool direct =
+          (cs.global && blockingSyscalls().count(cs.name) != 0) ||
+          (!cs.method && cs.qual == cs.name &&
+           bareBlockingSyscalls().count(cs.name) != 0);
+      if (!direct) continue;
+      // Call-graph context: who reaches this leaky function.
+      std::vector<std::string> trace{
+          at(p, def.file, def.line) + ": defined in `" + def.qual + "`"};
+      int shown = 0;
+      for (std::size_t c = 0; c < p.defs.size() && shown < 3; ++c) {
+        if (c == d) continue;
+        for (const CallSite& up : p.calls[c]) {
+          if (up.name != def.name) continue;
+          const std::vector<int> res =
+              p.resolve(p.defs[c].file, up);
+          if (std::find(res.begin(), res.end(), static_cast<int>(d)) !=
+              res.end()) {
+            const FunctionDef& caller = p.defs[c];
+            trace.push_back(at(p, caller.file, up.line) +
+                            ": reached from `" + caller.qual + "`");
+            ++shown;
+            break;
+          }
+        }
+      }
+      add(out, p, "blocking-call-confinement", def.file, cs.line,
+          "blocking syscall `" + cs.qual +
+              "` outside src/service/transport.cpp — the transport is one "
+              "TU deep by design (PROTOCOLS.md §12.6); everything else "
+              "speaks fds and byte buffers",
+          std::move(trace));
+    }
+  }
+}
+
+// ===========================================================================
+// hot-path-reachability.
+
+struct BannedHit {
+  int file = -1;
+  std::uint32_t line = 0;
+  std::string token;
+};
+
+std::optional<BannedHit> scanRegion(const Project& p, int file,
+                                    std::size_t begin, std::size_t end) {
+  const std::vector<Token>& t =
+      p.streams[static_cast<std::size_t>(file)].tokens;
+  for (std::size_t k = begin; k < end && k < t.size(); ++k) {
+    if (t[k].kind != Tok::Ident) continue;
+    const std::string_view s = t[k].text;
+    if (s == "new") {
+      // `operator new(...)` is the raw allocator — always a hit. A plain
+      // `new (` is placement new (construct-in-place, no allocation)
+      // unless the placement args name std::nothrow.
+      const bool allocFn = k >= 1 && t[k - 1].kind == Tok::Ident &&
+                           t[k - 1].text == "operator";
+      if (!allocFn && k + 1 < t.size() && isPunct(t[k + 1], "(")) {
+        const std::size_t close = matchForward(t, k + 1, "(", ")");
+        bool nothrow = false;
+        for (std::size_t j = k + 2; j < close && j < t.size(); ++j) {
+          if (t[j].kind == Tok::Ident && t[j].text == "nothrow") {
+            nothrow = true;
+            break;
+          }
+        }
+        if (!nothrow) {
+          k = close;  // placement form: skip the placement args
+          continue;
+        }
+      }
+      return BannedHit{file, t[k].line, "new"};
+    }
+    if (s == "malloc" || s == "calloc" || s == "throw") {
+      return BannedHit{file, t[k].line, std::string(s)};
+    }
+    if (s == "std" && k + 2 < end && isPunct(t[k + 1], "::") &&
+        t[k + 2].kind == Tok::Ident) {
+      const std::string_view w = t[k + 2].text;
+      if (w == "function" || w == "bind" || w == "map" ||
+          w == "unordered_map" || w == "list" || w == "deque") {
+        return BannedHit{file, t[k].line, "std::" + std::string(w)};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+struct HotPathWalker {
+  const Project& p;
+  /// Per def: 0 = unvisited, 1 = in progress (cycle guard), 2 = done.
+  std::map<int, int> state;
+  std::map<int, std::optional<BannedHit>> verdict;
+  std::map<int, int> via;  ///< def -> callee leading to the hit
+
+  std::optional<BannedHit> walk(int d, int depth) {
+    if (depth > 16) return std::nullopt;
+    const auto st = state.find(d);
+    if (st != state.end()) {
+      return st->second == 2 ? verdict[d] : std::nullopt;
+    }
+    state[d] = 1;
+    const FunctionDef& def = p.defs[static_cast<std::size_t>(d)];
+    std::optional<BannedHit> hit =
+        scanRegion(p, def.file, def.bodyBegin + 1, def.bodyEnd);
+    if (!hit) {
+      for (const CallSite& cs : p.calls[static_cast<std::size_t>(d)]) {
+        for (const int nxt : p.resolve(def.file, cs)) {
+          if (const auto sub = walk(nxt, depth + 1)) {
+            hit = sub;
+            via[d] = nxt;
+            break;
+          }
+        }
+        if (hit) break;
+      }
+    }
+    state[d] = 2;
+    verdict[d] = hit;
+    return hit;
+  }
+
+  std::vector<std::string> chainFrom(int d) const {
+    std::vector<std::string> chain;
+    int cur = d;
+    while (true) {
+      const FunctionDef& f = p.defs[static_cast<std::size_t>(cur)];
+      chain.push_back(at(p, f.file, f.line) + ": " + f.qual);
+      const auto it = via.find(cur);
+      if (it == via.end()) break;
+      cur = it->second;
+    }
+    return chain;
+  }
+};
+
+void checkHotPath(const Project& p, std::vector<CheckFinding>& out) {
+  HotPathWalker walker{p};
+  const auto report = [&](int rootFile, std::uint32_t rootLine,
+                          const std::string& rootLabel,
+                          const BannedHit& hit,
+                          std::vector<std::string> chain) {
+    chain.insert(chain.begin(),
+                 at(p, rootFile, rootLine) + ": hot-path root " + rootLabel);
+    chain.push_back(at(p, hit.file, hit.line) + ": `" + hit.token + "`");
+    add(out, p, "hot-path-reachability", hit.file, hit.line,
+        "`" + hit.token + "` reachable from hot-path root " + rootLabel +
+            " — word-parallel round loops must not allocate, throw, or "
+            "dispatch through std::function (DESIGN.md §12)",
+        std::move(chain));
+  };
+
+  // Roots (a): functions annotated `// dimacheck: hot-path`.
+  for (std::size_t d = 0; d < p.defs.size(); ++d) {
+    const FunctionDef& def = p.defs[d];
+    if (!def.hotPath) continue;
+    if (const auto hit = walker.walk(static_cast<int>(d), 0)) {
+      report(def.file, def.line, "`" + def.qual + "`", *hit,
+             walker.chainFrom(static_cast<int>(d)));
+    }
+  }
+
+  // Roots (b): every lambda passed to forPlaneWords() — the bit-plane
+  // engines' word-chunked inner loops.
+  for (std::size_t d = 0; d < p.defs.size(); ++d) {
+    const FunctionDef& def = p.defs[d];
+    const std::vector<Token>& t =
+        p.streams[static_cast<std::size_t>(def.file)].tokens;
+    for (const CallSite& cs : p.calls[d]) {
+      if (cs.name != "forPlaneWords") continue;
+      const std::size_t open = cs.tok + 1;
+      const std::size_t close = matchForward(t, open, "(", ")");
+      for (std::size_t k = open + 1; k < close; ++k) {
+        if (!isPunct(t[k], "[")) continue;
+        const std::size_t captureClose = matchForward(t, k, "[", "]");
+        if (captureClose >= close) break;
+        std::size_t j = captureClose + 1;
+        if (j < close && isPunct(t[j], "(")) {
+          j = matchForward(t, j, "(", ")") + 1;
+        }
+        while (j < close && t[j].kind == Tok::Ident) ++j;  // mutable etc.
+        if (j >= close || !isPunct(t[j], "{")) continue;
+        const std::size_t bodyClose = matchForward(t, j, "{", "}");
+        // The lambda body itself, then everything it calls.
+        if (const auto hit =
+                scanRegion(p, def.file, j + 1, bodyClose)) {
+          report(def.file, t[cs.tok].line,
+                 "forPlaneWords lambda in `" + def.qual + "`", *hit, {});
+        } else {
+          for (const CallSite& inner : p.calls[d]) {
+            if (inner.tok <= j || inner.tok >= bodyClose) continue;
+            for (const int nxt : p.resolve(def.file, inner)) {
+              if (const auto sub = walker.walk(nxt, 0)) {
+                report(def.file, t[cs.tok].line,
+                       "forPlaneWords lambda in `" + def.qual + "`", *sub,
+                       walker.chainFrom(nxt));
+                break;
+              }
+            }
+          }
+        }
+        k = bodyClose;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<CheckRule>& checkRules() {
+  static const std::vector<CheckRule> kRules = {
+      {"wire-taint",
+       "wire-decoded integers pass a bounds check before sizing, indexing, "
+       "or multiplying"},
+      {"single-writer-flow",
+       "CommitHalves mutations are EndpointHalf-minted; observer-slot "
+       "functions unreachable from per-node hooks"},
+      {"blocking-call-confinement",
+       "socket/poll syscalls stay confined to src/service/transport.cpp "
+       "across the call graph"},
+      {"hot-path-reachability",
+       "no allocation/throw/indirection reachable from forPlaneWords "
+       "lambdas or dimacheck: hot-path functions"},
+  };
+  return kRules;
+}
+
+std::vector<CheckFinding> runChecks(const Project& p) {
+  std::vector<CheckFinding> out;
+  checkWireTaint(p, out);
+  checkSingleWriter(p, out);
+  checkBlockingConfinement(p, out);
+  checkHotPath(p, out);
+  return out;
+}
+
+}  // namespace dimatool

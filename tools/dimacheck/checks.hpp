@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file checks.hpp
+/// The four cross-TU semantic rules (see DESIGN.md §14):
+///
+///   wire-taint                 flow-sensitive taint from untrusted byte
+///                              readers to size/index/multiply sinks
+///   single-writer-flow         CommitHalves mutators only via EndpointHalf;
+///                              observer-slot functions unreachable from
+///                              per-node hooks
+///   blocking-call-confinement  socket/poll syscall reachability confined
+///                              to src/service/transport.cpp
+///   hot-path-reachability      no allocation/throw/indirection reachable
+///                              from forPlaneWords lambdas or functions
+///                              tagged `// dimacheck: hot-path`
+///
+/// Suppression: `// dimacheck: allow(<rule>)` on the finding's line or the
+/// line above — reserved for reviewed, documented exceptions.
+
+#include <string>
+#include <vector>
+
+#include "tools/dimacheck/model.hpp"
+
+namespace dimatool {
+
+struct CheckFinding {
+  std::string rule;
+  std::string file;
+  std::size_t line = 0;
+  std::string message;
+  std::vector<std::string> trace;  ///< "file:line: step" taint/call chain
+};
+
+struct CheckRule {
+  const char* id;
+  const char* summary;
+};
+
+/// Rule table, in severity-of-surprise order. One fixture tree per id must
+/// exist under tests/lint_fixtures/dimacheck/ (enforced by --self-check).
+const std::vector<CheckRule>& checkRules();
+
+std::vector<CheckFinding> runChecks(const Project& p);
+
+}  // namespace dimatool

@@ -1,0 +1,369 @@
+// dimacheck — the cross-TU semantic analysis pass.
+//
+// Where dimalint checks token-level conventions file by file, dimacheck
+// builds a project model (symbol table + include/call graph, model.hpp) and
+// runs four flow-sensitive rules over it (checks.hpp): wire-taint,
+// single-writer-flow, blocking-call-confinement, hot-path-reachability.
+//
+// Modes:
+//   dimacheck [--root DIR] [--compile-db FILE] [--cache FILE] [--sarif FILE]
+//   dimacheck --check-db FILE [--root DIR]    freshness check only
+//   dimacheck --self-check FIXTURES_DIR       fixture protocol (see below)
+//   dimacheck --list-rules
+//
+// Exit codes: 0 clean / self-check passed, 1 findings, 2 usage or
+// database errors (unreadable, unparsable, or stale compile_commands.json).
+//
+// Self-check protocol (mirrors dimalint's): every top-level directory under
+// the fixtures root must be named after exactly one rule id — its tree must
+// trip that rule and no other — or `clean`, which must trip nothing. The
+// wire-taint fixture is additionally pinned to produce a multiplication
+// finding: the `samples * 8` length-check wrap that PR 9 fixed must stay
+// flagged forever.
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/dimacheck/checks.hpp"
+#include "tools/dimacheck/lex.hpp"
+#include "tools/dimacheck/model.hpp"
+
+namespace fs = std::filesystem;
+using namespace dimatool;
+
+namespace {
+
+std::uint64_t fnv1a64(const std::string& bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+bool readFile(const fs::path& p, std::string* out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+void printFinding(const CheckFinding& f) {
+  std::printf("%s:%zu: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+              f.message.c_str());
+  for (const std::string& step : f.trace) {
+    std::printf("    %s\n", step.c_str());
+  }
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+bool writeSarif(const fs::path& path,
+                const std::vector<CheckFinding>& findings) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << "{\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"runs\": [{\n"
+      << "    \"tool\": {\"driver\": {\"name\": \"dimacheck\", "
+         "\"rules\": [";
+  bool firstRule = true;
+  for (const CheckRule& r : checkRules()) {
+    out << (firstRule ? "" : ", ") << "{\"id\": \"" << r.id
+        << "\", \"shortDescription\": {\"text\": \"" << jsonEscape(r.summary)
+        << "\"}}";
+    firstRule = false;
+  }
+  out << "]}},\n    \"results\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const CheckFinding& f = findings[i];
+    out << (i == 0 ? "" : ",") << "\n      {\"ruleId\": \"" << f.rule
+        << "\", \"level\": \"error\", \"message\": {\"text\": \""
+        << jsonEscape(f.message)
+        << "\"}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \""
+        << jsonEscape(f.file) << "\"}, \"region\": {\"startLine\": "
+        << f.line << "}}}]}";
+  }
+  out << "\n    ]\n  }]\n}\n";
+  return static_cast<bool>(out);
+}
+
+/// Freshness gate for --compile-db / --check-db. Returns 0 when fresh,
+/// 2 (with a regenerate hint) when unreadable or stale.
+int checkCompileDb(const Tree& tree, const std::string& dbPath) {
+  std::vector<std::string> dbFiles;
+  std::string error;
+  if (!loadCompileDb(dbPath, &dbFiles, &error)) {
+    std::fprintf(stderr, "dimacheck: cannot use compile db %s: %s\n",
+                 dbPath.c_str(), error.c_str());
+    std::fprintf(stderr,
+                 "dimacheck: regenerate with: cmake -B build -S .\n");
+    return 2;
+  }
+  const std::vector<std::string> stale = staleDbEntries(tree, dbFiles);
+  if (!stale.empty()) {
+    std::fprintf(stderr,
+                 "dimacheck: compile db %s is stale — %zu translation "
+                 "unit(s) on disk are missing from it:\n",
+                 dbPath.c_str(), stale.size());
+    for (const std::string& s : stale) {
+      std::fprintf(stderr, "  %s\n", s.c_str());
+    }
+    std::fprintf(stderr,
+                 "dimacheck: regenerate with: cmake -B build -S . "
+                 "(CMAKE_EXPORT_COMPILE_COMMANDS is already ON)\n");
+    return 2;
+  }
+  return 0;
+}
+
+int selfCheck(const fs::path& fixturesRoot) {
+  if (!fs::exists(fixturesRoot)) {
+    std::fprintf(stderr, "dimacheck: no fixtures at %s\n",
+                 fixturesRoot.string().c_str());
+    return 2;
+  }
+  std::set<std::string> ruleIds;
+  for (const CheckRule& r : checkRules()) ruleIds.insert(r.id);
+
+  bool ok = true;
+  std::set<std::string> covered;
+  for (const auto& entry : fs::directory_iterator(fixturesRoot)) {
+    if (!entry.is_directory()) continue;
+    const std::string name = entry.path().filename().string();
+    const bool isClean = name == "clean";
+    if (!isClean && ruleIds.count(name) == 0) {
+      std::printf("FAIL %s: not a dimacheck rule id (stale fixture?)\n",
+                  name.c_str());
+      ok = false;
+      continue;
+    }
+
+    Tree tree;
+    std::string error;
+    if (!loadTree(entry.path(), &tree, &error)) {
+      std::printf("FAIL %s: %s\n", name.c_str(), error.c_str());
+      ok = false;
+      continue;
+    }
+    Project project;
+    buildProject(tree, &project);
+    const std::vector<CheckFinding> findings = runChecks(project);
+
+    if (isClean) {
+      if (findings.empty()) {
+        std::printf("ok   clean: no findings\n");
+      } else {
+        std::printf("FAIL clean: %zu unexpected finding(s)\n",
+                    findings.size());
+        for (const CheckFinding& f : findings) printFinding(f);
+        ok = false;
+      }
+      continue;
+    }
+
+    covered.insert(name);
+    bool tripsOwn = false;
+    bool tripsOther = false;
+    bool multPin = false;
+    for (const CheckFinding& f : findings) {
+      if (f.rule == name) {
+        tripsOwn = true;
+        if (f.message.find("multiplication") != std::string::npos) {
+          multPin = true;
+        }
+      } else {
+        tripsOther = true;
+        std::printf("FAIL %s: cross-fire from rule %s\n", name.c_str(),
+                    f.rule.c_str());
+        printFinding(f);
+      }
+    }
+    if (!tripsOwn) {
+      std::printf("FAIL %s: fixture did not trip its rule\n", name.c_str());
+      ok = false;
+    } else if (name == "wire-taint" && !multPin) {
+      // The regression the whole rule exists for: wire length * element
+      // size overflowing the comparison type (fixed in PR 9).
+      std::printf(
+          "FAIL wire-taint: fixture no longer yields a multiplication "
+          "finding (samples*8 regression pin)\n");
+      ok = false;
+    } else if (!tripsOther) {
+      std::printf("ok   %s\n", name.c_str());
+    } else {
+      ok = false;
+    }
+  }
+  for (const std::string& id : ruleIds) {
+    if (covered.count(id) == 0) {
+      std::printf("FAIL %s: rule has no fixture directory\n", id.c_str());
+      ok = false;
+    }
+  }
+  std::printf("%s\n", ok ? "self-check passed" : "self-check FAILED");
+  return ok ? 0 : 1;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: dimacheck [--root DIR] [--compile-db FILE] [--cache FILE]\n"
+      "                 [--sarif FILE]\n"
+      "       dimacheck --check-db FILE [--root DIR]\n"
+      "       dimacheck --self-check FIXTURES_DIR\n"
+      "       dimacheck --list-rules\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::string compileDb;
+  std::string cachePath;
+  std::string sarifPath;
+  std::string checkDbOnly;
+  std::string selfCheckDir;
+  bool listRules = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](std::string* out) {
+      if (i + 1 >= argc) return false;
+      *out = argv[++i];
+      return true;
+    };
+    std::string v;
+    if (arg == "--root" && value(&v)) {
+      root = v;
+    } else if (arg == "--compile-db" && value(&v)) {
+      compileDb = v;
+    } else if (arg == "--cache" && value(&v)) {
+      cachePath = v;
+    } else if (arg == "--sarif" && value(&v)) {
+      sarifPath = v;
+    } else if (arg == "--check-db" && value(&v)) {
+      checkDbOnly = v;
+    } else if (arg == "--self-check" && value(&v)) {
+      selfCheckDir = v;
+    } else if (arg == "--list-rules") {
+      listRules = true;
+    } else {
+      return usage();
+    }
+  }
+
+  if (listRules) {
+    for (const CheckRule& r : checkRules()) {
+      std::printf("%-26s %s\n", r.id, r.summary);
+    }
+    return 0;
+  }
+  if (!selfCheckDir.empty()) return selfCheck(selfCheckDir);
+
+  Tree tree;
+  std::string error;
+  if (!loadTree(root, &tree, &error)) {
+    std::fprintf(stderr, "dimacheck: %s\n", error.c_str());
+    return 2;
+  }
+
+  if (!checkDbOnly.empty()) {
+    const int rc = checkCompileDb(tree, checkDbOnly);
+    if (rc == 0) {
+      std::printf("dimacheck: compile db %s is fresh\n",
+                  checkDbOnly.c_str());
+    }
+    return rc;
+  }
+
+  if (!compileDb.empty()) {
+    // The cache keys on the database bytes plus the on-disk TU list: a hit
+    // means the freshness verdict cannot have changed, so the parse and
+    // the stale scan are both skipped (this is what CI caches).
+    std::string digest;
+    if (!cachePath.empty()) {
+      std::string dbBytes;
+      if (readFile(compileDb, &dbBytes)) {
+        std::string key = dbBytes;
+        for (const SourceFile& f : tree.files) {
+          key += '\n';
+          key += f.path;
+        }
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%016llx",
+                      static_cast<unsigned long long>(fnv1a64(key)));
+        digest = buf;
+      }
+    }
+    bool cacheHit = false;
+    if (!digest.empty()) {
+      std::string cached;
+      if (readFile(cachePath, &cached) &&
+          cached.substr(0, digest.size()) == digest) {
+        cacheHit = true;
+        std::printf("dimacheck: compile db cache hit (%s)\n",
+                    digest.c_str());
+      }
+    }
+    if (!cacheHit) {
+      const int rc = checkCompileDb(tree, compileDb);
+      if (rc != 0) return rc;
+      if (!digest.empty()) {
+        std::ofstream out(cachePath, std::ios::binary);
+        out << digest << "\n";
+      }
+    }
+  }
+
+  Project project;
+  buildProject(tree, &project);
+  const std::vector<CheckFinding> findings = runChecks(project);
+
+  if (!sarifPath.empty() && !writeSarif(sarifPath, findings)) {
+    std::fprintf(stderr, "dimacheck: cannot write %s\n", sarifPath.c_str());
+    return 2;
+  }
+
+  for (const CheckFinding& f : findings) printFinding(f);
+  if (findings.empty()) {
+    std::printf("dimacheck: clean (%zu files, %zu functions)\n",
+                tree.files.size(), project.defs.size());
+    return 0;
+  }
+  std::printf("dimacheck: %zu finding(s)\n", findings.size());
+  return 1;
+}

@@ -1,0 +1,469 @@
+#include "tools/dimacheck/lex.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace dimatool {
+
+namespace fs = std::filesystem;
+
+const SourceFile* Tree::find(const std::string& relPath) const {
+  for (const SourceFile& f : files) {
+    if (f.path == relPath) return &f;
+  }
+  return nullptr;
+}
+
+std::string stripCommentsAndStrings(const std::string& in) {
+  std::string out(in.size(), ' ');
+  enum class St { Code, Line, Block, Str, Chr, Raw };
+  St st = St::Code;
+  std::string rawDelim;  // raw-string delimiter, including the closing paren
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char next = i + 1 < in.size() ? in[i + 1] : '\0';
+    if (c == '\n') out[i] = '\n';
+    switch (st) {
+      case St::Code:
+        if (c == '/' && next == '/') {
+          st = St::Line;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          st = St::Block;
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   in[i - 1])) &&
+                               in[i - 1] != '_'))) {
+          const std::size_t open = in.find('(', i + 2);
+          if (open != std::string::npos) {
+            rawDelim = ")" + in.substr(i + 2, open - i - 2) + "\"";
+            st = St::Raw;
+            i = open;
+          }
+        } else if (c == '"') {
+          st = St::Str;
+        } else if (c == '\'') {
+          st = St::Chr;
+        } else {
+          out[i] = c;
+        }
+        break;
+      case St::Line:
+        if (c == '\n') st = St::Code;
+        break;
+      case St::Block:
+        if (c == '*' && next == '/') {
+          st = St::Code;
+          ++i;
+        }
+        break;
+      case St::Str:
+        if (c == '\\') {
+          ++i;
+          if (i < in.size() && in[i] == '\n') out[i] = '\n';
+        } else if (c == '"') {
+          st = St::Code;
+        }
+        break;
+      case St::Chr:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          st = St::Code;
+        }
+        break;
+      case St::Raw:
+        if (in.compare(i, rawDelim.size(), rawDelim) == 0) {
+          i += rawDelim.size() - 1;
+          st = St::Code;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::size_t lineOf(const std::string& text, std::size_t offset) {
+  return 1 + static_cast<std::size_t>(
+                 std::count(text.begin(),
+                            text.begin() + static_cast<long>(offset), '\n'));
+}
+
+bool containsToken(const std::string& hay, const std::string& needle) {
+  const auto isIdent = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  };
+  std::size_t pos = 0;
+  while ((pos = hay.find(needle, pos)) != std::string::npos) {
+    const bool leftOk = pos == 0 || !isIdent(hay[pos - 1]);
+    const std::size_t end = pos + needle.size();
+    const bool rightOk = end >= hay.size() || !isIdent(hay[end]);
+    if (leftOk && rightOk) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+std::vector<Enumerator> parseEnumClass(const SourceFile& f,
+                                       const std::string& enumName) {
+  std::vector<Enumerator> out;
+  const std::string key = "enum class " + enumName;
+  std::size_t pos = f.code.find(key);
+  if (pos == std::string::npos) return out;
+  const std::size_t open = f.code.find('{', pos);
+  const std::size_t close = f.code.find('}', open);
+  if (open == std::string::npos || close == std::string::npos) return out;
+  std::size_t i = open + 1;
+  while (i < close) {
+    while (i < close && !(std::isalpha(static_cast<unsigned char>(
+                              f.code[i])) ||
+                          f.code[i] == '_')) {
+      ++i;
+    }
+    if (i >= close) break;
+    std::size_t j = i;
+    while (j < close && (std::isalnum(static_cast<unsigned char>(
+                             f.code[j])) ||
+                         f.code[j] == '_')) {
+      ++j;
+    }
+    out.push_back(Enumerator{f.code.substr(i, j - i), lineOf(f.code, i)});
+    // Skip to the comma ending this enumerator (ignores `= value` parts).
+    const std::size_t comma = f.code.find(',', j);
+    if (comma == std::string::npos || comma > close) break;
+    i = comma + 1;
+  }
+  return out;
+}
+
+bool loadTree(const fs::path& root, Tree* tree, std::string* error) {
+  tree->root = root;
+  tree->files.clear();
+  const fs::path srcRoot = root / "src";
+  if (!fs::exists(srcRoot)) {
+    *error = "no src/ directory under " + root.string();
+    return false;
+  }
+  for (const auto& entry : fs::recursive_directory_iterator(srcRoot)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".hpp" && ext != ".cpp") continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    SourceFile f;
+    f.path = fs::relative(entry.path(), root).generic_string();
+    f.raw = buf.str();
+    f.code = stripCommentsAndStrings(f.raw);
+    tree->files.push_back(std::move(f));
+  }
+  std::sort(tree->files.begin(), tree->files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.path < b.path;
+            });
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer.
+
+namespace {
+
+bool isIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool isIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-char punctuators, longest first within each length class.
+const char* const kPunct3[] = {"<<=", ">>=", "...", "->*"};
+const char* const kPunct2[] = {"::", "->", "<<", ">>", "<=", ">=", "==",
+                               "!=", "&&", "||", "+=", "-=", "*=", "/=",
+                               "%=", "&=", "|=", "^=", "++", "--"};
+
+struct Cursor {
+  const std::string& raw;
+  std::size_t i = 0;
+  std::uint32_t line = 1;
+
+  bool done() const { return i >= raw.size(); }
+  char at(std::size_t k) const {
+    return k < raw.size() ? raw[k] : '\0';
+  }
+  char cur() const { return at(i); }
+  char peek() const { return at(i + 1); }
+  void advance() {
+    if (raw[i] == '\n') ++line;
+    ++i;
+  }
+  void advanceBy(std::size_t n) {
+    for (std::size_t k = 0; k < n && i < raw.size(); ++k) advance();
+  }
+};
+
+/// Captures a comment's text (without the marker) and whether it holds an
+/// annotation worth keeping.
+void noteComment(TokenStream* out, std::uint32_t line,
+                 std::string_view text) {
+  if (text.find("dimacheck:") != std::string_view::npos ||
+      text.find("dimalint:") != std::string_view::npos) {
+    out->notes.push_back(CommentNote{line, std::string(text)});
+  }
+}
+
+/// Skips a // comment; cursor is on the first '/'.
+void skipLineComment(Cursor* c, TokenStream* out) {
+  const std::uint32_t line = c->line;
+  const std::size_t begin = c->i;
+  while (!c->done() && c->cur() != '\n') c->advance();
+  noteComment(out, line,
+              std::string_view(c->raw).substr(begin, c->i - begin));
+}
+
+/// Skips a /* */ comment; cursor is on the first '/'.
+void skipBlockComment(Cursor* c, TokenStream* out) {
+  const std::uint32_t line = c->line;
+  const std::size_t begin = c->i;
+  c->advanceBy(2);
+  while (!c->done() && !(c->cur() == '*' && c->peek() == '/')) c->advance();
+  c->advanceBy(2);
+  noteComment(out, line,
+              std::string_view(c->raw).substr(begin, c->i - begin));
+}
+
+/// Skips a string/char/raw literal; cursor is on the opening quote (or 'R').
+void skipLiteral(Cursor* c) {
+  if (c->cur() == 'R' && c->peek() == '"') {
+    const std::size_t open = c->raw.find('(', c->i + 2);
+    if (open == std::string::npos) {
+      c->advanceBy(c->raw.size() - c->i);
+      return;
+    }
+    const std::string delim =
+        ")" + c->raw.substr(c->i + 2, open - c->i - 2) + "\"";
+    const std::size_t end = c->raw.find(delim, open);
+    const std::size_t stop =
+        end == std::string::npos ? c->raw.size() : end + delim.size();
+    c->advanceBy(stop - c->i);
+    return;
+  }
+  const char quote = c->cur();
+  c->advance();
+  while (!c->done()) {
+    if (c->cur() == '\\') {
+      c->advanceBy(2);
+      continue;
+    }
+    if (c->cur() == quote) {
+      c->advance();
+      return;
+    }
+    c->advance();
+  }
+}
+
+/// Advances past the logical end of a directive line (honors backslash
+/// continuations; comments inside are still note-scanned). Returns the
+/// directive body as a string (comments excluded) for `#if` inspection.
+std::string skipDirectiveBody(Cursor* c, TokenStream* out) {
+  std::string body;
+  while (!c->done()) {
+    const char ch = c->cur();
+    if (ch == '\n') {
+      // Continuation if the last non-ws char was a backslash.
+      std::size_t k = body.size();
+      while (k > 0 && (body[k - 1] == ' ' || body[k - 1] == '\t')) --k;
+      if (k > 0 && body[k - 1] == '\\') {
+        body.resize(k - 1);
+        c->advance();
+        continue;
+      }
+      return body;
+    }
+    if (ch == '/' && c->peek() == '/') {
+      skipLineComment(c, out);
+      continue;
+    }
+    if (ch == '/' && c->peek() == '*') {
+      skipBlockComment(c, out);
+      body.push_back(' ');
+      continue;
+    }
+    body.push_back(ch);
+    c->advance();
+  }
+  return body;
+}
+
+std::string trimmed(const std::string& s) {
+  std::size_t a = 0;
+  std::size_t b = s.size();
+  while (a < b && std::isspace(static_cast<unsigned char>(s[a]))) ++a;
+  while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1]))) --b;
+  return s.substr(a, b - a);
+}
+
+}  // namespace
+
+TokenStream lexFile(const std::string& raw) {
+  TokenStream out;
+  Cursor c{raw};
+  bool atLineStart = true;  // only whitespace seen since the last newline
+  // Depth of `#if 0` skipping: 0 = live code. When >0, only directives are
+  // interpreted until the region closes.
+  int deadDepth = 0;
+  // Nesting of conditionals inside a dead region.
+  int deadNesting = 0;
+
+  while (!c.done()) {
+    const char ch = c.cur();
+    if (ch == '\n') {
+      atLineStart = true;
+      c.advance();
+      continue;
+    }
+    if (ch == ' ' || ch == '\t' || ch == '\r' || ch == '\v' || ch == '\f') {
+      c.advance();
+      continue;
+    }
+    if (ch == '/' && c.peek() == '/') {
+      skipLineComment(&c, &out);
+      continue;
+    }
+    if (ch == '/' && c.peek() == '*') {
+      skipBlockComment(&c, &out);
+      atLineStart = false;
+      continue;
+    }
+    if (ch == '#' && atLineStart) {
+      const std::uint32_t dirLine = c.line;
+      c.advance();
+      while (!c.done() && (c.cur() == ' ' || c.cur() == '\t')) c.advance();
+      std::size_t nb = c.i;
+      while (nb < raw.size() && isIdentChar(raw[nb])) ++nb;
+      const std::string name = raw.substr(c.i, nb - c.i);
+      c.advanceBy(nb - c.i);
+      const std::string body = skipDirectiveBody(&c, &out);
+      atLineStart = true;
+      if (deadDepth > 0) {
+        if (name == "if" || name == "ifdef" || name == "ifndef") {
+          ++deadNesting;
+        } else if (name == "endif") {
+          if (deadNesting == 0) {
+            deadDepth = 0;
+          } else {
+            --deadNesting;
+          }
+        } else if ((name == "else" || name == "elif") && deadNesting == 0) {
+          deadDepth = 0;  // the other branch of `#if 0` is live
+        }
+        continue;
+      }
+      if (name == "if" && trimmed(body) == "0") {
+        deadDepth = 1;
+        deadNesting = 0;
+        continue;
+      }
+      if (name == "include") {
+        const std::string b = trimmed(body);
+        if (b.size() >= 2 && (b.front() == '"' || b.front() == '<')) {
+          const char close = b.front() == '"' ? '"' : '>';
+          const std::size_t end = b.find(close, 1);
+          if (end != std::string::npos) {
+            out.includes.push_back(IncludeDirective{
+                dirLine, b.substr(1, end - 1), b.front() == '<'});
+          }
+        }
+      }
+      continue;
+    }
+    if (deadDepth > 0) {
+      // Inside `#if 0`: consume without tokenizing (literals still skipped
+      // so a quote cannot swallow the closing #endif).
+      if (ch == '"' || ch == '\'') {
+        skipLiteral(&c);
+      } else {
+        c.advance();
+      }
+      atLineStart = false;
+      continue;
+    }
+    atLineStart = false;
+    if (isIdentStart(ch)) {
+      if (ch == 'R' && c.peek() == '"') {
+        const std::uint32_t line = c.line;
+        const std::uint32_t off = static_cast<std::uint32_t>(c.i);
+        skipLiteral(&c);
+        out.tokens.push_back(Token{Tok::Str, std::string_view(), line, off});
+        continue;
+      }
+      const std::size_t begin = c.i;
+      const std::uint32_t line = c.line;
+      while (!c.done() && isIdentChar(c.cur())) c.advance();
+      out.tokens.push_back(
+          Token{Tok::Ident,
+                std::string_view(raw).substr(begin, c.i - begin), line,
+                static_cast<std::uint32_t>(begin)});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(ch)) ||
+        (ch == '.' && std::isdigit(static_cast<unsigned char>(c.peek())))) {
+      const std::size_t begin = c.i;
+      const std::uint32_t line = c.line;
+      while (!c.done() &&
+             (isIdentChar(c.cur()) || c.cur() == '.' || c.cur() == '\'' ||
+              ((c.cur() == '+' || c.cur() == '-') &&
+               (c.at(c.i - 1) == 'e' || c.at(c.i - 1) == 'E' ||
+                c.at(c.i - 1) == 'p' || c.at(c.i - 1) == 'P')))) {
+        c.advance();
+      }
+      out.tokens.push_back(
+          Token{Tok::Number,
+                std::string_view(raw).substr(begin, c.i - begin), line,
+                static_cast<std::uint32_t>(begin)});
+      continue;
+    }
+    if (ch == '"') {
+      const std::uint32_t line = c.line;
+      const std::uint32_t off = static_cast<std::uint32_t>(c.i);
+      skipLiteral(&c);
+      out.tokens.push_back(Token{Tok::Str, std::string_view(), line, off});
+      continue;
+    }
+    if (ch == '\'') {
+      const std::uint32_t line = c.line;
+      const std::uint32_t off = static_cast<std::uint32_t>(c.i);
+      skipLiteral(&c);
+      out.tokens.push_back(Token{Tok::Chr, std::string_view(), line, off});
+      continue;
+    }
+    // Punctuator, longest match first.
+    const std::string_view rest = std::string_view(raw).substr(c.i);
+    std::size_t len = 1;
+    for (const char* p : kPunct3) {
+      if (rest.starts_with(p)) {
+        len = 3;
+        break;
+      }
+    }
+    if (len == 1) {
+      for (const char* p : kPunct2) {
+        if (rest.starts_with(p)) {
+          len = 2;
+          break;
+        }
+      }
+    }
+    const std::uint32_t line = c.line;
+    const std::uint32_t off = static_cast<std::uint32_t>(c.i);
+    out.tokens.push_back(Token{Tok::Punct, rest.substr(0, len), line, off});
+    c.advanceBy(len);
+  }
+  return out;
+}
+
+}  // namespace dimatool

@@ -1,0 +1,119 @@
+#pragma once
+
+/// \file lex.hpp
+/// The shared lexing layer under both project static checkers:
+///
+///  * `dimalint` (tools/dimalint.cpp) — token-level convention rules —
+///    uses the string-oriented half: comment/string stripping, whole-token
+///    search, enum-class parsing, and the `Tree` loader.
+///  * `dimacheck` (tools/dimacheck/) — the cross-TU semantic pass — uses
+///    `lexFile`, a real tokenizer with preprocessor-conditional awareness
+///    that additionally surfaces include directives and the `// dimacheck:`
+///    annotation comments the semantic rules key on.
+///
+/// Both tools must stay dependency-free (no libclang): they build wherever
+/// the project builds and run on every CI push, GCC containers included.
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dimatool {
+
+/// One scanned source file: repo-relative path, raw text, and the text with
+/// comments and string/char literals blanked (newlines preserved so offsets
+/// map to line numbers).
+struct SourceFile {
+  std::string path;
+  std::string raw;
+  std::string code;
+};
+
+struct Tree {
+  std::filesystem::path root;
+  std::vector<SourceFile> files;  // sorted by path
+
+  const SourceFile* find(const std::string& relPath) const;
+};
+
+/// Blanks comments, string literals (including raw strings), and char
+/// literals; every replaced character becomes a space, newlines survive.
+std::string stripCommentsAndStrings(const std::string& in);
+
+/// 1-based line number of `offset` in `text`.
+std::size_t lineOf(const std::string& text, std::size_t offset);
+
+/// Whole-token occurrence check: `needle` present in `hay` with no
+/// identifier character on either side.
+bool containsToken(const std::string& hay, const std::string& needle);
+
+struct Enumerator {
+  std::string name;
+  std::size_t line = 0;
+};
+
+/// Parses the enumerators of `enum class <enumName> ... { A, B, ... };`
+/// from stripped code. Empty when the enum is absent.
+std::vector<Enumerator> parseEnumClass(const SourceFile& f,
+                                       const std::string& enumName);
+
+/// Loads every .hpp/.cpp under `root`/src into `tree` (stripped text
+/// precomputed). False with `*error` when src/ is absent.
+bool loadTree(const std::filesystem::path& root, Tree* tree,
+              std::string* error);
+
+// ---------------------------------------------------------------------------
+// Token stream (dimacheck's substrate).
+
+enum class Tok : unsigned char {
+  Ident,   ///< identifier or keyword
+  Number,  ///< numeric literal (incl. suffixes)
+  Str,     ///< string literal, contents not retained in `text`
+  Chr,     ///< char literal
+  Punct,   ///< operator/punctuator, longest-match (e.g. "::", "->", "<=")
+};
+
+struct Token {
+  Tok kind;
+  std::string_view text;  ///< view into the raw file text
+  std::uint32_t line = 0;
+  std::uint32_t offset = 0;
+};
+
+/// A comment that carries a checker annotation (`dimacheck:` /
+/// `dimalint:`); other comments are dropped at lexing time.
+struct CommentNote {
+  std::uint32_t line = 0;
+  std::string text;
+};
+
+struct IncludeDirective {
+  std::uint32_t line = 0;
+  std::string path;  ///< as written, e.g. "src/net/engine.hpp" or "poll.h"
+  bool angled = false;
+};
+
+struct TokenStream {
+  std::vector<Token> tokens;
+  std::vector<CommentNote> notes;
+  std::vector<IncludeDirective> includes;
+};
+
+/// Lexes raw C++ text. Preprocessor handling:
+///  * directives themselves emit no tokens; `#include` paths and
+///    annotation comments are captured on the side;
+///  * a literal `#if 0` region is skipped up to its matching `#else` /
+///    `#elif` / `#endif` (nesting respected) — dead fixture code cannot
+///    trip or mask a rule;
+///  * all other conditional branches are lexed (both sides analyzed —
+///    the checks are conservative across configurations);
+///  * `#define` bodies are skipped, so macro innards (e.g. DIMA_REQUIRE's
+///    abort plumbing) never masquerade as definitions or calls.
+///
+/// The returned views point into `raw`, which must outlive the stream.
+TokenStream lexFile(const std::string& raw);
+
+}  // namespace dimatool

@@ -1,0 +1,592 @@
+#include "tools/dimacheck/model.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace dimatool {
+
+namespace {
+
+/// Keywords that can precede '(' without being a call or a definition.
+const std::set<std::string>& nonCallKeywords() {
+  static const std::set<std::string> kSet = {
+      "if",       "for",        "while",    "switch",   "return",
+      "sizeof",   "alignof",    "alignas",  "catch",    "case",
+      "goto",     "static_assert",          "decltype", "noexcept",
+      "requires", "co_await",   "co_return", "co_yield", "defined",
+      "throw",    "delete",     "new",      "typeid",   "asm",
+      "int",      "char",       "bool",     "void",     "auto",
+      "unsigned", "signed",     "short",    "long",     "float",
+      "double",   "wchar_t",    "char8_t",  "char16_t", "char32_t"};
+  return kSet;
+}
+
+bool isPunct(const Token& t, const char* s) {
+  return t.kind == Tok::Punct && t.text == s;
+}
+
+/// Heuristic symbol-table builder for one file's token stream.
+struct Extractor {
+  const std::vector<Token>& t;
+  int fileIndex;
+  Project* out;
+
+  std::size_t matchForward(std::size_t open, const char* openSym,
+                           const char* closeSym) const {
+    // Returns the index of the matching closer, or t.size() on imbalance.
+    int depth = 0;
+    for (std::size_t k = open; k < t.size(); ++k) {
+      if (isPunct(t[k], openSym)) {
+        ++depth;
+      } else if (isPunct(t[k], closeSym)) {
+        if (--depth == 0) return k;
+      }
+    }
+    return t.size();
+  }
+  std::size_t matchParen(std::size_t open) const {
+    return matchForward(open, "(", ")");
+  }
+  std::size_t matchBrace(std::size_t open) const {
+    return matchForward(open, "{", "}");
+  }
+
+  /// Skips a balanced template argument list starting at '<'. Angle
+  /// brackets are not real brackets, so this is only called where a type
+  /// is grammatically required (after `template`, casts, class heads).
+  std::size_t skipAngles(std::size_t open) const {
+    int depth = 0;
+    for (std::size_t k = open; k < t.size(); ++k) {
+      if (isPunct(t[k], "<")) {
+        ++depth;
+      } else if (isPunct(t[k], ">")) {
+        if (--depth == 0) return k + 1;
+      } else if (isPunct(t[k], ">>")) {
+        depth -= 2;
+        if (depth <= 0) return k + 1;
+      } else if (isPunct(t[k], ";") || isPunct(t[k], "{")) {
+        return k;  // malformed; stop before swallowing a scope
+      }
+    }
+    return t.size();
+  }
+
+  std::size_t skipToSemicolon(std::size_t from) const {
+    int brace = 0;
+    int paren = 0;
+    for (std::size_t k = from; k < t.size(); ++k) {
+      if (isPunct(t[k], "{")) ++brace;
+      if (isPunct(t[k], "}")) {
+        if (brace == 0) return k;  // scope closed before ';' — bail
+        --brace;
+      }
+      if (isPunct(t[k], "(")) ++paren;
+      if (isPunct(t[k], ")") && paren > 0) --paren;
+      if (isPunct(t[k], ";") && brace == 0 && paren == 0) return k + 1;
+    }
+    return t.size();
+  }
+
+  void run() { parseDeclarations(0, t.size(), {}); }
+
+  /// Walks a declaration scope (file, namespace, or class body) in
+  /// [begin, end), recording function definitions.
+  void parseDeclarations(std::size_t begin, std::size_t end,
+                         std::vector<std::string> classes) {
+    std::size_t i = begin;
+    while (i < end) {
+      const Token& tok = t[i];
+      if (tok.kind != Tok::Ident) {
+        if (isPunct(tok, "{")) {
+          // Braced initializer or stray block at declaration scope.
+          const std::size_t close = matchBrace(i);
+          i = close >= end ? end : close + 1;
+          continue;
+        }
+        if (isPunct(tok, "~") && i + 1 < end && t[i + 1].kind == Tok::Ident &&
+            i + 2 < end && isPunct(t[i + 2], "(")) {
+          // Destructor definition.
+          tryFunction(i + 1, end, classes, /*dtor=*/true);
+          i = lastStop;
+          continue;
+        }
+        ++i;
+        continue;
+      }
+      const std::string_view s = tok.text;
+      if (s == "namespace") {
+        std::size_t j = i + 1;
+        while (j < end &&
+               (t[j].kind == Tok::Ident || isPunct(t[j], "::"))) {
+          ++j;
+        }
+        if (j < end && isPunct(t[j], "{")) {
+          const std::size_t close = matchBrace(j);
+          parseDeclarations(j + 1, std::min(close, end), classes);
+          i = close >= end ? end : close + 1;
+        } else {
+          i = skipToSemicolon(i);
+        }
+        continue;
+      }
+      if (s == "class" || s == "struct" || s == "union") {
+        std::size_t j = i + 1;
+        std::string cname;
+        while (j < end) {
+          if (t[j].kind == Tok::Ident) {
+            if (t[j].text == "final" || t[j].text == "alignas") {
+              ++j;
+              continue;
+            }
+            cname = std::string(t[j].text);
+            ++j;
+            continue;
+          }
+          if (isPunct(t[j], "<")) {
+            j = skipAngles(j);
+            continue;
+          }
+          break;
+        }
+        // Base clause: skip to '{' or ';' or '(' (the last means this was
+        // really a declaration like `struct S s(1);`).
+        while (j < end && !isPunct(t[j], "{") && !isPunct(t[j], ";") &&
+               !isPunct(t[j], "(")) {
+          if (isPunct(t[j], "<")) {
+            j = skipAngles(j);
+            continue;
+          }
+          ++j;
+        }
+        if (j < end && isPunct(t[j], "{")) {
+          const std::size_t close = matchBrace(j);
+          std::vector<std::string> inner = classes;
+          if (!cname.empty()) inner.push_back(cname);
+          parseDeclarations(j + 1, std::min(close, end), std::move(inner));
+          i = close >= end ? end : close + 1;
+        } else {
+          i = skipToSemicolon(i);
+        }
+        continue;
+      }
+      if (s == "enum") {
+        std::size_t j = i + 1;
+        while (j < end && !isPunct(t[j], "{") && !isPunct(t[j], ";")) ++j;
+        if (j < end && isPunct(t[j], "{")) {
+          const std::size_t close = matchBrace(j);
+          i = close >= end ? end : close + 1;
+        } else {
+          i = j >= end ? end : j + 1;
+        }
+        continue;
+      }
+      if (s == "template") {
+        if (i + 1 < end && isPunct(t[i + 1], "<")) {
+          i = skipAngles(i + 1);
+        } else {
+          ++i;
+        }
+        continue;
+      }
+      if (s == "using" || s == "typedef" || s == "static_assert" ||
+          s == "friend") {
+        i = skipToSemicolon(i);
+        continue;
+      }
+      if (s == "operator") {
+        // Operator definitions: name = "operator" + symbol(s). The params
+        // '(' is the first '(' after the symbol — except operator() where
+        // the symbol itself is "()".
+        std::size_t j = i + 1;
+        std::string name = "operator";
+        if (j + 1 < end && isPunct(t[j], "(") && isPunct(t[j + 1], ")")) {
+          name += "()";
+          j += 2;
+        } else {
+          while (j < end && t[j].kind == Tok::Punct && !isPunct(t[j], "(")) {
+            name += t[j].text;
+            ++j;
+          }
+          while (j < end && t[j].kind == Tok::Ident) ++j;  // operator T
+        }
+        if (j < end && isPunct(t[j], "(")) {
+          tryFunctionNamed(name, i, j, end, classes);
+          i = lastStop;
+        } else {
+          i = skipToSemicolon(i);
+        }
+        continue;
+      }
+      // Function-definition candidate: identifier directly followed by '('.
+      if (i + 1 < end && isPunct(t[i + 1], "(") &&
+          nonCallKeywords().count(std::string(s)) == 0) {
+        tryFunction(i, end, classes, /*dtor=*/false);
+        i = lastStop;
+        continue;
+      }
+      ++i;
+    }
+  }
+
+  std::size_t lastStop = 0;  ///< where the caller should resume
+
+  void tryFunction(std::size_t nameTok, std::size_t end,
+                   const std::vector<std::string>& classes, bool dtor) {
+    std::string name = (dtor ? "~" : "") + std::string(t[nameTok].text);
+    tryFunctionNamed(name, nameTok, nameTok + 1, end, classes);
+  }
+
+  /// Shared tail: `paren` is the index of the '(' opening the parameter
+  /// list. Sets `lastStop` to the resume point whether or not a definition
+  /// was recognized.
+  void tryFunctionNamed(const std::string& name, std::size_t nameTok,
+                        std::size_t paren, std::size_t end,
+                        const std::vector<std::string>& classes) {
+    lastStop = nameTok + 1;
+    // Qualified name written at the definition: Scope::name.
+    std::string qual = name;
+    {
+      std::size_t k = nameTok;
+      while (k >= 2 && isPunct(t[k - 1], "::") && t[k - 2].kind == Tok::Ident) {
+        qual = std::string(t[k - 2].text) + "::" + qual;
+        k -= 2;
+      }
+      if (qual == name && !classes.empty()) {
+        qual = classes.back() + "::" + name;
+      }
+    }
+    const std::size_t parenClose = matchParen(paren);
+    if (parenClose >= end) return;
+    std::size_t j = parenClose + 1;
+    // Trailing specifiers, annotation macros, trailing return type.
+    while (j < end) {
+      const Token& tj = t[j];
+      if (tj.kind == Tok::Ident) {
+        const std::string_view w = tj.text;
+        if (w == "const" || w == "noexcept" || w == "override" ||
+            w == "final" || w == "mutable" || w == "volatile" ||
+            w == "throw" || w == "requires" || w.starts_with("DIMA_")) {
+          if (j + 1 < end && isPunct(t[j + 1], "(")) {
+            j = matchParen(j + 1) + 1;
+          } else {
+            ++j;
+          }
+          continue;
+        }
+        break;
+      }
+      if (isPunct(tj, "&") || isPunct(tj, "&&")) {
+        ++j;
+        continue;
+      }
+      if (isPunct(tj, "->")) {
+        // Trailing return type: scan to the body/terminator.
+        ++j;
+        while (j < end && !isPunct(t[j], "{") && !isPunct(t[j], ";") &&
+               !isPunct(t[j], "=")) {
+          if (isPunct(t[j], "<")) {
+            j = skipAngles(j);
+            continue;
+          }
+          ++j;
+        }
+        break;
+      }
+      break;
+    }
+    if (j < end && isPunct(t[j], ":") && !isPunct(t[j], "::")) {
+      // Constructor initializer list: Ident(args) or Ident{args}, comma
+      // separated, then the body brace.
+      ++j;
+      while (j < end) {
+        while (j < end && (t[j].kind == Tok::Ident || isPunct(t[j], "::") ||
+                           isPunct(t[j], "~"))) {
+          ++j;
+        }
+        if (j < end && isPunct(t[j], "<")) j = skipAngles(j);
+        if (j < end && isPunct(t[j], "(")) {
+          j = matchParen(j) + 1;
+        } else if (j < end && isPunct(t[j], "{")) {
+          j = matchBrace(j) + 1;
+        } else {
+          break;
+        }
+        if (j < end && isPunct(t[j], ",")) {
+          ++j;
+          continue;
+        }
+        break;
+      }
+    }
+    if (j >= end || !isPunct(t[j], "{")) return;
+    const std::size_t close = matchBrace(j);
+    if (close >= t.size()) return;
+
+    FunctionDef def;
+    def.name = name;
+    def.qual = qual;
+    def.file = fileIndex;
+    def.line = t[nameTok].line;
+    def.paramsBegin = static_cast<std::uint32_t>(paren);
+    def.paramsEnd = static_cast<std::uint32_t>(parenClose);
+    def.bodyBegin = static_cast<std::uint32_t>(j);
+    def.bodyEnd = static_cast<std::uint32_t>(close);
+    const int defIndex = static_cast<int>(out->defs.size());
+    out->defs.push_back(def);
+    out->calls.push_back(collectCalls(j + 1, close));
+    out->fileDefs[static_cast<std::size_t>(fileIndex)].push_back(defIndex);
+    lastStop = close + 1;
+  }
+
+  /// Flat scan of a body for call sites. Lambda bodies inside count toward
+  /// the enclosing function — right for reachability, since the enclosing
+  /// function creates and dispatches them.
+  std::vector<CallSite> collectCalls(std::size_t begin,
+                                     std::size_t end) const {
+    std::vector<CallSite> sites;
+    for (std::size_t k = begin; k < end && k + 1 < t.size(); ++k) {
+      if (t[k].kind != Tok::Ident || !isPunct(t[k + 1], "(")) continue;
+      const std::string name(t[k].text);
+      if (nonCallKeywords().count(name) != 0) continue;
+      CallSite cs;
+      cs.name = name;
+      cs.qual = name;
+      cs.tok = static_cast<std::uint32_t>(k);
+      cs.line = t[k].line;
+      if (k > begin) {
+        const Token& prev = t[k - 1];
+        if (isPunct(prev, ".") || isPunct(prev, "->")) {
+          cs.method = true;
+        } else if (isPunct(prev, "::")) {
+          // Walk the qualification chain leftward. A keyword before the
+          // `::` (e.g. `return ::poll(...)`) is not a qualifier — the
+          // chain ends and the call is globally qualified.
+          std::size_t q = k - 1;
+          std::string prefix;
+          while (q > begin && isPunct(t[q], "::") && q >= 1 &&
+                 t[q - 1].kind == Tok::Ident &&
+                 nonCallKeywords().count(std::string(t[q - 1].text)) == 0) {
+            prefix = std::string(t[q - 1].text) + "::" + prefix;
+            if (q < 2) {
+              q = 0;
+              break;
+            }
+            q -= 2;
+          }
+          if (prefix.empty()) {
+            cs.global = true;  // spelled ::name(...)
+            cs.qual = "::" + name;
+          } else {
+            cs.qual = prefix + name;
+          }
+        }
+      }
+      sites.push_back(std::move(cs));
+    }
+    return sites;
+  }
+};
+
+std::string dirOf(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+std::string stemOf(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  const std::size_t dot = path.rfind('.');
+  const std::size_t from = slash == std::string::npos ? 0 : slash + 1;
+  if (dot == std::string::npos || dot < from) return path.substr(from);
+  return path.substr(from, dot - from);
+}
+
+}  // namespace
+
+void buildProject(const Tree& tree, Project* p) {
+  p->tree = &tree;
+  const std::size_t n = tree.files.size();
+  p->streams.clear();
+  p->streams.reserve(n);
+  p->defs.clear();
+  p->calls.clear();
+  p->byName.clear();
+  p->fileDefs.assign(n, {});
+  p->visible.assign(n, {});
+
+  std::map<std::string, int> byPath;
+  for (std::size_t f = 0; f < n; ++f) {
+    byPath[tree.files[f].path] = static_cast<int>(f);
+  }
+  for (std::size_t f = 0; f < n; ++f) {
+    p->streams.push_back(lexFile(tree.files[f].raw));
+    Extractor ex{p->streams.back().tokens, static_cast<int>(f), p};
+    ex.run();
+  }
+  for (std::size_t d = 0; d < p->defs.size(); ++d) {
+    p->byName.emplace(p->defs[d].name, static_cast<int>(d));
+    FunctionDef& def = p->defs[d];
+    def.hotPath = p->noteNear(def.file, def.line, "dimacheck: hot-path");
+    def.observerSlot =
+        p->noteNear(def.file, def.line, "dimacheck: observer-slot");
+  }
+
+  // Include closure + the linker edge (a visible header implies its
+  // sibling .cpp's definitions are linked in).
+  std::vector<std::vector<int>> includeEdges(n);
+  std::map<std::pair<std::string, std::string>, int> hppToCpp;
+  for (std::size_t f = 0; f < n; ++f) {
+    const std::string& path = tree.files[f].path;
+    if (path.ends_with(".cpp")) {
+      hppToCpp[{dirOf(path), stemOf(path)}] = static_cast<int>(f);
+    }
+  }
+  for (std::size_t f = 0; f < n; ++f) {
+    for (const IncludeDirective& inc : p->streams[f].includes) {
+      const auto it = byPath.find(inc.path);
+      if (it != byPath.end()) includeEdges[f].push_back(it->second);
+    }
+  }
+  for (std::size_t f = 0; f < n; ++f) {
+    std::set<int>& vis = p->visible[f];
+    std::vector<int> work{static_cast<int>(f)};
+    while (!work.empty()) {
+      const int cur = work.back();
+      work.pop_back();
+      if (!vis.insert(cur).second) continue;
+      for (const int nxt : includeEdges[static_cast<std::size_t>(cur)]) {
+        if (vis.count(nxt) == 0) work.push_back(nxt);
+      }
+      const std::string& path = tree.files[static_cast<std::size_t>(cur)].path;
+      if (path.ends_with(".hpp")) {
+        const auto it = hppToCpp.find({dirOf(path), stemOf(path)});
+        if (it != hppToCpp.end() && vis.count(it->second) == 0) {
+          work.push_back(it->second);
+        }
+      }
+    }
+  }
+}
+
+std::vector<int> Project::resolve(int fromFile, const CallSite& cs) const {
+  std::vector<int> sameFile;
+  std::vector<int> others;
+  const auto [lo, hi] = byName.equal_range(cs.name);
+  const std::set<int>& vis = visible[static_cast<std::size_t>(fromFile)];
+  for (auto it = lo; it != hi; ++it) {
+    const FunctionDef& def = defs[static_cast<std::size_t>(it->second)];
+    if (!cs.method && cs.qual != cs.name && cs.qual != "::" + cs.name) {
+      // Qualified call: require the definition's scoped spelling to end
+      // with the written qualification.
+      const std::string& q = cs.qual;
+      if (def.qual != q &&
+          !(def.qual.size() > q.size() &&
+            def.qual.compare(def.qual.size() - q.size(), q.size(), q) == 0 &&
+            def.qual[def.qual.size() - q.size() - 1] == ':')) {
+        continue;
+      }
+    }
+    if (def.file == fromFile) {
+      sameFile.push_back(it->second);
+    } else if (vis.count(def.file) != 0) {
+      others.push_back(it->second);
+    }
+  }
+  if (!sameFile.empty()) return sameFile;
+  return others;
+}
+
+bool Project::allowed(int file, std::uint32_t line,
+                      const std::string& rule) const {
+  const std::string needle = "dimacheck: allow(" + rule + ")";
+  for (const CommentNote& note : streams[static_cast<std::size_t>(file)].notes) {
+    if ((note.line == line || note.line + 1 == line) &&
+        note.text.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Project::noteNear(int file, std::uint32_t line,
+                       const std::string& needle) const {
+  for (const CommentNote& note : streams[static_cast<std::size_t>(file)].notes) {
+    if (note.line <= line && note.line + 2 >= line &&
+        note.text.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// compile_commands.json.
+
+bool loadCompileDb(const std::string& path, std::vector<std::string>* files,
+                   std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot read " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  files->clear();
+  // The database is a flat JSON array of objects whose values are strings;
+  // find every `"file"` key and take its string value (unescaping the two
+  // escapes CMake emits in paths: \\ and \").
+  std::size_t pos = 0;
+  while ((pos = text.find("\"file\"", pos)) != std::string::npos) {
+    pos += 6;
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == ':' ||
+            text[pos] == '\n' || text[pos] == '\r')) {
+      ++pos;
+    }
+    if (pos >= text.size() || text[pos] != '"') continue;
+    ++pos;
+    std::string value;
+    while (pos < text.size() && text[pos] != '"') {
+      if (text[pos] == '\\' && pos + 1 < text.size()) {
+        value.push_back(text[pos + 1]);
+        pos += 2;
+      } else {
+        value.push_back(text[pos]);
+        ++pos;
+      }
+    }
+    files->push_back(std::move(value));
+  }
+  if (files->empty()) {
+    *error = "no \"file\" entries in " + path +
+             " (not a compile_commands.json?)";
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::string> staleDbEntries(
+    const Tree& tree, const std::vector<std::string>& dbFiles) {
+  // Database entries are absolute paths; compare by suffix match against
+  // the tree's repo-relative TU paths.
+  std::vector<std::string> missing;
+  for (const SourceFile& f : tree.files) {
+    if (!f.path.ends_with(".cpp")) continue;
+    bool found = false;
+    for (const std::string& db : dbFiles) {
+      if (db == f.path ||
+          (db.size() > f.path.size() &&
+           db.compare(db.size() - f.path.size(), f.path.size(), f.path) ==
+               0 &&
+           db[db.size() - f.path.size() - 1] == '/')) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) missing.push_back(f.path);
+  }
+  return missing;
+}
+
+}  // namespace dimatool

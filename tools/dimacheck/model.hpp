@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file model.hpp
+/// The semantic model `dimacheck` builds over the lexed tree: a per-TU
+/// symbol table of function definitions (heuristic, parser-free — see
+/// `buildProject`), the call sites inside each body, the project include
+/// graph, and name resolution that prefers the including TU's visible set.
+/// Also the `compile_commands.json` reader and its freshness check.
+///
+/// The extraction is deliberately a disciplined heuristic, not a compiler
+/// front-end: it recognizes the shapes this codebase actually uses
+/// (namespaces, classes, ctor-init lists, trailing return types,
+/// thread-safety annotation macros) and bails conservatively on anything
+/// else. The self-check fixtures pin the shapes each rule depends on.
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/dimacheck/lex.hpp"
+
+namespace dimatool {
+
+struct FunctionDef {
+  std::string name;  ///< last component, e.g. "finishRoundAccounting"
+  std::string qual;  ///< scoped spelling, e.g. "MatchingDiscovery::finishRoundAccounting"
+  int file = -1;
+  std::uint32_t line = 0;
+  std::uint32_t paramsBegin = 0;  ///< token index of '('
+  std::uint32_t paramsEnd = 0;    ///< token index of matching ')'
+  std::uint32_t bodyBegin = 0;    ///< token index of '{'
+  std::uint32_t bodyEnd = 0;      ///< token index of matching '}'
+  bool hotPath = false;       ///< `// dimacheck: hot-path` at the definition
+  bool observerSlot = false;  ///< `// dimacheck: observer-slot`
+};
+
+struct CallSite {
+  std::string name;   ///< callee's last component
+  std::string qual;   ///< full spelling, e.g. "EndpointHalf::ownedBy" or "::poll"
+  bool method = false;   ///< receiver.name(...) or receiver->name(...)
+  bool global = false;   ///< spelled ::name(...)
+  std::uint32_t tok = 0;  ///< token index of the callee name
+  std::uint32_t line = 0;
+};
+
+struct Project {
+  const Tree* tree = nullptr;
+  std::vector<TokenStream> streams;          // parallel to tree->files
+  std::vector<FunctionDef> defs;
+  std::vector<std::vector<CallSite>> calls;  // parallel to defs
+  std::multimap<std::string, int> byName;    // def name -> def index
+  std::vector<std::vector<int>> fileDefs;    // per file: def indices
+  /// Per file: file indices whose definitions are reachable from it —
+  /// the include closure, plus each visible header's sibling .cpp (the
+  /// linker edge: declared in x.hpp, defined in x.cpp).
+  std::vector<std::set<int>> visible;
+
+  /// Candidate definitions for a call made from `fromFile`: same file
+  /// first, then the visible set. A qualified call (`Scope::name`) keeps
+  /// only candidates whose scoped spelling matches. Empty when unresolved
+  /// (std::, macros, lambdas — the rules skip those edges).
+  std::vector<int> resolve(int fromFile, const CallSite& cs) const;
+
+  /// True when `// dimacheck: allow(<rule>)` annotates this or the
+  /// previous line.
+  bool allowed(int file, std::uint32_t line, const std::string& rule) const;
+
+  /// True when an annotation comment containing `needle` sits on
+  /// `line` or up to two lines above (where doc comments live).
+  bool noteNear(int file, std::uint32_t line, const std::string& needle) const;
+};
+
+/// Lexes every file, extracts definitions and call sites, and computes the
+/// include closure. `tree` must outlive `p`.
+void buildProject(const Tree& tree, Project* p);
+
+/// Reads the "file" entries out of a `compile_commands.json`. Tolerant
+/// hand parser (the format is a flat array of objects with string values);
+/// false with `*error` when the file is unreadable or no entries parse.
+bool loadCompileDb(const std::string& path, std::vector<std::string>* files,
+                   std::string* error);
+
+/// Translation units present on disk (tree) but missing from the database —
+/// non-empty means the database is stale and must be regenerated.
+std::vector<std::string> staleDbEntries(const Tree& tree,
+                                        const std::vector<std::string>& dbFiles);
+
+}  // namespace dimatool

@@ -54,7 +54,10 @@
 ///
 /// The scan is token-level (comments and string literals stripped first),
 /// deliberately not libclang-based: it must build everywhere the project
-/// builds and run in milliseconds on every CI push.
+/// builds and run in milliseconds on every CI push. The stripping, tree
+/// loading, and enum parsing live in the shared lexing layer
+/// (tools/dimacheck/lex.hpp) used by both dimalint and the cross-TU
+/// semantic pass `dimacheck`.
 ///
 /// Self-test: `dimalint --self-check tests/lint_fixtures` runs every rule
 /// over per-rule fixture trees; each known-bad tree must trip exactly its
@@ -62,18 +65,24 @@
 /// fixture (so a new rule cannot ship untested).
 
 #include <algorithm>
-#include <cctype>
 #include <cstddef>
 #include <filesystem>
-#include <fstream>
 #include <iostream>
-#include <map>
 #include <set>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "tools/dimacheck/lex.hpp"
+
 namespace fs = std::filesystem;
+
+using dimatool::containsToken;
+using dimatool::Enumerator;
+using dimatool::lineOf;
+using dimatool::loadTree;
+using dimatool::parseEnumClass;
+using dimatool::SourceFile;
+using dimatool::Tree;
 
 namespace {
 
@@ -83,161 +92,6 @@ struct Finding {
   std::size_t line = 0;
   std::string message;
 };
-
-/// One scanned source file: repo-relative path, raw text, and the text with
-/// comments and string/char literals blanked (newlines preserved so
-/// offsets map to line numbers).
-struct SourceFile {
-  std::string path;
-  std::string raw;
-  std::string code;
-};
-
-struct Tree {
-  fs::path root;
-  std::vector<SourceFile> files;  // sorted by path
-
-  const SourceFile* find(const std::string& relPath) const {
-    for (const SourceFile& f : files) {
-      if (f.path == relPath) return &f;
-    }
-    return nullptr;
-  }
-};
-
-/// Blanks comments, string literals (including raw strings), and char
-/// literals; every replaced character becomes a space, newlines survive.
-std::string stripCommentsAndStrings(const std::string& in) {
-  std::string out(in.size(), ' ');
-  enum class St { Code, Line, Block, Str, Chr, Raw };
-  St st = St::Code;
-  std::string rawDelim;  // raw-string delimiter, including the closing paren
-  for (std::size_t i = 0; i < in.size(); ++i) {
-    const char c = in[i];
-    const char next = i + 1 < in.size() ? in[i + 1] : '\0';
-    if (c == '\n') out[i] = '\n';
-    switch (st) {
-      case St::Code:
-        if (c == '/' && next == '/') {
-          st = St::Line;
-          ++i;
-        } else if (c == '/' && next == '*') {
-          st = St::Block;
-          ++i;
-        } else if (c == 'R' && next == '"' &&
-                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
-                                   in[i - 1])) &&
-                               in[i - 1] != '_'))) {
-          const std::size_t open = in.find('(', i + 2);
-          if (open != std::string::npos) {
-            rawDelim = ")" + in.substr(i + 2, open - i - 2) + "\"";
-            st = St::Raw;
-            i = open;
-          }
-        } else if (c == '"') {
-          st = St::Str;
-        } else if (c == '\'') {
-          st = St::Chr;
-        } else {
-          out[i] = c;
-        }
-        break;
-      case St::Line:
-        if (c == '\n') st = St::Code;
-        break;
-      case St::Block:
-        if (c == '*' && next == '/') {
-          st = St::Code;
-          ++i;
-        }
-        break;
-      case St::Str:
-        if (c == '\\') {
-          ++i;
-          if (i < in.size() && in[i] == '\n') out[i] = '\n';
-        } else if (c == '"') {
-          st = St::Code;
-        }
-        break;
-      case St::Chr:
-        if (c == '\\') {
-          ++i;
-        } else if (c == '\'') {
-          st = St::Code;
-        }
-        break;
-      case St::Raw:
-        if (in.compare(i, rawDelim.size(), rawDelim) == 0) {
-          i += rawDelim.size() - 1;
-          st = St::Code;
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-std::size_t lineOf(const std::string& text, std::size_t offset) {
-  return 1 + static_cast<std::size_t>(
-                 std::count(text.begin(), text.begin() + static_cast<long>(
-                                                             offset), '\n'));
-}
-
-/// Whole-token occurrence check: `needle` present in `hay` with no
-/// identifier character on either side.
-bool containsToken(const std::string& hay, const std::string& needle) {
-  const auto isIdent = [](char c) {
-    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-  };
-  std::size_t pos = 0;
-  while ((pos = hay.find(needle, pos)) != std::string::npos) {
-    const bool leftOk = pos == 0 || !isIdent(hay[pos - 1]);
-    const std::size_t end = pos + needle.size();
-    const bool rightOk = end >= hay.size() || !isIdent(hay[end]);
-    if (leftOk && rightOk) return true;
-    pos += 1;
-  }
-  return false;
-}
-
-struct Enumerator {
-  std::string name;
-  std::size_t line = 0;
-};
-
-/// Parses the enumerators of `enum class <enumName> ... { A, B, ... };`
-/// from stripped code. Empty when the enum is absent.
-std::vector<Enumerator> parseEnumClass(const SourceFile& f,
-                                       const std::string& enumName) {
-  std::vector<Enumerator> out;
-  const std::string key = "enum class " + enumName;
-  std::size_t pos = f.code.find(key);
-  if (pos == std::string::npos) return out;
-  const std::size_t open = f.code.find('{', pos);
-  const std::size_t close = f.code.find('}', open);
-  if (open == std::string::npos || close == std::string::npos) return out;
-  std::size_t i = open + 1;
-  while (i < close) {
-    while (i < close && !(std::isalpha(static_cast<unsigned char>(
-                              f.code[i])) ||
-                          f.code[i] == '_')) {
-      ++i;
-    }
-    if (i >= close) break;
-    std::size_t j = i;
-    while (j < close && (std::isalnum(static_cast<unsigned char>(
-                             f.code[j])) ||
-                         f.code[j] == '_')) {
-      ++j;
-    }
-    out.push_back(Enumerator{f.code.substr(i, j - i), lineOf(f.code, i)});
-    // Skip to the comma ending this enumerator (ignores `= value` parts).
-    const std::size_t comma = f.code.find(',', j);
-    if (comma == std::string::npos || comma > close) break;
-    i = comma + 1;
-  }
-  return out;
-}
 
 void addFinding(std::vector<Finding>& out, const char* rule,
                 const std::string& file, std::size_t line,
@@ -522,34 +376,6 @@ constexpr Rule kRules[] = {
 
 // ---------------------------------------------------------------------------
 
-bool loadTree(const fs::path& root, Tree* tree, std::string* error) {
-  tree->root = root;
-  tree->files.clear();
-  const fs::path srcRoot = root / "src";
-  if (!fs::exists(srcRoot)) {
-    *error = "no src/ directory under " + root.string();
-    return false;
-  }
-  for (const auto& entry : fs::recursive_directory_iterator(srcRoot)) {
-    if (!entry.is_regular_file()) continue;
-    const std::string ext = entry.path().extension().string();
-    if (ext != ".hpp" && ext != ".cpp") continue;
-    std::ifstream in(entry.path(), std::ios::binary);
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    SourceFile f;
-    f.path = fs::relative(entry.path(), root).generic_string();
-    f.raw = buf.str();
-    f.code = stripCommentsAndStrings(f.raw);
-    tree->files.push_back(std::move(f));
-  }
-  std::sort(tree->files.begin(), tree->files.end(),
-            [](const SourceFile& a, const SourceFile& b) {
-              return a.path < b.path;
-            });
-  return true;
-}
-
 std::vector<Finding> lintTree(const Tree& tree) {
   std::vector<Finding> findings;
   for (const Rule& rule : kRules) rule.run(tree, findings);
@@ -575,6 +401,9 @@ int selfCheck(const fs::path& fixturesRoot) {
   for (const auto& entry : fs::directory_iterator(fixturesRoot)) {
     if (!entry.is_directory()) continue;
     const std::string name = entry.path().filename().string();
+    // The semantic pass keeps its own fixture trees one level down; they
+    // are pinned by `dimacheck --self-check`, not by this tool.
+    if (name == "dimacheck") continue;
     Tree tree;
     std::string error;
     if (!loadTree(entry.path(), &tree, &error)) {

@@ -8,7 +8,9 @@
 #   1. configure+build with clang, -DDIMA_WERROR=ON  (thread-safety analysis
 #      promoted to errors, negative compile cases verified at configure)
 #   2. dimalint over the tree + its fixture self-check
-#   3. run-clang-tidy over the exported compile_commands.json
+#   3. dimacheck (the cross-TU semantic pass) over the tree — compile-db
+#      freshness-gated and digest-cached — + its fixture self-check
+#   4. run-clang-tidy over the exported compile_commands.json
 #
 # Requires clang/clang-tidy at the pinned major (or newer). On machines
 # without clang the annotation macros expand to nothing and the thread-safety
@@ -61,18 +63,29 @@ CLANG_TIDY="$(find_tool clang-tidy)" || {
 require_major "${CLANGXX}" clang++
 require_major "${CLANG_TIDY}" clang-tidy
 
-echo "== stage 1/3: clang build, -Werror=thread-safety, negative compiles =="
+echo "== stage 1/4: clang build, -Werror=thread-safety, negative compiles =="
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
   -DCMAKE_CXX_COMPILER="${CLANGXX}" \
   -DCMAKE_BUILD_TYPE=Release \
   -DDIMA_WERROR=ON
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
 
-echo "== stage 2/3: dimalint =="
+echo "== stage 2/4: dimalint =="
 "${BUILD_DIR}/tools/dimalint" --root "${REPO_ROOT}"
 "${BUILD_DIR}/tools/dimalint" --self-check "${REPO_ROOT}/tests/lint_fixtures"
 
-echo "== stage 3/3: clang-tidy =="
+echo "== stage 3/4: dimacheck =="
+# The tree run freshness-checks the compile db first: a TU added since the
+# last configure fails loudly with a regenerate hint instead of being
+# silently unanalyzed. The --cache digest lets repeat runs (and CI) skip
+# the db parse when neither the db nor the TU list moved.
+"${BUILD_DIR}/tools/dimacheck" --root "${REPO_ROOT}" \
+  --compile-db "${BUILD_DIR}/compile_commands.json" \
+  --cache "${BUILD_DIR}/dimacheck-dbcache"
+"${BUILD_DIR}/tools/dimacheck" --self-check \
+  "${REPO_ROOT}/tests/lint_fixtures/dimacheck"
+
+echo "== stage 4/4: clang-tidy =="
 RUN_CLANG_TIDY="$(find_tool run-clang-tidy)" || {
   echo "error: run-clang-tidy not found (ships with clang-tidy)." >&2
   exit 2
@@ -80,4 +93,4 @@ RUN_CLANG_TIDY="$(find_tool run-clang-tidy)" || {
 "${RUN_CLANG_TIDY}" -clang-tidy-binary "${CLANG_TIDY}" \
   -p "${BUILD_DIR}" -quiet "${REPO_ROOT}/src/.*\.cpp$"
 
-echo "static gate: all three stages green"
+echo "static gate: all four stages green"
